@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation: the two extensions beyond the paper's core algorithm —
+/// horizontal-reduction seeds (the paper's -slp-vectorize-hor setting,
+/// on by default) and shuffled load groups / shuffle reuse (off by
+/// default). Reported as SN-SLP simulated-cycle speedups over O3 across
+/// the kernel suite.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+#include "support/TextTable.h"
+
+#include <iostream>
+
+using namespace snslp;
+
+int main() {
+  std::cout << "=== Ablation: reduction seeds and load shuffles (SN-SLP) "
+               "===\n\n";
+
+  KernelRunner Runner;
+  TextTable Table;
+  Table.setHeader({"kernel", "core only", "+reductions (default)",
+                   "+load shuffles", "+both"});
+
+  for (const Kernel &K : kernelRegistry()) {
+    if (!K.InTableI)
+      continue;
+    CompiledKernel O3 = Runner.compile(K, VectorizerMode::O3);
+    KernelData BaseData(K.Buffers, K.N, 5);
+    double BaseCycles = Runner.execute(O3, BaseData).Cycles;
+
+    auto Measure = [&](bool Reductions, bool Shuffles) {
+      VectorizerConfig Cfg;
+      Cfg.EnableReductionSeeds = Reductions;
+      Cfg.EnableLoadShuffles = Shuffles;
+      // Accept break-even graphs so shuffle-enabled kernels that reach
+      // cost 0 (e.g. milc_cmul) show their dynamic behaviour.
+      Cfg.CostThreshold = Shuffles ? 1 : 0;
+      CompiledKernel CK = Runner.compile(K, VectorizerMode::SNSLP, Cfg);
+      KernelData Data(K.Buffers, K.N, 5);
+      return BaseCycles / Runner.execute(CK, Data).Cycles;
+    };
+
+    Table.addRow({K.Name, TextTable::formatDouble(Measure(false, false)),
+                  TextTable::formatDouble(Measure(true, false)),
+                  TextTable::formatDouble(Measure(false, true)),
+                  TextTable::formatDouble(Measure(true, true))});
+  }
+  Table.print(std::cout);
+
+  std::cout << "\nReduction seeds matter for the dot-product kernel; load\n"
+               "shuffles lift the permuted-load controls (the complex\n"
+               "multiply reaches break-even and is committed only at the\n"
+               "relaxed threshold shown in the last two columns).\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Supplementary figure: dynamic vector coverage — the fraction of executed
+/// IR instructions that operate on vectors, per kernel and configuration.
+/// A direct view of how much of each kernel's work the vectorizer actually
+/// converted (the mechanism behind Fig. 5's speedups).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+#include "support/TextTable.h"
+
+#include <iostream>
+
+using namespace snslp;
+
+int main() {
+  std::cout << "=== Dynamic vector coverage (% of executed instructions "
+               "touching vectors) ===\n\n";
+
+  KernelRunner Runner;
+  TextTable Table;
+  Table.setHeader({"kernel", "SLP", "LSLP", "SN-SLP", "dyn. insts O3",
+                   "dyn. insts SN-SLP"});
+
+  for (const Kernel &K : kernelRegistry()) {
+    if (!K.InTableI)
+      continue;
+    std::vector<std::string> Row{K.Name};
+    uint64_t O3Insts = 0, SNInsts = 0;
+    for (VectorizerMode Mode : {VectorizerMode::SLP, VectorizerMode::LSLP,
+                                VectorizerMode::SNSLP}) {
+      CompiledKernel CK = Runner.compile(K, Mode);
+      KernelData Data(K.Buffers, K.N, 5);
+      ExecutionResult R = Runner.execute(CK, Data);
+      Row.push_back(TextTable::formatDouble(R.vectorCoverage() * 100.0, 1) +
+                    "%");
+      if (Mode == VectorizerMode::SNSLP)
+        SNInsts = R.StepsExecuted;
+    }
+    {
+      CompiledKernel O3 = Runner.compile(K, VectorizerMode::O3);
+      KernelData Data(K.Buffers, K.N, 5);
+      O3Insts = Runner.execute(O3, Data).StepsExecuted;
+    }
+    Row.push_back(std::to_string(O3Insts));
+    Row.push_back(std::to_string(SNInsts));
+    Table.addRow(std::move(Row));
+  }
+  Table.print(std::cout);
+
+  std::cout << "\nCoverage > 0 only where the configuration committed\n"
+               "vector code; the dynamic instruction reduction (last two\n"
+               "columns) is what the simulated-cycle speedups build on.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 11: compilation time normalized to O3, measured over the whole
+/// mini-pipeline (parse -> vectorize -> DCE -> downstream-pass proxy),
+/// 10 runs + warm-up per the paper's methodology. Expected shape: SN-SLP
+/// introduces no significant compile-time overhead, and kernels where a
+/// lot of code is vectorized away get *faster* end-to-end compilation
+/// because downstream passes see less code.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+#include "support/TextTable.h"
+
+#include <iostream>
+
+using namespace snslp;
+
+int main() {
+  std::cout << "=== Fig. 11: compilation time normalized to O3 "
+               "(lower is better) ===\n\n";
+
+  TextTable Table;
+  Table.setHeader({"kernel", "O3 [us]", "SLP", "LSLP", "SN-SLP"});
+
+  double SumRatioSN = 0.0;
+  unsigned Count = 0;
+  for (const Kernel &K : kernelRegistry()) {
+    if (!K.InTableI)
+      continue;
+    SampleStats O3 = measureCompileTime(K, VectorizerMode::O3);
+    SampleStats SLP = measureCompileTime(K, VectorizerMode::SLP);
+    SampleStats LSLP = measureCompileTime(K, VectorizerMode::LSLP);
+    SampleStats SN = measureCompileTime(K, VectorizerMode::SNSLP);
+
+    SumRatioSN += SN.Mean / O3.Mean;
+    ++Count;
+    Table.addRow({K.Name,
+                  TextTable::formatMeanStd(O3.Mean * 1e6, O3.StdDev * 1e6, 1),
+                  TextTable::formatDouble(SLP.Mean / O3.Mean, 2),
+                  TextTable::formatDouble(LSLP.Mean / O3.Mean, 2),
+                  TextTable::formatDouble(SN.Mean / O3.Mean, 2)});
+  }
+  Table.print(std::cout);
+
+  std::cout << "\naverage SN-SLP ratio: "
+            << TextTable::formatDouble(SumRatioSN /
+                                           static_cast<double>(Count),
+                                       2)
+            << " (paper: no significant overhead; < 1 is possible when\n"
+               "vectorization removes code that downstream passes would\n"
+               "otherwise process)\n";
+  return 0;
+}

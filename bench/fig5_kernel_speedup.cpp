@@ -1,0 +1,84 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 5: kernel speedup normalized to O3 (all vectorizers disabled) for
+/// LSLP and SN-SLP. The primary series is deterministic simulated-cycle
+/// speedup; interpreter wall time (10 runs + warm-up, mean ± stdev, the
+/// paper's error-bar methodology) is reported alongside.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+#include "support/TextTable.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace snslp;
+
+int main() {
+  std::cout << "=== Fig. 5: kernel speedup over O3 (higher is better) "
+               "===\n\n";
+
+  KernelRunner Runner;
+  TextTable Table;
+  Table.setHeader({"kernel", "LSLP speedup", "SN-SLP speedup",
+                   "SN-SLP/LSLP", "O3 wall [us]", "SN wall [us]",
+                   "expectation"});
+
+  double GeoLSLP = 1.0, GeoSN = 1.0;
+  unsigned Count = 0;
+  for (const Kernel &K : kernelRegistry()) {
+    if (!K.InTableI)
+      continue;
+    KernelMeasurement O3 = measureKernel(Runner, K, VectorizerMode::O3);
+    KernelMeasurement LSLP = measureKernel(Runner, K, VectorizerMode::LSLP);
+    KernelMeasurement SN = measureKernel(Runner, K, VectorizerMode::SNSLP);
+
+    double SpLSLP = speedup(O3.SimCycles, LSLP.SimCycles);
+    double SpSN = speedup(O3.SimCycles, SN.SimCycles);
+    GeoLSLP *= SpLSLP;
+    GeoSN *= SpSN;
+    ++Count;
+
+    const char *Expect = "";
+    switch (K.Expectation) {
+    case KernelExpectation::SNWins:
+      Expect = "SN-SLP wins";
+      break;
+    case KernelExpectation::MultiNodeWins:
+      Expect = "LSLP == SN-SLP win";
+      break;
+    case KernelExpectation::AllEqual:
+      Expect = "all tie";
+      break;
+    case KernelExpectation::NoneWin:
+      Expect = "none vectorize";
+      break;
+    }
+
+    Table.addRow(
+        {K.Name, TextTable::formatDouble(SpLSLP),
+         TextTable::formatDouble(SpSN),
+         TextTable::formatDouble(SpSN / SpLSLP),
+         TextTable::formatMeanStd(O3.WallSeconds.Mean * 1e6,
+                                  O3.WallSeconds.StdDev * 1e6, 1),
+         TextTable::formatMeanStd(SN.WallSeconds.Mean * 1e6,
+                                  SN.WallSeconds.StdDev * 1e6, 1),
+         Expect});
+  }
+  Table.print(std::cout);
+
+  double N = static_cast<double>(Count);
+  std::cout << "\ngeomean speedup: LSLP "
+            << TextTable::formatDouble(std::pow(GeoLSLP, 1.0 / N))
+            << ", SN-SLP "
+            << TextTable::formatDouble(std::pow(GeoSN, 1.0 / N)) << "\n";
+  std::cout << "Speedups are simulated-cycle ratios (deterministic); wall\n"
+               "times are interpreter wall clock, 10 runs + warm-up.\n";
+  return 0;
+}

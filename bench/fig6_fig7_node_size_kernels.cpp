@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figures 6 and 7: aggregate and average Multi/Super-Node size per kernel,
+/// LSLP vs SN-SLP, across all successfully vectorized code. The paper's
+/// headline observations: the Super-Node achieves a much larger aggregate
+/// size than LSLP's Multi-Node (Fig. 6), and the average node size is a
+/// little above 2 (Fig. 7), since 2 is the minimum legal size and short
+/// chains are the most likely to be isomorphic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+#include "support/TextTable.h"
+
+#include <iostream>
+
+using namespace snslp;
+
+int main() {
+  std::cout << "=== Fig. 6: aggregate Multi/Super-Node size per kernel ===\n"
+            << "=== Fig. 7: average Multi/Super-Node size per kernel  ===\n\n";
+
+  KernelRunner Runner;
+  TextTable Table;
+  Table.setHeader({"kernel", "LSLP aggregate", "SN-SLP aggregate",
+                   "LSLP avg", "SN-SLP avg"});
+
+  uint64_t TotalLSLP = 0, TotalSN = 0;
+  std::vector<unsigned> AllLSLP, AllSN;
+  for (const Kernel &K : kernelRegistry()) {
+    if (!K.InTableI)
+      continue;
+    CompiledKernel LSLP = Runner.compile(K, VectorizerMode::LSLP);
+    CompiledKernel SN = Runner.compile(K, VectorizerMode::SNSLP);
+    TotalLSLP += LSLP.Stats.aggregateSuperNodeSize();
+    TotalSN += SN.Stats.aggregateSuperNodeSize();
+    for (unsigned S : LSLP.Stats.CommittedSuperNodeSizes)
+      AllLSLP.push_back(S);
+    for (unsigned S : SN.Stats.CommittedSuperNodeSizes)
+      AllSN.push_back(S);
+
+    Table.addRow(
+        {K.Name, std::to_string(LSLP.Stats.aggregateSuperNodeSize()),
+         std::to_string(SN.Stats.aggregateSuperNodeSize()),
+         TextTable::formatDouble(LSLP.Stats.averageSuperNodeSize(), 2),
+         TextTable::formatDouble(SN.Stats.averageSuperNodeSize(), 2)});
+  }
+
+  auto Mean = [](const std::vector<unsigned> &V) {
+    if (V.empty())
+      return 0.0;
+    double Sum = 0;
+    for (unsigned X : V)
+      Sum += X;
+    return Sum / static_cast<double>(V.size());
+  };
+  Table.addRow({"TOTAL", std::to_string(TotalLSLP), std::to_string(TotalSN),
+                TextTable::formatDouble(Mean(AllLSLP), 2),
+                TextTable::formatDouble(Mean(AllSN), 2)});
+  Table.print(std::cout);
+
+  std::cout << "\nNode size = trunk operations per lane of a committed\n"
+               "Multi/Super-Node (the minimum legal size is 2). The paper\n"
+               "reports SN-SLP's aggregate well above LSLP's and an average\n"
+               "node size of ~2.2 on the kernels.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section V-B / Figure 8: performance across whole benchmarks. The paper
+/// measures the six C/C++ SPEC CPU2006 benchmarks in which SN-SLP
+/// activates and finds a significant 2% speedup over LSLP on 433.milc,
+/// with no statistical difference elsewhere. This binary runs the
+/// synthetic whole-program compositions (see kernels/Programs.h).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+#include "support/TextTable.h"
+
+#include <iostream>
+
+using namespace snslp;
+
+int main() {
+  std::cout << "=== Fig. 8: whole-benchmark speedup (normalized to O3) "
+               "===\n\n";
+
+  KernelRunner Runner;
+  TextTable Table;
+  Table.setHeader({"benchmark", "SLP", "LSLP", "SN-SLP", "SN-SLP vs LSLP"});
+
+  for (const BenchmarkProgram &P : programRegistry()) {
+    ProgramMeasurement O3 = measureProgram(Runner, P, VectorizerMode::O3);
+    ProgramMeasurement SLP = measureProgram(Runner, P, VectorizerMode::SLP);
+    ProgramMeasurement LSLP = measureProgram(Runner, P, VectorizerMode::LSLP);
+    ProgramMeasurement SN = measureProgram(Runner, P, VectorizerMode::SNSLP);
+
+    double GainOverLSLP =
+        (speedup(LSLP.SimCycles, SN.SimCycles) - 1.0) * 100.0;
+    Table.addRow({P.Name,
+                  TextTable::formatDouble(speedup(O3.SimCycles,
+                                                  SLP.SimCycles)),
+                  TextTable::formatDouble(speedup(O3.SimCycles,
+                                                  LSLP.SimCycles)),
+                  TextTable::formatDouble(speedup(O3.SimCycles,
+                                                  SN.SimCycles)),
+                  TextTable::formatDouble(GainOverLSLP, 2) + "%"});
+  }
+  Table.print(std::cout);
+
+  std::cout << "\nThe paper reports ~2% on 433.milc (its largest share of\n"
+               "SN-triggering hot code) and parity elsewhere; the same\n"
+               "shape should appear above.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks of the execution engine: scalar vs
+/// SN-SLP-vectorized kernels. The wall-clock ratio here is the
+/// non-simulated counterpart of Fig. 5's speedups (a vector op is one
+/// interpreter dispatch, so vectorized IR runs measurably faster).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/KernelRunner.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace snslp;
+
+namespace {
+
+void runKernelBench(benchmark::State &State, const char *KernelName,
+                    VectorizerMode Mode) {
+  const Kernel *K = findKernel(KernelName);
+  if (!K) {
+    State.SkipWithError("unknown kernel");
+    return;
+  }
+  KernelRunner Runner;
+  CompiledKernel CK = Runner.compile(*K, Mode);
+  KernelData Data(K->Buffers, K->N, /*Seed=*/5);
+  for (auto _ : State) {
+    ExecutionResult R = Runner.execute(CK, Data);
+    if (!R.Ok) {
+      State.SkipWithError(R.Error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(R.Cycles);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(K->N));
+}
+
+} // namespace
+
+#define KERNEL_BENCH(NAME)                                                    \
+  static void BM_##NAME##_O3(benchmark::State &S) {                           \
+    runKernelBench(S, #NAME, VectorizerMode::O3);                             \
+  }                                                                           \
+  BENCHMARK(BM_##NAME##_O3);                                                  \
+  static void BM_##NAME##_SNSLP(benchmark::State &S) {                        \
+    runKernelBench(S, #NAME, VectorizerMode::SNSLP);                          \
+  }                                                                           \
+  BENCHMARK(BM_##NAME##_SNSLP)
+
+KERNEL_BENCH(motiv1);
+KERNEL_BENCH(milc_force);
+KERNEL_BENCH(sphinx_bias);
+KERNEL_BENCH(soplex_axpy);
+
+BENCHMARK_MAIN();

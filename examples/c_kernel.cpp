@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper-faithful workflow: write the kernel as C (the paper's Fig. 3
+/// source, verbatim), compile it with the mini-C frontend, vectorize with
+/// SN-SLP, and execute — the full clang-like path in one file.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cfront/CFrontend.h"
+#include "interp/ExecutionEngine.h"
+#include "ir/Context.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "slp/SLPVectorizer.h"
+
+#include <iostream>
+#include <vector>
+
+using namespace snslp;
+
+// The paper's Fig. 3 motivating example, as C:
+static const char *CSource = R"(
+void fig3(long *A, long *B, long *C, long *D, long n) {
+  for (i = 0; i < n; i += 2) {
+    A[i]   = B[i]   - C[i]   + D[i];
+    A[i+1] = B[i+1] + D[i+1] - C[i+1];
+  }
+}
+)";
+
+int main() {
+  Context Ctx;
+  Module M(Ctx, "c_kernel");
+
+  std::cout << "=== C source (the paper's Fig. 3) ===\n" << CSource << "\n";
+
+  std::string Err;
+  Function *F = compileCKernel(CSource, M, &Err);
+  if (!F) {
+    std::cerr << "frontend error: " << Err << "\n";
+    return 1;
+  }
+  std::cout << "=== Lowered IR ===\n" << toString(*F) << "\n";
+
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::SNSLP;
+  VectorizeStats Stats = runSLPVectorizer(*F, Cfg);
+  std::cout << "=== After SN-SLP (cost " << Stats.CommittedCost << ", "
+            << Stats.superNodesCommitted() << " super-node) ===\n"
+            << toString(*F) << "\n";
+
+  constexpr size_t N = 512;
+  std::vector<int64_t> A(N + 2, 0), B(N + 2), C(N + 2), D(N + 2);
+  for (size_t I = 0; I < N + 2; ++I) {
+    B[I] = static_cast<int64_t>(I * 3);
+    C[I] = static_cast<int64_t>(I % 11);
+    D[I] = static_cast<int64_t>(100 - I);
+  }
+  TargetCostModel TCM;
+  ExecutionEngine E(*F, [&TCM](const Instruction &I) {
+    return TCM.executionCycles(I);
+  });
+  ExecutionResult R =
+      E.run({argPointer(A.data()), argPointer(B.data()),
+             argPointer(C.data()), argPointer(D.data()), argInt64(N)});
+  if (!R.Ok) {
+    std::cerr << "execution failed: " << R.Error << "\n";
+    return 1;
+  }
+
+  for (size_t I = 0; I < N; ++I)
+    if (A[I] != B[I] - C[I] + D[I]) {
+      std::cerr << "WRONG RESULT at " << I << "\n";
+      return 1;
+    }
+
+  std::cout << "verified " << N << " elements; " << R.StepsExecuted
+            << " dynamic instructions, "
+            << static_cast<int>(R.vectorCoverage() * 100)
+            << "% vector, " << R.Cycles << " simulated cycles\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shows how a downstream user extends the benchmark suite: define a new
+/// Kernel (IR + buffers + C++ reference), then reuse the KernelRunner
+/// harness to compile it under every configuration, check it against the
+/// reference, and measure it.
+///
+/// The kernel is a milc-style update whose add/sub chain has its terms
+/// permuted across the inverse operator in lane 1 — the case only the
+/// Super-Node's APO-checked reordering can recover:
+///   re[i+0] = re[i+0] - s*a[i+0] + d[i+0];
+///   re[i+1] = re[i+1] + d[i+1] - s*a[i+1];
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+#include "support/TextTable.h"
+
+#include <iostream>
+
+using namespace snslp;
+
+static Kernel makeCustomKernel() {
+  using Role = BufferSpec::Role;
+  Kernel K;
+  K.Name = "custom_cupdate";
+  K.Origin = "user-defined (milc-style complex update)";
+  K.PatternNote = "f64 re - s*a + d with lane-permuted chain order";
+  K.Unroll = 2;
+  K.Expectation = KernelExpectation::SNWins;
+  K.RelTol = 1e-12;
+  K.Buffers = {{"re", TypeKind::Double, Role::InOut},
+               {"a", TypeKind::Double, Role::Input},
+               {"d", TypeKind::Double, Role::Input}};
+  K.IRText = R"(
+func @custom_cupdate(ptr %re, ptr %a, ptr %d, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %pr0 = gep f64, ptr %re, i64 %i
+  %r0 = load f64, ptr %pr0
+  %pa0 = gep f64, ptr %a, i64 %i
+  %a0 = load f64, ptr %pa0
+  %m0 = fmul f64 %a0, 0.75
+  %s0 = fsub f64 %r0, %m0
+  %pd0 = gep f64, ptr %d, i64 %i
+  %d0 = load f64, ptr %pd0
+  %t0 = fadd f64 %s0, %d0
+  store f64 %t0, ptr %pr0
+  %pr1 = gep f64, ptr %re, i64 %i1
+  %r1 = load f64, ptr %pr1
+  %pd1 = gep f64, ptr %d, i64 %i1
+  %d1 = load f64, ptr %pd1
+  %s1 = fadd f64 %r1, %d1
+  %pa1 = gep f64, ptr %a, i64 %i1
+  %a1 = load f64, ptr %pa1
+  %m1 = fmul f64 %a1, 0.75
+  %t1 = fsub f64 %s1, %m1
+  store f64 %t1, ptr %pr1
+  %i.next = add i64 %i, 2
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    double *Re = D.f64(0);
+    const double *A = D.f64(1), *Dd = D.f64(2);
+    for (size_t I = 0; I < D.getN(); ++I)
+      Re[I] = Re[I] - 0.75 * A[I] + Dd[I];
+  };
+  return K;
+}
+
+int main() {
+  Kernel K = makeCustomKernel();
+  KernelRunner Runner;
+
+  std::cout << "=== Custom kernel '" << K.Name << "' across configurations "
+               "===\n\n";
+
+  TextTable Table;
+  Table.setHeader({"configuration", "vectorized graphs", "super-nodes",
+                   "sim. cycles", "speedup vs O3", "matches reference"});
+
+  double Baseline = 0.0;
+  for (VectorizerMode Mode : {VectorizerMode::O3, VectorizerMode::SLP,
+                              VectorizerMode::LSLP, VectorizerMode::SNSLP}) {
+    CompiledKernel CK = Runner.compile(K, Mode);
+    KernelData Data(K.Buffers, K.N, /*Seed=*/11);
+    ExecutionResult R = Runner.execute(CK, Data);
+    if (!R.Ok) {
+      std::cerr << "execution failed: " << R.Error << "\n";
+      return 1;
+    }
+    if (Mode == VectorizerMode::O3)
+      Baseline = R.Cycles;
+
+    std::string Message;
+    bool Match = Runner.check(CK, /*Seed=*/11, &Message);
+    if (!Match)
+      std::cerr << "reference mismatch under " << getModeName(Mode) << ": "
+                << Message << "\n";
+
+    Table.addRow({getModeName(Mode),
+                  std::to_string(CK.Stats.GraphsVectorized),
+                  std::to_string(CK.Stats.superNodesCommitted()),
+                  TextTable::formatDouble(R.Cycles, 0),
+                  TextTable::formatDouble(Baseline / R.Cycles),
+                  Match ? "yes" : "NO"});
+  }
+  Table.print(std::cout);
+
+  std::cout << "\nOnly SN-SLP can reorder the leaves across the fsub/fadd\n"
+               "chain, so it is the only configuration expected to\n"
+               "vectorize this kernel.\n";
+  return 0;
+}

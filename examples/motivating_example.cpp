@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the paper's Fig. 3 example programmatically with IRBuilder (no
+/// textual IR), then walks the three vectorizer configurations, printing
+/// each one's SLP graph and cost — a worked tour of the graph-construction
+/// API.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "slp/GraphBuilder.h"
+#include "slp/SLPVectorizer.h"
+
+#include <iostream>
+
+using namespace snslp;
+
+/// Builds (in a single straight-line block, like the paper's figures):
+///   A[0] = B[0] - C[0] + D[0];
+///   A[1] = B[1] + D[1] - C[1];
+static Function *buildFig3(Module &M) {
+  Context &Ctx = M.getContext();
+  Function *F = M.createFunction(
+      "fig3", Ctx.getVoidTy(),
+      {{Ctx.getPtrTy(), "A"}, {Ctx.getPtrTy(), "B"}, {Ctx.getPtrTy(), "C"},
+       {Ctx.getPtrTy(), "D"}});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  Type *I64 = Ctx.getInt64Ty();
+
+  auto LoadAt = [&B, I64](Value *Base, int64_t Index,
+                          const std::string &Name) {
+    Value *Ptr = B.createGEP(I64, Base, B.getInt64(Index), "p" + Name);
+    return B.createLoad(I64, Ptr, Name);
+  };
+
+  // Lane 0: A[0] = (B[0] - C[0]) + D[0]
+  Value *B0 = LoadAt(F->getArg(1), 0, "b0");
+  Value *C0 = LoadAt(F->getArg(2), 0, "c0");
+  Value *D0 = LoadAt(F->getArg(3), 0, "d0");
+  Value *T0 = B.createAdd(B.createSub(B0, C0, "s0"), D0, "t0");
+  B.createStore(T0, B.createGEP(I64, F->getArg(0), B.getInt64(0), "pa0"));
+
+  // Lane 1: A[1] = (B[1] + D[1]) - C[1]
+  Value *B1 = LoadAt(F->getArg(1), 1, "b1");
+  Value *D1 = LoadAt(F->getArg(3), 1, "d1");
+  Value *C1 = LoadAt(F->getArg(2), 1, "c1");
+  Value *T1 = B.createSub(B.createAdd(B1, D1, "s1"), C1, "t1");
+  B.createStore(T1, B.createGEP(I64, F->getArg(0), B.getInt64(1), "pa1"));
+
+  B.createRet();
+  return F;
+}
+
+int main() {
+  Context Ctx;
+  Module M(Ctx, "motivating");
+
+  std::cout << "=== Paper Fig. 3, built with IRBuilder ===\n\n";
+
+  for (VectorizerMode Mode : {VectorizerMode::SLP, VectorizerMode::LSLP,
+                              VectorizerMode::SNSLP}) {
+    // Fresh copy per configuration: graph construction in LSLP/SN-SLP
+    // modes massages the scalar code.
+    Function *F = buildFig3(M);
+    if (!verifyFunction(*F)) {
+      std::cerr << "built function failed verification\n";
+      return 1;
+    }
+
+    VectorizerConfig Cfg;
+    Cfg.Mode = Mode;
+    TargetCostModel TCM(Cfg.Target);
+
+    std::vector<SeedGroup> Seeds = collectStoreSeeds(
+        F->getEntryBlock(), Cfg.MinVF, Cfg.MaxVF,
+        Cfg.Target.MaxVectorWidthBytes);
+    if (Seeds.size() != 1) {
+      std::cerr << "expected one seed group\n";
+      return 1;
+    }
+
+    GraphBuilder GB(Cfg, TCM);
+    std::unique_ptr<SLPGraph> Graph = GB.build(Seeds.front());
+
+    std::cout << "--- " << getModeName(Mode) << " ---\n";
+    Graph->print(std::cout);
+    std::cout << "total cost " << Graph->getTotalCost()
+              << (Graph->getTotalCost() < 0 ? "  -> vectorize\n\n"
+                                            : "  -> keep scalar\n\n");
+    M.eraseFunction(F->getName());
+  }
+
+  std::cout << "Expected costs (paper): SLP/LSLP +4, SN-SLP -6.\n";
+  return 0;
+}

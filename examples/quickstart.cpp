@@ -1,0 +1,142 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: the five-minute tour of the public API.
+///
+///  1. Parse a scalar kernel from IR text.
+///  2. Run the Super-Node SLP vectorizer over it.
+///  3. Inspect the transformed IR and the vectorizer statistics.
+///  4. Execute both versions in the interpreter and compare.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/ExecutionEngine.h"
+#include "ir/Context.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "slp/SLPVectorizer.h"
+
+#include <iostream>
+#include <vector>
+
+using namespace snslp;
+
+// A scalar kernel with an add/sub chain whose operand order differs per
+// lane — exactly the pattern class Super-Node SLP was designed for:
+//   out[i+0] = (a[i+0] - b[i+0]) + c[i+0];
+//   out[i+1] = (c[i+1] - b[i+1]) + a[i+1];
+static const char *KernelIR = R"(
+func @saxpby(ptr %out, ptr %a, ptr %b, ptr %c, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %pa0 = gep f64, ptr %a, i64 %i
+  %a0 = load f64, ptr %pa0
+  %pb0 = gep f64, ptr %b, i64 %i
+  %b0 = load f64, ptr %pb0
+  %pc0 = gep f64, ptr %c, i64 %i
+  %c0 = load f64, ptr %pc0
+  %s0 = fsub f64 %a0, %b0
+  %t0 = fadd f64 %s0, %c0
+  %po0 = gep f64, ptr %out, i64 %i
+  store f64 %t0, ptr %po0
+  %pc1 = gep f64, ptr %c, i64 %i1
+  %c1 = load f64, ptr %pc1
+  %pb1 = gep f64, ptr %b, i64 %i1
+  %b1 = load f64, ptr %pb1
+  %s1 = fsub f64 %c1, %b1
+  %pa1 = gep f64, ptr %a, i64 %i1
+  %a1 = load f64, ptr %pa1
+  %t1 = fadd f64 %s1, %a1
+  %po1 = gep f64, ptr %out, i64 %i1
+  store f64 %t1, ptr %po1
+  %i.next = add i64 %i, 2
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+
+int main() {
+  // 1. Parse.
+  Context Ctx;
+  Module M(Ctx, "quickstart");
+  std::string Err;
+  if (!parseIR(KernelIR, M, &Err)) {
+    std::cerr << "parse error: " << Err << "\n";
+    return 1;
+  }
+  Function *Scalar = M.getFunction("saxpby");
+
+  std::cout << "=== Scalar input ===\n" << toString(*Scalar) << "\n";
+
+  // 2. Vectorize a clone under SN-SLP (keep the scalar original around
+  //    for the comparison below).
+  Function *Vectorized = Scalar->cloneInto(M, "saxpby.snslp");
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::SNSLP;
+  VectorizeStats Stats = runSLPVectorizer(*Vectorized, Cfg);
+
+  if (!verifyFunction(*Vectorized)) {
+    std::cerr << "internal error: invalid IR after vectorization\n";
+    return 1;
+  }
+
+  // 3. Inspect.
+  std::cout << "=== After SN-SLP ===\n" << toString(*Vectorized) << "\n";
+  std::cout << "graphs vectorized:    " << Stats.GraphsVectorized << "\n"
+            << "super-nodes formed:   " << Stats.superNodesCommitted() << "\n"
+            << "committed graph cost: " << Stats.CommittedCost << "\n"
+            << "instructions removed: " << Stats.InstructionsRemoved << "\n\n";
+
+  // 4. Execute both and compare results and simulated cycles.
+  constexpr size_t N = 256;
+  std::vector<double> A(N), B(N), C(N);
+  for (size_t I = 0; I < N; ++I) {
+    A[I] = 0.25 * static_cast<double>(I);
+    B[I] = 1.5;
+    C[I] = static_cast<double>(N - I);
+  }
+
+  TargetCostModel TCM;
+  auto Run = [&TCM, &A, &B, &C](Function *F, std::vector<double> &Out) {
+    ExecutionEngine Engine(*F, [&TCM](const Instruction &I) {
+      return TCM.executionCycles(I);
+    });
+    ExecutionResult R = Engine.run({argPointer(Out.data()),
+                                    argPointer(A.data()),
+                                    argPointer(B.data()),
+                                    argPointer(C.data()), argInt64(N)});
+    if (!R.Ok) {
+      std::cerr << "execution failed: " << R.Error << "\n";
+      std::exit(1);
+    }
+    return R.Cycles;
+  };
+
+  std::vector<double> OutScalar(N, 0.0), OutVector(N, 0.0);
+  double ScalarCycles = Run(Scalar, OutScalar);
+  double VectorCycles = Run(Vectorized, OutVector);
+
+  for (size_t I = 0; I < N; ++I)
+    if (OutScalar[I] != OutVector[I]) {
+      std::cerr << "MISMATCH at " << I << ": " << OutScalar[I] << " vs "
+                << OutVector[I] << "\n";
+      return 1;
+    }
+
+  std::cout << "outputs identical over " << N << " elements\n"
+            << "simulated cycles: scalar " << ScalarCycles << ", SN-SLP "
+            << VectorCycles << " (speedup "
+            << ScalarCycles / VectorCycles << "x)\n";
+  return 0;
+}

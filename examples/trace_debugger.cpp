@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstrates the interpreter's debugging facilities: the per-step
+/// execution tracer and the bounds-checking (sanitizer) mode. Runs a tiny
+/// vectorized kernel and prints the trace of scalar vs SN-SLP code side
+/// by side, then shows the sanitizer catching an out-of-bounds access.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/ExecutionEngine.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "slp/SLPVectorizer.h"
+
+#include <iostream>
+
+using namespace snslp;
+
+// Two iterations of the paper's Fig. 3 pattern, as straight-line code so
+// the trace stays short.
+static const char *DemoIR = R"(
+func @demo(ptr %A, ptr %B, ptr %C, ptr %D) {
+entry:
+  %b0 = load i64, ptr %B
+  %pc0 = gep i64, ptr %C, i64 0
+  %c0 = load i64, ptr %pc0
+  %pd0 = gep i64, ptr %D, i64 0
+  %d0 = load i64, ptr %pd0
+  %s0 = sub i64 %b0, %c0
+  %t0 = add i64 %s0, %d0
+  store i64 %t0, ptr %A
+  %pb1 = gep i64, ptr %B, i64 1
+  %b1 = load i64, ptr %pb1
+  %pd1 = gep i64, ptr %D, i64 1
+  %d1 = load i64, ptr %pd1
+  %s1 = add i64 %b1, %d1
+  %pc1 = gep i64, ptr %C, i64 1
+  %c1 = load i64, ptr %pc1
+  %t1 = sub i64 %s1, %c1
+  %pa1 = gep i64, ptr %A, i64 1
+  store i64 %t1, ptr %pa1
+  ret void
+}
+)";
+
+int main() {
+  Context Ctx;
+  Module M(Ctx, "trace");
+  std::string Err;
+  if (!parseIR(DemoIR, M, &Err)) {
+    std::cerr << "parse error: " << Err << "\n";
+    return 1;
+  }
+  Function *Scalar = M.getFunction("demo");
+  Function *Vector = Scalar->cloneInto(M, "demo.snslp");
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::SNSLP;
+  runSLPVectorizer(*Vector, Cfg);
+
+  int64_t A[2] = {0, 0};
+  int64_t B[2] = {10, 20};
+  int64_t C[2] = {3, 4};
+  int64_t D[2] = {1, 2};
+
+  auto RunTraced = [&](Function *F, const char *Title) {
+    std::cout << "=== trace: " << Title << " ===\n";
+    ExecutionEngine E(*F);
+    E.addMemoryRange(A, sizeof(A));
+    E.addMemoryRange(B, sizeof(B));
+    E.addMemoryRange(C, sizeof(C));
+    E.addMemoryRange(D, sizeof(D));
+    ExecutionResult R = E.run({argPointer(A), argPointer(B), argPointer(C),
+                               argPointer(D)},
+                              1 << 20, &std::cout);
+    std::cout << "steps: " << R.StepsExecuted << ", vector steps: "
+              << R.VectorSteps << "\n\n";
+  };
+  RunTraced(Scalar, "scalar");
+  RunTraced(Vector, "after SN-SLP");
+
+  std::cout << "A = [" << A[0] << ", " << A[1] << "]  (expected [8, 18])\n\n";
+
+  // Sanitizer demo: read past the end of B.
+  std::cout << "=== sanitizer: out-of-bounds access ===\n";
+  Module M2(Ctx, "oob");
+  const char *OobIR = "func @oob(ptr %B) -> i64 {\n"
+                      "entry:\n"
+                      "  %p = gep i64, ptr %B, i64 2\n"
+                      "  %v = load i64, ptr %p\n"
+                      "  ret i64 %v\n"
+                      "}\n";
+  if (!parseIR(OobIR, M2, &Err)) {
+    std::cerr << "parse error: " << Err << "\n";
+    return 1;
+  }
+  ExecutionEngine E(*M2.getFunction("oob"));
+  E.addMemoryRange(B, sizeof(B)); // Two elements only.
+  ExecutionResult R = E.run({argPointer(B)});
+  std::cout << (R.Ok ? "unexpectedly succeeded"
+                     : "caught: " + R.Error)
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dependence.h"
+
+#include "analysis/MemoryAddress.h"
+#include "ir/BasicBlock.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace snslp;
+
+bool snslp::dependsOn(const Instruction *User, const Instruction *Def,
+                      unsigned Budget) {
+  if (User == Def)
+    return false;
+  std::vector<const Instruction *> Worklist{User};
+  std::unordered_set<const Instruction *> Visited;
+  while (!Worklist.empty()) {
+    const Instruction *Cur = Worklist.back();
+    Worklist.pop_back();
+    if (!Visited.insert(Cur).second)
+      continue;
+    if (Visited.size() > Budget)
+      return true; // Budget exhausted: be conservative.
+    for (unsigned I = 0, E = Cur->getNumOperands(); I != E; ++I) {
+      const auto *OpInst = dyn_cast<Instruction>(Cur->getOperand(I));
+      if (!OpInst)
+        continue;
+      if (OpInst == Def)
+        return true;
+      // Phi operands cross loop edges; the def-use relation we care about
+      // for intra-block scheduling never passes through a phi.
+      if (!isa<PhiNode>(OpInst))
+        Worklist.push_back(OpInst);
+    }
+  }
+  return false;
+}
+
+bool snslp::mayConflict(const Instruction *A, const Instruction *B) {
+  bool AWrites = isa<StoreInst>(A);
+  bool BWrites = isa<StoreInst>(B);
+  if (!AWrites && !BWrites)
+    return false; // Two loads never conflict.
+  return aliasInstructions(A, B) != AliasResult::NoAlias;
+}
+
+bool snslp::isSafeToBundle(const std::vector<Instruction *> &Bundle) {
+  if (Bundle.empty())
+    return false;
+  BasicBlock *BB = Bundle.front()->getParent();
+  if (!BB)
+    return false;
+  for (Instruction *Inst : Bundle)
+    if (Inst->getParent() != BB)
+      return false;
+  // Members must be pairwise distinct.
+  for (unsigned I = 0; I < Bundle.size(); ++I)
+    for (unsigned J = I + 1; J < Bundle.size(); ++J)
+      if (Bundle[I] == Bundle[J])
+        return false;
+
+  // (1) No member may depend on another member.
+  for (unsigned I = 0; I < Bundle.size(); ++I)
+    for (unsigned J = 0; J < Bundle.size(); ++J)
+      if (I != J && dependsOn(Bundle[I], Bundle[J]))
+        return false;
+
+  // (2) Memory safety within [first, last] program-order span.
+  bool IsMemBundle = Bundle.front()->mayReadOrWriteMemory();
+  if (!IsMemBundle)
+    return true;
+
+  Instruction *First = Bundle.front();
+  Instruction *Last = Bundle.front();
+  for (Instruction *Inst : Bundle) {
+    if (Inst->comesBefore(First))
+      First = Inst;
+    if (Last->comesBefore(Inst))
+      Last = Inst;
+  }
+
+  // The vector replacement anchors loads at the FIRST member (lanes move
+  // up) and stores at the LAST member (lanes move down). An intervening
+  // access only matters for the members that cross it:
+  //  - load bundles: members after the access move up past it;
+  //  - store bundles: members before the access move down past it.
+  bool MembersMoveUp = isa<LoadInst>(Bundle.front());
+  auto It = BB->getIterator(First);
+  auto End = BB->getIterator(Last);
+  for (++It; It != End; ++It) {
+    Instruction *Mid = It->get();
+    if (!Mid->mayReadOrWriteMemory())
+      continue;
+    if (std::find(Bundle.begin(), Bundle.end(), Mid) != Bundle.end())
+      continue;
+    for (Instruction *Member : Bundle) {
+      bool Crosses =
+          MembersMoveUp ? Mid->comesBefore(Member) : Member->comesBefore(Mid);
+      if (Crosses && mayConflict(Mid, Member))
+        return false;
+    }
+  }
+  return true;
+}
+
+bool snslp::isSafeToBundleValues(const std::vector<Value *> &Lanes) {
+  std::vector<Instruction *> Bundle;
+  Bundle.reserve(Lanes.size());
+  for (Value *V : Lanes) {
+    auto *Inst = dyn_cast<Instruction>(V);
+    if (!Inst)
+      return false;
+    Bundle.push_back(Inst);
+  }
+  return isSafeToBundle(Bundle);
+}

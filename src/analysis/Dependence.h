@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scheduling-legality queries for SLP bundles. A bundle of isomorphic
+/// scalar instructions may be replaced by one vector instruction placed at
+/// the position of the bundle's last member; this is legal when
+///  (1) no bundle member (transitively) depends on another member, and
+///  (2) for memory bundles, no conflicting access sits between the first
+///      and last member in program order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_ANALYSIS_DEPENDENCE_H
+#define SNSLP_ANALYSIS_DEPENDENCE_H
+
+#include <vector>
+
+namespace snslp {
+
+class Instruction;
+class Value;
+
+/// Returns true if \p User transitively depends on \p Def through use-def
+/// chains (bounded search; returns true when the budget is exhausted, which
+/// is the conservative answer for legality checks).
+bool dependsOn(const Instruction *User, const Instruction *Def,
+               unsigned Budget = 512);
+
+/// Returns true if the two memory instructions may access overlapping
+/// memory and at least one of them writes.
+bool mayConflict(const Instruction *A, const Instruction *B);
+
+/// Checks conditions (1) and (2) above for \p Bundle. All members must be
+/// distinct instructions in the same basic block.
+bool isSafeToBundle(const std::vector<Instruction *> &Bundle);
+
+/// Variant taking Value* lanes: returns false unless every lane is an
+/// instruction and the instruction bundle is safe.
+bool isSafeToBundleValues(const std::vector<Value *> &Lanes);
+
+} // namespace snslp
+
+#endif // SNSLP_ANALYSIS_DEPENDENCE_H

@@ -1,0 +1,182 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MemoryAddress.h"
+
+#include "ir/Context.h"
+#include "ir/Instruction.h"
+#include "support/ErrorHandling.h"
+
+using namespace snslp;
+
+namespace {
+
+/// An affine integer expression: sum(coeff * var) + constant.
+struct LinearForm {
+  std::map<const Value *, int64_t> Terms;
+  int64_t Constant = 0;
+
+  void addTerm(const Value *V, int64_t Coeff) {
+    if (Coeff == 0)
+      return;
+    int64_t &Slot = Terms[V];
+    Slot += Coeff;
+    if (Slot == 0)
+      Terms.erase(V);
+  }
+
+  void addScaled(const LinearForm &Other, int64_t Scale) {
+    Constant += Other.Constant * Scale;
+    for (const auto &[V, C] : Other.Terms)
+      addTerm(V, C * Scale);
+  }
+};
+
+/// Decomposes integer expression \p V into a linear form, recursing through
+/// add/sub and multiply-by-constant. Anything else becomes an opaque
+/// variable with coefficient 1 (scaled by the caller).
+LinearForm decomposeInt(const Value *V, unsigned Depth = 0) {
+  LinearForm Form;
+  constexpr unsigned MaxDepth = 16;
+  if (const auto *CI = dyn_cast<ConstantInt>(V)) {
+    Form.Constant = CI->getValue();
+    return Form;
+  }
+  if (Depth < MaxDepth) {
+    if (const auto *BO = dyn_cast<BinaryOperator>(V)) {
+      switch (BO->getOpcode()) {
+      case BinOpcode::Add: {
+        Form = decomposeInt(BO->getLHS(), Depth + 1);
+        Form.addScaled(decomposeInt(BO->getRHS(), Depth + 1), 1);
+        return Form;
+      }
+      case BinOpcode::Sub: {
+        Form = decomposeInt(BO->getLHS(), Depth + 1);
+        Form.addScaled(decomposeInt(BO->getRHS(), Depth + 1), -1);
+        return Form;
+      }
+      case BinOpcode::Mul: {
+        // Only multiply-by-constant stays affine.
+        if (const auto *C = dyn_cast<ConstantInt>(BO->getRHS())) {
+          Form = decomposeInt(BO->getLHS(), Depth + 1);
+          LinearForm Scaled;
+          Scaled.addScaled(Form, C->getValue());
+          return Scaled;
+        }
+        if (const auto *C = dyn_cast<ConstantInt>(BO->getLHS())) {
+          Form = decomposeInt(BO->getRHS(), Depth + 1);
+          LinearForm Scaled;
+          Scaled.addScaled(Form, C->getValue());
+          return Scaled;
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+  Form.addTerm(V, 1);
+  return Form;
+}
+
+} // namespace
+
+bool AddressDescriptor::hasKnownDistance(const AddressDescriptor &Other,
+                                         int64_t &Delta) const {
+  if (!Valid || !Other.Valid || Base != Other.Base || Terms != Other.Terms)
+    return false;
+  Delta = Other.ConstBytes - ConstBytes;
+  return true;
+}
+
+AddressDescriptor snslp::analyzePointer(const Value *Ptr) {
+  AddressDescriptor Desc;
+  if (!Ptr)
+    return Desc;
+  Desc.Valid = true;
+
+  // Walk down the GEP chain accumulating byte offsets.
+  const Value *Cur = Ptr;
+  constexpr unsigned MaxGEPChain = 64;
+  for (unsigned I = 0; I < MaxGEPChain; ++I) {
+    const auto *GEP = dyn_cast<GEPInst>(Cur);
+    if (!GEP)
+      break;
+    int64_t ElemSize = GEP->getElementType()->getSizeInBytes();
+    LinearForm Index = decomposeInt(GEP->getIndexOperand());
+    Desc.ConstBytes += Index.Constant * ElemSize;
+    for (const auto &[V, C] : Index.Terms) {
+      int64_t &Slot = Desc.Terms[V];
+      Slot += C * ElemSize;
+      if (Slot == 0)
+        Desc.Terms.erase(V);
+    }
+    Cur = GEP->getPointerOperand();
+  }
+  Desc.Base = Cur;
+  return Desc;
+}
+
+AliasResult snslp::aliasAddresses(const AddressDescriptor &A, unsigned SizeA,
+                                  const AddressDescriptor &B,
+                                  unsigned SizeB) {
+  if (!A.Valid || !B.Valid)
+    return AliasResult::MayAlias;
+
+  int64_t Delta = 0;
+  if (A.hasKnownDistance(B, Delta)) {
+    if (Delta == 0 && SizeA == SizeB)
+      return AliasResult::MustAlias;
+    // [0, SizeA) vs [Delta, Delta + SizeB): disjoint?
+    if (Delta >= static_cast<int64_t>(SizeA) ||
+        Delta + static_cast<int64_t>(SizeB) <= 0)
+      return AliasResult::NoAlias;
+    return AliasResult::MayAlias; // Partial overlap.
+  }
+
+  // Distinct pointer arguments are assumed noalias (kernel convention).
+  const auto *ArgA = dyn_cast_or_null<Argument>(A.Base);
+  const auto *ArgB = dyn_cast_or_null<Argument>(B.Base);
+  if (ArgA && ArgB && ArgA != ArgB)
+    return AliasResult::NoAlias;
+
+  return AliasResult::MayAlias;
+}
+
+unsigned snslp::getAccessSize(const Instruction *MemInst) {
+  if (const auto *Load = dyn_cast<LoadInst>(MemInst))
+    return Load->getType()->getSizeInBytes();
+  if (const auto *Store = dyn_cast<StoreInst>(MemInst))
+    return Store->getValueOperand()->getType()->getSizeInBytes();
+  snslp_unreachable("not a memory instruction");
+}
+
+const Value *snslp::getPointerOperand(const Instruction *MemInst) {
+  if (const auto *Load = dyn_cast<LoadInst>(MemInst))
+    return Load->getPointerOperand();
+  if (const auto *Store = dyn_cast<StoreInst>(MemInst))
+    return Store->getPointerOperand();
+  snslp_unreachable("not a memory instruction");
+}
+
+AliasResult snslp::aliasInstructions(const Instruction *A,
+                                     const Instruction *B) {
+  return aliasAddresses(analyzePointer(getPointerOperand(A)),
+                        getAccessSize(A),
+                        analyzePointer(getPointerOperand(B)),
+                        getAccessSize(B));
+}
+
+bool snslp::areConsecutiveAccesses(const Instruction *First,
+                                   const Instruction *Second) {
+  AddressDescriptor A = analyzePointer(getPointerOperand(First));
+  AddressDescriptor B = analyzePointer(getPointerOperand(Second));
+  int64_t Delta = 0;
+  if (!A.hasKnownDistance(B, Delta))
+    return false;
+  return Delta == static_cast<int64_t>(getAccessSize(First));
+}

@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Affine address analysis (a SCEV-lite): decomposes pointer operands into
+///   Base + sum(Coefficient_i * Variable_i) + ConstantBytes
+/// which lets the SLP vectorizer prove that loads/stores are adjacent in
+/// memory and lets the dependence analysis disambiguate accesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_ANALYSIS_MEMORYADDRESS_H
+#define SNSLP_ANALYSIS_MEMORYADDRESS_H
+
+#include <cstdint>
+#include <map>
+
+namespace snslp {
+
+class Instruction;
+class Value;
+
+/// Canonical affine form of an address expression, in bytes.
+struct AddressDescriptor {
+  bool Valid = false;
+  /// The underlying pointer (usually a noalias function argument).
+  const Value *Base = nullptr;
+  /// Variable part: value -> byte coefficient. Canonical: no zero coeffs.
+  std::map<const Value *, int64_t> Terms;
+  /// Constant byte offset.
+  int64_t ConstBytes = 0;
+
+  /// Returns true when both descriptors have the same base and the same
+  /// variable part, so their distance is the constant \p Delta (B - A).
+  bool hasKnownDistance(const AddressDescriptor &Other,
+                        int64_t &Delta) const;
+};
+
+/// Analyzes pointer value \p Ptr (typically a GEP chain over an argument).
+/// Always returns a descriptor; Valid is false only for null input. Unknown
+/// index sub-expressions become opaque variables with coefficient 1, which
+/// keeps the result canonical and comparisons conservative.
+AddressDescriptor analyzePointer(const Value *Ptr);
+
+/// Result of an alias query between two memory accesses.
+enum class AliasResult { NoAlias, MayAlias, MustAlias };
+
+/// Compares accesses (\p A, \p SizeA bytes) and (\p B, \p SizeB bytes).
+///
+/// Distinct pointer arguments are treated as noalias (the kernel calling
+/// convention, documented in DESIGN.md). Same-base accesses with a known
+/// distance are disambiguated exactly; everything else is MayAlias.
+AliasResult aliasAddresses(const AddressDescriptor &A, unsigned SizeA,
+                           const AddressDescriptor &B, unsigned SizeB);
+
+/// Convenience: alias query directly on two load/store instructions.
+AliasResult aliasInstructions(const Instruction *A, const Instruction *B);
+
+/// Returns true if \p Second accesses exactly \p First's address plus
+/// \p First's access size (i.e. they are adjacent, in order).
+bool areConsecutiveAccesses(const Instruction *First,
+                            const Instruction *Second);
+
+/// Returns the access size in bytes of a load or store instruction.
+unsigned getAccessSize(const Instruction *MemInst);
+
+/// Returns the pointer operand of a load or store instruction.
+const Value *getPointerOperand(const Instruction *MemInst);
+
+} // namespace snslp
+
+#endif // SNSLP_ANALYSIS_MEMORYADDRESS_H

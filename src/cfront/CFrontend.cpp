@@ -1,0 +1,703 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/CFrontend.h"
+
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <vector>
+
+using namespace snslp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+struct CTok {
+  enum Kind { Ident, Number, Punct, End } K = End;
+  std::string Text;
+  unsigned Line = 0;
+};
+
+class CLexer {
+public:
+  CLexer(const std::string &Src, std::string &Err) : Src(Src), Err(Err) {}
+
+  bool run(std::vector<CTok> &Out) {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+        continue;
+      }
+      if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+        size_t Start = Pos;
+        while (Pos < Src.size() &&
+               (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+                Src[Pos] == '_'))
+          ++Pos;
+        Out.push_back({CTok::Ident, Src.substr(Start, Pos - Start), Line});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(C)) ||
+          (C == '.' && Pos + 1 < Src.size() &&
+           std::isdigit(static_cast<unsigned char>(Src[Pos + 1])))) {
+        size_t Start = Pos;
+        while (Pos < Src.size() &&
+               (std::isdigit(static_cast<unsigned char>(Src[Pos])) ||
+                Src[Pos] == '.' || Src[Pos] == 'e' || Src[Pos] == 'E' ||
+                ((Src[Pos] == '+' || Src[Pos] == '-') && Pos > Start &&
+                 (Src[Pos - 1] == 'e' || Src[Pos - 1] == 'E'))))
+          ++Pos;
+        // Trailing f/F suffix is tolerated and ignored.
+        if (Pos < Src.size() && (Src[Pos] == 'f' || Src[Pos] == 'F'))
+          ++Pos;
+        Out.push_back({CTok::Number, Src.substr(Start, Pos - Start), Line});
+        continue;
+      }
+      if (C == '+' && Pos + 1 < Src.size() && Src[Pos + 1] == '=') {
+        Out.push_back({CTok::Punct, "+=", Line});
+        Pos += 2;
+        continue;
+      }
+      static const std::string Singles = "(){}[];,=+-*/<";
+      if (Singles.find(C) != std::string::npos) {
+        Out.push_back({CTok::Punct, std::string(1, C), Line});
+        ++Pos;
+        continue;
+      }
+      Err = "line " + std::to_string(Line) + ": unexpected character '" +
+            std::string(1, C) + "'";
+      return false;
+    }
+    Out.push_back({CTok::End, "", Line});
+    return true;
+  }
+
+private:
+  const std::string &Src;
+  std::string &Err;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// AST
+//===----------------------------------------------------------------------===//
+
+struct CExpr {
+  enum Kind { Num, Load, ScalarRef, Unary, Bin } K;
+  double NumValue = 0.0;       // Num
+  bool NumIsFP = false;        // Num: had '.' or exponent
+  std::string Name;            // Load/ScalarRef array or scalar name
+  // Load index: i*Scale + Offset, or pure literal when UsesLoopVar=false.
+  bool UsesLoopVar = false;
+  int64_t IndexScale = 1;
+  int64_t IndexOffset = 0;
+  char Op = 0; // Unary: '-', 's'(sqrt), 'a'(fabs); Bin: + - * /
+  std::unique_ptr<CExpr> LHS, RHS;
+};
+
+struct CStmt {
+  std::string Array;
+  bool UsesLoopVar = false;
+  int64_t IndexScale = 1;
+  int64_t IndexOffset = 0;
+  std::unique_ptr<CExpr> Value;
+};
+
+struct CParam {
+  std::string Name;
+  bool IsPointer = false;
+  TypeKind Elem = TypeKind::Double;
+};
+
+struct CKernelAST {
+  std::string Name;
+  std::vector<CParam> Params;
+  std::string LoopVar;
+  int64_t LoopStart = 0;
+  std::string BoundName;
+  int64_t LoopStep = 1;
+  std::vector<CStmt> Stmts;
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class CParser {
+public:
+  CParser(std::vector<CTok> Toks, std::string &Err)
+      : Toks(std::move(Toks)), Err(Err) {}
+
+  bool parse(CKernelAST &K) {
+    if (!expectIdent("void"))
+      return false;
+    if (cur().K != CTok::Ident)
+      return error("expected kernel name");
+    K.Name = next().Text;
+    if (!expectPunct("("))
+      return false;
+    if (!parseParams(K))
+      return false;
+    if (!expectPunct("{") || !parseForLoop(K))
+      return false;
+    while (!isPunct("}")) {
+      if (cur().K == CTok::End)
+        return error("unexpected end of input");
+      CStmt S;
+      if (!parseStatement(K, S))
+        return false;
+      K.Stmts.push_back(std::move(S));
+    }
+    next(); // inner '}'
+    if (!expectPunct("}"))
+      return false;
+    return true;
+  }
+
+private:
+  const CTok &cur() const { return Toks[Pos]; }
+  const CTok &next() { return Toks[Pos++]; }
+  bool isPunct(const char *P) const {
+    return cur().K == CTok::Punct && cur().Text == P;
+  }
+  bool isIdent(const char *S) const {
+    return cur().K == CTok::Ident && cur().Text == S;
+  }
+  bool error(const std::string &Msg) {
+    Err = "line " + std::to_string(cur().Line) + ": " + Msg;
+    return false;
+  }
+  bool expectPunct(const char *P) {
+    if (!isPunct(P))
+      return error(std::string("expected '") + P + "'");
+    next();
+    return true;
+  }
+  bool expectIdent(const char *S) {
+    if (!isIdent(S))
+      return error(std::string("expected '") + S + "'");
+    next();
+    return true;
+  }
+
+  bool typeKeyword(const std::string &S, TypeKind &Out) {
+    if (S == "double")
+      Out = TypeKind::Double;
+    else if (S == "float")
+      Out = TypeKind::Float;
+    else if (S == "long")
+      Out = TypeKind::Int64;
+    else if (S == "int")
+      Out = TypeKind::Int32;
+    else
+      return false;
+    return true;
+  }
+
+  bool parseParams(CKernelAST &K) {
+    while (true) {
+      if (cur().K != CTok::Ident)
+        return error("expected parameter type");
+      CParam P;
+      if (!typeKeyword(next().Text, P.Elem))
+        return error("unknown parameter type");
+      if (isPunct("*")) {
+        next();
+        P.IsPointer = true;
+      }
+      if (cur().K != CTok::Ident)
+        return error("expected parameter name");
+      P.Name = next().Text;
+      K.Params.push_back(P);
+      if (isPunct(",")) {
+        next();
+        continue;
+      }
+      break;
+    }
+    return expectPunct(")");
+  }
+
+  bool parseForLoop(CKernelAST &K) {
+    if (!expectIdent("for") || !expectPunct("("))
+      return false;
+    if (cur().K != CTok::Ident)
+      return error("expected loop variable");
+    K.LoopVar = next().Text;
+    if (!expectPunct("="))
+      return false;
+    if (cur().K != CTok::Number)
+      return error("expected loop start literal");
+    K.LoopStart = std::strtoll(next().Text.c_str(), nullptr, 10);
+    if (!expectPunct(";"))
+      return false;
+    if (!isIdent(K.LoopVar.c_str()))
+      return error("loop condition must test the loop variable");
+    next();
+    if (!expectPunct("<"))
+      return false;
+    if (cur().K != CTok::Ident)
+      return error("loop bound must be a parameter name");
+    K.BoundName = next().Text;
+    if (!expectPunct(";"))
+      return false;
+    if (!isIdent(K.LoopVar.c_str()))
+      return error("loop increment must update the loop variable");
+    next();
+    if (!isPunct("+="))
+      return error("expected '+='");
+    next();
+    if (cur().K != CTok::Number)
+      return error("expected loop step literal");
+    K.LoopStep = std::strtoll(next().Text.c_str(), nullptr, 10);
+    if (K.LoopStep <= 0)
+      return error("loop step must be positive");
+    return expectPunct(")") && expectPunct("{");
+  }
+
+  /// index := VAR ('*' NUM)? (('+'|'-') NUM)? | NUM
+  bool parseIndex(const CKernelAST &K, bool &UsesLoopVar, int64_t &Scale,
+                  int64_t &Offset) {
+    UsesLoopVar = false;
+    Scale = 1;
+    Offset = 0;
+    if (cur().K == CTok::Number) {
+      Offset = std::strtoll(next().Text.c_str(), nullptr, 10);
+      return true;
+    }
+    if (!isIdent(K.LoopVar.c_str()))
+      return error("index must be the loop variable or a literal");
+    next();
+    UsesLoopVar = true;
+    if (isPunct("*")) {
+      next();
+      if (cur().K != CTok::Number)
+        return error("expected literal scale in index expression");
+      Scale = std::strtoll(next().Text.c_str(), nullptr, 10);
+    }
+    if (isPunct("+") || isPunct("-")) {
+      char Op = next().Text[0];
+      if (cur().K != CTok::Number)
+        return error("expected literal offset in index expression");
+      int64_t N = std::strtoll(next().Text.c_str(), nullptr, 10);
+      Offset = Op == '+' ? N : -N;
+    }
+    return true;
+  }
+
+  bool parseStatement(const CKernelAST &K, CStmt &S) {
+    if (cur().K != CTok::Ident)
+      return error("expected array name");
+    S.Array = next().Text;
+    if (!expectPunct("["))
+      return false;
+    if (!parseIndex(K, S.UsesLoopVar, S.IndexScale, S.IndexOffset))
+      return false;
+    if (!expectPunct("]") || !expectPunct("="))
+      return false;
+    S.Value = parseExpr(K);
+    if (!S.Value)
+      return false;
+    return expectPunct(";");
+  }
+
+  /// expr := term (('+'|'-') term)*
+  std::unique_ptr<CExpr> parseExpr(const CKernelAST &K) {
+    std::unique_ptr<CExpr> L = parseTerm(K);
+    while (L && (isPunct("+") || isPunct("-"))) {
+      char Op = next().Text[0];
+      std::unique_ptr<CExpr> R = parseTerm(K);
+      if (!R)
+        return nullptr;
+      auto B = std::make_unique<CExpr>();
+      B->K = CExpr::Bin;
+      B->Op = Op;
+      B->LHS = std::move(L);
+      B->RHS = std::move(R);
+      L = std::move(B);
+    }
+    return L;
+  }
+
+  /// term := factor (('*'|'/') factor)*
+  std::unique_ptr<CExpr> parseTerm(const CKernelAST &K) {
+    std::unique_ptr<CExpr> L = parseFactor(K);
+    while (L && (isPunct("*") || isPunct("/"))) {
+      char Op = next().Text[0];
+      std::unique_ptr<CExpr> R = parseFactor(K);
+      if (!R)
+        return nullptr;
+      auto B = std::make_unique<CExpr>();
+      B->K = CExpr::Bin;
+      B->Op = Op;
+      B->LHS = std::move(L);
+      B->RHS = std::move(R);
+      L = std::move(B);
+    }
+    return L;
+  }
+
+  std::unique_ptr<CExpr> parseFactor(const CKernelAST &K) {
+    if (isPunct("(")) {
+      next();
+      std::unique_ptr<CExpr> E = parseExpr(K);
+      if (!E || !expectPunct(")"))
+        return nullptr;
+      return E;
+    }
+    if (isPunct("-")) {
+      next();
+      std::unique_ptr<CExpr> Inner = parseFactor(K);
+      if (!Inner)
+        return nullptr;
+      auto U = std::make_unique<CExpr>();
+      U->K = CExpr::Unary;
+      U->Op = '-';
+      U->LHS = std::move(Inner);
+      return U;
+    }
+    if (cur().K == CTok::Number) {
+      auto N = std::make_unique<CExpr>();
+      N->K = CExpr::Num;
+      const std::string &Text = next().Text;
+      N->NumValue = std::strtod(Text.c_str(), nullptr);
+      N->NumIsFP = Text.find('.') != std::string::npos ||
+                   Text.find('e') != std::string::npos ||
+                   Text.find('E') != std::string::npos;
+      return N;
+    }
+    if (cur().K == CTok::Ident) {
+      std::string Name = next().Text;
+      if ((Name == "sqrt" || Name == "fabs") && isPunct("(")) {
+        next();
+        std::unique_ptr<CExpr> Inner = parseExpr(K);
+        if (!Inner || !expectPunct(")"))
+          return nullptr;
+        auto U = std::make_unique<CExpr>();
+        U->K = CExpr::Unary;
+        U->Op = Name == "sqrt" ? 's' : 'a';
+        U->LHS = std::move(Inner);
+        return U;
+      }
+      if (isPunct("[")) {
+        next();
+        auto L = std::make_unique<CExpr>();
+        L->K = CExpr::Load;
+        L->Name = Name;
+        if (!parseIndex(K, L->UsesLoopVar, L->IndexScale, L->IndexOffset))
+          return nullptr;
+        if (!expectPunct("]"))
+          return nullptr;
+        return L;
+      }
+      auto S = std::make_unique<CExpr>();
+      S->K = CExpr::ScalarRef;
+      S->Name = Name;
+      return S;
+    }
+    error("expected expression");
+    return nullptr;
+  }
+
+  std::vector<CTok> Toks;
+  size_t Pos = 0;
+  std::string &Err;
+};
+
+//===----------------------------------------------------------------------===//
+// Lowering
+//===----------------------------------------------------------------------===//
+
+class CLowering {
+public:
+  CLowering(const CKernelAST &K, Module &M, std::string &Err)
+      : K(K), M(M), Ctx(M.getContext()), Err(Err) {}
+
+  Function *run() {
+    if (!buildSignature())
+      return nullptr;
+
+    BasicBlock *Entry = F->createBlock("entry");
+    BasicBlock *Loop = F->createBlock("loop");
+    BasicBlock *Exit = F->createBlock("exit");
+    IRBuilder B(Entry);
+    B.createBr(Loop);
+
+    B.setInsertPointAtEnd(Loop);
+    PhiNode *I = B.createPhi(Ctx.getInt64Ty(), K.LoopVar);
+
+    for (const CStmt &S : K.Stmts) {
+      auto It = Params.find(S.Array);
+      if (It == Params.end() || !It->second.IsPointer) {
+        Err = "store to unknown array '" + S.Array + "'";
+        return nullptr;
+      }
+      Type *ElemTy = elemType(It->second.Elem);
+      Type *ValueTy = inferType(*S.Value);
+      if (TypeError)
+        return nullptr;
+      if (!ValueTy)
+        ValueTy = ElemTy; // Literal-only expression: the store decides.
+      if (ValueTy != ElemTy) {
+        Err = "type mismatch storing to '" + S.Array + "'";
+        return nullptr;
+      }
+      Value *V = lower(B, *S.Value, ElemTy, I);
+      if (!V)
+        return nullptr;
+      Value *Ptr = B.createGEP(
+          ElemTy, It->second.Arg,
+          lowerIndex(B, I, S.UsesLoopVar, S.IndexScale, S.IndexOffset));
+      B.createStore(V, Ptr);
+    }
+
+    Value *Next =
+        B.createAdd(I, ConstantInt::get(Ctx.getInt64Ty(), K.LoopStep),
+                    K.LoopVar + ".next");
+    auto BoundIt = Params.find(K.BoundName);
+    if (BoundIt == Params.end() || BoundIt->second.IsPointer ||
+        elemType(BoundIt->second.Elem) != Ctx.getInt64Ty()) {
+      Err = "loop bound '" + K.BoundName + "' must be a long parameter";
+      return nullptr;
+    }
+    Value *Cond = B.createICmp(ICmpPredicate::SLT, Next,
+                               BoundIt->second.Arg, "cond");
+    B.createCondBr(Cond, Loop, Exit);
+    I->addIncoming(ConstantInt::get(Ctx.getInt64Ty(), K.LoopStart), Entry);
+    I->addIncoming(Next, Loop);
+
+    B.setInsertPointAtEnd(Exit);
+    B.createRet();
+    return F;
+  }
+
+private:
+  struct ParamInfo {
+    bool IsPointer;
+    TypeKind Elem;
+    Argument *Arg;
+  };
+
+  Type *elemType(TypeKind Kind) {
+    switch (Kind) {
+    case TypeKind::Double:
+      return Ctx.getDoubleTy();
+    case TypeKind::Float:
+      return Ctx.getFloatTy();
+    case TypeKind::Int64:
+      return Ctx.getInt64Ty();
+    case TypeKind::Int32:
+      return Ctx.getInt32Ty();
+    default:
+      return nullptr;
+    }
+  }
+
+  bool buildSignature() {
+    if (M.getFunction(K.Name)) {
+      Err = "redefinition of '" + K.Name + "'";
+      return false;
+    }
+    std::vector<std::pair<Type *, std::string>> Sig;
+    for (const CParam &P : K.Params)
+      Sig.emplace_back(P.IsPointer ? Ctx.getPtrTy() : elemType(P.Elem),
+                       P.Name);
+    F = M.createFunction(K.Name, Ctx.getVoidTy(), Sig);
+    for (unsigned Idx = 0; Idx < K.Params.size(); ++Idx) {
+      const CParam &P = K.Params[Idx];
+      if (Params.count(P.Name)) {
+        Err = "duplicate parameter '" + P.Name + "'";
+        return false;
+      }
+      Params[P.Name] = ParamInfo{P.IsPointer, P.Elem, F->getArg(Idx)};
+    }
+    return true;
+  }
+
+  /// Infers the element type of an expression: the first array or scalar
+  /// parameter decides; literals alone default to f64.
+  Type *inferType(const CExpr &E) {
+    switch (E.K) {
+    case CExpr::Num:
+      return nullptr; // Neutral: defer to siblings.
+    case CExpr::Load:
+    case CExpr::ScalarRef: {
+      auto It = Params.find(E.Name);
+      if (It == Params.end()) {
+        Err = "unknown name '" + E.Name + "'";
+        TypeError = true;
+        return nullptr;
+      }
+      return elemType(It->second.Elem);
+    }
+    case CExpr::Unary:
+      return inferType(*E.LHS);
+    case CExpr::Bin: {
+      Type *L = inferType(*E.LHS);
+      if (TypeError)
+        return nullptr;
+      Type *R = inferType(*E.RHS);
+      if (TypeError)
+        return nullptr;
+      if (L && R && L != R) {
+        Err = "mixed element types in expression";
+        TypeError = true;
+        return nullptr;
+      }
+      return L ? L : R;
+    }
+    }
+    return nullptr;
+  }
+
+  Value *lowerIndex(IRBuilder &B, PhiNode *I, bool UsesLoopVar,
+                    int64_t Scale, int64_t Offset) {
+    Type *I64 = Ctx.getInt64Ty();
+    if (!UsesLoopVar)
+      return ConstantInt::get(I64, Offset);
+    Value *V = I;
+    if (Scale != 1)
+      V = B.createMul(V, ConstantInt::get(I64, Scale));
+    if (Offset != 0)
+      V = B.createAdd(V, ConstantInt::get(I64, Offset));
+    return V;
+  }
+
+  Value *lower(IRBuilder &B, const CExpr &E, Type *Ty, PhiNode *I) {
+    switch (E.K) {
+    case CExpr::Num:
+      if (Ty->isFloatingPoint())
+        return ConstantFP::get(Ty, E.NumValue);
+      if (E.NumIsFP) {
+        Err = "floating-point literal in integer expression";
+        return nullptr;
+      }
+      return ConstantInt::get(Ty, static_cast<int64_t>(E.NumValue));
+    case CExpr::Load: {
+      const ParamInfo &P = Params.at(E.Name);
+      if (!P.IsPointer) {
+        Err = "'" + E.Name + "' is not an array";
+        return nullptr;
+      }
+      Value *Ptr = B.createGEP(
+          Ty, P.Arg, lowerIndex(B, I, E.UsesLoopVar, E.IndexScale,
+                                E.IndexOffset));
+      return B.createLoad(Ty, Ptr);
+    }
+    case CExpr::ScalarRef: {
+      const ParamInfo &P = Params.at(E.Name);
+      if (P.IsPointer) {
+        Err = "array '" + E.Name + "' used without an index";
+        return nullptr;
+      }
+      return P.Arg;
+    }
+    case CExpr::Unary: {
+      Value *Inner = lower(B, *E.LHS, Ty, I);
+      if (!Inner)
+        return nullptr;
+      if (E.Op == '-') {
+        if (Ty->isFloatingPoint())
+          return B.createFNeg(Inner);
+        return B.createSub(ConstantInt::get(Ty, 0), Inner);
+      }
+      if (!Ty->isFloatingPoint()) {
+        Err = "sqrt/fabs require a floating-point expression";
+        return nullptr;
+      }
+      return E.Op == 's' ? B.createSqrt(Inner) : B.createFabs(Inner);
+    }
+    case CExpr::Bin: {
+      Value *L = lower(B, *E.LHS, Ty, I);
+      if (!L)
+        return nullptr;
+      Value *R = lower(B, *E.RHS, Ty, I);
+      if (!R)
+        return nullptr;
+      bool FP = Ty->isFloatingPoint();
+      switch (E.Op) {
+      case '+':
+        return B.createBinOp(FP ? BinOpcode::FAdd : BinOpcode::Add, L, R);
+      case '-':
+        return B.createBinOp(FP ? BinOpcode::FSub : BinOpcode::Sub, L, R);
+      case '*':
+        return B.createBinOp(FP ? BinOpcode::FMul : BinOpcode::Mul, L, R);
+      case '/':
+        if (!FP) {
+          Err = "integer division is not supported";
+          return nullptr;
+        }
+        return B.createFDiv(L, R);
+      }
+      break;
+    }
+    }
+    Err = "internal: unhandled expression";
+    return nullptr;
+  }
+
+  const CKernelAST &K;
+  Module &M;
+  Context &Ctx;
+  std::string &Err;
+  Function *F = nullptr;
+  std::map<std::string, ParamInfo> Params;
+  bool TypeError = false;
+};
+
+} // namespace
+
+Function *snslp::compileCKernel(const std::string &Source, Module &M,
+                                std::string *ErrMsg) {
+  std::string Err;
+  std::vector<CTok> Toks;
+  CLexer Lexer(Source, Err);
+  if (!Lexer.run(Toks)) {
+    if (ErrMsg)
+      *ErrMsg = Err;
+    return nullptr;
+  }
+  CKernelAST K;
+  CParser Parser(std::move(Toks), Err);
+  if (!Parser.parse(K)) {
+    if (ErrMsg)
+      *ErrMsg = Err;
+    return nullptr;
+  }
+  bool Existed = M.getFunction(K.Name) != nullptr;
+  CLowering Lowering(K, M, Err);
+  Function *F = Lowering.run();
+  if (!F) {
+    // Do not leave a half-built function behind (unless the failure WAS
+    // that the name already existed).
+    if (!Existed)
+      M.eraseFunction(K.Name);
+    if (ErrMsg)
+      *ErrMsg = Err;
+  }
+  return F;
+}

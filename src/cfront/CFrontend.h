@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature C frontend for kernel functions. The paper's kernels are C
+/// code compiled by clang; this frontend accepts the same shape of kernel
+/// in a restricted C dialect and lowers it to the project's IR, so kernels
+/// can be written the way the paper presents them (Figs. 2-3) instead of
+/// as hand-written IR.
+///
+/// Supported dialect:
+///
+/// \code
+///   void kernel(long *A, long *B, long *C, long *D, long n) {
+///     for (i = 0; i < n; i += 2) {
+///       A[i]   = B[i] - C[i] + D[i];
+///       A[i+1] = B[i+1] + D[i+1] - C[i+1];
+///     }
+///   }
+/// \endcode
+///
+/// - Parameters: `double*`, `float*`, `long*`, `int*` arrays, plus scalar
+///   `double`/`long` values; the trailing `long n` bounds the loop.
+/// - One counted for-loop: `for (i = START; i < BOUND; i += STEP)` where
+///   BOUND is a `long` parameter.
+/// - Statements: `array[index] = expression;`
+/// - Expressions: `+ - * /` with the usual precedence, parentheses, unary
+///   minus, `sqrt(...)`/`fabs(...)`, array loads `arr[index]`, scalar
+///   parameters, and numeric literals.
+/// - Indices: `i`, `i + K`, `i - K`, `i * K`, or a literal K.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_CFRONT_CFRONTEND_H
+#define SNSLP_CFRONT_CFRONTEND_H
+
+#include <string>
+
+namespace snslp {
+
+class Function;
+class Module;
+
+/// Compiles one C-dialect kernel into \p M.
+///
+/// \returns the created Function, or null with a diagnostic (including a
+/// line number) in \p ErrMsg when non-null.
+Function *compileCKernel(const std::string &Source, Module &M,
+                         std::string *ErrMsg = nullptr);
+
+} // namespace snslp
+
+#endif // SNSLP_CFRONT_CFRONTEND_H

@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetCostModel.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace snslp;
+
+/// Cycle cost of one binary opcode (scalar or one vector issue).
+static double opcodeCycles(BinOpcode Op) {
+  switch (Op) {
+  case BinOpcode::Add:
+  case BinOpcode::Sub:
+    return 1.0;
+  case BinOpcode::Mul:
+    return 3.0;
+  case BinOpcode::FAdd:
+  case BinOpcode::FSub:
+    return 3.0;
+  case BinOpcode::FMul:
+    return 4.0;
+  case BinOpcode::FDiv:
+    return 13.0;
+  }
+  snslp_unreachable("covered switch");
+}
+
+double TargetCostModel::executionCycles(const Instruction &Inst) const {
+  switch (Inst.getKind()) {
+  case ValueKind::BinOp:
+    return opcodeCycles(cast<BinaryOperator>(Inst).getOpcode());
+  case ValueKind::UnaryOp:
+    switch (cast<UnaryOperator>(Inst).getOpcode()) {
+    case UnaryOpcode::FNeg:
+    case UnaryOpcode::Fabs:
+      return 1.0; // Sign-bit manipulation.
+    case UnaryOpcode::Sqrt:
+      return 15.0;
+    }
+    snslp_unreachable("covered switch");
+  case ValueKind::AlternateOp: {
+    // An alternating op issues like the direct op plus a small blend cost,
+    // mirroring the static AlternatePenalty.
+    const auto &AO = cast<AlternateOp>(Inst);
+    double MaxLane = 0.0;
+    for (BinOpcode Op : AO.getLaneOpcodes())
+      MaxLane = std::max(MaxLane, opcodeCycles(Op));
+    return MaxLane + 1.0;
+  }
+  case ValueKind::Load:
+    return 4.0;
+  case ValueKind::Store:
+    return 1.0;
+  case ValueKind::GEP:
+    return 1.0; // Folds into an addressing mode / LEA.
+  case ValueKind::ICmp:
+    return 1.0;
+  case ValueKind::Select:
+    return 1.0;
+  case ValueKind::Phi:
+    return 0.0; // Register renaming.
+  case ValueKind::Branch:
+    return 1.0;
+  case ValueKind::Ret:
+    return 1.0;
+  case ValueKind::InsertElement:
+  case ValueKind::ExtractElement:
+  case ValueKind::ShuffleVector:
+    return 1.0;
+  case ValueKind::Argument:
+  case ValueKind::ConstantInt:
+  case ValueKind::ConstantFP:
+  case ValueKind::ConstantVector:
+    break;
+  }
+  snslp_unreachable("not an instruction");
+}

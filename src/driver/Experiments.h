@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared measurement harness for the paper's experiments (one benchmark
+/// binary per table/figure builds on these helpers). Follows the paper's
+/// methodology: 10 measured runs after one warm-up, mean ± standard
+/// deviation; the deterministic simulated-cycle count is the primary
+/// metric for speedup *shape* (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_DRIVER_EXPERIMENTS_H
+#define SNSLP_DRIVER_EXPERIMENTS_H
+
+#include "driver/KernelRunner.h"
+#include "kernels/Programs.h"
+#include "support/Timer.h"
+
+namespace snslp {
+
+/// Measurements of one kernel under one vectorizer configuration.
+struct KernelMeasurement {
+  VectorizerMode Mode = VectorizerMode::O3;
+  double SimCycles = 0.0;       ///< Simulated cycles of one execution.
+  uint64_t DynamicInsts = 0;    ///< Executed IR instructions.
+  SampleStats WallSeconds;      ///< 10 runs + warm-up wall time.
+  SampleStats CompileSeconds;   ///< Pipeline wall time (Fig. 11).
+  VectorizeStats Stats;         ///< Vectorizer statistics.
+};
+
+/// Compiles and measures \p K under \p Mode. \p Runs is the number of
+/// measured executions (after one warm-up).
+KernelMeasurement measureKernel(KernelRunner &Runner, const Kernel &K,
+                                VectorizerMode Mode, unsigned Runs = 10);
+
+/// Measures the compile-time pipeline (parse + scalar cleanup + vectorize
+/// + cleanup + the downstream-pass proxy) for \p K under \p Mode, \p Runs
+/// runs + warm-up.
+/// Matches Fig. 11's setup: when vectorization removes code, downstream
+/// passes process less of it.
+SampleStats measureCompileTime(const Kernel &K, VectorizerMode Mode,
+                               unsigned Runs = 10);
+
+/// Aggregate results of one whole-benchmark program (Figs. 8-10).
+struct ProgramMeasurement {
+  VectorizerMode Mode = VectorizerMode::O3;
+  double SimCycles = 0.0; ///< Weighted sum over component kernels.
+  VectorizeStats Stats;   ///< Merged vectorizer stats (node sizes).
+};
+
+/// Measures \p P (every component kernel compiled under \p Mode; cycles
+/// weighted by the component's dynamic weight).
+ProgramMeasurement measureProgram(KernelRunner &Runner,
+                                  const BenchmarkProgram &P,
+                                  VectorizerMode Mode);
+
+/// Speedup helper: baseline / value (both must be positive).
+double speedup(double BaselineCycles, double Cycles);
+
+} // namespace snslp
+
+#endif // SNSLP_DRIVER_EXPERIMENTS_H

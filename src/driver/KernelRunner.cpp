@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/KernelRunner.h"
+
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+
+using namespace snslp;
+
+CompiledKernel KernelRunner::compile(const Kernel &K, VectorizerMode Mode,
+                                     VectorizerConfig BaseCfg) {
+  // Parse the pristine kernel once per runner; clone per configuration so
+  // configurations never see each other's transformations.
+  Function *Pristine = M.getFunction(K.Name);
+  if (!Pristine) {
+    std::string Err;
+    if (!parseIR(K.IRText, M, &Err))
+      reportFatalError("kernel '" + K.Name + "' failed to parse: " + Err);
+    Pristine = M.getFunction(K.Name);
+    if (!Pristine)
+      reportFatalError("kernel '" + K.Name + "' does not define @" + K.Name);
+    std::vector<std::string> Errors;
+    if (!verifyFunction(*Pristine, &Errors))
+      reportFatalError("kernel '" + K.Name + "' is malformed: " +
+                       (Errors.empty() ? "unknown" : Errors.front()));
+  }
+
+  CompiledKernel CK;
+  CK.Spec = &K;
+  CK.Mode = Mode;
+  CK.F = Pristine->cloneInto(
+      M, K.Name + "." + getModeName(Mode) + "." +
+             std::to_string(CloneCounter++));
+
+  VectorizerConfig Cfg = BaseCfg;
+  Cfg.Mode = Mode;
+  CK.Stats = runSLPVectorizer(*CK.F, Cfg);
+
+  std::vector<std::string> Errors;
+  if (!verifyFunction(*CK.F, &Errors))
+    reportFatalError("vectorizer produced malformed IR for '" + K.Name +
+                     "' (" + getModeName(Mode) + "): " +
+                     (Errors.empty() ? "unknown" : Errors.front()));
+  return CK;
+}
+
+ExecutionResult KernelRunner::execute(const CompiledKernel &CK,
+                                      KernelData &Data) {
+  ExecutionEngine Engine(*CK.F, [this](const Instruction &I) {
+    return TCM.executionCycles(I);
+  });
+  std::vector<RTValue> Args;
+  Args.reserve(Data.getNumBuffers() + 1);
+  for (size_t I = 0; I < Data.getNumBuffers(); ++I) {
+    Args.push_back(argPointer(Data.getPointer(I)));
+    // Sanitizer mode: every kernel access must stay inside its buffers.
+    Engine.addMemoryRange(Data.getPointer(I), Data.getByteSize(I));
+  }
+  Args.push_back(argInt64(static_cast<int64_t>(Data.getN())));
+  return Engine.run(Args);
+}
+
+bool KernelRunner::check(const CompiledKernel &CK, uint64_t Seed,
+                         std::string *Message) {
+  const Kernel &K = *CK.Spec;
+  KernelData Expected(K.Buffers, K.N, Seed);
+  KernelData Actual(K.Buffers, K.N, Seed);
+
+  K.Reference(Expected);
+  ExecutionResult R = execute(CK, Actual);
+  if (!R.Ok) {
+    if (Message)
+      *Message = "execution failed: " + R.Error;
+    return false;
+  }
+  return KernelData::outputsMatch(Expected, Actual, K.RelTol, Message);
+}

@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// KernelRunner: the shared harness that compiles a kernel under one of
+/// the paper's vectorizer configurations and executes it in the
+/// interpreter. Used by the test suite, every benchmark binary, and the
+/// examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_DRIVER_KERNELRUNNER_H
+#define SNSLP_DRIVER_KERNELRUNNER_H
+
+#include "interp/ExecutionEngine.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "kernels/Kernel.h"
+#include "slp/SLPVectorizer.h"
+
+#include <memory>
+#include <string>
+
+namespace snslp {
+
+/// A kernel compiled under one vectorizer configuration, ready to run.
+struct CompiledKernel {
+  const Kernel *Spec = nullptr;
+  Function *F = nullptr; ///< Owned by the runner's module.
+  VectorizerMode Mode = VectorizerMode::O3;
+  VectorizeStats Stats;  ///< Vectorizer statistics (node sizes, time, ...).
+};
+
+/// Owns the Context/Module that compiled kernels live in.
+class KernelRunner {
+public:
+  KernelRunner() : M(Ctx, "kernels") {}
+
+  /// Parses \p K's IR, runs the \p Mode vectorizer over a private clone,
+  /// and verifies the result. Aborts with a diagnostic on parse/verify
+  /// failure (kernel definitions are library-internal inputs).
+  CompiledKernel compile(const Kernel &K, VectorizerMode Mode,
+                         VectorizerConfig BaseCfg = VectorizerConfig());
+
+  /// Executes \p CK over \p Data (buffers in spec order plus the implicit
+  /// trailing n argument), with simulated-cycle accounting.
+  ExecutionResult execute(const CompiledKernel &CK, KernelData &Data);
+
+  /// Differential check: runs the kernel's C++ reference and the compiled
+  /// IR on identically seeded buffers and compares outputs. Returns true
+  /// on a match; otherwise fills \p Message.
+  bool check(const CompiledKernel &CK, uint64_t Seed,
+             std::string *Message = nullptr);
+
+  Context &getContext() { return Ctx; }
+  Module &getModule() { return M; }
+
+private:
+  Context Ctx;
+  Module M;
+  TargetCostModel TCM;
+  unsigned CloneCounter = 0;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_DRIVER_KERNELRUNNER_H

@@ -1,0 +1,30 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/PassPipeline.h"
+
+#include "ir/DCE.h"
+#include "passes/CSE.h"
+#include "passes/ConstantFolding.h"
+
+using namespace snslp;
+
+PipelineResult snslp::runPassPipeline(Function &F,
+                                      const PipelineOptions &Options) {
+  PipelineResult Result;
+  auto Cleanup = [&F, &Result] {
+    Result.ConstantsFolded += runConstantFolding(F);
+    Result.CSERemoved += runLocalCSE(F);
+    Result.DCERemoved += runDeadCodeElimination(F);
+  };
+
+  if (Options.EarlyCleanup)
+    Cleanup();
+  Result.VecStats = runSLPVectorizer(F, Options.Vectorizer);
+  if (Options.LateCleanup)
+    Cleanup();
+  return Result;
+}

@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mini -O3 pipeline: scalar cleanup (constant folding, local CSE,
+/// DCE) around the SLP vectorizer, mirroring where LLVM runs the SLP pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_DRIVER_PASSPIPELINE_H
+#define SNSLP_DRIVER_PASSPIPELINE_H
+
+#include "slp/SLPVectorizer.h"
+
+#include <cstddef>
+
+namespace snslp {
+
+class Function;
+
+/// Pipeline configuration.
+struct PipelineOptions {
+  /// Run constant folding + CSE + DCE before the vectorizer (canonical
+  /// input) and after it (cleanup of extracts/duplicates).
+  bool EarlyCleanup = true;
+  bool LateCleanup = true;
+  VectorizerConfig Vectorizer;
+};
+
+/// Aggregated pipeline results.
+struct PipelineResult {
+  size_t ConstantsFolded = 0;
+  size_t CSERemoved = 0;
+  size_t DCERemoved = 0;
+  VectorizeStats VecStats;
+};
+
+/// Runs cleanup -> vectorizer -> cleanup over \p F in place.
+PipelineResult runPassPipeline(Function &F, const PipelineOptions &Options);
+
+} // namespace snslp
+
+#endif // SNSLP_DRIVER_PASSPIPELINE_H

@@ -1,0 +1,135 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR interpreter. An ExecutionEngine "compiles" one function into a
+/// dense dispatch form and then executes it over host memory buffers.
+///
+/// Two measurements come out of a run:
+///  - wall time (one dispatch per IR instruction; a vector op is a single
+///    dispatch covering all lanes, so vectorized code is measurably faster),
+///  - simulated cycles (sum of per-instruction costs from a pluggable cycle
+///    model), the deterministic metric used to regenerate the paper's
+///    speedup figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_INTERP_EXECUTIONENGINE_H
+#define SNSLP_INTERP_EXECUTIONENGINE_H
+
+#include "interp/RTValue.h"
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+class BasicBlock;
+class Function;
+class Instruction;
+
+/// Computes the simulated cycle cost of executing one instruction once.
+/// Supplied by the cost-model layer; the engine itself is target-agnostic.
+using CycleFn = std::function<double(const Instruction &)>;
+
+/// Outcome of one interpreted execution.
+struct ExecutionResult {
+  bool Ok = false;
+  std::string Error;          ///< Populated when !Ok (e.g. fuel exhausted).
+  uint64_t StepsExecuted = 0; ///< Dynamic instruction count.
+  uint64_t VectorSteps = 0;   ///< Steps whose result/operands are vectors.
+  double Cycles = 0.0;        ///< Simulated cycles (0 without a cycle model).
+  RTValue ReturnValue;        ///< Valid for non-void functions.
+
+  /// Fraction of executed instructions operating on vectors.
+  double vectorCoverage() const {
+    return StepsExecuted
+               ? static_cast<double>(VectorSteps) /
+                     static_cast<double>(StepsExecuted)
+               : 0.0;
+  }
+};
+
+/// Interprets one function. Construction pre-numbers values and pre-resolves
+/// operands so the hot loop is a switch over instruction kinds.
+class ExecutionEngine {
+public:
+  /// Prepares \p F for execution. \p Cycles, when provided, is evaluated
+  /// once per instruction at preparation time; executed instructions then
+  /// accumulate their precomputed cost.
+  explicit ExecutionEngine(const Function &F, CycleFn Cycles = nullptr);
+
+  /// Runs the function on \p Args (one RTValue per formal argument, in
+  /// order). \p MaxSteps bounds execution as a runaway guard. When
+  /// \p Trace is non-null, every executed instruction is logged with its
+  /// result value (a debugging aid; substantially slower).
+  ExecutionResult run(const std::vector<RTValue> &Args,
+                      uint64_t MaxSteps = 1ull << 32,
+                      std::ostream *Trace = nullptr);
+
+  /// Registers a valid memory range. Once any range is registered, every
+  /// load/store is bounds-checked against the registered ranges and an
+  /// out-of-bounds access aborts the run with a diagnostic (the
+  /// interpreter's sanitizer mode; used by the kernel test harness).
+  void addMemoryRange(const void *Base, size_t SizeBytes) {
+    uint64_t Lo = reinterpret_cast<uint64_t>(Base);
+    MemoryRanges.emplace_back(Lo, Lo + SizeBytes);
+  }
+
+  const Function &getFunction() const { return F; }
+
+private:
+  struct Operand {
+    bool IsConstant = false;
+    int Slot = -1;   // Value slot when !IsConstant.
+    RTValue Const;   // Materialized constant when IsConstant.
+  };
+
+  struct Step {
+    const Instruction *Inst;
+    std::vector<Operand> Operands;
+    int ResultSlot = -1; // -1 for void results.
+    double Cycles = 0.0;
+    int Succ0 = -1; // Precomputed successor block indices for branches.
+    int Succ1 = -1;
+    bool TouchesVector = false; // Result or any operand is a vector.
+  };
+
+  struct CompiledBlock {
+    const BasicBlock *BB = nullptr;
+    std::vector<Step> Steps;
+    unsigned FirstNonPhi = 0; // Steps[0..FirstNonPhi) are phis.
+  };
+
+  /// Returns true when [Addr, Addr+Size) lies inside a registered range
+  /// (or no ranges are registered).
+  bool checkAccess(uint64_t Addr, unsigned Size) const {
+    if (MemoryRanges.empty())
+      return true;
+    for (const auto &[Lo, Hi] : MemoryRanges)
+      if (Addr >= Lo && Addr + Size <= Hi)
+        return true;
+    return false;
+  }
+
+  const Function &F;
+  std::vector<CompiledBlock> Blocks;
+  std::vector<std::pair<uint64_t, uint64_t>> MemoryRanges;
+  unsigned NumSlots = 0;
+};
+
+/// Convenience helpers to build interpreter arguments.
+/// @{
+inline RTValue argPointer(const void *P) { return RTValue::makePointer(P); }
+inline RTValue argInt64(int64_t V) { return RTValue::makeInt64(V); }
+inline RTValue argDouble(double V) { return RTValue::makeDouble(V); }
+/// @}
+
+} // namespace snslp
+
+#endif // SNSLP_INTERP_EXECUTIONENGINE_H

@@ -1,0 +1,136 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RTValue: the runtime representation of an IR value inside the
+/// interpreter — a scalar or a short vector of up to 8 lanes. Lanes store
+/// bit patterns; typed accessors apply the semantics of the element kind
+/// (f32 arithmetic rounds to float precision, i32 wraps to 32 bits, etc.).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_INTERP_RTVALUE_H
+#define SNSLP_INTERP_RTVALUE_H
+
+#include "ir/Type.h"
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+namespace snslp {
+
+/// Maximum SIMD width supported by the interpreter (lanes).
+inline constexpr unsigned MaxInterpLanes = 8;
+
+/// A runtime scalar or vector value. POD; copied freely.
+struct RTValue {
+  TypeKind ElemKind = TypeKind::Void; // Element kind (scalar kind).
+  uint8_t Lanes = 1;                  // 1 for scalars.
+  std::array<uint64_t, MaxInterpLanes> Raw = {};
+
+  /// \name Typed lane accessors.
+  /// @{
+  int64_t getInt(unsigned Lane = 0) const {
+    assert(Lane < Lanes && "lane out of range");
+    return static_cast<int64_t>(Raw[Lane]);
+  }
+  void setInt(int64_t V, unsigned Lane = 0) {
+    assert(Lane < Lanes && "lane out of range");
+    Raw[Lane] = static_cast<uint64_t>(V);
+  }
+
+  double getFP(unsigned Lane = 0) const {
+    assert(Lane < Lanes && "lane out of range");
+    double D;
+    std::memcpy(&D, &Raw[Lane], sizeof(D));
+    return D;
+  }
+  void setFP(double V, unsigned Lane = 0) {
+    assert(Lane < Lanes && "lane out of range");
+    std::memcpy(&Raw[Lane], &V, sizeof(V));
+  }
+
+  uint64_t getPointer(unsigned Lane = 0) const {
+    assert(Lane < Lanes && "lane out of range");
+    return Raw[Lane];
+  }
+  void setPointer(uint64_t V, unsigned Lane = 0) {
+    assert(Lane < Lanes && "lane out of range");
+    Raw[Lane] = V;
+  }
+  /// @}
+
+  /// \name Factories.
+  /// @{
+  static RTValue makeInt(TypeKind Kind, int64_t V) {
+    assert(Kind == TypeKind::Int1 || Kind == TypeKind::Int32 ||
+           Kind == TypeKind::Int64);
+    RTValue R;
+    R.ElemKind = Kind;
+    R.setInt(canonicalizeInt(Kind, V));
+    return R;
+  }
+  static RTValue makeInt64(int64_t V) { return makeInt(TypeKind::Int64, V); }
+  static RTValue makeBool(bool V) { return makeInt(TypeKind::Int1, V ? 1 : 0); }
+
+  static RTValue makeFP(TypeKind Kind, double V) {
+    assert(Kind == TypeKind::Float || Kind == TypeKind::Double);
+    RTValue R;
+    R.ElemKind = Kind;
+    R.setFP(canonicalizeFP(Kind, V));
+    return R;
+  }
+  static RTValue makeDouble(double V) { return makeFP(TypeKind::Double, V); }
+
+  static RTValue makePointer(const void *P) {
+    RTValue R;
+    R.ElemKind = TypeKind::Pointer;
+    R.setPointer(reinterpret_cast<uint64_t>(P));
+    return R;
+  }
+
+  static RTValue makeVector(TypeKind ElemKind, unsigned NumLanes) {
+    assert(NumLanes >= 2 && NumLanes <= MaxInterpLanes &&
+           "unsupported vector width");
+    RTValue R;
+    R.ElemKind = ElemKind;
+    R.Lanes = static_cast<uint8_t>(NumLanes);
+    return R;
+  }
+  /// @}
+
+  /// Wraps \p V to the width of integer kind \p Kind (sign-extended).
+  static int64_t canonicalizeInt(TypeKind Kind, int64_t V) {
+    if (Kind == TypeKind::Int1)
+      return V & 1;
+    if (Kind == TypeKind::Int32)
+      return static_cast<int32_t>(V);
+    return V;
+  }
+
+  /// Rounds \p V to the precision of FP kind \p Kind.
+  static double canonicalizeFP(TypeKind Kind, double V) {
+    if (Kind == TypeKind::Float)
+      return static_cast<float>(V);
+    return V;
+  }
+
+  /// Bitwise comparison (used by differential tests on integer outputs).
+  bool bitwiseEquals(const RTValue &Other) const {
+    if (ElemKind != Other.ElemKind || Lanes != Other.Lanes)
+      return false;
+    for (unsigned I = 0; I < Lanes; ++I)
+      if (Raw[I] != Other.Raw[I])
+        return false;
+    return true;
+  }
+};
+
+} // namespace snslp
+
+#endif // SNSLP_INTERP_RTVALUE_H

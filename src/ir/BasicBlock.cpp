@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+
+using namespace snslp;
+
+Context &BasicBlock::getContext() const { return Parent->getContext(); }
+
+Instruction *BasicBlock::insert(iterator Pos,
+                                std::unique_ptr<Instruction> Inst) {
+  assert(Inst && "inserting a null instruction");
+  assert(!Inst->Parent && "instruction already belongs to a block");
+  Instruction *Raw = Inst.get();
+  auto It = Insts.insert(Pos, std::move(Inst));
+  Raw->Parent = this;
+  Raw->SelfIt = It;
+  OrderValid = false;
+  return Raw;
+}
+
+std::unique_ptr<Instruction> BasicBlock::remove(Instruction *Inst) {
+  assert(Inst->Parent == this && "instruction is not in this block");
+  std::unique_ptr<Instruction> Owner = std::move(*Inst->SelfIt);
+  Insts.erase(Inst->SelfIt);
+  Inst->Parent = nullptr;
+  OrderValid = false;
+  return Owner;
+}
+
+Instruction *BasicBlock::getTerminator() {
+  if (Insts.empty())
+    return nullptr;
+  Instruction *Last = Insts.back().get();
+  return Last->isTerminator() ? Last : nullptr;
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  const Instruction *Term = getTerminator();
+  std::vector<BasicBlock *> Result;
+  if (const auto *Br = dyn_cast_or_null<BranchInst>(Term))
+    for (unsigned I = 0, E = Br->getNumSuccessors(); I != E; ++I)
+      Result.push_back(Br->getSuccessor(I));
+  return Result;
+}
+
+std::vector<BasicBlock *> BasicBlock::predecessors() const {
+  std::vector<BasicBlock *> Result;
+  for (const auto &BB : Parent->blocks()) {
+    for (BasicBlock *Succ : BB->successors()) {
+      if (Succ == this) {
+        Result.push_back(BB.get());
+        break;
+      }
+    }
+  }
+  return Result;
+}
+
+BasicBlock::iterator BasicBlock::getIterator(Instruction *Inst) {
+  assert(Inst->getParent() == this && "instruction is not in this block");
+  return Inst->SelfIt;
+}
+
+void BasicBlock::renumberInstructions() const {
+  if (OrderValid)
+    return;
+  int N = 0;
+  for (const auto &Inst : Insts)
+    Inst->OrderNum = N++;
+  OrderValid = true;
+}

@@ -1,0 +1,103 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BasicBlock: an ordered list of instructions ending in a terminator.
+/// Owns its instructions; supports mid-block insertion and stable position
+/// queries (comesBefore) via lazy renumbering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_IR_BASICBLOCK_H
+#define SNSLP_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+class Function;
+
+/// A maximal straight-line instruction sequence; the unit the SLP
+/// vectorizer operates on.
+class BasicBlock {
+public:
+  using InstListType = std::list<std::unique_ptr<Instruction>>;
+  using iterator = InstListType::iterator;
+  using const_iterator = InstListType::const_iterator;
+
+  BasicBlock(Function *Parent, std::string Name)
+      : Parent(Parent), Name(std::move(Name)) {}
+
+  BasicBlock(const BasicBlock &) = delete;
+  BasicBlock &operator=(const BasicBlock &) = delete;
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+  Function *getParent() const { return Parent; }
+  Context &getContext() const;
+
+  /// \name Instruction list access.
+  /// @{
+  iterator begin() { return Insts.begin(); }
+  iterator end() { return Insts.end(); }
+  const_iterator begin() const { return Insts.begin(); }
+  const_iterator end() const { return Insts.end(); }
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  Instruction &front() { return *Insts.front(); }
+  Instruction &back() { return *Insts.back(); }
+  const Instruction &back() const { return *Insts.back(); }
+  /// @}
+
+  /// Inserts \p Inst (taking ownership) before \p Pos; returns the raw
+  /// pointer for convenience.
+  Instruction *insert(iterator Pos, std::unique_ptr<Instruction> Inst);
+
+  /// Appends \p Inst at the end of the block.
+  Instruction *append(std::unique_ptr<Instruction> Inst) {
+    return insert(Insts.end(), std::move(Inst));
+  }
+
+  /// Returns the block terminator, or null if the block is empty or does
+  /// not (yet) end in a terminator.
+  Instruction *getTerminator();
+  const Instruction *getTerminator() const {
+    return const_cast<BasicBlock *>(this)->getTerminator();
+  }
+
+  /// Returns the successor blocks (empty for return blocks).
+  std::vector<BasicBlock *> successors() const;
+
+  /// Returns the predecessor blocks (computed by scanning the function).
+  std::vector<BasicBlock *> predecessors() const;
+
+  /// Returns the iterator pointing at \p Inst; asserts membership.
+  iterator getIterator(Instruction *Inst);
+
+  /// Makes comesBefore() O(1) until the next structural change.
+  void renumberInstructions() const;
+
+private:
+  friend class Instruction;
+
+  /// Unlinks \p Inst and returns ownership (used by move/erase).
+  std::unique_ptr<Instruction> remove(Instruction *Inst);
+
+  Function *Parent;
+  std::string Name;
+  InstListType Insts;
+  mutable bool OrderValid = false;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_IR_BASICBLOCK_H

@@ -1,0 +1,96 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+
+#include "ir/Value.h"
+#include "support/ErrorHandling.h"
+
+#include <cstring>
+
+using namespace snslp;
+
+namespace {
+/// Concrete scalar Type; the base class constructor is protected.
+class ScalarType : public Type {
+public:
+  ScalarType(TypeKind Kind, Context *Ctx) : Type(Kind, Ctx) {}
+};
+} // namespace
+
+Context::Context() {
+  VoidTy = std::make_unique<ScalarType>(TypeKind::Void, this);
+  Int1Ty = std::make_unique<ScalarType>(TypeKind::Int1, this);
+  Int32Ty = std::make_unique<ScalarType>(TypeKind::Int32, this);
+  Int64Ty = std::make_unique<ScalarType>(TypeKind::Int64, this);
+  FloatTy = std::make_unique<ScalarType>(TypeKind::Float, this);
+  DoubleTy = std::make_unique<ScalarType>(TypeKind::Double, this);
+  PtrTy = std::make_unique<ScalarType>(TypeKind::Pointer, this);
+}
+
+Context::~Context() = default;
+
+VectorType *Context::getVectorType(Type *Elem, unsigned Lanes) {
+  assert(Elem && !Elem->isVector() && !Elem->isVoid() &&
+         "vector element must be a non-void scalar type");
+  assert(Lanes >= 2 && "vectors have at least two lanes");
+  auto Key = std::make_pair(Elem->getKind(), Lanes);
+  auto It = VectorTypes.find(Key);
+  if (It != VectorTypes.end())
+    return It->second.get();
+  auto *VT = new VectorType(Elem, Lanes, this);
+  VectorTypes[Key] = std::unique_ptr<VectorType>(VT);
+  return VT;
+}
+
+ConstantInt *Context::getConstantInt(Type *Ty, int64_t Value) {
+  assert(Ty->isInteger() && "integer constant requires integer type");
+  if (Ty->getKind() == TypeKind::Int1)
+    Value &= 1;
+  else if (Ty->getKind() == TypeKind::Int32)
+    Value = static_cast<int32_t>(Value);
+  auto Key = std::make_pair(Ty->getKind(), Value);
+  auto It = IntConstants.find(Key);
+  if (It != IntConstants.end())
+    return It->second.get();
+  auto *C = new ConstantInt(Ty, Value);
+  IntConstants[Key] = std::unique_ptr<ConstantInt>(C);
+  return C;
+}
+
+ConstantFP *Context::getConstantFP(Type *Ty, double Value) {
+  assert(Ty->isFloatingPoint() && "FP constant requires FP type");
+  // Round f32 constants to float precision so interning matches runtime.
+  if (Ty->getKind() == TypeKind::Float)
+    Value = static_cast<float>(Value);
+  // Key on the bit pattern so that -0.0 and 0.0 intern separately and NaNs
+  // do not collapse the map's strict weak ordering.
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(Value));
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  auto Key = std::make_pair(Ty->getKind(), Bits);
+  auto It = FPConstants.find(Key);
+  if (It != FPConstants.end())
+    return It->second.get();
+  auto *C = new ConstantFP(Ty, Value);
+  FPConstants[Key] = std::unique_ptr<ConstantFP>(C);
+  return C;
+}
+
+ConstantVector *Context::getConstantVector(
+    const std::vector<Constant *> &Elems) {
+  assert(Elems.size() >= 2 && "vector constant needs at least two lanes");
+  Type *ElemTy = Elems.front()->getType();
+  for ([[maybe_unused]] Constant *C : Elems)
+    assert(C->getType() == ElemTy && "mixed element types in vector constant");
+  auto It = VectorConstants.find(Elems);
+  if (It != VectorConstants.end())
+    return It->second.get();
+  VectorType *VT = getVectorType(ElemTy, static_cast<unsigned>(Elems.size()));
+  auto *C = new ConstantVector(VT, Elems);
+  VectorConstants[Elems] = std::unique_ptr<ConstantVector>(C);
+  return C;
+}

@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Context owns and interns all types and constants, mirroring the role
+/// of LLVMContext. Every Module is created against a Context; values from
+/// different Contexts must never be mixed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_IR_CONTEXT_H
+#define SNSLP_IR_CONTEXT_H
+
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace snslp {
+
+class Constant;
+class ConstantInt;
+class ConstantFP;
+class ConstantVector;
+
+/// Owns interned types and constants. Interning makes pointer equality
+/// meaningful for both, which the vectorizer relies on when comparing lanes.
+class Context {
+public:
+  Context();
+  ~Context();
+
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  /// \name Scalar type accessors (singletons).
+  /// @{
+  Type *getVoidTy() { return VoidTy.get(); }
+  Type *getInt1Ty() { return Int1Ty.get(); }
+  Type *getInt32Ty() { return Int32Ty.get(); }
+  Type *getInt64Ty() { return Int64Ty.get(); }
+  Type *getFloatTy() { return FloatTy.get(); }
+  Type *getDoubleTy() { return DoubleTy.get(); }
+  Type *getPtrTy() { return PtrTy.get(); }
+  /// @}
+
+  /// Returns the interned vector type <Lanes x Elem>. \p Elem must be a
+  /// non-void, non-vector scalar type.
+  VectorType *getVectorType(Type *Elem, unsigned Lanes);
+
+  /// Returns the interned integer constant of type \p Ty (i1/i32/i64).
+  ConstantInt *getConstantInt(Type *Ty, int64_t Value);
+
+  /// Returns the interned floating-point constant of type \p Ty (f32/f64).
+  ConstantFP *getConstantFP(Type *Ty, double Value);
+
+  /// Returns the interned vector constant with the given scalar elements.
+  /// All elements must have the same scalar type.
+  ConstantVector *getConstantVector(const std::vector<Constant *> &Elems);
+
+private:
+  std::unique_ptr<Type> VoidTy, Int1Ty, Int32Ty, Int64Ty, FloatTy, DoubleTy,
+      PtrTy;
+
+  std::map<std::pair<TypeKind, unsigned>, std::unique_ptr<VectorType>>
+      VectorTypes;
+  std::map<std::pair<TypeKind, int64_t>, std::unique_ptr<ConstantInt>>
+      IntConstants;
+  std::map<std::pair<TypeKind, uint64_t>, std::unique_ptr<ConstantFP>>
+      FPConstants;
+  std::map<std::vector<Constant *>, std::unique_ptr<ConstantVector>>
+      VectorConstants;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_IR_CONTEXT_H

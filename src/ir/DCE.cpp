@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/DCE.h"
+
+#include "ir/Function.h"
+
+#include <unordered_set>
+#include <vector>
+
+using namespace snslp;
+
+/// Returns true if \p Inst can be deleted once it has no uses.
+static bool isTriviallyDead(const Instruction &Inst) {
+  return !Inst.hasUses() && !Inst.hasSideEffects();
+}
+
+size_t snslp::runDeadCodeElimination(Function &F) {
+  // Worklist of dead candidates; deleting an instruction may make its
+  // operands dead in turn. The Pending set keeps each instruction in the
+  // worklist at most once so an erased instruction can never be revisited.
+  std::vector<Instruction *> Worklist;
+  std::unordered_set<Instruction *> Pending;
+  auto Push = [&Worklist, &Pending](Instruction *Inst) {
+    if (Pending.insert(Inst).second)
+      Worklist.push_back(Inst);
+  };
+  for (const auto &BB : F.blocks())
+    for (const auto &Inst : *BB)
+      if (isTriviallyDead(*Inst))
+        Push(Inst.get());
+
+  size_t Removed = 0;
+  while (!Worklist.empty()) {
+    Instruction *Inst = Worklist.back();
+    Worklist.pop_back();
+    Pending.erase(Inst);
+    if (!isTriviallyDead(*Inst))
+      continue;
+    // Operands may become dead once this instruction is gone.
+    std::vector<Instruction *> Candidates;
+    for (unsigned I = 0, E = Inst->getNumOperands(); I != E; ++I)
+      if (auto *OpInst = dyn_cast<Instruction>(Inst->getOperand(I)))
+        Candidates.push_back(OpInst);
+    Inst->eraseFromParent();
+    ++Removed;
+    for (Instruction *C : Candidates)
+      if (isTriviallyDead(*C))
+        Push(C);
+  }
+  return Removed;
+}

@@ -1,0 +1,30 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dead code elimination. Run after vectorization to delete the scalar
+/// instructions that were replaced by vector code; the compile-time
+/// experiment (Fig. 11) depends on this mirroring the paper's pipeline,
+/// where downstream passes process less code after vectorization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_IR_DCE_H
+#define SNSLP_IR_DCE_H
+
+#include <cstddef>
+
+namespace snslp {
+
+class Function;
+
+/// Deletes trivially dead instructions (no uses, no side effects) until a
+/// fixpoint. Returns the number of instructions removed.
+size_t runDeadCodeElimination(Function &F);
+
+} // namespace snslp
+
+#endif // SNSLP_IR_DCE_H

@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dominators.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace snslp;
+
+/// Computes a reverse post-order of the blocks reachable from entry.
+static std::vector<const BasicBlock *> computeRPO(const Function &F) {
+  std::vector<const BasicBlock *> PostOrder;
+  std::unordered_map<const BasicBlock *, bool> Visited;
+  // Iterative DFS with an explicit stack of (block, next-successor-index).
+  std::vector<std::pair<const BasicBlock *, size_t>> Stack;
+  const BasicBlock *Entry = F.blocks().front().get();
+  Stack.emplace_back(Entry, 0);
+  Visited[Entry] = true;
+  while (!Stack.empty()) {
+    auto &[BB, NextIdx] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (NextIdx < Succs.size()) {
+      const BasicBlock *Succ = Succs[NextIdx++];
+      if (!Visited[Succ]) {
+        Visited[Succ] = true;
+        Stack.emplace_back(Succ, 0);
+      }
+      continue;
+    }
+    PostOrder.push_back(BB);
+    Stack.pop_back();
+  }
+  std::reverse(PostOrder.begin(), PostOrder.end());
+  return PostOrder;
+}
+
+DominatorTree::DominatorTree(const Function &Fn) : F(Fn) {
+  std::vector<const BasicBlock *> RPO = computeRPO(F);
+  for (unsigned I = 0; I < RPO.size(); ++I)
+    RPONumber[RPO[I]] = I;
+
+  const BasicBlock *Entry = RPO.front();
+  IDom[Entry] = Entry;
+
+  // Cooper-Harvey-Kennedy iterative algorithm.
+  auto Intersect = [this](const BasicBlock *A,
+                          const BasicBlock *B) -> const BasicBlock * {
+    while (A != B) {
+      while (RPONumber.at(A) > RPONumber.at(B))
+        A = IDom.at(A);
+      while (RPONumber.at(B) > RPONumber.at(A))
+        B = IDom.at(B);
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const BasicBlock *BB : RPO) {
+      if (BB == Entry)
+        continue;
+      const BasicBlock *NewIDom = nullptr;
+      for (const BasicBlock *Pred : BB->predecessors()) {
+        if (!IDom.count(Pred))
+          continue; // Unreachable or not yet processed.
+        NewIDom = NewIDom ? Intersect(NewIDom, Pred) : Pred;
+      }
+      if (!NewIDom)
+        continue;
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::isReachable(const BasicBlock *BB) const {
+  return IDom.count(BB) != 0;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  if (A == B)
+    return true;
+  // Everything dominates an unreachable block; an unreachable block
+  // dominates only itself.
+  if (!isReachable(B))
+    return true;
+  if (!isReachable(A))
+    return false;
+  const BasicBlock *Entry = F.blocks().front().get();
+  const BasicBlock *Runner = B;
+  while (Runner != Entry) {
+    Runner = IDom.at(Runner);
+    if (Runner == A)
+      return true;
+  }
+  return A == Entry;
+}
+
+bool DominatorTree::dominates(const Instruction *Def,
+                              const Instruction *User) const {
+  const BasicBlock *DefBB = Def->getParent();
+  const BasicBlock *UserBB = User->getParent();
+  if (DefBB == UserBB)
+    return Def->comesBefore(User);
+  return dominates(DefBB, UserBB);
+}
+
+bool DominatorTree::isUseWellFormed(const Value *Def, const Instruction *User,
+                                    unsigned OperandIndex) const {
+  const auto *DefInst = dyn_cast<Instruction>(Def);
+  if (!DefInst)
+    return true; // Arguments and constants are always available.
+
+  if (const auto *Phi = dyn_cast<PhiNode>(User)) {
+    // A phi use must be available at the end of the incoming block.
+    const BasicBlock *Incoming = Phi->getIncomingBlock(OperandIndex);
+    const Instruction *Term = Incoming->getTerminator();
+    if (!Term)
+      return false;
+    if (DefInst == Term)
+      return false;
+    if (DefInst->getParent() == Incoming)
+      return DefInst->comesBefore(Term);
+    return dominates(DefInst->getParent(), Incoming);
+  }
+  return dominates(DefInst, User);
+}

@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator analysis over the (small) CFGs of this IR, used by the
+/// verifier to check SSA dominance of uses by definitions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_IR_DOMINATORS_H
+#define SNSLP_IR_DOMINATORS_H
+
+#include <unordered_map>
+#include <vector>
+
+namespace snslp {
+
+class BasicBlock;
+class Function;
+class Instruction;
+class Value;
+
+/// Computes and answers dominance queries for one function. Implemented as
+/// the classic iterative dataflow over reverse-post-order; our CFGs have a
+/// handful of blocks, so simplicity beats the Lengauer-Tarjan machinery.
+class DominatorTree {
+public:
+  explicit DominatorTree(const Function &F);
+
+  /// Returns true if block \p A dominates block \p B. A block dominates
+  /// itself. Unreachable blocks are dominated by everything (LLVM
+  /// convention), and dominate nothing but themselves.
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// Returns true if instruction \p Def dominates instruction \p User:
+  /// strictly earlier in the same block, or in a dominating block.
+  bool dominates(const Instruction *Def, const Instruction *User) const;
+
+  /// Returns true if \p Def is available at the use site (\p User,
+  /// \p OperandIndex): arguments and constants always are; instruction
+  /// definitions must dominate the use. For phi uses, the definition must
+  /// dominate the terminator of the corresponding incoming block.
+  bool isUseWellFormed(const Value *Def, const Instruction *User,
+                       unsigned OperandIndex) const;
+
+  /// Returns true if \p BB is reachable from the entry block.
+  bool isReachable(const BasicBlock *BB) const;
+
+private:
+  const Function &F;
+  /// Immediate dominator per reachable block (entry maps to itself).
+  std::unordered_map<const BasicBlock *, const BasicBlock *> IDom;
+  std::unordered_map<const BasicBlock *, unsigned> RPONumber;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_IR_DOMINATORS_H

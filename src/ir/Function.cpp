@@ -1,0 +1,221 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace snslp;
+
+Function::Function(Module *Parent, std::string Name, Type *RetTy,
+                   std::vector<std::pair<Type *, std::string>> Params)
+    : Parent(Parent), Name(std::move(Name)), RetTy(RetTy) {
+  unsigned Index = 0;
+  for (auto &[Ty, ArgName] : Params) {
+    Args.push_back(std::make_unique<Argument>(Ty, std::move(ArgName), Index));
+    ++Index;
+  }
+}
+
+Function::~Function() {
+  // Instructions may reference values that are destroyed earlier (operands
+  // later in the block, arguments, instructions in other blocks). Sever all
+  // def-use edges first so destruction order is irrelevant.
+  for (const auto &BB : Blocks)
+    for (const auto &Inst : *BB)
+      Inst->dropAllReferences();
+}
+
+Context &Function::getContext() const { return Parent->getContext(); }
+
+Argument *Function::getArgByName(const std::string &ArgName) const {
+  for (const auto &Arg : Args)
+    if (Arg->getName() == ArgName)
+      return Arg.get();
+  return nullptr;
+}
+
+BasicBlock *Function::createBlock(std::string BlockName) {
+  Blocks.push_back(std::make_unique<BasicBlock>(this, std::move(BlockName)));
+  return Blocks.back().get();
+}
+
+BasicBlock *Function::getBlockByName(const std::string &BlockName) const {
+  for (const auto &BB : Blocks)
+    if (BB->getName() == BlockName)
+      return BB.get();
+  return nullptr;
+}
+
+size_t Function::instructionCount() const {
+  size_t Count = 0;
+  for (const auto &BB : Blocks)
+    Count += BB->size();
+  return Count;
+}
+
+/// Constructs a fresh clone of \p Inst with the given (already resolved)
+/// operands. Phi nodes are handled by the caller. Successor blocks of
+/// branches are mapped through \p BMap.
+static std::unique_ptr<Instruction> cloneInstruction(
+    const Instruction &Inst, const std::vector<Value *> &Ops,
+    const std::unordered_map<const BasicBlock *, BasicBlock *> &BMap) {
+  switch (Inst.getKind()) {
+  case ValueKind::BinOp: {
+    const auto &BO = cast<BinaryOperator>(Inst);
+    return std::make_unique<BinaryOperator>(BO.getOpcode(), Ops[0], Ops[1]);
+  }
+  case ValueKind::AlternateOp: {
+    const auto &AO = cast<AlternateOp>(Inst);
+    return std::make_unique<AlternateOp>(AO.getLaneOpcodes(), Ops[0], Ops[1]);
+  }
+  case ValueKind::UnaryOp: {
+    const auto &UO = cast<UnaryOperator>(Inst);
+    return std::make_unique<UnaryOperator>(UO.getOpcode(), Ops[0]);
+  }
+  case ValueKind::Load:
+    return std::make_unique<LoadInst>(Inst.getType(), Ops[0]);
+  case ValueKind::Store:
+    return std::make_unique<StoreInst>(Ops[0], Ops[1]);
+  case ValueKind::GEP: {
+    const auto &GEP = cast<GEPInst>(Inst);
+    return std::make_unique<GEPInst>(GEP.getElementType(), Ops[0], Ops[1]);
+  }
+  case ValueKind::ICmp: {
+    const auto &Cmp = cast<ICmpInst>(Inst);
+    return std::make_unique<ICmpInst>(Cmp.getPredicate(), Ops[0], Ops[1]);
+  }
+  case ValueKind::Select:
+    return std::make_unique<SelectInst>(Ops[0], Ops[1], Ops[2]);
+  case ValueKind::Branch: {
+    const auto &Br = cast<BranchInst>(Inst);
+    if (Br.isConditional())
+      return std::make_unique<BranchInst>(Ops[0], BMap.at(Br.getSuccessor(0)),
+                                          BMap.at(Br.getSuccessor(1)));
+    return std::make_unique<BranchInst>(BMap.at(Br.getSuccessor(0)));
+  }
+  case ValueKind::Ret:
+    return std::make_unique<RetInst>(Inst.getType()->getContext(),
+                                     Ops.empty() ? nullptr : Ops[0]);
+  case ValueKind::InsertElement: {
+    const auto &IE = cast<InsertElementInst>(Inst);
+    return std::make_unique<InsertElementInst>(Ops[0], Ops[1], IE.getLane());
+  }
+  case ValueKind::ExtractElement: {
+    const auto &EE = cast<ExtractElementInst>(Inst);
+    return std::make_unique<ExtractElementInst>(Ops[0], EE.getLane());
+  }
+  case ValueKind::ShuffleVector: {
+    const auto &SV = cast<ShuffleVectorInst>(Inst);
+    return std::make_unique<ShuffleVectorInst>(Ops[0], Ops[1], SV.getMask());
+  }
+  case ValueKind::Phi:
+  case ValueKind::Argument:
+  case ValueKind::ConstantInt:
+  case ValueKind::ConstantFP:
+  case ValueKind::ConstantVector:
+    break;
+  }
+  snslp_unreachable("not a clonable instruction kind");
+}
+
+Function *Function::cloneInto(Module &TargetModule,
+                              const std::string &NewName) const {
+  std::vector<std::pair<Type *, std::string>> Params;
+  for (const auto &Arg : Args)
+    Params.emplace_back(Arg->getType(), Arg->getName());
+  Function *NewF =
+      TargetModule.createFunction(NewName, RetTy, std::move(Params));
+
+  std::unordered_map<const Value *, Value *> VMap;
+  for (unsigned I = 0, E = getNumArgs(); I != E; ++I)
+    VMap[getArg(I)] = NewF->getArg(I);
+
+  std::unordered_map<const BasicBlock *, BasicBlock *> BMap;
+  for (const auto &BB : Blocks)
+    BMap[BB.get()] = NewF->createBlock(BB->getName());
+
+  // Resolves an operand: mapped clone if available, otherwise the original
+  // value (shared constants, or a forward reference fixed in pass 2).
+  auto Resolve = [&VMap](Value *V) -> Value * {
+    auto It = VMap.find(V);
+    return It == VMap.end() ? V : It->second;
+  };
+
+  // Pass 1: clone all instructions in block order. Phi nodes are created
+  // empty; their incoming lists are wired in pass 2 because they may
+  // forward-reference values that have not been cloned yet.
+  std::vector<std::pair<const PhiNode *, PhiNode *>> Phis;
+  for (const auto &BB : Blocks) {
+    BasicBlock *NewBB = BMap.at(BB.get());
+    for (const auto &Inst : *BB) {
+      std::unique_ptr<Instruction> NewInst;
+      if (const auto *Phi = dyn_cast<PhiNode>(Inst.get())) {
+        auto NewPhi = std::make_unique<PhiNode>(Phi->getType());
+        Phis.emplace_back(Phi, NewPhi.get());
+        NewInst = std::move(NewPhi);
+      } else {
+        std::vector<Value *> Ops;
+        Ops.reserve(Inst->getNumOperands());
+        for (unsigned I = 0, E = Inst->getNumOperands(); I != E; ++I)
+          Ops.push_back(Resolve(Inst->getOperand(I)));
+        NewInst = cloneInstruction(*Inst, Ops, BMap);
+      }
+      NewInst->setName(Inst->getName());
+      VMap[Inst.get()] = NewBB->append(std::move(NewInst));
+    }
+  }
+
+  // Pass 2: fix operands that still point into the original function, and
+  // populate the phi incoming lists.
+  for (const auto &BB : NewF->blocks()) {
+    for (const auto &Inst : *BB) {
+      if (isa<PhiNode>(Inst.get()))
+        continue;
+      for (unsigned I = 0, E = Inst->getNumOperands(); I != E; ++I) {
+        auto It = VMap.find(Inst->getOperand(I));
+        if (It != VMap.end() && It->second != Inst->getOperand(I))
+          Inst->setOperand(I, It->second);
+      }
+    }
+  }
+  for (auto &[OldPhi, NewPhi] : Phis)
+    for (unsigned I = 0, E = OldPhi->getNumIncoming(); I != E; ++I)
+      NewPhi->addIncoming(Resolve(OldPhi->getIncomingValue(I)),
+                          BMap.at(OldPhi->getIncomingBlock(I)));
+
+  return NewF;
+}
+
+void Function::nameValues() {
+  std::unordered_set<std::string> Used;
+  for (const auto &Arg : Args)
+    Used.insert(Arg->getName());
+  for (const auto &BB : Blocks)
+    for (const auto &Inst : *BB)
+      if (Inst->hasName())
+        Used.insert(Inst->getName());
+
+  unsigned Counter = 0;
+  auto FreshName = [&Used, &Counter]() {
+    std::string Candidate;
+    do {
+      Candidate = "t" + std::to_string(Counter++);
+    } while (Used.count(Candidate));
+    Used.insert(Candidate);
+    return Candidate;
+  };
+
+  for (const auto &BB : Blocks)
+    for (const auto &Inst : *BB)
+      if (!Inst->hasName() && !Inst->getType()->isVoid())
+        Inst->setName(FreshName());
+}

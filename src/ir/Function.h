@@ -1,0 +1,99 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function: a named CFG of basic blocks with typed arguments. Supports
+/// deep cloning, which the vectorization driver uses to compile the same
+/// kernel under multiple vectorizer configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_IR_FUNCTION_H
+#define SNSLP_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+class Module;
+
+/// A function definition. The first basic block is the entry block.
+class Function {
+public:
+  Function(Module *Parent, std::string Name, Type *RetTy,
+           std::vector<std::pair<Type *, std::string>> Params);
+
+  /// Drops all operand references before destroying blocks so that
+  /// def-before-user destruction order cannot touch freed values.
+  ~Function();
+
+  Function(const Function &) = delete;
+  Function &operator=(const Function &) = delete;
+
+  const std::string &getName() const { return Name; }
+  Module *getParent() const { return Parent; }
+  Context &getContext() const;
+  Type *getReturnType() const { return RetTy; }
+
+  /// \name Arguments.
+  /// @{
+  unsigned getNumArgs() const { return static_cast<unsigned>(Args.size()); }
+  Argument *getArg(unsigned I) const {
+    assert(I < Args.size() && "argument index out of range");
+    return Args[I].get();
+  }
+  /// Returns the argument named \p ArgName, or null.
+  Argument *getArgByName(const std::string &ArgName) const;
+  /// @}
+
+  /// \name Blocks.
+  /// @{
+  using BlockListType = std::vector<std::unique_ptr<BasicBlock>>;
+
+  /// Creates and appends a new basic block.
+  BasicBlock *createBlock(std::string BlockName);
+
+  BasicBlock &getEntryBlock() {
+    assert(!Blocks.empty() && "function has no blocks");
+    return *Blocks.front();
+  }
+
+  const BlockListType &blocks() const { return Blocks; }
+  bool empty() const { return Blocks.empty(); }
+  size_t size() const { return Blocks.size(); }
+
+  /// Returns the block named \p BlockName, or null.
+  BasicBlock *getBlockByName(const std::string &BlockName) const;
+  /// @}
+
+  /// Total number of instructions across all blocks.
+  size_t instructionCount() const;
+
+  /// Deep-copies this function into \p TargetModule (may be the same
+  /// module) under \p NewName. Shared constants/types are reused; all
+  /// instructions, blocks and arguments are fresh.
+  Function *cloneInto(Module &TargetModule, const std::string &NewName) const;
+
+  /// Assigns fresh unique names ("tN") to unnamed instructions so the
+  /// printer and parser round-trip. Existing names are kept (uniquified on
+  /// collision).
+  void nameValues();
+
+private:
+  Module *Parent;
+  std::string Name;
+  Type *RetTy;
+  std::vector<std::unique_ptr<Argument>> Args;
+  BlockListType Blocks;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_IR_FUNCTION_H

@@ -1,0 +1,185 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder: convenience factory that creates instructions at an insertion
+/// point, in the style of llvm::IRBuilder. Used by tests, kernels and the
+/// SLP code generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_IR_IRBUILDER_H
+#define SNSLP_IR_IRBUILDER_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+
+namespace snslp {
+
+/// Creates instructions at a configurable insertion point.
+class IRBuilder {
+public:
+  explicit IRBuilder(Context &Ctx) : Ctx(Ctx) {}
+
+  /// Positions the builder at the end of \p BB.
+  IRBuilder(BasicBlock *BB) : Ctx(BB->getContext()) { setInsertPointAtEnd(BB); }
+
+  /// \name Insertion point management.
+  /// @{
+  void setInsertPointAtEnd(BasicBlock *BB) {
+    InsertBB = BB;
+    InsertPos = BB->end();
+  }
+  /// Inserts new instructions immediately before \p Inst.
+  void setInsertPointBefore(Instruction *Inst) {
+    InsertBB = Inst->getParent();
+    InsertPos = InsertBB->getIterator(Inst);
+  }
+  BasicBlock *getInsertBlock() const { return InsertBB; }
+  /// @}
+
+  Context &getContext() const { return Ctx; }
+
+  /// \name Constants.
+  /// @{
+  ConstantInt *getInt64(int64_t V) {
+    return Ctx.getConstantInt(Ctx.getInt64Ty(), V);
+  }
+  ConstantInt *getInt32(int64_t V) {
+    return Ctx.getConstantInt(Ctx.getInt32Ty(), V);
+  }
+  ConstantInt *getInt1(bool V) {
+    return Ctx.getConstantInt(Ctx.getInt1Ty(), V ? 1 : 0);
+  }
+  ConstantFP *getDouble(double V) {
+    return Ctx.getConstantFP(Ctx.getDoubleTy(), V);
+  }
+  ConstantFP *getFloat(double V) {
+    return Ctx.getConstantFP(Ctx.getFloatTy(), V);
+  }
+  /// @}
+
+  /// \name Instruction factories.
+  /// @{
+  Value *createBinOp(BinOpcode Op, Value *LHS, Value *RHS,
+                     const std::string &Name = "") {
+    return insert(std::make_unique<BinaryOperator>(Op, LHS, RHS), Name);
+  }
+  Value *createAdd(Value *L, Value *R, const std::string &Name = "") {
+    return createBinOp(BinOpcode::Add, L, R, Name);
+  }
+  Value *createSub(Value *L, Value *R, const std::string &Name = "") {
+    return createBinOp(BinOpcode::Sub, L, R, Name);
+  }
+  Value *createMul(Value *L, Value *R, const std::string &Name = "") {
+    return createBinOp(BinOpcode::Mul, L, R, Name);
+  }
+  Value *createFAdd(Value *L, Value *R, const std::string &Name = "") {
+    return createBinOp(BinOpcode::FAdd, L, R, Name);
+  }
+  Value *createFSub(Value *L, Value *R, const std::string &Name = "") {
+    return createBinOp(BinOpcode::FSub, L, R, Name);
+  }
+  Value *createFMul(Value *L, Value *R, const std::string &Name = "") {
+    return createBinOp(BinOpcode::FMul, L, R, Name);
+  }
+  Value *createFDiv(Value *L, Value *R, const std::string &Name = "") {
+    return createBinOp(BinOpcode::FDiv, L, R, Name);
+  }
+
+  Value *createAlternateOp(std::vector<BinOpcode> LaneOps, Value *L, Value *R,
+                           const std::string &Name = "") {
+    return insert(
+        std::make_unique<AlternateOp>(std::move(LaneOps), L, R), Name);
+  }
+
+  Value *createUnaryOp(UnaryOpcode Op, Value *V,
+                       const std::string &Name = "") {
+    return insert(std::make_unique<UnaryOperator>(Op, V), Name);
+  }
+  Value *createFNeg(Value *V, const std::string &Name = "") {
+    return createUnaryOp(UnaryOpcode::FNeg, V, Name);
+  }
+  Value *createSqrt(Value *V, const std::string &Name = "") {
+    return createUnaryOp(UnaryOpcode::Sqrt, V, Name);
+  }
+  Value *createFabs(Value *V, const std::string &Name = "") {
+    return createUnaryOp(UnaryOpcode::Fabs, V, Name);
+  }
+
+  Value *createLoad(Type *Ty, Value *Ptr, const std::string &Name = "") {
+    return insert(std::make_unique<LoadInst>(Ty, Ptr), Name);
+  }
+  Instruction *createStore(Value *Val, Value *Ptr) {
+    return cast<Instruction>(
+        insert(std::make_unique<StoreInst>(Val, Ptr), ""));
+  }
+  Value *createGEP(Type *ElemTy, Value *Ptr, Value *Index,
+                   const std::string &Name = "") {
+    return insert(std::make_unique<GEPInst>(ElemTy, Ptr, Index), Name);
+  }
+
+  Value *createICmp(ICmpPredicate Pred, Value *L, Value *R,
+                    const std::string &Name = "") {
+    return insert(std::make_unique<ICmpInst>(Pred, L, R), Name);
+  }
+  Value *createSelect(Value *Cond, Value *T, Value *F,
+                      const std::string &Name = "") {
+    return insert(std::make_unique<SelectInst>(Cond, T, F), Name);
+  }
+  PhiNode *createPhi(Type *Ty, const std::string &Name = "") {
+    return cast<PhiNode>(insert(std::make_unique<PhiNode>(Ty), Name));
+  }
+
+  Instruction *createBr(BasicBlock *Target) {
+    return cast<Instruction>(
+        insert(std::make_unique<BranchInst>(Target), ""));
+  }
+  Instruction *createCondBr(Value *Cond, BasicBlock *TrueBB,
+                            BasicBlock *FalseBB) {
+    return cast<Instruction>(
+        insert(std::make_unique<BranchInst>(Cond, TrueBB, FalseBB), ""));
+  }
+  Instruction *createRet(Value *V = nullptr) {
+    return cast<Instruction>(insert(std::make_unique<RetInst>(Ctx, V), ""));
+  }
+
+  Value *createInsertElement(Value *Vec, Value *Scalar, unsigned Lane,
+                             const std::string &Name = "") {
+    return insert(std::make_unique<InsertElementInst>(Vec, Scalar, Lane),
+                  Name);
+  }
+  Value *createExtractElement(Value *Vec, unsigned Lane,
+                              const std::string &Name = "") {
+    return insert(std::make_unique<ExtractElementInst>(Vec, Lane), Name);
+  }
+  Value *createShuffleVector(Value *V1, Value *V2, std::vector<int> Mask,
+                             const std::string &Name = "") {
+    return insert(
+        std::make_unique<ShuffleVectorInst>(V1, V2, std::move(Mask)), Name);
+  }
+  /// @}
+
+private:
+  Value *insert(std::unique_ptr<Instruction> Inst, const std::string &Name) {
+    assert(InsertBB && "builder has no insertion point");
+    if (!Name.empty())
+      Inst->setName(Name);
+    return InsertBB->insert(InsertPos, std::move(Inst));
+  }
+
+  Context &Ctx;
+  BasicBlock *InsertBB = nullptr;
+  BasicBlock::iterator InsertPos;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_IR_IRBUILDER_H

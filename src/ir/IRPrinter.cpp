@@ -1,0 +1,294 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace snslp;
+
+namespace {
+
+/// Formats an integer or FP scalar constant so the parser round-trips it.
+std::string formatScalarConstant(const Constant &C) {
+  if (const auto *CI = dyn_cast<ConstantInt>(&C))
+    return std::to_string(CI->getValue());
+  const auto *CF = cast<ConstantFP>(&C);
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", CF->getValue());
+  std::string S = Buf;
+  // Ensure the token is recognizably floating point.
+  if (S.find('.') == std::string::npos && S.find('e') == std::string::npos &&
+      S.find("inf") == std::string::npos && S.find("nan") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+/// Per-function printing state: assigns stable names to unnamed values.
+class FunctionPrinter {
+public:
+  explicit FunctionPrinter(const Function &F) : F(F) { assignNames(); }
+
+  void print(std::ostream &OS) {
+    OS << "func @" << F.getName() << "(";
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I) {
+      if (I != 0)
+        OS << ", ";
+      const Argument *Arg = F.getArg(I);
+      OS << Arg->getType()->getName() << " %" << Names.at(Arg);
+    }
+    OS << ")";
+    if (!F.getReturnType()->isVoid())
+      OS << " -> " << F.getReturnType()->getName();
+    OS << " {\n";
+    for (const auto &BB : F.blocks()) {
+      OS << BB->getName() << ":\n";
+      for (const auto &Inst : *BB) {
+        OS << "  ";
+        printInstruction(*Inst, OS);
+        OS << '\n';
+      }
+    }
+    OS << "}\n";
+  }
+
+  void printInstruction(const Instruction &Inst, std::ostream &OS) {
+    if (!Inst.getType()->isVoid())
+      OS << "%" << Names.at(&Inst) << " = ";
+    switch (Inst.getKind()) {
+    case ValueKind::BinOp: {
+      const auto &BO = cast<BinaryOperator>(Inst);
+      OS << getOpcodeName(BO.getOpcode()) << ' '
+         << BO.getType()->getName() << ' ' << ref(BO.getLHS()) << ", "
+         << ref(BO.getRHS());
+      return;
+    }
+    case ValueKind::AlternateOp: {
+      const auto &AO = cast<AlternateOp>(Inst);
+      OS << "altop " << AO.getType()->getName() << " [";
+      for (unsigned I = 0, E = static_cast<unsigned>(
+               AO.getLaneOpcodes().size()); I != E; ++I) {
+        if (I != 0)
+          OS << ", ";
+        OS << getOpcodeName(AO.getLaneOpcode(I));
+      }
+      OS << "], " << ref(AO.getLHS()) << ", " << ref(AO.getRHS());
+      return;
+    }
+    case ValueKind::UnaryOp: {
+      const auto &UO = cast<UnaryOperator>(Inst);
+      OS << getUnaryOpcodeName(UO.getOpcode()) << ' '
+         << UO.getType()->getName() << ' ' << ref(UO.getOperand0());
+      return;
+    }
+    case ValueKind::Load:
+      OS << "load " << Inst.getType()->getName() << ", ptr "
+         << ref(Inst.getOperand(0));
+      return;
+    case ValueKind::Store: {
+      const auto &St = cast<StoreInst>(Inst);
+      OS << "store " << St.getValueOperand()->getType()->getName() << ' '
+         << ref(St.getValueOperand()) << ", ptr " << ref(St.getPointerOperand());
+      return;
+    }
+    case ValueKind::GEP: {
+      const auto &GEP = cast<GEPInst>(Inst);
+      OS << "gep " << GEP.getElementType()->getName() << ", ptr "
+         << ref(GEP.getPointerOperand()) << ", i64 "
+         << ref(GEP.getIndexOperand());
+      return;
+    }
+    case ValueKind::ICmp: {
+      const auto &Cmp = cast<ICmpInst>(Inst);
+      OS << "icmp " << getPredicateName(Cmp.getPredicate()) << ' '
+         << Cmp.getLHS()->getType()->getName() << ' ' << ref(Cmp.getLHS())
+         << ", " << ref(Cmp.getRHS());
+      return;
+    }
+    case ValueKind::Select: {
+      const auto &Sel = cast<SelectInst>(Inst);
+      OS << "select " << ref(Sel.getCondition()) << ", "
+         << Sel.getType()->getName() << ' ' << ref(Sel.getTrueValue()) << ", "
+         << ref(Sel.getFalseValue());
+      return;
+    }
+    case ValueKind::Phi: {
+      const auto &Phi = cast<PhiNode>(Inst);
+      OS << "phi " << Phi.getType()->getName() << ' ';
+      for (unsigned I = 0, E = Phi.getNumIncoming(); I != E; ++I) {
+        if (I != 0)
+          OS << ", ";
+        OS << "[ " << ref(Phi.getIncomingValue(I)) << ", %"
+           << Phi.getIncomingBlock(I)->getName() << " ]";
+      }
+      return;
+    }
+    case ValueKind::Branch: {
+      const auto &Br = cast<BranchInst>(Inst);
+      if (Br.isConditional())
+        OS << "br i1 " << ref(Br.getCondition()) << ", label %"
+           << Br.getSuccessor(0)->getName() << ", label %"
+           << Br.getSuccessor(1)->getName();
+      else
+        OS << "br label %" << Br.getSuccessor(0)->getName();
+      return;
+    }
+    case ValueKind::Ret: {
+      const auto &Ret = cast<RetInst>(Inst);
+      if (Ret.hasReturnValue())
+        OS << "ret " << Ret.getReturnValue()->getType()->getName() << ' '
+           << ref(Ret.getReturnValue());
+      else
+        OS << "ret void";
+      return;
+    }
+    case ValueKind::InsertElement: {
+      const auto &IE = cast<InsertElementInst>(Inst);
+      OS << "insertelement " << IE.getType()->getName() << ' '
+         << ref(IE.getVectorOperand()) << ", "
+         << IE.getScalarOperand()->getType()->getName() << ' '
+         << ref(IE.getScalarOperand()) << ", " << IE.getLane();
+      return;
+    }
+    case ValueKind::ExtractElement: {
+      const auto &EE = cast<ExtractElementInst>(Inst);
+      OS << "extractelement " << EE.getVectorOperand()->getType()->getName()
+         << ' ' << ref(EE.getVectorOperand()) << ", " << EE.getLane();
+      return;
+    }
+    case ValueKind::ShuffleVector: {
+      const auto &SV = cast<ShuffleVectorInst>(Inst);
+      OS << "shufflevector " << SV.getFirstOperand()->getType()->getName()
+         << ' ' << ref(SV.getFirstOperand()) << ", "
+         << ref(SV.getSecondOperand()) << ", [";
+      for (unsigned I = 0, E = static_cast<unsigned>(SV.getMask().size());
+           I != E; ++I) {
+        if (I != 0)
+          OS << ", ";
+        OS << SV.getMask()[I];
+      }
+      OS << ']';
+      return;
+    }
+    case ValueKind::Argument:
+    case ValueKind::ConstantInt:
+    case ValueKind::ConstantFP:
+    case ValueKind::ConstantVector:
+      break;
+    }
+    snslp_unreachable("not an instruction kind");
+  }
+
+private:
+  /// Formats a reference to an operand: a %name for named values, a bare
+  /// literal for scalar constants, [e0, e1] for vector constants.
+  std::string ref(const Value *V) {
+    if (const auto *CV = dyn_cast<ConstantVector>(V)) {
+      std::string S = "[";
+      for (unsigned I = 0, E = CV->getNumLanes(); I != E; ++I) {
+        if (I != 0)
+          S += ", ";
+        S += formatScalarConstant(*CV->getElement(I));
+      }
+      return S + "]";
+    }
+    if (const auto *C = dyn_cast<Constant>(V))
+      return formatScalarConstant(*C);
+    return "%" + Names.at(V);
+  }
+
+  void assignNames() {
+    std::unordered_set<std::string> Used;
+    auto Claim = [this, &Used](const Value *V, const std::string &Base) {
+      std::string Candidate = Base;
+      unsigned Suffix = 0;
+      while (Used.count(Candidate))
+        Candidate = Base + "." + std::to_string(Suffix++);
+      Used.insert(Candidate);
+      Names[V] = Candidate;
+    };
+    unsigned Slot = 0;
+    auto FreshSlot = [&Slot, &Used]() {
+      std::string Candidate;
+      do {
+        Candidate = "t" + std::to_string(Slot++);
+      } while (Used.count(Candidate));
+      return Candidate;
+    };
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I) {
+      const Argument *Arg = F.getArg(I);
+      Claim(Arg, Arg->hasName() ? Arg->getName()
+                                : "arg" + std::to_string(I));
+    }
+    for (const auto &BB : F.blocks())
+      for (const auto &Inst : *BB) {
+        if (Inst->getType()->isVoid())
+          continue;
+        Claim(Inst.get(), Inst->hasName() ? Inst->getName() : FreshSlot());
+      }
+  }
+
+  const Function &F;
+  std::unordered_map<const Value *, std::string> Names;
+};
+
+} // namespace
+
+void snslp::printFunction(const Function &F, std::ostream &OS) {
+  FunctionPrinter(F).print(OS);
+}
+
+void snslp::printModule(const Module &M, std::ostream &OS) {
+  bool First = true;
+  for (const auto &F : M.functions()) {
+    if (!First)
+      OS << '\n';
+    First = false;
+    printFunction(*F, OS);
+  }
+}
+
+std::string snslp::toString(const Module &M) {
+  std::ostringstream OS;
+  printModule(M, OS);
+  return OS.str();
+}
+
+std::string snslp::toString(const Function &F) {
+  std::ostringstream OS;
+  printFunction(F, OS);
+  return OS.str();
+}
+
+std::string snslp::toString(const Value &V) {
+  if (const auto *Inst = dyn_cast<Instruction>(&V)) {
+    if (const Function *F = Inst->getFunction()) {
+      std::ostringstream OS;
+      FunctionPrinter FP(*F);
+      FP.printInstruction(*Inst, OS);
+      return OS.str();
+    }
+  }
+  if (const auto *C = dyn_cast<Constant>(&V)) {
+    if (const auto *CV = dyn_cast<ConstantVector>(C)) {
+      std::string S = "[";
+      for (unsigned I = 0, E = CV->getNumLanes(); I != E; ++I) {
+        if (I != 0)
+          S += ", ";
+        S += formatScalarConstant(*CV->getElement(I));
+      }
+      return S + "]";
+    }
+    return formatScalarConstant(*C);
+  }
+  return "%" + (V.hasName() ? V.getName() : std::string("<unnamed>"));
+}

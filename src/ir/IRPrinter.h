@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual IR printing. The output is accepted verbatim by the Parser, so
+/// print→parse round-trips are exact (a property the test suite checks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_IR_IRPRINTER_H
+#define SNSLP_IR_IRPRINTER_H
+
+#include <ostream>
+#include <string>
+
+namespace snslp {
+
+class Function;
+class Instruction;
+class Module;
+class Value;
+
+/// Prints \p M as parseable text.
+void printModule(const Module &M, std::ostream &OS);
+
+/// Prints one function. Unnamed values are printed with synthesized "%tN"
+/// slots (the function itself is not modified).
+void printFunction(const Function &F, std::ostream &OS);
+
+/// Returns the textual form of \p M.
+std::string toString(const Module &M);
+
+/// Returns the textual form of \p F.
+std::string toString(const Function &F);
+
+/// Returns a short one-line description of \p V for diagnostics, e.g.
+/// "%x = fadd f64 %a, %b" or "42".
+std::string toString(const Value &V);
+
+} // namespace snslp
+
+#endif // SNSLP_IR_IRPRINTER_H

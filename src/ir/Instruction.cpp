@@ -1,0 +1,323 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "support/ErrorHandling.h"
+
+using namespace snslp;
+
+//===----------------------------------------------------------------------===//
+// Instruction base
+//===----------------------------------------------------------------------===//
+
+Instruction::Instruction(ValueKind Kind, Type *Ty, std::vector<Value *> Ops)
+    : Value(Kind, Ty), Operands(std::move(Ops)) {
+  for (unsigned I = 0, E = getNumOperands(); I != E; ++I) {
+    assert(Operands[I] && "null operand");
+    Operands[I]->addUse(this, I);
+  }
+}
+
+Instruction::~Instruction() { dropAllReferences(); }
+
+void Instruction::dropAllReferences() {
+  for (unsigned I = 0, E = getNumOperands(); I != E; ++I) {
+    if (Operands[I]) {
+      Operands[I]->removeUse(this, I);
+      Operands[I] = nullptr;
+    }
+  }
+}
+
+void Instruction::setOperand(unsigned I, Value *V) {
+  assert(I < Operands.size() && "operand index out of range");
+  assert(V && "cannot set a null operand");
+  if (Operands[I])
+    Operands[I]->removeUse(this, I);
+  Operands[I] = V;
+  V->addUse(this, I);
+}
+
+void Instruction::appendOperand(Value *V) {
+  assert(V && "null operand");
+  Operands.push_back(V);
+  V->addUse(this, getNumOperands() - 1);
+}
+
+int Instruction::getOperandIndex(const Value *V) const {
+  for (unsigned I = 0, E = getNumOperands(); I != E; ++I)
+    if (Operands[I] == V)
+      return static_cast<int>(I);
+  return -1;
+}
+
+Function *Instruction::getFunction() const {
+  return Parent ? Parent->getParent() : nullptr;
+}
+
+void Instruction::eraseFromParent() {
+  assert(Parent && "instruction is not in a block");
+  assert(!hasUses() && "erasing an instruction that still has uses");
+  BasicBlock *BB = Parent;
+  // remove() returns the owning unique_ptr; letting it go out of scope
+  // destroys this instruction.
+  std::unique_ptr<Instruction> Owner = BB->remove(this);
+}
+
+void Instruction::moveBefore(Instruction *Pos) {
+  assert(Parent && Pos->Parent && "both instructions must be in blocks");
+  std::unique_ptr<Instruction> Owner = Parent->remove(this);
+  BasicBlock *Dest = Pos->Parent;
+  Dest->insert(Dest->getIterator(Pos), std::move(Owner));
+}
+
+bool Instruction::comesBefore(const Instruction *Other) const {
+  assert(Parent && Parent == Other->Parent &&
+         "position query requires instructions in the same block");
+  Parent->renumberInstructions();
+  return OrderNum < Other->OrderNum;
+}
+
+//===----------------------------------------------------------------------===//
+// Opcode helpers
+//===----------------------------------------------------------------------===//
+
+OpFamily snslp::getOpFamily(BinOpcode Op) {
+  switch (Op) {
+  case BinOpcode::Add:
+  case BinOpcode::Sub:
+    return OpFamily::IntAddSub;
+  case BinOpcode::FAdd:
+  case BinOpcode::FSub:
+    return OpFamily::FPAddSub;
+  case BinOpcode::FMul:
+  case BinOpcode::FDiv:
+    return OpFamily::FPMulDiv;
+  case BinOpcode::Mul:
+    return OpFamily::None;
+  }
+  snslp_unreachable("covered switch");
+}
+
+BinOpcode snslp::getDirectOpcode(OpFamily Family) {
+  switch (Family) {
+  case OpFamily::IntAddSub:
+    return BinOpcode::Add;
+  case OpFamily::FPAddSub:
+    return BinOpcode::FAdd;
+  case OpFamily::FPMulDiv:
+    return BinOpcode::FMul;
+  case OpFamily::None:
+    break;
+  }
+  snslp_unreachable("family has no direct opcode");
+}
+
+BinOpcode snslp::getInverseOpcode(OpFamily Family) {
+  switch (Family) {
+  case OpFamily::IntAddSub:
+    return BinOpcode::Sub;
+  case OpFamily::FPAddSub:
+    return BinOpcode::FSub;
+  case OpFamily::FPMulDiv:
+    return BinOpcode::FDiv;
+  case OpFamily::None:
+    break;
+  }
+  snslp_unreachable("family has no inverse opcode");
+}
+
+bool snslp::isCommutative(BinOpcode Op) {
+  return Op == BinOpcode::Add || Op == BinOpcode::Mul ||
+         Op == BinOpcode::FAdd || Op == BinOpcode::FMul;
+}
+
+bool snslp::isInverseOpcode(BinOpcode Op) {
+  return Op == BinOpcode::Sub || Op == BinOpcode::FSub ||
+         Op == BinOpcode::FDiv;
+}
+
+const char *snslp::getOpcodeName(BinOpcode Op) {
+  switch (Op) {
+  case BinOpcode::Add:
+    return "add";
+  case BinOpcode::Sub:
+    return "sub";
+  case BinOpcode::Mul:
+    return "mul";
+  case BinOpcode::FAdd:
+    return "fadd";
+  case BinOpcode::FSub:
+    return "fsub";
+  case BinOpcode::FMul:
+    return "fmul";
+  case BinOpcode::FDiv:
+    return "fdiv";
+  }
+  snslp_unreachable("covered switch");
+}
+
+const char *snslp::getUnaryOpcodeName(UnaryOpcode Op) {
+  switch (Op) {
+  case UnaryOpcode::FNeg:
+    return "fneg";
+  case UnaryOpcode::Sqrt:
+    return "sqrt";
+  case UnaryOpcode::Fabs:
+    return "fabs";
+  }
+  snslp_unreachable("covered switch");
+}
+
+const char *snslp::getPredicateName(ICmpPredicate Pred) {
+  switch (Pred) {
+  case ICmpPredicate::EQ:
+    return "eq";
+  case ICmpPredicate::NE:
+    return "ne";
+  case ICmpPredicate::SLT:
+    return "slt";
+  case ICmpPredicate::SLE:
+    return "sle";
+  case ICmpPredicate::SGT:
+    return "sgt";
+  case ICmpPredicate::SGE:
+    return "sge";
+  case ICmpPredicate::ULT:
+    return "ult";
+  case ICmpPredicate::ULE:
+    return "ule";
+  }
+  snslp_unreachable("covered switch");
+}
+
+//===----------------------------------------------------------------------===//
+// Concrete instructions
+//===----------------------------------------------------------------------===//
+
+void BinaryOperator::swapOperands() {
+  assert(isCommutative(Op) && "swapping operands of a non-commutative op");
+  Value *L = getOperand(0);
+  Value *R = getOperand(1);
+  // Set in two steps; setOperand requires non-null distinct updates.
+  setOperand(0, R);
+  setOperand(1, L);
+}
+
+AlternateOp::AlternateOp(std::vector<BinOpcode> Ops, Value *LHS, Value *RHS)
+    : Instruction(ValueKind::AlternateOp, LHS->getType(), {LHS, RHS}),
+      LaneOps(std::move(Ops)) {
+  assert(LHS->getType() == RHS->getType() && "operand types must match");
+  [[maybe_unused]] auto *VT = cast<VectorType>(LHS->getType());
+  assert(LaneOps.size() == VT->getNumLanes() &&
+         "one opcode required per vector lane");
+  [[maybe_unused]] OpFamily Family = getOpFamily(LaneOps.front());
+  assert(Family != OpFamily::None && "alternate op requires an op family");
+  for ([[maybe_unused]] BinOpcode Op : LaneOps)
+    assert(getOpFamily(Op) == Family && "mixed families in alternate op");
+}
+
+StoreInst::StoreInst(Value *Val, Value *Ptr)
+    : Instruction(ValueKind::Store, Ptr->getType()->getContext().getVoidTy(),
+                  {Val, Ptr}) {
+  assert(Ptr->getType()->isPointer() && "store pointer operand must be ptr");
+  assert(!Val->getType()->isVoid() && "cannot store void");
+}
+
+GEPInst::GEPInst(Type *ElemTy, Value *Ptr, Value *Index)
+    : Instruction(ValueKind::GEP, Ptr->getType(), {Ptr, Index}),
+      ElemTy(ElemTy) {
+  assert(Ptr->getType()->isPointer() && "gep base must be a pointer");
+  assert(Index->getType()->getKind() == TypeKind::Int64 &&
+         "gep index must be i64");
+  assert(ElemTy && !ElemTy->isVoid() && "invalid gep element type");
+}
+
+ICmpInst::ICmpInst(ICmpPredicate Pred, Value *LHS, Value *RHS)
+    : Instruction(ValueKind::ICmp, LHS->getType()->getContext().getInt1Ty(),
+                  {LHS, RHS}),
+      Pred(Pred) {
+  assert(LHS->getType() == RHS->getType() && "icmp operand types must match");
+  assert(LHS->getType()->isInteger() && "icmp requires integer operands");
+}
+
+SelectInst::SelectInst(Value *Cond, Value *TrueVal, Value *FalseVal)
+    : Instruction(ValueKind::Select, TrueVal->getType(),
+                  {Cond, TrueVal, FalseVal}) {
+  assert(Cond->getType()->getKind() == TypeKind::Int1 &&
+         "select condition must be i1");
+  assert(TrueVal->getType() == FalseVal->getType() &&
+         "select arms must have matching types");
+}
+
+void PhiNode::addIncoming(Value *V, BasicBlock *BB) {
+  assert(V->getType() == getType() && "phi incoming type mismatch");
+  IncomingBlocks.push_back(BB);
+  appendOperand(V);
+}
+
+Value *PhiNode::getIncomingValueForBlock(const BasicBlock *BB) const {
+  for (unsigned I = 0, E = getNumIncoming(); I != E; ++I)
+    if (getIncomingBlock(I) == BB)
+      return getIncomingValue(I);
+  snslp_unreachable("no incoming value for predecessor");
+}
+
+BranchInst::BranchInst(BasicBlock *Target)
+    : Instruction(ValueKind::Branch, Target->getContext().getVoidTy(), {}),
+      Successors({Target}) {}
+
+BranchInst::BranchInst(Value *Cond, BasicBlock *TrueTarget,
+                       BasicBlock *FalseTarget)
+    : Instruction(ValueKind::Branch, Cond->getType()->getContext().getVoidTy(),
+                  {Cond}),
+      Successors({TrueTarget, FalseTarget}) {
+  assert(Cond->getType()->getKind() == TypeKind::Int1 &&
+         "branch condition must be i1");
+}
+
+RetInst::RetInst(Context &Ctx, Value *RetVal)
+    : Instruction(ValueKind::Ret, Ctx.getVoidTy(),
+                  RetVal ? std::vector<Value *>{RetVal}
+                         : std::vector<Value *>{}) {}
+
+InsertElementInst::InsertElementInst(Value *Vec, Value *Scalar, unsigned Lane)
+    : Instruction(ValueKind::InsertElement, Vec->getType(), {Vec, Scalar}),
+      Lane(Lane) {
+  [[maybe_unused]] auto *VT = cast<VectorType>(Vec->getType());
+  assert(Lane < VT->getNumLanes() && "insert lane out of range");
+  assert(Scalar->getType() == VT->getElementType() &&
+         "inserted scalar type mismatch");
+}
+
+ExtractElementInst::ExtractElementInst(Value *Vec, unsigned Lane)
+    : Instruction(ValueKind::ExtractElement,
+                  cast<VectorType>(Vec->getType())->getElementType(), {Vec}),
+      Lane(Lane) {
+  assert(Lane < cast<VectorType>(Vec->getType())->getNumLanes() &&
+         "extract lane out of range");
+}
+
+ShuffleVectorInst::ShuffleVectorInst(Value *V1, Value *V2,
+                                     std::vector<int> MaskIn)
+    : Instruction(ValueKind::ShuffleVector,
+                  V1->getType()->getContext().getVectorType(
+                      cast<VectorType>(V1->getType())->getElementType(),
+                      static_cast<unsigned>(MaskIn.size())),
+                  {V1, V2}),
+      Mask(std::move(MaskIn)) {
+  assert(V1->getType() == V2->getType() &&
+         "shuffle inputs must have the same type");
+  [[maybe_unused]] unsigned InLanes =
+      cast<VectorType>(V1->getType())->getNumLanes();
+  for ([[maybe_unused]] int M : Mask)
+    assert(M >= 0 && M < static_cast<int>(2 * InLanes) &&
+           "shuffle mask element out of range");
+}

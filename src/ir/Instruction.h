@@ -1,0 +1,455 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction base class and all concrete instruction classes of the IR:
+/// binary/alternating arithmetic, memory (load/store/gep), comparisons,
+/// select, phi, control flow, and the vector lane-manipulation instructions
+/// emitted by the SLP code generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_IR_INSTRUCTION_H
+#define SNSLP_IR_INSTRUCTION_H
+
+#include "ir/Value.h"
+
+#include <list>
+#include <memory>
+
+namespace snslp {
+
+class BasicBlock;
+class Function;
+
+/// Base class of all instructions. An instruction is a Value (its result)
+/// that lives in a BasicBlock and holds operand references that maintain
+/// the def-use chains.
+class Instruction : public Value {
+public:
+  ~Instruction() override;
+
+  /// \name Operand access.
+  /// @{
+  unsigned getNumOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  Value *getOperand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  /// Replaces operand \p I, updating both use lists.
+  void setOperand(unsigned I, Value *V);
+  /// Returns the operand index of \p V, or -1 when \p V is not an operand.
+  int getOperandIndex(const Value *V) const;
+  /// @}
+
+  /// \name Position within the enclosing block/function.
+  /// @{
+  BasicBlock *getParent() const { return Parent; }
+  Function *getFunction() const;
+
+  /// Unlinks and destroys this instruction. The instruction must have no
+  /// remaining uses.
+  void eraseFromParent();
+
+  /// Moves this instruction immediately before \p Pos (possibly in another
+  /// block of the same function).
+  void moveBefore(Instruction *Pos);
+
+  /// Returns true if this instruction appears strictly before \p Other in
+  /// the same basic block. Both must be in the same block.
+  bool comesBefore(const Instruction *Other) const;
+  /// @}
+
+  /// Returns true for branch/return instructions.
+  bool isTerminator() const {
+    return getKind() == ValueKind::Branch || getKind() == ValueKind::Ret;
+  }
+
+  /// Returns true if the instruction reads or writes memory.
+  bool mayReadOrWriteMemory() const {
+    return getKind() == ValueKind::Load || getKind() == ValueKind::Store;
+  }
+
+  /// Returns true if removing the instruction (when unused) is unsafe:
+  /// stores and terminators have side effects.
+  bool hasSideEffects() const {
+    return getKind() == ValueKind::Store || isTerminator();
+  }
+
+  /// Drops all operand references (removes this from their use lists).
+  /// Called before destruction and by bulk-deletion code paths.
+  void dropAllReferences();
+
+  static bool classof(const Value *V) {
+    return V->getKind() >= InstKindBegin && V->getKind() <= InstKindEnd;
+  }
+
+protected:
+  Instruction(ValueKind Kind, Type *Ty, std::vector<Value *> Ops);
+
+  /// Appends a new operand slot, updating use lists. Used by PhiNode to
+  /// grow its incoming list after construction.
+  void appendOperand(Value *V);
+
+private:
+  friend class BasicBlock;
+
+  BasicBlock *Parent = nullptr;
+  /// Iterator to this instruction inside the parent block's list; valid
+  /// only while Parent is non-null.
+  std::list<std::unique_ptr<Instruction>>::iterator SelfIt;
+  /// Cached position index; maintained lazily by BasicBlock renumbering.
+  mutable int OrderNum = -1;
+
+  std::vector<Value *> Operands;
+};
+
+//===----------------------------------------------------------------------===//
+// Arithmetic
+//===----------------------------------------------------------------------===//
+
+/// Binary arithmetic opcodes. Only operations relevant to the paper are
+/// modeled: integer add/sub/mul and the four FP operations.
+enum class BinOpcode : uint8_t { Add, Sub, Mul, FAdd, FSub, FMul, FDiv };
+
+/// Operator families: a commutative+associative "direct" operator together
+/// with its inverse element, per Section III-A of the paper. Super-Nodes are
+/// formed over one family; Multi-Nodes (LSLP) use only the direct operator.
+enum class OpFamily : uint8_t {
+  IntAddSub, // add / sub
+  FPAddSub,  // fadd / fsub
+  FPMulDiv,  // fmul / fdiv
+  None,      // mul (integer) participates in no inverse family
+};
+
+/// Returns the family that \p Op belongs to.
+OpFamily getOpFamily(BinOpcode Op);
+/// Returns the direct (commutative) operator of \p Family.
+BinOpcode getDirectOpcode(OpFamily Family);
+/// Returns the inverse operator of \p Family.
+BinOpcode getInverseOpcode(OpFamily Family);
+/// Returns true for the commutative opcodes (add, mul, fadd, fmul).
+bool isCommutative(BinOpcode Op);
+/// Returns true for the inverse-element opcodes (sub, fsub, fdiv).
+bool isInverseOpcode(BinOpcode Op);
+/// Returns the printer/parser spelling, e.g. "fadd".
+const char *getOpcodeName(BinOpcode Op);
+
+/// A binary arithmetic instruction over matching scalar or vector operands.
+class BinaryOperator : public Instruction {
+public:
+  BinaryOperator(BinOpcode Op, Value *LHS, Value *RHS)
+      : Instruction(ValueKind::BinOp, LHS->getType(), {LHS, RHS}), Op(Op) {
+    assert(LHS->getType() == RHS->getType() &&
+           "binary operand types must match");
+  }
+
+  BinOpcode getOpcode() const { return Op; }
+  OpFamily getFamily() const { return getOpFamily(Op); }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  /// Swaps the two operands; only valid for commutative opcodes.
+  void swapOperands();
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::BinOp;
+  }
+
+private:
+  BinOpcode Op;
+};
+
+/// Unary arithmetic opcodes (floating point only): negation and the two
+/// math intrinsics the kernel suite needs.
+enum class UnaryOpcode : uint8_t { FNeg, Sqrt, Fabs };
+
+/// Returns the printer/parser spelling, e.g. "sqrt".
+const char *getUnaryOpcodeName(UnaryOpcode Op);
+
+/// A unary floating-point operation over a scalar or vector operand.
+class UnaryOperator : public Instruction {
+public:
+  UnaryOperator(UnaryOpcode Op, Value *Operand)
+      : Instruction(ValueKind::UnaryOp, Operand->getType(), {Operand}),
+        Op(Op) {
+    assert(Operand->getType()->getScalarType()->isFloatingPoint() &&
+           "unary ops are floating point only");
+  }
+
+  UnaryOpcode getOpcode() const { return Op; }
+  Value *getOperand0() const { return getOperand(0); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::UnaryOp;
+  }
+
+private:
+  UnaryOpcode Op;
+};
+
+/// A vector binary operation whose opcode alternates per lane within one
+/// operator family (e.g. the x86 addsub family). Produced when an SLP group
+/// mixes an operator with its inverse element across lanes.
+class AlternateOp : public Instruction {
+public:
+  AlternateOp(std::vector<BinOpcode> LaneOps, Value *LHS, Value *RHS);
+
+  const std::vector<BinOpcode> &getLaneOpcodes() const { return LaneOps; }
+  BinOpcode getLaneOpcode(unsigned Lane) const {
+    assert(Lane < LaneOps.size() && "lane out of range");
+    return LaneOps[Lane];
+  }
+  OpFamily getFamily() const { return getOpFamily(LaneOps.front()); }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::AlternateOp;
+  }
+
+private:
+  std::vector<BinOpcode> LaneOps;
+};
+
+//===----------------------------------------------------------------------===//
+// Memory
+//===----------------------------------------------------------------------===//
+
+/// Loads a value of the result type from a pointer operand.
+class LoadInst : public Instruction {
+public:
+  LoadInst(Type *Ty, Value *Ptr)
+      : Instruction(ValueKind::Load, Ty, {Ptr}) {
+    assert(Ptr->getType()->isPointer() && "load pointer operand must be ptr");
+    assert(!Ty->isVoid() && "cannot load void");
+  }
+
+  Value *getPointerOperand() const { return getOperand(0); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Load;
+  }
+};
+
+/// Stores a value through a pointer operand.
+class StoreInst : public Instruction {
+public:
+  StoreInst(Value *Val, Value *Ptr);
+
+  Value *getValueOperand() const { return getOperand(0); }
+  Value *getPointerOperand() const { return getOperand(1); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Store;
+  }
+};
+
+/// Pointer arithmetic: computes Ptr + Index * sizeof(ElemTy). The element
+/// type is a property of the instruction (opaque pointers).
+class GEPInst : public Instruction {
+public:
+  GEPInst(Type *ElemTy, Value *Ptr, Value *Index);
+
+  Type *getElementType() const { return ElemTy; }
+  Value *getPointerOperand() const { return getOperand(0); }
+  Value *getIndexOperand() const { return getOperand(1); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::GEP;
+  }
+
+private:
+  Type *ElemTy;
+};
+
+//===----------------------------------------------------------------------===//
+// Comparison / select / phi
+//===----------------------------------------------------------------------===//
+
+/// Integer comparison predicates.
+enum class ICmpPredicate : uint8_t { EQ, NE, SLT, SLE, SGT, SGE, ULT, ULE };
+
+/// Returns the spelling of \p Pred, e.g. "ult".
+const char *getPredicateName(ICmpPredicate Pred);
+
+/// Integer comparison producing an i1.
+class ICmpInst : public Instruction {
+public:
+  ICmpInst(ICmpPredicate Pred, Value *LHS, Value *RHS);
+
+  ICmpPredicate getPredicate() const { return Pred; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ICmp;
+  }
+
+private:
+  ICmpPredicate Pred;
+};
+
+/// Scalar select: Cond ? TrueVal : FalseVal.
+class SelectInst : public Instruction {
+public:
+  SelectInst(Value *Cond, Value *TrueVal, Value *FalseVal);
+
+  Value *getCondition() const { return getOperand(0); }
+  Value *getTrueValue() const { return getOperand(1); }
+  Value *getFalseValue() const { return getOperand(2); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Select;
+  }
+};
+
+/// SSA phi node. Operand I is the value incoming from block
+/// getIncomingBlock(I).
+class PhiNode : public Instruction {
+public:
+  explicit PhiNode(Type *Ty) : Instruction(ValueKind::Phi, Ty, {}) {}
+
+  unsigned getNumIncoming() const {
+    return static_cast<unsigned>(IncomingBlocks.size());
+  }
+  Value *getIncomingValue(unsigned I) const { return getOperand(I); }
+  BasicBlock *getIncomingBlock(unsigned I) const {
+    assert(I < IncomingBlocks.size() && "incoming index out of range");
+    return IncomingBlocks[I];
+  }
+
+  /// Appends an incoming (value, predecessor) pair.
+  void addIncoming(Value *V, BasicBlock *BB);
+
+  /// Returns the incoming value for predecessor \p BB; asserts presence.
+  Value *getIncomingValueForBlock(const BasicBlock *BB) const;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Phi;
+  }
+
+private:
+  std::vector<BasicBlock *> IncomingBlocks;
+};
+
+//===----------------------------------------------------------------------===//
+// Control flow
+//===----------------------------------------------------------------------===//
+
+/// Conditional or unconditional branch. Successor blocks are properties of
+/// the instruction (blocks are not Values in this IR).
+class BranchInst : public Instruction {
+public:
+  /// Unconditional branch to \p Target.
+  explicit BranchInst(BasicBlock *Target);
+  /// Conditional branch: to \p TrueTarget when \p Cond is 1, else to
+  /// \p FalseTarget.
+  BranchInst(Value *Cond, BasicBlock *TrueTarget, BasicBlock *FalseTarget);
+
+  bool isConditional() const { return getNumOperands() == 1; }
+  Value *getCondition() const {
+    assert(isConditional() && "no condition on an unconditional branch");
+    return getOperand(0);
+  }
+
+  unsigned getNumSuccessors() const {
+    return static_cast<unsigned>(Successors.size());
+  }
+  BasicBlock *getSuccessor(unsigned I) const {
+    assert(I < Successors.size() && "successor index out of range");
+    return Successors[I];
+  }
+  void setSuccessor(unsigned I, BasicBlock *BB) {
+    assert(I < Successors.size() && "successor index out of range");
+    Successors[I] = BB;
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Branch;
+  }
+
+private:
+  std::vector<BasicBlock *> Successors;
+};
+
+/// Function return, with an optional value matching the function type.
+class RetInst : public Instruction {
+public:
+  /// Return-void when \p RetVal is null.
+  RetInst(Context &Ctx, Value *RetVal);
+
+  bool hasReturnValue() const { return getNumOperands() == 1; }
+  Value *getReturnValue() const {
+    assert(hasReturnValue() && "ret void has no value");
+    return getOperand(0);
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Ret;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Vector lane manipulation
+//===----------------------------------------------------------------------===//
+
+/// Inserts a scalar into lane \p Lane of a vector.
+class InsertElementInst : public Instruction {
+public:
+  InsertElementInst(Value *Vec, Value *Scalar, unsigned Lane);
+
+  Value *getVectorOperand() const { return getOperand(0); }
+  Value *getScalarOperand() const { return getOperand(1); }
+  unsigned getLane() const { return Lane; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::InsertElement;
+  }
+
+private:
+  unsigned Lane;
+};
+
+/// Extracts the scalar in lane \p Lane of a vector.
+class ExtractElementInst : public Instruction {
+public:
+  ExtractElementInst(Value *Vec, unsigned Lane);
+
+  Value *getVectorOperand() const { return getOperand(0); }
+  unsigned getLane() const { return Lane; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ExtractElement;
+  }
+
+private:
+  unsigned Lane;
+};
+
+/// Builds a new vector by selecting lanes from two input vectors. Mask
+/// entries in [0, N) select from the first operand, [N, 2N) from the second.
+class ShuffleVectorInst : public Instruction {
+public:
+  ShuffleVectorInst(Value *V1, Value *V2, std::vector<int> Mask);
+
+  Value *getFirstOperand() const { return getOperand(0); }
+  Value *getSecondOperand() const { return getOperand(1); }
+  const std::vector<int> &getMask() const { return Mask; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ShuffleVector;
+  }
+
+private:
+  std::vector<int> Mask;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_IR_INSTRUCTION_H

@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include <algorithm>
+
+using namespace snslp;
+
+Function *Module::createFunction(
+    std::string FnName, Type *RetTy,
+    std::vector<std::pair<Type *, std::string>> Params) {
+  assert(!getFunction(FnName) && "function with this name already exists");
+  auto Fn = std::make_unique<Function>(this, std::move(FnName), RetTy,
+                                       std::move(Params));
+  Function *Raw = Fn.get();
+  Functions.push_back(std::move(Fn));
+  return Raw;
+}
+
+Function *Module::getFunction(const std::string &FnName) const {
+  for (const auto &Fn : Functions)
+    if (Fn->getName() == FnName)
+      return Fn.get();
+  return nullptr;
+}
+
+bool Module::eraseFunction(const std::string &FnName) {
+  auto It = std::find_if(
+      Functions.begin(), Functions.end(),
+      [&FnName](const auto &Fn) { return Fn->getName() == FnName; });
+  if (It == Functions.end())
+    return false;
+  Functions.erase(It);
+  return true;
+}

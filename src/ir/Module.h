@@ -1,0 +1,60 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Module: a named collection of functions sharing one Context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_IR_MODULE_H
+#define SNSLP_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+/// The top-level IR container.
+class Module {
+public:
+  Module(Context &Ctx, std::string Name = "module")
+      : Ctx(Ctx), Name(std::move(Name)) {}
+
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  Context &getContext() const { return Ctx; }
+  const std::string &getName() const { return Name; }
+
+  /// Creates a new function. \p Params is a list of (type, name) pairs.
+  Function *createFunction(std::string FnName, Type *RetTy,
+                           std::vector<std::pair<Type *, std::string>> Params);
+
+  /// Returns the function named \p FnName, or null.
+  Function *getFunction(const std::string &FnName) const;
+
+  /// Removes and destroys the function named \p FnName; returns true if it
+  /// existed.
+  bool eraseFunction(const std::string &FnName);
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+private:
+  friend class Function;
+
+  Context &Ctx;
+  std::string Name;
+  std::vector<std::unique_ptr<Function>> Functions;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_IR_MODULE_H

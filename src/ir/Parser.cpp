@@ -1,0 +1,1015 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+using namespace snslp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+enum class TokKind : uint8_t {
+  Ident,     // bare identifier / keyword
+  GlobalId,  // @name
+  LocalId,   // %name
+  IntLit,    // 42, -7
+  FPLit,     // 1.5, -2e3
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Less,
+  Greater,
+  Comma,
+  Colon,
+  Equal,
+  Arrow, // ->
+  Eof,
+};
+
+struct Token {
+  TokKind Kind;
+  std::string Text; // identifier text / literal spelling
+  unsigned Line;
+};
+
+/// Tokenizes the whole input up front. Returns false on a bad character and
+/// reports via \p Err.
+class Lexer {
+public:
+  Lexer(const std::string &Source, std::string &Err)
+      : Src(Source), Err(Err) {}
+
+  bool run(std::vector<Token> &Out) {
+    while (!atEnd()) {
+      skipWhitespaceAndComments();
+      if (atEnd())
+        break;
+      if (!lexToken(Out))
+        return false;
+    }
+    Out.push_back(Token{TokKind::Eof, "", Line});
+    return true;
+  }
+
+private:
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek() const { return Src[Pos]; }
+  char get() {
+    char C = Src[Pos++];
+    if (C == '\n')
+      ++Line;
+    return C;
+  }
+
+  void skipWhitespaceAndComments() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        get();
+        continue;
+      }
+      if (C == ';') { // Comment to end of line.
+        while (!atEnd() && peek() != '\n')
+          get();
+        continue;
+      }
+      break;
+    }
+  }
+
+  static bool isIdentChar(char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+  }
+
+  std::string lexIdentBody() {
+    std::string S;
+    while (!atEnd() && isIdentChar(peek()))
+      S += get();
+    return S;
+  }
+
+  bool lexToken(std::vector<Token> &Out) {
+    unsigned StartLine = Line;
+    char C = peek();
+    auto Push = [&Out, StartLine](TokKind Kind, std::string Text = "") {
+      Out.push_back(Token{Kind, std::move(Text), StartLine});
+    };
+
+    if (C == '@') {
+      get();
+      Push(TokKind::GlobalId, lexIdentBody());
+      return true;
+    }
+    if (C == '%') {
+      get();
+      Push(TokKind::LocalId, lexIdentBody());
+      return true;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) || C == '-') {
+      return lexNumberOrArrow(Out, StartLine);
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      Push(TokKind::Ident, lexIdentBody());
+      return true;
+    }
+    get();
+    switch (C) {
+    case '(':
+      Push(TokKind::LParen);
+      return true;
+    case ')':
+      Push(TokKind::RParen);
+      return true;
+    case '{':
+      Push(TokKind::LBrace);
+      return true;
+    case '}':
+      Push(TokKind::RBrace);
+      return true;
+    case '[':
+      Push(TokKind::LBracket);
+      return true;
+    case ']':
+      Push(TokKind::RBracket);
+      return true;
+    case '<':
+      Push(TokKind::Less);
+      return true;
+    case '>':
+      Push(TokKind::Greater);
+      return true;
+    case ',':
+      Push(TokKind::Comma);
+      return true;
+    case ':':
+      Push(TokKind::Colon);
+      return true;
+    case '=':
+      Push(TokKind::Equal);
+      return true;
+    default:
+      Err = "line " + std::to_string(StartLine) +
+            ": unexpected character '" + std::string(1, C) + "'";
+      return false;
+    }
+  }
+
+  bool lexNumberOrArrow(std::vector<Token> &Out, unsigned StartLine) {
+    std::string S;
+    S += get(); // digit or '-'
+    if (S[0] == '-') {
+      if (!atEnd() && peek() == '>') {
+        get();
+        Out.push_back(Token{TokKind::Arrow, "->", StartLine});
+        return true;
+      }
+      if (atEnd() || !(std::isdigit(static_cast<unsigned char>(peek())) ||
+                       peek() == 'i' || peek() == 'n')) {
+        Err = "line " + std::to_string(StartLine) + ": stray '-'";
+        return false;
+      }
+    }
+    // Accept "inf"/"nan" spellings from the printer.
+    if (!atEnd() && (peek() == 'i' || peek() == 'n')) {
+      S += lexIdentBody();
+      if (S.find("inf") == std::string::npos &&
+          S.find("nan") == std::string::npos) {
+        Err = "line " + std::to_string(StartLine) + ": bad numeric literal '" +
+              S + "'";
+        return false;
+      }
+      Out.push_back(Token{TokKind::FPLit, S, StartLine});
+      return true;
+    }
+    bool IsFP = false;
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        S += get();
+        continue;
+      }
+      if (C == '.') {
+        IsFP = true;
+        S += get();
+        continue;
+      }
+      if (C == 'e' || C == 'E') {
+        IsFP = true;
+        S += get();
+        if (!atEnd() && (peek() == '+' || peek() == '-'))
+          S += get();
+        continue;
+      }
+      break;
+    }
+    Out.push_back(Token{IsFP ? TokKind::FPLit : TokKind::IntLit, S, StartLine});
+    return true;
+  }
+
+  const std::string &Src;
+  std::string &Err;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class ParserImpl {
+public:
+  ParserImpl(std::vector<Token> Tokens, Module &M, std::string &Err)
+      : Tokens(std::move(Tokens)), M(M), Ctx(M.getContext()), Err(Err) {}
+
+  bool run() {
+    while (!check(TokKind::Eof))
+      if (!parseFunction())
+        return false;
+    return true;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Token helpers
+  //===--------------------------------------------------------------------===//
+
+  const Token &cur() const { return Tokens[Pos]; }
+  bool check(TokKind Kind) const { return cur().Kind == Kind; }
+  bool checkIdent(const char *Text) const {
+    return cur().Kind == TokKind::Ident && cur().Text == Text;
+  }
+  Token advance() { return Tokens[Pos++]; }
+
+  bool error(const std::string &Msg) {
+    Err = "line " + std::to_string(cur().Line) + ": " + Msg;
+    return false;
+  }
+
+  bool errorAt(unsigned Line, const std::string &Msg) {
+    Err = "line " + std::to_string(Line) + ": " + Msg;
+    return false;
+  }
+
+  bool expect(TokKind Kind, const char *What) {
+    if (!check(Kind))
+      return error(std::string("expected ") + What + ", got '" + cur().Text +
+                   "'");
+    advance();
+    return true;
+  }
+
+  bool expectIdent(const char *Text) {
+    if (!checkIdent(Text))
+      return error(std::string("expected '") + Text + "'");
+    advance();
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Types
+  //===--------------------------------------------------------------------===//
+
+  Type *scalarTypeByName(const std::string &Name) {
+    if (Name == "void")
+      return Ctx.getVoidTy();
+    if (Name == "i1")
+      return Ctx.getInt1Ty();
+    if (Name == "i32")
+      return Ctx.getInt32Ty();
+    if (Name == "i64")
+      return Ctx.getInt64Ty();
+    if (Name == "f32")
+      return Ctx.getFloatTy();
+    if (Name == "f64")
+      return Ctx.getDoubleTy();
+    if (Name == "ptr")
+      return Ctx.getPtrTy();
+    return nullptr;
+  }
+
+  /// type := scalar | '<' INT 'x' scalar '>'
+  Type *parseType() {
+    if (check(TokKind::Less)) {
+      advance();
+      if (!check(TokKind::IntLit)) {
+        error("expected lane count in vector type");
+        return nullptr;
+      }
+      long Lanes = std::strtol(advance().Text.c_str(), nullptr, 10);
+      if (!expectIdent("x"))
+        return nullptr;
+      if (!check(TokKind::Ident)) {
+        error("expected element type");
+        return nullptr;
+      }
+      Type *Elem = scalarTypeByName(advance().Text);
+      if (!Elem || Elem->isVoid() || Elem->isVector()) {
+        error("invalid vector element type");
+        return nullptr;
+      }
+      if (!expect(TokKind::Greater, "'>'"))
+        return nullptr;
+      if (Lanes < 2) {
+        error("vector lane count must be >= 2");
+        return nullptr;
+      }
+      return Ctx.getVectorType(Elem, static_cast<unsigned>(Lanes));
+    }
+    if (!check(TokKind::Ident)) {
+      error("expected type");
+      return nullptr;
+    }
+    Type *Ty = scalarTypeByName(advance().Text);
+    if (!Ty)
+      error("unknown type name");
+    return Ty;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Values
+  //===--------------------------------------------------------------------===//
+
+  Constant *parseScalarConstantToken(const Token &Tok, Type *Ty) {
+    if (Ty->isInteger()) {
+      if (Tok.Kind != TokKind::IntLit) {
+        error("expected integer literal for type " + Ty->getName());
+        return nullptr;
+      }
+      return Ctx.getConstantInt(Ty, std::strtoll(Tok.Text.c_str(), nullptr,
+                                                 10));
+    }
+    if (Ty->isFloatingPoint())
+      return Ctx.getConstantFP(Ty, std::strtod(Tok.Text.c_str(), nullptr));
+    error("constant of non-arithmetic type");
+    return nullptr;
+  }
+
+  /// val := %name | int | fp | '[' const (',' const)* ']'
+  /// The expected type drives constant creation and %name type checking.
+  Value *parseValue(Type *ExpectedTy) {
+    if (check(TokKind::LocalId)) {
+      Token Tok = advance();
+      auto It = ValueMap.find(Tok.Text);
+      if (It == ValueMap.end()) {
+        error("use of undefined value %" + Tok.Text);
+        return nullptr;
+      }
+      if (ExpectedTy && It->second->getType() != ExpectedTy) {
+        error("%" + Tok.Text + " has type " +
+              It->second->getType()->getName() + ", expected " +
+              ExpectedTy->getName());
+        return nullptr;
+      }
+      return It->second;
+    }
+    if (check(TokKind::LBracket)) {
+      auto *VT = dyn_cast_or_null<VectorType>(ExpectedTy);
+      if (!VT) {
+        error("vector constant in non-vector context");
+        return nullptr;
+      }
+      advance();
+      std::vector<Constant *> Elems;
+      while (true) {
+        if (!check(TokKind::IntLit) && !check(TokKind::FPLit)) {
+          error("expected scalar constant in vector literal");
+          return nullptr;
+        }
+        Constant *C =
+            parseScalarConstantToken(advance(), VT->getElementType());
+        if (!C)
+          return nullptr;
+        Elems.push_back(C);
+        if (check(TokKind::Comma)) {
+          advance();
+          continue;
+        }
+        break;
+      }
+      if (!expect(TokKind::RBracket, "']'"))
+        return nullptr;
+      if (Elems.size() != VT->getNumLanes()) {
+        error("vector literal lane count mismatch");
+        return nullptr;
+      }
+      return Ctx.getConstantVector(Elems);
+    }
+    if (check(TokKind::IntLit) || check(TokKind::FPLit)) {
+      if (!ExpectedTy) {
+        error("constant in context with unknown type");
+        return nullptr;
+      }
+      return parseScalarConstantToken(advance(), ExpectedTy);
+    }
+    error("expected value");
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Function / blocks / instructions
+  //===--------------------------------------------------------------------===//
+
+  bool parseFunction() {
+    if (!expectIdent("func"))
+      return false;
+    if (!check(TokKind::GlobalId))
+      return error("expected @function-name");
+    std::string FnName = advance().Text;
+    if (M.getFunction(FnName))
+      return error("redefinition of @" + FnName);
+
+    if (!expect(TokKind::LParen, "'('"))
+      return false;
+    std::vector<std::pair<Type *, std::string>> Params;
+    if (!check(TokKind::RParen)) {
+      while (true) {
+        Type *Ty = parseType();
+        if (!Ty)
+          return false;
+        if (!check(TokKind::LocalId))
+          return error("expected %argument-name");
+        Params.emplace_back(Ty, advance().Text);
+        if (check(TokKind::Comma)) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!expect(TokKind::RParen, "')'"))
+      return false;
+
+    Type *RetTy = Ctx.getVoidTy();
+    if (check(TokKind::Arrow)) {
+      advance();
+      RetTy = parseType();
+      if (!RetTy)
+        return false;
+    }
+    if (!expect(TokKind::LBrace, "'{'"))
+      return false;
+
+    Function *F = M.createFunction(FnName, RetTy, Params);
+    ValueMap.clear();
+    PhiFixups.clear();
+    for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I) {
+      Argument *Arg = F->getArg(I);
+      if (ValueMap.count(Arg->getName()))
+        return error("duplicate argument name %" + Arg->getName());
+      ValueMap[Arg->getName()] = Arg;
+    }
+
+    // Pre-scan for block labels (IDENT ':') so branch targets and phi
+    // incoming blocks can be resolved on first use.
+    if (!prescanBlocks(F))
+      return false;
+
+    BasicBlock *CurBB = nullptr;
+    while (!check(TokKind::RBrace)) {
+      if (check(TokKind::Eof))
+        return error("unexpected end of input inside function body");
+      if (check(TokKind::Ident) && Tokens[Pos + 1].Kind == TokKind::Colon) {
+        CurBB = F->getBlockByName(cur().Text);
+        assert(CurBB && "pre-scan missed a block");
+        advance();
+        advance();
+        continue;
+      }
+      if (!CurBB)
+        return error("instruction before the first block label");
+      if (!parseInstruction(F, CurBB))
+        return false;
+    }
+    advance(); // '}'
+
+    // Resolve phi incoming-value forward references.
+    for (PhiFixup &Fix : PhiFixups) {
+      Value *V = nullptr;
+      if (Fix.IsConstant) {
+        V = Fix.ConstantValue;
+      } else {
+        auto It = ValueMap.find(Fix.ValueName);
+        if (It == ValueMap.end()) {
+          Err = "line " + std::to_string(Fix.Line) +
+                ": use of undefined value %" + Fix.ValueName + " in phi";
+          return false;
+        }
+        V = It->second;
+        if (V->getType() != Fix.Phi->getType()) {
+          Err = "line " + std::to_string(Fix.Line) +
+                ": phi incoming type mismatch for %" + Fix.ValueName;
+          return false;
+        }
+      }
+      Fix.Phi->addIncoming(V, Fix.Block);
+    }
+    return true;
+  }
+
+  /// Creates all blocks of the function body in textual order by scanning
+  /// ahead for `IDENT ':'` at instruction-start positions.
+  bool prescanBlocks(Function *F) {
+    size_t Depth = 0;
+    for (size_t I = Pos; I < Tokens.size(); ++I) {
+      if (Tokens[I].Kind == TokKind::RBrace) {
+        if (Depth == 0)
+          break;
+        --Depth;
+        continue;
+      }
+      if (Tokens[I].Kind == TokKind::LBrace) {
+        ++Depth;
+        continue;
+      }
+      if (Tokens[I].Kind == TokKind::Ident &&
+          I + 1 < Tokens.size() && Tokens[I + 1].Kind == TokKind::Colon) {
+        if (F->getBlockByName(Tokens[I].Text)) {
+          Err = "line " + std::to_string(Tokens[I].Line) +
+                ": duplicate block label '" + Tokens[I].Text + "'";
+          return false;
+        }
+        F->createBlock(Tokens[I].Text);
+      }
+    }
+    if (F->empty()) {
+      Err = "function @" + F->getName() + " has no blocks";
+      return false;
+    }
+    return true;
+  }
+
+  BasicBlock *parseBlockRef(Function *F) {
+    if (!check(TokKind::LocalId)) {
+      error("expected %block-label");
+      return nullptr;
+    }
+    Token Tok = advance();
+    BasicBlock *BB = F->getBlockByName(Tok.Text);
+    if (!BB)
+      error("unknown block label %" + Tok.Text);
+    return BB;
+  }
+
+  bool defineValue(const std::string &Name, Value *V) {
+    if (ValueMap.count(Name))
+      return error("redefinition of %" + Name);
+    V->setName(Name);
+    ValueMap[Name] = V;
+    return true;
+  }
+
+  BinOpcode *opcodeByName(const std::string &Name, BinOpcode &Storage) {
+    static const std::pair<const char *, BinOpcode> Table[] = {
+        {"add", BinOpcode::Add},   {"sub", BinOpcode::Sub},
+        {"mul", BinOpcode::Mul},   {"fadd", BinOpcode::FAdd},
+        {"fsub", BinOpcode::FSub}, {"fmul", BinOpcode::FMul},
+        {"fdiv", BinOpcode::FDiv}};
+    for (const auto &[Spelling, Op] : Table)
+      if (Name == Spelling) {
+        Storage = Op;
+        return &Storage;
+      }
+    return nullptr;
+  }
+
+  bool parseInstruction(Function *F, BasicBlock *BB) {
+    IRBuilder Builder(BB);
+
+    // Optional result binding.
+    std::string ResultName;
+    bool HasResult = false;
+    if (check(TokKind::LocalId)) {
+      ResultName = advance().Text;
+      HasResult = true;
+      if (!expect(TokKind::Equal, "'='"))
+        return false;
+    }
+
+    if (!check(TokKind::Ident))
+      return error("expected instruction opcode");
+    unsigned OpcodeLine = cur().Line;
+    std::string Opcode = advance().Text;
+
+    BinOpcode BinOp;
+    if (opcodeByName(Opcode, BinOp)) {
+      Type *Ty = parseType();
+      if (!Ty)
+        return false;
+      Value *L = parseValue(Ty);
+      if (!L || !expect(TokKind::Comma, "','"))
+        return false;
+      Value *R = parseValue(Ty);
+      if (!R)
+        return false;
+      Value *Result = Builder.createBinOp(BinOp, L, R);
+      return !HasResult || defineValue(ResultName, Result);
+    }
+
+    // Unary FP operations: OPCODE type value.
+    {
+      UnaryOpcode UnOp;
+      bool IsUnary = true;
+      if (Opcode == "fneg")
+        UnOp = UnaryOpcode::FNeg;
+      else if (Opcode == "sqrt")
+        UnOp = UnaryOpcode::Sqrt;
+      else if (Opcode == "fabs")
+        UnOp = UnaryOpcode::Fabs;
+      else
+        IsUnary = false;
+      if (IsUnary) {
+        Type *Ty = parseType();
+        if (!Ty)
+          return false;
+        Value *V = parseValue(Ty);
+        if (!V)
+          return false;
+        Value *Result = Builder.createUnaryOp(UnOp, V);
+        return !HasResult || defineValue(ResultName, Result);
+      }
+    }
+
+    if (Opcode == "altop")
+      return parseAlternateOp(Builder, HasResult, ResultName);
+    if (Opcode == "load")
+      return parseLoad(Builder, HasResult, ResultName);
+    if (Opcode == "store")
+      return parseStore(Builder, HasResult);
+    if (Opcode == "gep")
+      return parseGEP(Builder, HasResult, ResultName);
+    if (Opcode == "icmp")
+      return parseICmp(Builder, HasResult, ResultName);
+    if (Opcode == "select")
+      return parseSelect(Builder, HasResult, ResultName);
+    if (Opcode == "phi")
+      return parsePhi(F, Builder, HasResult, ResultName, BB);
+    if (Opcode == "br")
+      return parseBranch(F, Builder, HasResult);
+    if (Opcode == "ret")
+      return parseRet(Builder, HasResult);
+    if (Opcode == "insertelement")
+      return parseInsertElement(Builder, HasResult, ResultName);
+    if (Opcode == "extractelement")
+      return parseExtractElement(Builder, HasResult, ResultName);
+    if (Opcode == "shufflevector")
+      return parseShuffleVector(Builder, HasResult, ResultName);
+
+    return errorAt(OpcodeLine, "unknown opcode '" + Opcode + "'");
+  }
+
+  bool parseAlternateOp(IRBuilder &Builder, bool HasResult,
+                        const std::string &ResultName) {
+    Type *Ty = parseType();
+    if (!Ty)
+      return false;
+    auto *VT = dyn_cast<VectorType>(Ty);
+    if (!VT)
+      return error("altop requires a vector type");
+    if (!expect(TokKind::LBracket, "'['"))
+      return false;
+    std::vector<BinOpcode> LaneOps;
+    while (true) {
+      if (!check(TokKind::Ident))
+        return error("expected opcode in altop lane list");
+      BinOpcode Op;
+      if (!opcodeByName(advance().Text, Op))
+        return error("unknown opcode in altop lane list");
+      LaneOps.push_back(Op);
+      if (check(TokKind::Comma)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    if (!expect(TokKind::RBracket, "']'") || !expect(TokKind::Comma, "','"))
+      return false;
+    if (LaneOps.size() != VT->getNumLanes())
+      return error("altop lane-opcode count mismatch");
+    Value *L = parseValue(Ty);
+    if (!L || !expect(TokKind::Comma, "','"))
+      return false;
+    Value *R = parseValue(Ty);
+    if (!R)
+      return false;
+    Value *Result = Builder.createAlternateOp(std::move(LaneOps), L, R);
+    return !HasResult || defineValue(ResultName, Result);
+  }
+
+  bool parseLoad(IRBuilder &Builder, bool HasResult,
+                 const std::string &ResultName) {
+    Type *Ty = parseType();
+    if (!Ty || !expect(TokKind::Comma, "','") || !expectIdent("ptr"))
+      return false;
+    Value *Ptr = parseValue(Ctx.getPtrTy());
+    if (!Ptr)
+      return false;
+    Value *Result = Builder.createLoad(Ty, Ptr);
+    return !HasResult || defineValue(ResultName, Result);
+  }
+
+  bool parseStore(IRBuilder &Builder, bool HasResult) {
+    if (HasResult)
+      return error("store has no result");
+    Type *Ty = parseType();
+    if (!Ty)
+      return false;
+    Value *Val = parseValue(Ty);
+    if (!Val || !expect(TokKind::Comma, "','") || !expectIdent("ptr"))
+      return false;
+    Value *Ptr = parseValue(Ctx.getPtrTy());
+    if (!Ptr)
+      return false;
+    Builder.createStore(Val, Ptr);
+    return true;
+  }
+
+  bool parseGEP(IRBuilder &Builder, bool HasResult,
+                const std::string &ResultName) {
+    Type *ElemTy = parseType();
+    if (!ElemTy || !expect(TokKind::Comma, "','") || !expectIdent("ptr"))
+      return false;
+    Value *Ptr = parseValue(Ctx.getPtrTy());
+    if (!Ptr || !expect(TokKind::Comma, "','") || !expectIdent("i64"))
+      return false;
+    Value *Index = parseValue(Ctx.getInt64Ty());
+    if (!Index)
+      return false;
+    Value *Result = Builder.createGEP(ElemTy, Ptr, Index);
+    return !HasResult || defineValue(ResultName, Result);
+  }
+
+  bool parseICmp(IRBuilder &Builder, bool HasResult,
+                 const std::string &ResultName) {
+    if (!check(TokKind::Ident))
+      return error("expected icmp predicate");
+    std::string PredName = advance().Text;
+    static const std::pair<const char *, ICmpPredicate> Preds[] = {
+        {"eq", ICmpPredicate::EQ},   {"ne", ICmpPredicate::NE},
+        {"slt", ICmpPredicate::SLT}, {"sle", ICmpPredicate::SLE},
+        {"sgt", ICmpPredicate::SGT}, {"sge", ICmpPredicate::SGE},
+        {"ult", ICmpPredicate::ULT}, {"ule", ICmpPredicate::ULE}};
+    const ICmpPredicate *Pred = nullptr;
+    for (const auto &[Spelling, P] : Preds)
+      if (PredName == Spelling)
+        Pred = &P;
+    if (!Pred)
+      return error("unknown icmp predicate '" + PredName + "'");
+    Type *Ty = parseType();
+    if (!Ty)
+      return false;
+    Value *L = parseValue(Ty);
+    if (!L || !expect(TokKind::Comma, "','"))
+      return false;
+    Value *R = parseValue(Ty);
+    if (!R)
+      return false;
+    Value *Result = Builder.createICmp(*Pred, L, R);
+    return !HasResult || defineValue(ResultName, Result);
+  }
+
+  bool parseSelect(IRBuilder &Builder, bool HasResult,
+                   const std::string &ResultName) {
+    Value *Cond = parseValue(Ctx.getInt1Ty());
+    if (!Cond || !expect(TokKind::Comma, "','"))
+      return false;
+    Type *Ty = parseType();
+    if (!Ty)
+      return false;
+    Value *T = parseValue(Ty);
+    if (!T || !expect(TokKind::Comma, "','"))
+      return false;
+    Value *FVal = parseValue(Ty);
+    if (!FVal)
+      return false;
+    Value *Result = Builder.createSelect(Cond, T, FVal);
+    return !HasResult || defineValue(ResultName, Result);
+  }
+
+  bool parsePhi(Function *F, IRBuilder &Builder, bool HasResult,
+                const std::string &ResultName, BasicBlock *BB) {
+    (void)BB;
+    Type *Ty = parseType();
+    if (!Ty)
+      return false;
+    PhiNode *Phi = Builder.createPhi(Ty);
+    while (true) {
+      if (!expect(TokKind::LBracket, "'['"))
+        return false;
+      // The incoming value may be a forward reference; defer resolution.
+      PhiFixup Fix;
+      Fix.Phi = Phi;
+      Fix.Line = cur().Line;
+      if (check(TokKind::LocalId)) {
+        Fix.IsConstant = false;
+        Fix.ValueName = advance().Text;
+      } else {
+        Fix.IsConstant = true;
+        if (check(TokKind::IntLit) || check(TokKind::FPLit)) {
+          Fix.ConstantValue = parseScalarConstantToken(advance(), Ty);
+          if (!Fix.ConstantValue)
+            return false;
+        } else {
+          return error("expected phi incoming value");
+        }
+      }
+      if (!expect(TokKind::Comma, "','"))
+        return false;
+      Fix.Block = parseBlockRef(F);
+      if (!Fix.Block)
+        return false;
+      PhiFixups.push_back(Fix);
+      if (!expect(TokKind::RBracket, "']'"))
+        return false;
+      if (check(TokKind::Comma)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    return !HasResult || defineValue(ResultName, Phi);
+  }
+
+  bool parseBranch(Function *F, IRBuilder &Builder, bool HasResult) {
+    if (HasResult)
+      return error("br has no result");
+    if (checkIdent("label")) {
+      advance();
+      BasicBlock *Target = parseBlockRef(F);
+      if (!Target)
+        return false;
+      Builder.createBr(Target);
+      return true;
+    }
+    if (!expectIdent("i1"))
+      return false;
+    Value *Cond = parseValue(Ctx.getInt1Ty());
+    if (!Cond || !expect(TokKind::Comma, "','") || !expectIdent("label"))
+      return false;
+    BasicBlock *TrueBB = parseBlockRef(F);
+    if (!TrueBB || !expect(TokKind::Comma, "','") || !expectIdent("label"))
+      return false;
+    BasicBlock *FalseBB = parseBlockRef(F);
+    if (!FalseBB)
+      return false;
+    Builder.createCondBr(Cond, TrueBB, FalseBB);
+    return true;
+  }
+
+  bool parseRet(IRBuilder &Builder, bool HasResult) {
+    if (HasResult)
+      return error("ret has no result");
+    if (checkIdent("void")) {
+      advance();
+      Builder.createRet();
+      return true;
+    }
+    Type *Ty = parseType();
+    if (!Ty)
+      return false;
+    Value *V = parseValue(Ty);
+    if (!V)
+      return false;
+    Builder.createRet(V);
+    return true;
+  }
+
+  bool parseInsertElement(IRBuilder &Builder, bool HasResult,
+                          const std::string &ResultName) {
+    Type *VecTy = parseType();
+    if (!VecTy || !VecTy->isVector())
+      return error("insertelement requires a vector type");
+    Value *Vec = parseValue(VecTy);
+    if (!Vec || !expect(TokKind::Comma, "','"))
+      return false;
+    Type *ScalarTy = parseType();
+    if (!ScalarTy)
+      return false;
+    Value *Scalar = parseValue(ScalarTy);
+    if (!Scalar || !expect(TokKind::Comma, "','"))
+      return false;
+    if (!check(TokKind::IntLit))
+      return error("expected lane index");
+    long Lane = std::strtol(advance().Text.c_str(), nullptr, 10);
+    if (Lane < 0 ||
+        Lane >= static_cast<long>(cast<VectorType>(VecTy)->getNumLanes()))
+      return error("lane index out of range");
+    Value *Result = Builder.createInsertElement(
+        Vec, Scalar, static_cast<unsigned>(Lane));
+    return !HasResult || defineValue(ResultName, Result);
+  }
+
+  bool parseExtractElement(IRBuilder &Builder, bool HasResult,
+                           const std::string &ResultName) {
+    Type *VecTy = parseType();
+    if (!VecTy || !VecTy->isVector())
+      return error("extractelement requires a vector type");
+    Value *Vec = parseValue(VecTy);
+    if (!Vec || !expect(TokKind::Comma, "','"))
+      return false;
+    if (!check(TokKind::IntLit))
+      return error("expected lane index");
+    long Lane = std::strtol(advance().Text.c_str(), nullptr, 10);
+    if (Lane < 0 ||
+        Lane >= static_cast<long>(cast<VectorType>(VecTy)->getNumLanes()))
+      return error("lane index out of range");
+    Value *Result =
+        Builder.createExtractElement(Vec, static_cast<unsigned>(Lane));
+    return !HasResult || defineValue(ResultName, Result);
+  }
+
+  bool parseShuffleVector(IRBuilder &Builder, bool HasResult,
+                          const std::string &ResultName) {
+    Type *VecTy = parseType();
+    if (!VecTy || !VecTy->isVector())
+      return error("shufflevector requires a vector type");
+    Value *V1 = parseValue(VecTy);
+    if (!V1 || !expect(TokKind::Comma, "','"))
+      return false;
+    Value *V2 = parseValue(VecTy);
+    if (!V2 || !expect(TokKind::Comma, "','") ||
+        !expect(TokKind::LBracket, "'['"))
+      return false;
+    std::vector<int> Mask;
+    unsigned InLanes = cast<VectorType>(VecTy)->getNumLanes();
+    while (true) {
+      if (!check(TokKind::IntLit))
+        return error("expected mask element");
+      long MVal = std::strtol(advance().Text.c_str(), nullptr, 10);
+      if (MVal < 0 || MVal >= static_cast<long>(2 * InLanes))
+        return error("shuffle mask element out of range");
+      Mask.push_back(static_cast<int>(MVal));
+      if (check(TokKind::Comma)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    if (!expect(TokKind::RBracket, "']'"))
+      return false;
+    if (Mask.size() < 2)
+      return error("shuffle result must have at least two lanes");
+    Value *Result = Builder.createShuffleVector(V1, V2, std::move(Mask));
+    return !HasResult || defineValue(ResultName, Result);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // State
+  //===--------------------------------------------------------------------===//
+
+  struct PhiFixup {
+    PhiNode *Phi = nullptr;
+    BasicBlock *Block = nullptr;
+    bool IsConstant = false;
+    Constant *ConstantValue = nullptr;
+    std::string ValueName;
+    unsigned Line = 0;
+  };
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  Module &M;
+  Context &Ctx;
+  std::string &Err;
+
+  std::map<std::string, Value *> ValueMap;
+  std::vector<PhiFixup> PhiFixups;
+};
+
+} // namespace
+
+bool snslp::parseIR(const std::string &Source, Module &M,
+                    std::string *ErrMsg) {
+  std::string Err;
+  std::vector<Token> Tokens;
+  Lexer Lex(Source, Err);
+  if (!Lex.run(Tokens)) {
+    if (ErrMsg)
+      *ErrMsg = Err;
+    return false;
+  }
+  ParserImpl P(std::move(Tokens), M, Err);
+  if (!P.run()) {
+    if (ErrMsg)
+      *ErrMsg = Err;
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,33 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual IR parsing. Accepts the exact grammar emitted by IRPrinter plus
+/// comments (';' to end of line) and flexible whitespace. Kernels and tests
+/// express IR as readable text rather than builder call chains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_IR_PARSER_H
+#define SNSLP_IR_PARSER_H
+
+#include <string>
+
+namespace snslp {
+
+class Module;
+
+/// Parses the functions in \p Source and adds them to \p M.
+///
+/// \returns true on success. On failure, returns false and stores a
+/// diagnostic (with line number) into \p ErrMsg when non-null; functions
+/// parsed before the error remain in \p M.
+bool parseIR(const std::string &Source, Module &M,
+             std::string *ErrMsg = nullptr);
+
+} // namespace snslp
+
+#endif // SNSLP_IR_PARSER_H

@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include "ir/Context.h"
+#include "support/ErrorHandling.h"
+
+using namespace snslp;
+
+Type *Type::getScalarType() {
+  if (auto *VT = dyn_cast<VectorType>(this))
+    return VT->getElementType();
+  return this;
+}
+
+unsigned Type::getSizeInBytes() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return 0;
+  case TypeKind::Int1:
+    return 1;
+  case TypeKind::Int32:
+  case TypeKind::Float:
+    return 4;
+  case TypeKind::Int64:
+  case TypeKind::Double:
+  case TypeKind::Pointer:
+    return 8;
+  case TypeKind::Vector: {
+    const auto *VT = cast<VectorType>(this);
+    return VT->getElementType()->getSizeInBytes() * VT->getNumLanes();
+  }
+  }
+  snslp_unreachable("covered switch");
+}
+
+std::string Type::getName() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int1:
+    return "i1";
+  case TypeKind::Int32:
+    return "i32";
+  case TypeKind::Int64:
+    return "i64";
+  case TypeKind::Float:
+    return "f32";
+  case TypeKind::Double:
+    return "f64";
+  case TypeKind::Pointer:
+    return "ptr";
+  case TypeKind::Vector: {
+    const auto *VT = cast<VectorType>(this);
+    return "<" + std::to_string(VT->getNumLanes()) + " x " +
+           VT->getElementType()->getName() + ">";
+  }
+  }
+  snslp_unreachable("covered switch");
+}

@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR type system: scalar types (integers, floats, pointer) and vector
+/// types. Types are interned: there is exactly one object per distinct type
+/// within a Context, so pointer equality is type equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_IR_TYPE_H
+#define SNSLP_IR_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <string>
+
+namespace snslp {
+
+class Context;
+
+/// Discriminator for the Type hierarchy.
+enum class TypeKind : uint8_t {
+  Void,
+  Int1,
+  Int32,
+  Int64,
+  Float,
+  Double,
+  Pointer, // Opaque pointer; loads/GEPs carry the pointee element type.
+  Vector,
+};
+
+/// Base class for all IR types. Scalar types are singletons owned by the
+/// Context; VectorType instances are interned per (element, lanes).
+class Type {
+public:
+  TypeKind getKind() const { return Kind; }
+  Context &getContext() const { return *Ctx; }
+
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isInteger() const {
+    return Kind == TypeKind::Int1 || Kind == TypeKind::Int32 ||
+           Kind == TypeKind::Int64;
+  }
+  bool isFloatingPoint() const {
+    return Kind == TypeKind::Float || Kind == TypeKind::Double;
+  }
+  bool isPointer() const { return Kind == TypeKind::Pointer; }
+  bool isVector() const { return Kind == TypeKind::Vector; }
+
+  /// Returns the element type for vectors, or this type for scalars.
+  Type *getScalarType();
+  const Type *getScalarType() const {
+    return const_cast<Type *>(this)->getScalarType();
+  }
+
+  /// Returns the in-memory size of this type in bytes. Vectors are
+  /// lanes * element size; i1 occupies one byte.
+  unsigned getSizeInBytes() const;
+
+  /// Returns the textual spelling used by the printer/parser, e.g. "i64",
+  /// "f32", "ptr", "<4 x f64>".
+  std::string getName() const;
+
+  virtual ~Type() = default;
+
+protected:
+  Type(TypeKind Kind, Context *Ctx) : Kind(Kind), Ctx(Ctx) {}
+
+private:
+  TypeKind Kind;
+  Context *Ctx;
+};
+
+/// A fixed-width SIMD vector of a scalar element type.
+class VectorType : public Type {
+public:
+  Type *getElementType() const { return ElemTy; }
+  unsigned getNumLanes() const { return NumLanes; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Vector;
+  }
+
+private:
+  friend class Context;
+  VectorType(Type *ElemTy, unsigned NumLanes, Context *Ctx)
+      : Type(TypeKind::Vector, Ctx), ElemTy(ElemTy), NumLanes(NumLanes) {}
+
+  Type *ElemTy;
+  unsigned NumLanes;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_IR_TYPE_H

@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Value.h"
+
+#include "ir/Context.h"
+#include "ir/Instruction.h"
+
+#include <algorithm>
+
+using namespace snslp;
+
+Value::~Value() {
+  assert(UseList.empty() && "destroying a value that still has uses");
+}
+
+void Value::removeUse(Instruction *User, unsigned OperandIndex) {
+  auto It = std::find(UseList.begin(), UseList.end(), Use{User, OperandIndex});
+  assert(It != UseList.end() && "use not found in use list");
+  UseList.erase(It);
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "RAUW with itself");
+  // setOperand mutates our use list; iterate over a snapshot.
+  std::vector<Use> Snapshot = UseList;
+  for (const Use &U : Snapshot)
+    U.User->setOperand(U.OperandIndex, New);
+  assert(UseList.empty() && "uses remained after RAUW");
+}
+
+ConstantInt *ConstantInt::get(Type *Ty, int64_t V) {
+  return Ty->getContext().getConstantInt(Ty, V);
+}
+
+ConstantFP *ConstantFP::get(Type *Ty, double V) {
+  return Ty->getContext().getConstantFP(Ty, V);
+}
+
+ConstantVector *ConstantVector::get(const std::vector<Constant *> &Elems) {
+  assert(!Elems.empty() && "empty vector constant");
+  return Elems.front()->getType()->getContext().getConstantVector(Elems);
+}

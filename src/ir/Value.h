@@ -1,0 +1,223 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Value hierarchy root: everything that can appear as an instruction
+/// operand (arguments, constants, instructions). Values carry a type, an
+/// optional name, and a use list that gives the vectorizer its use-def
+/// chains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_IR_VALUE_H
+#define SNSLP_IR_VALUE_H
+
+#include "ir/Type.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+class Instruction;
+
+/// Discriminator for the Value hierarchy; also selects the instruction
+/// opcode class for instruction values.
+enum class ValueKind : uint8_t {
+  Argument,
+  ConstantInt,
+  ConstantFP,
+  ConstantVector,
+  // All instruction kinds follow; keep InstBegin/InstEnd in sync.
+  BinOp,
+  AlternateOp,
+  UnaryOp,
+  Load,
+  Store,
+  GEP,
+  ICmp,
+  Select,
+  Phi,
+  Branch,
+  Ret,
+  InsertElement,
+  ExtractElement,
+  ShuffleVector,
+};
+
+inline constexpr ValueKind InstKindBegin = ValueKind::BinOp;
+inline constexpr ValueKind InstKindEnd = ValueKind::ShuffleVector;
+
+/// One operand slot of an instruction that refers to a Value.
+struct Use {
+  Instruction *User;
+  unsigned OperandIndex;
+
+  bool operator==(const Use &Other) const {
+    return User == Other.User && OperandIndex == Other.OperandIndex;
+  }
+};
+
+/// Base class of everything that can be used as an operand.
+class Value {
+public:
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value();
+
+  ValueKind getKind() const { return Kind; }
+  Type *getType() const { return Ty; }
+  Context &getContext() const { return Ty->getContext(); }
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+  bool hasName() const { return !Name.empty(); }
+
+  /// \name Use-list access.
+  /// @{
+  const std::vector<Use> &uses() const { return UseList; }
+  unsigned getNumUses() const { return static_cast<unsigned>(UseList.size()); }
+  bool hasUses() const { return !UseList.empty(); }
+  bool hasOneUse() const { return UseList.size() == 1; }
+  /// Returns the single user instruction; asserts hasOneUse().
+  Instruction *getSingleUser() const {
+    assert(hasOneUse() && "value does not have exactly one use");
+    return UseList.front().User;
+  }
+  /// @}
+
+  /// Rewrites every use of this value to use \p New instead.
+  void replaceAllUsesWith(Value *New);
+
+protected:
+  Value(ValueKind Kind, Type *Ty) : Kind(Kind), Ty(Ty) {
+    assert(Ty && "value must have a type");
+  }
+
+private:
+  friend class Instruction;
+  void addUse(Instruction *User, unsigned OperandIndex) {
+    UseList.push_back(Use{User, OperandIndex});
+  }
+  void removeUse(Instruction *User, unsigned OperandIndex);
+
+  ValueKind Kind;
+  Type *Ty;
+  std::string Name;
+  std::vector<Use> UseList;
+};
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type *Ty, std::string Name, unsigned Index)
+      : Value(ValueKind::Argument, Ty), Index(Index) {
+    setName(std::move(Name));
+  }
+
+  /// Zero-based position within the function signature.
+  unsigned getIndex() const { return Index; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Argument;
+  }
+
+private:
+  unsigned Index;
+};
+
+/// Common base of all constant values. Constants are interned by the
+/// Context, so pointer equality is semantic equality.
+class Constant : public Value {
+public:
+  static bool classof(const Value *V) {
+    ValueKind K = V->getKind();
+    return K == ValueKind::ConstantInt || K == ValueKind::ConstantFP ||
+           K == ValueKind::ConstantVector;
+  }
+
+protected:
+  Constant(ValueKind Kind, Type *Ty) : Value(Kind, Ty) {}
+};
+
+/// An integer constant (i1, i32 or i64).
+class ConstantInt : public Constant {
+public:
+  int64_t getValue() const { return Val; }
+
+  /// Returns the interned constant of \p Ty with value \p V.
+  static ConstantInt *get(Type *Ty, int64_t V);
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantInt;
+  }
+
+private:
+  friend class Context;
+  ConstantInt(Type *Ty, int64_t Val) : Constant(ValueKind::ConstantInt, Ty),
+                                       Val(Val) {
+    assert(Ty->isInteger() && "ConstantInt requires an integer type");
+  }
+
+  int64_t Val;
+};
+
+/// A floating-point constant (f32 or f64). The value is stored as a double;
+/// f32 constants are rounded to float precision on creation so that interned
+/// identity matches runtime semantics.
+class ConstantFP : public Constant {
+public:
+  double getValue() const { return Val; }
+
+  /// Returns the interned constant of \p Ty with value \p V.
+  static ConstantFP *get(Type *Ty, double V);
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantFP;
+  }
+
+private:
+  friend class Context;
+  ConstantFP(Type *Ty, double Val) : Constant(ValueKind::ConstantFP, Ty),
+                                     Val(Val) {
+    assert(Ty->isFloatingPoint() && "ConstantFP requires an FP type");
+  }
+
+  double Val;
+};
+
+/// A constant vector of scalar constants; produced when a Gather group
+/// consists purely of constants.
+class ConstantVector : public Constant {
+public:
+  const std::vector<Constant *> &getElements() const { return Elems; }
+  unsigned getNumLanes() const { return static_cast<unsigned>(Elems.size()); }
+  Constant *getElement(unsigned I) const {
+    assert(I < Elems.size() && "lane index out of range");
+    return Elems[I];
+  }
+
+  /// Returns the interned vector constant with the given elements.
+  static ConstantVector *get(const std::vector<Constant *> &Elems);
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantVector;
+  }
+
+private:
+  friend class Context;
+  ConstantVector(VectorType *Ty, std::vector<Constant *> Elems)
+      : Constant(ValueKind::ConstantVector, Ty), Elems(std::move(Elems)) {}
+
+  std::vector<Constant *> Elems;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_IR_VALUE_H

@@ -1,0 +1,282 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Context.h"
+#include "ir/Dominators.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace snslp;
+
+namespace {
+
+/// Collects verification failures for one function.
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function &F, std::vector<std::string> *Errors)
+      : F(F), Errors(Errors) {}
+
+  bool run() {
+    checkBlockStructure();
+    checkInstructions();
+    checkUseListIntegrity();
+    if (Failed)
+      return false; // Dominance needs a structurally sound CFG.
+    checkDominance();
+    return !Failed;
+  }
+
+private:
+  void fail(const std::string &Msg) {
+    Failed = true;
+    if (Errors)
+      Errors->push_back("@" + F.getName() + ": " + Msg);
+  }
+
+  void checkBlockStructure() {
+    if (F.empty()) {
+      fail("function has no blocks");
+      return;
+    }
+    std::unordered_set<std::string> BlockNames;
+    for (const auto &BB : F.blocks()) {
+      if (BB->getName().empty())
+        fail("block without a name");
+      if (!BlockNames.insert(BB->getName()).second)
+        fail("duplicate block name '" + BB->getName() + "'");
+      if (BB->empty()) {
+        fail("block '" + BB->getName() + "' is empty");
+        continue;
+      }
+      // Exactly one terminator, and it is the last instruction.
+      unsigned TermCount = 0;
+      for (const auto &Inst : *BB)
+        if (Inst->isTerminator())
+          ++TermCount;
+      if (TermCount != 1 || !BB->back().isTerminator())
+        fail("block '" + BB->getName() +
+             "' must end in exactly one terminator");
+      // Phis only at the top of the block.
+      bool SeenNonPhi = false;
+      for (const auto &Inst : *BB) {
+        if (isa<PhiNode>(Inst.get())) {
+          if (SeenNonPhi)
+            fail("phi after non-phi in block '" + BB->getName() + "'");
+        } else {
+          SeenNonPhi = true;
+        }
+      }
+    }
+    // Entry block must not have predecessors or phis.
+    const BasicBlock &Entry = *F.blocks().front();
+    if (!Entry.predecessors().empty())
+      fail("entry block has predecessors");
+    for (const auto &Inst : Entry)
+      if (isa<PhiNode>(Inst.get()))
+        fail("phi in entry block");
+  }
+
+  void checkInstructions() {
+    for (const auto &BB : F.blocks()) {
+      for (const auto &Inst : *BB) {
+        if (Inst->getParent() != BB.get())
+          fail("instruction parent link broken in '" + BB->getName() + "'");
+        checkInstructionTypes(*Inst);
+      }
+    }
+  }
+
+  void checkInstructionTypes(const Instruction &Inst) {
+    switch (Inst.getKind()) {
+    case ValueKind::BinOp: {
+      const auto &BO = cast<BinaryOperator>(Inst);
+      Type *Ty = BO.getType();
+      if (BO.getLHS()->getType() != Ty || BO.getRHS()->getType() != Ty)
+        fail("binop operand/result type mismatch: " + toString(Inst));
+      Type *Scalar = Ty->getScalarType();
+      bool IsFPOp = BO.getOpcode() == BinOpcode::FAdd ||
+                    BO.getOpcode() == BinOpcode::FSub ||
+                    BO.getOpcode() == BinOpcode::FMul ||
+                    BO.getOpcode() == BinOpcode::FDiv;
+      if (IsFPOp != Scalar->isFloatingPoint())
+        fail("binop opcode/type category mismatch: " + toString(Inst));
+      if (!Scalar->isFloatingPoint() && !Scalar->isInteger())
+        fail("binop over non-arithmetic type: " + toString(Inst));
+      break;
+    }
+    case ValueKind::AlternateOp: {
+      const auto &AO = cast<AlternateOp>(Inst);
+      const auto *VT = dyn_cast<VectorType>(AO.getType());
+      if (!VT) {
+        fail("altop must have vector type: " + toString(Inst));
+        break;
+      }
+      if (AO.getLaneOpcodes().size() != VT->getNumLanes())
+        fail("altop lane-opcode count mismatch: " + toString(Inst));
+      break;
+    }
+    case ValueKind::UnaryOp: {
+      const auto &UO = cast<UnaryOperator>(Inst);
+      if (UO.getOperand0()->getType() != UO.getType())
+        fail("unary operand/result type mismatch: " + toString(Inst));
+      if (!UO.getType()->getScalarType()->isFloatingPoint())
+        fail("unary op over non-FP type: " + toString(Inst));
+      break;
+    }
+    case ValueKind::Load:
+      if (!cast<LoadInst>(Inst).getPointerOperand()->getType()->isPointer())
+        fail("load pointer operand is not ptr: " + toString(Inst));
+      break;
+    case ValueKind::Store: {
+      const auto &St = cast<StoreInst>(Inst);
+      if (!St.getPointerOperand()->getType()->isPointer())
+        fail("store pointer operand is not ptr: " + toString(Inst));
+      if (St.getValueOperand()->getType()->isVoid())
+        fail("store of void value");
+      break;
+    }
+    case ValueKind::GEP: {
+      const auto &GEP = cast<GEPInst>(Inst);
+      if (!GEP.getPointerOperand()->getType()->isPointer())
+        fail("gep base is not ptr: " + toString(Inst));
+      if (GEP.getIndexOperand()->getType()->getKind() != TypeKind::Int64)
+        fail("gep index is not i64: " + toString(Inst));
+      break;
+    }
+    case ValueKind::ICmp: {
+      const auto &Cmp = cast<ICmpInst>(Inst);
+      if (Cmp.getLHS()->getType() != Cmp.getRHS()->getType() ||
+          !Cmp.getLHS()->getType()->isInteger())
+        fail("icmp operand types invalid: " + toString(Inst));
+      break;
+    }
+    case ValueKind::Select: {
+      const auto &Sel = cast<SelectInst>(Inst);
+      if (Sel.getCondition()->getType()->getKind() != TypeKind::Int1)
+        fail("select condition is not i1: " + toString(Inst));
+      if (Sel.getTrueValue()->getType() != Sel.getType() ||
+          Sel.getFalseValue()->getType() != Sel.getType())
+        fail("select arm type mismatch: " + toString(Inst));
+      break;
+    }
+    case ValueKind::Phi:
+      checkPhi(cast<PhiNode>(Inst));
+      break;
+    case ValueKind::Branch: {
+      const auto &Br = cast<BranchInst>(Inst);
+      for (unsigned I = 0, E = Br.getNumSuccessors(); I != E; ++I) {
+        BasicBlock *Succ = Br.getSuccessor(I);
+        bool Found = false;
+        for (const auto &BB : F.blocks())
+          if (BB.get() == Succ)
+            Found = true;
+        if (!Found)
+          fail("branch to block outside function");
+      }
+      break;
+    }
+    case ValueKind::Ret: {
+      const auto &Ret = cast<RetInst>(Inst);
+      if (Ret.hasReturnValue()) {
+        if (Ret.getReturnValue()->getType() != F.getReturnType())
+          fail("ret value type does not match function return type");
+      } else if (!F.getReturnType()->isVoid()) {
+        fail("ret void in non-void function");
+      }
+      break;
+    }
+    case ValueKind::InsertElement:
+    case ValueKind::ExtractElement:
+    case ValueKind::ShuffleVector:
+      // Lane ranges are asserted at construction; nothing further here.
+      break;
+    case ValueKind::Argument:
+    case ValueKind::ConstantInt:
+    case ValueKind::ConstantFP:
+    case ValueKind::ConstantVector:
+      fail("non-instruction value in block");
+      break;
+    }
+  }
+
+  void checkPhi(const PhiNode &Phi) {
+    std::vector<BasicBlock *> Preds = Phi.getParent()->predecessors();
+    if (Phi.getNumIncoming() != Preds.size()) {
+      fail("phi incoming count does not match predecessor count: " +
+           toString(Phi));
+      return;
+    }
+    for (unsigned I = 0, E = Phi.getNumIncoming(); I != E; ++I) {
+      if (Phi.getIncomingValue(I)->getType() != Phi.getType())
+        fail("phi incoming type mismatch: " + toString(Phi));
+      BasicBlock *In = Phi.getIncomingBlock(I);
+      if (std::find(Preds.begin(), Preds.end(), In) == Preds.end())
+        fail("phi incoming block is not a predecessor: " + toString(Phi));
+    }
+    // No duplicate incoming blocks.
+    for (unsigned I = 0; I < Phi.getNumIncoming(); ++I)
+      for (unsigned J = I + 1; J < Phi.getNumIncoming(); ++J)
+        if (Phi.getIncomingBlock(I) == Phi.getIncomingBlock(J))
+          fail("duplicate phi incoming block: " + toString(Phi));
+  }
+
+  void checkUseListIntegrity() {
+    for (const auto &BB : F.blocks()) {
+      for (const auto &Inst : *BB) {
+        // Every operand's use list must contain this (user, index) entry.
+        for (unsigned I = 0, E = Inst->getNumOperands(); I != E; ++I) {
+          const Value *Op = Inst->getOperand(I);
+          const auto &Uses = Op->uses();
+          Use Expected{Inst.get(), I};
+          if (std::find(Uses.begin(), Uses.end(), Expected) == Uses.end())
+            fail("operand use-list entry missing for " + toString(*Inst));
+        }
+        // Every use-list entry of this instruction must be a real operand.
+        for (const Use &U : Inst->uses()) {
+          if (U.OperandIndex >= U.User->getNumOperands() ||
+              U.User->getOperand(U.OperandIndex) != Inst.get())
+            fail("stale use-list entry on " + toString(*Inst));
+        }
+      }
+    }
+  }
+
+  void checkDominance() {
+    DominatorTree DT(F);
+    for (const auto &BB : F.blocks()) {
+      if (!DT.isReachable(BB.get()))
+        continue;
+      for (const auto &Inst : *BB)
+        for (unsigned I = 0, E = Inst->getNumOperands(); I != E; ++I)
+          if (!DT.isUseWellFormed(Inst->getOperand(I), Inst.get(), I))
+            fail("use of value before definition in " + toString(*Inst));
+    }
+  }
+
+  const Function &F;
+  std::vector<std::string> *Errors;
+  bool Failed = false;
+};
+
+} // namespace
+
+bool snslp::verifyFunction(const Function &F,
+                           std::vector<std::string> *Errors) {
+  return FunctionVerifier(F, Errors).run();
+}
+
+bool snslp::verifyModule(const Module &M, std::vector<std::string> *Errors) {
+  bool AllOk = true;
+  for (const auto &F : M.functions())
+    if (!verifyFunction(*F, Errors))
+      AllOk = false;
+  return AllOk;
+}

@@ -1,0 +1,35 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR structural and semantic verification. Run after every transformation
+/// in tests; catches broken use lists, malformed CFGs, type errors and SSA
+/// dominance violations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_IR_VERIFIER_H
+#define SNSLP_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+class Function;
+class Module;
+
+/// Verifies \p F. Returns true when well-formed; otherwise returns false
+/// and appends human-readable diagnostics to \p Errors (when non-null).
+bool verifyFunction(const Function &F, std::vector<std::string> *Errors =
+                                           nullptr);
+
+/// Verifies every function in \p M.
+bool verifyModule(const Module &M, std::vector<std::string> *Errors = nullptr);
+
+} // namespace snslp
+
+#endif // SNSLP_IR_VERIFIER_H

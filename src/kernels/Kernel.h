@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel suite standing in for the paper's Table I. The paper extracts
+/// kernels from the C/C++ SPEC CPU2006 benchmarks in which SN-SLP
+/// activates; SPEC is not redistributable, so each kernel here reproduces
+/// the *algebraic pattern class* of its SPEC origin (commutative chains
+/// with inverse elements and per-lane permuted operand orders), plus
+/// control kernels where vanilla SLP already succeeds or nothing
+/// vectorizes. See DESIGN.md for the substitution rationale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_KERNELS_KERNEL_H
+#define SNSLP_KERNELS_KERNEL_H
+
+#include "kernels/KernelData.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+/// What the paper's results lead us to expect from a kernel; recorded so
+/// tests and EXPERIMENTS.md can check the reproduced *shape* of Fig. 5.
+enum class KernelExpectation {
+  SNWins,        ///< Only SN-SLP vectorizes (or vectorizes much more).
+  MultiNodeWins, ///< LSLP's Multi-Node suffices; LSLP and SN-SLP tie.
+  AllEqual,      ///< Plain SLP already vectorizes; all modes tie.
+  NoneWin,       ///< No configuration finds profitable vector code.
+};
+
+/// One benchmark kernel: IR text + buffers + a C++ reference
+/// implementation used for differential correctness checking.
+struct Kernel {
+  std::string Name;        ///< IR function name, e.g. "milc_force".
+  std::string Origin;      ///< SPEC benchmark the pattern is drawn from.
+  std::string PatternNote; ///< Short description of the algebraic pattern.
+  std::string IRText;      ///< The kernel as parseable IR.
+  std::vector<BufferSpec> Buffers; ///< In order of the pointer arguments.
+  size_t N = 1024;         ///< Default problem size (elements).
+  unsigned Unroll = 2;     ///< Statements per loop iteration (lanes).
+  KernelExpectation Expectation = KernelExpectation::SNWins;
+  /// FP comparison tolerance for differential tests (0 = exact/integers).
+  double RelTol = 0.0;
+  /// Computes the expected outputs in place over a KernelData.
+  std::function<void(KernelData &)> Reference;
+  /// Excluded from Table I (e.g. the scalar filler used to compose the
+  /// whole-benchmark programs of Figs. 8-10).
+  bool InTableI = true;
+};
+
+/// All kernels, motivating examples first (the paper includes them in the
+/// kernel evaluation "for completeness").
+const std::vector<Kernel> &kernelRegistry();
+
+/// Finds a kernel by name; null when absent.
+const Kernel *findKernel(const std::string &Name);
+
+} // namespace snslp
+
+#endif // SNSLP_KERNELS_KERNEL_H

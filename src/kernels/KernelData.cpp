@@ -1,0 +1,159 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelData.h"
+
+#include "support/ErrorHandling.h"
+#include "support/RNG.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace snslp;
+
+static size_t elemSize(TypeKind Kind) {
+  switch (Kind) {
+  case TypeKind::Int32:
+  case TypeKind::Float:
+    return 4;
+  case TypeKind::Int64:
+  case TypeKind::Double:
+    return 8;
+  default:
+    snslp_unreachable("unsupported kernel buffer element kind");
+  }
+}
+
+KernelData::KernelData(const std::vector<BufferSpec> &SpecsIn, size_t NIn,
+                       uint64_t Seed)
+    : Specs(SpecsIn), N(NIn) {
+  RNG R(Seed);
+  for (const BufferSpec &Spec : Specs) {
+    size_t Count = static_cast<size_t>(
+        static_cast<double>(N) * Spec.CountScale + 0.5);
+    // Pad by a few elements so unrolled kernels can safely touch i+3.
+    size_t Padded = Count + 8;
+    Counts.push_back(Padded);
+    std::vector<uint8_t> Buf(Padded * elemSize(Spec.Elem), 0);
+
+    if (Spec.BufferRole != BufferSpec::Role::Output) {
+      for (size_t I = 0; I < Padded; ++I) {
+        switch (Spec.Elem) {
+        case TypeKind::Double: {
+          double V = R.nextDoubleInRange(-2.0, 2.0);
+          std::memcpy(Buf.data() + I * 8, &V, 8);
+          break;
+        }
+        case TypeKind::Float: {
+          float V = static_cast<float>(R.nextDoubleInRange(-2.0, 2.0));
+          std::memcpy(Buf.data() + I * 4, &V, 4);
+          break;
+        }
+        case TypeKind::Int64: {
+          int64_t V = R.nextInRange(-1000, 1000);
+          std::memcpy(Buf.data() + I * 8, &V, 8);
+          break;
+        }
+        case TypeKind::Int32: {
+          int32_t V = static_cast<int32_t>(R.nextInRange(-1000, 1000));
+          std::memcpy(Buf.data() + I * 4, &V, 4);
+          break;
+        }
+        default:
+          snslp_unreachable("unsupported element kind");
+        }
+      }
+    }
+    Storage.push_back(std::move(Buf));
+  }
+}
+
+double *KernelData::f64(size_t Index) {
+  assert(Specs[Index].Elem == TypeKind::Double && "buffer is not f64");
+  return reinterpret_cast<double *>(Storage[Index].data());
+}
+
+float *KernelData::f32(size_t Index) {
+  assert(Specs[Index].Elem == TypeKind::Float && "buffer is not f32");
+  return reinterpret_cast<float *>(Storage[Index].data());
+}
+
+int64_t *KernelData::i64(size_t Index) {
+  assert(Specs[Index].Elem == TypeKind::Int64 && "buffer is not i64");
+  return reinterpret_cast<int64_t *>(Storage[Index].data());
+}
+
+int32_t *KernelData::i32(size_t Index) {
+  assert(Specs[Index].Elem == TypeKind::Int32 && "buffer is not i32");
+  return reinterpret_cast<int32_t *>(Storage[Index].data());
+}
+
+bool KernelData::outputsMatch(const KernelData &A, const KernelData &B,
+                              double RelTol, std::string *Message) {
+  assert(A.Specs.size() == B.Specs.size() && "mismatched buffer layouts");
+  auto Mismatch = [Message](const std::string &Buffer, size_t Index,
+                            double X, double Y) {
+    if (Message) {
+      char Buf[160];
+      std::snprintf(Buf, sizeof(Buf),
+                    "buffer '%s' lane %zu: %.17g vs %.17g", Buffer.c_str(),
+                    Index, X, Y);
+      *Message = Buf;
+    }
+    return false;
+  };
+
+  for (size_t BI = 0; BI < A.Specs.size(); ++BI) {
+    const BufferSpec &Spec = A.Specs[BI];
+    if (Spec.BufferRole == BufferSpec::Role::Input)
+      continue;
+    size_t Count = A.Counts[BI];
+    for (size_t I = 0; I < Count; ++I) {
+      switch (Spec.Elem) {
+      case TypeKind::Int64: {
+        int64_t X, Y;
+        std::memcpy(&X, A.Storage[BI].data() + I * 8, 8);
+        std::memcpy(&Y, B.Storage[BI].data() + I * 8, 8);
+        if (X != Y)
+          return Mismatch(Spec.Name, I, static_cast<double>(X),
+                          static_cast<double>(Y));
+        break;
+      }
+      case TypeKind::Int32: {
+        int32_t X, Y;
+        std::memcpy(&X, A.Storage[BI].data() + I * 4, 4);
+        std::memcpy(&Y, B.Storage[BI].data() + I * 4, 4);
+        if (X != Y)
+          return Mismatch(Spec.Name, I, X, Y);
+        break;
+      }
+      case TypeKind::Double: {
+        double X, Y;
+        std::memcpy(&X, A.Storage[BI].data() + I * 8, 8);
+        std::memcpy(&Y, B.Storage[BI].data() + I * 8, 8);
+        double Mag = std::max(std::fabs(X), std::fabs(Y));
+        if (std::fabs(X - Y) > RelTol * std::max(Mag, 1.0))
+          return Mismatch(Spec.Name, I, X, Y);
+        break;
+      }
+      case TypeKind::Float: {
+        float X, Y;
+        std::memcpy(&X, A.Storage[BI].data() + I * 4, 4);
+        std::memcpy(&Y, B.Storage[BI].data() + I * 4, 4);
+        double Mag = std::max(std::fabs(X), std::fabs(Y));
+        if (std::fabs(static_cast<double>(X) - Y) >
+            RelTol * std::max(Mag, 1.0))
+          return Mismatch(Spec.Name, I, X, Y);
+        break;
+      }
+      default:
+        snslp_unreachable("unsupported element kind");
+      }
+    }
+  }
+  return true;
+}

@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Buffer management for kernel execution: allocates the arrays a kernel
+/// operates on, fills inputs deterministically, and compares outputs
+/// between a reference implementation and interpreted IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_KERNELS_KERNELDATA_H
+#define SNSLP_KERNELS_KERNELDATA_H
+
+#include "interp/RTValue.h"
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+/// Declares one array a kernel reads and/or writes.
+struct BufferSpec {
+  enum class Role { Input, Output, InOut };
+
+  std::string Name;
+  TypeKind Elem = TypeKind::Double; // Int32/Int64/Float/Double.
+  Role BufferRole = Role::Input;
+  /// Element count as a multiple of the kernel's N (usually 1).
+  double CountScale = 1.0;
+};
+
+/// Concrete storage for a kernel invocation's buffers.
+class KernelData {
+public:
+  /// Allocates buffers per \p Specs for problem size \p N and fills inputs
+  /// deterministically from \p Seed (outputs are zeroed).
+  KernelData(const std::vector<BufferSpec> &Specs, size_t N, uint64_t Seed);
+
+  size_t getNumBuffers() const { return Storage.size(); }
+  size_t getN() const { return N; }
+
+  /// Raw pointer to buffer \p Index (for interpreter arguments).
+  void *getPointer(size_t Index) {
+    return Storage[Index].data();
+  }
+
+  /// \name Typed accessors (assert on kind mismatch).
+  /// @{
+  double *f64(size_t Index);
+  float *f32(size_t Index);
+  int64_t *i64(size_t Index);
+  int32_t *i32(size_t Index);
+  /// @}
+
+  /// Element count of buffer \p Index.
+  size_t getCount(size_t Index) const { return Counts[Index]; }
+
+  /// Allocated byte size of buffer \p Index (including padding); used to
+  /// register sanitizer ranges with the interpreter.
+  size_t getByteSize(size_t Index) const { return Storage[Index].size(); }
+
+  /// Compares the Output/InOut buffers of two data sets.
+  /// Integer buffers compare exactly; floating-point buffers compare with
+  /// relative tolerance \p RelTol (reassociated FP differs in rounding).
+  /// On mismatch fills \p Message (when non-null) and returns false.
+  static bool outputsMatch(const KernelData &A, const KernelData &B,
+                           double RelTol, std::string *Message = nullptr);
+
+private:
+  std::vector<BufferSpec> Specs;
+  std::vector<std::vector<uint8_t>> Storage;
+  std::vector<size_t> Counts;
+  size_t N;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_KERNELS_KERNELDATA_H

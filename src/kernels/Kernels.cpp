@@ -1,0 +1,1047 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Kernel registry definitions. Every kernel is written as IR text (the
+/// project's equivalent of the paper's extracted C kernels) together with
+/// a plain C++ reference implementation for differential testing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernel.h"
+
+#include <cmath>
+
+using namespace snslp;
+
+using Role = BufferSpec::Role;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Motivating examples (Section III; included "for completeness" in Fig. 5)
+//===----------------------------------------------------------------------===//
+
+Kernel makeMotiv1() {
+  Kernel K;
+  K.Name = "motiv1";
+  K.Origin = "paper Fig. 2";
+  K.PatternNote = "i64 add/sub chain; leaf reordering across the Super-Node";
+  K.Unroll = 2;
+  K.Expectation = KernelExpectation::SNWins;
+  K.Buffers = {{"A", TypeKind::Int64, Role::Output},
+               {"B", TypeKind::Int64, Role::Input},
+               {"C", TypeKind::Int64, Role::Input},
+               {"D", TypeKind::Int64, Role::Input}};
+  K.IRText = R"(
+func @motiv1(ptr %A, ptr %B, ptr %C, ptr %D, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %pB0 = gep i64, ptr %B, i64 %i
+  %b0 = load i64, ptr %pB0
+  %pC0 = gep i64, ptr %C, i64 %i
+  %c0 = load i64, ptr %pC0
+  %pD0 = gep i64, ptr %D, i64 %i
+  %d0 = load i64, ptr %pD0
+  %s0 = sub i64 %b0, %c0
+  %t0 = add i64 %s0, %d0
+  %pA0 = gep i64, ptr %A, i64 %i
+  store i64 %t0, ptr %pA0
+  %pD1 = gep i64, ptr %D, i64 %i1
+  %d1 = load i64, ptr %pD1
+  %pC1 = gep i64, ptr %C, i64 %i1
+  %c1 = load i64, ptr %pC1
+  %pB1 = gep i64, ptr %B, i64 %i1
+  %b1 = load i64, ptr %pB1
+  %s1 = sub i64 %d1, %c1
+  %t1 = add i64 %s1, %b1
+  %pA1 = gep i64, ptr %A, i64 %i1
+  store i64 %t1, ptr %pA1
+  %i.next = add i64 %i, 2
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    int64_t *A = D.i64(0);
+    const int64_t *B = D.i64(1), *C = D.i64(2), *DD = D.i64(3);
+    for (size_t I = 0; I < D.getN(); I += 2) {
+      A[I] = (B[I] - C[I]) + DD[I];
+      A[I + 1] = (DD[I + 1] - C[I + 1]) + B[I + 1];
+    }
+  };
+  return K;
+}
+
+Kernel makeMotiv2() {
+  Kernel K;
+  K.Name = "motiv2";
+  K.Origin = "paper Fig. 3";
+  K.PatternNote = "i64 add/sub chain; trunk + leaf reordering";
+  K.Unroll = 2;
+  K.Expectation = KernelExpectation::SNWins;
+  K.Buffers = {{"A", TypeKind::Int64, Role::Output},
+               {"B", TypeKind::Int64, Role::Input},
+               {"C", TypeKind::Int64, Role::Input},
+               {"D", TypeKind::Int64, Role::Input}};
+  K.IRText = R"(
+func @motiv2(ptr %A, ptr %B, ptr %C, ptr %D, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %pB0 = gep i64, ptr %B, i64 %i
+  %b0 = load i64, ptr %pB0
+  %pC0 = gep i64, ptr %C, i64 %i
+  %c0 = load i64, ptr %pC0
+  %pD0 = gep i64, ptr %D, i64 %i
+  %d0 = load i64, ptr %pD0
+  %s0 = sub i64 %b0, %c0
+  %t0 = add i64 %s0, %d0
+  %pA0 = gep i64, ptr %A, i64 %i
+  store i64 %t0, ptr %pA0
+  %pB1 = gep i64, ptr %B, i64 %i1
+  %b1 = load i64, ptr %pB1
+  %pD1 = gep i64, ptr %D, i64 %i1
+  %d1 = load i64, ptr %pD1
+  %s1 = add i64 %b1, %d1
+  %pC1 = gep i64, ptr %C, i64 %i1
+  %c1 = load i64, ptr %pC1
+  %t1 = sub i64 %s1, %c1
+  %pA1 = gep i64, ptr %A, i64 %i1
+  store i64 %t1, ptr %pA1
+  %i.next = add i64 %i, 2
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    int64_t *A = D.i64(0);
+    const int64_t *B = D.i64(1), *C = D.i64(2), *DD = D.i64(3);
+    for (size_t I = 0; I < D.getN(); I += 2) {
+      A[I] = B[I] - C[I] + DD[I];
+      A[I + 1] = B[I + 1] + DD[I + 1] - C[I + 1];
+    }
+  };
+  return K;
+}
+
+//===----------------------------------------------------------------------===//
+// SPEC-pattern kernels where SN-SLP is expected to win
+//===----------------------------------------------------------------------===//
+
+Kernel makeMilcForce() {
+  Kernel K;
+  K.Name = "milc_force";
+  K.Origin = "433.milc (add_force_to_mom-style momentum update)";
+  K.PatternNote = "f64 a+b-c*s with per-lane permuted term order";
+  K.Unroll = 2;
+  K.Expectation = KernelExpectation::SNWins;
+  K.RelTol = 1e-12;
+  K.Buffers = {{"out", TypeKind::Double, Role::Output},
+               {"a", TypeKind::Double, Role::Input},
+               {"b", TypeKind::Double, Role::Input},
+               {"c", TypeKind::Double, Role::Input}};
+  K.IRText = R"(
+func @milc_force(ptr %out, ptr %a, ptr %b, ptr %c, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %pa0 = gep f64, ptr %a, i64 %i
+  %a0 = load f64, ptr %pa0
+  %pb0 = gep f64, ptr %b, i64 %i
+  %b0 = load f64, ptr %pb0
+  %pc0 = gep f64, ptr %c, i64 %i
+  %c0 = load f64, ptr %pc0
+  %m0 = fmul f64 %c0, 1.5
+  %s0 = fadd f64 %a0, %b0
+  %t0 = fsub f64 %s0, %m0
+  %po0 = gep f64, ptr %out, i64 %i
+  store f64 %t0, ptr %po0
+  %pb1 = gep f64, ptr %b, i64 %i1
+  %b1 = load f64, ptr %pb1
+  %pc1 = gep f64, ptr %c, i64 %i1
+  %c1 = load f64, ptr %pc1
+  %m1 = fmul f64 %c1, 1.5
+  %u1 = fsub f64 %b1, %m1
+  %pa1 = gep f64, ptr %a, i64 %i1
+  %a1 = load f64, ptr %pa1
+  %t1 = fadd f64 %u1, %a1
+  %po1 = gep f64, ptr %out, i64 %i1
+  store f64 %t1, ptr %po1
+  %i.next = add i64 %i, 2
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    double *Out = D.f64(0);
+    const double *A = D.f64(1), *B = D.f64(2), *C = D.f64(3);
+    for (size_t I = 0; I < D.getN(); I += 2) {
+      Out[I] = (A[I] + B[I]) - C[I] * 1.5;
+      Out[I + 1] = (B[I + 1] - C[I + 1] * 1.5) + A[I + 1];
+    }
+  };
+  return K;
+}
+
+Kernel makeNamdForce() {
+  Kernel K;
+  K.Name = "namd_force";
+  K.Origin = "444.namd (nonbonded force accumulation)";
+  K.PatternNote = "f64 in-place f += d*r - e with permuted lanes";
+  K.Unroll = 2;
+  K.Expectation = KernelExpectation::SNWins;
+  K.RelTol = 1e-12;
+  K.Buffers = {{"f", TypeKind::Double, Role::InOut},
+               {"d", TypeKind::Double, Role::Input},
+               {"r", TypeKind::Double, Role::Input},
+               {"e", TypeKind::Double, Role::Input}};
+  K.IRText = R"(
+func @namd_force(ptr %f, ptr %d, ptr %r, ptr %e, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %pf0 = gep f64, ptr %f, i64 %i
+  %f0 = load f64, ptr %pf0
+  %pd0 = gep f64, ptr %d, i64 %i
+  %d0 = load f64, ptr %pd0
+  %pr0 = gep f64, ptr %r, i64 %i
+  %r0 = load f64, ptr %pr0
+  %pe0 = gep f64, ptr %e, i64 %i
+  %e0 = load f64, ptr %pe0
+  %m0 = fmul f64 %d0, %r0
+  %s0 = fadd f64 %f0, %m0
+  %t0 = fsub f64 %s0, %e0
+  store f64 %t0, ptr %pf0
+  %pf1 = gep f64, ptr %f, i64 %i1
+  %f1 = load f64, ptr %pf1
+  %pe1 = gep f64, ptr %e, i64 %i1
+  %e1 = load f64, ptr %pe1
+  %u1 = fsub f64 %f1, %e1
+  %pd1 = gep f64, ptr %d, i64 %i1
+  %d1 = load f64, ptr %pd1
+  %pr1 = gep f64, ptr %r, i64 %i1
+  %r1 = load f64, ptr %pr1
+  %m1 = fmul f64 %d1, %r1
+  %t1 = fadd f64 %u1, %m1
+  store f64 %t1, ptr %pf1
+  %i.next = add i64 %i, 2
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    double *F = D.f64(0);
+    const double *Dd = D.f64(1), *R = D.f64(2), *E = D.f64(3);
+    for (size_t I = 0; I < D.getN(); I += 2) {
+      F[I] = (F[I] + Dd[I] * R[I]) - E[I];
+      F[I + 1] = (F[I + 1] - E[I + 1]) + Dd[I + 1] * R[I + 1];
+    }
+  };
+  return K;
+}
+
+Kernel makeDealIIStencil() {
+  Kernel K;
+  K.Name = "dealii_stencil";
+  K.Origin = "447.dealII (assembled 1-D Laplacian application)";
+  K.PatternNote = "f64 four-term stencil, neighbour loads, permuted lanes";
+  K.Unroll = 2;
+  K.Expectation = KernelExpectation::SNWins;
+  K.RelTol = 1e-12;
+  K.Buffers = {{"out", TypeKind::Double, Role::Output},
+               {"u", TypeKind::Double, Role::Input},
+               {"rhs", TypeKind::Double, Role::Input}};
+  K.IRText = R"(
+func @dealii_stencil(ptr %out, ptr %u, ptr %rhs, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 2, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %im1 = sub i64 %i, 1
+  %ip2 = add i64 %i, 2
+  %pu0 = gep f64, ptr %u, i64 %i
+  %u0 = load f64, ptr %pu0
+  %m0 = fmul f64 %u0, 0.5
+  %pum = gep f64, ptr %u, i64 %im1
+  %um = load f64, ptr %pum
+  %mm = fmul f64 %um, 0.25
+  %x0 = fsub f64 %m0, %mm
+  %pr0 = gep f64, ptr %rhs, i64 %i
+  %r0 = load f64, ptr %pr0
+  %y0 = fadd f64 %x0, %r0
+  %pup = gep f64, ptr %u, i64 %i1
+  %up = load f64, ptr %pup
+  %mp = fmul f64 %up, 0.25
+  %t0 = fsub f64 %y0, %mp
+  %po0 = gep f64, ptr %out, i64 %i
+  store f64 %t0, ptr %po0
+  %pr1 = gep f64, ptr %rhs, i64 %i1
+  %r1 = load f64, ptr %pr1
+  %pu2 = gep f64, ptr %u, i64 %ip2
+  %u2 = load f64, ptr %pu2
+  %m2 = fmul f64 %u2, 0.25
+  %x1 = fsub f64 %r1, %m2
+  %pu1 = gep f64, ptr %u, i64 %i1
+  %u1 = load f64, ptr %pu1
+  %c1 = fmul f64 %u1, 0.5
+  %y1 = fadd f64 %x1, %c1
+  %pui = gep f64, ptr %u, i64 %i
+  %ui = load f64, ptr %pui
+  %mi = fmul f64 %ui, 0.25
+  %t1 = fsub f64 %y1, %mi
+  %po1 = gep f64, ptr %out, i64 %i1
+  store f64 %t1, ptr %po1
+  %i.next = add i64 %i, 2
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    double *Out = D.f64(0);
+    const double *U = D.f64(1), *Rhs = D.f64(2);
+    for (size_t I = 2; I < D.getN(); I += 2) {
+      Out[I] = ((U[I] * 0.5 - U[I - 1] * 0.25) + Rhs[I]) - U[I + 1] * 0.25;
+      Out[I + 1] =
+          ((Rhs[I + 1] - U[I + 2] * 0.25) + U[I + 1] * 0.5) - U[I] * 0.25;
+    }
+  };
+  return K;
+}
+
+Kernel makeSphinxRescale() {
+  Kernel K;
+  K.Name = "sphinx_rescale";
+  K.Origin = "482.sphinx3 (gaussian density rescaling)";
+  K.PatternNote = "f32 multiplicative family (fmul/fdiv), VF=4";
+  K.Unroll = 4;
+  K.Expectation = KernelExpectation::SNWins;
+  K.RelTol = 1e-3;
+  K.Buffers = {{"out", TypeKind::Float, Role::Output},
+               {"a", TypeKind::Float, Role::Input},
+               {"b", TypeKind::Float, Role::Input}};
+  K.IRText = R"(
+func @sphinx_rescale(ptr %out, ptr %a, ptr %b, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %i2 = add i64 %i, 2
+  %i3 = add i64 %i, 3
+  %pa0 = gep f32, ptr %a, i64 %i
+  %a0 = load f32, ptr %pa0
+  %pb0 = gep f32, ptr %b, i64 %i
+  %b0 = load f32, ptr %pb0
+  %m0 = fmul f32 %a0, 1.25
+  %t0 = fdiv f32 %m0, %b0
+  %po0 = gep f32, ptr %out, i64 %i
+  store f32 %t0, ptr %po0
+  %pa1 = gep f32, ptr %a, i64 %i1
+  %a1 = load f32, ptr %pa1
+  %pb1 = gep f32, ptr %b, i64 %i1
+  %b1 = load f32, ptr %pb1
+  %d1 = fdiv f32 %a1, %b1
+  %t1 = fmul f32 %d1, 1.25
+  %po1 = gep f32, ptr %out, i64 %i1
+  store f32 %t1, ptr %po1
+  %pa2 = gep f32, ptr %a, i64 %i2
+  %a2 = load f32, ptr %pa2
+  %pb2 = gep f32, ptr %b, i64 %i2
+  %b2 = load f32, ptr %pb2
+  %m2 = fmul f32 %a2, 1.25
+  %t2 = fdiv f32 %m2, %b2
+  %po2 = gep f32, ptr %out, i64 %i2
+  store f32 %t2, ptr %po2
+  %pa3 = gep f32, ptr %a, i64 %i3
+  %a3 = load f32, ptr %pa3
+  %pb3 = gep f32, ptr %b, i64 %i3
+  %b3 = load f32, ptr %pb3
+  %d3 = fdiv f32 %a3, %b3
+  %t3 = fmul f32 %d3, 1.25
+  %po3 = gep f32, ptr %out, i64 %i3
+  store f32 %t3, ptr %po3
+  %i.next = add i64 %i, 4
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    float *Out = D.f32(0);
+    const float *A = D.f32(1), *B = D.f32(2);
+    for (size_t I = 0; I < D.getN(); I += 4) {
+      Out[I] = (A[I] * 1.25f) / B[I];
+      Out[I + 1] = (A[I + 1] / B[I + 1]) * 1.25f;
+      Out[I + 2] = (A[I + 2] * 1.25f) / B[I + 2];
+      Out[I + 3] = (A[I + 3] / B[I + 3]) * 1.25f;
+    }
+  };
+  return K;
+}
+
+Kernel makeSphinxBias() {
+  Kernel K;
+  K.Name = "sphinx_bias";
+  K.Origin = "482.sphinx3 (feature bias/normalization, integer path)";
+  K.PatternNote = "i32 x+b-m with four differently permuted lanes, VF=4";
+  K.Unroll = 4;
+  K.Expectation = KernelExpectation::SNWins;
+  K.Buffers = {{"out", TypeKind::Int32, Role::Output},
+               {"x", TypeKind::Int32, Role::Input},
+               {"b", TypeKind::Int32, Role::Input},
+               {"m", TypeKind::Int32, Role::Input}};
+  K.IRText = R"(
+func @sphinx_bias(ptr %out, ptr %x, ptr %b, ptr %m, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %i2 = add i64 %i, 2
+  %i3 = add i64 %i, 3
+  %px0 = gep i32, ptr %x, i64 %i
+  %x0 = load i32, ptr %px0
+  %pb0 = gep i32, ptr %b, i64 %i
+  %b0 = load i32, ptr %pb0
+  %pm0 = gep i32, ptr %m, i64 %i
+  %m0 = load i32, ptr %pm0
+  %s0 = add i32 %x0, %b0
+  %t0 = sub i32 %s0, %m0
+  %po0 = gep i32, ptr %out, i64 %i
+  store i32 %t0, ptr %po0
+  %px1 = gep i32, ptr %x, i64 %i1
+  %x1 = load i32, ptr %px1
+  %pm1 = gep i32, ptr %m, i64 %i1
+  %m1 = load i32, ptr %pm1
+  %s1 = sub i32 %x1, %m1
+  %pb1 = gep i32, ptr %b, i64 %i1
+  %b1 = load i32, ptr %pb1
+  %t1 = add i32 %s1, %b1
+  %po1 = gep i32, ptr %out, i64 %i1
+  store i32 %t1, ptr %po1
+  %pb2 = gep i32, ptr %b, i64 %i2
+  %b2 = load i32, ptr %pb2
+  %pm2 = gep i32, ptr %m, i64 %i2
+  %m2 = load i32, ptr %pm2
+  %s2 = sub i32 %b2, %m2
+  %px2 = gep i32, ptr %x, i64 %i2
+  %x2 = load i32, ptr %px2
+  %t2 = add i32 %s2, %x2
+  %po2 = gep i32, ptr %out, i64 %i2
+  store i32 %t2, ptr %po2
+  %pb3 = gep i32, ptr %b, i64 %i3
+  %b3 = load i32, ptr %pb3
+  %px3 = gep i32, ptr %x, i64 %i3
+  %x3 = load i32, ptr %px3
+  %s3 = add i32 %b3, %x3
+  %pm3 = gep i32, ptr %m, i64 %i3
+  %m3 = load i32, ptr %pm3
+  %t3 = sub i32 %s3, %m3
+  %po3 = gep i32, ptr %out, i64 %i3
+  store i32 %t3, ptr %po3
+  %i.next = add i64 %i, 4
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    int32_t *Out = D.i32(0);
+    const int32_t *X = D.i32(1), *B = D.i32(2), *Mm = D.i32(3);
+    for (size_t I = 0; I < D.getN(); I += 4) {
+      Out[I] = (X[I] + B[I]) - Mm[I];
+      Out[I + 1] = (X[I + 1] - Mm[I + 1]) + B[I + 1];
+      Out[I + 2] = (B[I + 2] - Mm[I + 2]) + X[I + 2];
+      Out[I + 3] = (B[I + 3] + X[I + 3]) - Mm[I + 3];
+    }
+  };
+  return K;
+}
+
+/// Pure commutative chains with permuted leaves: LSLP's Multi-Node handles
+/// these (no inverse element involved), so LSLP and SN-SLP tie while plain
+/// SLP fails — the case class LSLP [9] was built for.
+Kernel makeNamdAccum() {
+  Kernel K;
+  K.Name = "namd_accum";
+  K.Origin = "444.namd (energy accumulation, pure additions)";
+  K.PatternNote = "f64 a+b+c with permuted leaves; Multi-Node (LSLP) case";
+  K.Unroll = 2;
+  K.Expectation = KernelExpectation::MultiNodeWins;
+  K.RelTol = 1e-12;
+  K.Buffers = {{"out", TypeKind::Double, Role::Output},
+               {"a", TypeKind::Double, Role::Input},
+               {"b", TypeKind::Double, Role::Input},
+               {"c", TypeKind::Double, Role::Input}};
+  K.IRText = R"(
+func @namd_accum(ptr %out, ptr %a, ptr %b, ptr %c, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %pa0 = gep f64, ptr %a, i64 %i
+  %a0 = load f64, ptr %pa0
+  %pb0 = gep f64, ptr %b, i64 %i
+  %b0 = load f64, ptr %pb0
+  %pc0 = gep f64, ptr %c, i64 %i
+  %c0 = load f64, ptr %pc0
+  %s0 = fadd f64 %a0, %b0
+  %t0 = fadd f64 %s0, %c0
+  %po0 = gep f64, ptr %out, i64 %i
+  store f64 %t0, ptr %po0
+  %pc1 = gep f64, ptr %c, i64 %i1
+  %c1 = load f64, ptr %pc1
+  %pa1 = gep f64, ptr %a, i64 %i1
+  %a1 = load f64, ptr %pa1
+  %s1 = fadd f64 %c1, %a1
+  %pb1 = gep f64, ptr %b, i64 %i1
+  %b1 = load f64, ptr %pb1
+  %t1 = fadd f64 %s1, %b1
+  %po1 = gep f64, ptr %out, i64 %i1
+  store f64 %t1, ptr %po1
+  %i.next = add i64 %i, 2
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    double *Out = D.f64(0);
+    const double *A = D.f64(1), *B = D.f64(2), *C = D.f64(3);
+    for (size_t I = 0; I < D.getN(); I += 2) {
+      Out[I] = (A[I] + B[I]) + C[I];
+      Out[I + 1] = (C[I + 1] + A[I + 1]) + B[I + 1];
+    }
+  };
+  return K;
+}
+
+/// A vector-length computation with sqrt: uniform lanes, so plain SLP
+/// already vectorizes the whole chain including the unary sqrt row.
+Kernel makePovrayNorm() {
+  Kernel K;
+  K.Name = "povray_norm";
+  K.Origin = "453.povray (vector length: sqrt(x^2 + y^2))";
+  K.PatternNote = "f64 sqrt over a uniform mul/add chain";
+  K.Unroll = 2;
+  K.Expectation = KernelExpectation::AllEqual;
+  K.RelTol = 1e-12;
+  K.Buffers = {{"out", TypeKind::Double, Role::Output},
+               {"x", TypeKind::Double, Role::Input},
+               {"y", TypeKind::Double, Role::Input}};
+  K.IRText = R"(
+func @povray_norm(ptr %out, ptr %x, ptr %y, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %px0 = gep f64, ptr %x, i64 %i
+  %x0 = load f64, ptr %px0
+  %py0 = gep f64, ptr %y, i64 %i
+  %y0 = load f64, ptr %py0
+  %xx0 = fmul f64 %x0, %x0
+  %yy0 = fmul f64 %y0, %y0
+  %s0 = fadd f64 %xx0, %yy0
+  %r0 = sqrt f64 %s0
+  %po0 = gep f64, ptr %out, i64 %i
+  store f64 %r0, ptr %po0
+  %px1 = gep f64, ptr %x, i64 %i1
+  %x1 = load f64, ptr %px1
+  %py1 = gep f64, ptr %y, i64 %i1
+  %y1 = load f64, ptr %py1
+  %xx1 = fmul f64 %x1, %x1
+  %yy1 = fmul f64 %y1, %y1
+  %s1 = fadd f64 %xx1, %yy1
+  %r1 = sqrt f64 %s1
+  %po1 = gep f64, ptr %out, i64 %i1
+  store f64 %r1, ptr %po1
+  %i.next = add i64 %i, 2
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    double *Out = D.f64(0);
+    const double *X = D.f64(1), *Y = D.f64(2);
+    for (size_t I = 0; I < D.getN(); ++I)
+      Out[I] = std::sqrt(X[I] * X[I] + Y[I] * Y[I]);
+  };
+  return K;
+}
+
+/// Integer address/index arithmetic in the style of soplex's sparse
+/// updates: the add/sub chain is permuted across the inverse operator in
+/// the second lane, so only the Super-Node recovers isomorphism.
+Kernel makeSoplexIndex() {
+  Kernel K;
+  K.Name = "soplex_index";
+  K.Origin = "450.soplex (sparse index update arithmetic)";
+  K.PatternNote = "i64 base + 8*idx - off with permuted lanes";
+  K.Unroll = 2;
+  K.Expectation = KernelExpectation::SNWins;
+  K.Buffers = {{"out", TypeKind::Int64, Role::Output},
+               {"base", TypeKind::Int64, Role::Input},
+               {"idx", TypeKind::Int64, Role::Input},
+               {"off", TypeKind::Int64, Role::Input}};
+  K.IRText = R"(
+func @soplex_index(ptr %out, ptr %base, ptr %idx, ptr %off, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %pb0 = gep i64, ptr %base, i64 %i
+  %b0 = load i64, ptr %pb0
+  %pi0 = gep i64, ptr %idx, i64 %i
+  %x0 = load i64, ptr %pi0
+  %m0 = mul i64 %x0, 8
+  %po0 = gep i64, ptr %off, i64 %i
+  %o0 = load i64, ptr %po0
+  %s0 = add i64 %b0, %m0
+  %t0 = sub i64 %s0, %o0
+  %pq0 = gep i64, ptr %out, i64 %i
+  store i64 %t0, ptr %pq0
+  %pb1 = gep i64, ptr %base, i64 %i1
+  %b1 = load i64, ptr %pb1
+  %po1 = gep i64, ptr %off, i64 %i1
+  %o1 = load i64, ptr %po1
+  %s1 = sub i64 %b1, %o1
+  %pi1 = gep i64, ptr %idx, i64 %i1
+  %x1 = load i64, ptr %pi1
+  %m1 = mul i64 %x1, 8
+  %t1 = add i64 %s1, %m1
+  %pq1 = gep i64, ptr %out, i64 %i1
+  store i64 %t1, ptr %pq1
+  %i.next = add i64 %i, 2
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    int64_t *Out = D.i64(0);
+    const int64_t *B = D.i64(1), *X = D.i64(2), *O = D.i64(3);
+    for (size_t I = 0; I < D.getN(); ++I)
+      Out[I] = B[I] + 8 * X[I] - O[I];
+  };
+  return K;
+}
+
+/// A real 3-D cross product: three adjacent stores per point; the run of
+/// three slices into one VF=2 group. The rotated operand pattern leaves
+/// two gathers that exactly cancel the vector savings (cost 0), so no
+/// configuration commits — cross products are classically SLP-hostile.
+Kernel makePovrayCross() {
+  Kernel K;
+  K.Name = "povray_cross";
+  K.Origin = "453.povray (vector cross product)";
+  K.PatternNote = "f64 3-wide cross product; rotated operands defeat SLP";
+  K.Unroll = 1; // One point (3 elements) per iteration.
+  K.Expectation = KernelExpectation::NoneWin;
+  K.RelTol = 1e-12;
+  K.N = 256; // Points; element buffers are 3x.
+  K.Buffers = {{"out", TypeKind::Double, Role::Output, 3.0},
+               {"a", TypeKind::Double, Role::Input, 3.0},
+               {"b", TypeKind::Double, Role::Input, 3.0}};
+  K.IRText = R"(
+func @povray_cross(ptr %out, ptr %a, ptr %b, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %j = mul i64 %i, 3
+  %j1 = add i64 %j, 1
+  %j2 = add i64 %j, 2
+  %pa0 = gep f64, ptr %a, i64 %j
+  %a0 = load f64, ptr %pa0
+  %pa1 = gep f64, ptr %a, i64 %j1
+  %a1 = load f64, ptr %pa1
+  %pa2 = gep f64, ptr %a, i64 %j2
+  %a2 = load f64, ptr %pa2
+  %pb0 = gep f64, ptr %b, i64 %j
+  %b0 = load f64, ptr %pb0
+  %pb1 = gep f64, ptr %b, i64 %j1
+  %b1 = load f64, ptr %pb1
+  %pb2 = gep f64, ptr %b, i64 %j2
+  %b2 = load f64, ptr %pb2
+  %m00 = fmul f64 %a1, %b2
+  %m01 = fmul f64 %a2, %b1
+  %c0 = fsub f64 %m00, %m01
+  %pc0 = gep f64, ptr %out, i64 %j
+  store f64 %c0, ptr %pc0
+  %m10 = fmul f64 %a2, %b0
+  %m11 = fmul f64 %a0, %b2
+  %c1 = fsub f64 %m10, %m11
+  %pc1 = gep f64, ptr %out, i64 %j1
+  store f64 %c1, ptr %pc1
+  %m20 = fmul f64 %a0, %b1
+  %m21 = fmul f64 %a1, %b0
+  %c2 = fsub f64 %m20, %m21
+  %pc2 = gep f64, ptr %out, i64 %j2
+  store f64 %c2, ptr %pc2
+  %i.next = add i64 %i, 1
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    double *Out = D.f64(0);
+    const double *A = D.f64(1), *B = D.f64(2);
+    for (size_t I = 0; I < D.getN(); ++I) {
+      const double *Ai = A + 3 * I;
+      const double *Bi = B + 3 * I;
+      Out[3 * I] = Ai[1] * Bi[2] - Ai[2] * Bi[1];
+      Out[3 * I + 1] = Ai[2] * Bi[0] - Ai[0] * Bi[2];
+      Out[3 * I + 2] = Ai[0] * Bi[1] - Ai[1] * Bi[0];
+    }
+  };
+  return K;
+}
+
+/// A horizontal-reduction kernel (the paper runs with -slp-vectorize-hor):
+/// a 4-term dot product per output element. Reduction vectorization is
+/// mode-independent, so all configurations tie.
+Kernel makeSphinxDot() {
+  Kernel K;
+  K.Name = "sphinx_dot";
+  K.Origin = "482.sphinx3 (gaussian distance, 4-term dot product)";
+  K.PatternNote = "f64 horizontal reduction of 4 products per element";
+  K.Unroll = 1;
+  K.Expectation = KernelExpectation::AllEqual;
+  K.RelTol = 1e-12;
+  K.Buffers = {{"out", TypeKind::Double, Role::Output},
+               {"x", TypeKind::Double, Role::Input, 4.0},
+               {"m", TypeKind::Double, Role::Input, 4.0}};
+  K.N = 256;
+  K.IRText = R"(
+func @sphinx_dot(ptr %out, ptr %x, ptr %m, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i4 = mul i64 %i, 4
+  %k1 = add i64 %i4, 1
+  %k2 = add i64 %i4, 2
+  %k3 = add i64 %i4, 3
+  %px0 = gep f64, ptr %x, i64 %i4
+  %x0 = load f64, ptr %px0
+  %pm0 = gep f64, ptr %m, i64 %i4
+  %m0 = load f64, ptr %pm0
+  %p0 = fmul f64 %x0, %m0
+  %px1 = gep f64, ptr %x, i64 %k1
+  %x1 = load f64, ptr %px1
+  %pm1 = gep f64, ptr %m, i64 %k1
+  %m1 = load f64, ptr %pm1
+  %p1 = fmul f64 %x1, %m1
+  %px2 = gep f64, ptr %x, i64 %k2
+  %x2 = load f64, ptr %px2
+  %pm2 = gep f64, ptr %m, i64 %k2
+  %m2 = load f64, ptr %pm2
+  %p2 = fmul f64 %x2, %m2
+  %px3 = gep f64, ptr %x, i64 %k3
+  %x3 = load f64, ptr %px3
+  %pm3 = gep f64, ptr %m, i64 %k3
+  %m3 = load f64, ptr %pm3
+  %p3 = fmul f64 %x3, %m3
+  %s01 = fadd f64 %p0, %p1
+  %s012 = fadd f64 %s01, %p2
+  %dot = fadd f64 %s012, %p3
+  %po = gep f64, ptr %out, i64 %i
+  store f64 %dot, ptr %po
+  %i.next = add i64 %i, 1
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    double *Out = D.f64(0);
+    const double *X = D.f64(1), *Mm = D.f64(2);
+    for (size_t I = 0; I < D.getN(); ++I) {
+      // The vectorized form reduces pairwise: (p0+p2) + (p1+p3) after the
+      // rotate-by-2 step, then a rotate-by-1 combine. Reassociation is
+      // covered by the kernel tolerance; compute the natural order here.
+      double P0 = X[4 * I] * Mm[4 * I];
+      double P1 = X[4 * I + 1] * Mm[4 * I + 1];
+      double P2 = X[4 * I + 2] * Mm[4 * I + 2];
+      double P3 = X[4 * I + 3] * Mm[4 * I + 3];
+      Out[I] = ((P0 + P1) + P2) + P3;
+    }
+  };
+  return K;
+}
+
+//===----------------------------------------------------------------------===//
+// Control kernels: vanilla SLP already succeeds (AllEqual) or nothing is
+// profitable (NoneWin), mirroring the kernels in Fig. 5 where LSLP and
+// SN-SLP show no statistical difference.
+//===----------------------------------------------------------------------===//
+
+Kernel makePovrayDot() {
+  Kernel K;
+  K.Name = "povray_dot";
+  K.Origin = "453.povray (fused multiply-subtract in shading)";
+  K.PatternNote = "f64 a*b-c, isomorphic lanes; plain SLP suffices";
+  K.Unroll = 2;
+  K.Expectation = KernelExpectation::AllEqual;
+  K.RelTol = 1e-12;
+  K.Buffers = {{"out", TypeKind::Double, Role::Output},
+               {"a", TypeKind::Double, Role::Input},
+               {"b", TypeKind::Double, Role::Input},
+               {"c", TypeKind::Double, Role::Input}};
+  K.IRText = R"(
+func @povray_dot(ptr %out, ptr %a, ptr %b, ptr %c, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %pa0 = gep f64, ptr %a, i64 %i
+  %a0 = load f64, ptr %pa0
+  %pb0 = gep f64, ptr %b, i64 %i
+  %b0 = load f64, ptr %pb0
+  %m0 = fmul f64 %a0, %b0
+  %pc0 = gep f64, ptr %c, i64 %i
+  %c0 = load f64, ptr %pc0
+  %t0 = fsub f64 %m0, %c0
+  %po0 = gep f64, ptr %out, i64 %i
+  store f64 %t0, ptr %po0
+  %pa1 = gep f64, ptr %a, i64 %i1
+  %a1 = load f64, ptr %pa1
+  %pb1 = gep f64, ptr %b, i64 %i1
+  %b1 = load f64, ptr %pb1
+  %m1 = fmul f64 %a1, %b1
+  %pc1 = gep f64, ptr %c, i64 %i1
+  %c1 = load f64, ptr %pc1
+  %t1 = fsub f64 %m1, %c1
+  %po1 = gep f64, ptr %out, i64 %i1
+  store f64 %t1, ptr %po1
+  %i.next = add i64 %i, 2
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    double *Out = D.f64(0);
+    const double *A = D.f64(1), *B = D.f64(2), *C = D.f64(3);
+    for (size_t I = 0; I < D.getN(); ++I)
+      Out[I] = A[I] * B[I] - C[I];
+  };
+  return K;
+}
+
+Kernel makeSoplexAxpy() {
+  Kernel K;
+  K.Name = "soplex_axpy";
+  K.Origin = "450.soplex (dense vector update y -= a*x)";
+  K.PatternNote = "f64 in-place axpy, isomorphic lanes; plain SLP suffices";
+  K.Unroll = 2;
+  K.Expectation = KernelExpectation::AllEqual;
+  K.RelTol = 1e-12;
+  K.Buffers = {{"y", TypeKind::Double, Role::InOut},
+               {"x", TypeKind::Double, Role::Input}};
+  K.IRText = R"(
+func @soplex_axpy(ptr %y, ptr %x, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %py0 = gep f64, ptr %y, i64 %i
+  %y0 = load f64, ptr %py0
+  %px0 = gep f64, ptr %x, i64 %i
+  %x0 = load f64, ptr %px0
+  %m0 = fmul f64 %x0, 1.5
+  %t0 = fsub f64 %y0, %m0
+  store f64 %t0, ptr %py0
+  %py1 = gep f64, ptr %y, i64 %i1
+  %y1 = load f64, ptr %py1
+  %px1 = gep f64, ptr %x, i64 %i1
+  %x1 = load f64, ptr %px1
+  %m1 = fmul f64 %x1, 1.5
+  %t1 = fsub f64 %y1, %m1
+  store f64 %t1, ptr %py1
+  %i.next = add i64 %i, 2
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    double *Y = D.f64(0);
+    const double *X = D.f64(1);
+    for (size_t I = 0; I < D.getN(); ++I)
+      Y[I] = Y[I] - X[I] * 1.5;
+  };
+  return K;
+}
+
+Kernel makeMilcCmul() {
+  Kernel K;
+  K.Name = "milc_cmul";
+  K.Origin = "433.milc (complex multiply, su3 core)";
+  K.PatternNote = "f64 complex multiply; cross-lane shuffles defeat all "
+                  "configurations at this cost model";
+  K.Unroll = 2;
+  K.Expectation = KernelExpectation::NoneWin;
+  K.RelTol = 1e-12;
+  K.Buffers = {{"out", TypeKind::Double, Role::Output},
+               {"a", TypeKind::Double, Role::Input},
+               {"b", TypeKind::Double, Role::Input}};
+  K.IRText = R"(
+func @milc_cmul(ptr %out, ptr %a, ptr %b, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %par = gep f64, ptr %a, i64 %i
+  %ar = load f64, ptr %par
+  %pai = gep f64, ptr %a, i64 %i1
+  %ai = load f64, ptr %pai
+  %pbr = gep f64, ptr %b, i64 %i
+  %br0 = load f64, ptr %pbr
+  %pbi = gep f64, ptr %b, i64 %i1
+  %bi = load f64, ptr %pbi
+  %rr = fmul f64 %ar, %br0
+  %ii = fmul f64 %ai, %bi
+  %re = fsub f64 %rr, %ii
+  %po0 = gep f64, ptr %out, i64 %i
+  store f64 %re, ptr %po0
+  %ri = fmul f64 %ar, %bi
+  %ir = fmul f64 %ai, %br0
+  %im = fadd f64 %ri, %ir
+  %po1 = gep f64, ptr %out, i64 %i1
+  store f64 %im, ptr %po1
+  %i.next = add i64 %i, 2
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    double *Out = D.f64(0);
+    const double *A = D.f64(1), *B = D.f64(2);
+    for (size_t I = 0; I < D.getN(); I += 2) {
+      Out[I] = A[I] * B[I] - A[I + 1] * B[I + 1];
+      Out[I + 1] = A[I] * B[I + 1] + A[I + 1] * B[I];
+    }
+  };
+  return K;
+}
+
+/// Scalar filler used by the whole-benchmark programs: strided stores that
+/// never form adjacent seeds, so no configuration vectorizes it.
+Kernel makeScalarFiller() {
+  Kernel K;
+  K.Name = "scalar_filler";
+  K.Origin = "synthetic (cold/scalar code of a full benchmark)";
+  K.PatternNote = "stride-2 stores; no adjacent seeds exist";
+  K.Unroll = 1;
+  K.Expectation = KernelExpectation::NoneWin;
+  K.RelTol = 1e-12;
+  K.InTableI = false;
+  K.Buffers = {{"out", TypeKind::Double, Role::Output},
+               {"a", TypeKind::Double, Role::Input},
+               {"b", TypeKind::Double, Role::Input}};
+  K.IRText = R"(
+func @scalar_filler(ptr %out, ptr %a, ptr %b, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %pa = gep f64, ptr %a, i64 %i
+  %va = load f64, ptr %pa
+  %pb = gep f64, ptr %b, i64 %i
+  %vb = load f64, ptr %pb
+  %m = fmul f64 %va, %vb
+  %s = fadd f64 %m, 0.125
+  %po = gep f64, ptr %out, i64 %i
+  store f64 %s, ptr %po
+  %i.next = add i64 %i, 2
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  K.Reference = [](KernelData &D) {
+    double *Out = D.f64(0);
+    const double *A = D.f64(1), *B = D.f64(2);
+    for (size_t I = 0; I < D.getN(); I += 2)
+      Out[I] = A[I] * B[I] + 0.125;
+  };
+  return K;
+}
+
+} // namespace
+
+const std::vector<Kernel> &snslp::kernelRegistry() {
+  static const std::vector<Kernel> Registry = [] {
+    std::vector<Kernel> Ks;
+    Ks.push_back(makeMotiv1());
+    Ks.push_back(makeMotiv2());
+    Ks.push_back(makeMilcForce());
+    Ks.push_back(makeNamdForce());
+    Ks.push_back(makeDealIIStencil());
+    Ks.push_back(makeNamdAccum());
+    Ks.push_back(makeSphinxRescale());
+    Ks.push_back(makeSoplexIndex());
+    Ks.push_back(makeSphinxBias());
+    Ks.push_back(makeSphinxDot());
+    Ks.push_back(makePovrayDot());
+    Ks.push_back(makePovrayCross());
+    Ks.push_back(makePovrayNorm());
+    Ks.push_back(makeSoplexAxpy());
+    Ks.push_back(makeMilcCmul());
+    Ks.push_back(makeScalarFiller());
+    return Ks;
+  }();
+  return Registry;
+}
+
+const Kernel *snslp::findKernel(const std::string &Name) {
+  for (const Kernel &K : kernelRegistry())
+    if (K.Name == Name)
+      return &K;
+  return nullptr;
+}

@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic "whole benchmark" programs for the full-benchmark experiments
+/// (Figs. 8-10). The paper measures complete SPEC CPU2006 binaries in which
+/// SN-SLP-relevant kernels are a small fraction of runtime; each program
+/// here composes kernels with a dominant scalar filler in a similar hot/
+/// cold ratio, named after the six C/C++ benchmarks where SN-SLP activates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_KERNELS_PROGRAMS_H
+#define SNSLP_KERNELS_PROGRAMS_H
+
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+/// One kernel occurrence inside a program with its dynamic weight (how
+/// many times the kernel's loop runs relative to the others).
+struct ProgramComponent {
+  std::string KernelName;
+  double Weight = 1.0;
+};
+
+/// A named composition of kernels standing in for one SPEC benchmark.
+struct BenchmarkProgram {
+  std::string Name;
+  std::vector<ProgramComponent> Components;
+};
+
+/// The six benchmark programs of the paper's Fig. 8 (Section V-B).
+const std::vector<BenchmarkProgram> &programRegistry();
+
+} // namespace snslp
+
+#endif // SNSLP_KERNELS_PROGRAMS_H

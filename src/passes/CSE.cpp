@@ -1,0 +1,113 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/CSE.h"
+
+#include "ir/Function.h"
+
+#include <map>
+#include <vector>
+
+using namespace snslp;
+
+namespace {
+
+/// Structural key of a pure instruction: kind, immediates, operand
+/// identities. Commutative binops canonicalize their operand order.
+struct ExprKey {
+  ValueKind Kind;
+  int OpcodeOrImm0 = 0; // BinOpcode / predicate / lane index.
+  const void *TypeOrElem = nullptr;
+  std::vector<const Value *> Operands;
+  std::vector<int> Mask; // Shuffle mask when applicable.
+
+  bool operator<(const ExprKey &Other) const {
+    if (Kind != Other.Kind)
+      return Kind < Other.Kind;
+    if (OpcodeOrImm0 != Other.OpcodeOrImm0)
+      return OpcodeOrImm0 < Other.OpcodeOrImm0;
+    if (TypeOrElem != Other.TypeOrElem)
+      return TypeOrElem < Other.TypeOrElem;
+    if (Operands != Other.Operands)
+      return Operands < Other.Operands;
+    return Mask < Other.Mask;
+  }
+};
+
+/// Builds the key of \p Inst; returns false for instructions that must not
+/// be CSE'd (memory access, control flow, phis).
+bool makeKey(const Instruction &Inst, ExprKey &Key) {
+  Key.Kind = Inst.getKind();
+  Key.TypeOrElem = Inst.getType();
+  for (unsigned I = 0, E = Inst.getNumOperands(); I != E; ++I)
+    Key.Operands.push_back(Inst.getOperand(I));
+
+  switch (Inst.getKind()) {
+  case ValueKind::BinOp: {
+    const auto &BO = cast<BinaryOperator>(Inst);
+    Key.OpcodeOrImm0 = static_cast<int>(BO.getOpcode());
+    if (isCommutative(BO.getOpcode()) && Key.Operands[1] < Key.Operands[0])
+      std::swap(Key.Operands[0], Key.Operands[1]);
+    return true;
+  }
+  case ValueKind::GEP:
+    Key.TypeOrElem = cast<GEPInst>(Inst).getElementType();
+    return true;
+  case ValueKind::ICmp:
+    Key.OpcodeOrImm0 = static_cast<int>(cast<ICmpInst>(Inst).getPredicate());
+    return true;
+  case ValueKind::Select:
+    return true;
+  case ValueKind::InsertElement:
+    Key.OpcodeOrImm0 =
+        static_cast<int>(cast<InsertElementInst>(Inst).getLane());
+    return true;
+  case ValueKind::ExtractElement:
+    Key.OpcodeOrImm0 =
+        static_cast<int>(cast<ExtractElementInst>(Inst).getLane());
+    return true;
+  case ValueKind::ShuffleVector:
+    Key.Mask = cast<ShuffleVectorInst>(Inst).getMask();
+    return true;
+  case ValueKind::AlternateOp: {
+    const auto &AO = cast<AlternateOp>(Inst);
+    for (BinOpcode Op : AO.getLaneOpcodes())
+      Key.Mask.push_back(static_cast<int>(Op));
+    return true;
+  }
+  case ValueKind::UnaryOp:
+    Key.OpcodeOrImm0 =
+        static_cast<int>(cast<UnaryOperator>(Inst).getOpcode());
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+size_t snslp::runLocalCSE(Function &F) {
+  size_t Removed = 0;
+  for (const auto &BB : F.blocks()) {
+    std::map<ExprKey, Instruction *> Available;
+    std::vector<Instruction *> Insts;
+    for (const auto &Inst : *BB)
+      Insts.push_back(Inst.get());
+
+    for (Instruction *Inst : Insts) {
+      ExprKey Key;
+      if (!makeKey(*Inst, Key))
+        continue;
+      auto [It, Inserted] = Available.try_emplace(std::move(Key), Inst);
+      if (Inserted)
+        continue;
+      Inst->replaceAllUsesWith(It->second);
+      Inst->eraseFromParent();
+      ++Removed;
+    }
+  }
+  return Removed;
+}

@@ -1,0 +1,33 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Local (per-block) common subexpression elimination for pure
+/// instructions. Unrolled kernel bodies routinely recompute the same
+/// address or the same product; CSE before the vectorizer keeps the SLP
+/// graphs canonical, and CSE after it cleans duplicated extracts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_PASSES_CSE_H
+#define SNSLP_PASSES_CSE_H
+
+#include <cstddef>
+
+namespace snslp {
+
+class Function;
+
+/// Eliminates duplicate pure instructions within each basic block,
+/// replacing later copies with the first occurrence. Commutative binary
+/// operations match under either operand order. Loads are NOT eliminated
+/// (an intervening store could change their value). Returns the number of
+/// instructions removed.
+size_t runLocalCSE(Function &F);
+
+} // namespace snslp
+
+#endif // SNSLP_PASSES_CSE_H

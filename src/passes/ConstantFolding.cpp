@@ -1,0 +1,176 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/ConstantFolding.h"
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace snslp;
+
+namespace {
+
+/// Evaluates a scalar binary operation over constants with the same
+/// semantics as the interpreter (two's-complement wrap, FP per kind).
+Constant *foldBinOp(BinOpcode Op, const Constant *L, const Constant *R) {
+  if (const auto *LI = dyn_cast<ConstantInt>(L)) {
+    const auto *RI = cast<ConstantInt>(R);
+    uint64_t A = static_cast<uint64_t>(LI->getValue());
+    uint64_t B = static_cast<uint64_t>(RI->getValue());
+    int64_t Result;
+    switch (Op) {
+    case BinOpcode::Add:
+      Result = static_cast<int64_t>(A + B);
+      break;
+    case BinOpcode::Sub:
+      Result = static_cast<int64_t>(A - B);
+      break;
+    case BinOpcode::Mul:
+      Result = static_cast<int64_t>(A * B);
+      break;
+    default:
+      return nullptr; // FP opcode over ints cannot verify anyway.
+    }
+    return ConstantInt::get(LI->getType(), Result);
+  }
+  const auto *LF = dyn_cast<ConstantFP>(L);
+  if (!LF)
+    return nullptr;
+  const auto *RF = cast<ConstantFP>(R);
+  double A = LF->getValue();
+  double B = RF->getValue();
+  double Result;
+  switch (Op) {
+  case BinOpcode::FAdd:
+    Result = A + B;
+    break;
+  case BinOpcode::FSub:
+    Result = A - B;
+    break;
+  case BinOpcode::FMul:
+    Result = A * B;
+    break;
+  case BinOpcode::FDiv:
+    Result = A / B;
+    break;
+  default:
+    return nullptr;
+  }
+  return ConstantFP::get(LF->getType(), Result);
+}
+
+bool foldPredicate(ICmpPredicate Pred, int64_t A, int64_t B) {
+  switch (Pred) {
+  case ICmpPredicate::EQ:
+    return A == B;
+  case ICmpPredicate::NE:
+    return A != B;
+  case ICmpPredicate::SLT:
+    return A < B;
+  case ICmpPredicate::SLE:
+    return A <= B;
+  case ICmpPredicate::SGT:
+    return A > B;
+  case ICmpPredicate::SGE:
+    return A >= B;
+  case ICmpPredicate::ULT:
+    return static_cast<uint64_t>(A) < static_cast<uint64_t>(B);
+  case ICmpPredicate::ULE:
+    return static_cast<uint64_t>(A) <= static_cast<uint64_t>(B);
+  }
+  return false;
+}
+
+} // namespace
+
+Constant *snslp::tryConstantFold(const Instruction &Inst) {
+  // All operands must be constants.
+  for (unsigned I = 0, E = Inst.getNumOperands(); I != E; ++I)
+    if (!isa<Constant>(Inst.getOperand(I)))
+      return nullptr;
+
+  switch (Inst.getKind()) {
+  case ValueKind::BinOp: {
+    const auto &BO = cast<BinaryOperator>(Inst);
+    if (BO.getType()->isVector())
+      return nullptr; // Vector constant folding is not needed here.
+    return foldBinOp(BO.getOpcode(), cast<Constant>(BO.getLHS()),
+                     cast<Constant>(BO.getRHS()));
+  }
+  case ValueKind::UnaryOp: {
+    const auto &UO = cast<UnaryOperator>(Inst);
+    const auto *C = dyn_cast<ConstantFP>(UO.getOperand0());
+    if (!C)
+      return nullptr;
+    double V = C->getValue();
+    switch (UO.getOpcode()) {
+    case UnaryOpcode::FNeg:
+      V = -V;
+      break;
+    case UnaryOpcode::Sqrt:
+      V = std::sqrt(V);
+      break;
+    case UnaryOpcode::Fabs:
+      V = std::fabs(V);
+      break;
+    }
+    return ConstantFP::get(C->getType(), V);
+  }
+  case ValueKind::ICmp: {
+    const auto &Cmp = cast<ICmpInst>(Inst);
+    const auto *L = dyn_cast<ConstantInt>(Cmp.getLHS());
+    const auto *R = dyn_cast<ConstantInt>(Cmp.getRHS());
+    if (!L || !R)
+      return nullptr;
+    bool V = foldPredicate(Cmp.getPredicate(), L->getValue(), R->getValue());
+    return ConstantInt::get(Inst.getType()->getContext().getInt1Ty(),
+                            V ? 1 : 0);
+  }
+  case ValueKind::Select: {
+    const auto &Sel = cast<SelectInst>(Inst);
+    const auto *C = dyn_cast<ConstantInt>(Sel.getCondition());
+    if (!C)
+      return nullptr;
+    return cast<Constant>(C->getValue() ? Sel.getTrueValue()
+                                        : Sel.getFalseValue());
+  }
+  case ValueKind::ExtractElement: {
+    const auto &EE = cast<ExtractElementInst>(Inst);
+    if (const auto *CV = dyn_cast<ConstantVector>(EE.getVectorOperand()))
+      return CV->getElement(EE.getLane());
+    return nullptr;
+  }
+  default:
+    return nullptr;
+  }
+}
+
+size_t snslp::runConstantFolding(Function &F) {
+  size_t Folded = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &BB : F.blocks()) {
+      // Snapshot: folding mutates the instruction list.
+      std::vector<Instruction *> Insts;
+      for (const auto &Inst : *BB)
+        Insts.push_back(Inst.get());
+      for (Instruction *Inst : Insts) {
+        Constant *C = tryConstantFold(*Inst);
+        if (!C)
+          continue;
+        Inst->replaceAllUsesWith(C);
+        Inst->eraseFromParent();
+        ++Folded;
+        Changed = true;
+      }
+    }
+  }
+  return Folded;
+}

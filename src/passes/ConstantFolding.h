@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant folding: evaluates instructions whose operands are all
+/// constants and replaces them with the result. Part of the scalar
+/// pipeline that runs around the vectorizer (the paper's kernels are
+/// compiled at -O3, where such cleanups always run).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_PASSES_CONSTANTFOLDING_H
+#define SNSLP_PASSES_CONSTANTFOLDING_H
+
+#include <cstddef>
+
+namespace snslp {
+
+class Constant;
+class Function;
+class Instruction;
+
+/// Attempts to fold \p Inst to a constant. Returns null when any operand
+/// is non-constant or the instruction kind has side effects.
+Constant *tryConstantFold(const Instruction &Inst);
+
+/// Folds every foldable instruction in \p F (to a fixpoint) and deletes
+/// the dead originals. Returns the number of instructions folded.
+size_t runConstantFolding(Function &F);
+
+} // namespace snslp
+
+#endif // SNSLP_PASSES_CONSTANTFOLDING_H

@@ -1,0 +1,386 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slp/GraphBuilder.h"
+
+#include "analysis/Dependence.h"
+#include "analysis/MemoryAddress.h"
+#include "slp/SuperNode.h"
+
+#include <algorithm>
+
+using namespace snslp;
+
+std::unique_ptr<SLPGraph> GraphBuilder::buildFromBundle(
+    std::vector<Value *> Bundle,
+    const std::unordered_set<const Instruction *> &IgnoredUsers) {
+  Graph = std::make_unique<SLPGraph>();
+  BundleCache.clear();
+  ScalarToNode.clear();
+  SuperNodeProduced.clear();
+  GatheredScalars.clear();
+  CostIgnoredUsers = IgnoredUsers;
+
+  Graph->setRoot(buildNode(std::move(Bundle), 0));
+  finalizeCost();
+  return std::move(Graph);
+}
+
+std::unique_ptr<SLPGraph> GraphBuilder::build(const SeedGroup &Seeds) {
+  Graph = std::make_unique<SLPGraph>();
+  BundleCache.clear();
+  ScalarToNode.clear();
+  SuperNodeProduced.clear();
+  GatheredScalars.clear();
+  CostIgnoredUsers.clear();
+
+  unsigned VF = Seeds.getVF();
+
+  // Root node: the adjacent stores.
+  std::vector<Value *> StoreBundle(Seeds.Stores.begin(), Seeds.Stores.end());
+  SLPNode *Root = Graph->createNode(SLPNodeKind::Vectorize, StoreBundle);
+  Root->setCost(TCM.getVectorizeMemCost(VF));
+  Graph->setRoot(Root);
+  markVectorized(Root);
+
+  std::vector<Value *> ValueBundle;
+  ValueBundle.reserve(VF);
+  for (StoreInst *Store : Seeds.Stores)
+    ValueBundle.push_back(Store->getValueOperand());
+  Root->addOperand(buildNode(std::move(ValueBundle), 1));
+
+  finalizeCost();
+  return std::move(Graph);
+}
+
+void GraphBuilder::markVectorized(SLPNode *N) {
+  for (Value *V : N->lanes())
+    ScalarToNode[V] = N;
+}
+
+SLPNode *GraphBuilder::createGather(std::vector<Value *> Bundle) {
+  bool AllConstants =
+      std::all_of(Bundle.begin(), Bundle.end(),
+                  [](const Value *V) { return isa<Constant>(V); });
+  bool AllSame = std::all_of(
+      Bundle.begin(), Bundle.end(),
+      [&Bundle](const Value *V) { return V == Bundle.front(); });
+  for (Value *V : Bundle)
+    GatheredScalars.insert(V);
+  SLPNode *N = Graph->createNode(SLPNodeKind::Gather, std::move(Bundle));
+  N->setCost(TCM.getGatherCost(N->getNumLanes(), AllConstants, AllSame));
+  return N;
+}
+
+SLPNode *GraphBuilder::buildNode(std::vector<Value *> Bundle, unsigned Depth) {
+  // Reuse an identical bundle already built (the SLP graph is a DAG).
+  auto Cached = BundleCache.find(Bundle);
+  if (Cached != BundleCache.end())
+    return Cached->second;
+
+  auto Finish = [this, &Bundle](SLPNode *N) {
+    BundleCache[Bundle] = N;
+    return N;
+  };
+
+  if (Depth > Cfg.MaxGraphDepth)
+    return Finish(createGather(Bundle));
+
+  // Non-instruction lanes (constants, arguments) terminate the recursion.
+  bool AllInstructions =
+      std::all_of(Bundle.begin(), Bundle.end(),
+                  [](const Value *V) { return isa<Instruction>(V); });
+  if (!AllInstructions)
+    return Finish(createGather(Bundle));
+
+  // A scalar already claimed by another vector node cannot be claimed
+  // twice. With the shuffle extension, a bundle that is a permutation of
+  // one existing node's lanes becomes a shufflevector of that node's
+  // result; otherwise gather (the code generator extracts lanes).
+  for (Value *V : Bundle)
+    if (ScalarToNode.count(V)) {
+      if (Cfg.EnableLoadShuffles)
+        if (SLPNode *Reuse = tryBuildShuffleReuse(Bundle))
+          return Finish(Reuse);
+      return Finish(createGather(Bundle));
+    }
+
+  // Duplicate lanes (splats) gather.
+  for (size_t I = 0; I < Bundle.size(); ++I)
+    for (size_t J = I + 1; J < Bundle.size(); ++J)
+      if (Bundle[I] == Bundle[J])
+        return Finish(createGather(Bundle));
+
+  // Lanes must agree on type and instruction kind.
+  Type *Ty = Bundle.front()->getType();
+  ValueKind Kind = Bundle.front()->getKind();
+  for (Value *V : Bundle)
+    if (V->getType() != Ty || V->getKind() != Kind)
+      return Finish(createGather(Bundle));
+  if (Ty->isVector()) // Re-vectorizing vector code is out of scope.
+    return Finish(createGather(Bundle));
+
+  // NOTE: the cache key must be captured before handing the bundle to a
+  // builder that consumes it, or the node would be cached under a stale
+  // (moved-from) key and deduplication silently lost.
+  if (Kind == ValueKind::Load) {
+    SLPNode *N = buildLoadNode(Bundle);
+    BundleCache[std::move(Bundle)] = N;
+    return N;
+  }
+  if (Kind == ValueKind::UnaryOp) {
+    SLPNode *N = buildUnaryNode(Bundle, Depth);
+    BundleCache[std::move(Bundle)] = N;
+    return N;
+  }
+  if (Kind == ValueKind::BinOp) {
+    // buildBinOpNode may rewrite the bundle (Super-Node re-emission) and
+    // ERASE the original instructions; caching under the original key
+    // would leave dangling pointers that a recycled allocation could
+    // spuriously match later. Cache only when no rewrite happened.
+    bool Rewritten = false;
+    SLPNode *N = buildBinOpNode(Bundle, Depth, Rewritten);
+    if (!Rewritten)
+      BundleCache[std::move(Bundle)] = N;
+    return N;
+  }
+
+  return Finish(createGather(Bundle));
+}
+
+SLPNode *GraphBuilder::tryBuildShuffleReuse(
+    const std::vector<Value *> &Bundle) {
+  auto It = ScalarToNode.find(Bundle.front());
+  if (It == ScalarToNode.end())
+    return nullptr;
+  SLPNode *Source = It->second;
+  if (Source->getKind() == SLPNodeKind::Gather)
+    return nullptr;
+  std::vector<int> Mask;
+  Mask.reserve(Bundle.size());
+  for (Value *V : Bundle) {
+    auto LaneIt = ScalarToNode.find(V);
+    if (LaneIt == ScalarToNode.end() || LaneIt->second != Source)
+      return nullptr; // All lanes must come from the same vector.
+    int Lane = -1;
+    for (unsigned L = 0; L < Source->getNumLanes(); ++L)
+      if (Source->getLane(L) == V)
+        Lane = static_cast<int>(L);
+    if (Lane < 0)
+      return nullptr;
+    Mask.push_back(Lane);
+  }
+  SLPNode *N = Graph->createNode(SLPNodeKind::Shuffle, Bundle);
+  N->setCost(Cfg.Target.ShuffleCost);
+  N->setLoadPermutation(std::move(Mask));
+  N->addOperand(Source);
+  return N;
+}
+
+SLPNode *GraphBuilder::buildLoadNode(std::vector<Value *> Bundle) {
+  // Loads vectorize when they are adjacent in bundle order — or, with the
+  // EnableLoadShuffles extension, any permutation of adjacent addresses
+  // (one vector load + one lane shuffle).
+  bool InOrder = true;
+  for (size_t I = 0; I + 1 < Bundle.size(); ++I)
+    if (!areConsecutiveAccesses(cast<Instruction>(Bundle[I]),
+                                cast<Instruction>(Bundle[I + 1]))) {
+      InOrder = false;
+      break;
+    }
+
+  std::vector<int> Permutation;
+  int LowestLane = 0;
+  if (!InOrder) {
+    if (!Cfg.EnableLoadShuffles)
+      return createGather(std::move(Bundle));
+    // Check the addresses are a permutation of one consecutive run.
+    unsigned ElemSize = Bundle.front()->getType()->getSizeInBytes();
+    std::vector<std::pair<int64_t, size_t>> Offsets;
+    AddressDescriptor First = analyzePointer(
+        getPointerOperand(cast<Instruction>(Bundle.front())));
+    for (size_t L = 0; L < Bundle.size(); ++L) {
+      AddressDescriptor D = analyzePointer(
+          getPointerOperand(cast<Instruction>(Bundle[L])));
+      int64_t Delta = 0;
+      if (!First.hasKnownDistance(D, Delta))
+        return createGather(std::move(Bundle));
+      Offsets.emplace_back(Delta, L);
+    }
+    std::sort(Offsets.begin(), Offsets.end());
+    Permutation.assign(Bundle.size(), 0);
+    for (size_t Rank = 0; Rank < Offsets.size(); ++Rank) {
+      if (Offsets[Rank].first !=
+          Offsets.front().first +
+              static_cast<int64_t>(Rank) * static_cast<int64_t>(ElemSize))
+        return createGather(std::move(Bundle));
+      Permutation[Offsets[Rank].second] = static_cast<int>(Rank);
+      if (Offsets[Rank].first == Offsets.front().first)
+        LowestLane = static_cast<int>(Offsets[Rank].second);
+    }
+  }
+
+  (void)LowestLane;
+  if (!isSafeToBundleValues(Bundle))
+    return createGather(std::move(Bundle));
+
+  // The vector load is emitted at the FIRST member; the code generator
+  // derives the lowest address from that member's own pointer (which is
+  // always available there) via a constant offset.
+  SLPNode *N = Graph->createNode(SLPNodeKind::Vectorize, std::move(Bundle));
+  if (Permutation.empty()) {
+    N->setCost(TCM.getVectorizeMemCost(N->getNumLanes()));
+  } else {
+    N->setCost(TCM.getShuffledLoadCost(N->getNumLanes()));
+    N->setLoadPermutation(std::move(Permutation));
+  }
+  markVectorized(N);
+  return N;
+}
+
+void GraphBuilder::reorderOperands(const std::vector<Value *> &Bundle,
+                                   std::vector<Value *> &Op0,
+                                   std::vector<Value *> &Op1) {
+  Op0.clear();
+  Op1.clear();
+  for (size_t Lane = 0; Lane < Bundle.size(); ++Lane) {
+    const auto *BO = cast<BinaryOperator>(Bundle[Lane]);
+    Value *L = BO->getLHS();
+    Value *R = BO->getRHS();
+    if (Lane == 0 || !isCommutative(BO->getOpcode())) {
+      Op0.push_back(L);
+      Op1.push_back(R);
+      continue;
+    }
+    // Score both orders against the previous lane's chosen operands; this
+    // is LLVM's standard commutative reordering, with the look-ahead score
+    // in LSLP/SN-SLP modes (depth 0 reduces it to the immediate score).
+    int Straight = LA.score(Op0.back(), L) + LA.score(Op1.back(), R);
+    int Swapped = LA.score(Op0.back(), R) + LA.score(Op1.back(), L);
+    if (Swapped > Straight)
+      std::swap(L, R);
+    Op0.push_back(L);
+    Op1.push_back(R);
+  }
+}
+
+SLPNode *GraphBuilder::buildUnaryNode(std::vector<Value *> Bundle,
+                                      unsigned Depth) {
+  // Unary groups vectorize only when every lane applies the same opcode.
+  UnaryOpcode Op = cast<UnaryOperator>(Bundle.front())->getOpcode();
+  for (Value *V : Bundle)
+    if (cast<UnaryOperator>(V)->getOpcode() != Op)
+      return createGather(std::move(Bundle));
+  if (!isSafeToBundleValues(Bundle))
+    return createGather(std::move(Bundle));
+
+  SLPNode *N = Graph->createNode(SLPNodeKind::Vectorize, Bundle);
+  N->setCost(TCM.getVectorizeArithCost(N->getNumLanes()));
+  markVectorized(N);
+
+  std::vector<Value *> Operands;
+  Operands.reserve(Bundle.size());
+  for (Value *V : Bundle)
+    Operands.push_back(cast<UnaryOperator>(V)->getOperand0());
+  N->addOperand(buildNode(std::move(Operands), Depth + 1));
+  return N;
+}
+
+SLPNode *GraphBuilder::buildBinOpNode(std::vector<Value *> Bundle,
+                                      unsigned Depth, bool &Rewritten) {
+  Rewritten = false;
+  if (!isSafeToBundleValues(Bundle))
+    return createGather(std::move(Bundle));
+
+  const auto *First = cast<BinaryOperator>(Bundle.front());
+  OpFamily Family = First->getFamily();
+  bool SameOpcode = true;
+  bool SameFamily = Family != OpFamily::None;
+  for (Value *V : Bundle) {
+    const auto *BO = cast<BinaryOperator>(V);
+    SameOpcode &= BO->getOpcode() == First->getOpcode();
+    SameFamily &= BO->getFamily() == Family;
+  }
+  if (!SameOpcode && !SameFamily)
+    return createGather(std::move(Bundle));
+
+  // --- buildSuperNode (Listing 1, line 12) ------------------------------
+  // Pause the normal recursion and try to grow a Super-Node (Multi-Node in
+  // LSLP mode). On success the code is massaged on the fly and the bundle
+  // is replaced by the re-emitted chain roots.
+  bool AnyProduced = std::any_of(
+      Bundle.begin(), Bundle.end(),
+      [this](Value *V) { return SuperNodeProduced.count(V) != 0; });
+  if (Cfg.enableSuperNode() && !AnyProduced) {
+    std::unordered_set<Value *> Frozen = SuperNodeProduced;
+    for (const auto &[V, N] : ScalarToNode)
+      Frozen.insert(V);
+    Frozen.insert(GatheredScalars.begin(), GatheredScalars.end());
+    if (std::unique_ptr<SuperNode> SN =
+            SuperNode::tryBuild(Bundle, Cfg.allowInverseOps(), Frozen)) {
+      SN->reorderLeavesAndTrunks(LA);
+      std::vector<Instruction *> NewRoots =
+          SN->generateCode(SuperNodeProduced);
+      Graph->addSuperNodeSize(SN->getTrunkSize());
+      Bundle.assign(NewRoots.begin(), NewRoots.end());
+      Rewritten = true;
+      if (!isSafeToBundleValues(Bundle))
+        return createGather(std::move(Bundle));
+      // Re-derive opcode uniformity for the rewritten bundle.
+      First = cast<BinaryOperator>(Bundle.front());
+      SameOpcode = true;
+      for (Value *V : Bundle)
+        SameOpcode &= cast<BinaryOperator>(V)->getOpcode() ==
+                      First->getOpcode();
+    }
+  }
+  // -----------------------------------------------------------------------
+
+  SLPNode *N;
+  if (SameOpcode) {
+    N = Graph->createNode(SLPNodeKind::Vectorize, Bundle);
+    N->setCost(TCM.getVectorizeArithCost(N->getNumLanes()));
+  } else {
+    N = Graph->createNode(SLPNodeKind::Alternate, Bundle);
+    N->setCost(TCM.getAlternateCost(N->getNumLanes()));
+    std::vector<BinOpcode> LaneOps;
+    LaneOps.reserve(Bundle.size());
+    for (Value *V : Bundle)
+      LaneOps.push_back(cast<BinaryOperator>(V)->getOpcode());
+    N->setLaneOpcodes(std::move(LaneOps));
+  }
+  if (!Graph->getSuperNodeSizes().empty() &&
+      SuperNodeProduced.count(Bundle.front()))
+    N->setSuperNodeId(static_cast<int>(Graph->getSuperNodeSizes().size()) -
+                      1);
+  markVectorized(N);
+
+  std::vector<Value *> Op0, Op1;
+  reorderOperands(Bundle, Op0, Op1);
+  N->addOperand(buildNode(std::move(Op0), Depth + 1));
+  N->addOperand(buildNode(std::move(Op1), Depth + 1));
+  return N;
+}
+
+void GraphBuilder::finalizeCost() {
+  int Total = 0;
+  for (const auto &N : Graph->nodes())
+    Total += N->getCost();
+
+  // Charge an extract for every use of a vectorized scalar that stays
+  // outside the vectorized graph (step 6.b of Fig. 1: "emitting any insert
+  // or extract instructions required for communicating data ... outside
+  // the graph").
+  for (const auto &[Scalar, Node] : ScalarToNode) {
+    const auto *Inst = dyn_cast<Instruction>(Scalar);
+    if (!Inst)
+      continue;
+    for (const Use &U : Inst->uses())
+      if (!ScalarToNode.count(U.User) && !CostIgnoredUsers.count(U.User))
+        Total += TCM.getExtractCost();
+  }
+  Graph->setTotalCost(Total);
+}

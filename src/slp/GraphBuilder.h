@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SLP graph construction (step 3 of Fig. 1, with the paper's highlighted
+/// buildSuperNode extension): starting from a seed bundle of adjacent
+/// stores, recursively follows use-def chains towards definitions, forming
+/// Vectorize/Alternate/Gather nodes and — in LSLP/SN-SLP modes — pausing to
+/// build Super-Nodes and massage the code (Listing 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SLP_GRAPHBUILDER_H
+#define SNSLP_SLP_GRAPHBUILDER_H
+
+#include "slp/LookAhead.h"
+#include "slp/SLPGraph.h"
+#include "slp/SeedCollector.h"
+#include "slp/VectorizerConfig.h"
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace snslp {
+
+/// Builds one SLP graph per seed group. Note that in LSLP/SN-SLP modes
+/// building a graph may massage the scalar IR (Super-Node re-emission);
+/// the massaging is semantics-preserving regardless of whether the graph
+/// is later deemed profitable.
+class GraphBuilder {
+public:
+  GraphBuilder(const VectorizerConfig &Cfg, const TargetCostModel &TCM)
+      : Cfg(Cfg), TCM(TCM),
+        LA(Cfg.Mode == VectorizerMode::SLP ? 0 : Cfg.LookAheadDepth) {}
+
+  /// Builds the graph rooted at \p Seeds and computes its total cost.
+  std::unique_ptr<SLPGraph> build(const SeedGroup &Seeds);
+
+  /// Builds a graph whose root is \p Bundle itself (used for horizontal
+  /// reduction seeds: the bundle is the reduction tree's leaves). Uses of
+  /// graph scalars by instructions in \p IgnoredUsers (the reduction tree,
+  /// which the caller deletes) are not charged as external extracts. The
+  /// returned cost covers the graph only; the caller adds the reduction
+  /// overhead.
+  std::unique_ptr<SLPGraph> buildFromBundle(
+      std::vector<Value *> Bundle,
+      const std::unordered_set<const Instruction *> &IgnoredUsers);
+
+  /// Scalars assigned to Vectorize/Alternate nodes of the last built graph
+  /// (used by the code generator).
+  const std::unordered_map<Value *, SLPNode *> &getScalarMap() const {
+    return ScalarToNode;
+  }
+
+private:
+  SLPNode *buildNode(std::vector<Value *> Bundle, unsigned Depth);
+  SLPNode *createGather(std::vector<Value *> Bundle);
+  SLPNode *buildLoadNode(std::vector<Value *> Bundle);
+  SLPNode *buildUnaryNode(std::vector<Value *> Bundle, unsigned Depth);
+  /// \p Rewritten is set when a Super-Node re-emission replaced (and
+  /// erased) the original bundle; the caller must not cache the original
+  /// key in that case.
+  SLPNode *buildBinOpNode(std::vector<Value *> Bundle, unsigned Depth,
+                          bool &Rewritten);
+  /// Shuffle-reuse extension: \p Bundle as a permutation of an existing
+  /// node's lanes. Returns null when no single source node covers it.
+  SLPNode *tryBuildShuffleReuse(const std::vector<Value *> &Bundle);
+
+  /// Marks \p N's lanes as vectorized scalars.
+  void markVectorized(SLPNode *N);
+
+  /// Per-lane commutative operand reordering for a (possibly alternating)
+  /// binop bundle: lane 0 keeps its order; each later commutative lane
+  /// swaps its operands when that improves the pairing score with the
+  /// previous lane's choice. Fills \p Op0 and \p Op1.
+  void reorderOperands(const std::vector<Value *> &Bundle,
+                       std::vector<Value *> &Op0, std::vector<Value *> &Op1);
+
+  /// Adds the extract cost of every vectorized scalar use that remains
+  /// outside the graph, then stores the final cost into the graph.
+  void finalizeCost();
+
+  const VectorizerConfig &Cfg;
+  const TargetCostModel &TCM;
+  LookAhead LA;
+
+  std::unique_ptr<SLPGraph> Graph;
+  std::map<std::vector<Value *>, SLPNode *> BundleCache;
+  std::unordered_map<Value *, SLPNode *> ScalarToNode;
+  std::unordered_set<Value *> SuperNodeProduced;
+  /// Scalars referenced by Gather nodes of this graph. A Super-Node must
+  /// never rewrite-and-erase them: SLPNode lanes are raw pointers that
+  /// replaceAllUsesWith does not update.
+  std::unordered_set<Value *> GatheredScalars;
+  std::unordered_set<const Instruction *> CostIgnoredUsers;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SLP_GRAPHBUILDER_H

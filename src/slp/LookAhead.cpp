@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slp/LookAhead.h"
+
+#include "analysis/MemoryAddress.h"
+#include "ir/Instruction.h"
+
+#include <algorithm>
+
+using namespace snslp;
+
+int LookAhead::immediateScore(const Value *L, const Value *R) const {
+  if (L == R)
+    return Weights.Splat;
+  if (isa<Constant>(L) && isa<Constant>(R))
+    return Weights.Constants;
+
+  const auto *LI = dyn_cast<Instruction>(L);
+  const auto *RI = dyn_cast<Instruction>(R);
+  if (!LI || !RI)
+    return Weights.Fail;
+
+  if (isa<LoadInst>(LI) && isa<LoadInst>(RI))
+    return areConsecutiveAccesses(LI, RI) ? Weights.ConsecutiveLoads
+                                          : Weights.Fail;
+
+  const auto *LB = dyn_cast<BinaryOperator>(LI);
+  const auto *RB = dyn_cast<BinaryOperator>(RI);
+  if (LB && RB) {
+    if (LB->getOpcode() == RB->getOpcode())
+      return Weights.SameOpcode;
+    if (LB->getFamily() == RB->getFamily() &&
+        LB->getFamily() != OpFamily::None)
+      return Weights.SameFamily;
+    return Weights.Fail;
+  }
+
+  return LI->getKind() == RI->getKind() ? Weights.SameOpcode : Weights.Fail;
+}
+
+int LookAhead::scoreAtDepth(const Value *L, const Value *R,
+                            unsigned D) const {
+  int Base = immediateScore(L, R);
+  if (D == 0)
+    return Base;
+
+  const auto *LB = dyn_cast<BinaryOperator>(L);
+  const auto *RB = dyn_cast<BinaryOperator>(R);
+  if (!LB || !RB)
+    return Base;
+
+  // Look one level deeper: best of the two operand pairings (straight vs
+  // swapped), as in LSLP's look-ahead calculation.
+  int Straight = scoreAtDepth(LB->getLHS(), RB->getLHS(), D - 1) +
+                 scoreAtDepth(LB->getRHS(), RB->getRHS(), D - 1);
+  int Swapped = scoreAtDepth(LB->getLHS(), RB->getRHS(), D - 1) +
+                scoreAtDepth(LB->getRHS(), RB->getLHS(), D - 1);
+  return Base + std::max(Straight, Swapped);
+}
+
+int LookAhead::groupScore(const std::vector<const Value *> &Group) const {
+  int Total = 0;
+  for (size_t I = 0; I + 1 < Group.size(); ++I)
+    Total += score(Group[I], Group[I + 1]);
+  return Total;
+}

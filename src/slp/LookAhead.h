@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The look-ahead pairwise score of LSLP (Porpodas et al. [9]), used to
+/// decide which values across lanes should be paired in the same vector
+/// lane position. The score of (L, R) combines an immediate structural
+/// score (consecutive loads, splat, same opcode, ...) with the best
+/// pairwise score of their operands up to a configurable depth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SLP_LOOKAHEAD_H
+#define SNSLP_SLP_LOOKAHEAD_H
+
+#include <vector>
+
+namespace snslp {
+
+class Value;
+
+/// Immediate pair scores (larger is better).
+struct LookAheadWeights {
+  int ConsecutiveLoads = 4; ///< Loads from adjacent addresses, in order.
+  int Splat = 3;            ///< Identical values.
+  int Constants = 2;        ///< Two scalar constants.
+  int SameOpcode = 2;       ///< Same instruction opcode.
+  int SameFamily = 1;       ///< Different opcode, same operator family.
+  int Fail = 0;             ///< Anything else.
+};
+
+/// Computes look-ahead scores with a fixed recursion depth.
+class LookAhead {
+public:
+  explicit LookAhead(unsigned Depth, LookAheadWeights Weights =
+                                         LookAheadWeights())
+      : Depth(Depth), Weights(Weights) {}
+
+  /// Pairwise score of placing \p L and \p R in adjacent lanes of the same
+  /// operand position.
+  int score(const Value *L, const Value *R) const {
+    return scoreAtDepth(L, R, Depth);
+  }
+
+  /// Sum of consecutive pairwise scores across a whole candidate group
+  /// (the group score of Listing 2).
+  int groupScore(const std::vector<const Value *> &Group) const;
+
+private:
+  int scoreAtDepth(const Value *L, const Value *R, unsigned D) const;
+  int immediateScore(const Value *L, const Value *R) const;
+
+  unsigned Depth;
+  LookAheadWeights Weights;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SLP_LOOKAHEAD_H

@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slp/SLPGraph.h"
+
+#include "ir/IRPrinter.h"
+#include "support/ErrorHandling.h"
+
+#include <unordered_map>
+
+using namespace snslp;
+
+const char *snslp::getNodeKindName(SLPNodeKind Kind) {
+  switch (Kind) {
+  case SLPNodeKind::Vectorize:
+    return "Vectorize";
+  case SLPNodeKind::Alternate:
+    return "Alternate";
+  case SLPNodeKind::Gather:
+    return "Gather";
+  case SLPNodeKind::Shuffle:
+    return "Shuffle";
+  }
+  snslp_unreachable("covered switch");
+}
+
+void SLPGraph::print(std::ostream &OS) const {
+  std::unordered_map<const SLPNode *, unsigned> Ids;
+  for (const auto &N : Nodes)
+    Ids[N.get()] = static_cast<unsigned>(Ids.size());
+
+  OS << "SLPGraph: cost=" << TotalCost << ", nodes=" << Nodes.size() << '\n';
+  for (const auto &N : Nodes) {
+    OS << "  n" << Ids.at(N.get()) << " [" << getNodeKindName(N->getKind())
+       << ", cost=" << N->getCost();
+    if (N->getSuperNodeId() >= 0)
+      OS << ", sn=" << N->getSuperNodeId();
+    OS << "] {";
+    for (unsigned L = 0; L < N->getNumLanes(); ++L) {
+      if (L)
+        OS << " | ";
+      OS << toString(*N->getLane(L));
+    }
+    OS << "}";
+    if (N->getNumOperands()) {
+      OS << " ops:";
+      for (unsigned I = 0; I < N->getNumOperands(); ++I)
+        OS << " n" << Ids.at(N->getOperand(I));
+    }
+    OS << '\n';
+  }
+}

@@ -1,0 +1,142 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SLP graph: each node is a group ("bundle") of scalar values that the
+/// vectorizer may replace by one vector value. Vectorize/Alternate nodes
+/// carry operand edges to the bundles feeding them; Gather nodes terminate
+/// recursion and pay the cost of assembling a vector from scalars.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SLP_SLPGRAPH_H
+#define SNSLP_SLP_SLPGRAPH_H
+
+#include "ir/Instruction.h"
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+/// How a node's scalars will be realized as a vector.
+enum class SLPNodeKind : uint8_t {
+  Vectorize, ///< Isomorphic group -> one uniform vector instruction.
+  Alternate, ///< Same family, mixed direct/inverse opcodes -> altop.
+  Gather,    ///< Non-vectorizable group -> insertelement chain.
+  Shuffle,   ///< Permutation of another node's lanes -> shufflevector.
+};
+
+/// Returns "Vectorize"/"Alternate"/"Gather".
+const char *getNodeKindName(SLPNodeKind Kind);
+
+/// One group of scalars (one per vector lane).
+class SLPNode {
+public:
+  SLPNode(SLPNodeKind Kind, std::vector<Value *> Lanes)
+      : Kind(Kind), Lanes(std::move(Lanes)) {}
+
+  SLPNodeKind getKind() const { return Kind; }
+  unsigned getNumLanes() const { return static_cast<unsigned>(Lanes.size()); }
+  Value *getLane(unsigned I) const {
+    assert(I < Lanes.size() && "lane out of range");
+    return Lanes[I];
+  }
+  const std::vector<Value *> &lanes() const { return Lanes; }
+
+  /// \name Operand edges (empty for Gather and vector-load nodes).
+  /// @{
+  void addOperand(SLPNode *N) { Operands.push_back(N); }
+  unsigned getNumOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  SLPNode *getOperand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  /// @}
+
+  /// Static cost contribution of this node (negative = saves cost).
+  int getCost() const { return Cost; }
+  void setCost(int C) { Cost = C; }
+
+  /// Per-lane opcodes for Alternate nodes.
+  const std::vector<BinOpcode> &getLaneOpcodes() const { return LaneOpcodes; }
+  void setLaneOpcodes(std::vector<BinOpcode> Ops) {
+    LaneOpcodes = std::move(Ops);
+  }
+
+  /// True when every lane is a load/store (memory bundle).
+  bool isMemoryBundle() const {
+    return isa<LoadInst>(Lanes.front()) || isa<StoreInst>(Lanes.front());
+  }
+
+  /// Id of the Super-Node this row was carved from, or -1. Used by the
+  /// node-size statistics (Figs. 6/7/9/10).
+  int getSuperNodeId() const { return SuperNodeId; }
+  void setSuperNodeId(int Id) { SuperNodeId = Id; }
+
+  /// For permuted load groups (EnableLoadShuffles): LoadPermutation[l] is
+  /// lane l's rank in memory order. Empty for in-order loads. For Shuffle
+  /// nodes this is the lane-selection mask into the source node.
+  const std::vector<int> &getLoadPermutation() const {
+    return LoadPermutation;
+  }
+  void setLoadPermutation(std::vector<int> Perm) {
+    LoadPermutation = std::move(Perm);
+  }
+
+private:
+  SLPNodeKind Kind;
+  std::vector<Value *> Lanes;
+  std::vector<SLPNode *> Operands;
+  std::vector<BinOpcode> LaneOpcodes;
+  std::vector<int> LoadPermutation;
+  int Cost = 0;
+  int SuperNodeId = -1;
+};
+
+/// A whole SLP graph rooted at one seed bundle (a group of adjacent
+/// stores). Owns its nodes.
+class SLPGraph {
+public:
+  /// Creates a node owned by this graph.
+  SLPNode *createNode(SLPNodeKind Kind, std::vector<Value *> Lanes) {
+    Nodes.push_back(std::make_unique<SLPNode>(Kind, std::move(Lanes)));
+    return Nodes.back().get();
+  }
+
+  void setRoot(SLPNode *N) { Root = N; }
+  SLPNode *getRoot() const { return Root; }
+
+  const std::vector<std::unique_ptr<SLPNode>> &nodes() const { return Nodes; }
+
+  /// Sum of all node costs plus the external-extract cost.
+  int getTotalCost() const { return TotalCost; }
+  void setTotalCost(int C) { TotalCost = C; }
+
+  /// Sizes (trunk depths) of the Super-Nodes that contributed rows to this
+  /// graph; one entry per Super-Node.
+  const std::vector<unsigned> &getSuperNodeSizes() const {
+    return SuperNodeSizes;
+  }
+  void addSuperNodeSize(unsigned Size) { SuperNodeSizes.push_back(Size); }
+
+  /// Debug dump: one line per node with kind, cost and lanes.
+  void print(std::ostream &OS) const;
+
+private:
+  std::vector<std::unique_ptr<SLPNode>> Nodes;
+  SLPNode *Root = nullptr;
+  int TotalCost = 0;
+  std::vector<unsigned> SuperNodeSizes;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SLP_SLPGRAPH_H

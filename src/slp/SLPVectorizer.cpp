@@ -1,0 +1,184 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slp/SLPVectorizer.h"
+
+#include "ir/DCE.h"
+#include "ir/Function.h"
+#include "slp/GraphBuilder.h"
+#include "slp/VectorCodeGen.h"
+#include "support/ErrorHandling.h"
+#include "support/Timer.h"
+
+using namespace snslp;
+
+const char *snslp::getModeName(VectorizerMode Mode) {
+  switch (Mode) {
+  case VectorizerMode::O3:
+    return "O3";
+  case VectorizerMode::SLP:
+    return "SLP";
+  case VectorizerMode::LSLP:
+    return "LSLP";
+  case VectorizerMode::SNSLP:
+    return "SN-SLP";
+  }
+  snslp_unreachable("covered switch");
+}
+
+void VectorizeStats::mergeFrom(const VectorizeStats &Other) {
+  GraphsBuilt += Other.GraphsBuilt;
+  GraphsVectorized += Other.GraphsVectorized;
+  CommittedCost += Other.CommittedCost;
+  CommittedSuperNodeSizes.insert(CommittedSuperNodeSizes.end(),
+                                 Other.CommittedSuperNodeSizes.begin(),
+                                 Other.CommittedSuperNodeSizes.end());
+  InstructionsRemoved += Other.InstructionsRemoved;
+  CompileNanos += Other.CompileNanos;
+  Remarks.insert(Remarks.end(), Other.Remarks.begin(), Other.Remarks.end());
+  VectorizeNodes += Other.VectorizeNodes;
+  AlternateNodes += Other.AlternateNodes;
+  GatherNodes += Other.GatherNodes;
+  ShuffleNodes += Other.ShuffleNodes;
+}
+
+/// Tallies the node kinds of a committed graph into \p Stats.
+static void tallyNodeKinds(const SLPGraph &Graph, VectorizeStats &Stats) {
+  for (const auto &N : Graph.nodes()) {
+    switch (N->getKind()) {
+    case SLPNodeKind::Vectorize:
+      ++Stats.VectorizeNodes;
+      break;
+    case SLPNodeKind::Alternate:
+      ++Stats.AlternateNodes;
+      break;
+    case SLPNodeKind::Gather:
+      ++Stats.GatherNodes;
+      break;
+    case SLPNodeKind::Shuffle:
+      ++Stats.ShuffleNodes;
+      break;
+    }
+  }
+}
+
+VectorizeStats snslp::runSLPVectorizer(Function &F,
+                                       const VectorizerConfig &Cfg) {
+  VectorizeStats Stats;
+  if (!Cfg.enabled())
+    return Stats;
+
+  Timer PassTimer;
+  TargetCostModel TCM(Cfg.Target);
+  size_t InstsBefore = F.instructionCount();
+
+  for (const auto &BB : F.blocks()) {
+    // Step 1 of Fig. 1: scan for vectorizable seed instructions.
+    std::vector<SeedGroup> Seeds = collectStoreSeeds(
+        *BB, Cfg.MinVF, Cfg.MaxVF, Cfg.Target.MaxVectorWidthBytes);
+
+    // Steps 2-8: process each seed group from the work-list. When a group
+    // is not profitable at its width and can be halved, both halves are
+    // re-tried at the smaller VF (LLVM's SLP retries narrower widths the
+    // same way).
+    std::vector<SeedGroup> Worklist = std::move(Seeds);
+    for (size_t WI = 0; WI < Worklist.size(); ++WI) {
+      SeedGroup Group = Worklist[WI];
+      GraphBuilder GB(Cfg, TCM);
+      std::unique_ptr<SLPGraph> Graph = GB.build(Group);
+      ++Stats.GraphsBuilt;
+
+      // Step 5: compare the cost against the threshold.
+      if (Graph->getTotalCost() >= Cfg.CostThreshold) {
+        Stats.Remarks.push_back(
+            "rejected " + std::to_string(Group.getVF()) +
+            "-wide store group in '" + BB->getName() + "' (cost " +
+            std::to_string(Graph->getTotalCost()) + ")");
+        // Not profitable; retry the halves when still wide enough.
+        if (Group.getVF() / 2 >= Cfg.MinVF) {
+          SeedGroup Low, High;
+          unsigned Half = Group.getVF() / 2;
+          Low.Stores.assign(Group.Stores.begin(),
+                            Group.Stores.begin() + Half);
+          High.Stores.assign(Group.Stores.begin() + Half,
+                             Group.Stores.end());
+          Worklist.push_back(std::move(Low));
+          Worklist.push_back(std::move(High));
+        }
+        continue; // Scalar code stays (possibly massaged).
+      }
+
+      // Step 6.b: vectorize.
+      VectorCodeGen(*Graph, GB.getScalarMap()).run();
+      ++Stats.GraphsVectorized;
+      Stats.CommittedCost += Graph->getTotalCost();
+      Stats.Remarks.push_back(
+          "vectorized " + std::to_string(Group.getVF()) +
+          "-wide store group in '" + BB->getName() + "' (cost " +
+          std::to_string(Graph->getTotalCost()) + ", " +
+          std::to_string(Graph->getSuperNodeSizes().size()) +
+          " super-node(s))");
+      tallyNodeKinds(*Graph, Stats);
+      for (unsigned S : Graph->getSuperNodeSizes())
+        Stats.CommittedSuperNodeSizes.push_back(S);
+    }
+
+    // Extension: horizontal-reduction seeds (-slp-vectorize-hor).
+    // Committing one reduction can invalidate the leaves of another, so
+    // seeds are re-collected after every commit.
+    if (Cfg.EnableReductionSeeds) {
+      bool Committed = true;
+      while (Committed) {
+        Committed = false;
+        std::vector<ReductionSeed> RSeeds = collectReductionSeeds(
+            *BB, Cfg.MinVF, Cfg.MaxVF, Cfg.Target.MaxVectorWidthBytes);
+        for (ReductionSeed &Seed : RSeeds) {
+          GraphBuilder GB(Cfg, TCM);
+          std::unordered_set<const Instruction *> Ignored(
+              Seed.TreeInsts.begin(), Seed.TreeInsts.end());
+          std::unique_ptr<SLPGraph> Graph =
+              GB.buildFromBundle(Seed.Leaves, Ignored);
+          ++Stats.GraphsBuilt;
+
+          int Total =
+              Graph->getTotalCost() +
+              TCM.getReductionCost(
+                  static_cast<unsigned>(Seed.Leaves.size()));
+          if (Total >= Cfg.CostThreshold ||
+              Graph->getRoot()->getKind() == SLPNodeKind::Gather) {
+            Stats.Remarks.push_back(
+                "rejected " + std::to_string(Seed.Leaves.size()) +
+                "-wide reduction of '" + Seed.Root->getName() + "' (cost " +
+                std::to_string(Total) + ")");
+            continue;
+          }
+
+          std::string RootName = Seed.Root->getName();
+          VectorCodeGen(*Graph, GB.getScalarMap())
+              .runReduction(Seed.Root, Seed.TreeInsts);
+          ++Stats.GraphsVectorized;
+          Stats.Remarks.push_back(
+              "vectorized " + std::to_string(Seed.Leaves.size()) +
+              "-wide horizontal reduction of '" + RootName + "' (cost " +
+              std::to_string(Total) + ")");
+          Stats.CommittedCost += Total;
+          tallyNodeKinds(*Graph, Stats);
+          for (unsigned S : Graph->getSuperNodeSizes())
+            Stats.CommittedSuperNodeSizes.push_back(S);
+          Committed = true;
+          break; // Re-collect: other seeds may now be stale.
+        }
+      }
+    }
+  }
+
+  runDeadCodeElimination(F);
+  size_t InstsAfter = F.instructionCount();
+  Stats.InstructionsRemoved =
+      InstsBefore > InstsAfter ? InstsBefore - InstsAfter : 0;
+  Stats.CompileNanos = PassTimer.elapsedNanos();
+  return Stats;
+}

@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SLP vectorizer driver: the outer loop of Fig. 1 (collect seeds, grow
+/// a graph per seed group, estimate cost, vectorize when profitable),
+/// followed by dead-code elimination. One entry point serves all three
+/// paper configurations via VectorizerConfig.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SLP_SLPVECTORIZER_H
+#define SNSLP_SLP_SLPVECTORIZER_H
+
+#include "slp/VectorizerConfig.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+class Function;
+
+/// Statistics of one vectorizer run over one function; the raw material of
+/// the paper's Figs. 5-11.
+struct VectorizeStats {
+  unsigned GraphsBuilt = 0;
+  unsigned GraphsVectorized = 0;
+  /// Sum of committed (profitable) graph costs; negative.
+  int CommittedCost = 0;
+  /// Trunk sizes of Multi/Super-Nodes inside committed graphs, one entry
+  /// per node (Figs. 6/7/9/10 aggregate and average these).
+  std::vector<unsigned> CommittedSuperNodeSizes;
+  /// Scalar instructions removed by vectorization + DCE.
+  uint64_t InstructionsRemoved = 0;
+  /// Wall time spent inside the vectorizer pass (Fig. 11).
+  uint64_t CompileNanos = 0;
+  /// \name Node-kind tallies over committed graphs.
+  /// @{
+  unsigned VectorizeNodes = 0;
+  unsigned AlternateNodes = 0;
+  unsigned GatherNodes = 0;
+  unsigned ShuffleNodes = 0;
+  /// @}
+
+  /// Human-readable optimization remarks, one per decision (in the spirit
+  /// of clang's -Rpass=slp-vectorizer). Surfaced by irtool --remarks.
+  std::vector<std::string> Remarks;
+
+  unsigned superNodesCommitted() const {
+    return static_cast<unsigned>(CommittedSuperNodeSizes.size());
+  }
+  uint64_t aggregateSuperNodeSize() const {
+    uint64_t Sum = 0;
+    for (unsigned S : CommittedSuperNodeSizes)
+      Sum += S;
+    return Sum;
+  }
+  double averageSuperNodeSize() const {
+    return CommittedSuperNodeSizes.empty()
+               ? 0.0
+               : static_cast<double>(aggregateSuperNodeSize()) /
+                     static_cast<double>(CommittedSuperNodeSizes.size());
+  }
+  void mergeFrom(const VectorizeStats &Other);
+};
+
+/// Runs the configured SLP vectorizer over \p F in place (mode O3 is a
+/// no-op) and returns run statistics. Call verifyFunction afterwards in
+/// tests; production callers rely on the vectorizer's internal checks.
+VectorizeStats runSLPVectorizer(Function &F, const VectorizerConfig &Cfg);
+
+} // namespace snslp
+
+#endif // SNSLP_SLP_SLPVECTORIZER_H

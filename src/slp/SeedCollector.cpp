@@ -1,0 +1,176 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slp/SeedCollector.h"
+
+#include "analysis/Dependence.h"
+#include "analysis/MemoryAddress.h"
+#include "ir/BasicBlock.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace snslp;
+
+namespace {
+
+/// A store with its analyzed address, ready for run detection.
+struct AddressedStore {
+  StoreInst *Store;
+  AddressDescriptor Addr;
+  unsigned Order; // Position in the block, for deterministic tie-breaks.
+};
+
+} // namespace
+
+/// Returns true when \p V can be an interior node of a reduction tree over
+/// \p Opcode: same opcode, single use, same block.
+static bool isReductionInterior(const Value *V, BinOpcode Opcode,
+                                const BasicBlock *BB) {
+  const auto *BO = dyn_cast<BinaryOperator>(V);
+  return BO && BO->getOpcode() == Opcode && BO->hasOneUse() &&
+         BO->getParent() == BB;
+}
+
+std::vector<ReductionSeed> snslp::collectReductionSeeds(
+    BasicBlock &BB, unsigned MinVF, unsigned MaxVF,
+    unsigned MaxVecWidthBytes) {
+  std::vector<ReductionSeed> Result;
+  for (const auto &Inst : BB) {
+    auto *Root = dyn_cast<BinaryOperator>(Inst.get());
+    if (!Root || !isCommutative(Root->getOpcode()))
+      continue;
+    BinOpcode Opcode = Root->getOpcode();
+    // The root must be the TOP of the tree: no single-use edge into a
+    // same-opcode parent (that parent would be the better root).
+    if (Root->hasOneUse() &&
+        isReductionInterior(Root->uses().front().User, Opcode, &BB) )
+      continue;
+
+    // Collect leaves left-to-right through single-use same-opcode nodes.
+    ReductionSeed Seed;
+    Seed.Root = Root;
+    Seed.Opcode = Opcode;
+    std::vector<Value *> Stack{Root};
+    while (!Stack.empty()) {
+      Value *V = Stack.back();
+      Stack.pop_back();
+      if (V != Root && !isReductionInterior(V, Opcode, &BB)) {
+        Seed.Leaves.push_back(V);
+        continue;
+      }
+      auto *BO = cast<BinaryOperator>(V);
+      Seed.TreeInsts.push_back(BO);
+      // Push right first so leaves pop out left-to-right.
+      Stack.push_back(BO->getRHS());
+      Stack.push_back(BO->getLHS());
+    }
+
+    // A reduction needs an actual tree: at least two operations (a lone
+    // binop is not a reduction, it is ordinary scalar code).
+    if (Seed.TreeInsts.size() < 2)
+      continue;
+    unsigned EffMaxVF =
+        std::min(MaxVF, MaxVecWidthBytes / Root->getType()->getSizeInBytes());
+    unsigned Count = static_cast<unsigned>(Seed.Leaves.size());
+    bool PowerOfTwo = Count >= 2 && (Count & (Count - 1)) == 0;
+    if (!PowerOfTwo || Count < MinVF || Count > EffMaxVF)
+      continue;
+    Result.push_back(std::move(Seed));
+  }
+  return Result;
+}
+
+std::vector<SeedGroup> snslp::collectStoreSeeds(BasicBlock &BB,
+                                                unsigned MinVF,
+                                                unsigned MaxVF,
+                                                unsigned MaxVecWidthBytes) {
+  std::vector<SeedGroup> Result;
+  if (MinVF < 2 || MaxVF < MinVF)
+    return Result;
+
+  // Bucket stores by (element type, base pointer); only same-type stores to
+  // the same object can be adjacent.
+  std::map<std::pair<const Type *, const Value *>, std::vector<AddressedStore>>
+      Buckets;
+  unsigned Order = 0;
+  for (const auto &Inst : BB) {
+    ++Order;
+    auto *Store = dyn_cast<StoreInst>(Inst.get());
+    if (!Store)
+      continue;
+    Type *ValTy = Store->getValueOperand()->getType();
+    if (ValTy->isVector() || ValTy->isPointer() || ValTy->isVoid())
+      continue; // Only scalar stores seed vectorization.
+    AddressDescriptor Addr = analyzePointer(Store->getPointerOperand());
+    if (!Addr.Valid || !Addr.Base)
+      continue;
+    Buckets[{ValTy, Addr.Base}].push_back(
+        AddressedStore{Store, std::move(Addr), Order});
+  }
+
+  for (auto &[Key, Stores] : Buckets) {
+    const Type *ElemTy = Key.first;
+    unsigned ElemSize = ElemTy->getSizeInBytes();
+    // Cap the group size by what fits in one vector register.
+    unsigned EffMaxVF = std::min(MaxVF, MaxVecWidthBytes / ElemSize);
+    if (EffMaxVF < MinVF)
+      continue;
+
+    // Sort by (variable part, constant offset) so runs become contiguous.
+    std::sort(Stores.begin(), Stores.end(),
+              [](const AddressedStore &A, const AddressedStore &B) {
+                if (A.Addr.Terms != B.Addr.Terms)
+                  return A.Addr.Terms < B.Addr.Terms;
+                if (A.Addr.ConstBytes != B.Addr.ConstBytes)
+                  return A.Addr.ConstBytes < B.Addr.ConstBytes;
+                return A.Order < B.Order;
+              });
+
+    // Split into maximal runs of stride-ElemSize stores.
+    std::vector<std::vector<AddressedStore *>> Runs;
+    for (auto &AS : Stores) {
+      bool Extends =
+          !Runs.empty() && !Runs.back().empty() &&
+          Runs.back().back()->Addr.Terms == AS.Addr.Terms &&
+          Runs.back().back()->Addr.ConstBytes +
+                  static_cast<int64_t>(ElemSize) ==
+              AS.Addr.ConstBytes;
+      if (!Extends)
+        Runs.emplace_back();
+      Runs.back().push_back(&AS);
+    }
+
+    // Slice each run into the largest power-of-two groups that fit and
+    // whose members can legally form one bundle.
+    for (auto &Run : Runs) {
+      size_t Begin = 0;
+      while (Run.size() - Begin >= MinVF) {
+        unsigned VF = EffMaxVF;
+        while (VF > Run.size() - Begin)
+          VF /= 2;
+        bool Formed = false;
+        for (; VF >= MinVF; VF /= 2) {
+          std::vector<Instruction *> Bundle;
+          for (unsigned I = 0; I < VF; ++I)
+            Bundle.push_back(Run[Begin + I]->Store);
+          if (isSafeToBundle(Bundle)) {
+            SeedGroup Group;
+            for (unsigned I = 0; I < VF; ++I)
+              Group.Stores.push_back(Run[Begin + I]->Store);
+            Result.push_back(std::move(Group));
+            Begin += VF;
+            Formed = true;
+            break;
+          }
+        }
+        if (!Formed)
+          ++Begin; // Skip the blocking store and retry from the next one.
+      }
+    }
+  }
+  return Result;
+}

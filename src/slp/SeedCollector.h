@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seed collection (step 1 of the SLP algorithm, Fig. 1 of the paper):
+/// finds groups of stores to adjacent memory locations inside one basic
+/// block. Adjacent stores are the most promising seeds and the ones the
+/// paper's evaluation exercises.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SLP_SEEDCOLLECTOR_H
+#define SNSLP_SLP_SEEDCOLLECTOR_H
+
+#include "ir/Instruction.h"
+
+#include <vector>
+
+namespace snslp {
+
+class BasicBlock;
+class StoreInst;
+
+/// One seed: stores to consecutive addresses, lowest address first. The
+/// group size is a power of two in [MinVF, MaxVF].
+struct SeedGroup {
+  std::vector<StoreInst *> Stores;
+  unsigned getVF() const { return static_cast<unsigned>(Stores.size()); }
+};
+
+/// Scans \p BB for seed groups of adjacent stores of the same element type.
+///
+/// Longer runs of consecutive stores are sliced into the largest power-of-
+/// two groups that fit, bounded by \p MaxVF and by how many elements fit in
+/// a \p MaxVecWidthBytes register; each store belongs to at most one
+/// returned group.
+std::vector<SeedGroup> collectStoreSeeds(BasicBlock &BB, unsigned MinVF,
+                                         unsigned MaxVF,
+                                         unsigned MaxVecWidthBytes = 32);
+
+/// A horizontal-reduction seed (the paper enables these with
+/// -slp-vectorize-hor): \p Root is the top of a tree of \p Opcode
+/// operations whose \p Leaves can potentially be vectorized; the tree is
+/// then replaced by a vector computation plus a log-step horizontal
+/// reduction.
+struct ReductionSeed {
+  BinaryOperator *Root = nullptr;
+  BinOpcode Opcode = BinOpcode::Add;
+  std::vector<Value *> Leaves; ///< Power-of-two count in [MinVF, MaxVF].
+  /// Interior tree instructions (including Root), for deletion.
+  std::vector<Instruction *> TreeInsts;
+};
+
+/// Scans \p BB for reduction trees over a single commutative opcode.
+/// Trees are maximal single-use chains; a tree qualifies when its leaf
+/// count is a power of two within the VF bounds (after the same width cap
+/// as store seeds).
+std::vector<ReductionSeed> collectReductionSeeds(
+    BasicBlock &BB, unsigned MinVF, unsigned MaxVF,
+    unsigned MaxVecWidthBytes = 32);
+
+} // namespace snslp
+
+#endif // SNSLP_SLP_SEEDCOLLECTOR_H

@@ -1,0 +1,296 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slp/SuperNode.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/IRBuilder.h"
+#include "slp/LookAhead.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace snslp;
+
+//===----------------------------------------------------------------------===//
+// Lane construction
+//===----------------------------------------------------------------------===//
+
+void SuperNode::Lane::undoLastExpansion() {
+  assert(!History.empty() && "no expansion to undo");
+  const Expansion &E = History.back();
+  // The expansion replaced Leaves[Pos] with the trunk instruction's two
+  // operand leaves at [Pos, Pos+1]; fold them back into the original leaf.
+  assert(E.Pos + 1 < Leaves.size() && "corrupt expansion record");
+  Leaves[E.Pos] = E.Replaced;
+  Leaves.erase(Leaves.begin() + static_cast<long>(E.Pos) + 1);
+  auto It = std::find(Trunk.begin(), Trunk.end(), E.TrunkInst);
+  assert(It != Trunk.end() && "trunk instruction missing on undo");
+  Trunk.erase(It);
+  History.pop_back();
+}
+
+unsigned SuperNode::Lane::unusedNonInvertedCount() const {
+  unsigned Count = 0;
+  for (size_t I = 0; I < Leaves.size(); ++I)
+    if (!Used[I] && !Leaves[I].Inverted)
+      ++Count;
+  return Count;
+}
+
+/// Returns true when leaf \p L can be expanded into its operands: a
+/// single-use binary operator of family \p Family in block \p BB whose
+/// opcode is permitted by \p AllowInverse and which is not frozen.
+static bool isExpandable(const SNLeaf &L, OpFamily Family, bool AllowInverse,
+                         const BasicBlock *BB,
+                         const std::unordered_set<Value *> &Frozen) {
+  const auto *B = dyn_cast<BinaryOperator>(L.V);
+  if (!B || B->getFamily() != Family)
+    return false;
+  if (!AllowInverse && isInverseOpcode(B->getOpcode()))
+    return false;
+  if (!B->hasOneUse())
+    return false;
+  if (B->getParent() != BB)
+    return false;
+  return Frozen.count(const_cast<BinaryOperator *>(B)) == 0;
+}
+
+std::unique_ptr<SuperNode>
+SuperNode::tryBuild(const std::vector<Value *> &Bundle, bool AllowInverse,
+                    const std::unordered_set<Value *> &Frozen) {
+  if (Bundle.size() < 2)
+    return nullptr;
+  // Lanes must be distinct binary operators of one family, in one block.
+  for (size_t I = 0; I < Bundle.size(); ++I)
+    for (size_t J = I + 1; J < Bundle.size(); ++J)
+      if (Bundle[I] == Bundle[J])
+        return nullptr;
+
+  auto SN = std::make_unique<SuperNode>();
+  const BasicBlock *BB = nullptr;
+  for (Value *V : Bundle) {
+    auto *Root = dyn_cast<BinaryOperator>(V);
+    if (!Root || Frozen.count(V))
+      return nullptr;
+    OpFamily F = Root->getFamily();
+    if (F == OpFamily::None)
+      return nullptr;
+    if (!AllowInverse && isInverseOpcode(Root->getOpcode()))
+      return nullptr;
+    if (SN->Family == OpFamily::None) {
+      SN->Family = F;
+      BB = Root->getParent();
+    }
+    if (F != SN->Family || Root->getParent() != BB || !BB)
+      return nullptr;
+
+    Lane L;
+    L.Root = Root;
+    L.Trunk.push_back(Root);
+    L.Leaves.push_back(SNLeaf{Root->getLHS(), false});
+    L.Leaves.push_back(
+        SNLeaf{Root->getRHS(), isInverseOpcode(Root->getOpcode())});
+    SN->Lanes.push_back(std::move(L));
+  }
+
+  // Grow each lane's tree to its maximum, recording expansions for undo.
+  for (Lane &L : SN->Lanes) {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t Pos = 0; Pos < L.Leaves.size(); ++Pos) {
+        const SNLeaf Leaf = L.Leaves[Pos];
+        if (!isExpandable(Leaf, SN->Family, AllowInverse, BB, Frozen))
+          continue;
+        auto *B = cast<BinaryOperator>(Leaf.V);
+        // A leaf under a '-' APO flips the APO of the inverse operator's
+        // right-hand side (Sec. IV-C1: count right-hand edges of inverse
+        // operators along the path).
+        SNLeaf Left{B->getLHS(), Leaf.Inverted};
+        SNLeaf Right{B->getRHS(),
+                     Leaf.Inverted != isInverseOpcode(B->getOpcode())};
+        L.History.push_back(Lane::Expansion{Pos, Leaf, B});
+        L.Leaves[Pos] = Left;
+        L.Leaves.insert(L.Leaves.begin() + static_cast<long>(Pos) + 1, Right);
+        L.Trunk.push_back(B);
+        Changed = true;
+        break;
+      }
+    }
+  }
+
+  // Equalize leaf counts across lanes by undoing the deepest expansions of
+  // the larger lanes (the Multi-Node requirement that every lane supplies
+  // the same number of operands).
+  size_t MinLeaves = std::numeric_limits<size_t>::max();
+  for (const Lane &L : SN->Lanes)
+    MinLeaves = std::min(MinLeaves, L.Leaves.size());
+  for (Lane &L : SN->Lanes)
+    while (L.Leaves.size() > MinLeaves)
+      L.undoLastExpansion();
+
+  // The paper's minimum legal Multi/Super-Node size is a trunk of 2.
+  if (MinLeaves < 3)
+    return nullptr;
+
+  for (Lane &L : SN->Lanes)
+    L.Used.assign(L.Leaves.size(), false);
+  return SN;
+}
+
+//===----------------------------------------------------------------------===//
+// Reordering (Listings 2 and 3)
+//===----------------------------------------------------------------------===//
+
+bool SuperNode::canPlace(const Lane &L, size_t LeafIdx, unsigned Slot) const {
+  if (L.Used[LeafIdx])
+    return false;
+  const SNLeaf &Leaf = L.Leaves[LeafIdx];
+  // Slot 0 heads the re-emitted chain: it must carry a '+' APO because no
+  // unary negation/reciprocal is introduced (paper Sec. IV-C2).
+  if (Slot == 0)
+    return !Leaf.Inverted;
+  // Any other slot accepts either APO via trunk re-derivation (Sec. IV-C3),
+  // but the last '+' leaf must stay reserved for slot 0.
+  if (!Leaf.Inverted && L.unusedNonInvertedCount() == 1)
+    return false;
+  return true;
+}
+
+std::vector<size_t> SuperNode::buildGroup(size_t Lane0Leaf, unsigned Slot,
+                                          const LookAhead &LA) const {
+  std::vector<size_t> Group{Lane0Leaf};
+  const Value *Prev = Lanes[0].Leaves[Lane0Leaf].V;
+  for (unsigned LaneIdx = 1; LaneIdx < getNumLanes(); ++LaneIdx) {
+    const Lane &L = Lanes[LaneIdx];
+    int BestScore = std::numeric_limits<int>::min();
+    size_t BestIdx = SIZE_MAX;
+    for (size_t I = 0; I < L.Leaves.size(); ++I) {
+      // Legality is a two-step check: the leaf-only move, then the
+      // trunk-assisted move (canPlace folds both; see header).
+      if (!canPlace(L, I, Slot))
+        continue;
+      int Score = LA.score(Prev, L.Leaves[I].V);
+      if (Score > BestScore) {
+        BestScore = Score;
+        BestIdx = I;
+      }
+    }
+    if (BestIdx == SIZE_MAX)
+      return {};
+    Group.push_back(BestIdx);
+    Prev = L.Leaves[BestIdx].V;
+  }
+  return Group;
+}
+
+void SuperNode::reorderLeavesAndTrunks(const LookAhead &LA) {
+  unsigned Slots = getNumSlots();
+  for (Lane &L : Lanes) {
+    L.Assigned.assign(Slots, SNLeaf{});
+    L.Used.assign(L.Leaves.size(), false);
+  }
+
+  // Visit operand indexes sorted closest-to-root first: in a left-to-right
+  // chain the slot nearest the root is the highest index (Listing 2's
+  // sorted visit order), and slot 0 — with its '+' restriction — comes
+  // last, when the reserved '+' leaves remain.
+  for (int Slot = static_cast<int>(Slots) - 1; Slot >= 0; --Slot) {
+    unsigned USlot = static_cast<unsigned>(Slot);
+    int BestScore = std::numeric_limits<int>::min();
+    std::vector<size_t> BestGroup;
+
+    // Try every legal lane-0 leaf as the group's starting point.
+    for (size_t I = 0; I < Lanes[0].Leaves.size(); ++I) {
+      if (!canPlace(Lanes[0], I, USlot))
+        continue;
+      std::vector<size_t> Group = buildGroup(I, USlot, LA);
+      if (Group.empty())
+        continue;
+      std::vector<const Value *> GroupValues;
+      GroupValues.reserve(Group.size());
+      for (unsigned LaneIdx = 0; LaneIdx < Group.size(); ++LaneIdx)
+        GroupValues.push_back(Lanes[LaneIdx].Leaves[Group[LaneIdx]].V);
+      int Score = LA.groupScore(GroupValues);
+      if (Score > BestScore) {
+        BestScore = Score;
+        BestGroup = std::move(Group);
+      }
+    }
+
+    if (!BestGroup.empty()) {
+      for (unsigned LaneIdx = 0; LaneIdx < getNumLanes(); ++LaneIdx) {
+        Lane &L = Lanes[LaneIdx];
+        L.Assigned[USlot] = L.Leaves[BestGroup[LaneIdx]];
+        L.Used[BestGroup[LaneIdx]] = true;
+      }
+      continue;
+    }
+
+    // No coordinated group exists (can happen when a lane runs out of
+    // legal leaves for this slot); fall back to any legal per-lane choice.
+    for (Lane &L : Lanes) {
+      size_t Pick = SIZE_MAX;
+      for (size_t I = 0; I < L.Leaves.size(); ++I)
+        if (canPlace(L, I, USlot)) {
+          Pick = I;
+          break;
+        }
+      assert(Pick != SIZE_MAX &&
+             "the reserved '+' leaf guarantees a legal pick");
+      L.Assigned[USlot] = L.Leaves[Pick];
+      L.Used[Pick] = true;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Code re-emission
+//===----------------------------------------------------------------------===//
+
+std::vector<Instruction *>
+SuperNode::generateCode(std::unordered_set<Value *> &Produced) {
+  std::vector<Instruction *> NewRoots;
+  BinOpcode Direct = getDirectOpcode(Family);
+  BinOpcode Inverse = getInverseOpcode(Family);
+
+  for (Lane &L : Lanes) {
+    assert(L.Assigned.size() == getNumSlots() && "reorder must run first");
+    assert(!L.Assigned[0].Inverted && "slot 0 must carry a '+' APO");
+
+    IRBuilder B(L.Root->getParent()->getContext());
+    B.setInsertPointBefore(L.Root);
+
+    Value *Acc = L.Assigned[0].V;
+    for (unsigned Slot = 1; Slot < getNumSlots(); ++Slot) {
+      const SNLeaf &Leaf = L.Assigned[Slot];
+      Acc = B.createBinOp(Leaf.Inverted ? Inverse : Direct, Acc, Leaf.V);
+      Produced.insert(Acc);
+    }
+
+    L.Root->replaceAllUsesWith(Acc);
+    NewRoots.push_back(cast<Instruction>(Acc));
+
+    // The original trunk is now dead: the root lost all uses and interior
+    // trunk nodes were single-use. Erase in use-order (root first).
+    bool Erased = true;
+    while (Erased) {
+      Erased = false;
+      for (auto It = L.Trunk.begin(); It != L.Trunk.end(); ++It) {
+        if ((*It)->hasUses())
+          continue;
+        (*It)->eraseFromParent();
+        L.Trunk.erase(It);
+        Erased = true;
+        break;
+      }
+    }
+    assert(L.Trunk.empty() && "original trunk not fully erased");
+  }
+  return NewRoots;
+}

@@ -1,0 +1,141 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Super-Node (Section IV of the paper): a multi-lane bundle of maximal
+/// single-use expression trees over one operator family — a commutative,
+/// associative operator together with its inverse element (add/sub,
+/// fadd/fsub, fmul/fdiv). With AllowInverse=false this degenerates to
+/// LSLP's Multi-Node (single commutative opcode).
+///
+/// Each leaf operand carries its Accumulated Path Operation (APO,
+/// Sec. IV-C1): the effective unary operation ('+' or '-'; for the
+/// multiplicative family, identity or reciprocal) obtained by counting the
+/// right-hand-side edges of inverse operators on the path from the root.
+/// The lane's value equals the APO-signed combination of its leaves, which
+/// is what makes cross-slot leaf reordering legal.
+///
+/// Legality (Sec. IV-C2/C3): a leaf may take a slot whose APO matches
+/// (leaf-only move), or a slot whose trunk can be reordered to route the
+/// required APO there while preserving every node's APO (trunk-assisted
+/// move). Because this implementation re-emits the trunk as a canonical
+/// left-to-right chain, the two rules reduce to: slot 0 (the chain head)
+/// requires a '+' leaf — no unary negation/reciprocal is ever introduced,
+/// the same restriction the paper's trunk reordering obeys — and every
+/// other slot accepts either APO (the re-derived trunk supplies the
+/// matching direct/inverse opcode). One '+' leaf is reserved per lane so
+/// slot 0 can always be filled; every lane has one because the root's
+/// leftmost spine always carries a '+' APO.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SLP_SUPERNODE_H
+#define SNSLP_SLP_SUPERNODE_H
+
+#include "ir/Instruction.h"
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+namespace snslp {
+
+class LookAhead;
+
+/// A leaf operand of a Super-Node with its APO.
+struct SNLeaf {
+  Value *V = nullptr;
+  /// APO: false = '+' (identity), true = '-' (negation / reciprocal).
+  bool Inverted = false;
+};
+
+/// A Super-Node spanning all lanes of one SLP bundle.
+class SuperNode {
+public:
+  /// Attempts to build a Super-Node rooted at \p Bundle.
+  ///
+  /// Every lane must be a distinct BinaryOperator of the same operator
+  /// family within one basic block; with \p AllowInverse false only the
+  /// direct (commutative) opcode participates, yielding an LSLP Multi-Node.
+  /// Values in \p Frozen (e.g. instructions produced by an earlier
+  /// Super-Node re-emission) are never expanded.
+  ///
+  /// Returns null when no Super-Node of trunk depth >= 2 exists (the
+  /// paper's minimum legal Multi/Super-Node size).
+  static std::unique_ptr<SuperNode>
+  tryBuild(const std::vector<Value *> &Bundle, bool AllowInverse,
+           const std::unordered_set<Value *> &Frozen);
+
+  unsigned getNumLanes() const {
+    return static_cast<unsigned>(Lanes.size());
+  }
+  /// Leaf slots per lane (equal across lanes after construction).
+  unsigned getNumSlots() const {
+    return static_cast<unsigned>(Lanes.front().Leaves.size());
+  }
+  /// Trunk operations per lane (= slots - 1); the "node size" reported by
+  /// the paper's Figs. 6/7/9/10.
+  unsigned getTrunkSize() const { return getNumSlots() - 1; }
+
+  OpFamily getFamily() const { return Family; }
+
+  /// Finds the best legal leaf order per slot across all lanes, greedy,
+  /// root-proximal slots first, scored with \p LA (Listings 2 and 3).
+  void reorderLeavesAndTrunks(const LookAhead &LA);
+
+  /// Re-emits each lane as a canonical chain realizing the order chosen by
+  /// reorderLeavesAndTrunks, replaces all uses of the old roots, and erases
+  /// the dead original trunk. Newly created instructions are added to
+  /// \p Produced so callers can stop re-forming Super-Nodes over them.
+  ///
+  /// \returns the new root instruction of each lane.
+  std::vector<Instruction *>
+  generateCode(std::unordered_set<Value *> &Produced);
+
+  /// Assigned leaf for (lane, slot); valid after reorderLeavesAndTrunks.
+  const SNLeaf &getAssigned(unsigned Lane, unsigned Slot) const {
+    return Lanes[Lane].Assigned[Slot];
+  }
+
+private:
+  struct Lane {
+    BinaryOperator *Root = nullptr;
+    /// Current internal (trunk) instructions, root first.
+    std::vector<BinaryOperator *> Trunk;
+    /// Current leaves in left-to-right DFS order.
+    std::vector<SNLeaf> Leaves;
+    /// Expansion history for LIFO undo during lane equalization.
+    struct Expansion {
+      size_t Pos;          ///< Leaf position that was expanded.
+      SNLeaf Replaced;     ///< The leaf that the expansion replaced.
+      BinaryOperator *TrunkInst;
+    };
+    std::vector<Expansion> History;
+    /// Per-slot leaf assignment chosen by reorderLeavesAndTrunks.
+    std::vector<SNLeaf> Assigned;
+    std::vector<bool> Used; ///< Parallel to Leaves.
+
+    void undoLastExpansion();
+    unsigned unusedNonInvertedCount() const;
+  };
+
+  /// Listing 3: extends the group for slot \p Slot across lanes, starting
+  /// from leaf \p Lane0Leaf of lane 0. Returns one leaf index per lane, or
+  /// empty when some lane has no legal leaf.
+  std::vector<size_t> buildGroup(size_t Lane0Leaf, unsigned Slot,
+                                 const LookAhead &LA) const;
+
+  /// Two-step legality of Listing 3 in canonical-chain form (see file
+  /// comment): leaf-only move when APOs agree, trunk-assisted otherwise.
+  bool canPlace(const Lane &L, size_t LeafIdx, unsigned Slot) const;
+
+  OpFamily Family = OpFamily::None;
+  std::vector<Lane> Lanes;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SLP_SUPERNODE_H

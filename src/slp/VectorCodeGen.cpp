@@ -1,0 +1,300 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slp/VectorCodeGen.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Dominators.h"
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace snslp;
+
+Instruction *VectorCodeGen::getAnchor(SLPNode *N) const {
+  bool WantFirst = isa<LoadInst>(N->getLane(0));
+  auto *Anchor = cast<Instruction>(N->getLane(0));
+  for (unsigned I = 1, E = N->getNumLanes(); I != E; ++I) {
+    auto *Lane = cast<Instruction>(N->getLane(I));
+    bool Replace = WantFirst ? Lane->comesBefore(Anchor)
+                             : Anchor->comesBefore(Lane);
+    if (Replace)
+      Anchor = Lane;
+  }
+  return Anchor;
+}
+
+void VectorCodeGen::collectReplacedScalars() {
+  // Everything in a Vectorize/Alternate node is replaced by vector code.
+  for (const auto &N : Graph.nodes())
+    if (N->getKind() != SLPNodeKind::Gather)
+      for (Value *V : N->lanes())
+        ToDelete.insert(cast<Instruction>(V));
+}
+
+void VectorCodeGen::finish() {
+  fixExternalUses();
+
+  // Sever mutual references first so destruction order is irrelevant, then
+  // erase. After fixExternalUses every remaining use of a ToDelete member
+  // comes from another ToDelete member.
+  for (Instruction *I : ToDelete)
+    I->dropAllReferences();
+  for (Instruction *I : ToDelete) {
+    assert(!I->hasUses() && "deleted scalar still has live uses");
+    I->eraseFromParent();
+  }
+}
+
+void VectorCodeGen::run() {
+  SLPNode *Root = Graph.getRoot();
+  assert(Root && isa<StoreInst>(Root->getLane(0)) &&
+         "graph root must be a store bundle");
+
+  collectReplacedScalars();
+
+  Instruction *Anchor = getAnchor(Root);
+  Value *Vec = vectorizeNode(Root->getOperand(0), Anchor);
+
+  // The vector store writes all lanes starting at the lowest address,
+  // which is lane 0 by seed construction.
+  auto *Lane0Store = cast<StoreInst>(Root->getLane(0));
+  IRBuilder B(Anchor->getParent()->getContext());
+  B.setInsertPointBefore(Anchor);
+  Instruction *VecStore = B.createStore(Vec, Lane0Store->getPointerOperand());
+  VectorValue[Root] = VecStore;
+
+  finish();
+}
+
+void VectorCodeGen::runReduction(
+    BinaryOperator *Root, const std::vector<Instruction *> &TreeInsts) {
+  SLPNode *LeafRoot = Graph.getRoot();
+  assert(LeafRoot && "reduction graph has no root bundle");
+
+  collectReplacedScalars();
+
+  // The vector computation and the reduction ladder sit right before the
+  // old reduction root.
+  Value *Vec = vectorizeNode(LeafRoot, Root);
+  unsigned VF = LeafRoot->getNumLanes();
+
+  IRBuilder B(Root->getParent()->getContext());
+  B.setInsertPointBefore(Root);
+  Value *Acc = Vec;
+  for (unsigned W = VF; W > 1; W /= 2) {
+    // Rotate by W/2 and combine: after log2(VF) steps every lane holds the
+    // full horizontal combination.
+    std::vector<int> Mask(VF);
+    for (unsigned L = 0; L < VF; ++L)
+      Mask[L] = static_cast<int>((L + W / 2) % VF);
+    Value *Rotated = B.createShuffleVector(Acc, Acc, Mask);
+    Acc = B.createBinOp(Root->getOpcode(), Acc, Rotated);
+  }
+  Value *Reduced = B.createExtractElement(Acc, 0);
+  Root->replaceAllUsesWith(Reduced);
+
+  // Erase the old reduction tree, root first (interior nodes become dead
+  // as their single users go away).
+  std::vector<Instruction *> Tree = TreeInsts;
+  bool Erased = true;
+  while (Erased) {
+    Erased = false;
+    for (auto It = Tree.begin(); It != Tree.end(); ++It) {
+      if ((*It)->hasUses())
+        continue;
+      (*It)->eraseFromParent();
+      Tree.erase(It);
+      Erased = true;
+      break;
+    }
+  }
+  assert(Tree.empty() && "reduction tree not fully erased");
+
+  finish();
+}
+
+Value *VectorCodeGen::vectorizeNode(SLPNode *N, Instruction *InsertBefore) {
+  auto It = VectorValue.find(N);
+  if (It != VectorValue.end())
+    return It->second;
+
+  if (N->getKind() == SLPNodeKind::Gather) {
+    // Gathers are not globally memoized: a shared gather node emitted at
+    // one user's anchor would not necessarily dominate another user.
+    return emitGather(N, InsertBefore);
+  }
+  if (N->getKind() == SLPNodeKind::Shuffle) {
+    // Like gathers, shuffles materialize at each requesting user.
+    Value *Src = vectorizeNode(N->getOperand(0), InsertBefore);
+    IRBuilder SB(InsertBefore->getParent()->getContext());
+    SB.setInsertPointBefore(InsertBefore);
+    return SB.createShuffleVector(Src, Src, N->getLoadPermutation());
+  }
+
+  Context &Ctx = N->getLane(0)->getContext();
+  Instruction *Anchor = getAnchor(N);
+  IRBuilder B(Ctx);
+
+  Value *Result = nullptr;
+  if (isa<LoadInst>(N->getLane(0))) {
+    // The vector load reads from the group's lowest address. Derive it
+    // from the anchor lane's own pointer (always available at the anchor)
+    // minus that lane's memory rank; for permuted groups a shuffle then
+    // restores the bundle's lane order.
+    const std::vector<int> &Perm = N->getLoadPermutation();
+    int AnchorLane = -1;
+    for (unsigned L = 0; L < N->getNumLanes(); ++L)
+      if (N->getLane(L) == Anchor)
+        AnchorLane = static_cast<int>(L);
+    assert(AnchorLane >= 0 && "anchor must be a bundle member");
+    int AnchorRank = Perm.empty() ? AnchorLane : Perm[AnchorLane];
+
+    auto *AnchorLoad = cast<LoadInst>(Anchor);
+    Type *ElemTy = AnchorLoad->getType();
+    B.setInsertPointBefore(Anchor);
+    Value *BasePtr = AnchorLoad->getPointerOperand();
+    if (AnchorRank != 0)
+      BasePtr = B.createGEP(ElemTy, BasePtr,
+                            ConstantInt::get(Ctx.getInt64Ty(), -AnchorRank));
+    VectorType *VT = Ctx.getVectorType(ElemTy, N->getNumLanes());
+    Result = B.createLoad(VT, BasePtr);
+    if (!Perm.empty())
+      Result = B.createShuffleVector(Result, Result, Perm);
+  } else if (isa<UnaryOperator>(N->getLane(0))) {
+    assert(N->getNumOperands() == 1 && "unary node expects 1 operand");
+    Value *Op0 = vectorizeNode(N->getOperand(0), Anchor);
+    B.setInsertPointBefore(Anchor);
+    Result = B.createUnaryOp(
+        cast<UnaryOperator>(N->getLane(0))->getOpcode(), Op0);
+  } else {
+    assert(N->getNumOperands() == 2 && "arithmetic node expects 2 operands");
+    Value *Op0 = vectorizeNode(N->getOperand(0), Anchor);
+    Value *Op1 = vectorizeNode(N->getOperand(1), Anchor);
+    B.setInsertPointBefore(Anchor);
+    if (N->getKind() == SLPNodeKind::Vectorize) {
+      auto *Lane0 = cast<BinaryOperator>(N->getLane(0));
+      Result = B.createBinOp(Lane0->getOpcode(), Op0, Op1);
+    } else {
+      Result = B.createAlternateOp(N->getLaneOpcodes(), Op0, Op1);
+    }
+  }
+  VectorValue[N] = Result;
+  return Result;
+}
+
+Value *VectorCodeGen::emitGather(SLPNode *N, Instruction *InsertBefore) {
+  Context &Ctx = N->getLane(0)->getContext();
+  Type *ElemTy = N->getLane(0)->getType();
+  unsigned VF = N->getNumLanes();
+
+  // Start from a constant vector holding the constant lanes (zeros in the
+  // variable lanes), then insert the variable lanes.
+  std::vector<Constant *> BaseElems;
+  BaseElems.reserve(VF);
+  bool AllConstant = true;
+  for (unsigned I = 0; I < VF; ++I) {
+    if (auto *C = dyn_cast<Constant>(N->getLane(I))) {
+      BaseElems.push_back(C);
+      continue;
+    }
+    AllConstant = false;
+    BaseElems.push_back(ElemTy->isFloatingPoint()
+                            ? static_cast<Constant *>(
+                                  Ctx.getConstantFP(ElemTy, 0.0))
+                            : Ctx.getConstantInt(ElemTy, 0));
+  }
+  Value *Vec = Ctx.getConstantVector(BaseElems);
+  if (AllConstant)
+    return Vec;
+
+  IRBuilder B(Ctx);
+  B.setInsertPointBefore(InsertBefore);
+
+  // A splat gathers as one insert + broadcast shuffle (matching the cost
+  // model's broadcast pricing).
+  bool AllSame = true;
+  for (unsigned I = 1; I < VF; ++I)
+    AllSame &= N->getLane(I) == N->getLane(0);
+  if (AllSame) {
+    Value *Splat = B.createInsertElement(Vec, N->getLane(0), 0);
+    return B.createShuffleVector(Splat, Splat,
+                                 std::vector<int>(VF, 0));
+  }
+
+  for (unsigned I = 0; I < VF; ++I) {
+    Value *Lane = N->getLane(I);
+    if (isa<Constant>(Lane))
+      continue;
+    // Vectorized scalars referenced by a gather stay referenced as
+    // scalars here; fixExternalUses later converts the reference into a
+    // lane extract or keeps the scalar alive, with a dominance check.
+    Vec = B.createInsertElement(Vec, Lane, I);
+  }
+  return Vec;
+}
+
+void VectorCodeGen::fixExternalUses() {
+  // One extract per (node, lane) is enough for all rewired uses.
+  std::unordered_map<const Value *, Value *> ExtractFor;
+
+  const Function *F = getAnchor(Graph.getRoot())->getFunction();
+  DominatorTree DT(*F);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Iterate over a snapshot: we may drop members from ToDelete.
+    std::vector<Instruction *> Members(ToDelete.begin(), ToDelete.end());
+    for (Instruction *I : Members) {
+      if (!ToDelete.count(I))
+        continue;
+      // Snapshot uses; rewiring mutates the list.
+      std::vector<Use> Uses = I->uses();
+      for (const Use &U : Uses) {
+        if (ToDelete.count(U.User))
+          continue;
+
+        // External use: try to serve it from the vector lane.
+        SLPNode *Node = ScalarMap.at(I);
+        auto VecIt = VectorValue.find(Node);
+        assert(VecIt != VectorValue.end() && "node was never emitted");
+        auto *VecInst = cast<Instruction>(VecIt->second);
+
+        if (!DT.isUseWellFormed(VecInst, U.User, U.OperandIndex)) {
+          // The vector definition cannot reach this use; keep the scalar
+          // (it is computed redundantly in both forms).
+          ToDelete.erase(I);
+          Changed = true;
+          break;
+        }
+
+        Value *&Extract = ExtractFor[I];
+        if (!Extract) {
+          int LaneIdx = -1;
+          for (unsigned L = 0; L < Node->getNumLanes(); ++L)
+            if (Node->getLane(L) == I)
+              LaneIdx = static_cast<int>(L);
+          assert(LaneIdx >= 0 && "scalar not found in its node");
+          // Insert the extract immediately after the vector definition.
+          BasicBlock *BB = VecInst->getParent();
+          auto NextIt = BB->getIterator(VecInst);
+          ++NextIt;
+          assert(NextIt != BB->end() && "vector def cannot be a terminator");
+          IRBuilder B(BB->getContext());
+          B.setInsertPointBefore(NextIt->get());
+          Extract = B.createExtractElement(
+              VecInst, static_cast<unsigned>(LaneIdx));
+        }
+        U.User->setOperand(U.OperandIndex, Extract);
+        Changed = true;
+      }
+    }
+  }
+}

@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vector code generation (step 6.b of Fig. 1): replaces the scalar groups
+/// of a profitable SLP graph with vector instructions, emits gathers and
+/// extracts at the scalar/vector boundary, and deletes the dead scalars.
+///
+/// Placement discipline: a vector LOAD is inserted at its FIRST bundle
+/// member (lanes move up); every other vector instruction is inserted
+/// immediately before the LAST member of its bundle (lanes move down).
+/// Because a definition precedes its user in every lane, the first load
+/// member precedes every consumer lane and the last member of an operand
+/// bundle precedes the last member of the user bundle, so this ordering is
+/// always legal; memory-bundle legality over the [first, last] span was
+/// established by isSafeToBundle (with matching directions) during graph
+/// construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SLP_VECTORCODEGEN_H
+#define SNSLP_SLP_VECTORCODEGEN_H
+
+#include "slp/SLPGraph.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace snslp {
+
+class Context;
+
+/// Commits one SLP graph to the IR. Single-shot: construct, run(), discard.
+class VectorCodeGen {
+public:
+  VectorCodeGen(SLPGraph &Graph,
+                const std::unordered_map<Value *, SLPNode *> &ScalarMap)
+      : Graph(Graph), ScalarMap(ScalarMap) {}
+
+  /// Emits the vector code and erases the replaced scalars. The caller
+  /// must have decided profitability already. The graph root must be a
+  /// store bundle.
+  void run();
+
+  /// Commits a horizontal-reduction graph: the graph root is the leaf
+  /// bundle of a reduction tree headed by \p Root. Emits the vector
+  /// computation plus a log-step shuffle reduction, replaces \p Root's
+  /// uses with the reduced scalar, and erases \p TreeInsts.
+  void runReduction(BinaryOperator *Root,
+                    const std::vector<Instruction *> &TreeInsts);
+
+private:
+  /// Returns (emitting on first demand) the vector value of \p N.
+  /// \p InsertBefore is the position a Gather should materialize at (the
+  /// requesting user's anchor); ignored for non-gather nodes, which anchor
+  /// at their own last member.
+  Value *vectorizeNode(SLPNode *N, Instruction *InsertBefore);
+
+  Value *emitGather(SLPNode *N, Instruction *InsertBefore);
+
+  /// The node's insertion anchor: the first member in program order for
+  /// load bundles, the last member for everything else.
+  Instruction *getAnchor(SLPNode *N) const;
+
+  /// Collects the scalars replaced by vector code into ToDelete.
+  void collectReplacedScalars();
+
+  /// Rewires external uses, then severs and erases the replaced scalars.
+  void finish();
+
+  /// Rewires uses of vectorized scalars that survive outside the graph to
+  /// lane extracts; scalars whose external use cannot be dominated by the
+  /// vector definition are kept alive instead.
+  void fixExternalUses();
+
+  /// If \p V is a lane of a committed vector node, returns an extract of
+  /// that lane inserted right after the vector definition; null otherwise.
+  Value *extractLane(Value *V, Instruction *InsertBefore);
+
+  SLPGraph &Graph;
+  const std::unordered_map<Value *, SLPNode *> &ScalarMap;
+  std::unordered_map<SLPNode *, Value *> VectorValue;
+  std::unordered_set<Instruction *> ToDelete;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SLP_VECTORCODEGEN_H

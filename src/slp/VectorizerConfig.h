@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of the SLP vectorizer. One code base implements all three
+/// configurations evaluated in the paper:
+///  - SLP:   LLVM-style bottom-up SLP with per-instruction commutative
+///           operand reordering.
+///  - LSLP:  SLP + Multi-Nodes over a single commutative opcode with
+///           look-ahead operand reordering (Porpodas et al. [9]).
+///  - SNSLP: LSLP generalized to Super-Nodes that also absorb the inverse
+///           element of the operator family (this paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SLP_VECTORIZERCONFIG_H
+#define SNSLP_SLP_VECTORIZERCONFIG_H
+
+#include "costmodel/TargetCostModel.h"
+
+namespace snslp {
+
+/// The vectorizer configurations compared in the paper's evaluation.
+/// O3 means "all vectorizers disabled" (the paper's baseline).
+enum class VectorizerMode { O3, SLP, LSLP, SNSLP };
+
+/// Returns the display name used by benchmarks ("O3", "SLP", ...).
+const char *getModeName(VectorizerMode Mode);
+
+/// Tunables for one vectorizer run.
+struct VectorizerConfig {
+  VectorizerMode Mode = VectorizerMode::SNSLP;
+
+  /// Vectorization factors to try, largest first; bounded by the target's
+  /// register width for the element type.
+  unsigned MaxVF = 4;
+  unsigned MinVF = 2;
+
+  /// Look-ahead recursion depth for operand-reordering scores (LSLP Sec. 4;
+  /// used by LSLP and SNSLP modes).
+  unsigned LookAheadDepth = 2;
+
+  /// Maximum use-def recursion depth while growing the SLP graph.
+  unsigned MaxGraphDepth = 16;
+
+  /// Cost threshold: vectorize when the graph cost is strictly below this
+  /// (the paper: "compared against a threshold (usually 0)").
+  int CostThreshold = 0;
+
+  /// Also seed from horizontal reduction roots. On by default: the paper
+  /// enables -slp-vectorize-hor for both LLVM and SN-SLP (Section V).
+  bool EnableReductionSeeds = true;
+
+  /// Extension beyond the paper (off by default): vectorize load groups
+  /// that are a permutation of consecutive addresses as one vector load
+  /// plus a lane shuffle.
+  bool EnableLoadShuffles = false;
+
+  /// Target machine parameters.
+  TargetParams Target;
+
+  /// \name Mode-derived feature queries.
+  /// @{
+  bool enableSuperNode() const {
+    return Mode == VectorizerMode::LSLP || Mode == VectorizerMode::SNSLP;
+  }
+  bool allowInverseOps() const { return Mode == VectorizerMode::SNSLP; }
+  bool enabled() const { return Mode != VectorizerMode::O3; }
+  /// @}
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SLP_VECTORIZERCONFIG_H

@@ -1,0 +1,107 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled, opt-in RTTI in the style of LLVM's llvm/Support/Casting.h.
+///
+/// Classes participate by providing a static `classof(const Base *)`
+/// predicate. `isa<>`, `cast<>` and `dyn_cast<>` then work exactly like
+/// their LLVM counterparts:
+///
+/// \code
+///   if (auto *BO = dyn_cast<BinaryOperator>(V))
+///     use(BO->getOpcode());
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SUPPORT_CASTING_H
+#define SNSLP_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace snslp {
+
+/// Returns true if \p Val is an instance of class \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Returns true if \p Val is non-null and an instance of \p To.
+template <typename To, typename From> bool isa_and_nonnull(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Checked downcast: asserts that \p Val is-a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast that returns null when \p Val is not an instance of \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// \name Reference forms (SFINAE-guarded so pointer calls stay unambiguous).
+/// @{
+template <typename To, typename From,
+          typename = std::enable_if_t<!std::is_pointer_v<From>>>
+bool isa(const From &Val) {
+  return To::classof(&Val);
+}
+
+template <typename To, typename From,
+          typename = std::enable_if_t<!std::is_pointer_v<From>>>
+To &cast(From &Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To &>(Val);
+}
+
+template <typename To, typename From,
+          typename = std::enable_if_t<!std::is_pointer_v<From>>>
+const To &cast(const From &Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To &>(Val);
+}
+
+template <typename To, typename From,
+          typename = std::enable_if_t<!std::is_pointer_v<From>>>
+To *dyn_cast(From &Val) {
+  return isa<To>(Val) ? &static_cast<To &>(Val) : nullptr;
+}
+
+template <typename To, typename From,
+          typename = std::enable_if_t<!std::is_pointer_v<From>>>
+const To *dyn_cast(const From &Val) {
+  return isa<To>(Val) ? &static_cast<const To &>(Val) : nullptr;
+}
+/// @}
+
+/// dyn_cast<> that also tolerates a null input.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return isa_and_nonnull<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return isa_and_nonnull<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace snslp
+
+#endif // SNSLP_SUPPORT_CASTING_H

@@ -1,0 +1,52 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include <cstdlib>
+
+using namespace snslp;
+
+CommandLine::CommandLine(int Argc, const char *const *Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    Arg = Arg.substr(2);
+    // Only the unambiguous `--name=value` form carries a value; a bare
+    // `--name` is a boolean flag. This keeps `--flag positional` parses
+    // predictable.
+    size_t Eq = Arg.find('=');
+    if (Eq != std::string::npos) {
+      Options[Arg.substr(0, Eq)] = Arg.substr(Eq + 1);
+      continue;
+    }
+    Options[Arg] = "";
+  }
+}
+
+std::string CommandLine::getString(const std::string &Name,
+                                   const std::string &Default) const {
+  auto It = Options.find(Name);
+  return It == Options.end() ? Default : It->second;
+}
+
+int64_t CommandLine::getInt(const std::string &Name, int64_t Default) const {
+  auto It = Options.find(Name);
+  if (It == Options.end() || It->second.empty())
+    return Default;
+  return std::strtoll(It->second.c_str(), nullptr, 10);
+}
+
+bool CommandLine::getBool(const std::string &Name, bool Default) const {
+  auto It = Options.find(Name);
+  if (It == Options.end())
+    return Default;
+  return It->second != "false" && It->second != "0";
+}
+

@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny command-line option parser for the example tools and benchmark
+/// binaries: supports `--name=value`, boolean `--flag`, and positional
+/// arguments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SUPPORT_COMMANDLINE_H
+#define SNSLP_SUPPORT_COMMANDLINE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+/// Parsed command-line options: named `--key[=value]` options plus
+/// positional arguments in order of appearance.
+class CommandLine {
+public:
+  /// Parses \p Argv. Unknown options are accepted (callers validate).
+  CommandLine(int Argc, const char *const *Argv);
+
+  /// Returns true if option \p Name was present (with or without value).
+  bool has(const std::string &Name) const {
+    return Options.count(Name) != 0;
+  }
+
+  /// Returns the string value of \p Name, or \p Default when absent.
+  std::string getString(const std::string &Name,
+                        const std::string &Default = "") const;
+
+  /// Returns the integer value of \p Name, or \p Default when absent or
+  /// unparsable.
+  int64_t getInt(const std::string &Name, int64_t Default = 0) const;
+
+  /// Returns true when \p Name is present and not explicitly "false"/"0".
+  bool getBool(const std::string &Name, bool Default = false) const;
+
+  /// Positional (non-option) arguments.
+  const std::vector<std::string> &positional() const { return Positional; }
+
+private:
+  std::map<std::string, std::string> Options;
+  std::vector<std::string> Positional;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SUPPORT_COMMANDLINE_H

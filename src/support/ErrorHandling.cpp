@@ -1,0 +1,23 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace snslp;
+
+void snslp::reportFatalError(const std::string &Msg) {
+  std::fprintf(stderr, "fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+void snslp::unreachableInternal(const char *Msg, const char *File,
+                                unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

@@ -1,0 +1,37 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and the snslp_unreachable macro, mirroring
+/// llvm/Support/ErrorHandling.h. The library does not use C++ exceptions;
+/// unrecoverable conditions abort with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SUPPORT_ERRORHANDLING_H
+#define SNSLP_SUPPORT_ERRORHANDLING_H
+
+#include <string>
+
+namespace snslp {
+
+/// Reports a fatal error message to stderr and aborts. Used for conditions
+/// that can be triggered by (malformed) user input, e.g. parse errors in
+/// tools, as opposed to internal invariant violations (use assert).
+[[noreturn]] void reportFatalError(const std::string &Msg);
+
+/// Internal implementation of snslp_unreachable; do not call directly.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace snslp
+
+/// Marks a point in code that should never be reached. Prints \p MSG with
+/// source location and aborts.
+#define snslp_unreachable(MSG)                                                 \
+  ::snslp::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // SNSLP_SUPPORT_ERRORHANDLING_H

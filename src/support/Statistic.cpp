@@ -1,0 +1,41 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+
+using namespace snslp;
+
+int64_t StatsRegistry::distributionSum(const std::string &Name) const {
+  int64_t Sum = 0;
+  for (int64_t V : getDistribution(Name))
+    Sum += V;
+  return Sum;
+}
+
+double StatsRegistry::distributionMean(const std::string &Name) const {
+  const std::vector<int64_t> &Dist = getDistribution(Name);
+  if (Dist.empty())
+    return 0.0;
+  return static_cast<double>(distributionSum(Name)) /
+         static_cast<double>(Dist.size());
+}
+
+void StatsRegistry::mergeFrom(const StatsRegistry &Other) {
+  for (const auto &[Name, Value] : Other.Counters)
+    Counters[Name] += Value;
+  for (const auto &[Name, Values] : Other.Distributions) {
+    std::vector<int64_t> &Dst = Distributions[Name];
+    Dst.insert(Dst.end(), Values.begin(), Values.end());
+  }
+}
+
+void StatsRegistry::print(std::ostream &OS) const {
+  for (const auto &[Name, Value] : Counters)
+    OS << Name << " = " << Value << '\n';
+  for (const auto &[Name, Values] : Distributions)
+    OS << Name << " : n=" << Values.size() << " sum=" << distributionSum(Name)
+       << " mean=" << distributionMean(Name) << '\n';
+}

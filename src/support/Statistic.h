@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight named-counter registry in the spirit of LLVM's Statistic
+/// class. The vectorizer increments counters (Super-Nodes formed, nodes
+/// vectorized, trunk sizes, ...) and the benchmark harness reads them to
+/// regenerate the node-size figures (Figs. 6, 7, 9, 10).
+///
+/// Unlike LLVM, counters live in an explicit registry object rather than
+/// process-global state, so independent experiments cannot interfere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SUPPORT_STATISTIC_H
+#define SNSLP_SUPPORT_STATISTIC_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+/// A registry of named integer counters and value distributions.
+class StatsRegistry {
+public:
+  /// Adds \p Delta to counter \p Name (creating it at zero if absent).
+  void add(const std::string &Name, int64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+
+  /// Records one observation of a distribution (e.g. a node size).
+  void record(const std::string &Name, int64_t Value) {
+    Distributions[Name].push_back(Value);
+  }
+
+  /// Returns the value of counter \p Name, or 0 if it was never touched.
+  int64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  /// Returns all recorded observations for distribution \p Name.
+  const std::vector<int64_t> &getDistribution(const std::string &Name) const {
+    static const std::vector<int64_t> Empty;
+    auto It = Distributions.find(Name);
+    return It == Distributions.end() ? Empty : It->second;
+  }
+
+  /// Returns the sum of the observations of distribution \p Name.
+  int64_t distributionSum(const std::string &Name) const;
+
+  /// Returns the mean of the observations of \p Name (0.0 when empty).
+  double distributionMean(const std::string &Name) const;
+
+  /// Merges all counters and distributions of \p Other into this registry.
+  void mergeFrom(const StatsRegistry &Other);
+
+  /// Removes all counters and distributions.
+  void clear() {
+    Counters.clear();
+    Distributions.clear();
+  }
+
+  /// Prints all counters, one per line, sorted by name.
+  void print(std::ostream &OS) const;
+
+private:
+  std::map<std::string, int64_t> Counters;
+  std::map<std::string, std::vector<int64_t>> Distributions;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SUPPORT_STATISTIC_H

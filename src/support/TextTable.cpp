@@ -1,0 +1,92 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace snslp;
+
+/// Quotes a CSV cell when needed (commas, quotes, newlines).
+static std::string csvCell(const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos)
+    return Cell;
+  std::string Quoted = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Quoted += '"';
+    Quoted += C;
+  }
+  return Quoted + "\"";
+}
+
+void TextTable::printCSV(std::ostream &OS) const {
+  auto PrintRow = [&OS](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      if (I)
+        OS << ',';
+      OS << csvCell(Cells[I]);
+    }
+    OS << '\n';
+  };
+  if (!Header.empty())
+    PrintRow(Header);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string TextTable::formatDouble(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string TextTable::formatMeanStd(double Mean, double StdDev,
+                                     int Precision) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "%.*f ± %.*f", Precision, Mean, Precision,
+                StdDev);
+  return Buf;
+}
+
+void TextTable::print(std::ostream &OS) const {
+  if (std::getenv("SNSLP_CSV")) {
+    printCSV(OS);
+    return;
+  }
+  // Compute per-column widths over the header and every row.
+  std::vector<size_t> Widths;
+  auto GrowWidths = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  GrowWidths(Header);
+  for (const auto &Row : Rows)
+    GrowWidths(Row);
+
+  auto PrintRow = [&OS, &Widths](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      OS << Cells[I];
+      if (I + 1 < Cells.size())
+        OS << std::string(Widths[I] - Cells[I].size() + 2, ' ');
+    }
+    OS << '\n';
+  };
+
+  if (!Header.empty()) {
+    PrintRow(Header);
+    size_t Total = 0;
+    for (size_t I = 0; I < Widths.size(); ++I)
+      Total += Widths[I] + (I + 1 < Widths.size() ? 2 : 0);
+    OS << std::string(Total, '-') << '\n';
+  }
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned console tables. The benchmark binaries print the paper's
+/// tables and figure series as plain-text rows; this helper keeps them
+/// readable without pulling in a formatting library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SUPPORT_TEXTTABLE_H
+#define SNSLP_SUPPORT_TEXTTABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TextTable {
+public:
+  /// Sets the header row (printed with a separator underneath).
+  void setHeader(std::vector<std::string> Cells) {
+    Header = std::move(Cells);
+  }
+
+  /// Appends one data row. Rows may have fewer cells than the header.
+  void addRow(std::vector<std::string> Cells) {
+    Rows.push_back(std::move(Cells));
+  }
+
+  /// Prints the table to \p OS with two spaces between columns. When the
+  /// SNSLP_CSV environment variable is set, emits CSV instead so benchmark
+  /// binaries can regenerate machine-readable figure data without flags.
+  void print(std::ostream &OS) const;
+
+  /// Prints the table as CSV (quotes cells containing commas/quotes).
+  void printCSV(std::ostream &OS) const;
+
+  /// Formats a double with \p Precision fractional digits.
+  static std::string formatDouble(double Value, int Precision = 3);
+
+  /// Formats "Mean ± StdDev" for measurement cells (paper error bars).
+  static std::string formatMeanStd(double Mean, double StdDev,
+                                   int Precision = 3);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SUPPORT_TEXTTABLE_H

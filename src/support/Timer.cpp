@@ -1,0 +1,32 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace snslp;
+
+SampleStats snslp::computeSampleStats(const std::vector<double> &Samples) {
+  SampleStats Stats;
+  if (Samples.empty())
+    return Stats;
+
+  double Sum = 0.0;
+  for (double S : Samples)
+    Sum += S;
+  Stats.Mean = Sum / static_cast<double>(Samples.size());
+
+  double SqSum = 0.0;
+  for (double S : Samples)
+    SqSum += (S - Stats.Mean) * (S - Stats.Mean);
+  Stats.StdDev = std::sqrt(SqSum / static_cast<double>(Samples.size()));
+
+  Stats.Min = *std::min_element(Samples.begin(), Samples.end());
+  Stats.Max = *std::max_element(Samples.begin(), Samples.end());
+  return Stats;
+}

@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timing utilities used by the compilation-time experiment
+/// (Fig. 11) and the benchmark harness (10 runs + warm-up methodology).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SUPPORT_TIMER_H
+#define SNSLP_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace snslp {
+
+/// A simple monotonic stopwatch.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns elapsed nanoseconds since construction or the last reset().
+  uint64_t elapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             Start)
+            .count());
+  }
+
+  /// Returns elapsed time in seconds.
+  double elapsedSeconds() const {
+    return static_cast<double>(elapsedNanos()) * 1e-9;
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Mean and standard deviation over a sample of measurements; the paper
+/// reports the average of 10 executions after one warm-up run with error
+/// bars showing the standard deviation.
+struct SampleStats {
+  double Mean = 0.0;
+  double StdDev = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Computes \ref SampleStats for \p Samples. Returns zeros for empty input.
+SampleStats computeSampleStats(const std::vector<double> &Samples);
+
+/// Runs \p Fn once as a warm-up and then \p Runs times, returning the stats
+/// of the timed runs in seconds. This mirrors the paper's measurement
+/// methodology (Section V: "average of 10 executions, after skipping the
+/// first warm-up run").
+template <typename Callable>
+SampleStats measureSeconds(Callable &&Fn, unsigned Runs = 10) {
+  Fn(); // Warm-up run, not measured.
+  std::vector<double> Samples;
+  Samples.reserve(Runs);
+  for (unsigned I = 0; I < Runs; ++I) {
+    Timer T;
+    Fn();
+    Samples.push_back(T.elapsedSeconds());
+  }
+  return computeSampleStats(Samples);
+}
+
+} // namespace snslp
+
+#endif // SNSLP_SUPPORT_TIMER_H

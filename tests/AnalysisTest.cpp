@@ -1,0 +1,262 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the affine address analysis, alias queries, and bundle
+/// scheduling legality.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dependence.h"
+#include "analysis/MemoryAddress.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace snslp;
+
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  Module M{Ctx, "test"};
+
+  Function *parse(const std::string &Source) {
+    std::string Err;
+    EXPECT_TRUE(parseIR(Source, M, &Err)) << Err;
+    return M.functions().back().get();
+  }
+
+  /// Returns the instruction defining %Name in function F.
+  Instruction *byName(Function *F, const std::string &Name) {
+    for (const auto &BB : F->blocks())
+      for (const auto &Inst : *BB)
+        if (Inst->getName() == Name)
+          return Inst.get();
+    return nullptr;
+  }
+};
+
+TEST_F(AnalysisTest, SimpleGEPDecomposition) {
+  Function *F = parse("func @f(ptr %a, i64 %i) {\n"
+                      "entry:\n"
+                      "  %p = gep f64, ptr %a, i64 %i\n"
+                      "  %v = load f64, ptr %p\n"
+                      "  store f64 %v, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  AddressDescriptor D = analyzePointer(byName(F, "p"));
+  ASSERT_TRUE(D.Valid);
+  EXPECT_EQ(D.Base, F->getArg(0));
+  EXPECT_EQ(D.ConstBytes, 0);
+  ASSERT_EQ(D.Terms.size(), 1u);
+  EXPECT_EQ(D.Terms.begin()->first, F->getArg(1));
+  EXPECT_EQ(D.Terms.begin()->second, 8); // f64 stride in bytes.
+}
+
+TEST_F(AnalysisTest, OffsetDecompositionThroughAdds) {
+  Function *F = parse("func @f(ptr %a, i64 %i) {\n"
+                      "entry:\n"
+                      "  %i3 = add i64 %i, 3\n"
+                      "  %p = gep i32, ptr %a, i64 %i3\n"
+                      "  %v = load i32, ptr %p\n"
+                      "  store i32 %v, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  AddressDescriptor D = analyzePointer(byName(F, "p"));
+  ASSERT_TRUE(D.Valid);
+  EXPECT_EQ(D.ConstBytes, 12); // 3 * sizeof(i32)
+  EXPECT_EQ(D.Terms.at(F->getArg(1)), 4);
+}
+
+TEST_F(AnalysisTest, MulByConstantScalesCoefficient) {
+  Function *F = parse("func @f(ptr %a, i64 %i) {\n"
+                      "entry:\n"
+                      "  %i2 = mul i64 %i, 2\n"
+                      "  %i21 = sub i64 %i2, 1\n"
+                      "  %p = gep f64, ptr %a, i64 %i21\n"
+                      "  %v = load f64, ptr %p\n"
+                      "  store f64 %v, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  AddressDescriptor D = analyzePointer(byName(F, "p"));
+  ASSERT_TRUE(D.Valid);
+  EXPECT_EQ(D.ConstBytes, -8);
+  EXPECT_EQ(D.Terms.at(F->getArg(1)), 16); // 2 elements * 8 bytes.
+}
+
+TEST_F(AnalysisTest, NestedGEPChainsAccumulate) {
+  Function *F = parse("func @f(ptr %a, i64 %i) {\n"
+                      "entry:\n"
+                      "  %p = gep f64, ptr %a, i64 %i\n"
+                      "  %q = gep f64, ptr %p, i64 2\n"
+                      "  %v = load f64, ptr %q\n"
+                      "  store f64 %v, ptr %q\n"
+                      "  ret void\n"
+                      "}\n");
+  AddressDescriptor D = analyzePointer(byName(F, "q"));
+  ASSERT_TRUE(D.Valid);
+  EXPECT_EQ(D.Base, F->getArg(0));
+  EXPECT_EQ(D.ConstBytes, 16);
+}
+
+TEST_F(AnalysisTest, KnownDistance) {
+  Function *F = parse("func @f(ptr %a, i64 %i) {\n"
+                      "entry:\n"
+                      "  %i1 = add i64 %i, 1\n"
+                      "  %p0 = gep i64, ptr %a, i64 %i\n"
+                      "  %p1 = gep i64, ptr %a, i64 %i1\n"
+                      "  %v0 = load i64, ptr %p0\n"
+                      "  %v1 = load i64, ptr %p1\n"
+                      "  store i64 %v0, ptr %p1\n"
+                      "  store i64 %v1, ptr %p0\n"
+                      "  ret void\n"
+                      "}\n");
+  AddressDescriptor A = analyzePointer(byName(F, "p0"));
+  AddressDescriptor B = analyzePointer(byName(F, "p1"));
+  int64_t Delta = 0;
+  ASSERT_TRUE(A.hasKnownDistance(B, Delta));
+  EXPECT_EQ(Delta, 8);
+  EXPECT_TRUE(areConsecutiveAccesses(byName(F, "v0"), byName(F, "v1")));
+  EXPECT_FALSE(areConsecutiveAccesses(byName(F, "v1"), byName(F, "v0")));
+}
+
+TEST_F(AnalysisTest, AliasQueries) {
+  Function *F = parse("func @f(ptr %a, ptr %b, i64 %i, i64 %j) {\n"
+                      "entry:\n"
+                      "  %p0 = gep i64, ptr %a, i64 %i\n"
+                      "  %i1 = add i64 %i, 1\n"
+                      "  %p1 = gep i64, ptr %a, i64 %i1\n"
+                      "  %q = gep i64, ptr %b, i64 %i\n"
+                      "  %r = gep i64, ptr %a, i64 %j\n"
+                      "  %v0 = load i64, ptr %p0\n"
+                      "  %v1 = load i64, ptr %p1\n"
+                      "  %v2 = load i64, ptr %q\n"
+                      "  %v3 = load i64, ptr %r\n"
+                      "  store i64 %v0, ptr %p0\n"
+                      "  store i64 %v1, ptr %q\n"
+                      "  store i64 %v2, ptr %p1\n"
+                      "  store i64 %v3, ptr %r\n"
+                      "  ret void\n"
+                      "}\n");
+  auto *L0 = byName(F, "v0");
+  auto *L1 = byName(F, "v1");
+  auto *L2 = byName(F, "v2");
+  auto *L3 = byName(F, "v3");
+  // Same base, offsets differing by one element: no alias.
+  EXPECT_EQ(aliasInstructions(L0, L1), AliasResult::NoAlias);
+  // Same address: must alias.
+  EXPECT_EQ(aliasInstructions(L0, L0), AliasResult::MustAlias);
+  // Distinct pointer arguments: noalias by convention.
+  EXPECT_EQ(aliasInstructions(L0, L2), AliasResult::NoAlias);
+  // Same base, unrelated index variables: may alias.
+  EXPECT_EQ(aliasInstructions(L0, L3), AliasResult::MayAlias);
+}
+
+TEST_F(AnalysisTest, MayConflictRequiresAWrite) {
+  Function *F = parse("func @f(ptr %a, i64 %i, i64 %j) {\n"
+                      "entry:\n"
+                      "  %p = gep i64, ptr %a, i64 %i\n"
+                      "  %q = gep i64, ptr %a, i64 %j\n"
+                      "  %v0 = load i64, ptr %p\n"
+                      "  %v1 = load i64, ptr %q\n"
+                      "  %s = add i64 %v0, %v1\n"
+                      "  store i64 %s, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  // Two loads never conflict, even with unknown relative addresses.
+  EXPECT_FALSE(mayConflict(byName(F, "v0"), byName(F, "v1")));
+  // A store to a may-aliasing address conflicts with a load.
+  Instruction *Store = nullptr;
+  for (const auto &Inst : F->getEntryBlock())
+    if (isa<StoreInst>(Inst.get()))
+      Store = Inst.get();
+  EXPECT_TRUE(mayConflict(Store, byName(F, "v1")));
+}
+
+TEST_F(AnalysisTest, DependsOnFollowsUseDefChains) {
+  Function *F = parse("func @f(i64 %x) -> i64 {\n"
+                      "entry:\n"
+                      "  %a = add i64 %x, 1\n"
+                      "  %b = add i64 %a, 2\n"
+                      "  %c = add i64 %b, 3\n"
+                      "  %d = add i64 %x, 4\n"
+                      "  %e = add i64 %c, %d\n"
+                      "  ret i64 %e\n"
+                      "}\n");
+  EXPECT_TRUE(dependsOn(byName(F, "c"), byName(F, "a")));
+  EXPECT_TRUE(dependsOn(byName(F, "e"), byName(F, "a")));
+  EXPECT_FALSE(dependsOn(byName(F, "d"), byName(F, "a")));
+  EXPECT_FALSE(dependsOn(byName(F, "a"), byName(F, "c")));
+}
+
+TEST_F(AnalysisTest, BundleRejectsInterdependentMembers) {
+  Function *F = parse("func @f(i64 %x, ptr %p) {\n"
+                      "entry:\n"
+                      "  %a = add i64 %x, 1\n"
+                      "  %b = add i64 %a, 2\n"
+                      "  %c = add i64 %x, 3\n"
+                      "  store i64 %b, ptr %p\n"
+                      "  store i64 %c, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  EXPECT_FALSE(isSafeToBundle({byName(F, "a"), byName(F, "b")}));
+  EXPECT_TRUE(isSafeToBundle({byName(F, "a"), byName(F, "c")}));
+}
+
+TEST_F(AnalysisTest, BundleRejectsConflictingStoreInSpan) {
+  Function *F = parse("func @f(ptr %a, ptr %b, i64 %i, i64 %j) {\n"
+                      "entry:\n"
+                      "  %i1 = add i64 %i, 1\n"
+                      "  %p0 = gep i64, ptr %a, i64 %i\n"
+                      "  %p1 = gep i64, ptr %a, i64 %i1\n"
+                      "  %pj = gep i64, ptr %a, i64 %j\n"
+                      "  %v0 = load i64, ptr %p0\n"
+                      "  store i64 7, ptr %pj\n"
+                      "  %v1 = load i64, ptr %p1\n"
+                      "  store i64 %v0, ptr %p0\n"
+                      "  store i64 %v1, ptr %p1\n"
+                      "  ret void\n"
+                      "}\n");
+  // A store to a[j] (unknown j) sits between the two loads: unsafe.
+  EXPECT_FALSE(isSafeToBundle({byName(F, "v0"), byName(F, "v1")}));
+}
+
+TEST_F(AnalysisTest, BundleAllowsNonConflictingStoreInSpan) {
+  Function *F = parse("func @f(ptr %a, ptr %b, i64 %i) {\n"
+                      "entry:\n"
+                      "  %i1 = add i64 %i, 1\n"
+                      "  %p0 = gep i64, ptr %a, i64 %i\n"
+                      "  %p1 = gep i64, ptr %a, i64 %i1\n"
+                      "  %pb = gep i64, ptr %b, i64 %i\n"
+                      "  %v0 = load i64, ptr %p0\n"
+                      "  store i64 7, ptr %pb\n"
+                      "  %v1 = load i64, ptr %p1\n"
+                      "  store i64 %v0, ptr %p0\n"
+                      "  store i64 %v1, ptr %p1\n"
+                      "  ret void\n"
+                      "}\n");
+  // The intervening store hits %b, which cannot alias %a.
+  EXPECT_TRUE(isSafeToBundle({byName(F, "v0"), byName(F, "v1")}));
+}
+
+TEST_F(AnalysisTest, BundleRejectsDuplicatesAndCrossBlock) {
+  Function *F = parse("func @f(i64 %x) -> i64 {\n"
+                      "entry:\n"
+                      "  %a = add i64 %x, 1\n"
+                      "  br label %next\n"
+                      "next:\n"
+                      "  %b = add i64 %x, 2\n"
+                      "  ret i64 %b\n"
+                      "}\n");
+  EXPECT_FALSE(isSafeToBundle({byName(F, "a"), byName(F, "a")}));
+  EXPECT_FALSE(isSafeToBundle({byName(F, "a"), byName(F, "b")}));
+}
+
+} // namespace

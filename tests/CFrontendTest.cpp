@@ -1,0 +1,268 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the mini-C frontend: lowering of the paper's C kernels,
+/// expression precedence, type rules, diagnostics, and end-to-end
+/// C -> IR -> SN-SLP -> execute pipelines.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cfront/CFrontend.h"
+#include "interp/ExecutionEngine.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "slp/SLPVectorizer.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace snslp;
+
+namespace {
+
+class CFrontendTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  Module M{Ctx, "cfront"};
+
+  Function *compile(const std::string &Source) {
+    std::string Err;
+    Function *F = compileCKernel(Source, M, &Err);
+    EXPECT_NE(F, nullptr) << Err;
+    if (F) {
+      EXPECT_TRUE(verifyFunction(*F));
+    }
+    return F;
+  }
+
+  void expectError(const std::string &Source, const std::string &Fragment) {
+    std::string Err;
+    Function *F = compileCKernel(Source, M, &Err);
+    EXPECT_EQ(F, nullptr);
+    EXPECT_NE(Err.find(Fragment), std::string::npos)
+        << "diagnostic was: " << Err;
+  }
+};
+
+/// The paper's Fig. 3 source, written exactly as C (kernel `motiv2`).
+const char *Fig3C = R"(
+void motiv2_c(long *A, long *B, long *C, long *D, long n) {
+  for (i = 0; i < n; i += 2) {
+    A[i]   = B[i]   - C[i]   + D[i];
+    A[i+1] = B[i+1] + D[i+1] - C[i+1];
+  }
+}
+)";
+
+TEST_F(CFrontendTest, CompilesFig3AndSNSLPVectorizesIt) {
+  Function *F = compile(Fig3C);
+  ASSERT_NE(F, nullptr);
+
+  // O3 execution matches the C semantics.
+  constexpr size_t N = 16;
+  int64_t A[N + 2] = {0}, B[N + 2], C[N + 2], D[N + 2];
+  for (size_t I = 0; I < N + 2; ++I) {
+    B[I] = static_cast<int64_t>(3 * I + 1);
+    C[I] = static_cast<int64_t>(I * I % 7);
+    D[I] = static_cast<int64_t>(N - I);
+  }
+  auto Run = [&](Function *Fn, int64_t *Out) {
+    ExecutionEngine E(*Fn);
+    ASSERT_TRUE(E.run({argPointer(Out), argPointer(B), argPointer(C),
+                       argPointer(D), argInt64(N)})
+                    .Ok);
+  };
+  Run(F, A);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(A[I], B[I] - C[I] + D[I]) << I;
+
+  // SN-SLP vectorizes the C-compiled kernel exactly like the IR-text one.
+  Function *Vec = F->cloneInto(M, "motiv2_c.sn");
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::SNSLP;
+  VectorizeStats Stats = runSLPVectorizer(*Vec, Cfg);
+  EXPECT_EQ(Stats.GraphsVectorized, 1u);
+  EXPECT_EQ(Stats.superNodesCommitted(), 1u);
+  EXPECT_EQ(Stats.CommittedCost, -6); // The paper's Fig. 3 number.
+
+  int64_t A2[N + 2] = {0};
+  Run(Vec, A2);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(A2[I], A[I]) << I;
+}
+
+TEST_F(CFrontendTest, PrecedenceAndParentheses) {
+  Function *F = compile("void prec(double *out, double *a, long n) {\n"
+                        "  for (i = 0; i < n; i += 1) {\n"
+                        "    out[i] = 2.0 + a[i] * 3.0 - (a[i] + 1.0) / 2.0;\n"
+                        "  }\n"
+                        "}\n");
+  ASSERT_NE(F, nullptr);
+  double A[4] = {1.0, 2.0, 3.0, 4.0};
+  double Out[4] = {0};
+  ExecutionEngine E(*F);
+  ASSERT_TRUE(E.run({argPointer(Out), argPointer(A), argInt64(4)}).Ok);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_DOUBLE_EQ(Out[I], 2.0 + A[I] * 3.0 - (A[I] + 1.0) / 2.0) << I;
+}
+
+TEST_F(CFrontendTest, UnaryMinusSqrtFabsAndScalars) {
+  Function *F = compile(
+      "void un(double *out, double *a, double s, long n) {\n"
+      "  for (i = 0; i < n; i += 1) {\n"
+      "    out[i] = sqrt(fabs(-a[i])) * s;\n"
+      "  }\n"
+      "}\n");
+  ASSERT_NE(F, nullptr);
+  double A[3] = {4.0, -9.0, 0.25};
+  double Out[3] = {0};
+  ExecutionEngine E(*F);
+  ASSERT_TRUE(
+      E.run({argPointer(Out), argPointer(A), argDouble(2.0), argInt64(3)})
+          .Ok);
+  EXPECT_DOUBLE_EQ(Out[0], 4.0);
+  EXPECT_DOUBLE_EQ(Out[1], 6.0);
+  EXPECT_DOUBLE_EQ(Out[2], 1.0);
+}
+
+TEST_F(CFrontendTest, IntegerNegationAndMul) {
+  Function *F = compile("void in(long *out, long *a, long n) {\n"
+                        "  for (i = 0; i < n; i += 1) {\n"
+                        "    out[i] = -a[i] * 3 + 7;\n"
+                        "  }\n"
+                        "}\n");
+  ASSERT_NE(F, nullptr);
+  int64_t A[3] = {1, -2, 5};
+  int64_t Out[3] = {0};
+  ExecutionEngine E(*F);
+  ASSERT_TRUE(E.run({argPointer(Out), argPointer(A), argInt64(3)}).Ok);
+  EXPECT_EQ(Out[0], 4);
+  EXPECT_EQ(Out[1], 13);
+  EXPECT_EQ(Out[2], -8);
+}
+
+TEST_F(CFrontendTest, FloatArraysAndScaledIndex) {
+  Function *F = compile("void fs(float *out, float *a, long n) {\n"
+                        "  for (i = 0; i < n; i += 1) {\n"
+                        "    out[i] = a[i*2] + a[i*2+1];\n"
+                        "  }\n"
+                        "}\n");
+  ASSERT_NE(F, nullptr);
+  float A[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  float Out[4] = {0};
+  ExecutionEngine E(*F);
+  ASSERT_TRUE(E.run({argPointer(Out), argPointer(A), argInt64(4)}).Ok);
+  EXPECT_EQ(Out[0], 3.0f);
+  EXPECT_EQ(Out[3], 15.0f);
+}
+
+TEST_F(CFrontendTest, PositiveAndNegativeOffsets) {
+  Function *F = compile("void sc(long *out, long *a, long n) {\n"
+                        "  for (i = 0; i < n; i += 1) {\n"
+                        "    out[i] = a[i+3] - a[i-1];\n"
+                        "  }\n"
+                        "}\n");
+  ASSERT_NE(F, nullptr);
+  int64_t A[8] = {10, 20, 30, 40, 50, 60, 70, 80};
+  int64_t Out[4] = {0};
+  ExecutionEngine E(*F);
+  // Pass &A[1] so i-1 stays in bounds.
+  ASSERT_TRUE(E.run({argPointer(Out), argPointer(&A[1]), argInt64(4)}).Ok);
+  EXPECT_EQ(Out[0], A[4] - A[0]);
+  EXPECT_EQ(Out[3], A[7] - A[3]);
+}
+
+TEST_F(CFrontendTest, Diagnostics) {
+  expectError("void e(long *a, long n) {\n"
+              "  for (i = 0; i < n; i += 1) { a[i] = b[i]; }\n"
+              "}\n",
+              "unknown name 'b'");
+  expectError("void e(long *a, long n) {\n"
+              "  for (i = 0; i < n; i += 1) { a[i] = a[i] / 2; }\n"
+              "}\n",
+              "integer division");
+  expectError("void e(long *a, double *d, long n) {\n"
+              "  for (i = 0; i < n; i += 1) { a[i] = a[i] + d[i]; }\n"
+              "}\n",
+              "mixed element types");
+  expectError("void e(long *a, long n) {\n"
+              "  for (i = 0; i < n; i += 1) { a[i] = sqrt(a[i]); }\n"
+              "}\n",
+              "sqrt/fabs require");
+  expectError("void e(long *a, double n) {\n"
+              "  for (i = 0; i < n; i += 1) { a[i] = 1; }\n"
+              "}\n",
+              "must be a long parameter");
+  expectError("void e(long *a, long n) {\n"
+              "  for (i = 0; i < n; i += 0) { a[i] = 1; }\n"
+              "}\n",
+              "step must be positive");
+  expectError("void e(long *a, long n) {", "expected 'for'");
+}
+
+TEST_F(CFrontendTest, TruncationsAndMutationsNeverCrash) {
+  std::string Text = Fig3C;
+  for (size_t Len = 0; Len < Text.size(); Len += 5) {
+    Context LocalCtx;
+    Module LocalM(LocalCtx, "trunc");
+    std::string Err;
+    Function *F = compileCKernel(Text.substr(0, Len), LocalM, &Err);
+    if (F) {
+      EXPECT_TRUE(verifyFunction(*F));
+    } else {
+      EXPECT_FALSE(Err.empty()) << "at length " << Len;
+    }
+  }
+  RNG R(909);
+  const char Mutations[] = {'x', '(', ']', '9', ';', '*', '<', '+'};
+  for (unsigned Round = 0; Round < 200; ++Round) {
+    std::string Mutated = Text;
+    Mutated[R.nextBelow(Mutated.size())] =
+        Mutations[R.nextBelow(sizeof(Mutations))];
+    Context LocalCtx;
+    Module LocalM(LocalCtx, "mut");
+    std::string Err;
+    Function *F = compileCKernel(Mutated, LocalM, &Err);
+    if (F) {
+      EXPECT_TRUE(verifyFunction(*F)) << "round " << Round;
+    } else {
+      EXPECT_FALSE(Err.empty()) << "round " << Round;
+    }
+  }
+}
+
+TEST_F(CFrontendTest, CAndIRFormsOfMotiv2AreEquivalentUnderSNSLP) {
+  // Cycle-for-cycle equivalence of the frontend-lowered kernel and the
+  // hand-written IR kernel after vectorization.
+  Function *FromC = compile(Fig3C);
+  ASSERT_NE(FromC, nullptr);
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::SNSLP;
+  Function *VecC = FromC->cloneInto(M, "c.sn");
+  runSLPVectorizer(*VecC, Cfg);
+
+  constexpr size_t N = 64;
+  std::vector<int64_t> A(N + 2, 0), B(N + 2), C(N + 2), D(N + 2);
+  for (size_t I = 0; I < N + 2; ++I) {
+    B[I] = static_cast<int64_t>(I);
+    C[I] = static_cast<int64_t>(2 * I);
+    D[I] = static_cast<int64_t>(I % 5);
+  }
+  ExecutionEngine E(*VecC);
+  ExecutionResult R =
+      E.run({argPointer(A.data()), argPointer(B.data()),
+             argPointer(C.data()), argPointer(D.data()), argInt64(N)});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_GT(R.VectorSteps, 0u);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(A[I], B[I] - C[I] + D[I]);
+}
+
+} // namespace

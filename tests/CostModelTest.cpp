@@ -1,0 +1,128 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the target cost model: the calibrated group costs that
+/// reproduce the paper's worked-example numbers, and the dynamic cycle
+/// table used by the simulated-cycles metric.
+///
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetCostModel.h"
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace snslp;
+
+namespace {
+
+TEST(CostModelTest, PaperCalibrationAtVF2) {
+  TargetCostModel TCM;
+  // The three group costs the paper's Figs. 2-3 arithmetic relies on.
+  EXPECT_EQ(TCM.getVectorizeArithCost(2), -1);
+  EXPECT_EQ(TCM.getVectorizeMemCost(2), -1);
+  EXPECT_EQ(TCM.getGatherCost(2, /*AllConstants=*/false), 2);
+  EXPECT_EQ(TCM.getAlternateCost(2), 1);
+  EXPECT_EQ(TCM.getGatherCost(2, /*AllConstants=*/true), 0);
+}
+
+TEST(CostModelTest, WiderVFsScaleSavings) {
+  TargetCostModel TCM;
+  EXPECT_EQ(TCM.getVectorizeArithCost(4), -3);
+  EXPECT_EQ(TCM.getVectorizeMemCost(4), -3);
+  EXPECT_EQ(TCM.getGatherCost(4, false), 4);
+  EXPECT_EQ(TCM.getAlternateCost(4), -1);
+}
+
+TEST(CostModelTest, MaxVFRespectsRegisterWidth) {
+  TargetCostModel TCM; // 32-byte registers by default.
+  Context Ctx;
+  EXPECT_EQ(TCM.getMaxVF(Ctx.getDoubleTy()), 4u);
+  EXPECT_EQ(TCM.getMaxVF(Ctx.getFloatTy()), 8u);
+  EXPECT_EQ(TCM.getMaxVF(Ctx.getInt64Ty()), 4u);
+  EXPECT_EQ(TCM.getMaxVF(Ctx.getInt32Ty()), 8u);
+
+  TargetParams Narrow;
+  Narrow.MaxVectorWidthBytes = 8;
+  TargetCostModel TCMNarrow(Narrow);
+  EXPECT_EQ(TCMNarrow.getMaxVF(Ctx.getDoubleTy()), 0u); // One lane: no SIMD.
+  EXPECT_EQ(TCMNarrow.getMaxVF(Ctx.getFloatTy()), 2u);
+}
+
+TEST(CostModelTest, ReductionCost) {
+  TargetCostModel TCM;
+  // VF=4: 2 shuffle+op steps + extract - 3 saved scalar ops = 5 - 3 = +2.
+  EXPECT_EQ(TCM.getReductionCost(4), 2);
+  // VF=2: 1 step + extract - 1 saved op = 3 - 1 = +2.
+  EXPECT_EQ(TCM.getReductionCost(2), 2);
+}
+
+TEST(CostModelTest, ExecutionCyclesOrdering) {
+  TargetCostModel TCM;
+  Context Ctx;
+  Module M(Ctx, "cc");
+  Function *F = M.createFunction("f", Ctx.getVoidTy(),
+                                 {{Ctx.getDoubleTy(), "x"},
+                                  {Ctx.getPtrTy(), "p"}});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  Value *Add = B.createFAdd(F->getArg(0), F->getArg(0));
+  Value *Mul = B.createFMul(F->getArg(0), F->getArg(0));
+  Value *Div = B.createFDiv(F->getArg(0), F->getArg(0));
+  Value *Ld = B.createLoad(Ctx.getDoubleTy(), F->getArg(1));
+  Instruction *St = B.createStore(Add, F->getArg(1));
+  (void)Mul;
+  (void)Div;
+  (void)Ld;
+  B.createRet();
+
+  double AddCyc = TCM.executionCycles(*cast<Instruction>(Add));
+  double MulCyc = TCM.executionCycles(*cast<Instruction>(Mul));
+  double DivCyc = TCM.executionCycles(*cast<Instruction>(Div));
+  double LdCyc = TCM.executionCycles(*cast<Instruction>(Ld));
+  double StCyc = TCM.executionCycles(*St);
+
+  // Division is by far the most expensive; loads cost more than stores.
+  EXPECT_GT(DivCyc, MulCyc);
+  EXPECT_GE(MulCyc, AddCyc);
+  EXPECT_GT(LdCyc, StCyc);
+}
+
+TEST(CostModelTest, AlternateOpCostsMoreThanUniform) {
+  TargetCostModel TCM;
+  Context Ctx;
+  Module M(Ctx, "alt");
+  Function *F = M.createFunction("f", Ctx.getVoidTy(),
+                                 {{Ctx.getPtrTy(), "p"}});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  VectorType *V2 = Ctx.getVectorType(Ctx.getDoubleTy(), 2);
+  Value *V = B.createLoad(V2, F->getArg(0));
+  Value *Uniform = B.createFAdd(V, V);
+  Value *Alt = B.createAlternateOp({BinOpcode::FAdd, BinOpcode::FSub}, V, V);
+  B.createRet();
+
+  EXPECT_GT(TCM.executionCycles(*cast<Instruction>(Alt)),
+            TCM.executionCycles(*cast<Instruction>(Uniform)));
+}
+
+TEST(CostModelTest, CustomParamsPropagate) {
+  TargetParams P;
+  P.ScalarArithCost = 2;
+  P.VectorArithCost = 3;
+  P.InsertCost = 5;
+  P.AlternatePenalty = 7;
+  TargetCostModel TCM(P);
+  EXPECT_EQ(TCM.getVectorizeArithCost(2), 3 - 4);
+  EXPECT_EQ(TCM.getAlternateCost(2), 3 + 7 - 4);
+  EXPECT_EQ(TCM.getGatherCost(3, false), 15);
+  EXPECT_EQ(TCM.getParams().InsertCost, 5);
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the dominator analysis used by the verifier and the
+/// external-use rewiring in vector code generation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Dominators.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace snslp;
+
+namespace {
+
+class DominatorsTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  Module M{Ctx, "dom"};
+
+  Function *parse(const std::string &Source) {
+    std::string Err;
+    EXPECT_TRUE(parseIR(Source, M, &Err)) << Err;
+    return M.functions().back().get();
+  }
+
+  BasicBlock *block(Function *F, const std::string &Name) {
+    return F->getBlockByName(Name);
+  }
+};
+
+TEST_F(DominatorsTest, DiamondCFG) {
+  Function *F = parse("func @d(i1 %c) {\n"
+                      "entry:\n"
+                      "  br i1 %c, label %then, label %else\n"
+                      "then:\n"
+                      "  br label %join\n"
+                      "else:\n"
+                      "  br label %join\n"
+                      "join:\n"
+                      "  ret void\n"
+                      "}\n");
+  DominatorTree DT(*F);
+  BasicBlock *Entry = block(F, "entry");
+  BasicBlock *Then = block(F, "then");
+  BasicBlock *Else = block(F, "else");
+  BasicBlock *Join = block(F, "join");
+
+  EXPECT_TRUE(DT.dominates(Entry, Then));
+  EXPECT_TRUE(DT.dominates(Entry, Else));
+  EXPECT_TRUE(DT.dominates(Entry, Join));
+  EXPECT_FALSE(DT.dominates(Then, Join)); // Join reachable via Else.
+  EXPECT_FALSE(DT.dominates(Else, Join));
+  EXPECT_FALSE(DT.dominates(Then, Else));
+  EXPECT_TRUE(DT.dominates(Join, Join)); // Reflexive.
+}
+
+TEST_F(DominatorsTest, LoopDominance) {
+  Function *F = parse("func @l(i64 %n) {\n"
+                      "entry:\n"
+                      "  br label %header\n"
+                      "header:\n"
+                      "  %i = phi i64 [ 0, %entry ], [ %i.next, %latch ]\n"
+                      "  %i.next = add i64 %i, 1\n"
+                      "  %c = icmp ult i64 %i.next, %n\n"
+                      "  br i1 %c, label %latch, label %exit\n"
+                      "latch:\n"
+                      "  br label %header\n"
+                      "exit:\n"
+                      "  ret void\n"
+                      "}\n");
+  DominatorTree DT(*F);
+  BasicBlock *Header = block(F, "header");
+  BasicBlock *Latch = block(F, "latch");
+  BasicBlock *Exit = block(F, "exit");
+
+  EXPECT_TRUE(DT.dominates(Header, Latch));
+  EXPECT_TRUE(DT.dominates(Header, Exit));
+  EXPECT_FALSE(DT.dominates(Latch, Header)); // Header reachable from entry.
+  EXPECT_FALSE(DT.dominates(Latch, Exit));
+}
+
+TEST_F(DominatorsTest, InstructionDominanceWithinBlock) {
+  Function *F = parse("func @b(i64 %x) -> i64 {\n"
+                      "entry:\n"
+                      "  %a = add i64 %x, 1\n"
+                      "  %b = add i64 %a, 2\n"
+                      "  ret i64 %b\n"
+                      "}\n");
+  DominatorTree DT(*F);
+  auto It = F->getEntryBlock().begin();
+  Instruction *A = It->get();
+  ++It;
+  Instruction *B = It->get();
+  EXPECT_TRUE(DT.dominates(A, B));
+  EXPECT_FALSE(DT.dominates(B, A));
+  EXPECT_FALSE(DT.dominates(A, A)); // Strict within a block.
+}
+
+TEST_F(DominatorsTest, UnreachableBlockConventions) {
+  Function *F = parse("func @u() {\n"
+                      "entry:\n"
+                      "  ret void\n"
+                      "dead:\n"
+                      "  ret void\n"
+                      "}\n");
+  DominatorTree DT(*F);
+  BasicBlock *Entry = block(F, "entry");
+  BasicBlock *Dead = block(F, "dead");
+  EXPECT_TRUE(DT.isReachable(Entry));
+  EXPECT_FALSE(DT.isReachable(Dead));
+  // Everything dominates an unreachable block; it dominates only itself.
+  EXPECT_TRUE(DT.dominates(Entry, Dead));
+  EXPECT_TRUE(DT.dominates(Dead, Dead));
+  EXPECT_FALSE(DT.dominates(Dead, Entry));
+}
+
+TEST_F(DominatorsTest, PhiUseWellFormedness) {
+  Function *F = parse("func @p(i64 %n) -> i64 {\n"
+                      "entry:\n"
+                      "  %init = add i64 %n, 1\n"
+                      "  br label %loop\n"
+                      "loop:\n"
+                      "  %acc = phi i64 [ %init, %entry ], [ %next, %loop ]\n"
+                      "  %next = add i64 %acc, 1\n"
+                      "  %c = icmp ult i64 %next, %n\n"
+                      "  br i1 %c, label %loop, label %exit\n"
+                      "exit:\n"
+                      "  ret i64 %acc\n"
+                      "}\n");
+  DominatorTree DT(*F);
+  auto *Phi = cast<PhiNode>(F->getBlockByName("loop")->begin()->get());
+  // Incoming 0 (%init from entry): %init dominates entry's terminator.
+  EXPECT_TRUE(DT.isUseWellFormed(Phi->getIncomingValue(0), Phi, 0));
+  // Incoming 1 (%next from loop): %next dominates loop's terminator.
+  EXPECT_TRUE(DT.isUseWellFormed(Phi->getIncomingValue(1), Phi, 1));
+  // Constants/arguments are always fine.
+  EXPECT_TRUE(DT.isUseWellFormed(F->getArg(0), Phi, 0));
+}
+
+} // namespace

@@ -1,0 +1,345 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the IR interpreter: scalar and vector arithmetic, memory
+/// access, control flow, phi semantics, cycle accounting and fuel limits.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/ExecutionEngine.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace snslp;
+
+namespace {
+
+class ExecutionEngineTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  Module M{Ctx, "test"};
+
+  Function *parse(const std::string &Source) {
+    std::string Err;
+    bool Ok = parseIR(Source, M, &Err);
+    EXPECT_TRUE(Ok) << Err;
+    if (!Ok)
+      return nullptr;
+    Function *F = M.functions().back().get();
+    EXPECT_TRUE(verifyFunction(*F));
+    return F;
+  }
+};
+
+TEST_F(ExecutionEngineTest, ReturnsConstant) {
+  Function *F = parse("func @c() -> i64 {\nentry:\n  ret i64 42\n}\n");
+  ExecutionEngine E(*F);
+  ExecutionResult R = E.run({});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.getInt(), 42);
+}
+
+TEST_F(ExecutionEngineTest, IntegerArithmetic) {
+  Function *F = parse("func @a(i64 %x, i64 %y) -> i64 {\n"
+                      "entry:\n"
+                      "  %s = add i64 %x, %y\n"
+                      "  %d = sub i64 %s, 3\n"
+                      "  %m = mul i64 %d, %d\n"
+                      "  ret i64 %m\n"
+                      "}\n");
+  ExecutionEngine E(*F);
+  ExecutionResult R = E.run({argInt64(10), argInt64(5)});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.getInt(), (10 + 5 - 3) * (10 + 5 - 3));
+}
+
+TEST_F(ExecutionEngineTest, IntegerWrapsAtOverflow) {
+  Function *F = parse("func @w(i64 %x) -> i64 {\n"
+                      "entry:\n"
+                      "  %m = mul i64 %x, %x\n"
+                      "  ret i64 %m\n"
+                      "}\n");
+  ExecutionEngine E(*F);
+  int64_t Big = 0x7fffffffffffffffLL;
+  ExecutionResult R = E.run({argInt64(Big)});
+  ASSERT_TRUE(R.Ok);
+  // Two's-complement wraparound, same as hardware.
+  EXPECT_EQ(R.ReturnValue.getInt(),
+            static_cast<int64_t>(static_cast<uint64_t>(Big) *
+                                 static_cast<uint64_t>(Big)));
+}
+
+TEST_F(ExecutionEngineTest, FloatingPointArithmetic) {
+  Function *F = parse("func @f(f64 %x) -> f64 {\n"
+                      "entry:\n"
+                      "  %a = fadd f64 %x, 1.5\n"
+                      "  %b = fmul f64 %a, 2.0\n"
+                      "  %c = fdiv f64 %b, 4.0\n"
+                      "  %d = fsub f64 %c, 0.25\n"
+                      "  ret f64 %d\n"
+                      "}\n");
+  ExecutionEngine E(*F);
+  ExecutionResult R = E.run({argDouble(3.0)});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_DOUBLE_EQ(R.ReturnValue.getFP(), (3.0 + 1.5) * 2.0 / 4.0 - 0.25);
+}
+
+TEST_F(ExecutionEngineTest, F32ArithmeticRoundsToFloat) {
+  Function *F = parse("func @f32(ptr %p) -> f32 {\n"
+                      "entry:\n"
+                      "  %x = load f32, ptr %p\n"
+                      "  %y = fmul f32 %x, %x\n"
+                      "  ret f32 %y\n"
+                      "}\n");
+  float In = 1.1f;
+  ExecutionEngine E(*F);
+  ExecutionResult R = E.run({argPointer(&In)});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(static_cast<float>(R.ReturnValue.getFP()), In * In);
+}
+
+TEST_F(ExecutionEngineTest, LoadStoreRoundTrip) {
+  Function *F = parse("func @ls(ptr %a, ptr %b) {\n"
+                      "entry:\n"
+                      "  %x = load f64, ptr %a\n"
+                      "  %y = fadd f64 %x, %x\n"
+                      "  store f64 %y, ptr %b\n"
+                      "  ret void\n"
+                      "}\n");
+  double In = 21.5, Out = 0.0;
+  ExecutionEngine E(*F);
+  ASSERT_TRUE(E.run({argPointer(&In), argPointer(&Out)}).Ok);
+  EXPECT_DOUBLE_EQ(Out, 43.0);
+}
+
+TEST_F(ExecutionEngineTest, GEPAddressing) {
+  Function *F = parse("func @g(ptr %a) -> i64 {\n"
+                      "entry:\n"
+                      "  %p = gep i64, ptr %a, i64 3\n"
+                      "  %v = load i64, ptr %p\n"
+                      "  ret i64 %v\n"
+                      "}\n");
+  int64_t Buf[4] = {10, 20, 30, 40};
+  ExecutionEngine E(*F);
+  ExecutionResult R = E.run({argPointer(Buf)});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValue.getInt(), 40);
+}
+
+TEST_F(ExecutionEngineTest, GEPNegativeIndex) {
+  Function *F = parse("func @gn(ptr %a) -> i64 {\n"
+                      "entry:\n"
+                      "  %p = gep i64, ptr %a, i64 -1\n"
+                      "  %v = load i64, ptr %p\n"
+                      "  ret i64 %v\n"
+                      "}\n");
+  int64_t Buf[2] = {11, 22};
+  ExecutionEngine E(*F);
+  ExecutionResult R = E.run({argPointer(&Buf[1])});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValue.getInt(), 11);
+}
+
+TEST_F(ExecutionEngineTest, Int32MemoryAndWrap) {
+  Function *F = parse("func @i32(ptr %a) {\n"
+                      "entry:\n"
+                      "  %x = load i32, ptr %a\n"
+                      "  %y = add i32 %x, 1\n"
+                      "  store i32 %y, ptr %a\n"
+                      "  ret void\n"
+                      "}\n");
+  int32_t V = 0x7fffffff; // Wraps to INT32_MIN.
+  ExecutionEngine E(*F);
+  ASSERT_TRUE(E.run({argPointer(&V)}).Ok);
+  EXPECT_EQ(V, INT32_MIN);
+}
+
+TEST_F(ExecutionEngineTest, SelectAndICmp) {
+  Function *F = parse("func @max(i64 %a, i64 %b) -> i64 {\n"
+                      "entry:\n"
+                      "  %c = icmp sgt i64 %a, %b\n"
+                      "  %m = select %c, i64 %a, %b\n"
+                      "  ret i64 %m\n"
+                      "}\n");
+  ExecutionEngine E(*F);
+  EXPECT_EQ(E.run({argInt64(-3), argInt64(7)}).ReturnValue.getInt(), 7);
+  EXPECT_EQ(E.run({argInt64(9), argInt64(7)}).ReturnValue.getInt(), 9);
+}
+
+TEST_F(ExecutionEngineTest, UnsignedPredicates) {
+  Function *F = parse("func @u(i64 %a, i64 %b) -> i64 {\n"
+                      "entry:\n"
+                      "  %c = icmp ult i64 %a, %b\n"
+                      "  %m = select %c, i64 1, 0\n"
+                      "  ret i64 %m\n"
+                      "}\n");
+  ExecutionEngine E(*F);
+  // -1 as unsigned is the maximum value.
+  EXPECT_EQ(E.run({argInt64(-1), argInt64(2)}).ReturnValue.getInt(), 0);
+  EXPECT_EQ(E.run({argInt64(1), argInt64(2)}).ReturnValue.getInt(), 1);
+}
+
+TEST_F(ExecutionEngineTest, LoopSumsArray) {
+  Function *F = parse(
+      "func @sum(ptr %a, i64 %n) -> i64 {\n"
+      "entry:\n"
+      "  br label %body\n"
+      "body:\n"
+      "  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]\n"
+      "  %acc = phi i64 [ 0, %entry ], [ %acc.next, %body ]\n"
+      "  %p = gep i64, ptr %a, i64 %i\n"
+      "  %v = load i64, ptr %p\n"
+      "  %acc.next = add i64 %acc, %v\n"
+      "  %i.next = add i64 %i, 1\n"
+      "  %c = icmp ult i64 %i.next, %n\n"
+      "  br i1 %c, label %body, label %exit\n"
+      "exit:\n"
+      "  ret i64 %acc.next\n"
+      "}\n");
+  int64_t Buf[5] = {1, 2, 3, 4, 5};
+  ExecutionEngine E(*F);
+  ExecutionResult R = E.run({argPointer(Buf), argInt64(5)});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.getInt(), 15);
+}
+
+TEST_F(ExecutionEngineTest, PhiParallelCopySwap) {
+  // Classic swap-via-phi: both phis must read pre-update values.
+  Function *F = parse(
+      "func @swap(i64 %n) -> i64 {\n"
+      "entry:\n"
+      "  br label %body\n"
+      "body:\n"
+      "  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]\n"
+      "  %x = phi i64 [ 1, %entry ], [ %y, %body ]\n"
+      "  %y = phi i64 [ 2, %entry ], [ %x, %body ]\n"
+      "  %i.next = add i64 %i, 1\n"
+      "  %c = icmp ult i64 %i.next, %n\n"
+      "  br i1 %c, label %body, label %exit\n"
+      "exit:\n"
+      "  %r = mul i64 %x, 10\n"
+      "  %r2 = add i64 %r, %y\n"
+      "  ret i64 %r2\n"
+      "}\n");
+  ExecutionEngine E(*F);
+  // After 1 iteration (n=1): x=1, y=2 -> 12. After 2: swapped -> 21.
+  EXPECT_EQ(E.run({argInt64(1)}).ReturnValue.getInt(), 12);
+  EXPECT_EQ(E.run({argInt64(2)}).ReturnValue.getInt(), 21);
+  EXPECT_EQ(E.run({argInt64(3)}).ReturnValue.getInt(), 12);
+}
+
+TEST_F(ExecutionEngineTest, VectorLoadComputeStore) {
+  Function *F = parse("func @v(ptr %a, ptr %b) {\n"
+                      "entry:\n"
+                      "  %x = load <2 x f64>, ptr %a\n"
+                      "  %y = fmul <2 x f64> %x, [3.0, 5.0]\n"
+                      "  store <2 x f64> %y, ptr %b\n"
+                      "  ret void\n"
+                      "}\n");
+  double In[2] = {1.5, 2.0};
+  double Out[2] = {0, 0};
+  ExecutionEngine E(*F);
+  ASSERT_TRUE(E.run({argPointer(In), argPointer(Out)}).Ok);
+  EXPECT_DOUBLE_EQ(Out[0], 4.5);
+  EXPECT_DOUBLE_EQ(Out[1], 10.0);
+}
+
+TEST_F(ExecutionEngineTest, AlternateOpAddSub) {
+  Function *F = parse("func @alt(ptr %a, ptr %b, ptr %c) {\n"
+                      "entry:\n"
+                      "  %x = load <2 x f64>, ptr %a\n"
+                      "  %y = load <2 x f64>, ptr %b\n"
+                      "  %z = altop <2 x f64> [fadd, fsub], %x, %y\n"
+                      "  store <2 x f64> %z, ptr %c\n"
+                      "  ret void\n"
+                      "}\n");
+  double A[2] = {10.0, 10.0};
+  double B[2] = {3.0, 3.0};
+  double C[2] = {0, 0};
+  ExecutionEngine E(*F);
+  ASSERT_TRUE(E.run({argPointer(A), argPointer(B), argPointer(C)}).Ok);
+  EXPECT_DOUBLE_EQ(C[0], 13.0); // lane 0: fadd
+  EXPECT_DOUBLE_EQ(C[1], 7.0);  // lane 1: fsub
+}
+
+TEST_F(ExecutionEngineTest, InsertExtractShuffle) {
+  Function *F = parse(
+      "func @ies(ptr %a) -> f64 {\n"
+      "entry:\n"
+      "  %v = load <2 x f64>, ptr %a\n"
+      "  %e0 = extractelement <2 x f64> %v, 0\n"
+      "  %e1 = extractelement <2 x f64> %v, 1\n"
+      "  %w = insertelement <2 x f64> %v, f64 %e0, 1\n"
+      "  %u = insertelement <2 x f64> %w, f64 %e1, 0\n"
+      "  %sh = shufflevector <2 x f64> %u, %v, [1, 2]\n"
+      "  %a0 = extractelement <2 x f64> %sh, 0\n"
+      "  %a1 = extractelement <2 x f64> %sh, 1\n"
+      "  %s = fadd f64 %a0, %a1\n"
+      "  ret f64 %s\n"
+      "}\n");
+  double Buf[2] = {4.0, 9.0};
+  ExecutionEngine E(*F);
+  ExecutionResult R = E.run({argPointer(Buf)});
+  ASSERT_TRUE(R.Ok);
+  // u = [9, 4]; sh = [u[1], v[0]] = [4, 4]; sum = 8.
+  EXPECT_DOUBLE_EQ(R.ReturnValue.getFP(), 8.0);
+}
+
+TEST_F(ExecutionEngineTest, FuelLimitCatchesInfiniteLoop) {
+  Function *F = parse("func @inf() {\n"
+                      "entry:\n"
+                      "  br label %spin\n"
+                      "spin:\n"
+                      "  br label %spin\n"
+                      "}\n");
+  ExecutionEngine E(*F);
+  ExecutionResult R = E.run({}, /*MaxSteps=*/1000);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("fuel"), std::string::npos);
+}
+
+TEST_F(ExecutionEngineTest, CycleAccounting) {
+  Function *F = parse("func @cc(i64 %x) -> i64 {\n"
+                      "entry:\n"
+                      "  %a = add i64 %x, 1\n"
+                      "  %b = add i64 %a, 2\n"
+                      "  ret i64 %b\n"
+                      "}\n");
+  // Charge 2 cycles per instruction.
+  ExecutionEngine E(*F, [](const Instruction &) { return 2.0; });
+  ExecutionResult R = E.run({argInt64(0)});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.StepsExecuted, 3u);
+  EXPECT_DOUBLE_EQ(R.Cycles, 6.0);
+}
+
+TEST_F(ExecutionEngineTest, ArgumentCountMismatchFails) {
+  Function *F = parse("func @m(i64 %x) -> i64 {\nentry:\n  ret i64 %x\n}\n");
+  ExecutionEngine E(*F);
+  ExecutionResult R = E.run({});
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST_F(ExecutionEngineTest, FDivByZeroGivesInf) {
+  Function *F = parse("func @dz(f64 %x) -> f64 {\n"
+                      "entry:\n"
+                      "  %r = fdiv f64 %x, 0.0\n"
+                      "  ret f64 %r\n"
+                      "}\n");
+  ExecutionEngine E(*F);
+  ExecutionResult R = E.run({argDouble(1.0)});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(std::isinf(R.ReturnValue.getFP()));
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct unit tests of SLP graph construction: node deduplication, gather
+/// fallbacks (mixed kinds, splats, claimed scalars, depth limit), operand
+/// reordering, and the graph printer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "slp/GraphBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace snslp;
+
+namespace {
+
+class GraphBuilderTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  Module M{Ctx, "gb"};
+  VectorizerConfig Cfg;
+
+  GraphBuilderTest() { Cfg.Mode = VectorizerMode::SNSLP; }
+
+  /// Parses and builds the graph of the first (only) seed group.
+  std::unique_ptr<SLPGraph> buildGraph(const std::string &Source) {
+    std::string Err;
+    EXPECT_TRUE(parseIR(Source, M, &Err)) << Err;
+    Function *F = M.functions().back().get();
+    TargetCostModel TCM(Cfg.Target);
+    std::vector<SeedGroup> Seeds =
+        collectStoreSeeds(F->getEntryBlock(), Cfg.MinVF, Cfg.MaxVF,
+                          Cfg.Target.MaxVectorWidthBytes);
+    EXPECT_EQ(Seeds.size(), 1u);
+    if (Seeds.empty())
+      return nullptr;
+    GraphBuilder GB(Cfg, TCM);
+    return GB.build(Seeds.front());
+  }
+
+  unsigned countKind(const SLPGraph &G, SLPNodeKind Kind) {
+    unsigned N = 0;
+    for (const auto &Node : G.nodes())
+      N += Node->getKind() == Kind ? 1 : 0;
+    return N;
+  }
+};
+
+TEST_F(GraphBuilderTest, SharedBundleIsDeduplicated) {
+  // Both lanes square their input: the operand bundle [a0, a1] appears as
+  // BOTH operands of the fmul row and must be one node.
+  auto Graph = buildGraph("func @sq(ptr %out, ptr %a) {\n"
+                          "entry:\n"
+                          "  %pa0 = gep f64, ptr %a, i64 0\n"
+                          "  %a0 = load f64, ptr %pa0\n"
+                          "  %m0 = fmul f64 %a0, %a0\n"
+                          "  %po0 = gep f64, ptr %out, i64 0\n"
+                          "  store f64 %m0, ptr %po0\n"
+                          "  %pa1 = gep f64, ptr %a, i64 1\n"
+                          "  %a1 = load f64, ptr %pa1\n"
+                          "  %m1 = fmul f64 %a1, %a1\n"
+                          "  %po1 = gep f64, ptr %out, i64 1\n"
+                          "  store f64 %m1, ptr %po1\n"
+                          "  ret void\n"
+                          "}\n");
+  ASSERT_NE(Graph, nullptr);
+  // Nodes: store row, fmul row, ONE load row (not two).
+  EXPECT_EQ(Graph->nodes().size(), 3u);
+  const SLPNode *Mul = Graph->getRoot()->getOperand(0);
+  EXPECT_EQ(Mul->getOperand(0), Mul->getOperand(1));
+  EXPECT_EQ(Graph->getTotalCost(), -3);
+}
+
+TEST_F(GraphBuilderTest, SplatLanesGatherAsBroadcast) {
+  auto Graph = buildGraph("func @sp(ptr %out, f64 %x) {\n"
+                          "entry:\n"
+                          "  %m0 = fmul f64 %x, 2.0\n"
+                          "  %po0 = gep f64, ptr %out, i64 0\n"
+                          "  store f64 %m0, ptr %po0\n"
+                          "  %m1 = fmul f64 %x, 3.0\n"
+                          "  %po1 = gep f64, ptr %out, i64 1\n"
+                          "  store f64 %m1, ptr %po1\n"
+                          "  ret void\n"
+                          "}\n");
+  ASSERT_NE(Graph, nullptr);
+  // [x, x] gathers at broadcast cost 1; [2.0, 3.0] is a free constant.
+  EXPECT_EQ(countKind(*Graph, SLPNodeKind::Gather), 2u);
+  EXPECT_EQ(Graph->getTotalCost(), -1 - 1 + 1 + 0);
+}
+
+TEST_F(GraphBuilderTest, MixedKindsGather) {
+  auto Graph = buildGraph("func @mk(ptr %out, ptr %a, f64 %x) {\n"
+                          "entry:\n"
+                          "  %pa0 = gep f64, ptr %a, i64 0\n"
+                          "  %a0 = load f64, ptr %pa0\n"
+                          "  %m0 = fmul f64 %a0, 2.0\n"
+                          "  %po0 = gep f64, ptr %out, i64 0\n"
+                          "  store f64 %m0, ptr %po0\n"
+                          "  %m1 = fmul f64 %x, 2.0\n"
+                          "  %po1 = gep f64, ptr %out, i64 1\n"
+                          "  store f64 %m1, ptr %po1\n"
+                          "  ret void\n"
+                          "}\n");
+  ASSERT_NE(Graph, nullptr);
+  // [load, argument] cannot vectorize: gather.
+  EXPECT_GE(countKind(*Graph, SLPNodeKind::Gather), 1u);
+}
+
+TEST_F(GraphBuilderTest, DepthLimitForcesGather) {
+  // A chain deeper than MaxGraphDepth must terminate in a gather, not
+  // recurse forever.
+  std::ostringstream SS;
+  SS << "func @deep(ptr %out, ptr %a) {\nentry:\n"
+     << "  %pa0 = gep f64, ptr %a, i64 0\n"
+     << "  %v0a = load f64, ptr %pa0\n"
+     << "  %pa1 = gep f64, ptr %a, i64 1\n"
+     << "  %v0b = load f64, ptr %pa1\n";
+  // Two parallel chains of 30 fmuls (single-use, non-family for SN: fmul
+  // with fmul is a family; disable SN by alternating with fadd? Keep fmul:
+  // the Super-Node will linearize some of it, which is fine — the depth
+  // limit still applies to the remaining recursion).
+  std::string Prev0 = "%v0a", Prev1 = "%v0b";
+  for (int I = 1; I <= 30; ++I) {
+    SS << "  %a" << I << " = fmul f64 " << Prev0 << ", 1.5\n";
+    SS << "  %b" << I << " = fmul f64 " << Prev1 << ", 1.5\n";
+    Prev0 = "%a" + std::to_string(I);
+    Prev1 = "%b" + std::to_string(I);
+  }
+  SS << "  %po0 = gep f64, ptr %out, i64 0\n"
+     << "  store f64 " << Prev0 << ", ptr %po0\n"
+     << "  %po1 = gep f64, ptr %out, i64 1\n"
+     << "  store f64 " << Prev1 << ", ptr %po1\n"
+     << "  ret void\n}\n";
+  Cfg.MaxGraphDepth = 6;
+  auto Graph = buildGraph(SS.str());
+  ASSERT_NE(Graph, nullptr);
+  EXPECT_GE(countKind(*Graph, SLPNodeKind::Gather), 1u);
+}
+
+TEST_F(GraphBuilderTest, CommutativeOperandReorderingFormsLoadRow) {
+  // Lane 1's fmul operands are swapped; the reorder must still pair the
+  // adjacent loads into one vectorizable row.
+  auto Graph = buildGraph("func @re(ptr %out, ptr %a, ptr %b) {\n"
+                          "entry:\n"
+                          "  %pa0 = gep f64, ptr %a, i64 0\n"
+                          "  %a0 = load f64, ptr %pa0\n"
+                          "  %pb0 = gep f64, ptr %b, i64 0\n"
+                          "  %b0 = load f64, ptr %pb0\n"
+                          "  %m0 = fmul f64 %a0, %b0\n"
+                          "  %po0 = gep f64, ptr %out, i64 0\n"
+                          "  store f64 %m0, ptr %po0\n"
+                          "  %pa1 = gep f64, ptr %a, i64 1\n"
+                          "  %a1 = load f64, ptr %pa1\n"
+                          "  %pb1 = gep f64, ptr %b, i64 1\n"
+                          "  %b1 = load f64, ptr %pb1\n"
+                          "  %m1 = fmul f64 %b1, %a1\n"
+                          "  %po1 = gep f64, ptr %out, i64 1\n"
+                          "  store f64 %m1, ptr %po1\n"
+                          "  ret void\n"
+                          "}\n");
+  ASSERT_NE(Graph, nullptr);
+  EXPECT_EQ(countKind(*Graph, SLPNodeKind::Gather), 0u);
+  EXPECT_EQ(Graph->getTotalCost(), -4); // store, fmul, 2 load rows.
+}
+
+TEST_F(GraphBuilderTest, GraphPrintContainsKindsAndCosts) {
+  auto Graph = buildGraph("func @pr(ptr %out, ptr %a) {\n"
+                          "entry:\n"
+                          "  %pa0 = gep f64, ptr %a, i64 0\n"
+                          "  %a0 = load f64, ptr %pa0\n"
+                          "  %m0 = fadd f64 %a0, 1.0\n"
+                          "  %po0 = gep f64, ptr %out, i64 0\n"
+                          "  store f64 %m0, ptr %po0\n"
+                          "  %pa1 = gep f64, ptr %a, i64 1\n"
+                          "  %a1 = load f64, ptr %pa1\n"
+                          "  %m1 = fadd f64 %a1, 1.0\n"
+                          "  %po1 = gep f64, ptr %out, i64 1\n"
+                          "  store f64 %m1, ptr %po1\n"
+                          "  ret void\n"
+                          "}\n");
+  ASSERT_NE(Graph, nullptr);
+  std::ostringstream OS;
+  Graph->print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("Vectorize"), std::string::npos);
+  EXPECT_NE(Out.find("cost="), std::string::npos);
+  EXPECT_NE(Out.find("store"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,302 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the IR substrate: types, constants, values, use lists,
+/// instruction manipulation, and function cloning.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/DCE.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace snslp;
+
+namespace {
+
+class IRBasicsTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  Module M{Ctx, "test"};
+};
+
+TEST_F(IRBasicsTest, TypeInterning) {
+  EXPECT_EQ(Ctx.getInt64Ty(), Ctx.getInt64Ty());
+  EXPECT_NE(Ctx.getInt64Ty(), Ctx.getInt32Ty());
+  VectorType *V2 = Ctx.getVectorType(Ctx.getDoubleTy(), 2);
+  EXPECT_EQ(V2, Ctx.getVectorType(Ctx.getDoubleTy(), 2));
+  EXPECT_NE(V2, Ctx.getVectorType(Ctx.getDoubleTy(), 4));
+  EXPECT_NE(V2, Ctx.getVectorType(Ctx.getFloatTy(), 2));
+  EXPECT_EQ(V2->getElementType(), Ctx.getDoubleTy());
+  EXPECT_EQ(V2->getNumLanes(), 2u);
+}
+
+TEST_F(IRBasicsTest, TypeSizes) {
+  EXPECT_EQ(Ctx.getInt64Ty()->getSizeInBytes(), 8u);
+  EXPECT_EQ(Ctx.getInt32Ty()->getSizeInBytes(), 4u);
+  EXPECT_EQ(Ctx.getFloatTy()->getSizeInBytes(), 4u);
+  EXPECT_EQ(Ctx.getDoubleTy()->getSizeInBytes(), 8u);
+  EXPECT_EQ(Ctx.getPtrTy()->getSizeInBytes(), 8u);
+  EXPECT_EQ(Ctx.getVectorType(Ctx.getDoubleTy(), 4)->getSizeInBytes(), 32u);
+}
+
+TEST_F(IRBasicsTest, TypeNames) {
+  EXPECT_EQ(Ctx.getInt64Ty()->getName(), "i64");
+  EXPECT_EQ(Ctx.getDoubleTy()->getName(), "f64");
+  EXPECT_EQ(Ctx.getPtrTy()->getName(), "ptr");
+  EXPECT_EQ(Ctx.getVectorType(Ctx.getFloatTy(), 4)->getName(), "<4 x f32>");
+}
+
+TEST_F(IRBasicsTest, ConstantInterning) {
+  EXPECT_EQ(ConstantInt::get(Ctx.getInt64Ty(), 42),
+            ConstantInt::get(Ctx.getInt64Ty(), 42));
+  EXPECT_NE(ConstantInt::get(Ctx.getInt64Ty(), 42),
+            ConstantInt::get(Ctx.getInt64Ty(), 43));
+  EXPECT_NE(ConstantInt::get(Ctx.getInt64Ty(), 42),
+            ConstantInt::get(Ctx.getInt32Ty(), 42));
+  EXPECT_EQ(ConstantFP::get(Ctx.getDoubleTy(), 2.5),
+            ConstantFP::get(Ctx.getDoubleTy(), 2.5));
+  // f32 constants are rounded to float precision before interning.
+  EXPECT_EQ(ConstantFP::get(Ctx.getFloatTy(), 0.1),
+            ConstantFP::get(Ctx.getFloatTy(), static_cast<float>(0.1)));
+}
+
+TEST_F(IRBasicsTest, ConstantVectorInterning) {
+  std::vector<Constant *> Elems = {ConstantFP::get(Ctx.getDoubleTy(), 1.0),
+                                   ConstantFP::get(Ctx.getDoubleTy(), 2.0)};
+  ConstantVector *CV = ConstantVector::get(Elems);
+  EXPECT_EQ(CV, ConstantVector::get(Elems));
+  EXPECT_EQ(CV->getNumLanes(), 2u);
+  EXPECT_EQ(CV->getType(), Ctx.getVectorType(Ctx.getDoubleTy(), 2));
+}
+
+/// Builds: fn(a, b) { entry: t = a + b; store t -> P; ret }
+Function *buildSimpleFunction(Module &M, Context &Ctx) {
+  Function *F = M.createFunction(
+      "simple", Ctx.getVoidTy(),
+      {{Ctx.getInt64Ty(), "a"}, {Ctx.getInt64Ty(), "b"},
+       {Ctx.getPtrTy(), "p"}});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  Value *Sum = B.createAdd(F->getArg(0), F->getArg(1), "sum");
+  B.createStore(Sum, F->getArg(2));
+  B.createRet();
+  return F;
+}
+
+TEST_F(IRBasicsTest, UseListsTrackOperands) {
+  Function *F = buildSimpleFunction(M, Ctx);
+  Argument *A = F->getArg(0);
+  Argument *B = F->getArg(1);
+  EXPECT_EQ(A->getNumUses(), 1u);
+  EXPECT_EQ(B->getNumUses(), 1u);
+
+  auto &Entry = F->getEntryBlock();
+  auto It = Entry.begin();
+  auto *Add = cast<BinaryOperator>(It->get());
+  EXPECT_TRUE(Add->hasOneUse());
+  EXPECT_EQ(Add->getLHS(), A);
+  EXPECT_EQ(Add->getRHS(), B);
+
+  // Swapping operands keeps use lists consistent.
+  Add->swapOperands();
+  EXPECT_EQ(Add->getLHS(), B);
+  EXPECT_EQ(Add->getRHS(), A);
+  EXPECT_EQ(A->getNumUses(), 1u);
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+TEST_F(IRBasicsTest, ReplaceAllUsesWith) {
+  Function *F = buildSimpleFunction(M, Ctx);
+  auto &Entry = F->getEntryBlock();
+  auto *Add = cast<BinaryOperator>(Entry.begin()->get());
+  Value *C = ConstantInt::get(Ctx.getInt64Ty(), 7);
+  Add->replaceAllUsesWith(C);
+  EXPECT_FALSE(Add->hasUses());
+  auto It = Entry.begin();
+  ++It;
+  auto *Store = cast<StoreInst>(It->get());
+  EXPECT_EQ(Store->getValueOperand(), C);
+}
+
+TEST_F(IRBasicsTest, EraseFromParent) {
+  Function *F = buildSimpleFunction(M, Ctx);
+  auto &Entry = F->getEntryBlock();
+  auto *Add = cast<BinaryOperator>(Entry.begin()->get());
+  Add->replaceAllUsesWith(ConstantInt::get(Ctx.getInt64Ty(), 0));
+  EXPECT_EQ(Entry.size(), 3u);
+  Add->eraseFromParent();
+  EXPECT_EQ(Entry.size(), 2u);
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+TEST_F(IRBasicsTest, ComesBefore) {
+  Function *F = buildSimpleFunction(M, Ctx);
+  auto &Entry = F->getEntryBlock();
+  auto It = Entry.begin();
+  Instruction *Add = It->get();
+  ++It;
+  Instruction *Store = It->get();
+  EXPECT_TRUE(Add->comesBefore(Store));
+  EXPECT_FALSE(Store->comesBefore(Add));
+  EXPECT_FALSE(Add->comesBefore(Add));
+}
+
+TEST_F(IRBasicsTest, MoveBefore) {
+  Function *F = buildSimpleFunction(M, Ctx);
+  auto &Entry = F->getEntryBlock();
+  auto It = Entry.begin();
+  Instruction *Add = It->get();
+  ++It;
+  Instruction *Store = It->get();
+  ++It;
+  Instruction *Ret = It->get();
+  // Moving the store before the ret is a no-op order-wise; move add
+  // directly before the store (also a no-op) and confirm order is stable.
+  Add->moveBefore(Store);
+  EXPECT_TRUE(Add->comesBefore(Store));
+  EXPECT_TRUE(Store->comesBefore(Ret));
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+TEST_F(IRBasicsTest, DCERemovesDeadChain) {
+  Function *F = M.createFunction("dead", Ctx.getVoidTy(),
+                                 {{Ctx.getInt64Ty(), "a"}});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  Value *X = B.createAdd(F->getArg(0), B.getInt64(1), "x");
+  Value *Y = B.createMul(X, B.getInt64(2), "y");
+  (void)Y;
+  B.createRet();
+  EXPECT_EQ(F->instructionCount(), 3u);
+  size_t Removed = runDeadCodeElimination(*F);
+  EXPECT_EQ(Removed, 2u);
+  EXPECT_EQ(F->instructionCount(), 1u);
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+TEST_F(IRBasicsTest, DCEKeepsStoresAndUsedValues) {
+  Function *F = buildSimpleFunction(M, Ctx);
+  EXPECT_EQ(runDeadCodeElimination(*F), 0u);
+  EXPECT_EQ(F->instructionCount(), 3u);
+}
+
+TEST_F(IRBasicsTest, CloneProducesIsomorphicFunction) {
+  Function *F = buildSimpleFunction(M, Ctx);
+  Function *Clone = F->cloneInto(M, "simple.clone");
+  ASSERT_NE(Clone, nullptr);
+  EXPECT_TRUE(verifyFunction(*Clone));
+  EXPECT_EQ(Clone->instructionCount(), F->instructionCount());
+  // The clone must not share instructions with the original.
+  EXPECT_NE(Clone->getEntryBlock().begin()->get(),
+            F->getEntryBlock().begin()->get());
+  // Arguments map positionally.
+  auto *CloneAdd = cast<BinaryOperator>(Clone->getEntryBlock().begin()->get());
+  EXPECT_EQ(CloneAdd->getLHS(), Clone->getArg(0));
+}
+
+TEST_F(IRBasicsTest, CloneLoopWithPhi) {
+  // for (i = 0; i < n; ++i) {}
+  Function *F = M.createFunction("loop", Ctx.getVoidTy(),
+                                 {{Ctx.getInt64Ty(), "n"}});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(Entry);
+  B.createBr(Loop);
+  B.setInsertPointAtEnd(Loop);
+  PhiNode *I = B.createPhi(Ctx.getInt64Ty(), "i");
+  Value *Next = B.createAdd(I, B.getInt64(1), "i.next");
+  Value *Cmp = B.createICmp(ICmpPredicate::ULT, Next, F->getArg(0), "cmp");
+  B.createCondBr(Cmp, Loop, Exit);
+  I->addIncoming(B.getInt64(0), Entry);
+  I->addIncoming(Next, Loop);
+  B.setInsertPointAtEnd(Exit);
+  B.createRet();
+  ASSERT_TRUE(verifyFunction(*F));
+
+  Function *Clone = F->cloneInto(M, "loop.clone");
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyFunction(*Clone, &Errors))
+      << (Errors.empty() ? "" : Errors.front());
+  // The cloned phi must reference the cloned blocks and values.
+  auto *ClonePhi = cast<PhiNode>(
+      Clone->getBlockByName("loop")->begin()->get());
+  EXPECT_EQ(ClonePhi->getNumIncoming(), 2u);
+  EXPECT_EQ(ClonePhi->getIncomingBlock(0), Clone->getBlockByName("entry"));
+  EXPECT_EQ(ClonePhi->getIncomingBlock(1), Clone->getBlockByName("loop"));
+}
+
+TEST_F(IRBasicsTest, VerifierCatchesMissingTerminator) {
+  Function *F = M.createFunction("bad", Ctx.getVoidTy(), {});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  B.createAdd(B.getInt64(1), B.getInt64(2), "x");
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST_F(IRBasicsTest, VerifierCatchesUseBeforeDef) {
+  Function *F = M.createFunction("ubd", Ctx.getVoidTy(),
+                                 {{Ctx.getPtrTy(), "p"}});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  Value *L = B.createLoad(Ctx.getInt64Ty(), F->getArg(0), "l");
+  Value *X = B.createAdd(L, B.getInt64(1), "x");
+  B.createStore(X, F->getArg(0));
+  B.createRet();
+  ASSERT_TRUE(verifyFunction(*F));
+  // Move the add before the load: now it uses %l before its definition.
+  cast<Instruction>(X)->moveBefore(cast<Instruction>(L));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+}
+
+TEST_F(IRBasicsTest, OpcodeFamilyHelpers) {
+  EXPECT_EQ(getOpFamily(BinOpcode::Add), OpFamily::IntAddSub);
+  EXPECT_EQ(getOpFamily(BinOpcode::Sub), OpFamily::IntAddSub);
+  EXPECT_EQ(getOpFamily(BinOpcode::FAdd), OpFamily::FPAddSub);
+  EXPECT_EQ(getOpFamily(BinOpcode::FSub), OpFamily::FPAddSub);
+  EXPECT_EQ(getOpFamily(BinOpcode::FMul), OpFamily::FPMulDiv);
+  EXPECT_EQ(getOpFamily(BinOpcode::FDiv), OpFamily::FPMulDiv);
+  EXPECT_EQ(getOpFamily(BinOpcode::Mul), OpFamily::None);
+
+  EXPECT_EQ(getDirectOpcode(OpFamily::FPAddSub), BinOpcode::FAdd);
+  EXPECT_EQ(getInverseOpcode(OpFamily::FPAddSub), BinOpcode::FSub);
+  EXPECT_TRUE(isCommutative(BinOpcode::FMul));
+  EXPECT_FALSE(isCommutative(BinOpcode::FDiv));
+  EXPECT_TRUE(isInverseOpcode(BinOpcode::Sub));
+  EXPECT_FALSE(isInverseOpcode(BinOpcode::Add));
+}
+
+TEST_F(IRBasicsTest, PredecessorsAndSuccessors) {
+  Function *F = M.createFunction("cfg", Ctx.getVoidTy(),
+                                 {{Ctx.getInt1Ty(), "c"}});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(Entry);
+  B.createCondBr(F->getArg(0), Then, Exit);
+  B.setInsertPointAtEnd(Then);
+  B.createBr(Exit);
+  B.setInsertPointAtEnd(Exit);
+  B.createRet();
+
+  EXPECT_EQ(Entry->successors().size(), 2u);
+  EXPECT_EQ(Exit->successors().size(), 0u);
+  EXPECT_EQ(Exit->predecessors().size(), 2u);
+  EXPECT_TRUE(Entry->predecessors().empty());
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+} // namespace

@@ -1,0 +1,189 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized tests over the whole kernel suite (the Table I stand-in):
+/// every kernel under every vectorizer configuration must verify, match
+/// its C++ reference on multiple seeds, and behave according to its
+/// documented expectation (SN-SLP wins / all tie / none vectorize).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/KernelRunner.h"
+#include "kernels/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace snslp;
+
+namespace {
+
+struct KernelModeCase {
+  std::string KernelName;
+  VectorizerMode Mode;
+};
+
+std::vector<KernelModeCase> allKernelModeCases() {
+  std::vector<KernelModeCase> Cases;
+  for (const Kernel &K : kernelRegistry())
+    for (VectorizerMode Mode :
+         {VectorizerMode::O3, VectorizerMode::SLP, VectorizerMode::LSLP,
+          VectorizerMode::SNSLP})
+      Cases.push_back(KernelModeCase{K.Name, Mode});
+  return Cases;
+}
+
+std::string caseName(const ::testing::TestParamInfo<KernelModeCase> &Info) {
+  std::string Name =
+      Info.param.KernelName + "_" + getModeName(Info.param.Mode);
+  for (char &C : Name)
+    if (C == '-' || C == '.')
+      C = '_';
+  return Name;
+}
+
+class KernelModeTest : public ::testing::TestWithParam<KernelModeCase> {};
+
+/// Property: under every configuration, every kernel computes exactly what
+/// its C++ reference computes (bitwise for integers, tolerance for
+/// reassociated floating point), across several input seeds.
+TEST_P(KernelModeTest, MatchesReference) {
+  const KernelModeCase &Case = GetParam();
+  const Kernel *K = findKernel(Case.KernelName);
+  ASSERT_NE(K, nullptr);
+
+  KernelRunner Runner;
+  CompiledKernel CK = Runner.compile(*K, Case.Mode);
+  for (uint64_t Seed : {1ull, 17ull, 987654321ull}) {
+    std::string Message;
+    EXPECT_TRUE(Runner.check(CK, Seed, &Message))
+        << K->Name << " under " << getModeName(Case.Mode) << " seed "
+        << Seed << ": " << Message;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelModeTest,
+                         ::testing::ValuesIn(allKernelModeCases()),
+                         caseName);
+
+class KernelExpectationTest
+    : public ::testing::TestWithParam<std::string> {};
+
+/// Checks the documented Fig. 5 shape for each kernel: who vectorizes, and
+/// that SN-SLP's simulated cycles beat LSLP exactly on the SNWins kernels.
+TEST_P(KernelExpectationTest, ExpectationHolds) {
+  const Kernel *K = findKernel(GetParam());
+  ASSERT_NE(K, nullptr);
+
+  KernelRunner Runner;
+  CompiledKernel O3 = Runner.compile(*K, VectorizerMode::O3);
+  CompiledKernel SLP = Runner.compile(*K, VectorizerMode::SLP);
+  CompiledKernel LSLP = Runner.compile(*K, VectorizerMode::LSLP);
+  CompiledKernel SN = Runner.compile(*K, VectorizerMode::SNSLP);
+
+  auto Cycles = [&Runner, K](const CompiledKernel &CK) {
+    KernelData Data(K->Buffers, K->N, /*Seed=*/3);
+    ExecutionResult R = Runner.execute(CK, Data);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    return R.Cycles;
+  };
+  double O3Cycles = Cycles(O3);
+  double SLPCycles = Cycles(SLP);
+  double LSLPCycles = Cycles(LSLP);
+  double SNCycles = Cycles(SN);
+
+  switch (K->Expectation) {
+  case KernelExpectation::SNWins:
+    EXPECT_EQ(SLP.Stats.GraphsVectorized, 0u) << "SLP should not vectorize";
+    EXPECT_EQ(LSLP.Stats.GraphsVectorized, 0u) << "LSLP should not vectorize";
+    EXPECT_GT(SN.Stats.GraphsVectorized, 0u) << "SN-SLP should vectorize";
+    // Speedup over both O3 and LSLP, as in Fig. 5.
+    EXPECT_LT(SNCycles, 0.9 * O3Cycles);
+    EXPECT_LT(SNCycles, 0.9 * LSLPCycles);
+    break;
+  case KernelExpectation::MultiNodeWins:
+    EXPECT_EQ(SLP.Stats.GraphsVectorized, 0u) << "SLP should not vectorize";
+    EXPECT_GT(LSLP.Stats.GraphsVectorized, 0u) << "LSLP should vectorize";
+    EXPECT_GT(SN.Stats.GraphsVectorized, 0u) << "SN-SLP should vectorize";
+    EXPECT_DOUBLE_EQ(SNCycles, LSLPCycles);
+    EXPECT_LT(LSLPCycles, 0.9 * O3Cycles);
+    EXPECT_DOUBLE_EQ(SLPCycles, O3Cycles);
+    break;
+  case KernelExpectation::AllEqual:
+    EXPECT_GT(SLP.Stats.GraphsVectorized, 0u);
+    EXPECT_GT(LSLP.Stats.GraphsVectorized, 0u);
+    EXPECT_GT(SN.Stats.GraphsVectorized, 0u);
+    EXPECT_DOUBLE_EQ(SNCycles, SLPCycles);
+    EXPECT_DOUBLE_EQ(SNCycles, LSLPCycles);
+    EXPECT_LT(SNCycles, O3Cycles);
+    break;
+  case KernelExpectation::NoneWin:
+    EXPECT_EQ(SLP.Stats.GraphsVectorized, 0u);
+    EXPECT_EQ(LSLP.Stats.GraphsVectorized, 0u);
+    EXPECT_EQ(SN.Stats.GraphsVectorized, 0u);
+    EXPECT_DOUBLE_EQ(SNCycles, O3Cycles);
+    break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelExpectationTest, [] {
+      std::vector<std::string> Names;
+      for (const Kernel &K : kernelRegistry())
+        Names.push_back(K.Name);
+      return ::testing::ValuesIn(Names);
+    }(),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      return Info.param;
+    });
+
+TEST(KernelRegistryTest, RegistryIsWellFormed) {
+  const std::vector<Kernel> &Ks = kernelRegistry();
+  EXPECT_GE(Ks.size(), 10u);
+  for (const Kernel &K : Ks) {
+    EXPECT_FALSE(K.Name.empty());
+    EXPECT_FALSE(K.Origin.empty());
+    EXPECT_FALSE(K.Buffers.empty());
+    EXPECT_TRUE(K.Reference != nullptr) << K.Name;
+    EXPECT_EQ(K.N % 4, 0u) << K.Name << ": N must fit the unroll factor";
+    EXPECT_EQ(findKernel(K.Name), &K);
+  }
+  EXPECT_EQ(findKernel("no_such_kernel"), nullptr);
+}
+
+TEST(KernelRegistryTest, ProgramsReferenceRealKernels) {
+  for (const BenchmarkProgram &P : programRegistry()) {
+    EXPECT_FALSE(P.Components.empty()) << P.Name;
+    for (const ProgramComponent &C : P.Components) {
+      EXPECT_NE(findKernel(C.KernelName), nullptr)
+          << P.Name << " references unknown kernel " << C.KernelName;
+      EXPECT_GT(C.Weight, 0.0);
+    }
+  }
+}
+
+/// The Super-Node statistics the node-size figures are built from.
+TEST(KernelStatsTest, SNWinnersCommitSuperNodes) {
+  KernelRunner Runner;
+  for (const Kernel &K : kernelRegistry()) {
+    CompiledKernel SN = Runner.compile(K, VectorizerMode::SNSLP);
+    if (K.Expectation == KernelExpectation::SNWins ||
+        K.Expectation == KernelExpectation::MultiNodeWins) {
+      EXPECT_GT(SN.Stats.superNodesCommitted(), 0u) << K.Name;
+      for (unsigned Size : SN.Stats.CommittedSuperNodeSizes)
+        EXPECT_GE(Size, 2u) << K.Name << ": minimum legal node size is 2";
+    } else {
+      EXPECT_EQ(SN.Stats.superNodesCommitted(), 0u) << K.Name;
+    }
+    if (K.Expectation == KernelExpectation::MultiNodeWins) {
+      CompiledKernel LSLP = Runner.compile(K, VectorizerMode::LSLP);
+      EXPECT_GT(LSLP.Stats.superNodesCommitted(), 0u)
+          << K.Name << ": LSLP should commit Multi-Nodes";
+    }
+  }
+}
+
+} // namespace

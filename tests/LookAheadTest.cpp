@@ -1,0 +1,160 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the LSLP look-ahead pairwise scoring that guides operand
+/// and leaf reordering.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "slp/LookAhead.h"
+
+#include <gtest/gtest.h>
+
+using namespace snslp;
+
+namespace {
+
+class LookAheadTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  Module M{Ctx, "la"};
+
+  Function *parse(const std::string &Source) {
+    std::string Err;
+    EXPECT_TRUE(parseIR(Source, M, &Err)) << Err;
+    return M.functions().back().get();
+  }
+
+  Instruction *byName(Function *F, const std::string &Name) {
+    for (const auto &BB : F->blocks())
+      for (const auto &Inst : *BB)
+        if (Inst->getName() == Name)
+          return Inst.get();
+    return nullptr;
+  }
+};
+
+TEST_F(LookAheadTest, ConsecutiveLoadsBeatEverything) {
+  Function *F = parse("func @f(ptr %a, ptr %b) {\n"
+                      "entry:\n"
+                      "  %p0 = gep f64, ptr %a, i64 0\n"
+                      "  %l0 = load f64, ptr %p0\n"
+                      "  %p1 = gep f64, ptr %a, i64 1\n"
+                      "  %l1 = load f64, ptr %p1\n"
+                      "  %q = gep f64, ptr %b, i64 5\n"
+                      "  %lb = load f64, ptr %q\n"
+                      "  %s = fadd f64 %l0, %l1\n"
+                      "  %t = fadd f64 %s, %lb\n"
+                      "  store f64 %t, ptr %q\n"
+                      "  ret void\n"
+                      "}\n");
+  LookAhead LA(2);
+  Instruction *L0 = byName(F, "l0");
+  Instruction *L1 = byName(F, "l1");
+  Instruction *LB = byName(F, "lb");
+  // Adjacent in order scores the maximum...
+  EXPECT_EQ(LA.score(L0, L1), 4);
+  // ...reversed or unrelated loads score nothing.
+  EXPECT_EQ(LA.score(L1, L0), 0);
+  EXPECT_EQ(LA.score(L0, LB), 0);
+}
+
+TEST_F(LookAheadTest, SplatAndConstantScores) {
+  Function *F = parse("func @f(f64 %x, ptr %p) {\n"
+                      "entry:\n"
+                      "  %s = fadd f64 %x, 1.0\n"
+                      "  store f64 %s, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  LookAhead LA(0);
+  Value *X = F->getArgByName("x");
+  Constant *C1 = ConstantFP::get(Ctx.getDoubleTy(), 1.0);
+  Constant *C2 = ConstantFP::get(Ctx.getDoubleTy(), 2.0);
+  EXPECT_EQ(LA.score(X, X), 3);   // Splat.
+  EXPECT_EQ(LA.score(C1, C2), 2); // Two constants.
+  EXPECT_EQ(LA.score(C1, C1), 3); // Identical constants count as splat.
+  EXPECT_EQ(LA.score(X, C1), 0);  // Nothing in common.
+}
+
+TEST_F(LookAheadTest, SameOpcodeAndFamilyScores) {
+  Function *F = parse("func @f(f64 %a, f64 %b, ptr %p) {\n"
+                      "entry:\n"
+                      "  %s1 = fadd f64 %a, %b\n"
+                      "  %s2 = fadd f64 %b, %a\n"
+                      "  %s3 = fsub f64 %a, %b\n"
+                      "  %s4 = fmul f64 %a, %b\n"
+                      "  %u1 = fadd f64 %s1, %s2\n"
+                      "  %u2 = fadd f64 %s3, %s4\n"
+                      "  %u3 = fadd f64 %u1, %u2\n"
+                      "  store f64 %u3, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  LookAhead LA(0); // Immediate scores only.
+  EXPECT_EQ(LA.score(byName(F, "s1"), byName(F, "s2")), 2); // Same opcode.
+  EXPECT_EQ(LA.score(byName(F, "s1"), byName(F, "s3")), 1); // Same family.
+  EXPECT_EQ(LA.score(byName(F, "s1"), byName(F, "s4")), 0); // Unrelated.
+}
+
+TEST_F(LookAheadTest, DepthRecursionSeesThroughOperands) {
+  // Two fadds whose operands are consecutive loads pair better than two
+  // fadds over unrelated loads — visible only at depth >= 1.
+  Function *F = parse("func @f(ptr %a, ptr %b) {\n"
+                      "entry:\n"
+                      "  %p0 = gep f64, ptr %a, i64 0\n"
+                      "  %l0 = load f64, ptr %p0\n"
+                      "  %p1 = gep f64, ptr %a, i64 1\n"
+                      "  %l1 = load f64, ptr %p1\n"
+                      "  %q0 = gep f64, ptr %b, i64 0\n"
+                      "  %k0 = load f64, ptr %q0\n"
+                      "  %q9 = gep f64, ptr %b, i64 9\n"
+                      "  %k9 = load f64, ptr %q9\n"
+                      "  %s1 = fadd f64 %l0, %k0\n"
+                      "  %s2 = fadd f64 %l1, %k9\n"
+                      "  %s3 = fadd f64 %k9, %l1\n"
+                      "  %t1 = fadd f64 %s1, %s2\n"
+                      "  %t2 = fadd f64 %t1, %s3\n"
+                      "  store f64 %t2, ptr %a\n"
+                      "  ret void\n"
+                      "}\n");
+  LookAhead Shallow(0), Deep(2);
+  Instruction *S1 = byName(F, "s1");
+  Instruction *S2 = byName(F, "s2");
+  Instruction *S3 = byName(F, "s3");
+  // At depth 0 both pairs look identical (same opcode).
+  EXPECT_EQ(Shallow.score(S1, S2), Shallow.score(S1, S3));
+  // At depth 2 the (l0,l1) adjacency is discovered either way (the
+  // look-ahead tries both operand pairings), and both beat depth 0.
+  EXPECT_GT(Deep.score(S1, S2), Shallow.score(S1, S2));
+  EXPECT_EQ(Deep.score(S1, S2), Deep.score(S1, S3));
+}
+
+TEST_F(LookAheadTest, GroupScoreSumsConsecutivePairs) {
+  Function *F = parse("func @f(ptr %a) {\n"
+                      "entry:\n"
+                      "  %p0 = gep f64, ptr %a, i64 0\n"
+                      "  %l0 = load f64, ptr %p0\n"
+                      "  %p1 = gep f64, ptr %a, i64 1\n"
+                      "  %l1 = load f64, ptr %p1\n"
+                      "  %p2 = gep f64, ptr %a, i64 2\n"
+                      "  %l2 = load f64, ptr %p2\n"
+                      "  %s = fadd f64 %l0, %l1\n"
+                      "  %t = fadd f64 %s, %l2\n"
+                      "  store f64 %t, ptr %p0\n"
+                      "  ret void\n"
+                      "}\n");
+  LookAhead LA(1);
+  std::vector<const Value *> Group = {byName(F, "l0"), byName(F, "l1"),
+                                      byName(F, "l2")};
+  EXPECT_EQ(LA.groupScore(Group), 8); // 4 + 4.
+  std::vector<const Value *> Single = {byName(F, "l0")};
+  EXPECT_EQ(LA.groupScore(Single), 0);
+}
+
+} // namespace

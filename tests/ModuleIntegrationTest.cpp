@@ -1,0 +1,151 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-module integration tests: all registry kernels parsed into ONE
+/// module, printer<->parser round-trip fixpoints over every kernel, the
+/// module-wide pipeline, and the interpreter's execution tracer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/PassPipeline.h"
+#include "interp/ExecutionEngine.h"
+#include "ir/Context.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "kernels/Kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace snslp;
+
+namespace {
+
+TEST(ModuleIntegrationTest, AllKernelsInOneModule) {
+  Context Ctx;
+  Module M(Ctx, "suite");
+  std::string Err;
+  for (const Kernel &K : kernelRegistry())
+    ASSERT_TRUE(parseIR(K.IRText, M, &Err)) << K.Name << ": " << Err;
+  EXPECT_EQ(M.functions().size(), kernelRegistry().size());
+  EXPECT_TRUE(verifyModule(M));
+
+  // Vectorize every function in place, then re-verify the whole module.
+  for (const auto &F : M.functions()) {
+    PipelineOptions Options;
+    Options.Vectorizer.Mode = VectorizerMode::SNSLP;
+    runPassPipeline(*F, Options);
+  }
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(M, &Errors))
+      << (Errors.empty() ? "" : Errors.front());
+}
+
+TEST(ModuleIntegrationTest, EveryKernelRoundTripsExactly) {
+  Context Ctx;
+  for (const Kernel &K : kernelRegistry()) {
+    Module M1(Ctx, "rt1." + K.Name);
+    std::string Err;
+    ASSERT_TRUE(parseIR(K.IRText, M1, &Err)) << K.Name << ": " << Err;
+    std::string Printed = toString(*M1.getFunction(K.Name));
+
+    Module M2(Ctx, "rt2." + K.Name);
+    ASSERT_TRUE(parseIR(Printed, M2, &Err)) << K.Name << ": " << Err;
+    EXPECT_EQ(Printed, toString(*M2.getFunction(K.Name)))
+        << K.Name << ": print->parse->print is not a fixpoint";
+  }
+}
+
+TEST(ModuleIntegrationTest, VectorizedKernelsRoundTripExactly) {
+  // The vectorized forms (vector types, altop, shuffles, extracts) must
+  // round-trip through the printer and parser too.
+  Context Ctx;
+  for (const Kernel &K : kernelRegistry()) {
+    Module M1(Ctx, "vrt1." + K.Name);
+    std::string Err;
+    ASSERT_TRUE(parseIR(K.IRText, M1, &Err)) << K.Name << ": " << Err;
+    Function *F = M1.getFunction(K.Name);
+    VectorizerConfig Cfg;
+    Cfg.Mode = VectorizerMode::SNSLP;
+    Cfg.EnableLoadShuffles = true;
+    Cfg.CostThreshold = 1;
+    runSLPVectorizer(*F, Cfg);
+    ASSERT_TRUE(verifyFunction(*F)) << K.Name;
+
+    std::string Printed = toString(*F);
+    Module M2(Ctx, "vrt2." + K.Name);
+    ASSERT_TRUE(parseIR(Printed, M2, &Err)) << K.Name << ": " << Err;
+    EXPECT_EQ(Printed, toString(*M2.getFunction(K.Name))) << K.Name;
+  }
+}
+
+TEST(ModuleIntegrationTest, ExecutionTraceLogsInstructions) {
+  Context Ctx;
+  Module M(Ctx, "trace");
+  std::string Err;
+  ASSERT_TRUE(parseIR("func @t(i64 %x) -> i64 {\n"
+                      "entry:\n"
+                      "  %a = add i64 %x, 5\n"
+                      "  %b = mul i64 %a, 2\n"
+                      "  ret i64 %b\n"
+                      "}\n",
+                      M, &Err))
+      << Err;
+  ExecutionEngine E(*M.getFunction("t"));
+  std::ostringstream Trace;
+  ExecutionResult R = E.run({argInt64(10)}, 1000, &Trace);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValue.getInt(), 30);
+  std::string Log = Trace.str();
+  EXPECT_NE(Log.find("entry:"), std::string::npos);
+  EXPECT_NE(Log.find("add i64 %x, 5"), std::string::npos) << Log;
+  EXPECT_NE(Log.find("= 15"), std::string::npos) << Log;
+  EXPECT_NE(Log.find("= 30"), std::string::npos) << Log;
+}
+
+TEST(ModuleIntegrationTest, TraceFormatsVectors) {
+  Context Ctx;
+  Module M(Ctx, "tracev");
+  std::string Err;
+  ASSERT_TRUE(parseIR("func @tv(ptr %p) {\n"
+                      "entry:\n"
+                      "  %v = load <2 x f64>, ptr %p\n"
+                      "  %w = fadd <2 x f64> %v, %v\n"
+                      "  store <2 x f64> %w, ptr %p\n"
+                      "  ret void\n"
+                      "}\n",
+                      M, &Err))
+      << Err;
+  double Buf[2] = {1.0, 2.0};
+  ExecutionEngine E(*M.getFunction("tv"));
+  std::ostringstream Trace;
+  ASSERT_TRUE(E.run({argPointer(Buf)}, 1000, &Trace).Ok);
+  EXPECT_NE(Trace.str().find("<2.000000, 4.000000>"), std::string::npos)
+      << Trace.str();
+}
+
+TEST(ModuleIntegrationTest, NodeKindTalliesArePlausible) {
+  Context Ctx;
+  Module M(Ctx, "tally");
+  std::string Err;
+  const Kernel *K = findKernel("motiv2");
+  ASSERT_TRUE(parseIR(K->IRText, M, &Err)) << Err;
+  Function *F = M.getFunction(K->Name);
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::SNSLP;
+  VectorizeStats Stats = runSLPVectorizer(*F, Cfg);
+  ASSERT_EQ(Stats.GraphsVectorized, 1u);
+  // Fig. 3 under SN-SLP: 6 vectorizable rows, no alternates, no gathers.
+  EXPECT_EQ(Stats.VectorizeNodes, 6u);
+  EXPECT_EQ(Stats.AlternateNodes, 0u);
+  EXPECT_EQ(Stats.GatherNodes, 0u);
+}
+
+} // namespace

@@ -1,0 +1,255 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests reproducing the paper's two motivating examples
+/// (Section III, Figs. 2 and 3) exactly:
+///   Fig. 2: SLP/LSLP graph cost 0 (not profitable) vs SN-SLP cost -6.
+///   Fig. 3: SLP/LSLP graph cost +4 vs SN-SLP cost -6.
+/// plus differential execution showing the transformed code computes the
+/// same values.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/ExecutionEngine.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "slp/GraphBuilder.h"
+#include "slp/SLPVectorizer.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace snslp;
+
+namespace {
+
+/// Fig. 2(a)-equivalent source (see DESIGN.md): leaf reordering only.
+///   A[i+0] = (B[i+0] - C[i+0]) + D[i+0];
+///   A[i+1] = (D[i+1] - C[i+1]) + B[i+1];
+const char *Motiv1IR = R"(
+func @motiv1(ptr %A, ptr %B, ptr %C, ptr %D, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %pB0 = gep i64, ptr %B, i64 %i
+  %b0 = load i64, ptr %pB0
+  %pC0 = gep i64, ptr %C, i64 %i
+  %c0 = load i64, ptr %pC0
+  %pD0 = gep i64, ptr %D, i64 %i
+  %d0 = load i64, ptr %pD0
+  %s0 = sub i64 %b0, %c0
+  %t0 = add i64 %s0, %d0
+  %pA0 = gep i64, ptr %A, i64 %i
+  store i64 %t0, ptr %pA0
+  %pD1 = gep i64, ptr %D, i64 %i1
+  %d1 = load i64, ptr %pD1
+  %pC1 = gep i64, ptr %C, i64 %i1
+  %c1 = load i64, ptr %pC1
+  %pB1 = gep i64, ptr %B, i64 %i1
+  %b1 = load i64, ptr %pB1
+  %s1 = sub i64 %d1, %c1
+  %t1 = add i64 %s1, %b1
+  %pA1 = gep i64, ptr %A, i64 %i1
+  store i64 %t1, ptr %pA1
+  %i.next = add i64 %i, 2
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+
+/// Fig. 3(a) source, verbatim from the paper:
+///   A[i+0] = B[i+0] - C[i+0] + D[i+0];
+///   A[i+1] = B[i+1] + D[i+1] - C[i+1];
+const char *Motiv2IR = R"(
+func @motiv2(ptr %A, ptr %B, ptr %C, ptr %D, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i1 = add i64 %i, 1
+  %pB0 = gep i64, ptr %B, i64 %i
+  %b0 = load i64, ptr %pB0
+  %pC0 = gep i64, ptr %C, i64 %i
+  %c0 = load i64, ptr %pC0
+  %pD0 = gep i64, ptr %D, i64 %i
+  %d0 = load i64, ptr %pD0
+  %s0 = sub i64 %b0, %c0
+  %t0 = add i64 %s0, %d0
+  %pA0 = gep i64, ptr %A, i64 %i
+  store i64 %t0, ptr %pA0
+  %pB1 = gep i64, ptr %B, i64 %i1
+  %b1 = load i64, ptr %pB1
+  %pD1 = gep i64, ptr %D, i64 %i1
+  %d1 = load i64, ptr %pD1
+  %s1 = add i64 %b1, %d1
+  %pC1 = gep i64, ptr %C, i64 %i1
+  %c1 = load i64, ptr %pC1
+  %t1 = sub i64 %s1, %c1
+  %pA1 = gep i64, ptr %A, i64 %i1
+  store i64 %t1, ptr %pA1
+  %i.next = add i64 %i, 2
+  %cond = icmp ult i64 %i.next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+
+class MotivatingExamplesTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  Module M{Ctx, "motiv"};
+
+  Function *parse(const char *Source) {
+    std::string Err;
+    EXPECT_TRUE(parseIR(Source, M, &Err)) << Err;
+    Function *F = M.functions().back().get();
+    EXPECT_TRUE(verifyFunction(*F));
+    return F;
+  }
+
+  VectorizerConfig configFor(VectorizerMode Mode) {
+    VectorizerConfig Cfg;
+    Cfg.Mode = Mode;
+    return Cfg;
+  }
+
+  /// Builds the first seed group's SLP graph in \p Mode on a clone and
+  /// returns its total cost.
+  int graphCost(Function *F, VectorizerMode Mode) {
+    Function *Clone =
+        F->cloneInto(M, F->getName() + ".cost." + getModeName(Mode));
+    VectorizerConfig Cfg = configFor(Mode);
+    TargetCostModel TCM(Cfg.Target);
+    BasicBlock *Loop = Clone->getBlockByName("loop");
+    std::vector<SeedGroup> Seeds = collectStoreSeeds(
+        *Loop, Cfg.MinVF, Cfg.MaxVF, Cfg.Target.MaxVectorWidthBytes);
+    EXPECT_EQ(Seeds.size(), 1u);
+    GraphBuilder GB(Cfg, TCM);
+    std::unique_ptr<SLPGraph> Graph = GB.build(Seeds.front());
+    return Graph->getTotalCost();
+  }
+
+  /// Runs kernel \p F over fresh buffers and returns the output array.
+  std::vector<int64_t> execute(Function *F, uint64_t Seed, double *Cycles) {
+    constexpr size_t N = 64;
+    std::vector<int64_t> A(N, 0), B(N), C(N), D(N);
+    RNG R(Seed);
+    for (size_t I = 0; I < N; ++I) {
+      B[I] = R.nextInRange(-1000, 1000);
+      C[I] = R.nextInRange(-1000, 1000);
+      D[I] = R.nextInRange(-1000, 1000);
+    }
+    TargetCostModel TCM;
+    ExecutionEngine E(*F, [&TCM](const Instruction &I) {
+      return TCM.executionCycles(I);
+    });
+    ExecutionResult Res =
+        E.run({argPointer(A.data()), argPointer(B.data()),
+               argPointer(C.data()), argPointer(D.data()), argInt64(N)});
+    EXPECT_TRUE(Res.Ok) << Res.Error;
+    if (Cycles)
+      *Cycles = Res.Cycles;
+    return A;
+  }
+};
+
+TEST_F(MotivatingExamplesTest, Fig2CostsMatchPaper) {
+  Function *F = parse(Motiv1IR);
+  // The paper's Fig. 2(c): total cost 0 for state-of-the-art (L)SLP.
+  EXPECT_EQ(graphCost(F, VectorizerMode::SLP), 0);
+  EXPECT_EQ(graphCost(F, VectorizerMode::LSLP), 0);
+  // Fig. 2(e): SN-SLP massages the code to a fully vectorizable -6.
+  EXPECT_EQ(graphCost(F, VectorizerMode::SNSLP), -6);
+}
+
+TEST_F(MotivatingExamplesTest, Fig3CostsMatchPaper) {
+  Function *F = parse(Motiv2IR);
+  // The paper's Fig. 3(c): total cost +4 for state-of-the-art (L)SLP.
+  EXPECT_EQ(graphCost(F, VectorizerMode::SLP), 4);
+  EXPECT_EQ(graphCost(F, VectorizerMode::LSLP), 4);
+  // Fig. 3(e): -6 after trunk and leaf reordering.
+  EXPECT_EQ(graphCost(F, VectorizerMode::SNSLP), -6);
+}
+
+TEST_F(MotivatingExamplesTest, OnlySNSLPVectorizesFig2) {
+  Function *F = parse(Motiv1IR);
+  for (VectorizerMode Mode :
+       {VectorizerMode::SLP, VectorizerMode::LSLP, VectorizerMode::SNSLP}) {
+    Function *Clone =
+        F->cloneInto(M, std::string("motiv1.") + getModeName(Mode));
+    VectorizeStats Stats = runSLPVectorizer(*Clone, configFor(Mode));
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(verifyFunction(*Clone, &Errors))
+        << getModeName(Mode) << ": "
+        << (Errors.empty() ? "" : Errors.front());
+    if (Mode == VectorizerMode::SNSLP) {
+      EXPECT_EQ(Stats.GraphsVectorized, 1u) << getModeName(Mode);
+      // A single Super-Node spans both lanes, with a trunk of 2 per lane.
+      EXPECT_EQ(Stats.superNodesCommitted(), 1u);
+      ASSERT_EQ(Stats.CommittedSuperNodeSizes.size(), 1u);
+      EXPECT_EQ(Stats.CommittedSuperNodeSizes.front(), 2u);
+    } else {
+      EXPECT_EQ(Stats.GraphsVectorized, 0u) << getModeName(Mode);
+    }
+  }
+}
+
+TEST_F(MotivatingExamplesTest, SNSLPTransformationPreservesSemantics) {
+  for (const char *Source : {Motiv1IR, Motiv2IR}) {
+    Function *F = parse(Source);
+    std::vector<int64_t> Expected = execute(F, 42, nullptr);
+
+    Function *Clone = F->cloneInto(M, F->getName() + ".sn");
+    VectorizeStats Stats =
+        runSLPVectorizer(*Clone, configFor(VectorizerMode::SNSLP));
+    EXPECT_EQ(Stats.GraphsVectorized, 1u);
+    ASSERT_TRUE(verifyFunction(*Clone));
+
+    std::vector<int64_t> Actual = execute(Clone, 42, nullptr);
+    EXPECT_EQ(Expected, Actual) << F->getName();
+  }
+}
+
+TEST_F(MotivatingExamplesTest, SNSLPReducesSimulatedCycles) {
+  for (const char *Source : {Motiv1IR, Motiv2IR}) {
+    Function *F = parse(Source);
+    double ScalarCycles = 0.0, VectorCycles = 0.0;
+    execute(F, 7, &ScalarCycles);
+
+    Function *Clone = F->cloneInto(M, F->getName() + ".sncyc");
+    runSLPVectorizer(*Clone, configFor(VectorizerMode::SNSLP));
+    execute(Clone, 7, &VectorCycles);
+
+    // The paper reports large speedups on the motivating kernels; at VF=2
+    // the dynamic cost should drop noticeably.
+    EXPECT_LT(VectorCycles, ScalarCycles * 0.75) << F->getName();
+  }
+}
+
+TEST_F(MotivatingExamplesTest, UncommittedMassagingPreservesSemantics) {
+  // In LSLP/SN-SLP modes the graph build may massage scalar code even when
+  // the graph is not committed; semantics must be preserved regardless.
+  Function *F = parse(Motiv1IR);
+  std::vector<int64_t> Expected = execute(F, 99, nullptr);
+
+  Function *Clone = F->cloneInto(M, "motiv1.masscheck");
+  VectorizerConfig Cfg = configFor(VectorizerMode::SNSLP);
+  Cfg.CostThreshold = -100; // Nothing is ever profitable.
+  VectorizeStats Stats = runSLPVectorizer(*Clone, Cfg);
+  EXPECT_EQ(Stats.GraphsVectorized, 0u);
+  ASSERT_TRUE(verifyFunction(*Clone));
+  EXPECT_EQ(Expected, execute(Clone, 99, nullptr));
+}
+
+} // namespace

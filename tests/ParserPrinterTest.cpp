@@ -1,0 +1,301 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the textual IR printer and parser, including exact
+/// print -> parse -> print round-trips.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace snslp;
+
+namespace {
+
+class ParserPrinterTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  Module M{Ctx, "test"};
+
+  Function *parseOne(const std::string &Source) {
+    std::string Err;
+    bool Ok = parseIR(Source, M, &Err);
+    EXPECT_TRUE(Ok) << Err;
+    if (!Ok)
+      return nullptr;
+    EXPECT_EQ(M.functions().size(), 1u);
+    return M.functions().front().get();
+  }
+
+  void expectParseError(const std::string &Source,
+                        const std::string &Fragment) {
+    std::string Err;
+    EXPECT_FALSE(parseIR(Source, M, &Err));
+    EXPECT_NE(Err.find(Fragment), std::string::npos)
+        << "diagnostic was: " << Err;
+  }
+};
+
+TEST_F(ParserPrinterTest, ParseMinimalFunction) {
+  Function *F = parseOne("func @f() {\n"
+                         "entry:\n"
+                         "  ret void\n"
+                         "}\n");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->getName(), "f");
+  EXPECT_TRUE(F->getReturnType()->isVoid());
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+TEST_F(ParserPrinterTest, ParseArithmeticAndMemory) {
+  Function *F = parseOne(
+      "func @k(ptr %a, ptr %b) {\n"
+      "entry:\n"
+      "  %p0 = gep f64, ptr %a, i64 0\n"
+      "  %p1 = gep f64, ptr %b, i64 1\n"
+      "  %x = load f64, ptr %p0\n"
+      "  %y = load f64, ptr %p1\n"
+      "  %s = fadd f64 %x, %y\n"
+      "  %d = fsub f64 %s, 1.5\n"
+      "  %m = fmul f64 %d, %d\n"
+      "  %q = fdiv f64 %m, 2.0\n"
+      "  store f64 %q, ptr %p0\n"
+      "  ret void\n"
+      "}\n");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(verifyFunction(*F));
+  EXPECT_EQ(F->instructionCount(), 10u);
+}
+
+TEST_F(ParserPrinterTest, ParseLoopWithPhiForwardReference) {
+  Function *F = parseOne(
+      "func @loop(ptr %a, i64 %n) {\n"
+      "entry:\n"
+      "  br label %body\n"
+      "body:\n"
+      "  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]\n"
+      "  %p = gep i64, ptr %a, i64 %i\n"
+      "  %v = load i64, ptr %p\n"
+      "  %v2 = add i64 %v, 1\n"
+      "  store i64 %v2, ptr %p\n"
+      "  %i.next = add i64 %i, 1\n"
+      "  %c = icmp ult i64 %i.next, %n\n"
+      "  br i1 %c, label %body, label %exit\n"
+      "exit:\n"
+      "  ret void\n"
+      "}\n");
+  ASSERT_NE(F, nullptr);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyFunction(*F, &Errors))
+      << (Errors.empty() ? "" : Errors.front());
+  auto *Phi = cast<PhiNode>(F->getBlockByName("body")->begin()->get());
+  EXPECT_EQ(Phi->getNumIncoming(), 2u);
+  EXPECT_EQ(Phi->getIncomingBlock(0)->getName(), "entry");
+  auto *C0 = dyn_cast<ConstantInt>(Phi->getIncomingValue(0));
+  ASSERT_NE(C0, nullptr);
+  EXPECT_EQ(C0->getValue(), 0);
+}
+
+TEST_F(ParserPrinterTest, ParseVectorInstructions) {
+  Function *F = parseOne(
+      "func @vec(ptr %a) {\n"
+      "entry:\n"
+      "  %v = load <2 x f64>, ptr %a\n"
+      "  %w = altop <2 x f64> [fadd, fsub], %v, %v\n"
+      "  %s = extractelement <2 x f64> %w, 0\n"
+      "  %u = insertelement <2 x f64> %w, f64 %s, 1\n"
+      "  %sh = shufflevector <2 x f64> %u, %v, [0, 3]\n"
+      "  %cv = fadd <2 x f64> %sh, [1.0, 2.0]\n"
+      "  store <2 x f64> %cv, ptr %a\n"
+      "  ret void\n"
+      "}\n");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+TEST_F(ParserPrinterTest, ParseSelectAndReturnValue) {
+  Function *F = parseOne(
+      "func @sel(i64 %a, i64 %b) -> i64 {\n"
+      "entry:\n"
+      "  %c = icmp sgt i64 %a, %b\n"
+      "  %m = select %c, i64 %a, %b\n"
+      "  ret i64 %m\n"
+      "}\n");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(verifyFunction(*F));
+  EXPECT_EQ(F->getReturnType(), Ctx.getInt64Ty());
+}
+
+TEST_F(ParserPrinterTest, CommentsAndWhitespaceIgnored) {
+  Function *F = parseOne("; leading comment\n"
+                         "func @c() {   ; trailing\n"
+                         "entry:\n"
+                         "  ; a full-line comment\n"
+                         "  ret void\n"
+                         "}\n");
+  ASSERT_NE(F, nullptr);
+}
+
+TEST_F(ParserPrinterTest, RoundTripIsExact) {
+  const char *Source =
+      "func @rt(ptr %a, ptr %b, i64 %n) {\n"
+      "entry:\n"
+      "  br label %body\n"
+      "body:\n"
+      "  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]\n"
+      "  %p = gep f64, ptr %a, i64 %i\n"
+      "  %q = gep f64, ptr %b, i64 %i\n"
+      "  %x = load f64, ptr %p\n"
+      "  %y = load f64, ptr %q\n"
+      "  %s = fadd f64 %x, %y\n"
+      "  %t = fsub f64 %s, 3.25\n"
+      "  store f64 %t, ptr %p\n"
+      "  %i.next = add i64 %i, 1\n"
+      "  %c = icmp ult i64 %i.next, %n\n"
+      "  br i1 %c, label %body, label %exit\n"
+      "exit:\n"
+      "  ret void\n"
+      "}\n";
+  Function *F = parseOne(Source);
+  ASSERT_NE(F, nullptr);
+  std::string Printed = toString(*F);
+
+  // Parse the printed text into a second module and print again: fixpoint.
+  Module M2(Ctx, "m2");
+  std::string Err;
+  ASSERT_TRUE(parseIR(Printed, M2, &Err)) << Err;
+  EXPECT_EQ(Printed, toString(*M2.functions().front()));
+}
+
+TEST_F(ParserPrinterTest, RoundTripVectorFunction) {
+  const char *Source =
+      "func @rtv(ptr %a) {\n"
+      "entry:\n"
+      "  %v = load <4 x f32>, ptr %a\n"
+      "  %w = altop <4 x f32> [fadd, fsub, fadd, fsub], %v, [1.0, 2.0, 3.0, 4.0]\n"
+      "  %e = extractelement <4 x f32> %w, 2\n"
+      "  %u = insertelement <4 x f32> %v, f32 %e, 0\n"
+      "  %sh = shufflevector <4 x f32> %u, %w, [0, 4, 1, 5]\n"
+      "  store <4 x f32> %sh, ptr %a\n"
+      "  ret void\n"
+      "}\n";
+  Function *F = parseOne(Source);
+  ASSERT_NE(F, nullptr);
+  std::string Printed = toString(*F);
+  Module M2(Ctx, "m2");
+  std::string Err;
+  ASSERT_TRUE(parseIR(Printed, M2, &Err)) << Err;
+  EXPECT_EQ(Printed, toString(*M2.functions().front()));
+}
+
+TEST_F(ParserPrinterTest, PrinterSynthesizesNamesForUnnamedValues) {
+  Function *F = M.createFunction("anon", Ctx.getVoidTy(),
+                                 {{Ctx.getPtrTy(), "p"}});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  Value *L = B.createLoad(Ctx.getInt64Ty(), F->getArg(0)); // Unnamed.
+  Value *A = B.createAdd(L, B.getInt64(5));                // Unnamed.
+  B.createStore(A, F->getArg(0));
+  B.createRet();
+  std::string Printed = toString(*F);
+  EXPECT_NE(Printed.find("%t0 = load"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("%t1 = add"), std::string::npos) << Printed;
+  // And the printed form must parse back.
+  Module M2(Ctx, "m2");
+  std::string Err;
+  EXPECT_TRUE(parseIR(Printed, M2, &Err)) << Err;
+}
+
+TEST_F(ParserPrinterTest, NegativeAndExponentFPConstants) {
+  Function *F = parseOne("func @fpc(ptr %p) {\n"
+                         "entry:\n"
+                         "  %x = load f64, ptr %p\n"
+                         "  %a = fadd f64 %x, -2.5\n"
+                         "  %b = fmul f64 %a, 1e-3\n"
+                         "  %c = fsub f64 %b, -1.25e2\n"
+                         "  store f64 %c, ptr %p\n"
+                         "  ret void\n"
+                         "}\n");
+  ASSERT_NE(F, nullptr);
+  std::string Printed = toString(*F);
+  Module M2(Ctx, "m2");
+  std::string Err;
+  ASSERT_TRUE(parseIR(Printed, M2, &Err)) << Err;
+  EXPECT_EQ(Printed, toString(*M2.functions().front()));
+}
+
+TEST_F(ParserPrinterTest, ErrorUndefinedValue) {
+  expectParseError("func @e() {\nentry:\n  %x = add i64 %y, 1\n  ret void\n}\n",
+                   "undefined value");
+}
+
+TEST_F(ParserPrinterTest, ErrorRedefinition) {
+  expectParseError(
+      "func @e(i64 %x) {\nentry:\n  %x = add i64 %x, 1\n  ret void\n}\n",
+      "redefinition");
+}
+
+TEST_F(ParserPrinterTest, ErrorTypeMismatch) {
+  expectParseError(
+      "func @e(i64 %x) {\nentry:\n  %y = fadd f64 %x, 1.0\n  ret void\n}\n",
+      "expected f64");
+}
+
+TEST_F(ParserPrinterTest, ErrorUnknownOpcode) {
+  expectParseError("func @e() {\nentry:\n  frobnicate i64 1, 2\n  ret void\n}\n",
+                   "unknown opcode");
+}
+
+TEST_F(ParserPrinterTest, ErrorUnknownBlock) {
+  expectParseError("func @e() {\nentry:\n  br label %nowhere\n}\n",
+                   "unknown block");
+}
+
+TEST_F(ParserPrinterTest, ErrorDuplicateFunction) {
+  expectParseError("func @f() {\nentry:\n  ret void\n}\n"
+                   "func @f() {\nentry:\n  ret void\n}\n",
+                   "redefinition");
+}
+
+TEST_F(ParserPrinterTest, ErrorLineNumbersAreReported) {
+  std::string Err;
+  EXPECT_FALSE(parseIR(
+      "func @e() {\nentry:\n  ret void\n}\nfunc @g() {\nentry:\n  %x = bogus\n"
+      "  ret void\n}\n",
+      M, &Err));
+  EXPECT_NE(Err.find("line 7"), std::string::npos) << Err;
+}
+
+TEST_F(ParserPrinterTest, MultipleFunctionsInOneModule) {
+  std::string Err;
+  ASSERT_TRUE(parseIR("func @a() {\nentry:\n  ret void\n}\n"
+                      "func @b() -> i64 {\nentry:\n  ret i64 7\n}\n",
+                      M, &Err))
+      << Err;
+  EXPECT_EQ(M.functions().size(), 2u);
+  EXPECT_NE(M.getFunction("a"), nullptr);
+  ASSERT_NE(M.getFunction("b"), nullptr);
+  EXPECT_EQ(M.getFunction("b")->getReturnType(), Ctx.getInt64Ty());
+}
+
+TEST_F(ParserPrinterTest, IntegerConstantInFPContextIsRejected) {
+  // The printer always emits FP constants with '.'; an integer literal in
+  // FP position is accepted as an FP value (convenience), so this parses.
+  Function *F = parseOne(
+      "func @ic(ptr %p) {\nentry:\n  %x = load f64, ptr %p\n"
+      "  %y = fadd f64 %x, 2.0\n  store f64 %y, ptr %p\n  ret void\n}\n");
+  ASSERT_NE(F, nullptr);
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser robustness: arbitrary truncations and single-character
+/// mutations of valid kernels must either parse or fail gracefully with a
+/// diagnostic — never crash, hang, or produce unverifiable IR.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "kernels/Kernel.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace snslp;
+
+namespace {
+
+TEST(ParserRobustnessTest, TruncationsNeverCrash) {
+  const Kernel *K = findKernel("motiv2");
+  ASSERT_NE(K, nullptr);
+  const std::string &Text = K->IRText;
+  // Try every truncation length at a stride (full sweep is slow-ish).
+  for (size_t Len = 0; Len < Text.size(); Len += 7) {
+    Context Ctx;
+    Module M(Ctx, "trunc");
+    std::string Err;
+    bool Ok = parseIR(Text.substr(0, Len), M, &Err);
+    if (Ok) {
+      // A prefix that happens to parse must still verify (e.g. empty
+      // input parses as an empty module).
+      EXPECT_TRUE(verifyModule(M)) << "at length " << Len;
+    } else {
+      EXPECT_FALSE(Err.empty()) << "no diagnostic at length " << Len;
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, SingleCharacterMutationsNeverCrash) {
+  const Kernel *K = findKernel("sphinx_bias");
+  ASSERT_NE(K, nullptr);
+  const std::string &Text = K->IRText;
+  RNG R(424242);
+  const char Mutations[] = {'x', '%', '0', '}', ',', ' ', '<', '-'};
+  for (unsigned Round = 0; Round < 300; ++Round) {
+    std::string Mutated = Text;
+    size_t Pos = R.nextBelow(Mutated.size());
+    Mutated[Pos] = Mutations[R.nextBelow(sizeof(Mutations))];
+    Context Ctx;
+    Module M(Ctx, "mut");
+    std::string Err;
+    bool Ok = parseIR(Mutated, M, &Err);
+    if (Ok) {
+      // Mutations that survive parsing (e.g. in a comment or a name) must
+      // still yield verifiable IR.
+      std::vector<std::string> Errors;
+      EXPECT_TRUE(verifyModule(M, &Errors))
+          << "round " << Round << ": "
+          << (Errors.empty() ? "" : Errors.front());
+    } else {
+      EXPECT_FALSE(Err.empty()) << "round " << Round;
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, GarbageInputsFailGracefully) {
+  const char *Garbage[] = {
+      "",
+      "func",
+      "func @",
+      "func @f(",
+      "func @f() {",
+      "func @f() {\nentry:\n",
+      "}}}}",
+      "<<<<>>>>",
+      "func @f() {\nentry:\n  %x = \n}",
+      "func @f() {\nentry:\n  ret void\n}\nfunc @f() {\nentry:\n  ret "
+      "void\n}",
+      "\xff\xfe\xfd",
+      "func @f(i64 %a, i64 %a) {\nentry:\n  ret void\n}",
+  };
+  for (const char *Input : Garbage) {
+    Context Ctx;
+    Module M(Ctx, "garbage");
+    std::string Err;
+    bool Ok = parseIR(Input, M, &Err);
+    if (Ok) {
+      EXPECT_TRUE(verifyModule(M)) << "input: " << Input;
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,222 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the scalar cleanup passes (constant folding, local CSE) and
+/// the full pass pipeline, including differential execution of every
+/// registry kernel through the pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/PassPipeline.h"
+#include "interp/ExecutionEngine.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "kernels/Kernel.h"
+#include "passes/CSE.h"
+#include "passes/ConstantFolding.h"
+
+#include <gtest/gtest.h>
+
+using namespace snslp;
+
+namespace {
+
+class PassesTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  Module M{Ctx, "passes"};
+
+  Function *parse(const std::string &Source) {
+    std::string Err;
+    EXPECT_TRUE(parseIR(Source, M, &Err)) << Err;
+    Function *F = M.functions().back().get();
+    EXPECT_TRUE(verifyFunction(*F));
+    return F;
+  }
+};
+
+TEST_F(PassesTest, FoldsIntegerArithmetic) {
+  Function *F = parse("func @f(ptr %p) {\n"
+                      "entry:\n"
+                      "  %a = add i64 2, 3\n"
+                      "  %b = mul i64 %a, 4\n"
+                      "  %c = sub i64 %b, 1\n"
+                      "  store i64 %c, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  size_t Folded = runConstantFolding(*F);
+  EXPECT_EQ(Folded, 3u);
+  ASSERT_TRUE(verifyFunction(*F));
+  auto *Store = cast<StoreInst>(F->getEntryBlock().begin()->get());
+  EXPECT_EQ(cast<ConstantInt>(Store->getValueOperand())->getValue(), 19);
+}
+
+TEST_F(PassesTest, FoldsFPWithCorrectRounding) {
+  Function *F = parse("func @f(ptr %p) {\n"
+                      "entry:\n"
+                      "  %a = fdiv f64 1.0, 3.0\n"
+                      "  %b = fmul f64 %a, 3.0\n"
+                      "  store f64 %b, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  runConstantFolding(*F);
+  auto *Store = cast<StoreInst>(F->getEntryBlock().begin()->get());
+  EXPECT_DOUBLE_EQ(cast<ConstantFP>(Store->getValueOperand())->getValue(),
+                   (1.0 / 3.0) * 3.0);
+}
+
+TEST_F(PassesTest, FoldsICmpSelectAndExtract) {
+  Function *F = parse("func @f(ptr %p, f64 %x) {\n"
+                      "entry:\n"
+                      "  %c = icmp slt i64 3, 5\n"
+                      "  %s = select %c, i64 10, 20\n"
+                      "  store i64 %s, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  size_t Folded = runConstantFolding(*F);
+  EXPECT_EQ(Folded, 2u);
+  auto *Store = cast<StoreInst>(F->getEntryBlock().begin()->get());
+  EXPECT_EQ(cast<ConstantInt>(Store->getValueOperand())->getValue(), 10);
+}
+
+TEST_F(PassesTest, IntegerFoldingWraps) {
+  Function *F = parse("func @f(ptr %p) {\n"
+                      "entry:\n"
+                      "  %a = mul i64 9223372036854775807, 2\n"
+                      "  store i64 %a, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  runConstantFolding(*F);
+  auto *Store = cast<StoreInst>(F->getEntryBlock().begin()->get());
+  EXPECT_EQ(cast<ConstantInt>(Store->getValueOperand())->getValue(), -2);
+}
+
+TEST_F(PassesTest, DoesNotFoldNonConstantOrMemory) {
+  Function *F = parse("func @f(ptr %p, i64 %x) {\n"
+                      "entry:\n"
+                      "  %a = add i64 %x, 3\n"
+                      "  %v = load i64, ptr %p\n"
+                      "  store i64 %a, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  (void)F;
+  EXPECT_EQ(runConstantFolding(*F), 0u);
+}
+
+TEST_F(PassesTest, CSEMergesDuplicateGEPsAndBinOps) {
+  Function *F = parse("func @f(ptr %p, i64 %i) {\n"
+                      "entry:\n"
+                      "  %g1 = gep f64, ptr %p, i64 %i\n"
+                      "  %v1 = load f64, ptr %g1\n"
+                      "  %g2 = gep f64, ptr %p, i64 %i\n"
+                      "  %v2 = load f64, ptr %g2\n"
+                      "  %s = fadd f64 %v1, %v2\n"
+                      "  store f64 %s, ptr %g1\n"
+                      "  ret void\n"
+                      "}\n");
+  size_t Removed = runLocalCSE(*F);
+  EXPECT_EQ(Removed, 1u); // The duplicate GEP; loads are never CSE'd.
+  ASSERT_TRUE(verifyFunction(*F));
+}
+
+TEST_F(PassesTest, CSECanonicalizesCommutativeOperands) {
+  Function *F = parse("func @f(i64 %a, i64 %b, ptr %p) {\n"
+                      "entry:\n"
+                      "  %x = add i64 %a, %b\n"
+                      "  %y = add i64 %b, %a\n"
+                      "  %z = mul i64 %x, %y\n"
+                      "  store i64 %z, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  EXPECT_EQ(runLocalCSE(*F), 1u);
+  ASSERT_TRUE(verifyFunction(*F));
+  // Non-commutative operations must NOT match under swapped operands.
+  Function *G = parse("func @g(i64 %a, i64 %b, ptr %p) {\n"
+                      "entry:\n"
+                      "  %x = sub i64 %a, %b\n"
+                      "  %y = sub i64 %b, %a\n"
+                      "  %z = mul i64 %x, %y\n"
+                      "  store i64 %z, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  EXPECT_EQ(runLocalCSE(*G), 0u);
+}
+
+TEST_F(PassesTest, CSEDoesNotCrossBlocks) {
+  Function *F = parse("func @f(i64 %a, ptr %p) {\n"
+                      "entry:\n"
+                      "  %x = add i64 %a, 1\n"
+                      "  store i64 %x, ptr %p\n"
+                      "  br label %next\n"
+                      "next:\n"
+                      "  %y = add i64 %a, 1\n"
+                      "  store i64 %y, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  EXPECT_EQ(runLocalCSE(*F), 0u);
+}
+
+TEST_F(PassesTest, PipelinePreservesKernelSemantics) {
+  // Every registry kernel, run through the full pipeline (cleanup +
+  // SN-SLP + cleanup), must still match its reference.
+  for (const Kernel &K : kernelRegistry()) {
+    Context LocalCtx;
+    Module LocalM(LocalCtx, "pipe");
+    std::string Err;
+    ASSERT_TRUE(parseIR(K.IRText, LocalM, &Err)) << K.Name << ": " << Err;
+    Function *F = LocalM.getFunction(K.Name);
+
+    PipelineOptions Options;
+    Options.Vectorizer.Mode = VectorizerMode::SNSLP;
+    runPassPipeline(*F, Options);
+    std::vector<std::string> Errors;
+    ASSERT_TRUE(verifyFunction(*F, &Errors))
+        << K.Name << ": " << (Errors.empty() ? "" : Errors.front());
+
+    KernelData Expected(K.Buffers, K.N, /*Seed=*/23);
+    KernelData Actual(K.Buffers, K.N, /*Seed=*/23);
+    K.Reference(Expected);
+
+    ExecutionEngine E(*F);
+    std::vector<RTValue> Args;
+    for (size_t I = 0; I < Actual.getNumBuffers(); ++I)
+      Args.push_back(argPointer(Actual.getPointer(I)));
+    Args.push_back(argInt64(static_cast<int64_t>(Actual.getN())));
+    ExecutionResult R = E.run(Args);
+    ASSERT_TRUE(R.Ok) << K.Name << ": " << R.Error;
+
+    std::string Message;
+    EXPECT_TRUE(KernelData::outputsMatch(Expected, Actual, K.RelTol,
+                                         &Message))
+        << K.Name << ": " << Message;
+  }
+}
+
+TEST_F(PassesTest, PipelineReportsPassCounts) {
+  Function *F = parse("func @f(ptr %p, i64 %i) {\n"
+                      "entry:\n"
+                      "  %two = add i64 1, 1\n"
+                      "  %g1 = gep i64, ptr %p, i64 %i\n"
+                      "  %g2 = gep i64, ptr %p, i64 %i\n"
+                      "  %v = load i64, ptr %g1\n"
+                      "  %w = mul i64 %v, %two\n"
+                      "  store i64 %w, ptr %g2\n"
+                      "  %dead = add i64 %v, 5\n"
+                      "  ret void\n"
+                      "}\n");
+  PipelineOptions Options;
+  Options.Vectorizer.Mode = VectorizerMode::O3;
+  PipelineResult R = runPassPipeline(*F, Options);
+  EXPECT_GE(R.ConstantsFolded, 1u);
+  EXPECT_GE(R.CSERemoved, 1u);
+  EXPECT_GE(R.DCERemoved, 1u);
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for RTValue (the interpreter's runtime value), KernelData
+/// buffer management, and output comparison semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/RTValue.h"
+#include "kernels/KernelData.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace snslp;
+
+namespace {
+
+TEST(RTValueTest, IntCanonicalization) {
+  EXPECT_EQ(RTValue::canonicalizeInt(TypeKind::Int1, 3), 1);
+  EXPECT_EQ(RTValue::canonicalizeInt(TypeKind::Int1, 2), 0);
+  EXPECT_EQ(RTValue::canonicalizeInt(TypeKind::Int32, 0x100000001LL), 1);
+  EXPECT_EQ(RTValue::canonicalizeInt(TypeKind::Int32, 0xffffffffLL), -1);
+  EXPECT_EQ(RTValue::canonicalizeInt(TypeKind::Int64, -5), -5);
+}
+
+TEST(RTValueTest, FPCanonicalization) {
+  // f32 rounds to float precision; f64 passes through.
+  double Pi = 3.141592653589793;
+  EXPECT_EQ(RTValue::canonicalizeFP(TypeKind::Float, Pi),
+            static_cast<double>(static_cast<float>(Pi)));
+  EXPECT_EQ(RTValue::canonicalizeFP(TypeKind::Double, Pi), Pi);
+}
+
+TEST(RTValueTest, FactoriesAndAccessors) {
+  RTValue I = RTValue::makeInt64(-42);
+  EXPECT_EQ(I.getInt(), -42);
+  EXPECT_EQ(I.Lanes, 1);
+
+  RTValue B = RTValue::makeBool(true);
+  EXPECT_EQ(B.getInt(), 1);
+
+  RTValue D = RTValue::makeDouble(2.5);
+  EXPECT_DOUBLE_EQ(D.getFP(), 2.5);
+
+  int Dummy = 0;
+  RTValue P = RTValue::makePointer(&Dummy);
+  EXPECT_EQ(P.getPointer(), reinterpret_cast<uint64_t>(&Dummy));
+
+  RTValue V = RTValue::makeVector(TypeKind::Double, 4);
+  EXPECT_EQ(V.Lanes, 4);
+  V.setFP(1.5, 2);
+  EXPECT_DOUBLE_EQ(V.getFP(2), 1.5);
+}
+
+TEST(RTValueTest, BitwiseEquals) {
+  RTValue A = RTValue::makeInt64(7);
+  RTValue B = RTValue::makeInt64(7);
+  RTValue C = RTValue::makeInt64(8);
+  EXPECT_TRUE(A.bitwiseEquals(B));
+  EXPECT_FALSE(A.bitwiseEquals(C));
+  RTValue V = RTValue::makeVector(TypeKind::Int64, 2);
+  EXPECT_FALSE(A.bitwiseEquals(V)); // Lane-count mismatch.
+}
+
+TEST(KernelDataTest, DeterministicSeeding) {
+  std::vector<BufferSpec> Specs = {
+      {"in", TypeKind::Double, BufferSpec::Role::Input},
+      {"out", TypeKind::Double, BufferSpec::Role::Output}};
+  KernelData A(Specs, 64, 7);
+  KernelData B(Specs, 64, 7);
+  KernelData C(Specs, 64, 8);
+  EXPECT_EQ(A.f64(0)[0], B.f64(0)[0]);
+  EXPECT_EQ(A.f64(0)[63], B.f64(0)[63]);
+  EXPECT_NE(A.f64(0)[0], C.f64(0)[0]);
+  // Outputs are zero-initialized.
+  EXPECT_EQ(A.f64(1)[0], 0.0);
+  // Padding exists beyond N.
+  EXPECT_GT(A.getCount(0), 64u);
+  EXPECT_EQ(A.getByteSize(0), A.getCount(0) * sizeof(double));
+}
+
+TEST(KernelDataTest, OutputsMatchTolerances) {
+  std::vector<BufferSpec> Specs = {
+      {"out", TypeKind::Double, BufferSpec::Role::Output}};
+  KernelData A(Specs, 8, 1), B(Specs, 8, 1);
+  A.f64(0)[0] = 1.0;
+  B.f64(0)[0] = 1.0 + 1e-14;
+  std::string Msg;
+  EXPECT_TRUE(KernelData::outputsMatch(A, B, 1e-12, &Msg)) << Msg;
+  EXPECT_FALSE(KernelData::outputsMatch(A, B, 1e-16, &Msg));
+  EXPECT_NE(Msg.find("out"), std::string::npos);
+}
+
+TEST(KernelDataTest, IntegerOutputsCompareExactly) {
+  std::vector<BufferSpec> Specs = {
+      {"out", TypeKind::Int64, BufferSpec::Role::Output}};
+  KernelData A(Specs, 8, 1), B(Specs, 8, 1);
+  A.i64(0)[3] = 10;
+  B.i64(0)[3] = 10;
+  EXPECT_TRUE(KernelData::outputsMatch(A, B, 0.0));
+  B.i64(0)[3] = 11;
+  EXPECT_FALSE(KernelData::outputsMatch(A, B, 0.0));
+}
+
+TEST(KernelDataTest, InputBuffersAreNotCompared) {
+  std::vector<BufferSpec> Specs = {
+      {"in", TypeKind::Double, BufferSpec::Role::Input},
+      {"out", TypeKind::Double, BufferSpec::Role::Output}};
+  KernelData A(Specs, 8, 1), B(Specs, 8, 1);
+  A.f64(0)[0] = 999.0; // Diverge an input; must not matter.
+  EXPECT_TRUE(KernelData::outputsMatch(A, B, 1e-12));
+}
+
+TEST(KernelDataTest, CountScaleGrowsBuffers) {
+  std::vector<BufferSpec> Specs = {
+      {"a", TypeKind::Float, BufferSpec::Role::Input, 3.0}};
+  KernelData D(Specs, 100, 1);
+  EXPECT_GE(D.getCount(0), 300u);
+}
+
+} // namespace

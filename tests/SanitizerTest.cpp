@@ -1,0 +1,125 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the interpreter's bounds-checking (sanitizer) mode.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/ExecutionEngine.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace snslp;
+
+namespace {
+
+class SanitizerTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  Module M{Ctx, "san"};
+
+  Function *parse(const std::string &Source) {
+    std::string Err;
+    EXPECT_TRUE(parseIR(Source, M, &Err)) << Err;
+    return M.functions().back().get();
+  }
+};
+
+TEST_F(SanitizerTest, InBoundsAccessPasses) {
+  Function *F = parse("func @ok(ptr %a) -> i64 {\n"
+                      "entry:\n"
+                      "  %p = gep i64, ptr %a, i64 3\n"
+                      "  %v = load i64, ptr %p\n"
+                      "  ret i64 %v\n"
+                      "}\n");
+  int64_t Buf[4] = {1, 2, 3, 4};
+  ExecutionEngine E(*F);
+  E.addMemoryRange(Buf, sizeof(Buf));
+  ExecutionResult R = E.run({argPointer(Buf)});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.getInt(), 4);
+}
+
+TEST_F(SanitizerTest, OutOfBoundsLoadIsCaught) {
+  Function *F = parse("func @oob(ptr %a) -> i64 {\n"
+                      "entry:\n"
+                      "  %p = gep i64, ptr %a, i64 4\n"
+                      "  %v = load i64, ptr %p\n"
+                      "  ret i64 %v\n"
+                      "}\n");
+  int64_t Buf[4] = {1, 2, 3, 4};
+  ExecutionEngine E(*F);
+  E.addMemoryRange(Buf, sizeof(Buf));
+  ExecutionResult R = E.run({argPointer(Buf)});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out-of-bounds load"), std::string::npos);
+}
+
+TEST_F(SanitizerTest, OutOfBoundsStoreIsCaught) {
+  Function *F = parse("func @oobs(ptr %a) {\n"
+                      "entry:\n"
+                      "  %p = gep i64, ptr %a, i64 -1\n"
+                      "  store i64 7, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  int64_t Buf[4] = {0, 0, 0, 0};
+  ExecutionEngine E(*F);
+  E.addMemoryRange(Buf, sizeof(Buf));
+  ExecutionResult R = E.run({argPointer(Buf)});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out-of-bounds store"), std::string::npos);
+}
+
+TEST_F(SanitizerTest, VectorAccessMustFitEntirely) {
+  Function *F = parse("func @vec(ptr %a) {\n"
+                      "entry:\n"
+                      "  %p = gep f64, ptr %a, i64 3\n"
+                      "  %v = load <2 x f64>, ptr %p\n"
+                      "  store <2 x f64> %v, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  double Buf[4] = {0, 0, 0, 0}; // Lanes 3..4: the second lane is outside.
+  ExecutionEngine E(*F);
+  E.addMemoryRange(Buf, sizeof(Buf));
+  ExecutionResult R = E.run({argPointer(Buf)});
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST_F(SanitizerTest, NoRangesMeansNoChecking) {
+  Function *F = parse("func @un(ptr %a) -> i64 {\n"
+                      "entry:\n"
+                      "  %v = load i64, ptr %a\n"
+                      "  ret i64 %v\n"
+                      "}\n");
+  int64_t V = 99;
+  ExecutionEngine E(*F);
+  ExecutionResult R = E.run({argPointer(&V)});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValue.getInt(), 99);
+}
+
+TEST_F(SanitizerTest, MultipleRanges) {
+  Function *F = parse("func @two(ptr %a, ptr %b) -> i64 {\n"
+                      "entry:\n"
+                      "  %x = load i64, ptr %a\n"
+                      "  %y = load i64, ptr %b\n"
+                      "  %s = add i64 %x, %y\n"
+                      "  ret i64 %s\n"
+                      "}\n");
+  int64_t A = 10, B = 20;
+  ExecutionEngine E(*F);
+  E.addMemoryRange(&A, sizeof(A));
+  E.addMemoryRange(&B, sizeof(B));
+  ExecutionResult R = E.run({argPointer(&A), argPointer(&B)});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.getInt(), 30);
+}
+
+} // namespace

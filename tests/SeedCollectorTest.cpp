@@ -1,0 +1,176 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for store-seed collection: adjacency grouping, run slicing,
+/// width capping, and safety rejection.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "slp/SeedCollector.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace snslp;
+
+namespace {
+
+class SeedCollectorTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  Module M{Ctx, "seeds"};
+
+  Function *parse(const std::string &Source) {
+    std::string Err;
+    EXPECT_TRUE(parseIR(Source, M, &Err)) << Err;
+    return M.functions().back().get();
+  }
+
+  /// Builds a function storing constants to out[Indices...] (f64).
+  Function *buildStores(const std::vector<int> &Indices) {
+    std::ostringstream SS;
+    SS << "func @stores(ptr %out, f64 %v) {\nentry:\n";
+    for (size_t I = 0; I < Indices.size(); ++I) {
+      SS << "  %p" << I << " = gep f64, ptr %out, i64 " << Indices[I] << "\n"
+         << "  store f64 %v, ptr %p" << I << "\n";
+    }
+    SS << "  ret void\n}\n";
+    M.eraseFunction("stores");
+    return parse(SS.str());
+  }
+};
+
+TEST_F(SeedCollectorTest, TwoAdjacentStoresFormAGroup) {
+  Function *F = buildStores({0, 1});
+  auto Seeds = collectStoreSeeds(F->getEntryBlock(), 2, 4);
+  ASSERT_EQ(Seeds.size(), 1u);
+  EXPECT_EQ(Seeds.front().getVF(), 2u);
+}
+
+TEST_F(SeedCollectorTest, FourAdjacentStoresPreferVF4) {
+  Function *F = buildStores({0, 1, 2, 3});
+  auto Seeds = collectStoreSeeds(F->getEntryBlock(), 2, 4);
+  ASSERT_EQ(Seeds.size(), 1u);
+  EXPECT_EQ(Seeds.front().getVF(), 4u);
+}
+
+TEST_F(SeedCollectorTest, RunOfSixSlicesIntoFourPlusTwo) {
+  Function *F = buildStores({0, 1, 2, 3, 4, 5});
+  auto Seeds = collectStoreSeeds(F->getEntryBlock(), 2, 4);
+  ASSERT_EQ(Seeds.size(), 2u);
+  EXPECT_EQ(Seeds[0].getVF(), 4u);
+  EXPECT_EQ(Seeds[1].getVF(), 2u);
+}
+
+TEST_F(SeedCollectorTest, GapBreaksTheRun) {
+  Function *F = buildStores({0, 1, 3, 4});
+  auto Seeds = collectStoreSeeds(F->getEntryBlock(), 2, 4);
+  ASSERT_EQ(Seeds.size(), 2u);
+  EXPECT_EQ(Seeds[0].getVF(), 2u);
+  EXPECT_EQ(Seeds[1].getVF(), 2u);
+}
+
+TEST_F(SeedCollectorTest, StridedStoresDoNotSeed) {
+  Function *F = buildStores({0, 2, 4, 6});
+  EXPECT_TRUE(collectStoreSeeds(F->getEntryBlock(), 2, 4).empty());
+}
+
+TEST_F(SeedCollectorTest, OutOfOrderStoresAreSortedByAddress) {
+  Function *F = buildStores({3, 1, 0, 2});
+  auto Seeds = collectStoreSeeds(F->getEntryBlock(), 2, 4);
+  ASSERT_EQ(Seeds.size(), 1u);
+  ASSERT_EQ(Seeds.front().getVF(), 4u);
+  // Lane 0 must be the lowest address regardless of program order.
+  const Value *Ptr = Seeds.front().Stores.front()->getPointerOperand();
+  const auto *GEP = cast<GEPInst>(Ptr);
+  EXPECT_EQ(cast<ConstantInt>(GEP->getIndexOperand())->getValue(), 0);
+}
+
+TEST_F(SeedCollectorTest, WidthCapLimitsVF) {
+  Function *F = buildStores({0, 1, 2, 3});
+  // 16-byte registers hold two f64 lanes.
+  auto Seeds = collectStoreSeeds(F->getEntryBlock(), 2, 4,
+                                 /*MaxVecWidthBytes=*/16);
+  ASSERT_EQ(Seeds.size(), 2u);
+  EXPECT_EQ(Seeds[0].getVF(), 2u);
+  EXPECT_EQ(Seeds[1].getVF(), 2u);
+}
+
+TEST_F(SeedCollectorTest, DifferentBasesDoNotMix) {
+  Function *F = parse("func @f(ptr %a, ptr %b, f64 %v) {\n"
+                      "entry:\n"
+                      "  %pa = gep f64, ptr %a, i64 0\n"
+                      "  store f64 %v, ptr %pa\n"
+                      "  %pb = gep f64, ptr %b, i64 1\n"
+                      "  store f64 %v, ptr %pb\n"
+                      "  ret void\n"
+                      "}\n");
+  EXPECT_TRUE(collectStoreSeeds(F->getEntryBlock(), 2, 4).empty());
+}
+
+TEST_F(SeedCollectorTest, DifferentTypesDoNotMix) {
+  Function *F = parse("func @f(ptr %a, f64 %v, i64 %w) {\n"
+                      "entry:\n"
+                      "  %p0 = gep f64, ptr %a, i64 0\n"
+                      "  store f64 %v, ptr %p0\n"
+                      "  %p1 = gep i64, ptr %a, i64 1\n"
+                      "  store i64 %w, ptr %p1\n"
+                      "  ret void\n"
+                      "}\n");
+  EXPECT_TRUE(collectStoreSeeds(F->getEntryBlock(), 2, 4).empty());
+}
+
+TEST_F(SeedCollectorTest, DependentStoresAreRejected) {
+  // The second store's value depends on a load of the first store's
+  // location, so the two cannot be bundled.
+  Function *F = parse("func @f(ptr %a, f64 %v) {\n"
+                      "entry:\n"
+                      "  %p0 = gep f64, ptr %a, i64 0\n"
+                      "  store f64 %v, ptr %p0\n"
+                      "  %r = load f64, ptr %p0\n"
+                      "  %s = fadd f64 %r, 1.0\n"
+                      "  %p1 = gep f64, ptr %a, i64 1\n"
+                      "  store f64 %s, ptr %p1\n"
+                      "  ret void\n"
+                      "}\n");
+  // store0 would have to move down past the load of the same address.
+  EXPECT_TRUE(collectStoreSeeds(F->getEntryBlock(), 2, 4).empty());
+}
+
+TEST_F(SeedCollectorTest, VariableIndexRunsGroupTogether) {
+  Function *F = parse("func @f(ptr %a, i64 %i, f64 %v) {\n"
+                      "entry:\n"
+                      "  %i1 = add i64 %i, 1\n"
+                      "  %p0 = gep f64, ptr %a, i64 %i\n"
+                      "  store f64 %v, ptr %p0\n"
+                      "  %p1 = gep f64, ptr %a, i64 %i1\n"
+                      "  store f64 %v, ptr %p1\n"
+                      "  ret void\n"
+                      "}\n");
+  auto Seeds = collectStoreSeeds(F->getEntryBlock(), 2, 4);
+  ASSERT_EQ(Seeds.size(), 1u);
+  EXPECT_EQ(Seeds.front().getVF(), 2u);
+}
+
+TEST_F(SeedCollectorTest, VectorStoresDoNotSeed) {
+  Function *F = parse("func @f(ptr %a) {\n"
+                      "entry:\n"
+                      "  %v = load <2 x f64>, ptr %a\n"
+                      "  store <2 x f64> %v, ptr %a\n"
+                      "  %p1 = gep f64, ptr %a, i64 2\n"
+                      "  %w = load f64, ptr %p1\n"
+                      "  store f64 %w, ptr %p1\n"
+                      "  ret void\n"
+                      "}\n");
+  EXPECT_TRUE(collectStoreSeeds(F->getEntryBlock(), 2, 4).empty());
+}
+
+} // namespace

@@ -1,0 +1,377 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for Super-Node construction: APO computation, tree growth
+/// with single-use/family/frozen restrictions, lane equalization, the
+/// slot-0 legality rule, and code re-emission.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/ExecutionEngine.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "slp/LookAhead.h"
+#include "slp/SuperNode.h"
+
+#include <gtest/gtest.h>
+
+using namespace snslp;
+
+namespace {
+
+class SuperNodeTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  Module M{Ctx, "sn"};
+  std::unordered_set<Value *> NoFrozen;
+
+  Function *parse(const std::string &Source) {
+    std::string Err;
+    EXPECT_TRUE(parseIR(Source, M, &Err)) << Err;
+    return M.functions().back().get();
+  }
+
+  Instruction *byName(Function *F, const std::string &Name) {
+    for (const auto &BB : F->blocks())
+      for (const auto &Inst : *BB)
+        if (Inst->getName() == Name)
+          return Inst.get();
+    return nullptr;
+  }
+};
+
+/// a - (b + c): APOs must be a:'+', b:'-', c:'-' (Sec. IV-C1's example).
+TEST_F(SuperNodeTest, APOOfSubtreeUnderInverseFlips) {
+  Function *F = parse("func @f(i64 %a, i64 %b, i64 %c, i64 %d, ptr %p, "
+                      "i64 %x, i64 %y, i64 %z, i64 %w) {\n"
+                      "entry:\n"
+                      "  %s = add i64 %b, %c\n"
+                      "  %t = sub i64 %a, %s\n"
+                      "  %s2 = add i64 %y, %z\n"
+                      "  %t2 = sub i64 %x, %s2\n"
+                      "  store i64 %t, ptr %p\n"
+                      "  store i64 %t2, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  auto SN = SuperNode::tryBuild({byName(F, "t"), byName(F, "t2")},
+                                /*AllowInverse=*/true, NoFrozen);
+  ASSERT_NE(SN, nullptr);
+  EXPECT_EQ(SN->getNumSlots(), 3u);
+  EXPECT_EQ(SN->getTrunkSize(), 2u);
+  EXPECT_EQ(SN->getFamily(), OpFamily::IntAddSub);
+
+  LookAhead LA(2);
+  SN->reorderLeavesAndTrunks(LA);
+  // Whatever the chosen order, slot 0 must carry a '+' leaf in each lane,
+  // and lane 0 must own exactly one non-inverted leaf (%a).
+  EXPECT_FALSE(SN->getAssigned(0, 0).Inverted);
+  EXPECT_EQ(SN->getAssigned(0, 0).V, F->getArgByName("a"));
+  EXPECT_EQ(SN->getAssigned(1, 0).V, F->getArgByName("x"));
+  // The other two slots carry the inverted leaves.
+  EXPECT_TRUE(SN->getAssigned(0, 1).Inverted);
+  EXPECT_TRUE(SN->getAssigned(0, 2).Inverted);
+}
+
+TEST_F(SuperNodeTest, MultiUseTrunkStopsGrowth) {
+  // %s has two uses, so it must stay a leaf; trunk depth 1 -> no node.
+  Function *F = parse("func @f(i64 %a, i64 %b, i64 %c, ptr %p) {\n"
+                      "entry:\n"
+                      "  %s = add i64 %a, %b\n"
+                      "  %t = add i64 %s, %c\n"
+                      "  %u = add i64 %s, %t\n"
+                      "  store i64 %u, ptr %p\n"
+                      "  store i64 %t, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  // Lane roots: %u = add(%s, %t). %t is single-use? No: %t used by %u and
+  // the store -> two uses, stays a leaf. %s has two uses, stays a leaf.
+  auto SN = SuperNode::tryBuild({byName(F, "u"), byName(F, "t")},
+                                /*AllowInverse=*/true, NoFrozen);
+  EXPECT_EQ(SN, nullptr);
+}
+
+TEST_F(SuperNodeTest, InverseRootRejectedInMultiNodeMode) {
+  Function *F = parse("func @f(f64 %a, f64 %b, f64 %c, f64 %d, ptr %p) {\n"
+                      "entry:\n"
+                      "  %s0 = fadd f64 %a, %b\n"
+                      "  %t0 = fsub f64 %s0, %c\n"
+                      "  %s1 = fadd f64 %b, %d\n"
+                      "  %t1 = fsub f64 %s1, %c\n"
+                      "  store f64 %t0, ptr %p\n"
+                      "  store f64 %t1, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  std::vector<Value *> Bundle = {byName(F, "t0"), byName(F, "t1")};
+  // LSLP's Multi-Node refuses inverse elements...
+  EXPECT_EQ(SuperNode::tryBuild(Bundle, /*AllowInverse=*/false, NoFrozen),
+            nullptr);
+  // ...the Super-Node accepts them.
+  EXPECT_NE(SuperNode::tryBuild(Bundle, /*AllowInverse=*/true, NoFrozen),
+            nullptr);
+}
+
+TEST_F(SuperNodeTest, MultiNodeModeGrowsPureCommutativeChains) {
+  Function *F = parse("func @f(f64 %a, f64 %b, f64 %c, f64 %d, ptr %p) {\n"
+                      "entry:\n"
+                      "  %s0 = fadd f64 %a, %b\n"
+                      "  %t0 = fadd f64 %s0, %c\n"
+                      "  %s1 = fadd f64 %b, %d\n"
+                      "  %t1 = fadd f64 %s1, %c\n"
+                      "  store f64 %t0, ptr %p\n"
+                      "  store f64 %t1, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  auto SN = SuperNode::tryBuild({byName(F, "t0"), byName(F, "t1")},
+                                /*AllowInverse=*/false, NoFrozen);
+  ASSERT_NE(SN, nullptr);
+  EXPECT_EQ(SN->getTrunkSize(), 2u);
+}
+
+TEST_F(SuperNodeTest, LaneEqualizationShrinksDeeperLane) {
+  // Lane 0 has 4 leaves, lane 1 has 3: lane 0 must fold back to 3.
+  Function *F = parse(
+      "func @f(i64 %a, i64 %b, i64 %c, i64 %d, i64 %x, i64 %y, i64 %z, "
+      "ptr %p) {\n"
+      "entry:\n"
+      "  %s0 = add i64 %a, %b\n"
+      "  %u0 = sub i64 %s0, %c\n"
+      "  %t0 = add i64 %u0, %d\n"
+      "  %s1 = add i64 %x, %y\n"
+      "  %t1 = sub i64 %s1, %z\n"
+      "  store i64 %t0, ptr %p\n"
+      "  store i64 %t1, ptr %p\n"
+      "  ret void\n"
+      "}\n");
+  auto SN = SuperNode::tryBuild({byName(F, "t0"), byName(F, "t1")},
+                                /*AllowInverse=*/true, NoFrozen);
+  ASSERT_NE(SN, nullptr);
+  EXPECT_EQ(SN->getNumSlots(), 3u); // min(4, 3)
+  EXPECT_EQ(SN->getTrunkSize(), 2u);
+}
+
+TEST_F(SuperNodeTest, FrozenValuesAreNotExpanded) {
+  Function *F = parse("func @f(i64 %a, i64 %b, i64 %c, i64 %d, ptr %p) {\n"
+                      "entry:\n"
+                      "  %s0 = add i64 %a, %b\n"
+                      "  %t0 = add i64 %s0, %c\n"
+                      "  %s1 = add i64 %a, %d\n"
+                      "  %t1 = add i64 %s1, %c\n"
+                      "  store i64 %t0, ptr %p\n"
+                      "  store i64 %t1, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  std::unordered_set<Value *> Frozen{byName(F, "s0"), byName(F, "s1")};
+  // With both sub-chains frozen the trunk cannot reach depth 2.
+  EXPECT_EQ(SuperNode::tryBuild({byName(F, "t0"), byName(F, "t1")},
+                                /*AllowInverse=*/true, Frozen),
+            nullptr);
+}
+
+TEST_F(SuperNodeTest, GenerateCodePreservesValue) {
+  Function *F = parse("func @f(ptr %out, ptr %in) {\n"
+                      "entry:\n"
+                      "  %pa = gep f64, ptr %in, i64 0\n"
+                      "  %a = load f64, ptr %pa\n"
+                      "  %pb = gep f64, ptr %in, i64 1\n"
+                      "  %b = load f64, ptr %pb\n"
+                      "  %pc = gep f64, ptr %in, i64 2\n"
+                      "  %c = load f64, ptr %pc\n"
+                      "  %s0 = fsub f64 %a, %b\n"
+                      "  %t0 = fadd f64 %s0, %c\n"
+                      "  %pd = gep f64, ptr %in, i64 3\n"
+                      "  %d = load f64, ptr %pd\n"
+                      "  %pe = gep f64, ptr %in, i64 4\n"
+                      "  %e = load f64, ptr %pe\n"
+                      "  %pf = gep f64, ptr %in, i64 5\n"
+                      "  %f = load f64, ptr %pf\n"
+                      "  %s1 = fadd f64 %d, %e\n"
+                      "  %t1 = fsub f64 %s1, %f\n"
+                      "  %po0 = gep f64, ptr %out, i64 0\n"
+                      "  store f64 %t0, ptr %po0\n"
+                      "  %po1 = gep f64, ptr %out, i64 1\n"
+                      "  store f64 %t1, ptr %po1\n"
+                      "  ret void\n"
+                      "}\n");
+  double In[6] = {10, 3, 4, 5, 6, 2};
+  auto Run = [&In](Function *Fn) {
+    double Out[2] = {0, 0};
+    ExecutionEngine E(*Fn);
+    EXPECT_TRUE(E.run({argPointer(Out), argPointer(In)}).Ok);
+    return std::make_pair(Out[0], Out[1]);
+  };
+  auto Before = Run(F);
+
+  auto SN = SuperNode::tryBuild({byName(F, "t0"), byName(F, "t1")},
+                                /*AllowInverse=*/true, NoFrozen);
+  ASSERT_NE(SN, nullptr);
+  LookAhead LA(2);
+  SN->reorderLeavesAndTrunks(LA);
+  std::unordered_set<Value *> Produced;
+  std::vector<Instruction *> NewRoots = SN->generateCode(Produced);
+  ASSERT_EQ(NewRoots.size(), 2u);
+  EXPECT_EQ(Produced.size(), 4u); // Two new binops per lane.
+  ASSERT_TRUE(verifyFunction(*F));
+
+  auto After = Run(F);
+  EXPECT_DOUBLE_EQ(Before.first, After.first);   // 10-3+4 = 11
+  EXPECT_DOUBLE_EQ(Before.second, After.second); // 5+6-2 = 9
+  EXPECT_DOUBLE_EQ(After.first, 11.0);
+  EXPECT_DOUBLE_EQ(After.second, 9.0);
+
+  // The old trunk must be gone: %t0/%s0/%t1/%s1 erased.
+  EXPECT_EQ(byName(F, "t0"), nullptr);
+  EXPECT_EQ(byName(F, "s1"), nullptr);
+}
+
+TEST_F(SuperNodeTest, MulDivFamilyAPOMeansReciprocal) {
+  // a / (b * c): b and c get reciprocal APOs.
+  Function *F = parse("func @f(ptr %out, ptr %in) {\n"
+                      "entry:\n"
+                      "  %pa = gep f64, ptr %in, i64 0\n"
+                      "  %a = load f64, ptr %pa\n"
+                      "  %pb = gep f64, ptr %in, i64 1\n"
+                      "  %b = load f64, ptr %pb\n"
+                      "  %pc = gep f64, ptr %in, i64 2\n"
+                      "  %c = load f64, ptr %pc\n"
+                      "  %m0 = fmul f64 %b, %c\n"
+                      "  %t0 = fdiv f64 %a, %m0\n"
+                      "  %pd = gep f64, ptr %in, i64 3\n"
+                      "  %d = load f64, ptr %pd\n"
+                      "  %pe = gep f64, ptr %in, i64 4\n"
+                      "  %e = load f64, ptr %pe\n"
+                      "  %pf = gep f64, ptr %in, i64 5\n"
+                      "  %f = load f64, ptr %pf\n"
+                      "  %m1 = fdiv f64 %d, %e\n"
+                      "  %t1 = fdiv f64 %m1, %f\n"
+                      "  %po0 = gep f64, ptr %out, i64 0\n"
+                      "  store f64 %t0, ptr %po0\n"
+                      "  %po1 = gep f64, ptr %out, i64 1\n"
+                      "  store f64 %t1, ptr %po1\n"
+                      "  ret void\n"
+                      "}\n");
+  auto SN = SuperNode::tryBuild({byName(F, "t0"), byName(F, "t1")},
+                                /*AllowInverse=*/true, NoFrozen);
+  ASSERT_NE(SN, nullptr);
+  EXPECT_EQ(SN->getFamily(), OpFamily::FPMulDiv);
+  LookAhead LA(2);
+  SN->reorderLeavesAndTrunks(LA);
+  std::unordered_set<Value *> Produced;
+  SN->generateCode(Produced);
+  ASSERT_TRUE(verifyFunction(*F));
+
+  double In[6] = {24, 2, 3, 40, 4, 5};
+  double Out[2] = {0, 0};
+  ExecutionEngine E(*F);
+  ASSERT_TRUE(E.run({argPointer(Out), argPointer(In)}).Ok);
+  EXPECT_DOUBLE_EQ(Out[0], 24.0 / (2.0 * 3.0)); // 4
+  EXPECT_DOUBLE_EQ(Out[1], 40.0 / 4.0 / 5.0);   // 2
+}
+
+/// The paper's Fig. 4(b) situation: matching leaves across lanes requires
+/// placing them at slots whose original APOs differ — legal only through
+/// the trunk-assisted move (re-routing APOs by reordering trunk nodes).
+/// Lane 0 computes (x0 - y0) + z0, lane 1 computes (x1 + z1) - y1; pairing
+/// [x,x], [y,y], [z,z] forces y (APO '-') and z (APO '+') into slots whose
+/// opposite-APO counterparts sit in the other lane.
+TEST_F(SuperNodeTest, TrunkAssistedMoveAcrossDifferentAPOSlots) {
+  Function *F = parse("func @fig4(ptr %out, ptr %x, ptr %y, ptr %z) {\n"
+                      "entry:\n"
+                      "  %px0 = gep i64, ptr %x, i64 0\n"
+                      "  %x0 = load i64, ptr %px0\n"
+                      "  %py0 = gep i64, ptr %y, i64 0\n"
+                      "  %y0 = load i64, ptr %py0\n"
+                      "  %pz0 = gep i64, ptr %z, i64 0\n"
+                      "  %z0 = load i64, ptr %pz0\n"
+                      "  %s0 = sub i64 %x0, %y0\n"
+                      "  %t0 = add i64 %s0, %z0\n"
+                      "  %po0 = gep i64, ptr %out, i64 0\n"
+                      "  store i64 %t0, ptr %po0\n"
+                      "  %px1 = gep i64, ptr %x, i64 1\n"
+                      "  %x1 = load i64, ptr %px1\n"
+                      "  %pz1 = gep i64, ptr %z, i64 1\n"
+                      "  %z1 = load i64, ptr %pz1\n"
+                      "  %s1 = add i64 %x1, %z1\n"
+                      "  %py1 = gep i64, ptr %y, i64 1\n"
+                      "  %y1 = load i64, ptr %py1\n"
+                      "  %t1 = sub i64 %s1, %y1\n"
+                      "  %po1 = gep i64, ptr %out, i64 1\n"
+                      "  store i64 %t1, ptr %po1\n"
+                      "  ret void\n"
+                      "}\n");
+  auto SN = SuperNode::tryBuild({byName(F, "t0"), byName(F, "t1")},
+                                /*AllowInverse=*/true, NoFrozen);
+  ASSERT_NE(SN, nullptr);
+  LookAhead LA(2);
+  SN->reorderLeavesAndTrunks(LA);
+
+  // Each slot must pair the same array's adjacent loads across lanes
+  // (the look-ahead sees the adjacency), even though the paired leaves
+  // carry equal APOs per array by construction of the expressions.
+  for (unsigned Slot = 0; Slot < SN->getNumSlots(); ++Slot) {
+    const SNLeaf &L0 = SN->getAssigned(0, Slot);
+    const SNLeaf &L1 = SN->getAssigned(1, Slot);
+    const auto *Load0 = dyn_cast<LoadInst>(L0.V);
+    const auto *Load1 = dyn_cast<LoadInst>(L1.V);
+    ASSERT_NE(Load0, nullptr);
+    ASSERT_NE(Load1, nullptr);
+    // Same base array: compare the GEP base operands.
+    const auto *G0 = cast<GEPInst>(Load0->getPointerOperand());
+    const auto *G1 = cast<GEPInst>(Load1->getPointerOperand());
+    EXPECT_EQ(G0->getPointerOperand(), G1->getPointerOperand())
+        << "slot " << Slot << " pairs different arrays";
+    EXPECT_EQ(L0.Inverted, L1.Inverted) << "slot " << Slot;
+  }
+
+  // And the re-emitted code computes the same values.
+  std::unordered_set<Value *> Produced;
+  SN->generateCode(Produced);
+  ASSERT_TRUE(verifyFunction(*F));
+  int64_t X[2] = {10, 100};
+  int64_t Y[2] = {3, 30};
+  int64_t Z[2] = {7, 70};
+  int64_t Out[2] = {0, 0};
+  ExecutionEngine E(*F);
+  ASSERT_TRUE(E.run({argPointer(Out), argPointer(X), argPointer(Y),
+                     argPointer(Z)})
+                  .Ok);
+  EXPECT_EQ(Out[0], 10 - 3 + 7);
+  EXPECT_EQ(Out[1], 100 + 70 - 30);
+}
+
+TEST_F(SuperNodeTest, RejectsMixedFamilies) {
+  Function *F = parse("func @f(f64 %a, f64 %b, f64 %c, ptr %p) {\n"
+                      "entry:\n"
+                      "  %s0 = fadd f64 %a, %b\n"
+                      "  %t0 = fadd f64 %s0, %c\n"
+                      "  %s1 = fmul f64 %a, %b\n"
+                      "  %t1 = fmul f64 %s1, %c\n"
+                      "  store f64 %t0, ptr %p\n"
+                      "  store f64 %t1, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  EXPECT_EQ(SuperNode::tryBuild({byName(F, "t0"), byName(F, "t1")},
+                                /*AllowInverse=*/true, NoFrozen),
+            nullptr);
+}
+
+TEST_F(SuperNodeTest, RejectsDuplicateAndNonBinopLanes) {
+  Function *F = parse("func @f(i64 %a, i64 %b, i64 %c, ptr %p) {\n"
+                      "entry:\n"
+                      "  %s = add i64 %a, %b\n"
+                      "  %t = add i64 %s, %c\n"
+                      "  store i64 %t, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  Instruction *T = byName(F, "t");
+  EXPECT_EQ(SuperNode::tryBuild({T, T}, true, NoFrozen), nullptr);
+  EXPECT_EQ(SuperNode::tryBuild({T, F->getArgByName("a")}, true, NoFrozen),
+            nullptr);
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the support library: casting, RNG determinism, sample
+/// statistics, the stats registry, text tables, and command-line parsing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/RNG.h"
+#include "support/Statistic.h"
+#include "support/TextTable.h"
+#include "support/Timer.h"
+
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace snslp;
+
+namespace {
+
+TEST(CastingTest, IsaCastDynCast) {
+  Context Ctx;
+  Constant *CI = ConstantInt::get(Ctx.getInt64Ty(), 7);
+  Constant *CF = ConstantFP::get(Ctx.getDoubleTy(), 1.5);
+
+  Value *VI = CI;
+  EXPECT_TRUE(isa<ConstantInt>(VI));
+  EXPECT_FALSE(isa<ConstantFP>(VI));
+  EXPECT_TRUE(isa<Constant>(VI));
+  EXPECT_EQ(cast<ConstantInt>(VI)->getValue(), 7);
+  EXPECT_EQ(dyn_cast<ConstantFP>(VI), nullptr);
+  EXPECT_NE(dyn_cast<ConstantFP>(static_cast<Value *>(CF)), nullptr);
+
+  Value *Null = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<ConstantInt>(Null), nullptr);
+  EXPECT_FALSE(isa_and_nonnull<ConstantInt>(Null));
+  EXPECT_TRUE(isa_and_nonnull<ConstantInt>(VI));
+
+  // Reference forms.
+  const Value &Ref = *CI;
+  EXPECT_TRUE(isa<ConstantInt>(Ref));
+  EXPECT_EQ(cast<ConstantInt>(Ref).getValue(), 7);
+}
+
+TEST(RNGTest, DeterministicAndBounded) {
+  RNG A(42), B(42), C(43);
+  for (int I = 0; I < 100; ++I) {
+    uint64_t X = A.next();
+    EXPECT_EQ(X, B.next());
+  }
+  // Different seeds diverge (overwhelmingly likely in 100 draws).
+  bool Diverged = false;
+  RNG A2(42);
+  for (int I = 0; I < 100; ++I)
+    if (A2.next() != C.next())
+      Diverged = true;
+  EXPECT_TRUE(Diverged);
+
+  RNG R(7);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_LT(R.nextBelow(10), 10u);
+    int64_t V = R.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(TimerTest, SampleStatsBasics) {
+  SampleStats S = computeSampleStats({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0,
+                                      9.0});
+  EXPECT_DOUBLE_EQ(S.Mean, 5.0);
+  EXPECT_DOUBLE_EQ(S.StdDev, 2.0);
+  EXPECT_DOUBLE_EQ(S.Min, 2.0);
+  EXPECT_DOUBLE_EQ(S.Max, 9.0);
+
+  SampleStats Empty = computeSampleStats({});
+  EXPECT_DOUBLE_EQ(Empty.Mean, 0.0);
+}
+
+TEST(TimerTest, MeasureSecondsRunsWarmupPlusN) {
+  int Calls = 0;
+  SampleStats S = measureSeconds([&Calls] { ++Calls; }, 5);
+  EXPECT_EQ(Calls, 6); // 1 warm-up + 5 measured.
+  EXPECT_GE(S.Min, 0.0);
+}
+
+TEST(StatsRegistryTest, CountersAndDistributions) {
+  StatsRegistry R;
+  R.add("graphs", 2);
+  R.add("graphs");
+  EXPECT_EQ(R.get("graphs"), 3);
+  EXPECT_EQ(R.get("missing"), 0);
+
+  R.record("size", 2);
+  R.record("size", 4);
+  EXPECT_EQ(R.distributionSum("size"), 6);
+  EXPECT_DOUBLE_EQ(R.distributionMean("size"), 3.0);
+  EXPECT_DOUBLE_EQ(R.distributionMean("nothing"), 0.0);
+
+  StatsRegistry R2;
+  R2.add("graphs", 10);
+  R2.record("size", 6);
+  R.mergeFrom(R2);
+  EXPECT_EQ(R.get("graphs"), 13);
+  EXPECT_EQ(R.distributionSum("size"), 12);
+
+  std::ostringstream OS;
+  R.print(OS);
+  EXPECT_NE(OS.str().find("graphs = 13"), std::string::npos);
+
+  R.clear();
+  EXPECT_EQ(R.get("graphs"), 0);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable T;
+  T.setHeader({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer-name", "2.5"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  // Both data rows place the second column at the same offset.
+  size_t Row1 = Out.find("x ");
+  size_t Row2 = Out.find("longer-name");
+  ASSERT_NE(Row1, std::string::npos);
+  ASSERT_NE(Row2, std::string::npos);
+  size_t Col1 = Out.find('1', Row1) - Out.rfind('\n', Row1);
+  size_t Col2 = Out.find("2.5", Row2) - Out.rfind('\n', Row2);
+  EXPECT_EQ(Col1, Col2);
+}
+
+TEST(TextTableTest, CSVExport) {
+  TextTable T;
+  T.setHeader({"kernel", "speedup"});
+  T.addRow({"a,b", "1.5"});
+  T.addRow({"quote\"d", "2"});
+  std::ostringstream OS;
+  T.printCSV(OS);
+  EXPECT_EQ(OS.str(), "kernel,speedup\n\"a,b\",1.5\n\"quote\"\"d\",2\n");
+}
+
+TEST(TextTableTest, Formatters) {
+  EXPECT_EQ(TextTable::formatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::formatDouble(-0.5, 3), "-0.500");
+  EXPECT_EQ(TextTable::formatMeanStd(1.5, 0.25, 2), "1.50 ± 0.25");
+}
+
+TEST(CommandLineTest, ParsesOptionsAndPositionals) {
+  const char *Argv[] = {"prog",          "input.ir", "--mode=snslp",
+                        "--max-vf=8",    "--stats",  "--ratio=1.5",
+                        "--flag=false",  "second"};
+  CommandLine CL(8, Argv);
+  EXPECT_EQ(CL.positional().size(), 2u);
+  EXPECT_EQ(CL.positional()[0], "input.ir");
+  EXPECT_EQ(CL.positional()[1], "second");
+  EXPECT_EQ(CL.getString("mode"), "snslp");
+  EXPECT_EQ(CL.getInt("max-vf"), 8);
+  EXPECT_TRUE(CL.has("stats"));
+  EXPECT_TRUE(CL.getBool("stats"));
+  EXPECT_FALSE(CL.getBool("flag", true));
+  EXPECT_FALSE(CL.has("absent"));
+  EXPECT_EQ(CL.getInt("absent", -7), -7);
+  EXPECT_EQ(CL.getString("absent", "dflt"), "dflt");
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the multi-VF retry: when a wide seed group is not profitable,
+/// the vectorizer re-tries the halves at the smaller VF.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/ExecutionEngine.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "slp/SLPVectorizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace snslp;
+
+namespace {
+
+/// Four adjacent stores: lanes 0-1 are isomorphic fadds over adjacent
+/// loads (profitable at VF=2); lanes 2-3 mix unrelated values so the
+/// VF=4 graph gathers everything and is rejected.
+const char *MixedIR = R"(
+func @mixed(ptr %out, ptr %a, ptr %b, f64 %x) {
+entry:
+  %pa0 = gep f64, ptr %a, i64 0
+  %a0 = load f64, ptr %pa0
+  %pb0 = gep f64, ptr %b, i64 0
+  %b0 = load f64, ptr %pb0
+  %s0 = fadd f64 %a0, %b0
+  %po0 = gep f64, ptr %out, i64 0
+  store f64 %s0, ptr %po0
+  %pa1 = gep f64, ptr %a, i64 1
+  %a1 = load f64, ptr %pa1
+  %pb1 = gep f64, ptr %b, i64 1
+  %b1 = load f64, ptr %pb1
+  %s1 = fadd f64 %a1, %b1
+  %po1 = gep f64, ptr %out, i64 1
+  store f64 %s1, ptr %po1
+  %s2 = fdiv f64 %x, 3.0
+  %po2 = gep f64, ptr %out, i64 2
+  store f64 %s2, ptr %po2
+  %s3 = fmul f64 %x, %x
+  %po3 = gep f64, ptr %out, i64 3
+  store f64 %s3, ptr %po3
+  ret void
+}
+)";
+
+TEST(VFRetryTest, UnprofitableVF4RetriesAsVF2) {
+  Context Ctx;
+  Module M(Ctx, "vfr");
+  std::string Err;
+  ASSERT_TRUE(parseIR(MixedIR, M, &Err)) << Err;
+  Function *F = M.getFunction("mixed");
+
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::SNSLP;
+  VectorizeStats Stats = runSLPVectorizer(*F, Cfg);
+  // The VF=4 group is rejected; its first half (lanes 0-1) commits.
+  EXPECT_GE(Stats.GraphsBuilt, 2u);
+  EXPECT_EQ(Stats.GraphsVectorized, 1u);
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(verifyFunction(*F, &Errors))
+      << (Errors.empty() ? "" : Errors.front());
+
+  double A[2] = {1.0, 2.0};
+  double B[2] = {0.5, 0.25};
+  double Out[4] = {0, 0, 0, 0};
+  ExecutionEngine E(*F);
+  ASSERT_TRUE(
+      E.run({argPointer(Out), argPointer(A), argPointer(B), argDouble(6.0)})
+          .Ok);
+  EXPECT_DOUBLE_EQ(Out[0], 1.5);
+  EXPECT_DOUBLE_EQ(Out[1], 2.25);
+  EXPECT_DOUBLE_EQ(Out[2], 2.0);
+  EXPECT_DOUBLE_EQ(Out[3], 36.0);
+}
+
+TEST(VFRetryTest, ProfitableVF4IsNotSplit) {
+  // Fully isomorphic 4-wide pattern: one VF=4 graph, no retries needed.
+  const char *IR = R"(
+func @wide(ptr %out, ptr %a) {
+entry:
+  %pa0 = gep f32, ptr %a, i64 0
+  %a0 = load f32, ptr %pa0
+  %m0 = fmul f32 %a0, 2.0
+  %po0 = gep f32, ptr %out, i64 0
+  store f32 %m0, ptr %po0
+  %pa1 = gep f32, ptr %a, i64 1
+  %a1 = load f32, ptr %pa1
+  %m1 = fmul f32 %a1, 2.0
+  %po1 = gep f32, ptr %out, i64 1
+  store f32 %m1, ptr %po1
+  %pa2 = gep f32, ptr %a, i64 2
+  %a2 = load f32, ptr %pa2
+  %m2 = fmul f32 %a2, 2.0
+  %po2 = gep f32, ptr %out, i64 2
+  store f32 %m2, ptr %po2
+  %pa3 = gep f32, ptr %a, i64 3
+  %a3 = load f32, ptr %pa3
+  %m3 = fmul f32 %a3, 2.0
+  %po3 = gep f32, ptr %out, i64 3
+  store f32 %m3, ptr %po3
+  ret void
+}
+)";
+  Context Ctx;
+  Module M(Ctx, "wide");
+  std::string Err;
+  ASSERT_TRUE(parseIR(IR, M, &Err)) << Err;
+  Function *F = M.getFunction("wide");
+
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::SLP;
+  VectorizeStats Stats = runSLPVectorizer(*F, Cfg);
+  EXPECT_EQ(Stats.GraphsBuilt, 1u);
+  EXPECT_EQ(Stats.GraphsVectorized, 1u);
+  ASSERT_TRUE(verifyFunction(*F));
+}
+
+} // namespace
