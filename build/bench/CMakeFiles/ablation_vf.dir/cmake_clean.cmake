@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vf.dir/ablation_vf.cpp.o"
+  "CMakeFiles/ablation_vf.dir/ablation_vf.cpp.o.d"
+  "ablation_vf"
+  "ablation_vf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

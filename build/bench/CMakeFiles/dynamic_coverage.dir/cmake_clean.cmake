@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_coverage.dir/dynamic_coverage.cpp.o"
+  "CMakeFiles/dynamic_coverage.dir/dynamic_coverage.cpp.o.d"
+  "dynamic_coverage"
+  "dynamic_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

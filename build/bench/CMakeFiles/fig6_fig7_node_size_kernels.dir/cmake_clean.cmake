@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fig7_node_size_kernels.dir/fig6_fig7_node_size_kernels.cpp.o"
+  "CMakeFiles/fig6_fig7_node_size_kernels.dir/fig6_fig7_node_size_kernels.cpp.o.d"
+  "fig6_fig7_node_size_kernels"
+  "fig6_fig7_node_size_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fig7_node_size_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_fig7_node_size_kernels.
+# This may be replaced when dependencies are built.

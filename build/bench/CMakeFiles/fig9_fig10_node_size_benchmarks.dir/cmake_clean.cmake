@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fig10_node_size_benchmarks.dir/fig9_fig10_node_size_benchmarks.cpp.o"
+  "CMakeFiles/fig9_fig10_node_size_benchmarks.dir/fig9_fig10_node_size_benchmarks.cpp.o.d"
+  "fig9_fig10_node_size_benchmarks"
+  "fig9_fig10_node_size_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fig10_node_size_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_vectorizer.dir/micro_vectorizer.cpp.o"
+  "CMakeFiles/micro_vectorizer.dir/micro_vectorizer.cpp.o.d"
+  "micro_vectorizer"
+  "micro_vectorizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_vectorizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_problem_size.dir/scaling_problem_size.cpp.o"
+  "CMakeFiles/scaling_problem_size.dir/scaling_problem_size.cpp.o.d"
+  "scaling_problem_size"
+  "scaling_problem_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_problem_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

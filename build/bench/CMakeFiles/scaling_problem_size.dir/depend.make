@@ -1,0 +1,2 @@
+# Empty dependencies file for scaling_problem_size.
+# This may be replaced when dependencies are built.

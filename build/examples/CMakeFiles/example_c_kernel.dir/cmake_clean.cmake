@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_c_kernel.dir/c_kernel.cpp.o"
+  "CMakeFiles/example_c_kernel.dir/c_kernel.cpp.o.d"
+  "example_c_kernel"
+  "example_c_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_c_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_irtool.dir/irtool.cpp.o"
+  "CMakeFiles/example_irtool.dir/irtool.cpp.o.d"
+  "example_irtool"
+  "example_irtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_irtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

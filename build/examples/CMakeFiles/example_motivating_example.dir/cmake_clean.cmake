@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_motivating_example.dir/motivating_example.cpp.o"
+  "CMakeFiles/example_motivating_example.dir/motivating_example.cpp.o.d"
+  "example_motivating_example"
+  "example_motivating_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_motivating_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_debugger.dir/trace_debugger.cpp.o"
+  "CMakeFiles/example_trace_debugger.dir/trace_debugger.cpp.o.d"
+  "example_trace_debugger"
+  "example_trace_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

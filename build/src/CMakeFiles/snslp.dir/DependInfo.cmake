@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Dependence.cpp" "src/CMakeFiles/snslp.dir/analysis/Dependence.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/analysis/Dependence.cpp.o.d"
+  "/root/repo/src/analysis/MemoryAddress.cpp" "src/CMakeFiles/snslp.dir/analysis/MemoryAddress.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/analysis/MemoryAddress.cpp.o.d"
+  "/root/repo/src/cfront/CFrontend.cpp" "src/CMakeFiles/snslp.dir/cfront/CFrontend.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/cfront/CFrontend.cpp.o.d"
+  "/root/repo/src/costmodel/TargetCostModel.cpp" "src/CMakeFiles/snslp.dir/costmodel/TargetCostModel.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/costmodel/TargetCostModel.cpp.o.d"
+  "/root/repo/src/driver/Experiments.cpp" "src/CMakeFiles/snslp.dir/driver/Experiments.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/driver/Experiments.cpp.o.d"
+  "/root/repo/src/driver/KernelRunner.cpp" "src/CMakeFiles/snslp.dir/driver/KernelRunner.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/driver/KernelRunner.cpp.o.d"
+  "/root/repo/src/driver/PassPipeline.cpp" "src/CMakeFiles/snslp.dir/driver/PassPipeline.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/driver/PassPipeline.cpp.o.d"
+  "/root/repo/src/interp/ExecutionEngine.cpp" "src/CMakeFiles/snslp.dir/interp/ExecutionEngine.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/interp/ExecutionEngine.cpp.o.d"
+  "/root/repo/src/ir/BasicBlock.cpp" "src/CMakeFiles/snslp.dir/ir/BasicBlock.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/ir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/Context.cpp" "src/CMakeFiles/snslp.dir/ir/Context.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/ir/Context.cpp.o.d"
+  "/root/repo/src/ir/DCE.cpp" "src/CMakeFiles/snslp.dir/ir/DCE.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/ir/DCE.cpp.o.d"
+  "/root/repo/src/ir/Dominators.cpp" "src/CMakeFiles/snslp.dir/ir/Dominators.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/ir/Dominators.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/CMakeFiles/snslp.dir/ir/Function.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/CMakeFiles/snslp.dir/ir/IRPrinter.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/ir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/CMakeFiles/snslp.dir/ir/Instruction.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/ir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "src/CMakeFiles/snslp.dir/ir/Module.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/ir/Module.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/CMakeFiles/snslp.dir/ir/Parser.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/ir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/CMakeFiles/snslp.dir/ir/Type.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/ir/Type.cpp.o.d"
+  "/root/repo/src/ir/Value.cpp" "src/CMakeFiles/snslp.dir/ir/Value.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/ir/Value.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/snslp.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/kernels/KernelData.cpp" "src/CMakeFiles/snslp.dir/kernels/KernelData.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/kernels/KernelData.cpp.o.d"
+  "/root/repo/src/kernels/Kernels.cpp" "src/CMakeFiles/snslp.dir/kernels/Kernels.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/kernels/Kernels.cpp.o.d"
+  "/root/repo/src/kernels/Programs.cpp" "src/CMakeFiles/snslp.dir/kernels/Programs.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/kernels/Programs.cpp.o.d"
+  "/root/repo/src/passes/CSE.cpp" "src/CMakeFiles/snslp.dir/passes/CSE.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/passes/CSE.cpp.o.d"
+  "/root/repo/src/passes/ConstantFolding.cpp" "src/CMakeFiles/snslp.dir/passes/ConstantFolding.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/passes/ConstantFolding.cpp.o.d"
+  "/root/repo/src/slp/GraphBuilder.cpp" "src/CMakeFiles/snslp.dir/slp/GraphBuilder.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/slp/GraphBuilder.cpp.o.d"
+  "/root/repo/src/slp/LookAhead.cpp" "src/CMakeFiles/snslp.dir/slp/LookAhead.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/slp/LookAhead.cpp.o.d"
+  "/root/repo/src/slp/SLPGraph.cpp" "src/CMakeFiles/snslp.dir/slp/SLPGraph.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/slp/SLPGraph.cpp.o.d"
+  "/root/repo/src/slp/SLPVectorizer.cpp" "src/CMakeFiles/snslp.dir/slp/SLPVectorizer.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/slp/SLPVectorizer.cpp.o.d"
+  "/root/repo/src/slp/SeedCollector.cpp" "src/CMakeFiles/snslp.dir/slp/SeedCollector.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/slp/SeedCollector.cpp.o.d"
+  "/root/repo/src/slp/SuperNode.cpp" "src/CMakeFiles/snslp.dir/slp/SuperNode.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/slp/SuperNode.cpp.o.d"
+  "/root/repo/src/slp/VectorCodeGen.cpp" "src/CMakeFiles/snslp.dir/slp/VectorCodeGen.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/slp/VectorCodeGen.cpp.o.d"
+  "/root/repo/src/support/CommandLine.cpp" "src/CMakeFiles/snslp.dir/support/CommandLine.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/support/CommandLine.cpp.o.d"
+  "/root/repo/src/support/ErrorHandling.cpp" "src/CMakeFiles/snslp.dir/support/ErrorHandling.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/support/ErrorHandling.cpp.o.d"
+  "/root/repo/src/support/Statistic.cpp" "src/CMakeFiles/snslp.dir/support/Statistic.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/support/Statistic.cpp.o.d"
+  "/root/repo/src/support/TextTable.cpp" "src/CMakeFiles/snslp.dir/support/TextTable.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/support/TextTable.cpp.o.d"
+  "/root/repo/src/support/Timer.cpp" "src/CMakeFiles/snslp.dir/support/Timer.cpp.o" "gcc" "src/CMakeFiles/snslp.dir/support/Timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

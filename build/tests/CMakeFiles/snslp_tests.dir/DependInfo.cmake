@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AliasFuzzTest.cpp" "tests/CMakeFiles/snslp_tests.dir/AliasFuzzTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/AliasFuzzTest.cpp.o.d"
+  "/root/repo/tests/AnalysisTest.cpp" "tests/CMakeFiles/snslp_tests.dir/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/CFrontendTest.cpp" "tests/CMakeFiles/snslp_tests.dir/CFrontendTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/CFrontendTest.cpp.o.d"
+  "/root/repo/tests/CostModelTest.cpp" "tests/CMakeFiles/snslp_tests.dir/CostModelTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/CostModelTest.cpp.o.d"
+  "/root/repo/tests/DominatorsTest.cpp" "tests/CMakeFiles/snslp_tests.dir/DominatorsTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/DominatorsTest.cpp.o.d"
+  "/root/repo/tests/ExecutionEngineTest.cpp" "tests/CMakeFiles/snslp_tests.dir/ExecutionEngineTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/ExecutionEngineTest.cpp.o.d"
+  "/root/repo/tests/ExperimentsTest.cpp" "tests/CMakeFiles/snslp_tests.dir/ExperimentsTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/ExperimentsTest.cpp.o.d"
+  "/root/repo/tests/GraphBuilderTest.cpp" "tests/CMakeFiles/snslp_tests.dir/GraphBuilderTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/GraphBuilderTest.cpp.o.d"
+  "/root/repo/tests/IRBasicsTest.cpp" "tests/CMakeFiles/snslp_tests.dir/IRBasicsTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/IRBasicsTest.cpp.o.d"
+  "/root/repo/tests/InterpreterBreadthTest.cpp" "tests/CMakeFiles/snslp_tests.dir/InterpreterBreadthTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/InterpreterBreadthTest.cpp.o.d"
+  "/root/repo/tests/KernelSuiteTest.cpp" "tests/CMakeFiles/snslp_tests.dir/KernelSuiteTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/KernelSuiteTest.cpp.o.d"
+  "/root/repo/tests/LoadShuffleTest.cpp" "tests/CMakeFiles/snslp_tests.dir/LoadShuffleTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/LoadShuffleTest.cpp.o.d"
+  "/root/repo/tests/LookAheadTest.cpp" "tests/CMakeFiles/snslp_tests.dir/LookAheadTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/LookAheadTest.cpp.o.d"
+  "/root/repo/tests/LoopFuzzTest.cpp" "tests/CMakeFiles/snslp_tests.dir/LoopFuzzTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/LoopFuzzTest.cpp.o.d"
+  "/root/repo/tests/ModuleIntegrationTest.cpp" "tests/CMakeFiles/snslp_tests.dir/ModuleIntegrationTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/ModuleIntegrationTest.cpp.o.d"
+  "/root/repo/tests/MotivatingExamplesTest.cpp" "tests/CMakeFiles/snslp_tests.dir/MotivatingExamplesTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/MotivatingExamplesTest.cpp.o.d"
+  "/root/repo/tests/ParserPrinterTest.cpp" "tests/CMakeFiles/snslp_tests.dir/ParserPrinterTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/ParserPrinterTest.cpp.o.d"
+  "/root/repo/tests/ParserRobustnessTest.cpp" "tests/CMakeFiles/snslp_tests.dir/ParserRobustnessTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/ParserRobustnessTest.cpp.o.d"
+  "/root/repo/tests/PassesTest.cpp" "tests/CMakeFiles/snslp_tests.dir/PassesTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/PassesTest.cpp.o.d"
+  "/root/repo/tests/RTValueTest.cpp" "tests/CMakeFiles/snslp_tests.dir/RTValueTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/RTValueTest.cpp.o.d"
+  "/root/repo/tests/ReductionTest.cpp" "tests/CMakeFiles/snslp_tests.dir/ReductionTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/ReductionTest.cpp.o.d"
+  "/root/repo/tests/SanitizerTest.cpp" "tests/CMakeFiles/snslp_tests.dir/SanitizerTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/SanitizerTest.cpp.o.d"
+  "/root/repo/tests/SeedCollectorTest.cpp" "tests/CMakeFiles/snslp_tests.dir/SeedCollectorTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/SeedCollectorTest.cpp.o.d"
+  "/root/repo/tests/SuperNodeFuzzTest.cpp" "tests/CMakeFiles/snslp_tests.dir/SuperNodeFuzzTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/SuperNodeFuzzTest.cpp.o.d"
+  "/root/repo/tests/SuperNodeTest.cpp" "tests/CMakeFiles/snslp_tests.dir/SuperNodeTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/SuperNodeTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/snslp_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/UnaryOpTest.cpp" "tests/CMakeFiles/snslp_tests.dir/UnaryOpTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/UnaryOpTest.cpp.o.d"
+  "/root/repo/tests/VFRetryTest.cpp" "tests/CMakeFiles/snslp_tests.dir/VFRetryTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/VFRetryTest.cpp.o.d"
+  "/root/repo/tests/VectorCodeGenTest.cpp" "tests/CMakeFiles/snslp_tests.dir/VectorCodeGenTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/VectorCodeGenTest.cpp.o.d"
+  "/root/repo/tests/VerifierNegativeTest.cpp" "tests/CMakeFiles/snslp_tests.dir/VerifierNegativeTest.cpp.o" "gcc" "tests/CMakeFiles/snslp_tests.dir/VerifierNegativeTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snslp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
