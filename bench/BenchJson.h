@@ -1,0 +1,130 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny self-timing harness + machine-readable JSON reporter for the micro
+/// benchmarks. Every entry carries (name, iters, ns_per_op) plus optional
+/// numeric extras, and the report is written as BENCH_<component>.json so
+/// the perf trajectory of the interpreter and the vectorizer can be
+/// tracked PR over PR (and diffed in CI) without scraping stdout.
+///
+/// All binaries accept --smoke: run every benchmark body exactly once and
+/// still emit the JSON file. The bench_smoke ctest target uses it to keep
+/// the harnesses from bit-rotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_BENCH_BENCHJSON_H
+#define SNSLP_BENCH_BENCHJSON_H
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace snslp {
+namespace benchjson {
+
+/// One benchmark result row.
+struct Entry {
+  std::string Name;
+  uint64_t Iters = 0;
+  double NsPerOp = 0.0;
+  /// Extra numeric facts (speedups, cache hits, ...), appended verbatim.
+  std::vector<std::pair<std::string, double>> Extra;
+};
+
+/// Collects entries and serializes them to one JSON file.
+class Report {
+public:
+  explicit Report(std::string Path) : Path(std::move(Path)) {}
+
+  Entry &add(std::string Name, uint64_t Iters, double NsPerOp) {
+    Entries.push_back(Entry{std::move(Name), Iters, NsPerOp, {}});
+    return Entries.back();
+  }
+
+  /// Writes the report; returns false (and complains on stderr) on I/O
+  /// failure. Format:
+  ///   {"benchmarks":[{"name":...,"iters":...,"ns_per_op":...,...},...]}
+  bool write() const {
+    std::ofstream OS(Path);
+    if (!OS) {
+      std::cerr << "error: cannot write " << Path << "\n";
+      return false;
+    }
+    OS << "{\n  \"benchmarks\": [\n";
+    for (size_t I = 0; I < Entries.size(); ++I) {
+      const Entry &E = Entries[I];
+      OS << "    {\"name\": \"" << escape(E.Name) << "\", \"iters\": "
+         << E.Iters << ", \"ns_per_op\": " << E.NsPerOp;
+      for (const auto &[K, V] : E.Extra)
+        OS << ", \"" << escape(K) << "\": " << V;
+      OS << "}" << (I + 1 < Entries.size() ? "," : "") << "\n";
+    }
+    OS << "  ]\n}\n";
+    std::cout << "wrote " << Path << " (" << Entries.size()
+              << " entries)\n";
+    return true;
+  }
+
+private:
+  static std::string escape(const std::string &S) {
+    std::string Out;
+    Out.reserve(S.size());
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out.push_back('\\');
+      Out.push_back(C);
+    }
+    return Out;
+  }
+
+  std::string Path;
+  std::vector<Entry> Entries;
+};
+
+/// True when --smoke is among the arguments (single-iteration mode).
+inline bool isSmokeRun(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--smoke") == 0)
+      return true;
+  return false;
+}
+
+/// Times \p Fn: one untimed warm-up call, then repeated calls until
+/// \p MinNanos of wall time accumulate (exactly one timed call in smoke
+/// mode). Returns {iterations, ns per call}.
+template <typename Fn>
+std::pair<uint64_t, double> measure(Fn &&F, bool Smoke,
+                                    uint64_t MinNanos = 150'000'000) {
+  using Clock = std::chrono::steady_clock;
+  F(); // Warm-up (compile caches, page-in).
+  uint64_t Iters = 0;
+  auto Start = Clock::now();
+  do {
+    F();
+    ++Iters;
+  } while (!Smoke &&
+           static_cast<uint64_t>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - Start)
+                   .count()) < MinNanos);
+  uint64_t Elapsed = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           Start)
+          .count());
+  return {Iters, static_cast<double>(Elapsed) / static_cast<double>(Iters)};
+}
+
+} // namespace benchjson
+} // namespace snslp
+
+#endif // SNSLP_BENCH_BENCHJSON_H

@@ -30,6 +30,7 @@ int main() {
 
   double SumRatioSN = 0.0;
   unsigned Count = 0;
+  double SumSNMemo = 0.0, SumSNNoMemo = 0.0;
   for (const Kernel &K : kernelRegistry()) {
     if (!K.InTableI)
       continue;
@@ -37,8 +38,12 @@ int main() {
     SampleStats SLP = measureCompileTime(K, VectorizerMode::SLP);
     SampleStats LSLP = measureCompileTime(K, VectorizerMode::LSLP);
     SampleStats SN = measureCompileTime(K, VectorizerMode::SNSLP);
+    SampleStats SNNoMemo = measureCompileTime(
+        K, VectorizerMode::SNSLP, /*Runs=*/10, /*EnableLookAheadMemo=*/false);
 
     SumRatioSN += SN.Mean / O3.Mean;
+    SumSNMemo += SN.Mean;
+    SumSNNoMemo += SNNoMemo.Mean;
     ++Count;
     Table.addRow({K.Name,
                   TextTable::formatMeanStd(O3.Mean * 1e6, O3.StdDev * 1e6, 1),
@@ -55,5 +60,11 @@ int main() {
             << " (paper: no significant overhead; < 1 is possible when\n"
                "vectorization removes code that downstream passes would\n"
                "otherwise process)\n";
+
+  std::cout << "\nSN-SLP pipeline total, look-ahead memo on vs off: "
+            << TextTable::formatDouble(SumSNMemo * 1e3, 2) << " ms vs "
+            << TextTable::formatDouble(SumSNNoMemo * 1e3, 2) << " ms ("
+            << TextTable::formatDouble(SumSNNoMemo / SumSNMemo, 3)
+            << "x)\n";
   return 0;
 }

@@ -5,58 +5,94 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// google-benchmark microbenchmarks of the execution engine: scalar vs
-/// SN-SLP-vectorized kernels. The wall-clock ratio here is the
-/// non-simulated counterpart of Fig. 5's speedups (a vector op is one
-/// interpreter dispatch, so vectorized IR runs measurably faster).
+/// Microbenchmark of the execution engine over the whole kernel suite:
+/// for every kernel and a scalar (O3) + vectorized (SN-SLP) build, times
+/// the predecoded bytecode engine against the reference tree-walking
+/// interpreter on identical inputs. The per-kernel speedup column is the
+/// number quoted in perf PRs; everything lands in BENCH_interp.json
+/// (name, iters, ns/op + speedup extras).
+///
+/// Usage: micro_interp [--smoke]
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "driver/KernelRunner.h"
 
-#include <benchmark/benchmark.h>
+#include <cmath>
+#include <cstdio>
 
 using namespace snslp;
+using namespace snslp::benchjson;
 
-namespace {
+int main(int argc, char **argv) {
+  const bool Smoke = isSmokeRun(argc, argv);
+  Report Rep("BENCH_interp.json");
+  TargetCostModel TCM;
+  auto CycleFn = [&TCM](const Instruction &I) {
+    return TCM.executionCycles(I);
+  };
 
-void runKernelBench(benchmark::State &State, const char *KernelName,
-                    VectorizerMode Mode) {
-  const Kernel *K = findKernel(KernelName);
-  if (!K) {
-    State.SkipWithError("unknown kernel");
-    return;
-  }
-  KernelRunner Runner;
-  CompiledKernel CK = Runner.compile(*K, Mode);
-  KernelData Data(K->Buffers, K->N, /*Seed=*/5);
-  for (auto _ : State) {
-    ExecutionResult R = Runner.execute(CK, Data);
-    if (!R.Ok) {
-      State.SkipWithError(R.Error.c_str());
-      return;
+  const VectorizerMode Modes[] = {VectorizerMode::O3, VectorizerMode::SNSLP};
+  double LogSpeedupSum = 0.0;
+  unsigned SpeedupCount = 0;
+
+  std::printf("%-28s %14s %14s %9s\n", "kernel/mode", "bytecode ns/op",
+              "reference ns/op", "speedup");
+  for (const Kernel &K : kernelRegistry()) {
+    for (VectorizerMode Mode : Modes) {
+      KernelRunner Runner;
+      CompiledKernel CK = Runner.compile(K, Mode);
+      KernelData Data(K.Buffers, K.N, /*Seed=*/5);
+
+      ExecutionEngine Engine(*CK.F, CycleFn);
+      std::vector<RTValue> Args;
+      for (size_t I = 0; I < Data.getNumBuffers(); ++I) {
+        Args.push_back(argPointer(Data.getPointer(I)));
+        Engine.addMemoryRange(Data.getPointer(I), Data.getByteSize(I));
+      }
+      Args.push_back(argInt64(static_cast<int64_t>(Data.getN())));
+
+      auto RunByte = [&] {
+        ExecutionResult R = Engine.run(Args);
+        if (!R.Ok) {
+          std::fprintf(stderr, "bytecode run failed (%s/%s): %s\n",
+                       K.Name.c_str(), getModeName(Mode), R.Error.c_str());
+          std::exit(1);
+        }
+      };
+      auto RunRef = [&] {
+        ExecutionResult R = Engine.runReference(Args);
+        if (!R.Ok) {
+          std::fprintf(stderr, "reference run failed (%s/%s): %s\n",
+                       K.Name.c_str(), getModeName(Mode), R.Error.c_str());
+          std::exit(1);
+        }
+      };
+
+      auto [ByteIters, ByteNs] = measure(RunByte, Smoke);
+      auto [RefIters, RefNs] = measure(RunRef, Smoke);
+      double Speedup = ByteNs > 0.0 ? RefNs / ByteNs : 0.0;
+
+      std::string Base = K.Name + "/" + getModeName(Mode);
+      Entry &BE = Rep.add(Base + "/bytecode", ByteIters, ByteNs);
+      BE.Extra.emplace_back("speedup_vs_reference", Speedup);
+      BE.Extra.emplace_back("items_per_op", static_cast<double>(K.N));
+      Entry &RE = Rep.add(Base + "/reference", RefIters, RefNs);
+      RE.Extra.emplace_back("items_per_op", static_cast<double>(K.N));
+
+      std::printf("%-28s %14.0f %14.0f %8.2fx\n", Base.c_str(), ByteNs,
+                  RefNs, Speedup);
+      if (Speedup > 0.0) {
+        LogSpeedupSum += std::log(Speedup);
+        ++SpeedupCount;
+      }
     }
-    benchmark::DoNotOptimize(R.Cycles);
   }
-  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
-                          static_cast<int64_t>(K->N));
+
+  if (SpeedupCount) {
+    double Geomean = std::exp(LogSpeedupSum / SpeedupCount);
+    std::printf("geomean bytecode-vs-reference speedup: %.2fx\n", Geomean);
+  }
+  return Rep.write() ? 0 : 1;
 }
-
-} // namespace
-
-#define KERNEL_BENCH(NAME)                                                    \
-  static void BM_##NAME##_O3(benchmark::State &S) {                           \
-    runKernelBench(S, #NAME, VectorizerMode::O3);                             \
-  }                                                                           \
-  BENCHMARK(BM_##NAME##_O3);                                                  \
-  static void BM_##NAME##_SNSLP(benchmark::State &S) {                        \
-    runKernelBench(S, #NAME, VectorizerMode::SNSLP);                          \
-  }                                                                           \
-  BENCHMARK(BM_##NAME##_SNSLP)
-
-KERNEL_BENCH(motiv1);
-KERNEL_BENCH(milc_force);
-KERNEL_BENCH(sphinx_bias);
-KERNEL_BENCH(soplex_axpy);
-
-BENCHMARK_MAIN();

@@ -5,11 +5,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// google-benchmark microbenchmarks of compile-time components: parsing,
-/// graph building + vectorization per configuration, and the verifier.
-/// Complements Fig. 11 with per-phase numbers.
+/// Microbenchmark of compile-time components: parsing, the verifier, and
+/// one full vectorizer run per configuration — the latter with the
+/// look-ahead memo cache both on and off, with hit/miss counters recorded
+/// alongside the timings. Complements Fig. 11 with per-phase numbers;
+/// everything lands in BENCH_vectorizer.json (name, iters, ns/op).
+///
+/// Usage: micro_vectorizer [--smoke]
 ///
 //===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
 
 #include "ir/Context.h"
 #include "ir/Module.h"
@@ -18,82 +24,125 @@
 #include "kernels/Kernel.h"
 #include "slp/SLPVectorizer.h"
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
 
 using namespace snslp;
+using namespace snslp::benchjson;
 
 namespace {
 
 const Kernel &testKernel() { return *findKernel("motiv2"); }
 
-void BM_ParseKernel(benchmark::State &State) {
-  const Kernel &K = testKernel();
-  for (auto _ : State) {
-    Context Ctx;
-    Module M(Ctx, "bench");
-    std::string Err;
-    bool Ok = parseIR(K.IRText, M, &Err);
-    benchmark::DoNotOptimize(Ok);
-  }
+/// Kernels for the memoization on/off comparison: the motivating example
+/// plus the suite's largest graphs (most look-ahead queries per run).
+std::vector<const Kernel *> memoKernels() {
+  return {findKernel("motiv2"), findKernel("dealii_stencil"),
+          findKernel("sphinx_bias")};
 }
-BENCHMARK(BM_ParseKernel);
 
-void BM_VerifyKernel(benchmark::State &State) {
-  const Kernel &K = testKernel();
+/// One timed vectorizer series; returns the stats of the last run so the
+/// caller can report cache counters.
+VectorizeStats benchVectorize(Report &Rep, const Kernel &K,
+                              const std::string &Name, VectorizerMode Mode,
+                              bool Memo, bool Smoke, unsigned Depth = 0) {
   Context Ctx;
   Module M(Ctx, "bench");
   std::string Err;
   if (!parseIR(K.IRText, M, &Err)) {
-    State.SkipWithError(Err.c_str());
-    return;
-  }
-  Function *F = M.getFunction(K.Name);
-  for (auto _ : State) {
-    bool Ok = verifyFunction(*F);
-    benchmark::DoNotOptimize(Ok);
-  }
-}
-BENCHMARK(BM_VerifyKernel);
-
-void runVectorizeBench(benchmark::State &State, VectorizerMode Mode) {
-  const Kernel &K = testKernel();
-  Context Ctx;
-  Module M(Ctx, "bench");
-  std::string Err;
-  if (!parseIR(K.IRText, M, &Err)) {
-    State.SkipWithError(Err.c_str());
-    return;
+    std::fprintf(stderr, "parse failed: %s\n", Err.c_str());
+    std::exit(1);
   }
   Function *Pristine = M.getFunction(K.Name);
   unsigned Counter = 0;
-  for (auto _ : State) {
-    // Clone outside the timed region would be ideal, but the clone cost is
-    // itself tiny and identical across modes.
+  VectorizeStats Last;
+  auto Run = [&] {
+    // The clone cost is tiny and identical across modes.
     Function *Clone =
         Pristine->cloneInto(M, K.Name + std::to_string(Counter++));
     VectorizerConfig Cfg;
     Cfg.Mode = Mode;
-    VectorizeStats Stats = runSLPVectorizer(*Clone, Cfg);
-    benchmark::DoNotOptimize(Stats.GraphsVectorized);
+    Cfg.EnableLookAheadMemo = Memo;
+    if (Depth)
+      Cfg.LookAheadDepth = Depth;
+    Last = runSLPVectorizer(*Clone, Cfg);
     M.eraseFunction(Clone->getName());
-  }
+  };
+  auto [Iters, Ns] = measure(Run, Smoke);
+  Entry &E = Rep.add(Name, Iters, Ns);
+  E.Extra.emplace_back("lookahead_cache_hits",
+                       static_cast<double>(Last.LookAheadCacheHits));
+  E.Extra.emplace_back("lookahead_cache_misses",
+                       static_cast<double>(Last.LookAheadCacheMisses));
+  std::printf("%-42s %12.0f ns/op  (hits %llu, misses %llu)\n",
+              Name.c_str(), Ns,
+              static_cast<unsigned long long>(Last.LookAheadCacheHits),
+              static_cast<unsigned long long>(Last.LookAheadCacheMisses));
+  return Last;
 }
-
-void BM_Vectorize_SLP(benchmark::State &S) {
-  runVectorizeBench(S, VectorizerMode::SLP);
-}
-BENCHMARK(BM_Vectorize_SLP);
-
-void BM_Vectorize_LSLP(benchmark::State &S) {
-  runVectorizeBench(S, VectorizerMode::LSLP);
-}
-BENCHMARK(BM_Vectorize_LSLP);
-
-void BM_Vectorize_SNSLP(benchmark::State &S) {
-  runVectorizeBench(S, VectorizerMode::SNSLP);
-}
-BENCHMARK(BM_Vectorize_SNSLP);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  const bool Smoke = isSmokeRun(argc, argv);
+  Report Rep("BENCH_vectorizer.json");
+  const Kernel &K = testKernel();
+
+  {
+    auto Run = [&] {
+      Context Ctx;
+      Module M(Ctx, "bench");
+      std::string Err;
+      if (!parseIR(K.IRText, M, &Err))
+        std::exit(1);
+    };
+    auto [Iters, Ns] = measure(Run, Smoke);
+    Rep.add("parse/" + K.Name, Iters, Ns);
+    std::printf("%-42s %12.0f ns/op\n", ("parse/" + K.Name).c_str(), Ns);
+  }
+
+  {
+    Context Ctx;
+    Module M(Ctx, "bench");
+    std::string Err;
+    if (!parseIR(K.IRText, M, &Err)) {
+      std::fprintf(stderr, "parse failed: %s\n", Err.c_str());
+      return 1;
+    }
+    Function *F = M.getFunction(K.Name);
+    auto Run = [&] {
+      if (!verifyFunction(*F))
+        std::exit(1);
+    };
+    auto [Iters, Ns] = measure(Run, Smoke);
+    Rep.add("verify/" + K.Name, Iters, Ns);
+    std::printf("%-42s %12.0f ns/op\n", ("verify/" + K.Name).c_str(), Ns);
+  }
+
+  benchVectorize(Rep, K, "vectorize/" + K.Name + "/SLP", VectorizerMode::SLP,
+                 true, Smoke);
+  for (const Kernel *MK : memoKernels()) {
+    for (VectorizerMode Mode :
+         {VectorizerMode::LSLP, VectorizerMode::SNSLP}) {
+      std::string Base =
+          "vectorize/" + MK->Name + "/" + getModeName(Mode);
+      benchVectorize(Rep, *MK, Base, Mode, /*Memo=*/true, Smoke);
+      benchVectorize(Rep, *MK, Base + "/memo_off", Mode, /*Memo=*/false,
+                     Smoke);
+    }
+  }
+
+  // The look-ahead recursion is O(4^depth) per pair without memoization;
+  // at the default depth 2 the cache is roughly break-even, so this series
+  // shows where it pays: a deep-look-ahead configuration on the suite's
+  // largest graph.
+  for (const char *KName : {"dealii_stencil", "sphinx_bias"}) {
+    const Kernel *MK = findKernel(KName);
+    std::string Base = std::string("vectorize/") + KName + "/SN-SLP/depth6";
+    benchVectorize(Rep, *MK, Base, VectorizerMode::SNSLP, /*Memo=*/true,
+                   Smoke, /*Depth=*/6);
+    benchVectorize(Rep, *MK, Base + "/memo_off", VectorizerMode::SNSLP,
+                   /*Memo=*/false, Smoke, /*Depth=*/6);
+  }
+
+  return Rep.write() ? 0 : 1;
+}

@@ -57,7 +57,8 @@ KernelMeasurement snslp::measureKernel(KernelRunner &Runner, const Kernel &K,
 }
 
 SampleStats snslp::measureCompileTime(const Kernel &K, VectorizerMode Mode,
-                                      unsigned Runs) {
+                                      unsigned Runs,
+                                      bool EnableLookAheadMemo) {
   // One full compilation: parse -> scalar cleanup -> vectorize -> scalar
   // cleanup -> downstream passes.
   // A production -O3 pipeline runs dozens of passes after the SLP
@@ -67,7 +68,7 @@ SampleStats snslp::measureCompileTime(const Kernel &K, VectorizerMode Mode,
   // code is vectorized away — and what amortizes the vectorizer itself,
   // matching the paper's "no significant compilation-time overhead".
   constexpr unsigned DownstreamPassCount = 40;
-  auto Pipeline = [&K, Mode] {
+  auto Pipeline = [&K, Mode, EnableLookAheadMemo] {
     Context Ctx;
     Module M(Ctx, "compile");
     std::string Err;
@@ -76,6 +77,7 @@ SampleStats snslp::measureCompileTime(const Kernel &K, VectorizerMode Mode,
     Function *F = M.getFunction(K.Name);
     PipelineOptions Options;
     Options.Vectorizer.Mode = Mode;
+    Options.Vectorizer.EnableLookAheadMemo = EnableLookAheadMemo;
     runPassPipeline(*F, Options);
     size_t Sink = 0;
     for (unsigned Pass = 0; Pass < DownstreamPassCount; ++Pass) {

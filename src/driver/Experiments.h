@@ -41,9 +41,11 @@ KernelMeasurement measureKernel(KernelRunner &Runner, const Kernel &K,
 /// + cleanup + the downstream-pass proxy) for \p K under \p Mode, \p Runs
 /// runs + warm-up.
 /// Matches Fig. 11's setup: when vectorization removes code, downstream
-/// passes process less of it.
+/// passes process less of it. \p EnableLookAheadMemo toggles the
+/// look-ahead score cache (fig11_compile_time's memo A/B series).
 SampleStats measureCompileTime(const Kernel &K, VectorizerMode Mode,
-                               unsigned Runs = 10);
+                               unsigned Runs = 10,
+                               bool EnableLookAheadMemo = true);
 
 /// Aggregate results of one whole-benchmark program (Figs. 8-10).
 struct ProgramMeasurement {

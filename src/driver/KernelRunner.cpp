@@ -51,9 +51,15 @@ CompiledKernel KernelRunner::compile(const Kernel &K, VectorizerMode Mode,
 
 ExecutionResult KernelRunner::execute(const CompiledKernel &CK,
                                       KernelData &Data) {
-  ExecutionEngine Engine(*CK.F, [this](const Instruction &I) {
-    return TCM.executionCycles(I);
-  });
+  // Compile-once, run-many: the bytecode form of each configured function
+  // is cached for the lifetime of the runner.
+  std::unique_ptr<ExecutionEngine> &Slot = Engines[CK.F];
+  if (!Slot)
+    Slot = std::make_unique<ExecutionEngine>(
+        *CK.F,
+        [this](const Instruction &I) { return TCM.executionCycles(I); });
+  ExecutionEngine &Engine = *Slot;
+  Engine.clearMemoryRanges();
   std::vector<RTValue> Args;
   Args.reserve(Data.getNumBuffers() + 1);
   for (size_t I = 0; I < Data.getNumBuffers(); ++I) {

@@ -23,6 +23,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 namespace snslp {
 
@@ -63,6 +64,11 @@ private:
   Module M;
   TargetCostModel TCM;
   unsigned CloneCounter = 0;
+  /// Engine cache: functions compile to bytecode once per runner; repeated
+  /// execute() calls (the benchmark pattern) reuse the compiled form and
+  /// its register file. Memory ranges are re-registered per call.
+  std::unordered_map<const Function *, std::unique_ptr<ExecutionEngine>>
+      Engines;
 };
 
 } // namespace snslp

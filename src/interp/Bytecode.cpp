@@ -1,0 +1,1172 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bytecode compilation (slot assignment -> constant interning ->
+/// specialization -> edge/accounting precomputation) and the dispatch
+/// loop. See Bytecode.h for the machine model and docs/interpreter.md for
+/// the pipeline walk-through.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Bytecode.h"
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "support/ErrorHandling.h"
+
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+using namespace snslp;
+
+namespace {
+
+/// Bit-cast helpers between lane cells and native scalar types.
+inline float cellToF32(uint64_t C) {
+  float F;
+  uint32_t Lo = static_cast<uint32_t>(C);
+  std::memcpy(&F, &Lo, sizeof(F));
+  return F;
+}
+inline uint64_t f32ToCell(float F) {
+  uint32_t Lo;
+  std::memcpy(&Lo, &F, sizeof(Lo));
+  return Lo;
+}
+inline double cellToF64(uint64_t C) {
+  double D;
+  std::memcpy(&D, &C, sizeof(D));
+  return D;
+}
+inline uint64_t f64ToCell(double D) {
+  uint64_t C;
+  std::memcpy(&C, &D, sizeof(C));
+  return C;
+}
+
+/// Returns the scalar kind and lane count of \p Ty.
+inline std::pair<TypeKind, unsigned> elementOf(const Type *Ty) {
+  if (const auto *VT = dyn_cast<VectorType>(Ty))
+    return {VT->getElementType()->getKind(), VT->getNumLanes()};
+  return {Ty->getKind(), 1};
+}
+
+/// Native-representation constant materialization: f32 lanes hold float
+/// bits, integers are canonicalized (sign-extended), f64/pointers are raw.
+uint64_t nativeScalarConstant(const Constant &C) {
+  if (const auto *CI = dyn_cast<ConstantInt>(&C))
+    return static_cast<uint64_t>(
+        RTValue::canonicalizeInt(CI->getType()->getKind(), CI->getValue()));
+  const auto &CF = cast<ConstantFP>(C);
+  if (CF.getType()->getKind() == TypeKind::Float)
+    return f32ToCell(static_cast<float>(CF.getValue()));
+  return f64ToCell(CF.getValue());
+}
+
+/// The generic (reference-semantics) lane op used by BinGeneric; matches
+/// the tree-walking interpreter's applyLane but over native cells.
+uint64_t genericLaneOp(BinOpcode Op, TypeKind Kind, uint64_t A, uint64_t B) {
+  switch (Op) {
+  case BinOpcode::Add:
+    return static_cast<uint64_t>(RTValue::canonicalizeInt(
+        Kind, static_cast<int64_t>(A + B)));
+  case BinOpcode::Sub:
+    return static_cast<uint64_t>(RTValue::canonicalizeInt(
+        Kind, static_cast<int64_t>(A - B)));
+  case BinOpcode::Mul:
+    return static_cast<uint64_t>(RTValue::canonicalizeInt(
+        Kind, static_cast<int64_t>(A * B)));
+  case BinOpcode::FAdd:
+    return Kind == TypeKind::Float
+               ? f32ToCell(cellToF32(A) + cellToF32(B))
+               : f64ToCell(cellToF64(A) + cellToF64(B));
+  case BinOpcode::FSub:
+    return Kind == TypeKind::Float
+               ? f32ToCell(cellToF32(A) - cellToF32(B))
+               : f64ToCell(cellToF64(A) - cellToF64(B));
+  case BinOpcode::FMul:
+    return Kind == TypeKind::Float
+               ? f32ToCell(cellToF32(A) * cellToF32(B))
+               : f64ToCell(cellToF64(A) * cellToF64(B));
+  case BinOpcode::FDiv:
+    return Kind == TypeKind::Float
+               ? f32ToCell(cellToF32(A) / cellToF32(B))
+               : f64ToCell(cellToF64(A) / cellToF64(B));
+  }
+  snslp_unreachable("covered switch");
+}
+
+bool evalPredicate(ICmpPredicate Pred, int64_t A, int64_t B) {
+  switch (Pred) {
+  case ICmpPredicate::EQ:
+    return A == B;
+  case ICmpPredicate::NE:
+    return A != B;
+  case ICmpPredicate::SLT:
+    return A < B;
+  case ICmpPredicate::SLE:
+    return A <= B;
+  case ICmpPredicate::SGT:
+    return A > B;
+  case ICmpPredicate::SGE:
+    return A >= B;
+  case ICmpPredicate::ULT:
+    return static_cast<uint64_t>(A) < static_cast<uint64_t>(B);
+  case ICmpPredicate::ULE:
+    return static_cast<uint64_t>(A) <= static_cast<uint64_t>(B);
+  }
+  snslp_unreachable("covered switch");
+}
+
+/// Picks the specialized binop opcode for (IR opcode, kind, vector?).
+/// Returns BinGeneric when no specialization exists (i1 arithmetic).
+BCOp specializeBinOp(BinOpcode Op, TypeKind Kind, bool Vector) {
+  struct Row {
+    BCOp Scalar, Vec;
+  };
+  auto Pick = [&](Row R) { return Vector ? R.Vec : R.Scalar; };
+  switch (Op) {
+  case BinOpcode::Add:
+    if (Kind == TypeKind::Int32)
+      return Pick({BCOp::AddI32, BCOp::VAddI32});
+    if (Kind == TypeKind::Int64 || Kind == TypeKind::Pointer)
+      return Pick({BCOp::AddI64, BCOp::VAddI64});
+    return BCOp::BinGeneric;
+  case BinOpcode::Sub:
+    if (Kind == TypeKind::Int32)
+      return Pick({BCOp::SubI32, BCOp::VSubI32});
+    if (Kind == TypeKind::Int64 || Kind == TypeKind::Pointer)
+      return Pick({BCOp::SubI64, BCOp::VSubI64});
+    return BCOp::BinGeneric;
+  case BinOpcode::Mul:
+    if (Kind == TypeKind::Int32)
+      return Pick({BCOp::MulI32, BCOp::VMulI32});
+    if (Kind == TypeKind::Int64 || Kind == TypeKind::Pointer)
+      return Pick({BCOp::MulI64, BCOp::VMulI64});
+    return BCOp::BinGeneric;
+  case BinOpcode::FAdd:
+    return Kind == TypeKind::Float ? Pick({BCOp::FAddF32, BCOp::VFAddF32})
+                                   : Pick({BCOp::FAddF64, BCOp::VFAddF64});
+  case BinOpcode::FSub:
+    return Kind == TypeKind::Float ? Pick({BCOp::FSubF32, BCOp::VFSubF32})
+                                   : Pick({BCOp::FSubF64, BCOp::VFSubF64});
+  case BinOpcode::FMul:
+    return Kind == TypeKind::Float ? Pick({BCOp::FMulF32, BCOp::VFMulF32})
+                                   : Pick({BCOp::FMulF64, BCOp::VFMulF64});
+  case BinOpcode::FDiv:
+    return Kind == TypeKind::Float ? Pick({BCOp::FDivF32, BCOp::VFDivF32})
+                                   : Pick({BCOp::FDivF64, BCOp::VFDivF64});
+  }
+  snslp_unreachable("covered switch");
+}
+
+/// Memory opcode tables indexed by scalar kind.
+BCOp loadOpFor(TypeKind Kind, bool Vector, bool Fused) {
+  switch (Kind) {
+  case TypeKind::Int1:
+    assert(!Vector && "no i1 vectors in memory ops");
+    return Fused ? BCOp::LdI1G : BCOp::LdI1;
+  case TypeKind::Int32:
+    return Vector ? (Fused ? BCOp::VLdI32G : BCOp::VLdI32)
+                  : (Fused ? BCOp::LdI32G : BCOp::LdI32);
+  case TypeKind::Int64:
+  case TypeKind::Pointer:
+    return Vector ? (Fused ? BCOp::VLdI64G : BCOp::VLdI64)
+                  : (Fused ? BCOp::LdI64G : BCOp::LdI64);
+  case TypeKind::Float:
+    return Vector ? (Fused ? BCOp::VLdF32G : BCOp::VLdF32)
+                  : (Fused ? BCOp::LdF32G : BCOp::LdF32);
+  case TypeKind::Double:
+    return Vector ? (Fused ? BCOp::VLdF64G : BCOp::VLdF64)
+                  : (Fused ? BCOp::LdF64G : BCOp::LdF64);
+  case TypeKind::Void:
+  case TypeKind::Vector:
+    break;
+  }
+  snslp_unreachable("bad load kind");
+}
+
+BCOp storeOpFor(TypeKind Kind, bool Vector, bool Fused) {
+  switch (Kind) {
+  case TypeKind::Int1:
+    assert(!Vector && "no i1 vectors in memory ops");
+    return Fused ? BCOp::StI1G : BCOp::StI1;
+  case TypeKind::Int32:
+    return Vector ? (Fused ? BCOp::VStI32G : BCOp::VStI32)
+                  : (Fused ? BCOp::StI32G : BCOp::StI32);
+  case TypeKind::Int64:
+  case TypeKind::Pointer:
+    return Vector ? (Fused ? BCOp::VStI64G : BCOp::VStI64)
+                  : (Fused ? BCOp::StI64G : BCOp::StI64);
+  case TypeKind::Float:
+    return Vector ? (Fused ? BCOp::VStF32G : BCOp::VStF32)
+                  : (Fused ? BCOp::StF32G : BCOp::StF32);
+  case TypeKind::Double:
+    return Vector ? (Fused ? BCOp::VStF64G : BCOp::VStF64)
+                  : (Fused ? BCOp::StF64G : BCOp::StF64);
+  case TypeKind::Void:
+  case TypeKind::Vector:
+    break;
+  }
+  snslp_unreachable("bad store kind");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Compilation
+//===----------------------------------------------------------------------===//
+
+BytecodeFunction::BytecodeFunction(const Function &F,
+                                   const BCCycleFn &Cycles) {
+  NumArgs = F.getNumArgs();
+
+  // --- 1. Slot assignment ------------------------------------------------
+  // Every argument and non-void instruction result gets a fixed range of
+  // lane cells; constants are interned behind them (constant pool).
+  std::unordered_map<const Value *, uint32_t> CellOf;
+  uint32_t NextCell = 0;
+  auto Assign = [&](const Value *V) {
+    auto [Kind, Lanes] = elementOf(V->getType());
+    (void)Kind;
+    uint32_t Cell = NextCell;
+    CellOf[V] = Cell;
+    NextCell += Lanes;
+    return Cell;
+  };
+  for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I) {
+    const Value *Arg = F.getArg(I);
+    uint32_t Cell = Assign(Arg);
+    ArgSlots.emplace_back(Cell, elementOf(Arg->getType()).first);
+  }
+  for (const auto &BB : F.blocks())
+    for (const auto &Inst : *BB)
+      if (!Inst->getType()->isVoid())
+        Assign(Inst.get());
+
+  // --- 2. Constant interning --------------------------------------------
+  // Constants are appended to the register file and materialized in native
+  // representation into the template that every run starts from.
+  std::vector<std::pair<uint32_t, const Constant *>> PoolInit;
+  auto InternConstant = [&](const Constant *C) -> uint32_t {
+    auto It = CellOf.find(C);
+    if (It != CellOf.end())
+      return It->second;
+    uint32_t Cell = Assign(C);
+    PoolInit.emplace_back(Cell, C);
+    return Cell;
+  };
+  auto RegOf = [&](const Value *V) -> uint32_t {
+    if (const auto *C = dyn_cast<Constant>(V))
+      return InternConstant(C);
+    return CellOf.at(V);
+  };
+
+  // --- 3. GEP fusion analysis -------------------------------------------
+  // A single-use GEP whose only user is a load/store *pointer operand* in
+  // the same block folds into that access (no slot write, no dispatch).
+  // Same-block is required so the GEP's operand slots provably still hold
+  // the values they had at the GEP's own program point.
+  std::unordered_map<const Instruction *, const GEPInst *> FusedAddr;
+  std::unordered_map<const Value *, bool> GepElided;
+  for (const auto &BB : F.blocks()) {
+    for (const auto &Inst : *BB) {
+      const auto *GEP = dyn_cast<GEPInst>(Inst.get());
+      if (!GEP || !GEP->hasOneUse())
+        continue;
+      const Use &U = GEP->uses().front();
+      const Instruction *User = U.User;
+      if (User->getParent() != GEP->getParent())
+        continue;
+      bool IsPtrOperand =
+          (isa<LoadInst>(User) && U.OperandIndex == 0) ||
+          (isa<StoreInst>(User) && U.OperandIndex == 1);
+      if (!IsPtrOperand)
+        continue;
+      FusedAddr[User] = GEP;
+      GepElided[GEP] = true;
+    }
+  }
+
+  // --- 4. Code layout ----------------------------------------------------
+  // Two passes: emit specialized instructions with block-index placeholders
+  // in edges, then patch edge target PCs once all blocks are placed.
+  std::unordered_map<const BasicBlock *, uint32_t> BlockIdx;
+  std::vector<uint32_t> BlockStartPC;
+  std::vector<uint64_t> BlockSteps, BlockVector;
+  std::vector<double> BlockCycles;
+  uint32_t NumBlocks = 0;
+  for (const auto &BB : F.blocks())
+    BlockIdx[BB.get()] = NumBlocks++;
+  BlockStartPC.assign(NumBlocks, 0);
+  BlockSteps.assign(NumBlocks, 0);
+  BlockVector.assign(NumBlocks, 0);
+  BlockCycles.assign(NumBlocks, 0.0);
+
+  // Edge records carry the *successor block index* in TargetPC until the
+  // patch pass rewrites it to a PC.
+  auto MakeEdge = [&](const BasicBlock *Pred,
+                      const BasicBlock *Succ) -> uint32_t {
+    BCEdge Edge;
+    Edge.TargetPC = BlockIdx.at(Succ); // Patched later.
+    for (const auto &Inst : *Succ) {
+      const auto *Phi = dyn_cast<PhiNode>(Inst.get());
+      if (!Phi)
+        break;
+      const Value *In = nullptr;
+      for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K)
+        if (Phi->getIncomingBlock(K) == Pred)
+          In = Phi->getIncomingValue(K);
+      // A missing incoming value is a verifier-level error; the reference
+      // engine reports it at runtime. Mirror that by an impossible copy
+      // that the runtime rejects (represented as Dst == UINT32_MAX).
+      BCEdge::Copy C;
+      C.Cells = static_cast<uint16_t>(elementOf(Phi->getType()).second);
+      C.Dst = CellOf.at(Phi);
+      C.Src = In ? RegOf(In) : UINT32_MAX;
+      Edge.Copies.push_back(C);
+    }
+    // Scratch is needed only when a copy's destination range overlaps
+    // another copy's source range (phi swap/rotation patterns).
+    for (const auto &CA : Edge.Copies) {
+      for (const auto &CB : Edge.Copies) {
+        if (CB.Src == UINT32_MAX)
+          continue;
+        if (CA.Dst < CB.Src + CB.Cells && CB.Src < CA.Dst + CA.Cells) {
+          Edge.NeedsScratch = true;
+          break;
+        }
+      }
+      if (Edge.NeedsScratch)
+        break;
+    }
+    Edges.push_back(std::move(Edge));
+    return static_cast<uint32_t>(Edges.size() - 1);
+  };
+
+  for (const auto &BB : F.blocks()) {
+    uint32_t BI = BlockIdx.at(BB.get());
+    BlockStartPC[BI] = static_cast<uint32_t>(Code.size());
+
+    for (const auto &InstPtr : *BB) {
+      const Instruction &Inst = *InstPtr;
+      // Accounting: every IR instruction in the block contributes one step
+      // (phis and fused-away GEPs included, matching the reference engine).
+      BlockSteps[BI] += 1;
+      bool TouchesVector = Inst.getType()->isVector();
+      for (unsigned I = 0, E = Inst.getNumOperands(); I != E; ++I)
+        TouchesVector |= Inst.getOperand(I)->getType()->isVector();
+      BlockVector[BI] += TouchesVector ? 1 : 0;
+      if (Cycles)
+        BlockCycles[BI] += Cycles(Inst);
+
+      if (isa<PhiNode>(&Inst))
+        continue; // Handled by edge copies.
+      if (GepElided.count(&Inst))
+        continue; // Folded into its memory user.
+
+      BCInst B;
+      auto Emit = [&](BCInst E2) {
+        Code.push_back(E2);
+        PCToInst.push_back(&Inst);
+      };
+
+      switch (Inst.getKind()) {
+      case ValueKind::BinOp: {
+        const auto &BO = cast<BinaryOperator>(Inst);
+        auto [Kind, Lanes] = elementOf(BO.getType());
+        B.Op = specializeBinOp(BO.getOpcode(), Kind, Lanes > 1);
+        B.Lanes = static_cast<uint8_t>(Lanes);
+        B.Dst = CellOf.at(&Inst);
+        B.A = RegOf(BO.getLHS());
+        B.B = RegOf(BO.getRHS());
+        if (B.Op == BCOp::BinGeneric) {
+          B.Aux = static_cast<uint8_t>(BO.getOpcode());
+          B.Imm = static_cast<int32_t>(Kind);
+        }
+        Emit(B);
+        break;
+      }
+      case ValueKind::UnaryOp: {
+        const auto &UO = cast<UnaryOperator>(Inst);
+        auto [Kind, Lanes] = elementOf(UO.getType());
+        bool F32 = Kind == TypeKind::Float;
+        switch (UO.getOpcode()) {
+        case UnaryOpcode::FNeg:
+          B.Op = F32 ? BCOp::FNegF32 : BCOp::FNegF64;
+          break;
+        case UnaryOpcode::Sqrt:
+          B.Op = F32 ? BCOp::SqrtF32 : BCOp::SqrtF64;
+          break;
+        case UnaryOpcode::Fabs:
+          B.Op = F32 ? BCOp::FabsF32 : BCOp::FabsF64;
+          break;
+        }
+        B.Lanes = static_cast<uint8_t>(Lanes);
+        B.Dst = CellOf.at(&Inst);
+        B.A = RegOf(UO.getOperand0());
+        Emit(B);
+        break;
+      }
+      case ValueKind::AlternateOp: {
+        const auto &AO = cast<AlternateOp>(Inst);
+        auto [Kind, Lanes] = elementOf(AO.getType());
+        B.Lanes = static_cast<uint8_t>(Lanes);
+        B.Dst = CellOf.at(&Inst);
+        B.A = RegOf(AO.getLHS());
+        B.B = RegOf(AO.getRHS());
+        // Specialize when every lane opcode is the direct or inverse
+        // operator of one family over a supported kind.
+        OpFamily Family = getOpFamily(AO.getLaneOpcode(0));
+        bool Uniform = Family != OpFamily::None && Lanes <= 8;
+        uint8_t Mask = 0;
+        for (unsigned L = 0; Uniform && L < Lanes; ++L) {
+          BinOpcode LO = AO.getLaneOpcode(L);
+          if (getOpFamily(LO) != Family)
+            Uniform = false;
+          else if (isInverseOpcode(LO))
+            Mask |= static_cast<uint8_t>(1u << L);
+        }
+        bool KindOk = Kind == TypeKind::Int32 || Kind == TypeKind::Int64 ||
+                      Kind == TypeKind::Float || Kind == TypeKind::Double;
+        if (Uniform && KindOk) {
+          B.Aux = Mask;
+          switch (Family) {
+          case OpFamily::IntAddSub:
+            B.Op = Kind == TypeKind::Int32 ? BCOp::AltAddSubI32
+                                           : BCOp::AltAddSubI64;
+            break;
+          case OpFamily::FPAddSub:
+            B.Op = Kind == TypeKind::Float ? BCOp::AltFAddSubF32
+                                           : BCOp::AltFAddSubF64;
+            break;
+          case OpFamily::FPMulDiv:
+            B.Op = Kind == TypeKind::Float ? BCOp::AltFMulDivF32
+                                           : BCOp::AltFMulDivF64;
+            break;
+          case OpFamily::None:
+            snslp_unreachable("uniform family cannot be None");
+          }
+        } else {
+          B.Op = BCOp::AltGeneric;
+          std::vector<uint8_t> LaneOps;
+          LaneOps.reserve(Lanes);
+          for (unsigned L = 0; L < Lanes; ++L)
+            LaneOps.push_back(static_cast<uint8_t>(AO.getLaneOpcode(L)));
+          B.Imm = static_cast<int32_t>(AltLaneOps.size());
+          // Kind rides in Aux for the generic form.
+          B.Aux = static_cast<uint8_t>(Kind);
+          AltLaneOps.push_back(std::move(LaneOps));
+        }
+        Emit(B);
+        break;
+      }
+      case ValueKind::Load: {
+        const auto &LI = cast<LoadInst>(Inst);
+        auto [Kind, Lanes] = elementOf(LI.getType());
+        auto FusedIt = FusedAddr.find(&Inst);
+        bool Fused = FusedIt != FusedAddr.end();
+        B.Op = loadOpFor(Kind, Lanes > 1, Fused);
+        B.Lanes = static_cast<uint8_t>(Lanes);
+        B.Dst = CellOf.at(&Inst);
+        if (Fused) {
+          const GEPInst *GEP = FusedIt->second;
+          B.A = RegOf(GEP->getPointerOperand());
+          B.B = RegOf(GEP->getIndexOperand());
+          B.Imm = static_cast<int32_t>(
+              GEP->getElementType()->getSizeInBytes());
+        } else {
+          B.A = RegOf(LI.getPointerOperand());
+        }
+        Emit(B);
+        break;
+      }
+      case ValueKind::Store: {
+        const auto &SI = cast<StoreInst>(Inst);
+        auto [Kind, Lanes] = elementOf(SI.getValueOperand()->getType());
+        auto FusedIt = FusedAddr.find(&Inst);
+        bool Fused = FusedIt != FusedAddr.end();
+        B.Op = storeOpFor(Kind, Lanes > 1, Fused);
+        B.Lanes = static_cast<uint8_t>(Lanes);
+        B.A = RegOf(SI.getValueOperand());
+        if (Fused) {
+          const GEPInst *GEP = FusedIt->second;
+          B.B = RegOf(GEP->getPointerOperand());
+          B.Dst = RegOf(GEP->getIndexOperand());
+          B.Imm = static_cast<int32_t>(
+              GEP->getElementType()->getSizeInBytes());
+        } else {
+          B.B = RegOf(SI.getPointerOperand());
+        }
+        Emit(B);
+        break;
+      }
+      case ValueKind::GEP: {
+        const auto &GEP = cast<GEPInst>(Inst);
+        B.Op = BCOp::Gep;
+        B.Dst = CellOf.at(&Inst);
+        B.A = RegOf(GEP.getPointerOperand());
+        B.B = RegOf(GEP.getIndexOperand());
+        B.Imm =
+            static_cast<int32_t>(GEP.getElementType()->getSizeInBytes());
+        Emit(B);
+        break;
+      }
+      case ValueKind::ICmp: {
+        const auto &Cmp = cast<ICmpInst>(Inst);
+        B.Op = BCOp::Cmp;
+        B.Aux = static_cast<uint8_t>(Cmp.getPredicate());
+        B.Dst = CellOf.at(&Inst);
+        B.A = RegOf(Cmp.getLHS());
+        B.B = RegOf(Cmp.getRHS());
+        Emit(B);
+        break;
+      }
+      case ValueKind::Select: {
+        const auto &Sel = cast<SelectInst>(Inst);
+        B.Op = BCOp::SelectOp;
+        B.Lanes =
+            static_cast<uint8_t>(elementOf(Sel.getType()).second);
+        B.Dst = CellOf.at(&Inst);
+        B.A = RegOf(Sel.getCondition());
+        B.B = RegOf(Sel.getTrueValue());
+        B.Imm = static_cast<int32_t>(RegOf(Sel.getFalseValue()));
+        Emit(B);
+        break;
+      }
+      case ValueKind::Branch: {
+        const auto &Br = cast<BranchInst>(Inst);
+        if (Br.isConditional()) {
+          B.Op = BCOp::CondBr;
+          B.A = RegOf(Br.getCondition());
+          B.Dst = MakeEdge(BB.get(), Br.getSuccessor(0));
+          B.Imm =
+              static_cast<int32_t>(MakeEdge(BB.get(), Br.getSuccessor(1)));
+        } else {
+          B.Op = BCOp::Br;
+          B.Imm =
+              static_cast<int32_t>(MakeEdge(BB.get(), Br.getSuccessor(0)));
+        }
+        Emit(B);
+        break;
+      }
+      case ValueKind::Ret: {
+        const auto &Ret = cast<RetInst>(Inst);
+        if (Ret.hasReturnValue()) {
+          const Value *RV = Ret.getReturnValue();
+          auto [Kind, Lanes] = elementOf(RV->getType());
+          B.Op = BCOp::RetVal;
+          B.A = RegOf(RV);
+          B.Aux = static_cast<uint8_t>(Kind);
+          B.Lanes = static_cast<uint8_t>(Lanes);
+        } else {
+          B.Op = BCOp::RetVoid;
+        }
+        Emit(B);
+        break;
+      }
+      case ValueKind::InsertElement: {
+        const auto &IE = cast<InsertElementInst>(Inst);
+        B.Op = BCOp::Ins;
+        B.Lanes = static_cast<uint8_t>(elementOf(IE.getType()).second);
+        B.Aux = static_cast<uint8_t>(IE.getLane());
+        B.Dst = CellOf.at(&Inst);
+        B.A = RegOf(IE.getVectorOperand());
+        B.B = RegOf(IE.getScalarOperand());
+        Emit(B);
+        break;
+      }
+      case ValueKind::ExtractElement: {
+        const auto &EE = cast<ExtractElementInst>(Inst);
+        B.Op = BCOp::Ext;
+        B.Aux = static_cast<uint8_t>(EE.getLane());
+        B.Dst = CellOf.at(&Inst);
+        B.A = RegOf(EE.getVectorOperand());
+        Emit(B);
+        break;
+      }
+      case ValueKind::ShuffleVector: {
+        const auto &SV = cast<ShuffleVectorInst>(Inst);
+        B.Op = BCOp::Shuf;
+        B.Lanes = static_cast<uint8_t>(SV.getMask().size());
+        B.Aux = static_cast<uint8_t>(
+            elementOf(SV.getFirstOperand()->getType()).second);
+        B.Dst = CellOf.at(&Inst);
+        B.A = RegOf(SV.getFirstOperand());
+        B.B = RegOf(SV.getSecondOperand());
+        B.Imm = static_cast<int32_t>(ShuffleMasks.size());
+        ShuffleMasks.push_back(SV.getMask());
+        Emit(B);
+        break;
+      }
+      case ValueKind::Phi:
+      case ValueKind::Argument:
+      case ValueKind::ConstantInt:
+      case ValueKind::ConstantFP:
+      case ValueKind::ConstantVector:
+        snslp_unreachable("non-step value kind in block body");
+      }
+    }
+  }
+
+  // --- 5. Patch pass ------------------------------------------------------
+  for (BCEdge &Edge : Edges) {
+    uint32_t BI = Edge.TargetPC;
+    Edge.TargetPC = BlockStartPC[BI];
+    Edge.AddSteps = BlockSteps[BI];
+    Edge.AddVectorSteps = BlockVector[BI];
+    Edge.AddCycles = BlockCycles[BI];
+  }
+  EntrySteps = BlockSteps[0];
+  EntryVectorSteps = BlockVector[0];
+  EntryCycles = BlockCycles[0];
+
+  // --- 6. Constant pool materialization ----------------------------------
+  RegInit.assign(NextCell, 0);
+  for (const auto &[Cell, C] : PoolInit) {
+    if (const auto *CV = dyn_cast<ConstantVector>(C)) {
+      for (unsigned L = 0, E = CV->getNumLanes(); L != E; ++L)
+        RegInit[Cell + L] = nativeScalarConstant(*CV->getElement(L));
+    } else {
+      RegInit[Cell] = nativeScalarConstant(*C);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+RTValue BytecodeFunction::makeBoundaryValue(
+    const std::vector<uint64_t> &Regs, uint32_t Reg, TypeKind Kind,
+    unsigned Lanes) const {
+  RTValue R;
+  R.ElemKind = Kind;
+  R.Lanes = static_cast<uint8_t>(Lanes);
+  for (unsigned L = 0; L < Lanes; ++L) {
+    uint64_t C = Regs[Reg + L];
+    // The boundary (RTValue) convention stores f32 lanes as double bit
+    // patterns; widen native float bits back.
+    R.Raw[L] = Kind == TypeKind::Float
+                   ? f64ToCell(static_cast<double>(cellToF32(C)))
+                   : C;
+  }
+  return R;
+}
+
+BytecodeFunction::RunResult BytecodeFunction::run(
+    VMState &State, const std::vector<RTValue> &Args, uint64_t MaxSteps,
+    const std::vector<std::pair<uint64_t, uint64_t>> &MemoryRanges) const {
+  RunResult Result;
+  if (Args.size() != NumArgs) {
+    Result.Error = "argument count mismatch";
+    return Result;
+  }
+
+  // Fresh register file from the template (constants pre-materialized).
+  State.Regs.assign(RegInit.begin(), RegInit.end());
+  std::vector<uint64_t> &Regs = State.Regs;
+  for (unsigned I = 0; I < NumArgs; ++I) {
+    auto [Cell, Kind] = ArgSlots[I];
+    const RTValue &V = Args[I];
+    for (unsigned L = 0; L < V.Lanes; ++L)
+      Regs[Cell + L] =
+          Kind == TypeKind::Float
+              ? f32ToCell(static_cast<float>(cellToF64(V.Raw[L])))
+              : V.Raw[L];
+  }
+
+  uint64_t Steps = EntrySteps;
+  uint64_t VectorSteps = EntryVectorSteps;
+  double Cycles = EntryCycles;
+  const bool Checked = !MemoryRanges.empty();
+  const BCInst *CodeBase = Code.data();
+  uint32_t PC = 0;
+
+  // Reports an error with the IR spelling of the faulting instruction.
+  auto Fault = [&](uint32_t FaultPC, const char *What) {
+    Result.Error = std::string(What) + ": " + toString(*PCToInst[FaultPC]);
+    return Result;
+  };
+
+  auto TakeEdge = [&](uint32_t EdgeIdx) -> bool {
+    const BCEdge &Edge = Edges[EdgeIdx];
+    if (Edge.NeedsScratch) {
+      // Parallel copy: read all sources before writing any destination.
+      State.Scratch.clear();
+      for (const auto &C : Edge.Copies) {
+        if (C.Src == UINT32_MAX)
+          return false;
+        for (uint16_t L = 0; L < C.Cells; ++L)
+          State.Scratch.push_back(Regs[C.Src + L]);
+      }
+      size_t K = 0;
+      for (const auto &C : Edge.Copies)
+        for (uint16_t L = 0; L < C.Cells; ++L)
+          Regs[C.Dst + L] = State.Scratch[K++];
+    } else {
+      for (const auto &C : Edge.Copies) {
+        if (C.Src == UINT32_MAX)
+          return false;
+        for (uint16_t L = 0; L < C.Cells; ++L)
+          Regs[C.Dst + L] = Regs[C.Src + L];
+      }
+    }
+    Steps += Edge.AddSteps;
+    VectorSteps += Edge.AddVectorSteps;
+    Cycles += Edge.AddCycles;
+    PC = Edge.TargetPC;
+    return true;
+  };
+
+  for (;;) {
+    const BCInst &I = CodeBase[PC];
+    switch (I.Op) {
+
+      // ---- Scalar integer binops ---------------------------------------
+    case BCOp::AddI32:
+      Regs[I.Dst] = static_cast<uint64_t>(static_cast<int64_t>(
+          static_cast<int32_t>(static_cast<uint32_t>(Regs[I.A]) +
+                               static_cast<uint32_t>(Regs[I.B]))));
+      break;
+    case BCOp::SubI32:
+      Regs[I.Dst] = static_cast<uint64_t>(static_cast<int64_t>(
+          static_cast<int32_t>(static_cast<uint32_t>(Regs[I.A]) -
+                               static_cast<uint32_t>(Regs[I.B]))));
+      break;
+    case BCOp::MulI32:
+      Regs[I.Dst] = static_cast<uint64_t>(static_cast<int64_t>(
+          static_cast<int32_t>(static_cast<uint32_t>(Regs[I.A]) *
+                               static_cast<uint32_t>(Regs[I.B]))));
+      break;
+    case BCOp::AddI64:
+      Regs[I.Dst] = Regs[I.A] + Regs[I.B];
+      break;
+    case BCOp::SubI64:
+      Regs[I.Dst] = Regs[I.A] - Regs[I.B];
+      break;
+    case BCOp::MulI64:
+      Regs[I.Dst] = Regs[I.A] * Regs[I.B];
+      break;
+
+      // ---- Scalar FP binops (native precision) -------------------------
+    case BCOp::FAddF32:
+      Regs[I.Dst] = f32ToCell(cellToF32(Regs[I.A]) + cellToF32(Regs[I.B]));
+      break;
+    case BCOp::FSubF32:
+      Regs[I.Dst] = f32ToCell(cellToF32(Regs[I.A]) - cellToF32(Regs[I.B]));
+      break;
+    case BCOp::FMulF32:
+      Regs[I.Dst] = f32ToCell(cellToF32(Regs[I.A]) * cellToF32(Regs[I.B]));
+      break;
+    case BCOp::FDivF32:
+      Regs[I.Dst] = f32ToCell(cellToF32(Regs[I.A]) / cellToF32(Regs[I.B]));
+      break;
+    case BCOp::FAddF64:
+      Regs[I.Dst] = f64ToCell(cellToF64(Regs[I.A]) + cellToF64(Regs[I.B]));
+      break;
+    case BCOp::FSubF64:
+      Regs[I.Dst] = f64ToCell(cellToF64(Regs[I.A]) - cellToF64(Regs[I.B]));
+      break;
+    case BCOp::FMulF64:
+      Regs[I.Dst] = f64ToCell(cellToF64(Regs[I.A]) * cellToF64(Regs[I.B]));
+      break;
+    case BCOp::FDivF64:
+      Regs[I.Dst] = f64ToCell(cellToF64(Regs[I.A]) / cellToF64(Regs[I.B]));
+      break;
+
+      // ---- Vector binops ----------------------------------------------
+#define SNSLP_VEC_INT_CASE(OP, EXPR)                                         \
+  case BCOp::OP: {                                                           \
+    uint64_t *D = &Regs[I.Dst];                                              \
+    const uint64_t *A = &Regs[I.A];                                          \
+    const uint64_t *B = &Regs[I.B];                                          \
+    for (unsigned L = 0; L < I.Lanes; ++L) {                                 \
+      uint64_t a = A[L], b = B[L];                                           \
+      (void)a;                                                               \
+      (void)b;                                                               \
+      D[L] = (EXPR);                                                         \
+    }                                                                        \
+    break;                                                                   \
+  }
+      SNSLP_VEC_INT_CASE(VAddI32,
+                         static_cast<uint64_t>(static_cast<int64_t>(
+                             static_cast<int32_t>(static_cast<uint32_t>(a) +
+                                                  static_cast<uint32_t>(b)))))
+      SNSLP_VEC_INT_CASE(VSubI32,
+                         static_cast<uint64_t>(static_cast<int64_t>(
+                             static_cast<int32_t>(static_cast<uint32_t>(a) -
+                                                  static_cast<uint32_t>(b)))))
+      SNSLP_VEC_INT_CASE(VMulI32,
+                         static_cast<uint64_t>(static_cast<int64_t>(
+                             static_cast<int32_t>(static_cast<uint32_t>(a) *
+                                                  static_cast<uint32_t>(b)))))
+      SNSLP_VEC_INT_CASE(VAddI64, a + b)
+      SNSLP_VEC_INT_CASE(VSubI64, a - b)
+      SNSLP_VEC_INT_CASE(VMulI64, a *b)
+      SNSLP_VEC_INT_CASE(VFAddF32, f32ToCell(cellToF32(a) + cellToF32(b)))
+      SNSLP_VEC_INT_CASE(VFSubF32, f32ToCell(cellToF32(a) - cellToF32(b)))
+      SNSLP_VEC_INT_CASE(VFMulF32, f32ToCell(cellToF32(a) * cellToF32(b)))
+      SNSLP_VEC_INT_CASE(VFDivF32, f32ToCell(cellToF32(a) / cellToF32(b)))
+      SNSLP_VEC_INT_CASE(VFAddF64, f64ToCell(cellToF64(a) + cellToF64(b)))
+      SNSLP_VEC_INT_CASE(VFSubF64, f64ToCell(cellToF64(a) - cellToF64(b)))
+      SNSLP_VEC_INT_CASE(VFMulF64, f64ToCell(cellToF64(a) * cellToF64(b)))
+      SNSLP_VEC_INT_CASE(VFDivF64, f64ToCell(cellToF64(a) / cellToF64(b)))
+#undef SNSLP_VEC_INT_CASE
+
+    case BCOp::BinGeneric: {
+      uint64_t *D = &Regs[I.Dst];
+      const uint64_t *A = &Regs[I.A];
+      const uint64_t *B = &Regs[I.B];
+      for (unsigned L = 0; L < I.Lanes; ++L)
+        D[L] = genericLaneOp(static_cast<BinOpcode>(I.Aux),
+                             static_cast<TypeKind>(I.Imm), A[L], B[L]);
+      break;
+    }
+
+      // ---- Unary FP ops ------------------------------------------------
+#define SNSLP_UNARY_CASE(OP, EXPR)                                           \
+  case BCOp::OP: {                                                           \
+    uint64_t *D = &Regs[I.Dst];                                              \
+    const uint64_t *A = &Regs[I.A];                                          \
+    for (unsigned L = 0; L < I.Lanes; ++L) {                                 \
+      uint64_t a = A[L];                                                     \
+      (void)a;                                                               \
+      D[L] = (EXPR);                                                         \
+    }                                                                        \
+    break;                                                                   \
+  }
+      SNSLP_UNARY_CASE(FNegF32, f32ToCell(-cellToF32(a)))
+      SNSLP_UNARY_CASE(FNegF64, f64ToCell(-cellToF64(a)))
+      // The reference engine computes sqrt/fabs in double and rounds to
+      // float; for sqrt the double rounding is innocuous (2p+2 margin),
+      // so native sqrtf is bit-identical. fabs/neg are exact anyway.
+      SNSLP_UNARY_CASE(SqrtF32, f32ToCell(static_cast<float>(
+                                    std::sqrt(static_cast<double>(
+                                        cellToF32(a))))))
+      SNSLP_UNARY_CASE(SqrtF64, f64ToCell(std::sqrt(cellToF64(a))))
+      SNSLP_UNARY_CASE(FabsF32, f32ToCell(std::fabs(cellToF32(a))))
+      SNSLP_UNARY_CASE(FabsF64, f64ToCell(std::fabs(cellToF64(a))))
+#undef SNSLP_UNARY_CASE
+
+      // ---- Alternate ops ----------------------------------------------
+#define SNSLP_ALT_CASE(OP, DIRECT, INVERSE)                                  \
+  case BCOp::OP: {                                                           \
+    uint64_t *D = &Regs[I.Dst];                                              \
+    const uint64_t *A = &Regs[I.A];                                          \
+    const uint64_t *B = &Regs[I.B];                                          \
+    for (unsigned L = 0; L < I.Lanes; ++L) {                                 \
+      uint64_t a = A[L], b = B[L];                                           \
+      (void)a;                                                               \
+      (void)b;                                                               \
+      D[L] = (I.Aux >> L) & 1 ? (INVERSE) : (DIRECT);                        \
+    }                                                                        \
+    break;                                                                   \
+  }
+      SNSLP_ALT_CASE(AltAddSubI32,
+                     static_cast<uint64_t>(static_cast<int64_t>(
+                         static_cast<int32_t>(static_cast<uint32_t>(a) +
+                                              static_cast<uint32_t>(b)))),
+                     static_cast<uint64_t>(static_cast<int64_t>(
+                         static_cast<int32_t>(static_cast<uint32_t>(a) -
+                                              static_cast<uint32_t>(b)))))
+      SNSLP_ALT_CASE(AltAddSubI64, a + b, a - b)
+      SNSLP_ALT_CASE(AltFAddSubF32,
+                     f32ToCell(cellToF32(a) + cellToF32(b)),
+                     f32ToCell(cellToF32(a) - cellToF32(b)))
+      SNSLP_ALT_CASE(AltFAddSubF64,
+                     f64ToCell(cellToF64(a) + cellToF64(b)),
+                     f64ToCell(cellToF64(a) - cellToF64(b)))
+      SNSLP_ALT_CASE(AltFMulDivF32,
+                     f32ToCell(cellToF32(a) * cellToF32(b)),
+                     f32ToCell(cellToF32(a) / cellToF32(b)))
+      SNSLP_ALT_CASE(AltFMulDivF64,
+                     f64ToCell(cellToF64(a) * cellToF64(b)),
+                     f64ToCell(cellToF64(a) / cellToF64(b)))
+#undef SNSLP_ALT_CASE
+
+    case BCOp::AltGeneric: {
+      uint64_t *D = &Regs[I.Dst];
+      const uint64_t *A = &Regs[I.A];
+      const uint64_t *B = &Regs[I.B];
+      const std::vector<uint8_t> &Ops = AltLaneOps[I.Imm];
+      for (unsigned L = 0; L < I.Lanes; ++L)
+        D[L] = genericLaneOp(static_cast<BinOpcode>(Ops[L]),
+                             static_cast<TypeKind>(I.Aux), A[L], B[L]);
+      break;
+    }
+
+      // ---- Loads -------------------------------------------------------
+#define SNSLP_ADDR_PLAIN uint64_t Addr = Regs[I.A];
+#define SNSLP_ADDR_PLAIN_ST uint64_t Addr = Regs[I.B];
+#define SNSLP_ADDR_FUSED                                                     \
+  uint64_t Addr =                                                            \
+      Regs[I.A] + static_cast<uint64_t>(                                     \
+                      static_cast<int64_t>(Regs[I.B]) *                      \
+                      static_cast<int64_t>(I.Imm));
+#define SNSLP_ADDR_FUSED_ST                                                  \
+  uint64_t Addr =                                                            \
+      Regs[I.B] + static_cast<uint64_t>(                                     \
+                      static_cast<int64_t>(Regs[I.Dst]) *                    \
+                      static_cast<int64_t>(I.Imm));
+#define SNSLP_CHECK_LOAD(BYTES)                                              \
+  if (Checked && !checkAccess(MemoryRanges, Addr, (BYTES)))                  \
+    return Fault(PC, "out-of-bounds load");
+#define SNSLP_CHECK_STORE(BYTES)                                             \
+  if (Checked && !checkAccess(MemoryRanges, Addr, (BYTES)))                  \
+    return Fault(PC, "out-of-bounds store");
+
+#define SNSLP_LOAD_BODY_I1                                                   \
+  {                                                                          \
+    uint8_t V;                                                               \
+    std::memcpy(&V, reinterpret_cast<const void *>(Addr), 1);                \
+    Regs[I.Dst] = V & 1;                                                     \
+  }
+#define SNSLP_LOAD_BODY_I32(DSTCELL)                                         \
+  {                                                                          \
+    int32_t V;                                                               \
+    std::memcpy(&V, reinterpret_cast<const void *>(Addr), 4);                \
+    (DSTCELL) = static_cast<uint64_t>(static_cast<int64_t>(V));              \
+  }
+#define SNSLP_LOAD_BODY_I64(DSTCELL)                                         \
+  {                                                                          \
+    uint64_t V;                                                              \
+    std::memcpy(&V, reinterpret_cast<const void *>(Addr), 8);                \
+    (DSTCELL) = V;                                                           \
+  }
+#define SNSLP_LOAD_BODY_F32(DSTCELL)                                         \
+  {                                                                          \
+    uint32_t V;                                                              \
+    std::memcpy(&V, reinterpret_cast<const void *>(Addr), 4);                \
+    (DSTCELL) = V;                                                           \
+  }
+
+    case BCOp::LdI1: {
+      SNSLP_ADDR_PLAIN
+      SNSLP_CHECK_LOAD(1)
+      SNSLP_LOAD_BODY_I1
+      break;
+    }
+    case BCOp::LdI1G: {
+      SNSLP_ADDR_FUSED
+      SNSLP_CHECK_LOAD(1)
+      SNSLP_LOAD_BODY_I1
+      break;
+    }
+    case BCOp::LdI32: {
+      SNSLP_ADDR_PLAIN
+      SNSLP_CHECK_LOAD(4)
+      SNSLP_LOAD_BODY_I32(Regs[I.Dst])
+      break;
+    }
+    case BCOp::LdI32G: {
+      SNSLP_ADDR_FUSED
+      SNSLP_CHECK_LOAD(4)
+      SNSLP_LOAD_BODY_I32(Regs[I.Dst])
+      break;
+    }
+    case BCOp::LdI64: {
+      SNSLP_ADDR_PLAIN
+      SNSLP_CHECK_LOAD(8)
+      SNSLP_LOAD_BODY_I64(Regs[I.Dst])
+      break;
+    }
+    case BCOp::LdI64G: {
+      SNSLP_ADDR_FUSED
+      SNSLP_CHECK_LOAD(8)
+      SNSLP_LOAD_BODY_I64(Regs[I.Dst])
+      break;
+    }
+    case BCOp::LdF32: {
+      SNSLP_ADDR_PLAIN
+      SNSLP_CHECK_LOAD(4)
+      SNSLP_LOAD_BODY_F32(Regs[I.Dst])
+      break;
+    }
+    case BCOp::LdF32G: {
+      SNSLP_ADDR_FUSED
+      SNSLP_CHECK_LOAD(4)
+      SNSLP_LOAD_BODY_F32(Regs[I.Dst])
+      break;
+    }
+    case BCOp::LdF64: {
+      SNSLP_ADDR_PLAIN
+      SNSLP_CHECK_LOAD(8)
+      SNSLP_LOAD_BODY_I64(Regs[I.Dst])
+      break;
+    }
+    case BCOp::LdF64G: {
+      SNSLP_ADDR_FUSED
+      SNSLP_CHECK_LOAD(8)
+      SNSLP_LOAD_BODY_I64(Regs[I.Dst])
+      break;
+    }
+
+#define SNSLP_VLOAD(CASE_NAME, ADDR_MACRO, ELTSIZE, BODY)                    \
+  case BCOp::CASE_NAME: {                                                    \
+    ADDR_MACRO                                                               \
+    SNSLP_CHECK_LOAD(static_cast<unsigned>(I.Lanes) * (ELTSIZE))             \
+    uint64_t *D = &Regs[I.Dst];                                              \
+    for (unsigned L = 0; L < I.Lanes; ++L, Addr += (ELTSIZE)) {              \
+      BODY(D[L])                                                             \
+    }                                                                        \
+    break;                                                                   \
+  }
+      SNSLP_VLOAD(VLdI32, SNSLP_ADDR_PLAIN, 4, SNSLP_LOAD_BODY_I32)
+      SNSLP_VLOAD(VLdI32G, SNSLP_ADDR_FUSED, 4, SNSLP_LOAD_BODY_I32)
+      SNSLP_VLOAD(VLdI64, SNSLP_ADDR_PLAIN, 8, SNSLP_LOAD_BODY_I64)
+      SNSLP_VLOAD(VLdI64G, SNSLP_ADDR_FUSED, 8, SNSLP_LOAD_BODY_I64)
+      SNSLP_VLOAD(VLdF32, SNSLP_ADDR_PLAIN, 4, SNSLP_LOAD_BODY_F32)
+      SNSLP_VLOAD(VLdF32G, SNSLP_ADDR_FUSED, 4, SNSLP_LOAD_BODY_F32)
+      SNSLP_VLOAD(VLdF64, SNSLP_ADDR_PLAIN, 8, SNSLP_LOAD_BODY_I64)
+      SNSLP_VLOAD(VLdF64G, SNSLP_ADDR_FUSED, 8, SNSLP_LOAD_BODY_I64)
+#undef SNSLP_VLOAD
+
+      // ---- Stores ------------------------------------------------------
+#define SNSLP_STORE_BODY_I1(SRCCELL)                                         \
+  {                                                                          \
+    uint8_t V = static_cast<uint8_t>((SRCCELL)&1);                           \
+    std::memcpy(reinterpret_cast<void *>(Addr), &V, 1);                      \
+  }
+#define SNSLP_STORE_BODY_I32(SRCCELL)                                        \
+  {                                                                          \
+    int32_t V = static_cast<int32_t>(SRCCELL);                               \
+    std::memcpy(reinterpret_cast<void *>(Addr), &V, 4);                      \
+  }
+#define SNSLP_STORE_BODY_I64(SRCCELL)                                        \
+  {                                                                          \
+    uint64_t V = (SRCCELL);                                                  \
+    std::memcpy(reinterpret_cast<void *>(Addr), &V, 8);                      \
+  }
+#define SNSLP_STORE_BODY_F32(SRCCELL)                                        \
+  {                                                                          \
+    uint32_t V = static_cast<uint32_t>(SRCCELL);                             \
+    std::memcpy(reinterpret_cast<void *>(Addr), &V, 4);                      \
+  }
+
+#define SNSLP_STORE(CASE_NAME, ADDR_MACRO, BYTES, BODY)                      \
+  case BCOp::CASE_NAME: {                                                    \
+    ADDR_MACRO                                                               \
+    SNSLP_CHECK_STORE(BYTES)                                                 \
+    BODY(Regs[I.A])                                                          \
+    break;                                                                   \
+  }
+      SNSLP_STORE(StI1, SNSLP_ADDR_PLAIN_ST, 1, SNSLP_STORE_BODY_I1)
+      SNSLP_STORE(StI1G, SNSLP_ADDR_FUSED_ST, 1, SNSLP_STORE_BODY_I1)
+      SNSLP_STORE(StI32, SNSLP_ADDR_PLAIN_ST, 4, SNSLP_STORE_BODY_I32)
+      SNSLP_STORE(StI32G, SNSLP_ADDR_FUSED_ST, 4, SNSLP_STORE_BODY_I32)
+      SNSLP_STORE(StI64, SNSLP_ADDR_PLAIN_ST, 8, SNSLP_STORE_BODY_I64)
+      SNSLP_STORE(StI64G, SNSLP_ADDR_FUSED_ST, 8, SNSLP_STORE_BODY_I64)
+      SNSLP_STORE(StF32, SNSLP_ADDR_PLAIN_ST, 4, SNSLP_STORE_BODY_F32)
+      SNSLP_STORE(StF32G, SNSLP_ADDR_FUSED_ST, 4, SNSLP_STORE_BODY_F32)
+      SNSLP_STORE(StF64, SNSLP_ADDR_PLAIN_ST, 8, SNSLP_STORE_BODY_I64)
+      SNSLP_STORE(StF64G, SNSLP_ADDR_FUSED_ST, 8, SNSLP_STORE_BODY_I64)
+#undef SNSLP_STORE
+
+#define SNSLP_VSTORE(CASE_NAME, ADDR_MACRO, ELTSIZE, BODY)                   \
+  case BCOp::CASE_NAME: {                                                    \
+    ADDR_MACRO                                                               \
+    SNSLP_CHECK_STORE(static_cast<unsigned>(I.Lanes) * (ELTSIZE))            \
+    const uint64_t *S = &Regs[I.A];                                          \
+    for (unsigned L = 0; L < I.Lanes; ++L, Addr += (ELTSIZE)) {              \
+      BODY(S[L])                                                             \
+    }                                                                        \
+    break;                                                                   \
+  }
+      SNSLP_VSTORE(VStI32, SNSLP_ADDR_PLAIN_ST, 4, SNSLP_STORE_BODY_I32)
+      SNSLP_VSTORE(VStI32G, SNSLP_ADDR_FUSED_ST, 4, SNSLP_STORE_BODY_I32)
+      SNSLP_VSTORE(VStI64, SNSLP_ADDR_PLAIN_ST, 8, SNSLP_STORE_BODY_I64)
+      SNSLP_VSTORE(VStI64G, SNSLP_ADDR_FUSED_ST, 8, SNSLP_STORE_BODY_I64)
+      SNSLP_VSTORE(VStF32, SNSLP_ADDR_PLAIN_ST, 4, SNSLP_STORE_BODY_F32)
+      SNSLP_VSTORE(VStF32G, SNSLP_ADDR_FUSED_ST, 4, SNSLP_STORE_BODY_F32)
+      SNSLP_VSTORE(VStF64, SNSLP_ADDR_PLAIN_ST, 8, SNSLP_STORE_BODY_I64)
+      SNSLP_VSTORE(VStF64G, SNSLP_ADDR_FUSED_ST, 8, SNSLP_STORE_BODY_I64)
+#undef SNSLP_VSTORE
+#undef SNSLP_ADDR_PLAIN
+#undef SNSLP_ADDR_PLAIN_ST
+#undef SNSLP_ADDR_FUSED
+#undef SNSLP_ADDR_FUSED_ST
+#undef SNSLP_CHECK_LOAD
+#undef SNSLP_CHECK_STORE
+
+      // ---- Addressing / compare / select / lanes -----------------------
+    case BCOp::Gep:
+      Regs[I.Dst] =
+          Regs[I.A] + static_cast<uint64_t>(
+                          static_cast<int64_t>(Regs[I.B]) *
+                          static_cast<int64_t>(I.Imm));
+      break;
+    case BCOp::Cmp:
+      Regs[I.Dst] = evalPredicate(static_cast<ICmpPredicate>(I.Aux),
+                                  static_cast<int64_t>(Regs[I.A]),
+                                  static_cast<int64_t>(Regs[I.B]))
+                        ? 1
+                        : 0;
+      break;
+    case BCOp::SelectOp: {
+      uint32_t Src = Regs[I.A] != 0 ? I.B : static_cast<uint32_t>(I.Imm);
+      for (unsigned L = 0; L < I.Lanes; ++L)
+        Regs[I.Dst + L] = Regs[Src + L];
+      break;
+    }
+    case BCOp::Ins: {
+      // Copy the vector then patch one lane. Dst and A are distinct SSA
+      // slots, so in-place aliasing cannot occur.
+      for (unsigned L = 0; L < I.Lanes; ++L)
+        Regs[I.Dst + L] = Regs[I.A + L];
+      Regs[I.Dst + I.Aux] = Regs[I.B];
+      break;
+    }
+    case BCOp::Ext:
+      Regs[I.Dst] = Regs[I.A + I.Aux];
+      break;
+    case BCOp::Shuf: {
+      const std::vector<int> &Mask = ShuffleMasks[I.Imm];
+      const unsigned InLanes = I.Aux;
+      for (unsigned L = 0; L < I.Lanes; ++L) {
+        int M = Mask[L];
+        Regs[I.Dst + L] = M < static_cast<int>(InLanes)
+                              ? Regs[I.A + M]
+                              : Regs[I.B + (M - static_cast<int>(InLanes))];
+      }
+      break;
+    }
+
+      // ---- Control flow ------------------------------------------------
+    case BCOp::Br:
+      if (!TakeEdge(static_cast<uint32_t>(I.Imm)))
+        return Fault(PC, "phi has no incoming value for executed edge");
+      if (Steps > MaxSteps) {
+        Result.Error = "execution fuel exhausted (possible infinite loop)";
+        return Result;
+      }
+      continue;
+    case BCOp::CondBr:
+      if (!TakeEdge(Regs[I.A] != 0 ? I.Dst
+                                   : static_cast<uint32_t>(I.Imm)))
+        return Fault(PC, "phi has no incoming value for executed edge");
+      if (Steps > MaxSteps) {
+        Result.Error = "execution fuel exhausted (possible infinite loop)";
+        return Result;
+      }
+      continue;
+    case BCOp::RetVal:
+      Result.ReturnValue = makeBoundaryValue(
+          Regs, I.A, static_cast<TypeKind>(I.Aux), I.Lanes);
+      [[fallthrough]];
+    case BCOp::RetVoid:
+      Result.Ok = true;
+      Result.StepsExecuted = Steps;
+      Result.VectorSteps = VectorSteps;
+      Result.Cycles = Cycles;
+      return Result;
+    }
+    ++PC;
+  }
+}

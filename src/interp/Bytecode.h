@@ -1,0 +1,232 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The predecoded register-machine form of one IR function and the VM that
+/// executes it. Compilation happens once per function and produces:
+///
+///  - a flat register file layout: every SSA value (argument, instruction
+///    result, interned constant) is assigned a fixed range of 64-bit lane
+///    cells, so operand fetch is a single indexed access with no RTValue
+///    copies and no hashing on the hot path;
+///  - a constant pool: constants are materialized once, in their *native*
+///    representation (f32 lanes hold float bit patterns, not doubles), into
+///    a register-file template that each run starts from;
+///  - a flat instruction stream of *specialized* opcodes: per-TypeKind
+///    binop kernels that do native i32/i64/f32/f64 lane math (no
+///    double round-trips), dedicated scalar vs. vector variants, and fused
+///    GEP+load / GEP+store forms for the dominant addressing pattern;
+///  - per-edge phi copy lists (parallel-copy semantics) plus per-block
+///    aggregate step/cycle counters, so the hot loop does no per-phi
+///    matching and no per-instruction floating-point accumulation.
+///
+/// Numeric results are bit-identical to the reference tree-walking
+/// interpreter: for f32, computing each operation in double precision and
+/// rounding to float (the reference) equals native float arithmetic for
+/// +,-,*,/ and sqrt because double carries more than 2x24+2 mantissa bits
+/// (innocuous double rounding). The differential kernel-suite test asserts
+/// this bit-exactness on every kernel under every vectorizer mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_INTERP_BYTECODE_H
+#define SNSLP_INTERP_BYTECODE_H
+
+#include "interp/RTValue.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+class Function;
+class Instruction;
+
+/// Specialized opcodes of the register machine. Naming: V* = vector form
+/// (lane count in BCInst::Lanes), *G = fused GEP addressing (base + index *
+/// scale computed inside the memory step).
+enum class BCOp : uint8_t {
+  // Scalar integer binops (native i32/i64 lane math, two's complement).
+  AddI32, SubI32, MulI32,
+  AddI64, SubI64, MulI64,
+  // Scalar FP binops (native precision; f32 never round-trips via double).
+  FAddF32, FSubF32, FMulF32, FDivF32,
+  FAddF64, FSubF64, FMulF64, FDivF64,
+  // Vector binops.
+  VAddI32, VSubI32, VMulI32,
+  VAddI64, VSubI64, VMulI64,
+  VFAddF32, VFSubF32, VFMulF32, VFDivF32,
+  VFAddF64, VFSubF64, VFMulF64, VFDivF64,
+  /// Catch-all binop for rare kinds (i1 arithmetic); Aux = BinOpcode,
+  /// Imm = TypeKind. Loops over Lanes.
+  BinGeneric,
+
+  // Unary FP ops; loop over Lanes (scalar = 1-lane loop).
+  FNegF32, FNegF64, SqrtF32, SqrtF64, FabsF32, FabsF64,
+
+  // Alternate (per-lane direct/inverse) vector ops; Aux bit L set means
+  // lane L applies the family's inverse operator.
+  AltAddSubI32, AltAddSubI64,
+  AltFAddSubF32, AltFAddSubF64,
+  AltFMulDivF32, AltFMulDivF64,
+  /// Catch-all alternate op: Imm = index into the lane-opcode side table,
+  /// Aux unused.
+  AltGeneric,
+
+  // Loads: Dst = result regs, A = pointer reg.
+  LdI1, LdI32, LdI64, LdF32, LdF64,
+  VLdI32, VLdI64, VLdF32, VLdF64,
+  // Fused GEP+load: A = base pointer reg, B = index reg, Imm = elem size.
+  LdI1G, LdI32G, LdI64G, LdF32G, LdF64G,
+  VLdI32G, VLdI64G, VLdF32G, VLdF64G,
+
+  // Stores: A = value reg, B = pointer reg.
+  StI1, StI32, StI64, StF32, StF64,
+  VStI32, VStI64, VStF32, VStF64,
+  // Fused GEP+store: A = value reg, B = base pointer reg, Dst = index reg,
+  // Imm = elem size.
+  StI1G, StI32G, StI64G, StF32G, StF64G,
+  VStI32G, VStI64G, VStF32G, VStF64G,
+
+  /// Standalone pointer arithmetic: Dst = A + B * Imm.
+  Gep,
+  /// Integer compare: Dst = pred(A, B); Aux = ICmpPredicate.
+  Cmp,
+  /// Dst = (A != 0) ? regs[B] : regs[Imm]; copies Lanes cells.
+  SelectOp,
+  /// Copy vector A to Dst (Lanes cells), then Dst[Aux] = scalar reg B.
+  Ins,
+  /// Dst = A's lane Aux (one cell).
+  Ext,
+  /// Shuffle: Dst built from A, B; Imm = mask table index, Aux = input
+  /// lane count, Lanes = output lane count.
+  Shuf,
+  /// Unconditional branch: Imm = edge index.
+  Br,
+  /// Conditional branch: A = condition reg, Dst = true edge index,
+  /// Imm = false edge index.
+  CondBr,
+  /// Return: A = value reg (RetVoid has none); Aux = scalar TypeKind of
+  /// the result, Lanes = lane count.
+  RetVal, RetVoid,
+};
+
+/// One predecoded instruction. 20 bytes packed; the hot loop reads at most
+/// one of these per IR instruction (fused forms cover two).
+struct BCInst {
+  BCOp Op;
+  uint8_t Lanes = 1; ///< Result/operand lane count for looping forms.
+  uint8_t Aux = 0;   ///< Opcode/predicate/lane/APO-mask, per BCOp docs.
+  uint32_t Dst = 0;  ///< Result register (first lane cell), or reused.
+  uint32_t A = 0;    ///< First operand register.
+  uint32_t B = 0;    ///< Second operand register.
+  int32_t Imm = 0;   ///< Scale / edge index / table index, per BCOp docs.
+};
+
+/// One CFG edge of the predecoded function: the jump target plus the phi
+/// parallel-copy list and the *target block's* aggregate accounting
+/// (dynamic steps, vector steps, simulated cycles — phis included), added
+/// in one shot when the edge is taken.
+struct BCEdge {
+  uint32_t TargetPC = 0;
+  /// Parallel phi copies (dst cell, src cell, cell count). Sources are
+  /// all read before any destination is written.
+  struct Copy {
+    uint32_t Dst;
+    uint32_t Src;
+    uint16_t Cells;
+  };
+  std::vector<Copy> Copies;
+  /// True when some copy destination overlaps another copy's source (phi
+  /// swap patterns); forces the two-phase scratch path.
+  bool NeedsScratch = false;
+  // Aggregate accounting of the target block (every IR instruction in the
+  // block, phis included — identical totals to per-step accounting).
+  uint64_t AddSteps = 0;
+  uint64_t AddVectorSteps = 0;
+  double AddCycles = 0.0;
+};
+
+/// Computes the simulated cycle cost of one instruction (see
+/// ExecutionEngine.h); duplicated typedef to keep this header light.
+using BCCycleFn = std::function<double(const Instruction &)>;
+
+/// A function compiled to predecoded register-machine form, plus the VM
+/// that executes it (ExecutionEngine wraps this behind the public API).
+class BytecodeFunction {
+public:
+  /// Compiles \p F. \p Cycles, when non-null, is evaluated once per IR
+  /// instruction here; runs then accumulate precomputed per-block sums.
+  BytecodeFunction(const Function &F, const BCCycleFn &Cycles);
+
+  /// VM state shared across runs of one engine (kept to avoid re-allocating
+  /// the register file on every run).
+  struct VMState {
+    std::vector<uint64_t> Regs;
+    std::vector<uint64_t> Scratch;
+  };
+
+  /// Outcome of one bytecode execution (mirrors ExecutionResult without
+  /// depending on ExecutionEngine.h; the engine converts).
+  struct RunResult {
+    bool Ok = false;
+    std::string Error;
+    uint64_t StepsExecuted = 0;
+    uint64_t VectorSteps = 0;
+    double Cycles = 0.0;
+    RTValue ReturnValue;
+  };
+
+  /// Executes over \p Args. \p MemoryRanges, when non-empty, activates the
+  /// interpreter's sanitizer mode (every access bounds-checked).
+  RunResult run(VMState &State, const std::vector<RTValue> &Args,
+                uint64_t MaxSteps,
+                const std::vector<std::pair<uint64_t, uint64_t>>
+                    &MemoryRanges) const;
+
+  unsigned getNumArgs() const { return NumArgs; }
+  size_t getNumRegCells() const { return RegInit.size(); }
+  size_t getCodeSize() const { return Code.size(); }
+
+private:
+  bool checkAccess(
+      const std::vector<std::pair<uint64_t, uint64_t>> &Ranges,
+      uint64_t Addr, unsigned Size) const {
+    for (const auto &[Lo, Hi] : Ranges)
+      if (Addr >= Lo && Addr + Size <= Hi)
+        return true;
+    return false;
+  }
+
+  /// Converts one native register value back to the RTValue boundary
+  /// convention (f32 lanes widen to double bit patterns).
+  RTValue makeBoundaryValue(const std::vector<uint64_t> &Regs, uint32_t Reg,
+                            TypeKind Kind, unsigned Lanes) const;
+
+  std::vector<BCInst> Code;
+  std::vector<BCEdge> Edges;
+  /// Register-file template: constant pool materialized, the rest zero.
+  std::vector<uint64_t> RegInit;
+  /// Entry accounting (the entry block's aggregate).
+  uint64_t EntrySteps = 0;
+  uint64_t EntryVectorSteps = 0;
+  double EntryCycles = 0.0;
+  unsigned NumArgs = 0;
+  /// Per-argument (cell offset, scalar kind) for boundary conversion.
+  std::vector<std::pair<uint32_t, TypeKind>> ArgSlots;
+  /// Side tables for rare forms.
+  std::vector<std::vector<int>> ShuffleMasks;
+  std::vector<std::vector<uint8_t>> AltLaneOps; ///< BinOpcode per lane.
+  /// PC -> defining IR instruction, for diagnostics only (never touched on
+  /// the hot path).
+  std::vector<const Instruction *> PCToInst;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_INTERP_BYTECODE_H

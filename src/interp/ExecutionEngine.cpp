@@ -3,513 +3,62 @@
 // Part of the SN-SLP reproduction project, under the Apache License v2.0.
 //
 //===----------------------------------------------------------------------===//
+//
+// The public interpreter facade. Compilation to bytecode happens in the
+// constructor; run() dispatches to the bytecode VM, and trace-mode /
+// reference runs fall back to the tree-walking oracle.
+//
+//===----------------------------------------------------------------------===//
 
 #include "interp/ExecutionEngine.h"
 
-#include "ir/Context.h"
+#include "interp/Bytecode.h"
+#include "interp/RefInterpreter.h"
 #include "ir/Function.h"
-#include "ir/IRPrinter.h"
-#include "support/ErrorHandling.h"
-
-#include <cmath>
-#include <ostream>
-#include <unordered_map>
 
 using namespace snslp;
 
-namespace {
+struct ExecutionEngine::VMStateHolder {
+  BytecodeFunction::VMState State;
+};
 
-/// Reads one scalar of kind \p Kind from host memory.
-uint64_t loadScalar(TypeKind Kind, uint64_t Addr) {
-  const void *P = reinterpret_cast<const void *>(Addr);
-  switch (Kind) {
-  case TypeKind::Int1: {
-    uint8_t V;
-    std::memcpy(&V, P, sizeof(V));
-    return V & 1;
-  }
-  case TypeKind::Int32: {
-    int32_t V;
-    std::memcpy(&V, P, sizeof(V));
-    return static_cast<uint64_t>(static_cast<int64_t>(V));
-  }
-  case TypeKind::Int64:
-  case TypeKind::Pointer: {
-    uint64_t V;
-    std::memcpy(&V, P, sizeof(V));
-    return V;
-  }
-  case TypeKind::Float: {
-    float V;
-    std::memcpy(&V, P, sizeof(V));
-    double D = V;
-    uint64_t Bits;
-    std::memcpy(&Bits, &D, sizeof(Bits));
-    return Bits;
-  }
-  case TypeKind::Double: {
-    uint64_t Bits;
-    std::memcpy(&Bits, P, sizeof(Bits));
-    return Bits;
-  }
-  case TypeKind::Void:
-  case TypeKind::Vector:
-    break;
-  }
-  snslp_unreachable("bad scalar load kind");
-}
+ExecutionEngine::ExecutionEngine(const Function &Fn, CycleFn CyclesFn)
+    : F(Fn), Cycles(std::move(CyclesFn)),
+      BC(std::make_unique<BytecodeFunction>(Fn, Cycles)),
+      VM(std::make_unique<VMStateHolder>()) {}
 
-/// Writes one scalar lane (bit pattern \p Raw of kind \p Kind) to memory.
-void storeScalar(TypeKind Kind, uint64_t Addr, uint64_t Raw) {
-  void *P = reinterpret_cast<void *>(Addr);
-  switch (Kind) {
-  case TypeKind::Int1: {
-    uint8_t V = static_cast<uint8_t>(Raw & 1);
-    std::memcpy(P, &V, sizeof(V));
-    return;
-  }
-  case TypeKind::Int32: {
-    int32_t V = static_cast<int32_t>(Raw);
-    std::memcpy(P, &V, sizeof(V));
-    return;
-  }
-  case TypeKind::Int64:
-  case TypeKind::Pointer:
-    std::memcpy(P, &Raw, sizeof(Raw));
-    return;
-  case TypeKind::Float: {
-    double D;
-    std::memcpy(&D, &Raw, sizeof(D));
-    float V = static_cast<float>(D);
-    std::memcpy(P, &V, sizeof(V));
-    return;
-  }
-  case TypeKind::Double:
-    std::memcpy(P, &Raw, sizeof(Raw));
-    return;
-  case TypeKind::Void:
-  case TypeKind::Vector:
-    break;
-  }
-  snslp_unreachable("bad scalar store kind");
-}
+ExecutionEngine::~ExecutionEngine() = default;
 
-/// Applies one binary opcode to a single lane.
-uint64_t applyLane(BinOpcode Op, TypeKind Kind, uint64_t A, uint64_t B) {
-  auto AsInt = [](uint64_t X) { return static_cast<int64_t>(X); };
-  auto AsFP = [](uint64_t X) {
-    double D;
-    std::memcpy(&D, &X, sizeof(D));
-    return D;
-  };
-  auto FromInt = [Kind](int64_t X) {
-    return static_cast<uint64_t>(RTValue::canonicalizeInt(Kind, X));
-  };
-  auto FromFP = [Kind](double X) {
-    X = RTValue::canonicalizeFP(Kind, X);
-    uint64_t Bits;
-    std::memcpy(&Bits, &X, sizeof(Bits));
-    return Bits;
-  };
-  // Integer overflow wraps (two's complement); compute in unsigned space.
-  switch (Op) {
-  case BinOpcode::Add:
-    return FromInt(AsInt(A + B));
-  case BinOpcode::Sub:
-    return FromInt(AsInt(A - B));
-  case BinOpcode::Mul:
-    return FromInt(AsInt(A * B));
-  case BinOpcode::FAdd:
-    return FromFP(AsFP(A) + AsFP(B));
-  case BinOpcode::FSub:
-    return FromFP(AsFP(A) - AsFP(B));
-  case BinOpcode::FMul:
-    return FromFP(AsFP(A) * AsFP(B));
-  case BinOpcode::FDiv:
-    return FromFP(AsFP(A) / AsFP(B));
-  }
-  snslp_unreachable("covered switch");
-}
+ExecutionResult ExecutionEngine::run(const std::vector<RTValue> &Args,
+                                     uint64_t MaxSteps, std::ostream *Trace) {
+  // Trace mode wants IR-level text per executed instruction; the bytecode
+  // stream has no such granularity (fused ops, elided GEPs), so tracing
+  // runs through the reference interpreter.
+  if (Trace)
+    return runReference(Args, MaxSteps, Trace);
 
-bool applyPredicate(ICmpPredicate Pred, int64_t A, int64_t B) {
-  switch (Pred) {
-  case ICmpPredicate::EQ:
-    return A == B;
-  case ICmpPredicate::NE:
-    return A != B;
-  case ICmpPredicate::SLT:
-    return A < B;
-  case ICmpPredicate::SLE:
-    return A <= B;
-  case ICmpPredicate::SGT:
-    return A > B;
-  case ICmpPredicate::SGE:
-    return A >= B;
-  case ICmpPredicate::ULT:
-    return static_cast<uint64_t>(A) < static_cast<uint64_t>(B);
-  case ICmpPredicate::ULE:
-    return static_cast<uint64_t>(A) <= static_cast<uint64_t>(B);
+  if (Args.size() != F.getNumArgs()) {
+    ExecutionResult R;
+    R.Error = "argument count mismatch";
+    return R;
   }
-  snslp_unreachable("covered switch");
-}
 
-/// Materializes a constant operand into an RTValue.
-RTValue materializeConstant(const Constant &C) {
-  if (const auto *CI = dyn_cast<ConstantInt>(&C))
-    return RTValue::makeInt(CI->getType()->getKind(), CI->getValue());
-  if (const auto *CF = dyn_cast<ConstantFP>(&C))
-    return RTValue::makeFP(CF->getType()->getKind(), CF->getValue());
-  const auto &CV = cast<ConstantVector>(C);
-  TypeKind EK = CV.getElement(0)->getType()->getKind();
-  RTValue R = RTValue::makeVector(EK, CV.getNumLanes());
-  for (unsigned I = 0, E = CV.getNumLanes(); I != E; ++I) {
-    const Constant *Elem = CV.getElement(I);
-    if (const auto *CI = dyn_cast<ConstantInt>(Elem))
-      R.Raw[I] = static_cast<uint64_t>(CI->getValue());
-    else
-      R.setFP(cast<ConstantFP>(Elem)->getValue(), I);
-  }
+  BytecodeFunction::RunResult BR =
+      BC->run(VM->State, Args, MaxSteps, MemoryRanges);
+  ExecutionResult R;
+  R.Ok = BR.Ok;
+  R.Error = std::move(BR.Error);
+  R.StepsExecuted = BR.StepsExecuted;
+  R.VectorSteps = BR.VectorSteps;
+  R.Cycles = BR.Cycles;
+  R.ReturnValue = BR.ReturnValue;
   return R;
 }
 
-/// Formats an RTValue for the execution trace.
-std::string formatRTValue(const RTValue &V) {
-  auto FormatLane = [&V](unsigned L) {
-    switch (V.ElemKind) {
-    case TypeKind::Float:
-    case TypeKind::Double:
-      return std::to_string(V.getFP(L));
-    case TypeKind::Pointer: {
-      char Buf[32];
-      std::snprintf(Buf, sizeof(Buf), "0x%llx",
-                    static_cast<unsigned long long>(V.getPointer(L)));
-      return std::string(Buf);
-    }
-    default:
-      return std::to_string(V.getInt(L));
-    }
-  };
-  if (V.Lanes == 1)
-    return FormatLane(0);
-  std::string S = "<";
-  for (unsigned L = 0; L < V.Lanes; ++L) {
-    if (L)
-      S += ", ";
-    S += FormatLane(L);
-  }
-  return S + ">";
-}
-
-} // namespace
-
-//===----------------------------------------------------------------------===//
-// Compilation
-//===----------------------------------------------------------------------===//
-
-ExecutionEngine::ExecutionEngine(const Function &Fn, CycleFn Cycles) : F(Fn) {
-  // Assign slots: arguments first, then every non-void instruction.
-  std::unordered_map<const Value *, int> SlotOf;
-  for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
-    SlotOf[F.getArg(I)] = static_cast<int>(NumSlots++);
-  for (const auto &BB : F.blocks())
-    for (const auto &Inst : *BB)
-      if (!Inst->getType()->isVoid())
-        SlotOf[Inst.get()] = static_cast<int>(NumSlots++);
-
-  std::unordered_map<const BasicBlock *, int> BlockIdx;
-  for (const auto &BB : F.blocks()) {
-    BlockIdx[BB.get()] = static_cast<int>(Blocks.size());
-    Blocks.push_back(CompiledBlock{BB.get(), {}, 0});
-  }
-
-  auto MakeOperand = [&SlotOf](const Value *V) {
-    Operand Op;
-    if (const auto *C = dyn_cast<Constant>(V)) {
-      Op.IsConstant = true;
-      Op.Const = materializeConstant(*C);
-    } else {
-      Op.Slot = SlotOf.at(V);
-    }
-    return Op;
-  };
-
-  for (auto &CB : Blocks) {
-    unsigned PhiCount = 0;
-    for (const auto &Inst : *CB.BB) {
-      Step S;
-      S.Inst = Inst.get();
-      if (!Inst->getType()->isVoid())
-        S.ResultSlot = SlotOf.at(Inst.get());
-      for (unsigned I = 0, E = Inst->getNumOperands(); I != E; ++I)
-        S.Operands.push_back(MakeOperand(Inst->getOperand(I)));
-      if (Cycles)
-        S.Cycles = Cycles(*Inst);
-      S.TouchesVector = Inst->getType()->isVector();
-      for (unsigned I = 0, E = Inst->getNumOperands(); I != E; ++I)
-        S.TouchesVector |= Inst->getOperand(I)->getType()->isVector();
-      if (const auto *Br = dyn_cast<BranchInst>(Inst.get())) {
-        S.Succ0 = BlockIdx.at(Br->getSuccessor(0));
-        if (Br->isConditional())
-          S.Succ1 = BlockIdx.at(Br->getSuccessor(1));
-      }
-      if (isa<PhiNode>(Inst.get()))
-        ++PhiCount;
-      CB.Steps.push_back(std::move(S));
-    }
-    CB.FirstNonPhi = PhiCount;
-  }
-}
-
-//===----------------------------------------------------------------------===//
-// Execution
-//===----------------------------------------------------------------------===//
-
-ExecutionResult ExecutionEngine::run(const std::vector<RTValue> &Args,
-                                     uint64_t MaxSteps,
-                                     std::ostream *Trace) {
-  ExecutionResult Result;
-  if (Args.size() != F.getNumArgs()) {
-    Result.Error = "argument count mismatch";
-    return Result;
-  }
-
-  std::vector<RTValue> Slots(NumSlots);
-  for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
-    Slots[I] = Args[I];
-
-  auto Fetch = [&Slots](const Operand &Op) -> const RTValue & {
-    return Op.IsConstant ? Op.Const : Slots[Op.Slot];
-  };
-
-  const CompiledBlock *Cur = &Blocks.front();
-  const BasicBlock *PrevBB = nullptr;
-  uint64_t Steps = 0;
-  uint64_t VectorSteps = 0;
-  double Cycles = 0.0;
-  // Scratch for parallel phi evaluation.
-  std::vector<RTValue> PhiScratch;
-
-  while (true) {
-    if (Trace)
-      *Trace << Cur->BB->getName() << ":\n";
-    // Evaluate phis as a parallel copy using values from the edge taken.
-    if (Cur->FirstNonPhi > 0) {
-      PhiScratch.clear();
-      for (unsigned I = 0; I < Cur->FirstNonPhi; ++I) {
-        const Step &S = Cur->Steps[I];
-        const auto *Phi = cast<PhiNode>(S.Inst);
-        int Incoming = -1;
-        for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K)
-          if (Phi->getIncomingBlock(K) == PrevBB)
-            Incoming = static_cast<int>(K);
-        if (Incoming < 0) {
-          Result.Error = "phi has no incoming value for executed edge";
-          return Result;
-        }
-        PhiScratch.push_back(Fetch(S.Operands[Incoming]));
-        Steps += 1;
-        VectorSteps += S.TouchesVector ? 1 : 0;
-        Cycles += S.Cycles;
-      }
-      for (unsigned I = 0; I < Cur->FirstNonPhi; ++I)
-        Slots[Cur->Steps[I].ResultSlot] = PhiScratch[I];
-    }
-
-    for (unsigned SI = Cur->FirstNonPhi,
-                  SE = static_cast<unsigned>(Cur->Steps.size());
-         SI != SE; ++SI) {
-      const Step &S = Cur->Steps[SI];
-      const Instruction &Inst = *S.Inst;
-      ++Steps;
-      VectorSteps += S.TouchesVector ? 1 : 0;
-      Cycles += S.Cycles;
-      if (Steps > MaxSteps) {
-        Result.Error = "execution fuel exhausted (possible infinite loop)";
-        return Result;
-      }
-
-      switch (Inst.getKind()) {
-      case ValueKind::BinOp: {
-        const auto &BO = cast<BinaryOperator>(Inst);
-        const RTValue &A = Fetch(S.Operands[0]);
-        const RTValue &B = Fetch(S.Operands[1]);
-        RTValue R = A;
-        for (unsigned L = 0; L < A.Lanes; ++L)
-          R.Raw[L] = applyLane(BO.getOpcode(), A.ElemKind, A.Raw[L], B.Raw[L]);
-        Slots[S.ResultSlot] = R;
-        break;
-      }
-      case ValueKind::UnaryOp: {
-        const auto &UO = cast<UnaryOperator>(Inst);
-        const RTValue &A = Fetch(S.Operands[0]);
-        RTValue R = A;
-        for (unsigned L = 0; L < A.Lanes; ++L) {
-          double D;
-          std::memcpy(&D, &A.Raw[L], sizeof(D));
-          switch (UO.getOpcode()) {
-          case UnaryOpcode::FNeg:
-            D = -D;
-            break;
-          case UnaryOpcode::Sqrt:
-            D = std::sqrt(D);
-            break;
-          case UnaryOpcode::Fabs:
-            D = std::fabs(D);
-            break;
-          }
-          D = RTValue::canonicalizeFP(A.ElemKind, D);
-          std::memcpy(&R.Raw[L], &D, sizeof(D));
-        }
-        Slots[S.ResultSlot] = R;
-        break;
-      }
-      case ValueKind::AlternateOp: {
-        const auto &AO = cast<AlternateOp>(Inst);
-        const RTValue &A = Fetch(S.Operands[0]);
-        const RTValue &B = Fetch(S.Operands[1]);
-        RTValue R = A;
-        for (unsigned L = 0; L < A.Lanes; ++L)
-          R.Raw[L] =
-              applyLane(AO.getLaneOpcode(L), A.ElemKind, A.Raw[L], B.Raw[L]);
-        Slots[S.ResultSlot] = R;
-        break;
-      }
-      case ValueKind::Load: {
-        Type *Ty = Inst.getType();
-        uint64_t Addr = Fetch(S.Operands[0]).getPointer();
-        if (!checkAccess(Addr, Ty->getSizeInBytes())) {
-          Result.Error = "out-of-bounds load: " + toString(Inst);
-          return Result;
-        }
-        if (const auto *VT = dyn_cast<VectorType>(Ty)) {
-          TypeKind EK = VT->getElementType()->getKind();
-          unsigned EltSize = VT->getElementType()->getSizeInBytes();
-          RTValue R = RTValue::makeVector(EK, VT->getNumLanes());
-          for (unsigned L = 0; L < VT->getNumLanes(); ++L)
-            R.Raw[L] = loadScalar(EK, Addr + static_cast<uint64_t>(L) *
-                                                EltSize);
-          Slots[S.ResultSlot] = R;
-        } else {
-          RTValue R;
-          R.ElemKind = Ty->getKind();
-          R.Raw[0] = loadScalar(Ty->getKind(), Addr);
-          Slots[S.ResultSlot] = R;
-        }
-        break;
-      }
-      case ValueKind::Store: {
-        const RTValue &V = Fetch(S.Operands[0]);
-        uint64_t Addr = Fetch(S.Operands[1]).getPointer();
-        Type *Ty = cast<StoreInst>(Inst).getValueOperand()->getType();
-        if (!checkAccess(Addr, Ty->getSizeInBytes())) {
-          Result.Error = "out-of-bounds store: " + toString(Inst);
-          return Result;
-        }
-        if (const auto *VT = dyn_cast<VectorType>(Ty)) {
-          unsigned EltSize = VT->getElementType()->getSizeInBytes();
-          for (unsigned L = 0; L < VT->getNumLanes(); ++L)
-            storeScalar(V.ElemKind,
-                        Addr + static_cast<uint64_t>(L) * EltSize, V.Raw[L]);
-        } else {
-          storeScalar(V.ElemKind, Addr, V.Raw[0]);
-        }
-        break;
-      }
-      case ValueKind::GEP: {
-        const auto &GEP = cast<GEPInst>(Inst);
-        uint64_t Base = Fetch(S.Operands[0]).getPointer();
-        int64_t Index = Fetch(S.Operands[1]).getInt();
-        uint64_t Addr =
-            Base + static_cast<uint64_t>(
-                       Index *
-                       static_cast<int64_t>(
-                           GEP.getElementType()->getSizeInBytes()));
-        RTValue R;
-        R.ElemKind = TypeKind::Pointer;
-        R.setPointer(Addr);
-        Slots[S.ResultSlot] = R;
-        break;
-      }
-      case ValueKind::ICmp: {
-        const auto &Cmp = cast<ICmpInst>(Inst);
-        bool V = applyPredicate(Cmp.getPredicate(),
-                                Fetch(S.Operands[0]).getInt(),
-                                Fetch(S.Operands[1]).getInt());
-        Slots[S.ResultSlot] = RTValue::makeBool(V);
-        break;
-      }
-      case ValueKind::Select: {
-        bool C = Fetch(S.Operands[0]).getInt() != 0;
-        Slots[S.ResultSlot] = Fetch(S.Operands[C ? 1 : 2]);
-        break;
-      }
-      case ValueKind::Branch: {
-        int NextIdx = S.Succ0;
-        if (S.Succ1 >= 0 && Fetch(S.Operands[0]).getInt() == 0)
-          NextIdx = S.Succ1;
-        PrevBB = Cur->BB;
-        Cur = &Blocks[NextIdx];
-        goto NextBlock;
-      }
-      case ValueKind::Ret: {
-        Result.Ok = true;
-        Result.StepsExecuted = Steps;
-        Result.VectorSteps = VectorSteps;
-        Result.Cycles = Cycles;
-        if (!S.Operands.empty())
-          Result.ReturnValue = Fetch(S.Operands[0]);
-        return Result;
-      }
-      case ValueKind::InsertElement: {
-        const auto &IE = cast<InsertElementInst>(Inst);
-        RTValue R = Fetch(S.Operands[0]);
-        R.Raw[IE.getLane()] = Fetch(S.Operands[1]).Raw[0];
-        Slots[S.ResultSlot] = R;
-        break;
-      }
-      case ValueKind::ExtractElement: {
-        const auto &EE = cast<ExtractElementInst>(Inst);
-        const RTValue &V = Fetch(S.Operands[0]);
-        RTValue R;
-        R.ElemKind = V.ElemKind;
-        R.Raw[0] = V.Raw[EE.getLane()];
-        Slots[S.ResultSlot] = R;
-        break;
-      }
-      case ValueKind::ShuffleVector: {
-        const auto &SV = cast<ShuffleVectorInst>(Inst);
-        const RTValue &A = Fetch(S.Operands[0]);
-        const RTValue &B = Fetch(S.Operands[1]);
-        unsigned InLanes = A.Lanes;
-        RTValue R = RTValue::makeVector(
-            A.ElemKind, static_cast<unsigned>(SV.getMask().size()));
-        for (unsigned L = 0; L < R.Lanes; ++L) {
-          int MIdx = SV.getMask()[L];
-          R.Raw[L] = MIdx < static_cast<int>(InLanes)
-                         ? A.Raw[MIdx]
-                         : B.Raw[MIdx - static_cast<int>(InLanes)];
-        }
-        Slots[S.ResultSlot] = R;
-        break;
-      }
-      case ValueKind::Phi:
-        snslp_unreachable("phi outside the phi prefix");
-      case ValueKind::Argument:
-      case ValueKind::ConstantInt:
-      case ValueKind::ConstantFP:
-      case ValueKind::ConstantVector:
-        snslp_unreachable("non-instruction in step list");
-      }
-      if (Trace) {
-        *Trace << "  [" << Steps << "] " << toString(Inst);
-        if (S.ResultSlot >= 0)
-          *Trace << "  ; = " << formatRTValue(Slots[S.ResultSlot]);
-        *Trace << '\n';
-      }
-    }
-    // A well-formed block ends in a terminator; reaching here means the
-    // Branch/Ret cases above always fired.
-    snslp_unreachable("fell off the end of a basic block");
-  NextBlock:;
-  }
+ExecutionResult ExecutionEngine::runReference(const std::vector<RTValue> &Args,
+                                              uint64_t MaxSteps,
+                                              std::ostream *Trace) {
+  if (!Ref)
+    Ref = std::make_unique<RefInterpreter>(F, Cycles);
+  return Ref->run(Args, MaxSteps, Trace, MemoryRanges);
 }

@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reference tree-walking interpreter: the original, simple engine that
+/// dispatches on ValueKind per step, boxes every f32 through double, and
+/// copies RTValues between slots. It is kept verbatim for three reasons:
+///
+///  - it defines the numeric *semantics* the fast bytecode engine must
+///    reproduce bit-for-bit (the differential kernel-suite test executes
+///    every kernel through both and asserts bitwiseEquals);
+///  - it is the trace backend (ExecutionEngine::run with a non-null Trace
+///    stream delegates here so traces keep printing IR-level text);
+///  - it is deliberately boring, which is what you want in an oracle.
+///
+/// Nothing outside src/interp and the differential tests should need to
+/// include this header; the public entry point is ExecutionEngine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_INTERP_REFINTERPRETER_H
+#define SNSLP_INTERP_REFINTERPRETER_H
+
+#include "interp/ExecutionEngine.h"
+
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+namespace snslp {
+
+class BasicBlock;
+class Function;
+class Instruction;
+
+/// Interprets one function by walking the IR with per-step dispatch.
+/// Construction pre-numbers values and pre-resolves operands so the loop is
+/// a switch over instruction kinds; still roughly an order of magnitude
+/// slower than the bytecode engine because every operand fetch copies a
+/// whole RTValue and all FP math round-trips through double.
+class RefInterpreter {
+public:
+  /// Prepares \p F. \p Cycles, when provided, is evaluated once per
+  /// instruction here; runs accumulate the precomputed cost.
+  explicit RefInterpreter(const Function &F, const CycleFn &Cycles);
+
+  /// Runs the function on \p Args. \p MemoryRanges, when non-empty,
+  /// activates sanitizer mode (every access bounds-checked). \p Trace, when
+  /// non-null, logs every executed instruction with its result.
+  ExecutionResult
+  run(const std::vector<RTValue> &Args, uint64_t MaxSteps,
+      std::ostream *Trace,
+      const std::vector<std::pair<uint64_t, uint64_t>> &MemoryRanges) const;
+
+private:
+  struct Operand {
+    bool IsConstant = false;
+    int Slot = -1; // Value slot when !IsConstant.
+    RTValue Const; // Materialized constant when IsConstant.
+  };
+
+  struct Step {
+    const Instruction *Inst;
+    std::vector<Operand> Operands;
+    int ResultSlot = -1; // -1 for void results.
+    double Cycles = 0.0;
+    int Succ0 = -1; // Precomputed successor block indices for branches.
+    int Succ1 = -1;
+    bool TouchesVector = false; // Result or any operand is a vector.
+  };
+
+  struct CompiledBlock {
+    const BasicBlock *BB = nullptr;
+    std::vector<Step> Steps;
+    unsigned FirstNonPhi = 0; // Steps[0..FirstNonPhi) are phis.
+  };
+
+  /// Returns true when [Addr, Addr+Size) lies inside a registered range
+  /// (or no ranges are registered).
+  static bool
+  checkAccess(const std::vector<std::pair<uint64_t, uint64_t>> &Ranges,
+              uint64_t Addr, unsigned Size) {
+    if (Ranges.empty())
+      return true;
+    for (const auto &[Lo, Hi] : Ranges)
+      if (Addr >= Lo && Addr + Size <= Hi)
+        return true;
+    return false;
+  }
+
+  const Function &F;
+  std::vector<CompiledBlock> Blocks;
+  unsigned NumSlots = 0;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_INTERP_REFINTERPRETER_H

@@ -324,6 +324,10 @@ SLPNode *GraphBuilder::buildBinOpNode(std::vector<Value *> Bundle,
       SN->reorderLeavesAndTrunks(LA);
       std::vector<Instruction *> NewRoots =
           SN->generateCode(SuperNodeProduced);
+      // generateCode erased the original chain instructions; their
+      // addresses may be recycled by the re-emitted ones. Every cached
+      // look-ahead score is now suspect.
+      LA.invalidateCache();
       Graph->addSuperNodeSize(SN->getTrunkSize());
       Bundle.assign(NewRoots.begin(), NewRoots.end());
       Rewritten = true;

@@ -36,7 +36,8 @@ class GraphBuilder {
 public:
   GraphBuilder(const VectorizerConfig &Cfg, const TargetCostModel &TCM)
       : Cfg(Cfg), TCM(TCM),
-        LA(Cfg.Mode == VectorizerMode::SLP ? 0 : Cfg.LookAheadDepth) {}
+        LA(Cfg.Mode == VectorizerMode::SLP ? 0 : Cfg.LookAheadDepth,
+           LookAheadWeights(), Cfg.EnableLookAheadMemo) {}
 
   /// Builds the graph rooted at \p Seeds and computes its total cost.
   std::unique_ptr<SLPGraph> build(const SeedGroup &Seeds);
@@ -56,6 +57,10 @@ public:
   const std::unordered_map<Value *, SLPNode *> &getScalarMap() const {
     return ScalarToNode;
   }
+
+  /// The look-ahead scorer (exposes cache hit/miss counters; the driver
+  /// aggregates them into VectorizeStats).
+  const LookAhead &getLookAhead() const { return LA; }
 
 private:
   SLPNode *buildNode(std::vector<Value *> Bundle, unsigned Depth);

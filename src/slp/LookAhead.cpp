@@ -44,22 +44,49 @@ int LookAhead::immediateScore(const Value *L, const Value *R) const {
 
 int LookAhead::scoreAtDepth(const Value *L, const Value *R,
                             unsigned D) const {
-  int Base = immediateScore(L, R);
-  if (D == 0)
-    return Base;
-
+  // Only the queries that cost something are memoized: load pairs run the
+  // affine address decomposition of areConsecutiveAccesses (std::map
+  // traffic per query), and binop pairs at depth > 0 recurse over 4
+  // sub-pairings per level. The greedy candidate sweeps in
+  // SuperNode::buildGroup and GraphBuilder::reorderOperands revisit both
+  // many times. Cheap queries (splat/constant pointer compares, opcode
+  // compares at depth 0) stay uncached — computing them costs less than a
+  // hash insert.
   const auto *LB = dyn_cast<BinaryOperator>(L);
   const auto *RB = dyn_cast<BinaryOperator>(R);
-  if (!LB || !RB)
-    return Base;
+  const bool BothBinops = LB && RB;
+  const bool LoadPair = isa<LoadInst>(L) && isa<LoadInst>(R);
+  const bool Cacheable =
+      MemoEnabled && (LoadPair || (BothBinops && D > 0));
+  // Non-binop scores do not depend on the remaining depth; normalizing
+  // their key to depth 0 lets leaf queries issued at different recursion
+  // depths share one entry.
+  const unsigned KeyD = BothBinops ? D : 0;
+  if (Cacheable) {
+    auto It = Cache.find(Key{L, R, KeyD});
+    if (It != Cache.end()) {
+      ++Hits;
+      return It->second;
+    }
+  }
 
-  // Look one level deeper: best of the two operand pairings (straight vs
-  // swapped), as in LSLP's look-ahead calculation.
-  int Straight = scoreAtDepth(LB->getLHS(), RB->getLHS(), D - 1) +
-                 scoreAtDepth(LB->getRHS(), RB->getRHS(), D - 1);
-  int Swapped = scoreAtDepth(LB->getLHS(), RB->getRHS(), D - 1) +
-                scoreAtDepth(LB->getRHS(), RB->getLHS(), D - 1);
-  return Base + std::max(Straight, Swapped);
+  int Base = immediateScore(L, R);
+  int Score = Base;
+  if (D > 0 && BothBinops) {
+    // Look one level deeper: best of the two operand pairings (straight vs
+    // swapped), as in LSLP's look-ahead calculation.
+    int Straight = scoreAtDepth(LB->getLHS(), RB->getLHS(), D - 1) +
+                   scoreAtDepth(LB->getRHS(), RB->getRHS(), D - 1);
+    int Swapped = scoreAtDepth(LB->getLHS(), RB->getRHS(), D - 1) +
+                  scoreAtDepth(LB->getRHS(), RB->getLHS(), D - 1);
+    Score = Base + std::max(Straight, Swapped);
+  }
+
+  if (Cacheable) {
+    ++Misses;
+    Cache.emplace(Key{L, R, KeyD}, Score);
+  }
+  return Score;
 }
 
 int LookAhead::groupScore(const std::vector<const Value *> &Group) const {

@@ -11,11 +11,23 @@
 /// score (consecutive loads, splat, same opcode, ...) with the best
 /// pairwise score of their operands up to a configurable depth.
 ///
+/// The recursion tries both operand pairings (straight and swapped) at
+/// every level, so a naive implementation is O(4^depth) per pair — and the
+/// greedy candidate sweeps in SuperNode::buildGroup and
+/// GraphBuilder::reorderOperands re-score the same (L, R) pairs many
+/// times. scoreAtDepth is therefore memoized on (L, R, depth) for the
+/// lifetime of one LookAhead instance. The cache must be invalidated
+/// whenever the IR being scored is mutated (Super-Node re-emission erases
+/// instructions, whose addresses may be recycled); see invalidateCache().
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SNSLP_SLP_LOOKAHEAD_H
 #define SNSLP_SLP_LOOKAHEAD_H
 
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 namespace snslp {
@@ -35,9 +47,10 @@ struct LookAheadWeights {
 /// Computes look-ahead scores with a fixed recursion depth.
 class LookAhead {
 public:
-  explicit LookAhead(unsigned Depth, LookAheadWeights Weights =
-                                         LookAheadWeights())
-      : Depth(Depth), Weights(Weights) {}
+  explicit LookAhead(unsigned Depth,
+                     LookAheadWeights Weights = LookAheadWeights(),
+                     bool EnableMemo = true)
+      : Depth(Depth), Weights(Weights), MemoEnabled(EnableMemo) {}
 
   /// Pairwise score of placing \p L and \p R in adjacent lanes of the same
   /// operand position.
@@ -49,12 +62,58 @@ public:
   /// (the group score of Listing 2).
   int groupScore(const std::vector<const Value *> &Group) const;
 
+  /// Drops every cached score. MUST be called after any mutation of the IR
+  /// under scoring: scores depend on operand structure and memory
+  /// addresses, and erased Instructions' storage can be recycled for new
+  /// ones, which would otherwise produce false cache hits.
+  void invalidateCache() const { Cache.clear(); }
+
+  /// \name Cache instrumentation (reported via VectorizeStats /
+  /// support/Statistic).
+  /// @{
+  uint64_t getCacheHits() const { return Hits; }
+  uint64_t getCacheMisses() const { return Misses; }
+  bool isMemoEnabled() const { return MemoEnabled; }
+  /// @}
+
 private:
   int scoreAtDepth(const Value *L, const Value *R, unsigned D) const;
   int immediateScore(const Value *L, const Value *R) const;
 
+  /// Memo key: one (left, right, depth) query. Ordered pairs — the
+  /// ConsecutiveLoads weight is direction-sensitive, so (L, R) and (R, L)
+  /// are distinct entries.
+  struct Key {
+    const Value *L;
+    const Value *R;
+    unsigned D;
+    bool operator==(const Key &O) const {
+      return L == O.L && R == O.R && D == O.D;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      uint64_t A = reinterpret_cast<uint64_t>(K.L);
+      uint64_t B = reinterpret_cast<uint64_t>(K.R);
+      // 64-bit mix (splitmix64 finalizer) over the packed triple.
+      uint64_t X = A ^ (B * 0x9e3779b97f4a7c15ull) ^ K.D;
+      X ^= X >> 30;
+      X *= 0xbf58476d1ce4e5b9ull;
+      X ^= X >> 27;
+      X *= 0x94d049bb133111ebull;
+      X ^= X >> 31;
+      return static_cast<size_t>(X);
+    }
+  };
+
   unsigned Depth;
   LookAheadWeights Weights;
+  bool MemoEnabled;
+  /// (L, R, depth) -> score, valid until the next IR mutation. Mutable:
+  /// scoring is logically const (SuperNode takes const LookAhead &).
+  mutable std::unordered_map<Key, int, KeyHash> Cache;
+  mutable uint64_t Hits = 0;
+  mutable uint64_t Misses = 0;
 };
 
 } // namespace snslp

@@ -11,6 +11,7 @@
 #include "slp/GraphBuilder.h"
 #include "slp/VectorCodeGen.h"
 #include "support/ErrorHandling.h"
+#include "support/Statistic.h"
 #include "support/Timer.h"
 
 using namespace snslp;
@@ -38,6 +39,8 @@ void VectorizeStats::mergeFrom(const VectorizeStats &Other) {
                                  Other.CommittedSuperNodeSizes.end());
   InstructionsRemoved += Other.InstructionsRemoved;
   CompileNanos += Other.CompileNanos;
+  LookAheadCacheHits += Other.LookAheadCacheHits;
+  LookAheadCacheMisses += Other.LookAheadCacheMisses;
   Remarks.insert(Remarks.end(), Other.Remarks.begin(), Other.Remarks.end());
   VectorizeNodes += Other.VectorizeNodes;
   AlternateNodes += Other.AlternateNodes;
@@ -90,6 +93,8 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
       GraphBuilder GB(Cfg, TCM);
       std::unique_ptr<SLPGraph> Graph = GB.build(Group);
       ++Stats.GraphsBuilt;
+      Stats.LookAheadCacheHits += GB.getLookAhead().getCacheHits();
+      Stats.LookAheadCacheMisses += GB.getLookAhead().getCacheMisses();
 
       // Step 5: compare the cost against the threshold.
       if (Graph->getTotalCost() >= Cfg.CostThreshold) {
@@ -142,6 +147,8 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
           std::unique_ptr<SLPGraph> Graph =
               GB.buildFromBundle(Seed.Leaves, Ignored);
           ++Stats.GraphsBuilt;
+          Stats.LookAheadCacheHits += GB.getLookAhead().getCacheHits();
+          Stats.LookAheadCacheMisses += GB.getLookAhead().getCacheMisses();
 
           int Total =
               Graph->getTotalCost() +
@@ -180,5 +187,13 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
   Stats.InstructionsRemoved =
       InstsBefore > InstsAfter ? InstsBefore - InstsAfter : 0;
   Stats.CompileNanos = PassTimer.elapsedNanos();
+  if (Cfg.Stats) {
+    Cfg.Stats->add("graphs-built", Stats.GraphsBuilt);
+    Cfg.Stats->add("graphs-vectorized", Stats.GraphsVectorized);
+    Cfg.Stats->add("lookahead-cache-hits",
+                   static_cast<int64_t>(Stats.LookAheadCacheHits));
+    Cfg.Stats->add("lookahead-cache-misses",
+                   static_cast<int64_t>(Stats.LookAheadCacheMisses));
+  }
   return Stats;
 }

@@ -39,6 +39,12 @@ struct VectorizeStats {
   uint64_t InstructionsRemoved = 0;
   /// Wall time spent inside the vectorizer pass (Fig. 11).
   uint64_t CompileNanos = 0;
+  /// \name Look-ahead memo cache traffic, summed over every graph build of
+  /// the run (see LookAhead::invalidateCache for the cache's lifetime).
+  /// @{
+  uint64_t LookAheadCacheHits = 0;
+  uint64_t LookAheadCacheMisses = 0;
+  /// @}
   /// \name Node-kind tallies over committed graphs.
   /// @{
   unsigned VectorizeNodes = 0;

@@ -23,6 +23,8 @@
 
 namespace snslp {
 
+class StatsRegistry;
+
 /// The vectorizer configurations compared in the paper's evaluation.
 /// O3 means "all vectorizers disabled" (the paper's baseline).
 enum class VectorizerMode { O3, SLP, LSLP, SNSLP };
@@ -43,6 +45,12 @@ struct VectorizerConfig {
   /// used by LSLP and SNSLP modes).
   unsigned LookAheadDepth = 2;
 
+  /// Memoize look-ahead scores on (L, R, depth) for the lifetime of one
+  /// graph build (invalidated on IR mutation). Scores are identical either
+  /// way; the toggle exists for the ablation benchmark and the equivalence
+  /// tests.
+  bool EnableLookAheadMemo = true;
+
   /// Maximum use-def recursion depth while growing the SLP graph.
   unsigned MaxGraphDepth = 16;
 
@@ -61,6 +69,11 @@ struct VectorizerConfig {
 
   /// Target machine parameters.
   TargetParams Target;
+
+  /// Optional counter sink. When set, the vectorizer records pass-level
+  /// counters ("lookahead-cache-hits", "lookahead-cache-misses", ...) into
+  /// it at the end of each run. Not owned.
+  StatsRegistry *Stats = nullptr;
 
   /// \name Mode-derived feature queries.
   /// @{

@@ -19,6 +19,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 using namespace snslp;
 
@@ -340,6 +342,80 @@ TEST_F(ExecutionEngineTest, FDivByZeroGivesInf) {
   ExecutionResult R = E.run({argDouble(1.0)});
   ASSERT_TRUE(R.Ok);
   EXPECT_TRUE(std::isinf(R.ReturnValue.getFP()));
+}
+
+/// The bytecode engine and the reference interpreter must agree bit-for-bit
+/// on a control-flow-heavy loop that exercises phis, fused addressing, and
+/// f32 rounding — including the step/cycle accounting.
+TEST_F(ExecutionEngineTest, ReferenceEngineAgreesOnLoop) {
+  Function *F = parse("func @axpyf(ptr %x, ptr %y, f32 %a, i64 %n) -> f32 {\n"
+                      "entry:\n"
+                      "  br label %loop\n"
+                      "loop:\n"
+                      "  %i = phi i64 [ 0, %entry ], [ %inext, %loop ]\n"
+                      "  %acc = phi f32 [ 0.0, %entry ], [ %accn, %loop ]\n"
+                      "  %px = gep f32, ptr %x, i64 %i\n"
+                      "  %py = gep f32, ptr %y, i64 %i\n"
+                      "  %vx = load f32, ptr %px\n"
+                      "  %vy = load f32, ptr %py\n"
+                      "  %ax = fmul f32 %a, %vx\n"
+                      "  %s = fadd f32 %ax, %vy\n"
+                      "  store f32 %s, ptr %py\n"
+                      "  %accn = fadd f32 %acc, %s\n"
+                      "  %inext = add i64 %i, 1\n"
+                      "  %c = icmp slt i64 %inext, %n\n"
+                      "  br i1 %c, label %loop, label %exit\n"
+                      "exit:\n"
+                      "  ret f32 %accn\n"
+                      "}\n");
+  ASSERT_NE(F, nullptr);
+
+  auto Cycles = [](const Instruction &I) {
+    return isa<LoadInst>(&I) || isa<StoreInst>(&I) ? 4.0 : 1.0;
+  };
+  constexpr int N = 37; // Odd size: exercises the loop tail.
+  float XB[N], YB[N], XR[N], YR[N];
+  for (int I = 0; I < N; ++I) {
+    XB[I] = XR[I] = 0.25f * static_cast<float>(I) - 3.0f;
+    YB[I] = YR[I] = 1.0f / static_cast<float>(I + 1);
+  }
+
+  ExecutionEngine E(*F, Cycles);
+  std::vector<RTValue> ByteArgs = {argPointer(XB), argPointer(YB),
+                                   RTValue::makeFP(TypeKind::Float, 1.5),
+                                   argInt64(N)};
+  std::vector<RTValue> RefArgs = {argPointer(XR), argPointer(YR),
+                                  RTValue::makeFP(TypeKind::Float, 1.5),
+                                  argInt64(N)};
+  ExecutionResult ByteR = E.run(ByteArgs);
+  ExecutionResult RefR = E.runReference(RefArgs);
+  ASSERT_TRUE(ByteR.Ok) << ByteR.Error;
+  ASSERT_TRUE(RefR.Ok) << RefR.Error;
+
+  EXPECT_TRUE(ByteR.ReturnValue.bitwiseEquals(RefR.ReturnValue));
+  EXPECT_EQ(ByteR.StepsExecuted, RefR.StepsExecuted);
+  EXPECT_EQ(ByteR.VectorSteps, RefR.VectorSteps);
+  EXPECT_DOUBLE_EQ(ByteR.Cycles, RefR.Cycles);
+  for (int I = 0; I < N; ++I) {
+    // Bit-identical stores (memcmp-grade, not just value-equal).
+    EXPECT_EQ(std::memcmp(&YB[I], &YR[I], sizeof(float)), 0) << I;
+  }
+}
+
+/// Fuel exhaustion behaves identically in both engines.
+TEST_F(ExecutionEngineTest, ReferenceEngineAgreesOnFuelLimit) {
+  Function *F = parse("func @spin() {\n"
+                      "entry:\n"
+                      "  br label %loop\n"
+                      "loop:\n"
+                      "  br label %loop\n"
+                      "}\n");
+  ExecutionEngine E(*F);
+  ExecutionResult ByteR = E.run({}, /*MaxSteps=*/100);
+  ExecutionResult RefR = E.runReference({}, /*MaxSteps=*/100);
+  EXPECT_FALSE(ByteR.Ok);
+  EXPECT_FALSE(RefR.Ok);
+  EXPECT_EQ(ByteR.StepsExecuted, RefR.StepsExecuted);
 }
 
 } // namespace

@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 using namespace snslp;
 
 namespace {
@@ -62,6 +64,66 @@ TEST_P(KernelModeTest, MatchesReference) {
     EXPECT_TRUE(Runner.check(CK, Seed, &Message))
         << K->Name << " under " << getModeName(Case.Mode) << " seed "
         << Seed << ": " << Message;
+  }
+}
+
+/// Differential property: for every kernel under every configuration, the
+/// predecoded bytecode engine and the reference tree-walking interpreter
+/// are observationally identical — bit-for-bit equal memory (every buffer,
+/// not just outputs), bitwise-equal return values, and the same dynamic
+/// step/vector/cycle accounting. This is the oracle that licenses the
+/// bytecode engine as the default execution path.
+TEST_P(KernelModeTest, BytecodeMatchesReferenceBitExact) {
+  const KernelModeCase &Case = GetParam();
+  const Kernel *K = findKernel(Case.KernelName);
+  ASSERT_NE(K, nullptr);
+
+  KernelRunner Runner;
+  CompiledKernel CK = Runner.compile(*K, Case.Mode);
+  TargetCostModel TCM;
+  ExecutionEngine Engine(*CK.F, [&TCM](const Instruction &I) {
+    return TCM.executionCycles(I);
+  });
+
+  for (uint64_t Seed : {2ull, 77ull}) {
+    // Two identically-seeded data sets: one per engine.
+    KernelData ByteData(K->Buffers, K->N, Seed);
+    KernelData RefData(K->Buffers, K->N, Seed);
+    ASSERT_EQ(ByteData.getNumBuffers(), RefData.getNumBuffers());
+
+    auto Execute = [&](KernelData &Data, bool Reference) {
+      Engine.clearMemoryRanges();
+      std::vector<RTValue> Args;
+      for (size_t I = 0; I < Data.getNumBuffers(); ++I) {
+        Args.push_back(argPointer(Data.getPointer(I)));
+        Engine.addMemoryRange(Data.getPointer(I), Data.getByteSize(I));
+      }
+      Args.push_back(argInt64(static_cast<int64_t>(Data.getN())));
+      return Reference ? Engine.runReference(Args) : Engine.run(Args);
+    };
+
+    ExecutionResult ByteR = Execute(ByteData, /*Reference=*/false);
+    ExecutionResult RefR = Execute(RefData, /*Reference=*/true);
+    ASSERT_TRUE(ByteR.Ok) << ByteR.Error;
+    ASSERT_TRUE(RefR.Ok) << RefR.Error;
+
+    // Same dynamic accounting: the bytecode engine must not silently
+    // execute a different instruction mix than the IR it predecodes.
+    EXPECT_EQ(ByteR.StepsExecuted, RefR.StepsExecuted);
+    EXPECT_EQ(ByteR.VectorSteps, RefR.VectorSteps);
+    EXPECT_DOUBLE_EQ(ByteR.Cycles, RefR.Cycles);
+    EXPECT_TRUE(ByteR.ReturnValue.bitwiseEquals(RefR.ReturnValue));
+
+    // Every buffer byte-identical — stricter than outputsMatch's RelTol.
+    for (size_t I = 0; I < ByteData.getNumBuffers(); ++I) {
+      ASSERT_EQ(ByteData.getByteSize(I), RefData.getByteSize(I));
+      EXPECT_EQ(std::memcmp(ByteData.getPointer(I), RefData.getPointer(I),
+                            ByteData.getByteSize(I)),
+                0)
+          << K->Name << " under " << getModeName(Case.Mode) << " seed "
+          << Seed << ": buffer " << K->Buffers[I].Name
+          << " differs between bytecode and reference engines";
+    }
   }
 }
 

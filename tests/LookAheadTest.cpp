@@ -135,6 +135,108 @@ TEST_F(LookAheadTest, DepthRecursionSeesThroughOperands) {
   EXPECT_EQ(Deep.score(S1, S2), Deep.score(S1, S3));
 }
 
+/// Builds a deep, heavily shared binary expression tree over loads:
+///   layer 0: 2*W consecutive loads from %a
+///   layer k: t[k][i] = fadd(t[k-1][i], t[k-1][i+1])  (overlapping operands
+///            force the look-ahead to revisit the same sub-pairs many times)
+/// Returns the two roots of the final layer.
+static std::string deepTreeIR(unsigned Layers, unsigned Width) {
+  std::string S = "func @deep(ptr %a) {\nentry:\n";
+  unsigned Count = Width + Layers; // Layer k has Width + Layers - k values.
+  for (unsigned I = 0; I < Count; ++I) {
+    S += "  %p" + std::to_string(I) + " = gep f64, ptr %a, i64 " +
+         std::to_string(I) + "\n";
+    S += "  %t0_" + std::to_string(I) + " = load f64, ptr %p" +
+         std::to_string(I) + "\n";
+  }
+  for (unsigned L = 1; L <= Layers; ++L) {
+    unsigned Prev = Count - (L - 1);
+    for (unsigned I = 0; I + 1 < Prev; ++I) {
+      S += "  %t" + std::to_string(L) + "_" + std::to_string(I) +
+           " = fadd f64 %t" + std::to_string(L - 1) + "_" +
+           std::to_string(I) + ", %t" + std::to_string(L - 1) + "_" +
+           std::to_string(I + 1) + "\n";
+    }
+  }
+  S += "  store f64 %t" + std::to_string(Layers) + "_0, ptr %p0\n";
+  S += "  ret void\n}\n";
+  return S;
+}
+
+TEST_F(LookAheadTest, MemoizedScoresMatchUnmemoized) {
+  // A 6-layer tree with shared subtrees: the recursive score visits the
+  // same (L, R, depth) triples along many paths, so the memoized and
+  // unmemoized evaluations must still produce identical results for every
+  // pair and every depth.
+  Function *F = parse(deepTreeIR(/*Layers=*/6, /*Width=*/2));
+  ASSERT_NE(F, nullptr);
+  std::vector<Instruction *> Roots;
+  for (unsigned L = 4; L <= 6; ++L)
+    for (unsigned I = 0; I < 2; ++I)
+      if (Instruction *R = byName(F, "t" + std::to_string(L) + "_" +
+                                         std::to_string(I)))
+        Roots.push_back(R);
+  ASSERT_GE(Roots.size(), 4u);
+
+  for (unsigned Depth : {0u, 1u, 2u, 4u, 6u}) {
+    LookAhead Memo(Depth, LookAheadWeights(), /*EnableMemo=*/true);
+    LookAhead Plain(Depth, LookAheadWeights(), /*EnableMemo=*/false);
+    ASSERT_TRUE(Memo.isMemoEnabled());
+    ASSERT_FALSE(Plain.isMemoEnabled());
+    for (Instruction *A : Roots)
+      for (Instruction *B : Roots)
+        EXPECT_EQ(Memo.score(A, B), Plain.score(A, B))
+            << "depth " << Depth;
+  }
+}
+
+TEST_F(LookAheadTest, MemoCacheHitsOnSharedSubtrees) {
+  Function *F = parse(deepTreeIR(/*Layers=*/5, /*Width=*/2));
+  ASSERT_NE(F, nullptr);
+  Instruction *A = byName(F, "t5_0");
+  Instruction *B = byName(F, "t5_1");
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+
+  LookAhead LA(4);
+  EXPECT_EQ(LA.getCacheHits(), 0u);
+  EXPECT_EQ(LA.getCacheMisses(), 0u);
+
+  int First = LA.score(A, B);
+  // The overlapping-operand tree guarantees shared (L, R, depth) queries
+  // within one evaluation already.
+  EXPECT_GT(LA.getCacheMisses(), 0u);
+  uint64_t HitsAfterFirst = LA.getCacheHits();
+  EXPECT_GT(HitsAfterFirst, 0u);
+
+  // Re-scoring the same pair is answered entirely from the cache: exactly
+  // one more hit (the root entry), zero new misses.
+  uint64_t MissesAfterFirst = LA.getCacheMisses();
+  int Second = LA.score(A, B);
+  EXPECT_EQ(Second, First);
+  EXPECT_EQ(LA.getCacheMisses(), MissesAfterFirst);
+  EXPECT_EQ(LA.getCacheHits(), HitsAfterFirst + 1);
+
+  // Invalidation drops the entries: the next score repopulates (new
+  // misses) and still computes the same value.
+  LA.invalidateCache();
+  int Third = LA.score(A, B);
+  EXPECT_EQ(Third, First);
+  EXPECT_GT(LA.getCacheMisses(), MissesAfterFirst);
+}
+
+TEST_F(LookAheadTest, MemoDisabledCountsNothing) {
+  Function *F = parse(deepTreeIR(/*Layers=*/4, /*Width=*/2));
+  ASSERT_NE(F, nullptr);
+  Instruction *A = byName(F, "t4_0");
+  Instruction *B = byName(F, "t4_1");
+  LookAhead Plain(3, LookAheadWeights(), /*EnableMemo=*/false);
+  Plain.score(A, B);
+  Plain.score(A, B);
+  EXPECT_EQ(Plain.getCacheHits(), 0u);
+  EXPECT_EQ(Plain.getCacheMisses(), 0u);
+}
+
 TEST_F(LookAheadTest, GroupScoreSumsConsecutivePairs) {
   Function *F = parse("func @f(ptr %a) {\n"
                       "entry:\n"
