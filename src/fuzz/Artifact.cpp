@@ -1,0 +1,179 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Artifact.h"
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Type.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace snslp;
+using namespace snslp::fuzz;
+
+std::string snslp::fuzz::renderArtifact(const GeneratedProgram &P,
+                                        uint64_t DataSeed,
+                                        const std::string &Failure) {
+  std::ostringstream OS;
+  OS << "; fuzzslp-artifact v1\n";
+  OS << "; seed: " << P.Seed << "\n";
+  OS << "; data-seed: " << DataSeed << "\n";
+  OS << "; shape: " << getShapeName(P.Shape) << "\n";
+  OS << "; elem: " << (P.ElemTy ? P.ElemTy->getName() : "f64") << "\n";
+  OS << "; arrays: " << P.NumPointerArgs << "\n";
+  OS << "; len: " << P.ArrayLen << "\n";
+  OS << "; trip: " << (P.HasTripCountArg ? P.TripCount : 0) << "\n";
+  OS << "; inplace: " << (P.InPlace ? 1 : 0) << "\n";
+  OS << "; returns: " << (P.ReturnsValue ? 1 : 0) << "\n";
+  if (!Failure.empty()) {
+    // Keep the failure summary on one comment line.
+    std::string OneLine = Failure;
+    for (char &C : OneLine)
+      if (C == '\n')
+        C = ' ';
+    OS << "; failure: " << OneLine << "\n";
+  }
+  OS << toString(*P.F);
+  return OS.str();
+}
+
+bool snslp::fuzz::writeArtifact(const std::string &Path,
+                                const GeneratedProgram &P, uint64_t DataSeed,
+                                const std::string &Failure, std::string *Err) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    if (Err)
+      *Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  OS << renderArtifact(P, DataSeed, Failure);
+  OS.close();
+  if (!OS) {
+    if (Err)
+      *Err = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Strips leading whitespace.
+std::string trimmed(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t\r");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r");
+  return S.substr(B, E - B + 1);
+}
+
+/// Resolves an element-type spelling against \p Ctx; null on unknown names.
+Type *typeByName(Context &Ctx, const std::string &Name) {
+  if (Name == "i32")
+    return Ctx.getInt32Ty();
+  if (Name == "i64")
+    return Ctx.getInt64Ty();
+  if (Name == "f32")
+    return Ctx.getFloatTy();
+  if (Name == "f64")
+    return Ctx.getDoubleTy();
+  return nullptr;
+}
+
+} // namespace
+
+bool snslp::fuzz::loadArtifact(const std::string &Source, Module &M,
+                               ArtifactInfo &Out, std::string *Err) {
+  Out = ArtifactInfo();
+  GeneratedProgram &P = Out.Meta;
+
+  // Scan the `; key: value` header. Unknown keys are ignored so the format
+  // can grow; a missing header still loads (defaults apply) because every
+  // artifact must remain a plain IR file.
+  std::istringstream LS(Source);
+  std::string Line;
+  while (std::getline(LS, Line)) {
+    std::string T = trimmed(Line);
+    if (T.empty())
+      continue;
+    if (T[0] != ';')
+      break; // Header ends at the first non-comment line.
+    std::string Body = trimmed(T.substr(1));
+    size_t Colon = Body.find(':');
+    if (Colon == std::string::npos)
+      continue;
+    std::string Key = trimmed(Body.substr(0, Colon));
+    std::string Val = trimmed(Body.substr(Colon + 1));
+    if (Key == "seed")
+      P.Seed = std::strtoull(Val.c_str(), nullptr, 10);
+    else if (Key == "data-seed")
+      Out.DataSeed = std::strtoull(Val.c_str(), nullptr, 10);
+    else if (Key == "shape") {
+      if (!parseShapeName(Val, P.Shape)) {
+        if (Err)
+          *Err = "unknown shape '" + Val + "'";
+        return false;
+      }
+    } else if (Key == "elem") {
+      P.ElemTy = typeByName(M.getContext(), Val);
+      if (!P.ElemTy) {
+        if (Err)
+          *Err = "unknown element type '" + Val + "'";
+        return false;
+      }
+    } else if (Key == "arrays")
+      P.NumPointerArgs = static_cast<unsigned>(std::strtoul(Val.c_str(),
+                                                            nullptr, 10));
+    else if (Key == "len")
+      P.ArrayLen = std::strtoull(Val.c_str(), nullptr, 10);
+    else if (Key == "trip") {
+      P.TripCount = std::strtoull(Val.c_str(), nullptr, 10);
+      P.HasTripCountArg = P.TripCount != 0;
+    } else if (Key == "inplace")
+      P.InPlace = Val == "1" || Val == "true";
+    else if (Key == "returns")
+      P.ReturnsValue = Val == "1" || Val == "true";
+    else if (Key == "failure")
+      Out.Failure = Val;
+  }
+
+  size_t Before = M.functions().size();
+  if (!parseIR(Source, M, Err))
+    return false;
+  if (M.functions().size() <= Before) {
+    if (Err)
+      *Err = "artifact contains no function";
+    return false;
+  }
+  P.F = M.functions()[Before].get();
+
+  // Fall back to defaults derivable from the signature when the header was
+  // absent or partial.
+  if (!P.ElemTy)
+    P.ElemTy = M.getContext().getDoubleTy();
+  if (P.ArrayLen == 0)
+    P.ArrayLen = 16;
+  return true;
+}
+
+bool snslp::fuzz::loadArtifactFile(const std::string &Path, Module &M,
+                                   ArtifactInfo &Out, std::string *Err) {
+  std::ifstream IS(Path);
+  if (!IS) {
+    if (Err)
+      *Err = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::ostringstream SS;
+  SS << IS.rdbuf();
+  return loadArtifact(SS.str(), M, Out, Err);
+}

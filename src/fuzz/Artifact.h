@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fuzz artifacts: minimal textual `.ir` repros written when the oracle
+/// detects a mismatch or crash, and the regression corpus checked into
+/// tests/corpus/. An artifact is a normal parseable IR file whose leading
+/// comment header carries the signature metadata (element type, array
+/// layout, trip count, seeds) needed to re-run it through the oracle:
+///
+///   ; fuzzslp-artifact v1
+///   ; seed: 42
+///   ; data-seed: 42
+///   ; shape: expr
+///   ; elem: f64
+///   ; arrays: 5
+///   ; len: 16
+///   ; trip: 0
+///   ; inplace: 0
+///   ; returns: 0
+///   ; failure: [SNSLP/bytecode] memory-mismatch: arg0[2] ...
+///   func @repro(...) { ... }
+///
+/// parseIR treats the header as ordinary comments, so every artifact is
+/// also a plain IR file for example_irtool and the parser tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_FUZZ_ARTIFACT_H
+#define SNSLP_FUZZ_ARTIFACT_H
+
+#include "fuzz/IRGenerator.h"
+
+#include <string>
+
+namespace snslp {
+
+class Module;
+
+namespace fuzz {
+
+/// A loaded artifact: program metadata (with \c Meta.F pointing into the
+/// module it was parsed into) plus the recorded data seed and failure.
+struct ArtifactInfo {
+  GeneratedProgram Meta;
+  uint64_t DataSeed = 0;
+  std::string Failure;
+};
+
+/// Renders \p P (with \p DataSeed and the failure summary) as artifact
+/// text: metadata header plus the printed function.
+std::string renderArtifact(const GeneratedProgram &P, uint64_t DataSeed,
+                           const std::string &Failure);
+
+/// Writes renderArtifact() output to \p Path (creating parent directories
+/// is the caller's job). Returns false and fills \p Err on I/O failure.
+bool writeArtifact(const std::string &Path, const GeneratedProgram &P,
+                   uint64_t DataSeed, const std::string &Failure,
+                   std::string *Err = nullptr);
+
+/// Parses artifact text: reads the metadata header, parses the IR into
+/// \p M, and resolves \c Out.Meta.F to the first parsed function.
+bool loadArtifact(const std::string &Source, Module &M, ArtifactInfo &Out,
+                  std::string *Err = nullptr);
+
+/// loadArtifact() over the contents of \p Path.
+bool loadArtifactFile(const std::string &Path, Module &M, ArtifactInfo &Out,
+                      std::string *Err = nullptr);
+
+} // namespace fuzz
+} // namespace snslp
+
+#endif // SNSLP_FUZZ_ARTIFACT_H

@@ -1,0 +1,351 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/DiffOracle.h"
+
+#include "fuzz/Metamorphic.h"
+#include "interp/ExecutionEngine.h"
+#include "ir/DCE.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "passes/CSE.h"
+#include "passes/ConstantFolding.h"
+#include "slp/SLPVectorizer.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+using namespace snslp;
+using namespace snslp::fuzz;
+
+std::vector<OracleConfig> OracleOptions::defaultConfigs(
+    bool WithLoadShuffles) {
+  std::vector<OracleConfig> Configs;
+  for (VectorizerMode Mode : {VectorizerMode::O3, VectorizerMode::SLP,
+                              VectorizerMode::LSLP, VectorizerMode::SNSLP}) {
+    OracleConfig C;
+    C.Name = getModeName(Mode);
+    C.Vec.Mode = Mode;
+    Configs.push_back(C);
+    if (WithLoadShuffles && Mode != VectorizerMode::O3) {
+      OracleConfig S = C;
+      S.Name += "+sh";
+      S.Vec.EnableLoadShuffles = true;
+      Configs.push_back(S);
+    }
+  }
+  return Configs;
+}
+
+std::string OracleFailure::render() const {
+  std::ostringstream OS;
+  OS << "[" << Variant << "/" << Engine << "] " << Kind << ": " << Detail;
+  return OS.str();
+}
+
+std::string OracleReport::summary() const {
+  std::ostringstream OS;
+  for (const OracleFailure &F : Failures)
+    OS << F.render() << "\n";
+  return OS.str();
+}
+
+DiffOracle::DiffOracle(OracleOptions Opts) : Opts(std::move(Opts)) {}
+
+namespace {
+
+void fillBuffer(std::vector<uint8_t> &Buf, TypeKind EK, size_t Len,
+                RNG &R) {
+  for (size_t I = 0; I < Len; ++I) {
+    switch (EK) {
+    case TypeKind::Int32: {
+      int32_t V = static_cast<int32_t>(R.nextInRange(-100, 100));
+      std::memcpy(Buf.data() + I * sizeof(V), &V, sizeof(V));
+      break;
+    }
+    case TypeKind::Int64: {
+      int64_t V = R.nextInRange(-100, 100);
+      std::memcpy(Buf.data() + I * sizeof(V), &V, sizeof(V));
+      break;
+    }
+    case TypeKind::Float: {
+      // Bounded away from zero so fdiv programs stay well-conditioned.
+      float V = static_cast<float>(R.nextDoubleInRange(0.5, 2.0));
+      std::memcpy(Buf.data() + I * sizeof(V), &V, sizeof(V));
+      break;
+    }
+    case TypeKind::Double: {
+      double V = R.nextDoubleInRange(0.5, 2.0);
+      std::memcpy(Buf.data() + I * sizeof(V), &V, sizeof(V));
+      break;
+    }
+    default:
+      assert(false && "unsupported element kind");
+    }
+  }
+}
+
+} // namespace
+
+ProgramRun DiffOracle::runProgram(const GeneratedProgram &P, Function &F,
+                                  uint64_t DataSeed, bool Reference) const {
+  assert(P.ElemTy && P.NumPointerArgs > 0 && "incomplete program metadata");
+  const TypeKind EK = P.ElemTy->getKind();
+  const size_t ElemSize = P.ElemTy->getSizeInBytes();
+  const bool IsFP = P.ElemTy->isFloatingPoint();
+
+  RNG R(DataSeed);
+  std::vector<std::vector<uint8_t>> Arrays(P.NumPointerArgs);
+  for (auto &A : Arrays) {
+    A.resize(P.ArrayLen * ElemSize);
+    fillBuffer(A, EK, P.ArrayLen, R);
+  }
+
+  ExecutionEngine E(F);
+  for (auto &A : Arrays)
+    E.addMemoryRange(A.data(), A.size());
+  std::vector<RTValue> Args;
+  for (auto &A : Arrays)
+    Args.push_back(argPointer(A.data()));
+  if (P.HasTripCountArg)
+    Args.push_back(argInt64(static_cast<int64_t>(P.TripCount)));
+
+  ExecutionResult Res = Reference ? E.runReference(Args, Opts.MaxSteps)
+                                  : E.run(Args, Opts.MaxSteps);
+
+  ProgramRun Run;
+  Run.Ok = Res.Ok;
+  Run.Error = Res.Error;
+  if (!Res.Ok)
+    return Run;
+
+  if (P.ReturnsValue) {
+    Run.HasReturn = true;
+    if (IsFP)
+      Run.RetFP = Res.ReturnValue.getFP();
+    else
+      Run.RetInt = Res.ReturnValue.getInt();
+  }
+
+  for (auto &A : Arrays) {
+    if (IsFP) {
+      std::vector<double> Image(P.ArrayLen);
+      for (size_t I = 0; I < P.ArrayLen; ++I) {
+        if (EK == TypeKind::Float) {
+          float V;
+          std::memcpy(&V, A.data() + I * sizeof(V), sizeof(V));
+          Image[I] = V;
+        } else {
+          std::memcpy(&Image[I], A.data() + I * sizeof(double),
+                      sizeof(double));
+        }
+      }
+      Run.FPMem.push_back(std::move(Image));
+    } else {
+      std::vector<int64_t> Image(P.ArrayLen);
+      for (size_t I = 0; I < P.ArrayLen; ++I) {
+        if (EK == TypeKind::Int32) {
+          int32_t V;
+          std::memcpy(&V, A.data() + I * sizeof(V), sizeof(V));
+          Image[I] = V;
+        } else {
+          std::memcpy(&Image[I], A.data() + I * sizeof(int64_t),
+                      sizeof(int64_t));
+        }
+      }
+      Run.IntMem.push_back(std::move(Image));
+    }
+  }
+  return Run;
+}
+
+bool DiffOracle::compareRuns(const GeneratedProgram &P,
+                             const ProgramRun &Expected,
+                             const ProgramRun &Actual,
+                             std::string *Detail) const {
+  const bool IsFP = P.ElemTy->isFloatingPoint();
+  const double Tol = P.ElemTy->getKind() == TypeKind::Float
+                         ? Opts.FPTolerance32
+                         : Opts.FPTolerance64;
+
+  auto FPEquals = [Tol](double A, double B) {
+    // Bitwise fast path also equates identical NaNs.
+    if (std::memcmp(&A, &B, sizeof(double)) == 0)
+      return true;
+    double Mag = std::max({std::fabs(A), std::fabs(B), 1.0});
+    return std::fabs(A - B) <= Tol * Mag;
+  };
+
+  std::ostringstream OS;
+  if (Expected.HasReturn || Actual.HasReturn) {
+    if (IsFP) {
+      if (!FPEquals(Expected.RetFP, Actual.RetFP)) {
+        OS << "return: expected " << Expected.RetFP << " actual "
+           << Actual.RetFP;
+        if (Detail)
+          *Detail = OS.str();
+        return false;
+      }
+    } else if (Expected.RetInt != Actual.RetInt) {
+      OS << "return: expected " << Expected.RetInt << " actual "
+         << Actual.RetInt;
+      if (Detail)
+        *Detail = OS.str();
+      return false;
+    }
+  }
+
+  for (unsigned A = 0; A < P.NumPointerArgs; ++A) {
+    for (size_t I = 0; I < P.ArrayLen; ++I) {
+      bool Same =
+          IsFP ? FPEquals(Expected.FPMem[A][I], Actual.FPMem[A][I])
+               : Expected.IntMem[A][I] == Actual.IntMem[A][I];
+      if (!Same) {
+        OS << "arg" << A << "[" << I << "]: expected ";
+        if (IsFP)
+          OS << Expected.FPMem[A][I] << " actual " << Actual.FPMem[A][I];
+        else
+          OS << Expected.IntMem[A][I] << " actual " << Actual.IntMem[A][I];
+        if (Detail)
+          *Detail = OS.str();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void DiffOracle::checkVariant(const GeneratedProgram &P, Function &Variant,
+                              const std::string &Label, uint64_t DataSeed,
+                              const ProgramRun &Baseline,
+                              OracleReport &Report) {
+  std::vector<std::string> Errors;
+  if (!verifyFunction(Variant, &Errors)) {
+    Report.Failures.push_back({Label, "-", "verifier",
+                               Errors.empty() ? "unknown" : Errors.front()});
+    return;
+  }
+
+  for (bool Reference : {false, true}) {
+    if (Reference && !Opts.CheckReferenceEngine)
+      continue;
+    const char *EngineName = Reference ? "reference" : "bytecode";
+    ProgramRun Run = runProgram(P, Variant, DataSeed, Reference);
+    ++Report.VariantsChecked;
+    if (!Run.Ok) {
+      Report.Failures.push_back({Label, EngineName, "exec-error", Run.Error});
+      continue;
+    }
+    std::string Detail;
+    if (!compareRuns(P, Baseline, Run, &Detail)) {
+      bool RetMismatch = Detail.rfind("return:", 0) == 0;
+      Report.Failures.push_back({Label, EngineName,
+                                 RetMismatch ? "return-mismatch"
+                                             : "memory-mismatch",
+                                 Detail});
+    }
+  }
+}
+
+OracleReport DiffOracle::check(const GeneratedProgram &P,
+                               uint64_t DataSeed) {
+  OracleReport Report;
+  assert(P.F && "oracle needs a function");
+  Module &M = *P.F->getParent();
+
+  // Ground truth: the untransformed program on the reference interpreter.
+  ProgramRun Baseline = runProgram(P, *P.F, DataSeed, /*Reference=*/true);
+  ++Report.VariantsChecked;
+  if (!Baseline.Ok) {
+    Report.Failures.push_back(
+        {"original", "reference", "exec-error", Baseline.Error});
+    return Report;
+  }
+
+  // N-version check of the untransformed program on the bytecode VM.
+  {
+    ProgramRun Run = runProgram(P, *P.F, DataSeed, /*Reference=*/false);
+    ++Report.VariantsChecked;
+    std::string Detail;
+    if (!Run.Ok)
+      Report.Failures.push_back(
+          {"original", "bytecode", "exec-error", Run.Error});
+    else if (!compareRuns(P, Baseline, Run, &Detail))
+      Report.Failures.push_back(
+          {"original", "bytecode", "memory-mismatch", Detail});
+  }
+
+  // Reducer artifacts depend on exact print -> parse -> print round-trips.
+  if (Opts.CheckRoundTrip) {
+    std::string Printed = toString(*P.F);
+    Module Tmp(M.getContext(), "roundtrip");
+    std::string Err;
+    if (!parseIR(Printed, Tmp, &Err)) {
+      Report.Failures.push_back({"original", "-", "parse-roundtrip", Err});
+    } else {
+      std::string Reprinted = toString(*Tmp.functions().front());
+      if (Reprinted != Printed)
+        Report.Failures.push_back({"original", "-", "parse-roundtrip",
+                                   "print->parse->print not a fixpoint"});
+    }
+  }
+
+  std::vector<OracleConfig> Configs =
+      Opts.Configs.empty() ? OracleOptions::defaultConfigs() : Opts.Configs;
+
+  // A variant pipeline: vectorize a clone under one configuration, check
+  // it, then re-check after the post-vectorization cleanup passes.
+  auto CheckTransformed = [&](const Function &Source,
+                              const std::string &LabelPrefix) {
+    for (const OracleConfig &Cfg : Configs) {
+      std::string CloneName =
+          Source.getName() + ".ora" + std::to_string(CloneCounter++);
+      Function *Clone = Source.cloneInto(M, CloneName);
+      runSLPVectorizer(*Clone, Cfg.Vec);
+      if (Opts.PostVectorizeHook)
+        Opts.PostVectorizeHook(*Clone, Cfg.Vec.Mode);
+      std::string Label = LabelPrefix + Cfg.Name;
+      checkVariant(P, *Clone, Label, DataSeed, Baseline, Report);
+
+      if (Opts.CheckCleanupPasses) {
+        runConstantFolding(*Clone);
+        runLocalCSE(*Clone);
+        runDeadCodeElimination(*Clone);
+        checkVariant(P, *Clone, Label + "+passes", DataSeed, Baseline,
+                     Report);
+      }
+      M.eraseFunction(CloneName);
+    }
+  };
+
+  CheckTransformed(*P.F, "");
+
+  if (Opts.CheckMetamorphic) {
+    for (unsigned RuleIdx = 0; RuleIdx < NumMetamorphicRules; ++RuleIdx) {
+      auto Rule = static_cast<MetamorphicRule>(RuleIdx);
+      std::string VariantName =
+          P.F->getName() + ".meta" + std::to_string(CloneCounter++);
+      Function *Variant = P.F->cloneInto(M, VariantName);
+      RNG MetaRNG(DataSeed ^ (0x6d65746100ull + RuleIdx));
+      unsigned Rewrites = applyMetamorphicRule(*Variant, Rule, MetaRNG);
+      if (Rewrites == 0) {
+        M.eraseFunction(VariantName);
+        continue;
+      }
+      std::string Label = std::string("meta:") + getRuleName(Rule);
+      // The rewrite itself must preserve semantics...
+      checkVariant(P, *Variant, Label, DataSeed, Baseline, Report);
+      // ...and so must vectorizing the rewritten program.
+      CheckTransformed(*Variant, Label + "/");
+      M.eraseFunction(VariantName);
+    }
+  }
+
+  return Report;
+}

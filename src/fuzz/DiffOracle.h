@@ -1,0 +1,146 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential-testing oracle. Runs a generated program through every
+/// vectorizer configuration crossed with both execution engines (the
+/// predecoded bytecode VM and the reference tree-walking interpreter),
+/// cross-checking return values and final memory images against the
+/// untransformed program, and verifying that the Verifier and the
+/// DCE/CSE/ConstantFolding cleanup passes hold post-vectorization. Can
+/// additionally apply metamorphic (semantics-preserving) rewrites whose
+/// outputs must agree with the original — probing the paper's APO legality
+/// rules from the outside. See docs/fuzzing.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_FUZZ_DIFFORACLE_H
+#define SNSLP_FUZZ_DIFFORACLE_H
+
+#include "fuzz/IRGenerator.h"
+#include "slp/VectorizerConfig.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+class Function;
+
+namespace fuzz {
+
+/// One vectorizer configuration of the oracle matrix.
+struct OracleConfig {
+  std::string Name; ///< Display name, e.g. "SNSLP" or "SLP+sh".
+  VectorizerConfig Vec;
+};
+
+/// Oracle matrix options.
+struct OracleOptions {
+  /// Vectorizer configurations to cross-check (empty = defaultConfigs()).
+  std::vector<OracleConfig> Configs;
+  /// Also run every variant through the reference tree-walking
+  /// interpreter (N-version execution), not just the bytecode VM.
+  bool CheckReferenceEngine = true;
+  /// After vectorizing, run ConstantFolding + CSE + DCE, re-verify and
+  /// re-execute (the passes must hold on post-vectorization IR).
+  bool CheckCleanupPasses = true;
+  /// Apply the metamorphic rules (fuzz/Metamorphic.h) to the original
+  /// program and push each rewritten variant through the matrix as well.
+  bool CheckMetamorphic = true;
+  /// Check that the original program survives an exact print -> parse ->
+  /// print round-trip (reducer artifacts rely on this).
+  bool CheckRoundTrip = true;
+  /// Relative FP tolerances (reductions may legally reassociate).
+  double FPTolerance64 = 1e-9;
+  double FPTolerance32 = 1e-4;
+  /// Runaway guard for interpreted execution.
+  uint64_t MaxSteps = 1ull << 24;
+  /// Test-only hook, applied to each transformed clone after the
+  /// vectorizer ran. Used to plant known miscompiles when testing the
+  /// oracle + reducer pipeline itself. Null in production use.
+  std::function<void(Function &, VectorizerMode)> PostVectorizeHook;
+
+  /// The paper's mode matrix: O3, SLP, LSLP, SNSLP. With
+  /// \p WithLoadShuffles, the three vectorizing modes are additionally
+  /// instantiated with EnableLoadShuffles.
+  static std::vector<OracleConfig> defaultConfigs(bool WithLoadShuffles =
+                                                      false);
+};
+
+/// One detected discrepancy.
+struct OracleFailure {
+  std::string Variant; ///< "original", "SNSLP", "SNSLP+passes", "meta:..."
+  std::string Engine;  ///< "bytecode", "reference", "-" for static checks.
+  std::string Kind;    ///< verifier | exec-error | return-mismatch |
+                       ///< memory-mismatch | parse-roundtrip
+  std::string Detail;
+
+  /// One-line rendering for logs and artifacts.
+  std::string render() const;
+};
+
+/// Result of one full oracle matrix check.
+struct OracleReport {
+  std::vector<OracleFailure> Failures;
+  unsigned VariantsChecked = 0; ///< (variant, engine) pairs executed.
+
+  bool ok() const { return Failures.empty(); }
+  /// Multi-line summary of all failures (empty string when ok).
+  std::string summary() const;
+};
+
+/// Captured observable behaviour of one execution: return value plus the
+/// final image of every array buffer.
+struct ProgramRun {
+  bool Ok = false;
+  std::string Error;
+  bool HasReturn = false;
+  int64_t RetInt = 0;
+  double RetFP = 0.0;
+  /// Final memory images, one inner vector per pointer argument. Integer
+  /// programs fill IntMem, FP programs fill FPMem.
+  std::vector<std::vector<int64_t>> IntMem;
+  std::vector<std::vector<double>> FPMem;
+};
+
+/// The oracle. Stateless apart from its options; every check derives its
+/// buffers deterministically from the data seed.
+class DiffOracle {
+public:
+  explicit DiffOracle(OracleOptions Opts = {});
+
+  /// Runs the full variant x config x engine matrix over \p P. \p DataSeed
+  /// seeds the contents of every buffer.
+  OracleReport check(const GeneratedProgram &P, uint64_t DataSeed);
+
+  /// Executes \p F with the buffer environment described by \p P (fresh
+  /// buffers derived from \p DataSeed) and snapshots the results.
+  /// \p Reference selects the tree-walking interpreter.
+  ProgramRun runProgram(const GeneratedProgram &P, Function &F,
+                        uint64_t DataSeed, bool Reference) const;
+
+  /// Compares two runs under the options' tolerances. Returns true when
+  /// equivalent; otherwise fills \p Detail with the first divergence.
+  bool compareRuns(const GeneratedProgram &P, const ProgramRun &Expected,
+                   const ProgramRun &Actual, std::string *Detail) const;
+
+  const OracleOptions &options() const { return Opts; }
+
+private:
+  void checkVariant(const GeneratedProgram &P, Function &Variant,
+                    const std::string &Label, uint64_t DataSeed,
+                    const ProgramRun &Baseline, OracleReport &Report);
+
+  OracleOptions Opts;
+  uint64_t CloneCounter = 0;
+};
+
+} // namespace fuzz
+} // namespace snslp
+
+#endif // SNSLP_FUZZ_DIFFORACLE_H

@@ -1,0 +1,343 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/IRGenerator.h"
+
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace snslp;
+using namespace snslp::fuzz;
+
+const char *fuzz::getShapeName(ProgramShape Shape) {
+  switch (Shape) {
+  case ProgramShape::Expression:
+    return "expr";
+  case ProgramShape::Alias:
+    return "alias";
+  case ProgramShape::Loop:
+    return "loop";
+  }
+  return "unknown";
+}
+
+bool fuzz::parseShapeName(const std::string &Name, ProgramShape &Shape) {
+  if (Name == "expr")
+    Shape = ProgramShape::Expression;
+  else if (Name == "alias")
+    Shape = ProgramShape::Alias;
+  else if (Name == "loop")
+    Shape = ProgramShape::Loop;
+  else
+    return false;
+  return true;
+}
+
+IRGenerator::IRGenerator(Module &M, GenOptions Opts) : M(M), Opts(Opts) {}
+
+namespace {
+
+/// Returns the family-default element type: i64 for integer families,
+/// f64 for floating-point families.
+Type *familyDefaultType(Context &Ctx, OpFamily Family) {
+  return Family == OpFamily::IntAddSub || Family == OpFamily::None
+             ? Ctx.getInt64Ty()
+             : Ctx.getDoubleTy();
+}
+
+Constant *randomLeafConstant(Context &Ctx, Type *ElemTy, RNG &R) {
+  if (ElemTy->isFloatingPoint())
+    // Bounded away from zero so the fdiv family never divides by ~0.
+    return Ctx.getConstantFP(ElemTy, R.nextDoubleInRange(0.5, 2.0));
+  return Ctx.getConstantInt(ElemTy, R.nextInRange(1, 9));
+}
+
+/// Recursive expression builder over loads of the input arrays and
+/// constants. Uses the family's direct and inverse opcodes; integer trees
+/// may additionally mix in mul sub-chains (OpFamily::None) so that
+/// Super-Node boundaries between families get exercised.
+struct ExprBuilder {
+  IRBuilder &B;
+  Function *F;
+  RNG &R;
+  const GenOptions &Opts;
+  Type *ElemTy;
+  OpFamily Family;
+  unsigned NumArrays;
+
+  Value *loadLeaf(unsigned Lane) {
+    unsigned Arr = static_cast<unsigned>(R.nextBelow(NumArrays));
+    // Index near the lane so adjacent lanes sometimes see adjacent loads.
+    int64_t Index = static_cast<int64_t>(Lane) + R.nextInRange(0, 3);
+    Value *Ptr = B.createGEP(ElemTy, F->getArg(1 + Arr), B.getInt64(Index));
+    return B.createLoad(ElemTy, Ptr);
+  }
+
+  Value *build(unsigned Lane, unsigned Depth) {
+    bool MakeLeaf = Depth == 0 || R.nextBool(0.35);
+    if (MakeLeaf) {
+      if (R.nextBool(Opts.LeafConstProb))
+        return randomLeafConstant(B.getContext(), ElemTy, R);
+      return loadLeaf(Lane);
+    }
+
+    // Occasionally wrap an FP subtree in a unary op. sqrt is guarded by
+    // fabs so NaNs cannot enter the tree (see docs/fuzzing.md).
+    if (ElemTy->isFloatingPoint() && R.nextBool(Opts.UnaryProb)) {
+      Value *Sub = build(Lane, Depth - 1);
+      switch (R.nextBelow(3)) {
+      case 0:
+        return B.createFNeg(Sub);
+      case 1:
+        return B.createFabs(Sub);
+      default:
+        return B.createSqrt(B.createFabs(Sub));
+      }
+    }
+
+    // Occasionally wrap an integer subtree in icmp+select.
+    if (ElemTy->isInteger() && R.nextBool(Opts.SelectProb)) {
+      Value *A = build(Lane, Depth - 1);
+      Value *Bv = build(Lane, Depth - 1);
+      Value *C = B.createICmp(ICmpPredicate::SLT, A, Bv);
+      return B.createSelect(C, A, Bv);
+    }
+
+    OpFamily NodeFamily = Family;
+    if (ElemTy->isInteger() && Opts.AllowMixedFamilies && R.nextBool(0.15)) {
+      // Integer mul participates in no inverse family; mixing it in
+      // probes family boundaries during Super-Node growth.
+      Value *L = build(Lane, Depth - 1);
+      Value *Rhs = build(Lane, Depth - 1);
+      return B.createBinOp(BinOpcode::Mul, L, Rhs);
+    }
+    BinOpcode Op = R.nextBool(Opts.InverseOpProb)
+                       ? getInverseOpcode(NodeFamily)
+                       : getDirectOpcode(NodeFamily);
+    Value *L = build(Lane, Depth - 1);
+    Value *Rhs = build(Lane, Depth - 1);
+    return B.createBinOp(Op, L, Rhs);
+  }
+};
+
+} // namespace
+
+GeneratedProgram IRGenerator::generateExpressionTree(const std::string &Name,
+                                                     OpFamily Family,
+                                                     unsigned Lanes, RNG &R,
+                                                     Type *ElemTy) {
+  Context &Ctx = M.getContext();
+  if (!ElemTy)
+    ElemTy = familyDefaultType(Ctx, Family);
+  assert((ElemTy->isInteger()
+              ? Family == OpFamily::IntAddSub
+              : Family == OpFamily::FPAddSub || Family == OpFamily::FPMulDiv) &&
+         "element type must match the operator family");
+
+  bool ReturnsValue = R.nextBool(Opts.ReturnValueProb);
+  std::vector<std::pair<Type *, std::string>> Params = {
+      {Ctx.getPtrTy(), "out"}};
+  for (unsigned A = 0; A < Opts.NumArrays; ++A)
+    Params.emplace_back(Ctx.getPtrTy(), "in" + std::to_string(A));
+  Function *F = M.createFunction(
+      Name, ReturnsValue ? ElemTy : Ctx.getVoidTy(), Params);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+
+  ExprBuilder EB{B, F, R, Opts, ElemTy, Family, Opts.NumArrays};
+  Value *Reduction = nullptr;
+  for (unsigned Lane = 0; Lane < Lanes; ++Lane) {
+    unsigned Depth =
+        1 + static_cast<unsigned>(R.nextBelow(Opts.MaxExprDepth));
+    Value *E = EB.build(Lane, Depth);
+    Value *Ptr = B.createGEP(ElemTy, F->getArg(0), B.getInt64(Lane));
+    B.createStore(E, Ptr);
+    if (ReturnsValue)
+      Reduction = Reduction
+                      ? B.createBinOp(getDirectOpcode(Family), Reduction, E)
+                      : E;
+  }
+  B.createRet(ReturnsValue ? Reduction : nullptr);
+
+  GeneratedProgram P;
+  P.F = F;
+  P.Shape = ProgramShape::Expression;
+  P.ElemTy = ElemTy;
+  P.NumPointerArgs = 1 + Opts.NumArrays;
+  P.ArrayLen = std::max<size_t>(Opts.ArrayLen, Lanes + 4);
+  P.ReturnsValue = ReturnsValue;
+  return P;
+}
+
+GeneratedProgram IRGenerator::generateAliasProgram(const std::string &Name,
+                                                   RNG &R) {
+  Context &Ctx = M.getContext();
+  Type *I64 = Ctx.getInt64Ty();
+  const size_t Len = std::max<size_t>(Opts.ArrayLen, 24);
+
+  Function *F =
+      M.createFunction(Name, Ctx.getVoidTy(), {{Ctx.getPtrTy(), "m"}});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  Value *Base = F->getArg(0);
+
+  auto LoadAt = [&B, I64, Base](int64_t Index) {
+    Value *Ptr = B.createGEP(I64, Base, B.getInt64(Index));
+    return B.createLoad(I64, Ptr);
+  };
+
+  unsigned Statements = 4 + static_cast<unsigned>(R.nextBelow(6));
+  // Bias store targets towards small consecutive clusters so seeds form.
+  int64_t Cluster = R.nextInRange(0, 8);
+  for (unsigned S = 0; S < Statements; ++S) {
+    Value *Acc = LoadAt(R.nextInRange(0, static_cast<int64_t>(Len) - 1));
+    unsigned Ops = 1 + static_cast<unsigned>(R.nextBelow(3));
+    for (unsigned O = 0; O < Ops; ++O) {
+      Value *Rhs =
+          R.nextBool(0.25)
+              ? static_cast<Value *>(B.getInt64(R.nextInRange(-9, 9)))
+              : LoadAt(R.nextInRange(0, static_cast<int64_t>(Len) - 1));
+      BinOpcode Op = R.nextBool(0.4) ? BinOpcode::Sub : BinOpcode::Add;
+      Acc = B.createBinOp(Op, Acc, Rhs);
+    }
+    int64_t Target = R.nextBool(0.7)
+                         ? Cluster + static_cast<int64_t>(S % 4)
+                         : R.nextInRange(0, static_cast<int64_t>(Len) - 1);
+    Value *Ptr = B.createGEP(I64, Base, B.getInt64(Target));
+    B.createStore(Acc, Ptr);
+  }
+  B.createRet();
+
+  GeneratedProgram P;
+  P.F = F;
+  P.Shape = ProgramShape::Alias;
+  P.ElemTy = I64;
+  P.NumPointerArgs = 1;
+  P.ArrayLen = Len;
+  P.InPlace = true;
+  return P;
+}
+
+GeneratedProgram IRGenerator::generateLoop(const std::string &Name,
+                                           unsigned Unroll, RNG &R) {
+  Context &Ctx = M.getContext();
+  Type *I64 = Ctx.getInt64Ty();
+  const unsigned NumInputs = std::max(1u, Opts.NumArrays > 3 ? 3u
+                                                             : Opts.NumArrays);
+  // Trip count must be a multiple of the unroll factor.
+  const uint64_t Trip = 32;
+  const size_t Len = Trip + 8;
+
+  bool InPlace = R.nextBool(0.4);
+  std::vector<std::pair<Type *, std::string>> Params = {
+      {Ctx.getPtrTy(), "out"}};
+  for (unsigned A = 0; A < NumInputs; ++A)
+    Params.emplace_back(Ctx.getPtrTy(), "in" + std::to_string(A));
+  Params.emplace_back(I64, "n");
+  Function *F = M.createFunction(Name, Ctx.getVoidTy(), Params);
+
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(Entry);
+  B.createBr(Loop);
+
+  B.setInsertPointAtEnd(Loop);
+  PhiNode *I = B.createPhi(I64, "i");
+
+  auto LoadAt = [&](unsigned Array, unsigned Lane) {
+    // Array 0 == out when updating in place.
+    Value *Base = InPlace && Array == 0 ? F->getArg(0)
+                                        : F->getArg(1 + Array % NumInputs);
+    Value *Idx = Lane == 0 ? static_cast<Value *>(I)
+                           : B.createAdd(I, B.getInt64(Lane));
+    Value *Ptr = B.createGEP(I64, Base, Idx);
+    return B.createLoad(I64, Ptr);
+  };
+
+  for (unsigned Lane = 0; Lane < Unroll; ++Lane) {
+    unsigned Terms = 2 + static_cast<unsigned>(R.nextBelow(3));
+    // Random permutation of term order per lane.
+    std::vector<unsigned> Order(Terms);
+    for (unsigned T = 0; T < Terms; ++T)
+      Order[T] = T;
+    for (unsigned T = Terms; T > 1; --T)
+      std::swap(Order[T - 1], Order[R.nextBelow(T)]);
+
+    Value *Acc = LoadAt(Order[0], Lane);
+    for (unsigned T = 1; T < Terms; ++T) {
+      Value *Rhs = LoadAt(Order[T], Lane);
+      Acc = B.createBinOp(
+          R.nextBool(0.5) ? BinOpcode::Add : BinOpcode::Sub, Acc, Rhs);
+    }
+    Value *Idx = Lane == 0 ? static_cast<Value *>(I)
+                           : B.createAdd(I, B.getInt64(Lane));
+    B.createStore(Acc, B.createGEP(I64, F->getArg(0), Idx));
+  }
+
+  Value *Next = B.createAdd(I, B.getInt64(Unroll), "i.next");
+  Value *Cond = B.createICmp(ICmpPredicate::ULT, Next,
+                             F->getArg(1 + NumInputs), "cond");
+  B.createCondBr(Cond, Loop, Exit);
+  I->addIncoming(B.getInt64(0), Entry);
+  I->addIncoming(Next, Loop);
+
+  B.setInsertPointAtEnd(Exit);
+  B.createRet();
+
+  GeneratedProgram P;
+  P.F = F;
+  P.Shape = ProgramShape::Loop;
+  P.ElemTy = I64;
+  P.NumPointerArgs = 1 + NumInputs;
+  P.ArrayLen = Len;
+  P.HasTripCountArg = true;
+  P.TripCount = Trip;
+  P.InPlace = InPlace;
+  return P;
+}
+
+GeneratedProgram IRGenerator::generate(const std::string &Name,
+                                       uint64_t Seed) {
+  RNG R(Seed);
+  Context &Ctx = M.getContext();
+
+  // Pick a shape (biased toward expression trees, the SN-SLP sweet spot).
+  double ShapeDie = R.nextDouble();
+  GeneratedProgram P;
+  if (Opts.AllowAlias && ShapeDie < 0.2) {
+    P = generateAliasProgram(Name, R);
+  } else if (Opts.AllowLoops && ShapeDie < 0.4) {
+    unsigned Unroll = R.nextBool(0.5) ? 2 : 4;
+    P = generateLoop(Name, Unroll, R);
+  } else {
+    // Family and element type: all four scalar types get coverage.
+    OpFamily Family;
+    Type *ElemTy;
+    switch (R.nextBelow(3)) {
+    case 0:
+      Family = OpFamily::IntAddSub;
+      ElemTy = R.nextBool(0.3) ? Ctx.getInt32Ty() : Ctx.getInt64Ty();
+      break;
+    case 1:
+      Family = OpFamily::FPAddSub;
+      ElemTy = R.nextBool(0.3) ? Ctx.getFloatTy() : Ctx.getDoubleTy();
+      break;
+    default:
+      Family = OpFamily::FPMulDiv;
+      ElemTy = R.nextBool(0.3) ? Ctx.getFloatTy() : Ctx.getDoubleTy();
+      break;
+    }
+    unsigned Lanes = R.nextBool(0.5) ? 2 : 4;
+    P = generateExpressionTree(Name, Family, Lanes, R, ElemTy);
+  }
+  P.Seed = Seed;
+  return P;
+}

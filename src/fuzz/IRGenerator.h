@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured random IR program generator for the differential-testing
+/// subsystem (src/fuzz). Emits verifier-clean modules biased toward the
+/// shapes that stress Super-Node SLP legality: deep +/- and */÷ chains,
+/// mixed-APO expression trees, adjacent load/store groups, aliasing store
+/// clusters, and unrolled loops with phis — over all four scalar element
+/// types. Seeded through support/RNG.h so every program is reproducible
+/// from a single 64-bit seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_FUZZ_IRGENERATOR_H
+#define SNSLP_FUZZ_IRGENERATOR_H
+
+#include "ir/Instruction.h"
+#include "support/RNG.h"
+
+#include <cstdint>
+#include <string>
+
+namespace snslp {
+
+class Function;
+class Module;
+class Type;
+
+namespace fuzz {
+
+/// The program shapes the generator can emit. Each shape stresses a
+/// different part of the vectorizer (see docs/fuzzing.md).
+enum class ProgramShape : uint8_t {
+  Expression, ///< Straight-line per-lane expression trees over input arrays.
+  Alias,      ///< Straight-line reads/writes of ONE shared array.
+  Loop,       ///< Unrolled loop with phis and loop-carried addressing.
+};
+
+/// Returns the artifact spelling of \p Shape ("expr", "alias", "loop").
+const char *getShapeName(ProgramShape Shape);
+/// Parses the artifact spelling; returns false on unknown names.
+bool parseShapeName(const std::string &Name, ProgramShape &Shape);
+
+/// Generation biases. The defaults reproduce the distributions of the
+/// original hand-rolled fuzz suites.
+struct GenOptions {
+  /// Number of distinct input arrays for Expression/Loop shapes.
+  unsigned NumArrays = 4;
+  /// Element count of every array (Loop shape adds slack internally).
+  size_t ArrayLen = 16;
+  /// Maximum expression-tree depth (Expression shape).
+  unsigned MaxExprDepth = 3;
+  /// Probability that an expression leaf is a constant.
+  double LeafConstProb = 0.2;
+  /// Probability that an interior node uses the family's inverse opcode.
+  double InverseOpProb = 0.45;
+  /// Probability that an integer lane is wrapped in icmp+select.
+  double SelectProb = 0.12;
+  /// Probability that an FP subtree is wrapped in a unary op
+  /// (fneg / fabs / sqrt∘fabs).
+  double UnaryProb = 0.12;
+  /// Probability that an Expression program returns a scalar reduction of
+  /// its lanes instead of void.
+  double ReturnValueProb = 0.25;
+  /// Allow the mixed driver entry point to pick Alias / Loop shapes.
+  bool AllowAlias = true;
+  bool AllowLoops = true;
+  /// Allow integer expression trees to mix the add/sub family with mul.
+  bool AllowMixedFamilies = true;
+};
+
+/// A generated program plus the signature metadata the oracle needs to
+/// synthesize arguments, register sanitizer ranges and snapshot memory.
+/// Pointer arguments always come first; argument 0 is the output array.
+struct GeneratedProgram {
+  Function *F = nullptr;
+  ProgramShape Shape = ProgramShape::Expression;
+  /// Scalar element type of every array (i32/i64/f32/f64).
+  Type *ElemTy = nullptr;
+  /// Leading pointer arguments (arg0 = out, arg1.. = inputs).
+  unsigned NumPointerArgs = 0;
+  /// Elements per array buffer (already includes loop slack).
+  size_t ArrayLen = 0;
+  /// Loop shape: trailing i64 trip-count argument and its value.
+  bool HasTripCountArg = false;
+  uint64_t TripCount = 0;
+  /// Loop shape: the output array is also read (in-place update).
+  bool InPlace = false;
+  /// Expression shape: function returns a scalar reduction.
+  bool ReturnsValue = false;
+  /// Seed this program was generated from (0 for hand-written programs).
+  uint64_t Seed = 0;
+};
+
+/// Emits random programs into one Module. Thin and stateless apart from
+/// the target module and biases: every entry point is driven entirely by
+/// the RNG/seed it is handed.
+class IRGenerator {
+public:
+  explicit IRGenerator(Module &M, GenOptions Opts = {});
+
+  /// Mixed driver entry point: derives shape, element type, operator
+  /// family and structure from \p Seed alone.
+  GeneratedProgram generate(const std::string &Name, uint64_t Seed);
+
+  /// Straight-line per-lane expression trees over \p Family, one store per
+  /// lane to out[0..Lanes-1]. \p ElemTy selects the element type (null =
+  /// the family default: i64 / f64).
+  GeneratedProgram generateExpressionTree(const std::string &Name,
+                                          OpFamily Family, unsigned Lanes,
+                                          RNG &R, Type *ElemTy = nullptr);
+
+  /// Adversarial aliasing shape: interleaved loads/stores of one shared
+  /// i64 array with clustered, often-conflicting store targets.
+  GeneratedProgram generateAliasProgram(const std::string &Name, RNG &R);
+
+  /// Unrolled-loop shape: per-lane permuted add/sub chains over several
+  /// arrays, optionally updating the output array in place.
+  GeneratedProgram generateLoop(const std::string &Name, unsigned Unroll,
+                                RNG &R);
+
+  const GenOptions &options() const { return Opts; }
+  Module &module() const { return M; }
+
+private:
+  Module &M;
+  GenOptions Opts;
+};
+
+} // namespace fuzz
+} // namespace snslp
+
+#endif // SNSLP_FUZZ_IRGENERATOR_H

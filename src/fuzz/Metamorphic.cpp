@@ -1,0 +1,283 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Metamorphic.h"
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace snslp;
+using namespace snslp::fuzz;
+
+const char *fuzz::getRuleName(MetamorphicRule Rule) {
+  switch (Rule) {
+  case MetamorphicRule::CommuteOperands:
+    return "commute";
+  case MetamorphicRule::ResugarInverse:
+    return "resugar";
+  case MetamorphicRule::ReassociateChain:
+    return "reassoc";
+  case MetamorphicRule::ShuffleStatements:
+    return "shuffle";
+  }
+  return "unknown";
+}
+
+namespace {
+
+unsigned commuteOperands(Function &F, RNG &R) {
+  unsigned Rewrites = 0;
+  for (const auto &BB : F.blocks())
+    for (const auto &InstPtr : *BB)
+      if (auto *Bin = dyn_cast<BinaryOperator>(InstPtr.get()))
+        if (isCommutative(Bin->getOpcode()) && R.nextBool(0.5)) {
+          Bin->swapOperands();
+          ++Rewrites;
+        }
+  return Rewrites;
+}
+
+unsigned resugarInverse(Function &F, RNG &R) {
+  unsigned Rewrites = 0;
+  Context &Ctx = F.getContext();
+  for (const auto &BB : F.blocks()) {
+    // Collect first: the rewrite inserts instructions.
+    std::vector<BinaryOperator *> Subs;
+    for (const auto &InstPtr : *BB)
+      if (auto *Bin = dyn_cast<BinaryOperator>(InstPtr.get()))
+        if ((Bin->getOpcode() == BinOpcode::Sub ||
+             Bin->getOpcode() == BinOpcode::FSub) &&
+            !Bin->getType()->isVector() && R.nextBool(0.6))
+          Subs.push_back(Bin);
+    for (BinaryOperator *Sub : Subs) {
+      IRBuilder B(Ctx);
+      B.setInsertPointBefore(Sub);
+      Value *Neg;
+      BinOpcode AddOp;
+      if (Sub->getOpcode() == BinOpcode::FSub) {
+        // a - b  ->  a + (-b); bit-exact in IEEE-754.
+        Neg = B.createFNeg(Sub->getRHS());
+        AddOp = BinOpcode::FAdd;
+      } else {
+        // a - b  ->  a + (0 - b); exact under wrap-around.
+        Neg = B.createSub(Ctx.getConstantInt(Sub->getType(), 0),
+                          Sub->getRHS());
+        AddOp = BinOpcode::Add;
+      }
+      Value *Add = B.createBinOp(AddOp, Sub->getLHS(), Neg);
+      if (auto *AddInst = dyn_cast<Instruction>(Add))
+        AddInst->setName(Sub->getName());
+      Sub->replaceAllUsesWith(Add);
+      Sub->eraseFromParent();
+      ++Rewrites;
+    }
+  }
+  return Rewrites;
+}
+
+/// One leaf of a +/- chain together with its accumulated sign (+1/-1),
+/// i.e. its APO restricted to the integer add/sub family.
+struct ChainLeaf {
+  Value *V;
+  int Sign;
+};
+
+/// Collects the leaves of the maximal add/sub chain rooted at \p Root.
+/// Interior nodes must be single-use adds/subs of the same scalar integer
+/// type so that re-emitting the chain cannot change other users.
+void collectChain(Value *V, int Sign, BinaryOperator *Root,
+                  std::vector<ChainLeaf> &Leaves) {
+  auto *Bin = dyn_cast<BinaryOperator>(V);
+  bool Interior = Bin &&
+                  (Bin->getOpcode() == BinOpcode::Add ||
+                   Bin->getOpcode() == BinOpcode::Sub) &&
+                  (Bin == Root || Bin->hasOneUse()) &&
+                  Bin->getParent() == Root->getParent();
+  if (!Interior) {
+    Leaves.push_back({V, Sign});
+    return;
+  }
+  collectChain(Bin->getLHS(), Sign, Root, Leaves);
+  int RhsSign = Bin->getOpcode() == BinOpcode::Sub ? -Sign : Sign;
+  collectChain(Bin->getRHS(), RhsSign, Root, Leaves);
+}
+
+unsigned reassociateChains(Function &F, RNG &R) {
+  unsigned Rewrites = 0;
+  Context &Ctx = F.getContext();
+  for (const auto &BB : F.blocks()) {
+    // Chain roots: integer add/sub whose users are not add/sub in the
+    // same block (i.e. maximal chains), scalar type only.
+    std::vector<BinaryOperator *> Roots;
+    for (const auto &InstPtr : *BB) {
+      auto *Bin = dyn_cast<BinaryOperator>(InstPtr.get());
+      if (!Bin || Bin->getType()->isVector() ||
+          !Bin->getType()->isInteger())
+        continue;
+      if (Bin->getOpcode() != BinOpcode::Add &&
+          Bin->getOpcode() != BinOpcode::Sub)
+        continue;
+      bool IsRoot = true;
+      for (const Use &U : Bin->uses()) {
+        auto *UserBin = dyn_cast<BinaryOperator>(U.User);
+        if (UserBin && UserBin->getParent() == Bin->getParent() &&
+            (UserBin->getOpcode() == BinOpcode::Add ||
+             UserBin->getOpcode() == BinOpcode::Sub) && Bin->hasOneUse())
+          IsRoot = false;
+      }
+      if (IsRoot)
+        Roots.push_back(Bin);
+    }
+
+    for (BinaryOperator *Root : Roots) {
+      std::vector<ChainLeaf> Leaves;
+      collectChain(Root, +1, Root, Leaves);
+      if (Leaves.size() < 3 || !R.nextBool(0.8))
+        continue;
+
+      // Random permutation of the leaves; APO signs travel with them.
+      for (size_t I = Leaves.size(); I > 1; --I)
+        std::swap(Leaves[I - 1], Leaves[R.nextBelow(I)]);
+
+      // Re-emit: start from a positive leaf when one exists (move it to
+      // the front); otherwise start from 0 - leaf.
+      auto FirstPos = std::find_if(Leaves.begin(), Leaves.end(),
+                                   [](const ChainLeaf &L) {
+                                     return L.Sign > 0;
+                                   });
+      if (FirstPos != Leaves.end())
+        std::iter_swap(Leaves.begin(), FirstPos);
+
+      IRBuilder B(Ctx);
+      B.setInsertPointBefore(Root);
+      Value *Acc;
+      if (Leaves.front().Sign > 0)
+        Acc = Leaves.front().V;
+      else
+        Acc = B.createSub(Ctx.getConstantInt(Root->getType(), 0),
+                          Leaves.front().V);
+      for (size_t I = 1; I < Leaves.size(); ++I)
+        Acc = B.createBinOp(Leaves[I].Sign > 0 ? BinOpcode::Add
+                                               : BinOpcode::Sub,
+                            Acc, Leaves[I].V);
+      if (auto *AccInst = dyn_cast<Instruction>(Acc))
+        AccInst->setName(Root->getName());
+      Root->replaceAllUsesWith(Acc);
+      // The old interior nodes are now dead; leave them to DCE-style
+      // cleanup below (they are pure and unused).
+      std::vector<Instruction *> Dead{Root};
+      while (!Dead.empty()) {
+        Instruction *D = Dead.back();
+        Dead.pop_back();
+        if (D->hasUses() || D->hasSideEffects())
+          continue;
+        for (unsigned I = 0; I < D->getNumOperands(); ++I)
+          if (auto *OpInst = dyn_cast<BinaryOperator>(D->getOperand(I)))
+            Dead.push_back(OpInst);
+        D->eraseFromParent();
+      }
+      ++Rewrites;
+    }
+  }
+  return Rewrites;
+}
+
+unsigned shuffleStatements(Function &F, RNG &R) {
+  unsigned Rewrites = 0;
+  for (const auto &BB : F.blocks()) {
+    // Movable window: everything between the leading phis and the
+    // terminator.
+    std::vector<Instruction *> Body;
+    for (const auto &InstPtr : *BB) {
+      Instruction *I = InstPtr.get();
+      if (isa<PhiNode>(I) || I->isTerminator())
+        continue;
+      Body.push_back(I);
+    }
+    if (Body.size() < 2)
+      continue;
+
+    // Dependence edges: SSA operands within the window, plus conservative
+    // memory ordering (a store depends on every earlier memory op; a load
+    // depends on every earlier store).
+    const size_t N = Body.size();
+    std::vector<std::vector<size_t>> Preds(N);
+    std::vector<size_t> Index(N);
+    for (size_t I = 0; I < N; ++I) {
+      for (unsigned Op = 0; Op < Body[I]->getNumOperands(); ++Op)
+        for (size_t J = 0; J < I; ++J)
+          if (Body[J] == Body[I]->getOperand(Op))
+            Preds[I].push_back(J);
+      if (Body[I]->mayReadOrWriteMemory())
+        for (size_t J = 0; J < I; ++J) {
+          if (!Body[J]->mayReadOrWriteMemory())
+            continue;
+          bool EitherStores = isa<StoreInst>(Body[I]) ||
+                              isa<StoreInst>(Body[J]);
+          if (EitherStores)
+            Preds[I].push_back(J);
+        }
+    }
+
+    // Random topological order (Kahn with a randomly drawn ready set).
+    std::vector<size_t> Remaining(N);
+    for (size_t I = 0; I < N; ++I)
+      Remaining[I] = Preds[I].size();
+    std::vector<bool> Placed(N, false);
+    std::vector<size_t> NewOrder;
+    NewOrder.reserve(N);
+    while (NewOrder.size() < N) {
+      std::vector<size_t> Ready;
+      for (size_t I = 0; I < N; ++I)
+        if (!Placed[I] && Remaining[I] == 0)
+          Ready.push_back(I);
+      size_t Pick = Ready[R.nextBelow(Ready.size())];
+      Placed[Pick] = true;
+      NewOrder.push_back(Pick);
+      for (size_t I = 0; I < N; ++I)
+        if (!Placed[I])
+          for (size_t P : Preds[I])
+            if (P == Pick)
+              --Remaining[I];
+    }
+
+    bool Changed = false;
+    for (size_t I = 0; I < N; ++I)
+      if (NewOrder[I] != I)
+        Changed = true;
+    if (!Changed)
+      continue;
+
+    // Materialize the order by moving each instruction before the
+    // terminator in sequence.
+    Instruction *Term = BB->getTerminator();
+    for (size_t I : NewOrder)
+      Body[I]->moveBefore(Term);
+    ++Rewrites;
+  }
+  return Rewrites;
+}
+
+} // namespace
+
+unsigned fuzz::applyMetamorphicRule(Function &F, MetamorphicRule Rule,
+                                    RNG &R) {
+  switch (Rule) {
+  case MetamorphicRule::CommuteOperands:
+    return commuteOperands(F, R);
+  case MetamorphicRule::ResugarInverse:
+    return resugarInverse(F, R);
+  case MetamorphicRule::ReassociateChain:
+    return reassociateChains(F, R);
+  case MetamorphicRule::ShuffleStatements:
+    return shuffleStatements(F, R);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metamorphic rewrites: semantics-preserving source transformations whose
+/// outputs must agree with the original program under every vectorizer
+/// configuration. Each rule is chosen to be APO-sound — it changes the
+/// syntactic shape the Super-Node builder sees (operand order, inverse-
+/// element sugar, chain association, statement order) without changing any
+/// operand's Accumulated Path Operation semantics, so any divergence after
+/// vectorization is a legality bug. docs/fuzzing.md derives the soundness
+/// argument for each rule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_FUZZ_METAMORPHIC_H
+#define SNSLP_FUZZ_METAMORPHIC_H
+
+#include "support/RNG.h"
+
+#include <cstdint>
+
+namespace snslp {
+
+class Function;
+
+namespace fuzz {
+
+/// The metamorphic rules.
+enum class MetamorphicRule : uint8_t {
+  /// Swap the operands of commutative binary operations (add/mul/fadd/
+  /// fmul). Bit-exact: IEEE-754 +/x are commutative.
+  CommuteOperands,
+  /// Resugar inverse elements: a - b -> a + (0 - b) for integers and
+  /// a - b -> a + fneg(b) for floats. Bit-exact in wrap-around and
+  /// IEEE-754 arithmetic. fdiv is deliberately NOT resugared (a * (1/b)
+  /// double-rounds).
+  ResugarInverse,
+  /// Re-associate integer add/sub chains: the leaves of a maximal +/-
+  /// chain are re-emitted in random order with their APO signs preserved.
+  /// Integer-only (FP addition is not associative); exact under
+  /// two's-complement wrap-around.
+  ReassociateChain,
+  /// Randomly reorder instructions within each block subject to SSA
+  /// def-use order and a conservative memory discipline (stores are
+  /// barriers; loads may move across loads only). Bit-exact.
+  ShuffleStatements,
+};
+
+inline constexpr unsigned NumMetamorphicRules = 4;
+
+/// Returns the display name of \p Rule ("commute", "resugar", "reassoc",
+/// "shuffle").
+const char *getRuleName(MetamorphicRule Rule);
+
+/// Applies \p Rule to \p F in place, making random choices through \p R.
+/// Returns the number of individual rewrites performed (0 = no
+/// opportunity; \p F is then unchanged). The caller is expected to verify
+/// and differentially execute the result.
+unsigned applyMetamorphicRule(Function &F, MetamorphicRule Rule, RNG &R);
+
+} // namespace fuzz
+} // namespace snslp
+
+#endif // SNSLP_FUZZ_METAMORPHIC_H

@@ -1,0 +1,280 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace snslp;
+using namespace snslp::fuzz;
+
+Reducer::Reducer(ReducerOptions Opts) : Opts(Opts) {}
+
+namespace {
+
+/// Returns the instruction at position (\p BlockIdx, \p InstIdx), or null.
+/// Clones preserve block/instruction order, so positions transfer between
+/// a function and its clone.
+Instruction *instAt(Function &F, size_t BlockIdx, size_t InstIdx) {
+  if (BlockIdx >= F.blocks().size())
+    return nullptr;
+  BasicBlock *BB = F.blocks()[BlockIdx].get();
+  if (InstIdx >= BB->size())
+    return nullptr;
+  auto It = BB->begin();
+  std::advance(It, static_cast<long>(InstIdx));
+  return It->get();
+}
+
+/// Candidate replacement values for rewriting the uses of \p Inst (or one
+/// of its operands): same-typed operands, arguments, and small constants.
+std::vector<Value *> replacementCandidates(Function &F, Instruction *Inst,
+                                           bool IncludeOperands) {
+  std::vector<Value *> Result;
+  Type *Ty = Inst->getType();
+  if (Ty->isVoid())
+    return Result;
+  if (IncludeOperands)
+    for (unsigned I = 0, E = Inst->getNumOperands(); I != E; ++I)
+      if (Inst->getOperand(I)->getType() == Ty)
+        Result.push_back(Inst->getOperand(I));
+  for (unsigned A = 0, E = F.getNumArgs(); A != E; ++A)
+    if (F.getArg(A)->getType() == Ty)
+      Result.push_back(F.getArg(A));
+  Context &Ctx = F.getContext();
+  if (Ty->isInteger()) {
+    Result.push_back(Ctx.getConstantInt(Ty, 1));
+    Result.push_back(Ctx.getConstantInt(Ty, 2));
+  } else if (Ty->isFloatingPoint()) {
+    // Away from zero so shrunk fdiv denominators stay well-conditioned.
+    Result.push_back(Ctx.getConstantFP(Ty, 1.5));
+    Result.push_back(Ctx.getConstantFP(Ty, 2.5));
+  }
+  return Result;
+}
+
+/// Removes every block not reachable from the entry and prunes phi
+/// incoming entries from deleted or disconnected predecessors. Phis left
+/// with a single incoming are folded away.
+void simplifyCFG(Function &F) {
+  // Reachability from the entry block.
+  std::set<BasicBlock *> Reachable;
+  std::vector<BasicBlock *> Work{&F.getEntryBlock()};
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    if (!Reachable.insert(BB).second)
+      continue;
+    for (BasicBlock *Succ : BB->successors())
+      Work.push_back(Succ);
+  }
+
+  // Prune phi incomings whose predecessor edge no longer exists.
+  for (const auto &BB : F.blocks()) {
+    if (!Reachable.count(BB.get()))
+      continue;
+    std::set<BasicBlock *> Preds;
+    for (BasicBlock *Pred : BB->predecessors())
+      if (Reachable.count(Pred))
+        Preds.insert(Pred);
+    std::vector<PhiNode *> Phis;
+    for (const auto &Inst : *BB)
+      if (auto *Phi = dyn_cast<PhiNode>(Inst.get()))
+        Phis.push_back(Phi);
+    for (PhiNode *Phi : Phis) {
+      for (unsigned I = Phi->getNumIncoming(); I > 0; --I)
+        if (!Preds.count(Phi->getIncomingBlock(I - 1)))
+          Phi->removeIncoming(I - 1);
+      if (Phi->getNumIncoming() == 1) {
+        Value *Only = Phi->getIncomingValue(0);
+        if (Only != Phi) {
+          Phi->replaceAllUsesWith(Only);
+          Phi->eraseFromParent();
+        }
+      }
+    }
+  }
+
+  // Delete unreachable blocks (severing their def-use edges first so
+  // cycles among doomed blocks cannot trip the use-list asserts).
+  std::vector<BasicBlock *> Doomed;
+  for (const auto &BB : F.blocks())
+    if (!Reachable.count(BB.get()))
+      Doomed.push_back(BB.get());
+  for (BasicBlock *BB : Doomed)
+    for (const auto &Inst : *BB)
+      Inst->dropAllReferences();
+  for (BasicBlock *BB : Doomed)
+    F.eraseBlock(BB);
+}
+
+} // namespace
+
+ReduceResult Reducer::reduce(const Function &F,
+                             const InterestingFn &Interesting) {
+  Module &M = *F.getParent();
+  ReduceResult Result;
+  Result.InstructionsBefore = F.instructionCount();
+
+  auto NewName = [&] {
+    return F.getName() + ".red" + std::to_string(CloneCounter++);
+  };
+
+  Function *Current = F.cloneInto(M, NewName());
+
+  // One candidate: clone Current, mutate it, verify, test. On success the
+  // candidate becomes Current.
+  auto TryCandidate = [&](const std::function<bool(Function &)> &Mutate) {
+    std::string Name = NewName();
+    Function *Candidate = Current->cloneInto(M, Name);
+    ++Result.CandidatesTried;
+    bool Keep = Mutate(*Candidate) && verifyFunction(*Candidate) &&
+                Interesting(*Candidate);
+    if (!Keep) {
+      M.eraseFunction(Name);
+      return false;
+    }
+    std::string OldName = Current->getName();
+    Current = Candidate;
+    M.eraseFunction(OldName);
+    ++Result.CandidatesAccepted;
+    return true;
+  };
+
+  for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
+    bool Progress = false;
+
+    // Pass 1: straighten conditional branches and drop the blocks that
+    // become unreachable (removes loops and diamonds wholesale).
+    for (size_t B = 0; B < Current->blocks().size(); ++B) {
+      Instruction *Term = Current->blocks()[B]->getTerminator();
+      auto *Br = Term ? dyn_cast<BranchInst>(Term) : nullptr;
+      if (!Br || !Br->isConditional())
+        continue;
+      for (unsigned Dir = 0; Dir < 2; ++Dir) {
+        bool Accepted = TryCandidate([B, Dir](Function &Cand) {
+          BasicBlock *BB = Cand.blocks()[B].get();
+          Instruction *CTerm = BB->getTerminator();
+          auto *CBr = CTerm ? dyn_cast<BranchInst>(CTerm) : nullptr;
+          if (!CBr || !CBr->isConditional())
+            return false;
+          BasicBlock *Target = CBr->getSuccessor(Dir);
+          CBr->eraseFromParent();
+          IRBuilder Builder(BB);
+          Builder.createBr(Target);
+          simplifyCFG(Cand);
+          return true;
+        });
+        if (Accepted) {
+          Progress = true;
+          break; // Block indices shifted; restart scanning.
+        }
+      }
+      if (Progress)
+        break;
+    }
+    if (Progress)
+      continue;
+
+    // Pass 2: drop instructions, rewriting any uses to an operand, an
+    // argument, or a small constant. Iterate bottom-up so consumers die
+    // before their producers.
+    for (size_t B = Current->blocks().size(); B > 0 && !Progress; --B) {
+      BasicBlock *BB = Current->blocks()[B - 1].get();
+      for (size_t I = BB->size(); I > 0 && !Progress; --I) {
+        Instruction *Inst = instAt(*Current, B - 1, I - 1);
+        if (!Inst || Inst->isTerminator() || isa<PhiNode>(Inst))
+          continue;
+        size_t BI = B - 1, II = I - 1;
+        if (isa<StoreInst>(Inst) || !Inst->hasUses()) {
+          Progress = TryCandidate([BI, II](Function &Cand) {
+            Instruction *CInst = instAt(Cand, BI, II);
+            if (!CInst || CInst->isTerminator())
+              return false;
+            if (CInst->hasUses())
+              return false;
+            CInst->eraseFromParent();
+            return true;
+          });
+          continue;
+        }
+        // Used value: try each replacement until one keeps the failure.
+        size_t NumRepl =
+            replacementCandidates(*Current, Inst, /*IncludeOperands=*/true)
+                .size();
+        for (size_t RIdx = 0; RIdx < NumRepl && !Progress; ++RIdx) {
+          Progress = TryCandidate([BI, II, RIdx](Function &Cand) {
+            Instruction *CInst = instAt(Cand, BI, II);
+            if (!CInst)
+              return false;
+            auto Repl = replacementCandidates(Cand, CInst,
+                                              /*IncludeOperands=*/true);
+            if (RIdx >= Repl.size() || Repl[RIdx] == CInst)
+              return false;
+            CInst->replaceAllUsesWith(Repl[RIdx]);
+            CInst->eraseFromParent();
+            return true;
+          });
+        }
+      }
+    }
+    if (Progress)
+      continue;
+
+    // Pass 3: simplify operands in place (constant/argument substitution
+    // without deleting the instruction). Unlocks further Pass-2 deletions.
+    for (size_t B = 0; B < Current->blocks().size() && !Progress; ++B) {
+      BasicBlock *BB = Current->blocks()[B].get();
+      for (size_t I = 0; I < BB->size() && !Progress; ++I) {
+        Instruction *Inst = instAt(*Current, B, I);
+        if (!Inst || isa<PhiNode>(Inst))
+          continue;
+        for (unsigned Op = 0;
+             Op < Inst->getNumOperands() && !Progress; ++Op) {
+          auto *OpInst = dyn_cast<Instruction>(Inst->getOperand(Op));
+          if (!OpInst)
+            continue; // Already an argument or constant.
+          size_t NumRepl =
+              replacementCandidates(*Current, OpInst,
+                                    /*IncludeOperands=*/false)
+                  .size();
+          for (size_t RIdx = 0; RIdx < NumRepl && !Progress; ++RIdx) {
+            Progress = TryCandidate([B, I, Op, RIdx](Function &Cand) {
+              Instruction *CInst = instAt(Cand, B, I);
+              if (!CInst || Op >= CInst->getNumOperands())
+                return false;
+              auto *COp = dyn_cast<Instruction>(CInst->getOperand(Op));
+              if (!COp)
+                return false;
+              auto Repl = replacementCandidates(Cand, COp,
+                                                /*IncludeOperands=*/false);
+              if (RIdx >= Repl.size())
+                return false;
+              CInst->setOperand(Op, Repl[RIdx]);
+              return true;
+            });
+          }
+        }
+      }
+    }
+
+    if (!Progress)
+      break; // Fixpoint.
+  }
+
+  Result.Reduced = Current;
+  Result.InstructionsAfter = Current->instructionCount();
+  return Result;
+}

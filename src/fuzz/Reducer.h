@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugging shrinker for oracle failures. Given a function and a
+/// predicate "does this candidate still trigger the failure?", greedily
+/// applies shrinking mutations — drop instructions (rewriting uses to an
+/// operand, argument or constant), simplify operands to constants or
+/// arguments, straighten conditional branches and delete the unreachable
+/// blocks — re-verifying every candidate, until a fixpoint. The result is
+/// the minimal repro written into fuzz artifacts (fuzz/Artifact.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_FUZZ_REDUCER_H
+#define SNSLP_FUZZ_REDUCER_H
+
+#include <cstddef>
+#include <functional>
+
+namespace snslp {
+
+class Function;
+
+namespace fuzz {
+
+/// Shrinker tunables.
+struct ReducerOptions {
+  /// Maximum full passes over the candidate before giving up (each pass
+  /// is itself greedy, so this bound is rarely reached).
+  unsigned MaxRounds = 64;
+};
+
+/// Outcome of one reduction.
+struct ReduceResult {
+  /// The minimized clone (lives in the input function's module). Never
+  /// null; equals a plain clone when no mutation kept the failure alive.
+  Function *Reduced = nullptr;
+  size_t InstructionsBefore = 0;
+  size_t InstructionsAfter = 0;
+  unsigned CandidatesTried = 0;
+  unsigned CandidatesAccepted = 0;
+};
+
+/// The delta-debugging reducer.
+class Reducer {
+public:
+  /// Returns true when the candidate still triggers the original failure.
+  /// Candidates handed to the predicate are always verifier-clean.
+  using InterestingFn = std::function<bool(Function &)>;
+
+  explicit Reducer(ReducerOptions Opts = {});
+
+  /// Shrinks \p F under \p Interesting. \p F itself is left untouched;
+  /// the returned function is a new clone in F's module. \p Interesting
+  /// must hold for \p F itself (the unreduced failure).
+  ReduceResult reduce(const Function &F, const InterestingFn &Interesting);
+
+private:
+  ReducerOptions Opts;
+  unsigned CloneCounter = 0;
+};
+
+} // namespace fuzz
+} // namespace snslp
+
+#endif // SNSLP_FUZZ_REDUCER_H

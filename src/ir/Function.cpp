@@ -48,6 +48,22 @@ BasicBlock *Function::createBlock(std::string BlockName) {
   return Blocks.back().get();
 }
 
+void Function::eraseBlock(BasicBlock *BB) {
+  assert(BB && BB->getParent() == this && "block not in this function");
+  assert(!Blocks.empty() && BB != Blocks.front().get() &&
+         "cannot erase the entry block");
+  // Sever outgoing def-use edges so destruction order inside the block is
+  // irrelevant (mirrors ~Function).
+  for (const auto &Inst : *BB)
+    Inst->dropAllReferences();
+  for (auto It = Blocks.begin(); It != Blocks.end(); ++It)
+    if (It->get() == BB) {
+      Blocks.erase(It);
+      return;
+    }
+  assert(false && "block list inconsistent");
+}
+
 BasicBlock *Function::getBlockByName(const std::string &BlockName) const {
   for (const auto &BB : Blocks)
     if (BB->getName() == BlockName)

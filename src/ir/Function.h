@@ -71,6 +71,13 @@ public:
 
   /// Returns the block named \p BlockName, or null.
   BasicBlock *getBlockByName(const std::string &BlockName) const;
+
+  /// Unlinks and destroys \p BB (must not be the entry block). The caller
+  /// must first ensure no instruction outside \p BB uses a value defined
+  /// in it (sever cross-block cycles among doomed blocks by calling
+  /// dropAllReferences on their instructions beforehand). Used by the
+  /// fuzz reducer to delete unreachable blocks.
+  void eraseBlock(BasicBlock *BB);
   /// @}
 
   /// Total number of instructions across all blocks.

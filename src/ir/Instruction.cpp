@@ -51,6 +51,19 @@ void Instruction::appendOperand(Value *V) {
   V->addUse(this, getNumOperands() - 1);
 }
 
+void Instruction::removeOperand(unsigned I) {
+  assert(I < Operands.size() && "operand index out of range");
+  // Detach every operand from slot I onwards: their use-list entries are
+  // keyed by (user, index) and the indices are about to shift.
+  for (unsigned J = I, E = getNumOperands(); J != E; ++J)
+    if (Operands[J])
+      Operands[J]->removeUse(this, J);
+  Operands.erase(Operands.begin() + I);
+  for (unsigned J = I, E = getNumOperands(); J != E; ++J)
+    if (Operands[J])
+      Operands[J]->addUse(this, J);
+}
+
 int Instruction::getOperandIndex(const Value *V) const {
   for (unsigned I = 0, E = getNumOperands(); I != E; ++I)
     if (Operands[I] == V)
@@ -261,6 +274,22 @@ void PhiNode::addIncoming(Value *V, BasicBlock *BB) {
   assert(V->getType() == getType() && "phi incoming type mismatch");
   IncomingBlocks.push_back(BB);
   appendOperand(V);
+}
+
+void PhiNode::removeIncoming(unsigned I) {
+  assert(I < IncomingBlocks.size() && "incoming index out of range");
+  IncomingBlocks.erase(IncomingBlocks.begin() + I);
+  removeOperand(I);
+}
+
+unsigned PhiNode::removeIncomingForBlock(const BasicBlock *BB) {
+  unsigned Removed = 0;
+  for (unsigned I = getNumIncoming(); I > 0; --I)
+    if (getIncomingBlock(I - 1) == BB) {
+      removeIncoming(I - 1);
+      ++Removed;
+    }
+  return Removed;
 }
 
 Value *PhiNode::getIncomingValueForBlock(const BasicBlock *BB) const {

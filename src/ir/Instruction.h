@@ -43,6 +43,10 @@ public:
   }
   /// Replaces operand \p I, updating both use lists.
   void setOperand(unsigned I, Value *V);
+  /// Removes operand slot \p I entirely, shifting later operands down and
+  /// re-indexing their use-list entries. Used by PhiNode incoming removal
+  /// (and through it by the fuzz reducer's CFG simplification).
+  void removeOperand(unsigned I);
   /// Returns the operand index of \p V, or -1 when \p V is not an operand.
   int getOperandIndex(const Value *V) const;
   /// @}
@@ -326,6 +330,14 @@ public:
 
   /// Appends an incoming (value, predecessor) pair.
   void addIncoming(Value *V, BasicBlock *BB);
+
+  /// Removes the incoming pair at index \p I.
+  void removeIncoming(unsigned I);
+
+  /// Removes every incoming pair whose predecessor is \p BB; returns the
+  /// number of pairs removed. Used when a predecessor edge or block is
+  /// deleted (fuzz reducer, CFG simplification).
+  unsigned removeIncomingForBlock(const BasicBlock *BB);
 
   /// Returns the incoming value for predecessor \p BB; asserts presence.
   Value *getIncomingValueForBlock(const BasicBlock *BB) const;

@@ -6,117 +6,50 @@
 ///
 /// \file
 /// Adversarial aliasing fuzz: random straight-line programs that read and
-/// write ONE shared array with interleaved, often-conflicting accesses.
-/// Any unsound bundling/scheduling decision (moving a load past a store
-/// it conflicts with, or reordering conflicting stores) changes the
-/// results; every configuration is differentially checked against the
+/// write ONE shared array with interleaved, often-conflicting accesses
+/// (fuzz/IRGenerator's Alias shape). Any unsound bundling/scheduling
+/// decision (moving a load past a store it conflicts with, or reordering
+/// conflicting stores) changes the results; the differential oracle checks
+/// every configuration — including the load-shuffle variants — against the
 /// untransformed program with bit-exact integer semantics.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "interp/ExecutionEngine.h"
+#include "fuzz/DiffOracle.h"
+#include "fuzz/IRGenerator.h"
 #include "ir/Context.h"
-#include "ir/IRBuilder.h"
 #include "ir/Module.h"
 #include "ir/Verifier.h"
-#include "slp/SLPVectorizer.h"
 #include "support/RNG.h"
 
 #include <gtest/gtest.h>
 
 using namespace snslp;
+using namespace snslp::fuzz;
 
 namespace {
-
-constexpr size_t ArrayLen = 24;
 
 class AliasFuzzTest : public ::testing::TestWithParam<uint64_t> {
 protected:
   Context Ctx;
   Module M{Ctx, "aliasfuzz"};
-
-  /// Builds a straight-line program of Statements stores into m[],
-  /// each computed from loads of random (frequently overlapping) slots
-  /// of the same array.
-  Function *buildRandomProgram(const std::string &Name, RNG &R) {
-    Function *F = M.createFunction(Name, Ctx.getVoidTy(),
-                                   {{Ctx.getPtrTy(), "m"}});
-    BasicBlock *BB = F->createBlock("entry");
-    IRBuilder B(BB);
-    Type *I64 = Ctx.getInt64Ty();
-    Value *Base = F->getArg(0);
-
-    auto LoadAt = [&B, I64, Base](int64_t Index) {
-      Value *Ptr = B.createGEP(I64, Base, B.getInt64(Index));
-      return B.createLoad(I64, Ptr);
-    };
-
-    unsigned Statements = 4 + static_cast<unsigned>(R.nextBelow(6));
-    // Bias store targets towards small consecutive clusters so seeds form.
-    int64_t Cluster = R.nextInRange(0, 8);
-    for (unsigned S = 0; S < Statements; ++S) {
-      // Expression: chain of 1-3 binary ops over loads/constants.
-      Value *Acc = LoadAt(R.nextInRange(0, ArrayLen - 1));
-      unsigned Ops = 1 + static_cast<unsigned>(R.nextBelow(3));
-      for (unsigned O = 0; O < Ops; ++O) {
-        Value *Rhs = R.nextBool(0.25)
-                         ? static_cast<Value *>(
-                               B.getInt64(R.nextInRange(-9, 9)))
-                         : LoadAt(R.nextInRange(0, ArrayLen - 1));
-        BinOpcode Op = R.nextBool(0.4) ? BinOpcode::Sub : BinOpcode::Add;
-        Acc = B.createBinOp(Op, Acc, Rhs);
-      }
-      int64_t Target = R.nextBool(0.7)
-                           ? Cluster + static_cast<int64_t>(S % 4)
-                           : R.nextInRange(0, ArrayLen - 1);
-      Value *Ptr = B.createGEP(I64, Base, B.getInt64(Target));
-      B.createStore(Acc, Ptr);
-    }
-    B.createRet();
-    return F;
-  }
-
-  std::vector<int64_t> execute(Function *F, uint64_t DataSeed) {
-    std::vector<int64_t> Mem(ArrayLen);
-    RNG R(DataSeed);
-    for (auto &V : Mem)
-      V = R.nextInRange(-100, 100);
-    ExecutionEngine E(*F);
-    ExecutionResult Res = E.run({argPointer(Mem.data())});
-    EXPECT_TRUE(Res.Ok) << Res.Error;
-    return Mem;
-  }
 };
 
 TEST_P(AliasFuzzTest, ConflictingAccessesStayCorrect) {
   RNG R(GetParam());
+  IRGenerator Gen(M);
+  OracleOptions Opts;
+  Opts.Configs = OracleOptions::defaultConfigs(/*WithLoadShuffles=*/true);
+  DiffOracle Oracle(Opts);
+
   constexpr unsigned Rounds = 80;
   for (unsigned Round = 0; Round < Rounds; ++Round) {
-    std::string Base = "af" + std::to_string(Round);
-    Function *F = buildRandomProgram(Base, R);
-    ASSERT_TRUE(verifyFunction(*F));
-    std::vector<int64_t> Expected = execute(F, GetParam() + Round);
-
-    for (VectorizerMode Mode : {VectorizerMode::SLP, VectorizerMode::LSLP,
-                                VectorizerMode::SNSLP}) {
-      for (bool Shuffles : {false, true}) {
-        Function *Clone = F->cloneInto(
-            M, Base + "." + getModeName(Mode) + (Shuffles ? ".sh" : ""));
-        VectorizerConfig Cfg;
-        Cfg.Mode = Mode;
-        Cfg.EnableLoadShuffles = Shuffles;
-        runSLPVectorizer(*Clone, Cfg);
-        std::vector<std::string> Errors;
-        ASSERT_TRUE(verifyFunction(*Clone, &Errors))
-            << Base << " " << getModeName(Mode) << ": "
-            << (Errors.empty() ? "" : Errors.front());
-
-        std::vector<int64_t> Actual = execute(Clone, GetParam() + Round);
-        ASSERT_EQ(Expected, Actual)
-            << Base << " under " << getModeName(Mode)
-            << (Shuffles ? " +shuffles" : "");
-      }
-    }
+    GeneratedProgram P =
+        Gen.generateAliasProgram("af" + std::to_string(Round), R);
+    ASSERT_TRUE(verifyFunction(*P.F));
+    OracleReport Report = Oracle.check(P, GetParam() + Round);
+    ASSERT_TRUE(Report.ok())
+        << "round " << Round << "\n" << Report.summary();
   }
 }
 

@@ -1,0 +1,84 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regression corpus replay: every artifact checked into tests/corpus/
+/// (hand-picked nasty APO chains plus any repros reduced from fuzzslp
+/// findings) is loaded through the artifact reader and pushed through the
+/// full differential-oracle matrix. A corpus artifact failing here means a
+/// previously-understood bug pattern has regressed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Artifact.h"
+#include "fuzz/DiffOracle.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace snslp;
+using namespace snslp::fuzz;
+
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> Files;
+  std::error_code EC;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(SNSLP_CORPUS_DIR, EC))
+    if (Entry.path().extension() == ".ir")
+      Files.push_back(Entry.path().string());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+class FuzzCorpusTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FuzzCorpusTest, ArtifactStaysClean) {
+  Context Ctx;
+  Module M(Ctx, "corpus");
+  ArtifactInfo Info;
+  std::string Err;
+  ASSERT_TRUE(loadArtifactFile(GetParam(), M, Info, &Err)) << Err;
+  ASSERT_NE(Info.Meta.F, nullptr);
+  ASSERT_TRUE(verifyFunction(*Info.Meta.F));
+
+  // The full matrix, load-shuffle configurations included: corpus entries
+  // are chosen to be nasty, so give them the widest net.
+  OracleOptions Opts;
+  Opts.Configs = OracleOptions::defaultConfigs(/*WithLoadShuffles=*/true);
+  DiffOracle Oracle(Opts);
+  OracleReport Report = Oracle.check(Info.Meta, Info.DataSeed);
+  EXPECT_TRUE(Report.ok()) << GetParam() << "\n" << Report.summary();
+  EXPECT_GT(Report.VariantsChecked, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, FuzzCorpusTest, ::testing::ValuesIn(corpusFiles()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      std::string Stem = std::filesystem::path(Info.param).stem().string();
+      for (char &C : Stem)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Stem;
+    });
+
+/// The corpus must retain its hand-picked baseline of at least five nasty
+/// APO-chain artifacts.
+TEST(FuzzCorpusInventoryTest, AtLeastFiveArtifacts) {
+  EXPECT_GE(corpusFiles().size(), 5u);
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the random program generator (fuzz/IRGenerator) and the fuzz
+/// artifact format (fuzz/Artifact): determinism, verifier-cleanliness over
+/// a seed sweep, shape/type coverage, print/parse round-trips and artifact
+/// metadata round-trips.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Artifact.h"
+#include "fuzz/IRGenerator.h"
+#include "ir/Context.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Type.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace snslp;
+using namespace snslp::fuzz;
+
+namespace {
+
+TEST(FuzzGeneratorTest, SameSeedSameProgram) {
+  for (uint64_t Seed : {1ull, 7ull, 42ull, 999ull}) {
+    Context CtxA, CtxB;
+    Module MA(CtxA, "a"), MB(CtxB, "b");
+    GeneratedProgram PA = IRGenerator(MA).generate("f", Seed);
+    GeneratedProgram PB = IRGenerator(MB).generate("f", Seed);
+    EXPECT_EQ(toString(*PA.F), toString(*PB.F)) << "seed " << Seed;
+    EXPECT_EQ(PA.Shape, PB.Shape);
+    EXPECT_EQ(PA.ArrayLen, PB.ArrayLen);
+    EXPECT_EQ(PA.NumPointerArgs, PB.NumPointerArgs);
+  }
+}
+
+TEST(FuzzGeneratorTest, SweepIsVerifierClean) {
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    Context Ctx;
+    Module M(Ctx, "sweep");
+    GeneratedProgram P =
+        IRGenerator(M).generate("f" + std::to_string(Seed), Seed);
+    ASSERT_NE(P.F, nullptr);
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(verifyFunction(*P.F, &Errors))
+        << "seed " << Seed << ": "
+        << (Errors.empty() ? "" : Errors.front());
+    EXPECT_EQ(P.Seed, Seed);
+    EXPECT_GT(P.NumPointerArgs, 0u);
+    EXPECT_GT(P.ArrayLen, 0u);
+  }
+}
+
+TEST(FuzzGeneratorTest, SweepCoversAllShapesAndTypes) {
+  std::set<ProgramShape> Shapes;
+  std::set<std::string> Types;
+  for (uint64_t Seed = 1; Seed <= 300; ++Seed) {
+    Context Ctx;
+    Module M(Ctx, "cov");
+    GeneratedProgram P = IRGenerator(M).generate("f", Seed);
+    Shapes.insert(P.Shape);
+    Types.insert(P.ElemTy->getName());
+  }
+  EXPECT_EQ(Shapes.size(), 3u) << "expr, alias and loop shapes";
+  EXPECT_EQ(Types, (std::set<std::string>{"i32", "i64", "f32", "f64"}));
+}
+
+TEST(FuzzGeneratorTest, GeneratedProgramsRoundTripThroughParser) {
+  for (uint64_t Seed = 1; Seed <= 60; ++Seed) {
+    Context Ctx;
+    Module M(Ctx, "rt");
+    GeneratedProgram P = IRGenerator(M).generate("f", Seed);
+    std::string Printed = toString(*P.F);
+    Module M2(Ctx, "rt2");
+    std::string Err;
+    ASSERT_TRUE(parseIR(Printed, M2, &Err)) << "seed " << Seed << ": " << Err;
+    EXPECT_EQ(toString(*M2.functions().front()), Printed) << "seed " << Seed;
+  }
+}
+
+TEST(FuzzGeneratorTest, ShapeNamesRoundTrip) {
+  for (ProgramShape S : {ProgramShape::Expression, ProgramShape::Alias,
+                         ProgramShape::Loop}) {
+    ProgramShape Parsed;
+    ASSERT_TRUE(parseShapeName(getShapeName(S), Parsed));
+    EXPECT_EQ(Parsed, S);
+  }
+  ProgramShape Dummy;
+  EXPECT_FALSE(parseShapeName("bogus", Dummy));
+}
+
+TEST(FuzzArtifactTest, MetadataRoundTrips) {
+  // One artifact per shape so every metadata field is exercised.
+  for (uint64_t Seed : {3ull, 5ull, 16ull, 18ull, 21ull}) {
+    Context Ctx;
+    Module M(Ctx, "art");
+    GeneratedProgram P = IRGenerator(M).generate("f", Seed);
+    std::string Text =
+        renderArtifact(P, /*DataSeed=*/Seed * 3, "memory-mismatch: arg0[2]");
+
+    Module M2(Ctx, "art2");
+    ArtifactInfo Info;
+    std::string Err;
+    ASSERT_TRUE(loadArtifact(Text, M2, Info, &Err)) << Err;
+    EXPECT_EQ(Info.Meta.Seed, P.Seed);
+    EXPECT_EQ(Info.DataSeed, Seed * 3);
+    EXPECT_EQ(Info.Meta.Shape, P.Shape);
+    EXPECT_EQ(Info.Meta.ElemTy->getName(), P.ElemTy->getName());
+    EXPECT_EQ(Info.Meta.NumPointerArgs, P.NumPointerArgs);
+    EXPECT_EQ(Info.Meta.ArrayLen, P.ArrayLen);
+    EXPECT_EQ(Info.Meta.HasTripCountArg, P.HasTripCountArg);
+    EXPECT_EQ(Info.Meta.TripCount, P.TripCount);
+    EXPECT_EQ(Info.Meta.InPlace, P.InPlace);
+    EXPECT_EQ(Info.Meta.ReturnsValue, P.ReturnsValue);
+    EXPECT_EQ(Info.Failure, "memory-mismatch: arg0[2]");
+    ASSERT_NE(Info.Meta.F, nullptr);
+    EXPECT_EQ(toString(*Info.Meta.F), toString(*P.F));
+    // An artifact is itself a plain IR file: rendering the loaded function
+    // again must reproduce the same artifact text.
+    EXPECT_EQ(renderArtifact(Info.Meta, Info.DataSeed, Info.Failure), Text);
+  }
+}
+
+TEST(FuzzArtifactTest, HeaderlessSourceStillLoads) {
+  const char *Source = "func @plain(ptr %out) {\n"
+                       "entry:\n"
+                       "  ret void\n"
+                       "}\n";
+  Context Ctx;
+  Module M(Ctx, "plain");
+  ArtifactInfo Info;
+  std::string Err;
+  ASSERT_TRUE(loadArtifact(Source, M, Info, &Err)) << Err;
+  EXPECT_EQ(Info.Meta.F->getName(), "plain");
+  // Defaults applied.
+  EXPECT_EQ(Info.Meta.ElemTy->getName(), "f64");
+  EXPECT_EQ(Info.Meta.ArrayLen, 16u);
+}
+
+TEST(FuzzArtifactTest, BadMetadataIsRejected) {
+  Context Ctx;
+  ArtifactInfo Info;
+  std::string Err;
+  {
+    Module M(Ctx, "bad");
+    EXPECT_FALSE(loadArtifact("; shape: spiral\nfunc @f(ptr %o) {\n"
+                              "entry:\n  ret\n}\n",
+                              M, Info, &Err));
+    EXPECT_NE(Err.find("shape"), std::string::npos);
+  }
+  {
+    Module M(Ctx, "bad2");
+    EXPECT_FALSE(loadArtifact("; elem: f16\nfunc @f(ptr %o) {\n"
+                              "entry:\n  ret\n}\n",
+                              M, Info, &Err));
+    EXPECT_NE(Err.find("element"), std::string::npos);
+  }
+  {
+    Module M(Ctx, "bad3");
+    EXPECT_FALSE(loadArtifact("; fuzzslp-artifact v1\n; seed: 1\n", M, Info,
+                              &Err));
+  }
+}
+
+} // namespace

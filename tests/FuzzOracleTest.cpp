@@ -1,0 +1,233 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the differential oracle (fuzz/DiffOracle) and the metamorphic
+/// rewrites (fuzz/Metamorphic): a bounded deterministic sweep must be
+/// clean, a planted miscompile (via the test-only PostVectorizeHook) must
+/// be detected with the right failure signature, every metamorphic rule
+/// must preserve semantics, and the FP comparison must honour its
+/// tolerances.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/DiffOracle.h"
+#include "fuzz/IRGenerator.h"
+#include "fuzz/Metamorphic.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+using namespace snslp;
+using namespace snslp::fuzz;
+
+namespace {
+
+/// A tiny hand-written program with one observable subtraction, plus the
+/// metadata the oracle needs to execute it.
+GeneratedProgram parsePlanted(Module &M) {
+  const char *Source = "func @planted(ptr %out, ptr %in0) {\n"
+                       "entry:\n"
+                       "  %p = gep i64, ptr %in0, i64 0\n"
+                       "  %a = load i64, ptr %p\n"
+                       "  %q = gep i64, ptr %in0, i64 1\n"
+                       "  %b = load i64, ptr %q\n"
+                       "  %d = sub i64 %a, %b\n"
+                       "  %o = gep i64, ptr %out, i64 0\n"
+                       "  store i64 %d, ptr %o\n"
+                       "  ret void\n"
+                       "}\n";
+  std::string Err;
+  bool Parsed = parseIR(Source, M, &Err);
+  EXPECT_TRUE(Parsed) << Err;
+  GeneratedProgram P;
+  P.F = M.getFunction("planted");
+  P.Shape = ProgramShape::Expression;
+  P.ElemTy = M.getContext().getInt64Ty();
+  P.NumPointerArgs = 2;
+  P.ArrayLen = 8;
+  return P;
+}
+
+/// Flips the first integer sub into an add — the planted miscompile.
+/// Returns true when a sub was found.
+bool flipFirstSub(Function &F) {
+  for (const auto &BB : F.blocks())
+    for (const auto &Inst : *BB)
+      if (auto *BO = dyn_cast<BinaryOperator>(Inst.get()))
+        if (BO->getOpcode() == BinOpcode::Sub) {
+          auto Add = std::make_unique<BinaryOperator>(
+              BinOpcode::Add, BO->getLHS(), BO->getRHS());
+          Add->setName(BO->getName());
+          Instruction *New =
+              BB->insert(BB->getIterator(BO), std::move(Add));
+          BO->replaceAllUsesWith(New);
+          BO->eraseFromParent();
+          return true;
+        }
+  return false;
+}
+
+TEST(FuzzOracleTest, BoundedSweepIsClean) {
+  DiffOracle Oracle;
+  for (uint64_t Seed = 1; Seed <= 150; ++Seed) {
+    Context Ctx;
+    Module M(Ctx, "sweep");
+    GeneratedProgram P = IRGenerator(M).generate("f", Seed);
+    OracleReport Report = Oracle.check(P, Seed);
+    ASSERT_TRUE(Report.ok()) << "seed " << Seed << "\n" << Report.summary();
+    EXPECT_GT(Report.VariantsChecked, 2u);
+  }
+}
+
+TEST(FuzzOracleTest, CleanProgramPassesAndHookedProgramFails) {
+  Context Ctx;
+  Module M(Ctx, "planted");
+  GeneratedProgram P = parsePlanted(M);
+
+  // Without the hook the program is healthy.
+  {
+    DiffOracle Oracle;
+    OracleReport Report = Oracle.check(P, /*DataSeed=*/7);
+    ASSERT_TRUE(Report.ok()) << Report.summary();
+  }
+
+  // Plant the miscompile under the O3 (no-op vectorizer) configuration:
+  // its clone keeps the scalar sub, so the flip is guaranteed to land.
+  OracleOptions Opts;
+  Opts.PostVectorizeHook = [](Function &F, VectorizerMode Mode) {
+    if (Mode == VectorizerMode::O3) {
+      ASSERT_TRUE(flipFirstSub(F));
+    }
+  };
+  DiffOracle Hooked(Opts);
+  OracleReport Report = Hooked.check(P, /*DataSeed=*/7);
+  ASSERT_FALSE(Report.ok()) << "planted miscompile was not detected";
+  // Every failure must implicate a hooked variant (plain "O3" or an
+  // O3-compiled metamorphic clone like "meta:commute/O3"), on both engines.
+  for (const OracleFailure &F : Report.Failures) {
+    EXPECT_NE(F.Variant.find("O3"), std::string::npos) << F.render();
+    EXPECT_EQ(F.Kind, "memory-mismatch") << F.render();
+  }
+  bool SawBytecode = std::any_of(
+      Report.Failures.begin(), Report.Failures.end(),
+      [](const OracleFailure &F) { return F.Engine == "bytecode"; });
+  bool SawReference = std::any_of(
+      Report.Failures.begin(), Report.Failures.end(),
+      [](const OracleFailure &F) { return F.Engine == "reference"; });
+  EXPECT_TRUE(SawBytecode && SawReference);
+}
+
+TEST(FuzzOracleTest, HookedVectorizedModeIsAlsoDetected) {
+  Context Ctx;
+  Module M(Ctx, "planted2");
+  GeneratedProgram P = parsePlanted(M);
+
+  // Flip the sub in every mode: whatever instruction shape the vectorizer
+  // leaves behind, at least the O3 and original-scalar paths must fire,
+  // and no failure may be blamed on a non-hooked variant.
+  OracleOptions Opts;
+  Opts.CheckMetamorphic = false;
+  Opts.PostVectorizeHook = [](Function &F, VectorizerMode) {
+    flipFirstSub(F);
+  };
+  DiffOracle Hooked(Opts);
+  OracleReport Report = Hooked.check(P, /*DataSeed=*/7);
+  ASSERT_FALSE(Report.ok());
+}
+
+TEST(FuzzMetamorphicTest, RulesPreserveSemantics) {
+  DiffOracle Oracle;
+  unsigned Applied[NumMetamorphicRules] = {};
+  for (uint64_t Seed = 1; Seed <= 60; ++Seed) {
+    Context Ctx;
+    Module M(Ctx, "meta");
+    GeneratedProgram P = IRGenerator(M).generate("f", Seed);
+    ProgramRun Baseline =
+        Oracle.runProgram(P, *P.F, Seed, /*Reference=*/true);
+    ASSERT_TRUE(Baseline.Ok) << Baseline.Error;
+
+    for (unsigned RuleIdx = 0; RuleIdx < NumMetamorphicRules; ++RuleIdx) {
+      auto Rule = static_cast<MetamorphicRule>(RuleIdx);
+      Function *Clone =
+          P.F->cloneInto(M, "f.m" + std::to_string(RuleIdx));
+      RNG R(Seed * 977 + RuleIdx);
+      unsigned Rewrites = applyMetamorphicRule(*Clone, Rule, R);
+      if (Rewrites == 0)
+        continue;
+      Applied[RuleIdx] += Rewrites;
+      std::vector<std::string> Errors;
+      ASSERT_TRUE(verifyFunction(*Clone, &Errors))
+          << "seed " << Seed << " rule " << getRuleName(Rule) << ": "
+          << (Errors.empty() ? "" : Errors.front());
+
+      GeneratedProgram Q = P;
+      Q.F = Clone;
+      for (bool Reference : {false, true}) {
+        ProgramRun Run = Oracle.runProgram(Q, *Clone, Seed, Reference);
+        ASSERT_TRUE(Run.Ok) << Run.Error;
+        std::string Detail;
+        EXPECT_TRUE(Oracle.compareRuns(P, Baseline, Run, &Detail))
+            << "seed " << Seed << " rule " << getRuleName(Rule) << " "
+            << (Reference ? "reference" : "bytecode") << ": " << Detail;
+      }
+    }
+  }
+  // Each rule must actually fire somewhere in the sweep.
+  for (unsigned RuleIdx = 0; RuleIdx < NumMetamorphicRules; ++RuleIdx)
+    EXPECT_GT(Applied[RuleIdx], 0u)
+        << getRuleName(static_cast<MetamorphicRule>(RuleIdx))
+        << " never applied";
+}
+
+TEST(FuzzOracleTest, CompareRunsHonoursTolerances) {
+  Context Ctx;
+  GeneratedProgram P;
+  P.ElemTy = Ctx.getDoubleTy();
+  P.NumPointerArgs = 1;
+  P.ArrayLen = 2;
+
+  DiffOracle Oracle;
+  ProgramRun A, B;
+  A.Ok = B.Ok = true;
+  A.FPMem = {{1.0, 2.0}};
+  B.FPMem = {{1.0 + 1e-12, 2.0}};
+  std::string Detail;
+  EXPECT_TRUE(Oracle.compareRuns(P, A, B, &Detail)) << Detail;
+
+  B.FPMem = {{1.0 + 1e-3, 2.0}};
+  EXPECT_FALSE(Oracle.compareRuns(P, A, B, &Detail));
+  EXPECT_NE(Detail.find("arg0[0]"), std::string::npos) << Detail;
+
+  // NaN == NaN under the bitwise fast path (a legal program state must
+  // not be reported as a mismatch just because it is NaN).
+  double NaN = std::numeric_limits<double>::quiet_NaN();
+  A.FPMem = {{NaN, 2.0}};
+  B.FPMem = {{NaN, 2.0}};
+  EXPECT_TRUE(Oracle.compareRuns(P, A, B, &Detail)) << Detail;
+
+  // Integer comparisons are exact.
+  GeneratedProgram PI;
+  PI.ElemTy = Ctx.getInt64Ty();
+  PI.NumPointerArgs = 1;
+  PI.ArrayLen = 1;
+  ProgramRun IA, IB;
+  IA.Ok = IB.Ok = true;
+  IA.IntMem = {{41}};
+  IB.IntMem = {{42}};
+  EXPECT_FALSE(Oracle.compareRuns(PI, IA, IB, &Detail));
+}
+
+} // namespace

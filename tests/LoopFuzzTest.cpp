@@ -7,154 +7,52 @@
 /// \file
 /// Loop-level fuzzing: random unrolled loop kernels in the shape of the
 /// benchmark suite — per-lane permuted add/sub chains over several arrays,
-/// optionally updating one array in place — compiled under every
-/// configuration and differentially executed. Exercises the interactions
-/// the straight-line fuzzers cannot: phis, loop-carried addressing, seed
-/// collection inside loops, and in-place load/store scheduling.
+/// optionally updating one array in place (fuzz/IRGenerator's Loop shape)
+/// — pushed through the full differential oracle. Exercises the
+/// interactions the straight-line fuzzers cannot: phis, loop-carried
+/// addressing, seed collection inside loops, and in-place load/store
+/// scheduling.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "interp/ExecutionEngine.h"
+#include "fuzz/DiffOracle.h"
+#include "fuzz/IRGenerator.h"
 #include "ir/Context.h"
-#include "ir/IRBuilder.h"
 #include "ir/Module.h"
 #include "ir/Verifier.h"
-#include "slp/SLPVectorizer.h"
 #include "support/RNG.h"
 
 #include <gtest/gtest.h>
 
 using namespace snslp;
+using namespace snslp::fuzz;
 
 namespace {
-
-constexpr size_t N = 32;
-constexpr unsigned NumInputs = 3;
 
 class LoopFuzzTest : public ::testing::TestWithParam<uint64_t> {
 protected:
   Context Ctx;
   Module M{Ctx, "loopfuzz"};
-
-  /// Builds a loop kernel with the given unroll factor. Each lane stores
-  ///   out[i+lane] = (+-) in_a[i+lane] (+-) in_b[i+lane] ... (2-4 terms)
-  /// with random term order and opcodes; with probability 0.4 "out" is
-  /// also one of the loaded arrays (in-place update).
-  Function *buildRandomLoop(const std::string &Name, unsigned Unroll,
-                            RNG &R, bool &InPlace) {
-    InPlace = R.nextBool(0.4);
-    std::vector<std::pair<Type *, std::string>> Params = {
-        {Ctx.getPtrTy(), "out"}};
-    for (unsigned A = 0; A < NumInputs; ++A)
-      Params.emplace_back(Ctx.getPtrTy(), "in" + std::to_string(A));
-    Params.emplace_back(Ctx.getInt64Ty(), "n");
-    Function *F = M.createFunction(Name, Ctx.getVoidTy(), Params);
-
-    BasicBlock *Entry = F->createBlock("entry");
-    BasicBlock *Loop = F->createBlock("loop");
-    BasicBlock *Exit = F->createBlock("exit");
-    IRBuilder B(Entry);
-    B.createBr(Loop);
-
-    B.setInsertPointAtEnd(Loop);
-    Type *I64 = Ctx.getInt64Ty();
-    PhiNode *I = B.createPhi(I64, "i");
-
-    auto LoadAt = [&](unsigned Array, unsigned Lane) {
-      // Array 0 == out when updating in place.
-      Value *Base = InPlace && Array == 0 ? F->getArg(0)
-                                          : F->getArg(1 + Array % NumInputs);
-      Value *Idx = Lane == 0 ? static_cast<Value *>(I)
-                             : B.createAdd(I, B.getInt64(Lane));
-      Value *Ptr = B.createGEP(I64, Base, Idx);
-      return B.createLoad(I64, Ptr);
-    };
-
-    for (unsigned Lane = 0; Lane < Unroll; ++Lane) {
-      unsigned Terms = 2 + static_cast<unsigned>(R.nextBelow(3));
-      // Random permutation of term order per lane.
-      std::vector<unsigned> Order(Terms);
-      for (unsigned T = 0; T < Terms; ++T)
-        Order[T] = T;
-      for (unsigned T = Terms; T > 1; --T)
-        std::swap(Order[T - 1], Order[R.nextBelow(T)]);
-
-      Value *Acc = LoadAt(Order[0], Lane);
-      for (unsigned T = 1; T < Terms; ++T) {
-        Value *Rhs = LoadAt(Order[T], Lane);
-        Acc = B.createBinOp(R.nextBool(0.5) ? BinOpcode::Add
-                                            : BinOpcode::Sub,
-                            Acc, Rhs);
-      }
-      Value *Idx = Lane == 0 ? static_cast<Value *>(I)
-                             : B.createAdd(I, B.getInt64(Lane));
-      B.createStore(Acc, B.createGEP(I64, F->getArg(0), Idx));
-    }
-
-    Value *Next = B.createAdd(I, B.getInt64(Unroll), "i.next");
-    Value *Cond = B.createICmp(ICmpPredicate::ULT, Next,
-                               F->getArg(1 + NumInputs), "cond");
-    B.createCondBr(Cond, Loop, Exit);
-    I->addIncoming(B.getInt64(0), Entry);
-    I->addIncoming(Next, Loop);
-
-    B.setInsertPointAtEnd(Exit);
-    B.createRet();
-    return F;
-  }
-
-  std::vector<int64_t> execute(Function *F, uint64_t DataSeed) {
-    RNG R(DataSeed);
-    std::vector<int64_t> Out(N + 8, 0);
-    std::vector<std::vector<int64_t>> Ins(NumInputs,
-                                          std::vector<int64_t>(N + 8));
-    for (auto &In : Ins)
-      for (auto &V : In)
-        V = R.nextInRange(-500, 500);
-    for (auto &V : Out)
-      V = R.nextInRange(-500, 500); // Meaningful for in-place kernels.
-
-    ExecutionEngine E(*F);
-    E.addMemoryRange(Out.data(), Out.size() * sizeof(int64_t));
-    for (auto &In : Ins)
-      E.addMemoryRange(In.data(), In.size() * sizeof(int64_t));
-    std::vector<RTValue> Args{argPointer(Out.data())};
-    for (auto &In : Ins)
-      Args.push_back(argPointer(In.data()));
-    Args.push_back(argInt64(N));
-    ExecutionResult Res = E.run(Args);
-    EXPECT_TRUE(Res.Ok) << Res.Error;
-    return Out;
-  }
 };
 
 TEST_P(LoopFuzzTest, RandomLoopsStayCorrectUnderAllConfigurations) {
   RNG R(GetParam());
+  IRGenerator Gen(M);
+  DiffOracle Oracle;
+
   constexpr unsigned Rounds = 40;
   for (unsigned Round = 0; Round < Rounds; ++Round) {
     unsigned Unroll = R.nextBool(0.5) ? 2 : 4;
-    bool InPlace = false;
-    std::string Base = "lf" + std::to_string(Round);
-    Function *F = buildRandomLoop(Base, Unroll, R, InPlace);
+    GeneratedProgram P =
+        Gen.generateLoop("lf" + std::to_string(Round), Unroll, R);
     std::vector<std::string> Errors;
-    ASSERT_TRUE(verifyFunction(*F, &Errors))
-        << Base << ": " << (Errors.empty() ? "" : Errors.front());
-    std::vector<int64_t> Expected = execute(F, GetParam() + Round);
-
-    for (VectorizerMode Mode : {VectorizerMode::SLP, VectorizerMode::LSLP,
-                                VectorizerMode::SNSLP}) {
-      Function *Clone = F->cloneInto(M, Base + "." + getModeName(Mode));
-      VectorizerConfig Cfg;
-      Cfg.Mode = Mode;
-      runSLPVectorizer(*Clone, Cfg);
-      ASSERT_TRUE(verifyFunction(*Clone, &Errors))
-          << Base << " " << getModeName(Mode) << ": "
-          << (Errors.empty() ? "" : Errors.front());
-      std::vector<int64_t> Actual = execute(Clone, GetParam() + Round);
-      ASSERT_EQ(Expected, Actual)
-          << Base << " under " << getModeName(Mode)
-          << (InPlace ? " (in-place)" : "") << " unroll " << Unroll;
-    }
+    ASSERT_TRUE(verifyFunction(*P.F, &Errors))
+        << "round " << Round << ": "
+        << (Errors.empty() ? "" : Errors.front());
+    OracleReport Report = Oracle.check(P, GetParam() + Round);
+    ASSERT_TRUE(Report.ok())
+        << "round " << Round << (P.InPlace ? " (in-place)" : "")
+        << " unroll " << Unroll << "\n" << Report.summary();
   }
 }
 

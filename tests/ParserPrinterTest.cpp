@@ -289,6 +289,165 @@ TEST_F(ParserPrinterTest, MultipleFunctionsInOneModule) {
   EXPECT_EQ(M.getFunction("b")->getReturnType(), Ctx.getInt64Ty());
 }
 
+//===----------------------------------------------------------------------===//
+// Round-trips for every shape the fuzz reducer writes into artifacts
+// (fuzz/Artifact.h): all four scalar element types, selects, unary ops,
+// diamonds with phi merges, loops, and metadata comment headers.
+//===----------------------------------------------------------------------===//
+
+TEST_F(ParserPrinterTest, RoundTripAllScalarElementTypes) {
+  const char *Source =
+      "func @types(ptr %a, ptr %b, ptr %c, ptr %d) {\n"
+      "entry:\n"
+      "  %p32 = gep i32, ptr %a, i64 0\n"
+      "  %x32 = load i32, ptr %p32\n"
+      "  %y32 = sub i32 %x32, 3\n"
+      "  store i32 %y32, ptr %p32\n"
+      "  %p64 = gep i64, ptr %b, i64 1\n"
+      "  %x64 = load i64, ptr %p64\n"
+      "  %y64 = mul i64 %x64, 5\n"
+      "  store i64 %y64, ptr %p64\n"
+      "  %pf = gep f32, ptr %c, i64 2\n"
+      "  %xf = load f32, ptr %pf\n"
+      "  %yf = fdiv f32 %xf, 1.5\n"
+      "  store f32 %yf, ptr %pf\n"
+      "  %pd = gep f64, ptr %d, i64 3\n"
+      "  %xd = load f64, ptr %pd\n"
+      "  %yd = fsub f64 %xd, 0.25\n"
+      "  store f64 %yd, ptr %pd\n"
+      "  ret void\n"
+      "}\n";
+  Function *F = parseOne(Source);
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(verifyFunction(*F));
+  std::string Printed = toString(*F);
+  Module M2(Ctx, "m2");
+  std::string Err;
+  ASSERT_TRUE(parseIR(Printed, M2, &Err)) << Err;
+  EXPECT_EQ(Printed, toString(*M2.functions().front()));
+}
+
+TEST_F(ParserPrinterTest, RoundTripSelectAndUnaryOps) {
+  const char *Source =
+      "func @su(ptr %a, ptr %b) -> f64 {\n"
+      "entry:\n"
+      "  %p = gep f64, ptr %a, i64 0\n"
+      "  %x = load f64, ptr %p\n"
+      "  %n = fneg f64 %x\n"
+      "  %ab = fabs f64 %n\n"
+      "  %r = sqrt f64 %ab\n"
+      "  %q = gep i64, ptr %b, i64 0\n"
+      "  %i = load i64, ptr %q\n"
+      "  %j = sub i64 %i, 7\n"
+      "  %c = icmp slt i64 %i, %j\n"
+      "  %m = select %c, i64 %i, %j\n"
+      "  store i64 %m, ptr %q\n"
+      "  ret f64 %r\n"
+      "}\n";
+  Function *F = parseOne(Source);
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(verifyFunction(*F));
+  std::string Printed = toString(*F);
+  Module M2(Ctx, "m2");
+  std::string Err;
+  ASSERT_TRUE(parseIR(Printed, M2, &Err)) << Err;
+  EXPECT_EQ(Printed, toString(*M2.functions().front()));
+}
+
+TEST_F(ParserPrinterTest, RoundTripDiamondWithPhiMerge) {
+  // The reducer's branch-straightening pass starts from shapes like this;
+  // its candidates (and their artifacts) must survive exact round-trips.
+  const char *Source =
+      "func @dia(ptr %a, i64 %n) {\n"
+      "entry:\n"
+      "  %c = icmp sgt i64 %n, 0\n"
+      "  br i1 %c, label %then, label %other\n"
+      "then:\n"
+      "  %p = gep i64, ptr %a, i64 0\n"
+      "  %x = load i64, ptr %p\n"
+      "  br label %join\n"
+      "other:\n"
+      "  %q = gep i64, ptr %a, i64 1\n"
+      "  %y = load i64, ptr %q\n"
+      "  br label %join\n"
+      "join:\n"
+      "  %m = phi i64 [ %x, %then ], [ %y, %other ]\n"
+      "  %o = gep i64, ptr %a, i64 2\n"
+      "  store i64 %m, ptr %o\n"
+      "  ret void\n"
+      "}\n";
+  Function *F = parseOne(Source);
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(verifyFunction(*F));
+  std::string Printed = toString(*F);
+  Module M2(Ctx, "m2");
+  std::string Err;
+  ASSERT_TRUE(parseIR(Printed, M2, &Err)) << Err;
+  EXPECT_EQ(Printed, toString(*M2.functions().front()));
+}
+
+TEST_F(ParserPrinterTest, ArtifactMetadataHeaderIsPlainComments) {
+  // A fuzz artifact (fuzz/Artifact.h) is an ordinary IR file whose header
+  // is comment lines; the parser must ignore it entirely.
+  const char *Source =
+      "; fuzzslp-artifact v1\n"
+      "; seed: 42\n"
+      "; data-seed: 42\n"
+      "; shape: expr\n"
+      "; elem: i64\n"
+      "; arrays: 2\n"
+      "; len: 16\n"
+      "; failure: [SNSLP/bytecode] memory-mismatch: arg0[2]\n"
+      "func @repro(ptr %out, ptr %in0) {\n"
+      "entry:\n"
+      "  %p = gep i64, ptr %in0, i64 0\n"
+      "  %a = load i64, ptr %p\n"
+      "  %d = sub i64 %a, 2\n"
+      "  %o = gep i64, ptr %out, i64 0\n"
+      "  store i64 %d, ptr %o\n"
+      "  ret void\n"
+      "}\n";
+  Function *F = parseOne(Source);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->getName(), "repro");
+  EXPECT_TRUE(verifyFunction(*F));
+  std::string Printed = toString(*F);
+  Module M2(Ctx, "m2");
+  std::string Err;
+  ASSERT_TRUE(parseIR(Printed, M2, &Err)) << Err;
+  EXPECT_EQ(Printed, toString(*M2.functions().front()));
+}
+
+TEST_F(ParserPrinterTest, RoundTripInPlaceLoopArtifactShape) {
+  // The Loop generator shape: in-place update with a trip-count argument.
+  const char *Source =
+      "func @lp(ptr %out, ptr %in0, i64 %n) {\n"
+      "entry:\n"
+      "  br label %loop\n"
+      "loop:\n"
+      "  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]\n"
+      "  %pi = gep i64, ptr %in0, i64 %i\n"
+      "  %a = load i64, ptr %pi\n"
+      "  %po = gep i64, ptr %out, i64 %i\n"
+      "  %b = load i64, ptr %po\n"
+      "  %s = sub i64 %a, %b\n"
+      "  store i64 %s, ptr %po\n"
+      "  %i.next = add i64 %i, 1\n"
+      "  %c = icmp ult i64 %i.next, %n\n"
+      "  br i1 %c, label %loop, label %exit\n"
+      "exit:\n"
+      "  ret void\n"
+      "}\n";
+  Function *F = parseOne(Source);
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(verifyFunction(*F));
+  std::string Printed = toString(*F);
+  Module M2(Ctx, "m2");
+  std::string Err;
+  ASSERT_TRUE(parseIR(Printed, M2, &Err)) << Err;
+  EXPECT_EQ(Printed, toString(*M2.functions().front()));
+}
+
 TEST_F(ParserPrinterTest, IntegerConstantInFPContextIsRejected) {
   // The printer always emits FP constants with '.'; an integer literal in
   // FP position is accepted as an FP value (convenience), so this parses.

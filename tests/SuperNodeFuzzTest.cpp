@@ -7,25 +7,24 @@
 /// \file
 /// Property-based testing of the vectorizer: random expression trees over
 /// each operator family (including inverse elements), random per-lane
-/// shapes, compiled under every configuration and differentially executed
-/// against the untransformed code. Catches APO/legality bugs that
+/// shapes, cross-checked by the differential oracle (src/fuzz) — every
+/// vectorizer configuration, both execution engines, the cleanup passes
+/// and the metamorphic rewrites. Catches APO/legality bugs that
 /// hand-written cases miss.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "interp/ExecutionEngine.h"
+#include "fuzz/DiffOracle.h"
+#include "fuzz/IRGenerator.h"
 #include "ir/Context.h"
-#include "ir/IRBuilder.h"
 #include "ir/Module.h"
 #include "ir/Verifier.h"
-#include "slp/SLPVectorizer.h"
 #include "support/RNG.h"
 
 #include <gtest/gtest.h>
 
-#include <cmath>
-
 using namespace snslp;
+using namespace snslp::fuzz;
 
 namespace {
 
@@ -37,147 +36,24 @@ struct FuzzSetup {
 
 class SuperNodeFuzzTest : public ::testing::TestWithParam<FuzzSetup> {
 protected:
-  static constexpr unsigned NumArrays = 4;
-  static constexpr size_t ArrayLen = 16;
-
   Context Ctx;
   Module M{Ctx, "fuzz"};
-
-  Type *elemType(OpFamily Family) {
-    switch (Family) {
-    case OpFamily::IntAddSub:
-      return Ctx.getInt64Ty();
-    case OpFamily::FPAddSub:
-    case OpFamily::FPMulDiv:
-      return Ctx.getDoubleTy();
-    case OpFamily::None:
-      break;
-    }
-    return nullptr;
-  }
-
-  /// Builds a random expression over loads from the input arrays and
-  /// constants, using the family's direct and inverse opcodes.
-  Value *buildExpr(IRBuilder &B, Function *F, RNG &R, OpFamily Family,
-                   unsigned Lane, unsigned Depth) {
-    Type *ElemTy = elemType(Family);
-    bool MakeLeaf = Depth == 0 || R.nextBool(0.35);
-    if (MakeLeaf) {
-      if (R.nextBool(0.2)) {
-        // Constant leaf, bounded away from zero for the division family.
-        if (ElemTy->isFloatingPoint())
-          return ConstantFP::get(ElemTy, R.nextDoubleInRange(0.5, 2.0));
-        return ConstantInt::get(ElemTy, R.nextInRange(1, 9));
-      }
-      unsigned Arr = static_cast<unsigned>(R.nextBelow(NumArrays));
-      // Index near the lane so adjacent lanes sometimes see adjacent loads.
-      int64_t Index = static_cast<int64_t>(Lane) + R.nextInRange(0, 3);
-      Value *Ptr = B.createGEP(ElemTy, F->getArg(1 + Arr),
-                               B.getInt64(Index));
-      return B.createLoad(ElemTy, Ptr);
-    }
-    BinOpcode Op = R.nextBool(0.45) ? getInverseOpcode(Family)
-                                    : getDirectOpcode(Family);
-    Value *L = buildExpr(B, F, R, Family, Lane, Depth - 1);
-    Value *Rhs = buildExpr(B, F, R, Family, Lane, Depth - 1);
-    return B.createBinOp(Op, L, Rhs);
-  }
-
-  /// Builds a straight-line function storing one random expression per
-  /// lane to out[0..Lanes-1].
-  Function *buildRandomFunction(const std::string &Name, OpFamily Family,
-                                unsigned Lanes, RNG &R) {
-    Type *ElemTy = elemType(Family);
-    std::vector<std::pair<Type *, std::string>> Params = {
-        {Ctx.getPtrTy(), "out"}};
-    for (unsigned A = 0; A < NumArrays; ++A)
-      Params.emplace_back(Ctx.getPtrTy(), "in" + std::to_string(A));
-    Function *F = M.createFunction(Name, Ctx.getVoidTy(), Params);
-    BasicBlock *BB = F->createBlock("entry");
-    IRBuilder B(BB);
-    for (unsigned Lane = 0; Lane < Lanes; ++Lane) {
-      unsigned Depth = 1 + static_cast<unsigned>(R.nextBelow(3));
-      Value *E = buildExpr(B, F, R, Family, Lane, Depth);
-      Value *Ptr = B.createGEP(ElemTy, F->getArg(0), B.getInt64(Lane));
-      B.createStore(E, Ptr);
-    }
-    B.createRet();
-    return F;
-  }
-
-  /// Executes \p F over deterministic buffers; returns the out array.
-  std::vector<double> execute(Function *F, OpFamily Family, uint64_t Seed) {
-    RNG R(Seed);
-    bool IsInt = Family == OpFamily::IntAddSub;
-    std::vector<int64_t> IntBufs[1 + NumArrays];
-    std::vector<double> FPBufs[1 + NumArrays];
-    std::vector<RTValue> Args;
-    for (unsigned A = 0; A < 1 + NumArrays; ++A) {
-      if (IsInt) {
-        IntBufs[A].resize(ArrayLen);
-        for (auto &V : IntBufs[A])
-          V = R.nextInRange(-50, 50);
-        if (A == 0)
-          std::fill(IntBufs[A].begin(), IntBufs[A].end(), 0);
-        Args.push_back(argPointer(IntBufs[A].data()));
-      } else {
-        FPBufs[A].resize(ArrayLen);
-        for (auto &V : FPBufs[A])
-          V = R.nextDoubleInRange(0.5, 2.0); // Away from zero for fdiv.
-        if (A == 0)
-          std::fill(FPBufs[A].begin(), FPBufs[A].end(), 0.0);
-        Args.push_back(argPointer(FPBufs[A].data()));
-      }
-    }
-    ExecutionEngine E(*F);
-    ExecutionResult Res = E.run(Args);
-    EXPECT_TRUE(Res.Ok) << Res.Error;
-
-    std::vector<double> Out(ArrayLen);
-    for (size_t I = 0; I < ArrayLen; ++I)
-      Out[I] = IsInt ? static_cast<double>(IntBufs[0][I]) : FPBufs[0][I];
-    return Out;
-  }
 };
 
 TEST_P(SuperNodeFuzzTest, TransformationsPreserveSemantics) {
   const FuzzSetup &Setup = GetParam();
   RNG R(Setup.Seed);
+  IRGenerator Gen(M);
+  DiffOracle Oracle;
+
   constexpr unsigned Rounds = 60;
-  bool IsInt = Setup.Family == OpFamily::IntAddSub;
-
   for (unsigned Round = 0; Round < Rounds; ++Round) {
-    std::string Base = "f" + std::to_string(Round);
-    Function *F =
-        buildRandomFunction(Base, Setup.Family, Setup.Lanes, R);
-    ASSERT_TRUE(verifyFunction(*F));
-    std::vector<double> Expected = execute(F, Setup.Family, Setup.Seed + Round);
-
-    for (VectorizerMode Mode : {VectorizerMode::SLP, VectorizerMode::LSLP,
-                                VectorizerMode::SNSLP}) {
-      Function *Clone = F->cloneInto(M, Base + "." + getModeName(Mode));
-      VectorizerConfig Cfg;
-      Cfg.Mode = Mode;
-      runSLPVectorizer(*Clone, Cfg);
-      std::vector<std::string> Errors;
-      ASSERT_TRUE(verifyFunction(*Clone, &Errors))
-          << Base << " " << getModeName(Mode) << ": "
-          << (Errors.empty() ? "" : Errors.front());
-
-      std::vector<double> Actual =
-          execute(Clone, Setup.Family, Setup.Seed + Round);
-      for (size_t I = 0; I < Actual.size(); ++I) {
-        if (IsInt) {
-          EXPECT_EQ(Expected[I], Actual[I])
-              << Base << " " << getModeName(Mode) << " lane " << I;
-        } else {
-          double Mag = std::max({std::fabs(Expected[I]),
-                                 std::fabs(Actual[I]), 1.0});
-          EXPECT_LE(std::fabs(Expected[I] - Actual[I]), 1e-9 * Mag)
-              << Base << " " << getModeName(Mode) << " lane " << I;
-        }
-      }
-    }
+    GeneratedProgram P = Gen.generateExpressionTree(
+        "f" + std::to_string(Round), Setup.Family, Setup.Lanes, R);
+    ASSERT_TRUE(verifyFunction(*P.F));
+    OracleReport Report = Oracle.check(P, Setup.Seed + Round);
+    EXPECT_TRUE(Report.ok())
+        << "round " << Round << "\n" << Report.summary();
   }
 }
 

@@ -1,0 +1,240 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// fuzzslp: the generative differential-testing driver. Generates random
+/// SN-SLP-shaped programs (fuzz/IRGenerator), pushes each through the full
+/// vectorizer-mode x engine oracle matrix plus metamorphic rewrites
+/// (fuzz/DiffOracle), shrinks any failure with the delta-debugging reducer
+/// (fuzz/Reducer), and writes minimal `.ir` repros (fuzz/Artifact) into
+/// the artifact directory. Also replays a regression corpus of previously
+/// reduced artifacts. See docs/fuzzing.md.
+///
+/// Usage:
+///   fuzzslp [--seed=N] [--runs=N] [--time-budget=SECONDS]
+///           [--corpus-dir=DIR] [--artifact-dir=DIR] [--reduce]
+///           [--shuffles] [--verbose]
+///
+/// Exit code: 0 when every run and every corpus replay is clean, 1 on any
+/// oracle failure, 2 on usage / I/O errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Artifact.h"
+#include "fuzz/DiffOracle.h"
+#include "fuzz/IRGenerator.h"
+#include "fuzz/Reducer.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "support/CommandLine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace snslp;
+using namespace snslp::fuzz;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: fuzzslp [options]\n"
+      "  --seed=N         base seed; run i uses seed N+i (default 1)\n"
+      "  --runs=N         number of random programs (default 100)\n"
+      "  --time-budget=S  stop after S seconds even if runs remain\n"
+      "  --corpus-dir=DIR replay every .ir artifact in DIR first\n"
+      "  --artifact-dir=DIR  where reduced repros are written\n"
+      "                      (default fuzz-artifacts)\n"
+      "  --reduce         shrink failing programs before writing repros\n"
+      "  --shuffles       also test the +EnableLoadShuffles configurations\n"
+      "  --verbose        log every run, not just failures\n");
+}
+
+/// Reduction predicate: the candidate still fails with the signature
+/// (variant, engine, kind) of \p Target. Matching the full signature keeps
+/// the shrink honest — a candidate that merely fails differently (say, an
+/// infinite loop hitting the step budget) is not accepted.
+bool stillFails(DiffOracle &Oracle, const GeneratedProgram &P,
+                uint64_t DataSeed, const OracleFailure &Target,
+                Function &Candidate) {
+  GeneratedProgram Q = P;
+  Q.F = &Candidate;
+  OracleReport R = Oracle.check(Q, DataSeed);
+  return std::any_of(R.Failures.begin(), R.Failures.end(),
+                     [&Target](const OracleFailure &F) {
+                       return F.Variant == Target.Variant &&
+                              F.Engine == Target.Engine &&
+                              F.Kind == Target.Kind;
+                     });
+}
+
+/// Handles one failing program: optionally reduces it, then writes the
+/// artifact. Returns the artifact path (empty when writing failed).
+std::string emitArtifact(const GeneratedProgram &P, uint64_t DataSeed,
+                         const OracleReport &Report,
+                         const std::string &ArtifactDir, bool Reduce) {
+  const OracleFailure &Target = Report.Failures.front();
+  GeneratedProgram Out = P;
+
+  if (Reduce) {
+    // Candidates only need the part of the matrix that reproduces the
+    // target signature: round-trip checks never, metamorphic rewrites only
+    // when the failing variant is itself a metamorphic one.
+    OracleOptions ReduceOpts;
+    ReduceOpts.CheckRoundTrip = false;
+    ReduceOpts.CheckMetamorphic = Target.Variant.rfind("meta:", 0) == 0;
+    DiffOracle Shrinker(ReduceOpts);
+    Reducer R;
+    ReduceResult RR = R.reduce(
+        *P.F, [&](Function &Cand) {
+          return stillFails(Shrinker, P, DataSeed, Target, Cand);
+        });
+    std::printf("  reduce: %zu -> %zu instructions (%u/%u candidates)\n",
+                RR.InstructionsBefore, RR.InstructionsAfter,
+                RR.CandidatesAccepted, RR.CandidatesTried);
+    Out.F = RR.Reduced;
+  }
+
+  std::error_code EC;
+  std::filesystem::create_directories(ArtifactDir, EC);
+  std::string Path = ArtifactDir + "/repro-seed" + std::to_string(P.Seed) +
+                     ".ir";
+  std::string Err;
+  if (!writeArtifact(Path, Out, DataSeed, Target.render(), &Err)) {
+    std::fprintf(stderr, "fuzzslp: %s\n", Err.c_str());
+    return "";
+  }
+  return Path;
+}
+
+/// Replays every `.ir` file in \p Dir through the oracle. Returns the
+/// number of failing artifacts; -1 on I/O error.
+int replayCorpus(const std::string &Dir, const OracleOptions &Opts,
+                 bool Verbose) {
+  std::error_code EC;
+  std::vector<std::string> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(Dir, EC)) {
+    if (Entry.path().extension() == ".ir")
+      Files.push_back(Entry.path().string());
+  }
+  if (EC) {
+    std::fprintf(stderr, "fuzzslp: cannot read corpus dir '%s': %s\n",
+                 Dir.c_str(), EC.message().c_str());
+    return -1;
+  }
+  std::sort(Files.begin(), Files.end());
+
+  int Failing = 0;
+  DiffOracle Oracle(Opts);
+  for (const std::string &Path : Files) {
+    Context Ctx;
+    Module M(Ctx, "corpus");
+    ArtifactInfo Info;
+    std::string Err;
+    if (!loadArtifactFile(Path, M, Info, &Err)) {
+      std::fprintf(stderr, "fuzzslp: corpus %s: %s\n", Path.c_str(),
+                   Err.c_str());
+      ++Failing;
+      continue;
+    }
+    OracleReport Report = Oracle.check(Info.Meta, Info.DataSeed);
+    if (!Report.ok()) {
+      ++Failing;
+      std::printf("corpus FAIL %s\n%s", Path.c_str(),
+                  Report.summary().c_str());
+    } else if (Verbose) {
+      std::printf("corpus ok   %s (%u variants)\n", Path.c_str(),
+                  Report.VariantsChecked);
+    }
+  }
+  std::printf("corpus: %zu artifacts, %d failing\n", Files.size(), Failing);
+  return Failing;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  if (CL.has("help") || CL.has("h")) {
+    printUsage();
+    return 0;
+  }
+
+  const uint64_t BaseSeed = static_cast<uint64_t>(CL.getInt("seed", 1));
+  const uint64_t Runs = static_cast<uint64_t>(CL.getInt("runs", 100));
+  const int64_t TimeBudget = CL.getInt("time-budget", 0);
+  const std::string CorpusDir = CL.getString("corpus-dir");
+  const std::string ArtifactDir =
+      CL.getString("artifact-dir", "fuzz-artifacts");
+  const bool Reduce = CL.getBool("reduce");
+  const bool Verbose = CL.getBool("verbose");
+
+  OracleOptions Opts;
+  if (CL.getBool("shuffles"))
+    Opts.Configs = OracleOptions::defaultConfigs(/*WithLoadShuffles=*/true);
+
+  int ExitCode = 0;
+
+  if (!CorpusDir.empty()) {
+    int Failing = replayCorpus(CorpusDir, Opts, Verbose);
+    if (Failing < 0)
+      return 2;
+    if (Failing > 0)
+      ExitCode = 1;
+  }
+
+  const auto Start = std::chrono::steady_clock::now();
+  auto OverBudget = [&] {
+    if (TimeBudget <= 0)
+      return false;
+    auto Elapsed = std::chrono::steady_clock::now() - Start;
+    return std::chrono::duration_cast<std::chrono::seconds>(Elapsed)
+               .count() >= TimeBudget;
+  };
+
+  uint64_t Completed = 0, Failed = 0, VariantsChecked = 0;
+  DiffOracle Oracle(Opts);
+  for (uint64_t I = 0; I < Runs && !OverBudget(); ++I) {
+    const uint64_t Seed = BaseSeed + I;
+    Context Ctx;
+    Module M(Ctx, "fuzz");
+    IRGenerator Gen(M);
+    GeneratedProgram P = Gen.generate("fuzz_" + std::to_string(Seed), Seed);
+    OracleReport Report = Oracle.check(P, /*DataSeed=*/Seed);
+    ++Completed;
+    VariantsChecked += Report.VariantsChecked;
+    if (Report.ok()) {
+      if (Verbose)
+        std::printf("seed %llu ok (%s/%s, %u variants)\n",
+                    static_cast<unsigned long long>(Seed),
+                    getShapeName(P.Shape), P.ElemTy->getName().c_str(),
+                    Report.VariantsChecked);
+      continue;
+    }
+    ++Failed;
+    std::printf("seed %llu FAIL (%s/%s)\n%s",
+                static_cast<unsigned long long>(Seed), getShapeName(P.Shape),
+                P.ElemTy->getName().c_str(), Report.summary().c_str());
+    std::string Path = emitArtifact(P, Seed, Report, ArtifactDir, Reduce);
+    if (!Path.empty())
+      std::printf("  artifact: %s\n", Path.c_str());
+  }
+
+  std::printf("fuzzslp: %llu runs, %llu failing, %llu variant checks\n",
+              static_cast<unsigned long long>(Completed),
+              static_cast<unsigned long long>(Failed),
+              static_cast<unsigned long long>(VariantsChecked));
+  if (Failed > 0)
+    ExitCode = 1;
+  return ExitCode;
+}
