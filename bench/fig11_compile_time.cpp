@@ -18,6 +18,7 @@
 #include "support/TextTable.h"
 
 #include <iostream>
+#include <iterator>
 
 using namespace snslp;
 
@@ -66,5 +67,22 @@ int main() {
             << TextTable::formatDouble(SumSNNoMemo * 1e3, 2) << " ms ("
             << TextTable::formatDouble(SumSNNoMemo / SumSNMemo, 3)
             << "x)\n";
+
+  // Per-pass breakdown of the SN-SLP pipeline (instrumented PassManager):
+  // which stage — cleanup or the vectorizer itself — the compile time in
+  // the table above actually goes to. See docs/observability.md.
+  std::vector<PassRunReport> PassReports;
+  for (const Kernel &K : kernelRegistry()) {
+    if (!K.InTableI)
+      continue;
+    std::vector<PassRunReport> Reports =
+        measurePerPassTimes(K, VectorizerMode::SNSLP);
+    PassReports.insert(PassReports.end(),
+                       std::make_move_iterator(Reports.begin()),
+                       std::make_move_iterator(Reports.end()));
+  }
+  std::cout << "\nSN-SLP per-pass timing over all Table I kernels (10 runs "
+               "each):\n"
+            << renderTimeReport(PassReports);
   return 0;
 }

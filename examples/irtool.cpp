@@ -6,18 +6,24 @@
 ///
 /// \file
 /// irtool: a command-line driver around the library, in the spirit of
-/// `opt`. Reads textual IR, runs the configured vectorizer on every
-/// function, prints the transformed module and statistics.
+/// `opt`. Reads textual IR, runs the configured vectorizer pipeline on
+/// every function, prints the transformed module, statistics, structured
+/// optimization remarks and per-pass timing reports.
 ///
 /// Usage:
 ///   example_irtool [file.ir] [--mode=o3|slp|lslp|snslp] [--max-vf=N]
-///                  [--lookahead=N] [--threshold=N] [--stats] [--quiet]
+///                  [--lookahead=N] [--threshold=N] [--cleanup]
+///                  [--remarks[=text|yaml|json]] [--time-passes]
+///                  [--verify-each] [--print-after-all] [--stats]
+///                  [--quiet]
 ///
-/// With no input file, a built-in demo kernel is used.
+/// With no input file, a built-in demo kernel is used. See
+/// docs/observability.md for the remark schema and triage workflow.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "cfront/CFrontend.h"
+#include "driver/PassPipeline.h"
 #include "ir/Context.h"
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
@@ -26,6 +32,7 @@
 #include "kernels/Kernel.h"
 #include "slp/SLPVectorizer.h"
 #include "support/CommandLine.h"
+#include "support/Remark.h"
 
 #include <fstream>
 #include <iostream>
@@ -63,8 +70,17 @@ int main(int Argc, char **Argv) {
            "  --c                       input is the C kernel dialect\n"
            "                            (see docs/IR.md and "
            "src/cfront/CFrontend.h)\n"
+           "  --cleanup                 run constant folding + CSE + DCE\n"
+           "                            around the vectorizer (-O3 shape)\n"
+           "  --remarks[=text|yaml|json]\n"
+           "                            print per-decision structured\n"
+           "                            remarks (text -> stderr; yaml/json\n"
+           "                            -> stdout, round-trip validated)\n"
+           "  --time-passes             print a per-pass timing report\n"
+           "  --verify-each             verify the IR after every pass and\n"
+           "                            name the offending pass on failure\n"
+           "  --print-after-all         dump the IR after every pass\n"
            "  --stats                   print vectorizer statistics\n"
-           "  --remarks                 print per-decision remarks\n"
            "  --quiet                   do not print the output module\n";
     return 0;
   }
@@ -104,11 +120,32 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  VectorizerConfig Cfg;
-  Cfg.Mode = Mode;
-  Cfg.MaxVF = static_cast<unsigned>(CL.getInt("max-vf", 4));
-  Cfg.LookAheadDepth = static_cast<unsigned>(CL.getInt("lookahead", 2));
-  Cfg.CostThreshold = static_cast<int>(CL.getInt("threshold", 0));
+  std::string RemarkFormat = CL.getString("remarks", "text");
+  if (RemarkFormat.empty())
+    RemarkFormat = "text";
+  if (CL.has("remarks") && RemarkFormat != "text" &&
+      RemarkFormat != "yaml" && RemarkFormat != "json") {
+    std::cerr << "error: unknown --remarks format '" << RemarkFormat
+              << "' (expected text, yaml or json)\n";
+    return 1;
+  }
+
+  PipelineOptions PO;
+  PO.Vectorizer.Mode = Mode;
+  PO.Vectorizer.MaxVF = static_cast<unsigned>(CL.getInt("max-vf", 4));
+  PO.Vectorizer.LookAheadDepth =
+      static_cast<unsigned>(CL.getInt("lookahead", 2));
+  PO.Vectorizer.CostThreshold =
+      static_cast<int>(CL.getInt("threshold", 0));
+  // By default irtool runs the bare vectorizer (the historical behavior,
+  // and what the golden tests pin down); --cleanup adds the -O3-style
+  // scalar cleanup around it.
+  PO.EarlyCleanup = PO.LateCleanup = CL.getBool("cleanup");
+  PO.Instrument.VerifyEach = CL.getBool("verify-each");
+  PO.Instrument.PrintAfterAll = CL.getBool("print-after-all");
+  RemarkCollector RC;
+  if (CL.has("remarks"))
+    PO.Instrument.Remarks = &RC;
 
   Context Ctx;
   Module M(Ctx, "irtool");
@@ -124,8 +161,27 @@ int main(int Argc, char **Argv) {
   }
 
   VectorizeStats Total;
+  std::vector<PassRunReport> Reports;
   for (const auto &F : M.functions()) {
-    VectorizeStats Stats = runSLPVectorizer(*F, Cfg);
+    PipelineResult R = runPassPipeline(*F, PO);
+    Total.mergeFrom(R.VecStats);
+
+    if (PO.Instrument.PrintAfterAll)
+      for (const PassExecution &E : R.Report.Passes)
+        std::cerr << "; *** IR after " << E.PassName << " on @"
+                  << F->getName() << " ***\n"
+                  << E.IRAfter;
+
+    if (R.Report.VerifyFailed) {
+      std::cerr << "error: IR verification failed after pass '"
+                << R.Report.FirstInvalidPass << "': "
+                << (R.Report.VerifyErrors.empty()
+                        ? std::string("unknown")
+                        : R.Report.VerifyErrors.front())
+                << "\n";
+      return 1;
+    }
+
     std::vector<std::string> Errors;
     if (!verifyFunction(*F, &Errors)) {
       std::cerr << "error: invalid IR after vectorizing @" << F->getName()
@@ -133,15 +189,41 @@ int main(int Argc, char **Argv) {
                 << "\n";
       return 1;
     }
-    Total.mergeFrom(Stats);
+    Reports.push_back(std::move(R.Report));
   }
 
   if (!CL.getBool("quiet"))
     printModule(M, std::cout);
 
-  if (CL.has("remarks"))
-    for (const std::string &Remark : Total.Remarks)
-      std::cerr << "remark: " << Remark << "\n";
+  if (CL.has("remarks")) {
+    if (RemarkFormat == "text") {
+      for (const Remark &R : RC.remarks())
+        std::cerr << "remark: " << renderRemarkText(R) << "\n";
+    } else {
+      // Render, then prove the stream round-trips through the matching
+      // parser before printing — the remarks_smoke label relies on a
+      // non-zero exit here to catch emitter/parser drift.
+      std::string Rendered = RemarkFormat == "yaml"
+                                 ? renderRemarksYAML(RC.remarks())
+                                 : renderRemarksJSON(RC.remarks());
+      std::vector<Remark> Parsed;
+      std::string ParseErr;
+      bool OK = RemarkFormat == "yaml"
+                    ? parseRemarksYAML(Rendered, Parsed, &ParseErr)
+                    : parseRemarksJSON(Rendered, Parsed, &ParseErr);
+      if (!OK || Parsed != RC.remarks()) {
+        std::cerr << "error: emitted " << RemarkFormat
+                  << " remark stream failed to round-trip: "
+                  << (ParseErr.empty() ? "content mismatch" : ParseErr)
+                  << "\n";
+        return 1;
+      }
+      std::cout << Rendered;
+    }
+  }
+
+  if (CL.getBool("time-passes"))
+    std::cerr << renderTimeReport(Reports);
 
   if (CL.has("stats")) {
     std::cerr << "; mode                 " << getModeName(Mode) << "\n"

@@ -96,6 +96,29 @@ SampleStats snslp::measureCompileTime(const Kernel &K, VectorizerMode Mode,
   return measureSeconds(Pipeline, Runs);
 }
 
+std::vector<PassRunReport> snslp::measurePerPassTimes(const Kernel &K,
+                                                      VectorizerMode Mode,
+                                                      unsigned Runs) {
+  std::vector<PassRunReport> Reports;
+  Reports.reserve(Runs);
+  // One warm-up run (discarded), then Runs measured runs, matching the
+  // paper's timing methodology used elsewhere in this harness.
+  for (unsigned Run = 0; Run <= Runs; ++Run) {
+    Context Ctx;
+    Module M(Ctx, "compile");
+    std::string Err;
+    if (!parseIR(K.IRText, M, &Err))
+      reportFatalError("kernel parse failed: " + Err);
+    Function *F = M.getFunction(K.Name);
+    PipelineOptions Options;
+    Options.Vectorizer.Mode = Mode;
+    PipelineResult R = runPassPipeline(*F, Options);
+    if (Run > 0)
+      Reports.push_back(std::move(R.Report));
+  }
+  return Reports;
+}
+
 ProgramMeasurement snslp::measureProgram(KernelRunner &Runner,
                                          const BenchmarkProgram &P,
                                          VectorizerMode Mode) {

@@ -17,8 +17,11 @@
 #define SNSLP_DRIVER_EXPERIMENTS_H
 
 #include "driver/KernelRunner.h"
+#include "driver/PassManager.h"
 #include "kernels/Programs.h"
 #include "support/Timer.h"
+
+#include <vector>
 
 namespace snslp {
 
@@ -46,6 +49,15 @@ KernelMeasurement measureKernel(KernelRunner &Runner, const Kernel &K,
 SampleStats measureCompileTime(const Kernel &K, VectorizerMode Mode,
                                unsigned Runs = 10,
                                bool EnableLookAheadMemo = true);
+
+/// Runs the instrumented pass pipeline over \p K under \p Mode, \p Runs
+/// times after one warm-up, returning one PassRunReport (per-pass wall
+/// time, cycles and change counts) per measured run. Aggregate with
+/// renderTimeReport for a Fig. 11 per-pass breakdown — which pipeline
+/// stage the compile time actually goes to. See docs/observability.md.
+std::vector<PassRunReport> measurePerPassTimes(const Kernel &K,
+                                               VectorizerMode Mode,
+                                               unsigned Runs = 10);
 
 /// Aggregate results of one whole-benchmark program (Figs. 8-10).
 struct ProgramMeasurement {

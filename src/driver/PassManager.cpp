@@ -1,0 +1,128 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/PassManager.h"
+
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "support/Remark.h"
+#include "support/Timer.h"
+
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+using namespace snslp;
+
+PassRunReport PassManager::run(Function &F) const {
+  PassRunReport Report;
+  Report.FunctionName = F.getName();
+  Report.Passes.reserve(Passes.size());
+
+  for (const NamedPass &P : Passes) {
+    PassExecution Exec;
+    Exec.PassName = P.Name;
+
+    Timer Wall;
+    uint64_t CyclesBefore = readCycleCounter();
+    Exec.Changes = P.Fn(F);
+    Exec.Cycles = readCycleCounter() - CyclesBefore;
+    Exec.WallNanos = Wall.elapsedNanos();
+
+    if (Opts.PrintAfterAll) {
+      std::ostringstream OS;
+      printFunction(F, OS);
+      Exec.IRAfter = OS.str();
+    }
+
+    if (Opts.Remarks)
+      Opts.Remarks->add(
+          Remark::analysis(P.Name, "PassExecuted", F.getName())
+              .withDecision(Exec.Changes ? "changed" : "unchanged")
+              .withMessage(std::to_string(Exec.Changes) + " change(s), " +
+                           std::to_string(Exec.WallNanos) + " ns, " +
+                           std::to_string(Exec.Cycles) + " cycles"));
+
+    if (Opts.VerifyEach) {
+      std::vector<std::string> Errors;
+      if (!verifyFunction(F, &Errors)) {
+        Exec.VerifiedOK = false;
+        Report.VerifyFailed = true;
+        Report.FirstInvalidPass = P.Name;
+        Report.VerifyErrors = std::move(Errors);
+        if (Opts.Remarks)
+          Opts.Remarks->add(
+              Remark::missed(P.Name, "VerifyFailed", F.getName())
+                  .withDecision("invalid-ir")
+                  .withMessage(Report.VerifyErrors.empty()
+                                   ? std::string("verifier failed")
+                                   : Report.VerifyErrors.front()));
+        Report.Passes.push_back(std::move(Exec));
+        // Later passes never see the corrupt IR; the report pinpoints
+        // this pass as the offender (LLVM's -verify-each contract).
+        break;
+      }
+    }
+    Report.Passes.push_back(std::move(Exec));
+  }
+  return Report;
+}
+
+std::string snslp::renderTimeReport(
+    const std::vector<PassRunReport> &Reports) {
+  // Aggregate by pass name in first-seen order, -ftime-report style.
+  struct Row {
+    uint64_t WallNanos = 0;
+    uint64_t Cycles = 0;
+    uint64_t Changes = 0;
+    unsigned Executions = 0;
+  };
+  std::vector<std::string> Order;
+  std::map<std::string, Row> Rows;
+  uint64_t TotalNanos = 0;
+  for (const PassRunReport &R : Reports)
+    for (const PassExecution &E : R.Passes) {
+      if (!Rows.count(E.PassName))
+        Order.push_back(E.PassName);
+      Row &Rw = Rows[E.PassName];
+      Rw.WallNanos += E.WallNanos;
+      Rw.Cycles += E.Cycles;
+      Rw.Changes += E.Changes;
+      ++Rw.Executions;
+      TotalNanos += E.WallNanos;
+    }
+
+  std::ostringstream OS;
+  OS << "===--------------------------------------------------------===\n"
+     << "                 Pass execution timing report\n"
+     << "===--------------------------------------------------------===\n";
+  OS << "  ---Wall Time---  --Share--  ----Cycles----  Runs  Changes  "
+        "Pass Name\n";
+  auto EmitRow = [&OS, TotalNanos](const std::string &Name, const Row &Rw) {
+    double Seconds = static_cast<double>(Rw.WallNanos) * 1e-9;
+    double Share = TotalNanos
+                       ? 100.0 * static_cast<double>(Rw.WallNanos) /
+                             static_cast<double>(TotalNanos)
+                       : 0.0;
+    OS << "  " << std::setw(12) << std::fixed << std::setprecision(6)
+       << Seconds << "s  " << std::setw(8) << std::setprecision(1) << Share
+       << "%  " << std::setw(14) << Rw.Cycles << "  " << std::setw(4)
+       << Rw.Executions << "  " << std::setw(7) << Rw.Changes << "  "
+       << Name << "\n";
+  };
+  for (const std::string &Name : Order)
+    EmitRow(Name, Rows[Name]);
+  Row Total;
+  for (const auto &[Name, Rw] : Rows) {
+    Total.WallNanos += Rw.WallNanos;
+    Total.Cycles += Rw.Cycles;
+    Total.Changes += Rw.Changes;
+    Total.Executions += Rw.Executions;
+  }
+  EmitRow("Total", Total);
+  return OS.str();
+}

@@ -1,0 +1,121 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small instrumented function-pass manager, in the spirit of LLVM's
+/// `-ftime-report` / `-verify-each` / `-print-after-all` machinery. Passes
+/// are name + callable pairs; every run records per-pass wall time, CPU
+/// cycles and the pass-reported change count. Optional instrumentation:
+///
+///  - VerifyEach: run the IR verifier after every pass; the first pass
+///    whose output fails verification is pinpointed by name and the run
+///    stops there (the remaining passes never see the corrupt IR).
+///  - PrintAfterAll: snapshot the textual IR after every pass.
+///  - Remarks: a RemarkCollector sink receiving one PassExecuted remark
+///    per pass (and a VerifyFailed remark when VerifyEach trips).
+///
+/// runPassPipeline (PassPipeline.h) builds the standard cleanup ->
+/// vectorizer -> cleanup pipeline on top of this; irtool exposes the
+/// instrumentation as --time-passes / --verify-each / --print-after-all.
+/// See docs/observability.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_DRIVER_PASSMANAGER_H
+#define SNSLP_DRIVER_PASSMANAGER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+class Function;
+class RemarkCollector;
+
+/// Instrumentation switches for one PassManager.
+struct PassManagerOptions {
+  /// Run verifyFunction after every pass; stop at the first failure.
+  bool VerifyEach = false;
+  /// Capture the textual IR after every pass (PassExecution::IRAfter).
+  bool PrintAfterAll = false;
+  /// Optional sink for PassExecuted / VerifyFailed remarks.
+  RemarkCollector *Remarks = nullptr;
+};
+
+/// The record of one pass execution over one function.
+struct PassExecution {
+  std::string PassName;
+  uint64_t WallNanos = 0; ///< Wall time spent inside the pass.
+  uint64_t Cycles = 0;    ///< readCycleCounter delta across the pass.
+  size_t Changes = 0;     ///< The pass's own change count (0 = no-op).
+  bool VerifiedOK = true; ///< Post-pass verifier verdict (VerifyEach).
+  std::string IRAfter;    ///< Post-pass IR snapshot (PrintAfterAll).
+};
+
+/// The result of one PassManager::run over one function.
+struct PassRunReport {
+  std::string FunctionName;
+  std::vector<PassExecution> Passes;
+  /// \name VerifyEach outcome.
+  /// @{
+  bool VerifyFailed = false;
+  /// Name of the first pass whose output failed verification.
+  std::string FirstInvalidPass;
+  std::vector<std::string> VerifyErrors;
+  /// @}
+
+  uint64_t totalWallNanos() const {
+    uint64_t Total = 0;
+    for (const PassExecution &P : Passes)
+      Total += P.WallNanos;
+    return Total;
+  }
+};
+
+/// Renders an LLVM `-ftime-report`-style table aggregating \p Reports by
+/// pass name (first-seen order): wall seconds, share of total, cycles and
+/// change counts, plus a Total row.
+std::string renderTimeReport(const std::vector<PassRunReport> &Reports);
+
+/// An ordered list of named function passes with per-pass instrumentation.
+class PassManager {
+public:
+  /// A pass: transforms \p F in place and returns its change count.
+  using PassFn = std::function<size_t(Function &F)>;
+
+  explicit PassManager(PassManagerOptions Opts = PassManagerOptions())
+      : Opts(Opts) {}
+
+  /// Appends a pass. Names need not be unique (the standard pipeline runs
+  /// cleanup passes twice); reports keep one entry per execution.
+  void addPass(std::string Name, PassFn Fn) {
+    Passes.push_back({std::move(Name), std::move(Fn)});
+  }
+
+  size_t getNumPasses() const { return Passes.size(); }
+
+  /// Runs every pass over \p F in order, recording instrumentation.
+  /// With VerifyEach, stops after the first pass that corrupts the IR
+  /// (its PassExecution has VerifiedOK == false and the report carries
+  /// FirstInvalidPass + the verifier messages).
+  PassRunReport run(Function &F) const;
+
+private:
+  struct NamedPass {
+    std::string Name;
+    PassFn Fn;
+  };
+
+  PassManagerOptions Opts;
+  std::vector<NamedPass> Passes;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_DRIVER_PASSMANAGER_H

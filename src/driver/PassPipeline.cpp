@@ -9,22 +9,52 @@
 #include "ir/DCE.h"
 #include "passes/CSE.h"
 #include "passes/ConstantFolding.h"
+#include "support/Remark.h"
+
+#include <string>
 
 using namespace snslp;
 
 PipelineResult snslp::runPassPipeline(Function &F,
                                       const PipelineOptions &Options) {
   PipelineResult Result;
-  auto Cleanup = [&F, &Result] {
-    Result.ConstantsFolded += runConstantFolding(F);
-    Result.CSERemoved += runLocalCSE(F);
-    Result.DCERemoved += runDeadCodeElimination(F);
+  PassManager PM(Options.Instrument);
+
+  auto AddCleanup = [&PM, &Result](const std::string &Prefix) {
+    PM.addPass(Prefix + "constant-folding", [&Result](Function &Fn) {
+      size_t N = runConstantFolding(Fn);
+      Result.ConstantsFolded += N;
+      return N;
+    });
+    PM.addPass(Prefix + "cse", [&Result](Function &Fn) {
+      size_t N = runLocalCSE(Fn);
+      Result.CSERemoved += N;
+      return N;
+    });
+    PM.addPass(Prefix + "dce", [&Result](Function &Fn) {
+      size_t N = runDeadCodeElimination(Fn);
+      Result.DCERemoved += N;
+      return N;
+    });
   };
 
   if (Options.EarlyCleanup)
-    Cleanup();
-  Result.VecStats = runSLPVectorizer(F, Options.Vectorizer);
+    AddCleanup("early-");
+  PM.addPass("slp-vectorizer", [&Result, &Options](Function &Fn) {
+    VectorizeStats Stats = runSLPVectorizer(Fn, Options.Vectorizer);
+    // Forward the vectorizer's structured decision remarks into the
+    // pipeline's sink so one stream tells the whole story, then keep
+    // them on the aggregated stats as before.
+    if (Options.Instrument.Remarks)
+      for (const Remark &R : Stats.Remarks)
+        Options.Instrument.Remarks->add(R);
+    size_t Changed = Stats.GraphsVectorized;
+    Result.VecStats.mergeFrom(Stats);
+    return Changed;
+  });
   if (Options.LateCleanup)
-    Cleanup();
+    AddCleanup("late-");
+
+  Result.Report = PM.run(F);
   return Result;
 }

@@ -7,12 +7,17 @@
 /// \file
 /// The mini -O3 pipeline: scalar cleanup (constant folding, local CSE,
 /// DCE) around the SLP vectorizer, mirroring where LLVM runs the SLP pass.
+/// Built on the instrumented PassManager, so every run can report per-pass
+/// wall/cycle timings, verify the IR between passes (pinpointing the
+/// offending pass) and snapshot the IR after each pass — see
+/// PassManager.h and docs/observability.md.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SNSLP_DRIVER_PASSPIPELINE_H
 #define SNSLP_DRIVER_PASSPIPELINE_H
 
+#include "driver/PassManager.h"
 #include "slp/SLPVectorizer.h"
 
 #include <cstddef>
@@ -28,6 +33,11 @@ struct PipelineOptions {
   bool EarlyCleanup = true;
   bool LateCleanup = true;
   VectorizerConfig Vectorizer;
+  /// Per-pass instrumentation (timing is always recorded; VerifyEach,
+  /// PrintAfterAll and the remark sink are opt-in). When a remark sink is
+  /// set, the vectorizer's structured decision remarks are forwarded into
+  /// it, interleaved with the PassManager's own PassExecuted remarks.
+  PassManagerOptions Instrument;
 };
 
 /// Aggregated pipeline results.
@@ -36,6 +46,10 @@ struct PipelineResult {
   size_t CSERemoved = 0;
   size_t DCERemoved = 0;
   VectorizeStats VecStats;
+  /// Per-pass execution record of this run (timings, VerifyEach verdicts,
+  /// optional IR snapshots). Pass names: "constant-folding", "cse", "dce"
+  /// (prefixed "early-"/"late-") and "slp-vectorizer".
+  PassRunReport Report;
 };
 
 /// Runs cleanup -> vectorizer -> cleanup over \p F in place.

@@ -20,9 +20,21 @@
 using namespace snslp;
 using namespace snslp::fuzz;
 
-std::string snslp::fuzz::renderArtifact(const GeneratedProgram &P,
-                                        uint64_t DataSeed,
-                                        const std::string &Failure) {
+namespace {
+
+/// Flattens newlines so a value stays on one `; key:` comment line.
+std::string oneLine(std::string S) {
+  for (char &C : S)
+    if (C == '\n')
+      C = ' ';
+  return S;
+}
+
+} // namespace
+
+std::string snslp::fuzz::renderArtifact(
+    const GeneratedProgram &P, uint64_t DataSeed, const std::string &Failure,
+    const std::vector<std::string> &RemarkLines) {
   std::ostringstream OS;
   OS << "; fuzzslp-artifact v1\n";
   OS << "; seed: " << P.Seed << "\n";
@@ -36,26 +48,27 @@ std::string snslp::fuzz::renderArtifact(const GeneratedProgram &P,
   OS << "; returns: " << (P.ReturnsValue ? 1 : 0) << "\n";
   if (!Failure.empty()) {
     // Keep the failure summary on one comment line.
-    std::string OneLine = Failure;
-    for (char &C : OneLine)
-      if (C == '\n')
-        C = ' ';
-    OS << "; failure: " << OneLine << "\n";
+    OS << "; failure: " << oneLine(Failure) << "\n";
   }
+  // The failing config's decision trail (renderRemarkText lines), one
+  // comment per remark so the header stays line-oriented.
+  for (const std::string &R : RemarkLines)
+    OS << "; remark: " << oneLine(R) << "\n";
   OS << toString(*P.F);
   return OS.str();
 }
 
 bool snslp::fuzz::writeArtifact(const std::string &Path,
                                 const GeneratedProgram &P, uint64_t DataSeed,
-                                const std::string &Failure, std::string *Err) {
+                                const std::string &Failure, std::string *Err,
+                                const std::vector<std::string> &RemarkLines) {
   std::ofstream OS(Path);
   if (!OS) {
     if (Err)
       *Err = "cannot open '" + Path + "' for writing";
     return false;
   }
-  OS << renderArtifact(P, DataSeed, Failure);
+  OS << renderArtifact(P, DataSeed, Failure, RemarkLines);
   OS.close();
   if (!OS) {
     if (Err)
@@ -144,6 +157,8 @@ bool snslp::fuzz::loadArtifact(const std::string &Source, Module &M,
       P.ReturnsValue = Val == "1" || Val == "true";
     else if (Key == "failure")
       Out.Failure = Val;
+    else if (Key == "remark")
+      Out.RemarkLines.push_back(Val);
   }
 
   size_t Before = M.functions().size();

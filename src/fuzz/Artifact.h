@@ -22,7 +22,13 @@
 ///   ; inplace: 0
 ///   ; returns: 0
 ///   ; failure: [SNSLP/bytecode] memory-mismatch: arg0[2] ...
+///   ; remark: slp-vectorizer SeedAccepted ... (optional, repeated)
 ///   func @repro(...) { ... }
+///
+/// The optional `; remark:` lines carry the structured decision trail of
+/// the failing vectorizer configuration (rendered via renderRemarkText),
+/// so a triager can see *what the vectorizer did* without re-running it.
+/// See docs/observability.md.
 ///
 /// parseIR treats the header as ordinary comments, so every artifact is
 /// also a plain IR file for example_irtool and the parser tests.
@@ -35,6 +41,7 @@
 #include "fuzz/IRGenerator.h"
 
 #include <string>
+#include <vector>
 
 namespace snslp {
 
@@ -43,23 +50,29 @@ class Module;
 namespace fuzz {
 
 /// A loaded artifact: program metadata (with \c Meta.F pointing into the
-/// module it was parsed into) plus the recorded data seed and failure.
+/// module it was parsed into) plus the recorded data seed, failure and the
+/// failing configuration's remark trail (one rendered line per remark).
 struct ArtifactInfo {
   GeneratedProgram Meta;
   uint64_t DataSeed = 0;
   std::string Failure;
+  std::vector<std::string> RemarkLines;
 };
 
 /// Renders \p P (with \p DataSeed and the failure summary) as artifact
-/// text: metadata header plus the printed function.
+/// text: metadata header plus the printed function. \p RemarkLines, when
+/// non-empty, are emitted as one `; remark:` comment each (newlines
+/// flattened) so the failing config's decision trail rides along.
 std::string renderArtifact(const GeneratedProgram &P, uint64_t DataSeed,
-                           const std::string &Failure);
+                           const std::string &Failure,
+                           const std::vector<std::string> &RemarkLines = {});
 
 /// Writes renderArtifact() output to \p Path (creating parent directories
 /// is the caller's job). Returns false and fills \p Err on I/O failure.
 bool writeArtifact(const std::string &Path, const GeneratedProgram &P,
                    uint64_t DataSeed, const std::string &Failure,
-                   std::string *Err = nullptr);
+                   std::string *Err = nullptr,
+                   const std::vector<std::string> &RemarkLines = {});
 
 /// Parses artifact text: reads the metadata header, parses the IR into
 /// \p M, and resolves \c Out.Meta.F to the first parsed function.

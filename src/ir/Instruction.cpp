@@ -177,6 +177,20 @@ const char *snslp::getOpcodeName(BinOpcode Op) {
   snslp_unreachable("covered switch");
 }
 
+const char *snslp::getOpFamilyName(OpFamily Family) {
+  switch (Family) {
+  case OpFamily::IntAddSub:
+    return "add/sub";
+  case OpFamily::FPAddSub:
+    return "fadd/fsub";
+  case OpFamily::FPMulDiv:
+    return "fmul/fdiv";
+  case OpFamily::None:
+    return "none";
+  }
+  snslp_unreachable("covered switch");
+}
+
 const char *snslp::getUnaryOpcodeName(UnaryOpcode Op) {
   switch (Op) {
   case UnaryOpcode::FNeg:

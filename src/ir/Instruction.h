@@ -143,6 +143,9 @@ bool isCommutative(BinOpcode Op);
 bool isInverseOpcode(BinOpcode Op);
 /// Returns the printer/parser spelling, e.g. "fadd".
 const char *getOpcodeName(BinOpcode Op);
+/// Returns a human-readable family name, e.g. "fadd/fsub" ("none" for
+/// OpFamily::None). Used by optimization remarks.
+const char *getOpFamilyName(OpFamily Family);
 
 /// A binary arithmetic instruction over matching scalar or vector operands.
 class BinaryOperator : public Instruction {

@@ -16,33 +16,80 @@ using namespace snslp;
 
 namespace {
 
+/// Wraps a 64-bit two's-complement result to the declared width of integer
+/// type \p Ty, sign-extending back to int64_t. This is the interpreter's
+/// RTValue::canonicalizeInt contract: i32 arithmetic wraps modulo 2^32 and
+/// i1 modulo 2. The fold must apply it itself rather than rely on the
+/// constant interner happening to re-truncate on construction — the folded
+/// value is the value later passes and comparisons see.
+int64_t wrapToIntWidth(const Type *Ty, uint64_t V) {
+  switch (Ty->getKind()) {
+  case TypeKind::Int1:
+    return static_cast<int64_t>(V & 1);
+  case TypeKind::Int32:
+    return static_cast<int64_t>(
+        static_cast<int32_t>(static_cast<uint32_t>(V)));
+  default:
+    return static_cast<int64_t>(V);
+  }
+}
+
 /// Evaluates a scalar binary operation over constants with the same
-/// semantics as the interpreter (two's-complement wrap, FP per kind).
+/// semantics as the interpreter: two's-complement wrap at the declared
+/// integer width, FP natively in the declared precision (f32 folds in
+/// `float`, matching the bytecode VM's single-rounded lane ops).
 Constant *foldBinOp(BinOpcode Op, const Constant *L, const Constant *R) {
   if (const auto *LI = dyn_cast<ConstantInt>(L)) {
     const auto *RI = cast<ConstantInt>(R);
     uint64_t A = static_cast<uint64_t>(LI->getValue());
     uint64_t B = static_cast<uint64_t>(RI->getValue());
-    int64_t Result;
+    uint64_t Result;
     switch (Op) {
     case BinOpcode::Add:
-      Result = static_cast<int64_t>(A + B);
+      Result = A + B;
       break;
     case BinOpcode::Sub:
-      Result = static_cast<int64_t>(A - B);
+      Result = A - B;
       break;
     case BinOpcode::Mul:
-      Result = static_cast<int64_t>(A * B);
+      Result = A * B;
       break;
     default:
       return nullptr; // FP opcode over ints cannot verify anyway.
     }
-    return ConstantInt::get(LI->getType(), Result);
+    return ConstantInt::get(LI->getType(),
+                            wrapToIntWidth(LI->getType(), Result));
   }
   const auto *LF = dyn_cast<ConstantFP>(L);
   if (!LF)
     return nullptr;
   const auto *RF = cast<ConstantFP>(R);
+  if (LF->getType()->getKind() == TypeKind::Float) {
+    // Fold f32 in float: one rounding, exactly what the runtime lane op
+    // computes. (Folding in double and rounding the result would be a
+    // double rounding; innocuous for a single +,-,*,/ but wrong in
+    // principle, and this keeps folded chains bit-exact by construction.)
+    float A = static_cast<float>(LF->getValue());
+    float B = static_cast<float>(RF->getValue());
+    float Result;
+    switch (Op) {
+    case BinOpcode::FAdd:
+      Result = A + B;
+      break;
+    case BinOpcode::FSub:
+      Result = A - B;
+      break;
+    case BinOpcode::FMul:
+      Result = A * B;
+      break;
+    case BinOpcode::FDiv:
+      Result = A / B;
+      break;
+    default:
+      return nullptr;
+    }
+    return ConstantFP::get(LF->getType(), Result);
+  }
   double A = LF->getValue();
   double B = RF->getValue();
   double Result;
@@ -108,6 +155,23 @@ Constant *snslp::tryConstantFold(const Instruction &Inst) {
     const auto *C = dyn_cast<ConstantFP>(UO.getOperand0());
     if (!C)
       return nullptr;
+    if (C->getType()->getKind() == TypeKind::Float) {
+      // Native f32 fold (see foldBinOp). neg/fabs are exact in either
+      // precision; sqrt is where the precision actually matters.
+      float V = static_cast<float>(C->getValue());
+      switch (UO.getOpcode()) {
+      case UnaryOpcode::FNeg:
+        V = -V;
+        break;
+      case UnaryOpcode::Sqrt:
+        V = std::sqrt(V);
+        break;
+      case UnaryOpcode::Fabs:
+        V = std::fabs(V);
+        break;
+      }
+      return ConstantFP::get(C->getType(), V);
+    }
     double V = C->getValue();
     switch (UO.getOpcode()) {
     case UnaryOpcode::FNeg:

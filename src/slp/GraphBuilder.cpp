@@ -8,11 +8,56 @@
 
 #include "analysis/Dependence.h"
 #include "analysis/MemoryAddress.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
 #include "slp/SuperNode.h"
+#include "support/Remark.h"
 
 #include <algorithm>
 
 using namespace snslp;
+
+/// The pass string stamped on every graph-construction remark.
+static const char BuilderPass[] = "slp-vectorizer";
+
+/// Remark-friendly name of one lane value ("<imm>" for unnamed constants).
+static std::string laneName(const Value *V) {
+  if (!V->getName().empty())
+    return V->getName();
+  return isa<Constant>(V) ? "<imm>" : "<unnamed>";
+}
+
+static std::vector<std::string> laneNames(const std::vector<Value *> &Bundle) {
+  std::vector<std::string> Names;
+  Names.reserve(Bundle.size());
+  for (const Value *V : Bundle)
+    Names.push_back(laneName(V));
+  return Names;
+}
+
+/// The enclosing function of the first instruction lane, for remark scoping.
+static std::string bundleFunctionName(const std::vector<Value *> &Bundle) {
+  for (const Value *V : Bundle)
+    if (const auto *I = dyn_cast<Instruction>(V))
+      if (I->getParent() && I->getParent()->getParent())
+        return I->getParent()->getParent()->getName();
+  return std::string();
+}
+
+/// Lower-case node-kind spelling used as the NodeBuilt decision string.
+static const char *nodeKindDecision(SLPNodeKind Kind) {
+  switch (Kind) {
+  case SLPNodeKind::Vectorize:
+    return "vectorize";
+  case SLPNodeKind::Alternate:
+    return "alternate";
+  case SLPNodeKind::Gather:
+    return "gather";
+  case SLPNodeKind::Shuffle:
+    return "shuffle";
+  }
+  return "unknown";
+}
 
 std::unique_ptr<SLPGraph> GraphBuilder::buildFromBundle(
     std::vector<Value *> Bundle,
@@ -26,6 +71,7 @@ std::unique_ptr<SLPGraph> GraphBuilder::buildFromBundle(
 
   Graph->setRoot(buildNode(std::move(Bundle), 0));
   finalizeCost();
+  emitNodeRemarks();
   return std::move(Graph);
 }
 
@@ -53,7 +99,24 @@ std::unique_ptr<SLPGraph> GraphBuilder::build(const SeedGroup &Seeds) {
   Root->addOperand(buildNode(std::move(ValueBundle), 1));
 
   finalizeCost();
+  emitNodeRemarks();
   return std::move(Graph);
+}
+
+void GraphBuilder::emitNodeRemarks() const {
+  if (!RC)
+    return;
+  for (const auto &N : Graph->nodes()) {
+    Remark R = Remark::analysis(BuilderPass, "NodeBuilt",
+                                bundleFunctionName(N->lanes()))
+                   .withDecision(nodeKindDecision(N->getKind()))
+                   .withValues(laneNames(N->lanes()))
+                   .withCost(0, N->getCost());
+    if (N->getSuperNodeId() >= 0)
+      R.withMessage("row of super-node #" +
+                    std::to_string(N->getSuperNodeId()));
+    RC->add(std::move(R));
+  }
 }
 
 void GraphBuilder::markVectorized(SLPNode *N) {
@@ -319,9 +382,31 @@ SLPNode *GraphBuilder::buildBinOpNode(std::vector<Value *> Bundle,
     for (const auto &[V, N] : ScalarToNode)
       Frozen.insert(V);
     Frozen.insert(GatheredScalars.begin(), GatheredScalars.end());
-    if (std::unique_ptr<SuperNode> SN =
-            SuperNode::tryBuild(Bundle, Cfg.allowInverseOps(), Frozen)) {
+    std::string WhyNot;
+    if (std::unique_ptr<SuperNode> SN = SuperNode::tryBuild(
+            Bundle, Cfg.allowInverseOps(), Frozen, RC ? &WhyNot : nullptr)) {
       SN->reorderLeavesAndTrunks(LA);
+      if (RC) {
+        std::string Note = Cfg.allowInverseOps()
+                               ? "grew a super-node over operators and "
+                                 "their inverse elements"
+                               : "grew an LSLP multi-node (direct "
+                                 "operator only)";
+        if (SN->getAbandonedGroupCount() > 0)
+          Note += "; " + std::to_string(SN->getAbandonedGroupCount()) +
+                  " candidate group(s) abandoned by APO legality";
+        if (SN->getFallbackSlotCount() > 0)
+          Note += "; " + std::to_string(SN->getFallbackSlotCount()) +
+                  " slot(s) filled by per-lane fallback";
+        RC->add(Remark::analysis(BuilderPass, "SuperNodeBuilt",
+                                 bundleFunctionName(Bundle))
+                    .withDecision(Cfg.allowInverseOps() ? "super-node"
+                                                        : "multi-node")
+                    .withValues(laneNames(Bundle))
+                    .withAPO(getOpFamilyName(SN->getFamily()),
+                             SN->getTrunkSize(), SN->getAPOSlotString())
+                    .withMessage(Note));
+      }
       std::vector<Instruction *> NewRoots =
           SN->generateCode(SuperNodeProduced);
       // generateCode erased the original chain instructions; their
@@ -330,6 +415,15 @@ SLPNode *GraphBuilder::buildBinOpNode(std::vector<Value *> Bundle,
       LA.invalidateCache();
       Graph->addSuperNodeSize(SN->getTrunkSize());
       Bundle.assign(NewRoots.begin(), NewRoots.end());
+      if (RC)
+        RC->add(Remark::analysis(BuilderPass, "SuperNodeReEmitted",
+                                 bundleFunctionName(Bundle))
+                    .withDecision("re-emit")
+                    .withValues(laneNames(Bundle))
+                    .withMessage("re-emitted " +
+                                 std::to_string(Bundle.size()) +
+                                 " lane(s) as canonical left-to-right "
+                                 "chains; look-ahead cache invalidated"));
       Rewritten = true;
       if (!isSafeToBundleValues(Bundle))
         return createGather(std::move(Bundle));
@@ -339,6 +433,13 @@ SLPNode *GraphBuilder::buildBinOpNode(std::vector<Value *> Bundle,
       for (Value *V : Bundle)
         SameOpcode &= cast<BinaryOperator>(V)->getOpcode() ==
                       First->getOpcode();
+    } else if (RC) {
+      RC->add(Remark::analysis(BuilderPass, "SuperNodeRejected",
+                               bundleFunctionName(Bundle))
+                  .withDecision("reject:" + WhyNot)
+                  .withValues(laneNames(Bundle))
+                  .withMessage("no legal multi/super-node of trunk size "
+                               ">= 2 over this bundle"));
     }
   }
   // -----------------------------------------------------------------------

@@ -32,12 +32,20 @@ namespace snslp {
 /// building a graph may massage the scalar IR (Super-Node re-emission);
 /// the massaging is semantics-preserving regardless of whether the graph
 /// is later deemed profitable.
+class RemarkCollector;
+
 class GraphBuilder {
 public:
-  GraphBuilder(const VectorizerConfig &Cfg, const TargetCostModel &TCM)
+  /// When \p RC is non-null every graph-construction decision emits one
+  /// structured remark into it: NodeBuilt per SLP node, SuperNodeBuilt /
+  /// SuperNodeRejected / SuperNodeReEmitted around the buildSuperNode step
+  /// (with APO family, trunk size and per-slot APO detail).
+  GraphBuilder(const VectorizerConfig &Cfg, const TargetCostModel &TCM,
+               RemarkCollector *RC = nullptr)
       : Cfg(Cfg), TCM(TCM),
         LA(Cfg.Mode == VectorizerMode::SLP ? 0 : Cfg.LookAheadDepth,
-           LookAheadWeights(), Cfg.EnableLookAheadMemo) {}
+           LookAheadWeights(), Cfg.EnableLookAheadMemo),
+        RC(RC) {}
 
   /// Builds the graph rooted at \p Seeds and computes its total cost.
   std::unique_ptr<SLPGraph> build(const SeedGroup &Seeds);
@@ -90,9 +98,14 @@ private:
   /// outside the graph, then stores the final cost into the graph.
   void finalizeCost();
 
+  /// Emits one NodeBuilt remark per node of the finished graph, in node
+  /// creation order (no-op when RC is null).
+  void emitNodeRemarks() const;
+
   const VectorizerConfig &Cfg;
   const TargetCostModel &TCM;
   LookAhead LA;
+  RemarkCollector *RC = nullptr;
 
   std::unique_ptr<SLPGraph> Graph;
   std::map<std::vector<Value *>, SLPNode *> BundleCache;

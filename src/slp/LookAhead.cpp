@@ -64,9 +64,12 @@ int LookAhead::scoreAtDepth(const Value *L, const Value *R,
   const unsigned KeyD = BothBinops ? D : 0;
   if (Cacheable) {
     auto It = Cache.find(Key{L, R, KeyD});
-    if (It != Cache.end()) {
+    // An entry only counts when it was written under the current epoch;
+    // anything older predates an IR mutation (invalidateCache) and its
+    // operand pointers may name recycled storage.
+    if (It != Cache.end() && It->second.Epoch == Epoch) {
       ++Hits;
-      return It->second;
+      return It->second.Score;
     }
   }
 
@@ -84,7 +87,9 @@ int LookAhead::scoreAtDepth(const Value *L, const Value *R,
 
   if (Cacheable) {
     ++Misses;
-    Cache.emplace(Key{L, R, KeyD}, Score);
+    // insert_or_assign: a stale (older-epoch) entry under the same key is
+    // overwritten in place.
+    Cache.insert_or_assign(Key{L, R, KeyD}, CacheEntry{Score, Epoch});
   }
   return Score;
 }

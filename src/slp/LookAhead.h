@@ -62,11 +62,15 @@ public:
   /// (the group score of Listing 2).
   int groupScore(const std::vector<const Value *> &Group) const;
 
-  /// Drops every cached score. MUST be called after any mutation of the IR
-  /// under scoring: scores depend on operand structure and memory
+  /// Invalidates every cached score. MUST be called after any mutation of
+  /// the IR under scoring: scores depend on operand structure and memory
   /// addresses, and erased Instructions' storage can be recycled for new
-  /// ones, which would otherwise produce false cache hits.
-  void invalidateCache() const { Cache.clear(); }
+  /// ones, which would otherwise produce false cache hits. Invalidation is
+  /// O(1): the cache epoch advances, and entries written under an older
+  /// epoch are treated as misses and overwritten in place on their next
+  /// lookup — Super-Node re-emission can invalidate after every trunk
+  /// without paying a full rehash/clear each time.
+  void invalidateCache() const { ++Epoch; }
 
   /// \name Cache instrumentation (reported via VectorizeStats /
   /// support/Statistic).
@@ -74,6 +78,8 @@ public:
   uint64_t getCacheHits() const { return Hits; }
   uint64_t getCacheMisses() const { return Misses; }
   bool isMemoEnabled() const { return MemoEnabled; }
+  /// Current invalidation epoch (advances on invalidateCache()).
+  uint64_t getEpoch() const { return Epoch; }
   /// @}
 
 private:
@@ -106,12 +112,22 @@ private:
     }
   };
 
+  /// A cached score tagged with the epoch it was computed under. Entries
+  /// from older epochs are stale (the IR mutated since) and are lazily
+  /// replaced on lookup rather than eagerly erased.
+  struct CacheEntry {
+    int Score;
+    uint64_t Epoch;
+  };
+
   unsigned Depth;
   LookAheadWeights Weights;
   bool MemoEnabled;
-  /// (L, R, depth) -> score, valid until the next IR mutation. Mutable:
-  /// scoring is logically const (SuperNode takes const LookAhead &).
-  mutable std::unordered_map<Key, int, KeyHash> Cache;
+  /// (L, R, depth) -> (score, epoch). An entry is valid only when its
+  /// epoch matches the current one. Mutable: scoring is logically const
+  /// (SuperNode takes const LookAhead &).
+  mutable std::unordered_map<Key, CacheEntry, KeyHash> Cache;
+  mutable uint64_t Epoch = 0;
   mutable uint64_t Hits = 0;
   mutable uint64_t Misses = 0;
 };

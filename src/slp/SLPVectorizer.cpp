@@ -77,11 +77,16 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
   Timer PassTimer;
   TargetCostModel TCM(Cfg.Target);
   size_t InstsBefore = F.instructionCount();
+  // Every decision of this run lands in one ordered collector; the caller
+  // reads the stream from Stats.Remarks (irtool --remarks, fuzzslp
+  // artifact headers, golden-remark tests).
+  RemarkCollector RC;
+  const std::string &Fn = F.getName();
 
   for (const auto &BB : F.blocks()) {
     // Step 1 of Fig. 1: scan for vectorizable seed instructions.
     std::vector<SeedGroup> Seeds = collectStoreSeeds(
-        *BB, Cfg.MinVF, Cfg.MaxVF, Cfg.Target.MaxVectorWidthBytes);
+        *BB, Cfg.MinVF, Cfg.MaxVF, Cfg.Target.MaxVectorWidthBytes, &RC);
 
     // Steps 2-8: process each seed group from the work-list. When a group
     // is not profitable at its width and can be halved, both halves are
@@ -90,7 +95,7 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
     std::vector<SeedGroup> Worklist = std::move(Seeds);
     for (size_t WI = 0; WI < Worklist.size(); ++WI) {
       SeedGroup Group = Worklist[WI];
-      GraphBuilder GB(Cfg, TCM);
+      GraphBuilder GB(Cfg, TCM, &RC);
       std::unique_ptr<SLPGraph> Graph = GB.build(Group);
       ++Stats.GraphsBuilt;
       Stats.LookAheadCacheHits += GB.getLookAhead().getCacheHits();
@@ -98,10 +103,15 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
 
       // Step 5: compare the cost against the threshold.
       if (Graph->getTotalCost() >= Cfg.CostThreshold) {
-        Stats.Remarks.push_back(
-            "rejected " + std::to_string(Group.getVF()) +
-            "-wide store group in '" + BB->getName() + "' (cost " +
-            std::to_string(Graph->getTotalCost()) + ")");
+        RC.add(Remark::missed("slp-vectorizer", "GraphRejected", Fn)
+                   .withDecision("reject:cost")
+                   .withCost(0, Graph->getTotalCost())
+                   .withMessage("rejected " + std::to_string(Group.getVF()) +
+                                "-wide store group in '" + BB->getName() +
+                                "' (cost " +
+                                std::to_string(Graph->getTotalCost()) +
+                                " >= threshold " +
+                                std::to_string(Cfg.CostThreshold) + ")"));
         // Not profitable; retry the halves when still wide enough.
         if (Group.getVF() / 2 >= Cfg.MinVF) {
           SeedGroup Low, High;
@@ -120,12 +130,16 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
       VectorCodeGen(*Graph, GB.getScalarMap()).run();
       ++Stats.GraphsVectorized;
       Stats.CommittedCost += Graph->getTotalCost();
-      Stats.Remarks.push_back(
-          "vectorized " + std::to_string(Group.getVF()) +
-          "-wide store group in '" + BB->getName() + "' (cost " +
-          std::to_string(Graph->getTotalCost()) + ", " +
-          std::to_string(Graph->getSuperNodeSizes().size()) +
-          " super-node(s))");
+      RC.add(Remark::passed("slp-vectorizer", "GraphVectorized", Fn)
+                 .withDecision("vectorize")
+                 .withCost(0, Graph->getTotalCost())
+                 .withMessage("vectorized " + std::to_string(Group.getVF()) +
+                              "-wide store group in '" + BB->getName() +
+                              "' (cost " +
+                              std::to_string(Graph->getTotalCost()) + ", " +
+                              std::to_string(
+                                  Graph->getSuperNodeSizes().size()) +
+                              " super-node(s))"));
       tallyNodeKinds(*Graph, Stats);
       for (unsigned S : Graph->getSuperNodeSizes())
         Stats.CommittedSuperNodeSizes.push_back(S);
@@ -139,9 +153,9 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
       while (Committed) {
         Committed = false;
         std::vector<ReductionSeed> RSeeds = collectReductionSeeds(
-            *BB, Cfg.MinVF, Cfg.MaxVF, Cfg.Target.MaxVectorWidthBytes);
+            *BB, Cfg.MinVF, Cfg.MaxVF, Cfg.Target.MaxVectorWidthBytes, &RC);
         for (ReductionSeed &Seed : RSeeds) {
-          GraphBuilder GB(Cfg, TCM);
+          GraphBuilder GB(Cfg, TCM, &RC);
           std::unordered_set<const Instruction *> Ignored(
               Seed.TreeInsts.begin(), Seed.TreeInsts.end());
           std::unique_ptr<SLPGraph> Graph =
@@ -156,10 +170,18 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
                   static_cast<unsigned>(Seed.Leaves.size()));
           if (Total >= Cfg.CostThreshold ||
               Graph->getRoot()->getKind() == SLPNodeKind::Gather) {
-            Stats.Remarks.push_back(
-                "rejected " + std::to_string(Seed.Leaves.size()) +
-                "-wide reduction of '" + Seed.Root->getName() + "' (cost " +
-                std::to_string(Total) + ")");
+            bool GatherRoot =
+                Graph->getRoot()->getKind() == SLPNodeKind::Gather;
+            RC.add(Remark::missed("slp-vectorizer", "ReductionRejected", Fn)
+                       .withDecision(GatherRoot ? "reject:gather-root"
+                                                : "reject:cost")
+                       .withCost(0, Total)
+                       .withValues({Seed.Root->getName()})
+                       .withMessage(
+                           "rejected " +
+                           std::to_string(Seed.Leaves.size()) +
+                           "-wide reduction of '" + Seed.Root->getName() +
+                           "' (cost " + std::to_string(Total) + ")"));
             continue;
           }
 
@@ -167,10 +189,15 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
           VectorCodeGen(*Graph, GB.getScalarMap())
               .runReduction(Seed.Root, Seed.TreeInsts);
           ++Stats.GraphsVectorized;
-          Stats.Remarks.push_back(
-              "vectorized " + std::to_string(Seed.Leaves.size()) +
-              "-wide horizontal reduction of '" + RootName + "' (cost " +
-              std::to_string(Total) + ")");
+          RC.add(Remark::passed("slp-vectorizer", "ReductionVectorized", Fn)
+                     .withDecision("vectorize")
+                     .withCost(0, Total)
+                     .withValues({RootName})
+                     .withMessage("vectorized " +
+                                  std::to_string(Seed.Leaves.size()) +
+                                  "-wide horizontal reduction of '" +
+                                  RootName + "' (cost " +
+                                  std::to_string(Total) + ")"));
           Stats.CommittedCost += Total;
           tallyNodeKinds(*Graph, Stats);
           for (unsigned S : Graph->getSuperNodeSizes())
@@ -183,6 +210,7 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
   }
 
   runDeadCodeElimination(F);
+  Stats.Remarks = RC.take();
   size_t InstsAfter = F.instructionCount();
   Stats.InstructionsRemoved =
       InstsBefore > InstsAfter ? InstsBefore - InstsAfter : 0;

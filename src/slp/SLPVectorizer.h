@@ -16,6 +16,7 @@
 #define SNSLP_SLP_SLPVECTORIZER_H
 
 #include "slp/VectorizerConfig.h"
+#include "support/Remark.h"
 
 #include <cstdint>
 #include <string>
@@ -53,9 +54,12 @@ struct VectorizeStats {
   unsigned ShuffleNodes = 0;
   /// @}
 
-  /// Human-readable optimization remarks, one per decision (in the spirit
-  /// of clang's -Rpass=slp-vectorizer). Surfaced by irtool --remarks.
-  std::vector<std::string> Remarks;
+  /// Structured optimization remarks, one per decision (in the spirit of
+  /// clang's -Rpass=slp-vectorizer and LLVM's remark files): seed
+  /// accept/reject with reason, per-node graph build steps, Super-Node APO
+  /// legality, cost-model verdict per graph. Surfaced by irtool --remarks
+  /// as text, YAML or JSON (see support/Remark.h, docs/observability.md).
+  std::vector<Remark> Remarks;
 
   unsigned superNodesCommitted() const {
     return static_cast<unsigned>(CommittedSuperNodeSizes.size());

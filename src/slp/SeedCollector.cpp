@@ -9,6 +9,8 @@
 #include "analysis/Dependence.h"
 #include "analysis/MemoryAddress.h"
 #include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "support/Remark.h"
 
 #include <algorithm>
 #include <map>
@@ -26,6 +28,30 @@ struct AddressedStore {
 
 } // namespace
 
+/// The pass string stamped on every seed-collection remark.
+static const char SeedPass[] = "slp-vectorizer";
+
+static std::string enclosingFunctionName(const BasicBlock &BB) {
+  return BB.getParent() ? BB.getParent()->getName() : std::string();
+}
+
+/// Stores produce no value (and so carry no name); identify them by the
+/// name of their pointer operand, which is what makes a seed group
+/// recognizable ("the stores through %p0..%p3").
+static std::string seedValueName(const StoreInst *S) {
+  const std::string &N = S->getPointerOperand()->getName();
+  return N.empty() ? std::string("<store>") : N;
+}
+
+static std::vector<std::string> seedValueNames(
+    const std::vector<StoreInst *> &Stores) {
+  std::vector<std::string> Names;
+  Names.reserve(Stores.size());
+  for (const StoreInst *S : Stores)
+    Names.push_back(seedValueName(S));
+  return Names;
+}
+
 /// Returns true when \p V can be an interior node of a reduction tree over
 /// \p Opcode: same opcode, single use, same block.
 static bool isReductionInterior(const Value *V, BinOpcode Opcode,
@@ -37,7 +63,7 @@ static bool isReductionInterior(const Value *V, BinOpcode Opcode,
 
 std::vector<ReductionSeed> snslp::collectReductionSeeds(
     BasicBlock &BB, unsigned MinVF, unsigned MaxVF,
-    unsigned MaxVecWidthBytes) {
+    unsigned MaxVecWidthBytes, RemarkCollector *RC) {
   std::vector<ReductionSeed> Result;
   for (const auto &Inst : BB) {
     auto *Root = dyn_cast<BinaryOperator>(Inst.get());
@@ -77,8 +103,26 @@ std::vector<ReductionSeed> snslp::collectReductionSeeds(
         std::min(MaxVF, MaxVecWidthBytes / Root->getType()->getSizeInBytes());
     unsigned Count = static_cast<unsigned>(Seed.Leaves.size());
     bool PowerOfTwo = Count >= 2 && (Count & (Count - 1)) == 0;
-    if (!PowerOfTwo || Count < MinVF || Count > EffMaxVF)
+    if (!PowerOfTwo || Count < MinVF || Count > EffMaxVF) {
+      if (RC)
+        RC->add(Remark::missed(SeedPass, "SeedRejected",
+                               enclosingFunctionName(BB))
+                    .withDecision("reject:leaf-count")
+                    .withValues({Root->getName()})
+                    .withMessage("reduction tree has " +
+                                 std::to_string(Count) +
+                                 " leaves; need a power of two in [" +
+                                 std::to_string(MinVF) + ", " +
+                                 std::to_string(EffMaxVF) + "]"));
       continue;
+    }
+    if (RC)
+      RC->add(Remark::analysis(SeedPass, "ReductionSeedFound",
+                               enclosingFunctionName(BB))
+                  .withDecision("accept")
+                  .withValues({Root->getName()})
+                  .withMessage(std::to_string(Count) + "-leaf " +
+                               getOpcodeName(Opcode) + " reduction tree"));
     Result.push_back(std::move(Seed));
   }
   return Result;
@@ -87,7 +131,8 @@ std::vector<ReductionSeed> snslp::collectReductionSeeds(
 std::vector<SeedGroup> snslp::collectStoreSeeds(BasicBlock &BB,
                                                 unsigned MinVF,
                                                 unsigned MaxVF,
-                                                unsigned MaxVecWidthBytes) {
+                                                unsigned MaxVecWidthBytes,
+                                                RemarkCollector *RC) {
   std::vector<SeedGroup> Result;
   if (MinVF < 2 || MaxVF < MinVF)
     return Result;
@@ -103,11 +148,27 @@ std::vector<SeedGroup> snslp::collectStoreSeeds(BasicBlock &BB,
     if (!Store)
       continue;
     Type *ValTy = Store->getValueOperand()->getType();
-    if (ValTy->isVector() || ValTy->isPointer() || ValTy->isVoid())
-      continue; // Only scalar stores seed vectorization.
-    AddressDescriptor Addr = analyzePointer(Store->getPointerOperand());
-    if (!Addr.Valid || !Addr.Base)
+    if (ValTy->isVector() || ValTy->isPointer() || ValTy->isVoid()) {
+      // Only scalar stores seed vectorization.
+      if (RC)
+        RC->add(Remark::missed(SeedPass, "SeedRejected",
+                               enclosingFunctionName(BB))
+                    .withDecision("reject:type-mismatch")
+                    .withValues({seedValueName(Store)})
+                    .withMessage("stored type is not a vectorizable scalar"));
       continue;
+    }
+    AddressDescriptor Addr = analyzePointer(Store->getPointerOperand());
+    if (!Addr.Valid || !Addr.Base) {
+      if (RC)
+        RC->add(Remark::missed(SeedPass, "SeedRejected",
+                               enclosingFunctionName(BB))
+                    .withDecision("reject:unanalyzable-address")
+                    .withValues({seedValueName(Store)})
+                    .withMessage("store address is not analyzable as "
+                                 "base + constant offset"));
+      continue;
+    }
     Buckets[{ValTy, Addr.Base}].push_back(
         AddressedStore{Store, std::move(Addr), Order});
   }
@@ -147,6 +208,9 @@ std::vector<SeedGroup> snslp::collectStoreSeeds(BasicBlock &BB,
     // Slice each run into the largest power-of-two groups that fit and
     // whose members can legally form one bundle.
     for (auto &Run : Runs) {
+      // Per-store outcome, for remark emission: 0 = leftover (no adjacent
+      // partner), 1 = consumed by a group, 2 = skipped on an alias failure.
+      std::vector<char> Outcome(Run.size(), 0);
       size_t Begin = 0;
       while (Run.size() - Begin >= MinVF) {
         unsigned VF = EffMaxVF;
@@ -159,16 +223,55 @@ std::vector<SeedGroup> snslp::collectStoreSeeds(BasicBlock &BB,
             Bundle.push_back(Run[Begin + I]->Store);
           if (isSafeToBundle(Bundle)) {
             SeedGroup Group;
-            for (unsigned I = 0; I < VF; ++I)
+            for (unsigned I = 0; I < VF; ++I) {
               Group.Stores.push_back(Run[Begin + I]->Store);
+              Outcome[Begin + I] = 1;
+            }
+            if (RC)
+              RC->add(Remark::analysis(SeedPass, "SeedAccepted",
+                                       enclosingFunctionName(BB))
+                          .withDecision("accept")
+                          .withValues(seedValueNames(Group.Stores))
+                          .withMessage(std::to_string(VF) +
+                                       "-wide run of adjacent stores"));
             Result.push_back(std::move(Group));
             Begin += VF;
             Formed = true;
             break;
           }
         }
-        if (!Formed)
-          ++Begin; // Skip the blocking store and retry from the next one.
+        if (!Formed) {
+          // Skip the blocking store and retry from the next one.
+          if (RC) {
+            std::vector<StoreInst *> Widest;
+            for (size_t I = Begin; I < Run.size() && Widest.size() < EffMaxVF;
+                 ++I)
+              Widest.push_back(Run[I]->Store);
+            RC->add(Remark::missed(SeedPass, "SeedRejected",
+                                   enclosingFunctionName(BB))
+                        .withDecision("reject:alias")
+                        .withValues(seedValueNames(Widest))
+                        .withMessage("a memory dependence between the run "
+                                     "members prevents bundling at any "
+                                     "power-of-two width"));
+          }
+          Outcome[Begin] = 2;
+          ++Begin;
+        }
+      }
+      if (RC) {
+        std::vector<std::string> Leftover;
+        for (size_t I = 0; I < Run.size(); ++I)
+          if (Outcome[I] == 0)
+            Leftover.push_back(seedValueName(Run[I]->Store));
+        if (!Leftover.empty())
+          RC->add(Remark::missed(SeedPass, "SeedRejected",
+                                 enclosingFunctionName(BB))
+                      .withDecision("reject:non-adjacent")
+                      .withValues(std::move(Leftover))
+                      .withMessage("no adjacent run of at least " +
+                                   std::to_string(MinVF) +
+                                   " stores covers these"));
       }
     }
   }

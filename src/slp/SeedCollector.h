@@ -22,6 +22,7 @@
 namespace snslp {
 
 class BasicBlock;
+class RemarkCollector;
 class StoreInst;
 
 /// One seed: stores to consecutive addresses, lowest address first. The
@@ -37,9 +38,15 @@ struct SeedGroup {
 /// two groups that fit, bounded by \p MaxVF and by how many elements fit in
 /// a \p MaxVecWidthBytes register; each store belongs to at most one
 /// returned group.
+///
+/// When \p RC is non-null, one structured remark is emitted per decision:
+/// SeedAccepted (analysis) for each formed group, SeedRejected (missed)
+/// with decision "reject:type-mismatch" | "reject:unanalyzable-address" |
+/// "reject:alias" | "reject:non-adjacent" otherwise.
 std::vector<SeedGroup> collectStoreSeeds(BasicBlock &BB, unsigned MinVF,
                                          unsigned MaxVF,
-                                         unsigned MaxVecWidthBytes = 32);
+                                         unsigned MaxVecWidthBytes = 32,
+                                         RemarkCollector *RC = nullptr);
 
 /// A horizontal-reduction seed (the paper enables these with
 /// -slp-vectorize-hor): \p Root is the top of a tree of \p Opcode
@@ -58,9 +65,13 @@ struct ReductionSeed {
 /// Trees are maximal single-use chains; a tree qualifies when its leaf
 /// count is a power of two within the VF bounds (after the same width cap
 /// as store seeds).
+///
+/// When \p RC is non-null, emits ReductionSeedFound (analysis) per
+/// qualifying tree and SeedRejected (missed, "reject:leaf-count") for trees
+/// whose leaf count is not a power of two within the VF bounds.
 std::vector<ReductionSeed> collectReductionSeeds(
     BasicBlock &BB, unsigned MinVF, unsigned MaxVF,
-    unsigned MaxVecWidthBytes = 32);
+    unsigned MaxVecWidthBytes = 32, RemarkCollector *RC = nullptr);
 
 } // namespace snslp
 

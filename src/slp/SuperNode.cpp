@@ -62,32 +62,38 @@ static bool isExpandable(const SNLeaf &L, OpFamily Family, bool AllowInverse,
 
 std::unique_ptr<SuperNode>
 SuperNode::tryBuild(const std::vector<Value *> &Bundle, bool AllowInverse,
-                    const std::unordered_set<Value *> &Frozen) {
-  if (Bundle.size() < 2)
+                    const std::unordered_set<Value *> &Frozen,
+                    std::string *WhyNot) {
+  auto Fail = [WhyNot](const char *Reason) -> std::unique_ptr<SuperNode> {
+    if (WhyNot)
+      *WhyNot = Reason;
     return nullptr;
+  };
+  if (Bundle.size() < 2)
+    return Fail("bundle-too-small");
   // Lanes must be distinct binary operators of one family, in one block.
   for (size_t I = 0; I < Bundle.size(); ++I)
     for (size_t J = I + 1; J < Bundle.size(); ++J)
       if (Bundle[I] == Bundle[J])
-        return nullptr;
+        return Fail("duplicate-lanes");
 
   auto SN = std::make_unique<SuperNode>();
   const BasicBlock *BB = nullptr;
   for (Value *V : Bundle) {
     auto *Root = dyn_cast<BinaryOperator>(V);
     if (!Root || Frozen.count(V))
-      return nullptr;
+      return Fail("non-binop-or-frozen");
     OpFamily F = Root->getFamily();
     if (F == OpFamily::None)
-      return nullptr;
+      return Fail("no-family");
     if (!AllowInverse && isInverseOpcode(Root->getOpcode()))
-      return nullptr;
+      return Fail("inverse-not-allowed");
     if (SN->Family == OpFamily::None) {
       SN->Family = F;
       BB = Root->getParent();
     }
     if (F != SN->Family || Root->getParent() != BB || !BB)
-      return nullptr;
+      return Fail("family-or-block-mismatch");
 
     Lane L;
     L.Root = Root;
@@ -136,7 +142,7 @@ SuperNode::tryBuild(const std::vector<Value *> &Bundle, bool AllowInverse,
 
   // The paper's minimum legal Multi/Super-Node size is a trunk of 2.
   if (MinLeaves < 3)
-    return nullptr;
+    return Fail("trunk-too-small");
 
   for (Lane &L : SN->Lanes)
     L.Used.assign(L.Leaves.size(), false);
@@ -181,8 +187,13 @@ std::vector<size_t> SuperNode::buildGroup(size_t Lane0Leaf, unsigned Slot,
         BestIdx = I;
       }
     }
-    if (BestIdx == SIZE_MAX)
+    if (BestIdx == SIZE_MAX) {
+      // APO legality refused every remaining leaf of this lane for this
+      // slot; the whole candidate group is abandoned (telemetry for the
+      // SuperNodeBuilt remark).
+      ++AbandonedGroups;
       return {};
+    }
     Group.push_back(BestIdx);
     Prev = L.Leaves[BestIdx].V;
   }
@@ -234,6 +245,7 @@ void SuperNode::reorderLeavesAndTrunks(const LookAhead &LA) {
 
     // No coordinated group exists (can happen when a lane runs out of
     // legal leaves for this slot); fall back to any legal per-lane choice.
+    ++FallbackSlots;
     for (Lane &L : Lanes) {
       size_t Pick = SIZE_MAX;
       for (size_t I = 0; I < L.Leaves.size(); ++I)
@@ -247,6 +259,16 @@ void SuperNode::reorderLeavesAndTrunks(const LookAhead &LA) {
       L.Used[Pick] = true;
     }
   }
+}
+
+std::string SuperNode::getAPOSlotString(unsigned LaneIdx) const {
+  const Lane &L = Lanes[LaneIdx];
+  assert(L.Assigned.size() == getNumSlots() && "reorder must run first");
+  std::string Slots;
+  Slots.reserve(L.Assigned.size());
+  for (const SNLeaf &Leaf : L.Assigned)
+    Slots.push_back(Leaf.Inverted ? '-' : '+');
+  return Slots;
 }
 
 //===----------------------------------------------------------------------===//
@@ -266,10 +288,20 @@ SuperNode::generateCode(std::unordered_set<Value *> &Produced) {
     IRBuilder B(L.Root->getParent()->getContext());
     B.setInsertPointBefore(L.Root);
 
+    // Re-emitted chain instructions derive their names from the dying
+    // root: "<root>.sn" for the new root, "<root>.sn<slot>" for interior
+    // links. Printed IR and optimization remarks stay readable (and the
+    // ".sn" marker makes re-emission visible); the printer uniquifies
+    // clashes.
+    const std::string RootName = L.Root->getName();
     Value *Acc = L.Assigned[0].V;
     for (unsigned Slot = 1; Slot < getNumSlots(); ++Slot) {
       const SNLeaf &Leaf = L.Assigned[Slot];
       Acc = B.createBinOp(Leaf.Inverted ? Inverse : Direct, Acc, Leaf.V);
+      if (!RootName.empty())
+        Acc->setName(Slot + 1 == getNumSlots()
+                         ? RootName + ".sn"
+                         : RootName + ".sn" + std::to_string(Slot));
       Produced.insert(Acc);
     }
 

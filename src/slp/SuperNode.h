@@ -38,6 +38,7 @@
 #include "ir/Instruction.h"
 
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -64,10 +65,15 @@ public:
   /// Super-Node re-emission) are never expanded.
   ///
   /// Returns null when no Super-Node of trunk depth >= 2 exists (the
-  /// paper's minimum legal Multi/Super-Node size).
+  /// paper's minimum legal Multi/Super-Node size). When \p WhyNot is
+  /// non-null, a null return stores a machine-readable reason there
+  /// ("bundle-too-small", "duplicate-lanes", "non-binop-or-frozen",
+  /// "no-family", "inverse-not-allowed", "family-or-block-mismatch",
+  /// "trunk-too-small"); optimization remarks surface it.
   static std::unique_ptr<SuperNode>
   tryBuild(const std::vector<Value *> &Bundle, bool AllowInverse,
-           const std::unordered_set<Value *> &Frozen);
+           const std::unordered_set<Value *> &Frozen,
+           std::string *WhyNot = nullptr);
 
   unsigned getNumLanes() const {
     return static_cast<unsigned>(Lanes.size());
@@ -99,6 +105,20 @@ public:
   const SNLeaf &getAssigned(unsigned Lane, unsigned Slot) const {
     return Lanes[Lane].Assigned[Slot];
   }
+
+  /// One character per leaf slot of \p Lane — '+' identity APO, '-'
+  /// inverted APO — for the assignment chosen by reorderLeavesAndTrunks.
+  /// Optimization remarks record lane 0's string as the APO detail.
+  std::string getAPOSlotString(unsigned Lane = 0) const;
+
+  /// \name APO legality telemetry (valid after reorderLeavesAndTrunks).
+  /// Candidate groups abandoned because some lane had no legal leaf for
+  /// the slot (Listing 3's legality checks refused every remaining leaf),
+  /// and slots filled by the uncoordinated per-lane fallback as a result.
+  /// @{
+  unsigned getAbandonedGroupCount() const { return AbandonedGroups; }
+  unsigned getFallbackSlotCount() const { return FallbackSlots; }
+  /// @}
 
 private:
   struct Lane {
@@ -134,6 +154,9 @@ private:
 
   OpFamily Family = OpFamily::None;
   std::vector<Lane> Lanes;
+  /// buildGroup is const and speculative; the counter is telemetry only.
+  mutable unsigned AbandonedGroups = 0;
+  unsigned FallbackSlots = 0;
 };
 
 } // namespace snslp

@@ -1,0 +1,628 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Remark.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+using namespace snslp;
+
+const char *snslp::getRemarkKindName(RemarkKind Kind) {
+  switch (Kind) {
+  case RemarkKind::Passed:
+    return "passed";
+  case RemarkKind::Missed:
+    return "missed";
+  case RemarkKind::Analysis:
+    return "analysis";
+  }
+  return "analysis";
+}
+
+bool snslp::parseRemarkKindName(const std::string &Name, RemarkKind &Kind) {
+  if (Name == "passed")
+    Kind = RemarkKind::Passed;
+  else if (Name == "missed")
+    Kind = RemarkKind::Missed;
+  else if (Name == "analysis")
+    Kind = RemarkKind::Analysis;
+  else
+    return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// YAML emission
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Renders \p S as a single-quoted YAML scalar. Single quotes are doubled
+/// (the YAML escaping rule); newlines — which no emitted remark contains —
+/// are replaced by spaces to keep the scalar on one line.
+std::string yamlQuote(const std::string &S) {
+  std::string Out = "'";
+  for (char C : S) {
+    if (C == '\'')
+      Out += "''";
+    else if (C == '\n' || C == '\r')
+      Out += ' ';
+    else
+      Out += C;
+  }
+  Out += '\'';
+  return Out;
+}
+
+} // namespace
+
+void snslp::printRemarkYAML(const Remark &R, std::ostream &OS) {
+  OS << "--- !" << getRemarkKindName(R.Kind) << "\n";
+  OS << "pass:     " << yamlQuote(R.Pass) << "\n";
+  OS << "name:     " << yamlQuote(R.Name) << "\n";
+  OS << "function: " << yamlQuote(R.FunctionName) << "\n";
+  if (!R.Decision.empty())
+    OS << "decision: " << yamlQuote(R.Decision) << "\n";
+  if (!R.Values.empty()) {
+    OS << "values:   [ ";
+    for (size_t I = 0; I < R.Values.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << yamlQuote(R.Values[I]);
+    }
+    OS << " ]\n";
+  }
+  if (R.HasCost) {
+    OS << "scalarCost: " << R.ScalarCost << "\n";
+    OS << "vectorCost: " << R.VectorCost << "\n";
+  }
+  if (R.HasAPO) {
+    OS << "apoFamily: " << yamlQuote(R.APOFamily) << "\n";
+    OS << "trunkSize: " << R.TrunkSize << "\n";
+    OS << "apoSlots:  " << yamlQuote(R.APOSlots) << "\n";
+  }
+  if (!R.Message.empty())
+    OS << "message:  " << yamlQuote(R.Message) << "\n";
+  OS << "...\n";
+}
+
+std::string snslp::renderRemarksYAML(const std::vector<Remark> &Remarks) {
+  std::ostringstream OS;
+  for (const Remark &R : Remarks)
+    printRemarkYAML(R, OS);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// JSON emission
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string jsonQuote(const std::string &S) {
+  std::string Out = "\"";
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+} // namespace
+
+void snslp::printRemarkJSON(const Remark &R, std::ostream &OS) {
+  OS << "{\"kind\": " << jsonQuote(getRemarkKindName(R.Kind))
+     << ", \"pass\": " << jsonQuote(R.Pass) << ", \"name\": "
+     << jsonQuote(R.Name) << ", \"function\": " << jsonQuote(R.FunctionName);
+  if (!R.Decision.empty())
+    OS << ", \"decision\": " << jsonQuote(R.Decision);
+  if (!R.Values.empty()) {
+    OS << ", \"values\": [";
+    for (size_t I = 0; I < R.Values.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << jsonQuote(R.Values[I]);
+    }
+    OS << "]";
+  }
+  if (R.HasCost)
+    OS << ", \"scalarCost\": " << R.ScalarCost
+       << ", \"vectorCost\": " << R.VectorCost;
+  if (R.HasAPO)
+    OS << ", \"apo\": {\"family\": " << jsonQuote(R.APOFamily)
+       << ", \"trunkSize\": " << R.TrunkSize
+       << ", \"slots\": " << jsonQuote(R.APOSlots) << "}";
+  if (!R.Message.empty())
+    OS << ", \"message\": " << jsonQuote(R.Message);
+  OS << "}";
+}
+
+std::string snslp::renderRemarksJSON(const std::vector<Remark> &Remarks) {
+  std::ostringstream OS;
+  OS << "[";
+  for (size_t I = 0; I < Remarks.size(); ++I) {
+    OS << (I ? ",\n " : "\n ");
+    printRemarkJSON(Remarks[I], OS);
+  }
+  OS << "\n]\n";
+  return OS.str();
+}
+
+std::string snslp::renderRemarkText(const Remark &R) {
+  std::ostringstream OS;
+  OS << getRemarkKindName(R.Kind) << " [" << R.Pass << "] " << R.Name;
+  if (!R.FunctionName.empty())
+    OS << " @" << R.FunctionName;
+  if (!R.Decision.empty())
+    OS << " decision=" << R.Decision;
+  if (!R.Values.empty()) {
+    OS << " values=";
+    for (size_t I = 0; I < R.Values.size(); ++I)
+      OS << (I ? ",%" : "%") << R.Values[I];
+  }
+  if (R.HasCost)
+    OS << " cost=" << R.VectorCost << " (scalar " << R.ScalarCost
+       << ", delta " << R.costDelta() << ")";
+  if (R.HasAPO)
+    OS << " apo=" << R.APOFamily << "/trunk" << R.TrunkSize << "/"
+       << R.APOSlots;
+  if (!R.Message.empty())
+    OS << ": " << R.Message;
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// YAML parsing (the subset renderRemarksYAML emits)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool setParseError(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t\r");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r");
+  return S.substr(B, E - B + 1);
+}
+
+/// Parses a single-quoted scalar starting at \p Pos in \p S; advances
+/// \p Pos past the closing quote. Returns false on malformed input.
+bool parseYAMLQuoted(const std::string &S, size_t &Pos, std::string &Out) {
+  if (Pos >= S.size() || S[Pos] != '\'')
+    return false;
+  ++Pos;
+  Out.clear();
+  while (Pos < S.size()) {
+    if (S[Pos] == '\'') {
+      if (Pos + 1 < S.size() && S[Pos + 1] == '\'') {
+        Out += '\'';
+        Pos += 2;
+        continue;
+      }
+      ++Pos;
+      return true;
+    }
+    Out += S[Pos++];
+  }
+  return false; // Unterminated.
+}
+
+/// Parses a `[ 'a', 'b' ]` flow sequence of single-quoted scalars.
+bool parseYAMLFlowSeq(const std::string &S, std::vector<std::string> &Out) {
+  std::string T = trim(S);
+  if (T.size() < 2 || T.front() != '[' || T.back() != ']')
+    return false;
+  size_t Pos = 1;
+  const std::string Body = T;
+  while (true) {
+    while (Pos < Body.size() && (Body[Pos] == ' ' || Body[Pos] == ','))
+      ++Pos;
+    if (Pos >= Body.size())
+      return false;
+    if (Body[Pos] == ']')
+      return true;
+    std::string Elem;
+    if (!parseYAMLQuoted(Body, Pos, Elem))
+      return false;
+    Out.push_back(std::move(Elem));
+  }
+}
+
+} // namespace
+
+bool snslp::parseRemarksYAML(const std::string &Text,
+                             std::vector<Remark> &Out, std::string *Err) {
+  Out.clear();
+  std::istringstream In(Text);
+  std::string Line;
+  bool InDoc = false;
+  Remark Cur;
+  unsigned LineNo = 0;
+  auto Bad = [&](const std::string &Msg) {
+    return setParseError(Err, "YAML line " + std::to_string(LineNo) + ": " +
+                                  Msg);
+  };
+
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::string T = trim(Line);
+    if (T.empty())
+      continue;
+    if (T.rfind("--- !", 0) == 0) {
+      if (InDoc)
+        return Bad("new document before '...' terminator");
+      Cur = Remark();
+      if (!parseRemarkKindName(T.substr(5), Cur.Kind))
+        return Bad("unknown remark kind '" + T.substr(5) + "'");
+      InDoc = true;
+      continue;
+    }
+    if (T == "...") {
+      if (!InDoc)
+        return Bad("'...' outside a document");
+      Out.push_back(std::move(Cur));
+      InDoc = false;
+      continue;
+    }
+    if (!InDoc)
+      return Bad("content outside a document");
+    size_t Colon = T.find(':');
+    if (Colon == std::string::npos)
+      return Bad("expected 'key: value'");
+    std::string Key = trim(T.substr(0, Colon));
+    std::string Value = trim(T.substr(Colon + 1));
+
+    auto Quoted = [&](std::string &Dst) {
+      size_t Pos = 0;
+      if (!parseYAMLQuoted(Value, Pos, Dst) || trim(Value.substr(Pos)) != "")
+        return false;
+      return true;
+    };
+    auto Int = [&](int &Dst) {
+      try {
+        Dst = std::stoi(Value);
+      } catch (...) {
+        return false;
+      }
+      return true;
+    };
+
+    bool Ok = true;
+    if (Key == "pass")
+      Ok = Quoted(Cur.Pass);
+    else if (Key == "name")
+      Ok = Quoted(Cur.Name);
+    else if (Key == "function")
+      Ok = Quoted(Cur.FunctionName);
+    else if (Key == "decision")
+      Ok = Quoted(Cur.Decision);
+    else if (Key == "message")
+      Ok = Quoted(Cur.Message);
+    else if (Key == "values")
+      Ok = parseYAMLFlowSeq(Value, Cur.Values);
+    else if (Key == "scalarCost") {
+      Cur.HasCost = true;
+      Ok = Int(Cur.ScalarCost);
+    } else if (Key == "vectorCost") {
+      Cur.HasCost = true;
+      Ok = Int(Cur.VectorCost);
+    } else if (Key == "apoFamily") {
+      Cur.HasAPO = true;
+      Ok = Quoted(Cur.APOFamily);
+    } else if (Key == "trunkSize") {
+      Cur.HasAPO = true;
+      int V = 0;
+      Ok = Int(V) && V >= 0;
+      Cur.TrunkSize = static_cast<unsigned>(V);
+    } else if (Key == "apoSlots") {
+      Cur.HasAPO = true;
+      Ok = Quoted(Cur.APOSlots);
+    } else {
+      return Bad("unknown key '" + Key + "'");
+    }
+    if (!Ok)
+      return Bad("malformed value for '" + Key + "'");
+  }
+  if (InDoc)
+    return setParseError(Err, "YAML: unterminated document");
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON parsing (the subset renderRemarksJSON emits)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A minimal recursive-descent parser for the remark JSON schema.
+class JSONParser {
+public:
+  JSONParser(const std::string &Text, std::string *Err)
+      : S(Text), Err(Err) {}
+
+  bool parseStream(std::vector<Remark> &Out) {
+    Out.clear();
+    skipWS();
+    if (!expect('['))
+      return false;
+    skipWS();
+    if (peek() == ']') {
+      ++Pos;
+      return tailIsClean();
+    }
+    while (true) {
+      Remark R;
+      if (!parseRemark(R))
+        return false;
+      Out.push_back(std::move(R));
+      skipWS();
+      if (peek() == ',') {
+        ++Pos;
+        skipWS();
+        continue;
+      }
+      if (!expect(']'))
+        return false;
+      return tailIsClean();
+    }
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    return setParseError(Err, "JSON offset " + std::to_string(Pos) + ": " +
+                                  Msg);
+  }
+  char peek() const { return Pos < S.size() ? S[Pos] : '\0'; }
+  void skipWS() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+  bool expect(char C) {
+    skipWS();
+    if (peek() != C)
+      return fail(std::string("expected '") + C + "'");
+    ++Pos;
+    return true;
+  }
+  bool tailIsClean() {
+    skipWS();
+    if (Pos != S.size())
+      return fail("trailing content after the remark array");
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    skipWS();
+    if (peek() != '"')
+      return fail("expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < S.size()) {
+      char C = S[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= S.size())
+        return fail("bad escape");
+      char E = S[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > S.size())
+          return fail("bad \\u escape");
+        unsigned V = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = S[Pos++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad \\u escape");
+        }
+        // The emitter only produces \u00XX control escapes; decode the
+        // low byte directly (ASCII-range payload).
+        Out += static_cast<char>(V & 0xFF);
+        break;
+      }
+      default:
+        return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseInt(int &Out) {
+    skipWS();
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected integer");
+    try {
+      Out = std::stoi(S.substr(Start, Pos - Start));
+    } catch (...) {
+      return fail("integer out of range");
+    }
+    return true;
+  }
+
+  bool parseStringArray(std::vector<std::string> &Out) {
+    if (!expect('['))
+      return false;
+    skipWS();
+    if (peek() == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      std::string Elem;
+      if (!parseString(Elem))
+        return false;
+      Out.push_back(std::move(Elem));
+      skipWS();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+
+  bool parseAPO(Remark &R) {
+    if (!expect('{'))
+      return false;
+    R.HasAPO = true;
+    while (true) {
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      if (!expect(':'))
+        return false;
+      bool Ok = true;
+      if (Key == "family")
+        Ok = parseString(R.APOFamily);
+      else if (Key == "trunkSize") {
+        int V = 0;
+        Ok = parseInt(V) && V >= 0;
+        R.TrunkSize = static_cast<unsigned>(V);
+      } else if (Key == "slots")
+        Ok = parseString(R.APOSlots);
+      else
+        return fail("unknown apo key '" + Key + "'");
+      if (!Ok)
+        return false;
+      skipWS();
+      if (peek() == ',') {
+        ++Pos;
+        skipWS();
+        continue;
+      }
+      return expect('}');
+    }
+  }
+
+  bool parseRemark(Remark &R) {
+    if (!expect('{'))
+      return false;
+    while (true) {
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      if (!expect(':'))
+        return false;
+      bool Ok = true;
+      if (Key == "kind") {
+        std::string KindName;
+        Ok = parseString(KindName) && parseRemarkKindName(KindName, R.Kind);
+      } else if (Key == "pass")
+        Ok = parseString(R.Pass);
+      else if (Key == "name")
+        Ok = parseString(R.Name);
+      else if (Key == "function")
+        Ok = parseString(R.FunctionName);
+      else if (Key == "decision")
+        Ok = parseString(R.Decision);
+      else if (Key == "message")
+        Ok = parseString(R.Message);
+      else if (Key == "values")
+        Ok = parseStringArray(R.Values);
+      else if (Key == "scalarCost") {
+        R.HasCost = true;
+        Ok = parseInt(R.ScalarCost);
+      } else if (Key == "vectorCost") {
+        R.HasCost = true;
+        Ok = parseInt(R.VectorCost);
+      } else if (Key == "apo")
+        Ok = parseAPO(R);
+      else
+        return fail("unknown key '" + Key + "'");
+      if (!Ok)
+        return false;
+      skipWS();
+      if (peek() == ',') {
+        ++Pos;
+        skipWS();
+        continue;
+      }
+      return expect('}');
+    }
+  }
+
+  const std::string &S;
+  std::string *Err;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool snslp::parseRemarksJSON(const std::string &Text,
+                             std::vector<Remark> &Out, std::string *Err) {
+  return JSONParser(Text, Err).parseStream(Out);
+}

@@ -1,0 +1,198 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured optimization remarks, in the spirit of LLVM's
+/// `-Rpass`/`opt-remarks` machinery. Every decision the vectorizer (or any
+/// other pass) makes is recorded as a Remark: a typed record carrying the
+/// emitting pass, the enclosing function, the bundle of IR value names the
+/// decision is about, a machine-readable decision string, the scalar/vector
+/// cost pair, the Super-Node APO detail (operator family, trunk size,
+/// per-slot accumulated path operations) and a free-text payload.
+///
+/// Remarks serialize to a YAML document stream (one `--- !kind` document
+/// per remark, LLVM remark-file style) and to a JSON array; both emitters
+/// have matching parsers so streams round-trip losslessly — tools and tests
+/// rely on that. See docs/observability.md for the schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SUPPORT_REMARK_H
+#define SNSLP_SUPPORT_REMARK_H
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace snslp {
+
+/// The three LLVM-style remark flavours.
+enum class RemarkKind {
+  Passed,   ///< An optimization was applied.
+  Missed,   ///< An optimization opportunity was rejected.
+  Analysis, ///< Neutral information explaining how a decision was reached.
+};
+
+/// Returns the serialized spelling ("passed" | "missed" | "analysis").
+const char *getRemarkKindName(RemarkKind Kind);
+
+/// Parses a spelling produced by getRemarkKindName. Returns false on
+/// unknown input.
+bool parseRemarkKindName(const std::string &Name, RemarkKind &Kind);
+
+/// One structured optimization remark.
+struct Remark {
+  RemarkKind Kind = RemarkKind::Analysis;
+  /// Emitting pass, e.g. "slp-vectorizer" or "constant-folding".
+  std::string Pass;
+  /// Remark identifier naming the decision point, e.g. "SeedAccepted".
+  std::string Name;
+  /// Enclosing function (empty when not function-scoped).
+  std::string FunctionName;
+  /// Machine-readable decision, e.g. "vectorize" or "reject:alias".
+  std::string Decision;
+  /// The bundle of IR value names the decision is about (no '%' sigil).
+  std::vector<std::string> Values;
+
+  /// \name Cost detail (valid when HasCost).
+  /// @{
+  bool HasCost = false;
+  int ScalarCost = 0; ///< Cost of keeping the scalar code (baseline 0).
+  int VectorCost = 0; ///< Estimated cost of the vector form (negative = win).
+  /// @}
+
+  /// \name Super-Node / APO detail (valid when HasAPO).
+  /// @{
+  bool HasAPO = false;
+  std::string APOFamily;  ///< Operator family, e.g. "add/sub".
+  unsigned TrunkSize = 0; ///< Trunk operations per lane.
+  /// One character per leaf slot: '+' identity APO, '-' inverted APO.
+  std::string APOSlots;
+  /// @}
+
+  /// Free-text payload.
+  std::string Message;
+
+  /// Vector-minus-scalar: negative values are profitable.
+  int costDelta() const { return VectorCost - ScalarCost; }
+
+  bool operator==(const Remark &) const = default;
+
+  /// \name Construction helpers.
+  /// @{
+  static Remark passed(std::string Pass, std::string Name,
+                       std::string FunctionName) {
+    return make(RemarkKind::Passed, std::move(Pass), std::move(Name),
+                std::move(FunctionName));
+  }
+  static Remark missed(std::string Pass, std::string Name,
+                       std::string FunctionName) {
+    return make(RemarkKind::Missed, std::move(Pass), std::move(Name),
+                std::move(FunctionName));
+  }
+  static Remark analysis(std::string Pass, std::string Name,
+                         std::string FunctionName) {
+    return make(RemarkKind::Analysis, std::move(Pass), std::move(Name),
+                std::move(FunctionName));
+  }
+  Remark &withDecision(std::string D) {
+    Decision = std::move(D);
+    return *this;
+  }
+  Remark &withCost(int Scalar, int Vector) {
+    HasCost = true;
+    ScalarCost = Scalar;
+    VectorCost = Vector;
+    return *this;
+  }
+  Remark &withAPO(std::string Family, unsigned Trunk, std::string Slots) {
+    HasAPO = true;
+    APOFamily = std::move(Family);
+    TrunkSize = Trunk;
+    APOSlots = std::move(Slots);
+    return *this;
+  }
+  Remark &withMessage(std::string M) {
+    Message = std::move(M);
+    return *this;
+  }
+  Remark &withValues(std::vector<std::string> V) {
+    Values = std::move(V);
+    return *this;
+  }
+  /// @}
+
+private:
+  static Remark make(RemarkKind K, std::string Pass, std::string Name,
+                     std::string FunctionName) {
+    Remark R;
+    R.Kind = K;
+    R.Pass = std::move(Pass);
+    R.Name = std::move(Name);
+    R.FunctionName = std::move(FunctionName);
+    return R;
+  }
+};
+
+/// An ordered sink of remarks. Passed by pointer through the pass manager
+/// and the vectorizer; a null collector disables emission.
+class RemarkCollector {
+public:
+  void add(Remark R) { Remarks.push_back(std::move(R)); }
+
+  const std::vector<Remark> &remarks() const { return Remarks; }
+  bool empty() const { return Remarks.empty(); }
+  size_t size() const { return Remarks.size(); }
+  void clear() { Remarks.clear(); }
+
+  /// Moves the collected remarks out, leaving the collector empty.
+  std::vector<Remark> take() {
+    std::vector<Remark> Out = std::move(Remarks);
+    Remarks.clear();
+    return Out;
+  }
+
+private:
+  std::vector<Remark> Remarks;
+};
+
+/// \name Serialization.
+/// @{
+
+/// Writes \p R as one YAML document (`--- !kind` ... `...`).
+void printRemarkYAML(const Remark &R, std::ostream &OS);
+
+/// Writes \p R as one JSON object (no trailing newline).
+void printRemarkJSON(const Remark &R, std::ostream &OS);
+
+/// Renders a remark stream as a YAML document stream.
+std::string renderRemarksYAML(const std::vector<Remark> &Remarks);
+
+/// Renders a remark stream as a JSON array.
+std::string renderRemarksJSON(const std::vector<Remark> &Remarks);
+
+/// One-line human-readable rendering (irtool --remarks=text).
+std::string renderRemarkText(const Remark &R);
+
+/// Parses a stream produced by renderRemarksYAML, replacing the contents
+/// of \p Out. Returns false and fills \p Err (when non-null) on malformed
+/// input.
+bool parseRemarksYAML(const std::string &Text, std::vector<Remark> &Out,
+                      std::string *Err = nullptr);
+
+/// Parses a stream produced by renderRemarksJSON (a JSON array of remark
+/// objects), replacing the contents of \p Out. Returns false and fills
+/// \p Err on malformed input.
+bool parseRemarksJSON(const std::string &Text, std::vector<Remark> &Out,
+                      std::string *Err = nullptr);
+
+/// @}
+
+} // namespace snslp
+
+#endif // SNSLP_SUPPORT_REMARK_H

@@ -9,7 +9,27 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
 using namespace snslp;
+
+uint64_t snslp::readCycleCounter() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  uint64_t Count;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(Count));
+  return Count;
+#else
+  // Portable fallback: monotonic nanoseconds stand in for cycles.
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
 
 SampleStats snslp::computeSampleStats(const std::vector<double> &Samples) {
   SampleStats Stats;

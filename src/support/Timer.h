@@ -58,6 +58,13 @@ struct SampleStats {
 /// Computes \ref SampleStats for \p Samples. Returns zeros for empty input.
 SampleStats computeSampleStats(const std::vector<double> &Samples);
 
+/// Reads a free-running CPU cycle counter: `rdtsc` on x86-64, the virtual
+/// counter (`cntvct_el0`) on AArch64, and the monotonic nanosecond clock
+/// elsewhere. Only deltas between two reads on the same thread are
+/// meaningful; the instrumented PassManager reports per-pass deltas
+/// alongside wall time (-ftime-report style).
+uint64_t readCycleCounter();
+
 /// Runs \p Fn once as a warm-up and then \p Runs times, returning the stats
 /// of the timed runs in seconds. This mirrors the paper's measurement
 /// methodology (Section V: "average of 10 executions, after skipping the

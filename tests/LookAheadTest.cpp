@@ -259,4 +259,64 @@ TEST_F(LookAheadTest, GroupScoreSumsConsecutivePairs) {
   EXPECT_EQ(LA.groupScore(Single), 0);
 }
 
+TEST_F(LookAheadTest, EpochInvalidationSeesMutatedIR) {
+  // The Super-Node re-emission scenario: score a pair, mutate the IR
+  // underneath (generateCode rewrites trunks mid-build), invalidate, and
+  // re-query. The post-invalidation score must reflect the *mutated*
+  // operand structure — a cache that survives the mutation hands back the
+  // pre-mutation value.
+  Function *F = parse("func @f(ptr %a, ptr %b, ptr %p) {\n"
+                      "entry:\n"
+                      "  %p0 = gep f64, ptr %a, i64 0\n"
+                      "  %l0 = load f64, ptr %p0\n"
+                      "  %p1 = gep f64, ptr %a, i64 1\n"
+                      "  %l1 = load f64, ptr %p1\n"
+                      "  %q5 = gep f64, ptr %b, i64 5\n"
+                      "  %lb = load f64, ptr %q5\n"
+                      "  %s = fadd f64 %l0, %l0\n"
+                      "  %t = fadd f64 %l1, %lb\n"
+                      "  store f64 %s, ptr %p\n"
+                      "  store f64 %t, ptr %q5\n"
+                      "  ret void\n"
+                      "}\n");
+  Instruction *S = byName(F, "s");
+  Instruction *T = byName(F, "t");
+  ASSERT_NE(S, nullptr);
+  ASSERT_NE(T, nullptr);
+  Instruction *L0 = byName(F, "l0");
+  ASSERT_NE(L0, nullptr);
+
+  LookAhead LA(1);
+  EXPECT_EQ(LA.getEpoch(), 0u);
+  const int Before = LA.score(S, T);
+  const uint64_t MissesBefore = LA.getCacheMisses();
+  const uint64_t HitsBefore = LA.getCacheHits();
+  // Warm re-query: pure hit.
+  EXPECT_EQ(LA.score(S, T), Before);
+  EXPECT_EQ(LA.getCacheMisses(), MissesBefore);
+  EXPECT_GT(LA.getCacheHits(), HitsBefore);
+
+  // Mutate %t's operands into a splat of %l0 — its pairing score against
+  // %s (also a splat of %l0) changes. The hazard the epoch guards against:
+  EXPECT_EQ(LA.score(S, T), Before) << "stale entry still served pre-bump";
+  T->setOperand(0, L0);
+  T->setOperand(1, L0);
+
+  LA.invalidateCache();
+  EXPECT_EQ(LA.getEpoch(), 1u);
+  const int After = LA.score(S, T);
+  // Recomputed (new misses), matching an uncached evaluation of the
+  // mutated IR, and different from the stale value.
+  EXPECT_GT(LA.getCacheMisses(), MissesBefore);
+  LookAhead Fresh(1, LookAheadWeights(), /*EnableMemo=*/false);
+  EXPECT_EQ(After, Fresh.score(S, T));
+  EXPECT_NE(After, Before);
+
+  // The repopulated entries serve the new epoch: warm re-query is again a
+  // pure hit returning the post-mutation score.
+  const uint64_t MissesAfter = LA.getCacheMisses();
+  EXPECT_EQ(LA.score(S, T), After);
+  EXPECT_EQ(LA.getCacheMisses(), MissesAfter);
+}
+
 } // namespace

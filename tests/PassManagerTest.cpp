@@ -1,0 +1,211 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the instrumented PassManager: per-pass timing records, the
+/// -ftime-report-style rendering, PassExecuted remarks, and the VerifyEach
+/// contract — a planted IR-corrupting pass must be pinpointed by name and
+/// later passes must never see the corrupt IR.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/PassManager.h"
+#include "driver/PassPipeline.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "support/Remark.h"
+
+#include <gtest/gtest.h>
+
+using namespace snslp;
+
+namespace {
+
+class PassManagerTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  Module M{Ctx, "pm"};
+
+  Function *parse(const std::string &Source) {
+    std::string Err;
+    EXPECT_TRUE(parseIR(Source, M, &Err)) << Err;
+    Function *F = M.functions().back().get();
+    EXPECT_TRUE(verifyFunction(*F));
+    return F;
+  }
+
+  Function *simpleFunction() {
+    return parse("func @f(ptr %p, i64 %x) {\n"
+                 "entry:\n"
+                 "  %a = add i64 %x, 1\n"
+                 "  %b = add i64 2, 3\n"
+                 "  store i64 %a, ptr %p\n"
+                 "  store i64 %b, ptr %p\n"
+                 "  ret void\n"
+                 "}\n");
+  }
+};
+
+TEST_F(PassManagerTest, RecordsPerPassExecution) {
+  Function *F = simpleFunction();
+  PassManager PM;
+  PM.addPass("count-insts",
+             [](Function &Fn) { return Fn.instructionCount(); });
+  PM.addPass("no-op", [](Function &) -> size_t { return 0; });
+  EXPECT_EQ(PM.getNumPasses(), 2u);
+
+  PassRunReport Report = PM.run(*F);
+  EXPECT_EQ(Report.FunctionName, "f");
+  ASSERT_EQ(Report.Passes.size(), 2u);
+  EXPECT_EQ(Report.Passes[0].PassName, "count-insts");
+  EXPECT_EQ(Report.Passes[0].Changes, F->instructionCount());
+  EXPECT_TRUE(Report.Passes[0].VerifiedOK);
+  EXPECT_EQ(Report.Passes[1].PassName, "no-op");
+  EXPECT_EQ(Report.Passes[1].Changes, 0u);
+  EXPECT_FALSE(Report.VerifyFailed);
+  // Wall time is recorded per pass; the sum matches the helper.
+  uint64_t Sum = 0;
+  for (const PassExecution &E : Report.Passes)
+    Sum += E.WallNanos;
+  EXPECT_EQ(Report.totalWallNanos(), Sum);
+}
+
+TEST_F(PassManagerTest, EmitsPassExecutedRemarks) {
+  Function *F = simpleFunction();
+  RemarkCollector RC;
+  PassManagerOptions Opts;
+  Opts.Remarks = &RC;
+  PassManager PM(Opts);
+  PM.addPass("changer", [](Function &) -> size_t { return 3; });
+  PM.addPass("no-op", [](Function &) -> size_t { return 0; });
+  PM.run(*F);
+
+  ASSERT_EQ(RC.size(), 2u);
+  EXPECT_EQ(RC.remarks()[0].Name, "PassExecuted");
+  EXPECT_EQ(RC.remarks()[0].Pass, "changer");
+  EXPECT_EQ(RC.remarks()[0].Decision, "changed");
+  EXPECT_EQ(RC.remarks()[1].Pass, "no-op");
+  EXPECT_EQ(RC.remarks()[1].Decision, "unchanged");
+}
+
+TEST_F(PassManagerTest, VerifyEachPinpointsThePlantedBadPass) {
+  Function *F = parse("func @g(ptr %p, i64 %x) {\n"
+                      "entry:\n"
+                      "  %a = add i64 %x, 1\n"
+                      "  store i64 %a, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+
+  RemarkCollector RC;
+  PassManagerOptions Opts;
+  Opts.VerifyEach = true;
+  Opts.Remarks = &RC;
+  PassManager PM(Opts);
+
+  bool LaterPassRan = false;
+  PM.addPass("benign", [](Function &) -> size_t { return 0; });
+  PM.addPass("planted-corruptor", [](Function &Fn) -> size_t {
+    // Corrupt the IR: point the add's operand at a pointer argument,
+    // which the verifier reports as a binop type mismatch.
+    for (const auto &BB : Fn.blocks())
+      for (const auto &Inst : *BB)
+        if (auto *BO = dyn_cast<BinaryOperator>(Inst.get())) {
+          BO->setOperand(0, Fn.getArgByName("p"));
+          return 1;
+        }
+    return 0;
+  });
+  PM.addPass("never-reached", [&LaterPassRan](Function &) -> size_t {
+    LaterPassRan = true;
+    return 0;
+  });
+
+  PassRunReport Report = PM.run(*F);
+  EXPECT_TRUE(Report.VerifyFailed);
+  EXPECT_EQ(Report.FirstInvalidPass, "planted-corruptor");
+  ASSERT_FALSE(Report.VerifyErrors.empty());
+  EXPECT_NE(Report.VerifyErrors.front().find("mismatch"),
+            std::string::npos);
+  // The run stopped at the offender: the report records exactly the two
+  // executed passes and the tail pass never saw the corrupt IR.
+  ASSERT_EQ(Report.Passes.size(), 2u);
+  EXPECT_TRUE(Report.Passes[0].VerifiedOK);
+  EXPECT_FALSE(Report.Passes[1].VerifiedOK);
+  EXPECT_FALSE(LaterPassRan);
+
+  // A VerifyFailed remark names the offender too.
+  bool Found = false;
+  for (const Remark &R : RC.remarks())
+    if (R.Name == "VerifyFailed") {
+      Found = true;
+      EXPECT_EQ(R.Kind, RemarkKind::Missed);
+      EXPECT_EQ(R.Pass, "planted-corruptor");
+      EXPECT_EQ(R.Decision, "invalid-ir");
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST_F(PassManagerTest, PrintAfterAllSnapshotsIR) {
+  Function *F = simpleFunction();
+  PassManagerOptions Opts;
+  Opts.PrintAfterAll = true;
+  PassManager PM(Opts);
+  PM.addPass("no-op", [](Function &) -> size_t { return 0; });
+  PassRunReport Report = PM.run(*F);
+  ASSERT_EQ(Report.Passes.size(), 1u);
+  EXPECT_NE(Report.Passes[0].IRAfter.find("func @f"), std::string::npos);
+  EXPECT_NE(Report.Passes[0].IRAfter.find("store"), std::string::npos);
+}
+
+TEST_F(PassManagerTest, TimeReportAggregatesByPassName) {
+  Function *F = simpleFunction();
+  PassManager PM;
+  // The standard pipeline runs cleanup passes twice under the same name;
+  // the report must aggregate such repeats into one row.
+  PM.addPass("cse", [](Function &) -> size_t { return 1; });
+  PM.addPass("vectorize", [](Function &) -> size_t { return 2; });
+  PM.addPass("cse", [](Function &) -> size_t { return 1; });
+
+  std::vector<PassRunReport> Reports;
+  Reports.push_back(PM.run(*F));
+  Reports.push_back(PM.run(*F));
+  std::string Table = renderTimeReport(Reports);
+
+  // Shape: banner, column header, one row per distinct pass, Total row.
+  EXPECT_NE(Table.find("Pass execution timing report"), std::string::npos);
+  EXPECT_NE(Table.find("Pass Name"), std::string::npos);
+  EXPECT_NE(Table.find("Wall Time"), std::string::npos);
+  EXPECT_NE(Table.find("Cycles"), std::string::npos);
+  EXPECT_NE(Table.find("cse"), std::string::npos);
+  EXPECT_NE(Table.find("vectorize"), std::string::npos);
+  EXPECT_NE(Table.find("Total"), std::string::npos);
+  // "cse" appears once as a row (4 executions aggregated), not four times.
+  size_t First = Table.find("cse");
+  EXPECT_EQ(Table.find("cse", First + 1), std::string::npos);
+  // Aggregated change counts: cse 4x1, vectorize 2x2, Total 8.
+  EXPECT_NE(Table.find("    4  cse"), std::string::npos);
+  EXPECT_NE(Table.find("    4  vectorize"), std::string::npos);
+  EXPECT_NE(Table.find("    8  Total"), std::string::npos);
+}
+
+TEST_F(PassManagerTest, PipelineReportCoversEveryPass) {
+  Function *F = simpleFunction();
+  PipelineOptions Options;
+  Options.Vectorizer.Mode = VectorizerMode::SNSLP;
+  PipelineResult R = runPassPipeline(*F, Options);
+  // early cleanup (3) + vectorizer + late cleanup (3).
+  ASSERT_EQ(R.Report.Passes.size(), 7u);
+  EXPECT_EQ(R.Report.Passes[0].PassName, "early-constant-folding");
+  EXPECT_EQ(R.Report.Passes[3].PassName, "slp-vectorizer");
+  EXPECT_EQ(R.Report.Passes[6].PassName, "late-dce");
+  EXPECT_FALSE(R.Report.VerifyFailed);
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+} // namespace

@@ -23,6 +23,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+
 using namespace snslp;
 
 namespace {
@@ -95,6 +98,76 @@ TEST_F(PassesTest, IntegerFoldingWraps) {
   runConstantFolding(*F);
   auto *Store = cast<StoreInst>(F->getEntryBlock().begin()->get());
   EXPECT_EQ(cast<ConstantInt>(Store->getValueOperand())->getValue(), -2);
+}
+
+TEST_F(PassesTest, IntegerFoldingWrapsToDeclaredWidth) {
+  // i32 arithmetic wraps modulo 2^32 at the fold site itself (the
+  // interpreter's RTValue::canonicalizeInt contract), not merely as a
+  // side effect of constant interning.
+  Function *F = parse("func @f(ptr %p, ptr %q, ptr %r) {\n"
+                      "entry:\n"
+                      "  %a = add i32 2147483647, 1\n"
+                      "  store i32 %a, ptr %p\n"
+                      "  %b = mul i32 1000000007, 1000000009\n"
+                      "  store i32 %b, ptr %q\n"
+                      "  %c = sub i32 -2147483647, 2\n"
+                      "  store i32 %c, ptr %r\n"
+                      "  ret void\n"
+                      "}\n");
+  EXPECT_EQ(runConstantFolding(*F), 3u);
+  ASSERT_TRUE(verifyFunction(*F));
+  std::vector<int64_t> Values;
+  for (const auto &Inst : F->getEntryBlock())
+    if (auto *St = dyn_cast<StoreInst>(Inst.get()))
+      Values.push_back(
+          cast<ConstantInt>(St->getValueOperand())->getValue());
+  ASSERT_EQ(Values.size(), 3u);
+  // INT32_MAX + 1 == INT32_MIN.
+  EXPECT_EQ(Values[0],
+            static_cast<int64_t>(std::numeric_limits<int32_t>::min()));
+  // The product wraps modulo 2^32, sign-extended back.
+  const uint64_t Wide = 1000000007ull * 1000000009ull;
+  EXPECT_EQ(Values[1], static_cast<int64_t>(static_cast<int32_t>(
+                           static_cast<uint32_t>(Wide))));
+  // INT32_MIN - 1 == INT32_MAX.
+  EXPECT_EQ(Values[2],
+            static_cast<int64_t>(std::numeric_limits<int32_t>::max()));
+}
+
+TEST_F(PassesTest, F32FoldingIsBitExactVsInterpreter) {
+  // Folding an f32 constant chain must produce bit-for-bit the value the
+  // interpreter computes when executing the same chain: every fold step
+  // rounds once, in float, like the runtime lane op.
+  const char *Chain = "entry:\n"
+                      "  %a = fdiv f32 1.0, 3.0\n"
+                      "  %b = fmul f32 %a, 0.7\n"
+                      "  %c = fadd f32 %b, 0.1\n"
+                      "  %d = fsub f32 %c, 0.025\n"
+                      "  %e = sqrt f32 %d\n"
+                      "  store f32 %e, ptr %p\n"
+                      "  ret void\n"
+                      "}\n";
+  Function *Interp =
+      parse(std::string("func @fi(ptr %p) {\n") + Chain);
+  float Executed = -1.0f;
+  ExecutionEngine E(*Interp);
+  ExecutionResult R = E.run({argPointer(&Executed)});
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  Function *FoldMe =
+      parse(std::string("func @ff(ptr %p) {\n") + Chain);
+  EXPECT_EQ(runConstantFolding(*FoldMe), 5u);
+  ASSERT_TRUE(verifyFunction(*FoldMe));
+  auto *Store = cast<StoreInst>(FoldMe->getEntryBlock().begin()->get());
+  float Folded = static_cast<float>(
+      cast<ConstantFP>(Store->getValueOperand())->getValue());
+
+  uint32_t ExecutedBits, FoldedBits;
+  static_assert(sizeof(ExecutedBits) == sizeof(Executed));
+  std::memcpy(&ExecutedBits, &Executed, sizeof(ExecutedBits));
+  std::memcpy(&FoldedBits, &Folded, sizeof(FoldedBits));
+  EXPECT_EQ(FoldedBits, ExecutedBits)
+      << "folded " << Folded << " vs executed " << Executed;
 }
 
 TEST_F(PassesTest, DoesNotFoldNonConstantOrMemory) {

@@ -1,0 +1,141 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the structured optimization remarks: construction
+/// helpers, the text rendering, and lossless round-trips through both the
+/// YAML document-stream and JSON array serializations (irtool validates
+/// its own --remarks output the same way; see docs/observability.md).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Remark.h"
+
+#include <gtest/gtest.h>
+
+using namespace snslp;
+
+namespace {
+
+/// A remark with every optional field populated.
+Remark fullRemark() {
+  return Remark::passed("slp-vectorizer", "GraphVectorized", "motiv2")
+      .withDecision("vectorize")
+      .withValues({"pA0", "pA1"})
+      .withCost(/*Scalar=*/0, /*Vector=*/-6)
+      .withAPO("add/sub", /*Trunk=*/2, "+-+")
+      .withMessage("vectorized 2-wide store group in 'loop'");
+}
+
+TEST(RemarkTest, KindNamesRoundTrip) {
+  for (RemarkKind K :
+       {RemarkKind::Passed, RemarkKind::Missed, RemarkKind::Analysis}) {
+    RemarkKind Back = RemarkKind::Passed;
+    ASSERT_TRUE(parseRemarkKindName(getRemarkKindName(K), Back));
+    EXPECT_EQ(Back, K);
+  }
+  RemarkKind Sink;
+  EXPECT_FALSE(parseRemarkKindName("bogus", Sink));
+}
+
+TEST(RemarkTest, CostDelta) {
+  Remark R = Remark::missed("slp-vectorizer", "GraphRejected", "f")
+                 .withCost(/*Scalar=*/3, /*Vector=*/5);
+  EXPECT_EQ(R.costDelta(), 2);
+  EXPECT_EQ(fullRemark().costDelta(), -6);
+}
+
+TEST(RemarkTest, TextRenderingNamesTheDecision) {
+  std::string Text = renderRemarkText(fullRemark());
+  EXPECT_NE(Text.find("passed"), std::string::npos);
+  EXPECT_NE(Text.find("slp-vectorizer"), std::string::npos);
+  EXPECT_NE(Text.find("GraphVectorized"), std::string::npos);
+  EXPECT_NE(Text.find("motiv2"), std::string::npos);
+  EXPECT_NE(Text.find("vectorize"), std::string::npos);
+  EXPECT_NE(Text.find("add/sub"), std::string::npos);
+  EXPECT_NE(Text.find("+-+"), std::string::npos);
+}
+
+TEST(RemarkTest, YAMLRoundTripsAllFields) {
+  std::vector<Remark> In = {
+      fullRemark(),
+      Remark::missed("slp-vectorizer", "SeedRejected", "f")
+          .withDecision("reject:alias")
+          .withValues({"pB0", "pB1", "pB2"}),
+      Remark::analysis("early-cse", "PassExecuted", "g"),
+  };
+  std::string Text = renderRemarksYAML(In);
+  // One document per remark, LLVM remark-file style.
+  EXPECT_NE(Text.find("--- !passed"), std::string::npos);
+  EXPECT_NE(Text.find("--- !missed"), std::string::npos);
+  EXPECT_NE(Text.find("--- !analysis"), std::string::npos);
+
+  std::vector<Remark> Out;
+  std::string Err;
+  ASSERT_TRUE(parseRemarksYAML(Text, Out, &Err)) << Err;
+  EXPECT_EQ(Out, In);
+}
+
+TEST(RemarkTest, JSONRoundTripsAllFields) {
+  std::vector<Remark> In = {
+      fullRemark(),
+      Remark::analysis("slp-vectorizer", "NodeBuilt", "f")
+          .withDecision("gather")
+          .withCost(0, 2),
+  };
+  std::string Text = renderRemarksJSON(In);
+  std::vector<Remark> Out;
+  std::string Err;
+  ASSERT_TRUE(parseRemarksJSON(Text, Out, &Err)) << Err;
+  EXPECT_EQ(Out, In);
+}
+
+TEST(RemarkTest, RoundTripsAwkwardCharacters) {
+  // Messages and value names quote freely in practice: single and double
+  // quotes, colons, commas, braces. Both serializations must escape them.
+  Remark R = Remark::missed("slp-vectorizer", "GraphRejected", "f")
+                 .withDecision("reject:cost")
+                 .withValues({"a'b", "c\"d", "e:f", "g,h"})
+                 .withMessage("rejected in 'loop': cost {4} >= \"0\", "
+                              "see [docs]");
+  std::vector<Remark> In = {R};
+
+  std::vector<Remark> OutY, OutJ;
+  std::string Err;
+  ASSERT_TRUE(parseRemarksYAML(renderRemarksYAML(In), OutY, &Err)) << Err;
+  EXPECT_EQ(OutY, In);
+  ASSERT_TRUE(parseRemarksJSON(renderRemarksJSON(In), OutJ, &Err)) << Err;
+  EXPECT_EQ(OutJ, In);
+}
+
+TEST(RemarkTest, EmptyStreamRoundTrips) {
+  std::vector<Remark> Out;
+  std::string Err;
+  ASSERT_TRUE(parseRemarksYAML(renderRemarksYAML({}), Out, &Err)) << Err;
+  EXPECT_TRUE(Out.empty());
+  ASSERT_TRUE(parseRemarksJSON(renderRemarksJSON({}), Out, &Err)) << Err;
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(RemarkTest, ParsersRejectGarbage) {
+  std::vector<Remark> Out;
+  EXPECT_FALSE(parseRemarksJSON("not json", Out));
+  EXPECT_FALSE(parseRemarksJSON("[{\"kind\": \"nope\"}]", Out));
+  EXPECT_FALSE(parseRemarksYAML("--- !nonsense\npass: 'x'\n...\n", Out));
+}
+
+TEST(RemarkTest, CollectorTakeDrains) {
+  RemarkCollector RC;
+  EXPECT_TRUE(RC.empty());
+  RC.add(fullRemark());
+  RC.add(Remark::analysis("p", "N", "f"));
+  EXPECT_EQ(RC.size(), 2u);
+  std::vector<Remark> Taken = RC.take();
+  EXPECT_EQ(Taken.size(), 2u);
+  EXPECT_TRUE(RC.empty());
+}
+
+} // namespace

@@ -196,9 +196,15 @@ TEST_F(VerifierNegativeTest, RemarksDescribeDecisions) {
   VectorizeStats Stats = runSLPVectorizer(*F, Cfg);
   ASSERT_EQ(Stats.GraphsVectorized, 1u);
   ASSERT_FALSE(Stats.Remarks.empty());
-  EXPECT_NE(Stats.Remarks.front().find("vectorized 2-wide store group"),
+  const Remark *Vectorized = nullptr;
+  for (const Remark &R : Stats.Remarks)
+    if (R.Name == "GraphVectorized")
+      Vectorized = &R;
+  ASSERT_NE(Vectorized, nullptr) << renderRemarksYAML(Stats.Remarks);
+  EXPECT_EQ(Vectorized->Kind, RemarkKind::Passed);
+  EXPECT_NE(Vectorized->Message.find("vectorized 2-wide store group"),
             std::string::npos)
-      << Stats.Remarks.front();
+      << Vectorized->Message;
 }
 
 } // namespace

@@ -31,7 +31,9 @@
 #include "ir/Function.h"
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
+#include "slp/SLPVectorizer.h"
 #include "support/CommandLine.h"
+#include "support/Remark.h"
 
 #include <algorithm>
 #include <chrono>
@@ -77,11 +79,61 @@ bool stillFails(DiffOracle &Oracle, const GeneratedProgram &P,
                      });
 }
 
+/// Resolves the vectorizer configuration named by an oracle variant label
+/// ("SNSLP", "SNSLP+passes", "meta:<rule>/SLP+passes", ...). Returns false
+/// for labels that carry no vectorizer config of their own ("original",
+/// bare metamorphic rewrites, round-trip checks).
+bool findFailingConfig(const OracleOptions &Opts, const std::string &Variant,
+                       OracleConfig &Out) {
+  std::string Name = Variant;
+  if (Name.rfind("meta:", 0) == 0) {
+    size_t Slash = Name.find('/');
+    if (Slash == std::string::npos)
+      return false; // The rewritten-but-unvectorized variant itself.
+    Name = Name.substr(Slash + 1);
+  }
+  const std::string Suffix = "+passes";
+  if (Name.size() > Suffix.size() &&
+      Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) == 0)
+    Name.resize(Name.size() - Suffix.size());
+  const std::vector<OracleConfig> Configs =
+      Opts.Configs.empty() ? OracleOptions::defaultConfigs() : Opts.Configs;
+  for (const OracleConfig &C : Configs)
+    if (C.Name == Name) {
+      Out = C;
+      return true;
+    }
+  return false;
+}
+
+/// Re-runs the failing configuration's vectorizer over a scratch clone of
+/// \p F and renders its structured decision remarks, one line per remark,
+/// for the artifact header — the repro then records *what the vectorizer
+/// decided* (seeds, super-nodes, costs), not just that it miscompiled.
+/// See docs/observability.md.
+std::vector<std::string> collectFailureRemarks(const OracleOptions &Opts,
+                                               const std::string &Variant,
+                                               const Function &F) {
+  OracleConfig Cfg;
+  if (!findFailingConfig(Opts, Variant, Cfg))
+    return {};
+  Function *Scratch = F.cloneInto(*F.getParent(), F.getName() + ".remarks");
+  VectorizeStats Stats = runSLPVectorizer(*Scratch, Cfg.Vec);
+  std::vector<std::string> Lines;
+  Lines.reserve(Stats.Remarks.size() + 1);
+  Lines.push_back("config " + Cfg.Name + " (" + Variant + "), " +
+                  std::to_string(Stats.Remarks.size()) + " decision(s)");
+  for (const Remark &R : Stats.Remarks)
+    Lines.push_back(renderRemarkText(R));
+  return Lines;
+}
+
 /// Handles one failing program: optionally reduces it, then writes the
 /// artifact. Returns the artifact path (empty when writing failed).
 std::string emitArtifact(const GeneratedProgram &P, uint64_t DataSeed,
                          const OracleReport &Report,
-                         const std::string &ArtifactDir, bool Reduce) {
+                         const std::string &ArtifactDir, bool Reduce,
+                         const OracleOptions &Opts) {
   const OracleFailure &Target = Report.Failures.front();
   GeneratedProgram Out = P;
 
@@ -104,12 +156,18 @@ std::string emitArtifact(const GeneratedProgram &P, uint64_t DataSeed,
     Out.F = RR.Reduced;
   }
 
+  // Attach the failing config's remark stream to the artifact header so
+  // triage starts from the vectorizer's own account of its decisions.
+  std::vector<std::string> RemarkLines =
+      collectFailureRemarks(Opts, Target.Variant, *Out.F);
+
   std::error_code EC;
   std::filesystem::create_directories(ArtifactDir, EC);
   std::string Path = ArtifactDir + "/repro-seed" + std::to_string(P.Seed) +
                      ".ir";
   std::string Err;
-  if (!writeArtifact(Path, Out, DataSeed, Target.render(), &Err)) {
+  if (!writeArtifact(Path, Out, DataSeed, Target.render(), &Err,
+                     RemarkLines)) {
     std::fprintf(stderr, "fuzzslp: %s\n", Err.c_str());
     return "";
   }
@@ -225,7 +283,8 @@ int main(int Argc, char **Argv) {
     std::printf("seed %llu FAIL (%s/%s)\n%s",
                 static_cast<unsigned long long>(Seed), getShapeName(P.Shape),
                 P.ElemTy->getName().c_str(), Report.summary().c_str());
-    std::string Path = emitArtifact(P, Seed, Report, ArtifactDir, Reduce);
+    std::string Path =
+        emitArtifact(P, Seed, Report, ArtifactDir, Reduce, Opts);
     if (!Path.empty())
       std::printf("  artifact: %s\n", Path.c_str());
   }
