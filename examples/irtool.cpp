@@ -32,6 +32,7 @@
 #include "kernels/Kernel.h"
 #include "slp/SLPVectorizer.h"
 #include "support/CommandLine.h"
+#include "support/Error.h"
 #include "support/Remark.h"
 
 #include <fstream>
@@ -39,6 +40,55 @@
 #include <sstream>
 
 using namespace snslp;
+
+/// Resolves the tool's input (registry kernel, file argument, or built-in
+/// demo) into \p Source. Failures come back as named recoverable errors
+/// (unknown-kernel, io-error) rather than scattered exit() calls.
+static Error loadSource(const CommandLine &CL, std::string &Source) {
+  if (CL.has("kernel")) {
+    const Kernel *K = findKernel(CL.getString("kernel"));
+    if (!K) {
+      std::string Known;
+      for (const Kernel &Candidate : kernelRegistry())
+        Known += "\n  " + Candidate.Name;
+      return Error::make(ErrorCode::UnknownKernel,
+                         "unknown kernel '" + CL.getString("kernel") +
+                             "'; available:" + Known);
+    }
+    Source = K->IRText;
+    return Error::success();
+  }
+  if (!CL.positional().empty()) {
+    std::ifstream In(CL.positional().front());
+    if (!In)
+      return Error::make(ErrorCode::IOError,
+                         "cannot open '" + CL.positional().front() + "'");
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Source = SS.str();
+    return Error::success();
+  }
+  const Kernel *Demo = findKernel("motiv2");
+  Source = Demo->IRText;
+  std::cerr << "(no input file; using the built-in 'motiv2' demo "
+               "kernel)\n";
+  return Error::success();
+}
+
+/// Parses \p Source (IR text or, with --c, the C kernel dialect) into
+/// \p M.
+static Error buildModule(const CommandLine &CL, const std::string &Source,
+                         Module &M) {
+  std::string Err;
+  if (CL.has("c")) {
+    if (!compileCKernel(Source, M, &Err))
+      return Error::make(ErrorCode::ParseError, "C frontend: " + Err);
+    return Error::success();
+  }
+  if (!parseIR(Source, M, &Err))
+    return Error::make(ErrorCode::ParseError, Err);
+  return Error::success();
+}
 
 static bool parseMode(const std::string &Name, VectorizerMode &Mode) {
   if (Name == "o3")
@@ -87,36 +137,16 @@ int main(int Argc, char **Argv) {
 
   // Read the input: a registry kernel, a file argument, or the demo.
   std::string Source;
-  if (CL.has("kernel")) {
-    const Kernel *K = findKernel(CL.getString("kernel"));
-    if (!K) {
-      std::cerr << "error: unknown kernel '" << CL.getString("kernel")
-                << "'; available:\n";
-      for (const Kernel &Known : kernelRegistry())
-        std::cerr << "  " << Known.Name << "\n";
-      return 1;
-    }
-    Source = K->IRText;
-  } else if (!CL.positional().empty()) {
-    std::ifstream In(CL.positional().front());
-    if (!In) {
-      std::cerr << "error: cannot open '" << CL.positional().front()
-                << "'\n";
-      return 1;
-    }
-    std::ostringstream SS;
-    SS << In.rdbuf();
-    Source = SS.str();
-  } else {
-    const Kernel *Demo = findKernel("motiv2");
-    Source = Demo->IRText;
-    std::cerr << "(no input file; using the built-in 'motiv2' demo "
-                 "kernel)\n";
+  if (Error E = loadSource(CL, Source)) {
+    std::cerr << "error: " << E.toString() << "\n";
+    return 1;
   }
 
   VectorizerMode Mode = VectorizerMode::SNSLP;
   if (!parseMode(CL.getString("mode", "snslp"), Mode)) {
-    std::cerr << "error: unknown --mode value\n";
+    std::cerr << "error: " << getErrorCodeName(ErrorCode::InvalidArgument)
+              << ": unknown --mode value '" << CL.getString("mode", "snslp")
+              << "'\n";
     return 1;
   }
 
@@ -149,14 +179,8 @@ int main(int Argc, char **Argv) {
 
   Context Ctx;
   Module M(Ctx, "irtool");
-  std::string Err;
-  if (CL.has("c")) {
-    if (!compileCKernel(Source, M, &Err)) {
-      std::cerr << "C frontend error: " << Err << "\n";
-      return 1;
-    }
-  } else if (!parseIR(Source, M, &Err)) {
-    std::cerr << "parse error: " << Err << "\n";
+  if (Error E = buildModule(CL, Source, M)) {
+    std::cerr << "error: " << E.toString() << "\n";
     return 1;
   }
 

@@ -23,12 +23,17 @@ double snslp::speedup(double BaselineCycles, double Cycles) {
   return BaselineCycles / Cycles;
 }
 
-KernelMeasurement snslp::measureKernel(KernelRunner &Runner, const Kernel &K,
-                                       VectorizerMode Mode, unsigned Runs) {
+Expected<KernelMeasurement> snslp::tryMeasureKernel(KernelRunner &Runner,
+                                                    const Kernel &K,
+                                                    VectorizerMode Mode,
+                                                    unsigned Runs) {
   KernelMeasurement Result;
   Result.Mode = Mode;
 
-  CompiledKernel CK = Runner.compile(K, Mode);
+  Expected<CompiledKernel> CKOrErr = Runner.tryCompile(K, Mode);
+  if (!CKOrErr)
+    return CKOrErr.takeError();
+  CompiledKernel CK = std::move(CKOrErr.get());
   Result.Stats = CK.Stats;
 
   // Simulated cycles are deterministic: one execution suffices.
@@ -36,24 +41,42 @@ KernelMeasurement snslp::measureKernel(KernelRunner &Runner, const Kernel &K,
     KernelData Data(K.Buffers, K.N, /*Seed=*/5);
     ExecutionResult R = Runner.execute(CK, Data);
     if (!R.Ok)
-      reportFatalError("kernel '" + K.Name + "' failed to execute: " +
-                       R.Error);
+      return Error::make(R.TrapKind == Trap::FuelExhausted
+                             ? ErrorCode::FuelExhausted
+                             : ErrorCode::ExecError,
+                         "kernel '" + K.Name + "' failed to execute: " +
+                             R.Error);
     Result.SimCycles = R.Cycles;
     Result.DynamicInsts = R.StepsExecuted;
   }
 
-  // Wall time: paper methodology (warm-up + Runs timed executions).
+  // Wall time: paper methodology (warm-up + Runs timed executions). The
+  // timing lambda cannot early-return an Error, so it latches the first
+  // failure and the check happens after the measurement loop.
+  std::string WallErr;
   Result.WallSeconds = measureSeconds(
-      [&Runner, &CK, &K] {
+      [&Runner, &CK, &K, &WallErr] {
         KernelData Data(K.Buffers, K.N, /*Seed=*/5);
         ExecutionResult R = Runner.execute(CK, Data);
-        if (!R.Ok)
-          reportFatalError("kernel execution failed: " + R.Error);
+        if (!R.Ok && WallErr.empty())
+          WallErr = R.Error;
       },
       Runs);
+  if (!WallErr.empty())
+    return Error::make(ErrorCode::ExecError,
+                       "kernel '" + K.Name + "' failed to execute: " +
+                           WallErr);
 
   Result.CompileSeconds = measureCompileTime(K, Mode, Runs);
   return Result;
+}
+
+KernelMeasurement snslp::measureKernel(KernelRunner &Runner, const Kernel &K,
+                                       VectorizerMode Mode, unsigned Runs) {
+  Expected<KernelMeasurement> M = tryMeasureKernel(Runner, K, Mode, Runs);
+  if (!M)
+    reportFatalError(M.takeError().toString());
+  return std::move(M.get());
 }
 
 SampleStats snslp::measureCompileTime(const Kernel &K, VectorizerMode Mode,
@@ -119,23 +142,40 @@ std::vector<PassRunReport> snslp::measurePerPassTimes(const Kernel &K,
   return Reports;
 }
 
-ProgramMeasurement snslp::measureProgram(KernelRunner &Runner,
-                                         const BenchmarkProgram &P,
-                                         VectorizerMode Mode) {
+Expected<ProgramMeasurement> snslp::tryMeasureProgram(
+    KernelRunner &Runner, const BenchmarkProgram &P, VectorizerMode Mode) {
   ProgramMeasurement Result;
   Result.Mode = Mode;
   for (const ProgramComponent &Comp : P.Components) {
     const Kernel *K = findKernel(Comp.KernelName);
     if (!K)
-      reportFatalError("program '" + P.Name + "' references unknown kernel '" +
-                       Comp.KernelName + "'");
-    CompiledKernel CK = Runner.compile(*K, Mode);
+      return Error::make(ErrorCode::UnknownKernel,
+                         "program '" + P.Name +
+                             "' references unknown kernel '" +
+                             Comp.KernelName + "'");
+    Expected<CompiledKernel> CKOrErr = Runner.tryCompile(*K, Mode);
+    if (!CKOrErr)
+      return CKOrErr.takeError();
+    CompiledKernel CK = std::move(CKOrErr.get());
     KernelData Data(K->Buffers, K->N, /*Seed=*/5);
     ExecutionResult R = Runner.execute(CK, Data);
     if (!R.Ok)
-      reportFatalError("program component failed: " + R.Error);
+      return Error::make(R.TrapKind == Trap::FuelExhausted
+                             ? ErrorCode::FuelExhausted
+                             : ErrorCode::ExecError,
+                         "program '" + P.Name + "' component '" +
+                             Comp.KernelName + "' failed: " + R.Error);
     Result.SimCycles += R.Cycles * Comp.Weight;
     Result.Stats.mergeFrom(CK.Stats);
   }
   return Result;
+}
+
+ProgramMeasurement snslp::measureProgram(KernelRunner &Runner,
+                                         const BenchmarkProgram &P,
+                                         VectorizerMode Mode) {
+  Expected<ProgramMeasurement> M = tryMeasureProgram(Runner, P, Mode);
+  if (!M)
+    reportFatalError(M.takeError().toString());
+  return std::move(M.get());
 }

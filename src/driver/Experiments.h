@@ -19,6 +19,7 @@
 #include "driver/KernelRunner.h"
 #include "driver/PassManager.h"
 #include "kernels/Programs.h"
+#include "support/Error.h"
 #include "support/Timer.h"
 
 #include <vector>
@@ -36,7 +37,16 @@ struct KernelMeasurement {
 };
 
 /// Compiles and measures \p K under \p Mode. \p Runs is the number of
-/// measured executions (after one warm-up).
+/// measured executions (after one warm-up). Recoverable form: compile,
+/// parse and execution failures come back as positioned Errors
+/// (parse-error / verify-error / exec-error) instead of aborting.
+Expected<KernelMeasurement> tryMeasureKernel(KernelRunner &Runner,
+                                             const Kernel &K,
+                                             VectorizerMode Mode,
+                                             unsigned Runs = 10);
+
+/// Fatal-on-error wrapper around tryMeasureKernel (the benchmark binaries
+/// measure library-internal kernels; a failure there is a build defect).
 KernelMeasurement measureKernel(KernelRunner &Runner, const Kernel &K,
                                 VectorizerMode Mode, unsigned Runs = 10);
 
@@ -67,7 +77,14 @@ struct ProgramMeasurement {
 };
 
 /// Measures \p P (every component kernel compiled under \p Mode; cycles
-/// weighted by the component's dynamic weight).
+/// weighted by the component's dynamic weight). Recoverable form: an
+/// unknown component kernel or a failing compile/run is returned as a
+/// positioned Error.
+Expected<ProgramMeasurement> tryMeasureProgram(KernelRunner &Runner,
+                                               const BenchmarkProgram &P,
+                                               VectorizerMode Mode);
+
+/// Fatal-on-error wrapper around tryMeasureProgram.
 ProgramMeasurement measureProgram(KernelRunner &Runner,
                                   const BenchmarkProgram &P,
                                   VectorizerMode Mode);

@@ -9,25 +9,35 @@
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
 #include "support/ErrorHandling.h"
+#include "support/FaultInjection.h"
 
 using namespace snslp;
 
-CompiledKernel KernelRunner::compile(const Kernel &K, VectorizerMode Mode,
-                                     VectorizerConfig BaseCfg) {
+Expected<CompiledKernel> KernelRunner::tryCompile(const Kernel &K,
+                                                  VectorizerMode Mode,
+                                                  VectorizerConfig BaseCfg) {
   // Parse the pristine kernel once per runner; clone per configuration so
   // configurations never see each other's transformations.
   Function *Pristine = M.getFunction(K.Name);
   if (!Pristine) {
     std::string Err;
+    if (faultPoint("driver.compile.parse"))
+      return Error::make(ErrorCode::FaultInjected,
+                         "kernel '" + K.Name +
+                             "': injected fault at driver.compile.parse");
     if (!parseIR(K.IRText, M, &Err))
-      reportFatalError("kernel '" + K.Name + "' failed to parse: " + Err);
+      return Error::make(ErrorCode::ParseError,
+                         "kernel '" + K.Name + "' failed to parse: " + Err);
     Pristine = M.getFunction(K.Name);
     if (!Pristine)
-      reportFatalError("kernel '" + K.Name + "' does not define @" + K.Name);
+      return Error::make(ErrorCode::ParseError, "kernel '" + K.Name +
+                                                    "' does not define @" +
+                                                    K.Name);
     std::vector<std::string> Errors;
     if (!verifyFunction(*Pristine, &Errors))
-      reportFatalError("kernel '" + K.Name + "' is malformed: " +
-                       (Errors.empty() ? "unknown" : Errors.front()));
+      return Error::make(ErrorCode::VerifyError,
+                         "kernel '" + K.Name + "' is malformed: " +
+                             (Errors.empty() ? "unknown" : Errors.front()));
   }
 
   CompiledKernel CK;
@@ -43,10 +53,19 @@ CompiledKernel KernelRunner::compile(const Kernel &K, VectorizerMode Mode,
 
   std::vector<std::string> Errors;
   if (!verifyFunction(*CK.F, &Errors))
-    reportFatalError("vectorizer produced malformed IR for '" + K.Name +
-                     "' (" + getModeName(Mode) + "): " +
-                     (Errors.empty() ? "unknown" : Errors.front()));
+    return Error::make(ErrorCode::VerifyError,
+                       "vectorizer produced malformed IR for '" + K.Name +
+                           "' (" + getModeName(Mode) + "): " +
+                           (Errors.empty() ? "unknown" : Errors.front()));
   return CK;
+}
+
+CompiledKernel KernelRunner::compile(const Kernel &K, VectorizerMode Mode,
+                                     VectorizerConfig BaseCfg) {
+  Expected<CompiledKernel> CK = tryCompile(K, Mode, std::move(BaseCfg));
+  if (!CK)
+    reportFatalError(CK.takeError().toString());
+  return std::move(CK.get());
 }
 
 ExecutionResult KernelRunner::execute(const CompiledKernel &CK,

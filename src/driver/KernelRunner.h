@@ -20,6 +20,7 @@
 #include "ir/Module.h"
 #include "kernels/Kernel.h"
 #include "slp/SLPVectorizer.h"
+#include "support/Error.h"
 
 #include <memory>
 #include <string>
@@ -41,8 +42,16 @@ public:
   KernelRunner() : M(Ctx, "kernels") {}
 
   /// Parses \p K's IR, runs the \p Mode vectorizer over a private clone,
-  /// and verifies the result. Aborts with a diagnostic on parse/verify
-  /// failure (kernel definitions are library-internal inputs).
+  /// and verifies the result. Returns a positioned recoverable Error
+  /// (parse-error / verify-error) instead of aborting, so tools and the
+  /// fuzzer can report and continue. Fault site: `driver.compile.parse`.
+  Expected<CompiledKernel> tryCompile(const Kernel &K, VectorizerMode Mode,
+                                      VectorizerConfig BaseCfg =
+                                          VectorizerConfig());
+
+  /// Fatal-on-error convenience wrapper around tryCompile for callers
+  /// whose kernel definitions are library-internal (the benchmark and
+  /// example binaries): aborts with the error's diagnostic.
   CompiledKernel compile(const Kernel &K, VectorizerMode Mode,
                          VectorizerConfig BaseCfg = VectorizerConfig());
 

@@ -9,11 +9,14 @@
 #include "ir/Function.h"
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
+#include "slp/IRTransaction.h"
+#include "support/ErrorHandling.h"
 #include "support/Remark.h"
 #include "support/Timer.h"
 
 #include <iomanip>
 #include <map>
+#include <optional>
 #include <sstream>
 
 using namespace snslp;
@@ -22,6 +25,13 @@ PassRunReport PassManager::run(Function &F) const {
   PassRunReport Report;
   Report.FunctionName = F.getName();
   Report.Passes.reserve(Passes.size());
+
+  // RecoverOnVerifyFail keeps a last-verified-good checkpoint of F; a pass
+  // that corrupts the IR is undone (bit-identical restore) and the rest of
+  // the pipeline runs over the restored function.
+  std::optional<IRTransaction> LastGood;
+  if (Opts.VerifyEach && Opts.RecoverOnVerifyFail)
+    LastGood.emplace(F);
 
   for (const NamedPass &P : Passes) {
     PassExecution Exec;
@@ -51,9 +61,31 @@ PassRunReport PassManager::run(Function &F) const {
       std::vector<std::string> Errors;
       if (!verifyFunction(F, &Errors)) {
         Exec.VerifiedOK = false;
+        if (Report.FirstInvalidPass.empty())
+          Report.FirstInvalidPass = P.Name;
+        if (Report.VerifyErrors.empty())
+          Report.VerifyErrors = Errors;
+        if (LastGood) {
+          // Undo this pass entirely and keep going: downstream passes run
+          // over the restored (last verified-good) IR.
+          std::string RollbackErr;
+          if (!LastGood->rollback(&RollbackErr))
+            reportFatalError("RecoverOnVerifyFail rollback failed: " +
+                             RollbackErr);
+          Exec.RolledBack = true;
+          ++Report.RecoveredPasses;
+          if (Opts.Remarks)
+            Opts.Remarks->add(
+                Remark::missed(P.Name, "VerifyFailed", F.getName())
+                    .withDecision("rolled-back")
+                    .withMessage(
+                        (Errors.empty() ? std::string("verifier failed")
+                                        : Errors.front()) +
+                        "; function restored to the last verified state"));
+          Report.Passes.push_back(std::move(Exec));
+          continue;
+        }
         Report.VerifyFailed = true;
-        Report.FirstInvalidPass = P.Name;
-        Report.VerifyErrors = std::move(Errors);
         if (Opts.Remarks)
           Opts.Remarks->add(
               Remark::missed(P.Name, "VerifyFailed", F.getName())
@@ -66,6 +98,9 @@ PassRunReport PassManager::run(Function &F) const {
         // this pass as the offender (LLVM's -verify-each contract).
         break;
       }
+      // Verified good: this state becomes the new checkpoint.
+      if (LastGood)
+        LastGood->refresh();
     }
     Report.Passes.push_back(std::move(Exec));
   }

@@ -42,6 +42,13 @@ class RemarkCollector;
 struct PassManagerOptions {
   /// Run verifyFunction after every pass; stop at the first failure.
   bool VerifyEach = false;
+  /// With VerifyEach: instead of stopping at the first pass that corrupts
+  /// the IR, roll the function back to the last verified-good snapshot
+  /// (IRTransaction) and keep running the remaining passes over the
+  /// restored IR. The offending execution is flagged RolledBack and
+  /// counted in PassRunReport::RecoveredPasses; the run as a whole is not
+  /// marked VerifyFailed. See docs/robustness.md.
+  bool RecoverOnVerifyFail = false;
   /// Capture the textual IR after every pass (PassExecution::IRAfter).
   bool PrintAfterAll = false;
   /// Optional sink for PassExecuted / VerifyFailed remarks.
@@ -55,6 +62,9 @@ struct PassExecution {
   uint64_t Cycles = 0;    ///< readCycleCounter delta across the pass.
   size_t Changes = 0;     ///< The pass's own change count (0 = no-op).
   bool VerifiedOK = true; ///< Post-pass verifier verdict (VerifyEach).
+  /// The pass corrupted the IR and the function was restored to the last
+  /// verified-good snapshot (RecoverOnVerifyFail).
+  bool RolledBack = false;
   std::string IRAfter;    ///< Post-pass IR snapshot (PrintAfterAll).
 };
 
@@ -64,10 +74,15 @@ struct PassRunReport {
   std::vector<PassExecution> Passes;
   /// \name VerifyEach outcome.
   /// @{
+  /// A pass corrupted the IR and the run stopped there (not set when
+  /// RecoverOnVerifyFail restored the IR and continued).
   bool VerifyFailed = false;
-  /// Name of the first pass whose output failed verification.
+  /// Name of the first pass whose output failed verification (set in both
+  /// the stop and the recover case).
   std::string FirstInvalidPass;
   std::vector<std::string> VerifyErrors;
+  /// Passes whose corrupt output was rolled back (RecoverOnVerifyFail).
+  unsigned RecoveredPasses = 0;
   /// @}
 
   uint64_t totalWallNanos() const {

@@ -21,6 +21,7 @@
 #define SNSLP_FUZZ_DIFFORACLE_H
 
 #include "fuzz/IRGenerator.h"
+#include "interp/RTValue.h"
 #include "slp/VectorizerConfig.h"
 
 #include <functional>
@@ -88,6 +89,11 @@ struct OracleFailure {
 struct OracleReport {
   std::vector<OracleFailure> Failures;
   unsigned VariantsChecked = 0; ///< (variant, engine) pairs executed.
+  /// The *untransformed* program ran out of interpreter fuel (MaxSteps).
+  /// That is a property of the generated program (e.g. an unbounded
+  /// loop), not a compiler defect: the matrix is skipped and the report
+  /// is ok(). Callers count these as skips (fuzzslp's "skipped (fuel)").
+  bool BaselineFuelExhausted = false;
 
   bool ok() const { return Failures.empty(); }
   /// Multi-line summary of all failures (empty string when ok).
@@ -99,6 +105,9 @@ struct OracleReport {
 struct ProgramRun {
   bool Ok = false;
   std::string Error;
+  /// Classified trap cause when !Ok (Trap::FuelExhausted = the MaxSteps
+  /// budget ran out cleanly).
+  Trap TrapKind = Trap::None;
   bool HasReturn = false;
   int64_t RetInt = 0;
   double RetFP = 0.0;

@@ -690,8 +690,10 @@ BytecodeFunction::RunResult BytecodeFunction::run(
   uint32_t PC = 0;
 
   // Reports an error with the IR spelling of the faulting instruction.
-  auto Fault = [&](uint32_t FaultPC, const char *What) {
+  auto Fault = [&](uint32_t FaultPC, const char *What,
+                   Trap Kind = Trap::Other) {
     Result.Error = std::string(What) + ": " + toString(*PCToInst[FaultPC]);
+    Result.TrapKind = Kind;
     return Result;
   };
 
@@ -917,10 +919,10 @@ BytecodeFunction::RunResult BytecodeFunction::run(
                       static_cast<int64_t>(I.Imm));
 #define SNSLP_CHECK_LOAD(BYTES)                                              \
   if (Checked && !checkAccess(MemoryRanges, Addr, (BYTES)))                  \
-    return Fault(PC, "out-of-bounds load");
+    return Fault(PC, "out-of-bounds load", Trap::OutOfBounds);
 #define SNSLP_CHECK_STORE(BYTES)                                             \
   if (Checked && !checkAccess(MemoryRanges, Addr, (BYTES)))                  \
-    return Fault(PC, "out-of-bounds store");
+    return Fault(PC, "out-of-bounds store", Trap::OutOfBounds);
 
 #define SNSLP_LOAD_BODY_I1                                                   \
   {                                                                          \
@@ -1141,18 +1143,22 @@ BytecodeFunction::RunResult BytecodeFunction::run(
       // ---- Control flow ------------------------------------------------
     case BCOp::Br:
       if (!TakeEdge(static_cast<uint32_t>(I.Imm)))
-        return Fault(PC, "phi has no incoming value for executed edge");
+        return Fault(PC, "phi has no incoming value for executed edge",
+                     Trap::BadPhi);
       if (Steps > MaxSteps) {
         Result.Error = "execution fuel exhausted (possible infinite loop)";
+        Result.TrapKind = Trap::FuelExhausted;
         return Result;
       }
       continue;
     case BCOp::CondBr:
       if (!TakeEdge(Regs[I.A] != 0 ? I.Dst
                                    : static_cast<uint32_t>(I.Imm)))
-        return Fault(PC, "phi has no incoming value for executed edge");
+        return Fault(PC, "phi has no incoming value for executed edge",
+                     Trap::BadPhi);
       if (Steps > MaxSteps) {
         Result.Error = "execution fuel exhausted (possible infinite loop)";
+        Result.TrapKind = Trap::FuelExhausted;
         return Result;
       }
       continue;

@@ -176,6 +176,7 @@ public:
   struct RunResult {
     bool Ok = false;
     std::string Error;
+    Trap TrapKind = Trap::None; ///< Machine-readable failure class.
     uint64_t StepsExecuted = 0;
     uint64_t VectorSteps = 0;
     double Cycles = 0.0;

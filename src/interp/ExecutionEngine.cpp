@@ -40,6 +40,7 @@ ExecutionResult ExecutionEngine::run(const std::vector<RTValue> &Args,
   if (Args.size() != F.getNumArgs()) {
     ExecutionResult R;
     R.Error = "argument count mismatch";
+    R.TrapKind = Trap::Other;
     return R;
   }
 
@@ -48,6 +49,7 @@ ExecutionResult ExecutionEngine::run(const std::vector<RTValue> &Args,
   ExecutionResult R;
   R.Ok = BR.Ok;
   R.Error = std::move(BR.Error);
+  R.TrapKind = BR.TrapKind;
   R.StepsExecuted = BR.StepsExecuted;
   R.VectorSteps = BR.VectorSteps;
   R.Cycles = BR.Cycles;

@@ -49,6 +49,7 @@ using CycleFn = std::function<double(const Instruction &)>;
 struct ExecutionResult {
   bool Ok = false;
   std::string Error;          ///< Populated when !Ok (e.g. fuel exhausted).
+  Trap TrapKind = Trap::None; ///< Machine-readable failure class.
   uint64_t StepsExecuted = 0; ///< Dynamic instruction count.
   uint64_t VectorSteps = 0;   ///< Steps whose result/operands are vectors.
   double Cycles = 0.0;        ///< Simulated cycles (0 without a cycle model).

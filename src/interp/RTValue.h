@@ -27,6 +27,36 @@ namespace snslp {
 /// Maximum SIMD width supported by the interpreter (lanes).
 inline constexpr unsigned MaxInterpLanes = 8;
 
+/// Machine-readable classification of an interpreter failure. `Error`
+/// strings stay human-oriented; callers that need to *dispatch* on the
+/// failure kind (the fuzz oracle skipping fuel-exhausted baselines, the
+/// fail-safe driver mapping traps to ErrorCodes) read this instead of
+/// string-matching.
+enum class Trap {
+  None = 0,      ///< Run succeeded.
+  FuelExhausted, ///< MaxSteps budget hit (possible infinite loop).
+  OutOfBounds,   ///< Checked load/store outside registered memory.
+  BadPhi,        ///< Phi had no incoming value for the executed edge.
+  Other,         ///< Any other interpreter fault.
+};
+
+/// Serialized spelling ("none" | "fuel-exhausted" | ...).
+inline const char *getTrapName(Trap T) {
+  switch (T) {
+  case Trap::None:
+    return "none";
+  case Trap::FuelExhausted:
+    return "fuel-exhausted";
+  case Trap::OutOfBounds:
+    return "out-of-bounds";
+  case Trap::BadPhi:
+    return "bad-phi";
+  case Trap::Other:
+    return "other";
+  }
+  return "unknown";
+}
+
 /// A runtime scalar or vector value. POD; copied freely.
 struct RTValue {
   TypeKind ElemKind = TypeKind::Void; // Element kind (scalar kind).

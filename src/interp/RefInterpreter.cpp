@@ -278,6 +278,7 @@ ExecutionResult RefInterpreter::run(
   ExecutionResult Result;
   if (Args.size() != F.getNumArgs()) {
     Result.Error = "argument count mismatch";
+    Result.TrapKind = Trap::Other;
     return Result;
   }
 
@@ -312,6 +313,7 @@ ExecutionResult RefInterpreter::run(
             Incoming = static_cast<int>(K);
         if (Incoming < 0) {
           Result.Error = "phi has no incoming value for executed edge";
+          Result.TrapKind = Trap::BadPhi;
           return Result;
         }
         PhiScratch.push_back(Fetch(S.Operands[Incoming]));
@@ -333,6 +335,7 @@ ExecutionResult RefInterpreter::run(
       Cycles += S.Cycles;
       if (Steps > MaxSteps) {
         Result.Error = "execution fuel exhausted (possible infinite loop)";
+        Result.TrapKind = Trap::FuelExhausted;
         return Result;
       }
 
@@ -387,6 +390,7 @@ ExecutionResult RefInterpreter::run(
         uint64_t Addr = Fetch(S.Operands[0]).getPointer();
         if (!checkAccess(MemoryRanges, Addr, Ty->getSizeInBytes())) {
           Result.Error = "out-of-bounds load: " + toString(Inst);
+          Result.TrapKind = Trap::OutOfBounds;
           return Result;
         }
         if (const auto *VT = dyn_cast<VectorType>(Ty)) {
@@ -411,6 +415,7 @@ ExecutionResult RefInterpreter::run(
         Type *Ty = cast<StoreInst>(Inst).getValueOperand()->getType();
         if (!checkAccess(MemoryRanges, Addr, Ty->getSizeInBytes())) {
           Result.Error = "out-of-bounds store: " + toString(Inst);
+          Result.TrapKind = Trap::OutOfBounds;
           return Result;
         }
         if (const auto *VT = dyn_cast<VectorType>(Ty)) {

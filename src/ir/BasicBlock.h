@@ -88,6 +88,7 @@ public:
 
 private:
   friend class Instruction;
+  friend class Function; ///< takeBody reparents moved blocks.
 
   /// Unlinks \p Inst and returns ownership (used by move/erase).
   std::unique_ptr<Instruction> remove(Instruction *Inst);

@@ -211,6 +211,39 @@ Function *Function::cloneInto(Module &TargetModule,
   return NewF;
 }
 
+void Function::takeBody(Function &Donor) {
+  assert(&Donor != this && "cannot take a function's own body");
+  assert(&Donor.getContext() == &getContext() &&
+         "takeBody requires a donor in the same Context");
+  assert(Donor.getNumArgs() == getNumArgs() &&
+         "takeBody requires an identical signature");
+#ifndef NDEBUG
+  for (unsigned I = 0, E = getNumArgs(); I != E; ++I)
+    assert(Donor.getArg(I)->getType() == getArg(I)->getType() &&
+           "takeBody requires an identical signature");
+#endif
+
+  // Destroy the current body. Sever every def-use edge first so that
+  // destruction order (defs before users, cross-block references) is
+  // irrelevant — the same discipline as ~Function.
+  for (const auto &BB : Blocks)
+    for (const auto &Inst : *BB)
+      Inst->dropAllReferences();
+  Blocks.clear();
+
+  // Redirect donor-argument uses to this function's own arguments before
+  // the move, so the transplanted instructions reference live values.
+  for (unsigned I = 0, E = getNumArgs(); I != E; ++I)
+    Donor.getArg(I)->replaceAllUsesWith(getArg(I));
+
+  // Move the donor's blocks wholesale (instruction pointers stay valid)
+  // and reparent them.
+  Blocks = std::move(Donor.Blocks);
+  Donor.Blocks.clear();
+  for (const auto &BB : Blocks)
+    BB->Parent = this;
+}
+
 void Function::nameValues() {
   std::unordered_set<std::string> Used;
   for (const auto &Arg : Args)

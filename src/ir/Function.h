@@ -88,6 +88,14 @@ public:
   /// instructions, blocks and arguments are fresh.
   Function *cloneInto(Module &TargetModule, const std::string &NewName) const;
 
+  /// Transactional restore primitive (see slp/IRTransaction.h): destroys
+  /// this function's current body and moves \p Donor's blocks in,
+  /// reparenting them and redirecting every use of a donor argument to the
+  /// corresponding argument of this function. \p Donor must have the same
+  /// signature (checked by assertion) and live in the same Context; it is
+  /// left empty (no blocks) and should be erased by the caller.
+  void takeBody(Function &Donor);
+
   /// Assigns fresh unique names ("tN") to unnamed instructions so the
   /// printer and parser round-trip. Existing names are kept (uniquified on
   /// collision).

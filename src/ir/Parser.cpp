@@ -549,10 +549,8 @@ private:
         F->createBlock(Tokens[I].Text);
       }
     }
-    if (F->empty()) {
-      Err = "function @" + F->getName() + " has no blocks";
-      return false;
-    }
+    if (F->empty())
+      return error("function @" + F->getName() + " has no blocks");
     return true;
   }
 

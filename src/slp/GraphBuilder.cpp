@@ -149,6 +149,13 @@ SLPNode *GraphBuilder::buildNode(std::vector<Value *> Bundle, unsigned Depth) {
     return N;
   };
 
+  // Cooperative budget check: every node built charges one graph node.
+  // Once any budget is blown, growth degrades to gathers — cheap, always
+  // legal — and the vectorizer rolls the whole attempt back
+  // (bailout:budget) when it sees the tracker exhausted.
+  if (Budget && !Budget->chargeGraphNode())
+    return Finish(createGather(Bundle));
+
   if (Depth > Cfg.MaxGraphDepth)
     return Finish(createGather(Bundle));
 
@@ -377,6 +384,11 @@ SLPNode *GraphBuilder::buildBinOpNode(std::vector<Value *> Bundle,
   bool AnyProduced = std::any_of(
       Bundle.begin(), Bundle.end(),
       [this](Value *V) { return SuperNodeProduced.count(V) != 0; });
+  // Once the attempt's budget is blown, stop growing Super-Nodes too: the
+  // probe both costs work and mutates IR, and the attempt is going to be
+  // rolled back anyway.
+  if (Budget && Budget->exhausted())
+    AnyProduced = true;
   if (Cfg.enableSuperNode() && !AnyProduced) {
     std::unordered_set<Value *> Frozen = SuperNodeProduced;
     for (const auto &[V, N] : ScalarToNode)
@@ -385,6 +397,7 @@ SLPNode *GraphBuilder::buildBinOpNode(std::vector<Value *> Bundle,
     std::string WhyNot;
     if (std::unique_ptr<SuperNode> SN = SuperNode::tryBuild(
             Bundle, Cfg.allowInverseOps(), Frozen, RC ? &WhyNot : nullptr)) {
+      SN->setBudget(Budget);
       SN->reorderLeavesAndTrunks(LA);
       if (RC) {
         std::string Note = Cfg.allowInverseOps()

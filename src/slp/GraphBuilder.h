@@ -70,6 +70,15 @@ public:
   /// aggregates them into VectorizeStats).
   const LookAhead &getLookAhead() const { return LA; }
 
+  /// Attaches a per-attempt resource budget (not owned; may be null).
+  /// Node creation, look-ahead scoring and Super-Node probing charge it
+  /// cooperatively; once exhausted, graph growth degrades to gathers and
+  /// the caller is expected to roll the attempt back (bailout:budget).
+  void setBudget(BudgetTracker *BT) {
+    Budget = BT;
+    LA.setBudget(BT);
+  }
+
 private:
   SLPNode *buildNode(std::vector<Value *> Bundle, unsigned Depth);
   SLPNode *createGather(std::vector<Value *> Bundle);
@@ -106,6 +115,8 @@ private:
   const TargetCostModel &TCM;
   LookAhead LA;
   RemarkCollector *RC = nullptr;
+  /// Optional per-attempt budget (see setBudget). Not owned.
+  BudgetTracker *Budget = nullptr;
 
   std::unique_ptr<SLPGraph> Graph;
   std::map<std::vector<Value *>, SLPNode *> BundleCache;

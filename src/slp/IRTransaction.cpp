@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slp/IRTransaction.h"
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+
+using namespace snslp;
+
+IRTransaction::IRTransaction(Function &F) : F(F) { refresh(); }
+
+void IRTransaction::refresh() {
+  Snapshot = toString(F);
+  SnapshotInstCount = F.instructionCount();
+}
+
+bool IRTransaction::modified() const {
+  // Almost every mutation the vectorizer performs changes the instruction
+  // count (re-emission erases + recreates, codegen inserts vector ops and
+  // DCE removes scalars), so the count compare usually decides. The text
+  // compare catches count-preserving rewrites (operand swaps, renames).
+  if (F.instructionCount() != SnapshotInstCount)
+    return true;
+  return toString(F) != Snapshot;
+}
+
+bool IRTransaction::rollback(std::string *Err) {
+  // Parse the snapshot into a scratch module sharing F's Context (types
+  // and constants are interned there, so the transplanted body references
+  // the same type/constant objects F's signature uses).
+  Module Scratch(F.getContext(), "irtxn.rollback");
+  std::string ParseErr;
+  if (!parseIR(Snapshot, Scratch, &ParseErr)) {
+    if (Err)
+      *Err = "IRTransaction snapshot failed to re-parse (printer/parser "
+             "invariant broken): " +
+             ParseErr;
+    return false;
+  }
+  Function *Restored = Scratch.getFunction(F.getName());
+  if (!Restored) {
+    if (Err)
+      *Err = "IRTransaction snapshot lost function '" + F.getName() + "'";
+    return false;
+  }
+  F.takeBody(*Restored);
+  // Scratch (and the now-empty Restored shell) dies here; the moved blocks
+  // are owned by F.
+  return true;
+}

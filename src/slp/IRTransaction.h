@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRTransaction: a function-level checkpoint/rollback boundary.
+///
+/// The SLP vectorizer's Super-Node probe massages scalar IR *before* the
+/// cost decision, and the code generator mutates the function when a graph
+/// commits. A defect anywhere in that span — a verifier failure, a blown
+/// resource budget, an injected fault — used to corrupt the function with
+/// no way back. An IRTransaction snapshots the function on open (the
+/// existing printer, whose output the parser accepts verbatim) and can
+/// restore it bit-identically in printed form:
+///
+///   IRTransaction Txn(F);            // checkpoint
+///   ... speculative vectorization ...
+///   if (wentWrong) Txn.rollback();   // F is back to the checkpoint
+///   else           Txn.refresh();    // new checkpoint for the next span
+///
+/// The common path (nothing went wrong) pays one print on open and a cheap
+/// in-memory delta check (instruction count, then text compare) on
+/// modified(); rollback is the rare path and pays a parse + body
+/// transplant (Function::takeBody). Print -> parse -> print is a fixpoint
+/// (checked by ParserPrinterTest and the fuzz oracle's round-trip mode),
+/// so a rolled-back function reprints exactly as its snapshot.
+///
+/// See docs/robustness.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SLP_IRTRANSACTION_H
+#define SNSLP_SLP_IRTRANSACTION_H
+
+#include <cstddef>
+#include <string>
+
+namespace snslp {
+
+class Function;
+
+/// Checkpoint/rollback for one Function. Non-copyable; keep one per
+/// speculative span and refresh() between spans.
+class IRTransaction {
+public:
+  /// Opens a transaction: snapshots \p F's printed form.
+  explicit IRTransaction(Function &F);
+
+  IRTransaction(const IRTransaction &) = delete;
+  IRTransaction &operator=(const IRTransaction &) = delete;
+
+  /// True when \p F's current body differs from the snapshot. Fast path:
+  /// an instruction-count compare short-circuits the text compare.
+  bool modified() const;
+
+  /// Restores \p F to the snapshot. Returns false (and fills \p Err when
+  /// non-null) only if the snapshot fails to re-parse — which would mean
+  /// the printer/parser invariant itself is broken; callers treat that as
+  /// fatal. On success \p F reprints exactly as the snapshot text.
+  ///
+  /// All Instruction/BasicBlock pointers into \p F are invalidated.
+  bool rollback(std::string *Err = nullptr);
+
+  /// Re-snapshots the current state (commit point: the previous checkpoint
+  /// is discarded and the next rollback returns here).
+  void refresh();
+
+  /// The printed form captured at the last open/refresh.
+  const std::string &snapshotText() const { return Snapshot; }
+
+private:
+  Function &F;
+  std::string Snapshot;
+  size_t SnapshotInstCount = 0;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SLP_IRTRANSACTION_H

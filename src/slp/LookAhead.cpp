@@ -8,6 +8,7 @@
 
 #include "analysis/MemoryAddress.h"
 #include "ir/Instruction.h"
+#include "slp/VectorizerConfig.h"
 
 #include <algorithm>
 
@@ -44,6 +45,12 @@ int LookAhead::immediateScore(const Value *L, const Value *R) const {
 
 int LookAhead::scoreAtDepth(const Value *L, const Value *R,
                             unsigned D) const {
+  // Budgeted scoring: once the per-attempt look-ahead budget is blown,
+  // degrade every further query to the Fail weight. The sweep loops still
+  // terminate (they just stop discriminating) and the vectorizer observes
+  // the exhaustion on the tracker and bails out of the attempt.
+  if (Budget && Budget->exhausted())
+    return Weights.Fail;
   // Only the queries that cost something are memoized: load pairs run the
   // affine address decomposition of areConsecutiveAccesses (std::map
   // traffic per query), and binop pairs at depth > 0 recurse over 4
@@ -72,6 +79,10 @@ int LookAhead::scoreAtDepth(const Value *L, const Value *R,
       return It->second.Score;
     }
   }
+
+  // Cache hits are free; only computed evaluations are charged.
+  if (Budget && !Budget->chargeLookAheadEval())
+    return Weights.Fail;
 
   int Base = immediateScore(L, R);
   int Score = Base;

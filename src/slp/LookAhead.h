@@ -32,6 +32,7 @@
 
 namespace snslp {
 
+class BudgetTracker;
 class Value;
 
 /// Immediate pair scores (larger is better).
@@ -82,6 +83,13 @@ public:
   uint64_t getEpoch() const { return Epoch; }
   /// @}
 
+  /// Attaches (or detaches, with null) a per-attempt resource budget.
+  /// Every *computed* score evaluation (cache hits excluded) charges one
+  /// look-ahead eval; once the budget is exhausted, scoring degrades to
+  /// the Fail weight so candidate sweeps terminate quickly and the caller
+  /// observes exhaustion via the tracker. Not owned.
+  void setBudget(BudgetTracker *BT) { Budget = BT; }
+
 private:
   int scoreAtDepth(const Value *L, const Value *R, unsigned D) const;
   int immediateScore(const Value *L, const Value *R) const;
@@ -123,6 +131,8 @@ private:
   unsigned Depth;
   LookAheadWeights Weights;
   bool MemoEnabled;
+  /// Optional per-attempt budget (see setBudget). Not owned.
+  BudgetTracker *Budget = nullptr;
   /// (L, R, depth) -> (score, epoch). An entry is valid only when its
   /// epoch matches the current one. Mutable: scoring is logically const
   /// (SuperNode takes const LookAhead &).

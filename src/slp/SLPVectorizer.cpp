@@ -8,11 +8,17 @@
 
 #include "ir/DCE.h"
 #include "ir/Function.h"
+#include "ir/Verifier.h"
 #include "slp/GraphBuilder.h"
+#include "slp/IRTransaction.h"
 #include "slp/VectorCodeGen.h"
 #include "support/ErrorHandling.h"
+#include "support/FaultInjection.h"
 #include "support/Statistic.h"
 #include "support/Timer.h"
+
+#include <optional>
+#include <unordered_map>
 
 using namespace snslp;
 
@@ -46,6 +52,9 @@ void VectorizeStats::mergeFrom(const VectorizeStats &Other) {
   AlternateNodes += Other.AlternateNodes;
   GatherNodes += Other.GatherNodes;
   ShuffleNodes += Other.ShuffleNodes;
+  BudgetBailouts += Other.BudgetBailouts;
+  VerifyBailouts += Other.VerifyBailouts;
+  FaultBailouts += Other.FaultBailouts;
 }
 
 /// Tallies the node kinds of a committed graph into \p Stats.
@@ -68,6 +77,75 @@ static void tallyNodeKinds(const SLPGraph &Graph, VectorizeStats &Stats) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Transactional attempt support
+//===----------------------------------------------------------------------===//
+
+/// Rolling back an IRTransaction recreates every instruction of the
+/// function, so the raw StoreInst pointers held by the remaining seed
+/// worklist dangle. Rollback is bit-identical in printed form, which means
+/// instruction *positions* are stable: captureStorePositions records the
+/// in-block index of every store of the tail worklist groups before an
+/// attempt, and reanchorStores re-resolves those indexes against the
+/// restored block afterwards.
+static std::vector<std::vector<size_t>>
+captureStorePositions(const BasicBlock &BB,
+                      const std::vector<SeedGroup> &Worklist, size_t From) {
+  std::unordered_map<const Instruction *, size_t> Pos;
+  size_t Idx = 0;
+  for (const auto &Inst : BB)
+    Pos[Inst.get()] = Idx++;
+  std::vector<std::vector<size_t>> Out;
+  Out.reserve(Worklist.size() > From ? Worklist.size() - From : 0);
+  for (size_t K = From; K < Worklist.size(); ++K) {
+    std::vector<size_t> G;
+    G.reserve(Worklist[K].Stores.size());
+    for (const StoreInst *S : Worklist[K].Stores)
+      G.push_back(Pos.at(S));
+    Out.push_back(std::move(G));
+  }
+  return Out;
+}
+
+/// See captureStorePositions.
+static void reanchorStores(BasicBlock &BB,
+                           const std::vector<std::vector<size_t>> &Positions,
+                           std::vector<SeedGroup> &Worklist, size_t From) {
+  std::vector<Instruction *> ByPos;
+  ByPos.reserve(BB.size());
+  for (const auto &Inst : BB)
+    ByPos.push_back(Inst.get());
+  for (size_t K = 0; K < Positions.size(); ++K) {
+    SeedGroup &G = Worklist[From + K];
+    G.Stores.clear();
+    G.Stores.reserve(Positions[K].size());
+    for (size_t P : Positions[K]) {
+      assert(P < ByPos.size() && "rollback changed the block shape");
+      G.Stores.push_back(cast<StoreInst>(ByPos[P]));
+    }
+  }
+}
+
+/// Restores the pre-attempt snapshot; a rollback can only fail when the
+/// printer/parser fixpoint invariant itself is broken, which is a
+/// programmer error, not an input error.
+static void rollbackOrDie(IRTransaction &Txn) {
+  std::string Err;
+  if (!Txn.rollback(&Err))
+    reportFatalError(Err);
+}
+
+/// Joins verifier diagnostics into one remark message.
+static std::string joinErrors(const std::vector<std::string> &Errors) {
+  std::string Out;
+  for (const std::string &E : Errors) {
+    if (!Out.empty())
+      Out += "; ";
+    Out += E;
+  }
+  return Out;
+}
+
 VectorizeStats snslp::runSLPVectorizer(Function &F,
                                        const VectorizerConfig &Cfg) {
   VectorizeStats Stats;
@@ -82,24 +160,83 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
   // artifact headers, golden-remark tests).
   RemarkCollector RC;
   const std::string &Fn = F.getName();
+  const bool Transactional = Cfg.TransactionalRegions;
 
-  for (const auto &BB : F.blocks()) {
+  // NOTE: the block loop is index-based on purpose — a rollback replaces
+  // every BasicBlock of F, so the loop must re-resolve its block pointer
+  // from the (stable) index after each bailout.
+  for (size_t BI = 0; BI < F.blocks().size(); ++BI) {
+    BasicBlock *BB = F.blocks()[BI].get();
     // Step 1 of Fig. 1: scan for vectorizable seed instructions.
-    std::vector<SeedGroup> Seeds = collectStoreSeeds(
+    std::vector<SeedGroup> Worklist = collectStoreSeeds(
         *BB, Cfg.MinVF, Cfg.MaxVF, Cfg.Target.MaxVectorWidthBytes, &RC);
 
     // Steps 2-8: process each seed group from the work-list. When a group
     // is not profitable at its width and can be halved, both halves are
     // re-tried at the smaller VF (LLVM's SLP retries narrower widths the
     // same way).
-    std::vector<SeedGroup> Worklist = std::move(Seeds);
     for (size_t WI = 0; WI < Worklist.size(); ++WI) {
       SeedGroup Group = Worklist[WI];
+
+      // ---- Fail-safe attempt boundary ---------------------------------
+      // Snapshot the function and anchor the tail of the worklist by
+      // position; any defect below (blown budget, injected fault, verify
+      // failure) rolls the region back bit-identically and the pass
+      // continues with the next seed.
+      std::optional<IRTransaction> Txn;
+      std::vector<std::vector<size_t>> TailPositions;
+      if (Transactional) {
+        Txn.emplace(F);
+        TailPositions = captureStorePositions(*BB, Worklist, WI + 1);
+      }
+      BudgetTracker Budget(Cfg.Budgets);
+      if (Transactional && faultPoint("slp.graph.budget"))
+        Budget.forceExhausted("fault:slp.graph.budget");
+
+      // Rolls the attempt back, re-anchors the worklist tail onto the
+      // restored IR, counts the bailout and emits the missed remark. The
+      // caller `continue`s to the next seed afterwards.
+      auto Bailout = [&](const char *Why, unsigned &Counter,
+                         std::string Detail) {
+        rollbackOrDie(*Txn);
+        ++Counter;
+        BB = F.blocks()[BI].get();
+        reanchorStores(*BB, TailPositions, Worklist, WI + 1);
+        RC.add(Remark::missed("slp-vectorizer", "VectorizeAborted", Fn)
+                   .withDecision(std::string("bailout:") + Why)
+                   .withValues({})
+                   .withMessage(std::move(Detail) +
+                                "; region rolled back to scalar form"));
+      };
+
       GraphBuilder GB(Cfg, TCM, &RC);
+      if (Cfg.Budgets.anyLimited() || Budget.exhausted())
+        GB.setBudget(&Budget);
       std::unique_ptr<SLPGraph> Graph = GB.build(Group);
       ++Stats.GraphsBuilt;
       Stats.LookAheadCacheHits += GB.getLookAhead().getCacheHits();
       Stats.LookAheadCacheMisses += GB.getLookAhead().getCacheMisses();
+
+      // A blown budget means the graph (and any Super-Node massaging that
+      // happened before exhaustion) is not trustworthy: degrade to the
+      // pre-attempt scalar code and move on.
+      if (Budget.exhausted()) {
+        if (Txn) {
+          Bailout("budget", Stats.BudgetBailouts,
+                  "resource budget '" + Budget.reason() +
+                      "' exhausted while vectorizing a " +
+                      std::to_string(Group.getVF()) +
+                      "-wide store group in '" + BB->getName() + "' (" +
+                      std::to_string(Budget.graphNodes()) + " nodes, " +
+                      std::to_string(Budget.lookAheadEvals()) + " evals, " +
+                      std::to_string(Budget.superNodePermutations()) +
+                      " permutations)");
+          continue;
+        }
+        // Without the transactional layer the degraded (all-gather) graph
+        // simply fails the cost test below; scalar semantics are intact
+        // either way.
+      }
 
       // Step 5: compare the cost against the threshold.
       if (Graph->getTotalCost() >= Cfg.CostThreshold) {
@@ -112,6 +249,20 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
                                 std::to_string(Graph->getTotalCost()) +
                                 " >= threshold " +
                                 std::to_string(Cfg.CostThreshold) + ")"));
+        // The Super-Node probe may have massaged the scalar IR before the
+        // cost verdict; that massaging is kept (it is semantics-preserving
+        // and the paper's halving retry builds on it) — but only when it
+        // verifies. A corrupted massage rolls back like any other defect.
+        if (Txn && Cfg.VerifyAfterAttempt && Txn->modified()) {
+          std::vector<std::string> VErrors;
+          if (!verifyFunction(F, &VErrors)) {
+            Bailout("verify", Stats.VerifyBailouts,
+                    "function failed verification after a cost-rejected "
+                    "attempt: " +
+                        joinErrors(VErrors));
+            continue; // The halves would reference rolled-back IR.
+          }
+        }
         // Not profitable; retry the halves when still wide enough.
         if (Group.getVF() / 2 >= Cfg.MinVF) {
           SeedGroup Low, High;
@@ -128,6 +279,38 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
 
       // Step 6.b: vectorize.
       VectorCodeGen(*Graph, GB.getScalarMap()).run();
+
+      // Planted fault: simulate a code-generator defect by corrupting the
+      // region (dropping the block terminator); the post-attempt verifier
+      // must catch it and roll back.
+      if (Txn && faultPoint("slp.codegen.corrupt-ir")) {
+        if (Instruction *Term = BB->getTerminator()) {
+          Term->dropAllReferences();
+          Term->eraseFromParent();
+        }
+      }
+      // Planted fault: simulate an internal defect detected after codegen
+      // but before the commit is published.
+      if (Txn && faultPoint("slp.vectorize.abort")) {
+        Bailout("fault", Stats.FaultBailouts,
+                "injected fault 'slp.vectorize.abort' fired after codegen "
+                "of a " +
+                    std::to_string(Group.getVF()) +
+                    "-wide store group in '" + BB->getName() + "'");
+        continue;
+      }
+      if (Txn && Cfg.VerifyAfterAttempt) {
+        std::vector<std::string> VErrors;
+        if (!verifyFunction(F, &VErrors)) {
+          Bailout("verify", Stats.VerifyBailouts,
+                  "function failed verification after vectorizing a " +
+                      std::to_string(Group.getVF()) +
+                      "-wide store group in '" + BB->getName() +
+                      "': " + joinErrors(VErrors));
+          continue;
+        }
+      }
+
       ++Stats.GraphsVectorized;
       Stats.CommittedCost += Graph->getTotalCost();
       RC.add(Remark::passed("slp-vectorizer", "GraphVectorized", Fn)
@@ -150,12 +333,36 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
     // seeds are re-collected after every commit.
     if (Cfg.EnableReductionSeeds) {
       bool Committed = true;
-      while (Committed) {
+      // A bailed-out reduction attempt ends the reduction phase for this
+      // block: the remaining collected seeds reference rolled-back IR, and
+      // a deterministic defect (blown budget) would otherwise re-fire on
+      // every re-collection.
+      bool RegionAborted = false;
+      while (Committed && !RegionAborted) {
         Committed = false;
         std::vector<ReductionSeed> RSeeds = collectReductionSeeds(
             *BB, Cfg.MinVF, Cfg.MaxVF, Cfg.Target.MaxVectorWidthBytes, &RC);
         for (ReductionSeed &Seed : RSeeds) {
+          std::optional<IRTransaction> Txn;
+          if (Transactional)
+            Txn.emplace(F);
+          BudgetTracker Budget(Cfg.Budgets);
+
+          auto BailoutReduction = [&](const char *Why, unsigned &Counter,
+                                      std::string Detail) {
+            rollbackOrDie(*Txn);
+            ++Counter;
+            BB = F.blocks()[BI].get();
+            RegionAborted = true;
+            RC.add(Remark::missed("slp-vectorizer", "VectorizeAborted", Fn)
+                       .withDecision(std::string("bailout:") + Why)
+                       .withMessage(std::move(Detail) +
+                                    "; region rolled back to scalar form"));
+          };
+
           GraphBuilder GB(Cfg, TCM, &RC);
+          if (Cfg.Budgets.anyLimited())
+            GB.setBudget(&Budget);
           std::unordered_set<const Instruction *> Ignored(
               Seed.TreeInsts.begin(), Seed.TreeInsts.end());
           std::unique_ptr<SLPGraph> Graph =
@@ -163,6 +370,17 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
           ++Stats.GraphsBuilt;
           Stats.LookAheadCacheHits += GB.getLookAhead().getCacheHits();
           Stats.LookAheadCacheMisses += GB.getLookAhead().getCacheMisses();
+
+          if (Budget.exhausted()) {
+            if (Txn) {
+              BailoutReduction(
+                  "budget", Stats.BudgetBailouts,
+                  "resource budget '" + Budget.reason() +
+                      "' exhausted while vectorizing a reduction in '" +
+                      BB->getName() + "'");
+              break;
+            }
+          }
 
           int Total =
               Graph->getTotalCost() +
@@ -182,12 +400,44 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
                            std::to_string(Seed.Leaves.size()) +
                            "-wide reduction of '" + Seed.Root->getName() +
                            "' (cost " + std::to_string(Total) + ")"));
+            if (Txn && Cfg.VerifyAfterAttempt && Txn->modified()) {
+              std::vector<std::string> VErrors;
+              if (!verifyFunction(F, &VErrors)) {
+                BailoutReduction(
+                    "verify", Stats.VerifyBailouts,
+                    "function failed verification after a cost-rejected "
+                    "reduction attempt: " +
+                        joinErrors(VErrors));
+                break;
+              }
+            }
             continue;
           }
 
           std::string RootName = Seed.Root->getName();
           VectorCodeGen(*Graph, GB.getScalarMap())
               .runReduction(Seed.Root, Seed.TreeInsts);
+
+          // Planted fault: internal defect in a reduction attempt.
+          if (Txn && faultPoint("slp.reduction.abort")) {
+            BailoutReduction("fault", Stats.FaultBailouts,
+                             "injected fault 'slp.reduction.abort' fired "
+                             "after reduction codegen of '" +
+                                 RootName + "'");
+            break;
+          }
+          if (Txn && Cfg.VerifyAfterAttempt) {
+            std::vector<std::string> VErrors;
+            if (!verifyFunction(F, &VErrors)) {
+              BailoutReduction(
+                  "verify", Stats.VerifyBailouts,
+                  "function failed verification after vectorizing the "
+                  "reduction of '" +
+                      RootName + "': " + joinErrors(VErrors));
+              break;
+            }
+          }
+
           ++Stats.GraphsVectorized;
           RC.add(Remark::passed("slp-vectorizer", "ReductionVectorized", Fn)
                      .withDecision("vectorize")
@@ -222,6 +472,12 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
                    static_cast<int64_t>(Stats.LookAheadCacheHits));
     Cfg.Stats->add("lookahead-cache-misses",
                    static_cast<int64_t>(Stats.LookAheadCacheMisses));
+    Cfg.Stats->add("bailout-budget",
+                   static_cast<int64_t>(Stats.BudgetBailouts));
+    Cfg.Stats->add("bailout-verify",
+                   static_cast<int64_t>(Stats.VerifyBailouts));
+    Cfg.Stats->add("bailout-fault",
+                   static_cast<int64_t>(Stats.FaultBailouts));
   }
   return Stats;
 }

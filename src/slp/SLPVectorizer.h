@@ -53,6 +53,16 @@ struct VectorizeStats {
   unsigned GatherNodes = 0;
   unsigned ShuffleNodes = 0;
   /// @}
+  /// \name Fail-safe bailouts: attempts rolled back to their pre-attempt
+  /// scalar form (each also emits a `bailout:*` missed remark).
+  /// @{
+  unsigned BudgetBailouts = 0; ///< bailout:budget (resource budget blown).
+  unsigned VerifyBailouts = 0; ///< bailout:verify (post-attempt verifier).
+  unsigned FaultBailouts = 0;  ///< bailout:fault (injected fault fired).
+  unsigned totalBailouts() const {
+    return BudgetBailouts + VerifyBailouts + FaultBailouts;
+  }
+  /// @}
 
   /// Structured optimization remarks, one per decision (in the spirit of
   /// clang's -Rpass=slp-vectorizer and LLVM's remark files): seed

@@ -9,6 +9,7 @@
 #include "ir/BasicBlock.h"
 #include "ir/IRBuilder.h"
 #include "slp/LookAhead.h"
+#include "slp/VectorizerConfig.h"
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
@@ -170,6 +171,12 @@ bool SuperNode::canPlace(const Lane &L, size_t LeafIdx, unsigned Slot) const {
 
 std::vector<size_t> SuperNode::buildGroup(size_t Lane0Leaf, unsigned Slot,
                                           const LookAhead &LA) const {
+  // Cooperative budget check: each coordinated-group probe is one
+  // "Super-Node permutation". Once the budget is blown, abandon the probe
+  // immediately — reorderLeavesAndTrunks degrades to the per-lane
+  // fallback, which is linear and always legal.
+  if (Budget && !Budget->chargeSuperNodePermutation())
+    return {};
   std::vector<size_t> Group{Lane0Leaf};
   const Value *Prev = Lanes[0].Leaves[Lane0Leaf].V;
   for (unsigned LaneIdx = 1; LaneIdx < getNumLanes(); ++LaneIdx) {

@@ -44,6 +44,7 @@
 
 namespace snslp {
 
+class BudgetTracker;
 class LookAhead;
 
 /// A leaf operand of a Super-Node with its APO.
@@ -91,6 +92,13 @@ public:
   /// Finds the best legal leaf order per slot across all lanes, greedy,
   /// root-proximal slots first, scored with \p LA (Listings 2 and 3).
   void reorderLeavesAndTrunks(const LookAhead &LA);
+
+  /// Attaches a per-attempt resource budget (not owned; may be null).
+  /// Every coordinated-group probe (buildGroup call) charges one
+  /// Super-Node permutation; once exhausted the remaining slots fill via
+  /// the cheap per-lane fallback and the caller observes exhaustion on
+  /// the tracker.
+  void setBudget(BudgetTracker *BT) { Budget = BT; }
 
   /// Re-emits each lane as a canonical chain realizing the order chosen by
   /// reorderLeavesAndTrunks, replaces all uses of the old roots, and erases
@@ -154,6 +162,8 @@ private:
 
   OpFamily Family = OpFamily::None;
   std::vector<Lane> Lanes;
+  /// Optional per-attempt budget (see setBudget). Not owned.
+  BudgetTracker *Budget = nullptr;
   /// buildGroup is const and speculative; the counter is telemetry only.
   mutable unsigned AbandonedGroups = 0;
   unsigned FallbackSlots = 0;

@@ -21,9 +21,91 @@
 
 #include "costmodel/TargetCostModel.h"
 
+#include <cstdint>
+#include <string>
+
 namespace snslp {
 
 class StatsRegistry;
+
+/// Deterministic resource limits for one vectorization attempt. A value of
+/// 0 means "unlimited" — the defaults impose no limit, so budget handling
+/// is pure safety net unless a caller opts in (fuzzing, adversarial-input
+/// hardening, compile-time SLAs). See docs/robustness.md.
+struct ResourceBudgets {
+  /// Maximum SLP graph nodes built per seed-group attempt.
+  uint64_t MaxGraphNodes = 0;
+  /// Maximum look-ahead score evaluations per attempt (counts the
+  /// recursive scoreAtDepth expansions, cache hits excluded).
+  uint64_t MaxLookAheadEvals = 0;
+  /// Maximum Super-Node leaf-permutation probes (buildGroup calls) per
+  /// attempt.
+  uint64_t MaxSuperNodePermutations = 0;
+
+  bool anyLimited() const {
+    return MaxGraphNodes || MaxLookAheadEvals || MaxSuperNodePermutations;
+  }
+};
+
+/// Charge-and-check tracker for ResourceBudgets. One tracker is created
+/// per vectorization attempt; the graph builder, look-ahead scorer and
+/// Super-Node prober charge it cooperatively and poll exhausted() at their
+/// bailout points. Exhaustion is sticky and carries the name of the first
+/// budget that was blown (surfaced in the `bailout:budget` remark).
+class BudgetTracker {
+public:
+  BudgetTracker() = default;
+  explicit BudgetTracker(const ResourceBudgets &B) : Budgets(B) {}
+
+  bool chargeGraphNode() {
+    return charge(GraphNodes, Budgets.MaxGraphNodes, "graph-nodes");
+  }
+  bool chargeLookAheadEval() {
+    return charge(LookAheadEvals, Budgets.MaxLookAheadEvals,
+                  "lookahead-evals");
+  }
+  bool chargeSuperNodePermutation() {
+    return charge(SuperNodePermutations, Budgets.MaxSuperNodePermutations,
+                  "supernode-permutations");
+  }
+
+  /// External exhaustion (fault injection, caller-imposed deadline).
+  void forceExhausted(const char *Why) {
+    if (!Exhausted) {
+      Exhausted = true;
+      Reason = Why;
+    }
+  }
+
+  bool exhausted() const { return Exhausted; }
+  /// Name of the first blown budget ("graph-nodes" | "lookahead-evals" |
+  /// "supernode-permutations" | a forceExhausted() reason); empty while
+  /// within budget.
+  const std::string &reason() const { return Reason; }
+
+  uint64_t graphNodes() const { return GraphNodes; }
+  uint64_t lookAheadEvals() const { return LookAheadEvals; }
+  uint64_t superNodePermutations() const { return SuperNodePermutations; }
+
+private:
+  /// Returns true while within budget; trips the sticky exhausted flag
+  /// (and returns false) once \p Count exceeds a non-zero \p Limit.
+  bool charge(uint64_t &Count, uint64_t Limit, const char *Name) {
+    ++Count;
+    if (Limit != 0 && Count > Limit && !Exhausted) {
+      Exhausted = true;
+      Reason = Name;
+    }
+    return !Exhausted;
+  }
+
+  ResourceBudgets Budgets;
+  uint64_t GraphNodes = 0;
+  uint64_t LookAheadEvals = 0;
+  uint64_t SuperNodePermutations = 0;
+  bool Exhausted = false;
+  std::string Reason;
+};
 
 /// The vectorizer configurations compared in the paper's evaluation.
 /// O3 means "all vectorizers disabled" (the paper's baseline).
@@ -66,6 +148,21 @@ struct VectorizerConfig {
   /// that are a permutation of consecutive addresses as one vector load
   /// plus a lane shuffle.
   bool EnableLoadShuffles = false;
+
+  /// Deterministic resource limits (0 = unlimited). When a budget is blown
+  /// mid-attempt the attempt is rolled back to scalar and a
+  /// `bailout:budget` remark is emitted; compilation continues.
+  ResourceBudgets Budgets;
+
+  /// Wrap every per-region vectorization attempt in an IRTransaction so
+  /// that verifier failures, budget exhaustion and injected faults roll
+  /// the region back bit-identically to its pre-attempt scalar form.
+  bool TransactionalRegions = true;
+
+  /// Verify the function after each committed region attempt; a failure
+  /// triggers rollback + `bailout:verify` instead of propagating corrupt
+  /// IR. Requires TransactionalRegions.
+  bool VerifyAfterAttempt = true;
 
   /// Target machine parameters.
   TargetParams Target;

@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+namespace snslp {
+
+const char *getErrorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Success:
+    return "success";
+  case ErrorCode::ParseError:
+    return "parse-error";
+  case ErrorCode::VerifyError:
+    return "verify-error";
+  case ErrorCode::ExecError:
+    return "exec-error";
+  case ErrorCode::FuelExhausted:
+    return "fuel-exhausted";
+  case ErrorCode::BudgetExhausted:
+    return "budget-exhausted";
+  case ErrorCode::FaultInjected:
+    return "fault-injected";
+  case ErrorCode::UnknownKernel:
+    return "unknown-kernel";
+  case ErrorCode::InvalidArgument:
+    return "invalid-argument";
+  case ErrorCode::IOError:
+    return "io-error";
+  }
+  return "unknown";
+}
+
+std::string Error::toString() const {
+  if (Code == ErrorCode::Success)
+    return "success";
+  return std::string(getErrorCodeName(Code)) + ": " + Msg;
+}
+
+} // namespace snslp

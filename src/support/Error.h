@@ -1,0 +1,164 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recoverable error handling, in the spirit of LLVM's `Error`/`Expected<T>`.
+///
+/// The project's original failure mode was `reportFatalError` + abort; that
+/// is fine for genuine programmer errors but wrong for *input* errors (a
+/// malformed kernel, an unparseable artifact, a fuzz program that exhausts
+/// its interpreter fuel).  `Error` carries a named `ErrorCode` plus a
+/// positioned, human-readable message and must be explicitly consumed
+/// (checked) before destruction — an ignored failure aborts in assert
+/// builds, so errors cannot be silently dropped.  `Expected<T>` is the
+/// value-or-error return type used by the recoverable driver entry points
+/// (`KernelRunner::tryCompile`, the `try*` experiment runners, the tools).
+///
+/// See docs/robustness.md for the conventions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SUPPORT_ERROR_H
+#define SNSLP_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace snslp {
+
+/// Named error categories. Keep in sync with getErrorCodeName().
+enum class ErrorCode {
+  Success = 0,     ///< No error (only used by the null Error state).
+  ParseError,      ///< Textual IR (or artifact) failed to parse.
+  VerifyError,     ///< IR failed the structural verifier.
+  ExecError,       ///< Interpreter run faulted (trap other than fuel).
+  FuelExhausted,   ///< Interpreter ran out of execution fuel.
+  BudgetExhausted, ///< A vectorizer resource budget was hit.
+  FaultInjected,   ///< A planted fault-injection site fired.
+  UnknownKernel,   ///< Named kernel not present in the registry.
+  InvalidArgument, ///< Bad option/flag/config value.
+  IOError,         ///< File could not be read or written.
+};
+
+/// Returns the serialized spelling, e.g. "parse-error".
+const char *getErrorCodeName(ErrorCode Code);
+
+/// A recoverable, *checked* error: either success (falsy) or a failure
+/// carrying an ErrorCode and a message. Move-only. Destroying an unchecked
+/// failure asserts — callers must either handle the error or explicitly
+/// consume it.
+class [[nodiscard]] Error {
+public:
+  /// Success.
+  Error() = default;
+
+  /// Failure with a named code and positioned message.
+  Error(ErrorCode Code, std::string Message)
+      : Code(Code), Msg(std::move(Message)), Checked(false) {
+    assert(Code != ErrorCode::Success && "failure Error needs a real code");
+  }
+
+  Error(Error &&Other) noexcept
+      : Code(Other.Code), Msg(std::move(Other.Msg)), Checked(Other.Checked) {
+    Other.Code = ErrorCode::Success;
+    Other.Checked = true;
+  }
+
+  Error &operator=(Error &&Other) noexcept {
+    assertChecked();
+    Code = Other.Code;
+    Msg = std::move(Other.Msg);
+    Checked = Other.Checked;
+    Other.Code = ErrorCode::Success;
+    Other.Checked = true;
+    return *this;
+  }
+
+  Error(const Error &) = delete;
+  Error &operator=(const Error &) = delete;
+
+  ~Error() { assertChecked(); }
+
+  /// True when this holds a failure. Observing the state counts as
+  /// checking it.
+  explicit operator bool() {
+    Checked = true;
+    return Code != ErrorCode::Success;
+  }
+
+  /// Named factory, reads better at call sites than the ctor.
+  static Error make(ErrorCode Code, std::string Message) {
+    return Error(Code, std::move(Message));
+  }
+  static Error success() { return Error(); }
+
+  ErrorCode code() const { return Code; }
+  const std::string &message() const { return Msg; }
+
+  /// "<code-name>: <message>" for diagnostics.
+  std::string toString() const;
+
+  /// Explicitly discard a failure (e.g. best-effort cleanup paths).
+  void consume() { Checked = true; }
+
+private:
+  void assertChecked() const {
+    assert((Checked || Code == ErrorCode::Success) &&
+           "unchecked snslp::Error dropped — handle or consume() it");
+  }
+
+  ErrorCode Code = ErrorCode::Success;
+  std::string Msg;
+  bool Checked = true; // success state needs no checking
+};
+
+/// Value-or-Error. `Expected<T>` is truthy when it holds a value; on the
+/// error path, takeError() moves the failure out for handling/propagation.
+template <typename T> class [[nodiscard]] Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+  Expected(Error E) : Err(std::move(E)) {
+    assert(static_cast<bool>(Err) && "Expected built from a success Error");
+  }
+
+  Expected(Expected &&) = default;
+  Expected &operator=(Expected &&) = default;
+  Expected(const Expected &) = delete;
+  Expected &operator=(const Expected &) = delete;
+
+  explicit operator bool() { return Value.has_value(); }
+
+  T &get() {
+    assert(Value.has_value() && "Expected<T>::get() on error state");
+    return *Value;
+  }
+  const T &get() const {
+    assert(Value.has_value() && "Expected<T>::get() on error state");
+    return *Value;
+  }
+  T &operator*() { return get(); }
+  T *operator->() { return &get(); }
+
+  /// Moves the failure out. Only valid on the error path.
+  Error takeError() {
+    assert(!Value.has_value() && "takeError() on a value-bearing Expected");
+    return std::move(Err);
+  }
+
+  /// Peek at the error code without consuming (error path only).
+  ErrorCode errorCode() const { return Err.code(); }
+  const std::string &errorMessage() const { return Err.message(); }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SUPPORT_ERROR_H

@@ -1,0 +1,114 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <cstdlib>
+
+namespace snslp {
+
+const std::vector<std::string> &knownFaultSites() {
+  // Keep docs/robustness.md's fault-site registry table in sync.
+  static const std::vector<std::string> Sites = {
+      "slp.graph.budget",      // budget tracker reports exhaustion mid-build
+      "slp.codegen.corrupt-ir",// code generator emits structurally bad IR
+      "slp.vectorize.abort",   // internal defect after codegen, before commit
+      "slp.reduction.abort",   // internal defect in a reduction attempt
+      "driver.compile.parse",  // kernel IR text fails to parse
+  };
+  return Sites;
+}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector FI;
+  return FI;
+}
+
+FaultInjector::FaultInjector() {
+  if (const char *Spec = std::getenv("SNSLP_FAULT_INJECT"))
+    armFromSpec(Spec);
+}
+
+void FaultInjector::arm(const std::string &SiteName, uint64_t FireOnNthHit) {
+  if (FireOnNthHit == 0)
+    FireOnNthHit = 1;
+  for (Site &S : Sites) {
+    if (S.Name == SiteName) {
+      if (S.Fired == 0 && S.Hits < S.FireOnNthHit)
+        --Armed; // was pending; re-arm below
+      S.FireOnNthHit = FireOnNthHit;
+      S.Hits = 0;
+      S.Fired = 0;
+      ++Armed;
+      return;
+    }
+  }
+  Sites.push_back(Site{SiteName, FireOnNthHit, 0, 0});
+  ++Armed;
+}
+
+void FaultInjector::disarmAll() {
+  Sites.clear();
+  Armed = 0;
+}
+
+bool FaultInjector::shouldFire(const char *SiteName) {
+  for (Site &S : Sites) {
+    if (S.Name != SiteName)
+      continue;
+    if (S.Fired != 0)
+      return false; // one-shot: already fired
+    ++S.Hits;
+    if (S.Hits >= S.FireOnNthHit) {
+      S.Fired = 1;
+      --Armed;
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+uint64_t FaultInjector::fireCount(const std::string &SiteName) const {
+  for (const Site &S : Sites)
+    if (S.Name == SiteName)
+      return S.Fired;
+  return 0;
+}
+
+bool FaultInjector::armFromSpec(const std::string &Spec) {
+  // "site[:N],site2[:M]" — whitespace not allowed, N is a positive int.
+  std::vector<std::pair<std::string, uint64_t>> Parsed;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Item = Spec.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Item.empty())
+      continue;
+    uint64_t N = 1;
+    size_t Colon = Item.find(':');
+    if (Colon != std::string::npos) {
+      std::string Num = Item.substr(Colon + 1);
+      Item = Item.substr(0, Colon);
+      if (Item.empty() || Num.empty())
+        return false;
+      char *End = nullptr;
+      unsigned long long V = std::strtoull(Num.c_str(), &End, 10);
+      if (End == Num.c_str() || *End != '\0' || V == 0)
+        return false;
+      N = V;
+    }
+    Parsed.emplace_back(Item, N);
+  }
+  for (const auto &[Name, N] : Parsed)
+    arm(Name, N);
+  return true;
+}
+
+} // namespace snslp

@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded fault injection for robustness testing.
+///
+/// The compiler sprinkles named *fault points* through its decision
+/// machinery (`faultPoint("slp.vectorize.abort")`). In production nothing
+/// is armed and every probe is a single relaxed-load no-op. Tests and the
+/// `fuzzslp --fault-inject` sweep arm a site to fire on its Nth hit; the
+/// code at the site then simulates the corresponding internal defect
+/// (a corrupted region, an exhausted budget, a thrown-away graph) and the
+/// fail-safe layer must degrade gracefully — roll the region back to
+/// scalar, emit a `bailout:*` remark, and keep compiling.
+///
+/// Sites are armed programmatically (arm()/disarmAll()) or via the
+/// environment: SNSLP_FAULT_INJECT="site[:N],site2[:M]" arms each listed
+/// site to fire on its Nth hit (default 1st).
+///
+/// The canonical site registry lives in knownFaultSites(); docs/robustness.md
+/// documents what each site simulates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SUPPORT_FAULTINJECTION_H
+#define SNSLP_SUPPORT_FAULTINJECTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+/// Process-wide fault-injection registry. Not thread-safe (the compiler
+/// pipeline is single-threaded per function); the armed() fast path makes
+/// unarmed probes free.
+class FaultInjector {
+public:
+  static FaultInjector &instance();
+
+  /// Arms \p Site to fire once, on its \p FireOnNthHit'th hit (1-based).
+  void arm(const std::string &Site, uint64_t FireOnNthHit = 1);
+
+  /// Disarms every site and resets hit counters.
+  void disarmAll();
+
+  /// Probe: counts a hit on \p Site and returns true exactly once, when
+  /// the armed hit count is reached. Unarmed sites return false without
+  /// taking the slow path.
+  bool shouldFire(const char *Site);
+
+  /// True when any site is armed (fast-path guard).
+  bool anyArmed() const { return Armed != 0; }
+
+  /// Number of times \p Site fired since the last disarmAll().
+  uint64_t fireCount(const std::string &Site) const;
+
+  /// Parses SNSLP_FAULT_INJECT ("site[:N],site2[:M]") and arms the listed
+  /// sites. Called once at static-init time; safe to call again in tests.
+  /// Returns false on malformed input (nothing armed in that case).
+  bool armFromSpec(const std::string &Spec);
+
+private:
+  FaultInjector();
+
+  struct Site {
+    std::string Name;
+    uint64_t FireOnNthHit = 1;
+    uint64_t Hits = 0;
+    uint64_t Fired = 0;
+  };
+  std::vector<Site> Sites;
+  unsigned Armed = 0; ///< Count of sites with Fired == 0 still pending.
+};
+
+/// The canonical registry of fault sites compiled into the binary.
+/// `fuzzslp --fault-inject` sweeps every site whose name starts "slp.".
+const std::vector<std::string> &knownFaultSites();
+
+/// Convenience probe. Returns true when the named site is armed and this
+/// hit is the firing one.
+inline bool faultPoint(const char *Site) {
+  FaultInjector &FI = FaultInjector::instance();
+  if (!FI.anyArmed())
+    return false;
+  return FI.shouldFire(Site);
+}
+
+} // namespace snslp
+
+#endif // SNSLP_SUPPORT_FAULTINJECTION_H

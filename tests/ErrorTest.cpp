@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the recoverable Error/Expected layer (support/Error.h): code
+/// spellings, checked-state discipline, move semantics, and the
+/// value-or-error contract the driver's try* entry points rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+using namespace snslp;
+
+namespace {
+
+TEST(ErrorTest, CodeNamesAreStable) {
+  // These spellings appear in tool output and docs/robustness.md; keep
+  // them pinned.
+  EXPECT_STREQ(getErrorCodeName(ErrorCode::Success), "success");
+  EXPECT_STREQ(getErrorCodeName(ErrorCode::ParseError), "parse-error");
+  EXPECT_STREQ(getErrorCodeName(ErrorCode::VerifyError), "verify-error");
+  EXPECT_STREQ(getErrorCodeName(ErrorCode::ExecError), "exec-error");
+  EXPECT_STREQ(getErrorCodeName(ErrorCode::FuelExhausted),
+               "fuel-exhausted");
+  EXPECT_STREQ(getErrorCodeName(ErrorCode::BudgetExhausted),
+               "budget-exhausted");
+  EXPECT_STREQ(getErrorCodeName(ErrorCode::FaultInjected),
+               "fault-injected");
+  EXPECT_STREQ(getErrorCodeName(ErrorCode::UnknownKernel),
+               "unknown-kernel");
+  EXPECT_STREQ(getErrorCodeName(ErrorCode::InvalidArgument),
+               "invalid-argument");
+  EXPECT_STREQ(getErrorCodeName(ErrorCode::IOError), "io-error");
+}
+
+TEST(ErrorTest, SuccessIsFalsy) {
+  Error E = Error::success();
+  EXPECT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.code(), ErrorCode::Success);
+}
+
+TEST(ErrorTest, FailureCarriesCodeAndMessage) {
+  Error E = Error::make(ErrorCode::ParseError, "line 3: expected 'func'");
+  EXPECT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.code(), ErrorCode::ParseError);
+  EXPECT_EQ(E.message(), "line 3: expected 'func'");
+  EXPECT_EQ(E.toString(), "parse-error: line 3: expected 'func'");
+}
+
+TEST(ErrorTest, MoveTransfersTheFailure) {
+  Error A = Error::make(ErrorCode::IOError, "cannot open");
+  Error B = std::move(A);
+  EXPECT_FALSE(static_cast<bool>(A)); // moved-from: success, checked
+  EXPECT_TRUE(static_cast<bool>(B));
+  EXPECT_EQ(B.code(), ErrorCode::IOError);
+}
+
+TEST(ErrorTest, ConsumeDiscardsExplicitly) {
+  Error E = Error::make(ErrorCode::ExecError, "trap");
+  E.consume(); // Without this an assert build would abort at destruction.
+  SUCCEED();
+}
+
+TEST(ErrorTest, ExpectedValuePath) {
+  Expected<int> V(42);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(V.get(), 42);
+  EXPECT_EQ(*V, 42);
+}
+
+TEST(ErrorTest, ExpectedErrorPath) {
+  Expected<std::string> E(
+      Error::make(ErrorCode::UnknownKernel, "no kernel 'nope'"));
+  ASSERT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.errorCode(), ErrorCode::UnknownKernel);
+  EXPECT_EQ(E.errorMessage(), "no kernel 'nope'");
+  Error Moved = E.takeError();
+  EXPECT_TRUE(static_cast<bool>(Moved));
+  EXPECT_EQ(Moved.code(), ErrorCode::UnknownKernel);
+}
+
+TEST(ErrorTest, ExpectedHoldsMoveOnlyLikeValues) {
+  Expected<std::unique_ptr<int>> V(std::make_unique<int>(7));
+  ASSERT_TRUE(static_cast<bool>(V));
+  std::unique_ptr<int> Taken = std::move(V.get());
+  EXPECT_EQ(*Taken, 7);
+}
+
+} // namespace

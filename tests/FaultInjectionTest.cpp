@@ -1,0 +1,299 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the seeded fault-injection harness (support/FaultInjection.h):
+/// registry mechanics (arm / fire-once / Nth-hit / spec parsing), and the
+/// end-to-end contract at every armed site — a planted internal defect must
+/// degrade to a bit-identical scalar rollback plus a `bailout:*` remark
+/// (vectorizer sites) or a recoverable fault-injected Error (driver site),
+/// never an abort and never silently corrupt IR.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/KernelRunner.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "kernels/Kernel.h"
+#include "slp/SLPVectorizer.h"
+#include "support/Error.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+using namespace snslp;
+
+namespace {
+
+/// Every test starts and ends with a fully disarmed injector: fault state
+/// is process-global and must never leak across tests.
+class FaultInjectionTest : public ::testing::Test {
+protected:
+  void SetUp() override { FaultInjector::instance().disarmAll(); }
+  void TearDown() override { FaultInjector::instance().disarmAll(); }
+};
+
+// ---------------------------------------------------------------------------
+// Registry mechanics.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, UnarmedProbesAreInert) {
+  FaultInjector &FI = FaultInjector::instance();
+  EXPECT_FALSE(FI.anyArmed());
+  EXPECT_FALSE(faultPoint("slp.vectorize.abort"));
+  EXPECT_EQ(FI.fireCount("slp.vectorize.abort"), 0u);
+}
+
+TEST_F(FaultInjectionTest, ArmedSiteFiresExactlyOnce) {
+  FaultInjector &FI = FaultInjector::instance();
+  FI.arm("test.site");
+  EXPECT_TRUE(FI.anyArmed());
+  EXPECT_TRUE(faultPoint("test.site"));
+  // One-shot: subsequent hits of the same site never fire again.
+  EXPECT_FALSE(faultPoint("test.site"));
+  EXPECT_FALSE(faultPoint("test.site"));
+  EXPECT_EQ(FI.fireCount("test.site"), 1u);
+  // A different site never fires.
+  EXPECT_FALSE(faultPoint("test.other"));
+}
+
+TEST_F(FaultInjectionTest, NthHitArmingSkipsEarlierHits) {
+  FaultInjector &FI = FaultInjector::instance();
+  FI.arm("test.nth", /*FireOnNthHit=*/3);
+  EXPECT_FALSE(faultPoint("test.nth")); // hit 1
+  EXPECT_FALSE(faultPoint("test.nth")); // hit 2
+  EXPECT_TRUE(faultPoint("test.nth"));  // hit 3: fires
+  EXPECT_FALSE(faultPoint("test.nth")); // spent
+  EXPECT_EQ(FI.fireCount("test.nth"), 1u);
+}
+
+TEST_F(FaultInjectionTest, DisarmAllResetsCountersAndArming) {
+  FaultInjector &FI = FaultInjector::instance();
+  FI.arm("test.reset");
+  EXPECT_TRUE(faultPoint("test.reset"));
+  FI.disarmAll();
+  EXPECT_FALSE(FI.anyArmed());
+  EXPECT_EQ(FI.fireCount("test.reset"), 0u);
+  EXPECT_FALSE(faultPoint("test.reset"));
+}
+
+TEST_F(FaultInjectionTest, SpecParsingArmsListedSites) {
+  FaultInjector &FI = FaultInjector::instance();
+  ASSERT_TRUE(FI.armFromSpec("test.a,test.b:2"));
+  EXPECT_TRUE(faultPoint("test.a"));      // default: first hit
+  EXPECT_FALSE(faultPoint("test.b"));     // hit 1 of 2
+  EXPECT_TRUE(faultPoint("test.b"));      // hit 2: fires
+  EXPECT_EQ(FI.fireCount("test.a"), 1u);
+  EXPECT_EQ(FI.fireCount("test.b"), 1u);
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecArmsNothing) {
+  FaultInjector &FI = FaultInjector::instance();
+  EXPECT_FALSE(FI.armFromSpec("test.bad:notanumber"));
+  EXPECT_FALSE(FI.anyArmed());
+  EXPECT_FALSE(FI.armFromSpec("test.bad:0"));
+  EXPECT_FALSE(FI.anyArmed());
+  EXPECT_FALSE(FI.armFromSpec(":3"));
+  EXPECT_FALSE(FI.anyArmed());
+}
+
+TEST_F(FaultInjectionTest, RegistryListsEveryCompiledInSite) {
+  const std::vector<std::string> &Sites = knownFaultSites();
+  auto Has = [&](const char *Name) {
+    return std::find(Sites.begin(), Sites.end(), Name) != Sites.end();
+  };
+  EXPECT_TRUE(Has("slp.graph.budget"));
+  EXPECT_TRUE(Has("slp.codegen.corrupt-ir"));
+  EXPECT_TRUE(Has("slp.vectorize.abort"));
+  EXPECT_TRUE(Has("slp.reduction.abort"));
+  EXPECT_TRUE(Has("driver.compile.parse"));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: each vectorizer fault site must degrade to a bit-identical
+// scalar rollback (the pre-pass printed form) with the matching bailout
+// counter bumped and the matching `bailout:*` remark emitted.
+// ---------------------------------------------------------------------------
+
+struct SiteExpectation {
+  const char *Site;
+  const char *Decision; // Expected remark decision.
+  unsigned VectorizeStats::*Counter;
+};
+
+class VectorizerFaultSiteTest
+    : public FaultInjectionTest,
+      public ::testing::WithParamInterface<SiteExpectation> {};
+
+TEST_P(VectorizerFaultSiteTest, StoreRegionRollsBackBitIdentically) {
+  const SiteExpectation &E = GetParam();
+  const Kernel *K = findKernel("motiv2");
+  ASSERT_NE(K, nullptr);
+  Context Ctx;
+  Module M(Ctx, "fault");
+  std::string Err;
+  ASSERT_TRUE(parseIR(K->IRText, M, &Err)) << Err;
+  Function *F = M.getFunction("motiv2");
+  ASSERT_NE(F, nullptr);
+  const std::string Scalar = toString(*F);
+
+  FaultInjector::instance().arm(E.Site);
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::SNSLP;
+  VectorizeStats Stats = runSLPVectorizer(*F, Cfg);
+  EXPECT_EQ(FaultInjector::instance().fireCount(E.Site), 1u) << E.Site;
+
+  // Exactly one bailout of the expected kind, nothing vectorized, and the
+  // function reprints exactly as before the pass.
+  EXPECT_EQ(Stats.*(E.Counter), 1u) << E.Site;
+  EXPECT_EQ(Stats.totalBailouts(), 1u) << E.Site;
+  EXPECT_EQ(Stats.GraphsVectorized, 0u) << E.Site;
+  EXPECT_TRUE(verifyFunction(*F));
+  EXPECT_EQ(toString(*F), Scalar) << E.Site;
+
+  // The decision trail ends in the matching bailout remark.
+  ASSERT_FALSE(Stats.Remarks.empty());
+  const Remark &Last = Stats.Remarks.back();
+  EXPECT_EQ(Last.Name, "VectorizeAborted");
+  EXPECT_EQ(Last.Decision, E.Decision);
+  EXPECT_EQ(Last.Kind, RemarkKind::Missed);
+  EXPECT_NE(Last.Message.find("rolled back to scalar form"),
+            std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StoreSites, VectorizerFaultSiteTest,
+    ::testing::Values(
+        // An injected fault after codegen: bailout:fault.
+        SiteExpectation{"slp.vectorize.abort", "bailout:fault",
+                        &VectorizeStats::FaultBailouts},
+        // A corrupted region (dropped terminator): the post-attempt
+        // verifier catches it — bailout:verify.
+        SiteExpectation{"slp.codegen.corrupt-ir", "bailout:verify",
+                        &VectorizeStats::VerifyBailouts},
+        // A force-exhausted budget tracker: bailout:budget.
+        SiteExpectation{"slp.graph.budget", "bailout:budget",
+                        &VectorizeStats::BudgetBailouts}),
+    [](const ::testing::TestParamInfo<SiteExpectation> &Info) {
+      std::string Name = Info.param.Site;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+/// The reduction-phase fault site (unreachable from the store-seed path,
+/// and statistically unreached by the fuzz sweep's program shapes): a
+/// 4-term dot product reaches reduction codegen, the planted fault fires,
+/// and the whole function rolls back bit-identically.
+TEST_F(FaultInjectionTest, ReductionAbortRollsBackBitIdentically) {
+  const char *Dot4 = R"(
+func @dot4(ptr %out, ptr %x, ptr %m) {
+entry:
+  %px0 = gep f64, ptr %x, i64 0
+  %x0 = load f64, ptr %px0
+  %pm0 = gep f64, ptr %m, i64 0
+  %m0 = load f64, ptr %pm0
+  %p0 = fmul f64 %x0, %m0
+  %px1 = gep f64, ptr %x, i64 1
+  %x1 = load f64, ptr %px1
+  %pm1 = gep f64, ptr %m, i64 1
+  %m1 = load f64, ptr %pm1
+  %p1 = fmul f64 %x1, %m1
+  %px2 = gep f64, ptr %x, i64 2
+  %x2 = load f64, ptr %px2
+  %pm2 = gep f64, ptr %m, i64 2
+  %m2 = load f64, ptr %pm2
+  %p2 = fmul f64 %x2, %m2
+  %px3 = gep f64, ptr %x, i64 3
+  %x3 = load f64, ptr %px3
+  %pm3 = gep f64, ptr %m, i64 3
+  %m3 = load f64, ptr %pm3
+  %p3 = fmul f64 %x3, %m3
+  %s01 = fadd f64 %p0, %p1
+  %s012 = fadd f64 %s01, %p2
+  %dot = fadd f64 %s012, %p3
+  store f64 %dot, ptr %out
+  ret void
+}
+)";
+  Context Ctx;
+  Module M(Ctx, "fault.red");
+  std::string Err;
+  ASSERT_TRUE(parseIR(Dot4, M, &Err)) << Err;
+  Function *F = M.getFunction("dot4");
+  ASSERT_NE(F, nullptr);
+  const std::string Scalar = toString(*F);
+
+  FaultInjector::instance().arm("slp.reduction.abort");
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::SNSLP;
+  VectorizeStats Stats = runSLPVectorizer(*F, Cfg);
+  EXPECT_EQ(FaultInjector::instance().fireCount("slp.reduction.abort"), 1u);
+
+  EXPECT_EQ(Stats.FaultBailouts, 1u);
+  EXPECT_EQ(Stats.GraphsVectorized, 0u);
+  EXPECT_TRUE(verifyFunction(*F));
+  EXPECT_EQ(toString(*F), Scalar);
+  ASSERT_FALSE(Stats.Remarks.empty());
+  EXPECT_EQ(Stats.Remarks.back().Name, "VectorizeAborted");
+  EXPECT_EQ(Stats.Remarks.back().Decision, "bailout:fault");
+}
+
+/// Sanity contrast: with nothing armed, the same kernel vectorizes with
+/// zero bailouts — the probes themselves are inert.
+TEST_F(FaultInjectionTest, UnarmedRunHasNoBailouts) {
+  const Kernel *K = findKernel("motiv2");
+  ASSERT_NE(K, nullptr);
+  Context Ctx;
+  Module M(Ctx, "clean");
+  std::string Err;
+  ASSERT_TRUE(parseIR(K->IRText, M, &Err)) << Err;
+  Function *F = M.getFunction("motiv2");
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::SNSLP;
+  VectorizeStats Stats = runSLPVectorizer(*F, Cfg);
+  EXPECT_EQ(Stats.totalBailouts(), 0u);
+  EXPECT_EQ(Stats.GraphsVectorized, 1u);
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+// ---------------------------------------------------------------------------
+// The driver-level site surfaces as a recoverable Error, not an abort.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, DriverCompileFaultReturnsRecoverableError) {
+  const Kernel *K = findKernel("motiv1");
+  ASSERT_NE(K, nullptr);
+  FaultInjector::instance().arm("driver.compile.parse");
+
+  KernelRunner Runner;
+  Expected<CompiledKernel> CK =
+      Runner.tryCompile(*K, VectorizerMode::SNSLP);
+  ASSERT_FALSE(static_cast<bool>(CK));
+  EXPECT_EQ(CK.errorCode(), ErrorCode::FaultInjected);
+  EXPECT_NE(CK.errorMessage().find("driver.compile.parse"),
+            std::string::npos);
+  CK.takeError().consume();
+
+  // The failure is transient (one-shot fault): the very next compile on
+  // the same runner succeeds — graceful degradation, not a wedged driver.
+  Expected<CompiledKernel> Retry =
+      Runner.tryCompile(*K, VectorizerMode::SNSLP);
+  ASSERT_TRUE(static_cast<bool>(Retry));
+  EXPECT_TRUE(verifyFunction(*Retry.get().F));
+}
+
+} // namespace

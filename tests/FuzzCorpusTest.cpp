@@ -62,7 +62,45 @@ TEST_P(FuzzCorpusTest, ArtifactStaysClean) {
   DiffOracle Oracle(Opts);
   OracleReport Report = Oracle.check(Info.Meta, Info.DataSeed);
   EXPECT_TRUE(Report.ok()) << GetParam() << "\n" << Report.summary();
-  EXPECT_GT(Report.VariantsChecked, 2u);
+  // A baseline that cleanly exhausts its fuel (unbounded-loop.ir) skips
+  // the matrix; every terminating artifact must cover it.
+  if (!Report.BaselineFuelExhausted) {
+    EXPECT_GT(Report.VariantsChecked, 2u);
+  }
+}
+
+/// The deliberately non-terminating artifact: the oracle must classify the
+/// baseline's clean fuel trap as a skip — ok(), no exec-error failure —
+/// under an aggressively small step budget, and the run must come back
+/// quickly instead of hanging.
+TEST(FuzzCorpusFuelTest, UnboundedLoopSkipsNotFails) {
+  const std::string Path =
+      std::string(SNSLP_CORPUS_DIR) + "/unbounded-loop.ir";
+  Context Ctx;
+  Module M(Ctx, "fuel");
+  ArtifactInfo Info;
+  std::string Err;
+  ASSERT_TRUE(loadArtifactFile(Path, M, Info, &Err)) << Err;
+
+  OracleOptions Opts;
+  Opts.MaxSteps = 10000; // Tiny fuel: the trap must be clean and fast.
+  DiffOracle Oracle(Opts);
+  OracleReport Report = Oracle.check(Info.Meta, Info.DataSeed);
+  EXPECT_TRUE(Report.BaselineFuelExhausted);
+  EXPECT_TRUE(Report.ok()) << Report.summary();
+  EXPECT_EQ(Report.VariantsChecked, 1u); // Baseline only; matrix skipped.
+
+  // The raw run classifies the trap: FuelExhausted, not a generic error.
+  ProgramRun Run =
+      Oracle.runProgram(Info.Meta, *Info.Meta.F, Info.DataSeed,
+                        /*Reference=*/true);
+  EXPECT_FALSE(Run.Ok);
+  EXPECT_EQ(Run.TrapKind, Trap::FuelExhausted);
+  ProgramRun VMRun =
+      Oracle.runProgram(Info.Meta, *Info.Meta.F, Info.DataSeed,
+                        /*Reference=*/false);
+  EXPECT_FALSE(VMRun.Ok);
+  EXPECT_EQ(VMRun.TrapKind, Trap::FuelExhausted);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -22,6 +22,7 @@
 #include "ir/Parser.h"
 #include "kernels/Kernel.h"
 #include "slp/SLPVectorizer.h"
+#include "support/FaultInjection.h"
 #include "support/Remark.h"
 
 #include <gtest/gtest.h>
@@ -33,10 +34,10 @@ using namespace snslp;
 
 namespace {
 
-/// Vectorizes a registry kernel under \p Mode and returns the remark
+/// Vectorizes a registry kernel under \p Cfg and returns the remark
 /// stream of the run.
 std::vector<Remark> remarksFor(const std::string &KernelName,
-                               VectorizerMode Mode) {
+                               VectorizerConfig Cfg) {
   const Kernel *K = findKernel(KernelName);
   EXPECT_NE(K, nullptr) << KernelName;
   Context Ctx;
@@ -44,10 +45,16 @@ std::vector<Remark> remarksFor(const std::string &KernelName,
   std::string Err;
   EXPECT_TRUE(parseIR(K->IRText, M, &Err)) << Err;
   Function *F = M.getFunction(KernelName);
-  VectorizerConfig Cfg;
-  Cfg.Mode = Mode;
   VectorizeStats Stats = runSLPVectorizer(*F, Cfg);
   return Stats.Remarks;
+}
+
+/// Mode-only convenience overload (the classic golden tests).
+std::vector<Remark> remarksFor(const std::string &KernelName,
+                               VectorizerMode Mode) {
+  VectorizerConfig Cfg;
+  Cfg.Mode = Mode;
+  return remarksFor(KernelName, Cfg);
 }
 
 /// The (Name, Decision) skeleton of a remark stream.
@@ -161,6 +168,62 @@ TEST_P(GoldenRemarkTest, SLPGathersAndRejects) {
       SawGather = true;
   EXPECT_TRUE(SawGather);
   EXPECT_EQ(Remarks.back().Name, "GraphRejected");
+
+  expectLosslessSerialization(Remarks);
+}
+
+// ---------------------------------------------------------------------------
+// Bailout decision trails (docs/robustness.md): when an attempt aborts,
+// the remark stream must still tell the whole story — the full decision
+// trail up to the defect, then exactly one `bailout:*` missed remark in
+// place of the commit. Pinned like the success trail above.
+// ---------------------------------------------------------------------------
+
+TEST_P(GoldenRemarkTest, FaultBailoutDecisionSequence) {
+  // An injected fault after codegen: the trail is the success skeleton
+  // with the final GraphVectorized replaced by VectorizeAborted.
+  FaultInjector::instance().disarmAll();
+  FaultInjector::instance().arm("slp.vectorize.abort");
+  std::vector<Remark> Remarks =
+      remarksFor(GetParam(), VectorizerMode::SNSLP);
+  FaultInjector::instance().disarmAll();
+
+  Skeleton Expected(SNSLPGolden.begin(), SNSLPGolden.end() - 1);
+  Expected.emplace_back("VectorizeAborted", "bailout:fault");
+  EXPECT_EQ(skeleton(Remarks), Expected);
+
+  const Remark &Aborted = Remarks.back();
+  EXPECT_EQ(Aborted.Kind, RemarkKind::Missed);
+  EXPECT_EQ(Aborted.Pass, "slp-vectorizer");
+  EXPECT_NE(Aborted.Message.find("rolled back to scalar form"),
+            std::string::npos);
+
+  expectLosslessSerialization(Remarks);
+}
+
+TEST_P(GoldenRemarkTest, BudgetBailoutDecisionSequence) {
+  // A one-node graph budget trips during the very first graph build: the
+  // stream is the seed acceptance, the (partial) build trail, and the
+  // budget bailout — never a commit.
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::SNSLP;
+  Cfg.Budgets.MaxGraphNodes = 1;
+  std::vector<Remark> Remarks = remarksFor(GetParam(), Cfg);
+
+  Skeleton S = skeleton(Remarks);
+  ASSERT_GE(S.size(), 2u);
+  EXPECT_EQ(S.front(),
+            (std::pair<std::string, std::string>{"SeedAccepted", "accept"}));
+  EXPECT_EQ(S.back(),
+            (std::pair<std::string, std::string>{"VectorizeAborted",
+                                                 "bailout:budget"}));
+  for (const auto &[Name, Decision] : S)
+    EXPECT_NE(Name, "GraphVectorized");
+
+  const Remark &Aborted = Remarks.back();
+  EXPECT_EQ(Aborted.Kind, RemarkKind::Missed);
+  EXPECT_NE(Aborted.Message.find("graph-nodes"), std::string::npos)
+      << Aborted.Message;
 
   expectLosslessSerialization(Remarks);
 }

@@ -16,10 +16,13 @@
 #include "driver/PassPipeline.h"
 #include "ir/Context.h"
 #include "ir/Function.h"
+#include "ir/IRPrinter.h"
 #include "ir/Module.h"
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
 #include "support/Remark.h"
+
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -149,6 +152,122 @@ TEST_F(PassManagerTest, VerifyEachPinpointsThePlantedBadPass) {
       EXPECT_EQ(R.Decision, "invalid-ir");
     }
   EXPECT_TRUE(Found);
+}
+
+TEST_F(PassManagerTest, RecoverOnVerifyFailRollsBackAndContinues) {
+  Function *F = parse("func @h(ptr %p, i64 %x) {\n"
+                      "entry:\n"
+                      "  %a = add i64 %x, 1\n"
+                      "  store i64 %a, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+  const std::string Pristine = toString(*F);
+
+  RemarkCollector RC;
+  PassManagerOptions Opts;
+  Opts.VerifyEach = true;
+  Opts.RecoverOnVerifyFail = true;
+  Opts.Remarks = &RC;
+  PassManager PM(Opts);
+
+  bool LaterPassRan = false;
+  std::string LaterPassSawAdd;
+  PM.addPass("benign", [](Function &) -> size_t { return 0; });
+  PM.addPass("planted-corruptor", [](Function &Fn) -> size_t {
+    for (const auto &BB : Fn.blocks())
+      for (const auto &Inst : *BB)
+        if (auto *BO = dyn_cast<BinaryOperator>(Inst.get())) {
+          BO->setOperand(0, Fn.getArgByName("p"));
+          return 1;
+        }
+    return 0;
+  });
+  PM.addPass("after-recovery", [&](Function &Fn) -> size_t {
+    LaterPassRan = true;
+    LaterPassSawAdd = toString(Fn);
+    return 0;
+  });
+
+  PassRunReport Report = PM.run(*F);
+
+  // The offender was undone in place and the tail pass ran over the
+  // restored (pristine) IR; the run as a whole is *not* a verify failure.
+  EXPECT_FALSE(Report.VerifyFailed);
+  EXPECT_EQ(Report.RecoveredPasses, 1u);
+  EXPECT_EQ(Report.FirstInvalidPass, "planted-corruptor");
+  ASSERT_EQ(Report.Passes.size(), 3u);
+  EXPECT_TRUE(Report.Passes[0].VerifiedOK);
+  EXPECT_FALSE(Report.Passes[1].VerifiedOK);
+  EXPECT_TRUE(Report.Passes[1].RolledBack);
+  EXPECT_TRUE(Report.Passes[2].VerifiedOK);
+  EXPECT_FALSE(Report.Passes[2].RolledBack);
+  EXPECT_TRUE(LaterPassRan);
+  EXPECT_EQ(LaterPassSawAdd, Pristine);
+  EXPECT_EQ(toString(*F), Pristine);
+  EXPECT_TRUE(verifyFunction(*F));
+
+  // The remark stream records the recovery decision.
+  bool Found = false;
+  for (const Remark &R : RC.remarks())
+    if (R.Name == "VerifyFailed") {
+      Found = true;
+      EXPECT_EQ(R.Pass, "planted-corruptor");
+      EXPECT_EQ(R.Decision, "rolled-back");
+      EXPECT_EQ(R.Kind, RemarkKind::Missed);
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST_F(PassManagerTest, RecoveryCheckpointFollowsVerifiedPasses) {
+  // A pass that legitimately changes the IR *before* the corruptor must
+  // not be undone by the recovery: the checkpoint advances to the last
+  // verified-good state, not the function's entry state.
+  Function *F = parse("func @k(ptr %p, i64 %x) {\n"
+                      "entry:\n"
+                      "  %a = add i64 %x, 1\n"
+                      "  %dead = add i64 %x, 2\n"
+                      "  store i64 %a, ptr %p\n"
+                      "  ret void\n"
+                      "}\n");
+
+  PassManagerOptions Opts;
+  Opts.VerifyEach = true;
+  Opts.RecoverOnVerifyFail = true;
+  PassManager PM(Opts);
+
+  PM.addPass("erase-dead", [](Function &Fn) -> size_t {
+    for (const auto &BB : Fn.blocks())
+      for (const auto &Inst : *BB)
+        if (Inst->getName() == "dead") {
+          Instruction *Dead = Inst.get();
+          Dead->dropAllReferences();
+          Dead->eraseFromParent();
+          return 1;
+        }
+    return 0;
+  });
+  std::string AfterCleanup;
+  PM.addPass("snapshot", [&AfterCleanup](Function &Fn) -> size_t {
+    AfterCleanup = toString(Fn);
+    return 0;
+  });
+  PM.addPass("planted-corruptor", [](Function &Fn) -> size_t {
+    for (const auto &BB : Fn.blocks())
+      for (const auto &Inst : *BB)
+        if (auto *BO = dyn_cast<BinaryOperator>(Inst.get())) {
+          BO->setOperand(0, Fn.getArgByName("p"));
+          return 1;
+        }
+    return 0;
+  });
+
+  PassRunReport Report = PM.run(*F);
+  EXPECT_EQ(Report.RecoveredPasses, 1u);
+  EXPECT_FALSE(Report.VerifyFailed);
+  // The restored state still reflects erase-dead's (verified) change.
+  EXPECT_EQ(toString(*F), AfterCleanup);
+  EXPECT_EQ(toString(*F).find("%dead"), std::string::npos);
+  EXPECT_TRUE(verifyFunction(*F));
 }
 
 TEST_F(PassManagerTest, PrintAfterAllSnapshotsIR) {

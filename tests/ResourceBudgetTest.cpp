@@ -1,0 +1,215 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for deterministic resource budgets (ResourceBudgets /
+/// BudgetTracker): tracker charge semantics, and the end-to-end graceful-
+/// degradation contract — a blown budget rolls the attempt back to the
+/// bit-identical scalar form, bumps BudgetBailouts, and emits a
+/// `bailout:budget` remark naming the blown budget; compilation continues.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "kernels/Kernel.h"
+#include "slp/SLPVectorizer.h"
+#include "slp/VectorizerConfig.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace snslp;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// BudgetTracker mechanics.
+// ---------------------------------------------------------------------------
+
+TEST(BudgetTrackerTest, DefaultIsUnlimited) {
+  ResourceBudgets B;
+  EXPECT_FALSE(B.anyLimited());
+  BudgetTracker T(B);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_TRUE(T.chargeGraphNode());
+    EXPECT_TRUE(T.chargeLookAheadEval());
+    EXPECT_TRUE(T.chargeSuperNodePermutation());
+  }
+  EXPECT_FALSE(T.exhausted());
+  EXPECT_TRUE(T.reason().empty());
+  EXPECT_EQ(T.graphNodes(), 1000u);
+}
+
+TEST(BudgetTrackerTest, ExhaustionIsStickyAndNamesFirstBlownBudget) {
+  ResourceBudgets B;
+  B.MaxGraphNodes = 2;
+  B.MaxLookAheadEvals = 1;
+  EXPECT_TRUE(B.anyLimited());
+  BudgetTracker T(B);
+  EXPECT_TRUE(T.chargeGraphNode());  // 1 <= 2
+  EXPECT_TRUE(T.chargeGraphNode());  // 2 <= 2
+  EXPECT_TRUE(T.chargeLookAheadEval()); // 1 <= 1
+  EXPECT_FALSE(T.chargeLookAheadEval()); // 2 > 1: trips
+  EXPECT_TRUE(T.exhausted());
+  EXPECT_EQ(T.reason(), "lookahead-evals");
+  // Sticky: a later graph-node overrun does not rename the reason, and
+  // every further charge reports exhaustion.
+  EXPECT_FALSE(T.chargeGraphNode()); // 3 > 2, but already exhausted
+  EXPECT_EQ(T.reason(), "lookahead-evals");
+  EXPECT_FALSE(T.chargeSuperNodePermutation());
+}
+
+TEST(BudgetTrackerTest, ForceExhaustedCarriesTheGivenReason) {
+  BudgetTracker T;
+  EXPECT_FALSE(T.exhausted());
+  T.forceExhausted("fault:slp.graph.budget");
+  EXPECT_TRUE(T.exhausted());
+  EXPECT_EQ(T.reason(), "fault:slp.graph.budget");
+  // First reason wins.
+  T.forceExhausted("second");
+  EXPECT_EQ(T.reason(), "fault:slp.graph.budget");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end graceful degradation on a real kernel.
+// ---------------------------------------------------------------------------
+
+struct BudgetCase {
+  const char *Name;   // Test-name suffix.
+  const char *Reason; // The blown budget's name in the remark message.
+  ResourceBudgets Budgets;
+};
+
+class ResourceBudgetTest : public ::testing::TestWithParam<BudgetCase> {};
+
+TEST_P(ResourceBudgetTest, ExhaustionRollsBackAndEmitsBudgetRemark) {
+  const BudgetCase &C = GetParam();
+  const Kernel *K = findKernel("motiv2");
+  ASSERT_NE(K, nullptr);
+  Context Ctx;
+  Module M(Ctx, "budget");
+  std::string Err;
+  ASSERT_TRUE(parseIR(K->IRText, M, &Err)) << Err;
+  Function *F = M.getFunction("motiv2");
+  const std::string Scalar = toString(*F);
+
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::SNSLP;
+  Cfg.Budgets = C.Budgets;
+  VectorizeStats Stats = runSLPVectorizer(*F, Cfg);
+
+  // Graceful and observable: nothing committed, at least one budget
+  // bailout, scalar form restored bit-identically, still verifiable.
+  EXPECT_EQ(Stats.GraphsVectorized, 0u);
+  EXPECT_GE(Stats.BudgetBailouts, 1u);
+  EXPECT_TRUE(verifyFunction(*F));
+  EXPECT_EQ(toString(*F), Scalar);
+
+  // The decision trail carries a bailout:budget missed remark that names
+  // the blown budget and the attempt's charge counts.
+  bool Found = false;
+  for (const Remark &R : Stats.Remarks)
+    if (R.Name == "VectorizeAborted" && R.Decision == "bailout:budget") {
+      Found = true;
+      EXPECT_EQ(R.Kind, RemarkKind::Missed);
+      EXPECT_NE(R.Message.find(C.Reason), std::string::npos) << R.Message;
+      EXPECT_NE(R.Message.find("rolled back to scalar form"),
+                std::string::npos);
+    }
+  EXPECT_TRUE(Found);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, ResourceBudgetTest,
+    ::testing::Values(
+        BudgetCase{"GraphNodes", "graph-nodes",
+                   ResourceBudgets{/*MaxGraphNodes=*/1,
+                                   /*MaxLookAheadEvals=*/0,
+                                   /*MaxSuperNodePermutations=*/0}},
+        BudgetCase{"LookAheadEvals", "lookahead-evals",
+                   ResourceBudgets{/*MaxGraphNodes=*/0,
+                                   /*MaxLookAheadEvals=*/1,
+                                   /*MaxSuperNodePermutations=*/0}},
+        BudgetCase{"SuperNodePermutations", "supernode-permutations",
+                   ResourceBudgets{/*MaxGraphNodes=*/0,
+                                   /*MaxLookAheadEvals=*/0,
+                                   /*MaxSuperNodePermutations=*/1}}),
+    [](const ::testing::TestParamInfo<BudgetCase> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+TEST(ResourceBudgetDefaultsTest, UnlimitedBudgetsChangeNothing) {
+  // The defaults impose no limit: motiv2 vectorizes exactly as without
+  // the budget machinery, with zero bailouts.
+  const Kernel *K = findKernel("motiv2");
+  ASSERT_NE(K, nullptr);
+  Context Ctx;
+  Module M(Ctx, "unlimited");
+  std::string Err;
+  ASSERT_TRUE(parseIR(K->IRText, M, &Err)) << Err;
+  Function *F = M.getFunction("motiv2");
+
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::SNSLP;
+  ASSERT_FALSE(Cfg.Budgets.anyLimited());
+  VectorizeStats Stats = runSLPVectorizer(*F, Cfg);
+  EXPECT_EQ(Stats.GraphsVectorized, 1u);
+  EXPECT_EQ(Stats.BudgetBailouts, 0u);
+  EXPECT_EQ(Stats.totalBailouts(), 0u);
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+TEST(ResourceBudgetDefaultsTest, GenerousBudgetsStillCommit) {
+  // A limit that is merely finite (but generous) must not change the
+  // decision: the paper kernel still vectorizes.
+  const Kernel *K = findKernel("motiv2");
+  ASSERT_NE(K, nullptr);
+  Context Ctx;
+  Module M(Ctx, "generous");
+  std::string Err;
+  ASSERT_TRUE(parseIR(K->IRText, M, &Err)) << Err;
+  Function *F = M.getFunction("motiv2");
+
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::SNSLP;
+  Cfg.Budgets.MaxGraphNodes = 1u << 20;
+  Cfg.Budgets.MaxLookAheadEvals = 1u << 20;
+  Cfg.Budgets.MaxSuperNodePermutations = 1u << 20;
+  VectorizeStats Stats = runSLPVectorizer(*F, Cfg);
+  EXPECT_EQ(Stats.GraphsVectorized, 1u);
+  EXPECT_EQ(Stats.totalBailouts(), 0u);
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+TEST(ResourceBudgetDefaultsTest, NonTransactionalExhaustionDegradesSafely) {
+  // Without the transactional layer a blown budget cannot roll back; the
+  // degraded graph must instead fail the cost test. Either way: no crash,
+  // no commit, verifiable IR.
+  const Kernel *K = findKernel("motiv2");
+  ASSERT_NE(K, nullptr);
+  Context Ctx;
+  Module M(Ctx, "nontxn");
+  std::string Err;
+  ASSERT_TRUE(parseIR(K->IRText, M, &Err)) << Err;
+  Function *F = M.getFunction("motiv2");
+
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::SNSLP;
+  Cfg.TransactionalRegions = false;
+  Cfg.Budgets.MaxGraphNodes = 1;
+  VectorizeStats Stats = runSLPVectorizer(*F, Cfg);
+  EXPECT_EQ(Stats.GraphsVectorized, 0u);
+  EXPECT_EQ(Stats.BudgetBailouts, 0u); // No transaction, no bailout.
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+} // namespace

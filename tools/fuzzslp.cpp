@@ -16,7 +16,12 @@
 /// Usage:
 ///   fuzzslp [--seed=N] [--runs=N] [--time-budget=SECONDS]
 ///           [--corpus-dir=DIR] [--artifact-dir=DIR] [--reduce]
-///           [--shuffles] [--verbose]
+///           [--shuffles] [--max-steps=N] [--fault-inject] [--verbose]
+///
+/// --fault-inject sweeps every compiled-in `slp.*` fault site over each
+/// generated program (fail-safe mode: the armed defect must degrade to a
+/// correct scalar region, never abort, never miscompile) — see
+/// docs/robustness.md.
 ///
 /// Exit code: 0 when every run and every corpus replay is clean, 1 on any
 /// oracle failure, 2 on usage / I/O errors.
@@ -33,6 +38,7 @@
 #include "ir/Module.h"
 #include "slp/SLPVectorizer.h"
 #include "support/CommandLine.h"
+#include "support/FaultInjection.h"
 #include "support/Remark.h"
 
 #include <algorithm>
@@ -58,6 +64,11 @@ void printUsage() {
       "                      (default fuzz-artifacts)\n"
       "  --reduce         shrink failing programs before writing repros\n"
       "  --shuffles       also test the +EnableLoadShuffles configurations\n"
+      "  --max-steps=N    interpreter fuel per execution (default 2^24);\n"
+      "                   a program whose *baseline* exhausts it is\n"
+      "                   counted as skipped, not failing\n"
+      "  --fault-inject   arm each slp.* fault site in turn per program\n"
+      "                   and assert graceful scalar fallback\n"
       "  --verbose        log every run, not just failures\n");
 }
 
@@ -210,6 +221,11 @@ int replayCorpus(const std::string &Dir, const OracleOptions &Opts,
       ++Failing;
       std::printf("corpus FAIL %s\n%s", Path.c_str(),
                   Report.summary().c_str());
+    } else if (Report.BaselineFuelExhausted) {
+      // Kept in the corpus deliberately (e.g. unbounded-loop.ir): the
+      // oracle must classify a clean fuel trap as a skip, not a failure.
+      std::printf("corpus skip %s (baseline fuel exhausted)\n",
+                  Path.c_str());
     } else if (Verbose) {
       std::printf("corpus ok   %s (%u variants)\n", Path.c_str(),
                   Report.VariantsChecked);
@@ -236,10 +252,30 @@ int main(int Argc, char **Argv) {
       CL.getString("artifact-dir", "fuzz-artifacts");
   const bool Reduce = CL.getBool("reduce");
   const bool Verbose = CL.getBool("verbose");
+  const bool FaultInject = CL.getBool("fault-inject");
 
   OracleOptions Opts;
   if (CL.getBool("shuffles"))
     Opts.Configs = OracleOptions::defaultConfigs(/*WithLoadShuffles=*/true);
+  if (CL.has("max-steps")) {
+    int64_t MaxSteps = CL.getInt("max-steps", 0);
+    if (MaxSteps <= 0) {
+      std::fprintf(stderr, "fuzzslp: --max-steps needs a positive value\n");
+      return 2;
+    }
+    Opts.MaxSteps = static_cast<uint64_t>(MaxSteps);
+  }
+  if (FaultInject) {
+    // Fail-safe sweep: the question is "does the vectorizer degrade
+    // gracefully when site X fires", so the expensive parts of the matrix
+    // that never see the fault (metamorphic rewrites, reference engine
+    // re-runs, post-vectorization cleanup) are dropped. Each armed site
+    // fires at most once, inside the first vectorizer run that reaches it.
+    Opts.CheckReferenceEngine = false;
+    Opts.CheckCleanupPasses = false;
+    Opts.CheckMetamorphic = false;
+    Opts.CheckRoundTrip = false;
+  }
 
   int ExitCode = 0;
 
@@ -260,7 +296,8 @@ int main(int Argc, char **Argv) {
                .count() >= TimeBudget;
   };
 
-  uint64_t Completed = 0, Failed = 0, VariantsChecked = 0;
+  uint64_t Completed = 0, Failed = 0, Skipped = 0, VariantsChecked = 0;
+  uint64_t FaultChecks = 0, FaultFires = 0;
   DiffOracle Oracle(Opts);
   for (uint64_t I = 0; I < Runs && !OverBudget(); ++I) {
     const uint64_t Seed = BaseSeed + I;
@@ -268,9 +305,59 @@ int main(int Argc, char **Argv) {
     Module M(Ctx, "fuzz");
     IRGenerator Gen(M);
     GeneratedProgram P = Gen.generate("fuzz_" + std::to_string(Seed), Seed);
+
+    if (FaultInject) {
+      // Arm every compiled-in slp.* site in turn. A firing site simulates
+      // an internal defect inside the vectorizer; the fail-safe layer must
+      // keep the oracle matrix clean (scalar fallback, no abort, no
+      // miscompile). A crash here kills the process — which is exactly the
+      // regression this sweep exists to catch.
+      bool AnyFail = false;
+      for (const std::string &Site : knownFaultSites()) {
+        if (Site.rfind("slp.", 0) != 0)
+          continue;
+        FaultInjector::instance().disarmAll();
+        FaultInjector::instance().arm(Site, /*FireOnNthHit=*/1);
+        OracleReport Report = Oracle.check(P, /*DataSeed=*/Seed);
+        ++FaultChecks;
+        VariantsChecked += Report.VariantsChecked;
+        const bool Fired = FaultInjector::instance().fireCount(Site) > 0;
+        FaultFires += Fired ? 1 : 0;
+        if (Report.BaselineFuelExhausted) {
+          ++Skipped;
+          break; // Same program for every site: skip them all.
+        }
+        if (!Report.ok()) {
+          AnyFail = true;
+          std::printf("seed %llu FAIL under fault '%s'%s\n%s",
+                      static_cast<unsigned long long>(Seed), Site.c_str(),
+                      Fired ? " (fired)" : " (never reached)",
+                      Report.summary().c_str());
+        } else if (Verbose) {
+          std::printf("seed %llu ok under fault '%s'%s\n",
+                      static_cast<unsigned long long>(Seed), Site.c_str(),
+                      Fired ? " (fired)" : " (never reached)");
+        }
+      }
+      FaultInjector::instance().disarmAll();
+      ++Completed;
+      if (AnyFail)
+        ++Failed;
+      continue;
+    }
+
     OracleReport Report = Oracle.check(P, /*DataSeed=*/Seed);
     ++Completed;
     VariantsChecked += Report.VariantsChecked;
+    if (Report.BaselineFuelExhausted) {
+      ++Skipped;
+      if (Verbose)
+        std::printf("seed %llu skipped (baseline fuel exhausted after %llu "
+                    "steps)\n",
+                    static_cast<unsigned long long>(Seed),
+                    static_cast<unsigned long long>(Opts.MaxSteps));
+      continue;
+    }
     if (Report.ok()) {
       if (Verbose)
         std::printf("seed %llu ok (%s/%s, %u variants)\n",
@@ -289,10 +376,16 @@ int main(int Argc, char **Argv) {
       std::printf("  artifact: %s\n", Path.c_str());
   }
 
-  std::printf("fuzzslp: %llu runs, %llu failing, %llu variant checks\n",
+  std::printf("fuzzslp: %llu runs, %llu failing, %llu skipped, %llu "
+              "variant checks\n",
               static_cast<unsigned long long>(Completed),
               static_cast<unsigned long long>(Failed),
+              static_cast<unsigned long long>(Skipped),
               static_cast<unsigned long long>(VariantsChecked));
+  if (FaultInject)
+    std::printf("fuzzslp: fault sweep: %llu site checks, %llu fired\n",
+                static_cast<unsigned long long>(FaultChecks),
+                static_cast<unsigned long long>(FaultFires));
   if (Failed > 0)
     ExitCode = 1;
   return ExitCode;
