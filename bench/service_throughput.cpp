@@ -1,0 +1,252 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Load generator for the concurrent compilation service (src/service):
+/// client threads hammer a CompileService with synthetic SN-SLP-shaped
+/// modules and the harness reports
+///   - cold-vs-warm cost of one request (compile vs content-addressed
+///     cache hit; the warm path must be an order of magnitude cheaper),
+///   - sustained throughput (requests/s) and per-request latency
+///     percentiles (p50/p95/p99) across worker-pool sizes 1/2/4/8, at a
+///     0% and a ~90% cache-hit ratio.
+/// Everything lands in BENCH_service.json.
+///
+/// Throughput scaling across pool sizes is only observable on multi-core
+/// hosts; the JSON records `host_cpus` so readers can interpret flat
+/// curves on constrained machines.
+///
+/// Usage: service_throughput [--smoke]
+///   --smoke: the deterministic bench_smoke configuration — 8 requests on
+///   2 workers with a module pool that forces at least one cache hit (the
+///   run fails if the hit counter stays at zero).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+
+#include "service/CompileService.h"
+#include "support/Statistic.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace snslp;
+using namespace snslp::benchjson;
+
+namespace {
+
+/// A distinct, vectorizable module per variant: a 4-wide add/sub
+/// alternation whose constants (and function name) depend on \p Variant,
+/// so every variant has its own cache key but identical compile cost.
+std::string makeModule(unsigned Variant) {
+  std::string N = std::to_string(Variant);
+  std::string OS;
+  OS += "func @kern" + N + "(ptr %a, ptr %b, ptr %c) {\n";
+  OS += "entry:\n";
+  for (int I = 0; I < 4; ++I) {
+    std::string S = std::to_string(I);
+    OS += "  %pa" + S + " = gep i64, ptr %a, i64 " + S + "\n";
+    OS += "  %pb" + S + " = gep i64, ptr %b, i64 " + S + "\n";
+    OS += "  %pc" + S + " = gep i64, ptr %c, i64 " + S + "\n";
+    OS += "  %la" + S + " = load i64, ptr %pa" + S + "\n";
+    OS += "  %lb" + S + " = load i64, ptr %pb" + S + "\n";
+  }
+  for (int I = 0; I < 4; ++I) {
+    std::string S = std::to_string(I);
+    const char *Op = (I % 2 == 0) ? "add" : "sub";
+    OS += "  %t" + S + " = " + Op + " i64 %la" + S + ", %lb" + S + "\n";
+    OS += "  %r" + S + " = add i64 %t" + S + ", " + N + "\n";
+    OS += "  store i64 %r" + S + ", ptr %pc" + S + "\n";
+  }
+  OS += "  ret void\n}\n";
+  return OS;
+}
+
+CompileRequest makeRequest(unsigned Variant) {
+  CompileRequest Req;
+  Req.ModuleText = makeModule(Variant);
+  return Req;
+}
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Idx = static_cast<size_t>(P * static_cast<double>(Sorted.size()));
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+struct LoadResult {
+  double Throughput = 0.0; ///< requests / second
+  double P50 = 0.0, P95 = 0.0, P99 = 0.0; ///< latency, ns
+  uint64_t Hits = 0, Misses = 0, Coalesced = 0;
+};
+
+/// \p Clients synchronous client threads push \p Requests total requests
+/// into a fresh CompileService with \p Workers pool threads. Unique keys
+/// come from \p PoolSize distinct module variants (offset by \p KeyBase so
+/// series never share keys): PoolSize == Requests means every request is
+/// cold; a small PoolSize yields a high hit ratio.
+LoadResult runLoad(unsigned Workers, unsigned Clients, unsigned Requests,
+                   unsigned PoolSize, unsigned KeyBase) {
+  using Clock = std::chrono::steady_clock;
+  ServiceConfig Cfg;
+  Cfg.Workers = Workers;
+  CompileService Service(Cfg);
+
+  std::atomic<unsigned> Next{0};
+  std::vector<std::vector<double>> PerClient(Clients);
+  auto Start = Clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C < Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      for (;;) {
+        unsigned I = Next.fetch_add(1, std::memory_order_relaxed);
+        if (I >= Requests)
+          return;
+        auto T0 = Clock::now();
+        auto Fut = Service.submit(makeRequest(KeyBase + I % PoolSize));
+        Expected<CompiledUnit> U = Fut.get();
+        auto T1 = Clock::now();
+        if (!U) {
+          std::fprintf(stderr, "service_throughput: request failed: %s\n",
+                       U.errorMessage().c_str());
+          std::exit(1);
+        }
+        PerClient[C].push_back(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
+                .count()));
+      }
+    });
+  }
+  for (auto &T : Threads)
+    T.join();
+  double WallNs = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           Start)
+          .count());
+
+  std::vector<double> Lat;
+  for (auto &V : PerClient)
+    Lat.insert(Lat.end(), V.begin(), V.end());
+  std::sort(Lat.begin(), Lat.end());
+
+  LoadResult R;
+  R.Throughput = static_cast<double>(Requests) / (WallNs * 1e-9);
+  R.P50 = percentile(Lat, 0.50);
+  R.P95 = percentile(Lat, 0.95);
+  R.P99 = percentile(Lat, 0.99);
+  CompileCache::Counters CC = Service.cache().counters();
+  R.Hits = CC.Hits;
+  R.Misses = CC.Misses;
+  R.Coalesced = CC.Coalesced;
+  return R;
+}
+
+void reportLoad(Report &Rep, const std::string &Name, const LoadResult &R,
+                unsigned Requests) {
+  Entry &E = Rep.add(Name, Requests, /*NsPerOp=*/R.P50);
+  E.Extra.emplace_back("throughput_rps", R.Throughput);
+  E.Extra.emplace_back("latency_p50_ns", R.P50);
+  E.Extra.emplace_back("latency_p95_ns", R.P95);
+  E.Extra.emplace_back("latency_p99_ns", R.P99);
+  E.Extra.emplace_back("cache_hits", static_cast<double>(R.Hits));
+  E.Extra.emplace_back("cache_misses", static_cast<double>(R.Misses));
+  E.Extra.emplace_back("cache_coalesced", static_cast<double>(R.Coalesced));
+  std::printf("%-28s %9.1f req/s  p50 %9.0f ns  p95 %9.0f ns  p99 %9.0f "
+              "ns  (hit %llu / miss %llu / coalesced %llu)\n",
+              Name.c_str(), R.Throughput, R.P50, R.P95, R.P99,
+              static_cast<unsigned long long>(R.Hits),
+              static_cast<unsigned long long>(R.Misses),
+              static_cast<unsigned long long>(R.Coalesced));
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const bool Smoke = isSmokeRun(Argc, Argv);
+  Report Rep("BENCH_service.json");
+  const unsigned HostCpus = std::max(1u, std::thread::hardware_concurrency());
+  Rep.add("host", 1, 0.0).Extra.emplace_back("host_cpus",
+                                             static_cast<double>(HostCpus));
+
+  // --- Cold vs warm: one request against an empty cache vs the same
+  // request against a populated one. The warm path skips parse, verify,
+  // pipeline and bytecode compile; only the lookup remains.
+  {
+    ServiceConfig Cfg;
+    Cfg.Workers = 1;
+    CompileService Service(Cfg);
+    unsigned ColdKey = 1u << 20;
+    auto [ColdIters, ColdNs] = measure(
+        [&] {
+          Expected<CompiledUnit> U = Service.compileSync(makeRequest(ColdKey++));
+          if (!U)
+            std::exit(1);
+        },
+        Smoke);
+    CompileRequest Warm = makeRequest(0);
+    {
+      Expected<CompiledUnit> Prime = Service.compileSync(Warm);
+      if (!Prime)
+        std::exit(1);
+    }
+    auto [WarmIters, WarmNs] = measure(
+        [&] {
+          Expected<CompiledUnit> U = Service.compileSync(Warm);
+          if (!U || !U->CacheHit)
+            std::exit(1);
+        },
+        Smoke);
+    double Speedup = WarmNs > 0.0 ? ColdNs / WarmNs : 0.0;
+    Entry &EC = Rep.add("compile_cold", ColdIters, ColdNs);
+    (void)EC;
+    Entry &EW = Rep.add("compile_warm_hit", WarmIters, WarmNs);
+    EW.Extra.emplace_back("warm_speedup", Speedup);
+    std::printf("cold %0.f ns/op, warm %0.f ns/op -> %.1fx\n", ColdNs,
+                WarmNs, Speedup);
+    if (!Smoke && Speedup < 10.0)
+      std::fprintf(stderr,
+                   "warning: warm path only %.1fx faster than cold\n",
+                   Speedup);
+  }
+
+  if (Smoke) {
+    // The deterministic bench_smoke configuration: 8 requests, 2 workers,
+    // a 4-module pool so the second half of the requests must hit.
+    LoadResult R = runLoad(/*Workers=*/2, /*Clients=*/2, /*Requests=*/8,
+                           /*PoolSize=*/4, /*KeyBase=*/0);
+    reportLoad(Rep, "smoke_w2_hitpool4", R, 8);
+    if (R.Hits + R.Coalesced < 1) {
+      std::fprintf(stderr, "service_throughput: smoke run produced no "
+                           "cache hits — cache is broken\n");
+      return 1;
+    }
+  } else {
+    const unsigned Requests = 256;
+    unsigned KeyBase = 0;
+    for (unsigned Workers : {1u, 2u, 4u, 8u}) {
+      // 0% hit ratio: every request is a distinct module.
+      LoadResult Cold = runLoad(Workers, /*Clients=*/Workers * 2, Requests,
+                                /*PoolSize=*/Requests, KeyBase);
+      KeyBase += Requests;
+      reportLoad(Rep, "w" + std::to_string(Workers) + "_hit0", Cold,
+                 Requests);
+      // ~90% hit ratio: 10% of the keys are distinct.
+      LoadResult Hot = runLoad(Workers, /*Clients=*/Workers * 2, Requests,
+                               /*PoolSize=*/Requests / 10, KeyBase);
+      KeyBase += Requests;
+      reportLoad(Rep, "w" + std::to_string(Workers) + "_hit90", Hot,
+                 Requests);
+    }
+  }
+
+  return Rep.write() ? 0 : 1;
+}

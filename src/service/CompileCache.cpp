@@ -1,0 +1,159 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileCache.h"
+
+#include "support/Statistic.h"
+
+#include <cassert>
+
+using namespace snslp;
+
+CompileCache::CompileCache(size_t ByteBudget, StatsRegistry *Stats)
+    : ByteBudget(ByteBudget), Stats(Stats) {}
+
+CompileCache::~CompileCache() {
+  // A leader that never settled would leave waiters blocked; by contract
+  // every MustCompile caller fulfills or fails before the cache dies.
+  assert(Pending.empty() && "compile cache destroyed with in-flight keys");
+}
+
+CompileCache::Lookup CompileCache::lookupOrBegin(const Digest128 &Key) {
+  std::unique_lock<std::mutex> Lock(Mu);
+
+  // Fast path: retained unit.
+  auto It = Map.find(Key);
+  if (It != Map.end()) {
+    LRU.splice(LRU.begin(), LRU, It->second); // touch
+    ++Events.Hits;
+    if (Stats)
+      Stats->add("service.cache.hits");
+    return Lookup{LookupState::Hit, It->second->Unit, false, {}};
+  }
+
+  // Single-flight: coalesce onto an in-flight leader.
+  auto PIt = Pending.find(Key);
+  if (PIt != Pending.end()) {
+    std::shared_ptr<InFlight> Rec = PIt->second;
+    ++Rec->Waiters;
+    ++Events.Coalesced;
+    if (Stats)
+      Stats->add("service.cache.coalesced");
+    Rec->Settled.wait(Lock, [&Rec] { return Rec->Done; });
+    --Rec->Waiters;
+    Lookup L;
+    L.State = LookupState::Coalesced;
+    L.Unit = Rec->Unit;
+    L.LeaderFailed = Rec->Failed;
+    L.Error = Rec->Error;
+    L.ErrorCodeName = Rec->ErrorCodeName;
+    return L;
+  }
+
+  // Miss: appoint the caller leader.
+  Pending.emplace(Key, std::make_shared<InFlight>());
+  ++Events.Misses;
+  if (Stats)
+    Stats->add("service.cache.misses");
+  return Lookup{LookupState::MustCompile, nullptr, false, {}, {}};
+}
+
+std::shared_ptr<CompileCache::InFlight>
+CompileCache::settleLocked(const Digest128 &Key, bool Failed, UnitPtr Unit,
+                           const std::string &Error,
+                           const std::string &ErrorCodeName) {
+  auto PIt = Pending.find(Key);
+  assert(PIt != Pending.end() && "settling a key that was never begun");
+  std::shared_ptr<InFlight> Rec = PIt->second;
+  Rec->Done = true;
+  Rec->Failed = Failed;
+  Rec->Unit = std::move(Unit);
+  Rec->Error = Error;
+  Rec->ErrorCodeName = ErrorCodeName;
+  Pending.erase(PIt);
+  Rec->Settled.notify_all();
+  return Rec;
+}
+
+void CompileCache::fulfill(const Digest128 &Key, UnitPtr Unit) {
+  assert(Unit && "fulfill needs a unit; use fail() for errors");
+  std::lock_guard<std::mutex> Lock(Mu);
+  settleLocked(Key, /*Failed=*/false, Unit, {}, {});
+
+  // Retain in the LRU map (unless a racing leader for the same key already
+  // inserted it — keep the existing entry in that case).
+  if (Map.find(Key) != Map.end())
+    return;
+  size_t Bytes = Unit->cachedBytes();
+  LRU.push_front(Entry{Key, std::move(Unit), Bytes});
+  Map[Key] = LRU.begin();
+  RetainedBytes += Bytes;
+  ++Events.Insertions;
+  if (Stats)
+    Stats->add("service.cache.insertions");
+  evictLocked();
+}
+
+void CompileCache::fail(const Digest128 &Key, const std::string &Error,
+                        const std::string &ErrorCodeName) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  settleLocked(Key, /*Failed=*/true, nullptr, Error, ErrorCodeName);
+  ++Events.Failures;
+  if (Stats)
+    Stats->add("service.cache.failures");
+}
+
+void CompileCache::evictLocked() {
+  if (ByteBudget == 0)
+    return;
+  // Never evict the just-touched front entry unless it alone exceeds the
+  // budget (a unit larger than the whole cache cannot be retained).
+  while (RetainedBytes > ByteBudget && LRU.size() > 1) {
+    Entry &Victim = LRU.back();
+    RetainedBytes -= Victim.Bytes;
+    Map.erase(Victim.Key);
+    LRU.pop_back();
+    ++Events.Evictions;
+    if (Stats)
+      Stats->add("service.cache.evictions");
+  }
+  if (RetainedBytes > ByteBudget && LRU.size() == 1) {
+    Entry &Victim = LRU.back();
+    RetainedBytes -= Victim.Bytes;
+    Map.erase(Victim.Key);
+    LRU.pop_back();
+    ++Events.Evictions;
+    if (Stats)
+      Stats->add("service.cache.evictions");
+  }
+}
+
+bool CompileCache::contains(const Digest128 &Key) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Map.find(Key) != Map.end();
+}
+
+CompileCache::Counters CompileCache::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events;
+}
+
+size_t CompileCache::retainedBytes() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return RetainedBytes;
+}
+
+size_t CompileCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Map.size();
+}
+
+void CompileCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  LRU.clear();
+  Map.clear();
+  RetainedBytes = 0;
+}

@@ -1,0 +1,173 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The content-addressed compile cache of the compilation service
+/// (src/service). Keys are 128-bit digests of (canonical module text +
+/// pipeline fingerprint); values are immutable, shared compiled units.
+/// Three mechanisms live here:
+///
+///  - **LRU eviction under a byte budget**: every unit reports its
+///    retained size (cachedBytes()); inserting past the budget evicts
+///    least-recently-used entries.
+///  - **Single-flight deduplication**: when several requests for the same
+///    key arrive concurrently, exactly one caller compiles (the *leader*,
+///    told so by Lookup::MustCompile); the rest block until the leader
+///    publishes (fulfill) or fails (fail) and then share its outcome —
+///    identical in-flight work is never duplicated across the pool.
+///  - **Counters**: hits / misses / evictions / in-flight coalesces /
+///    insertions / failures, surfaced through an optional StatsRegistry
+///    ("service.cache.*") and via counters().
+///
+/// The cache stores `shared_ptr<const CacheableUnit>`, so eviction never
+/// invalidates a unit a client still holds. See docs/service.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SERVICE_COMPILECACHE_H
+#define SNSLP_SERVICE_COMPILECACHE_H
+
+#include "support/Hashing.h"
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace snslp {
+
+class StatsRegistry;
+
+/// Anything the cache can retain. Implementations must be immutable (or
+/// internally synchronized) once published: the same unit is handed to
+/// every client that hits its key, from any thread.
+class CacheableUnit {
+public:
+  virtual ~CacheableUnit() = default;
+  /// Retained size in bytes, charged against the cache's byte budget.
+  virtual size_t cachedBytes() const = 0;
+};
+
+/// Content-addressed LRU cache with single-flight deduplication.
+/// All members are thread-safe.
+class CompileCache {
+public:
+  using UnitPtr = std::shared_ptr<const CacheableUnit>;
+
+  /// How a lookupOrBegin() resolved.
+  enum class LookupState {
+    Hit,         ///< Served from cache; Unit is set.
+    MustCompile, ///< Caller is the single-flight leader: compile, then
+                 ///< call fulfill() or fail() for this key.
+    Coalesced,   ///< Waited on an in-flight leader; Unit set on success,
+                 ///< LeaderFailed + Error set when the leader failed.
+  };
+
+  struct Lookup {
+    LookupState State = LookupState::MustCompile;
+    UnitPtr Unit;
+    bool LeaderFailed = false;
+    std::string Error;         ///< Leader's failure message (Coalesced only).
+    std::string ErrorCodeName; ///< Leader's failure code spelling, if any.
+  };
+
+  /// Event counters (monotonic since construction).
+  struct Counters {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+    uint64_t Coalesced = 0;
+    uint64_t Insertions = 0;
+    uint64_t Failures = 0;
+  };
+
+  /// \p ByteBudget bounds the sum of cachedBytes() over retained units
+  /// (0 = unlimited). \p Stats, when non-null, receives one
+  /// "service.cache.<event>" increment per event; not owned.
+  explicit CompileCache(size_t ByteBudget, StatsRegistry *Stats = nullptr);
+  ~CompileCache();
+
+  CompileCache(const CompileCache &) = delete;
+  CompileCache &operator=(const CompileCache &) = delete;
+
+  /// Resolves \p Key: cache hit, coalesce onto an in-flight compile
+  /// (blocking until it settles), or appoint the caller leader. A leader
+  /// MUST eventually call fulfill() or fail() with the same key, or
+  /// coalesced waiters would block forever.
+  Lookup lookupOrBegin(const Digest128 &Key);
+
+  /// Leader publishes a compiled unit: wakes coalesced waiters, inserts
+  /// into the LRU map, and evicts past the byte budget.
+  void fulfill(const Digest128 &Key, UnitPtr Unit);
+
+  /// Leader reports a failed compile: wakes coalesced waiters with the
+  /// error (message + an opaque code spelling the caller round-trips);
+  /// nothing is cached (the next request retries).
+  void fail(const Digest128 &Key, const std::string &Error,
+            const std::string &ErrorCodeName = "");
+
+  /// Peeks without side effects (no LRU touch, no single-flight). Testing.
+  bool contains(const Digest128 &Key) const;
+
+  Counters counters() const;
+  size_t retainedBytes() const;
+  size_t size() const;
+  size_t byteBudget() const { return ByteBudget; }
+
+  /// Drops every retained unit (in-flight compiles are unaffected).
+  void clear();
+
+private:
+  struct KeyHash {
+    size_t operator()(const Digest128 &K) const {
+      return static_cast<size_t>(K.Lo ^ (K.Hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  struct Entry {
+    Digest128 Key;
+    UnitPtr Unit;
+    size_t Bytes = 0;
+  };
+
+  /// One in-flight compile, shared by leader and waiters.
+  struct InFlight {
+    bool Done = false;
+    bool Failed = false;
+    UnitPtr Unit;
+    std::string Error;
+    std::string ErrorCodeName;
+    std::condition_variable Settled;
+    unsigned Waiters = 0;
+  };
+
+  /// Must hold Mu. Evicts LRU entries until within budget (never evicts
+  /// the most-recent entry unless it alone exceeds the budget).
+  void evictLocked();
+  /// Must hold Mu. Settles the in-flight record for Key and wakes waiters.
+  std::shared_ptr<InFlight> settleLocked(const Digest128 &Key, bool Failed,
+                                         UnitPtr Unit,
+                                         const std::string &Error,
+                                         const std::string &ErrorCodeName);
+
+  const size_t ByteBudget;
+  StatsRegistry *Stats; ///< Optional counter sink; not owned.
+
+  mutable std::mutex Mu;
+  std::list<Entry> LRU; ///< Front = most recently used.
+  std::unordered_map<Digest128, std::list<Entry>::iterator, KeyHash> Map;
+  std::unordered_map<Digest128, std::shared_ptr<InFlight>, KeyHash> Pending;
+  size_t RetainedBytes = 0;
+  Counters Events;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SERVICE_COMPILECACHE_H

@@ -1,0 +1,271 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileService.h"
+
+#include "costmodel/TargetCostModel.h"
+#include "driver/PassPipeline.h"
+#include "interp/Bytecode.h"
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "support/Statistic.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+using namespace snslp;
+
+//===----------------------------------------------------------------------===//
+// CompiledProgram
+//===----------------------------------------------------------------------===//
+
+ExecutionResult CompiledProgram::run(const RunRequest &R) const {
+  // The engine's register file and memory-range table are mutable per-run
+  // state shared by every holder of this unit: serialize.
+  std::lock_guard<std::mutex> Lock(ExecMu);
+  Engine->clearMemoryRanges();
+  for (const auto &[Base, Size] : R.MemoryRanges)
+    Engine->addMemoryRange(Base, Size);
+  return Engine->run(R.Args, R.MaxSteps);
+}
+
+size_t CompiledProgram::cachedBytes() const {
+  size_t Bytes = SourceText.size() + VectorizedText.size();
+  for (const Remark &R : Remarks)
+    Bytes += sizeof(Remark) + R.Pass.size() + R.Name.size() +
+             R.FunctionName.size() + R.Decision.size() + R.Message.size();
+  if (Engine) {
+    const BytecodeFunction &BC = Engine->getBytecode();
+    Bytes += BC.getCodeSize() * 16 + BC.getNumRegCells() * 8;
+  }
+  // The retained IR itself (instructions, constants, types): a coarse
+  // estimate keyed to the printed form, which tracks instruction count.
+  Bytes += VectorizedText.size() * 4;
+  return Bytes;
+}
+
+//===----------------------------------------------------------------------===//
+// CompileService
+//===----------------------------------------------------------------------===//
+
+CompileService::CompileService(ServiceConfig Cfg)
+    : Stats(Cfg.Stats), Cache(Cfg.CacheBytes, Cfg.Stats),
+      Pool(Cfg.Workers ? Cfg.Workers
+                       : std::max(1u, std::thread::hardware_concurrency())) {}
+
+CompileService::~CompileService() { Pool.shutdown(/*RunPending=*/true); }
+
+std::string CompileService::configFingerprint(const CompileRequest &Req) {
+  // Every knob that can change the compiled output must appear here; a
+  // stale fingerprint would alias distinct pipelines onto one cache key.
+  // kPipelineVersion exists for changes this list cannot see (codegen
+  // logic itself) — bump it when the pipeline's behaviour changes.
+  static constexpr unsigned kPipelineVersion = 1;
+  const VectorizerConfig &C = Req.Config;
+  std::ostringstream OS;
+  OS << "v" << kPipelineVersion << ";mode=" << getModeName(C.Mode)
+     << ";vf=" << C.MinVF << "-" << C.MaxVF << ";la=" << C.LookAheadDepth
+     << ";memo=" << C.EnableLookAheadMemo << ";depth=" << C.MaxGraphDepth
+     << ";cost=" << C.CostThreshold << ";red=" << C.EnableReductionSeeds
+     << ";shuf=" << C.EnableLoadShuffles
+     << ";budget=" << C.Budgets.MaxGraphNodes << ","
+     << C.Budgets.MaxLookAheadEvals << ","
+     << C.Budgets.MaxSuperNodePermutations
+     << ";txn=" << C.TransactionalRegions << C.VerifyAfterAttempt
+     << ";tgt=" << C.Target.MaxVectorWidthBytes << ","
+     << C.Target.ScalarArithCost << "," << C.Target.VectorArithCost << ","
+     << C.Target.ScalarMemCost << "," << C.Target.VectorMemCost << ","
+     << C.Target.InsertCost << "," << C.Target.ExtractCost << ","
+     << C.Target.ShuffleCost << "," << C.Target.AlternatePenalty
+     << ";cleanup=" << Req.EarlyCleanup << Req.LateCleanup
+     << ";entry=" << Req.EntryFunction;
+  return OS.str();
+}
+
+Digest128 CompileService::requestKey(const CompileRequest &Req) {
+  // Content address: the exact module text plus the pipeline fingerprint,
+  // separated by a byte that cannot occur in either.
+  std::string Blob = configFingerprint(Req);
+  Blob.push_back('\x1e');
+  Blob += Req.ModuleText;
+  return digest128(Blob);
+}
+
+Expected<CompiledUnit> CompileService::compileSync(const CompileRequest &Req) {
+  if (Stats)
+    Stats->add("service.requests");
+
+  const Digest128 Key = requestKey(Req);
+  CompileCache::Lookup L = Cache.lookupOrBegin(Key);
+
+  switch (L.State) {
+  case CompileCache::LookupState::Hit:
+  case CompileCache::LookupState::Coalesced: {
+    const bool Coalesced = L.State == CompileCache::LookupState::Coalesced;
+    if (L.LeaderFailed) {
+      // Single-flight waiter sharing the leader's failure.
+      ErrorCode Code = ErrorCode::InvalidArgument;
+      parseErrorCodeName(L.ErrorCodeName, Code);
+      return Error::make(Code, L.Error);
+    }
+    auto Program = std::static_pointer_cast<const CompiledProgram>(L.Unit);
+    // Strictness is per-request, not per-unit: a cached scalar-fallback
+    // unit still fails a strict request.
+    if (Req.StrictBudgets && Program->stats().BudgetBailouts > 0)
+      return Error::make(ErrorCode::BudgetExhausted,
+                         "module '" + Program->entryName() +
+                             "': resource budget exhausted during "
+                             "vectorization (cached unit is the scalar "
+                             "fallback)");
+    CompiledUnit U;
+    U.Program = std::move(Program);
+    U.CacheHit = true;
+    U.Coalesced = Coalesced;
+    return U;
+  }
+  case CompileCache::LookupState::MustCompile:
+    return compileLocked(Req, Key);
+  }
+  return Error::make(ErrorCode::InvalidArgument, "unreachable lookup state");
+}
+
+Expected<CompiledUnit> CompileService::compileLocked(const CompileRequest &Req,
+                                                     const Digest128 &Key) {
+  // Single-flight leader: every exit path MUST settle the key via
+  // Cache.fulfill or Cache.fail, or coalesced waiters hang.
+  auto FailWith = [this, &Key](ErrorCode Code,
+                               std::string Msg) -> Expected<CompiledUnit> {
+    Cache.fail(Key, Msg, getErrorCodeName(Code));
+    return Error::make(Code, std::move(Msg));
+  };
+
+  const auto Start = std::chrono::steady_clock::now();
+
+  // Job-private Context/Module: the IR context is single-threaded by
+  // design, so the whole IR world of this request lives and dies inside
+  // this CompiledProgram (Context-per-job rule, docs/service.md).
+  std::shared_ptr<CompiledProgram> P(new CompiledProgram());
+  P->SourceText = Req.ModuleText;
+  P->Key = Key;
+
+  std::string ParseErr;
+  if (!parseIR(Req.ModuleText, P->M, &ParseErr))
+    return FailWith(ErrorCode::ParseError, ParseErr);
+  if (P->M.functions().empty())
+    return FailWith(ErrorCode::ParseError, "module defines no functions");
+
+  // Pre-pipeline structural verification: reject malformed input with a
+  // recoverable error rather than feeding it to the vectorizer.
+  for (const auto &F : P->M.functions()) {
+    std::vector<std::string> Errors;
+    if (!verifyFunction(*F, &Errors))
+      return FailWith(ErrorCode::VerifyError,
+                      "function '@" + F->getName() + "' is malformed: " +
+                          (Errors.empty() ? "unknown" : Errors.front()));
+  }
+
+  // Entry resolution.
+  if (!Req.EntryFunction.empty()) {
+    P->Entry = P->M.getFunction(Req.EntryFunction);
+    if (!P->Entry)
+      return FailWith(ErrorCode::InvalidArgument,
+                      "entry function '@" + Req.EntryFunction +
+                          "' is not defined by the module");
+  } else if (P->M.functions().size() == 1) {
+    P->Entry = P->M.functions().front().get();
+  } else {
+    return FailWith(ErrorCode::InvalidArgument,
+                    "module defines " +
+                        std::to_string(P->M.functions().size()) +
+                        " functions; an explicit entry function is required");
+  }
+  P->EntryName = P->Entry->getName();
+
+  // The pipeline proper, function by function. One collector gathers the
+  // whole module's decision trail in emission order.
+  RemarkCollector RC;
+  PipelineOptions PO;
+  PO.EarlyCleanup = Req.EarlyCleanup;
+  PO.LateCleanup = Req.LateCleanup;
+  PO.Vectorizer = Req.Config;
+  // Per-request sinks would race across pool workers; route the
+  // vectorizer's counters into the service-wide (thread-safe) registry.
+  PO.Vectorizer.Stats = Stats;
+  PO.Instrument.Remarks = &RC;
+  for (const auto &F : P->M.functions()) {
+    PipelineResult R = runPassPipeline(*F, PO);
+    P->Stats.mergeFrom(R.VecStats);
+  }
+  P->Remarks = RC.take();
+
+  // Post-pipeline verification: corrupt output must never be published.
+  for (const auto &F : P->M.functions()) {
+    std::vector<std::string> Errors;
+    if (!verifyFunction(*F, &Errors))
+      return FailWith(ErrorCode::VerifyError,
+                      "pipeline produced malformed IR for '@" +
+                          F->getName() + "': " +
+                          (Errors.empty() ? "unknown" : Errors.front()));
+  }
+
+  P->VectorizedText = toString(P->M);
+
+  // Bytecode-compile the entry once; every future hit reuses it.
+  TargetCostModel TCM(Req.Config.Target);
+  P->Engine = std::make_unique<ExecutionEngine>(
+      *P->Entry,
+      [TCM](const Instruction &I) { return TCM.executionCycles(I); });
+
+  P->CompileNanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  if (Stats) {
+    Stats->add("service.compiles");
+    Stats->add("service.compile.nanos",
+               static_cast<int64_t>(P->CompileNanos));
+  }
+
+  Cache.fulfill(Key, P);
+
+  if (Req.StrictBudgets && P->Stats.BudgetBailouts > 0)
+    return Error::make(ErrorCode::BudgetExhausted,
+                       "module '" + P->EntryName +
+                           "': resource budget exhausted during "
+                           "vectorization (" +
+                           std::to_string(P->Stats.BudgetBailouts) +
+                           " bailout(s); scalar fallback was cached)");
+
+  CompiledUnit U;
+  U.Program = std::move(P);
+  U.CacheHit = false;
+  U.Coalesced = false;
+  return U;
+}
+
+std::future<Expected<CompiledUnit>> CompileService::submit(CompileRequest Req) {
+  auto Promise = std::make_shared<std::promise<Expected<CompiledUnit>>>();
+  std::future<Expected<CompiledUnit>> Future = Promise->get_future();
+  bool Accepted = Pool.submit([this, Promise, Req = std::move(Req)]() mutable {
+    Promise->set_value(compileSync(Req));
+  });
+  if (!Accepted)
+    Promise->set_value(Error::make(ErrorCode::InvalidArgument,
+                                   "compile service is shutting down"));
+  return Future;
+}
+
+std::vector<std::future<Expected<CompiledUnit>>>
+CompileService::submitAll(std::vector<CompileRequest> Reqs) {
+  std::vector<std::future<Expected<CompiledUnit>>> Futures;
+  Futures.reserve(Reqs.size());
+  for (CompileRequest &Req : Reqs)
+    Futures.push_back(submit(std::move(Req)));
+  return Futures;
+}

@@ -1,0 +1,205 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrent compilation service: the single-module pipeline
+/// (parse -> verify -> cleanup/SN-SLP pass pipeline -> bytecode compile)
+/// turned into a multi-client, cached, batched subsystem.
+///
+///  - Requests are submitted from any thread (`submit` ->
+///    `std::future<Expected<CompiledUnit>>`, batch `submitAll`) and run on
+///    a fixed-size ThreadPool.
+///  - Every job owns a private Context/Module — the IR context is
+///    single-threaded by design, so no IR object ever crosses a job
+///    boundary (the "Context-per-job rule", docs/service.md).
+///  - Results are memoized in a content-addressed CompileCache keyed on
+///    digest(module text + pipeline fingerprint); identical concurrent
+///    requests are single-flighted.
+///  - Per-request ResourceBudgets (inside VectorizerConfig) keep one
+///    pathological module from starving the pool; `StrictBudgets` turns a
+///    budget bailout into a `budget-exhausted` Error instead of silently
+///    serving the scalar fallback.
+///
+/// The daemon front-end (tools/snslpd.cpp) and the load benchmark
+/// (bench/service_throughput.cpp) sit on top of this API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SERVICE_COMPILESERVICE_H
+#define SNSLP_SERVICE_COMPILESERVICE_H
+
+#include "interp/ExecutionEngine.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "service/CompileCache.h"
+#include "service/ThreadPool.h"
+#include "slp/SLPVectorizer.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace snslp {
+
+class StatsRegistry;
+
+/// One compilation request: module text + pipeline configuration.
+struct CompileRequest {
+  /// Textual IR of the whole module (canonical Parser grammar).
+  std::string ModuleText;
+  /// Function the compiled unit's interpreter engine is built for. Empty
+  /// selects the module's only function (InvalidArgument when ambiguous).
+  std::string EntryFunction;
+  /// Vectorizer pipeline configuration, including the per-request
+  /// ResourceBudgets. (Config.Stats is overridden with the service's
+  /// registry; per-request sinks would race otherwise.)
+  VectorizerConfig Config;
+  /// Run the scalar cleanup passes around the vectorizer (the standard
+  /// pipeline; see driver/PassPipeline.h).
+  bool EarlyCleanup = true;
+  bool LateCleanup = true;
+  /// Fail the request with ErrorCode::BudgetExhausted when any region
+  /// attempt blew its resource budget (instead of accepting the scalar
+  /// fallback). Checked on cache hits too — strictness is a property of
+  /// the request, not of the cached unit.
+  bool StrictBudgets = false;
+};
+
+/// An immutable compiled module: the service's cacheable unit. Owns its
+/// private Context/Module (never shared with other jobs), the vectorized
+/// canonical text, the remark decision trail, aggregate vectorizer stats,
+/// and a ready-to-run bytecode engine for the entry function. Execution
+/// serializes on an internal mutex (the engine's register file is shared
+/// state); everything else is read-only after construction.
+class CompiledProgram : public CacheableUnit {
+public:
+  ~CompiledProgram() override = default;
+
+  /// Canonical text of the module *after* the pipeline ran.
+  const std::string &vectorizedText() const { return VectorizedText; }
+  /// Canonical text the request was keyed on (pre-pipeline).
+  const std::string &sourceText() const { return SourceText; }
+  /// Full remark stream of the compile (pass executions + vectorizer
+  /// decisions), in emission order. Stable: cache hits replay it verbatim.
+  const std::vector<Remark> &remarks() const { return Remarks; }
+  /// Vectorizer statistics aggregated over every function in the module.
+  const VectorizeStats &stats() const { return Stats; }
+  const std::string &entryName() const { return EntryName; }
+  /// The entry function the retained engine was built for. Owned by this
+  /// unit's private Context; read-only (signature inspection only — never
+  /// mutate IR through it).
+  const Function *entryFunction() const { return Entry; }
+  const Digest128 &digest() const { return Key; }
+
+  /// One interpreted execution of a compiled unit.
+  struct RunRequest {
+    std::vector<RTValue> Args;
+    /// Buffers to register with the interpreter's sanitizer mode.
+    std::vector<std::pair<const void *, size_t>> MemoryRanges;
+    uint64_t MaxSteps = 1ull << 24;
+  };
+
+  /// Executes the entry function on the retained bytecode engine.
+  /// Thread-safe (runs serialize per unit).
+  ExecutionResult run(const RunRequest &R) const;
+
+  size_t cachedBytes() const override;
+
+private:
+  friend class CompileService;
+  CompiledProgram() : M(Ctx, "service") {}
+
+  Context Ctx;
+  Module M;
+  Function *Entry = nullptr;
+  std::string EntryName;
+  std::string SourceText;
+  std::string VectorizedText;
+  std::vector<Remark> Remarks;
+  VectorizeStats Stats;
+  Digest128 Key;
+  uint64_t CompileNanos = 0; ///< Wall time of the cold compile.
+
+  mutable std::mutex ExecMu; ///< Serializes runs (register file, ranges).
+  mutable std::unique_ptr<ExecutionEngine> Engine;
+};
+
+/// What a request resolves to: the shared compiled unit plus how the cache
+/// served it.
+struct CompiledUnit {
+  std::shared_ptr<const CompiledProgram> Program;
+  /// Served without compiling in this request: a retained-cache hit or a
+  /// single-flight coalesce onto a concurrent identical request.
+  bool CacheHit = false;
+  /// Specifically the single-flight case of CacheHit.
+  bool Coalesced = false;
+};
+
+/// Service construction parameters.
+struct ServiceConfig {
+  /// Worker threads (0 = hardware concurrency, min 1).
+  unsigned Workers = 0;
+  /// Compile-cache byte budget (0 = unlimited).
+  size_t CacheBytes = 64ull << 20;
+  /// Optional counter sink ("service.*", "service.cache.*" and the
+  /// vectorizer's own counters). Not owned; must outlive the service.
+  StatsRegistry *Stats = nullptr;
+};
+
+/// The concurrent compilation service. All members are thread-safe.
+class CompileService {
+public:
+  explicit CompileService(ServiceConfig Cfg = ServiceConfig());
+  /// Drains in-flight work, then stops the pool.
+  ~CompileService();
+
+  CompileService(const CompileService &) = delete;
+  CompileService &operator=(const CompileService &) = delete;
+
+  /// Enqueues one request. The future settles with the compiled unit or a
+  /// recoverable Error (parse-error / verify-error / invalid-argument /
+  /// budget-exhausted — the PR-4 codes).
+  std::future<Expected<CompiledUnit>> submit(CompileRequest Req);
+
+  /// Batch submission; futures settle independently as workers finish.
+  std::vector<std::future<Expected<CompiledUnit>>>
+  submitAll(std::vector<CompileRequest> Reqs);
+
+  /// Compiles in the calling thread, still going through the cache and
+  /// single-flight machinery (used by tools that are themselves workers).
+  Expected<CompiledUnit> compileSync(const CompileRequest &Req);
+
+  /// The cache key fingerprint of \p Req's pipeline configuration (module
+  /// text excluded). Covers every semantics-affecting knob plus a pipeline
+  /// version constant; bump kPipelineVersion when codegen changes in ways
+  /// invisible to this fingerprint.
+  static std::string configFingerprint(const CompileRequest &Req);
+
+  /// The full content-addressed cache key for \p Req.
+  static Digest128 requestKey(const CompileRequest &Req);
+
+  CompileCache &cache() { return Cache; }
+  ThreadPool &pool() { return Pool; }
+  StatsRegistry *statsRegistry() const { return Stats; }
+
+private:
+  Expected<CompiledUnit> compileLocked(const CompileRequest &Req,
+                                       const Digest128 &Key);
+
+  StatsRegistry *Stats;
+  CompileCache Cache;
+  ThreadPool Pool;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SERVICE_COMPILESERVICE_H

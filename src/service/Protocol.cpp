@@ -1,0 +1,627 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include "ir/Function.h"
+#include "ir/Type.h"
+#include "support/Hashing.h"
+
+#include <cerrno>
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+#include <unistd.h>
+
+using namespace snslp;
+using namespace snslp::service;
+
+//===----------------------------------------------------------------------===//
+// Small parsing/formatting helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Strict unsigned decimal parse: the whole string must be digits.
+bool parseUint(const std::string &S, uint64_t &Out) {
+  if (S.empty() || S.size() > 20)
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+/// Strict signed decimal parse.
+bool parseInt(const std::string &S, int64_t &Out) {
+  if (S.empty())
+    return false;
+  bool Neg = S[0] == '-';
+  uint64_t Mag = 0;
+  if (!parseUint(Neg ? S.substr(1) : S, Mag))
+    return false;
+  Out = Neg ? -static_cast<int64_t>(Mag) : static_cast<int64_t>(Mag);
+  return true;
+}
+
+bool parseBool(const std::string &S, bool &Out) {
+  if (S == "0") {
+    Out = false;
+    return true;
+  }
+  if (S == "1") {
+    Out = true;
+    return true;
+  }
+  return false;
+}
+
+bool parseDouble(const std::string &S, double &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  double V = std::strtod(S.c_str(), &End);
+  if (errno != 0 || End != S.c_str() + S.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+std::string formatDouble(double V) {
+  std::ostringstream OS;
+  OS << std::setprecision(17) << V;
+  return OS.str();
+}
+
+/// Header text values live one per line; strip anything that would corrupt
+/// the framing (interpreter diagnostics are single-line today, but the
+/// protocol must not depend on that).
+std::string sanitizeHeaderValue(std::string S) {
+  for (char &C : S)
+    if (C == '\n' || C == '\r')
+      C = ' ';
+  return S;
+}
+
+/// Splits a header block into "key: value" lines with 1-based positions.
+/// The shared scaffolding of decodeRequest/decodeResponse: both formats
+/// are (version line, headers, byte-counted body).
+class HeaderScanner {
+public:
+  HeaderScanner(const std::string &Payload, std::string *Err)
+      : Payload(Payload), Err(Err) {}
+
+  /// Consumes one "\n"-terminated line. False at end-of-headers error.
+  bool nextLine(std::string &Line) {
+    size_t NL = Payload.find('\n', Pos);
+    if (NL == std::string::npos)
+      return fail("truncated payload (missing newline)");
+    Line = Payload.substr(Pos, NL - Pos);
+    Pos = NL + 1;
+    ++LineNo;
+    return true;
+  }
+
+  /// Splits \p Line at ": ". False (with a positioned error) otherwise.
+  bool splitHeader(const std::string &Line, std::string &Key,
+                   std::string &Value) {
+    size_t Colon = Line.find(": ");
+    if (Colon == std::string::npos || Colon == 0)
+      return fail("malformed header line '" + Line + "'");
+    Key = Line.substr(0, Colon);
+    Value = Line.substr(Colon + 2);
+    return true;
+  }
+
+  /// After the byte-counted header: expects one blank line, then exactly
+  /// \p Bytes payload bytes, then end of input.
+  bool takeBody(uint64_t Bytes, std::string &Body) {
+    std::string Blank;
+    if (!nextLine(Blank))
+      return false;
+    if (!Blank.empty())
+      return fail("expected blank separator line before the body");
+    if (Payload.size() - Pos != Bytes)
+      return fail("body length mismatch (header says " +
+                  std::to_string(Bytes) + ", payload carries " +
+                  std::to_string(Payload.size() - Pos) + ")");
+    Body = Payload.substr(Pos, Bytes);
+    Pos = Payload.size();
+    return true;
+  }
+
+  bool fail(const std::string &Msg) {
+    if (Err)
+      *Err = "line " + std::to_string(LineNo + 1) + ": " + Msg;
+    return false;
+  }
+
+  /// Positioned error for the line most recently consumed by nextLine.
+  bool failHere(const std::string &Msg) {
+    if (Err)
+      *Err = "line " + std::to_string(LineNo) + ": " + Msg;
+    return false;
+  }
+
+private:
+  const std::string &Payload;
+  std::string *Err;
+  size_t Pos = 0;
+  int LineNo = 0;
+};
+
+/// splitmix64: the deterministic stream behind synthesized buffer data.
+uint64_t splitmix64(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Request encoding
+//===----------------------------------------------------------------------===//
+
+namespace snslp {
+namespace service {
+
+bool parseModeName(const std::string &Name, VectorizerMode &Mode) {
+  static const VectorizerMode All[] = {VectorizerMode::O3, VectorizerMode::SLP,
+                                       VectorizerMode::LSLP,
+                                       VectorizerMode::SNSLP};
+  for (VectorizerMode M : All) {
+    if (Name == getModeName(M)) {
+      Mode = M;
+      return true;
+    }
+  }
+  if (Name == "SNSLP") { // Hyphen-less alias for "SN-SLP".
+    Mode = VectorizerMode::SNSLP;
+    return true;
+  }
+  return false;
+}
+
+std::string encodeRequest(const ServiceRequest &Req) {
+  std::ostringstream OS;
+  OS << "snslp-request v1\n";
+  OS << "mode: " << getModeName(Req.Mode) << "\n";
+  if (!Req.Entry.empty())
+    OS << "entry: " << sanitizeHeaderValue(Req.Entry) << "\n";
+  if (Req.Run)
+    OS << "run: 1\n";
+  if (Req.Elems != 16)
+    OS << "elems: " << Req.Elems << "\n";
+  if (Req.DataSeed != 1)
+    OS << "data-seed: " << Req.DataSeed << "\n";
+  if (Req.MaxSteps != (1ull << 24))
+    OS << "max-steps: " << Req.MaxSteps << "\n";
+  if (Req.StrictBudgets)
+    OS << "strict-budgets: 1\n";
+  if (Req.Budgets.MaxGraphNodes)
+    OS << "max-graph-nodes: " << Req.Budgets.MaxGraphNodes << "\n";
+  if (Req.Budgets.MaxLookAheadEvals)
+    OS << "max-lookahead-evals: " << Req.Budgets.MaxLookAheadEvals << "\n";
+  if (Req.Budgets.MaxSuperNodePermutations)
+    OS << "max-supernode-permutations: "
+       << Req.Budgets.MaxSuperNodePermutations << "\n";
+  OS << "module: " << Req.ModuleText.size() << "\n\n" << Req.ModuleText;
+  return OS.str();
+}
+
+bool decodeRequest(const std::string &Payload, ServiceRequest &Req,
+                   std::string *Err) {
+  HeaderScanner S(Payload, Err);
+  std::string Line;
+  if (!S.nextLine(Line))
+    return false;
+  if (Line != "snslp-request v1")
+    return S.failHere("expected 'snslp-request v1', got '" + Line + "'");
+
+  ServiceRequest Out;
+  bool SawModule = false;
+  while (!SawModule) {
+    if (!S.nextLine(Line))
+      return false;
+    std::string Key, Value;
+    if (!S.splitHeader(Line, Key, Value))
+      return false;
+
+    if (Key == "mode") {
+      if (!parseModeName(Value, Out.Mode))
+        return S.failHere("unknown mode '" + Value +
+                          "' (expected O3|SLP|LSLP|SN-SLP)");
+    } else if (Key == "entry") {
+      Out.Entry = Value;
+    } else if (Key == "run") {
+      if (!parseBool(Value, Out.Run))
+        return S.failHere("run: expected 0 or 1");
+    } else if (Key == "elems") {
+      if (!parseUint(Value, Out.Elems) || Out.Elems == 0 ||
+          Out.Elems > (1u << 20))
+        return S.failHere("elems: expected an integer in [1, 2^20]");
+    } else if (Key == "data-seed") {
+      if (!parseUint(Value, Out.DataSeed))
+        return S.failHere("data-seed: expected an unsigned integer");
+    } else if (Key == "max-steps") {
+      if (!parseUint(Value, Out.MaxSteps) || Out.MaxSteps == 0)
+        return S.failHere("max-steps: expected a positive integer");
+    } else if (Key == "strict-budgets") {
+      if (!parseBool(Value, Out.StrictBudgets))
+        return S.failHere("strict-budgets: expected 0 or 1");
+    } else if (Key == "max-graph-nodes") {
+      if (!parseUint(Value, Out.Budgets.MaxGraphNodes))
+        return S.failHere("max-graph-nodes: expected an unsigned integer");
+    } else if (Key == "max-lookahead-evals") {
+      if (!parseUint(Value, Out.Budgets.MaxLookAheadEvals))
+        return S.failHere("max-lookahead-evals: expected an unsigned "
+                          "integer");
+    } else if (Key == "max-supernode-permutations") {
+      if (!parseUint(Value, Out.Budgets.MaxSuperNodePermutations))
+        return S.failHere("max-supernode-permutations: expected an "
+                          "unsigned integer");
+    } else if (Key == "module") {
+      uint64_t Bytes = 0;
+      if (!parseUint(Value, Bytes) || Bytes > kMaxFrameBytes)
+        return S.failHere("module: expected a byte count within the frame "
+                          "limit");
+      if (!S.takeBody(Bytes, Out.ModuleText))
+        return false;
+      SawModule = true;
+    } else {
+      return S.failHere("unknown header key '" + Key + "'");
+    }
+  }
+  Req = std::move(Out);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Response encoding
+//===----------------------------------------------------------------------===//
+
+std::string encodeResponse(const ServiceResponse &Resp) {
+  std::ostringstream OS;
+  OS << "snslp-response v1\n";
+  OS << "status: " << (Resp.Ok ? "ok" : "error") << "\n";
+  if (!Resp.Ok) {
+    OS << "error-code: "
+       << (Resp.ErrorCodeName.empty() ? "invalid-argument"
+                                      : Resp.ErrorCodeName)
+       << "\n";
+  } else {
+    if (!Resp.Cache.empty())
+      OS << "cache: " << Resp.Cache << "\n";
+    if (!Resp.KeyHex.empty())
+      OS << "key: " << Resp.KeyHex << "\n";
+    OS << "graphs-vectorized: " << Resp.GraphsVectorized << "\n";
+    OS << "remarks: " << Resp.RemarkCount << "\n";
+    if (Resp.DidRun) {
+      OS << "did-run: 1\n";
+      OS << "run-ok: " << (Resp.RunOk ? 1 : 0) << "\n";
+      if (Resp.HasReturnInt)
+        OS << "return-int: " << Resp.ReturnInt << "\n";
+      if (Resp.HasReturnFP)
+        OS << "return-fp: " << formatDouble(Resp.ReturnFP) << "\n";
+      OS << "steps: " << Resp.Steps << "\n";
+      OS << "cycles: " << formatDouble(Resp.Cycles) << "\n";
+      if (!Resp.MemHashHex.empty())
+        OS << "mem-hash: " << Resp.MemHashHex << "\n";
+      if (!Resp.RunError.empty())
+        OS << "run-error: " << sanitizeHeaderValue(Resp.RunError) << "\n";
+    }
+  }
+  OS << "body: " << Resp.Body.size() << "\n\n" << Resp.Body;
+  return OS.str();
+}
+
+bool decodeResponse(const std::string &Payload, ServiceResponse &Resp,
+                    std::string *Err) {
+  HeaderScanner S(Payload, Err);
+  std::string Line;
+  if (!S.nextLine(Line))
+    return false;
+  if (Line != "snslp-response v1")
+    return S.failHere("expected 'snslp-response v1', got '" + Line + "'");
+
+  ServiceResponse Out;
+  bool SawStatus = false, SawBody = false;
+  while (!SawBody) {
+    if (!S.nextLine(Line))
+      return false;
+    std::string Key, Value;
+    if (!S.splitHeader(Line, Key, Value))
+      return false;
+
+    if (Key == "status") {
+      if (Value == "ok")
+        Out.Ok = true;
+      else if (Value == "error")
+        Out.Ok = false;
+      else
+        return S.failHere("status: expected ok|error");
+      SawStatus = true;
+    } else if (Key == "error-code") {
+      Out.ErrorCodeName = Value;
+    } else if (Key == "cache") {
+      if (Value != "hit" && Value != "miss" && Value != "coalesced")
+        return S.failHere("cache: expected hit|miss|coalesced");
+      Out.Cache = Value;
+    } else if (Key == "key") {
+      Out.KeyHex = Value;
+    } else if (Key == "graphs-vectorized") {
+      if (!parseUint(Value, Out.GraphsVectorized))
+        return S.failHere("graphs-vectorized: expected an unsigned integer");
+    } else if (Key == "remarks") {
+      if (!parseUint(Value, Out.RemarkCount))
+        return S.failHere("remarks: expected an unsigned integer");
+    } else if (Key == "did-run") {
+      if (!parseBool(Value, Out.DidRun))
+        return S.failHere("did-run: expected 0 or 1");
+    } else if (Key == "run-ok") {
+      if (!parseBool(Value, Out.RunOk))
+        return S.failHere("run-ok: expected 0 or 1");
+    } else if (Key == "return-int") {
+      if (!parseInt(Value, Out.ReturnInt))
+        return S.failHere("return-int: expected an integer");
+      Out.HasReturnInt = true;
+    } else if (Key == "return-fp") {
+      if (!parseDouble(Value, Out.ReturnFP))
+        return S.failHere("return-fp: expected a floating-point literal");
+      Out.HasReturnFP = true;
+    } else if (Key == "steps") {
+      if (!parseUint(Value, Out.Steps))
+        return S.failHere("steps: expected an unsigned integer");
+    } else if (Key == "cycles") {
+      if (!parseDouble(Value, Out.Cycles))
+        return S.failHere("cycles: expected a floating-point literal");
+    } else if (Key == "mem-hash") {
+      Out.MemHashHex = Value;
+    } else if (Key == "run-error") {
+      Out.RunError = Value;
+    } else if (Key == "body") {
+      uint64_t Bytes = 0;
+      if (!parseUint(Value, Bytes) || Bytes > kMaxFrameBytes)
+        return S.failHere("body: expected a byte count within the frame "
+                          "limit");
+      if (!S.takeBody(Bytes, Out.Body))
+        return false;
+      SawBody = true;
+    } else {
+      return S.failHere("unknown header key '" + Key + "'");
+    }
+  }
+  if (!SawStatus)
+    return S.fail("missing status header");
+  Resp = std::move(Out);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Frame I/O
+//===----------------------------------------------------------------------===//
+
+static constexpr char kMagic[4] = {'S', 'N', 'S', '1'};
+
+namespace {
+
+bool writeAll(int Fd, const void *Data, size_t Size, std::string *Err) {
+  const char *P = static_cast<const char *>(Data);
+  while (Size > 0) {
+    ssize_t N = ::write(Fd, P, Size);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Err)
+        *Err = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+    P += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Reads exactly \p Size bytes. \p SawAny reports whether any byte
+/// arrived, so the caller can tell clean EOF from a truncated frame.
+bool readAll(int Fd, void *Data, size_t Size, bool &SawAny,
+             std::string *Err) {
+  char *P = static_cast<char *>(Data);
+  while (Size > 0) {
+    ssize_t N = ::read(Fd, P, Size);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Err)
+        *Err = std::string("read: ") + std::strerror(errno);
+      return false;
+    }
+    if (N == 0) {
+      if (SawAny && Err)
+        *Err = "connection closed mid-frame";
+      return false;
+    }
+    SawAny = true;
+    P += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+bool writeFrame(int Fd, const std::string &Payload, std::string *Err) {
+  if (Payload.size() > kMaxFrameBytes) {
+    if (Err)
+      *Err = "frame payload exceeds the " +
+             std::to_string(kMaxFrameBytes) + "-byte limit";
+    return false;
+  }
+  char Header[8];
+  std::memcpy(Header, kMagic, 4);
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  Header[4] = static_cast<char>(Len & 0xff);
+  Header[5] = static_cast<char>((Len >> 8) & 0xff);
+  Header[6] = static_cast<char>((Len >> 16) & 0xff);
+  Header[7] = static_cast<char>((Len >> 24) & 0xff);
+  return writeAll(Fd, Header, sizeof(Header), Err) &&
+         writeAll(Fd, Payload.data(), Payload.size(), Err);
+}
+
+bool readFrame(int Fd, std::string &Payload, std::string *Err) {
+  if (Err)
+    Err->clear(); // Clean EOF leaves *Err empty.
+  unsigned char Header[8];
+  bool SawAny = false;
+  if (!readAll(Fd, Header, sizeof(Header), SawAny, Err))
+    return false;
+  if (std::memcmp(Header, kMagic, 4) != 0) {
+    if (Err)
+      *Err = "bad frame magic (expected \"SNS1\")";
+    return false;
+  }
+  uint32_t Len = static_cast<uint32_t>(Header[4]) |
+                 (static_cast<uint32_t>(Header[5]) << 8) |
+                 (static_cast<uint32_t>(Header[6]) << 16) |
+                 (static_cast<uint32_t>(Header[7]) << 24);
+  if (Len > kMaxFrameBytes) {
+    if (Err)
+      *Err = "frame length " + std::to_string(Len) + " exceeds the " +
+             std::to_string(kMaxFrameBytes) + "-byte limit";
+    return false;
+  }
+  Payload.resize(Len);
+  if (Len > 0 && !readAll(Fd, Payload.data(), Len, SawAny, Err))
+    return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// serveRequest
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ServiceResponse errorResponse(ErrorCode Code, std::string Msg) {
+  ServiceResponse Resp;
+  Resp.Ok = false;
+  Resp.ErrorCodeName = getErrorCodeName(Code);
+  Resp.Body = std::move(Msg);
+  return Resp;
+}
+
+} // namespace
+
+ServiceResponse serveRequest(CompileService &Service,
+                             const ServiceRequest &Req) {
+  CompileRequest CReq;
+  CReq.ModuleText = Req.ModuleText;
+  CReq.EntryFunction = Req.Entry;
+  CReq.Config.Mode = Req.Mode;
+  CReq.Config.Budgets = Req.Budgets;
+  CReq.StrictBudgets = Req.StrictBudgets;
+
+  Expected<CompiledUnit> U = Service.compileSync(CReq);
+  if (!U)
+    return errorResponse(U.errorCode(), U.errorMessage());
+
+  const CompiledProgram &P = *U->Program;
+  ServiceResponse Resp;
+  Resp.Ok = true;
+  Resp.Cache = U->Coalesced ? "coalesced" : (U->CacheHit ? "hit" : "miss");
+  Resp.KeyHex = P.digest().toHex();
+  Resp.GraphsVectorized = P.stats().GraphsVectorized;
+  Resp.RemarkCount = P.remarks().size();
+  Resp.Body = P.vectorizedText();
+  if (!Req.Run)
+    return Resp;
+
+  // Deterministic argument synthesis: the signature must be N leading
+  // pointer arguments (each gets a fresh 8*Elems-byte buffer filled from
+  // DataSeed) optionally followed by one trailing integer argument (which
+  // receives Elems, the per-buffer element count for 8-byte elements).
+  const Function *Entry = P.entryFunction();
+  unsigned NumPtrs = 0;
+  bool HasTrailingInt = false;
+  for (unsigned I = 0; I < Entry->getNumArgs(); ++I) {
+    Type *Ty = Entry->getArg(I)->getType();
+    if (Ty->isPointer() && !HasTrailingInt && I == NumPtrs) {
+      ++NumPtrs;
+    } else if (Ty->isInteger() && !HasTrailingInt &&
+               I + 1 == Entry->getNumArgs()) {
+      HasTrailingInt = true;
+    } else {
+      return errorResponse(
+          ErrorCode::InvalidArgument,
+          "entry '@" + P.entryName() +
+              "': run requires a signature of leading pointer arguments "
+              "plus at most one trailing integer argument");
+    }
+  }
+
+  // One 64-bit cell per element, values in [1, 256] (small, nonzero, and
+  // benign under every element interpretation the kernels use).
+  uint64_t Rng = Req.DataSeed;
+  std::vector<std::vector<uint64_t>> Buffers(NumPtrs);
+  for (auto &B : Buffers) {
+    B.resize(Req.Elems);
+    for (uint64_t &Cell : B)
+      Cell = 1 + (splitmix64(Rng) & 0xff);
+  }
+
+  CompiledProgram::RunRequest RR;
+  RR.MaxSteps = Req.MaxSteps;
+  for (auto &B : Buffers) {
+    RR.Args.push_back(argPointer(B.data()));
+    RR.MemoryRanges.emplace_back(B.data(), B.size() * sizeof(uint64_t));
+  }
+  if (HasTrailingInt)
+    RR.Args.push_back(argInt64(static_cast<int64_t>(Req.Elems)));
+
+  ExecutionResult Res = P.run(RR);
+  Resp.DidRun = true;
+  Resp.RunOk = Res.Ok;
+  Resp.Steps = Res.StepsExecuted;
+  Resp.Cycles = Res.Cycles;
+  if (!Res.Ok) {
+    Resp.RunError = Res.Error;
+    return Resp;
+  }
+
+  Type *RetTy = Entry->getReturnType();
+  if (!RetTy->isVoid()) {
+    if (RetTy->isFloatingPoint()) {
+      Resp.HasReturnFP = true;
+      Resp.ReturnFP = Res.ReturnValue.getFP();
+    } else {
+      Resp.HasReturnInt = true;
+      Resp.ReturnInt = Res.ReturnValue.getInt();
+    }
+  }
+
+  // Post-run memory fingerprint: FNV-64 chained over every buffer in
+  // argument order. Bit-identical across cold/warm/coalesced serving of
+  // the same (module, config, seed) request — the wire-level analogue of
+  // the cache differential test.
+  uint64_t Hash = fnv1a64("snslp-mem", 9);
+  for (const auto &B : Buffers)
+    Hash = fnv1a64(B.data(), B.size() * sizeof(uint64_t), Hash);
+  std::ostringstream HashOS;
+  HashOS << std::hex << std::setw(16) << std::setfill('0') << Hash;
+  Resp.MemHashHex = HashOS.str();
+  return Resp;
+}
+
+} // namespace service
+} // namespace snslp

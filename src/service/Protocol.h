@@ -1,0 +1,141 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The snslpd wire protocol: length-prefixed frames over a Unix domain
+/// socket, carrying a text request (config headers + module text) and a
+/// text response (status headers + vectorized module or positioned error).
+///
+/// Frame layout (both directions):
+///   byte 0..3   magic "SNS1"
+///   byte 4..7   payload length, little-endian uint32 (capped, see
+///               kMaxFrameBytes)
+///   byte 8..    payload
+///
+/// Request payload (text):
+///   snslp-request v1\n
+///   mode: SN-SLP\n           (O3|SLP|LSLP|SN-SLP; "SNSLP" is accepted
+///                             as an alias on decode)
+///   entry: <name>\n          (optional)
+///   run: 1\n                 (optional: execute after compiling)
+///   elems: 16\n              (optional: elements per synthesized buffer)
+///   data-seed: 1\n           (optional: deterministic buffer contents)
+///   max-steps: N\n           (optional: interpreter fuel)
+///   strict-budgets: 1\n      (optional)
+///   max-graph-nodes: N\n     (optional per-request resource budgets)
+///   max-lookahead-evals: N\n
+///   max-supernode-permutations: N\n
+///   module: <K>\n            (byte count of the body; must be last)
+///   \n
+///   <K bytes of module text>
+///
+/// Response payload (text):
+///   snslp-response v1\n
+///   status: ok|error\n
+///   ... key/value result headers (see ServiceResponse fields) ...
+///   body: <K>\n
+///   \n
+///   <K bytes: vectorized module text (ok) or error message (error)>
+///
+/// Parsing is strict: unknown header keys are rejected, the body length
+/// must match exactly, and a malformed frame/payload yields a positioned
+/// error response rather than a dropped connection. See docs/service.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SERVICE_PROTOCOL_H
+#define SNSLP_SERVICE_PROTOCOL_H
+
+#include "service/CompileService.h"
+
+#include <cstdint>
+#include <string>
+
+namespace snslp {
+namespace service {
+
+/// Upper bound on a frame payload (module texts are small; a runaway
+/// length prefix must not allocate gigabytes).
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// A parsed client request.
+struct ServiceRequest {
+  std::string ModuleText;
+  std::string Entry;
+  VectorizerMode Mode = VectorizerMode::SNSLP;
+  bool Run = false;
+  uint64_t Elems = 16;
+  uint64_t DataSeed = 1;
+  uint64_t MaxSteps = 1ull << 24;
+  bool StrictBudgets = false;
+  ResourceBudgets Budgets;
+};
+
+/// A daemon response, before/after wire encoding.
+struct ServiceResponse {
+  bool Ok = false;
+  std::string ErrorCodeName; ///< Pinned spelling ("parse-error", ...).
+  std::string Body;          ///< Vectorized module text, or error message.
+  /// \name Compile detail (ok only).
+  /// @{
+  std::string Cache; ///< "hit" | "miss" | "coalesced"
+  std::string KeyHex;
+  uint64_t GraphsVectorized = 0;
+  uint64_t RemarkCount = 0;
+  /// @}
+  /// \name Execution detail (ok + run only).
+  /// @{
+  bool DidRun = false;
+  bool RunOk = false;
+  bool HasReturnInt = false;
+  bool HasReturnFP = false;
+  int64_t ReturnInt = 0;
+  double ReturnFP = 0.0;
+  uint64_t Steps = 0;
+  double Cycles = 0.0;
+  std::string MemHashHex; ///< FNV-64 of every synthesized buffer post-run.
+  std::string RunError;   ///< Trap diagnostic when !RunOk.
+  /// @}
+};
+
+/// Parses a vectorizer-mode spelling as used on the wire: the canonical
+/// getModeName() forms ("O3" | "SLP" | "LSLP" | "SN-SLP") plus the
+/// hyphen-less alias "SNSLP". Returns false on unknown input.
+bool parseModeName(const std::string &Name, VectorizerMode &Mode);
+
+/// \name Payload (text) encoding.
+/// @{
+std::string encodeRequest(const ServiceRequest &Req);
+/// Returns false and fills \p Err ("line N: ..." positioned within the
+/// header block) on malformed input.
+bool decodeRequest(const std::string &Payload, ServiceRequest &Req,
+                   std::string *Err);
+std::string encodeResponse(const ServiceResponse &Resp);
+bool decodeResponse(const std::string &Payload, ServiceResponse &Resp,
+                    std::string *Err);
+/// @}
+
+/// \name Frame I/O over a connected socket fd.
+/// Blocking, retry-on-EINTR. Return false on EOF/short frame/oversized
+/// length (filling \p Err when non-null).
+/// @{
+bool writeFrame(int Fd, const std::string &Payload, std::string *Err);
+bool readFrame(int Fd, std::string &Payload, std::string *Err);
+/// @}
+
+/// Serves one already-parsed request against \p Service: compile (through
+/// the cache), then optionally execute with deterministically synthesized
+/// buffers (one 8*Elems-byte array per leading pointer argument, filled
+/// from DataSeed; a trailing integer argument receives Elems). The
+/// response is always well-formed — failures come back positioned, never
+/// as a dropped connection.
+ServiceResponse serveRequest(CompileService &Service,
+                             const ServiceRequest &Req);
+
+} // namespace service
+} // namespace snslp
+
+#endif // SNSLP_SERVICE_PROTOCOL_H

@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ThreadPool.h"
+
+using namespace snslp;
+
+ThreadPool::ThreadPool(unsigned NumWorkers) {
+  if (NumWorkers == 0)
+    NumWorkers = 1;
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(/*RunPending=*/true); }
+
+bool ThreadPool::submit(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (ShuttingDown) {
+      Dropped.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Queue.push_back(std::move(Job));
+    size_t Depth = Queue.size();
+    size_t Peak = PeakDepth.load(std::memory_order_relaxed);
+    while (Depth > Peak &&
+           !PeakDepth.compare_exchange_weak(Peak, Depth,
+                                            std::memory_order_relaxed))
+      ;
+  }
+  WorkAvailable.notify_one();
+  return true;
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Quiescent.wait(Lock, [this] { return Queue.empty() && ActiveJobs == 0; });
+}
+
+void ThreadPool::shutdown(bool RunPending) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (ShuttingDown && Workers.empty())
+      return; // already fully shut down
+    ShuttingDown = true;
+    if (!RunPending) {
+      DropPending = true;
+      Dropped.fetch_add(Queue.size(), std::memory_order_relaxed);
+      Queue.clear();
+    }
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+  Workers.clear();
+  Quiescent.notify_all();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      WorkAvailable.wait(Lock,
+                         [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty()) {
+        // ShuttingDown and nothing left to run (or pending work dropped).
+        return;
+      }
+      if (ShuttingDown && DropPending)
+        return; // queue was cleared; a racing submit cannot re-fill it
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+      ++ActiveJobs;
+    }
+    Job();
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      --ActiveJobs;
+      Executed.fetch_add(1, std::memory_order_relaxed);
+      if (Queue.empty() && ActiveJobs == 0)
+        Quiescent.notify_all();
+    }
+  }
+}

@@ -1,0 +1,86 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool over an MPMC job queue — the execution
+/// substrate of the concurrent compilation service (src/service) and of
+/// `fuzzslp --jobs`. Deliberately minimal: producers enqueue type-erased
+/// jobs from any thread, a fixed set of workers drains the queue, and
+/// shutdown is graceful (pending jobs either finish or are dropped,
+/// caller's choice). Per-job isolation is the caller's contract: the IR
+/// Context is single-threaded by design, so every job must own its own
+/// Context/Module and never share IR objects across jobs (see
+/// docs/service.md, "Context-per-job rule").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SERVICE_THREADPOOL_H
+#define SNSLP_SERVICE_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snslp {
+
+/// Fixed-size worker pool. All members are thread-safe.
+class ThreadPool {
+public:
+  /// Spawns \p NumWorkers worker threads (0 is clamped to 1; the pool must
+  /// make progress even on a restricted machine).
+  explicit ThreadPool(unsigned NumWorkers);
+
+  /// Equivalent to shutdown(/*RunPending=*/true).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Job. Returns false (and drops the job) when the pool is
+  /// shutting down.
+  bool submit(std::function<void()> Job);
+
+  /// Blocks until the queue is empty and every worker is idle. Jobs
+  /// submitted while waiting extend the wait (quiescence barrier, used by
+  /// batch drivers between waves).
+  void wait();
+
+  /// Stops the pool and joins all workers. With \p RunPending, queued jobs
+  /// are executed before the workers exit; otherwise they are dropped
+  /// (counted in jobsDropped). Idempotent.
+  void shutdown(bool RunPending = true);
+
+  unsigned getNumWorkers() const { return static_cast<unsigned>(Workers.size()); }
+  uint64_t jobsExecuted() const { return Executed.load(std::memory_order_relaxed); }
+  uint64_t jobsDropped() const { return Dropped.load(std::memory_order_relaxed); }
+  /// High-water mark of the queue depth (contention telemetry).
+  size_t peakQueueDepth() const { return PeakDepth.load(std::memory_order_relaxed); }
+
+private:
+  void workerLoop();
+
+  mutable std::mutex Mu;
+  std::condition_variable WorkAvailable; ///< Signalled on submit/shutdown.
+  std::condition_variable Quiescent;     ///< Signalled when a worker goes idle.
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Workers;
+  unsigned ActiveJobs = 0; ///< Jobs currently executing (guarded by Mu).
+  bool ShuttingDown = false;
+  bool DropPending = false;
+  std::atomic<uint64_t> Executed{0};
+  std::atomic<uint64_t> Dropped{0};
+  std::atomic<size_t> PeakDepth{0};
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SERVICE_THREADPOOL_H

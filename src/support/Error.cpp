@@ -34,6 +34,23 @@ const char *getErrorCodeName(ErrorCode Code) {
   return "unknown";
 }
 
+bool parseErrorCodeName(const std::string &Name, ErrorCode &Code) {
+  static const ErrorCode All[] = {
+      ErrorCode::Success,        ErrorCode::ParseError,
+      ErrorCode::VerifyError,    ErrorCode::ExecError,
+      ErrorCode::FuelExhausted,  ErrorCode::BudgetExhausted,
+      ErrorCode::FaultInjected,  ErrorCode::UnknownKernel,
+      ErrorCode::InvalidArgument, ErrorCode::IOError,
+  };
+  for (ErrorCode C : All) {
+    if (Name == getErrorCodeName(C)) {
+      Code = C;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string Error::toString() const {
   if (Code == ErrorCode::Success)
     return "success";

@@ -48,6 +48,12 @@ enum class ErrorCode {
 /// Returns the serialized spelling, e.g. "parse-error".
 const char *getErrorCodeName(ErrorCode Code);
 
+/// Parses a spelling produced by getErrorCodeName ("parse-error", ...).
+/// Returns false (leaving \p Code untouched) on unknown input. Used by the
+/// service wire protocol and the compile cache, which round-trip codes as
+/// their pinned spellings.
+bool parseErrorCodeName(const std::string &Name, ErrorCode &Code);
+
 /// A recoverable, *checked* error: either success (falsy) or a failure
 /// carrying an ErrorCode and a message. Move-only. Destroying an unchecked
 /// failure asserts — callers must either handle the error or explicitly

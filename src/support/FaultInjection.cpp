@@ -35,27 +35,30 @@ FaultInjector::FaultInjector() {
 void FaultInjector::arm(const std::string &SiteName, uint64_t FireOnNthHit) {
   if (FireOnNthHit == 0)
     FireOnNthHit = 1;
+  std::lock_guard<std::mutex> Lock(Mu);
   for (Site &S : Sites) {
     if (S.Name == SiteName) {
       if (S.Fired == 0 && S.Hits < S.FireOnNthHit)
-        --Armed; // was pending; re-arm below
+        Armed.fetch_sub(1, std::memory_order_relaxed); // pending; re-arm below
       S.FireOnNthHit = FireOnNthHit;
       S.Hits = 0;
       S.Fired = 0;
-      ++Armed;
+      Armed.fetch_add(1, std::memory_order_relaxed);
       return;
     }
   }
   Sites.push_back(Site{SiteName, FireOnNthHit, 0, 0});
-  ++Armed;
+  Armed.fetch_add(1, std::memory_order_relaxed);
 }
 
 void FaultInjector::disarmAll() {
+  std::lock_guard<std::mutex> Lock(Mu);
   Sites.clear();
-  Armed = 0;
+  Armed.store(0, std::memory_order_relaxed);
 }
 
 bool FaultInjector::shouldFire(const char *SiteName) {
+  std::lock_guard<std::mutex> Lock(Mu);
   for (Site &S : Sites) {
     if (S.Name != SiteName)
       continue;
@@ -64,7 +67,7 @@ bool FaultInjector::shouldFire(const char *SiteName) {
     ++S.Hits;
     if (S.Hits >= S.FireOnNthHit) {
       S.Fired = 1;
-      --Armed;
+      Armed.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
     return false;
@@ -73,6 +76,7 @@ bool FaultInjector::shouldFire(const char *SiteName) {
 }
 
 uint64_t FaultInjector::fireCount(const std::string &SiteName) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   for (const Site &S : Sites)
     if (S.Name == SiteName)
       return S.Fired;

@@ -28,15 +28,19 @@
 #ifndef SNSLP_SUPPORT_FAULTINJECTION_H
 #define SNSLP_SUPPORT_FAULTINJECTION_H
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace snslp {
 
-/// Process-wide fault-injection registry. Not thread-safe (the compiler
-/// pipeline is single-threaded per function); the armed() fast path makes
-/// unarmed probes free.
+/// Process-wide fault-injection registry. Thread-safe: the service thread
+/// pool compiles many modules concurrently and every one of them probes the
+/// same process-global instance, so the site table is mutex-guarded and the
+/// anyArmed() fast path is a single relaxed atomic load — unarmed probes
+/// (the production configuration) stay free of locks entirely.
 class FaultInjector {
 public:
   static FaultInjector &instance();
@@ -52,8 +56,8 @@ public:
   /// taking the slow path.
   bool shouldFire(const char *Site);
 
-  /// True when any site is armed (fast-path guard).
-  bool anyArmed() const { return Armed != 0; }
+  /// True when any site is armed (lock-free fast-path guard).
+  bool anyArmed() const { return Armed.load(std::memory_order_relaxed) != 0; }
 
   /// Number of times \p Site fired since the last disarmAll().
   uint64_t fireCount(const std::string &Site) const;
@@ -72,8 +76,11 @@ private:
     uint64_t Hits = 0;
     uint64_t Fired = 0;
   };
+  mutable std::mutex Mu; ///< Guards Sites (arm/fire/query slow paths).
   std::vector<Site> Sites;
-  unsigned Armed = 0; ///< Count of sites with Fired == 0 still pending.
+  /// Count of sites with Fired == 0 still pending. Atomic so the unarmed
+  /// fast path (anyArmed) needs no lock.
+  std::atomic<unsigned> Armed{0};
 };
 
 /// The canonical registry of fault sites compiled into the binary.

@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic content hashing for the compile cache (src/service).
+/// FNV-1a over bytes, in a 64-bit and a 128-bit flavour; the 128-bit digest
+/// is two independent 64-bit FNV streams with distinct offset bases, which
+/// is plenty for content-addressing compile requests (the cache key also
+/// embeds the config fingerprint text, so a collision would need two
+/// different module texts colliding in both streams simultaneously).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SUPPORT_HASHING_H
+#define SNSLP_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace snslp {
+
+/// 64-bit FNV-1a.
+inline uint64_t fnv1a64(const void *Data, size_t Size,
+                        uint64_t Seed = 0xcbf29ce484222325ULL) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I < Size; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+inline uint64_t fnv1a64(const std::string &S,
+                        uint64_t Seed = 0xcbf29ce484222325ULL) {
+  return fnv1a64(S.data(), S.size(), Seed);
+}
+
+/// A 128-bit content digest (two independent FNV-1a streams).
+struct Digest128 {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+
+  bool operator==(const Digest128 &) const = default;
+
+  /// Hex rendering "0123456789abcdef0123456789abcdef" for logs/protocol.
+  std::string toHex() const;
+};
+
+inline Digest128 digest128(const void *Data, size_t Size) {
+  return Digest128{fnv1a64(Data, Size, 0xcbf29ce484222325ULL),
+                   fnv1a64(Data, Size, 0x84222325cbf29ce4ULL)};
+}
+
+inline Digest128 digest128(const std::string &S) {
+  return digest128(S.data(), S.size());
+}
+
+inline std::string Digest128::toHex() const {
+  static const char *Hex = "0123456789abcdef";
+  std::string Out(32, '0');
+  for (int I = 0; I < 16; ++I)
+    Out[15 - I] = Hex[(Lo >> (4 * I)) & 0xf];
+  for (int I = 0; I < 16; ++I)
+    Out[31 - I] = Hex[(Hi >> (4 * I)) & 0xf];
+  return Out;
+}
+
+} // namespace snslp
+
+#endif // SNSLP_SUPPORT_HASHING_H

@@ -24,6 +24,7 @@
 #define SNSLP_SUPPORT_REMARK_H
 
 #include <cstddef>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -141,23 +142,56 @@ private:
 
 /// An ordered sink of remarks. Passed by pointer through the pass manager
 /// and the vectorizer; a null collector disables emission.
+///
+/// Mutations are internally synchronized so one collector can be shared as
+/// the sink of several concurrent compile jobs (the thread-pool pipeline of
+/// src/service). The zero-copy accessor remarks() still hands out a
+/// reference into guarded state: it is only safe once every producer has
+/// quiesced (the single-threaded pattern all existing callers follow);
+/// concurrent readers should use take() or snapshot().
 class RemarkCollector {
 public:
-  void add(Remark R) { Remarks.push_back(std::move(R)); }
+  RemarkCollector() = default;
+  RemarkCollector(const RemarkCollector &) = delete;
+  RemarkCollector &operator=(const RemarkCollector &) = delete;
 
+  void add(Remark R) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Remarks.push_back(std::move(R));
+  }
+
+  /// Unsynchronized view; requires all producers to have quiesced.
   const std::vector<Remark> &remarks() const { return Remarks; }
-  bool empty() const { return Remarks.empty(); }
-  size_t size() const { return Remarks.size(); }
-  void clear() { Remarks.clear(); }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Remarks.empty();
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Remarks.size();
+  }
+  void clear() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Remarks.clear();
+  }
+
+  /// Copies the collected remarks (safe against concurrent producers).
+  std::vector<Remark> snapshot() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Remarks;
+  }
 
   /// Moves the collected remarks out, leaving the collector empty.
   std::vector<Remark> take() {
+    std::lock_guard<std::mutex> Lock(Mu);
     std::vector<Remark> Out = std::move(Remarks);
     Remarks.clear();
     return Out;
   }
 
 private:
+  mutable std::mutex Mu;
   std::vector<Remark> Remarks;
 };
 

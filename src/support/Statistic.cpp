@@ -6,24 +6,41 @@
 
 #include "support/Statistic.h"
 
+#include <cassert>
+
 using namespace snslp;
 
-int64_t StatsRegistry::distributionSum(const std::string &Name) const {
+namespace {
+
+int64_t sumOf(const std::vector<int64_t> &Values) {
   int64_t Sum = 0;
-  for (int64_t V : getDistribution(Name))
+  for (int64_t V : Values)
     Sum += V;
   return Sum;
 }
 
+} // namespace
+
+int64_t StatsRegistry::distributionSum(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Distributions.find(Name);
+  return It == Distributions.end() ? 0 : sumOf(It->second);
+}
+
 double StatsRegistry::distributionMean(const std::string &Name) const {
-  const std::vector<int64_t> &Dist = getDistribution(Name);
-  if (Dist.empty())
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Distributions.find(Name);
+  if (It == Distributions.end() || It->second.empty())
     return 0.0;
-  return static_cast<double>(distributionSum(Name)) /
-         static_cast<double>(Dist.size());
+  return static_cast<double>(sumOf(It->second)) /
+         static_cast<double>(It->second.size());
 }
 
 void StatsRegistry::mergeFrom(const StatsRegistry &Other) {
+  assert(&Other != this && "self-merge");
+  // Lock both sides deadlock-free; Other's state is copied under its own
+  // lock, so a concurrent writer on either registry stays well-defined.
+  std::scoped_lock Lock(Mu, Other.Mu);
   for (const auto &[Name, Value] : Other.Counters)
     Counters[Name] += Value;
   for (const auto &[Name, Values] : Other.Distributions) {
@@ -33,9 +50,15 @@ void StatsRegistry::mergeFrom(const StatsRegistry &Other) {
 }
 
 void StatsRegistry::print(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   for (const auto &[Name, Value] : Counters)
     OS << Name << " = " << Value << '\n';
-  for (const auto &[Name, Values] : Distributions)
-    OS << Name << " : n=" << Values.size() << " sum=" << distributionSum(Name)
-       << " mean=" << distributionMean(Name) << '\n';
+  for (const auto &[Name, Values] : Distributions) {
+    const int64_t Sum = sumOf(Values);
+    const double Mean = Values.empty() ? 0.0
+                                       : static_cast<double>(Sum) /
+                                             static_cast<double>(Values.size());
+    OS << Name << " : n=" << Values.size() << " sum=" << Sum
+       << " mean=" << Mean << '\n';
+  }
 }

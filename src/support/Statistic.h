@@ -13,6 +13,12 @@
 /// Unlike LLVM, counters live in an explicit registry object rather than
 /// process-global state, so independent experiments cannot interfere.
 ///
+/// Thread safety: every member is internally synchronized, so one registry
+/// may be shared as the counter sink of many concurrent compile jobs (the
+/// CompileService wires a single registry through its whole thread pool —
+/// see docs/service.md). Snapshot accessors (getDistribution, snapshot)
+/// return copies, never references into guarded state.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SNSLP_SUPPORT_STATISTIC_H
@@ -20,6 +26,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -27,29 +34,38 @@
 namespace snslp {
 
 /// A registry of named integer counters and value distributions.
+/// Internally synchronized (see file comment).
 class StatsRegistry {
 public:
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry &) = delete;
+  StatsRegistry &operator=(const StatsRegistry &) = delete;
+
   /// Adds \p Delta to counter \p Name (creating it at zero if absent).
   void add(const std::string &Name, int64_t Delta = 1) {
+    std::lock_guard<std::mutex> Lock(Mu);
     Counters[Name] += Delta;
   }
 
   /// Records one observation of a distribution (e.g. a node size).
   void record(const std::string &Name, int64_t Value) {
+    std::lock_guard<std::mutex> Lock(Mu);
     Distributions[Name].push_back(Value);
   }
 
   /// Returns the value of counter \p Name, or 0 if it was never touched.
   int64_t get(const std::string &Name) const {
+    std::lock_guard<std::mutex> Lock(Mu);
     auto It = Counters.find(Name);
     return It == Counters.end() ? 0 : It->second;
   }
 
-  /// Returns all recorded observations for distribution \p Name.
-  const std::vector<int64_t> &getDistribution(const std::string &Name) const {
-    static const std::vector<int64_t> Empty;
+  /// Returns a copy of all recorded observations for distribution \p Name
+  /// (a copy so the caller holds no reference into guarded state).
+  std::vector<int64_t> getDistribution(const std::string &Name) const {
+    std::lock_guard<std::mutex> Lock(Mu);
     auto It = Distributions.find(Name);
-    return It == Distributions.end() ? Empty : It->second;
+    return It == Distributions.end() ? std::vector<int64_t>() : It->second;
   }
 
   /// Returns the sum of the observations of distribution \p Name.
@@ -58,11 +74,18 @@ public:
   /// Returns the mean of the observations of \p Name (0.0 when empty).
   double distributionMean(const std::string &Name) const;
 
+  /// Returns a copy of every counter, for consistent multi-counter reads.
+  std::map<std::string, int64_t> snapshot() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Counters;
+  }
+
   /// Merges all counters and distributions of \p Other into this registry.
   void mergeFrom(const StatsRegistry &Other);
 
   /// Removes all counters and distributions.
   void clear() {
+    std::lock_guard<std::mutex> Lock(Mu);
     Counters.clear();
     Distributions.clear();
   }
@@ -71,6 +94,7 @@ public:
   void print(std::ostream &OS) const;
 
 private:
+  mutable std::mutex Mu;
   std::map<std::string, int64_t> Counters;
   std::map<std::string, std::vector<int64_t>> Distributions;
 };

@@ -1,0 +1,207 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the content-addressed compile cache
+/// (src/service/CompileCache.h): hit/miss accounting, LRU eviction under
+/// the byte budget, single-flight leader/waiter coalescing (success and
+/// failure paths), and the guarantee that eviction never invalidates a
+/// unit a client still holds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileCache.h"
+#include "support/Statistic.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+using namespace snslp;
+
+namespace {
+
+/// A unit with a settable size and a liveness flag for eviction tests.
+struct FakeUnit : CacheableUnit {
+  explicit FakeUnit(size_t Bytes, int Tag = 0) : Bytes(Bytes), Tag(Tag) {}
+  size_t cachedBytes() const override { return Bytes; }
+  size_t Bytes;
+  int Tag;
+};
+
+Digest128 key(uint64_t N) { return digest128(&N, sizeof(N)); }
+
+std::shared_ptr<const FakeUnit> asFake(const CompileCache::UnitPtr &U) {
+  return std::static_pointer_cast<const FakeUnit>(U);
+}
+
+TEST(CompileCacheTest, MissThenHit) {
+  CompileCache Cache(/*ByteBudget=*/0);
+  CompileCache::Lookup L = Cache.lookupOrBegin(key(1));
+  ASSERT_EQ(L.State, CompileCache::LookupState::MustCompile);
+  Cache.fulfill(key(1), std::make_shared<FakeUnit>(100, 7));
+
+  CompileCache::Lookup L2 = Cache.lookupOrBegin(key(1));
+  ASSERT_EQ(L2.State, CompileCache::LookupState::Hit);
+  EXPECT_EQ(asFake(L2.Unit)->Tag, 7);
+
+  CompileCache::Counters C = Cache.counters();
+  EXPECT_EQ(C.Misses, 1u);
+  EXPECT_EQ(C.Hits, 1u);
+  EXPECT_EQ(C.Insertions, 1u);
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(Cache.retainedBytes(), 100u);
+}
+
+TEST(CompileCacheTest, DistinctKeysDoNotAlias) {
+  CompileCache Cache(0);
+  EXPECT_EQ(Cache.lookupOrBegin(key(1)).State,
+            CompileCache::LookupState::MustCompile);
+  Cache.fulfill(key(1), std::make_shared<FakeUnit>(10, 1));
+  EXPECT_EQ(Cache.lookupOrBegin(key(2)).State,
+            CompileCache::LookupState::MustCompile);
+  Cache.fulfill(key(2), std::make_shared<FakeUnit>(10, 2));
+  EXPECT_EQ(asFake(Cache.lookupOrBegin(key(1)).Unit)->Tag, 1);
+  EXPECT_EQ(asFake(Cache.lookupOrBegin(key(2)).Unit)->Tag, 2);
+}
+
+TEST(CompileCacheTest, LRUEvictionUnderByteBudget) {
+  CompileCache Cache(/*ByteBudget=*/150);
+  for (uint64_t I = 0; I < 3; ++I) {
+    ASSERT_EQ(Cache.lookupOrBegin(key(I)).State,
+              CompileCache::LookupState::MustCompile);
+    Cache.fulfill(key(I), std::make_shared<FakeUnit>(60));
+  }
+  // 3 * 60 = 180 > 150: the least recently used entry (key 0) is gone.
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_LE(Cache.retainedBytes(), 150u);
+  EXPECT_FALSE(Cache.contains(key(0)));
+  EXPECT_TRUE(Cache.contains(key(1)));
+  EXPECT_TRUE(Cache.contains(key(2)));
+  EXPECT_EQ(Cache.counters().Evictions, 1u);
+}
+
+TEST(CompileCacheTest, HitRefreshesLRUPosition) {
+  CompileCache Cache(/*ByteBudget=*/150);
+  for (uint64_t I = 0; I < 2; ++I) {
+    Cache.lookupOrBegin(key(I));
+    Cache.fulfill(key(I), std::make_shared<FakeUnit>(60));
+  }
+  // Touch key 0 so key 1 becomes the eviction victim.
+  EXPECT_EQ(Cache.lookupOrBegin(key(0)).State,
+            CompileCache::LookupState::Hit);
+  Cache.lookupOrBegin(key(2));
+  Cache.fulfill(key(2), std::make_shared<FakeUnit>(60));
+  EXPECT_TRUE(Cache.contains(key(0)));
+  EXPECT_FALSE(Cache.contains(key(1)));
+  EXPECT_TRUE(Cache.contains(key(2)));
+}
+
+TEST(CompileCacheTest, OversizedUnitStillServedThenEvicted) {
+  CompileCache Cache(/*ByteBudget=*/50);
+  Cache.lookupOrBegin(key(1));
+  // The unit alone exceeds the budget: it must still be published to its
+  // requester (and waiters), even if the cache cannot retain it long.
+  Cache.fulfill(key(1), std::make_shared<FakeUnit>(500, 9));
+  CompileCache::Lookup L = Cache.lookupOrBegin(key(1));
+  if (L.State == CompileCache::LookupState::Hit) {
+    EXPECT_EQ(asFake(L.Unit)->Tag, 9);
+  } else {
+    EXPECT_EQ(L.State, CompileCache::LookupState::MustCompile);
+    // Settle the in-flight record this lookup opened.
+    Cache.fulfill(key(1), std::make_shared<FakeUnit>(500, 9));
+  }
+}
+
+TEST(CompileCacheTest, EvictionNeverInvalidatesHeldUnits) {
+  CompileCache Cache(/*ByteBudget=*/100);
+  Cache.lookupOrBegin(key(1));
+  Cache.fulfill(key(1), std::make_shared<FakeUnit>(80, 1));
+  std::shared_ptr<const FakeUnit> Held =
+      asFake(Cache.lookupOrBegin(key(1)).Unit);
+  // Force the eviction of key 1.
+  Cache.lookupOrBegin(key(2));
+  Cache.fulfill(key(2), std::make_shared<FakeUnit>(80, 2));
+  EXPECT_FALSE(Cache.contains(key(1)));
+  // The held pointer is unaffected by the eviction.
+  EXPECT_EQ(Held->Tag, 1);
+  EXPECT_EQ(Held->cachedBytes(), 80u);
+}
+
+TEST(CompileCacheTest, SingleFlightCoalescesWaiters) {
+  CompileCache Cache(0, nullptr);
+  CompileCache::Lookup Leader = Cache.lookupOrBegin(key(1));
+  ASSERT_EQ(Leader.State, CompileCache::LookupState::MustCompile);
+
+  std::atomic<int> Coalesced{0};
+  std::vector<std::thread> Waiters;
+  for (int I = 0; I < 4; ++I)
+    Waiters.emplace_back([&Cache, &Coalesced] {
+      CompileCache::Lookup L = Cache.lookupOrBegin(key(1));
+      if (L.State == CompileCache::LookupState::Coalesced &&
+          !L.LeaderFailed && asFake(L.Unit)->Tag == 42)
+        ++Coalesced;
+    });
+  // Give the waiters time to block on the in-flight record, then publish.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  Cache.fulfill(key(1), std::make_shared<FakeUnit>(10, 42));
+  for (auto &T : Waiters)
+    T.join();
+  EXPECT_EQ(Coalesced.load(), 4);
+  EXPECT_EQ(Cache.counters().Coalesced, 4u);
+  // Exactly one compile happened.
+  EXPECT_EQ(Cache.counters().Misses, 1u);
+}
+
+TEST(CompileCacheTest, SingleFlightFailurePropagatesAndRetries) {
+  CompileCache Cache(0);
+  ASSERT_EQ(Cache.lookupOrBegin(key(1)).State,
+            CompileCache::LookupState::MustCompile);
+
+  std::atomic<int> SawFailure{0};
+  std::thread Waiter([&] {
+    CompileCache::Lookup L = Cache.lookupOrBegin(key(1));
+    if (L.State == CompileCache::LookupState::Coalesced && L.LeaderFailed &&
+        L.Error == "line 3: bad token" && L.ErrorCodeName == "parse-error")
+      ++SawFailure;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Cache.fail(key(1), "line 3: bad token", "parse-error");
+  Waiter.join();
+  EXPECT_EQ(SawFailure.load(), 1);
+  EXPECT_EQ(Cache.counters().Failures, 1u);
+
+  // Failures are not cached: the next request gets to retry as leader.
+  EXPECT_FALSE(Cache.contains(key(1)));
+  EXPECT_EQ(Cache.lookupOrBegin(key(1)).State,
+            CompileCache::LookupState::MustCompile);
+  Cache.fulfill(key(1), std::make_shared<FakeUnit>(10));
+}
+
+TEST(CompileCacheTest, StatsRegistrySink) {
+  StatsRegistry Stats;
+  CompileCache Cache(0, &Stats);
+  Cache.lookupOrBegin(key(1));
+  Cache.fulfill(key(1), std::make_shared<FakeUnit>(10));
+  Cache.lookupOrBegin(key(1));
+  EXPECT_EQ(Stats.get("service.cache.misses"), 1);
+  EXPECT_EQ(Stats.get("service.cache.hits"), 1);
+  EXPECT_EQ(Stats.get("service.cache.insertions"), 1);
+}
+
+TEST(CompileCacheTest, ClearDropsRetainedUnits) {
+  CompileCache Cache(0);
+  Cache.lookupOrBegin(key(1));
+  Cache.fulfill(key(1), std::make_shared<FakeUnit>(10));
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_EQ(Cache.retainedBytes(), 0u);
+  EXPECT_FALSE(Cache.contains(key(1)));
+}
+
+} // namespace

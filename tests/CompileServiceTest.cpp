@@ -1,0 +1,259 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the concurrent compilation service
+/// (src/service/CompileService.h): the synchronous and future-based entry
+/// points, cache-hit/coalesce reporting, recoverable error codes
+/// (parse-error / invalid-argument / budget-exhausted), per-request
+/// strict-budget semantics on cached units, and execution of compiled
+/// units on synthesized buffers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileService.h"
+#include "support/Statistic.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+using namespace snslp;
+
+namespace {
+
+/// A 4-wide add/sub alternation (the paper's Super-Node shape), with a
+/// per-variant constant so each variant has its own cache key.
+std::string addsubModule(unsigned Variant = 0, const char *Name = "kern") {
+  std::string N = std::to_string(Variant);
+  std::string OS;
+  OS += std::string("func @") + Name + "(ptr %a, ptr %b, ptr %c) {\n";
+  OS += "entry:\n";
+  for (int I = 0; I < 4; ++I) {
+    std::string S = std::to_string(I);
+    OS += "  %pa" + S + " = gep i64, ptr %a, i64 " + S + "\n";
+    OS += "  %pb" + S + " = gep i64, ptr %b, i64 " + S + "\n";
+    OS += "  %pc" + S + " = gep i64, ptr %c, i64 " + S + "\n";
+    OS += "  %la" + S + " = load i64, ptr %pa" + S + "\n";
+    OS += "  %lb" + S + " = load i64, ptr %pb" + S + "\n";
+  }
+  for (int I = 0; I < 4; ++I) {
+    std::string S = std::to_string(I);
+    const char *Op = (I % 2 == 0) ? "add" : "sub";
+    OS += "  %t" + S + " = " + Op + " i64 %la" + S + ", %lb" + S + "\n";
+    OS += "  %r" + S + " = add i64 %t" + S + ", " + N + "\n";
+    OS += "  store i64 %r" + S + ", ptr %pc" + S + "\n";
+  }
+  OS += "  ret void\n}\n";
+  return OS;
+}
+
+CompileRequest request(unsigned Variant = 0) {
+  CompileRequest Req;
+  Req.ModuleText = addsubModule(Variant);
+  return Req;
+}
+
+TEST(CompileServiceTest, CompileSyncVectorizes) {
+  CompileService Service;
+  Expected<CompiledUnit> U = Service.compileSync(request());
+  ASSERT_TRUE(static_cast<bool>(U));
+  EXPECT_FALSE(U->CacheHit);
+  EXPECT_FALSE(U->Coalesced);
+  ASSERT_NE(U->Program, nullptr);
+  EXPECT_GE(U->Program->stats().GraphsVectorized, 1u);
+  EXPECT_NE(U->Program->vectorizedText().find("store <4 x i64>"),
+            std::string::npos);
+  EXPECT_FALSE(U->Program->remarks().empty());
+  EXPECT_EQ(U->Program->entryName(), "kern");
+}
+
+TEST(CompileServiceTest, SecondRequestIsACacheHit) {
+  CompileService Service;
+  Expected<CompiledUnit> A = Service.compileSync(request());
+  ASSERT_TRUE(static_cast<bool>(A));
+  Expected<CompiledUnit> B = Service.compileSync(request());
+  ASSERT_TRUE(static_cast<bool>(B));
+  EXPECT_TRUE(B->CacheHit);
+  // The very same unit is shared, not recompiled.
+  EXPECT_EQ(A->Program.get(), B->Program.get());
+  EXPECT_EQ(Service.cache().counters().Hits, 1u);
+  EXPECT_EQ(Service.cache().counters().Misses, 1u);
+}
+
+TEST(CompileServiceTest, ConfigChangesTheCacheKey) {
+  CompileRequest A = request();
+  CompileRequest B = request();
+  B.Config.Mode = VectorizerMode::O3;
+  EXPECT_FALSE(CompileService::requestKey(A) == CompileService::requestKey(B));
+  // StrictBudgets is per-request, deliberately NOT part of the key.
+  CompileRequest C = request();
+  C.StrictBudgets = true;
+  EXPECT_TRUE(CompileService::requestKey(A) == CompileService::requestKey(C));
+}
+
+TEST(CompileServiceTest, ParseErrorIsRecoverable) {
+  CompileService Service;
+  CompileRequest Req;
+  Req.ModuleText = "this is not ir";
+  Expected<CompiledUnit> U = Service.compileSync(Req);
+  ASSERT_FALSE(static_cast<bool>(U));
+  EXPECT_EQ(U.errorCode(), ErrorCode::ParseError);
+  U.takeError().consume();
+  // Failures are not cached; a valid module under a different key still
+  // compiles.
+  Expected<CompiledUnit> V = Service.compileSync(request());
+  EXPECT_TRUE(static_cast<bool>(V));
+}
+
+TEST(CompileServiceTest, EmptyModuleIsAParseError) {
+  CompileService Service;
+  CompileRequest Req;
+  Req.ModuleText = "; just a comment\n";
+  Expected<CompiledUnit> U = Service.compileSync(Req);
+  ASSERT_FALSE(static_cast<bool>(U));
+  EXPECT_EQ(U.errorCode(), ErrorCode::ParseError);
+  U.takeError().consume();
+}
+
+TEST(CompileServiceTest, AmbiguousEntryIsInvalidArgument) {
+  CompileService Service;
+  CompileRequest Req;
+  Req.ModuleText = addsubModule(0, "f") + addsubModule(1, "g");
+  Expected<CompiledUnit> U = Service.compileSync(Req);
+  ASSERT_FALSE(static_cast<bool>(U));
+  EXPECT_EQ(U.errorCode(), ErrorCode::InvalidArgument);
+  U.takeError().consume();
+
+  // Naming the entry resolves the ambiguity.
+  Req.EntryFunction = "g";
+  Expected<CompiledUnit> V = Service.compileSync(Req);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(V->Program->entryName(), "g");
+
+  // Naming a function the module does not define fails.
+  Req.EntryFunction = "nope";
+  Expected<CompiledUnit> W = Service.compileSync(Req);
+  ASSERT_FALSE(static_cast<bool>(W));
+  EXPECT_EQ(W.errorCode(), ErrorCode::InvalidArgument);
+  W.takeError().consume();
+}
+
+TEST(CompileServiceTest, StrictBudgetsFailsOnBailout) {
+  CompileService Service;
+  CompileRequest Req = request();
+  Req.Config.Budgets.MaxGraphNodes = 1; // Guaranteed bailout.
+  Req.StrictBudgets = true;
+  Expected<CompiledUnit> U = Service.compileSync(Req);
+  ASSERT_FALSE(static_cast<bool>(U));
+  EXPECT_EQ(U.errorCode(), ErrorCode::BudgetExhausted);
+  U.takeError().consume();
+
+  // Non-strict: the scalar fallback is served (and was cached).
+  CompileRequest Lax = request();
+  Lax.Config.Budgets.MaxGraphNodes = 1;
+  Expected<CompiledUnit> V = Service.compileSync(Lax);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_TRUE(V->CacheHit); // Strictness did not change the key.
+  EXPECT_GE(V->Program->stats().BudgetBailouts, 1u);
+  EXPECT_EQ(V->Program->stats().GraphsVectorized, 0u);
+
+  // A strict request against the now-cached scalar fallback still fails:
+  // strictness is a property of the request, not the unit.
+  Expected<CompiledUnit> W = Service.compileSync(Req);
+  ASSERT_FALSE(static_cast<bool>(W));
+  EXPECT_EQ(W.errorCode(), ErrorCode::BudgetExhausted);
+  W.takeError().consume();
+}
+
+TEST(CompileServiceTest, SubmitAllSettlesEveryFuture) {
+  StatsRegistry Stats;
+  ServiceConfig Cfg;
+  Cfg.Workers = 2;
+  Cfg.Stats = &Stats;
+  CompileService Service(Cfg);
+
+  std::vector<CompileRequest> Reqs;
+  for (unsigned I = 0; I < 16; ++I)
+    Reqs.push_back(request(I % 8)); // 8 distinct keys, requested twice.
+  auto Futures = Service.submitAll(std::move(Reqs));
+  ASSERT_EQ(Futures.size(), 16u);
+  unsigned Served = 0, FromCache = 0;
+  for (auto &F : Futures) {
+    Expected<CompiledUnit> U = F.get();
+    ASSERT_TRUE(static_cast<bool>(U));
+    ++Served;
+    if (U->CacheHit)
+      ++FromCache;
+  }
+  EXPECT_EQ(Served, 16u);
+  // 8 compiles; the other 8 requests were hits or coalesced onto the
+  // in-flight leader.
+  EXPECT_EQ(FromCache, 8u);
+  EXPECT_EQ(Stats.get("service.compiles"), 8);
+  EXPECT_EQ(Stats.get("service.requests"), 16);
+}
+
+TEST(CompileServiceTest, CompiledUnitRunsOnSynthesizedBuffers) {
+  CompileService Service;
+  Expected<CompiledUnit> U = Service.compileSync(request(5));
+  ASSERT_TRUE(static_cast<bool>(U));
+
+  std::vector<int64_t> A = {1, 2, 3, 4}, B = {10, 20, 30, 40};
+  std::vector<int64_t> C(4, 0);
+  CompiledProgram::RunRequest RR;
+  RR.Args = {argPointer(A.data()), argPointer(B.data()),
+             argPointer(C.data())};
+  RR.MemoryRanges = {{A.data(), A.size() * 8},
+                     {B.data(), B.size() * 8},
+                     {C.data(), C.size() * 8}};
+  ExecutionResult Res = U->Program->run(RR);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  // c[i] = (a[i] op b[i]) + 5 with op = +,-,+,-.
+  EXPECT_EQ(C[0], 1 + 10 + 5);
+  EXPECT_EQ(C[1], 2 - 20 + 5);
+  EXPECT_EQ(C[2], 3 + 30 + 5);
+  EXPECT_EQ(C[3], 4 - 40 + 5);
+  // The vectorized form executes vector steps.
+  EXPECT_GT(Res.VectorSteps, 0u);
+
+  // Out-of-bounds is caught by the registered ranges.
+  CompiledProgram::RunRequest Bad = RR;
+  Bad.MemoryRanges.pop_back(); // c unregistered
+  ExecutionResult BadRes = U->Program->run(Bad);
+  EXPECT_FALSE(BadRes.Ok);
+  EXPECT_EQ(BadRes.TrapKind, Trap::OutOfBounds);
+}
+
+TEST(CompileServiceTest, RunsSerializePerUnit) {
+  CompileService Service;
+  Expected<CompiledUnit> U = Service.compileSync(request());
+  ASSERT_TRUE(static_cast<bool>(U));
+  std::shared_ptr<const CompiledProgram> P = U->Program;
+
+  std::vector<std::thread> Threads;
+  std::atomic<int> OkRuns{0};
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([P, &OkRuns] {
+      for (int I = 0; I < 25; ++I) {
+        std::vector<int64_t> A(4, 1), B(4, 2), C(4, 0);
+        CompiledProgram::RunRequest RR;
+        RR.Args = {argPointer(A.data()), argPointer(B.data()),
+                   argPointer(C.data())};
+        RR.MemoryRanges = {{A.data(), 32}, {B.data(), 32}, {C.data(), 32}};
+        if (P->run(RR).Ok && C[0] == 3)
+          ++OkRuns;
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(OkRuns.load(), 100);
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential cache-correctness test: 200 generated programs
+/// (fuzz/IRGenerator) are compiled three ways —
+///   1. through the CompileService with a cold cache,
+///   2. through the CompileService again (warm: every request must hit),
+///   3. through the single-threaded pipeline directly (the pre-service
+///      compile path),
+/// and the outputs must agree bit-for-bit: identical vectorized module
+/// text and identical vectorizer decision trails. Cold vs warm
+/// additionally shares the very unit (pointer equality), so caching can
+/// never change what a client observes. Decision-trail comparison
+/// excludes PassExecuted remarks, whose messages carry wall-clock
+/// timings.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/PassPipeline.h"
+#include "fuzz/IRGenerator.h"
+#include "ir/Context.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "service/CompileService.h"
+#include "support/Remark.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+using namespace snslp;
+using namespace snslp::fuzz;
+
+namespace {
+
+constexpr unsigned kPrograms = 200;
+constexpr uint64_t kBaseSeed = 7000;
+
+/// The decision trail: every remark except the PassManager's PassExecuted
+/// records (their Message embeds nondeterministic wall time).
+std::vector<std::string> decisionTrail(const std::vector<Remark> &Remarks) {
+  std::vector<std::string> Trail;
+  for (const Remark &R : Remarks) {
+    if (R.Name == "PassExecuted")
+      continue;
+    Trail.push_back(R.Pass + "|" + R.Name + "|" + R.FunctionName + "|" +
+                    R.Decision);
+  }
+  return Trail;
+}
+
+/// The single-threaded reference compile: parse + the same pipeline the
+/// service runs, in the caller's thread, with a private collector.
+struct ReferenceCompile {
+  std::string VectorizedText;
+  std::vector<std::string> Trail;
+};
+
+ReferenceCompile compileReference(const std::string &ModuleText) {
+  Context Ctx;
+  Module M(Ctx, "ref");
+  std::string Err;
+  EXPECT_TRUE(parseIR(ModuleText, M, &Err)) << Err;
+  RemarkCollector RC;
+  PipelineOptions PO;
+  PO.Instrument.Remarks = &RC;
+  for (const auto &F : M.functions())
+    runPassPipeline(*F, PO);
+  ReferenceCompile Ref;
+  Ref.VectorizedText = toString(M);
+  Ref.Trail = decisionTrail(RC.take());
+  return Ref;
+}
+
+TEST(ServiceCacheDiffTest, ColdWarmAndSingleThreadedAgreeBitForBit) {
+  // Render the corpus once: each program is generated into its own
+  // context and captured as canonical text (what a service client sends).
+  std::vector<std::string> Corpus;
+  Corpus.reserve(kPrograms);
+  for (unsigned I = 0; I < kPrograms; ++I) {
+    Context Ctx;
+    Module M(Ctx, "gen");
+    IRGenerator Gen(M);
+    GeneratedProgram P =
+        Gen.generate("f" + std::to_string(I), kBaseSeed + I);
+    ASSERT_NE(P.F, nullptr);
+    Corpus.push_back(toString(M));
+  }
+
+  ServiceConfig Cfg;
+  Cfg.Workers = 4;
+  CompileService Service(Cfg);
+
+  // Wave 1: cold — every program is compiled on the pool.
+  std::vector<CompileRequest> Cold;
+  for (const std::string &Text : Corpus) {
+    CompileRequest Req;
+    Req.ModuleText = Text;
+    Cold.push_back(std::move(Req));
+  }
+  std::vector<std::shared_ptr<const CompiledProgram>> ColdUnits;
+  for (auto &Fut : Service.submitAll(std::move(Cold))) {
+    Expected<CompiledUnit> U = Fut.get();
+    ASSERT_TRUE(static_cast<bool>(U)) << U.errorMessage();
+    ColdUnits.push_back(U->Program);
+  }
+  ASSERT_EQ(ColdUnits.size(), kPrograms);
+
+  // Wave 2: warm — all requests must be served from the cache, returning
+  // the very same unit.
+  std::vector<CompileRequest> Warm;
+  for (const std::string &Text : Corpus) {
+    CompileRequest Req;
+    Req.ModuleText = Text;
+    Warm.push_back(std::move(Req));
+  }
+  unsigned WarmIdx = 0;
+  for (auto &Fut : Service.submitAll(std::move(Warm))) {
+    Expected<CompiledUnit> U = Fut.get();
+    ASSERT_TRUE(static_cast<bool>(U)) << U.errorMessage();
+    EXPECT_TRUE(U->CacheHit) << "warm request " << WarmIdx << " missed";
+    EXPECT_EQ(U->Program.get(), ColdUnits[WarmIdx].get())
+        << "warm request " << WarmIdx << " returned a different unit";
+    ++WarmIdx;
+  }
+
+  // Wave 3: the single-threaded path must agree with the service output
+  // bit-for-bit — both the vectorized text and the decision trail.
+  for (unsigned I = 0; I < kPrograms; ++I) {
+    ReferenceCompile Ref = compileReference(Corpus[I]);
+    EXPECT_EQ(ColdUnits[I]->vectorizedText(), Ref.VectorizedText)
+        << "program " << I << " (seed " << (kBaseSeed + I)
+        << "): service and single-threaded outputs diverge";
+    EXPECT_EQ(decisionTrail(ColdUnits[I]->remarks()), Ref.Trail)
+        << "program " << I << " (seed " << (kBaseSeed + I)
+        << "): decision trails diverge";
+  }
+}
+
+TEST(ServiceCacheDiffTest, RepeatServiceRunsAreDeterministic) {
+  // The same corpus through two *independent* services (fresh caches,
+  // different worker counts) must produce identical outputs: worker
+  // scheduling can never leak into compile results.
+  std::vector<std::string> Corpus;
+  for (unsigned I = 0; I < 20; ++I) {
+    Context Ctx;
+    Module M(Ctx, "gen");
+    GeneratedProgram P =
+        IRGenerator(M).generate("f" + std::to_string(I), 9000 + I);
+    ASSERT_NE(P.F, nullptr);
+    Corpus.push_back(toString(M));
+  }
+
+  auto RunAll = [&Corpus](unsigned Workers) {
+    ServiceConfig Cfg;
+    Cfg.Workers = Workers;
+    CompileService Service(Cfg);
+    std::vector<CompileRequest> Reqs;
+    for (const std::string &Text : Corpus) {
+      CompileRequest Req;
+      Req.ModuleText = Text;
+      Reqs.push_back(std::move(Req));
+    }
+    std::vector<std::string> Outputs;
+    for (auto &Fut : Service.submitAll(std::move(Reqs))) {
+      Expected<CompiledUnit> U = Fut.get();
+      EXPECT_TRUE(static_cast<bool>(U)) << U.errorMessage();
+      Outputs.push_back(U ? U->Program->vectorizedText() : "");
+    }
+    return Outputs;
+  };
+
+  EXPECT_EQ(RunAll(1), RunAll(4));
+}
+
+} // namespace

@@ -1,0 +1,291 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the snslpd wire protocol (src/service/Protocol.h): strict
+/// request/response text codecs with positioned errors, frame I/O over a
+/// socketpair (magic, length cap, EINTR-free round-trips), and
+/// serveRequest end-to-end against a CompileService — including the
+/// deterministic buffer synthesis and the post-run memory hash.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileService.h"
+#include "service/Protocol.h"
+
+#include <string>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "gtest/gtest.h"
+
+using namespace snslp;
+using namespace snslp::service;
+
+namespace {
+
+std::string addsubModule() {
+  std::string OS = "func @kern(ptr %a, ptr %b, ptr %c) {\nentry:\n";
+  for (int I = 0; I < 4; ++I) {
+    std::string S = std::to_string(I);
+    OS += "  %pa" + S + " = gep i64, ptr %a, i64 " + S + "\n";
+    OS += "  %pb" + S + " = gep i64, ptr %b, i64 " + S + "\n";
+    OS += "  %pc" + S + " = gep i64, ptr %c, i64 " + S + "\n";
+    OS += "  %la" + S + " = load i64, ptr %pa" + S + "\n";
+    OS += "  %lb" + S + " = load i64, ptr %pb" + S + "\n";
+  }
+  for (int I = 0; I < 4; ++I) {
+    std::string S = std::to_string(I);
+    OS += std::string("  %r") + S + " = " + ((I % 2) ? "sub" : "add") +
+          " i64 %la" + S + ", %lb" + S + "\n";
+    OS += "  store i64 %r" + S + ", ptr %pc" + S + "\n";
+  }
+  OS += "  ret void\n}\n";
+  return OS;
+}
+
+TEST(ServiceProtocolTest, RequestRoundTrip) {
+  ServiceRequest Req;
+  Req.ModuleText = "func @f(ptr %a) {\nentry:\n  ret void\n}\n";
+  Req.Entry = "f";
+  Req.Mode = VectorizerMode::LSLP;
+  Req.Run = true;
+  Req.Elems = 32;
+  Req.DataSeed = 99;
+  Req.MaxSteps = 4096;
+  Req.StrictBudgets = true;
+  Req.Budgets.MaxGraphNodes = 1000;
+  Req.Budgets.MaxLookAheadEvals = 2000;
+  Req.Budgets.MaxSuperNodePermutations = 3000;
+
+  std::string Err;
+  ServiceRequest Out;
+  ASSERT_TRUE(decodeRequest(encodeRequest(Req), Out, &Err)) << Err;
+  EXPECT_EQ(Out.ModuleText, Req.ModuleText);
+  EXPECT_EQ(Out.Entry, "f");
+  EXPECT_EQ(Out.Mode, VectorizerMode::LSLP);
+  EXPECT_TRUE(Out.Run);
+  EXPECT_EQ(Out.Elems, 32u);
+  EXPECT_EQ(Out.DataSeed, 99u);
+  EXPECT_EQ(Out.MaxSteps, 4096u);
+  EXPECT_TRUE(Out.StrictBudgets);
+  EXPECT_EQ(Out.Budgets.MaxGraphNodes, 1000u);
+  EXPECT_EQ(Out.Budgets.MaxLookAheadEvals, 2000u);
+  EXPECT_EQ(Out.Budgets.MaxSuperNodePermutations, 3000u);
+}
+
+TEST(ServiceProtocolTest, DefaultRequestRoundTrip) {
+  ServiceRequest Req;
+  Req.ModuleText = "x";
+  ServiceRequest Out;
+  std::string Err;
+  ASSERT_TRUE(decodeRequest(encodeRequest(Req), Out, &Err)) << Err;
+  EXPECT_EQ(Out.ModuleText, "x");
+  EXPECT_EQ(Out.Mode, VectorizerMode::SNSLP);
+  EXPECT_FALSE(Out.Run);
+  EXPECT_EQ(Out.Elems, 16u);
+}
+
+TEST(ServiceProtocolTest, ModeNameParsing) {
+  VectorizerMode M = VectorizerMode::O3;
+  EXPECT_TRUE(parseModeName("SN-SLP", M));
+  EXPECT_EQ(M, VectorizerMode::SNSLP);
+  EXPECT_TRUE(parseModeName("SNSLP", M)); // Hyphen-less alias.
+  EXPECT_EQ(M, VectorizerMode::SNSLP);
+  EXPECT_TRUE(parseModeName("LSLP", M));
+  EXPECT_EQ(M, VectorizerMode::LSLP);
+  EXPECT_FALSE(parseModeName("snslp", M));
+}
+
+TEST(ServiceProtocolTest, MalformedRequestsRejectedWithPosition) {
+  ServiceRequest Req;
+  std::string Err;
+
+  EXPECT_FALSE(decodeRequest("not a request\n", Req, &Err));
+  EXPECT_NE(Err.find("line 1"), std::string::npos) << Err;
+
+  // Unknown header key, strict rejection with position.
+  EXPECT_FALSE(decodeRequest(
+      "snslp-request v1\nbogus-key: 1\nmodule: 1\n\nx", Req, &Err));
+  EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("bogus-key"), std::string::npos) << Err;
+
+  // Body length mismatch.
+  EXPECT_FALSE(decodeRequest("snslp-request v1\nmodule: 5\n\nab", Req, &Err));
+  EXPECT_NE(Err.find("length mismatch"), std::string::npos) << Err;
+
+  // Missing blank separator.
+  EXPECT_FALSE(
+      decodeRequest("snslp-request v1\nmodule: 1\nx", Req, &Err));
+
+  // Bad numeric value.
+  EXPECT_FALSE(decodeRequest(
+      "snslp-request v1\nelems: lots\nmodule: 1\n\nx", Req, &Err));
+  EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
+
+  // Truncated header block.
+  EXPECT_FALSE(decodeRequest("snslp-request v1\nmode: SLP", Req, &Err));
+}
+
+TEST(ServiceProtocolTest, ResponseRoundTrip) {
+  ServiceResponse Resp;
+  Resp.Ok = true;
+  Resp.Cache = "hit";
+  Resp.KeyHex = "00112233445566778899aabbccddeeff";
+  Resp.GraphsVectorized = 3;
+  Resp.RemarkCount = 17;
+  Resp.DidRun = true;
+  Resp.RunOk = true;
+  Resp.HasReturnFP = true;
+  Resp.ReturnFP = 1.5;
+  Resp.Steps = 12345;
+  Resp.Cycles = 678.25;
+  Resp.MemHashHex = "deadbeefdeadbeef";
+  Resp.Body = "func @kern() {\n}\n";
+
+  ServiceResponse Out;
+  std::string Err;
+  ASSERT_TRUE(decodeResponse(encodeResponse(Resp), Out, &Err)) << Err;
+  EXPECT_TRUE(Out.Ok);
+  EXPECT_EQ(Out.Cache, "hit");
+  EXPECT_EQ(Out.KeyHex, Resp.KeyHex);
+  EXPECT_EQ(Out.GraphsVectorized, 3u);
+  EXPECT_EQ(Out.RemarkCount, 17u);
+  EXPECT_TRUE(Out.DidRun);
+  EXPECT_TRUE(Out.RunOk);
+  EXPECT_TRUE(Out.HasReturnFP);
+  EXPECT_DOUBLE_EQ(Out.ReturnFP, 1.5);
+  EXPECT_EQ(Out.Steps, 12345u);
+  EXPECT_DOUBLE_EQ(Out.Cycles, 678.25);
+  EXPECT_EQ(Out.MemHashHex, "deadbeefdeadbeef");
+  EXPECT_EQ(Out.Body, Resp.Body);
+}
+
+TEST(ServiceProtocolTest, ErrorResponseRoundTrip) {
+  ServiceResponse Resp;
+  Resp.Ok = false;
+  Resp.ErrorCodeName = "parse-error";
+  Resp.Body = "line 3: unknown opcode 'frob'";
+  ServiceResponse Out;
+  std::string Err;
+  ASSERT_TRUE(decodeResponse(encodeResponse(Resp), Out, &Err)) << Err;
+  EXPECT_FALSE(Out.Ok);
+  EXPECT_EQ(Out.ErrorCodeName, "parse-error");
+  EXPECT_EQ(Out.Body, "line 3: unknown opcode 'frob'");
+  // The spelling round-trips into a real ErrorCode.
+  ErrorCode Code = ErrorCode::Success;
+  EXPECT_TRUE(parseErrorCodeName(Out.ErrorCodeName, Code));
+  EXPECT_EQ(Code, ErrorCode::ParseError);
+}
+
+TEST(ServiceProtocolTest, FrameRoundTripOverSocketpair) {
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  std::string Payload = "hello frames";
+  Payload.push_back('\0'); // Binary-safe.
+  Payload += "tail";
+  std::string Err;
+  ASSERT_TRUE(writeFrame(Fds[0], Payload, &Err)) << Err;
+  std::string Out;
+  ASSERT_TRUE(readFrame(Fds[1], Out, &Err)) << Err;
+  EXPECT_EQ(Out, Payload);
+
+  // Clean EOF: empty error string.
+  close(Fds[0]);
+  EXPECT_FALSE(readFrame(Fds[1], Out, &Err));
+  EXPECT_TRUE(Err.empty()) << Err;
+  close(Fds[1]);
+}
+
+TEST(ServiceProtocolTest, FrameRejectsBadMagicAndOversizedLength) {
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  std::string Err;
+
+  // Wrong magic. (Header only: readFrame fails at the magic check before
+  // consuming any payload, so don't leave stray bytes in the stream.)
+  const char BadMagic[] = {'N', 'O', 'P', 'E', 1, 0, 0, 0};
+  ASSERT_EQ(write(Fds[0], BadMagic, sizeof(BadMagic)),
+            static_cast<ssize_t>(sizeof(BadMagic)));
+  std::string Out;
+  EXPECT_FALSE(readFrame(Fds[1], Out, &Err));
+  EXPECT_NE(Err.find("magic"), std::string::npos) << Err;
+
+  // A runaway length prefix must be rejected before any allocation.
+  const unsigned char Oversized[] = {'S', 'N', 'S', '1',
+                                     0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(write(Fds[0], Oversized, sizeof(Oversized)),
+            static_cast<ssize_t>(sizeof(Oversized)));
+  EXPECT_FALSE(readFrame(Fds[1], Out, &Err));
+  EXPECT_NE(Err.find("limit"), std::string::npos) << Err;
+
+  close(Fds[0]);
+  close(Fds[1]);
+}
+
+TEST(ServiceProtocolTest, ServeRequestCompilesAndRuns) {
+  CompileService Service;
+  ServiceRequest Req;
+  Req.ModuleText = addsubModule();
+  Req.Run = true;
+  Req.Elems = 8;
+  Req.DataSeed = 3;
+
+  ServiceResponse A = serveRequest(Service, Req);
+  ASSERT_TRUE(A.Ok) << A.Body;
+  EXPECT_EQ(A.Cache, "miss");
+  EXPECT_GE(A.GraphsVectorized, 1u);
+  EXPECT_TRUE(A.DidRun);
+  EXPECT_TRUE(A.RunOk) << A.RunError;
+  EXPECT_GT(A.Steps, 0u);
+  EXPECT_FALSE(A.MemHashHex.empty());
+  EXPECT_NE(A.Body.find("<4 x i64>"), std::string::npos);
+
+  // The identical request hits the cache and reproduces the run
+  // bit-for-bit (same seed -> same buffers -> same memory image).
+  ServiceResponse B = serveRequest(Service, Req);
+  EXPECT_EQ(B.Cache, "hit");
+  EXPECT_EQ(B.MemHashHex, A.MemHashHex);
+  EXPECT_EQ(B.Body, A.Body);
+  EXPECT_EQ(B.KeyHex, A.KeyHex);
+
+  // A different data seed changes the memory image.
+  Req.DataSeed = 4;
+  ServiceResponse C = serveRequest(Service, Req);
+  ASSERT_TRUE(C.Ok);
+  EXPECT_EQ(C.Cache, "hit"); // Seed is a run-time knob, not a cache key.
+  EXPECT_NE(C.MemHashHex, A.MemHashHex);
+}
+
+TEST(ServiceProtocolTest, ServeRequestReportsCompileErrors) {
+  CompileService Service;
+  ServiceRequest Req;
+  Req.ModuleText = "definitely not ir\n";
+  ServiceResponse Resp = serveRequest(Service, Req);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.ErrorCodeName, "parse-error");
+  EXPECT_FALSE(Resp.Body.empty());
+}
+
+TEST(ServiceProtocolTest, ServeRequestRejectsUnsupportedSignatures) {
+  CompileService Service;
+  ServiceRequest Req;
+  // An integer argument *before* a pointer compiles fine but cannot have
+  // buffers synthesized (the run convention is leading pointers, then at
+  // most one trailing integer).
+  Req.ModuleText = "func @f(i64 %n, ptr %p) {\n"
+                   "entry:\n"
+                   "  store i64 %n, ptr %p\n"
+                   "  ret void\n"
+                   "}\n";
+  Req.Run = true;
+  ServiceResponse Resp = serveRequest(Service, Req);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.ErrorCodeName, "invalid-argument");
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the service thread pool (src/service/ThreadPool.h): MPMC
+/// submission, the quiescence barrier, graceful vs dropping shutdown, and
+/// the telemetry counters.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/ThreadPool.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+using namespace snslp;
+
+namespace {
+
+TEST(ThreadPoolTest, ExecutesEveryJob) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.getNumWorkers(), 4u);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 100; ++I)
+    ASSERT_TRUE(Pool.submit([&Count] { ++Count; }));
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+  EXPECT_EQ(Pool.jobsExecuted(), 100u);
+  EXPECT_EQ(Pool.jobsDropped(), 0u);
+  EXPECT_GE(Pool.peakQueueDepth(), 1u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersClampedToOne) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.getNumWorkers(), 1u);
+  std::atomic<int> Count{0};
+  ASSERT_TRUE(Pool.submit([&Count] { ++Count; }));
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentProducers) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  std::vector<std::thread> Producers;
+  for (int P = 0; P < 4; ++P)
+    Producers.emplace_back([&] {
+      for (int I = 0; I < 50; ++I)
+        Pool.submit([&Count] { ++Count; });
+    });
+  for (auto &T : Producers)
+    T.join();
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitIsAQuiescenceBarrier) {
+  ThreadPool Pool(2);
+  std::atomic<bool> SlowDone{false};
+  Pool.submit([&SlowDone] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    SlowDone = true;
+  });
+  Pool.wait();
+  // wait() must not return while the slow job is still running.
+  EXPECT_TRUE(SlowDone.load());
+}
+
+TEST(ThreadPoolTest, GracefulShutdownRunsPendingJobs) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(1);
+    // A long head job guarantees the rest are still queued at shutdown.
+    Pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    });
+    for (int I = 0; I < 20; ++I)
+      Pool.submit([&Count] { ++Count; });
+    Pool.shutdown(/*RunPending=*/true);
+  }
+  EXPECT_EQ(Count.load(), 20);
+}
+
+TEST(ThreadPoolTest, DroppingShutdownSkipsQueuedJobs) {
+  ThreadPool Pool(1);
+  std::promise<void> Gate;
+  std::shared_future<void> GateF = Gate.get_future().share();
+  // Head job blocks the lone worker; everything behind it stays queued.
+  Pool.submit([GateF] { GateF.wait(); });
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 10; ++I)
+    Pool.submit([&Count] { ++Count; });
+
+  std::thread Shutter([&Pool] { Pool.shutdown(/*RunPending=*/false); });
+  // Let shutdown() clear the queue, then release the worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Gate.set_value();
+  Shutter.join();
+
+  EXPECT_EQ(Count.load(), 0);
+  EXPECT_EQ(Pool.jobsDropped(), 10u);
+  EXPECT_EQ(Pool.jobsExecuted(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejected) {
+  ThreadPool Pool(1);
+  Pool.shutdown();
+  std::atomic<int> Count{0};
+  EXPECT_FALSE(Pool.submit([&Count] { ++Count; }));
+  EXPECT_EQ(Count.load(), 0);
+  EXPECT_EQ(Pool.jobsDropped(), 1u);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool Pool(2);
+  Pool.submit([] {});
+  Pool.shutdown();
+  Pool.shutdown(); // Must not hang or crash.
+  EXPECT_EQ(Pool.jobsExecuted(), 1u);
+}
+
+} // namespace

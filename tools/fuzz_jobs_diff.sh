@@ -1,0 +1,45 @@
+#!/bin/sh
+#===----------------------------------------------------------------------===#
+#
+# Part of the SN-SLP reproduction project, under the Apache License v2.0.
+#
+#===----------------------------------------------------------------------===#
+#
+# fuzz_jobs_diff.sh <fuzzslp-binary> <workdir>
+#
+# Locks in the `fuzzslp --jobs` determinism contract: the same seed range
+# swept with --jobs=1 and --jobs=8 must produce a bit-identical transcript
+# and the same exit code. Seeds are pre-split deterministically and output
+# is buffered per seed, so thread scheduling can never leak into findings.
+#
+#===----------------------------------------------------------------------===#
+set -u
+
+FUZZ=$1
+DIR=$2
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+SEED=4242
+RUNS=24
+
+ST1=0
+"$FUZZ" --seed=$SEED --runs=$RUNS --jobs=1 --verbose \
+    --artifact-dir="$DIR/artifacts-j1" > "$DIR/out-j1.txt" 2>&1 || ST1=$?
+ST8=0
+"$FUZZ" --seed=$SEED --runs=$RUNS --jobs=8 --verbose \
+    --artifact-dir="$DIR/artifacts-j8" > "$DIR/out-j8.txt" 2>&1 || ST8=$?
+
+if [ "$ST1" -ne "$ST8" ]; then
+  echo "FAIL: exit codes differ: --jobs=1 -> $ST1, --jobs=8 -> $ST8"
+  exit 1
+fi
+
+if ! cmp -s "$DIR/out-j1.txt" "$DIR/out-j8.txt"; then
+  echo "FAIL: transcripts differ between --jobs=1 and --jobs=8"
+  diff "$DIR/out-j1.txt" "$DIR/out-j8.txt" | head -40
+  exit 1
+fi
+
+echo "PASS: $RUNS seeds, identical transcript and exit code ($ST1) for jobs 1 vs 8"
+exit 0

@@ -14,9 +14,18 @@
 /// reduced artifacts. See docs/fuzzing.md.
 ///
 /// Usage:
-///   fuzzslp [--seed=N] [--runs=N] [--time-budget=SECONDS]
+///   fuzzslp [--seed=N] [--runs=N] [--jobs=N] [--time-budget=SECONDS]
 ///           [--corpus-dir=DIR] [--artifact-dir=DIR] [--reduce]
 ///           [--shuffles] [--max-steps=N] [--fault-inject] [--verbose]
+///
+/// --jobs=N fans the random runs out over the service thread pool
+/// (src/service/ThreadPool.h). The seed range is pre-split
+/// deterministically (seed index i goes to job i mod N), every job owns a
+/// private Context/Module/DiffOracle (the Context-per-job rule,
+/// docs/service.md), per-seed output is buffered and printed in seed order
+/// from the main thread, and artifacts are reduced/written on the main
+/// thread after the pool joins — so findings and output are identical for
+/// --jobs=1 and --jobs=8 (the fuzz_jobs_determinism ctest locks this in).
 ///
 /// --fault-inject sweeps every compiled-in `slp.*` fault site over each
 /// generated program (fail-safe mode: the armed defect must degrade to a
@@ -36,6 +45,7 @@
 #include "ir/Function.h"
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
+#include "service/ThreadPool.h"
 #include "slp/SLPVectorizer.h"
 #include "support/CommandLine.h"
 #include "support/FaultInjection.h"
@@ -45,6 +55,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -58,6 +69,11 @@ void printUsage() {
       "usage: fuzzslp [options]\n"
       "  --seed=N         base seed; run i uses seed N+i (default 1)\n"
       "  --runs=N         number of random programs (default 100)\n"
+      "  --jobs=N         worker threads for the random runs (default 1);\n"
+      "                   findings are identical for any N — seeds are\n"
+      "                   pre-split deterministically and output is\n"
+      "                   printed in seed order (forced to 1 with\n"
+      "                   --fault-inject: fault sites are process-global)\n"
       "  --time-budget=S  stop after S seconds even if runs remain\n"
       "  --corpus-dir=DIR replay every .ir artifact in DIR first\n"
       "  --artifact-dir=DIR  where reduced repros are written\n"
@@ -254,6 +270,18 @@ int main(int Argc, char **Argv) {
   const bool Verbose = CL.getBool("verbose");
   const bool FaultInject = CL.getBool("fault-inject");
 
+  unsigned Jobs = static_cast<unsigned>(CL.getInt("jobs", 1));
+  if (Jobs == 0)
+    Jobs = 1;
+  if (FaultInject && Jobs > 1) {
+    // The FaultInjector is a process-global singleton: arming a site from
+    // two jobs at once would make fire attribution meaningless.
+    std::fprintf(stderr,
+                 "fuzzslp: --fault-inject uses process-global fault sites; "
+                 "forcing --jobs=1\n");
+    Jobs = 1;
+  }
+
   OracleOptions Opts;
   if (CL.getBool("shuffles"))
     Opts.Configs = OracleOptions::defaultConfigs(/*WithLoadShuffles=*/true);
@@ -298,15 +326,16 @@ int main(int Argc, char **Argv) {
 
   uint64_t Completed = 0, Failed = 0, Skipped = 0, VariantsChecked = 0;
   uint64_t FaultChecks = 0, FaultFires = 0;
-  DiffOracle Oracle(Opts);
-  for (uint64_t I = 0; I < Runs && !OverBudget(); ++I) {
-    const uint64_t Seed = BaseSeed + I;
-    Context Ctx;
-    Module M(Ctx, "fuzz");
-    IRGenerator Gen(M);
-    GeneratedProgram P = Gen.generate("fuzz_" + std::to_string(Seed), Seed);
 
-    if (FaultInject) {
+  if (FaultInject) {
+    DiffOracle Oracle(Opts);
+    for (uint64_t I = 0; I < Runs && !OverBudget(); ++I) {
+      const uint64_t Seed = BaseSeed + I;
+      Context Ctx;
+      Module M(Ctx, "fuzz");
+      IRGenerator Gen(M);
+      GeneratedProgram P =
+          Gen.generate("fuzz_" + std::to_string(Seed), Seed);
       // Arm every compiled-in slp.* site in turn. A firing site simulates
       // an internal defect inside the vectorizer; the fail-safe layer must
       // keep the oracle matrix clean (scalar fallback, no abort, no
@@ -343,37 +372,103 @@ int main(int Argc, char **Argv) {
       ++Completed;
       if (AnyFail)
         ++Failed;
-      continue;
+    }
+  } else {
+    // The random sweep, fanned out over the service thread pool. Seeds
+    // are pre-split deterministically (index i -> job i mod Jobs), every
+    // job owns a private Context/Module/DiffOracle (Context-per-job
+    // rule), and each seed's output is buffered into its outcome slot so
+    // the main thread can print everything in seed order afterwards —
+    // the transcript is bit-identical for any --jobs value.
+    struct SeedOutcome {
+      bool Attempted = false;
+      bool Skipped = false;
+      bool Failed = false;
+      unsigned Variants = 0;
+      std::string Log;
+    };
+    std::vector<SeedOutcome> Outcomes(Runs);
+
+    auto RunSeed = [&](uint64_t I, DiffOracle &Oracle, SeedOutcome &Out) {
+      const uint64_t Seed = BaseSeed + I;
+      Context Ctx;
+      Module M(Ctx, "fuzz");
+      IRGenerator Gen(M);
+      GeneratedProgram P =
+          Gen.generate("fuzz_" + std::to_string(Seed), Seed);
+      OracleReport Report = Oracle.check(P, /*DataSeed=*/Seed);
+      Out.Attempted = true;
+      Out.Variants = Report.VariantsChecked;
+      std::ostringstream OS;
+      if (Report.BaselineFuelExhausted) {
+        Out.Skipped = true;
+        if (Verbose)
+          OS << "seed " << Seed << " skipped (baseline fuel exhausted after "
+             << Opts.MaxSteps << " steps)\n";
+      } else if (Report.ok()) {
+        if (Verbose)
+          OS << "seed " << Seed << " ok (" << getShapeName(P.Shape) << "/"
+             << P.ElemTy->getName() << ", " << Report.VariantsChecked
+             << " variants)\n";
+      } else {
+        Out.Failed = true;
+        OS << "seed " << Seed << " FAIL (" << getShapeName(P.Shape) << "/"
+           << P.ElemTy->getName() << ")\n"
+           << Report.summary();
+      }
+      Out.Log = OS.str();
+    };
+
+    if (Jobs == 1) {
+      DiffOracle Oracle(Opts);
+      for (uint64_t I = 0; I < Runs && !OverBudget(); ++I)
+        RunSeed(I, Oracle, Outcomes[I]);
+    } else {
+      ThreadPool Pool(Jobs);
+      for (unsigned J = 0; J < Jobs; ++J)
+        Pool.submit([&, J] {
+          DiffOracle Oracle(Opts);
+          for (uint64_t I = J; I < Runs; I += Jobs) {
+            if (OverBudget())
+              break;
+            RunSeed(I, Oracle, Outcomes[I]);
+          }
+        });
+      Pool.wait();
+      Pool.shutdown();
     }
 
-    OracleReport Report = Oracle.check(P, /*DataSeed=*/Seed);
-    ++Completed;
-    VariantsChecked += Report.VariantsChecked;
-    if (Report.BaselineFuelExhausted) {
-      ++Skipped;
-      if (Verbose)
-        std::printf("seed %llu skipped (baseline fuel exhausted after %llu "
-                    "steps)\n",
-                    static_cast<unsigned long long>(Seed),
-                    static_cast<unsigned long long>(Opts.MaxSteps));
-      continue;
+    // Seed-order reporting and artifact emission, on the main thread. A
+    // failing program is regenerated from its seed (generation is
+    // deterministic) so reduction and artifact writing never race.
+    for (uint64_t I = 0; I < Runs; ++I) {
+      const SeedOutcome &Out = Outcomes[I];
+      if (!Out.Attempted)
+        continue; // Cut off by the time budget.
+      ++Completed;
+      VariantsChecked += Out.Variants;
+      if (Out.Skipped)
+        ++Skipped;
+      if (!Out.Log.empty())
+        std::fputs(Out.Log.c_str(), stdout);
+      if (!Out.Failed)
+        continue;
+      ++Failed;
+      const uint64_t Seed = BaseSeed + I;
+      Context Ctx;
+      Module M(Ctx, "fuzz");
+      IRGenerator Gen(M);
+      GeneratedProgram P =
+          Gen.generate("fuzz_" + std::to_string(Seed), Seed);
+      DiffOracle Oracle(Opts);
+      OracleReport Report = Oracle.check(P, /*DataSeed=*/Seed);
+      if (!Report.ok()) {
+        std::string Path =
+            emitArtifact(P, Seed, Report, ArtifactDir, Reduce, Opts);
+        if (!Path.empty())
+          std::printf("  artifact: %s\n", Path.c_str());
+      }
     }
-    if (Report.ok()) {
-      if (Verbose)
-        std::printf("seed %llu ok (%s/%s, %u variants)\n",
-                    static_cast<unsigned long long>(Seed),
-                    getShapeName(P.Shape), P.ElemTy->getName().c_str(),
-                    Report.VariantsChecked);
-      continue;
-    }
-    ++Failed;
-    std::printf("seed %llu FAIL (%s/%s)\n%s",
-                static_cast<unsigned long long>(Seed), getShapeName(P.Shape),
-                P.ElemTy->getName().c_str(), Report.summary().c_str());
-    std::string Path =
-        emitArtifact(P, Seed, Report, ArtifactDir, Reduce, Opts);
-    if (!Path.empty())
-      std::printf("  artifact: %s\n", Path.c_str());
   }
 
   std::printf("fuzzslp: %llu runs, %llu failing, %llu skipped, %llu "

@@ -1,0 +1,132 @@
+#!/bin/sh
+# Round-trip test for the snslpd daemon + snslp-client pair (ctest:
+# service_smoke). Starts the daemon on a private socket, then drives it
+# through the protocol's happy path and its input-hardening paths:
+#
+#   1. compile+run of a vectorizable kernel  -> status ok, cache: miss
+#   2. the identical request again           -> cache: hit, same mem-hash
+#   3. a frame payload that is not a request -> positioned parse-error
+#   4. a well-formed request whose module
+#      text does not parse                   -> positioned parse-error
+#
+# The daemon serves exactly the expected number of frames
+# (--max-requests) and must exit 0 on its own; the malformed inputs must
+# be answered, never crash it or drop the connection.
+#
+# Usage: service_roundtrip.sh <snslpd> <snslp-client> <workdir>
+set -eu
+
+SNSLPD=$1
+CLIENT=$2
+WORKDIR=$3
+
+mkdir -p "$WORKDIR"
+SOCK="$WORKDIR/snslpd.sock"
+DPID=""
+
+cleanup() {
+  [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "service_roundtrip: FAIL: $1" >&2
+  exit 1
+}
+
+# A kernel the SN-SLP vectorizer handles: 4-wide add/sub alternation over
+# consecutive addresses (the paper's operator + inverse-element shape).
+cat > "$WORKDIR/kernel.ir" <<'EOF'
+func @addsub4(ptr %a, ptr %b, ptr %c) {
+entry:
+  %pa0 = gep i64, ptr %a, i64 0
+  %pa1 = gep i64, ptr %a, i64 1
+  %pa2 = gep i64, ptr %a, i64 2
+  %pa3 = gep i64, ptr %a, i64 3
+  %pb0 = gep i64, ptr %b, i64 0
+  %pb1 = gep i64, ptr %b, i64 1
+  %pb2 = gep i64, ptr %b, i64 2
+  %pb3 = gep i64, ptr %b, i64 3
+  %a0 = load i64, ptr %pa0
+  %a1 = load i64, ptr %pa1
+  %a2 = load i64, ptr %pa2
+  %a3 = load i64, ptr %pa3
+  %b0 = load i64, ptr %pb0
+  %b1 = load i64, ptr %pb1
+  %b2 = load i64, ptr %pb2
+  %b3 = load i64, ptr %pb3
+  %r0 = add i64 %a0, %b0
+  %r1 = sub i64 %a1, %b1
+  %r2 = add i64 %a2, %b2
+  %r3 = sub i64 %a3, %b3
+  %pc0 = gep i64, ptr %c, i64 0
+  %pc1 = gep i64, ptr %c, i64 1
+  %pc2 = gep i64, ptr %c, i64 2
+  %pc3 = gep i64, ptr %c, i64 3
+  store i64 %r0, ptr %pc0
+  store i64 %r1, ptr %pc1
+  store i64 %r2, ptr %pc2
+  store i64 %r3, ptr %pc3
+  ret void
+}
+EOF
+
+"$SNSLPD" --socket="$SOCK" --max-requests=4 > "$WORKDIR/snslpd.out" &
+DPID=$!
+
+# Wait for the socket to appear (the daemon prints after listen()).
+TRIES=0
+while [ ! -S "$SOCK" ]; do
+  TRIES=$((TRIES + 1))
+  [ "$TRIES" -gt 100 ] && fail "daemon socket never appeared"
+  kill -0 "$DPID" 2>/dev/null || fail "daemon exited before listening"
+  sleep 0.1
+done
+
+# 1. Cold compile + run.
+OUT1=$("$CLIENT" --socket="$SOCK" --file="$WORKDIR/kernel.ir" \
+       --mode=SNSLP --run --elems=8 --data-seed=7) \
+  || fail "cold request was rejected"
+echo "$OUT1" | grep -q '^status: ok$'    || fail "cold request: not ok"
+echo "$OUT1" | grep -q '^cache: miss$'   || fail "cold request: expected cache miss"
+echo "$OUT1" | grep -q '^run-ok: 1$'     || fail "cold request: run failed"
+echo "$OUT1" | grep -q '^mem-hash: '     || fail "cold request: no mem-hash"
+# The kernel must actually have been vectorized, not just compiled.
+GV=$(echo "$OUT1" | sed -n 's/^graphs-vectorized: //p')
+[ "$GV" -ge 1 ] || fail "cold request: expected >=1 vectorized graph, got $GV"
+
+# 2. Identical request: a cache hit with a bit-identical execution.
+OUT2=$("$CLIENT" --socket="$SOCK" --file="$WORKDIR/kernel.ir" \
+       --mode=SNSLP --run --elems=8 --data-seed=7) \
+  || fail "warm request was rejected"
+echo "$OUT2" | grep -q '^cache: hit$' || fail "warm request: expected cache hit"
+H1=$(echo "$OUT1" | sed -n 's/^mem-hash: //p')
+H2=$(echo "$OUT2" | sed -n 's/^mem-hash: //p')
+[ "$H1" = "$H2" ] || fail "mem-hash differs cold vs warm ($H1 vs $H2)"
+B1=$(echo "$OUT1" | sed -n '/^$/,$p')
+B2=$(echo "$OUT2" | sed -n '/^$/,$p')
+[ "$B1" = "$B2" ] || fail "vectorized module text differs cold vs warm"
+
+# 3. A frame whose payload is not a request: the daemon must answer with
+# a positioned parse error on the same connection, not crash or hang up.
+printf 'definitely not a snslp request\n' > "$WORKDIR/bad.payload"
+OUT3=$("$CLIENT" --socket="$SOCK" --raw-payload="$WORKDIR/bad.payload" \
+       --expect-error=parse-error) \
+  || fail "malformed payload was not answered with parse-error"
+echo "$OUT3" | grep -q 'line 1:' || fail "parse error is not positioned"
+
+# 4. A well-formed request whose module text is garbage.
+printf 'this is not ir !!\n' > "$WORKDIR/bad.ir"
+"$CLIENT" --socket="$SOCK" --file="$WORKDIR/bad.ir" \
+    --expect-error=parse-error > /dev/null \
+  || fail "bad module was not answered with parse-error"
+
+# The daemon has now served its 4 frames and must exit 0 by itself.
+if ! wait "$DPID"; then
+  DPID=""
+  fail "daemon did not exit cleanly"
+fi
+DPID=""
+grep -q "listening on" "$WORKDIR/snslpd.out" || fail "daemon never announced itself"
+
+echo "service_roundtrip: PASS"

@@ -1,0 +1,215 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// snslp-client: command-line front-end for the snslpd daemon. Reads a
+/// module (file or stdin), sends one framed request over the daemon's
+/// Unix domain socket, and prints the response headers followed by the
+/// response body (the vectorized module on success, the positioned error
+/// message on failure).
+///
+/// Usage:
+///   snslp-client --socket=PATH [--file=MODULE.ir]
+///                [--mode=O3|SLP|LSLP|SNSLP] [--entry=NAME] [--run]
+///                [--elems=N] [--data-seed=N] [--max-steps=N]
+///                [--strict-budgets] [--max-graph-nodes=N]
+///                [--max-lookahead-evals=N]
+///                [--max-supernode-permutations=N]
+///                [--raw-payload=FILE] [--expect-error=CODE] [--quiet]
+///
+/// --raw-payload sends FILE's bytes verbatim as the frame payload
+/// (bypassing the request encoder) — the protocol-robustness hook used by
+/// the round-trip test to prove a malformed request is answered with a
+/// positioned parse error rather than a dropped connection.
+///
+/// --expect-error=CODE inverts the exit code: 0 iff the daemon answered
+/// with `status: error` and the given error-code spelling.
+///
+/// Exit code: 0 on success (or on the expected error), 1 on an
+/// unexpected response, 2 on usage / connection errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+#include "support/CommandLine.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace snslp;
+using namespace snslp::service;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: snslp-client --socket=PATH [options]\n"
+      "  --file=PATH        module text to compile (default: stdin)\n"
+      "  --mode=M           O3|SLP|LSLP|SN-SLP (default SN-SLP)\n"
+      "  --entry=NAME       entry function (default: the only function)\n"
+      "  --run              execute the entry after compiling\n"
+      "  --elems=N          elements per synthesized buffer (default 16)\n"
+      "  --data-seed=N      deterministic buffer contents (default 1)\n"
+      "  --max-steps=N      interpreter fuel (default 2^24)\n"
+      "  --strict-budgets   fail instead of accepting scalar fallback\n"
+      "  --max-graph-nodes=N / --max-lookahead-evals=N /\n"
+      "  --max-supernode-permutations=N   per-request resource budgets\n"
+      "  --raw-payload=FILE send FILE verbatim as the frame payload\n"
+      "  --expect-error=C   succeed iff the response is error code C\n"
+      "  --quiet            suppress the response body\n");
+}
+
+bool readFileOrStdin(const std::string &Path, std::string &Out) {
+  if (Path.empty()) {
+    std::ostringstream OS;
+    OS << std::cin.rdbuf();
+    Out = OS.str();
+    return true;
+  }
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  Out = OS.str();
+  return true;
+}
+
+void printResponse(const ServiceResponse &Resp, bool Quiet) {
+  if (Resp.Ok) {
+    std::printf("status: ok\ncache: %s\nkey: %s\n", Resp.Cache.c_str(),
+                Resp.KeyHex.c_str());
+    std::printf("graphs-vectorized: %llu\nremarks: %llu\n",
+                static_cast<unsigned long long>(Resp.GraphsVectorized),
+                static_cast<unsigned long long>(Resp.RemarkCount));
+    if (Resp.DidRun) {
+      std::printf("run-ok: %d\n", Resp.RunOk ? 1 : 0);
+      if (Resp.HasReturnInt)
+        std::printf("return-int: %lld\n",
+                    static_cast<long long>(Resp.ReturnInt));
+      if (Resp.HasReturnFP)
+        std::printf("return-fp: %.17g\n", Resp.ReturnFP);
+      std::printf("steps: %llu\ncycles: %.17g\n",
+                  static_cast<unsigned long long>(Resp.Steps), Resp.Cycles);
+      if (!Resp.MemHashHex.empty())
+        std::printf("mem-hash: %s\n", Resp.MemHashHex.c_str());
+      if (!Resp.RunError.empty())
+        std::printf("run-error: %s\n", Resp.RunError.c_str());
+    }
+  } else {
+    std::printf("status: error\nerror-code: %s\n",
+                Resp.ErrorCodeName.c_str());
+  }
+  if (!Quiet) {
+    std::printf("\n%s", Resp.Body.c_str());
+    if (!Resp.Body.empty() && Resp.Body.back() != '\n')
+      std::printf("\n");
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  const std::string SocketPath = CL.getString("socket");
+  if (SocketPath.empty() || CL.has("help")) {
+    printUsage();
+    return SocketPath.empty() ? 2 : 0;
+  }
+  const std::string ExpectError = CL.getString("expect-error");
+  const bool Quiet = CL.getBool("quiet");
+
+  // Build the frame payload: either a properly encoded request, or raw
+  // bytes when the caller wants to probe the daemon's input hardening.
+  std::string Payload;
+  const std::string RawPath = CL.getString("raw-payload");
+  if (!RawPath.empty()) {
+    if (!readFileOrStdin(RawPath, Payload)) {
+      std::fprintf(stderr, "snslp-client: cannot read %s\n",
+                   RawPath.c_str());
+      return 2;
+    }
+  } else {
+    ServiceRequest Req;
+    if (!readFileOrStdin(CL.getString("file"), Req.ModuleText)) {
+      std::fprintf(stderr, "snslp-client: cannot read %s\n",
+                   CL.getString("file").c_str());
+      return 2;
+    }
+    const std::string ModeName = CL.getString("mode", "SN-SLP");
+    if (!parseModeName(ModeName, Req.Mode)) {
+      std::fprintf(stderr, "snslp-client: unknown mode '%s'\n",
+                   ModeName.c_str());
+      return 2;
+    }
+    Req.Entry = CL.getString("entry");
+    Req.Run = CL.getBool("run");
+    Req.Elems = static_cast<uint64_t>(CL.getInt("elems", 16));
+    Req.DataSeed = static_cast<uint64_t>(CL.getInt("data-seed", 1));
+    Req.MaxSteps = static_cast<uint64_t>(CL.getInt("max-steps", 1ll << 24));
+    Req.StrictBudgets = CL.getBool("strict-budgets");
+    Req.Budgets.MaxGraphNodes =
+        static_cast<uint64_t>(CL.getInt("max-graph-nodes", 0));
+    Req.Budgets.MaxLookAheadEvals =
+        static_cast<uint64_t>(CL.getInt("max-lookahead-evals", 0));
+    Req.Budgets.MaxSuperNodePermutations =
+        static_cast<uint64_t>(CL.getInt("max-supernode-permutations", 0));
+    Payload = encodeRequest(Req);
+  }
+
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "snslp-client: socket path too long\n");
+    return 2;
+  }
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0 || ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                          sizeof(Addr)) < 0) {
+    std::fprintf(stderr, "snslp-client: cannot connect to %s: %s\n",
+                 SocketPath.c_str(), std::strerror(errno));
+    if (Fd >= 0)
+      ::close(Fd);
+    return 2;
+  }
+
+  std::string Err;
+  std::string RespPayload;
+  ServiceResponse Resp;
+  bool Transported = writeFrame(Fd, Payload, &Err) &&
+                     readFrame(Fd, RespPayload, &Err) &&
+                     decodeResponse(RespPayload, Resp, &Err);
+  ::close(Fd);
+  if (!Transported) {
+    std::fprintf(stderr, "snslp-client: %s\n",
+                 Err.empty() ? "daemon closed the connection" : Err.c_str());
+    return 2;
+  }
+
+  printResponse(Resp, Quiet);
+
+  if (!ExpectError.empty()) {
+    if (!Resp.Ok && Resp.ErrorCodeName == ExpectError)
+      return 0;
+    std::fprintf(stderr,
+                 "snslp-client: expected error-code '%s', got %s\n",
+                 ExpectError.c_str(),
+                 Resp.Ok ? "status ok" : Resp.ErrorCodeName.c_str());
+    return 1;
+  }
+  return Resp.Ok ? 0 : 1;
+}

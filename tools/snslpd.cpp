@@ -1,0 +1,186 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// snslpd: the vectorization daemon. Listens on a Unix domain socket and
+/// serves length-prefixed compile requests (service/Protocol.h) against a
+/// shared CompileService — so every client benefits from the daemon's
+/// content-addressed compile cache, and identical concurrent requests are
+/// single-flighted.
+///
+/// Usage:
+///   snslpd --socket=PATH [--workers=N] [--cache-bytes=N]
+///          [--max-requests=N] [--verbose]
+///
+/// Connections are accepted sequentially and each carries any number of
+/// request frames until the client closes it. A malformed frame payload
+/// is answered with a positioned `parse-error` response on the same
+/// connection — the daemon never drops a connection in response to bad
+/// input, and never crashes on it.
+///
+/// --max-requests=N exits cleanly (code 0, stats dump with --verbose)
+/// after N frames have been answered; 0 (default) serves forever. SIGINT
+/// and SIGTERM also trigger a clean shutdown.
+///
+/// Exit code: 0 on clean shutdown, 2 on usage or socket setup errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileService.h"
+#include "service/Protocol.h"
+#include "support/CommandLine.h"
+#include "support/Statistic.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace snslp;
+using namespace snslp::service;
+
+namespace {
+
+volatile sig_atomic_t GotShutdownSignal = 0;
+
+void onSignal(int) { GotShutdownSignal = 1; }
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: snslpd --socket=PATH [options]\n"
+      "  --socket=PATH     Unix domain socket to listen on (required;\n"
+      "                    an existing file at PATH is replaced)\n"
+      "  --workers=N       compile-pool threads (default: hardware)\n"
+      "  --cache-bytes=N   compile-cache byte budget (default 64 MiB)\n"
+      "  --max-requests=N  exit cleanly after answering N frames\n"
+      "                    (default 0 = serve forever)\n"
+      "  --verbose         log connections/requests and dump counters\n"
+      "                    on exit\n");
+}
+
+/// Serves every frame on one connection. Returns the number of frames
+/// answered.
+uint64_t serveConnection(int Fd, CompileService &Service, bool Verbose) {
+  uint64_t Served = 0;
+  std::string Payload, Err;
+  while (readFrame(Fd, Payload, &Err)) {
+    ServiceRequest Req;
+    ServiceResponse Resp;
+    std::string DecodeErr;
+    if (!decodeRequest(Payload, Req, &DecodeErr)) {
+      // Malformed payload: answer with a positioned parse error on the
+      // same connection, never drop it.
+      Resp.Ok = false;
+      Resp.ErrorCodeName = getErrorCodeName(ErrorCode::ParseError);
+      Resp.Body = "malformed request: " + DecodeErr;
+    } else {
+      Resp = serveRequest(Service, Req);
+    }
+    std::string WriteErr;
+    if (!writeFrame(Fd, encodeResponse(Resp), &WriteErr)) {
+      if (Verbose)
+        std::fprintf(stderr, "snslpd: client write failed: %s\n",
+                     WriteErr.c_str());
+      break;
+    }
+    ++Served;
+    if (Verbose)
+      std::fprintf(stderr, "snslpd: served frame (%s)\n",
+                   Resp.Ok ? Resp.Cache.c_str() : Resp.ErrorCodeName.c_str());
+  }
+  if (Verbose && !Err.empty())
+    std::fprintf(stderr, "snslpd: connection ended: %s\n", Err.c_str());
+  return Served;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  const std::string SocketPath = CL.getString("socket");
+  if (SocketPath.empty() || CL.has("help")) {
+    printUsage();
+    return SocketPath.empty() ? 2 : 0;
+  }
+  const unsigned Workers = static_cast<unsigned>(CL.getInt("workers", 0));
+  const uint64_t CacheBytes =
+      static_cast<uint64_t>(CL.getInt("cache-bytes", 64ll << 20));
+  const uint64_t MaxRequests =
+      static_cast<uint64_t>(CL.getInt("max-requests", 0));
+  const bool Verbose = CL.getBool("verbose");
+
+  // A dying client must not kill the daemon mid-write.
+  std::signal(SIGPIPE, SIG_IGN);
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onSignal; // No SA_RESTART: accept() must return EINTR.
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "snslpd: socket path too long (max %zu bytes)\n",
+                 sizeof(Addr.sun_path) - 1);
+    return 2;
+  }
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+
+  ::unlink(SocketPath.c_str()); // Replace a stale socket file.
+  int ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0 ||
+      ::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+          0 ||
+      ::listen(ListenFd, 16) < 0) {
+    std::fprintf(stderr, "snslpd: cannot listen on %s: %s\n",
+                 SocketPath.c_str(), std::strerror(errno));
+    if (ListenFd >= 0)
+      ::close(ListenFd);
+    return 2;
+  }
+
+  StatsRegistry Stats;
+  ServiceConfig Cfg;
+  Cfg.Workers = Workers;
+  Cfg.CacheBytes = CacheBytes;
+  Cfg.Stats = &Stats;
+  CompileService Service(Cfg);
+
+  std::printf("snslpd: listening on %s\n", SocketPath.c_str());
+  std::fflush(stdout);
+
+  uint64_t TotalServed = 0;
+  while (!GotShutdownSignal &&
+         (MaxRequests == 0 || TotalServed < MaxRequests)) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue; // Re-check the shutdown flag.
+      std::fprintf(stderr, "snslpd: accept: %s\n", std::strerror(errno));
+      break;
+    }
+    if (Verbose)
+      std::fprintf(stderr, "snslpd: accepted connection\n");
+    TotalServed += serveConnection(Fd, Service, Verbose);
+    ::close(Fd);
+  }
+
+  ::close(ListenFd);
+  ::unlink(SocketPath.c_str());
+  if (Verbose) {
+    std::fprintf(stderr, "snslpd: served %llu frame(s)\n",
+                 static_cast<unsigned long long>(TotalServed));
+    Stats.print(std::cerr);
+  }
+  return 0;
+}
