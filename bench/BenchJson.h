@@ -20,12 +20,15 @@
 #ifndef SNSLP_BENCH_BENCHJSON_H
 #define SNSLP_BENCH_BENCHJSON_H
 
+#include "jit/CPUFeatures.h"
+
 #include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -39,6 +42,9 @@ struct Entry {
   double NsPerOp = 0.0;
   /// Extra numeric facts (speedups, cache hits, ...), appended verbatim.
   std::vector<std::pair<std::string, double>> Extra;
+  /// Extra string facts (engine names, ISA strings, ...), emitted as
+  /// JSON strings after the numeric extras.
+  std::vector<std::pair<std::string, std::string>> ExtraStr;
 };
 
 /// Collects entries and serializes them to one JSON file.
@@ -47,26 +53,44 @@ public:
   explicit Report(std::string Path) : Path(std::move(Path)) {}
 
   Entry &add(std::string Name, uint64_t Iters, double NsPerOp) {
-    Entries.push_back(Entry{std::move(Name), Iters, NsPerOp, {}});
+    Entries.push_back(Entry{std::move(Name), Iters, NsPerOp, {}, {}});
     return Entries.back();
+  }
+
+  /// Report-level string metadata ("isa", host facts, ...), emitted as
+  /// top-level JSON fields before the benchmark array.
+  void addMeta(std::string Key, std::string Value) {
+    MetaStr.emplace_back(std::move(Key), std::move(Value));
+  }
+  /// Report-level numeric metadata ("host_cpus", ...).
+  void addMeta(std::string Key, double Value) {
+    MetaNum.emplace_back(std::move(Key), Value);
   }
 
   /// Writes the report; returns false (and complains on stderr) on I/O
   /// failure. Format:
-  ///   {"benchmarks":[{"name":...,"iters":...,"ns_per_op":...,...},...]}
+  ///   {"host_cpus":N,"isa":"...",...,
+  ///    "benchmarks":[{"name":...,"iters":...,"ns_per_op":...,...},...]}
   bool write() const {
     std::ofstream OS(Path);
     if (!OS) {
       std::cerr << "error: cannot write " << Path << "\n";
       return false;
     }
-    OS << "{\n  \"benchmarks\": [\n";
+    OS << "{\n";
+    for (const auto &[K, V] : MetaNum)
+      OS << "  \"" << escape(K) << "\": " << V << ",\n";
+    for (const auto &[K, V] : MetaStr)
+      OS << "  \"" << escape(K) << "\": \"" << escape(V) << "\",\n";
+    OS << "  \"benchmarks\": [\n";
     for (size_t I = 0; I < Entries.size(); ++I) {
       const Entry &E = Entries[I];
       OS << "    {\"name\": \"" << escape(E.Name) << "\", \"iters\": "
          << E.Iters << ", \"ns_per_op\": " << E.NsPerOp;
       for (const auto &[K, V] : E.Extra)
         OS << ", \"" << escape(K) << "\": " << V;
+      for (const auto &[K, V] : E.ExtraStr)
+        OS << ", \"" << escape(K) << "\": \"" << escape(V) << "\"";
       OS << "}" << (I + 1 < Entries.size() ? "," : "") << "\n";
     }
     OS << "  ]\n}\n";
@@ -89,7 +113,18 @@ private:
 
   std::string Path;
   std::vector<Entry> Entries;
+  std::vector<std::pair<std::string, double>> MetaNum;
+  std::vector<std::pair<std::string, std::string>> MetaStr;
 };
+
+/// Stamps the standard host facts every report should carry: logical CPU
+/// count and the CPUID-detected ISA string (jit/CPUFeatures.h) — the two
+/// facts needed to interpret engine-comparison numbers across machines.
+inline void addHostMeta(Report &Rep) {
+  Rep.addMeta("host_cpus",
+              static_cast<double>(std::thread::hardware_concurrency()));
+  Rep.addMeta("isa", hostCPUFeatures().isaString());
+}
 
 /// True when --smoke is among the arguments (single-iteration mode).
 inline bool isSmokeRun(int Argc, char **Argv) {

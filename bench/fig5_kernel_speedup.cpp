@@ -28,10 +28,10 @@ int main() {
   TextTable Table;
   Table.setHeader({"kernel", "LSLP speedup", "SN-SLP speedup",
                    "SN-SLP/LSLP", "O3 wall [us]", "SN wall [us]",
-                   "expectation"});
+                   "SN nat/byte", "expectation"});
 
-  double GeoLSLP = 1.0, GeoSN = 1.0;
-  unsigned Count = 0;
+  double GeoLSLP = 1.0, GeoSN = 1.0, GeoNative = 1.0;
+  unsigned Count = 0, NativeCount = 0;
   for (const Kernel &K : kernelRegistry()) {
     if (!K.InTableI)
       continue;
@@ -61,6 +61,17 @@ int main() {
       break;
     }
 
+    // Native JIT vs bytecode wall time on the SN-SLP build. Degraded
+    // rows (JIT unavailable on this host) are marked and excluded from
+    // the geomean — they would time bytecode against itself.
+    std::string NativeCell = "n/a (byte)";
+    if (SN.NativeUsed && SN.NativeWallSeconds.Mean > 0.0) {
+      double SpNative = SN.WallSeconds.Mean / SN.NativeWallSeconds.Mean;
+      NativeCell = TextTable::formatDouble(SpNative);
+      GeoNative *= SpNative;
+      ++NativeCount;
+    }
+
     Table.addRow(
         {K.Name, TextTable::formatDouble(SpLSLP),
          TextTable::formatDouble(SpSN),
@@ -69,7 +80,7 @@ int main() {
                                   O3.WallSeconds.StdDev * 1e6, 1),
          TextTable::formatMeanStd(SN.WallSeconds.Mean * 1e6,
                                   SN.WallSeconds.StdDev * 1e6, 1),
-         Expect});
+         NativeCell, Expect});
   }
   Table.print(std::cout);
 
@@ -78,7 +89,17 @@ int main() {
             << TextTable::formatDouble(std::pow(GeoLSLP, 1.0 / N))
             << ", SN-SLP "
             << TextTable::formatDouble(std::pow(GeoSN, 1.0 / N)) << "\n";
+  if (NativeCount)
+    std::cout << "geomean native-vs-bytecode wall speedup (SN-SLP builds): "
+              << TextTable::formatDouble(
+                     std::pow(GeoNative, 1.0 / NativeCount))
+              << "\n";
+  else
+    std::cout << "native JIT unavailable on this host; nat/byte column "
+                 "degraded to bytecode\n";
   std::cout << "Speedups are simulated-cycle ratios (deterministic); wall\n"
-               "times are interpreter wall clock, 10 runs + warm-up.\n";
+               "times are interpreter wall clock, 10 runs + warm-up.\n"
+               "'SN nat/byte' is the native JIT's wall-time speedup over\n"
+               "the bytecode engine on the same SN-SLP build.\n";
   return 0;
 }

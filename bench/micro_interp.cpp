@@ -5,12 +5,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Microbenchmark of the execution engine over the whole kernel suite:
+/// Microbenchmark of the execution engines over the whole kernel suite:
 /// for every kernel and a scalar (O3) + vectorized (SN-SLP) build, times
-/// the predecoded bytecode engine against the reference tree-walking
-/// interpreter on identical inputs. The per-kernel speedup column is the
+/// the native x86-64 JIT against the predecoded bytecode engine and the
+/// reference tree-walking interpreter on identical inputs. The per-kernel
+/// `speedup_vs_bytecode` column of the `engine=native` series is the
 /// number quoted in perf PRs; everything lands in BENCH_interp.json
-/// (name, iters, ns/op + speedup extras).
+/// (name, iters, ns/op + speedup extras, plus host_cpus/isa metadata).
+///
+/// On hosts the JIT cannot cover, the native series still runs — it
+/// degrades to bytecode (EngineUsed reports the degradation and the
+/// series is tagged "engine_used": "bytecode").
 ///
 /// Usage: micro_interp [--smoke]
 ///
@@ -28,17 +33,19 @@ using namespace snslp::benchjson;
 int main(int argc, char **argv) {
   const bool Smoke = isSmokeRun(argc, argv);
   Report Rep("BENCH_interp.json");
+  addHostMeta(Rep);
   TargetCostModel TCM;
   auto CycleFn = [&TCM](const Instruction &I) {
     return TCM.executionCycles(I);
   };
 
   const VectorizerMode Modes[] = {VectorizerMode::O3, VectorizerMode::SNSLP};
-  double LogSpeedupSum = 0.0;
-  unsigned SpeedupCount = 0;
+  double LogByteSpeedupSum = 0.0, LogNativeSpeedupSum = 0.0;
+  unsigned ByteSpeedupCount = 0, NativeSpeedupCount = 0;
 
-  std::printf("%-28s %14s %14s %9s\n", "kernel/mode", "bytecode ns/op",
-              "reference ns/op", "speedup");
+  std::printf("%-28s %12s %12s %12s %10s %10s\n", "kernel/mode",
+              "native ns/op", "bytecode ns/op", "reference ns/op",
+              "nat/byte", "byte/ref");
   for (const Kernel &K : kernelRegistry()) {
     for (VectorizerMode Mode : Modes) {
       KernelRunner Runner;
@@ -53,46 +60,72 @@ int main(int argc, char **argv) {
       }
       Args.push_back(argInt64(static_cast<int64_t>(Data.getN())));
 
-      auto RunByte = [&] {
-        ExecutionResult R = Engine.run(Args);
+      EngineKind NativeUsed = EngineKind::Bytecode;
+      auto RunOn = [&](EngineKind Kind, EngineKind *Used) {
+        ExecutionResult R = Engine.run(Kind, Args);
         if (!R.Ok) {
-          std::fprintf(stderr, "bytecode run failed (%s/%s): %s\n",
-                       K.Name.c_str(), getModeName(Mode), R.Error.c_str());
+          std::fprintf(stderr, "%s run failed (%s/%s): %s\n",
+                       getEngineKindName(Kind), K.Name.c_str(),
+                       getModeName(Mode), R.Error.c_str());
           std::exit(1);
         }
+        if (Used)
+          *Used = R.EngineUsed;
       };
-      auto RunRef = [&] {
-        ExecutionResult R = Engine.runReference(Args);
-        if (!R.Ok) {
-          std::fprintf(stderr, "reference run failed (%s/%s): %s\n",
-                       K.Name.c_str(), getModeName(Mode), R.Error.c_str());
-          std::exit(1);
-        }
-      };
+      auto RunNative = [&] { RunOn(EngineKind::Native, &NativeUsed); };
+      auto RunByte = [&] { RunOn(EngineKind::Bytecode, nullptr); };
+      auto RunRef = [&] { RunOn(EngineKind::Reference, nullptr); };
 
+      auto [NativeIters, NativeNs] = measure(RunNative, Smoke);
       auto [ByteIters, ByteNs] = measure(RunByte, Smoke);
       auto [RefIters, RefNs] = measure(RunRef, Smoke);
-      double Speedup = ByteNs > 0.0 ? RefNs / ByteNs : 0.0;
+      double ByteSpeedup = ByteNs > 0.0 ? RefNs / ByteNs : 0.0;
+      double NativeSpeedup = NativeNs > 0.0 ? ByteNs / NativeNs : 0.0;
 
       std::string Base = K.Name + "/" + getModeName(Mode);
+      Entry &NE = Rep.add(Base + "/native", NativeIters, NativeNs);
+      NE.Extra.emplace_back("speedup_vs_bytecode", NativeSpeedup);
+      NE.Extra.emplace_back("items_per_op", static_cast<double>(K.N));
+      NE.ExtraStr.emplace_back("engine", "native");
+      NE.ExtraStr.emplace_back("engine_used",
+                               getEngineKindName(NativeUsed));
       Entry &BE = Rep.add(Base + "/bytecode", ByteIters, ByteNs);
-      BE.Extra.emplace_back("speedup_vs_reference", Speedup);
+      BE.Extra.emplace_back("speedup_vs_reference", ByteSpeedup);
       BE.Extra.emplace_back("items_per_op", static_cast<double>(K.N));
+      BE.ExtraStr.emplace_back("engine", "bytecode");
       Entry &RE = Rep.add(Base + "/reference", RefIters, RefNs);
       RE.Extra.emplace_back("items_per_op", static_cast<double>(K.N));
+      RE.ExtraStr.emplace_back("engine", "reference");
 
-      std::printf("%-28s %14.0f %14.0f %8.2fx\n", Base.c_str(), ByteNs,
-                  RefNs, Speedup);
-      if (Speedup > 0.0) {
-        LogSpeedupSum += std::log(Speedup);
-        ++SpeedupCount;
+      std::printf("%-28s %12.0f %12.0f %12.0f %9.2fx %9.2fx\n",
+                  Base.c_str(), NativeNs, ByteNs, RefNs, NativeSpeedup,
+                  ByteSpeedup);
+      if (ByteSpeedup > 0.0) {
+        LogByteSpeedupSum += std::log(ByteSpeedup);
+        ++ByteSpeedupCount;
+      }
+      // Only count real native runs toward the JIT geomean: a degraded
+      // run times bytecode against itself.
+      if (NativeSpeedup > 0.0 && NativeUsed == EngineKind::Native) {
+        LogNativeSpeedupSum += std::log(NativeSpeedup);
+        ++NativeSpeedupCount;
       }
     }
   }
 
-  if (SpeedupCount) {
-    double Geomean = std::exp(LogSpeedupSum / SpeedupCount);
+  if (NativeSpeedupCount) {
+    double Geomean = std::exp(LogNativeSpeedupSum / NativeSpeedupCount);
+    std::printf("geomean native-vs-bytecode speedup: %.2fx\n", Geomean);
+    Rep.addMeta("geomean_native_vs_bytecode", Geomean);
+  } else {
+    std::printf("native engine unavailable on this host (%s); no "
+                "native-vs-bytecode geomean\n",
+                hostCPUFeatures().isaString().c_str());
+  }
+  if (ByteSpeedupCount) {
+    double Geomean = std::exp(LogByteSpeedupSum / ByteSpeedupCount);
     std::printf("geomean bytecode-vs-reference speedup: %.2fx\n", Geomean);
+    Rep.addMeta("geomean_bytecode_vs_reference", Geomean);
   }
   return Rep.write() ? 0 : 1;
 }

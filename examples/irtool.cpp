@@ -15,15 +15,24 @@
 ///                  [--lookahead=N] [--threshold=N] [--cleanup]
 ///                  [--remarks[=text|yaml|json]] [--time-passes]
 ///                  [--verify-each] [--print-after-all] [--stats]
+///                  [--engine=bytecode|reference|native] [--seed=N]
 ///                  [--quiet]
 ///
-/// With no input file, a built-in demo kernel is used. See
-/// docs/observability.md for the remark schema and triage workflow.
+/// With no input file, a built-in demo kernel is used. --engine executes
+/// the vectorized kernel through the chosen execution engine (the native
+/// x86-64 JIT degrades to bytecode on unsupported hosts — the report
+/// names the engine that actually ran); it needs a registry kernel
+/// (--kernel or the demo) for its buffer layout. See
+/// docs/observability.md for the remark schema and triage workflow, and
+/// docs/jit.md for the engine ladder.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "cfront/CFrontend.h"
+#include "costmodel/TargetCostModel.h"
 #include "driver/PassPipeline.h"
+#include "interp/ExecutionEngine.h"
+#include "kernels/KernelData.h"
 #include "ir/Context.h"
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
@@ -44,7 +53,9 @@ using namespace snslp;
 /// Resolves the tool's input (registry kernel, file argument, or built-in
 /// demo) into \p Source. Failures come back as named recoverable errors
 /// (unknown-kernel, io-error) rather than scattered exit() calls.
-static Error loadSource(const CommandLine &CL, std::string &Source) {
+static Error loadSource(const CommandLine &CL, std::string &Source,
+                        const Kernel *&RegistryKernel) {
+  RegistryKernel = nullptr;
   if (CL.has("kernel")) {
     const Kernel *K = findKernel(CL.getString("kernel"));
     if (!K) {
@@ -56,6 +67,7 @@ static Error loadSource(const CommandLine &CL, std::string &Source) {
                              "'; available:" + Known);
     }
     Source = K->IRText;
+    RegistryKernel = K;
     return Error::success();
   }
   if (!CL.positional().empty()) {
@@ -70,6 +82,7 @@ static Error loadSource(const CommandLine &CL, std::string &Source) {
   }
   const Kernel *Demo = findKernel("motiv2");
   Source = Demo->IRText;
+  RegistryKernel = Demo;
   std::cerr << "(no input file; using the built-in 'motiv2' demo "
                "kernel)\n";
   return Error::success();
@@ -88,6 +101,18 @@ static Error buildModule(const CommandLine &CL, const std::string &Source,
   if (!parseIR(Source, M, &Err))
     return Error::make(ErrorCode::ParseError, Err);
   return Error::success();
+}
+
+static bool parseEngine(const std::string &Name, EngineKind &Kind) {
+  if (Name == "bytecode")
+    Kind = EngineKind::Bytecode;
+  else if (Name == "reference")
+    Kind = EngineKind::Reference;
+  else if (Name == "native")
+    Kind = EngineKind::Native;
+  else
+    return false;
+  return true;
 }
 
 static bool parseMode(const std::string &Name, VectorizerMode &Mode) {
@@ -131,13 +156,21 @@ int main(int Argc, char **Argv) {
            "                            name the offending pass on failure\n"
            "  --print-after-all         dump the IR after every pass\n"
            "  --stats                   print vectorizer statistics\n"
+           "  --engine=bytecode|reference|native\n"
+           "                            execute the vectorized kernel\n"
+           "                            through the chosen engine and\n"
+           "                            print an execution report (needs\n"
+           "                            --kernel or the built-in demo)\n"
+           "  --seed=N                  buffer-content seed for --engine\n"
+           "                            (default 11)\n"
            "  --quiet                   do not print the output module\n";
     return 0;
   }
 
   // Read the input: a registry kernel, a file argument, or the demo.
   std::string Source;
-  if (Error E = loadSource(CL, Source)) {
+  const Kernel *RegistryKernel = nullptr;
+  if (Error E = loadSource(CL, Source, RegistryKernel)) {
     std::cerr << "error: " << E.toString() << "\n";
     return 1;
   }
@@ -260,6 +293,67 @@ int main(int Argc, char **Argv) {
               << "; committed cost       " << Total.CommittedCost << "\n"
               << "; instructions removed " << Total.InstructionsRemoved
               << "\n";
+  }
+
+  // --engine: execute the vectorized kernel through the selected engine.
+  // The buffer layout comes from the registry Kernel spec, so this only
+  // works for --kernel inputs (and the built-in demo).
+  if (CL.has("engine")) {
+    EngineKind Requested;
+    if (!parseEngine(CL.getString("engine"), Requested)) {
+      std::cerr << "error: unknown --engine value '"
+                << CL.getString("engine")
+                << "' (expected bytecode, reference or native)\n";
+      return 1;
+    }
+    if (!RegistryKernel) {
+      std::cerr << "error: --engine needs a registry kernel for its "
+                   "buffer layout (use --kernel=NAME or the built-in "
+                   "demo)\n";
+      return 1;
+    }
+    const Kernel &K = *RegistryKernel;
+    Function *F = M.getFunction(K.Name);
+    if (!F) {
+      std::cerr << "error: module does not define @" << K.Name << "\n";
+      return 1;
+    }
+    const uint64_t Seed = static_cast<uint64_t>(CL.getInt("seed", 11));
+    KernelData Data(K.Buffers, K.N, Seed);
+    TargetCostModel TCM;
+    ExecutionEngine Engine(*F, [&TCM](const Instruction &I) {
+      return TCM.executionCycles(I);
+    });
+    std::vector<RTValue> Args;
+    for (size_t I = 0; I < Data.getNumBuffers(); ++I) {
+      Args.push_back(argPointer(Data.getPointer(I)));
+      Engine.addMemoryRange(Data.getPointer(I), Data.getByteSize(I));
+    }
+    Args.push_back(argInt64(static_cast<int64_t>(Data.getN())));
+    ExecutionResult R = Engine.run(Requested, Args);
+    if (!R.Ok) {
+      std::cerr << "error: execution failed: " << R.Error << "\n";
+      return 1;
+    }
+    std::cerr << "; engine requested     " << getEngineKindName(Requested)
+              << "\n"
+              << "; engine used          "
+              << getEngineKindName(R.EngineUsed) << "\n";
+    if (Requested == EngineKind::Native &&
+        R.EngineUsed != EngineKind::Native)
+      std::cerr << "; native unavailable   "
+                << Engine.nativeDisabledReason() << "\n";
+    std::cerr << "; steps                " << R.StepsExecuted << "\n"
+              << "; vector steps         " << R.VectorSteps << "\n"
+              << "; simulated cycles     " << R.Cycles << "\n";
+    if (F->getReturnType() && !F->getReturnType()->isVoid()) {
+      if (F->getReturnType()->isFloatingPoint())
+        std::cerr << "; return               " << R.ReturnValue.getFP()
+                  << "\n";
+      else
+        std::cerr << "; return               " << R.ReturnValue.getInt()
+                  << "\n";
+    }
   }
   return 0;
 }

@@ -67,6 +67,31 @@ Expected<KernelMeasurement> snslp::tryMeasureKernel(KernelRunner &Runner,
                        "kernel '" + K.Name + "' failed to execute: " +
                            WallErr);
 
+  // Native JIT series, same methodology. A native request degrades to
+  // bytecode when the JIT is unavailable; NativeUsed records which engine
+  // actually produced the numbers.
+  {
+    KernelData Data(K.Buffers, K.N, /*Seed=*/5);
+    ExecutionResult R = Runner.execute(CK, Data, EngineKind::Native);
+    if (!R.Ok)
+      return Error::make(ErrorCode::ExecError,
+                         "kernel '" + K.Name + "' failed to execute: " +
+                             R.Error);
+    Result.NativeUsed = R.EngineUsed == EngineKind::Native;
+  }
+  Result.NativeWallSeconds = measureSeconds(
+      [&Runner, &CK, &K, &WallErr] {
+        KernelData Data(K.Buffers, K.N, /*Seed=*/5);
+        ExecutionResult R = Runner.execute(CK, Data, EngineKind::Native);
+        if (!R.Ok && WallErr.empty())
+          WallErr = R.Error;
+      },
+      Runs);
+  if (!WallErr.empty())
+    return Error::make(ErrorCode::ExecError,
+                       "kernel '" + K.Name + "' failed to execute: " +
+                           WallErr);
+
   Result.CompileSeconds = measureCompileTime(K, Mode, Runs);
   return Result;
 }

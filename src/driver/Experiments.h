@@ -31,7 +31,9 @@ struct KernelMeasurement {
   VectorizerMode Mode = VectorizerMode::O3;
   double SimCycles = 0.0;       ///< Simulated cycles of one execution.
   uint64_t DynamicInsts = 0;    ///< Executed IR instructions.
-  SampleStats WallSeconds;      ///< 10 runs + warm-up wall time.
+  SampleStats WallSeconds;      ///< 10 runs + warm-up wall time (bytecode).
+  SampleStats NativeWallSeconds; ///< Same methodology, native JIT engine.
+  bool NativeUsed = false; ///< Native actually ran (not degraded to bytecode).
   SampleStats CompileSeconds;   ///< Pipeline wall time (Fig. 11).
   VectorizeStats Stats;         ///< Vectorizer statistics.
 };

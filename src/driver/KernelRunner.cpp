@@ -70,8 +70,14 @@ CompiledKernel KernelRunner::compile(const Kernel &K, VectorizerMode Mode,
 
 ExecutionResult KernelRunner::execute(const CompiledKernel &CK,
                                       KernelData &Data) {
+  return execute(CK, Data, EngineKind::Bytecode);
+}
+
+ExecutionResult KernelRunner::execute(const CompiledKernel &CK,
+                                      KernelData &Data, EngineKind Kind) {
   // Compile-once, run-many: the bytecode form of each configured function
-  // is cached for the lifetime of the runner.
+  // is cached for the lifetime of the runner (and the native compilation,
+  // once requested, lives in the same cached engine).
   std::unique_ptr<ExecutionEngine> &Slot = Engines[CK.F];
   if (!Slot)
     Slot = std::make_unique<ExecutionEngine>(
@@ -87,7 +93,7 @@ ExecutionResult KernelRunner::execute(const CompiledKernel &CK,
     Engine.addMemoryRange(Data.getPointer(I), Data.getByteSize(I));
   }
   Args.push_back(argInt64(static_cast<int64_t>(Data.getN())));
-  return Engine.run(Args);
+  return Engine.run(Kind, Args);
 }
 
 bool KernelRunner::check(const CompiledKernel &CK, uint64_t Seed,

@@ -59,6 +59,13 @@ public:
   /// trailing n argument), with simulated-cycle accounting.
   ExecutionResult execute(const CompiledKernel &CK, KernelData &Data);
 
+  /// Like execute(), but through the engine selected by \p Engine
+  /// (bytecode / reference / native). A native request degrades to
+  /// bytecode when the JIT is unavailable; the result's EngineUsed field
+  /// reports what actually ran.
+  ExecutionResult execute(const CompiledKernel &CK, KernelData &Data,
+                          EngineKind Engine);
+
   /// Differential check: runs the kernel's C++ reference and the compiled
   /// IR on identically seeded buffers and compares outputs. Returns true
   /// on a match; otherwise fills \p Message.

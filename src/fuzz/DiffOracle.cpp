@@ -95,6 +95,12 @@ void fillBuffer(std::vector<uint8_t> &Buf, TypeKind EK, size_t Len,
 
 ProgramRun DiffOracle::runProgram(const GeneratedProgram &P, Function &F,
                                   uint64_t DataSeed, bool Reference) const {
+  return runProgram(P, F, DataSeed,
+                    Reference ? EngineKind::Reference : EngineKind::Bytecode);
+}
+
+ProgramRun DiffOracle::runProgram(const GeneratedProgram &P, Function &F,
+                                  uint64_t DataSeed, EngineKind Engine) const {
   assert(P.ElemTy && P.NumPointerArgs > 0 && "incomplete program metadata");
   const TypeKind EK = P.ElemTy->getKind();
   const size_t ElemSize = P.ElemTy->getSizeInBytes();
@@ -116,8 +122,7 @@ ProgramRun DiffOracle::runProgram(const GeneratedProgram &P, Function &F,
   if (P.HasTripCountArg)
     Args.push_back(argInt64(static_cast<int64_t>(P.TripCount)));
 
-  ExecutionResult Res = Reference ? E.runReference(Args, Opts.MaxSteps)
-                                  : E.run(Args, Opts.MaxSteps);
+  ExecutionResult Res = E.run(Engine, Args, Opts.MaxSteps);
 
   ProgramRun Run;
   Run.Ok = Res.Ok;
@@ -233,11 +238,14 @@ void DiffOracle::checkVariant(const GeneratedProgram &P, Function &Variant,
     return;
   }
 
-  for (bool Reference : {false, true}) {
-    if (Reference && !Opts.CheckReferenceEngine)
+  for (EngineKind Engine :
+       {EngineKind::Bytecode, EngineKind::Reference, EngineKind::Native}) {
+    if (Engine == EngineKind::Reference && !Opts.CheckReferenceEngine)
       continue;
-    const char *EngineName = Reference ? "reference" : "bytecode";
-    ProgramRun Run = runProgram(P, Variant, DataSeed, Reference);
+    if (Engine == EngineKind::Native && !Opts.CheckNativeEngine)
+      continue;
+    const char *EngineName = getEngineKindName(Engine);
+    ProgramRun Run = runProgram(P, Variant, DataSeed, Engine);
     ++Report.VariantsChecked;
     if (!Run.Ok) {
       Report.Failures.push_back({Label, EngineName, "exec-error", Run.Error});
@@ -276,17 +284,21 @@ OracleReport DiffOracle::check(const GeneratedProgram &P,
     return Report;
   }
 
-  // N-version check of the untransformed program on the bytecode VM.
-  {
-    ProgramRun Run = runProgram(P, *P.F, DataSeed, /*Reference=*/false);
+  // N-version check of the untransformed program on the other engines
+  // (bytecode VM, and the native JIT when enabled).
+  for (EngineKind Engine : {EngineKind::Bytecode, EngineKind::Native}) {
+    if (Engine == EngineKind::Native && !Opts.CheckNativeEngine)
+      continue;
+    const char *EngineName = getEngineKindName(Engine);
+    ProgramRun Run = runProgram(P, *P.F, DataSeed, Engine);
     ++Report.VariantsChecked;
     std::string Detail;
     if (!Run.Ok)
       Report.Failures.push_back(
-          {"original", "bytecode", "exec-error", Run.Error});
+          {"original", EngineName, "exec-error", Run.Error});
     else if (!compareRuns(P, Baseline, Run, &Detail))
       Report.Failures.push_back(
-          {"original", "bytecode", "memory-mismatch", Detail});
+          {"original", EngineName, "memory-mismatch", Detail});
   }
 
   // Reducer artifacts depend on exact print -> parse -> print round-trips.

@@ -6,8 +6,9 @@
 ///
 /// \file
 /// The differential-testing oracle. Runs a generated program through every
-/// vectorizer configuration crossed with both execution engines (the
-/// predecoded bytecode VM and the reference tree-walking interpreter),
+/// vectorizer configuration crossed with all three execution engines (the
+/// predecoded bytecode VM, the reference tree-walking interpreter, and the
+/// native x86-64 JIT where the host supports it),
 /// cross-checking return values and final memory images against the
 /// untransformed program, and verifying that the Verifier and the
 /// DCE/CSE/ConstantFolding cleanup passes hold post-vectorization. Can
@@ -21,6 +22,7 @@
 #define SNSLP_FUZZ_DIFFORACLE_H
 
 #include "fuzz/IRGenerator.h"
+#include "interp/ExecutionEngine.h"
 #include "interp/RTValue.h"
 #include "slp/VectorizerConfig.h"
 
@@ -47,6 +49,11 @@ struct OracleOptions {
   /// Also run every variant through the reference tree-walking
   /// interpreter (N-version execution), not just the bytecode VM.
   bool CheckReferenceEngine = true;
+  /// Also run every variant through the native x86-64 JIT. On hosts (or
+  /// for opcodes) the JIT cannot cover, the engine degrades to bytecode
+  /// automatically, so this column is always safe to enable; the result
+  /// then simply duplicates the bytecode run.
+  bool CheckNativeEngine = true;
   /// After vectorizing, run ConstantFolding + CSE + DCE, re-verify and
   /// re-execute (the passes must hold on post-vectorization IR).
   bool CheckCleanupPasses = true;
@@ -76,7 +83,8 @@ struct OracleOptions {
 /// One detected discrepancy.
 struct OracleFailure {
   std::string Variant; ///< "original", "SNSLP", "SNSLP+passes", "meta:..."
-  std::string Engine;  ///< "bytecode", "reference", "-" for static checks.
+  std::string Engine;  ///< "bytecode" | "reference" | "native",
+                       ///< "-" for static checks.
   std::string Kind;    ///< verifier | exec-error | return-mismatch |
                        ///< memory-mismatch | parse-roundtrip
   std::string Detail;
@@ -132,6 +140,12 @@ public:
   /// \p Reference selects the tree-walking interpreter.
   ProgramRun runProgram(const GeneratedProgram &P, Function &F,
                         uint64_t DataSeed, bool Reference) const;
+
+  /// Engine-selecting form: runs \p F through the engine named by
+  /// \p Engine (a native request degrades to bytecode when the JIT is
+  /// unavailable for this host or program).
+  ProgramRun runProgram(const GeneratedProgram &P, Function &F,
+                        uint64_t DataSeed, EngineKind Engine) const;
 
   /// Compares two runs under the options' tolerances. Returns true when
   /// equivalent; otherwise fills \p Detail with the first divergence.

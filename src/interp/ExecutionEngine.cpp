@@ -15,11 +15,26 @@
 #include "interp/Bytecode.h"
 #include "interp/RefInterpreter.h"
 #include "ir/Function.h"
+#include "jit/NativeFunction.h"
+#include "support/FaultInjection.h"
 
 using namespace snslp;
 
+const char *snslp::getEngineKindName(EngineKind Kind) {
+  switch (Kind) {
+  case EngineKind::Bytecode:
+    return "bytecode";
+  case EngineKind::Reference:
+    return "reference";
+  case EngineKind::Native:
+    return "native";
+  }
+  return "unknown";
+}
+
 struct ExecutionEngine::VMStateHolder {
   BytecodeFunction::VMState State;
+  NativeFunction::NativeState NativeState;
 };
 
 ExecutionEngine::ExecutionEngine(const Function &Fn, CycleFn CyclesFn)
@@ -54,7 +69,73 @@ ExecutionResult ExecutionEngine::run(const std::vector<RTValue> &Args,
   R.VectorSteps = BR.VectorSteps;
   R.Cycles = BR.Cycles;
   R.ReturnValue = BR.ReturnValue;
+  R.EngineUsed = EngineKind::Bytecode;
   return R;
+}
+
+bool ExecutionEngine::isNativeAvailable() {
+  if (!NativeTried) {
+    NativeTried = true;
+    Native = NativeFunction::compile(F, Cycles, &NativeReason);
+  }
+  return Native != nullptr;
+}
+
+size_t ExecutionEngine::nativeCodeSize() const {
+  return Native ? Native->codeSize() : 0;
+}
+
+unsigned ExecutionEngine::nativeFallbackOpCount() const {
+  return Native ? Native->fallbackOpCount() : 0;
+}
+
+std::vector<std::string> ExecutionEngine::nativeFallbackOpNames() const {
+  return Native ? Native->fallbackOpNames() : std::vector<std::string>();
+}
+
+ExecutionResult ExecutionEngine::runNative(const std::vector<RTValue> &Args,
+                                           uint64_t MaxSteps,
+                                           std::ostream *Trace) {
+  // Trace mode wants IR-level text, which machine code cannot produce;
+  // like the bytecode path, tracing routes to the reference oracle.
+  if (Trace)
+    return runReference(Args, MaxSteps, Trace);
+
+  // The fallback ladder: no native code, or an injected execution trap,
+  // degrades the run to the bytecode engine (never a hard failure).
+  if (!isNativeAvailable() || faultPoint("jit.exec.trap")) {
+    ++NativeFallbacks;
+    return run(Args, MaxSteps, nullptr);
+  }
+
+  NativeRunResult NR = Native->run(VM->NativeState, Args, MaxSteps,
+                                   MemoryRanges);
+  ExecutionResult R;
+  R.Ok = NR.Ok;
+  R.Error = std::move(NR.Error);
+  R.TrapKind = NR.TrapKind;
+  R.StepsExecuted = NR.StepsExecuted;
+  R.VectorSteps = NR.VectorSteps;
+  R.Cycles = NR.Cycles;
+  R.ReturnValue = NR.ReturnValue;
+  R.EngineUsed = EngineKind::Native;
+  if (!R.Ok && R.TrapKind == Trap::None)
+    R.TrapKind = Trap::Other; // e.g. argument count mismatch
+  return R;
+}
+
+ExecutionResult ExecutionEngine::run(EngineKind Kind,
+                                     const std::vector<RTValue> &Args,
+                                     uint64_t MaxSteps, std::ostream *Trace) {
+  switch (Kind) {
+  case EngineKind::Bytecode:
+    return run(Args, MaxSteps, Trace);
+  case EngineKind::Reference:
+    return runReference(Args, MaxSteps, Trace);
+  case EngineKind::Native:
+    return runNative(Args, MaxSteps, Trace);
+  }
+  return run(Args, MaxSteps, Trace);
 }
 
 ExecutionResult ExecutionEngine::runReference(const std::vector<RTValue> &Args,
@@ -62,5 +143,7 @@ ExecutionResult ExecutionEngine::runReference(const std::vector<RTValue> &Args,
                                               std::ostream *Trace) {
   if (!Ref)
     Ref = std::make_unique<RefInterpreter>(F, Cycles);
-  return Ref->run(Args, MaxSteps, Trace, MemoryRanges);
+  ExecutionResult R = Ref->run(Args, MaxSteps, Trace, MemoryRanges);
+  R.EngineUsed = EngineKind::Reference;
+  return R;
 }

@@ -10,7 +10,10 @@
 /// over host memory buffers. A reference tree-walking interpreter
 /// (interp/RefInterpreter.h) is retained as the semantic oracle: trace-mode
 /// runs and the differential kernel-suite test go through it, and the
-/// bytecode engine is required to match it bit-for-bit.
+/// bytecode engine is required to match it bit-for-bit. A third engine, the
+/// native x86-64 JIT (jit/NativeFunction.h), compiles lazily on first use
+/// and degrades to bytecode when the host ISA or executable memory is
+/// unavailable (see docs/jit.md for the fallback ladder).
 ///
 /// Two measurements come out of a run:
 ///  - wall time (one dispatch per IR instruction; a vector op is a single
@@ -39,7 +42,19 @@ class BasicBlock;
 class BytecodeFunction;
 class Function;
 class Instruction;
+class NativeFunction;
 class RefInterpreter;
+
+/// Which of the three execution engines ran (or should run) a function.
+enum class EngineKind {
+  Bytecode,  ///< Predecoded register-machine VM (the default).
+  Reference, ///< Tree-walking semantic oracle.
+  Native,    ///< x86-64 JIT; degrades to Bytecode when unavailable.
+};
+
+/// Stable lower-case spelling ("bytecode", "reference", "native") for
+/// remarks, bench JSON series and CLI flags.
+const char *getEngineKindName(EngineKind Kind);
 
 /// Computes the simulated cycle cost of executing one instruction once.
 /// Supplied by the cost-model layer; the engine itself is target-agnostic.
@@ -54,6 +69,10 @@ struct ExecutionResult {
   uint64_t VectorSteps = 0;   ///< Steps whose result/operands are vectors.
   double Cycles = 0.0;        ///< Simulated cycles (0 without a cycle model).
   RTValue ReturnValue;        ///< Valid for non-void functions.
+  /// Engine that actually executed the run. May differ from the requested
+  /// engine: a native request degrades to Bytecode when the JIT is
+  /// unavailable (unsupported ISA, no executable memory, injected fault).
+  EngineKind EngineUsed = EngineKind::Bytecode;
 
   /// Fraction of executed instructions operating on vectors.
   double vectorCoverage() const {
@@ -92,6 +111,44 @@ public:
                                uint64_t MaxSteps = 1ull << 32,
                                std::ostream *Trace = nullptr);
 
+  /// Runs through the native JIT engine. The function is compiled to
+  /// machine code lazily on the first call; if compilation is impossible
+  /// (unsupported ISA, no executable memory) or a `jit.exec.trap` fault is
+  /// injected, the run transparently degrades to the bytecode engine and
+  /// the result reports EngineUsed == Bytecode.
+  ExecutionResult runNative(const std::vector<RTValue> &Args,
+                            uint64_t MaxSteps = 1ull << 32,
+                            std::ostream *Trace = nullptr);
+
+  /// Dispatches to the engine selected by \p Kind (the form used by the
+  /// oracle matrix and the `--engine=` CLI flags).
+  ExecutionResult run(EngineKind Kind, const std::vector<RTValue> &Args,
+                      uint64_t MaxSteps = 1ull << 32,
+                      std::ostream *Trace = nullptr);
+
+  /// True when the native engine can execute this function (triggers the
+  /// lazy compile). False => runNative degrades to bytecode.
+  bool isNativeAvailable();
+
+  /// Why the native engine is unavailable ("unsupported-isa",
+  /// "no-exec-memory", "emit-abort"); empty when available or not yet
+  /// attempted.
+  const std::string &nativeDisabledReason() const { return NativeReason; }
+
+  /// Machine-code size of the native compilation (0 when unavailable).
+  size_t nativeCodeSize() const;
+
+  /// Instructions lowered via the native engine's scalar-call fallback
+  /// (0 when fully covered or unavailable).
+  unsigned nativeFallbackOpCount() const;
+
+  /// IR spellings of the fallback-lowered instructions (for `missed`
+  /// remarks); empty when fully covered or unavailable.
+  std::vector<std::string> nativeFallbackOpNames() const;
+
+  /// Number of runNative calls that degraded to the bytecode engine.
+  uint64_t nativeFallbackRuns() const { return NativeFallbacks; }
+
   /// Registers a valid memory range. Once any range is registered, every
   /// load/store is bounds-checked against the registered ranges and an
   /// out-of-bounds access aborts the run with a diagnostic (the
@@ -115,10 +172,14 @@ private:
   CycleFn Cycles;
   std::unique_ptr<BytecodeFunction> BC;
   std::unique_ptr<RefInterpreter> Ref; ///< Built on first reference run.
-  /// VM register file, reused across runs (lives here so Bytecode.h stays
-  /// independent of engine lifetime).
+  /// VM register file and native spill frame, reused across runs (live
+  /// here so the engine headers stay independent of engine lifetime).
   struct VMStateHolder;
   std::unique_ptr<VMStateHolder> VM;
+  std::unique_ptr<NativeFunction> Native; ///< Built on first native run.
+  bool NativeTried = false;    ///< Lazy-compile latch (one attempt).
+  std::string NativeReason;    ///< Populated when the attempt failed.
+  uint64_t NativeFallbacks = 0;
   std::vector<std::pair<uint64_t, uint64_t>> MemoryRanges;
 };
 

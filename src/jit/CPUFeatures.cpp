@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/CPUFeatures.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#endif
+
+namespace snslp {
+
+namespace {
+
+CPUFeatures detect() {
+  CPUFeatures F;
+#if defined(__x86_64__) || defined(_M_X64)
+  F.X86_64 = true;
+  unsigned EAX = 0, EBX = 0, ECX = 0, EDX = 0;
+  if (__get_cpuid(1, &EAX, &EBX, &ECX, &EDX)) {
+    F.SSE2 = (EDX & (1u << 26)) != 0;
+    F.SSE41 = (ECX & (1u << 19)) != 0;
+    // AVX needs the CPU bit, OSXSAVE, and the OS actually enabling the
+    // ymm state in XCR0 — a kernel that does not context-switch ymm
+    // advertises the CPUID bit but faults on VEX.256 execution.
+    bool OSXSave = (ECX & (1u << 27)) != 0;
+    bool AVXBit = (ECX & (1u << 28)) != 0;
+    if (OSXSave && AVXBit) {
+      unsigned XLo, XHi;
+      __asm__ volatile("xgetbv" : "=a"(XLo), "=d"(XHi) : "c"(0));
+      if ((XLo & 0x6) == 0x6) { // XMM and YMM state enabled.
+        F.AVX = true;
+        unsigned EAX7 = 0, EBX7 = 0, ECX7 = 0, EDX7 = 0;
+        if (__get_cpuid_count(7, 0, &EAX7, &EBX7, &ECX7, &EDX7))
+          F.AVX2 = (EBX7 & (1u << 5)) != 0;
+      }
+    }
+  }
+#endif
+  return F;
+}
+
+} // namespace
+
+std::string CPUFeatures::isaString() const {
+  if (!X86_64)
+    return "non-x86-64";
+  std::string S = "x86-64";
+  if (SSE2)
+    S += "+sse2";
+  if (SSE41)
+    S += "+sse4.1";
+  if (AVX)
+    S += "+avx";
+  if (AVX2)
+    S += "+avx2";
+  return S;
+}
+
+const CPUFeatures &hostCPUFeatures() {
+  static const CPUFeatures F = detect();
+  return F;
+}
+
+} // namespace snslp

@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime host-CPU feature detection for the native JIT backend.
+///
+/// The JIT lowers IR to x86-64 machine code, so before emitting anything it
+/// must know (a) that the host is x86-64 at all and (b) which SIMD tiers the
+/// part supports. Detection runs CPUID once per process and caches the
+/// result; on non-x86-64 builds every feature reads false and the engine
+/// falls back to bytecode with a `jit:unsupported-isa` remark
+/// (see docs/jit.md, "fallback ladder").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_JIT_CPUFEATURES_H
+#define SNSLP_JIT_CPUFEATURES_H
+
+#include <string>
+
+namespace snslp {
+
+/// The SIMD capability tiers the emitter cares about. SSE2 is the x86-64
+/// baseline (always present on 64-bit parts); SSE4.1 gates `pmulld`
+/// (packed i32 multiply); AVX gates 256-bit FP chunks; AVX2 gates 256-bit
+/// integer chunks.
+struct CPUFeatures {
+  bool X86_64 = false; ///< Host executes x86-64 code at all.
+  bool SSE2 = false;
+  bool SSE41 = false;
+  bool AVX = false;  ///< OS-enabled (XGETBV-checked) AVX.
+  bool AVX2 = false;
+
+  /// True when the JIT can emit code for this host (x86-64 + SSE2).
+  bool jitSupported() const { return X86_64 && SSE2; }
+
+  /// Compact ISA description for bench metadata, e.g. "x86-64+sse4.1+avx2"
+  /// or "non-x86-64".
+  std::string isaString() const;
+};
+
+/// CPUID-detected features of the executing host, computed once.
+const CPUFeatures &hostCPUFeatures();
+
+} // namespace snslp
+
+#endif // SNSLP_JIT_CPUFEATURES_H

@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/CodeBuffer.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SNSLP_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace snslp {
+
+CodeBuffer::~CodeBuffer() { reset(); }
+
+CodeBuffer::CodeBuffer(CodeBuffer &&Other) noexcept
+    : Base(Other.Base), MapBytes(Other.MapBytes), CodeBytes(Other.CodeBytes) {
+  Other.Base = nullptr;
+  Other.MapBytes = 0;
+  Other.CodeBytes = 0;
+}
+
+CodeBuffer &CodeBuffer::operator=(CodeBuffer &&Other) noexcept {
+  if (this != &Other) {
+    reset();
+    Base = Other.Base;
+    MapBytes = Other.MapBytes;
+    CodeBytes = Other.CodeBytes;
+    Other.Base = nullptr;
+    Other.MapBytes = 0;
+    Other.CodeBytes = 0;
+  }
+  return *this;
+}
+
+void CodeBuffer::reset() {
+#if SNSLP_HAVE_MMAP
+  if (Base)
+    ::munmap(Base, MapBytes);
+#endif
+  Base = nullptr;
+  MapBytes = 0;
+  CodeBytes = 0;
+}
+
+bool CodeBuffer::install(const std::vector<uint8_t> &Code) {
+  reset();
+  if (Code.empty())
+    return false;
+#if SNSLP_HAVE_MMAP
+  long Page = ::sysconf(_SC_PAGESIZE);
+  if (Page <= 0)
+    Page = 4096;
+  size_t Rounded =
+      (Code.size() + static_cast<size_t>(Page) - 1) &
+      ~(static_cast<size_t>(Page) - 1);
+  // W^X step 1: writable, not executable.
+  void *P = ::mmap(nullptr, Rounded, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return false;
+  std::memcpy(P, Code.data(), Code.size());
+  // W^X step 2: executable, not writable. On failure the region must not
+  // be left behind half-installed.
+  if (::mprotect(P, Rounded, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(P, Rounded);
+    return false;
+  }
+  Base = P;
+  MapBytes = Rounded;
+  CodeBytes = Code.size();
+  return true;
+#else
+  // No executable-memory primitive on this platform; the engine degrades
+  // to bytecode (docs/jit.md, "fallback ladder").
+  return false;
+#endif
+}
+
+} // namespace snslp

@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// W^X executable code buffers for the JIT.
+///
+/// Pages are never writable and executable at the same time: a buffer is
+/// mmap'd read-write, the emitter copies machine code into it, and
+/// finalize() flips the mapping to read-execute before the first call.
+/// Once finalized a buffer is immutable; re-emission allocates a new
+/// buffer. See docs/jit.md ("W^X policy").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_JIT_CODEBUFFER_H
+#define SNSLP_JIT_CODEBUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace snslp {
+
+/// One mmap'd code region holding a single JIT-compiled function.
+/// Move-only; the mapping is unmapped on destruction.
+class CodeBuffer {
+public:
+  CodeBuffer() = default;
+  ~CodeBuffer();
+
+  CodeBuffer(CodeBuffer &&Other) noexcept;
+  CodeBuffer &operator=(CodeBuffer &&Other) noexcept;
+  CodeBuffer(const CodeBuffer &) = delete;
+  CodeBuffer &operator=(const CodeBuffer &) = delete;
+
+  /// Maps a fresh RW region, copies \p Code into it, and remaps it RX.
+  /// Returns false (leaving the buffer empty) when the platform cannot
+  /// provide executable memory or either mmap/mprotect step fails.
+  bool install(const std::vector<uint8_t> &Code);
+
+  /// Entry point of the installed code; null until install() succeeds.
+  const void *entry() const { return Base; }
+  /// Bytes of machine code installed (excludes page-rounding slack).
+  size_t codeSize() const { return CodeBytes; }
+  /// Bytes of address space mapped (page granularity).
+  size_t mappedSize() const { return MapBytes; }
+
+  explicit operator bool() const { return Base != nullptr; }
+
+private:
+  void reset();
+
+  void *Base = nullptr;
+  size_t MapBytes = 0;
+  size_t CodeBytes = 0;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_JIT_CODEBUFFER_H

@@ -1,0 +1,1590 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native backend's compiler and runtime. Lowering is a single pass
+/// over the IR in block order, producing one spill-everything x86-64
+/// function `uint64_t fn(uint8_t *frame)` whose return value is an internal
+/// trap code (0 = ok). The frame holds a small fixed header (accounting,
+/// fuel limit, bounds-check ranges, fault diagnostics) followed by one
+/// 16-byte-aligned slot per SSA value in packed native lane layout, which
+/// is what lets vector IR map onto whole movups/addps/padd* instructions.
+///
+/// Semantics replicate the bytecode engine exactly — same per-block
+/// aggregate accounting added on taken edges, same fuel check placement,
+/// same boundary value conventions and error strings — so the DiffOracle
+/// can hold all three engines to identical results (integers bit-exact,
+/// f32 bit-exact per the innocuous-double-rounding argument in
+/// Bytecode.h). See docs/jit.md for the full walk-through.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jit/NativeFunction.h"
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "jit/CPUFeatures.h"
+#include "jit/X86Emitter.h"
+#include "support/ErrorHandling.h"
+#include "support/FaultInjection.h"
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+using namespace snslp;
+
+//===----------------------------------------------------------------------===//
+// Frame layout and shared constants
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Header field offsets (bytes from the frame base, which is 32-aligned).
+/// The header is written by run(), read/updated by emitted code and the
+/// helper thunks; slots start at HeaderBytes.
+constexpr int32_t OffSteps = 0;       ///< uint64 dynamic step counter.
+constexpr int32_t OffVectorSteps = 8; ///< uint64 vector step counter.
+constexpr int32_t OffCycles = 16;     ///< double simulated cycles.
+constexpr int32_t OffMaxSteps = 24;   ///< uint64 fuel limit.
+constexpr int32_t OffFaultIdx = 32;   ///< uint64 InstTable index on fault.
+constexpr int32_t OffRanges = 40;     ///< pair<u64,u64>* (null when unchecked).
+constexpr int32_t OffNumRanges = 48;  ///< uint64 range count.
+constexpr int32_t HeaderBytes = 64;
+
+/// Internal trap codes returned by the jitted function in RAX. Distinct
+/// load/store codes exist only to pick the error-message spelling; both map
+/// to Trap::OutOfBounds.
+constexpr uint32_t RcOk = 0;
+constexpr uint32_t RcFuel = 1;
+constexpr uint32_t RcOOBLoad = 2;
+constexpr uint32_t RcOOBStore = 3;
+constexpr uint32_t RcBadPhi = 4;
+
+/// Bit-cast helpers matching the bytecode engine's cell conventions.
+inline float cellToF32(uint64_t C) {
+  float F;
+  uint32_t Lo = static_cast<uint32_t>(C);
+  std::memcpy(&F, &Lo, sizeof(F));
+  return F;
+}
+inline uint64_t f32ToCell(float F) {
+  uint32_t Lo;
+  std::memcpy(&Lo, &F, sizeof(Lo));
+  return Lo;
+}
+inline double cellToF64(uint64_t C) {
+  double D;
+  std::memcpy(&D, &C, sizeof(D));
+  return D;
+}
+inline uint64_t f64ToCell(double D) {
+  uint64_t C;
+  std::memcpy(&C, &D, sizeof(C));
+  return C;
+}
+
+inline std::pair<TypeKind, unsigned> elementOf(const Type *Ty) {
+  if (const auto *VT = dyn_cast<VectorType>(Ty))
+    return {VT->getElementType()->getKind(), VT->getNumLanes()};
+  return {Ty->getKind(), 1};
+}
+
+/// Packed in-frame bytes per lane. f32/i32 lanes are native 4-byte lanes
+/// (that is what makes addps/paddd applicable); everything else, including
+/// i1 (kept canonical 0/1), is an 8-byte cell.
+inline unsigned laneBytesFor(TypeKind Kind) {
+  return (Kind == TypeKind::Int32 || Kind == TypeKind::Float) ? 4 : 8;
+}
+
+/// In-memory element size for loads/stores (i1 occupies one byte).
+inline unsigned memBytesFor(TypeKind Kind) {
+  switch (Kind) {
+  case TypeKind::Int1:
+    return 1;
+  case TypeKind::Int32:
+  case TypeKind::Float:
+    return 4;
+  default:
+    return 8;
+  }
+}
+
+/// Reads one packed lane back into the 64-bit cell convention (i32
+/// sign-extends, f32 zero-extends float bits).
+inline uint64_t loadLaneCell(const uint8_t *Lane, unsigned LaneBytes,
+                             TypeKind Elem) {
+  if (LaneBytes == 4) {
+    uint32_t V;
+    std::memcpy(&V, Lane, 4);
+    if (Elem == TypeKind::Float)
+      return V;
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int32_t>(V)));
+  }
+  uint64_t V;
+  std::memcpy(&V, Lane, 8);
+  return V;
+}
+
+inline void storeLaneCell(uint8_t *Lane, unsigned LaneBytes, uint64_t Cell) {
+  if (LaneBytes == 4) {
+    uint32_t V = static_cast<uint32_t>(Cell);
+    std::memcpy(Lane, &V, 4);
+  } else {
+    std::memcpy(Lane, &Cell, 8);
+  }
+}
+
+/// Native constant materialization, identical to the bytecode engine's
+/// nativeScalarConstant.
+uint64_t nativeScalarConstant(const Constant &C) {
+  if (const auto *CI = dyn_cast<ConstantInt>(&C))
+    return static_cast<uint64_t>(
+        RTValue::canonicalizeInt(CI->getType()->getKind(), CI->getValue()));
+  const auto &CF = cast<ConstantFP>(C);
+  if (CF.getType()->getKind() == TypeKind::Float)
+    return f32ToCell(static_cast<float>(CF.getValue()));
+  return f64ToCell(CF.getValue());
+}
+
+/// Reference-semantics lane op for the scalar-call fallback; mirrors the
+/// bytecode engine's genericLaneOp so fallback-lowered instructions stay
+/// bit-identical across engines.
+uint64_t jitGenericLaneOp(BinOpcode Op, TypeKind Kind, uint64_t A,
+                          uint64_t B) {
+  switch (Op) {
+  case BinOpcode::Add:
+    return static_cast<uint64_t>(
+        RTValue::canonicalizeInt(Kind, static_cast<int64_t>(A + B)));
+  case BinOpcode::Sub:
+    return static_cast<uint64_t>(
+        RTValue::canonicalizeInt(Kind, static_cast<int64_t>(A - B)));
+  case BinOpcode::Mul:
+    return static_cast<uint64_t>(
+        RTValue::canonicalizeInt(Kind, static_cast<int64_t>(A * B)));
+  case BinOpcode::FAdd:
+    return Kind == TypeKind::Float
+               ? f32ToCell(cellToF32(A) + cellToF32(B))
+               : f64ToCell(cellToF64(A) + cellToF64(B));
+  case BinOpcode::FSub:
+    return Kind == TypeKind::Float
+               ? f32ToCell(cellToF32(A) - cellToF32(B))
+               : f64ToCell(cellToF64(A) - cellToF64(B));
+  case BinOpcode::FMul:
+    return Kind == TypeKind::Float
+               ? f32ToCell(cellToF32(A) * cellToF32(B))
+               : f64ToCell(cellToF64(A) * cellToF64(B));
+  case BinOpcode::FDiv:
+    return Kind == TypeKind::Float
+               ? f32ToCell(cellToF32(A) / cellToF32(B))
+               : f64ToCell(cellToF64(A) / cellToF64(B));
+  }
+  snslp_unreachable("covered switch");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Helper thunks (called from emitted code; SysV C++ free functions)
+//===----------------------------------------------------------------------===//
+
+namespace snslp {
+
+/// The scalar-call fallback: evaluates one side-table instruction with
+/// reference semantics over the frame slots. Covers the value ops the
+/// emitter declines (i1 arithmetic, non-uniform alternate ops); these are
+/// side-effect-free, so no trap can arise here.
+uint64_t jitFallbackOpThunk(void *NFP, void *FrameP, uint64_t Idx) {
+  const auto *NF = static_cast<const NativeFunction *>(NFP);
+  uint8_t *Frame = static_cast<uint8_t *>(FrameP);
+  const auto &R = NF->Fallbacks[Idx];
+
+  auto ReadLane = [&](unsigned OpIdx, unsigned L) {
+    const auto &S = R.Ops[OpIdx];
+    return loadLaneCell(Frame + S.Off + L * S.LaneBytes, S.LaneBytes, S.Elem);
+  };
+  auto WriteLane = [&](unsigned L, uint64_t Cell) {
+    storeLaneCell(Frame + R.Dst.Off + L * R.Dst.LaneBytes, R.Dst.LaneBytes,
+                  Cell);
+  };
+
+  switch (R.Inst->getKind()) {
+  case ValueKind::BinOp: {
+    const auto &BO = cast<BinaryOperator>(*R.Inst);
+    TypeKind Kind = R.Dst.Elem;
+    for (unsigned L = 0; L < R.Dst.Lanes; ++L)
+      WriteLane(L, jitGenericLaneOp(BO.getOpcode(), Kind, ReadLane(0, L),
+                                    ReadLane(1, L)));
+    return 0;
+  }
+  case ValueKind::AlternateOp: {
+    const auto &AO = cast<AlternateOp>(*R.Inst);
+    TypeKind Kind = R.Dst.Elem;
+    for (unsigned L = 0; L < R.Dst.Lanes; ++L)
+      WriteLane(L, jitGenericLaneOp(AO.getLaneOpcode(L), Kind, ReadLane(0, L),
+                                    ReadLane(1, L)));
+    return 0;
+  }
+  default:
+    snslp_unreachable("unexpected fallback instruction kind");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// NativeCompiler
+//===----------------------------------------------------------------------===//
+
+/// One-shot lowering context: frame layout prepass, then a single emission
+/// pass over the blocks, then fixup patching and W^X installation.
+class NativeCompiler {
+public:
+  NativeCompiler(const Function &F, const NativeFunction::JITCycleFn &Cycles,
+                 const CPUFeatures &CF, NativeFunction &NF)
+      : F(F), Cycles(Cycles), CF(CF), NF(NF) {}
+
+  bool compile();
+  const char *failReason() const { return Reason; }
+
+private:
+  using SlotInfo = NativeFunction::SlotInfo;
+
+  // Register conventions of the emitted code:
+  //   rbx  frame pointer (callee-saved)
+  //   r12  memory-access address, live across the bounds check
+  //   r13  step counter          (callee-saved, written back on exit)
+  //   r14  step budget (MaxSteps, read-only after the prologue)
+  //   r15  vector-step counter   (callee-saved, written back on exit)
+  //   xmm15  cycle accumulator — caller-saved, so the rare fallback call
+  //          spills it to the frame header around the call
+  //   rax, rcx, rdx, rsi, rdi, xmm0-3  scratch within one IR instruction
+  // Keeping the accounting in registers matters: the per-edge updates are
+  // loop-carried dependencies, and routing them through the frame header
+  // would put a store→load round trip on every back edge.
+  static constexpr GPR FrameReg = GPR::RBX;
+  static constexpr GPR AddrReg = GPR::R12;
+  static constexpr GPR StepsReg = GPR::R13;
+  static constexpr GPR MaxStepsReg = GPR::R14;
+  static constexpr GPR VecStepsReg = GPR::R15;
+  static constexpr XMM CyclesReg = XMM::XMM15;
+
+  struct EdgeCopy {
+    int32_t Dst = 0;
+    int32_t Src = 0;
+    uint32_t Bytes = 0; ///< Real data bytes to move (emitCopy widths).
+    uint32_t Pad = 0;   ///< Padded slot bytes (scratch stride, overlap).
+  };
+  struct EdgeInfo {
+    const BasicBlock *Succ = nullptr;
+    std::vector<EdgeCopy> Copies;
+    bool Missing = false; ///< Some phi lacks an incoming for this edge.
+    bool NeedsScratch = false;
+  };
+
+  SlotInfo layoutFor(const Type *Ty) const {
+    auto [Kind, Lanes] = elementOf(Ty);
+    SlotInfo S;
+    S.Elem = Kind;
+    S.Lanes = static_cast<uint16_t>(Lanes);
+    S.LaneBytes = static_cast<uint16_t>(laneBytesFor(Kind));
+    S.PaddedBytes = (Lanes * S.LaneBytes + 15u) & ~15u;
+    return S;
+  }
+
+  SlotInfo allocSlot(const Type *Ty) {
+    SlotInfo S = layoutFor(Ty);
+    S.Off = NextOff;
+    NextOff += static_cast<int32_t>(S.PaddedBytes);
+    return S;
+  }
+
+  const SlotInfo &slotOf(const Value *V) const { return Slots.at(V); }
+
+  /// Bytes a frame-to-frame copy must move to transfer \p S's value:
+  /// the scalar widths (4/8) stay exact so the copy's load matches the
+  /// width the producing instruction stored — a wider movaps load over
+  /// an 8-byte store defeats store-to-load forwarding, which is ruinous
+  /// on loop-carried phi copies. Vector payloads round up to whole
+  /// 16-byte chunks (their producers store whole chunks).
+  static uint32_t realBytes(const SlotInfo &S) {
+    uint32_t B = static_cast<uint32_t>(S.Lanes) * S.LaneBytes;
+    return B <= 8 ? B : ((B + 15u) & ~15u);
+  }
+
+  uint32_t diagIndex(const Instruction *I) {
+    auto It = DiagIdx.find(I);
+    if (It != DiagIdx.end())
+      return It->second;
+    NF.InstTable.push_back(I);
+    uint32_t Idx = static_cast<uint32_t>(NF.InstTable.size() - 1);
+    DiagIdx.emplace(I, Idx);
+    return Idx;
+  }
+
+  uint32_t addPool(const std::array<uint8_t, 16> &Bytes) {
+    auto It = PoolIndex.find(Bytes);
+    if (It != PoolIndex.end())
+      return It->second;
+    NativeFunction::PoolEntry P;
+    std::memcpy(P.Bytes, Bytes.data(), 16);
+    NF.Pool.push_back(P);
+    uint32_t Idx = static_cast<uint32_t>(NF.Pool.size() - 1);
+    PoolIndex.emplace(Bytes, Idx);
+    return Idx;
+  }
+  uint32_t addPoolSplat32(uint32_t V) {
+    std::array<uint8_t, 16> B{};
+    for (int L = 0; L < 4; ++L)
+      std::memcpy(B.data() + 4 * L, &V, 4);
+    return addPool(B);
+  }
+  uint32_t addPoolSplat64(uint64_t V) {
+    std::array<uint8_t, 16> B{};
+    for (int L = 0; L < 2; ++L)
+      std::memcpy(B.data() + 8 * L, &V, 8);
+    return addPool(B);
+  }
+  uint32_t addPoolF64(double V) {
+    std::array<uint8_t, 16> B{};
+    std::memcpy(B.data(), &V, 8);
+    return addPool(B);
+  }
+
+  /// mov \p R, &Pool[Index] — emitted as imm64 and patched after the pool
+  /// stops growing (vector reallocation would invalidate earlier
+  /// addresses).
+  void loadPoolAddr(GPR R, uint32_t Index) {
+    E.movRegImm64(R, 0);
+    PoolPatches.push_back({E.size() - 8, Index});
+  }
+
+  void layoutFrame();
+  EdgeInfo buildEdge(const BasicBlock *Pred, const BasicBlock *Succ) const;
+  void emitPrologue();
+  void emitCopy(int32_t DstOff, int32_t SrcOff, uint32_t Bytes);
+  void laneMove(int32_t DstOff, int32_t SrcOff, unsigned LaneBytes);
+  void emitBoundsCheck(uint32_t Bytes, uint32_t FaultIdx, bool IsStore);
+  void emitUserToFrame(int32_t SlotOff, uint32_t Bytes);
+  void emitFrameToUser(int32_t SlotOff, uint32_t Bytes);
+  void emitFallback(const Instruction &Inst);
+  void emitEdge(const BasicBlock *Pred, const BasicBlock *Succ,
+                const Instruction *Br);
+  void lowerBinOp(const BinaryOperator &BO);
+  void lowerVectorBinOp(BinOpcode Op, TypeKind Kind, const SlotInfo &D,
+                        const SlotInfo &A, const SlotInfo &B);
+  void lowerAlternateOp(const AlternateOp &AO);
+  void lowerUnaryOp(const UnaryOperator &UO);
+  void lowerICmp(const ICmpInst &Cmp);
+  void lowerInst(const BasicBlock *BB, const Instruction &Inst);
+
+  const Function &F;
+  const NativeFunction::JITCycleFn &Cycles;
+  const CPUFeatures &CF;
+  NativeFunction &NF;
+  X86Emitter E;
+  const char *Reason = "emit-failed";
+
+  std::unordered_map<const Value *, SlotInfo> Slots;
+  std::unordered_map<const Instruction *, uint32_t> DiagIdx;
+  std::map<std::array<uint8_t, 16>, uint32_t> PoolIndex;
+  std::unordered_map<const BasicBlock *, uint32_t> BlockIdx;
+  std::vector<size_t> BlockPC;          ///< Valid once the block is placed.
+  std::vector<bool> BlockPlaced;
+  std::vector<uint64_t> BlockSteps, BlockVector;
+  std::vector<double> BlockCycles;
+  int32_t NextOff = HeaderBytes;
+  int32_t RangeCacheOff = 0;  ///< First per-access-site range-cache slot.
+  uint32_t NextRangeCache = 0; ///< Next unassigned cache slot (emission).
+  int32_t ScratchOff = 0;
+
+  struct PoolPatch {
+    size_t CodeOff;
+    uint32_t Index;
+  };
+  std::vector<PoolPatch> PoolPatches;
+  struct JumpFixup {
+    size_t FixOff;
+    uint32_t Block;
+  };
+  std::vector<JumpFixup> JumpFixups;
+  std::vector<size_t> FuelFixups, OOBLoadFixups, OOBStoreFixups,
+      EpilogueFixups;
+  bool UsedAVX = false; ///< Whether any 256-bit chunk was emitted.
+};
+
+//===----------------------------------------------------------------------===//
+// Frame layout prepass
+//===----------------------------------------------------------------------===//
+
+void NativeCompiler::layoutFrame() {
+  // Arguments, then instruction results, then interned constants — the
+  // same allocation order as the bytecode engine's register file, which
+  // keeps phi-overlap detection equivalent between the two compilers.
+  for (unsigned I = 0, N = F.getNumArgs(); I != N; ++I) {
+    const Value *Arg = F.getArg(I);
+    SlotInfo S = allocSlot(Arg->getType());
+    Slots.emplace(Arg, S);
+    NF.ArgSlots.push_back(S);
+  }
+  for (const auto &BB : F.blocks())
+    for (const auto &Inst : *BB)
+      if (!Inst->getType()->isVoid())
+        Slots.emplace(Inst.get(), allocSlot(Inst->getType()));
+  for (const auto &BB : F.blocks())
+    for (const auto &Inst : *BB)
+      for (unsigned I = 0, N = Inst->getNumOperands(); I != N; ++I)
+        if (const auto *C = dyn_cast<Constant>(Inst->getOperand(I)))
+          if (!Slots.count(C))
+            Slots.emplace(C, allocSlot(C->getType()));
+
+  if (!F.getReturnType()->isVoid()) {
+    NF.RetSlot = allocSlot(F.getReturnType());
+    NF.HasRet = true;
+  }
+
+  // Block aggregates: one step per IR instruction (phis included), a
+  // vector step when the result or any operand is a vector, cycles from
+  // the cost hook — identical to the bytecode engine's accounting.
+  uint32_t NumBlocks = 0;
+  for (const auto &BB : F.blocks())
+    BlockIdx[BB.get()] = NumBlocks++;
+  BlockPC.assign(NumBlocks, 0);
+  BlockPlaced.assign(NumBlocks, false);
+  BlockSteps.assign(NumBlocks, 0);
+  BlockVector.assign(NumBlocks, 0);
+  BlockCycles.assign(NumBlocks, 0.0);
+  for (const auto &BB : F.blocks()) {
+    uint32_t BI = BlockIdx.at(BB.get());
+    for (const auto &InstPtr : *BB) {
+      const Instruction &Inst = *InstPtr;
+      BlockSteps[BI] += 1;
+      bool TouchesVector = Inst.getType()->isVector();
+      for (unsigned I = 0, N = Inst.getNumOperands(); I != N; ++I)
+        TouchesVector |= Inst.getOperand(I)->getType()->isVector();
+      BlockVector[BI] += TouchesVector ? 1 : 0;
+      if (Cycles)
+        BlockCycles[BI] += Cycles(Inst);
+    }
+  }
+  NF.EntrySteps = BlockSteps[0];
+  NF.EntryVectorSteps = BlockVector[0];
+  NF.EntryCycles = BlockCycles[0];
+
+  // Scratch area for phi parallel copies that overlap (swap patterns).
+  uint32_t MaxScratch = 0;
+  for (const auto &BB : F.blocks()) {
+    const auto *Br = dyn_cast<BranchInst>(BB->getTerminator());
+    if (!Br)
+      continue;
+    for (unsigned S = 0; S < Br->getNumSuccessors(); ++S) {
+      EdgeInfo EI = buildEdge(BB.get(), Br->getSuccessor(S));
+      if (EI.Missing || !EI.NeedsScratch)
+        continue;
+      uint32_t Total = 0;
+      for (const auto &C : EI.Copies)
+        Total += C.Pad;
+      MaxScratch = std::max(MaxScratch, Total);
+    }
+  }
+  ScratchOff = NextOff;
+  NextOff += static_cast<int32_t>(MaxScratch);
+
+  // One pointer-sized slot per load/store site: caches the last range
+  // that admitted the site's access, so steady-state bounds checks skip
+  // the table walk entirely. Zeroed by the InitImage copy at every run
+  // (a cached cursor is only valid for that run's range table).
+  uint32_t AccessSites = 0;
+  for (const auto &BB : F.blocks())
+    for (const auto &Inst : *BB) {
+      ValueKind K = Inst->getKind();
+      AccessSites += (K == ValueKind::Load || K == ValueKind::Store) ? 1 : 0;
+    }
+  RangeCacheOff = NextOff;
+  NextOff += static_cast<int32_t>(AccessSites * 8);
+
+  NF.FrameBytes = (static_cast<size_t>(NextOff) + 31u) & ~size_t{31};
+
+  // Frame template: zeros plus materialized constants.
+  NF.InitImage.assign(NF.FrameBytes, 0);
+  for (const auto &[V, S] : Slots) {
+    const auto *C = dyn_cast<Constant>(V);
+    if (!C)
+      continue;
+    if (const auto *CV = dyn_cast<ConstantVector>(C)) {
+      for (unsigned L = 0, N = CV->getNumLanes(); L != N; ++L)
+        storeLaneCell(NF.InitImage.data() + S.Off + L * S.LaneBytes,
+                      S.LaneBytes, nativeScalarConstant(*CV->getElement(L)));
+    } else {
+      storeLaneCell(NF.InitImage.data() + S.Off, S.LaneBytes,
+                    nativeScalarConstant(*C));
+    }
+  }
+}
+
+NativeCompiler::EdgeInfo
+NativeCompiler::buildEdge(const BasicBlock *Pred,
+                          const BasicBlock *Succ) const {
+  EdgeInfo EI;
+  EI.Succ = Succ;
+  for (const auto &InstPtr : *Succ) {
+    const auto *Phi = dyn_cast<PhiNode>(InstPtr.get());
+    if (!Phi)
+      break;
+    const Value *In = nullptr;
+    for (unsigned K = 0, N = Phi->getNumIncoming(); K != N; ++K)
+      if (Phi->getIncomingBlock(K) == Pred)
+        In = Phi->getIncomingValue(K);
+    if (!In) {
+      EI.Missing = true;
+      continue;
+    }
+    EdgeCopy C;
+    C.Dst = slotOf(Phi).Off;
+    C.Src = slotOf(In).Off;
+    C.Bytes = realBytes(slotOf(Phi));
+    C.Pad = slotOf(Phi).PaddedBytes;
+    EI.Copies.push_back(C);
+  }
+  // Scratch is required when any copy's destination overlaps another
+  // copy's source (same rule as BCEdge::NeedsScratch, over byte ranges).
+  for (const auto &CA : EI.Copies) {
+    for (const auto &CB : EI.Copies) {
+      if (CA.Dst < CB.Src + static_cast<int32_t>(CB.Pad) &&
+          CB.Src < CA.Dst + static_cast<int32_t>(CA.Pad)) {
+        EI.NeedsScratch = true;
+        break;
+      }
+    }
+    if (EI.NeedsScratch)
+      break;
+  }
+  return EI;
+}
+
+//===----------------------------------------------------------------------===//
+// Emission helpers
+//===----------------------------------------------------------------------===//
+
+void NativeCompiler::emitPrologue() {
+  // Entry: rsp ≡ 8 (mod 16). Five pushes keep every helper call site
+  // 16-aligned.
+  E.push(GPR::RBX);
+  E.push(GPR::R12);
+  E.push(GPR::R13);
+  E.push(GPR::R14);
+  E.push(GPR::R15);
+  E.movRegReg(FrameReg, GPR::RDI);
+  // Hoist the accounting state out of the frame header for the whole
+  // run; the shared epilogue writes the counters back.
+  E.movRegMem(StepsReg, FrameReg, OffSteps);
+  E.movRegMem(MaxStepsReg, FrameReg, OffMaxSteps);
+  E.movRegMem(VecStepsReg, FrameReg, OffVectorSteps);
+  E.movsdLoad(CyclesReg, FrameReg, OffCycles);
+}
+
+void NativeCompiler::emitCopy(int32_t DstOff, int32_t SrcOff,
+                              uint32_t Bytes) {
+  // Scalar payloads (realBytes 4/8) move through a GPR at the width the
+  // producer stored; vector payloads are whole 16-byte chunks at
+  // 16-aligned offsets, so movaps is legal.
+  if (Bytes == 4 || Bytes == 8) {
+    laneMove(DstOff, SrcOff, Bytes);
+    return;
+  }
+  for (uint32_t O = 0; O < Bytes; O += 16) {
+    E.movapsLoad(XMM::XMM0, FrameReg, SrcOff + static_cast<int32_t>(O));
+    E.movapsStore(FrameReg, DstOff + static_cast<int32_t>(O), XMM::XMM0);
+  }
+}
+
+void NativeCompiler::laneMove(int32_t DstOff, int32_t SrcOff,
+                              unsigned LaneBytes) {
+  if (LaneBytes == 4) {
+    E.movRegMem32(GPR::RAX, FrameReg, SrcOff);
+    E.movMemReg32(FrameReg, DstOff, GPR::RAX);
+  } else {
+    E.movRegMem(GPR::RAX, FrameReg, SrcOff);
+    E.movMemReg(FrameReg, DstOff, GPR::RAX);
+  }
+}
+
+/// Emits the sanitizer gate for one access whose address is in AddrReg.
+/// The fast path consults the site's range-cache slot: memory-access
+/// sites virtually always hit the buffer they hit last time, so the
+/// steady state is a single cached-range containment test. A cold slot
+/// (zero — the InitImage state, which also covers unchecked runs, where
+/// no range is ever cached) or a cache mismatch falls back to the inline
+/// walk over the frame-resident range table, which falls through at the
+/// first range containing [Addr, Addr+Bytes) and refreshes the cache.
+/// A full miss records the faulting instruction index and jumps to the
+/// shared out-of-bounds tail.
+void NativeCompiler::emitBoundsCheck(uint32_t Bytes, uint32_t FaultIdx,
+                                     bool IsStore) {
+  int32_t CacheOff =
+      RangeCacheOff + static_cast<int32_t>(8 * NextRangeCache++);
+  E.movRegMem(GPR::RSI, FrameReg, CacheOff);
+  E.testRegReg(GPR::RSI, GPR::RSI);
+  size_t Cold0 = E.jccFixup(Cond::E); // Unchecked or not yet cached.
+  E.movRegReg(GPR::RDI, AddrReg);
+  E.addRegImm32(GPR::RDI, static_cast<int32_t>(Bytes)); // Access end.
+  E.cmpRegMem(AddrReg, GPR::RSI, 0); // Addr >= cached Lo?
+  size_t Cold1 = E.jccFixup(Cond::B);
+  E.cmpRegMem(GPR::RDI, GPR::RSI, 8); // Addr + Bytes <= cached Hi?
+  size_t FastHit = E.jccFixup(Cond::BE);
+
+  // Cold path: walk the whole table.
+  E.patchRel32(Cold0, E.label());
+  E.patchRel32(Cold1, E.label());
+  E.movRegMem(GPR::RCX, FrameReg, OffNumRanges);
+  E.testRegReg(GPR::RCX, GPR::RCX);
+  size_t Skip = E.jccFixup(Cond::E); // Unchecked mode.
+  E.movRegMem(GPR::RSI, FrameReg, OffRanges);
+  E.movRegReg(GPR::RDI, AddrReg);
+  E.addRegImm32(GPR::RDI, static_cast<int32_t>(Bytes));
+  size_t Loop = E.label();
+  E.cmpRegMem(AddrReg, GPR::RSI, 0); // Addr >= Lo?
+  size_t Miss = E.jccFixup(Cond::B);
+  E.cmpRegMem(GPR::RDI, GPR::RSI, 8); // Addr + Bytes <= Hi?
+  size_t Hit = E.jccFixup(Cond::BE);
+  E.patchRel32(Miss, E.label());
+  E.addRegImm32(GPR::RSI, 16); // sizeof(pair<u64,u64>)
+  E.subRegImm32(GPR::RCX, 1);
+  E.jccTo(Cond::NE, Loop);
+  // Every range missed: record the faulting instruction and trap.
+  E.movMemImm32(FrameReg, OffFaultIdx, static_cast<int32_t>(FaultIdx));
+  (IsStore ? OOBStoreFixups : OOBLoadFixups).push_back(E.jmpFixup());
+  E.patchRel32(Hit, E.label());
+  E.movMemReg(FrameReg, CacheOff, GPR::RSI); // Remember the hit.
+  E.patchRel32(FastHit, E.label());
+  E.patchRel32(Skip, E.label());
+}
+
+/// Copies \p Bytes from [AddrReg] into a frame slot (vector load payload).
+/// Never touches memory past Bytes — the bounds check covered exactly the
+/// lanes' extent.
+void NativeCompiler::emitUserToFrame(int32_t SlotOff, uint32_t Bytes) {
+  uint32_t O = 0;
+  bool Wide = false;
+  while (CF.AVX && Bytes - O >= 32) {
+    E.vmovupsLoad256(XMM::XMM0, AddrReg, static_cast<int32_t>(O));
+    E.vmovupsStore256(FrameReg, SlotOff + static_cast<int32_t>(O),
+                      XMM::XMM0);
+    O += 32;
+    Wide = true;
+  }
+  if (Wide)
+    E.vzeroupper();
+  for (; Bytes - O >= 16; O += 16) {
+    E.movupsLoad(XMM::XMM0, AddrReg, static_cast<int32_t>(O));
+    E.movapsStore(FrameReg, SlotOff + static_cast<int32_t>(O), XMM::XMM0);
+  }
+  for (; Bytes - O >= 8; O += 8) {
+    E.movRegMem(GPR::RAX, AddrReg, static_cast<int32_t>(O));
+    E.movMemReg(FrameReg, SlotOff + static_cast<int32_t>(O), GPR::RAX);
+  }
+  for (; Bytes - O >= 4; O += 4) {
+    E.movRegMem32(GPR::RAX, AddrReg, static_cast<int32_t>(O));
+    E.movMemReg32(FrameReg, SlotOff + static_cast<int32_t>(O), GPR::RAX);
+  }
+}
+
+void NativeCompiler::emitFrameToUser(int32_t SlotOff, uint32_t Bytes) {
+  uint32_t O = 0;
+  bool Wide = false;
+  while (CF.AVX && Bytes - O >= 32) {
+    E.vmovupsLoad256(XMM::XMM0, FrameReg,
+                     SlotOff + static_cast<int32_t>(O));
+    E.vmovupsStore256(AddrReg, static_cast<int32_t>(O), XMM::XMM0);
+    O += 32;
+    Wide = true;
+  }
+  if (Wide)
+    E.vzeroupper();
+  for (; Bytes - O >= 16; O += 16) {
+    E.movapsLoad(XMM::XMM0, FrameReg, SlotOff + static_cast<int32_t>(O));
+    E.movupsStore(AddrReg, static_cast<int32_t>(O), XMM::XMM0);
+  }
+  for (; Bytes - O >= 8; O += 8) {
+    E.movRegMem(GPR::RAX, FrameReg, SlotOff + static_cast<int32_t>(O));
+    E.movMemReg(AddrReg, static_cast<int32_t>(O), GPR::RAX);
+  }
+  for (; Bytes - O >= 4; O += 4) {
+    E.movRegMem32(GPR::RAX, FrameReg, SlotOff + static_cast<int32_t>(O));
+    E.movMemReg32(AddrReg, static_cast<int32_t>(O), GPR::RAX);
+  }
+}
+
+void NativeCompiler::emitFallback(const Instruction &Inst) {
+  NativeFunction::FallbackRecord R;
+  R.Inst = &Inst;
+  R.HasDst = !Inst.getType()->isVoid();
+  if (R.HasDst)
+    R.Dst = slotOf(&Inst);
+  for (unsigned I = 0, N = Inst.getNumOperands(); I != N; ++I)
+    R.Ops.push_back(slotOf(Inst.getOperand(I)));
+  NF.Fallbacks.push_back(std::move(R));
+  uint32_t Idx = static_cast<uint32_t>(NF.Fallbacks.size() - 1);
+
+  // The cycle accumulator lives in a caller-saved register; park it in
+  // its frame-header slot across the call.
+  E.movsdStore(FrameReg, OffCycles, CyclesReg);
+  E.movRegImm64(GPR::RDI, reinterpret_cast<uint64_t>(&NF));
+  E.movRegReg(GPR::RSI, FrameReg);
+  E.movRegImm32(GPR::RDX, Idx);
+  E.movRegImm64(GPR::RAX,
+                reinterpret_cast<uint64_t>(&jitFallbackOpThunk));
+  E.callReg(GPR::RAX);
+  E.movsdLoad(CyclesReg, FrameReg, OffCycles);
+}
+
+/// One taken CFG edge: phi parallel copies, the successor block's
+/// aggregate accounting, the fuel check, then the jump. Mirrors the
+/// bytecode VM's TakeEdge (including the fuel check running only here).
+void NativeCompiler::emitEdge(const BasicBlock *Pred, const BasicBlock *Succ,
+                              const Instruction *Br) {
+  EdgeInfo EI = buildEdge(Pred, Succ);
+  if (EI.Missing) {
+    E.movMemImm32(FrameReg, OffFaultIdx,
+                  static_cast<int32_t>(diagIndex(Br)));
+    E.movRegImm32(GPR::RAX, RcBadPhi);
+    EpilogueFixups.push_back(E.jmpFixup());
+    return;
+  }
+
+  if (EI.NeedsScratch) {
+    // Two-phase parallel copy: all sources into the scratch area first.
+    // The cursor advances by padded size so vector chunks stay 16-aligned.
+    int32_t S = ScratchOff;
+    for (const auto &C : EI.Copies) {
+      emitCopy(S, C.Src, C.Bytes);
+      S += static_cast<int32_t>(C.Pad);
+    }
+    S = ScratchOff;
+    for (const auto &C : EI.Copies) {
+      emitCopy(C.Dst, S, C.Bytes);
+      S += static_cast<int32_t>(C.Pad);
+    }
+  } else {
+    for (const auto &C : EI.Copies)
+      emitCopy(C.Dst, C.Src, C.Bytes);
+  }
+
+  uint32_t BI = BlockIdx.at(Succ);
+  if (BlockSteps[BI])
+    E.addRegImm32(StepsReg, static_cast<int32_t>(BlockSteps[BI]));
+  if (BlockVector[BI])
+    E.addRegImm32(VecStepsReg, static_cast<int32_t>(BlockVector[BI]));
+  if (BlockCycles[BI] != 0.0) {
+    loadPoolAddr(GPR::RAX, addPoolF64(BlockCycles[BI]));
+    E.addsd(CyclesReg, GPR::RAX, 0);
+  }
+
+  // if (Steps > MaxSteps) -> fuel tail; same placement as the bytecode VM
+  // (checked only after a taken edge, never in straight-line code).
+  E.cmpRegReg(StepsReg, MaxStepsReg);
+  FuelFixups.push_back(E.jccFixup(Cond::A));
+
+  if (BlockPlaced[BI])
+    E.jmpTo(BlockPC[BI]);
+  else
+    JumpFixups.push_back({E.jmpFixup(), BI});
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction lowering
+//===----------------------------------------------------------------------===//
+
+void NativeCompiler::lowerBinOp(const BinaryOperator &BO) {
+  auto [Kind, Lanes] = elementOf(BO.getType());
+  if (Kind == TypeKind::Int1) {
+    emitFallback(BO); // i1 arithmetic: BinGeneric semantics.
+    return;
+  }
+  const SlotInfo &D = slotOf(&BO);
+  const SlotInfo &A = slotOf(BO.getLHS());
+  const SlotInfo &B = slotOf(BO.getRHS());
+  if (Lanes > 1) {
+    lowerVectorBinOp(BO.getOpcode(), Kind, D, A, B);
+    return;
+  }
+
+  switch (Kind) {
+  case TypeKind::Int32:
+    E.movRegMem32(GPR::RAX, FrameReg, A.Off);
+    switch (BO.getOpcode()) {
+    case BinOpcode::Add:
+      E.addRegMem_32(GPR::RAX, FrameReg, B.Off);
+      break;
+    case BinOpcode::Sub:
+      E.subRegMem_32(GPR::RAX, FrameReg, B.Off);
+      break;
+    case BinOpcode::Mul:
+      E.imulRegMem_32(GPR::RAX, FrameReg, B.Off);
+      break;
+    default:
+      snslp_unreachable("FP opcode on integer type");
+    }
+    E.movMemReg32(FrameReg, D.Off, GPR::RAX);
+    break;
+  case TypeKind::Int64:
+  case TypeKind::Pointer:
+    E.movRegMem(GPR::RAX, FrameReg, A.Off);
+    switch (BO.getOpcode()) {
+    case BinOpcode::Add:
+      E.addRegMem(GPR::RAX, FrameReg, B.Off);
+      break;
+    case BinOpcode::Sub:
+      E.subRegMem(GPR::RAX, FrameReg, B.Off);
+      break;
+    case BinOpcode::Mul:
+      E.imulRegMem(GPR::RAX, FrameReg, B.Off);
+      break;
+    default:
+      snslp_unreachable("FP opcode on integer type");
+    }
+    E.movMemReg(FrameReg, D.Off, GPR::RAX);
+    break;
+  case TypeKind::Float:
+    E.movssLoad(XMM::XMM0, FrameReg, A.Off);
+    switch (BO.getOpcode()) {
+    case BinOpcode::FAdd:
+      E.addss(XMM::XMM0, FrameReg, B.Off);
+      break;
+    case BinOpcode::FSub:
+      E.subss(XMM::XMM0, FrameReg, B.Off);
+      break;
+    case BinOpcode::FMul:
+      E.mulss(XMM::XMM0, FrameReg, B.Off);
+      break;
+    case BinOpcode::FDiv:
+      E.divss(XMM::XMM0, FrameReg, B.Off);
+      break;
+    default:
+      snslp_unreachable("integer opcode on FP type");
+    }
+    E.movssStore(FrameReg, D.Off, XMM::XMM0);
+    break;
+  case TypeKind::Double:
+    E.movsdLoad(XMM::XMM0, FrameReg, A.Off);
+    switch (BO.getOpcode()) {
+    case BinOpcode::FAdd:
+      E.addsd(XMM::XMM0, FrameReg, B.Off);
+      break;
+    case BinOpcode::FSub:
+      E.subsd(XMM::XMM0, FrameReg, B.Off);
+      break;
+    case BinOpcode::FMul:
+      E.mulsd(XMM::XMM0, FrameReg, B.Off);
+      break;
+    case BinOpcode::FDiv:
+      E.divsd(XMM::XMM0, FrameReg, B.Off);
+      break;
+    default:
+      snslp_unreachable("integer opcode on FP type");
+    }
+    E.movsdStore(FrameReg, D.Off, XMM::XMM0);
+    break;
+  default:
+    snslp_unreachable("bad scalar binop kind");
+  }
+}
+
+void NativeCompiler::lowerVectorBinOp(BinOpcode Op, TypeKind Kind,
+                                      const SlotInfo &D, const SlotInfo &A,
+                                      const SlotInfo &B) {
+  const uint32_t Total = D.PaddedBytes;
+  const bool FP = Kind == TypeKind::Float || Kind == TypeKind::Double;
+  const bool F32 = Kind == TypeKind::Float;
+  const bool I32 = Kind == TypeKind::Int32;
+
+  // Integer multiply has no baseline packed form: i64 always, and i32
+  // without SSE4.1, lower to a per-lane GP loop (pad lanes untouched —
+  // they hold zeros from the frame template).
+  if (Op == BinOpcode::Mul && (!I32 || !CF.SSE41)) {
+    for (unsigned L = 0; L < D.Lanes; ++L) {
+      int32_t LO = static_cast<int32_t>(L * D.LaneBytes);
+      if (I32) {
+        E.movRegMem32(GPR::RAX, FrameReg, A.Off + LO);
+        E.imulRegMem_32(GPR::RAX, FrameReg, B.Off + LO);
+        E.movMemReg32(FrameReg, D.Off + LO, GPR::RAX);
+      } else {
+        E.movRegMem(GPR::RAX, FrameReg, A.Off + LO);
+        E.imulRegMem(GPR::RAX, FrameReg, B.Off + LO);
+        E.movMemReg(FrameReg, D.Off + LO, GPR::RAX);
+      }
+    }
+    return;
+  }
+
+  uint32_t O = 0;
+  // 256-bit chunks: AVX covers packed FP, AVX2 the packed integer forms.
+  const bool Wide = Total >= 32 && (FP ? CF.AVX : CF.AVX2);
+  bool UsedWide = false;
+  while (Wide && Total - O >= 32) {
+    int32_t AO = A.Off + static_cast<int32_t>(O);
+    int32_t BO_ = B.Off + static_cast<int32_t>(O);
+    int32_t DO_ = D.Off + static_cast<int32_t>(O);
+    E.vmovupsLoad256(XMM::XMM0, FrameReg, AO);
+    switch (Op) {
+    case BinOpcode::Add:
+      I32 ? E.vpaddd256(XMM::XMM0, XMM::XMM0, FrameReg, BO_)
+          : E.vpaddq256(XMM::XMM0, XMM::XMM0, FrameReg, BO_);
+      break;
+    case BinOpcode::Sub:
+      I32 ? E.vpsubd256(XMM::XMM0, XMM::XMM0, FrameReg, BO_)
+          : E.vpsubq256(XMM::XMM0, XMM::XMM0, FrameReg, BO_);
+      break;
+    case BinOpcode::Mul:
+      E.vpmulld256(XMM::XMM0, XMM::XMM0, FrameReg, BO_);
+      break;
+    case BinOpcode::FAdd:
+      F32 ? E.vaddps256(XMM::XMM0, XMM::XMM0, FrameReg, BO_)
+          : E.vaddpd256(XMM::XMM0, XMM::XMM0, FrameReg, BO_);
+      break;
+    case BinOpcode::FSub:
+      F32 ? E.vsubps256(XMM::XMM0, XMM::XMM0, FrameReg, BO_)
+          : E.vsubpd256(XMM::XMM0, XMM::XMM0, FrameReg, BO_);
+      break;
+    case BinOpcode::FMul:
+      F32 ? E.vmulps256(XMM::XMM0, XMM::XMM0, FrameReg, BO_)
+          : E.vmulpd256(XMM::XMM0, XMM::XMM0, FrameReg, BO_);
+      break;
+    case BinOpcode::FDiv:
+      F32 ? E.vdivps256(XMM::XMM0, XMM::XMM0, FrameReg, BO_)
+          : E.vdivpd256(XMM::XMM0, XMM::XMM0, FrameReg, BO_);
+      break;
+    }
+    E.vmovupsStore256(FrameReg, DO_, XMM::XMM0);
+    O += 32;
+    UsedWide = true;
+  }
+  if (UsedWide) {
+    E.vzeroupper();
+    UsedAVX = true;
+  }
+
+  for (; O < Total; O += 16) {
+    int32_t AO = A.Off + static_cast<int32_t>(O);
+    int32_t BO_ = B.Off + static_cast<int32_t>(O);
+    int32_t DO_ = D.Off + static_cast<int32_t>(O);
+    E.movapsLoad(XMM::XMM0, FrameReg, AO);
+    switch (Op) {
+    case BinOpcode::Add:
+      I32 ? E.paddd(XMM::XMM0, FrameReg, BO_)
+          : E.paddq(XMM::XMM0, FrameReg, BO_);
+      break;
+    case BinOpcode::Sub:
+      I32 ? E.psubd(XMM::XMM0, FrameReg, BO_)
+          : E.psubq(XMM::XMM0, FrameReg, BO_);
+      break;
+    case BinOpcode::Mul:
+      E.pmulld(XMM::XMM0, FrameReg, BO_);
+      break;
+    case BinOpcode::FAdd:
+      F32 ? E.addps(XMM::XMM0, FrameReg, BO_)
+          : E.addpd(XMM::XMM0, FrameReg, BO_);
+      break;
+    case BinOpcode::FSub:
+      F32 ? E.subps(XMM::XMM0, FrameReg, BO_)
+          : E.subpd(XMM::XMM0, FrameReg, BO_);
+      break;
+    case BinOpcode::FMul:
+      F32 ? E.mulps(XMM::XMM0, FrameReg, BO_)
+          : E.mulpd(XMM::XMM0, FrameReg, BO_);
+      break;
+    case BinOpcode::FDiv:
+      F32 ? E.divps(XMM::XMM0, FrameReg, BO_)
+          : E.divpd(XMM::XMM0, FrameReg, BO_);
+      break;
+    }
+    E.movapsStore(FrameReg, DO_, XMM::XMM0);
+  }
+}
+
+void NativeCompiler::lowerAlternateOp(const AlternateOp &AO) {
+  auto [Kind, Lanes] = elementOf(AO.getType());
+  // Same specialization rule as the bytecode engine: one family across all
+  // lanes over a packed-capable kind; everything else takes the generic
+  // (fallback) path.
+  OpFamily Family = getOpFamily(AO.getLaneOpcode(0));
+  bool Uniform = Family != OpFamily::None && Lanes <= 8;
+  for (unsigned L = 0; Uniform && L < Lanes; ++L)
+    if (getOpFamily(AO.getLaneOpcode(L)) != Family)
+      Uniform = false;
+  bool KindOk = Kind == TypeKind::Int32 || Kind == TypeKind::Int64 ||
+                Kind == TypeKind::Float || Kind == TypeKind::Double;
+  if (!Uniform || !KindOk) {
+    emitFallback(AO);
+    return;
+  }
+
+  const SlotInfo &D = slotOf(&AO);
+  const SlotInfo &A = slotOf(AO.getLHS());
+  const SlotInfo &B = slotOf(AO.getRHS());
+  const bool F32 = Kind == TypeKind::Float;
+  const bool I32 = Kind == TypeKind::Int32;
+
+  // Integer multiply/divide families never alternate (int mul has no
+  // inverse); only IntAddSub, FPAddSub, FPMulDiv reach here. IntAddSub over
+  // i64 without packed mul is fine — add/sub always have packed forms.
+  for (uint32_t O = 0; O < D.PaddedBytes; O += 16) {
+    int32_t AOff = A.Off + static_cast<int32_t>(O);
+    int32_t BOff = B.Off + static_cast<int32_t>(O);
+    int32_t DOff = D.Off + static_cast<int32_t>(O);
+
+    // Per-chunk blend mask: a lane is all-ones when it applies the
+    // family's inverse operator. Pad lanes stay zero (direct path), which
+    // is safe on zero-initialized pads.
+    std::array<uint8_t, 16> Mask{};
+    unsigned LB = D.LaneBytes;
+    for (unsigned L = O / LB; L < std::min<unsigned>(Lanes, (O + 16) / LB);
+         ++L)
+      if (isInverseOpcode(AO.getLaneOpcode(L)))
+        std::memset(Mask.data() + (L * LB - O), 0xFF, LB);
+    uint32_t MaskIdx = addPool(Mask);
+
+    E.movapsLoad(XMM::XMM0, FrameReg, AOff); // direct accumulator
+    E.movapsReg(XMM::XMM2, XMM::XMM0);       // inverse accumulator
+    switch (Family) {
+    case OpFamily::IntAddSub:
+      I32 ? E.paddd(XMM::XMM0, FrameReg, BOff)
+          : E.paddq(XMM::XMM0, FrameReg, BOff);
+      I32 ? E.psubd(XMM::XMM2, FrameReg, BOff)
+          : E.psubq(XMM::XMM2, FrameReg, BOff);
+      break;
+    case OpFamily::FPAddSub:
+      F32 ? E.addps(XMM::XMM0, FrameReg, BOff)
+          : E.addpd(XMM::XMM0, FrameReg, BOff);
+      F32 ? E.subps(XMM::XMM2, FrameReg, BOff)
+          : E.subpd(XMM::XMM2, FrameReg, BOff);
+      break;
+    case OpFamily::FPMulDiv:
+      F32 ? E.mulps(XMM::XMM0, FrameReg, BOff)
+          : E.mulpd(XMM::XMM0, FrameReg, BOff);
+      F32 ? E.divps(XMM::XMM2, FrameReg, BOff)
+          : E.divpd(XMM::XMM2, FrameReg, BOff);
+      break;
+    case OpFamily::None:
+      snslp_unreachable("uniform family cannot be None");
+    }
+    // Blend: (inverse & mask) | (direct & ~mask), pure SSE1 bitwise ops.
+    loadPoolAddr(GPR::RAX, MaskIdx);
+    E.movapsLoad(XMM::XMM3, GPR::RAX, 0);
+    E.andps(XMM::XMM2, GPR::RAX, 0);
+    E.andnps(XMM::XMM3, XMM::XMM0);
+    E.orps(XMM::XMM2, XMM::XMM3);
+    E.movapsStore(FrameReg, DOff, XMM::XMM2);
+  }
+}
+
+void NativeCompiler::lowerUnaryOp(const UnaryOperator &UO) {
+  auto [Kind, Lanes] = elementOf(UO.getType());
+  (void)Lanes;
+  const SlotInfo &D = slotOf(&UO);
+  const SlotInfo &A = slotOf(UO.getOperand0());
+  const bool F32 = Kind == TypeKind::Float;
+
+  // Packed forms cover scalars too: slots are padded to 16 bytes and pad
+  // lanes hold zeros, for which neg/abs/sqrt are all well-defined and
+  // trap-free. sqrtps is bit-identical to the double-rounded reference
+  // (see the SqrtF32 note in Bytecode.cpp).
+  uint32_t SignMask = 0, AbsMask = 0;
+  for (uint32_t O = 0; O < D.PaddedBytes; O += 16) {
+    int32_t AOff = A.Off + static_cast<int32_t>(O);
+    int32_t DOff = D.Off + static_cast<int32_t>(O);
+    switch (UO.getOpcode()) {
+    case UnaryOpcode::FNeg:
+      SignMask = F32 ? addPoolSplat32(0x80000000u)
+                     : addPoolSplat64(0x8000000000000000ull);
+      E.movapsLoad(XMM::XMM0, FrameReg, AOff);
+      loadPoolAddr(GPR::RAX, SignMask);
+      E.xorps(XMM::XMM0, GPR::RAX, 0);
+      E.movapsStore(FrameReg, DOff, XMM::XMM0);
+      break;
+    case UnaryOpcode::Fabs:
+      AbsMask = F32 ? addPoolSplat32(0x7FFFFFFFu)
+                    : addPoolSplat64(0x7FFFFFFFFFFFFFFFull);
+      E.movapsLoad(XMM::XMM0, FrameReg, AOff);
+      loadPoolAddr(GPR::RAX, AbsMask);
+      E.andps(XMM::XMM0, GPR::RAX, 0);
+      E.movapsStore(FrameReg, DOff, XMM::XMM0);
+      break;
+    case UnaryOpcode::Sqrt:
+      F32 ? E.sqrtps(XMM::XMM0, FrameReg, AOff)
+          : E.sqrtpd(XMM::XMM0, FrameReg, AOff);
+      E.movapsStore(FrameReg, DOff, XMM::XMM0);
+      break;
+    }
+  }
+}
+
+void NativeCompiler::lowerICmp(const ICmpInst &Cmp) {
+  const SlotInfo &D = slotOf(&Cmp);
+  const SlotInfo &A = slotOf(Cmp.getLHS());
+  const SlotInfo &B = slotOf(Cmp.getRHS());
+
+  // Scalar integers only (verifier-enforced). Cells are canonical
+  // (sign-extended), so one 64-bit compare implements every predicate;
+  // 4-byte i32 slots widen through movsxd first.
+  if (A.LaneBytes == 4) {
+    E.movsxdRegMem(GPR::RAX, FrameReg, A.Off);
+    E.movsxdRegMem(GPR::RCX, FrameReg, B.Off);
+    E.cmpRegReg(GPR::RAX, GPR::RCX);
+  } else {
+    E.movRegMem(GPR::RAX, FrameReg, A.Off);
+    E.cmpRegMem(GPR::RAX, FrameReg, B.Off);
+  }
+
+  Cond C = Cond::E;
+  switch (Cmp.getPredicate()) {
+  case ICmpPredicate::EQ:
+    C = Cond::E;
+    break;
+  case ICmpPredicate::NE:
+    C = Cond::NE;
+    break;
+  case ICmpPredicate::SLT:
+    C = Cond::L;
+    break;
+  case ICmpPredicate::SLE:
+    C = Cond::LE;
+    break;
+  case ICmpPredicate::SGT:
+    C = Cond::G;
+    break;
+  case ICmpPredicate::SGE:
+    C = Cond::GE;
+    break;
+  case ICmpPredicate::ULT:
+    C = Cond::B;
+    break;
+  case ICmpPredicate::ULE:
+    C = Cond::BE;
+    break;
+  }
+  E.setcc(C, GPR::RAX);
+  E.movzx8RegReg(GPR::RAX, GPR::RAX);
+  E.movMemReg(FrameReg, D.Off, GPR::RAX);
+}
+
+void NativeCompiler::lowerInst(const BasicBlock *BB,
+                               const Instruction &Inst) {
+  switch (Inst.getKind()) {
+  case ValueKind::BinOp:
+    lowerBinOp(cast<BinaryOperator>(Inst));
+    break;
+  case ValueKind::AlternateOp:
+    lowerAlternateOp(cast<AlternateOp>(Inst));
+    break;
+  case ValueKind::UnaryOp:
+    lowerUnaryOp(cast<UnaryOperator>(Inst));
+    break;
+  case ValueKind::ICmp:
+    lowerICmp(cast<ICmpInst>(Inst));
+    break;
+
+  case ValueKind::GEP: {
+    const auto &GEP = cast<GEPInst>(Inst);
+    const SlotInfo &D = slotOf(&Inst);
+    int32_t Scale =
+        static_cast<int32_t>(GEP.getElementType()->getSizeInBytes());
+    E.movRegMem(GPR::RAX, FrameReg, slotOf(GEP.getIndexOperand()).Off);
+    E.imulRegRegImm32(GPR::RAX, GPR::RAX, Scale);
+    E.addRegMem(GPR::RAX, FrameReg, slotOf(GEP.getPointerOperand()).Off);
+    E.movMemReg(FrameReg, D.Off, GPR::RAX);
+    break;
+  }
+
+  case ValueKind::Load: {
+    const auto &LI = cast<LoadInst>(Inst);
+    const SlotInfo &D = slotOf(&Inst);
+    uint32_t AccessBytes = D.Lanes * memBytesFor(D.Elem);
+    E.movRegMem(GPR::RAX, FrameReg, slotOf(LI.getPointerOperand()).Off);
+    E.movRegReg(AddrReg, GPR::RAX);
+    emitBoundsCheck(AccessBytes, diagIndex(&Inst), /*IsStore=*/false);
+    if (D.Lanes > 1) {
+      emitUserToFrame(D.Off, D.Lanes * D.LaneBytes);
+    } else if (D.Elem == TypeKind::Int1) {
+      E.movzx8RegMem(GPR::RAX, AddrReg, 0);
+      E.andRegImm32(GPR::RAX, 1);
+      E.movMemReg(FrameReg, D.Off, GPR::RAX);
+    } else if (D.LaneBytes == 4) {
+      E.movRegMem32(GPR::RAX, AddrReg, 0);
+      E.movMemReg32(FrameReg, D.Off, GPR::RAX);
+    } else {
+      E.movRegMem(GPR::RAX, AddrReg, 0);
+      E.movMemReg(FrameReg, D.Off, GPR::RAX);
+    }
+    break;
+  }
+
+  case ValueKind::Store: {
+    const auto &SI = cast<StoreInst>(Inst);
+    const SlotInfo &V = slotOf(SI.getValueOperand());
+    uint32_t AccessBytes = V.Lanes * memBytesFor(V.Elem);
+    E.movRegMem(GPR::RAX, FrameReg, slotOf(SI.getPointerOperand()).Off);
+    E.movRegReg(AddrReg, GPR::RAX);
+    emitBoundsCheck(AccessBytes, diagIndex(&Inst), /*IsStore=*/true);
+    if (V.Lanes > 1) {
+      emitFrameToUser(V.Off, V.Lanes * V.LaneBytes);
+    } else if (V.Elem == TypeKind::Int1) {
+      E.movRegMem(GPR::RAX, FrameReg, V.Off);
+      E.andRegImm32(GPR::RAX, 1);
+      E.movMemReg8(AddrReg, 0, GPR::RAX);
+    } else if (V.LaneBytes == 4) {
+      E.movRegMem32(GPR::RAX, FrameReg, V.Off);
+      E.movMemReg32(AddrReg, 0, GPR::RAX);
+    } else {
+      E.movRegMem(GPR::RAX, FrameReg, V.Off);
+      E.movMemReg(AddrReg, 0, GPR::RAX);
+    }
+    break;
+  }
+
+  case ValueKind::Select: {
+    const auto &Sel = cast<SelectInst>(Inst);
+    const SlotInfo &D = slotOf(&Inst);
+    E.movRegMem(GPR::RAX, FrameReg, slotOf(Sel.getCondition()).Off);
+    E.testRegReg(GPR::RAX, GPR::RAX);
+    size_t ToFalse = E.jccFixup(Cond::E);
+    emitCopy(D.Off, slotOf(Sel.getTrueValue()).Off, realBytes(D));
+    size_t ToEnd = E.jmpFixup();
+    E.patchRel32(ToFalse, E.label());
+    emitCopy(D.Off, slotOf(Sel.getFalseValue()).Off, realBytes(D));
+    E.patchRel32(ToEnd, E.label());
+    break;
+  }
+
+  case ValueKind::InsertElement: {
+    const auto &IE = cast<InsertElementInst>(Inst);
+    const SlotInfo &D = slotOf(&Inst);
+    emitCopy(D.Off, slotOf(IE.getVectorOperand()).Off, realBytes(D));
+    laneMove(D.Off + static_cast<int32_t>(IE.getLane() * D.LaneBytes),
+             slotOf(IE.getScalarOperand()).Off, D.LaneBytes);
+    break;
+  }
+
+  case ValueKind::ExtractElement: {
+    const auto &EE = cast<ExtractElementInst>(Inst);
+    const SlotInfo &D = slotOf(&Inst);
+    const SlotInfo &V = slotOf(EE.getVectorOperand());
+    laneMove(D.Off,
+             V.Off + static_cast<int32_t>(EE.getLane() * V.LaneBytes),
+             V.LaneBytes);
+    break;
+  }
+
+  case ValueKind::ShuffleVector: {
+    const auto &SV = cast<ShuffleVectorInst>(Inst);
+    const SlotInfo &D = slotOf(&Inst);
+    const SlotInfo &A = slotOf(SV.getFirstOperand());
+    const SlotInfo &B = slotOf(SV.getSecondOperand());
+    int InLanes = static_cast<int>(A.Lanes);
+    const std::vector<int> &Mask = SV.getMask();
+    auto SrcOff = [&](unsigned L) {
+      int M = Mask[L];
+      return M < InLanes ? A.Off + static_cast<int32_t>(M) * A.LaneBytes
+                         : B.Off + (M - InLanes) * B.LaneBytes;
+    };
+    // Build the result one whole 16-byte chunk at a time: lane-by-lane
+    // scalar stores into a slot the next packed op reads with movaps
+    // defeat store-to-load forwarding, which is ruinous in the reduction
+    // shuffles SN-SLP emits. Slots are 16-aligned, so when a chunk's
+    // sources share one aligned line pshufd permutes it straight from
+    // memory; otherwise the chunk is assembled in registers.
+    unsigned LB = D.LaneBytes;
+    if ((LB == 4 || LB == 8) && (Mask.size() * LB) % 16 == 0) {
+      unsigned LanesPerChunk = 16 / LB;
+      for (unsigned C = 0; C < Mask.size() / LanesPerChunk; ++C) {
+        unsigned L0 = C * LanesPerChunk;
+        int32_t DstOff = D.Off + static_cast<int32_t>(C * 16);
+        int32_t Line = SrcOff(L0) & ~int32_t{15};
+        bool SameLine = true;
+        for (unsigned L = 1; L < LanesPerChunk; ++L)
+          SameLine &= (SrcOff(L0 + L) & ~int32_t{15}) == Line;
+        if (SameLine) {
+          uint8_t Imm = 0;
+          unsigned DwPerLane = LB / 4;
+          for (unsigned L = 0; L < LanesPerChunk; ++L) {
+            unsigned SrcDw =
+                static_cast<unsigned>(SrcOff(L0 + L) & 15) / 4;
+            for (unsigned Dw = 0; Dw < DwPerLane; ++Dw)
+              Imm |= ((SrcDw + Dw) & 3u)
+                     << (2 * (L * DwPerLane + Dw));
+          }
+          E.pshufdMem(XMM::XMM0, FrameReg, Line, Imm);
+        } else if (LB == 8) {
+          E.movsdLoad(XMM::XMM0, FrameReg, SrcOff(L0));
+          E.movsdLoad(XMM::XMM2, FrameReg, SrcOff(L0 + 1));
+          E.unpcklpd(XMM::XMM0, XMM::XMM2);
+        } else {
+          E.movssLoad(XMM::XMM0, FrameReg, SrcOff(L0));
+          E.movssLoad(XMM::XMM2, FrameReg, SrcOff(L0 + 1));
+          E.unpcklps(XMM::XMM0, XMM::XMM2);
+          E.movssLoad(XMM::XMM2, FrameReg, SrcOff(L0 + 2));
+          E.movssLoad(XMM::XMM3, FrameReg, SrcOff(L0 + 3));
+          E.unpcklps(XMM::XMM2, XMM::XMM3);
+          E.movlhps(XMM::XMM0, XMM::XMM2);
+        }
+        E.movapsStore(FrameReg, DstOff, XMM::XMM0);
+      }
+      break;
+    }
+    for (unsigned L = 0; L < Mask.size(); ++L)
+      laneMove(D.Off + static_cast<int32_t>(L * D.LaneBytes), SrcOff(L),
+               D.LaneBytes);
+    break;
+  }
+
+  case ValueKind::Branch: {
+    const auto &Br = cast<BranchInst>(Inst);
+    if (!Br.isConditional()) {
+      emitEdge(BB, Br.getSuccessor(0), &Inst);
+    } else {
+      E.movRegMem(GPR::RAX, FrameReg, slotOf(Br.getCondition()).Off);
+      E.testRegReg(GPR::RAX, GPR::RAX);
+      size_t ToFalse = E.jccFixup(Cond::E);
+      emitEdge(BB, Br.getSuccessor(0), &Inst);
+      E.patchRel32(ToFalse, E.label());
+      emitEdge(BB, Br.getSuccessor(1), &Inst);
+    }
+    break;
+  }
+
+  case ValueKind::Ret: {
+    const auto &Ret = cast<RetInst>(Inst);
+    if (Ret.hasReturnValue())
+      emitCopy(NF.RetSlot.Off, slotOf(Ret.getReturnValue()).Off,
+               realBytes(NF.RetSlot));
+    E.movRegImm32(GPR::RAX, RcOk);
+    EpilogueFixups.push_back(E.jmpFixup());
+    break;
+  }
+
+  case ValueKind::Phi:
+    break; // Handled by edge copies.
+
+  case ValueKind::Argument:
+  case ValueKind::ConstantInt:
+  case ValueKind::ConstantFP:
+  case ValueKind::ConstantVector:
+    snslp_unreachable("non-instruction kind in block body");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Top-level compilation
+//===----------------------------------------------------------------------===//
+
+bool NativeCompiler::compile() {
+  layoutFrame();
+  emitPrologue();
+
+  for (const auto &BB : F.blocks()) {
+    uint32_t BI = BlockIdx.at(BB.get());
+    BlockPC[BI] = E.label();
+    BlockPlaced[BI] = true;
+    for (const auto &InstPtr : *BB)
+      lowerInst(BB.get(), *InstPtr);
+  }
+
+  // Shared trap tails. The fuel tail falls through into the epilogue.
+  size_t OOBLoadPC = E.label();
+  E.movRegImm32(GPR::RAX, RcOOBLoad);
+  EpilogueFixups.push_back(E.jmpFixup());
+  size_t OOBStorePC = E.label();
+  E.movRegImm32(GPR::RAX, RcOOBStore);
+  EpilogueFixups.push_back(E.jmpFixup());
+  size_t FuelPC = E.label();
+  E.movRegImm32(GPR::RAX, RcFuel);
+  size_t EpiloguePC = E.label();
+  // Write the register-resident accounting back to the frame header (the
+  // trap tails share this path; run() only reads the counters on RcOk,
+  // so the writeback is harmless there).
+  E.movMemReg(FrameReg, OffSteps, StepsReg);
+  E.movMemReg(FrameReg, OffVectorSteps, VecStepsReg);
+  E.movsdStore(FrameReg, OffCycles, CyclesReg);
+  E.pop(GPR::R15);
+  E.pop(GPR::R14);
+  E.pop(GPR::R13);
+  E.pop(GPR::R12);
+  E.pop(GPR::RBX);
+  E.ret();
+
+  for (size_t Fix : OOBLoadFixups)
+    E.patchRel32(Fix, OOBLoadPC);
+  for (size_t Fix : OOBStoreFixups)
+    E.patchRel32(Fix, OOBStorePC);
+  for (size_t Fix : FuelFixups)
+    E.patchRel32(Fix, FuelPC);
+  for (size_t Fix : EpilogueFixups)
+    E.patchRel32(Fix, EpiloguePC);
+  for (const auto &J : JumpFixups)
+    E.patchRel32(J.FixOff, BlockPC[J.Block]);
+
+  // The pool has stopped growing: bake the final entry addresses into the
+  // instruction stream, then flip the bytes into a W^X mapping.
+  std::vector<uint8_t> Bytes = E.code();
+  for (const auto &P : PoolPatches) {
+    uint64_t Addr = reinterpret_cast<uint64_t>(NF.Pool[P.Index].Bytes);
+    std::memcpy(Bytes.data() + P.CodeOff, &Addr, 8);
+  }
+  if (!NF.Code.install(Bytes)) {
+    Reason = "no-exec-memory";
+    return false;
+  }
+  NF.F = &F;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// NativeFunction public API
+//===----------------------------------------------------------------------===//
+
+NativeFunction::~NativeFunction() = default;
+
+std::unique_ptr<NativeFunction>
+NativeFunction::compile(const Function &F, const JITCycleFn &Cycles,
+                        std::string *Reason) {
+  if (!hostCPUFeatures().jitSupported()) {
+    if (Reason)
+      *Reason = "unsupported-isa";
+    return nullptr;
+  }
+  if (faultPoint("jit.emit.abort")) {
+    if (Reason)
+      *Reason = "emit-abort";
+    return nullptr;
+  }
+  std::unique_ptr<NativeFunction> NF(new NativeFunction());
+  NativeCompiler C(F, Cycles, hostCPUFeatures(), *NF);
+  if (!C.compile()) {
+    if (Reason)
+      *Reason = C.failReason();
+    return nullptr;
+  }
+  return NF;
+}
+
+std::vector<std::string> NativeFunction::fallbackOpNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Fallbacks.size());
+  for (const auto &R : Fallbacks)
+    Names.push_back(toString(*R.Inst));
+  return Names;
+}
+
+NativeRunResult NativeFunction::run(
+    NativeState &State, const std::vector<RTValue> &Args, uint64_t MaxSteps,
+    const std::vector<std::pair<uint64_t, uint64_t>> &MemoryRanges) const {
+  NativeRunResult Result;
+  if (Args.size() != F->getNumArgs()) {
+    Result.Error = "argument count mismatch";
+    return Result;
+  }
+
+  // Frame setup: 32-aligned within the reusable storage, template copied
+  // in (header zeros + materialized constants), then header fields and
+  // boundary-converted arguments.
+  if (State.Storage.size() < FrameBytes + 32)
+    State.Storage.resize(FrameBytes + 32);
+  uintptr_t Raw = reinterpret_cast<uintptr_t>(State.Storage.data());
+  uint8_t *Frame =
+      reinterpret_cast<uint8_t *>((Raw + 31) & ~static_cast<uintptr_t>(31));
+  State.Frame = Frame;
+  State.FrameBytes = FrameBytes;
+  std::memcpy(Frame, InitImage.data(), FrameBytes);
+
+  auto Wr64 = [&](int32_t Off, uint64_t V) {
+    std::memcpy(Frame + Off, &V, 8);
+  };
+  auto Rd64 = [&](int32_t Off) {
+    uint64_t V;
+    std::memcpy(&V, Frame + Off, 8);
+    return V;
+  };
+
+  for (unsigned I = 0, N = static_cast<unsigned>(Args.size()); I != N; ++I) {
+    const SlotInfo &S = ArgSlots[I];
+    const RTValue &V = Args[I];
+    unsigned Lanes = std::min<unsigned>(V.Lanes, S.Lanes);
+    for (unsigned L = 0; L < Lanes; ++L) {
+      // Boundary convention: RTValue f32 lanes arrive as double bit
+      // patterns; narrow to native float bits (same as the bytecode VM).
+      uint64_t Cell =
+          S.Elem == TypeKind::Float
+              ? f32ToCell(static_cast<float>(cellToF64(V.Raw[L])))
+              : V.Raw[L];
+      storeLaneCell(Frame + S.Off + L * S.LaneBytes, S.LaneBytes, Cell);
+    }
+  }
+
+  Wr64(OffSteps, EntrySteps);
+  Wr64(OffVectorSteps, EntryVectorSteps);
+  Wr64(OffCycles, f64ToCell(EntryCycles));
+  Wr64(OffMaxSteps, MaxSteps);
+  Wr64(OffFaultIdx, 0);
+  Wr64(OffRanges, MemoryRanges.empty()
+                      ? 0
+                      : reinterpret_cast<uint64_t>(MemoryRanges.data()));
+  Wr64(OffNumRanges, MemoryRanges.size());
+
+  auto Fn = reinterpret_cast<uint64_t (*)(uint8_t *)>(
+      const_cast<void *>(Code.entry()));
+  uint64_t Rc = Fn(Frame);
+
+  switch (Rc) {
+  case RcOk: {
+    Result.Ok = true;
+    Result.StepsExecuted = Rd64(OffSteps);
+    Result.VectorSteps = Rd64(OffVectorSteps);
+    Result.Cycles = cellToF64(Rd64(OffCycles));
+    if (HasRet) {
+      RTValue R;
+      R.ElemKind = RetSlot.Elem;
+      R.Lanes = static_cast<uint8_t>(RetSlot.Lanes);
+      for (unsigned L = 0; L < RetSlot.Lanes; ++L) {
+        uint64_t Cell = loadLaneCell(
+            Frame + RetSlot.Off + L * RetSlot.LaneBytes, RetSlot.LaneBytes,
+            RetSlot.Elem);
+        R.Raw[L] = RetSlot.Elem == TypeKind::Float
+                       ? f64ToCell(static_cast<double>(cellToF32(Cell)))
+                       : Cell;
+      }
+      Result.ReturnValue = R;
+    }
+    break;
+  }
+  case RcFuel:
+    Result.Error = "execution fuel exhausted (possible infinite loop)";
+    Result.TrapKind = Trap::FuelExhausted;
+    break;
+  case RcOOBLoad:
+    Result.Error = "out-of-bounds load: " +
+                   toString(*InstTable[Rd64(OffFaultIdx)]);
+    Result.TrapKind = Trap::OutOfBounds;
+    break;
+  case RcOOBStore:
+    Result.Error = "out-of-bounds store: " +
+                   toString(*InstTable[Rd64(OffFaultIdx)]);
+    Result.TrapKind = Trap::OutOfBounds;
+    break;
+  case RcBadPhi:
+    Result.Error = "phi has no incoming value for executed edge: " +
+                   toString(*InstTable[Rd64(OffFaultIdx)]);
+    Result.TrapKind = Trap::BadPhi;
+    break;
+  default:
+    Result.Error = "native engine returned unknown trap code";
+    Result.TrapKind = Trap::Other;
+    break;
+  }
+  return Result;
+}
+
+} // namespace snslp

@@ -1,0 +1,159 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native JIT backend: lowers one IR function to executable x86-64
+/// machine code and runs it over host memory buffers with the same
+/// observable semantics as the bytecode engine (see docs/jit.md).
+///
+/// Code shape — a spill-everything baseline: every SSA value gets a memory
+/// slot in a per-run frame, every instruction loads its operands from the
+/// frame and stores its result back. No register allocation for SSA values
+/// (only the accounting counters and the frame pointer are pinned to
+/// callee-saved registers), which keeps lowering simple and makes the
+/// out-of-line scalar-call fallback legal at any point. Bounds checks are
+/// emitted inline with a per-site last-hit range cache. Vector values are
+/// stored in
+/// packed native lane layout, so the emitted SSE/AVX forms (`movups`,
+/// `addps`, `mulps`, `padd*`, `pmulld`, ...) operate on whole values per
+/// instruction — that is where the speedup over the interpreting engine
+/// comes from.
+///
+/// Any instruction the emitter does not cover compiles to a scalar call
+/// into the C++ runtime (the "fallback trap"), so every verified program
+/// still runs. Accounting (steps / vector steps / simulated cycles) and
+/// fuel semantics replicate the bytecode engine's edge-aggregate scheme
+/// bit for bit; the DiffOracle holds all three engines to the same
+/// results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_JIT_NATIVEFUNCTION_H
+#define SNSLP_JIT_NATIVEFUNCTION_H
+
+#include "interp/RTValue.h"
+#include "jit/CodeBuffer.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace snslp {
+
+class Function;
+class Instruction;
+class Value;
+
+/// Outcome of one native execution (mirrors BytecodeFunction::RunResult).
+struct NativeRunResult {
+  bool Ok = false;
+  std::string Error;
+  Trap TrapKind = Trap::None;
+  uint64_t StepsExecuted = 0;
+  uint64_t VectorSteps = 0;
+  double Cycles = 0.0;
+  RTValue ReturnValue;
+};
+
+/// One IR function compiled to machine code. Compilation happens once in
+/// compile(); run() reuses the code buffer and a caller-owned frame, so
+/// repeated execution pays no per-run compilation or mapping cost.
+class NativeFunction {
+public:
+  using JITCycleFn = std::function<double(const Instruction &)>;
+
+  /// Reusable execution state (the spill frame), analogous to the bytecode
+  /// engine's VMState. Owned by the caller so NativeFunction stays
+  /// independent of engine lifetime.
+  struct NativeState {
+    std::vector<uint8_t> Storage; ///< Over-allocated; frame is aligned within.
+    uint8_t *Frame = nullptr;
+    size_t FrameBytes = 0;
+  };
+
+  ~NativeFunction();
+  NativeFunction(const NativeFunction &) = delete;
+  NativeFunction &operator=(const NativeFunction &) = delete;
+
+  /// Compiles \p F to native code. Returns null when the host ISA is
+  /// unsupported, executable memory is unavailable, or emission aborts
+  /// (including the `jit.emit.abort` fault-injection site); \p Reason, when
+  /// non-null, receives a `jit:`-style cause ("unsupported-isa", ...).
+  /// \p Cycles matches the bytecode engine's cost hook.
+  static std::unique_ptr<NativeFunction> compile(const Function &F,
+                                                 const JITCycleFn &Cycles,
+                                                 std::string *Reason = nullptr);
+
+  /// Executes the compiled code. Semantics identical to
+  /// BytecodeFunction::run: same boundary value conventions, accounting,
+  /// fuel, bounds-checking (active when \p MemoryRanges is non-empty) and
+  /// trap classification.
+  NativeRunResult
+  run(NativeState &State, const std::vector<RTValue> &Args, uint64_t MaxSteps,
+      const std::vector<std::pair<uint64_t, uint64_t>> &MemoryRanges) const;
+
+  /// Machine-code bytes emitted (for cache-size accounting and benches).
+  size_t codeSize() const { return Code.codeSize(); }
+
+  /// Number of instructions lowered through the scalar-call fallback
+  /// rather than native code (0 for fully covered functions).
+  unsigned fallbackOpCount() const {
+    return static_cast<unsigned>(Fallbacks.size());
+  }
+
+  /// IR spellings of the fallback-lowered instructions (for remarks).
+  std::vector<std::string> fallbackOpNames() const;
+
+private:
+  NativeFunction() = default;
+
+  friend class NativeCompiler;
+  friend uint64_t jitFallbackOpThunk(void *, void *, uint64_t);
+
+  /// Per-value slot layout inside the frame.
+  struct SlotInfo {
+    int32_t Off = 0;
+    TypeKind Elem = TypeKind::Void;
+    uint16_t Lanes = 1;
+    uint16_t LaneBytes = 8;
+    uint32_t PaddedBytes = 8;
+  };
+
+  /// Side table for instructions lowered via the scalar-call fallback.
+  struct FallbackRecord {
+    const Instruction *Inst = nullptr;
+    SlotInfo Dst;                 ///< Invalid when the result is void.
+    std::vector<SlotInfo> Ops;    ///< One per operand, in order.
+    bool HasDst = false;
+  };
+
+  const Function *F = nullptr;
+  CodeBuffer Code;
+  /// 16-byte-aligned literal pool (blend masks, cycle constants);
+  /// addresses are baked into the emitted code, so the pool is immutable
+  /// after compile().
+  struct alignas(16) PoolEntry {
+    uint8_t Bytes[16];
+  };
+  std::vector<PoolEntry> Pool;
+  std::vector<uint8_t> InitImage;       ///< Slot-region template (constants).
+  std::vector<const Instruction *> InstTable; ///< FaultIdx -> instruction.
+  std::vector<FallbackRecord> Fallbacks;
+  std::vector<SlotInfo> ArgSlots;
+  SlotInfo RetSlot; ///< Layout of the return value (void => HasRet false).
+  bool HasRet = false;
+  size_t FrameBytes = 0;
+  uint64_t EntrySteps = 0;
+  uint64_t EntryVectorSteps = 0;
+  double EntryCycles = 0.0;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_JIT_NATIVEFUNCTION_H

@@ -1,0 +1,430 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/X86Emitter.h"
+
+#include <cassert>
+
+namespace snslp {
+
+void X86Emitter::u32(uint32_t V) {
+  byte(static_cast<uint8_t>(V));
+  byte(static_cast<uint8_t>(V >> 8));
+  byte(static_cast<uint8_t>(V >> 16));
+  byte(static_cast<uint8_t>(V >> 24));
+}
+
+void X86Emitter::u64(uint64_t V) {
+  u32(static_cast<uint32_t>(V));
+  u32(static_cast<uint32_t>(V >> 32));
+}
+
+void X86Emitter::rex(bool W, uint8_t Reg, uint8_t Base, bool Force) {
+  uint8_t R = 0x40;
+  if (W)
+    R |= 0x08;
+  if (Reg & 8)
+    R |= 0x04;
+  if (Base & 8)
+    R |= 0x01;
+  if (R != 0x40 || Force)
+    byte(R);
+}
+
+void X86Emitter::regOperand(uint8_t Reg, uint8_t RM) {
+  byte(static_cast<uint8_t>(0xC0 | ((Reg & 7) << 3) | (RM & 7)));
+}
+
+void X86Emitter::memOperand(uint8_t Reg, GPR Base, int32_t Disp) {
+  uint8_t B = static_cast<uint8_t>(Base) & 7;
+  // mod=10 ([base + disp32]); RSP/R12 encodings require a SIB byte.
+  byte(static_cast<uint8_t>(0x80 | ((Reg & 7) << 3) | (B == 4 ? 4 : B)));
+  if (B == 4)
+    byte(0x24); // SIB: scale=0, no index, base=rsp/r12.
+  u32(static_cast<uint32_t>(Disp));
+}
+
+//===----------------------------------------------------------------------===//
+// GP moves
+//===----------------------------------------------------------------------===//
+
+void X86Emitter::movRegImm64(GPR Dst, uint64_t Imm) {
+  rex(true, 0, static_cast<uint8_t>(Dst));
+  byte(static_cast<uint8_t>(0xB8 | (static_cast<uint8_t>(Dst) & 7)));
+  u64(Imm);
+}
+
+void X86Emitter::movRegImm32(GPR Dst, uint32_t Imm) {
+  rex(false, 0, static_cast<uint8_t>(Dst));
+  byte(static_cast<uint8_t>(0xB8 | (static_cast<uint8_t>(Dst) & 7)));
+  u32(Imm);
+}
+
+void X86Emitter::movRegReg(GPR Dst, GPR Src) {
+  rex(true, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+  byte(0x8B);
+  regOperand(static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+}
+
+void X86Emitter::movRegMem(GPR Dst, GPR Base, int32_t Disp) {
+  rex(true, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Base));
+  byte(0x8B);
+  memOperand(static_cast<uint8_t>(Dst), Base, Disp);
+}
+
+void X86Emitter::movMemReg(GPR Base, int32_t Disp, GPR Src) {
+  rex(true, static_cast<uint8_t>(Src), static_cast<uint8_t>(Base));
+  byte(0x89);
+  memOperand(static_cast<uint8_t>(Src), Base, Disp);
+}
+
+void X86Emitter::movRegMem32(GPR Dst, GPR Base, int32_t Disp) {
+  rex(false, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Base));
+  byte(0x8B);
+  memOperand(static_cast<uint8_t>(Dst), Base, Disp);
+}
+
+void X86Emitter::movMemReg32(GPR Base, int32_t Disp, GPR Src) {
+  rex(false, static_cast<uint8_t>(Src), static_cast<uint8_t>(Base));
+  byte(0x89);
+  memOperand(static_cast<uint8_t>(Src), Base, Disp);
+}
+
+void X86Emitter::movsxdRegMem(GPR Dst, GPR Base, int32_t Disp) {
+  rex(true, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Base));
+  byte(0x63);
+  memOperand(static_cast<uint8_t>(Dst), Base, Disp);
+}
+
+void X86Emitter::movsxdRegReg(GPR Dst, GPR Src) {
+  rex(true, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+  byte(0x63);
+  regOperand(static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+}
+
+void X86Emitter::movzx8RegMem(GPR Dst, GPR Base, int32_t Disp) {
+  rex(false, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Base));
+  byte(0x0F);
+  byte(0xB6);
+  memOperand(static_cast<uint8_t>(Dst), Base, Disp);
+}
+
+void X86Emitter::movzx8RegReg(GPR Dst, GPR Src) {
+  // REX is forced when the source's low byte needs it (sil/dil/spl/bpl).
+  uint8_t S = static_cast<uint8_t>(Src);
+  rex(false, static_cast<uint8_t>(Dst), S, S >= 4 && S <= 7);
+  byte(0x0F);
+  byte(0xB6);
+  regOperand(static_cast<uint8_t>(Dst), S);
+}
+
+void X86Emitter::movMemReg8(GPR Base, int32_t Disp, GPR Src) {
+  uint8_t S = static_cast<uint8_t>(Src);
+  rex(false, S, static_cast<uint8_t>(Base), S >= 4 && S <= 7);
+  byte(0x88);
+  memOperand(S, Base, Disp);
+}
+
+//===----------------------------------------------------------------------===//
+// GP arithmetic
+//===----------------------------------------------------------------------===//
+
+void X86Emitter::addRegReg(GPR Dst, GPR Src) {
+  rex(true, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+  byte(0x03);
+  regOperand(static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+}
+
+void X86Emitter::addRegMem(GPR Dst, GPR Base, int32_t Disp) {
+  rex(true, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Base));
+  byte(0x03);
+  memOperand(static_cast<uint8_t>(Dst), Base, Disp);
+}
+
+void X86Emitter::addRegImm32(GPR Dst, int32_t Imm) {
+  rex(true, 0, static_cast<uint8_t>(Dst));
+  byte(0x81);
+  regOperand(0, static_cast<uint8_t>(Dst));
+  u32(static_cast<uint32_t>(Imm));
+}
+
+void X86Emitter::subRegReg(GPR Dst, GPR Src) {
+  rex(true, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+  byte(0x2B);
+  regOperand(static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+}
+
+void X86Emitter::subRegMem(GPR Dst, GPR Base, int32_t Disp) {
+  rex(true, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Base));
+  byte(0x2B);
+  memOperand(static_cast<uint8_t>(Dst), Base, Disp);
+}
+
+void X86Emitter::subRegImm32(GPR Dst, int32_t Imm) {
+  rex(true, 0, static_cast<uint8_t>(Dst));
+  byte(0x81);
+  regOperand(5, static_cast<uint8_t>(Dst));
+  u32(static_cast<uint32_t>(Imm));
+}
+
+void X86Emitter::imulRegMem(GPR Dst, GPR Base, int32_t Disp) {
+  rex(true, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Base));
+  byte(0x0F);
+  byte(0xAF);
+  memOperand(static_cast<uint8_t>(Dst), Base, Disp);
+}
+
+void X86Emitter::imulRegRegImm32(GPR Dst, GPR Src, int32_t Imm) {
+  rex(true, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+  byte(0x69);
+  regOperand(static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+  u32(static_cast<uint32_t>(Imm));
+}
+
+void X86Emitter::andRegImm32(GPR Dst, int32_t Imm) {
+  rex(true, 0, static_cast<uint8_t>(Dst));
+  byte(0x81);
+  regOperand(4, static_cast<uint8_t>(Dst));
+  u32(static_cast<uint32_t>(Imm));
+}
+
+void X86Emitter::cmpRegReg(GPR A, GPR B) {
+  rex(true, static_cast<uint8_t>(A), static_cast<uint8_t>(B));
+  byte(0x3B);
+  regOperand(static_cast<uint8_t>(A), static_cast<uint8_t>(B));
+}
+
+void X86Emitter::cmpRegMem(GPR A, GPR Base, int32_t Disp) {
+  rex(true, static_cast<uint8_t>(A), static_cast<uint8_t>(Base));
+  byte(0x3B);
+  memOperand(static_cast<uint8_t>(A), Base, Disp);
+}
+
+void X86Emitter::cmpRegImm32(GPR A, int32_t Imm) {
+  rex(true, 0, static_cast<uint8_t>(A));
+  byte(0x81);
+  regOperand(7, static_cast<uint8_t>(A));
+  u32(static_cast<uint32_t>(Imm));
+}
+
+void X86Emitter::testRegReg(GPR A, GPR B) {
+  rex(true, static_cast<uint8_t>(B), static_cast<uint8_t>(A));
+  byte(0x85);
+  regOperand(static_cast<uint8_t>(B), static_cast<uint8_t>(A));
+}
+
+void X86Emitter::addMemImm32(GPR Base, int32_t Disp, int32_t Imm) {
+  rex(true, 0, static_cast<uint8_t>(Base));
+  byte(0x81);
+  memOperand(0, Base, Disp);
+  u32(static_cast<uint32_t>(Imm));
+}
+
+void X86Emitter::movMemImm32(GPR Base, int32_t Disp, int32_t Imm) {
+  rex(true, 0, static_cast<uint8_t>(Base));
+  byte(0xC7);
+  memOperand(0, Base, Disp);
+  u32(static_cast<uint32_t>(Imm));
+}
+
+void X86Emitter::cmpMemImm32(GPR Base, int32_t Disp, int32_t Imm) {
+  rex(true, 0, static_cast<uint8_t>(Base));
+  byte(0x81);
+  memOperand(7, Base, Disp);
+  u32(static_cast<uint32_t>(Imm));
+}
+
+void X86Emitter::addRegMem_32(GPR Dst, GPR Base, int32_t Disp) {
+  rex(false, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Base));
+  byte(0x03);
+  memOperand(static_cast<uint8_t>(Dst), Base, Disp);
+}
+
+void X86Emitter::subRegMem_32(GPR Dst, GPR Base, int32_t Disp) {
+  rex(false, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Base));
+  byte(0x2B);
+  memOperand(static_cast<uint8_t>(Dst), Base, Disp);
+}
+
+void X86Emitter::imulRegMem_32(GPR Dst, GPR Base, int32_t Disp) {
+  rex(false, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Base));
+  byte(0x0F);
+  byte(0xAF);
+  memOperand(static_cast<uint8_t>(Dst), Base, Disp);
+}
+
+void X86Emitter::setcc(Cond C, GPR Dst8) {
+  uint8_t D = static_cast<uint8_t>(Dst8);
+  rex(false, 0, D, D >= 4 && D <= 7);
+  byte(0x0F);
+  byte(static_cast<uint8_t>(0x90 | static_cast<uint8_t>(C)));
+  regOperand(0, D);
+}
+
+//===----------------------------------------------------------------------===//
+// Control flow
+//===----------------------------------------------------------------------===//
+
+size_t X86Emitter::jccFixup(Cond C) {
+  byte(0x0F);
+  byte(static_cast<uint8_t>(0x80 | static_cast<uint8_t>(C)));
+  size_t Off = Buf.size();
+  u32(0);
+  return Off;
+}
+
+size_t X86Emitter::jmpFixup() {
+  byte(0xE9);
+  size_t Off = Buf.size();
+  u32(0);
+  return Off;
+}
+
+void X86Emitter::jccTo(Cond C, size_t Target) {
+  byte(0x0F);
+  byte(static_cast<uint8_t>(0x80 | static_cast<uint8_t>(C)));
+  int64_t Rel = static_cast<int64_t>(Target) -
+                (static_cast<int64_t>(Buf.size()) + 4);
+  u32(static_cast<uint32_t>(static_cast<int32_t>(Rel)));
+}
+
+void X86Emitter::jmpTo(size_t Target) {
+  byte(0xE9);
+  int64_t Rel = static_cast<int64_t>(Target) -
+                (static_cast<int64_t>(Buf.size()) + 4);
+  u32(static_cast<uint32_t>(static_cast<int32_t>(Rel)));
+}
+
+void X86Emitter::patchRel32(size_t FixupOff, size_t Target) {
+  assert(FixupOff + 4 <= Buf.size() && "fixup out of range");
+  int64_t Rel = static_cast<int64_t>(Target) -
+                (static_cast<int64_t>(FixupOff) + 4);
+  uint32_t V = static_cast<uint32_t>(static_cast<int32_t>(Rel));
+  Buf[FixupOff] = static_cast<uint8_t>(V);
+  Buf[FixupOff + 1] = static_cast<uint8_t>(V >> 8);
+  Buf[FixupOff + 2] = static_cast<uint8_t>(V >> 16);
+  Buf[FixupOff + 3] = static_cast<uint8_t>(V >> 24);
+}
+
+void X86Emitter::callReg(GPR R) {
+  rex(false, 0, static_cast<uint8_t>(R));
+  byte(0xFF);
+  regOperand(2, static_cast<uint8_t>(R));
+}
+
+void X86Emitter::push(GPR R) {
+  rex(false, 0, static_cast<uint8_t>(R));
+  byte(static_cast<uint8_t>(0x50 | (static_cast<uint8_t>(R) & 7)));
+}
+
+void X86Emitter::pop(GPR R) {
+  rex(false, 0, static_cast<uint8_t>(R));
+  byte(static_cast<uint8_t>(0x58 | (static_cast<uint8_t>(R) & 7)));
+}
+
+void X86Emitter::ret() { byte(0xC3); }
+
+//===----------------------------------------------------------------------===//
+// SSE
+//===----------------------------------------------------------------------===//
+
+void X86Emitter::sseRR(uint8_t Prefix, uint8_t Opcode, XMM Dst, XMM Src) {
+  if (Prefix)
+    byte(Prefix);
+  rex(false, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+  byte(0x0F);
+  byte(Opcode);
+  regOperand(static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+}
+
+void X86Emitter::sseRM(uint8_t Prefix, uint8_t Opcode, XMM Dst, GPR Base,
+                       int32_t Disp) {
+  if (Prefix)
+    byte(Prefix);
+  rex(false, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Base));
+  byte(0x0F);
+  byte(Opcode);
+  memOperand(static_cast<uint8_t>(Dst), Base, Disp);
+}
+
+void X86Emitter::sseMR(uint8_t Prefix, uint8_t Opcode, GPR Base, int32_t Disp,
+                       XMM Src) {
+  if (Prefix)
+    byte(Prefix);
+  rex(false, static_cast<uint8_t>(Src), static_cast<uint8_t>(Base));
+  byte(0x0F);
+  byte(Opcode);
+  memOperand(static_cast<uint8_t>(Src), Base, Disp);
+}
+
+void X86Emitter::sse38RR(uint8_t Prefix, uint8_t Opcode, XMM Dst, XMM Src) {
+  if (Prefix)
+    byte(Prefix);
+  rex(false, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+  byte(0x0F);
+  byte(0x38);
+  byte(Opcode);
+  regOperand(static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+}
+
+void X86Emitter::sse38RM(uint8_t Prefix, uint8_t Opcode, XMM Dst, GPR Base,
+                         int32_t Disp) {
+  if (Prefix)
+    byte(Prefix);
+  rex(false, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Base));
+  byte(0x0F);
+  byte(0x38);
+  byte(Opcode);
+  memOperand(static_cast<uint8_t>(Dst), Base, Disp);
+}
+
+//===----------------------------------------------------------------------===//
+// VEX.256
+//===----------------------------------------------------------------------===//
+
+// Three-byte VEX: C4 [R X B mmmmm] [W vvvv L pp]. R/X/B are stored
+// inverted; vvvv is the inverted second source register.
+static void vexPrefix(std::vector<uint8_t> &Buf, uint8_t PP, uint8_t Map,
+                      uint8_t Reg, uint8_t Base, uint8_t VVVV) {
+  Buf.push_back(0xC4);
+  uint8_t B1 = 0;
+  if (!(Reg & 8))
+    B1 |= 0x80; // ~R
+  B1 |= 0x40;   // ~X (no index register)
+  if (!(Base & 8))
+    B1 |= 0x20; // ~B
+  B1 |= (Map & 0x1F);
+  Buf.push_back(B1);
+  uint8_t B2 = 0; // W = 0
+  B2 |= static_cast<uint8_t>((~VVVV & 0xF) << 3);
+  B2 |= 0x04; // L = 1 (256-bit)
+  B2 |= (PP & 3);
+  Buf.push_back(B2);
+}
+
+void X86Emitter::vexRM256(uint8_t PP, uint8_t Map, uint8_t Opcode, XMM Dst,
+                          XMM Src1, GPR Base, int32_t Disp) {
+  vexPrefix(Buf, PP, Map, static_cast<uint8_t>(Dst),
+            static_cast<uint8_t>(Base), static_cast<uint8_t>(Src1));
+  byte(Opcode);
+  memOperand(static_cast<uint8_t>(Dst), Base, Disp);
+}
+
+void X86Emitter::vexMR256(uint8_t PP, uint8_t Map, uint8_t Opcode, GPR Base,
+                          int32_t Disp, XMM Src) {
+  vexPrefix(Buf, PP, Map, static_cast<uint8_t>(Src),
+            static_cast<uint8_t>(Base), 0);
+  byte(Opcode);
+  memOperand(static_cast<uint8_t>(Src), Base, Disp);
+}
+
+void X86Emitter::vzeroupper() {
+  byte(0xC5);
+  byte(0xF8);
+  byte(0x77);
+}
+
+} // namespace snslp

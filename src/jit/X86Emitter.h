@@ -1,0 +1,243 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small x86-64 machine-code emitter: exactly the instruction set the
+/// native backend needs. Scalar integer/FP ops, the packed SSE forms the
+/// cost model prices (movups/addps/mulps/subps, padd*/psub*/pmulld,
+/// bitwise blends for alternating ops), a minimal VEX.256 tier for AVX
+/// hosts, and the control-flow/call scaffolding of the spill-everything
+/// code generator.
+///
+/// The emitter appends bytes to an internal vector; NativeFunction copies
+/// the finished stream into a W^X CodeBuffer. Encodings are deliberately
+/// regular — memory operands are always [base + disp32] — so the golden
+/// tests in JitEmitterTest can pin each one byte-for-byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_JIT_X86EMITTER_H
+#define SNSLP_JIT_X86EMITTER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace snslp {
+
+/// General-purpose registers (hardware encoding order).
+enum class GPR : uint8_t {
+  RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSP = 4, RBP = 5, RSI = 6, RDI = 7,
+  R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+};
+
+/// XMM/YMM registers.
+enum class XMM : uint8_t {
+  XMM0 = 0, XMM1 = 1, XMM2 = 2, XMM3 = 3, XMM4 = 4, XMM5 = 5, XMM6 = 6,
+  XMM7 = 7, XMM8 = 8, XMM9 = 9, XMM10 = 10, XMM11 = 11, XMM12 = 12,
+  XMM13 = 13, XMM14 = 14, XMM15 = 15,
+};
+
+/// Condition codes (the low nibble of the 0F 8x / 0F 9x opcode).
+enum class Cond : uint8_t {
+  O = 0x0, NO = 0x1, B = 0x2, AE = 0x3, E = 0x4, NE = 0x5, BE = 0x6, A = 0x7,
+  S = 0x8, NS = 0x9, P = 0xA, NP = 0xB, L = 0xC, GE = 0xD, LE = 0xE, G = 0xF,
+};
+
+/// Appends x86-64 instructions to a byte stream. Memory operands are
+/// always [base + disp32]; RSP/R12 bases get the required SIB byte.
+class X86Emitter {
+public:
+  const std::vector<uint8_t> &code() const { return Buf; }
+  size_t size() const { return Buf.size(); }
+  /// Current position; used as a branch target for backward jumps.
+  size_t label() const { return Buf.size(); }
+
+  /// \name General-purpose moves.
+  /// @{
+  void movRegImm64(GPR Dst, uint64_t Imm);
+  void movRegImm32(GPR Dst, uint32_t Imm); ///< 32-bit move (zero-extends).
+  void movRegReg(GPR Dst, GPR Src);        ///< 64-bit.
+  void movRegMem(GPR Dst, GPR Base, int32_t Disp);    ///< mov r64, [m]
+  void movMemReg(GPR Base, int32_t Disp, GPR Src);    ///< mov [m], r64
+  void movRegMem32(GPR Dst, GPR Base, int32_t Disp);  ///< mov r32, [m] (zext)
+  void movMemReg32(GPR Base, int32_t Disp, GPR Src);  ///< mov [m], r32
+  void movsxdRegMem(GPR Dst, GPR Base, int32_t Disp); ///< movsxd r64, [m32]
+  void movsxdRegReg(GPR Dst, GPR Src);                ///< movsxd r64, r32
+  void movzx8RegMem(GPR Dst, GPR Base, int32_t Disp); ///< movzx r32, [m8]
+  void movzx8RegReg(GPR Dst, GPR Src);                ///< movzx r32, r8
+  void movMemReg8(GPR Base, int32_t Disp, GPR Src);   ///< mov [m], r8
+  /// @}
+
+  /// \name 64-bit GP arithmetic / logic.
+  /// @{
+  void addRegReg(GPR Dst, GPR Src);
+  void addRegMem(GPR Dst, GPR Base, int32_t Disp);
+  void addRegImm32(GPR Dst, int32_t Imm);
+  void subRegReg(GPR Dst, GPR Src);
+  void subRegMem(GPR Dst, GPR Base, int32_t Disp);
+  void subRegImm32(GPR Dst, int32_t Imm);
+  void imulRegMem(GPR Dst, GPR Base, int32_t Disp);
+  void imulRegRegImm32(GPR Dst, GPR Src, int32_t Imm);
+  void andRegImm32(GPR Dst, int32_t Imm);
+  void cmpRegReg(GPR A, GPR B);
+  void cmpRegMem(GPR A, GPR Base, int32_t Disp);
+  void cmpRegImm32(GPR A, int32_t Imm);
+  void testRegReg(GPR A, GPR B);
+  void addMemImm32(GPR Base, int32_t Disp, int32_t Imm); ///< add qword [m], imm
+  void movMemImm32(GPR Base, int32_t Disp, int32_t Imm); ///< mov qword [m], imm (sext)
+  void cmpMemImm32(GPR Base, int32_t Disp, int32_t Imm); ///< cmp qword [m], imm
+  /// @}
+
+  /// \name 32-bit GP arithmetic (operand-size prefix semantics).
+  /// @{
+  void addRegMem_32(GPR Dst, GPR Base, int32_t Disp); ///< add r32, [m]
+  void subRegMem_32(GPR Dst, GPR Base, int32_t Disp); ///< sub r32, [m]
+  void imulRegMem_32(GPR Dst, GPR Base, int32_t Disp); ///< imul r32, [m]
+  /// @}
+
+  /// \name Flags materialization.
+  /// @{
+  void setcc(Cond C, GPR Dst8); ///< setcc r8 (low byte of Dst8)
+  /// @}
+
+  /// \name Control flow.
+  /// @{
+  /// Emits `jcc rel32` with a zero displacement; returns the fixup offset
+  /// of the rel32 field for patchRel32().
+  size_t jccFixup(Cond C);
+  /// Emits `jmp rel32` with a zero displacement; returns the fixup offset.
+  size_t jmpFixup();
+  /// jcc rel32 to an already-emitted label (backward loop edges).
+  void jccTo(Cond C, size_t Target);
+  /// Emits `jmp rel32` straight to a known (typically backward) target.
+  void jmpTo(size_t Target);
+  /// Patches the rel32 at \p FixupOff to jump to \p Target.
+  void patchRel32(size_t FixupOff, size_t Target);
+  void callReg(GPR R);
+  void push(GPR R);
+  void pop(GPR R);
+  void ret();
+  /// @}
+
+  /// \name Scalar/packed SSE.
+  ///
+  /// Each op has register-register, register-memory (load direction), and
+  /// where needed memory-register (store direction) forms. The generic
+  /// core is exposed for the few encodings without a named wrapper.
+  /// @{
+  void sseRR(uint8_t Prefix, uint8_t Opcode, XMM Dst, XMM Src);
+  void sseRM(uint8_t Prefix, uint8_t Opcode, XMM Dst, GPR Base, int32_t Disp);
+  void sseMR(uint8_t Prefix, uint8_t Opcode, GPR Base, int32_t Disp, XMM Src);
+  /// Three-byte-opcode (0F 38 map) forms, e.g. pmulld.
+  void sse38RR(uint8_t Prefix, uint8_t Opcode, XMM Dst, XMM Src);
+  void sse38RM(uint8_t Prefix, uint8_t Opcode, XMM Dst, GPR Base,
+               int32_t Disp);
+
+  void movupsLoad(XMM Dst, GPR Base, int32_t Disp)  { sseRM(0x00, 0x10, Dst, Base, Disp); }
+  void movupsStore(GPR Base, int32_t Disp, XMM Src) { sseMR(0x00, 0x11, Base, Disp, Src); }
+  void movapsLoad(XMM Dst, GPR Base, int32_t Disp)  { sseRM(0x00, 0x28, Dst, Base, Disp); }
+  void movapsStore(GPR Base, int32_t Disp, XMM Src) { sseMR(0x00, 0x29, Base, Disp, Src); }
+  void movapsReg(XMM Dst, XMM Src)                  { sseRR(0x00, 0x28, Dst, Src); }
+  void movssLoad(XMM Dst, GPR Base, int32_t Disp)   { sseRM(0xF3, 0x10, Dst, Base, Disp); }
+  void movssStore(GPR Base, int32_t Disp, XMM Src)  { sseMR(0xF3, 0x11, Base, Disp, Src); }
+  void movsdLoad(XMM Dst, GPR Base, int32_t Disp)   { sseRM(0xF2, 0x10, Dst, Base, Disp); }
+  void movsdStore(GPR Base, int32_t Disp, XMM Src)  { sseMR(0xF2, 0x11, Base, Disp, Src); }
+
+  void addss(XMM D, GPR B, int32_t O) { sseRM(0xF3, 0x58, D, B, O); }
+  void subss(XMM D, GPR B, int32_t O) { sseRM(0xF3, 0x5C, D, B, O); }
+  void mulss(XMM D, GPR B, int32_t O) { sseRM(0xF3, 0x59, D, B, O); }
+  void divss(XMM D, GPR B, int32_t O) { sseRM(0xF3, 0x5E, D, B, O); }
+  void sqrtss(XMM D, GPR B, int32_t O) { sseRM(0xF3, 0x51, D, B, O); }
+  void addsd(XMM D, GPR B, int32_t O) { sseRM(0xF2, 0x58, D, B, O); }
+  void subsd(XMM D, GPR B, int32_t O) { sseRM(0xF2, 0x5C, D, B, O); }
+  void mulsd(XMM D, GPR B, int32_t O) { sseRM(0xF2, 0x59, D, B, O); }
+  void divsd(XMM D, GPR B, int32_t O) { sseRM(0xF2, 0x5E, D, B, O); }
+  void sqrtsd(XMM D, GPR B, int32_t O) { sseRM(0xF2, 0x51, D, B, O); }
+
+  void addps(XMM D, GPR B, int32_t O) { sseRM(0x00, 0x58, D, B, O); }
+  void subps(XMM D, GPR B, int32_t O) { sseRM(0x00, 0x5C, D, B, O); }
+  void mulps(XMM D, GPR B, int32_t O) { sseRM(0x00, 0x59, D, B, O); }
+  void divps(XMM D, GPR B, int32_t O) { sseRM(0x00, 0x5E, D, B, O); }
+  void sqrtps(XMM D, GPR B, int32_t O) { sseRM(0x00, 0x51, D, B, O); }
+  void addpd(XMM D, GPR B, int32_t O) { sseRM(0x66, 0x58, D, B, O); }
+  void subpd(XMM D, GPR B, int32_t O) { sseRM(0x66, 0x5C, D, B, O); }
+  void mulpd(XMM D, GPR B, int32_t O) { sseRM(0x66, 0x59, D, B, O); }
+  void divpd(XMM D, GPR B, int32_t O) { sseRM(0x66, 0x5E, D, B, O); }
+  void sqrtpd(XMM D, GPR B, int32_t O) { sseRM(0x66, 0x51, D, B, O); }
+
+  void xorps(XMM D, GPR B, int32_t O) { sseRM(0x00, 0x57, D, B, O); }
+  void andps(XMM D, GPR B, int32_t O) { sseRM(0x00, 0x54, D, B, O); }
+  void andnps(XMM D, XMM S) { sseRR(0x00, 0x55, D, S); }
+  void orps(XMM D, XMM S) { sseRR(0x00, 0x56, D, S); }
+
+  /// pshufd xmm, m128, imm8 — dword-granularity permute straight from a
+  /// frame slot (type-agnostic: f32/f64/i32/i64 lanes are all dword
+  /// multiples). The shuffle lowering leans on this to keep vector slots
+  /// written in whole 16-byte chunks.
+  void pshufdMem(XMM D, GPR B, int32_t O, uint8_t Imm) {
+    sseRM(0x66, 0x70, D, B, O);
+    byte(Imm);
+  }
+  void unpcklpd(XMM D, XMM S) { sseRR(0x66, 0x14, D, S); }
+  void unpcklps(XMM D, XMM S) { sseRR(0x00, 0x14, D, S); }
+  void movlhps(XMM D, XMM S) { sseRR(0x00, 0x16, D, S); }
+
+  void paddd(XMM D, GPR B, int32_t O) { sseRM(0x66, 0xFE, D, B, O); }
+  void psubd(XMM D, GPR B, int32_t O) { sseRM(0x66, 0xFA, D, B, O); }
+  void paddq(XMM D, GPR B, int32_t O) { sseRM(0x66, 0xD4, D, B, O); }
+  void psubq(XMM D, GPR B, int32_t O) { sseRM(0x66, 0xFB, D, B, O); }
+  void pmulld(XMM D, GPR B, int32_t O) { sse38RM(0x66, 0x40, D, B, O); }
+  /// @}
+
+  /// \name VEX.256 tier (AVX / AVX2 hosts).
+  ///
+  /// pp encodes the legacy prefix (0=none, 1=66, 2=F3, 3=F2); Map selects
+  /// the opcode map (1 = 0F, 2 = 0F 38).
+  /// @{
+  void vexRM256(uint8_t PP, uint8_t Map, uint8_t Opcode, XMM Dst, XMM Src1,
+                GPR Base, int32_t Disp);
+  void vexMR256(uint8_t PP, uint8_t Map, uint8_t Opcode, GPR Base,
+                int32_t Disp, XMM Src);
+
+  void vmovupsLoad256(XMM D, GPR B, int32_t O)  { vexRM256(0, 1, 0x10, D, XMM::XMM0, B, O); }
+  void vmovupsStore256(GPR B, int32_t O, XMM S) { vexMR256(0, 1, 0x11, B, O, S); }
+  void vaddps256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(0, 1, 0x58, D, S1, B, O); }
+  void vsubps256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(0, 1, 0x5C, D, S1, B, O); }
+  void vmulps256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(0, 1, 0x59, D, S1, B, O); }
+  void vdivps256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(0, 1, 0x5E, D, S1, B, O); }
+  void vaddpd256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(1, 1, 0x58, D, S1, B, O); }
+  void vsubpd256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(1, 1, 0x5C, D, S1, B, O); }
+  void vmulpd256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(1, 1, 0x59, D, S1, B, O); }
+  void vdivpd256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(1, 1, 0x5E, D, S1, B, O); }
+  void vpaddd256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(1, 1, 0xFE, D, S1, B, O); }
+  void vpsubd256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(1, 1, 0xFA, D, S1, B, O); }
+  void vpaddq256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(1, 1, 0xD4, D, S1, B, O); }
+  void vpsubq256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(1, 1, 0xFB, D, S1, B, O); }
+  void vpmulld256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(1, 2, 0x40, D, S1, B, O); }
+
+  /// Clears the ymm upper halves: avoids AVX→SSE transition stalls after
+  /// a 256-bit chunk (the surrounding code is legacy SSE).
+  void vzeroupper();
+  /// @}
+
+private:
+  void byte(uint8_t B) { Buf.push_back(B); }
+  void u32(uint32_t V);
+  void u64(uint64_t V);
+  /// Emits an optional REX for (reg, base) with the given W bit; Force
+  /// emits REX even when no bit is set (for sil/dil-class byte regs).
+  void rex(bool W, uint8_t Reg, uint8_t Base, bool Force = false);
+  /// ModRM (+SIB when base is RSP/R12) for [base + disp32].
+  void memOperand(uint8_t Reg, GPR Base, int32_t Disp);
+  void regOperand(uint8_t Reg, uint8_t RM);
+
+  std::vector<uint8_t> Buf;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_JIT_X86EMITTER_H

@@ -32,7 +32,15 @@ ExecutionResult CompiledProgram::run(const RunRequest &R) const {
   Engine->clearMemoryRanges();
   for (const auto &[Base, Size] : R.MemoryRanges)
     Engine->addMemoryRange(Base, Size);
-  return Engine->run(R.Args, R.MaxSteps);
+  return Engine->run(R.Engine, R.Args, R.MaxSteps);
+}
+
+bool CompiledProgram::nativeAvailable() const {
+  return Engine && Engine->nativeCodeSize() > 0;
+}
+
+size_t CompiledProgram::nativeCodeSize() const {
+  return Engine ? Engine->nativeCodeSize() : 0;
 }
 
 size_t CompiledProgram::cachedBytes() const {
@@ -43,6 +51,8 @@ size_t CompiledProgram::cachedBytes() const {
   if (Engine) {
     const BytecodeFunction &BC = Engine->getBytecode();
     Bytes += BC.getCodeSize() * 16 + BC.getNumRegCells() * 8;
+    // The installed native code buffer (0 when the JIT is unavailable).
+    Bytes += Engine->nativeCodeSize();
   }
   // The retained IR itself (instructions, constants, types): a coarse
   // estimate keyed to the printed form, which tracks instruction count.
@@ -66,7 +76,8 @@ std::string CompileService::configFingerprint(const CompileRequest &Req) {
   // stale fingerprint would alias distinct pipelines onto one cache key.
   // kPipelineVersion exists for changes this list cannot see (codegen
   // logic itself) — bump it when the pipeline's behaviour changes.
-  static constexpr unsigned kPipelineVersion = 1;
+  // v2: units carry eagerly JIT-compiled native code (PR 6).
+  static constexpr unsigned kPipelineVersion = 2;
   const VectorizerConfig &C = Req.Config;
   std::ostringstream OS;
   OS << "v" << kPipelineVersion << ";mode=" << getModeName(C.Mode)
@@ -221,6 +232,34 @@ Expected<CompiledUnit> CompileService::compileLocked(const CompileRequest &Req,
   P->Engine = std::make_unique<ExecutionEngine>(
       *P->Entry,
       [TCM](const Instruction &I) { return TCM.executionCycles(I); });
+
+  // Eagerly attempt the native JIT compile, so cache hits are served with
+  // machine code already installed. Failure is not an error: runs degrade
+  // to bytecode, and the remark stream records why the fast path is off
+  // (`jit:unsupported-isa`, `jit:emit-abort`, ... — see docs/jit.md).
+  if (!P->Engine->isNativeAvailable()) {
+    P->Remarks.push_back(
+        Remark::missed("jit", "NativeUnavailable", P->EntryName)
+            .withDecision("jit:" + P->Engine->nativeDisabledReason())
+            .withMessage("native JIT compile unavailable; runs degrade to "
+                         "the bytecode engine"));
+    if (Stats)
+      Stats->add("service.jit.unavailable");
+  } else {
+    if (P->Engine->nativeFallbackOpCount() > 0)
+      P->Remarks.push_back(
+          Remark::missed("jit", "UnsupportedOp", P->EntryName)
+              .withDecision("jit:unsupported-op")
+              .withValues(P->Engine->nativeFallbackOpNames())
+              .withMessage(
+                  std::to_string(P->Engine->nativeFallbackOpCount()) +
+                  " op(s) lowered through the scalar-call fallback"));
+    if (Stats) {
+      Stats->add("service.jit.compiles");
+      Stats->add("service.jit.code.bytes",
+                 static_cast<int64_t>(P->Engine->nativeCodeSize()));
+    }
+  }
 
   P->CompileNanos = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

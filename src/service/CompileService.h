@@ -77,8 +77,11 @@ struct CompileRequest {
 /// An immutable compiled module: the service's cacheable unit. Owns its
 /// private Context/Module (never shared with other jobs), the vectorized
 /// canonical text, the remark decision trail, aggregate vectorizer stats,
-/// and a ready-to-run bytecode engine for the entry function. Execution
-/// serializes on an internal mutex (the engine's register file is shared
+/// and a ready-to-run engine for the entry function: a bytecode form plus,
+/// where the host supports it, native x86-64 machine code (compiled
+/// eagerly at the cold compile, so cache hits are served with the JIT
+/// already in place — see docs/jit.md). Execution serializes on an
+/// internal mutex (the engine's register file and code buffer are shared
 /// state); everything else is read-only after construction.
 class CompiledProgram : public CacheableUnit {
 public:
@@ -100,17 +103,28 @@ public:
   const Function *entryFunction() const { return Entry; }
   const Digest128 &digest() const { return Key; }
 
-  /// One interpreted execution of a compiled unit.
+  /// One execution of a compiled unit.
   struct RunRequest {
     std::vector<RTValue> Args;
     /// Buffers to register with the interpreter's sanitizer mode.
     std::vector<std::pair<const void *, size_t>> MemoryRanges;
     uint64_t MaxSteps = 1ull << 24;
+    /// Engine to execute on. Native is the default fast path; it degrades
+    /// to bytecode when the JIT could not cover this host or function (the
+    /// result's EngineUsed reports what actually ran).
+    EngineKind Engine = EngineKind::Native;
   };
 
-  /// Executes the entry function on the retained bytecode engine.
-  /// Thread-safe (runs serialize per unit).
+  /// Executes the entry function on the retained engine. Thread-safe
+  /// (runs serialize per unit).
   ExecutionResult run(const RunRequest &R) const;
+
+  /// Whether the entry function was compiled to native machine code at
+  /// the cold compile (false: every run degrades to bytecode; the remark
+  /// stream carries a `jit:*` missed remark naming the reason).
+  bool nativeAvailable() const;
+  /// Size in bytes of the installed native code (0 when unavailable).
+  size_t nativeCodeSize() const;
 
   size_t cachedBytes() const override;
 

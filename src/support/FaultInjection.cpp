@@ -18,6 +18,8 @@ const std::vector<std::string> &knownFaultSites() {
       "slp.vectorize.abort",   // internal defect after codegen, before commit
       "slp.reduction.abort",   // internal defect in a reduction attempt
       "driver.compile.parse",  // kernel IR text fails to parse
+      "jit.emit.abort",        // native code emission aborts (-> bytecode)
+      "jit.exec.trap",         // native execution traps (-> bytecode run)
   };
   return Sites;
 }

@@ -1,0 +1,565 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the native x86-64 JIT engine: differential parity with the
+/// bytecode engine (values, memory, accounting, traps, error strings),
+/// the scalar-call fallback, CPU feature gating, and the fault-injected
+/// degradation ladder (jit.emit.abort / jit.exec.trap -> bytecode).
+///
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetCostModel.h"
+#include "driver/KernelRunner.h"
+#include "interp/ExecutionEngine.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "jit/CPUFeatures.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+using namespace snslp;
+
+namespace {
+
+bool jitAvailableOnHost() { return hostCPUFeatures().jitSupported(); }
+
+class NativeEngineTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  Module M{Ctx, "native-test"};
+
+  void TearDown() override { FaultInjector::instance().disarmAll(); }
+
+  Function *parse(const std::string &Source) {
+    std::string Err;
+    bool Ok = parseIR(Source, M, &Err);
+    EXPECT_TRUE(Ok) << Err;
+    if (!Ok)
+      return nullptr;
+    Function *F = M.functions().back().get();
+    EXPECT_TRUE(verifyFunction(*F));
+    return F;
+  }
+
+  /// Runs \p F under both the native and bytecode engines on the same
+  /// arguments and asserts bit-identical results and accounting. Memory
+  /// effects are compared by the caller (distinct buffers per engine).
+  void expectParity(Function *F, const std::vector<RTValue> &Args,
+                    uint64_t MaxSteps = 1ull << 32) {
+    ExecutionEngine E(*F);
+    ExecutionResult NR = E.runNative(Args, MaxSteps);
+    ExecutionResult BR = E.run(Args, MaxSteps);
+    if (jitAvailableOnHost())
+      EXPECT_EQ(NR.EngineUsed, EngineKind::Native)
+          << E.nativeDisabledReason();
+    EXPECT_EQ(NR.Ok, BR.Ok) << NR.Error << " vs " << BR.Error;
+    EXPECT_EQ(NR.Error, BR.Error);
+    EXPECT_EQ(NR.TrapKind, BR.TrapKind);
+    EXPECT_EQ(NR.StepsExecuted, BR.StepsExecuted);
+    EXPECT_EQ(NR.VectorSteps, BR.VectorSteps);
+    EXPECT_DOUBLE_EQ(NR.Cycles, BR.Cycles);
+    if (NR.Ok && BR.Ok)
+      EXPECT_TRUE(NR.ReturnValue.bitwiseEquals(BR.ReturnValue))
+          << "native/bytecode return values differ";
+  }
+};
+
+TEST_F(NativeEngineTest, HostFeatureDetection) {
+  const CPUFeatures &CF = hostCPUFeatures();
+  // jitSupported requires x86-64 + SSE2; on any other host the engine must
+  // report a clean unavailability instead of emitting code.
+  EXPECT_EQ(CF.jitSupported(), CF.X86_64 && CF.SSE2);
+  EXPECT_FALSE(CF.isaString().empty());
+  if (CF.AVX2)
+    EXPECT_TRUE(CF.AVX); // AVX2 implies AVX per the detection order.
+}
+
+TEST_F(NativeEngineTest, EngineKindNames) {
+  EXPECT_STREQ(getEngineKindName(EngineKind::Bytecode), "bytecode");
+  EXPECT_STREQ(getEngineKindName(EngineKind::Reference), "reference");
+  EXPECT_STREQ(getEngineKindName(EngineKind::Native), "native");
+}
+
+TEST_F(NativeEngineTest, ScalarIntegerArithmetic) {
+  Function *F = parse("func @a(i64 %x, i64 %y) -> i64 {\n"
+                      "entry:\n"
+                      "  %s = add i64 %x, %y\n"
+                      "  %d = sub i64 %s, 3\n"
+                      "  %m = mul i64 %d, %d\n"
+                      "  ret i64 %m\n"
+                      "}\n");
+  expectParity(F, {argInt64(10), argInt64(5)});
+  expectParity(F, {argInt64(0x7fffffffffffffffLL), argInt64(1)});
+}
+
+TEST_F(NativeEngineTest, ScalarI32Canonicalization) {
+  // i32 results must wrap to 32 bits and sign-extend through compares,
+  // exactly like the bytecode engine's canonical cells.
+  Function *F = parse("func @w(ptr %p) -> i64 {\n"
+                      "entry:\n"
+                      "  %x = load i32, ptr %p\n"
+                      "  %m = mul i32 %x, %x\n"
+                      "  %c = icmp slt i32 %m, 0\n"
+                      "  %r = select %c, i64 1, 0\n"
+                      "  ret i64 %r\n"
+                      "}\n");
+  int32_t Val = 123456; // 123456^2 overflows i32 to a negative value.
+  ExecutionEngine E(*F);
+  E.addMemoryRange(&Val, sizeof(Val));
+  ExecutionResult NR = E.runNative({argPointer(&Val)});
+  ExecutionResult BR = E.run({argPointer(&Val)});
+  ASSERT_TRUE(NR.Ok) << NR.Error;
+  EXPECT_TRUE(NR.ReturnValue.bitwiseEquals(BR.ReturnValue));
+  EXPECT_EQ(NR.ReturnValue.getInt(), 1);
+}
+
+TEST_F(NativeEngineTest, ScalarFloatRoundsLikeBytecode) {
+  Function *F = parse("func @f32(ptr %p) -> f32 {\n"
+                      "entry:\n"
+                      "  %x = load f32, ptr %p\n"
+                      "  %a = fadd f32 %x, 0.1\n"
+                      "  %b = fmul f32 %a, 3.0\n"
+                      "  %c = fdiv f32 %b, 7.0\n"
+                      "  ret f32 %c\n"
+                      "}\n");
+  float In = 1.75f;
+  ExecutionEngine E(*F);
+  E.addMemoryRange(&In, sizeof(In));
+  ExecutionResult NR = E.runNative({argPointer(&In)});
+  ExecutionResult BR = E.run({argPointer(&In)});
+  ASSERT_TRUE(NR.Ok) << NR.Error;
+  EXPECT_TRUE(NR.ReturnValue.bitwiseEquals(BR.ReturnValue));
+}
+
+TEST_F(NativeEngineTest, VectorArithmeticAllKinds) {
+  struct Case {
+    const char *Ty;
+    const char *Op;
+  };
+  // One packed op per (element kind, opcode family) the emitter covers.
+  const Case Cases[] = {
+      {"<4 x f32>", "fadd"}, {"<4 x f32>", "fsub"}, {"<4 x f32>", "fmul"},
+      {"<4 x f32>", "fdiv"}, {"<2 x f64>", "fadd"}, {"<2 x f64>", "fmul"},
+      {"<2 x f64>", "fdiv"}, {"<4 x i32>", "add"},  {"<4 x i32>", "sub"},
+      {"<4 x i32>", "mul"},  {"<2 x i64>", "add"},  {"<2 x i64>", "sub"},
+      {"<2 x i64>", "mul"},  {"<8 x f32>", "fadd"}, {"<8 x i32>", "add"},
+      {"<4 x f64>", "fmul"}, {"<4 x i64>", "sub"},
+  };
+  for (const Case &C : Cases) {
+    static unsigned Counter = 0;
+    std::string Src = std::string("func @v") +
+                      std::to_string(Counter++) + "(ptr %a, ptr %b, ptr %c) {\n"
+                      "entry:\n"
+                      "  %x = load " +
+                      C.Ty + ", ptr %a\n  %y = load " + C.Ty +
+                      ", ptr %b\n  %z = " + C.Op + " " + C.Ty +
+                      " %x, %y\n  store " + C.Ty +
+                      " %z, ptr %c\n  ret void\n}\n";
+    Function *F = parse(Src);
+    ASSERT_NE(F, nullptr) << Src;
+
+    // 8 lanes x 8 bytes covers every case; deterministic nonzero values.
+    alignas(32) uint8_t A[64], B[64], CN[64], CB[64];
+    for (unsigned I = 0; I < 64; ++I) {
+      A[I] = static_cast<uint8_t>(I * 7 + 3);
+      B[I] = static_cast<uint8_t>(I * 13 + 40);
+    }
+    std::memset(CN, 0, sizeof(CN));
+    std::memset(CB, 0, sizeof(CB));
+
+    ExecutionEngine E(*F);
+    E.addMemoryRange(A, sizeof(A));
+    E.addMemoryRange(B, sizeof(B));
+    E.addMemoryRange(CN, sizeof(CN));
+    E.addMemoryRange(CB, sizeof(CB));
+    ExecutionResult NR =
+        E.runNative({argPointer(A), argPointer(B), argPointer(CN)});
+    ExecutionResult BR =
+        E.run({argPointer(A), argPointer(B), argPointer(CB)});
+    ASSERT_TRUE(NR.Ok) << C.Ty << " " << C.Op << ": " << NR.Error;
+    ASSERT_TRUE(BR.Ok) << BR.Error;
+    EXPECT_EQ(NR.StepsExecuted, BR.StepsExecuted);
+    EXPECT_EQ(NR.VectorSteps, BR.VectorSteps);
+    EXPECT_EQ(std::memcmp(CN, CB, sizeof(CN)), 0)
+        << "native/bytecode memory differs for " << C.Ty << " " << C.Op;
+  }
+}
+
+TEST_F(NativeEngineTest, AlternatingOpBlend) {
+  Function *F = parse("func @alt(ptr %a, ptr %b, ptr %c) {\n"
+                      "entry:\n"
+                      "  %x = load <4 x f32>, ptr %a\n"
+                      "  %y = load <4 x f32>, ptr %b\n"
+                      "  %z = altop <4 x f32> [fadd, fsub, fadd, fsub], %x, %y\n"
+                      "  store <4 x f32> %z, ptr %c\n"
+                      "  ret void\n"
+                      "}\n");
+  float A[4] = {1.5f, 2.5f, -3.25f, 8.0f};
+  float B[4] = {0.5f, 4.0f, 2.0f, -1.0f};
+  float CN[4] = {}, CB[4] = {};
+  ExecutionEngine E(*F);
+  E.addMemoryRange(A, sizeof(A));
+  E.addMemoryRange(B, sizeof(B));
+  E.addMemoryRange(CN, sizeof(CN));
+  E.addMemoryRange(CB, sizeof(CB));
+  ExecutionResult NR =
+      E.runNative({argPointer(A), argPointer(B), argPointer(CN)});
+  ExecutionResult BR = E.run({argPointer(A), argPointer(B), argPointer(CB)});
+  ASSERT_TRUE(NR.Ok) << NR.Error;
+  ASSERT_TRUE(BR.Ok) << BR.Error;
+  EXPECT_EQ(std::memcmp(CN, CB, sizeof(CN)), 0);
+  EXPECT_EQ(CN[0], 2.0f);  // fadd
+  EXPECT_EQ(CN[1], -1.5f); // fsub
+  // The uniform-family blend lowers natively, not via the fallback.
+  EXPECT_EQ(E.nativeFallbackOpCount(), 0u);
+}
+
+TEST_F(NativeEngineTest, ShuffleInsertExtract) {
+  Function *F = parse(
+      "func @s(ptr %a, ptr %b) -> f64 {\n"
+      "entry:\n"
+      "  %v = load <2 x f64>, ptr %a\n"
+      "  %e0 = extractelement <2 x f64> %v, 0\n"
+      "  %w = insertelement <2 x f64> %v, f64 %e0, 1\n"
+      "  %sh = shufflevector <2 x f64> %w, %v, [1, 2]\n"
+      "  store <2 x f64> %sh, ptr %b\n"
+      "  %r = extractelement <2 x f64> %sh, 1\n"
+      "  ret f64 %r\n"
+      "}\n");
+  double A[2] = {3.5, -7.25};
+  double BN[2] = {}, BB[2] = {};
+  ExecutionEngine E(*F);
+  E.addMemoryRange(A, sizeof(A));
+  E.addMemoryRange(BN, sizeof(BN));
+  E.addMemoryRange(BB, sizeof(BB));
+  ExecutionResult NR = E.runNative({argPointer(A), argPointer(BN)});
+  ExecutionResult BR = E.run({argPointer(A), argPointer(BB)});
+  ASSERT_TRUE(NR.Ok) << NR.Error;
+  ASSERT_TRUE(BR.Ok) << BR.Error;
+  EXPECT_TRUE(NR.ReturnValue.bitwiseEquals(BR.ReturnValue));
+  EXPECT_EQ(std::memcmp(BN, BB, sizeof(BN)), 0);
+}
+
+TEST_F(NativeEngineTest, UnaryOps) {
+  Function *F = parse("func @u(ptr %a, ptr %b) {\n"
+                      "entry:\n"
+                      "  %v = load <4 x f32>, ptr %a\n"
+                      "  %n = fneg <4 x f32> %v\n"
+                      "  %q = fabs <4 x f32> %n\n"
+                      "  %s = sqrt <4 x f32> %q\n"
+                      "  store <4 x f32> %s, ptr %b\n"
+                      "  ret void\n"
+                      "}\n");
+  float A[4] = {4.0f, 2.25f, 0.0f, 10.5f};
+  float BN[4] = {}, BB[4] = {};
+  ExecutionEngine E(*F);
+  E.addMemoryRange(A, sizeof(A));
+  E.addMemoryRange(BN, sizeof(BN));
+  E.addMemoryRange(BB, sizeof(BB));
+  ExecutionResult NR = E.runNative({argPointer(A), argPointer(BN)});
+  ExecutionResult BR = E.run({argPointer(A), argPointer(BB)});
+  ASSERT_TRUE(NR.Ok) << NR.Error;
+  ASSERT_TRUE(BR.Ok) << BR.Error;
+  // sqrtps must be bit-identical to the reference's
+  // double-sqrt-rounded-to-float (correctly rounded either way).
+  EXPECT_EQ(std::memcmp(BN, BB, sizeof(BN)), 0);
+}
+
+TEST_F(NativeEngineTest, LoopWithPhisAndAccounting) {
+  Function *F = parse(
+      "func @sum(ptr %a, i64 %n) -> i64 {\n"
+      "entry:\n"
+      "  br label %body\n"
+      "body:\n"
+      "  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]\n"
+      "  %acc = phi i64 [ 0, %entry ], [ %acc.next, %body ]\n"
+      "  %p = gep i64, ptr %a, i64 %i\n"
+      "  %v = load i64, ptr %p\n"
+      "  %acc.next = add i64 %acc, %v\n"
+      "  %i.next = add i64 %i, 1\n"
+      "  %c = icmp ult i64 %i.next, %n\n"
+      "  br i1 %c, label %body, label %done\n"
+      "done:\n"
+      "  ret i64 %acc.next\n"
+      "}\n");
+  int64_t A[16];
+  for (int I = 0; I < 16; ++I)
+    A[I] = I * I - 5;
+  TargetCostModel TCM;
+  ExecutionEngine E(*F, [&TCM](const Instruction &I) {
+    return TCM.executionCycles(I);
+  });
+  E.addMemoryRange(A, sizeof(A));
+  std::vector<RTValue> Args = {argPointer(A), argInt64(16)};
+  ExecutionResult NR = E.runNative(Args);
+  ExecutionResult BR = E.run(Args);
+  ASSERT_TRUE(NR.Ok) << NR.Error;
+  ASSERT_TRUE(BR.Ok) << BR.Error;
+  EXPECT_TRUE(NR.ReturnValue.bitwiseEquals(BR.ReturnValue));
+  EXPECT_EQ(NR.StepsExecuted, BR.StepsExecuted);
+  EXPECT_EQ(NR.VectorSteps, BR.VectorSteps);
+  EXPECT_DOUBLE_EQ(NR.Cycles, BR.Cycles);
+}
+
+TEST_F(NativeEngineTest, PhiSwapNeedsScratch) {
+  // The classic parallel-copy swap: %x and %y exchange values each
+  // iteration, forcing the two-phase scratch copy on the back edge.
+  Function *F = parse(
+      "func @swap(i64 %n) -> i64 {\n"
+      "entry:\n"
+      "  br label %body\n"
+      "body:\n"
+      "  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]\n"
+      "  %x = phi i64 [ 1, %entry ], [ %y, %body ]\n"
+      "  %y = phi i64 [ 2, %entry ], [ %x, %body ]\n"
+      "  %i.next = add i64 %i, 1\n"
+      "  %c = icmp ult i64 %i.next, %n\n"
+      "  br i1 %c, label %body, label %done\n"
+      "done:\n"
+      "  ret i64 %x\n"
+      "}\n");
+  for (int64_t N : {1, 2, 3, 8})
+    expectParity(F, {argInt64(N)});
+}
+
+TEST_F(NativeEngineTest, FuelExhaustionMatchesBytecode) {
+  Function *F = parse("func @spin() -> i64 {\n"
+                      "entry:\n"
+                      "  br label %loop\n"
+                      "loop:\n"
+                      "  br label %loop\n"
+                      "}\n");
+  expectParity(F, {}, /*MaxSteps=*/100);
+}
+
+TEST_F(NativeEngineTest, OutOfBoundsTrapParity) {
+  Function *LoadF = parse("func @oobl(ptr %a) -> i64 {\n"
+                          "entry:\n"
+                          "  %p = gep i64, ptr %a, i64 9\n"
+                          "  %v = load i64, ptr %p\n"
+                          "  ret i64 %v\n"
+                          "}\n");
+  Function *StoreF = parse("func @oobs(ptr %a) {\n"
+                           "entry:\n"
+                           "  %p = gep i64, ptr %a, i64 -1\n"
+                           "  store i64 7, ptr %p\n"
+                           "  ret void\n"
+                           "}\n");
+  int64_t A[8] = {};
+  for (Function *F : {LoadF, StoreF}) {
+    ExecutionEngine E(*F);
+    E.addMemoryRange(A, sizeof(A));
+    ExecutionResult NR = E.runNative({argPointer(A)});
+    ExecutionResult BR = E.run({argPointer(A)});
+    EXPECT_FALSE(NR.Ok);
+    EXPECT_FALSE(BR.Ok);
+    EXPECT_EQ(NR.TrapKind, Trap::OutOfBounds);
+    // Same diagnostic text, including the IR spelling of the instruction.
+    EXPECT_EQ(NR.Error, BR.Error);
+    // Failed runs report zero accounting in both engines.
+    EXPECT_EQ(NR.StepsExecuted, 0u);
+    EXPECT_EQ(NR.VectorSteps, 0u);
+  }
+}
+
+TEST_F(NativeEngineTest, UncheckedModeSkipsBoundsChecks) {
+  Function *F = parse("func @ld(ptr %a) -> i64 {\n"
+                      "entry:\n"
+                      "  %v = load i64, ptr %a\n"
+                      "  ret i64 %v\n"
+                      "}\n");
+  int64_t V = 1234567;
+  ExecutionEngine E(*F); // no addMemoryRange: sanitizer off
+  ExecutionResult NR = E.runNative({argPointer(&V)});
+  ASSERT_TRUE(NR.Ok) << NR.Error;
+  EXPECT_EQ(NR.ReturnValue.getInt(), 1234567);
+}
+
+TEST_F(NativeEngineTest, I1ArithmeticUsesFallback) {
+  // i1 add (XOR semantics through canonicalization) is outside the native
+  // emitter's coverage; it must lower through the scalar-call fallback and
+  // still match the bytecode engine exactly.
+  Function *F = parse("func @b(i64 %x, i64 %y) -> i64 {\n"
+                      "entry:\n"
+                      "  %c1 = icmp sgt i64 %x, 0\n"
+                      "  %c2 = icmp sgt i64 %y, 0\n"
+                      "  %s = add i1 %c1, %c2\n"
+                      "  %r = select %s, i64 1, 0\n"
+                      "  ret i64 %r\n"
+                      "}\n");
+  ExecutionEngine E(*F);
+  ExecutionResult NR = E.runNative({argInt64(5), argInt64(-5)});
+  ExecutionResult BR = E.run({argInt64(5), argInt64(-5)});
+  ASSERT_TRUE(NR.Ok) << NR.Error;
+  EXPECT_TRUE(NR.ReturnValue.bitwiseEquals(BR.ReturnValue));
+  if (NR.EngineUsed == EngineKind::Native) {
+    EXPECT_GE(E.nativeFallbackOpCount(), 1u);
+    EXPECT_FALSE(E.nativeFallbackOpNames().empty());
+  }
+}
+
+TEST_F(NativeEngineTest, ArgumentCountMismatch) {
+  Function *F = parse("func @one(i64 %x) -> i64 {\n"
+                      "entry:\n"
+                      "  ret i64 %x\n"
+                      "}\n");
+  ExecutionEngine E(*F);
+  ExecutionResult NR = E.runNative({});
+  EXPECT_FALSE(NR.Ok);
+  EXPECT_EQ(NR.Error, "argument count mismatch");
+}
+
+TEST_F(NativeEngineTest, EmitAbortFaultDegradesToBytecode) {
+  Function *F = parse("func @c() -> i64 {\nentry:\n  ret i64 42\n}\n");
+  FaultInjector::instance().arm("jit.emit.abort");
+  ExecutionEngine E(*F);
+  EXPECT_FALSE(E.isNativeAvailable());
+  EXPECT_EQ(E.nativeDisabledReason(), "emit-abort");
+  ExecutionResult R = E.runNative({});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.EngineUsed, EngineKind::Bytecode);
+  EXPECT_EQ(R.ReturnValue.getInt(), 42);
+  EXPECT_EQ(E.nativeFallbackRuns(), 1u);
+}
+
+TEST_F(NativeEngineTest, ExecTrapFaultDegradesOnce) {
+  if (!jitAvailableOnHost())
+    GTEST_SKIP() << "host has no JIT support";
+  Function *F = parse("func @c() -> i64 {\nentry:\n  ret i64 7\n}\n");
+  ExecutionEngine E(*F);
+  ASSERT_TRUE(E.isNativeAvailable()) << E.nativeDisabledReason();
+  FaultInjector::instance().arm("jit.exec.trap");
+  ExecutionResult R1 = E.runNative({});
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  EXPECT_EQ(R1.EngineUsed, EngineKind::Bytecode); // degraded run
+  EXPECT_EQ(E.nativeFallbackRuns(), 1u);
+  ExecutionResult R2 = E.runNative({}); // fault is one-shot
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_EQ(R2.EngineUsed, EngineKind::Native);
+  EXPECT_EQ(R2.ReturnValue.getInt(), 7);
+}
+
+TEST_F(NativeEngineTest, EngineKindDispatch) {
+  Function *F = parse("func @c() -> i64 {\nentry:\n  ret i64 9\n}\n");
+  ExecutionEngine E(*F);
+  for (EngineKind K :
+       {EngineKind::Bytecode, EngineKind::Reference, EngineKind::Native}) {
+    ExecutionResult R = E.run(K, {});
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.ReturnValue.getInt(), 9);
+    if (K != EngineKind::Native)
+      EXPECT_EQ(R.EngineUsed, K);
+  }
+}
+
+TEST_F(NativeEngineTest, NativeCodeSizeReported) {
+  if (!jitAvailableOnHost())
+    GTEST_SKIP() << "host has no JIT support";
+  Function *F = parse("func @c() -> i64 {\nentry:\n  ret i64 1\n}\n");
+  ExecutionEngine E(*F);
+  ASSERT_TRUE(E.isNativeAvailable());
+  EXPECT_GT(E.nativeCodeSize(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-kernel differential: every kernel under every vectorizer mode must
+// be observationally identical between the native and bytecode engines.
+//===----------------------------------------------------------------------===//
+
+struct KernelModeCase {
+  std::string KernelName;
+  VectorizerMode Mode;
+};
+
+std::vector<KernelModeCase> allKernelModeCases() {
+  std::vector<KernelModeCase> Cases;
+  for (const Kernel &K : kernelRegistry())
+    for (VectorizerMode Mode :
+         {VectorizerMode::O3, VectorizerMode::SLP, VectorizerMode::LSLP,
+          VectorizerMode::SNSLP})
+      Cases.push_back(KernelModeCase{K.Name, Mode});
+  return Cases;
+}
+
+std::string caseName(const ::testing::TestParamInfo<KernelModeCase> &Info) {
+  std::string Name =
+      Info.param.KernelName + "_" + getModeName(Info.param.Mode);
+  for (char &C : Name)
+    if (C == '-' || C == '.')
+      C = '_';
+  return Name;
+}
+
+class NativeKernelTest : public ::testing::TestWithParam<KernelModeCase> {
+  void TearDown() override { FaultInjector::instance().disarmAll(); }
+};
+
+TEST_P(NativeKernelTest, NativeMatchesBytecodeBitExact) {
+  const KernelModeCase &Case = GetParam();
+  const Kernel *K = findKernel(Case.KernelName);
+  ASSERT_NE(K, nullptr);
+
+  KernelRunner Runner;
+  CompiledKernel CK = Runner.compile(*K, Case.Mode);
+  TargetCostModel TCM;
+  ExecutionEngine Engine(*CK.F, [&TCM](const Instruction &I) {
+    return TCM.executionCycles(I);
+  });
+
+  for (uint64_t Seed : {3ull, 91ull}) {
+    KernelData NativeData(K->Buffers, K->N, Seed);
+    KernelData ByteData(K->Buffers, K->N, Seed);
+
+    auto Execute = [&](KernelData &Data, bool Native) {
+      Engine.clearMemoryRanges();
+      std::vector<RTValue> Args;
+      for (size_t I = 0; I < Data.getNumBuffers(); ++I) {
+        Args.push_back(argPointer(Data.getPointer(I)));
+        Engine.addMemoryRange(Data.getPointer(I), Data.getByteSize(I));
+      }
+      Args.push_back(argInt64(static_cast<int64_t>(Data.getN())));
+      return Native ? Engine.runNative(Args) : Engine.run(Args);
+    };
+
+    ExecutionResult NR = Execute(NativeData, /*Native=*/true);
+    ExecutionResult BR = Execute(ByteData, /*Native=*/false);
+    ASSERT_TRUE(NR.Ok) << NR.Error;
+    ASSERT_TRUE(BR.Ok) << BR.Error;
+    if (jitAvailableOnHost())
+      ASSERT_EQ(NR.EngineUsed, EngineKind::Native)
+          << Engine.nativeDisabledReason();
+
+    EXPECT_EQ(NR.StepsExecuted, BR.StepsExecuted);
+    EXPECT_EQ(NR.VectorSteps, BR.VectorSteps);
+    EXPECT_DOUBLE_EQ(NR.Cycles, BR.Cycles);
+    EXPECT_TRUE(NR.ReturnValue.bitwiseEquals(BR.ReturnValue));
+
+    // Every buffer bit-identical — the JIT's FP contract on SSE2 hosts is
+    // exact equality with the bytecode engine (docs/jit.md).
+    for (size_t I = 0; I < NativeData.getNumBuffers(); ++I) {
+      ASSERT_EQ(NativeData.getByteSize(I), ByteData.getByteSize(I));
+      EXPECT_EQ(std::memcmp(NativeData.getPointer(I), ByteData.getPointer(I),
+                            NativeData.getByteSize(I)),
+                0)
+          << "buffer " << I << " differs (kernel " << K->Name << ", mode "
+          << getModeName(Case.Mode) << ", seed " << Seed << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, NativeKernelTest,
+                         ::testing::ValuesIn(allKernelModeCases()),
+                         caseName);
+
+} // namespace

@@ -27,8 +27,10 @@
 #include "ir/Module.h"
 #include "ir/Parser.h"
 #include "service/CompileService.h"
+#include "support/RNG.h"
 #include "support/Remark.h"
 
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -43,11 +45,13 @@ constexpr unsigned kPrograms = 200;
 constexpr uint64_t kBaseSeed = 7000;
 
 /// The decision trail: every remark except the PassManager's PassExecuted
-/// records (their Message embeds nondeterministic wall time).
+/// records (their Message embeds nondeterministic wall time) and the
+/// engine-level `jit` remarks (the single-threaded reference compile below
+/// never builds an execution engine, so it cannot emit them).
 std::vector<std::string> decisionTrail(const std::vector<Remark> &Remarks) {
   std::vector<std::string> Trail;
   for (const Remark &R : Remarks) {
-    if (R.Name == "PassExecuted")
+    if (R.Name == "PassExecuted" || R.Pass == "jit")
       continue;
     Trail.push_back(R.Pass + "|" + R.Name + "|" + R.FunctionName + "|" +
                     R.Decision);
@@ -140,6 +144,143 @@ TEST(ServiceCacheDiffTest, ColdWarmAndSingleThreadedAgreeBitForBit) {
     EXPECT_EQ(decisionTrail(ColdUnits[I]->remarks()), Ref.Trail)
         << "program " << I << " (seed " << (kBaseSeed + I)
         << "): decision trails diverge";
+  }
+}
+
+/// Execution metadata captured before a generated program's Context dies.
+struct ProgramMeta {
+  std::string Text;
+  TypeKind Elem = TypeKind::Void;
+  size_t ElemSize = 0;
+  unsigned NumPointerArgs = 0;
+  size_t ArrayLen = 0;
+  bool HasTripCountArg = false;
+  uint64_t TripCount = 0;
+  bool ReturnsValue = false;
+  bool IsFP = false;
+};
+
+TEST(ServiceCacheDiffTest, ThreeEngineExecutionMatrixAgrees) {
+  // 60 generated programs, service-compiled once, then executed through
+  // all three engines over identically seeded buffers. Every engine must
+  // produce the same verdict, return value and final memory image — the
+  // cached unit's native fast path can never change what a client
+  // observes. Comparison is bitwise: all three engines implement the same
+  // per-op IEEE semantics (docs/jit.md pins the FP contract).
+  constexpr unsigned kCount = 60;
+  std::vector<ProgramMeta> Programs;
+  for (unsigned I = 0; I < kCount; ++I) {
+    Context Ctx;
+    Module M(Ctx, "gen");
+    IRGenerator Gen(M);
+    GeneratedProgram P =
+        Gen.generate("f" + std::to_string(I), 11000 + I);
+    ASSERT_NE(P.F, nullptr);
+    ProgramMeta Meta;
+    Meta.Text = toString(M);
+    Meta.Elem = P.ElemTy->getKind();
+    Meta.ElemSize = P.ElemTy->getSizeInBytes();
+    Meta.NumPointerArgs = P.NumPointerArgs;
+    Meta.ArrayLen = P.ArrayLen;
+    Meta.HasTripCountArg = P.HasTripCountArg;
+    Meta.TripCount = P.TripCount;
+    Meta.ReturnsValue = P.ReturnsValue;
+    Meta.IsFP = P.ElemTy->isFloatingPoint();
+    Programs.push_back(std::move(Meta));
+  }
+
+  CompileService Service;
+  for (unsigned I = 0; I < kCount; ++I) {
+    const ProgramMeta &P = Programs[I];
+    CompileRequest Req;
+    Req.ModuleText = P.Text;
+    Expected<CompiledUnit> U = Service.compileSync(Req);
+    ASSERT_TRUE(static_cast<bool>(U)) << U.errorMessage();
+    const CompiledProgram &Unit = *U->Program;
+
+    auto RunOn = [&](EngineKind Engine, ExecutionResult &R,
+                     std::vector<std::vector<uint8_t>> &Arrays) {
+      // Identically seeded buffers per engine (the DiffOracle fill
+      // recipe: small ints, FP bounded away from zero).
+      RNG Rand(/*Seed=*/500 + I);
+      Arrays.assign(P.NumPointerArgs, {});
+      for (auto &A : Arrays) {
+        A.resize(P.ArrayLen * P.ElemSize);
+        for (size_t E = 0; E < P.ArrayLen; ++E) {
+          uint8_t *Dst = A.data() + E * P.ElemSize;
+          switch (P.Elem) {
+          case TypeKind::Int32: {
+            int32_t V = static_cast<int32_t>(Rand.nextInRange(-100, 100));
+            std::memcpy(Dst, &V, sizeof(V));
+            break;
+          }
+          case TypeKind::Int64: {
+            int64_t V = Rand.nextInRange(-100, 100);
+            std::memcpy(Dst, &V, sizeof(V));
+            break;
+          }
+          case TypeKind::Float: {
+            float V = static_cast<float>(Rand.nextDoubleInRange(0.5, 2.0));
+            std::memcpy(Dst, &V, sizeof(V));
+            break;
+          }
+          default: {
+            double V = Rand.nextDoubleInRange(0.5, 2.0);
+            std::memcpy(Dst, &V, sizeof(V));
+            break;
+          }
+          }
+        }
+      }
+      CompiledProgram::RunRequest RR;
+      RR.Engine = Engine;
+      for (auto &A : Arrays) {
+        RR.Args.push_back(argPointer(A.data()));
+        RR.MemoryRanges.emplace_back(A.data(), A.size());
+      }
+      if (P.HasTripCountArg)
+        RR.Args.push_back(argInt64(static_cast<int64_t>(P.TripCount)));
+      R = Unit.run(RR);
+    };
+
+    ExecutionResult Base;
+    std::vector<std::vector<uint8_t>> BaseMem;
+    RunOn(EngineKind::Bytecode, Base, BaseMem);
+    EXPECT_EQ(Base.EngineUsed, EngineKind::Bytecode);
+
+    for (EngineKind Engine :
+         {EngineKind::Reference, EngineKind::Native}) {
+      ExecutionResult R;
+      std::vector<std::vector<uint8_t>> Mem;
+      RunOn(Engine, R, Mem);
+      ASSERT_EQ(Base.Ok, R.Ok)
+          << "program " << I << " verdict diverges on "
+          << getEngineKindName(Engine) << ": " << Base.Error << " vs "
+          << R.Error;
+      if (Engine == EngineKind::Native && Unit.nativeAvailable() &&
+          Base.Ok)
+        EXPECT_EQ(R.EngineUsed, EngineKind::Native);
+      if (!Base.Ok)
+        continue;
+      if (P.ReturnsValue) {
+        if (P.IsFP) {
+          double A = Base.ReturnValue.getFP(), B = R.ReturnValue.getFP();
+          EXPECT_EQ(std::memcmp(&A, &B, sizeof(double)), 0)
+              << "program " << I << " return diverges on "
+              << getEngineKindName(Engine) << ": " << A << " vs " << B;
+        } else {
+          EXPECT_EQ(Base.ReturnValue.getInt(), R.ReturnValue.getInt())
+              << "program " << I << " return diverges on "
+              << getEngineKindName(Engine);
+        }
+      }
+      EXPECT_EQ(BaseMem, Mem)
+          << "program " << I << " memory diverges on "
+          << getEngineKindName(Engine);
+      EXPECT_EQ(Base.StepsExecuted, R.StepsExecuted);
+      EXPECT_EQ(Base.VectorSteps, R.VectorSteps);
+      EXPECT_EQ(Base.Cycles, R.Cycles);
+    }
   }
 }
 

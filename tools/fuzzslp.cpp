@@ -16,7 +16,8 @@
 /// Usage:
 ///   fuzzslp [--seed=N] [--runs=N] [--jobs=N] [--time-budget=SECONDS]
 ///           [--corpus-dir=DIR] [--artifact-dir=DIR] [--reduce]
-///           [--shuffles] [--max-steps=N] [--fault-inject] [--verbose]
+///           [--shuffles] [--max-steps=N] [--engines=LIST]
+///           [--fault-inject] [--verbose]
 ///
 /// --jobs=N fans the random runs out over the service thread pool
 /// (src/service/ThreadPool.h). The seed range is pre-split
@@ -27,9 +28,15 @@
 /// thread after the pool joins — so findings and output are identical for
 /// --jobs=1 and --jobs=8 (the fuzz_jobs_determinism ctest locks this in).
 ///
-/// --fault-inject sweeps every compiled-in `slp.*` fault site over each
-/// generated program (fail-safe mode: the armed defect must degrade to a
-/// correct scalar region, never abort, never miscompile) — see
+/// --engines selects the execution-engine columns of the matrix:
+/// `all` (the default: bytecode, reference, and the native JIT) or a
+/// comma-separated subset such as `bytecode,native`. Bytecode is the
+/// comparison driver and always runs.
+///
+/// --fault-inject sweeps every compiled-in `slp.*` and `jit.*` fault site
+/// over each generated program (fail-safe mode: an armed vectorizer defect
+/// must degrade to a correct scalar region, an armed JIT defect must
+/// degrade to the bytecode engine; never abort, never miscompile) — see
 /// docs/robustness.md.
 ///
 /// Exit code: 0 when every run and every corpus replay is clean, 1 on any
@@ -83,8 +90,12 @@ void printUsage() {
       "  --max-steps=N    interpreter fuel per execution (default 2^24);\n"
       "                   a program whose *baseline* exhausts it is\n"
       "                   counted as skipped, not failing\n"
-      "  --fault-inject   arm each slp.* fault site in turn per program\n"
-      "                   and assert graceful scalar fallback\n"
+      "  --engines=LIST   engine columns of the matrix: 'all' (default)\n"
+      "                   or a comma-separated subset of\n"
+      "                   bytecode,reference,native (bytecode always runs)\n"
+      "  --fault-inject   arm each slp.* and jit.* fault site in turn per\n"
+      "                   program and assert graceful fallback (scalar\n"
+      "                   region for slp.*, bytecode engine for jit.*)\n"
       "  --verbose        log every run, not just failures\n");
 }
 
@@ -285,6 +296,28 @@ int main(int Argc, char **Argv) {
   OracleOptions Opts;
   if (CL.getBool("shuffles"))
     Opts.Configs = OracleOptions::defaultConfigs(/*WithLoadShuffles=*/true);
+  if (CL.has("engines")) {
+    const std::string Engines = CL.getString("engines", "all");
+    if (Engines != "all") {
+      Opts.CheckReferenceEngine = false;
+      Opts.CheckNativeEngine = false;
+      std::stringstream SS(Engines);
+      std::string Name;
+      while (std::getline(SS, Name, ',')) {
+        if (Name == "reference")
+          Opts.CheckReferenceEngine = true;
+        else if (Name == "native")
+          Opts.CheckNativeEngine = true;
+        else if (Name != "bytecode") {
+          std::fprintf(stderr,
+                       "fuzzslp: unknown engine '%s' (expected 'all' or a "
+                       "subset of bytecode,reference,native)\n",
+                       Name.c_str());
+          return 2;
+        }
+      }
+    }
+  }
   if (CL.has("max-steps")) {
     int64_t MaxSteps = CL.getInt("max-steps", 0);
     if (MaxSteps <= 0) {
@@ -294,11 +327,14 @@ int main(int Argc, char **Argv) {
     Opts.MaxSteps = static_cast<uint64_t>(MaxSteps);
   }
   if (FaultInject) {
-    // Fail-safe sweep: the question is "does the vectorizer degrade
+    // Fail-safe sweep: the question is "does the compiler degrade
     // gracefully when site X fires", so the expensive parts of the matrix
     // that never see the fault (metamorphic rewrites, reference engine
-    // re-runs, post-vectorization cleanup) are dropped. Each armed site
-    // fires at most once, inside the first vectorizer run that reaches it.
+    // re-runs, post-vectorization cleanup) are dropped. The native engine
+    // column stays on: it is what the jit.* sites exercise (an armed JIT
+    // defect must degrade to the bytecode engine, with identical results).
+    // Each armed site fires at most once, inside the first run that
+    // reaches it.
     Opts.CheckReferenceEngine = false;
     Opts.CheckCleanupPasses = false;
     Opts.CheckMetamorphic = false;
@@ -336,14 +372,16 @@ int main(int Argc, char **Argv) {
       IRGenerator Gen(M);
       GeneratedProgram P =
           Gen.generate("fuzz_" + std::to_string(Seed), Seed);
-      // Arm every compiled-in slp.* site in turn. A firing site simulates
-      // an internal defect inside the vectorizer; the fail-safe layer must
-      // keep the oracle matrix clean (scalar fallback, no abort, no
-      // miscompile). A crash here kills the process — which is exactly the
-      // regression this sweep exists to catch.
+      // Arm every compiled-in slp.* and jit.* site in turn. A firing site
+      // simulates an internal defect inside the vectorizer (slp.*: the
+      // fail-safe layer must fall back to a correct scalar region) or the
+      // native JIT (jit.*: the engine must fall back to bytecode); either
+      // way the oracle matrix must stay clean — no abort, no miscompile.
+      // A crash here kills the process — which is exactly the regression
+      // this sweep exists to catch.
       bool AnyFail = false;
       for (const std::string &Site : knownFaultSites()) {
-        if (Site.rfind("slp.", 0) != 0)
+        if (Site.rfind("slp.", 0) != 0 && Site.rfind("jit.", 0) != 0)
           continue;
         FaultInjector::instance().disarmAll();
         FaultInjector::instance().arm(Site, /*FireOnNthHit=*/1);
