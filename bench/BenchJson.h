@@ -57,6 +57,10 @@ public:
     return Entries.back();
   }
 
+  /// Last-added entry, for attaching extra columns computed after the
+  /// timed run itself (e.g. a comparison baseline).
+  Entry &last() { return Entries.back(); }
+
   /// Report-level string metadata ("isa", host facts, ...), emitted as
   /// top-level JSON fields before the benchmark array.
   void addMeta(std::string Key, std::string Value) {

@@ -131,6 +131,41 @@ int main(int argc, char **argv) {
     }
   }
 
+  // The GoSLP series (docs/goslp.md): one timed global-selection run per
+  // registry kernel, with the greedy-vs-solver committed-cost delta
+  // recorded alongside (cost_delta < 0 would mean the solver found a
+  // selection greedy missed; 0 means the exact solve confirms greedy).
+  for (const Kernel &GK : kernelRegistry()) {
+    std::string Base = "vectorize/" + GK.Name + "/GoSLP";
+    VectorizeStats Go = benchVectorize(Rep, GK, Base, VectorizerMode::GoSLP,
+                                       /*Memo=*/true, Smoke);
+    // One untimed greedy SN-SLP run for the comparison column.
+    Context Ctx;
+    Module M(Ctx, "bench");
+    std::string Err;
+    if (!parseIR(GK.IRText, M, &Err)) {
+      std::fprintf(stderr, "parse failed: %s\n", Err.c_str());
+      return 1;
+    }
+    VectorizerConfig SNCfg;
+    SNCfg.Mode = VectorizerMode::SNSLP;
+    VectorizeStats SN = runSLPVectorizer(*M.getFunction(GK.Name), SNCfg);
+    Entry &E = Rep.last();
+    E.Extra.emplace_back("cost_greedy", static_cast<double>(SN.CommittedCost));
+    E.Extra.emplace_back("cost_goslp", static_cast<double>(Go.CommittedCost));
+    E.Extra.emplace_back("cost_delta",
+                         static_cast<double>(Go.CommittedCost -
+                                             SN.CommittedCost));
+    E.Extra.emplace_back("packs_enumerated",
+                         static_cast<double>(Go.PacksEnumerated));
+    E.Extra.emplace_back("packs_selected",
+                         static_cast<double>(Go.PacksSelected));
+    E.Extra.emplace_back("solver_nodes",
+                         static_cast<double>(Go.SolverNodesExplored));
+    E.Extra.emplace_back("scalar_proved_optimal",
+                         static_cast<double>(Go.SolverProvedScalarOptimal));
+  }
+
   // The look-ahead recursion is O(4^depth) per pair without memoization;
   // at the default depth 2 the cache is roughly break-even, so this series
   // shows where it pays: a deep-look-ahead configuration on the suite's

@@ -11,7 +11,7 @@
 /// optimization remarks and per-pass timing reports.
 ///
 /// Usage:
-///   example_irtool [file.ir] [--mode=o3|slp|lslp|snslp] [--max-vf=N]
+///   example_irtool [file.ir] [--mode=o3|slp|lslp|snslp|goslp] [--max-vf=N]
 ///                  [--lookahead=N] [--threshold=N] [--cleanup]
 ///                  [--remarks[=text|yaml|json]] [--time-passes]
 ///                  [--verify-each] [--print-after-all] [--stats]
@@ -124,6 +124,8 @@ static bool parseMode(const std::string &Name, VectorizerMode &Mode) {
     Mode = VectorizerMode::LSLP;
   else if (Name == "snslp")
     Mode = VectorizerMode::SNSLP;
+  else if (Name == "goslp")
+    Mode = VectorizerMode::GoSLP;
   else
     return false;
   return true;
@@ -135,7 +137,8 @@ int main(int Argc, char **Argv) {
   if (CL.has("help")) {
     std::cout
         << "usage: example_irtool [file.ir] [options]\n"
-           "  --mode=o3|slp|lslp|snslp  vectorizer configuration "
+           "  --mode=o3|slp|lslp|snslp|goslp\n"
+           "                            vectorizer configuration "
            "(default snslp)\n"
            "  --max-vf=N                widest vectorization factor "
            "(default 4)\n"

@@ -27,8 +27,9 @@ using namespace snslp::fuzz;
 std::vector<OracleConfig> OracleOptions::defaultConfigs(
     bool WithLoadShuffles) {
   std::vector<OracleConfig> Configs;
-  for (VectorizerMode Mode : {VectorizerMode::O3, VectorizerMode::SLP,
-                              VectorizerMode::LSLP, VectorizerMode::SNSLP}) {
+  for (VectorizerMode Mode :
+       {VectorizerMode::O3, VectorizerMode::SLP, VectorizerMode::LSLP,
+        VectorizerMode::SNSLP, VectorizerMode::GoSLP}) {
     OracleConfig C;
     C.Name = getModeName(Mode);
     C.Vec.Mode = Mode;

@@ -73,9 +73,10 @@ struct OracleOptions {
   /// oracle + reducer pipeline itself. Null in production use.
   std::function<void(Function &, VectorizerMode)> PostVectorizeHook;
 
-  /// The paper's mode matrix: O3, SLP, LSLP, SNSLP. With
-  /// \p WithLoadShuffles, the three vectorizing modes are additionally
-  /// instantiated with EnableLoadShuffles.
+  /// The full mode matrix: the paper's O3, SLP, LSLP, SN-SLP plus GoSLP
+  /// (global pack selection, docs/goslp.md). With \p WithLoadShuffles,
+  /// the vectorizing modes are additionally instantiated with
+  /// EnableLoadShuffles.
   static std::vector<OracleConfig> defaultConfigs(bool WithLoadShuffles =
                                                       false);
 };

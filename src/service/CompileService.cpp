@@ -77,7 +77,9 @@ std::string CompileService::configFingerprint(const CompileRequest &Req) {
   // kPipelineVersion exists for changes this list cannot see (codegen
   // logic itself) — bump it when the pipeline's behaviour changes.
   // v2: units carry eagerly JIT-compiled native code (PR 6).
-  static constexpr unsigned kPipelineVersion = 2;
+  // v3: GoSLP global pack selection (PR 7). SolverJobs is deliberately
+  // absent: selection is bit-identical for any worker count.
+  static constexpr unsigned kPipelineVersion = 3;
   const VectorizerConfig &C = Req.Config;
   std::ostringstream OS;
   OS << "v" << kPipelineVersion << ";mode=" << getModeName(C.Mode)
@@ -87,7 +89,8 @@ std::string CompileService::configFingerprint(const CompileRequest &Req) {
      << ";shuf=" << C.EnableLoadShuffles
      << ";budget=" << C.Budgets.MaxGraphNodes << ","
      << C.Budgets.MaxLookAheadEvals << ","
-     << C.Budgets.MaxSuperNodePermutations
+     << C.Budgets.MaxSuperNodePermutations << ","
+     << C.Budgets.MaxPackCandidates << "," << C.Budgets.MaxSolverNodes
      << ";txn=" << C.TransactionalRegions << C.VerifyAfterAttempt
      << ";tgt=" << C.Target.MaxVectorWidthBytes << ","
      << C.Target.ScalarArithCost << "," << C.Target.VectorArithCost << ","

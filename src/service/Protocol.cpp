@@ -179,7 +179,8 @@ namespace service {
 bool parseModeName(const std::string &Name, VectorizerMode &Mode) {
   static const VectorizerMode All[] = {VectorizerMode::O3, VectorizerMode::SLP,
                                        VectorizerMode::LSLP,
-                                       VectorizerMode::SNSLP};
+                                       VectorizerMode::SNSLP,
+                                       VectorizerMode::GoSLP};
   for (VectorizerMode M : All) {
     if (Name == getModeName(M)) {
       Mode = M;
@@ -241,7 +242,7 @@ bool decodeRequest(const std::string &Payload, ServiceRequest &Req,
     if (Key == "mode") {
       if (!parseModeName(Value, Out.Mode))
         return S.failHere("unknown mode '" + Value +
-                          "' (expected O3|SLP|LSLP|SN-SLP)");
+                          "' (expected O3|SLP|LSLP|SN-SLP|GoSLP)");
     } else if (Key == "entry") {
       Out.Entry = Value;
     } else if (Key == "run") {

@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slp/PackEnumerator.h"
+
+#include "analysis/Dependence.h"
+#include "ir/BasicBlock.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace snslp;
+
+PackEnumeration snslp::enumeratePackCandidates(BasicBlock &BB,
+                                               const VectorizerConfig &Cfg,
+                                               BudgetTracker &Budget,
+                                               RemarkCollector *RC) {
+  PackEnumeration Out;
+  if (Cfg.MinVF < 2 || Cfg.MaxVF < Cfg.MinVF)
+    return Out;
+
+  std::unordered_map<const Instruction *, size_t> Pos;
+  size_t Idx = 0;
+  for (const auto &Inst : BB)
+    Pos[Inst.get()] = Idx++;
+
+  std::vector<StoreRun> Runs = collectAdjacentStoreRuns(BB, RC);
+  for (unsigned RI = 0; RI < Runs.size(); ++RI) {
+    const StoreRun &Run = Runs[RI];
+    unsigned ElemSize =
+        Run.Stores.front()->getValueOperand()->getType()->getSizeInBytes();
+    unsigned EffMaxVF =
+        std::min(Cfg.MaxVF, Cfg.Target.MaxVectorWidthBytes / ElemSize);
+    if (EffMaxVF < Cfg.MinVF)
+      continue;
+
+    // Widest windows first (they carry the most savings and so make the
+    // strongest solver incumbents), then left to right. Overlapping windows
+    // are enumerated deliberately — resolving the overlap is the solver's
+    // job, and the freedom to pick an offset the greedy left-to-right
+    // slicing never considers is exactly where GoSLP wins.
+    for (unsigned VF = EffMaxVF; VF >= Cfg.MinVF; VF /= 2) {
+      if (VF > Run.Stores.size())
+        continue;
+      for (unsigned Off = 0; Off + VF <= Run.Stores.size(); ++Off) {
+        std::vector<Instruction *> Bundle;
+        for (unsigned I = 0; I < VF; ++I)
+          Bundle.push_back(Run.Stores[Off + I]);
+        if (!isSafeToBundle(Bundle))
+          continue;
+        if (!Budget.chargePackCandidate()) {
+          Out.Complete = false;
+          return Out;
+        }
+        PackCandidate C;
+        C.RunIndex = RI;
+        C.Offset = Off;
+        for (unsigned I = 0; I < VF; ++I) {
+          C.Group.Stores.push_back(Run.Stores[Off + I]);
+          C.Positions.push_back(Pos.at(Run.Stores[Off + I]));
+        }
+        Out.Candidates.push_back(std::move(C));
+      }
+    }
+  }
+  return Out;
+}

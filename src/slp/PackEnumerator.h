@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Candidate-pack enumeration (GoSLP mode, step 1): instead of slicing each
+/// adjacent-store run greedily, every legally bundleable power-of-two
+/// window of every run becomes a candidate pack. The vectorizer costs each
+/// candidate with the ordinary graph build (rolled back), and the
+/// PackSelector then picks the conflict-free subset with the globally
+/// minimal cost. Bounded by ResourceBudgets::MaxPackCandidates; an
+/// incomplete enumeration degrades the block to greedy selection.
+/// See docs/goslp.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SLP_PACKENUMERATOR_H
+#define SNSLP_SLP_PACKENUMERATOR_H
+
+#include "slp/SeedCollector.h"
+#include "slp/VectorizerConfig.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace snslp {
+
+class BasicBlock;
+class RemarkCollector;
+
+/// One enumerated candidate: a bundleable window of an adjacent-store run.
+struct PackCandidate {
+  /// The window's stores, lowest address first (a valid SeedGroup).
+  SeedGroup Group;
+  /// In-block positions of the stores. Rollback recreates every
+  /// instruction of the function but keeps positions stable (printed form
+  /// is bit-identical), so these — not the raw pointers — survive the
+  /// evaluate-then-rollback cycle and double as the solver's conflict
+  /// elements.
+  std::vector<size_t> Positions;
+  /// Which run this candidate windows, and where (enumeration identity,
+  /// surfaced in PackEnumerated remarks).
+  unsigned RunIndex = 0;
+  unsigned Offset = 0;
+  /// Filled by the evaluation phase: the candidate graph's cost-model cost
+  /// and its look-ahead group score (the solver's tie-break edge weight).
+  int Cost = 0;
+  int Score = 0;
+};
+
+/// Result of enumerating one basic block.
+struct PackEnumeration {
+  std::vector<PackCandidate> Candidates;
+  /// False when MaxPackCandidates tripped; the candidate set is then a
+  /// prefix and the caller must degrade to greedy (the solver's optimum
+  /// over a truncated set proves nothing).
+  bool Complete = true;
+};
+
+/// Enumerates every bundleable power-of-two window (VF in [MinVF,
+/// EffMaxVF], widest first, then by offset) of every adjacent-store run of
+/// \p BB. Charges one MaxPackCandidates unit per emitted candidate against
+/// \p Budget; stops early once exhausted. \p RC receives the per-store
+/// disqualification remarks of run collection (same vocabulary as the
+/// greedy seed collector).
+PackEnumeration enumeratePackCandidates(BasicBlock &BB,
+                                        const VectorizerConfig &Cfg,
+                                        BudgetTracker &Budget,
+                                        RemarkCollector *RC = nullptr);
+
+} // namespace snslp
+
+#endif // SNSLP_SLP_PACKENUMERATOR_H

@@ -1,0 +1,251 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slp/PackSelector.h"
+
+#include "service/ThreadPool.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace snslp;
+
+namespace {
+
+/// One connected component of the conflict graph, solved independently:
+/// candidates from different components never share an element, so the
+/// global optimum is the concatenation of the per-component optima.
+struct Component {
+  /// Original candidate indices, sorted by the DFS order (cost ascending,
+  /// score descending, index ascending) — most promising first, which
+  /// tightens the branch-and-bound incumbent early.
+  std::vector<unsigned> Members;
+  /// Dense per-component element ids, parallel to Members.
+  std::vector<std::vector<unsigned>> Elements;
+  unsigned NumElements = 0;
+};
+
+/// Best-so-far incumbent of one component solve.
+struct Incumbent {
+  int Cost = 0;   // Empty selection: always feasible, costs 0.
+  int Score = 0;
+  std::vector<unsigned> Selected; // Original indices, sorted ascending.
+
+  /// Objective order: lower cost, then higher score, then the
+  /// lexicographically smaller index set — a total order, so the solve is
+  /// a pure function of the candidate vector (the determinism the
+  /// PackSelectorTest 1-vs-4-workers case locks in).
+  bool betterThan(int C, int S, const std::vector<unsigned> &Sel) const {
+    if (Cost != C)
+      return Cost < C;
+    if (Score != S)
+      return Score > S;
+    return Selected < Sel;
+  }
+};
+
+/// Depth-first branch and bound over one component.
+class ComponentSolver {
+public:
+  ComponentSolver(const std::vector<SolverCandidate> &Candidates,
+                  const Component &Comp, uint64_t MaxNodes)
+      : Candidates(Candidates), Comp(Comp), MaxNodes(MaxNodes),
+        Used(Comp.NumElements, 0) {
+    // Admissible bound: everything still undecided at position I can at
+    // best contribute the sum of the remaining negative costs.
+    SuffixNeg.assign(Comp.Members.size() + 1, 0);
+    for (size_t I = Comp.Members.size(); I-- > 0;)
+      SuffixNeg[I] =
+          SuffixNeg[I + 1] + std::min(0, Candidates[Comp.Members[I]].Cost);
+  }
+
+  SolverResult run() {
+    dfs(0, 0, 0);
+    SolverResult R;
+    R.Selected = Best.Selected;
+    R.TotalCost = Best.Cost;
+    R.NodesExplored = Nodes;
+    R.Complete = !Exhausted;
+    return R;
+  }
+
+private:
+  void dfs(size_t I, int Cost, int Score) {
+    if (MaxNodes && ++Nodes > MaxNodes) {
+      Exhausted = true;
+      return;
+    }
+    if (I == Comp.Members.size()) {
+      std::vector<unsigned> Sorted(Current);
+      std::sort(Sorted.begin(), Sorted.end());
+      if (Best.betterThan(Cost, Score, Sorted))
+        return;
+      Best = Incumbent{Cost, Score, std::move(Sorted)};
+      return;
+    }
+    if (Cost + SuffixNeg[I] > Best.Cost)
+      return; // Even taking every remaining profit cannot beat the best.
+
+    const unsigned Orig = Comp.Members[I];
+    const SolverCandidate &C = Candidates[Orig];
+    bool Conflicts = false;
+    for (unsigned E : Comp.Elements[I])
+      Conflicts |= Used[E] != 0;
+
+    // Include-first: the DFS order puts the most profitable candidates
+    // first, so diving into "include" finds a strong incumbent early.
+    if (!Conflicts) {
+      for (unsigned E : Comp.Elements[I])
+        Used[E] = 1;
+      Current.push_back(Orig);
+      dfs(I + 1, Cost + C.Cost, Score + C.Score);
+      Current.pop_back();
+      for (unsigned E : Comp.Elements[I])
+        Used[E] = 0;
+      if (Exhausted)
+        return;
+    }
+    dfs(I + 1, Cost, Score);
+  }
+
+  const std::vector<SolverCandidate> &Candidates;
+  const Component &Comp;
+  const uint64_t MaxNodes;
+  std::vector<char> Used;
+  std::vector<int> SuffixNeg;
+  std::vector<unsigned> Current;
+  Incumbent Best;
+  uint64_t Nodes = 0;
+  bool Exhausted = false;
+};
+
+} // namespace
+
+PackSelector::PackSelector(std::vector<SolverCandidate> Cands,
+                           int CostThreshold, uint64_t MaxSolverNodes,
+                           unsigned Jobs)
+    : Candidates(std::move(Cands)), CostThreshold(CostThreshold),
+      MaxSolverNodes(MaxSolverNodes), Jobs(Jobs ? Jobs : 1) {}
+
+/// Shared DFS/greedy visit order: most profitable first, deterministic.
+static bool orderCandidates(const std::vector<SolverCandidate> &Candidates,
+                            unsigned A, unsigned B) {
+  const SolverCandidate &CA = Candidates[A], &CB = Candidates[B];
+  if (CA.Cost != CB.Cost)
+    return CA.Cost < CB.Cost;
+  if (CA.Score != CB.Score)
+    return CA.Score > CB.Score;
+  return A < B;
+}
+
+SolverResult PackSelector::solve() const {
+  // Eligibility mirrors the greedy pipeline's cost test: only candidates
+  // strictly below the threshold may be committed. Ineligible candidates
+  // are excluded up front (selecting one can only worsen the objective).
+  std::vector<unsigned> Eligible;
+  for (unsigned I = 0; I < Candidates.size(); ++I)
+    if (Candidates[I].Cost < CostThreshold)
+      Eligible.push_back(I);
+
+  // Connected components of the conflict graph via the element -> owner
+  // map; candidates in different components never interact.
+  std::unordered_map<unsigned, std::vector<unsigned>> ByElement;
+  for (unsigned I : Eligible)
+    for (unsigned E : Candidates[I].Elements)
+      ByElement[E].push_back(I);
+  std::unordered_map<unsigned, unsigned> CompOf;
+  std::vector<Component> Components;
+  for (unsigned Seed : Eligible) {
+    if (CompOf.count(Seed))
+      continue;
+    Component Comp;
+    std::vector<unsigned> Stack{Seed};
+    CompOf[Seed] = static_cast<unsigned>(Components.size());
+    while (!Stack.empty()) {
+      unsigned I = Stack.back();
+      Stack.pop_back();
+      Comp.Members.push_back(I);
+      for (unsigned E : Candidates[I].Elements)
+        for (unsigned J : ByElement[E])
+          if (!CompOf.count(J)) {
+            CompOf[J] = static_cast<unsigned>(Components.size());
+            Stack.push_back(J);
+          }
+    }
+    std::sort(Comp.Members.begin(), Comp.Members.end(),
+              [&](unsigned A, unsigned B) {
+                return orderCandidates(Candidates, A, B);
+              });
+    // Densify the element ids for O(1) conflict marks in the DFS.
+    std::unordered_map<unsigned, unsigned> Dense;
+    Comp.Elements.resize(Comp.Members.size());
+    for (size_t M = 0; M < Comp.Members.size(); ++M)
+      for (unsigned E : Candidates[Comp.Members[M]].Elements) {
+        auto [It, New] =
+            Dense.emplace(E, static_cast<unsigned>(Dense.size()));
+        Comp.Elements[M].push_back(It->second);
+        (void)New;
+      }
+    Comp.NumElements = static_cast<unsigned>(Dense.size());
+    Components.push_back(std::move(Comp));
+  }
+
+  // Solve each component with its own full node budget (this is what makes
+  // the result independent of Jobs), optionally fanning out on a thread
+  // pool; results are merged in component order.
+  std::vector<SolverResult> Partial(Components.size());
+  auto SolveOne = [&](size_t CI) {
+    Partial[CI] =
+        ComponentSolver(Candidates, Components[CI], MaxSolverNodes).run();
+  };
+  if (Jobs > 1 && Components.size() > 1) {
+    ThreadPool Pool(std::min<unsigned>(
+        Jobs, static_cast<unsigned>(Components.size())));
+    for (size_t CI = 0; CI < Components.size(); ++CI)
+      Pool.submit([&SolveOne, CI] { SolveOne(CI); });
+    Pool.wait();
+    Pool.shutdown();
+  } else {
+    for (size_t CI = 0; CI < Components.size(); ++CI)
+      SolveOne(CI);
+  }
+
+  SolverResult R;
+  for (const SolverResult &P : Partial) {
+    R.Selected.insert(R.Selected.end(), P.Selected.begin(), P.Selected.end());
+    R.TotalCost += P.TotalCost;
+    R.NodesExplored += P.NodesExplored;
+    R.Complete = R.Complete && P.Complete;
+  }
+  std::sort(R.Selected.begin(), R.Selected.end());
+  return R;
+}
+
+SolverResult PackSelector::solveGreedy() const {
+  std::vector<unsigned> Order;
+  for (unsigned I = 0; I < Candidates.size(); ++I)
+    if (Candidates[I].Cost < CostThreshold)
+      Order.push_back(I);
+  std::sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+    return orderCandidates(Candidates, A, B);
+  });
+
+  SolverResult R;
+  std::unordered_map<unsigned, char> Used;
+  for (unsigned I : Order) {
+    bool Conflicts = false;
+    for (unsigned E : Candidates[I].Elements)
+      Conflicts |= Used.count(E) != 0;
+    if (Conflicts)
+      continue;
+    for (unsigned E : Candidates[I].Elements)
+      Used[E] = 1;
+    R.Selected.push_back(I);
+    R.TotalCost += Candidates[I].Cost;
+  }
+  std::sort(R.Selected.begin(), R.Selected.end());
+  return R;
+}

@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global pack selection (GoSLP mode): an exact branch-and-bound solver
+/// over an abstract candidate set. Each candidate carries its cost-model
+/// cost, a look-ahead tie-break score, and the set of elements (store
+/// positions) it covers; two candidates conflict when they share an
+/// element. The solver picks the conflict-free subset minimizing total
+/// cost — the global optimum greedy first-fit slicing can miss (goSLP,
+/// Mendis & Amarasinghe). See docs/goslp.md.
+///
+/// The solver is deliberately IR-free so unit tests can feed hand-built
+/// candidate sets with known optima (PackSelectorTest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SLP_PACKSELECTOR_H
+#define SNSLP_SLP_PACKSELECTOR_H
+
+#include "slp/VectorizerConfig.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace snslp {
+
+/// One candidate pack, abstracted to what selection needs.
+struct SolverCandidate {
+  /// Cost-model cost of committing this pack (negative = profitable).
+  int Cost = 0;
+  /// Memoized look-ahead group score of the pack's operand bundle; used
+  /// as the edge weight breaking cost ties (higher = better pairing).
+  int Score = 0;
+  /// Elements (in-block store positions) the pack covers. Two candidates
+  /// sharing an element cannot both be selected.
+  std::vector<unsigned> Elements;
+};
+
+/// Result of one selection solve.
+struct SolverResult {
+  /// Indices into the candidate vector, ascending. Conflict-free.
+  std::vector<unsigned> Selected;
+  /// Sum of the selected candidates' costs (<= 0 for a complete solve:
+  /// the empty selection costs 0 and is always feasible).
+  int TotalCost = 0;
+  /// Branch-and-bound search-tree nodes expanded, summed over components.
+  uint64_t NodesExplored = 0;
+  /// False when MaxSolverNodes tripped in some component; Selected then
+  /// holds the best selection found before exhaustion and the caller is
+  /// expected to degrade to greedy (bailout:budget, docs/goslp.md).
+  bool Complete = true;
+};
+
+/// Pack-selection solver over one block's candidate set.
+class PackSelector {
+public:
+  /// \p CostThreshold mirrors VectorizerConfig::CostThreshold: only
+  /// candidates with Cost < CostThreshold can ever be selected (picking a
+  /// non-profitable pack can only worsen the objective). \p MaxSolverNodes
+  /// bounds the branch-and-bound tree per conflict component (0 =
+  /// unbounded). \p Jobs > 1 solves independent components in parallel on
+  /// a ThreadPool; the result is bit-identical for any value because each
+  /// component owns a full MaxSolverNodes budget and results are merged
+  /// in component order.
+  PackSelector(std::vector<SolverCandidate> Candidates, int CostThreshold = 0,
+               uint64_t MaxSolverNodes = ResourceBudgets().MaxSolverNodes,
+               unsigned Jobs = 1);
+
+  /// Exact selection: minimize total cost; ties broken by higher total
+  /// score, then by the lexicographically smallest index set (so the
+  /// result is a pure function of the candidate vector).
+  SolverResult solve() const;
+
+  /// The greedy baseline (best cost first, skip conflicts) the solver is
+  /// measured against in benches and the planted-trap unit test.
+  SolverResult solveGreedy() const;
+
+private:
+  std::vector<SolverCandidate> Candidates;
+  int CostThreshold;
+  uint64_t MaxSolverNodes;
+  unsigned Jobs;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SLP_PACKSELECTOR_H

@@ -11,6 +11,8 @@
 #include "ir/Verifier.h"
 #include "slp/GraphBuilder.h"
 #include "slp/IRTransaction.h"
+#include "slp/PackEnumerator.h"
+#include "slp/PackSelector.h"
 #include "slp/VectorCodeGen.h"
 #include "support/ErrorHandling.h"
 #include "support/FaultInjection.h"
@@ -32,6 +34,8 @@ const char *snslp::getModeName(VectorizerMode Mode) {
     return "LSLP";
   case VectorizerMode::SNSLP:
     return "SN-SLP";
+  case VectorizerMode::GoSLP:
+    return "GoSLP";
   }
   snslp_unreachable("covered switch");
 }
@@ -55,6 +59,11 @@ void VectorizeStats::mergeFrom(const VectorizeStats &Other) {
   BudgetBailouts += Other.BudgetBailouts;
   VerifyBailouts += Other.VerifyBailouts;
   FaultBailouts += Other.FaultBailouts;
+  PacksEnumerated += Other.PacksEnumerated;
+  PacksSelected += Other.PacksSelected;
+  SolverNodesExplored += Other.SolverNodesExplored;
+  SolverProvedScalarOptimal += Other.SolverProvedScalarOptimal;
+  GoSLPGreedyFallbacks += Other.GoSLPGreedyFallbacks;
 }
 
 /// Tallies the node kinds of a committed graph into \p Stats.
@@ -126,6 +135,22 @@ static void reanchorStores(BasicBlock &BB,
   }
 }
 
+/// Re-resolves one position list against (possibly restored) \p BB.
+static std::vector<StoreInst *>
+resolveStoresAt(BasicBlock &BB, const std::vector<size_t> &Positions) {
+  std::vector<Instruction *> ByPos;
+  ByPos.reserve(BB.size());
+  for (const auto &Inst : BB)
+    ByPos.push_back(Inst.get());
+  std::vector<StoreInst *> Out;
+  Out.reserve(Positions.size());
+  for (size_t P : Positions) {
+    assert(P < ByPos.size() && "rollback changed the block shape");
+    Out.push_back(cast<StoreInst>(ByPos[P]));
+  }
+  return Out;
+}
+
 /// Restores the pre-attempt snapshot; a rollback can only fail when the
 /// printer/parser fixpoint invariant itself is broken, which is a
 /// programmer error, not an input error.
@@ -146,6 +171,592 @@ static std::string joinErrors(const std::vector<std::string> &Errors) {
   return Out;
 }
 
+/// Stores carry no name; identify a pack by its pointer-operand names (the
+/// same convention as the seed collector's remarks).
+static std::vector<std::string>
+packValueNames(const std::vector<StoreInst *> &Stores) {
+  std::vector<std::string> Names;
+  Names.reserve(Stores.size());
+  for (const StoreInst *S : Stores) {
+    const std::string &N = S->getPointerOperand()->getName();
+    Names.push_back(N.empty() ? std::string("<store>") : N);
+  }
+  return Names;
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// VectorizerDriver
+//===----------------------------------------------------------------------===//
+
+/// One vectorizer run over one function. The greedy store phase, the GoSLP
+/// enumerate/solve/commit phase and the reduction phase share the
+/// transactional attempt machinery; GoSLP additionally uses the greedy
+/// phase as its budget/fault fallback (docs/goslp.md).
+class VectorizerDriver {
+public:
+  VectorizerDriver(Function &F, const VectorizerConfig &Cfg)
+      : F(F), Cfg(Cfg), TCM(Cfg.Target), Fn(F.getName()),
+        Transactional(Cfg.TransactionalRegions) {}
+
+  VectorizeStats run() {
+    for (size_t BI = 0; BI < F.blocks().size(); ++BI) {
+      // GoSLP needs the transactional layer (candidate evaluation is
+      // build-then-rollback); without it the mode degrades to greedy
+      // SN-SLP selection for the whole function.
+      if (Cfg.useGlobalPackSelection() && Transactional)
+        runGoSLPStorePhase(BI);
+      else
+        runGreedyStorePhase(BI);
+      runReductionPhase(BI);
+    }
+    Stats.Remarks = RC.take();
+    return std::move(Stats);
+  }
+
+private:
+  void runGreedyStorePhase(size_t BI) {
+    BasicBlock *BB = F.blocks()[BI].get();
+    // Step 1 of Fig. 1: scan for vectorizable seed instructions.
+    std::vector<SeedGroup> Worklist = collectStoreSeeds(
+        *BB, Cfg.MinVF, Cfg.MaxVF, Cfg.Target.MaxVectorWidthBytes, &RC);
+    processStoreGroups(BI, std::move(Worklist), /*AllowHalving=*/true);
+  }
+
+  /// Steps 2-8 over one store-group worklist. With \p AllowHalving, a
+  /// cost-rejected group re-tries both halves at the smaller VF (LLVM's
+  /// SLP retries narrower widths the same way); the GoSLP commit phase
+  /// turns this off — the solver already chose the widths.
+  void processStoreGroups(size_t BI, std::vector<SeedGroup> Worklist,
+                          bool AllowHalving);
+
+  /// GoSLP: enumerate -> evaluate -> solve -> commit, degrading to the
+  /// greedy phase on a blown budget or injected fault (never scalar-only:
+  /// the fallback is a full greedy pass over the block).
+  void runGoSLPStorePhase(size_t BI);
+
+  /// Costs every candidate against the pristine scalar block: ordinary
+  /// graph build (silent), then bit-identical rollback. On success each
+  /// candidate carries Cost and Score. Returns false when a per-attempt
+  /// budget blew mid-evaluation (\p Reason then names it).
+  bool evaluateCandidates(size_t BI, std::vector<PackCandidate> &Candidates,
+                          std::string &Reason);
+
+  /// Extension: horizontal-reduction seeds (-slp-vectorize-hor).
+  void runReductionPhase(size_t BI);
+
+  Function &F;
+  const VectorizerConfig &Cfg;
+  TargetCostModel TCM;
+  // Every decision of this run lands in one ordered collector; the caller
+  // reads the stream from Stats.Remarks (irtool --remarks, fuzzslp
+  // artifact headers, golden-remark tests).
+  RemarkCollector RC;
+  VectorizeStats Stats;
+  const std::string Fn;
+  const bool Transactional;
+};
+
+void VectorizerDriver::processStoreGroups(size_t BI,
+                                          std::vector<SeedGroup> Worklist,
+                                          bool AllowHalving) {
+  BasicBlock *BB = F.blocks()[BI].get();
+  for (size_t WI = 0; WI < Worklist.size(); ++WI) {
+    SeedGroup Group = Worklist[WI];
+
+    // ---- Fail-safe attempt boundary ---------------------------------
+    // Snapshot the function and anchor the tail of the worklist by
+    // position; any defect below (blown budget, injected fault, verify
+    // failure) rolls the region back bit-identically and the pass
+    // continues with the next seed.
+    std::optional<IRTransaction> Txn;
+    std::vector<std::vector<size_t>> TailPositions;
+    if (Transactional) {
+      Txn.emplace(F);
+      TailPositions = captureStorePositions(*BB, Worklist, WI + 1);
+    }
+    BudgetTracker Budget(Cfg.Budgets);
+    if (Transactional && faultPoint("slp.graph.budget"))
+      Budget.forceExhausted("fault:slp.graph.budget");
+
+    // Rolls the attempt back, re-anchors the worklist tail onto the
+    // restored IR, counts the bailout and emits the missed remark. The
+    // caller `continue`s to the next seed afterwards.
+    auto Bailout = [&](const char *Why, unsigned &Counter,
+                       std::string Detail) {
+      rollbackOrDie(*Txn);
+      ++Counter;
+      BB = F.blocks()[BI].get();
+      reanchorStores(*BB, TailPositions, Worklist, WI + 1);
+      RC.add(Remark::missed("slp-vectorizer", "VectorizeAborted", Fn)
+                 .withDecision(std::string("bailout:") + Why)
+                 .withValues({})
+                 .withMessage(std::move(Detail) +
+                              "; region rolled back to scalar form"));
+    };
+
+    GraphBuilder GB(Cfg, TCM, &RC);
+    if (Cfg.Budgets.anyLimited() || Budget.exhausted())
+      GB.setBudget(&Budget);
+    std::unique_ptr<SLPGraph> Graph = GB.build(Group);
+    ++Stats.GraphsBuilt;
+    Stats.LookAheadCacheHits += GB.getLookAhead().getCacheHits();
+    Stats.LookAheadCacheMisses += GB.getLookAhead().getCacheMisses();
+
+    // A blown budget means the graph (and any Super-Node massaging that
+    // happened before exhaustion) is not trustworthy: degrade to the
+    // pre-attempt scalar code and move on.
+    if (Budget.exhausted()) {
+      if (Txn) {
+        Bailout("budget", Stats.BudgetBailouts,
+                "resource budget '" + Budget.reason() +
+                    "' exhausted while vectorizing a " +
+                    std::to_string(Group.getVF()) +
+                    "-wide store group in '" + BB->getName() + "' (" +
+                    std::to_string(Budget.graphNodes()) + " nodes, " +
+                    std::to_string(Budget.lookAheadEvals()) + " evals, " +
+                    std::to_string(Budget.superNodePermutations()) +
+                    " permutations)");
+        continue;
+      }
+      // Without the transactional layer the degraded (all-gather) graph
+      // simply fails the cost test below; scalar semantics are intact
+      // either way.
+    }
+
+    // Step 5: compare the cost against the threshold.
+    if (Graph->getTotalCost() >= Cfg.CostThreshold) {
+      RC.add(Remark::missed("slp-vectorizer", "GraphRejected", Fn)
+                 .withDecision("reject:cost")
+                 .withCost(0, Graph->getTotalCost())
+                 .withMessage("rejected " + std::to_string(Group.getVF()) +
+                              "-wide store group in '" + BB->getName() +
+                              "' (cost " +
+                              std::to_string(Graph->getTotalCost()) +
+                              " >= threshold " +
+                              std::to_string(Cfg.CostThreshold) + ")"));
+      // The Super-Node probe may have massaged the scalar IR before the
+      // cost verdict; that massaging is kept (it is semantics-preserving
+      // and the paper's halving retry builds on it) — but only when it
+      // verifies. A corrupted massage rolls back like any other defect.
+      if (Txn && Cfg.VerifyAfterAttempt && Txn->modified()) {
+        std::vector<std::string> VErrors;
+        if (!verifyFunction(F, &VErrors)) {
+          Bailout("verify", Stats.VerifyBailouts,
+                  "function failed verification after a cost-rejected "
+                  "attempt: " +
+                      joinErrors(VErrors));
+          continue; // The halves would reference rolled-back IR.
+        }
+      }
+      // Not profitable; retry the halves when still wide enough.
+      if (AllowHalving && Group.getVF() / 2 >= Cfg.MinVF) {
+        SeedGroup Low, High;
+        unsigned Half = Group.getVF() / 2;
+        Low.Stores.assign(Group.Stores.begin(),
+                          Group.Stores.begin() + Half);
+        High.Stores.assign(Group.Stores.begin() + Half,
+                           Group.Stores.end());
+        Worklist.push_back(std::move(Low));
+        Worklist.push_back(std::move(High));
+      }
+      continue; // Scalar code stays (possibly massaged).
+    }
+
+    // Step 6.b: vectorize.
+    VectorCodeGen(*Graph, GB.getScalarMap()).run();
+
+    // Planted fault: simulate a code-generator defect by corrupting the
+    // region (dropping the block terminator); the post-attempt verifier
+    // must catch it and roll back.
+    if (Txn && faultPoint("slp.codegen.corrupt-ir")) {
+      if (Instruction *Term = BB->getTerminator()) {
+        Term->dropAllReferences();
+        Term->eraseFromParent();
+      }
+    }
+    // Planted fault: simulate an internal defect detected after codegen
+    // but before the commit is published.
+    if (Txn && faultPoint("slp.vectorize.abort")) {
+      Bailout("fault", Stats.FaultBailouts,
+              "injected fault 'slp.vectorize.abort' fired after codegen "
+              "of a " +
+                  std::to_string(Group.getVF()) +
+                  "-wide store group in '" + BB->getName() + "'");
+      continue;
+    }
+    if (Txn && Cfg.VerifyAfterAttempt) {
+      std::vector<std::string> VErrors;
+      if (!verifyFunction(F, &VErrors)) {
+        Bailout("verify", Stats.VerifyBailouts,
+                "function failed verification after vectorizing a " +
+                    std::to_string(Group.getVF()) +
+                    "-wide store group in '" + BB->getName() +
+                    "': " + joinErrors(VErrors));
+        continue;
+      }
+    }
+
+    ++Stats.GraphsVectorized;
+    Stats.CommittedCost += Graph->getTotalCost();
+    RC.add(Remark::passed("slp-vectorizer", "GraphVectorized", Fn)
+               .withDecision("vectorize")
+               .withCost(0, Graph->getTotalCost())
+               .withMessage("vectorized " + std::to_string(Group.getVF()) +
+                            "-wide store group in '" + BB->getName() +
+                            "' (cost " +
+                            std::to_string(Graph->getTotalCost()) + ", " +
+                            std::to_string(
+                                Graph->getSuperNodeSizes().size()) +
+                            " super-node(s))"));
+    tallyNodeKinds(*Graph, Stats);
+    for (unsigned S : Graph->getSuperNodeSizes())
+      Stats.CommittedSuperNodeSizes.push_back(S);
+  }
+}
+
+bool VectorizerDriver::evaluateCandidates(
+    size_t BI, std::vector<PackCandidate> &Candidates, std::string &Reason) {
+  for (PackCandidate &C : Candidates) {
+    // Prior evaluations may have rolled the function back; re-resolve the
+    // candidate's stores from their (stable) in-block positions.
+    BasicBlock *BB = F.blocks()[BI].get();
+    C.Group.Stores = resolveStoresAt(*BB, C.Positions);
+
+    // The tie-break edge weight: the memoized look-ahead group score of
+    // the stored values, taken on the pristine scalar IR (the build below
+    // may massage it).
+    IRTransaction Txn(F);
+    BudgetTracker Budget(Cfg.Budgets);
+    GraphBuilder GB(Cfg, TCM, /*RC=*/nullptr); // Probe builds stay silent:
+    // the committed build re-emits the full node trail.
+    if (Cfg.Budgets.anyLimited())
+      GB.setBudget(&Budget);
+    {
+      std::vector<const Value *> Stored;
+      Stored.reserve(C.Group.Stores.size());
+      for (const StoreInst *S : C.Group.Stores)
+        Stored.push_back(S->getValueOperand());
+      C.Score = GB.getLookAhead().groupScore(Stored);
+    }
+    std::unique_ptr<SLPGraph> Graph = GB.build(C.Group);
+    Stats.LookAheadCacheHits += GB.getLookAhead().getCacheHits();
+    Stats.LookAheadCacheMisses += GB.getLookAhead().getCacheMisses();
+    C.Cost = Graph->getTotalCost();
+    const bool Exhausted = Budget.exhausted();
+    if (Exhausted)
+      Reason = Budget.reason();
+    // Whatever the probe did to the IR (Super-Node re-emission), undo it:
+    // selection must judge every candidate against the same scalar block.
+    if (Txn.modified())
+      rollbackOrDie(Txn);
+    if (Exhausted)
+      return false;
+  }
+  return true;
+}
+
+void VectorizerDriver::runGoSLPStorePhase(size_t BI) {
+  BasicBlock *BB = F.blocks()[BI].get();
+  BudgetTracker Budget(Cfg.Budgets);
+
+  // The budget/fault fallback ladder: GoSLP never leaves the block
+  // scalar-only because its solver pipeline failed — it re-runs the block
+  // through the greedy phase (the SN-SLP behaviour) instead.
+  auto FallBackToGreedy = [&](const char *Why, unsigned &Counter,
+                              std::string Detail) {
+    ++Counter;
+    ++Stats.GoSLPGreedyFallbacks;
+    RC.add(Remark::missed("slp-vectorizer", "VectorizeAborted", Fn)
+               .withDecision(std::string("bailout:") + Why)
+               .withValues({})
+               .withMessage(std::move(Detail) +
+                            "; falling back to greedy pack selection"));
+    runGreedyStorePhase(BI);
+  };
+
+  // Planted fault: enumeration itself dies. Probed before any work so the
+  // site fires deterministically on every GoSLP block.
+  if (faultPoint("slp.goslp.enumerate.abort")) {
+    FallBackToGreedy("fault", Stats.FaultBailouts,
+                     "injected fault 'slp.goslp.enumerate.abort' fired "
+                     "before pack enumeration in '" +
+                         BB->getName() + "'");
+    return;
+  }
+
+  PackEnumeration Enum = enumeratePackCandidates(*BB, Cfg, Budget, &RC);
+  if (!Enum.Complete) {
+    FallBackToGreedy("budget", Stats.BudgetBailouts,
+                     "resource budget 'pack-candidates' exhausted after " +
+                         std::to_string(Budget.packCandidates()) +
+                         " candidate packs in '" + BB->getName() + "'");
+    return;
+  }
+  Stats.PacksEnumerated += static_cast<unsigned>(Enum.Candidates.size());
+
+  std::string EvalReason;
+  if (!evaluateCandidates(BI, Enum.Candidates, EvalReason)) {
+    FallBackToGreedy("budget", Stats.BudgetBailouts,
+                     "resource budget '" + EvalReason +
+                         "' exhausted while costing candidate packs in '" +
+                         BB->getName() + "'");
+    return;
+  }
+
+  // The decision trail: one PackEnumerated per candidate (with its
+  // evaluated cost), then the solver's verdict per candidate.
+  BB = F.blocks()[BI].get(); // Evaluation rollbacks replaced the blocks.
+  for (size_t I = 0; I < Enum.Candidates.size(); ++I) {
+    PackCandidate &C = Enum.Candidates[I];
+    C.Group.Stores = resolveStoresAt(*BB, C.Positions);
+    RC.add(Remark::analysis("slp-vectorizer", "PackEnumerated", Fn)
+               .withDecision("enumerate")
+               .withCost(0, C.Cost)
+               .withValues(packValueNames(C.Group.Stores))
+               .withMessage("candidate #" + std::to_string(I) + ": " +
+                            std::to_string(C.Group.getVF()) +
+                            "-wide window at offset " +
+                            std::to_string(C.Offset) + " of run " +
+                            std::to_string(C.RunIndex) + " in '" +
+                            BB->getName() + "' (cost " +
+                            std::to_string(C.Cost) + ", score " +
+                            std::to_string(C.Score) + ")"));
+  }
+
+  // Planted fault: the solver dies. Same contract: greedy takes over.
+  if (faultPoint("slp.goslp.solve.abort")) {
+    FallBackToGreedy("fault", Stats.FaultBailouts,
+                     "injected fault 'slp.goslp.solve.abort' fired before "
+                     "pack selection in '" +
+                         BB->getName() + "'");
+    return;
+  }
+
+  std::vector<SolverCandidate> SolverInput;
+  SolverInput.reserve(Enum.Candidates.size());
+  for (const PackCandidate &C : Enum.Candidates) {
+    SolverCandidate S;
+    S.Cost = C.Cost;
+    S.Score = C.Score;
+    for (size_t P : C.Positions)
+      S.Elements.push_back(static_cast<unsigned>(P));
+    SolverInput.push_back(std::move(S));
+  }
+  PackSelector Selector(std::move(SolverInput), Cfg.CostThreshold,
+                        Cfg.Budgets.MaxSolverNodes, Cfg.SolverJobs);
+  SolverResult Sel = Selector.solve();
+  Stats.SolverNodesExplored += Sel.NodesExplored;
+  if (!Sel.Complete) {
+    FallBackToGreedy("budget", Stats.BudgetBailouts,
+                     "resource budget 'solver-nodes' exhausted after " +
+                         std::to_string(Sel.NodesExplored) +
+                         " search nodes in '" + BB->getName() + "'");
+    return;
+  }
+
+  std::vector<char> Selected(Enum.Candidates.size(), 0);
+  for (unsigned I : Sel.Selected)
+    Selected[I] = 1;
+  for (size_t I = 0; I < Enum.Candidates.size(); ++I) {
+    const PackCandidate &C = Enum.Candidates[I];
+    if (Selected[I])
+      RC.add(Remark::passed("slp-vectorizer", "PackSelected", Fn)
+                 .withDecision("select")
+                 .withCost(0, C.Cost)
+                 .withValues(packValueNames(C.Group.Stores))
+                 .withMessage("selected candidate #" + std::to_string(I) +
+                              " (cost " + std::to_string(C.Cost) +
+                              "): part of the cost-minimal conflict-free "
+                              "selection"));
+    else if (C.Cost < Cfg.CostThreshold)
+      RC.add(Remark::missed("slp-vectorizer", "PackRejected", Fn)
+                 .withDecision("reject:solver-overlap")
+                 .withCost(0, C.Cost)
+                 .withValues(packValueNames(C.Group.Stores))
+                 .withMessage("candidate #" + std::to_string(I) +
+                              " is profitable (cost " +
+                              std::to_string(C.Cost) +
+                              ") but conflicts with the cost-minimal "
+                              "selection"));
+    else
+      RC.add(Remark::missed("slp-vectorizer", "PackRejected", Fn)
+                 .withDecision("reject:solver-cost")
+                 .withCost(0, C.Cost)
+                 .withValues(packValueNames(C.Group.Stores))
+                 .withMessage("candidate #" + std::to_string(I) + " (cost " +
+                              std::to_string(C.Cost) +
+                              " >= threshold " +
+                              std::to_string(Cfg.CostThreshold) +
+                              ") can never be part of a profitable "
+                              "selection"));
+  }
+
+  if (!Enum.Candidates.empty() && Sel.Selected.empty()) {
+    // The exhaustive search over a complete candidate set chose the empty
+    // selection: scalar code is cost-optimal, and provably so — the
+    // analysis remark the greedy modes can never emit (they only know the
+    // windows they tried).
+    ++Stats.SolverProvedScalarOptimal;
+    RC.add(Remark::analysis("slp-vectorizer", "SolverVerdict", Fn)
+               .withDecision("solver-proves-scalar-optimal")
+               .withCost(0, 0)
+               .withMessage("exhaustive selection over " +
+                            std::to_string(Enum.Candidates.size()) +
+                            " candidate pack(s) in '" + BB->getName() +
+                            "' proves scalar code cost-optimal (" +
+                            std::to_string(Sel.NodesExplored) +
+                            " search nodes)"));
+  }
+  Stats.PacksSelected += static_cast<unsigned>(Sel.Selected.size());
+
+  // Commit the chosen packs through the shared transactional machinery,
+  // in enumeration (= address) order. Halving stays off: the solver
+  // already chose the widths. A pack whose cost went stale (an earlier
+  // commit changed shared subexpressions) fails the ordinary cost
+  // re-check and stays scalar.
+  std::vector<SeedGroup> Commit;
+  Commit.reserve(Sel.Selected.size());
+  for (unsigned I : Sel.Selected)
+    Commit.push_back(Enum.Candidates[I].Group);
+  processStoreGroups(BI, std::move(Commit), /*AllowHalving=*/false);
+}
+
+void VectorizerDriver::runReductionPhase(size_t BI) {
+  if (!Cfg.EnableReductionSeeds)
+    return;
+  BasicBlock *BB = F.blocks()[BI].get();
+  // Committing one reduction can invalidate the leaves of another, so
+  // seeds are re-collected after every commit.
+  bool Committed = true;
+  // A bailed-out reduction attempt ends the reduction phase for this
+  // block: the remaining collected seeds reference rolled-back IR, and
+  // a deterministic defect (blown budget) would otherwise re-fire on
+  // every re-collection.
+  bool RegionAborted = false;
+  while (Committed && !RegionAborted) {
+    Committed = false;
+    std::vector<ReductionSeed> RSeeds = collectReductionSeeds(
+        *BB, Cfg.MinVF, Cfg.MaxVF, Cfg.Target.MaxVectorWidthBytes, &RC);
+    for (ReductionSeed &Seed : RSeeds) {
+      std::optional<IRTransaction> Txn;
+      if (Transactional)
+        Txn.emplace(F);
+      BudgetTracker Budget(Cfg.Budgets);
+
+      auto BailoutReduction = [&](const char *Why, unsigned &Counter,
+                                  std::string Detail) {
+        rollbackOrDie(*Txn);
+        ++Counter;
+        BB = F.blocks()[BI].get();
+        RegionAborted = true;
+        RC.add(Remark::missed("slp-vectorizer", "VectorizeAborted", Fn)
+                   .withDecision(std::string("bailout:") + Why)
+                   .withMessage(std::move(Detail) +
+                                "; region rolled back to scalar form"));
+      };
+
+      GraphBuilder GB(Cfg, TCM, &RC);
+      if (Cfg.Budgets.anyLimited())
+        GB.setBudget(&Budget);
+      std::unordered_set<const Instruction *> Ignored(
+          Seed.TreeInsts.begin(), Seed.TreeInsts.end());
+      std::unique_ptr<SLPGraph> Graph =
+          GB.buildFromBundle(Seed.Leaves, Ignored);
+      ++Stats.GraphsBuilt;
+      Stats.LookAheadCacheHits += GB.getLookAhead().getCacheHits();
+      Stats.LookAheadCacheMisses += GB.getLookAhead().getCacheMisses();
+
+      if (Budget.exhausted()) {
+        if (Txn) {
+          BailoutReduction(
+              "budget", Stats.BudgetBailouts,
+              "resource budget '" + Budget.reason() +
+                  "' exhausted while vectorizing a reduction in '" +
+                  BB->getName() + "'");
+          break;
+        }
+      }
+
+      int Total =
+          Graph->getTotalCost() +
+          TCM.getReductionCost(
+              static_cast<unsigned>(Seed.Leaves.size()));
+      if (Total >= Cfg.CostThreshold ||
+          Graph->getRoot()->getKind() == SLPNodeKind::Gather) {
+        bool GatherRoot =
+            Graph->getRoot()->getKind() == SLPNodeKind::Gather;
+        RC.add(Remark::missed("slp-vectorizer", "ReductionRejected", Fn)
+                   .withDecision(GatherRoot ? "reject:gather-root"
+                                            : "reject:cost")
+                   .withCost(0, Total)
+                   .withValues({Seed.Root->getName()})
+                   .withMessage(
+                       "rejected " +
+                       std::to_string(Seed.Leaves.size()) +
+                       "-wide reduction of '" + Seed.Root->getName() +
+                       "' (cost " + std::to_string(Total) + ")"));
+        if (Txn && Cfg.VerifyAfterAttempt && Txn->modified()) {
+          std::vector<std::string> VErrors;
+          if (!verifyFunction(F, &VErrors)) {
+            BailoutReduction(
+                "verify", Stats.VerifyBailouts,
+                "function failed verification after a cost-rejected "
+                "reduction attempt: " +
+                    joinErrors(VErrors));
+            break;
+          }
+        }
+        continue;
+      }
+
+      std::string RootName = Seed.Root->getName();
+      VectorCodeGen(*Graph, GB.getScalarMap())
+          .runReduction(Seed.Root, Seed.TreeInsts);
+
+      // Planted fault: internal defect in a reduction attempt.
+      if (Txn && faultPoint("slp.reduction.abort")) {
+        BailoutReduction("fault", Stats.FaultBailouts,
+                         "injected fault 'slp.reduction.abort' fired "
+                         "after reduction codegen of '" +
+                             RootName + "'");
+        break;
+      }
+      if (Txn && Cfg.VerifyAfterAttempt) {
+        std::vector<std::string> VErrors;
+        if (!verifyFunction(F, &VErrors)) {
+          BailoutReduction(
+              "verify", Stats.VerifyBailouts,
+              "function failed verification after vectorizing the "
+              "reduction of '" +
+                  RootName + "': " + joinErrors(VErrors));
+          break;
+        }
+      }
+
+      ++Stats.GraphsVectorized;
+      RC.add(Remark::passed("slp-vectorizer", "ReductionVectorized", Fn)
+                 .withDecision("vectorize")
+                 .withCost(0, Total)
+                 .withValues({RootName})
+                 .withMessage("vectorized " +
+                              std::to_string(Seed.Leaves.size()) +
+                              "-wide horizontal reduction of '" +
+                              RootName + "' (cost " +
+                              std::to_string(Total) + ")"));
+      Stats.CommittedCost += Total;
+      tallyNodeKinds(*Graph, Stats);
+      for (unsigned S : Graph->getSuperNodeSizes())
+        Stats.CommittedSuperNodeSizes.push_back(S);
+      Committed = true;
+      break; // Re-collect: other seeds may now be stale.
+    }
+  }
+}
+
+} // namespace
+
 VectorizeStats snslp::runSLPVectorizer(Function &F,
                                        const VectorizerConfig &Cfg) {
   VectorizeStats Stats;
@@ -153,314 +764,11 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
     return Stats;
 
   Timer PassTimer;
-  TargetCostModel TCM(Cfg.Target);
   size_t InstsBefore = F.instructionCount();
-  // Every decision of this run lands in one ordered collector; the caller
-  // reads the stream from Stats.Remarks (irtool --remarks, fuzzslp
-  // artifact headers, golden-remark tests).
-  RemarkCollector RC;
-  const std::string &Fn = F.getName();
-  const bool Transactional = Cfg.TransactionalRegions;
 
-  // NOTE: the block loop is index-based on purpose — a rollback replaces
-  // every BasicBlock of F, so the loop must re-resolve its block pointer
-  // from the (stable) index after each bailout.
-  for (size_t BI = 0; BI < F.blocks().size(); ++BI) {
-    BasicBlock *BB = F.blocks()[BI].get();
-    // Step 1 of Fig. 1: scan for vectorizable seed instructions.
-    std::vector<SeedGroup> Worklist = collectStoreSeeds(
-        *BB, Cfg.MinVF, Cfg.MaxVF, Cfg.Target.MaxVectorWidthBytes, &RC);
-
-    // Steps 2-8: process each seed group from the work-list. When a group
-    // is not profitable at its width and can be halved, both halves are
-    // re-tried at the smaller VF (LLVM's SLP retries narrower widths the
-    // same way).
-    for (size_t WI = 0; WI < Worklist.size(); ++WI) {
-      SeedGroup Group = Worklist[WI];
-
-      // ---- Fail-safe attempt boundary ---------------------------------
-      // Snapshot the function and anchor the tail of the worklist by
-      // position; any defect below (blown budget, injected fault, verify
-      // failure) rolls the region back bit-identically and the pass
-      // continues with the next seed.
-      std::optional<IRTransaction> Txn;
-      std::vector<std::vector<size_t>> TailPositions;
-      if (Transactional) {
-        Txn.emplace(F);
-        TailPositions = captureStorePositions(*BB, Worklist, WI + 1);
-      }
-      BudgetTracker Budget(Cfg.Budgets);
-      if (Transactional && faultPoint("slp.graph.budget"))
-        Budget.forceExhausted("fault:slp.graph.budget");
-
-      // Rolls the attempt back, re-anchors the worklist tail onto the
-      // restored IR, counts the bailout and emits the missed remark. The
-      // caller `continue`s to the next seed afterwards.
-      auto Bailout = [&](const char *Why, unsigned &Counter,
-                         std::string Detail) {
-        rollbackOrDie(*Txn);
-        ++Counter;
-        BB = F.blocks()[BI].get();
-        reanchorStores(*BB, TailPositions, Worklist, WI + 1);
-        RC.add(Remark::missed("slp-vectorizer", "VectorizeAborted", Fn)
-                   .withDecision(std::string("bailout:") + Why)
-                   .withValues({})
-                   .withMessage(std::move(Detail) +
-                                "; region rolled back to scalar form"));
-      };
-
-      GraphBuilder GB(Cfg, TCM, &RC);
-      if (Cfg.Budgets.anyLimited() || Budget.exhausted())
-        GB.setBudget(&Budget);
-      std::unique_ptr<SLPGraph> Graph = GB.build(Group);
-      ++Stats.GraphsBuilt;
-      Stats.LookAheadCacheHits += GB.getLookAhead().getCacheHits();
-      Stats.LookAheadCacheMisses += GB.getLookAhead().getCacheMisses();
-
-      // A blown budget means the graph (and any Super-Node massaging that
-      // happened before exhaustion) is not trustworthy: degrade to the
-      // pre-attempt scalar code and move on.
-      if (Budget.exhausted()) {
-        if (Txn) {
-          Bailout("budget", Stats.BudgetBailouts,
-                  "resource budget '" + Budget.reason() +
-                      "' exhausted while vectorizing a " +
-                      std::to_string(Group.getVF()) +
-                      "-wide store group in '" + BB->getName() + "' (" +
-                      std::to_string(Budget.graphNodes()) + " nodes, " +
-                      std::to_string(Budget.lookAheadEvals()) + " evals, " +
-                      std::to_string(Budget.superNodePermutations()) +
-                      " permutations)");
-          continue;
-        }
-        // Without the transactional layer the degraded (all-gather) graph
-        // simply fails the cost test below; scalar semantics are intact
-        // either way.
-      }
-
-      // Step 5: compare the cost against the threshold.
-      if (Graph->getTotalCost() >= Cfg.CostThreshold) {
-        RC.add(Remark::missed("slp-vectorizer", "GraphRejected", Fn)
-                   .withDecision("reject:cost")
-                   .withCost(0, Graph->getTotalCost())
-                   .withMessage("rejected " + std::to_string(Group.getVF()) +
-                                "-wide store group in '" + BB->getName() +
-                                "' (cost " +
-                                std::to_string(Graph->getTotalCost()) +
-                                " >= threshold " +
-                                std::to_string(Cfg.CostThreshold) + ")"));
-        // The Super-Node probe may have massaged the scalar IR before the
-        // cost verdict; that massaging is kept (it is semantics-preserving
-        // and the paper's halving retry builds on it) — but only when it
-        // verifies. A corrupted massage rolls back like any other defect.
-        if (Txn && Cfg.VerifyAfterAttempt && Txn->modified()) {
-          std::vector<std::string> VErrors;
-          if (!verifyFunction(F, &VErrors)) {
-            Bailout("verify", Stats.VerifyBailouts,
-                    "function failed verification after a cost-rejected "
-                    "attempt: " +
-                        joinErrors(VErrors));
-            continue; // The halves would reference rolled-back IR.
-          }
-        }
-        // Not profitable; retry the halves when still wide enough.
-        if (Group.getVF() / 2 >= Cfg.MinVF) {
-          SeedGroup Low, High;
-          unsigned Half = Group.getVF() / 2;
-          Low.Stores.assign(Group.Stores.begin(),
-                            Group.Stores.begin() + Half);
-          High.Stores.assign(Group.Stores.begin() + Half,
-                             Group.Stores.end());
-          Worklist.push_back(std::move(Low));
-          Worklist.push_back(std::move(High));
-        }
-        continue; // Scalar code stays (possibly massaged).
-      }
-
-      // Step 6.b: vectorize.
-      VectorCodeGen(*Graph, GB.getScalarMap()).run();
-
-      // Planted fault: simulate a code-generator defect by corrupting the
-      // region (dropping the block terminator); the post-attempt verifier
-      // must catch it and roll back.
-      if (Txn && faultPoint("slp.codegen.corrupt-ir")) {
-        if (Instruction *Term = BB->getTerminator()) {
-          Term->dropAllReferences();
-          Term->eraseFromParent();
-        }
-      }
-      // Planted fault: simulate an internal defect detected after codegen
-      // but before the commit is published.
-      if (Txn && faultPoint("slp.vectorize.abort")) {
-        Bailout("fault", Stats.FaultBailouts,
-                "injected fault 'slp.vectorize.abort' fired after codegen "
-                "of a " +
-                    std::to_string(Group.getVF()) +
-                    "-wide store group in '" + BB->getName() + "'");
-        continue;
-      }
-      if (Txn && Cfg.VerifyAfterAttempt) {
-        std::vector<std::string> VErrors;
-        if (!verifyFunction(F, &VErrors)) {
-          Bailout("verify", Stats.VerifyBailouts,
-                  "function failed verification after vectorizing a " +
-                      std::to_string(Group.getVF()) +
-                      "-wide store group in '" + BB->getName() +
-                      "': " + joinErrors(VErrors));
-          continue;
-        }
-      }
-
-      ++Stats.GraphsVectorized;
-      Stats.CommittedCost += Graph->getTotalCost();
-      RC.add(Remark::passed("slp-vectorizer", "GraphVectorized", Fn)
-                 .withDecision("vectorize")
-                 .withCost(0, Graph->getTotalCost())
-                 .withMessage("vectorized " + std::to_string(Group.getVF()) +
-                              "-wide store group in '" + BB->getName() +
-                              "' (cost " +
-                              std::to_string(Graph->getTotalCost()) + ", " +
-                              std::to_string(
-                                  Graph->getSuperNodeSizes().size()) +
-                              " super-node(s))"));
-      tallyNodeKinds(*Graph, Stats);
-      for (unsigned S : Graph->getSuperNodeSizes())
-        Stats.CommittedSuperNodeSizes.push_back(S);
-    }
-
-    // Extension: horizontal-reduction seeds (-slp-vectorize-hor).
-    // Committing one reduction can invalidate the leaves of another, so
-    // seeds are re-collected after every commit.
-    if (Cfg.EnableReductionSeeds) {
-      bool Committed = true;
-      // A bailed-out reduction attempt ends the reduction phase for this
-      // block: the remaining collected seeds reference rolled-back IR, and
-      // a deterministic defect (blown budget) would otherwise re-fire on
-      // every re-collection.
-      bool RegionAborted = false;
-      while (Committed && !RegionAborted) {
-        Committed = false;
-        std::vector<ReductionSeed> RSeeds = collectReductionSeeds(
-            *BB, Cfg.MinVF, Cfg.MaxVF, Cfg.Target.MaxVectorWidthBytes, &RC);
-        for (ReductionSeed &Seed : RSeeds) {
-          std::optional<IRTransaction> Txn;
-          if (Transactional)
-            Txn.emplace(F);
-          BudgetTracker Budget(Cfg.Budgets);
-
-          auto BailoutReduction = [&](const char *Why, unsigned &Counter,
-                                      std::string Detail) {
-            rollbackOrDie(*Txn);
-            ++Counter;
-            BB = F.blocks()[BI].get();
-            RegionAborted = true;
-            RC.add(Remark::missed("slp-vectorizer", "VectorizeAborted", Fn)
-                       .withDecision(std::string("bailout:") + Why)
-                       .withMessage(std::move(Detail) +
-                                    "; region rolled back to scalar form"));
-          };
-
-          GraphBuilder GB(Cfg, TCM, &RC);
-          if (Cfg.Budgets.anyLimited())
-            GB.setBudget(&Budget);
-          std::unordered_set<const Instruction *> Ignored(
-              Seed.TreeInsts.begin(), Seed.TreeInsts.end());
-          std::unique_ptr<SLPGraph> Graph =
-              GB.buildFromBundle(Seed.Leaves, Ignored);
-          ++Stats.GraphsBuilt;
-          Stats.LookAheadCacheHits += GB.getLookAhead().getCacheHits();
-          Stats.LookAheadCacheMisses += GB.getLookAhead().getCacheMisses();
-
-          if (Budget.exhausted()) {
-            if (Txn) {
-              BailoutReduction(
-                  "budget", Stats.BudgetBailouts,
-                  "resource budget '" + Budget.reason() +
-                      "' exhausted while vectorizing a reduction in '" +
-                      BB->getName() + "'");
-              break;
-            }
-          }
-
-          int Total =
-              Graph->getTotalCost() +
-              TCM.getReductionCost(
-                  static_cast<unsigned>(Seed.Leaves.size()));
-          if (Total >= Cfg.CostThreshold ||
-              Graph->getRoot()->getKind() == SLPNodeKind::Gather) {
-            bool GatherRoot =
-                Graph->getRoot()->getKind() == SLPNodeKind::Gather;
-            RC.add(Remark::missed("slp-vectorizer", "ReductionRejected", Fn)
-                       .withDecision(GatherRoot ? "reject:gather-root"
-                                                : "reject:cost")
-                       .withCost(0, Total)
-                       .withValues({Seed.Root->getName()})
-                       .withMessage(
-                           "rejected " +
-                           std::to_string(Seed.Leaves.size()) +
-                           "-wide reduction of '" + Seed.Root->getName() +
-                           "' (cost " + std::to_string(Total) + ")"));
-            if (Txn && Cfg.VerifyAfterAttempt && Txn->modified()) {
-              std::vector<std::string> VErrors;
-              if (!verifyFunction(F, &VErrors)) {
-                BailoutReduction(
-                    "verify", Stats.VerifyBailouts,
-                    "function failed verification after a cost-rejected "
-                    "reduction attempt: " +
-                        joinErrors(VErrors));
-                break;
-              }
-            }
-            continue;
-          }
-
-          std::string RootName = Seed.Root->getName();
-          VectorCodeGen(*Graph, GB.getScalarMap())
-              .runReduction(Seed.Root, Seed.TreeInsts);
-
-          // Planted fault: internal defect in a reduction attempt.
-          if (Txn && faultPoint("slp.reduction.abort")) {
-            BailoutReduction("fault", Stats.FaultBailouts,
-                             "injected fault 'slp.reduction.abort' fired "
-                             "after reduction codegen of '" +
-                                 RootName + "'");
-            break;
-          }
-          if (Txn && Cfg.VerifyAfterAttempt) {
-            std::vector<std::string> VErrors;
-            if (!verifyFunction(F, &VErrors)) {
-              BailoutReduction(
-                  "verify", Stats.VerifyBailouts,
-                  "function failed verification after vectorizing the "
-                  "reduction of '" +
-                      RootName + "': " + joinErrors(VErrors));
-              break;
-            }
-          }
-
-          ++Stats.GraphsVectorized;
-          RC.add(Remark::passed("slp-vectorizer", "ReductionVectorized", Fn)
-                     .withDecision("vectorize")
-                     .withCost(0, Total)
-                     .withValues({RootName})
-                     .withMessage("vectorized " +
-                                  std::to_string(Seed.Leaves.size()) +
-                                  "-wide horizontal reduction of '" +
-                                  RootName + "' (cost " +
-                                  std::to_string(Total) + ")"));
-          Stats.CommittedCost += Total;
-          tallyNodeKinds(*Graph, Stats);
-          for (unsigned S : Graph->getSuperNodeSizes())
-            Stats.CommittedSuperNodeSizes.push_back(S);
-          Committed = true;
-          break; // Re-collect: other seeds may now be stale.
-        }
-      }
-    }
-  }
+  Stats = VectorizerDriver(F, Cfg).run();
 
   runDeadCodeElimination(F);
-  Stats.Remarks = RC.take();
   size_t InstsAfter = F.instructionCount();
   Stats.InstructionsRemoved =
       InstsBefore > InstsAfter ? InstsBefore - InstsAfter : 0;
@@ -478,6 +786,15 @@ VectorizeStats snslp::runSLPVectorizer(Function &F,
                    static_cast<int64_t>(Stats.VerifyBailouts));
     Cfg.Stats->add("bailout-fault",
                    static_cast<int64_t>(Stats.FaultBailouts));
+    if (Cfg.useGlobalPackSelection()) {
+      Cfg.Stats->add("goslp-packs-enumerated", Stats.PacksEnumerated);
+      Cfg.Stats->add("goslp-packs-selected", Stats.PacksSelected);
+      Cfg.Stats->add("goslp-solver-nodes",
+                     static_cast<int64_t>(Stats.SolverNodesExplored));
+      Cfg.Stats->add("goslp-proved-scalar-optimal",
+                     Stats.SolverProvedScalarOptimal);
+      Cfg.Stats->add("goslp-greedy-fallbacks", Stats.GoSLPGreedyFallbacks);
+    }
   }
   return Stats;
 }

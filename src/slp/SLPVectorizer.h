@@ -7,8 +7,9 @@
 /// \file
 /// The SLP vectorizer driver: the outer loop of Fig. 1 (collect seeds, grow
 /// a graph per seed group, estimate cost, vectorize when profitable),
-/// followed by dead-code elimination. One entry point serves all three
-/// paper configurations via VectorizerConfig.
+/// followed by dead-code elimination. One entry point serves every
+/// configuration via VectorizerConfig — the three paper modes plus the
+/// GoSLP global-pack-selection mode (docs/goslp.md).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,6 +63,21 @@ struct VectorizeStats {
   unsigned totalBailouts() const {
     return BudgetBailouts + VerifyBailouts + FaultBailouts;
   }
+  /// @}
+  /// \name GoSLP global pack selection (docs/goslp.md).
+  /// @{
+  /// Candidate packs enumerated (after legality, before selection).
+  unsigned PacksEnumerated = 0;
+  /// Candidate packs the solver selected for commit.
+  unsigned PacksSelected = 0;
+  /// Branch-and-bound search-tree nodes expanded across all solves.
+  uint64_t SolverNodesExplored = 0;
+  /// Blocks where the exhaustive solve proved the empty selection optimal
+  /// (the `solver-proves-scalar-optimal` analysis remark).
+  unsigned SolverProvedScalarOptimal = 0;
+  /// Blocks that fell back from global selection to the greedy pipeline
+  /// (blown budget or injected fault; never scalar-only).
+  unsigned GoSLPGreedyFallbacks = 0;
   /// @}
 
   /// Structured optimization remarks, one per decision (in the spirit of

@@ -128,15 +128,9 @@ std::vector<ReductionSeed> snslp::collectReductionSeeds(
   return Result;
 }
 
-std::vector<SeedGroup> snslp::collectStoreSeeds(BasicBlock &BB,
-                                                unsigned MinVF,
-                                                unsigned MaxVF,
-                                                unsigned MaxVecWidthBytes,
-                                                RemarkCollector *RC) {
-  std::vector<SeedGroup> Result;
-  if (MinVF < 2 || MaxVF < MinVF)
-    return Result;
-
+std::vector<StoreRun> snslp::collectAdjacentStoreRuns(BasicBlock &BB,
+                                                      RemarkCollector *RC) {
+  std::vector<StoreRun> Result;
   // Bucket stores by (element type, base pointer); only same-type stores to
   // the same object can be adjacent.
   std::map<std::pair<const Type *, const Value *>, std::vector<AddressedStore>>
@@ -176,10 +170,6 @@ std::vector<SeedGroup> snslp::collectStoreSeeds(BasicBlock &BB,
   for (auto &[Key, Stores] : Buckets) {
     const Type *ElemTy = Key.first;
     unsigned ElemSize = ElemTy->getSizeInBytes();
-    // Cap the group size by what fits in one vector register.
-    unsigned EffMaxVF = std::min(MaxVF, MaxVecWidthBytes / ElemSize);
-    if (EffMaxVF < MinVF)
-      continue;
 
     // Sort by (variable part, constant offset) so runs become contiguous.
     std::sort(Stores.begin(), Stores.end(),
@@ -192,87 +182,103 @@ std::vector<SeedGroup> snslp::collectStoreSeeds(BasicBlock &BB,
               });
 
     // Split into maximal runs of stride-ElemSize stores.
-    std::vector<std::vector<AddressedStore *>> Runs;
+    const AddressedStore *Prev = nullptr;
     for (auto &AS : Stores) {
-      bool Extends =
-          !Runs.empty() && !Runs.back().empty() &&
-          Runs.back().back()->Addr.Terms == AS.Addr.Terms &&
-          Runs.back().back()->Addr.ConstBytes +
-                  static_cast<int64_t>(ElemSize) ==
-              AS.Addr.ConstBytes;
+      bool Extends = Prev && Prev->Addr.Terms == AS.Addr.Terms &&
+                     Prev->Addr.ConstBytes + static_cast<int64_t>(ElemSize) ==
+                         AS.Addr.ConstBytes;
       if (!Extends)
-        Runs.emplace_back();
-      Runs.back().push_back(&AS);
+        Result.emplace_back();
+      Result.back().Stores.push_back(AS.Store);
+      Prev = &AS;
     }
+  }
+  return Result;
+}
 
-    // Slice each run into the largest power-of-two groups that fit and
-    // whose members can legally form one bundle.
-    for (auto &Run : Runs) {
-      // Per-store outcome, for remark emission: 0 = leftover (no adjacent
-      // partner), 1 = consumed by a group, 2 = skipped on an alias failure.
-      std::vector<char> Outcome(Run.size(), 0);
-      size_t Begin = 0;
-      while (Run.size() - Begin >= MinVF) {
-        unsigned VF = EffMaxVF;
-        while (VF > Run.size() - Begin)
-          VF /= 2;
-        bool Formed = false;
-        for (; VF >= MinVF; VF /= 2) {
-          std::vector<Instruction *> Bundle;
-          for (unsigned I = 0; I < VF; ++I)
-            Bundle.push_back(Run[Begin + I]->Store);
-          if (isSafeToBundle(Bundle)) {
-            SeedGroup Group;
-            for (unsigned I = 0; I < VF; ++I) {
-              Group.Stores.push_back(Run[Begin + I]->Store);
-              Outcome[Begin + I] = 1;
-            }
-            if (RC)
-              RC->add(Remark::analysis(SeedPass, "SeedAccepted",
-                                       enclosingFunctionName(BB))
-                          .withDecision("accept")
-                          .withValues(seedValueNames(Group.Stores))
-                          .withMessage(std::to_string(VF) +
-                                       "-wide run of adjacent stores"));
-            Result.push_back(std::move(Group));
-            Begin += VF;
-            Formed = true;
-            break;
+std::vector<SeedGroup> snslp::collectStoreSeeds(BasicBlock &BB,
+                                                unsigned MinVF,
+                                                unsigned MaxVF,
+                                                unsigned MaxVecWidthBytes,
+                                                RemarkCollector *RC) {
+  std::vector<SeedGroup> Result;
+  if (MinVF < 2 || MaxVF < MinVF)
+    return Result;
+
+  // Slice each run into the largest power-of-two groups that fit and
+  // whose members can legally form one bundle.
+  for (StoreRun &Run : collectAdjacentStoreRuns(BB, RC)) {
+    unsigned ElemSize =
+        Run.Stores.front()->getValueOperand()->getType()->getSizeInBytes();
+    // Cap the group size by what fits in one vector register.
+    unsigned EffMaxVF = std::min(MaxVF, MaxVecWidthBytes / ElemSize);
+    if (EffMaxVF < MinVF)
+      continue;
+
+    // Per-store outcome, for remark emission: 0 = leftover (no adjacent
+    // partner), 1 = consumed by a group, 2 = skipped on an alias failure.
+    std::vector<char> Outcome(Run.Stores.size(), 0);
+    size_t Begin = 0;
+    while (Run.Stores.size() - Begin >= MinVF) {
+      unsigned VF = EffMaxVF;
+      while (VF > Run.Stores.size() - Begin)
+        VF /= 2;
+      bool Formed = false;
+      for (; VF >= MinVF; VF /= 2) {
+        std::vector<Instruction *> Bundle;
+        for (unsigned I = 0; I < VF; ++I)
+          Bundle.push_back(Run.Stores[Begin + I]);
+        if (isSafeToBundle(Bundle)) {
+          SeedGroup Group;
+          for (unsigned I = 0; I < VF; ++I) {
+            Group.Stores.push_back(Run.Stores[Begin + I]);
+            Outcome[Begin + I] = 1;
           }
-        }
-        if (!Formed) {
-          // Skip the blocking store and retry from the next one.
-          if (RC) {
-            std::vector<StoreInst *> Widest;
-            for (size_t I = Begin; I < Run.size() && Widest.size() < EffMaxVF;
-                 ++I)
-              Widest.push_back(Run[I]->Store);
-            RC->add(Remark::missed(SeedPass, "SeedRejected",
-                                   enclosingFunctionName(BB))
-                        .withDecision("reject:alias")
-                        .withValues(seedValueNames(Widest))
-                        .withMessage("a memory dependence between the run "
-                                     "members prevents bundling at any "
-                                     "power-of-two width"));
-          }
-          Outcome[Begin] = 2;
-          ++Begin;
+          if (RC)
+            RC->add(Remark::analysis(SeedPass, "SeedAccepted",
+                                     enclosingFunctionName(BB))
+                        .withDecision("accept")
+                        .withValues(seedValueNames(Group.Stores))
+                        .withMessage(std::to_string(VF) +
+                                     "-wide run of adjacent stores"));
+          Result.push_back(std::move(Group));
+          Begin += VF;
+          Formed = true;
+          break;
         }
       }
-      if (RC) {
-        std::vector<std::string> Leftover;
-        for (size_t I = 0; I < Run.size(); ++I)
-          if (Outcome[I] == 0)
-            Leftover.push_back(seedValueName(Run[I]->Store));
-        if (!Leftover.empty())
+      if (!Formed) {
+        // Skip the blocking store and retry from the next one.
+        if (RC) {
+          std::vector<StoreInst *> Widest;
+          for (size_t I = Begin;
+               I < Run.Stores.size() && Widest.size() < EffMaxVF; ++I)
+            Widest.push_back(Run.Stores[I]);
           RC->add(Remark::missed(SeedPass, "SeedRejected",
                                  enclosingFunctionName(BB))
-                      .withDecision("reject:non-adjacent")
-                      .withValues(std::move(Leftover))
-                      .withMessage("no adjacent run of at least " +
-                                   std::to_string(MinVF) +
-                                   " stores covers these"));
+                      .withDecision("reject:alias")
+                      .withValues(seedValueNames(Widest))
+                      .withMessage("a memory dependence between the run "
+                                   "members prevents bundling at any "
+                                   "power-of-two width"));
+        }
+        Outcome[Begin] = 2;
+        ++Begin;
       }
+    }
+    if (RC) {
+      std::vector<std::string> Leftover;
+      for (size_t I = 0; I < Run.Stores.size(); ++I)
+        if (Outcome[I] == 0)
+          Leftover.push_back(seedValueName(Run.Stores[I]));
+      if (!Leftover.empty())
+        RC->add(Remark::missed(SeedPass, "SeedRejected",
+                               enclosingFunctionName(BB))
+                    .withDecision("reject:non-adjacent")
+                    .withValues(std::move(Leftover))
+                    .withMessage("no adjacent run of at least " +
+                                 std::to_string(MinVF) +
+                                 " stores covers these"));
     }
   }
   return Result;

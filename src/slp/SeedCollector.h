@@ -32,6 +32,24 @@ struct SeedGroup {
   unsigned getVF() const { return static_cast<unsigned>(Stores.size()); }
 };
 
+/// A maximal run of same-type stores to consecutive addresses (stride ==
+/// element size), lowest address first. Both seed-collection strategies
+/// consume these: collectStoreSeeds slices them greedily into the largest
+/// power-of-two groups, GoSLP's PackEnumerator windows over them
+/// exhaustively (docs/goslp.md).
+struct StoreRun {
+  std::vector<StoreInst *> Stores;
+};
+
+/// Scans \p BB for maximal runs of adjacent same-type stores (the raw
+/// material of both the greedy and the GoSLP seed strategies). Deterministic
+/// order: runs are grouped by (element type, base pointer) bucket and sorted
+/// by address within each bucket. When \p RC is non-null the per-store
+/// disqualifications are reported (SeedRejected with
+/// "reject:type-mismatch" | "reject:unanalyzable-address").
+std::vector<StoreRun> collectAdjacentStoreRuns(BasicBlock &BB,
+                                               RemarkCollector *RC = nullptr);
+
 /// Scans \p BB for seed groups of adjacent stores of the same element type.
 ///
 /// Longer runs of consecutive stores are sliced into the largest power-of-

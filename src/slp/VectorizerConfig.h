@@ -5,14 +5,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Configuration of the SLP vectorizer. One code base implements all three
-/// configurations evaluated in the paper:
+/// Configuration of the SLP vectorizer. One code base implements the three
+/// configurations evaluated in the paper plus one extension mode:
 ///  - SLP:   LLVM-style bottom-up SLP with per-instruction commutative
 ///           operand reordering.
 ///  - LSLP:  SLP + Multi-Nodes over a single commutative opcode with
 ///           look-ahead operand reordering (Porpodas et al. [9]).
 ///  - SNSLP: LSLP generalized to Super-Nodes that also absorb the inverse
 ///           element of the operator family (this paper).
+///  - GoSLP: SN-SLP's graph machinery with global pack selection in the
+///           spirit of goSLP (Mendis & Amarasinghe): candidate store packs
+///           are enumerated, costed, and chosen by an exact branch-and-
+///           bound solver instead of the greedy first-fit slicing. See
+///           docs/goslp.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +37,13 @@ class StatsRegistry;
 /// 0 means "unlimited" — the defaults impose no limit, so budget handling
 /// is pure safety net unless a caller opts in (fuzzing, adversarial-input
 /// hardening, compile-time SLAs). See docs/robustness.md.
+///
+/// Exception: the two GoSLP solver budgets default to finite values. The
+/// branch-and-bound search is exponential in the worst case, so an
+/// unlimited default would turn an adversarial block into a compile-time
+/// hang; when either trips, GoSLP degrades to greedy selection
+/// (`bailout:budget`, see docs/goslp.md) instead of rolling the whole
+/// region back to scalar. Set them to 0 for an explicitly unbounded solve.
 struct ResourceBudgets {
   /// Maximum SLP graph nodes built per seed-group attempt.
   uint64_t MaxGraphNodes = 0;
@@ -41,7 +53,15 @@ struct ResourceBudgets {
   /// Maximum Super-Node leaf-permutation probes (buildGroup calls) per
   /// attempt.
   uint64_t MaxSuperNodePermutations = 0;
+  /// GoSLP only: maximum candidate packs enumerated per basic block.
+  uint64_t MaxPackCandidates = 64;
+  /// GoSLP only: maximum branch-and-bound search-tree nodes per conflict
+  /// component of one block's candidate set.
+  uint64_t MaxSolverNodes = 1 << 16;
 
+  /// True when a budget of the *greedy* pipeline is finite. The GoSLP
+  /// solver budgets are deliberately excluded: they are finite by default
+  /// and gate only the solver phase, not per-attempt graph growth.
   bool anyLimited() const {
     return MaxGraphNodes || MaxLookAheadEvals || MaxSuperNodePermutations;
   }
@@ -68,6 +88,13 @@ public:
     return charge(SuperNodePermutations, Budgets.MaxSuperNodePermutations,
                   "supernode-permutations");
   }
+  bool chargePackCandidate() {
+    return charge(PackCandidates, Budgets.MaxPackCandidates,
+                  "pack-candidates");
+  }
+  bool chargeSolverNode() {
+    return charge(SolverNodes, Budgets.MaxSolverNodes, "solver-nodes");
+  }
 
   /// External exhaustion (fault injection, caller-imposed deadline).
   void forceExhausted(const char *Why) {
@@ -79,13 +106,15 @@ public:
 
   bool exhausted() const { return Exhausted; }
   /// Name of the first blown budget ("graph-nodes" | "lookahead-evals" |
-  /// "supernode-permutations" | a forceExhausted() reason); empty while
-  /// within budget.
+  /// "supernode-permutations" | "pack-candidates" | "solver-nodes" | a
+  /// forceExhausted() reason); empty while within budget.
   const std::string &reason() const { return Reason; }
 
   uint64_t graphNodes() const { return GraphNodes; }
   uint64_t lookAheadEvals() const { return LookAheadEvals; }
   uint64_t superNodePermutations() const { return SuperNodePermutations; }
+  uint64_t packCandidates() const { return PackCandidates; }
+  uint64_t solverNodes() const { return SolverNodes; }
 
 private:
   /// Returns true while within budget; trips the sticky exhausted flag
@@ -103,13 +132,16 @@ private:
   uint64_t GraphNodes = 0;
   uint64_t LookAheadEvals = 0;
   uint64_t SuperNodePermutations = 0;
+  uint64_t PackCandidates = 0;
+  uint64_t SolverNodes = 0;
   bool Exhausted = false;
   std::string Reason;
 };
 
-/// The vectorizer configurations compared in the paper's evaluation.
+/// The vectorizer configurations compared in the paper's evaluation plus
+/// the GoSLP extension (global pack selection over SN-SLP's machinery).
 /// O3 means "all vectorizers disabled" (the paper's baseline).
-enum class VectorizerMode { O3, SLP, LSLP, SNSLP };
+enum class VectorizerMode { O3, SLP, LSLP, SNSLP, GoSLP };
 
 /// Returns the display name used by benchmarks ("O3", "SLP", ...).
 const char *getModeName(VectorizerMode Mode);
@@ -164,6 +196,14 @@ struct VectorizerConfig {
   /// IR. Requires TransactionalRegions.
   bool VerifyAfterAttempt = true;
 
+  /// GoSLP only: worker threads used to solve independent conflict
+  /// components of one block's candidate set in parallel (on the service
+  /// ThreadPool). The selection is bit-identical for any value — each
+  /// component is solved with its own full solver budget and results are
+  /// merged in component order — so this knob is excluded from the
+  /// CompileService cache fingerprint.
+  unsigned SolverJobs = 1;
+
   /// Target machine parameters.
   TargetParams Target;
 
@@ -175,9 +215,17 @@ struct VectorizerConfig {
   /// \name Mode-derived feature queries.
   /// @{
   bool enableSuperNode() const {
-    return Mode == VectorizerMode::LSLP || Mode == VectorizerMode::SNSLP;
+    return Mode == VectorizerMode::LSLP || Mode == VectorizerMode::SNSLP ||
+           Mode == VectorizerMode::GoSLP;
   }
-  bool allowInverseOps() const { return Mode == VectorizerMode::SNSLP; }
+  bool allowInverseOps() const {
+    return Mode == VectorizerMode::SNSLP || Mode == VectorizerMode::GoSLP;
+  }
+  /// GoSLP replaces the greedy store-seed slicing with enumerate +
+  /// exact selection (falling back to greedy on budget/fault).
+  bool useGlobalPackSelection() const {
+    return Mode == VectorizerMode::GoSLP;
+  }
   bool enabled() const { return Mode != VectorizerMode::O3; }
   /// @}
 };

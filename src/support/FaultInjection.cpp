@@ -17,6 +17,8 @@ const std::vector<std::string> &knownFaultSites() {
       "slp.codegen.corrupt-ir",// code generator emits structurally bad IR
       "slp.vectorize.abort",   // internal defect after codegen, before commit
       "slp.reduction.abort",   // internal defect in a reduction attempt
+      "slp.goslp.enumerate.abort", // pack enumeration dies (-> greedy)
+      "slp.goslp.solve.abort", // pack-selection solver dies (-> greedy)
       "driver.compile.parse",  // kernel IR text fails to parse
       "jit.emit.abort",        // native code emission aborts (-> bytecode)
       "jit.exec.trap",         // native execution traps (-> bytecode run)

@@ -118,6 +118,8 @@ TEST_F(FaultInjectionTest, RegistryListsEveryCompiledInSite) {
   EXPECT_TRUE(Has("slp.codegen.corrupt-ir"));
   EXPECT_TRUE(Has("slp.vectorize.abort"));
   EXPECT_TRUE(Has("slp.reduction.abort"));
+  EXPECT_TRUE(Has("slp.goslp.enumerate.abort"));
+  EXPECT_TRUE(Has("slp.goslp.solve.abort"));
   EXPECT_TRUE(Has("driver.compile.parse"));
 }
 
@@ -251,6 +253,69 @@ entry:
   EXPECT_EQ(Stats.Remarks.back().Name, "VectorizeAborted");
   EXPECT_EQ(Stats.Remarks.back().Decision, "bailout:fault");
 }
+
+// ---------------------------------------------------------------------------
+// The GoSLP sites have a stronger contract than rollback: a dead
+// enumerator or solver degrades the block to *greedy* pack selection —
+// the kernel still vectorizes, never scalar-only (docs/goslp.md).
+// ---------------------------------------------------------------------------
+
+class GoSLPFaultSiteTest
+    : public FaultInjectionTest,
+      public ::testing::WithParamInterface<const char *> {};
+
+TEST_P(GoSLPFaultSiteTest, DegradesToGreedyAndStillVectorizes) {
+  const char *Site = GetParam();
+  const Kernel *K = findKernel("motiv2");
+  ASSERT_NE(K, nullptr);
+  Context Ctx;
+  Module M(Ctx, "fault.goslp");
+  std::string Err;
+  ASSERT_TRUE(parseIR(K->IRText, M, &Err)) << Err;
+  Function *F = M.getFunction("motiv2");
+  ASSERT_NE(F, nullptr);
+
+  // The sites are probed once per basic block, in block order; firing on
+  // the second hit plants the defect in 'loop' — the block with the
+  // vectorizable stores — so the greedy fallback has real work to do.
+  FaultInjector::instance().arm(Site, /*FireOnNthHit=*/2);
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::GoSLP;
+  VectorizeStats Stats = runSLPVectorizer(*F, Cfg);
+  EXPECT_EQ(FaultInjector::instance().fireCount(Site), 1u) << Site;
+
+  EXPECT_EQ(Stats.FaultBailouts, 1u) << Site;
+  EXPECT_EQ(Stats.GoSLPGreedyFallbacks, 1u) << Site;
+  // Never scalar-only: greedy selection commits the same profitable graph.
+  EXPECT_EQ(Stats.GraphsVectorized, 1u) << Site;
+  EXPECT_EQ(Stats.CommittedCost, -6) << Site;
+  EXPECT_TRUE(verifyFunction(*F));
+
+  // The trail names the fallback and still ends in a commit.
+  bool SawFallback = false;
+  for (const Remark &R : Stats.Remarks)
+    if (R.Name == "VectorizeAborted" && R.Decision == "bailout:fault") {
+      SawFallback = true;
+      EXPECT_NE(R.Message.find("falling back to greedy pack selection"),
+                std::string::npos)
+          << R.Message;
+      EXPECT_NE(R.Message.find(Site), std::string::npos) << R.Message;
+    }
+  EXPECT_TRUE(SawFallback) << Site;
+  ASSERT_FALSE(Stats.Remarks.empty());
+  EXPECT_EQ(Stats.Remarks.back().Name, "GraphVectorized");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GoSLPSites, GoSLPFaultSiteTest,
+    ::testing::Values("slp.goslp.enumerate.abort", "slp.goslp.solve.abort"),
+    [](const ::testing::TestParamInfo<const char *> &Info) {
+      std::string Name = Info.param;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
 
 /// Sanity contrast: with nothing armed, the same kernel vectorizes with
 /// zero bailouts — the probes themselves are inert.

@@ -228,8 +228,162 @@ TEST_P(GoldenRemarkTest, BudgetBailoutDecisionSequence) {
   expectLosslessSerialization(Remarks);
 }
 
+// ---------------------------------------------------------------------------
+// GoSLP decision trails (docs/goslp.md): global pack selection replaces the
+// greedy SeedAccepted prologue with an enumerate -> select trail, then
+// commits through the ordinary build pipeline. Pinned exactly, like the
+// greedy trails above.
+// ---------------------------------------------------------------------------
+
+/// GoSLP on Fig. 2 / Fig. 3: one candidate window enumerated at its
+/// evaluated cost, selected by the solver, then the familiar SN-SLP build
+/// and commit.
+const Skeleton GoSLPGolden = {
+    {"PackEnumerated", "enumerate"},
+    {"PackSelected", "select"},
+    {"SuperNodeBuilt", "super-node"},
+    {"SuperNodeReEmitted", "re-emit"},
+    {"NodeBuilt", "vectorize"}, // store row
+    {"NodeBuilt", "vectorize"}, // super-node row (trunk links)
+    {"NodeBuilt", "vectorize"}, // super-node row
+    {"NodeBuilt", "vectorize"}, // leaf loads
+    {"NodeBuilt", "vectorize"},
+    {"NodeBuilt", "vectorize"},
+    {"GraphVectorized", "vectorize"},
+};
+
+TEST_P(GoldenRemarkTest, GoSLPDecisionSequence) {
+  std::vector<Remark> Remarks =
+      remarksFor(GetParam(), VectorizerMode::GoSLP);
+  EXPECT_EQ(skeleton(Remarks), GoSLPGolden);
+
+  // The enumeration remark names the store-pointer bundle and carries the
+  // candidate's evaluated cost — the paper's -6 before anything commits.
+  ASSERT_GE(Remarks.size(), 2u);
+  const Remark &Enumerated = Remarks.front();
+  EXPECT_EQ(Enumerated.Kind, RemarkKind::Analysis);
+  EXPECT_EQ(Enumerated.Values, (std::vector<std::string>{"pA0", "pA1"}));
+  ASSERT_TRUE(Enumerated.HasCost);
+  EXPECT_EQ(Enumerated.costDelta(), -6);
+
+  const Remark &Selected = Remarks[1];
+  EXPECT_EQ(Selected.Kind, RemarkKind::Passed);
+  ASSERT_TRUE(Selected.HasCost);
+  EXPECT_EQ(Selected.costDelta(), -6);
+
+  // The committed graph matches the greedy SN-SLP outcome exactly.
+  const Remark &Committed = Remarks.back();
+  EXPECT_EQ(Committed.Kind, RemarkKind::Passed);
+  ASSERT_TRUE(Committed.HasCost);
+  EXPECT_EQ(Committed.costDelta(), -6);
+
+  expectLosslessSerialization(Remarks);
+}
+
+TEST_P(GoldenRemarkTest, GoSLPBudgetBailoutFallsBackToGreedy) {
+  // A starved solver budget must not leave the block scalar: the trail is
+  // the enumeration, one bailout:budget naming the blown budget and the
+  // fallback, then the complete greedy SN-SLP trail (which still
+  // vectorizes at -6).
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::GoSLP;
+  Cfg.Budgets.MaxSolverNodes = 1;
+  std::vector<Remark> Remarks = remarksFor(GetParam(), Cfg);
+
+  Skeleton Expected = {{"PackEnumerated", "enumerate"},
+                       {"VectorizeAborted", "bailout:budget"}};
+  Expected.insert(Expected.end(), SNSLPGolden.begin(), SNSLPGolden.end());
+  EXPECT_EQ(skeleton(Remarks), Expected);
+
+  ASSERT_GE(Remarks.size(), 2u);
+  const Remark &Aborted = Remarks[1];
+  EXPECT_EQ(Aborted.Kind, RemarkKind::Missed);
+  EXPECT_NE(Aborted.Message.find("solver-nodes"), std::string::npos)
+      << Aborted.Message;
+  EXPECT_NE(Aborted.Message.find("falling back to greedy pack selection"),
+            std::string::npos)
+      << Aborted.Message;
+
+  // The fallback still commits: same final verdict as greedy SN-SLP.
+  const Remark &Committed = Remarks.back();
+  EXPECT_EQ(Committed.Name, "GraphVectorized");
+  ASSERT_TRUE(Committed.HasCost);
+  EXPECT_EQ(Committed.costDelta(), -6);
+
+  expectLosslessSerialization(Remarks);
+}
+
 INSTANTIATE_TEST_SUITE_P(Fig2AndFig3, GoldenRemarkTest,
                          ::testing::Values("motiv1", "motiv2"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           return std::string(I.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// The solver-proves-scalar-optimal pin (the ISSUE's acceptance case): on
+// Table I kernels where greedy SN-SLP stays at 1.00x because no window is
+// profitable, GoSLP's exhaustive selection turns the silent 1.00x into an
+// explicit analysis verdict.
+// ---------------------------------------------------------------------------
+
+class ScalarOptimalTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ScalarOptimalTest, GoSLPProvesScalarOptimal) {
+  std::vector<Remark> Remarks =
+      remarksFor(GetParam(), VectorizerMode::GoSLP);
+  Skeleton S = skeleton(Remarks);
+  ASSERT_FALSE(S.empty());
+
+  // Every enumerated candidate is explicitly rejected as never-profitable,
+  // and the stream ends with the exhaustive verdict. No pack is selected,
+  // nothing vectorizes, and nothing falls back.
+  unsigned Enumerated = 0, RejectedCost = 0;
+  for (const auto &[Name, Decision] : S) {
+    if (Name == "PackEnumerated")
+      ++Enumerated;
+    else if (Name == "PackRejected" && Decision == "reject:solver-cost")
+      ++RejectedCost;
+    EXPECT_NE(Name, "PackSelected");
+    EXPECT_NE(Name, "GraphVectorized");
+    EXPECT_NE(Name, "VectorizeAborted");
+  }
+  EXPECT_GE(Enumerated, 1u);
+  EXPECT_EQ(Enumerated, RejectedCost);
+  EXPECT_EQ(S.back(),
+            (std::pair<std::string, std::string>{
+                "SolverVerdict", "solver-proves-scalar-optimal"}));
+  EXPECT_EQ(Remarks.back().Kind, RemarkKind::Analysis);
+
+  expectLosslessSerialization(Remarks);
+}
+
+/// povray_cross is pinned tighter: exactly two overlapping 2-wide windows
+/// over its 3-store run, both at cost >= 0 (the rotated operands leave no
+/// profit at VF=2), so the verdict is reached with zero search nodes.
+TEST(ScalarOptimalTest, PovrayCrossExactTrail) {
+  std::vector<Remark> Remarks =
+      remarksFor("povray_cross", VectorizerMode::GoSLP);
+  const Skeleton Expected = {
+      {"PackEnumerated", "enumerate"},
+      {"PackEnumerated", "enumerate"},
+      {"PackRejected", "reject:solver-cost"},
+      {"PackRejected", "reject:solver-cost"},
+      {"SolverVerdict", "solver-proves-scalar-optimal"},
+  };
+  EXPECT_EQ(skeleton(Remarks), Expected);
+  ASSERT_EQ(Remarks.size(), 5u);
+  EXPECT_EQ(Remarks[0].Values, (std::vector<std::string>{"pc0", "pc1"}));
+  EXPECT_EQ(Remarks[1].Values, (std::vector<std::string>{"pc1", "pc2"}));
+  ASSERT_TRUE(Remarks[0].HasCost);
+  EXPECT_GE(Remarks[0].costDelta(), 0);
+  ASSERT_TRUE(Remarks[1].HasCost);
+  EXPECT_GE(Remarks[1].costDelta(), 0);
+
+  expectLosslessSerialization(Remarks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1GreedyTies, ScalarOptimalTest,
+                         ::testing::Values("povray_cross", "milc_cmul"),
                          [](const ::testing::TestParamInfo<const char *> &I) {
                            return std::string(I.param);
                          });

@@ -33,7 +33,7 @@ std::vector<KernelModeCase> allKernelModeCases() {
   for (const Kernel &K : kernelRegistry())
     for (VectorizerMode Mode :
          {VectorizerMode::O3, VectorizerMode::SLP, VectorizerMode::LSLP,
-          VectorizerMode::SNSLP})
+          VectorizerMode::SNSLP, VectorizerMode::GoSLP})
       Cases.push_back(KernelModeCase{K.Name, Mode});
   return Cases;
 }
@@ -245,6 +245,25 @@ TEST(KernelStatsTest, SNWinnersCommitSuperNodes) {
       EXPECT_GT(LSLP.Stats.superNodesCommitted(), 0u)
           << K.Name << ": LSLP should commit Multi-Nodes";
     }
+  }
+}
+
+/// GoSLP acceptance (docs/goslp.md): exact global selection never commits
+/// a worse total cost-model cost than greedy SN-SLP, on any registry
+/// kernel. CommittedCost is a sum of negative (profitable) costs, so
+/// "no worse" is <=. With the default budgets nothing in the suite blows
+/// up, so no kernel may take the greedy-fallback ladder either.
+TEST(KernelStatsTest, GoSLPCostNeverWorseThanGreedySNSLP) {
+  KernelRunner Runner;
+  for (const Kernel &K : kernelRegistry()) {
+    CompiledKernel SN = Runner.compile(K, VectorizerMode::SNSLP);
+    CompiledKernel Go = Runner.compile(K, VectorizerMode::GoSLP);
+    EXPECT_LE(Go.Stats.CommittedCost, SN.Stats.CommittedCost) << K.Name;
+    EXPECT_EQ(Go.Stats.GoSLPGreedyFallbacks, 0u) << K.Name;
+    // The solver only ever commits packs it proved profitable, so a
+    // kernel that vectorizes under greedy SN-SLP also does under GoSLP.
+    if (SN.Stats.GraphsVectorized > 0)
+      EXPECT_GT(Go.Stats.GraphsVectorized, 0u) << K.Name;
   }
 }
 

@@ -1,0 +1,185 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the GoSLP branch-and-bound pack selector on hand-built
+/// candidate sets with known optima (the solver is deliberately IR-free to
+/// make these possible). Covers the planted greedy trap, the threshold
+/// filter, tie-breaking, budget exhaustion, and bit-identical results for
+/// any worker count. See docs/goslp.md.
+///
+//===----------------------------------------------------------------------===//
+
+#include "slp/PackSelector.h"
+
+#include <gtest/gtest.h>
+
+using namespace snslp;
+
+namespace {
+
+SolverCandidate cand(int Cost, int Score, std::vector<unsigned> Elements) {
+  SolverCandidate C;
+  C.Cost = Cost;
+  C.Score = Score;
+  C.Elements = std::move(Elements);
+  return C;
+}
+
+TEST(PackSelectorTest, EmptyInputSelectsNothing) {
+  PackSelector S({});
+  SolverResult R = S.solve();
+  EXPECT_TRUE(R.Complete);
+  EXPECT_TRUE(R.Selected.empty());
+  EXPECT_EQ(R.TotalCost, 0);
+}
+
+/// The planted trap: greedy grabs the locally best pack A (cost -5), which
+/// conflicts with both B and C (cost -4 each); the exact solver must skip
+/// A and take B+C for -8.
+TEST(PackSelectorTest, SolverBeatsGreedyOnPlantedTrap) {
+  std::vector<SolverCandidate> Cands = {
+      cand(-5, 10, {1, 2}), // A: best single pack, blocks both others
+      cand(-4, 10, {0, 1}), // B
+      cand(-4, 10, {2, 3}), // C
+  };
+  PackSelector S(Cands);
+
+  SolverResult Greedy = S.solveGreedy();
+  EXPECT_EQ(Greedy.Selected, (std::vector<unsigned>{0}));
+  EXPECT_EQ(Greedy.TotalCost, -5);
+
+  SolverResult Exact = S.solve();
+  EXPECT_TRUE(Exact.Complete);
+  EXPECT_EQ(Exact.Selected, (std::vector<unsigned>{1, 2}));
+  EXPECT_EQ(Exact.TotalCost, -8);
+}
+
+/// Candidates at or above the cost threshold can never be selected, even
+/// when nothing else is available.
+TEST(PackSelectorTest, ThresholdFiltersUnprofitableCandidates) {
+  std::vector<SolverCandidate> Cands = {
+      cand(0, 99, {0, 1}),
+      cand(3, 99, {2, 3}),
+      cand(-1, 1, {4, 5}),
+  };
+  SolverResult R = PackSelector(Cands, /*CostThreshold=*/0).solve();
+  EXPECT_TRUE(R.Complete);
+  EXPECT_EQ(R.Selected, (std::vector<unsigned>{2}));
+  EXPECT_EQ(R.TotalCost, -1);
+
+  // A laxer threshold admits the cost-0 candidate's component again.
+  SolverResult Lax = PackSelector(Cands, /*CostThreshold=*/1).solve();
+  EXPECT_TRUE(Lax.Complete);
+  EXPECT_EQ(Lax.Selected, (std::vector<unsigned>{0, 2}));
+}
+
+/// Equal-cost selections are broken by higher total look-ahead score, then
+/// by the lexicographically smallest index set.
+TEST(PackSelectorTest, TiesBreakByScoreThenIndex) {
+  std::vector<SolverCandidate> ByScore = {
+      cand(-2, 1, {0, 1}),
+      cand(-2, 7, {0, 1}), // Same cost and elements, better pairing.
+  };
+  SolverResult R1 = PackSelector(ByScore).solve();
+  EXPECT_EQ(R1.Selected, (std::vector<unsigned>{1}));
+
+  std::vector<SolverCandidate> ByIndex = {
+      cand(-2, 5, {0, 1}),
+      cand(-2, 5, {0, 1}), // Fully identical: the earlier index wins.
+  };
+  SolverResult R2 = PackSelector(ByIndex).solve();
+  EXPECT_EQ(R2.Selected, (std::vector<unsigned>{0}));
+}
+
+/// Non-conflicting candidates live in separate components; all profitable
+/// ones are taken.
+TEST(PackSelectorTest, IndependentCandidatesAllSelected) {
+  std::vector<SolverCandidate> Cands = {
+      cand(-1, 1, {0, 1}),
+      cand(-2, 1, {2, 3}),
+      cand(-3, 1, {4, 5, 6, 7}),
+  };
+  SolverResult R = PackSelector(Cands).solve();
+  EXPECT_TRUE(R.Complete);
+  EXPECT_EQ(R.Selected, (std::vector<unsigned>{0, 1, 2}));
+  EXPECT_EQ(R.TotalCost, -6);
+}
+
+/// A starved node budget reports Complete=false (the caller then degrades
+/// to greedy); 0 means unlimited.
+TEST(PackSelectorTest, NodeBudgetExhaustionIsReported) {
+  std::vector<SolverCandidate> Cands;
+  for (unsigned I = 0; I < 12; ++I)
+    Cands.push_back(cand(-1, 1, {I, I + 1})); // One long conflict chain.
+
+  SolverResult Starved =
+      PackSelector(Cands, 0, /*MaxSolverNodes=*/3).solve();
+  EXPECT_FALSE(Starved.Complete);
+  EXPECT_GT(Starved.NodesExplored, 0u);
+
+  SolverResult Unlimited =
+      PackSelector(Cands, 0, /*MaxSolverNodes=*/0).solve();
+  EXPECT_TRUE(Unlimited.Complete);
+  // Alternating packs of the chain: 0, 2, 4, 6, 8, 10.
+  EXPECT_EQ(Unlimited.Selected,
+            (std::vector<unsigned>{0, 2, 4, 6, 8, 10}));
+}
+
+/// The determinism pin: each conflict component is solved under its own
+/// full node budget and results merge in component order, so the solve is
+/// bit-identical for 1 worker and 4 workers — the same guarantee the
+/// compile service relies on when it excludes SolverJobs from the cache
+/// fingerprint.
+TEST(PackSelectorTest, ResultIsIdenticalForOneAndFourWorkers) {
+  // Several components of varying shape, including the planted trap.
+  std::vector<SolverCandidate> Cands = {
+      cand(-5, 10, {1, 2}),   cand(-4, 10, {0, 1}),
+      cand(-4, 10, {2, 3}),   cand(-1, 2, {10, 11}),
+      cand(-2, 3, {12, 13}),  cand(-2, 9, {13, 14}),
+      cand(-7, 1, {20, 21, 22, 23}), cand(-3, 8, {22, 23}),
+      cand(-3, 8, {20, 21}),  cand(0, 50, {30, 31}),
+  };
+  for (uint64_t Budget : {uint64_t(0), uint64_t(1) << 16}) {
+    SolverResult R1 = PackSelector(Cands, 0, Budget, /*Jobs=*/1).solve();
+    SolverResult R4 = PackSelector(Cands, 0, Budget, /*Jobs=*/4).solve();
+    EXPECT_EQ(R1.Selected, R4.Selected) << "budget " << Budget;
+    EXPECT_EQ(R1.TotalCost, R4.TotalCost) << "budget " << Budget;
+    EXPECT_EQ(R1.NodesExplored, R4.NodesExplored) << "budget " << Budget;
+    EXPECT_EQ(R1.Complete, R4.Complete) << "budget " << Budget;
+  }
+}
+
+/// Exhaustive cross-check on pseudo-random candidate sets: the exact
+/// solver's objective value is never worse than greedy's.
+TEST(PackSelectorTest, SolverNeverWorseThanGreedy) {
+  uint64_t State = 42;
+  auto Next = [&State] {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<unsigned>(State >> 33);
+  };
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    std::vector<SolverCandidate> Cands;
+    unsigned N = 3 + Next() % 8;
+    for (unsigned I = 0; I < N; ++I) {
+      unsigned Start = Next() % 10;
+      unsigned Width = 2 + Next() % 3;
+      std::vector<unsigned> Elems;
+      for (unsigned E = Start; E < Start + Width; ++E)
+        Elems.push_back(E);
+      Cands.push_back(cand(static_cast<int>(Next() % 8) - 5,
+                           static_cast<int>(Next() % 20), Elems));
+    }
+    PackSelector S(Cands);
+    SolverResult Exact = S.solve();
+    SolverResult Greedy = S.solveGreedy();
+    ASSERT_TRUE(Exact.Complete);
+    EXPECT_LE(Exact.TotalCost, Greedy.TotalCost) << "trial " << Trial;
+    EXPECT_LE(Exact.TotalCost, 0) << "trial " << Trial;
+  }
+}
+
+} // namespace

@@ -16,7 +16,7 @@
 /// Usage:
 ///   fuzzslp [--seed=N] [--runs=N] [--jobs=N] [--time-budget=SECONDS]
 ///           [--corpus-dir=DIR] [--artifact-dir=DIR] [--reduce]
-///           [--shuffles] [--max-steps=N] [--engines=LIST]
+///           [--shuffles] [--max-steps=N] [--engines=LIST] [--modes=LIST]
 ///           [--fault-inject] [--verbose]
 ///
 /// --jobs=N fans the random runs out over the service thread pool
@@ -31,7 +31,9 @@
 /// --engines selects the execution-engine columns of the matrix:
 /// `all` (the default: bytecode, reference, and the native JIT) or a
 /// comma-separated subset such as `bytecode,native`. Bytecode is the
-/// comparison driver and always runs.
+/// comparison driver and always runs. --modes selects the vectorizer-mode
+/// rows the same way: `all` (the default: o3, slp, lslp, snslp, goslp) or
+/// a comma-separated subset such as `snslp,goslp`.
 ///
 /// --fault-inject sweeps every compiled-in `slp.*` and `jit.*` fault site
 /// over each generated program (fail-safe mode: an armed vectorizer defect
@@ -93,6 +95,9 @@ void printUsage() {
       "  --engines=LIST   engine columns of the matrix: 'all' (default)\n"
       "                   or a comma-separated subset of\n"
       "                   bytecode,reference,native (bytecode always runs)\n"
+      "  --modes=LIST     vectorizer-mode rows of the matrix: 'all'\n"
+      "                   (default) or a comma-separated subset of\n"
+      "                   o3,slp,lslp,snslp,goslp\n"
       "  --fault-inject   arm each slp.* and jit.* fault site in turn per\n"
       "                   program and assert graceful fallback (scalar\n"
       "                   region for slp.*, bytecode engine for jit.*)\n"
@@ -294,8 +299,48 @@ int main(int Argc, char **Argv) {
   }
 
   OracleOptions Opts;
-  if (CL.getBool("shuffles"))
+  const bool Shuffles = CL.getBool("shuffles");
+  if (Shuffles)
     Opts.Configs = OracleOptions::defaultConfigs(/*WithLoadShuffles=*/true);
+  if (CL.has("modes")) {
+    const std::string Modes = CL.getString("modes", "all");
+    if (Modes != "all") {
+      // Subset the mode rows the way --engines subsets the engine columns.
+      std::vector<VectorizerMode> Wanted;
+      std::stringstream SS(Modes);
+      std::string Name;
+      while (std::getline(SS, Name, ',')) {
+        if (Name == "o3")
+          Wanted.push_back(VectorizerMode::O3);
+        else if (Name == "slp")
+          Wanted.push_back(VectorizerMode::SLP);
+        else if (Name == "lslp")
+          Wanted.push_back(VectorizerMode::LSLP);
+        else if (Name == "snslp")
+          Wanted.push_back(VectorizerMode::SNSLP);
+        else if (Name == "goslp")
+          Wanted.push_back(VectorizerMode::GoSLP);
+        else {
+          std::fprintf(stderr,
+                       "fuzzslp: unknown mode '%s' (expected 'all' or a "
+                       "subset of o3,slp,lslp,snslp,goslp)\n",
+                       Name.c_str());
+          return 2;
+        }
+      }
+      if (Wanted.empty()) {
+        std::fprintf(stderr, "fuzzslp: --modes selected nothing\n");
+        return 2;
+      }
+      std::vector<OracleConfig> All =
+          OracleOptions::defaultConfigs(/*WithLoadShuffles=*/Shuffles);
+      Opts.Configs.clear();
+      for (const OracleConfig &C : All)
+        if (std::find(Wanted.begin(), Wanted.end(), C.Vec.Mode) !=
+            Wanted.end())
+          Opts.Configs.push_back(C);
+    }
+  }
   if (CL.has("engines")) {
     const std::string Engines = CL.getString("engines", "all");
     if (Engines != "all") {
