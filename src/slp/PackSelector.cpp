@@ -74,7 +74,10 @@ public:
 
 private:
   void dfs(size_t I, int Cost, int Score) {
-    if (MaxNodes && ++Nodes > MaxNodes) {
+    // Count unconditionally so NodesExplored (and the goslp-solver-nodes
+    // stat) stays honest under MaxSolverNodes=0, the unbounded solve.
+    ++Nodes;
+    if (MaxNodes && Nodes > MaxNodes) {
       Exhausted = true;
       return;
     }

@@ -497,7 +497,13 @@ void VectorizerDriver::runGoSLPStorePhase(size_t BI) {
   Stats.PacksEnumerated += static_cast<unsigned>(Enum.Candidates.size());
 
   std::string EvalReason;
-  if (!evaluateCandidates(BI, Enum.Candidates, EvalReason)) {
+  const bool EvalComplete =
+      evaluateCandidates(BI, Enum.Candidates, EvalReason);
+  // Evaluation probe builds roll the function back, which replaces every
+  // BasicBlock: the entry-time pointer is dangling from here on, on the
+  // budget-bailout path just as much as on the success path.
+  BB = F.blocks()[BI].get();
+  if (!EvalComplete) {
     FallBackToGreedy("budget", Stats.BudgetBailouts,
                      "resource budget '" + EvalReason +
                          "' exhausted while costing candidate packs in '" +
@@ -507,7 +513,6 @@ void VectorizerDriver::runGoSLPStorePhase(size_t BI) {
 
   // The decision trail: one PackEnumerated per candidate (with its
   // evaluated cost), then the solver's verdict per candidate.
-  BB = F.blocks()[BI].get(); // Evaluation rollbacks replaced the blocks.
   for (size_t I = 0; I < Enum.Candidates.size(); ++I) {
     PackCandidate &C = Enum.Candidates[I];
     C.Group.Stores = resolveStoresAt(*BB, C.Positions);
@@ -595,9 +600,11 @@ void VectorizerDriver::runGoSLPStorePhase(size_t BI) {
 
   if (!Enum.Candidates.empty() && Sel.Selected.empty()) {
     // The exhaustive search over a complete candidate set chose the empty
-    // selection: scalar code is cost-optimal, and provably so — the
-    // analysis remark the greedy modes can never emit (they only know the
-    // windows they tried).
+    // selection: scalar code is cost-optimal — provably so under the
+    // additive per-candidate cost model (docs/goslp.md §2), which is
+    // tight for the empty selection. This is the analysis remark the
+    // greedy modes can never emit (they only know the windows they
+    // tried).
     ++Stats.SolverProvedScalarOptimal;
     RC.add(Remark::analysis("slp-vectorizer", "SolverVerdict", Fn)
                .withDecision("solver-proves-scalar-optimal")

@@ -92,9 +92,9 @@ public:
     return charge(PackCandidates, Budgets.MaxPackCandidates,
                   "pack-candidates");
   }
-  bool chargeSolverNode() {
-    return charge(SolverNodes, Budgets.MaxSolverNodes, "solver-nodes");
-  }
+  // MaxSolverNodes is deliberately not charged here: PackSelector counts
+  // search-tree nodes itself (per conflict component) and reports
+  // exhaustion through SolverResult::Complete.
 
   /// External exhaustion (fault injection, caller-imposed deadline).
   void forceExhausted(const char *Why) {
@@ -106,15 +106,14 @@ public:
 
   bool exhausted() const { return Exhausted; }
   /// Name of the first blown budget ("graph-nodes" | "lookahead-evals" |
-  /// "supernode-permutations" | "pack-candidates" | "solver-nodes" | a
-  /// forceExhausted() reason); empty while within budget.
+  /// "supernode-permutations" | "pack-candidates" | a forceExhausted()
+  /// reason); empty while within budget.
   const std::string &reason() const { return Reason; }
 
   uint64_t graphNodes() const { return GraphNodes; }
   uint64_t lookAheadEvals() const { return LookAheadEvals; }
   uint64_t superNodePermutations() const { return SuperNodePermutations; }
   uint64_t packCandidates() const { return PackCandidates; }
-  uint64_t solverNodes() const { return SolverNodes; }
 
 private:
   /// Returns true while within budget; trips the sticky exhausted flag
@@ -133,7 +132,6 @@ private:
   uint64_t LookAheadEvals = 0;
   uint64_t SuperNodePermutations = 0;
   uint64_t PackCandidates = 0;
-  uint64_t SolverNodes = 0;
   bool Exhausted = false;
   std::string Reason;
 };

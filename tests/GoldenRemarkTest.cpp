@@ -313,6 +313,43 @@ TEST_P(GoldenRemarkTest, GoSLPBudgetBailoutFallsBackToGreedy) {
   expectLosslessSerialization(Remarks);
 }
 
+TEST_P(GoldenRemarkTest, GoSLPEvalBudgetBailoutNamesCurrentBlock) {
+  // A graph-node budget that survives enumeration but trips while the
+  // candidates are being costed. The costing probe builds mutate the IR
+  // (Super-Node re-emission) and are rolled back, which replaces every
+  // BasicBlock — the bailout remark must be built from a re-resolved
+  // block pointer and still name the block correctly (this was a
+  // use-after-free before the pointer was re-resolved on the bailout
+  // path). The fallback greedy phase then runs under the same starved
+  // budget, so nothing commits.
+  VectorizerConfig Cfg;
+  Cfg.Mode = VectorizerMode::GoSLP;
+  Cfg.Budgets.MaxGraphNodes = 2;
+  std::vector<Remark> Remarks = remarksFor(GetParam(), Cfg);
+
+  Skeleton S = skeleton(Remarks);
+  ASSERT_GE(S.size(), 2u);
+  EXPECT_EQ(S.front(),
+            (std::pair<std::string, std::string>{"VectorizeAborted",
+                                                 "bailout:budget"}));
+  for (const auto &[Name, Decision] : S)
+    EXPECT_NE(Name, "GraphVectorized"); // The fallback is equally starved.
+
+  const Remark &Aborted = Remarks.front();
+  EXPECT_EQ(Aborted.Kind, RemarkKind::Missed);
+  EXPECT_NE(Aborted.Message.find("graph-nodes"), std::string::npos)
+      << Aborted.Message;
+  EXPECT_NE(Aborted.Message.find(
+                "exhausted while costing candidate packs in 'loop'"),
+            std::string::npos)
+      << Aborted.Message;
+  EXPECT_NE(Aborted.Message.find("falling back to greedy pack selection"),
+            std::string::npos)
+      << Aborted.Message;
+
+  expectLosslessSerialization(Remarks);
+}
+
 INSTANTIATE_TEST_SUITE_P(Fig2AndFig3, GoldenRemarkTest,
                          ::testing::Values("motiv1", "motiv2"),
                          [](const ::testing::TestParamInfo<const char *> &I) {
