@@ -41,28 +41,37 @@ int main(int argc, char **argv) {
 
   const VectorizerMode Modes[] = {VectorizerMode::O3, VectorizerMode::SNSLP};
   double LogByteSpeedupSum = 0.0, LogNativeSpeedupSum = 0.0;
-  unsigned ByteSpeedupCount = 0, NativeSpeedupCount = 0;
+  double LogNoRASpeedupSum = 0.0;
+  unsigned ByteSpeedupCount = 0, NativeSpeedupCount = 0, NoRASpeedupCount = 0;
 
-  std::printf("%-28s %12s %12s %12s %10s %10s\n", "kernel/mode",
-              "native ns/op", "bytecode ns/op", "reference ns/op",
-              "nat/byte", "byte/ref");
+  std::printf("%-28s %12s %12s %12s %12s %10s %10s\n", "kernel/mode",
+              "native ns/op", "noRA ns/op", "bytecode ns/op",
+              "reference ns/op", "nat/byte", "byte/ref");
   for (const Kernel &K : kernelRegistry()) {
     for (VectorizerMode Mode : Modes) {
       KernelRunner Runner;
       CompiledKernel CK = Runner.compile(K, Mode);
       KernelData Data(K.Buffers, K.N, /*Seed=*/5);
 
+      // Two native engines over the same buffers: the shipped allocator
+      // configuration and the --jit-regalloc=off baseline, so the bench
+      // JSON carries an on/off series pair per kernel.
       ExecutionEngine Engine(*CK.F, CycleFn);
+      ExecutionEngine EngineNoRA(*CK.F, CycleFn);
+      EngineNoRA.setNativeRegAlloc(false);
       std::vector<RTValue> Args;
       for (size_t I = 0; I < Data.getNumBuffers(); ++I) {
         Args.push_back(argPointer(Data.getPointer(I)));
         Engine.addMemoryRange(Data.getPointer(I), Data.getByteSize(I));
+        EngineNoRA.addMemoryRange(Data.getPointer(I), Data.getByteSize(I));
       }
       Args.push_back(argInt64(static_cast<int64_t>(Data.getN())));
 
       EngineKind NativeUsed = EngineKind::Bytecode;
-      auto RunOn = [&](EngineKind Kind, EngineKind *Used) {
-        ExecutionResult R = Engine.run(Kind, Args);
+      EngineKind NoRAUsed = EngineKind::Bytecode;
+      auto RunOn = [&](ExecutionEngine &E, EngineKind Kind,
+                       EngineKind *Used) {
+        ExecutionResult R = E.run(Kind, Args);
         if (!R.Ok) {
           std::fprintf(stderr, "%s run failed (%s/%s): %s\n",
                        getEngineKindName(Kind), K.Name.c_str(),
@@ -72,23 +81,42 @@ int main(int argc, char **argv) {
         if (Used)
           *Used = R.EngineUsed;
       };
-      auto RunNative = [&] { RunOn(EngineKind::Native, &NativeUsed); };
-      auto RunByte = [&] { RunOn(EngineKind::Bytecode, nullptr); };
-      auto RunRef = [&] { RunOn(EngineKind::Reference, nullptr); };
+      auto RunNative = [&] { RunOn(Engine, EngineKind::Native, &NativeUsed); };
+      auto RunNoRA = [&] { RunOn(EngineNoRA, EngineKind::Native, &NoRAUsed); };
+      auto RunByte = [&] { RunOn(Engine, EngineKind::Bytecode, nullptr); };
+      auto RunRef = [&] { RunOn(Engine, EngineKind::Reference, nullptr); };
 
       auto [NativeIters, NativeNs] = measure(RunNative, Smoke);
+      auto [NoRAIters, NoRANs] = measure(RunNoRA, Smoke);
       auto [ByteIters, ByteNs] = measure(RunByte, Smoke);
       auto [RefIters, RefNs] = measure(RunRef, Smoke);
       double ByteSpeedup = ByteNs > 0.0 ? RefNs / ByteNs : 0.0;
       double NativeSpeedup = NativeNs > 0.0 ? ByteNs / NativeNs : 0.0;
+      double NoRASpeedup = NoRANs > 0.0 ? ByteNs / NoRANs : 0.0;
 
       std::string Base = K.Name + "/" + getModeName(Mode);
       Entry &NE = Rep.add(Base + "/native", NativeIters, NativeNs);
       NE.Extra.emplace_back("speedup_vs_bytecode", NativeSpeedup);
       NE.Extra.emplace_back("items_per_op", static_cast<double>(K.N));
+      NE.Extra.emplace_back(
+          "regalloc_values",
+          static_cast<double>(Engine.nativeRegAllocValues()));
+      NE.Extra.emplace_back(
+          "regalloc_spills",
+          static_cast<double>(Engine.nativeRegAllocSpills()));
+      NE.Extra.emplace_back(
+          "regalloc_elided_stores",
+          static_cast<double>(Engine.nativeRegAllocElidedStores()));
       NE.ExtraStr.emplace_back("engine", "native");
       NE.ExtraStr.emplace_back("engine_used",
                                getEngineKindName(NativeUsed));
+      NE.ExtraStr.emplace_back("jit_regalloc", "on");
+      Entry &NRE = Rep.add(Base + "/native-noregalloc", NoRAIters, NoRANs);
+      NRE.Extra.emplace_back("speedup_vs_bytecode", NoRASpeedup);
+      NRE.Extra.emplace_back("items_per_op", static_cast<double>(K.N));
+      NRE.ExtraStr.emplace_back("engine", "native");
+      NRE.ExtraStr.emplace_back("engine_used", getEngineKindName(NoRAUsed));
+      NRE.ExtraStr.emplace_back("jit_regalloc", "off");
       Entry &BE = Rep.add(Base + "/bytecode", ByteIters, ByteNs);
       BE.Extra.emplace_back("speedup_vs_reference", ByteSpeedup);
       BE.Extra.emplace_back("items_per_op", static_cast<double>(K.N));
@@ -97,18 +125,22 @@ int main(int argc, char **argv) {
       RE.Extra.emplace_back("items_per_op", static_cast<double>(K.N));
       RE.ExtraStr.emplace_back("engine", "reference");
 
-      std::printf("%-28s %12.0f %12.0f %12.0f %9.2fx %9.2fx\n",
-                  Base.c_str(), NativeNs, ByteNs, RefNs, NativeSpeedup,
-                  ByteSpeedup);
+      std::printf("%-28s %12.0f %12.0f %12.0f %12.0f %9.2fx %9.2fx\n",
+                  Base.c_str(), NativeNs, NoRANs, ByteNs, RefNs,
+                  NativeSpeedup, ByteSpeedup);
       if (ByteSpeedup > 0.0) {
         LogByteSpeedupSum += std::log(ByteSpeedup);
         ++ByteSpeedupCount;
       }
-      // Only count real native runs toward the JIT geomean: a degraded
+      // Only count real native runs toward the JIT geomeans: a degraded
       // run times bytecode against itself.
       if (NativeSpeedup > 0.0 && NativeUsed == EngineKind::Native) {
         LogNativeSpeedupSum += std::log(NativeSpeedup);
         ++NativeSpeedupCount;
+      }
+      if (NoRASpeedup > 0.0 && NoRAUsed == EngineKind::Native) {
+        LogNoRASpeedupSum += std::log(NoRASpeedup);
+        ++NoRASpeedupCount;
       }
     }
   }
@@ -117,6 +149,13 @@ int main(int argc, char **argv) {
     double Geomean = std::exp(LogNativeSpeedupSum / NativeSpeedupCount);
     std::printf("geomean native-vs-bytecode speedup: %.2fx\n", Geomean);
     Rep.addMeta("geomean_native_vs_bytecode", Geomean);
+    if (NoRASpeedupCount) {
+      double NoRAGeomean = std::exp(LogNoRASpeedupSum / NoRASpeedupCount);
+      std::printf("geomean native(regalloc=off)-vs-bytecode speedup: "
+                  "%.2fx\n",
+                  NoRAGeomean);
+      Rep.addMeta("geomean_native_noregalloc_vs_bytecode", NoRAGeomean);
+    }
   } else {
     std::printf("native engine unavailable on this host (%s); no "
                 "native-vs-bytecode geomean\n",

@@ -166,6 +166,9 @@ int main(int Argc, char **Argv) {
            "                            --kernel or the built-in demo)\n"
            "  --seed=N                  buffer-content seed for --engine\n"
            "                            (default 11)\n"
+           "  --jit-regalloc=on|off     native-engine register allocation\n"
+           "                            (default on; off is the bisection\n"
+           "                            escape hatch)\n"
            "  --quiet                   do not print the output module\n";
     return 0;
   }
@@ -327,6 +330,14 @@ int main(int Argc, char **Argv) {
     ExecutionEngine Engine(*F, [&TCM](const Instruction &I) {
       return TCM.executionCycles(I);
     });
+    const std::string RegAlloc = CL.getString("jit-regalloc", "on");
+    if (RegAlloc != "on" && RegAlloc != "off") {
+      std::cerr << "error: unknown --jit-regalloc value '" << RegAlloc
+                << "' (expected on or off)\n";
+      return 1;
+    }
+    if (RegAlloc == "off")
+      Engine.setNativeRegAlloc(false);
     std::vector<RTValue> Args;
     for (size_t I = 0; I < Data.getNumBuffers(); ++I) {
       Args.push_back(argPointer(Data.getPointer(I)));
@@ -346,6 +357,13 @@ int main(int Argc, char **Argv) {
         R.EngineUsed != EngineKind::Native)
       std::cerr << "; native unavailable   "
                 << Engine.nativeDisabledReason() << "\n";
+    if (R.EngineUsed == EngineKind::Native)
+      std::cerr << "; jit regalloc         "
+                << (Engine.nativeRegAllocEnabled() ? "on" : "off") << " ("
+                << Engine.nativeRegAllocValues() << " resident, "
+                << Engine.nativeRegAllocSpills() << " spilled, "
+                << Engine.nativeRegAllocElidedStores()
+                << " stores elided)\n";
     std::cerr << "; steps                " << R.StepsExecuted << "\n"
               << "; vector steps         " << R.VectorSteps << "\n"
               << "; simulated cycles     " << R.Cycles << "\n";

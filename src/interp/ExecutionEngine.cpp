@@ -18,7 +18,25 @@
 #include "jit/NativeFunction.h"
 #include "support/FaultInjection.h"
 
+#include <cstdlib>
+#include <cstring>
+
 using namespace snslp;
+
+namespace {
+
+/// Process-wide default for the native register allocator: on unless
+/// SNSLP_JIT_REGALLOC says off/0/false (the bisection escape hatch that
+/// needs no code path through irtool).
+bool defaultNativeRegAlloc() {
+  const char *Env = std::getenv("SNSLP_JIT_REGALLOC");
+  if (!Env)
+    return true;
+  return std::strcmp(Env, "off") != 0 && std::strcmp(Env, "0") != 0 &&
+         std::strcmp(Env, "false") != 0;
+}
+
+} // namespace
 
 const char *snslp::getEngineKindName(EngineKind Kind) {
   switch (Kind) {
@@ -40,7 +58,8 @@ struct ExecutionEngine::VMStateHolder {
 ExecutionEngine::ExecutionEngine(const Function &Fn, CycleFn CyclesFn)
     : F(Fn), Cycles(std::move(CyclesFn)),
       BC(std::make_unique<BytecodeFunction>(Fn, Cycles)),
-      VM(std::make_unique<VMStateHolder>()) {}
+      VM(std::make_unique<VMStateHolder>()),
+      NativeRegAlloc(defaultNativeRegAlloc()) {}
 
 ExecutionEngine::~ExecutionEngine() = default;
 
@@ -76,9 +95,27 @@ ExecutionResult ExecutionEngine::run(const std::vector<RTValue> &Args,
 bool ExecutionEngine::isNativeAvailable() {
   if (!NativeTried) {
     NativeTried = true;
-    Native = NativeFunction::compile(F, Cycles, &NativeReason);
+    NativeJITOptions Opts;
+    Opts.RegAlloc = NativeRegAlloc;
+    Native = NativeFunction::compile(F, Cycles, &NativeReason, Opts);
   }
   return Native != nullptr;
+}
+
+bool ExecutionEngine::nativeRegAllocEnabled() const {
+  return Native && Native->regAllocEnabled();
+}
+
+unsigned ExecutionEngine::nativeRegAllocValues() const {
+  return Native ? Native->regAllocValues() : 0;
+}
+
+unsigned ExecutionEngine::nativeRegAllocSpills() const {
+  return Native ? Native->regAllocSpills() : 0;
+}
+
+unsigned ExecutionEngine::nativeRegAllocElidedStores() const {
+  return Native ? Native->regAllocElidedStores() : 0;
 }
 
 size_t ExecutionEngine::nativeCodeSize() const {

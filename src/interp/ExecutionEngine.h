@@ -149,6 +149,23 @@ public:
   /// Number of runNative calls that degraded to the bytecode engine.
   uint64_t nativeFallbackRuns() const { return NativeFallbacks; }
 
+  /// Selects whether the native compile runs the linear-scan register
+  /// allocator (default on; the `SNSLP_JIT_REGALLOC=off` environment
+  /// override flips the initial value). Must be called before the first
+  /// native run — the lazy compile latches whatever is set at that point.
+  void setNativeRegAlloc(bool On) { NativeRegAlloc = On; }
+  bool nativeRegAllocRequested() const { return NativeRegAlloc; }
+
+  /// \name Register-allocation statistics of the native compilation.
+  /// All zero/false when the native engine is unavailable or not yet
+  /// compiled. See NativeFunction for the precise meanings.
+  /// @{
+  bool nativeRegAllocEnabled() const;
+  unsigned nativeRegAllocValues() const;
+  unsigned nativeRegAllocSpills() const;
+  unsigned nativeRegAllocElidedStores() const;
+  /// @}
+
   /// Registers a valid memory range. Once any range is registered, every
   /// load/store is bounds-checked against the registered ranges and an
   /// out-of-bounds access aborts the run with a diagnostic (the
@@ -178,6 +195,7 @@ private:
   std::unique_ptr<VMStateHolder> VM;
   std::unique_ptr<NativeFunction> Native; ///< Built on first native run.
   bool NativeTried = false;    ///< Lazy-compile latch (one attempt).
+  bool NativeRegAlloc = true;  ///< Regalloc request for the lazy compile.
   std::string NativeReason;    ///< Populated when the attempt failed.
   uint64_t NativeFallbacks = 0;
   std::vector<std::pair<uint64_t, uint64_t>> MemoryRanges;

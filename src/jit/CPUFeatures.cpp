@@ -6,6 +6,8 @@
 
 #include "jit/CPUFeatures.h"
 
+#include <cstdlib>
+
 #if defined(__x86_64__) || defined(_M_X64)
 #include <cpuid.h>
 #endif
@@ -59,8 +61,30 @@ std::string CPUFeatures::isaString() const {
   return S;
 }
 
+CPUFeatures applyISACap(CPUFeatures F, const std::string &Cap) {
+  // Each tier clears everything above it; the bits below stay whatever the
+  // host actually has (a cap can only downgrade, never grant).
+  if (Cap.empty() || Cap == "host") {
+    // No cap.
+  } else if (Cap == "sse2") {
+    F.SSE41 = F.AVX = F.AVX2 = false;
+  } else if (Cap == "sse4.1" || Cap == "sse41") {
+    F.AVX = F.AVX2 = false;
+  } else if (Cap == "avx") {
+    F.AVX2 = false;
+  } else if (Cap == "avx2") {
+    // Full tier; nothing to clear.
+  }
+  return F;
+}
+
 const CPUFeatures &hostCPUFeatures() {
-  static const CPUFeatures F = detect();
+  static const CPUFeatures F = [] {
+    CPUFeatures Host = detect();
+    if (const char *Cap = std::getenv("SNSLP_FORCE_ISA"))
+      Host = applyISACap(Host, Cap);
+    return Host;
+  }();
   return F;
 }
 

@@ -42,7 +42,17 @@ struct CPUFeatures {
   std::string isaString() const;
 };
 
-/// CPUID-detected features of the executing host, computed once.
+/// Caps \p F at the tier named by \p Cap ("sse2", "sse4.1", "avx", "avx2";
+/// "host" or empty means no cap). The cap only ever clears feature bits —
+/// it cannot grant a tier the host lacks, so forced-ISA code never executes
+/// instructions the part cannot run. Unrecognized names leave \p F
+/// untouched. Exposed separately from hostCPUFeatures() so tests can pin
+/// the clamp logic without touching the process environment.
+CPUFeatures applyISACap(CPUFeatures F, const std::string &Cap);
+
+/// CPUID-detected features of the executing host, computed once. Honors the
+/// SNSLP_FORCE_ISA environment variable (read once, applyISACap semantics)
+/// so the SSE-only and no-AVX2 lowering tiers are testable on AVX2 hosts.
 const CPUFeatures &hostCPUFeatures();
 
 } // namespace snslp

@@ -28,6 +28,7 @@
 #include "ir/Function.h"
 #include "ir/IRPrinter.h"
 #include "jit/CPUFeatures.h"
+#include "jit/RegAlloc.h"
 #include "jit/X86Emitter.h"
 #include "support/ErrorHandling.h"
 #include "support/FaultInjection.h"
@@ -89,18 +90,12 @@ inline uint64_t f64ToCell(double D) {
   return C;
 }
 
+/// Element decomposition and lane packing live in jit/RegAlloc.h so the
+/// allocator prepass and this emission pass share one definition.
 inline std::pair<TypeKind, unsigned> elementOf(const Type *Ty) {
-  if (const auto *VT = dyn_cast<VectorType>(Ty))
-    return {VT->getElementType()->getKind(), VT->getNumLanes()};
-  return {Ty->getKind(), 1};
+  return jitElementOf(Ty);
 }
-
-/// Packed in-frame bytes per lane. f32/i32 lanes are native 4-byte lanes
-/// (that is what makes addps/paddd applicable); everything else, including
-/// i1 (kept canonical 0/1), is an 8-byte cell.
-inline unsigned laneBytesFor(TypeKind Kind) {
-  return (Kind == TypeKind::Int32 || Kind == TypeKind::Float) ? 4 : 8;
-}
+inline unsigned laneBytesFor(TypeKind Kind) { return jitLaneBytes(Kind); }
 
 /// In-memory element size for loads/stores (i1 occupies one byte).
 inline unsigned memBytesFor(TypeKind Kind) {
@@ -245,8 +240,9 @@ uint64_t jitFallbackOpThunk(void *NFP, void *FrameP, uint64_t Idx) {
 class NativeCompiler {
 public:
   NativeCompiler(const Function &F, const NativeFunction::JITCycleFn &Cycles,
-                 const CPUFeatures &CF, NativeFunction &NF)
-      : F(F), Cycles(Cycles), CF(CF), NF(NF) {}
+                 const CPUFeatures &CF, NativeFunction &NF,
+                 const NativeJITOptions &Opts)
+      : F(F), Cycles(Cycles), CF(CF), NF(NF), RegAllocOn(Opts.RegAlloc) {}
 
   bool compile();
   const char *failReason() const { return Reason; }
@@ -369,6 +365,9 @@ private:
   void emitCopy(int32_t DstOff, int32_t SrcOff, uint32_t Bytes);
   void laneMove(int32_t DstOff, int32_t SrcOff, unsigned LaneBytes);
   void emitBoundsCheck(uint32_t Bytes, uint32_t FaultIdx, bool IsStore);
+  void emitCopyLadder(GPR DstBase, int32_t DstOff, bool DstAligned,
+                      GPR SrcBase, int32_t SrcOff, bool SrcAligned,
+                      uint32_t Bytes, bool AllowWide);
   void emitUserToFrame(int32_t SlotOff, uint32_t Bytes);
   void emitFrameToUser(int32_t SlotOff, uint32_t Bytes);
   void emitFallback(const Instruction &Inst);
@@ -377,10 +376,49 @@ private:
   void lowerBinOp(const BinaryOperator &BO);
   void lowerVectorBinOp(BinOpcode Op, TypeKind Kind, const SlotInfo &D,
                         const SlotInfo &A, const SlotInfo &B);
+  void emitPacked128(BinOpcode Op, TypeKind Kind, XMM Acc, const Value *BVal,
+                     int32_t BOff);
+  void emitPacked256(BinOpcode Op, TypeKind Kind, XMM Acc, const Value *BVal,
+                     int32_t BOff);
   void lowerAlternateOp(const AlternateOp &AO);
   void lowerUnaryOp(const UnaryOperator &UO);
   void lowerICmp(const ICmpInst &Cmp);
   void lowerInst(const BasicBlock *BB, const Instruction &Inst);
+
+  /// \name Linear-scan allocation state (see jit/RegAlloc.h).
+  /// The plan is computed up front; emission walks each block with a
+  /// value→register cache that mirrors what the emitted code keeps
+  /// resident. The pools are registers the lowering never touches as
+  /// scratch: r8–r11, and xmm4–xmm14 (shared by 128- and 256-bit values;
+  /// xmm15 is the cycle accumulator).
+  /// @{
+  static constexpr GPR GPRPool[] = {GPR::R8, GPR::R9, GPR::R10, GPR::R11};
+  static constexpr XMM XMMPool[] = {XMM::XMM4,  XMM::XMM5,  XMM::XMM6,
+                                    XMM::XMM7,  XMM::XMM8,  XMM::XMM9,
+                                    XMM::XMM10, XMM::XMM11, XMM::XMM12,
+                                    XMM::XMM13, XMM::XMM14};
+  static constexpr unsigned NumGPRPool = 4;
+  static constexpr unsigned NumXMMPool = 11;
+
+  struct CacheEnt {
+    uint8_t PoolIdx = 0;
+    RegClass Class = RegClass::None;
+  };
+
+  void beginBlock();
+  void beginInst(uint32_t Pos);
+  void clearRegCache();
+  bool cachedGPR(const Value *V, GPR &R) const;
+  bool cachedXMM(const Value *V, XMM &R) const;
+  bool cachedYMM(const Value *V, XMM &R) const;
+  bool allocGPRResult(const Instruction &I, GPR &Out, bool &Store);
+  bool allocXMMResult(const Instruction &I, XMM &Out, bool &Store);
+  bool allocYMMResult(const Instruction &I, XMM &Out, bool &Store);
+  bool allocFromPool(const Instruction &I, RegClass Wanted, uint8_t &Idx,
+                     bool &Store);
+  void markAVXDirty();
+  void flushAVX(bool ClearDirty);
+  /// @}
 
   const Function &F;
   const NativeFunction::JITCycleFn &Cycles;
@@ -414,7 +452,21 @@ private:
   std::vector<JumpFixup> JumpFixups;
   std::vector<size_t> FuelFixups, OOBLoadFixups, OOBStoreFixups,
       EpilogueFixups;
-  bool UsedAVX = false; ///< Whether any 256-bit chunk was emitted.
+
+  /// Whether any 256-bit chunk was emitted anywhere in the function; gates
+  /// the single vzeroupper in the shared epilogue.
+  bool UsedAVX = false;
+  /// Whether the current block has emitted a 256-bit chunk since its last
+  /// flush; edges flush without clearing (the flush sits in a conditional
+  /// arm, so the other arm still needs one), fallback calls flush with
+  /// clearing (straight-line code).
+  bool BlockAVXDirty = false;
+
+  bool RegAllocOn;
+  RegAllocPlan Plan;
+  std::unordered_map<const Value *, CacheEnt> RegCache;
+  uint32_t FreeGPR = 0, FreeXMM = 0; ///< Pool-index bitmasks.
+  uint32_t CurPos = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -587,6 +639,127 @@ void NativeCompiler::emitPrologue() {
   E.movsdLoad(CyclesReg, FrameReg, OffCycles);
 }
 
+//===----------------------------------------------------------------------===//
+// Linear-scan allocation state
+//===----------------------------------------------------------------------===//
+
+void NativeCompiler::beginBlock() {
+  clearRegCache();
+  CurPos = 0;
+  BlockAVXDirty = false;
+}
+
+void NativeCompiler::beginInst(uint32_t Pos) {
+  CurPos = Pos;
+  // Expire values past their last register-readable use; their registers
+  // return to the pool before this instruction allocates its result, so a
+  // value read for the last time *by* this instruction stays resident.
+  for (auto It = RegCache.begin(); It != RegCache.end();) {
+    const ValueAllocInfo *AI = Plan.lookup(It->first);
+    if (AI && AI->LastRegUse < Pos) {
+      if (It->second.Class == RegClass::GPR)
+        FreeGPR |= 1u << It->second.PoolIdx;
+      else
+        FreeXMM |= 1u << It->second.PoolIdx;
+      It = RegCache.erase(It);
+    } else {
+      ++It;
+    }
+  }
+}
+
+void NativeCompiler::clearRegCache() {
+  RegCache.clear();
+  FreeGPR = (1u << NumGPRPool) - 1;
+  FreeXMM = (1u << NumXMMPool) - 1;
+}
+
+bool NativeCompiler::cachedGPR(const Value *V, GPR &R) const {
+  auto It = RegCache.find(V);
+  if (It == RegCache.end() || It->second.Class != RegClass::GPR)
+    return false;
+  R = GPRPool[It->second.PoolIdx];
+  return true;
+}
+
+bool NativeCompiler::cachedXMM(const Value *V, XMM &R) const {
+  auto It = RegCache.find(V);
+  if (It == RegCache.end() || It->second.Class != RegClass::XMM)
+    return false;
+  R = XMMPool[It->second.PoolIdx];
+  return true;
+}
+
+bool NativeCompiler::cachedYMM(const Value *V, XMM &R) const {
+  auto It = RegCache.find(V);
+  if (It == RegCache.end() || It->second.Class != RegClass::YMM)
+    return false;
+  R = XMMPool[It->second.PoolIdx];
+  return true;
+}
+
+bool NativeCompiler::allocFromPool(const Instruction &I, RegClass Wanted,
+                                   uint8_t &Idx, bool &Store) {
+  const ValueAllocInfo *AI = RegAllocOn ? Plan.lookup(&I) : nullptr;
+  if (!AI || AI->Class != Wanted)
+    return false;
+  uint32_t &Free = Wanted == RegClass::GPR ? FreeGPR : FreeXMM;
+  if (!Free) {
+    ++NF.RASpills; // Pool exhausted: this value takes the frame path.
+    return false;
+  }
+  Idx = 0;
+  while (!(Free & (1u << Idx)))
+    ++Idx;
+  Free &= ~(1u << Idx);
+  RegCache[&I] = {Idx, Wanted};
+  ++NF.RAValues;
+  Store = AI->NeedsWriteThrough;
+  if (!Store)
+    ++NF.RAElided;
+  return true;
+}
+
+bool NativeCompiler::allocGPRResult(const Instruction &I, GPR &Out,
+                                    bool &Store) {
+  uint8_t Idx;
+  if (!allocFromPool(I, RegClass::GPR, Idx, Store))
+    return false;
+  Out = GPRPool[Idx];
+  return true;
+}
+
+bool NativeCompiler::allocXMMResult(const Instruction &I, XMM &Out,
+                                    bool &Store) {
+  uint8_t Idx;
+  if (!allocFromPool(I, RegClass::XMM, Idx, Store))
+    return false;
+  Out = XMMPool[Idx];
+  return true;
+}
+
+bool NativeCompiler::allocYMMResult(const Instruction &I, XMM &Out,
+                                    bool &Store) {
+  uint8_t Idx;
+  if (!allocFromPool(I, RegClass::YMM, Idx, Store))
+    return false;
+  Out = XMMPool[Idx];
+  return true;
+}
+
+void NativeCompiler::markAVXDirty() {
+  UsedAVX = true;
+  BlockAVXDirty = true;
+}
+
+void NativeCompiler::flushAVX(bool ClearDirty) {
+  if (!BlockAVXDirty)
+    return;
+  E.vzeroupper();
+  if (ClearDirty)
+    BlockAVXDirty = false;
+}
+
 void NativeCompiler::emitCopy(int32_t DstOff, int32_t SrcOff,
                               uint32_t Bytes) {
   // Scalar payloads (realBytes 4/8) move through a GPR at the width the
@@ -596,10 +769,8 @@ void NativeCompiler::emitCopy(int32_t DstOff, int32_t SrcOff,
     laneMove(DstOff, SrcOff, Bytes);
     return;
   }
-  for (uint32_t O = 0; O < Bytes; O += 16) {
-    E.movapsLoad(XMM::XMM0, FrameReg, SrcOff + static_cast<int32_t>(O));
-    E.movapsStore(FrameReg, DstOff + static_cast<int32_t>(O), XMM::XMM0);
-  }
+  emitCopyLadder(FrameReg, DstOff, /*DstAligned=*/true, FrameReg, SrcOff,
+                 /*SrcAligned=*/true, Bytes, /*AllowWide=*/false);
 }
 
 void NativeCompiler::laneMove(int32_t DstOff, int32_t SrcOff,
@@ -664,59 +835,54 @@ void NativeCompiler::emitBoundsCheck(uint32_t Bytes, uint32_t FaultIdx,
   E.patchRel32(Skip, E.label());
 }
 
-/// Copies \p Bytes from [AddrReg] into a frame slot (vector load payload).
-/// Never touches memory past Bytes — the bounds check covered exactly the
-/// lanes' extent.
-void NativeCompiler::emitUserToFrame(int32_t SlotOff, uint32_t Bytes) {
+/// The one copy ladder behind every multi-byte move: 256-bit VEX chunks
+/// (when \p AllowWide and the host has AVX), then 16-byte SSE chunks, then
+/// 8/4-byte GPR tails. Aligned sides use movaps, unaligned sides movups.
+/// User-memory transfers allow the wide chunks; frame-to-frame copies do
+/// not, so a copy's loads always match the 16-byte widths the producing
+/// instruction stored (a 32-byte load spanning two 16-byte stores defeats
+/// store-to-load forwarding). Never touches memory past \p Bytes.
+void NativeCompiler::emitCopyLadder(GPR DstBase, int32_t DstOff,
+                                    bool DstAligned, GPR SrcBase,
+                                    int32_t SrcOff, bool SrcAligned,
+                                    uint32_t Bytes, bool AllowWide) {
   uint32_t O = 0;
-  bool Wide = false;
-  while (CF.AVX && Bytes - O >= 32) {
-    E.vmovupsLoad256(XMM::XMM0, AddrReg, static_cast<int32_t>(O));
-    E.vmovupsStore256(FrameReg, SlotOff + static_cast<int32_t>(O),
-                      XMM::XMM0);
+  while (AllowWide && CF.AVX && Bytes - O >= 32) {
+    E.vmovupsLoad256(XMM::XMM0, SrcBase, SrcOff + static_cast<int32_t>(O));
+    E.vmovupsStore256(DstBase, DstOff + static_cast<int32_t>(O), XMM::XMM0);
     O += 32;
-    Wide = true;
+    markAVXDirty();
   }
-  if (Wide)
-    E.vzeroupper();
   for (; Bytes - O >= 16; O += 16) {
-    E.movupsLoad(XMM::XMM0, AddrReg, static_cast<int32_t>(O));
-    E.movapsStore(FrameReg, SlotOff + static_cast<int32_t>(O), XMM::XMM0);
+    if (SrcAligned)
+      E.movapsLoad(XMM::XMM0, SrcBase, SrcOff + static_cast<int32_t>(O));
+    else
+      E.movupsLoad(XMM::XMM0, SrcBase, SrcOff + static_cast<int32_t>(O));
+    if (DstAligned)
+      E.movapsStore(DstBase, DstOff + static_cast<int32_t>(O), XMM::XMM0);
+    else
+      E.movupsStore(DstBase, DstOff + static_cast<int32_t>(O), XMM::XMM0);
   }
   for (; Bytes - O >= 8; O += 8) {
-    E.movRegMem(GPR::RAX, AddrReg, static_cast<int32_t>(O));
-    E.movMemReg(FrameReg, SlotOff + static_cast<int32_t>(O), GPR::RAX);
+    E.movRegMem(GPR::RAX, SrcBase, SrcOff + static_cast<int32_t>(O));
+    E.movMemReg(DstBase, DstOff + static_cast<int32_t>(O), GPR::RAX);
   }
   for (; Bytes - O >= 4; O += 4) {
-    E.movRegMem32(GPR::RAX, AddrReg, static_cast<int32_t>(O));
-    E.movMemReg32(FrameReg, SlotOff + static_cast<int32_t>(O), GPR::RAX);
+    E.movRegMem32(GPR::RAX, SrcBase, SrcOff + static_cast<int32_t>(O));
+    E.movMemReg32(DstBase, DstOff + static_cast<int32_t>(O), GPR::RAX);
   }
 }
 
+/// Copies \p Bytes from [AddrReg] into a frame slot (vector load payload).
+void NativeCompiler::emitUserToFrame(int32_t SlotOff, uint32_t Bytes) {
+  emitCopyLadder(FrameReg, SlotOff, /*DstAligned=*/true, AddrReg, 0,
+                 /*SrcAligned=*/false, Bytes, /*AllowWide=*/true);
+}
+
+/// Copies \p Bytes from a frame slot to [AddrReg] (vector store payload).
 void NativeCompiler::emitFrameToUser(int32_t SlotOff, uint32_t Bytes) {
-  uint32_t O = 0;
-  bool Wide = false;
-  while (CF.AVX && Bytes - O >= 32) {
-    E.vmovupsLoad256(XMM::XMM0, FrameReg,
-                     SlotOff + static_cast<int32_t>(O));
-    E.vmovupsStore256(AddrReg, static_cast<int32_t>(O), XMM::XMM0);
-    O += 32;
-    Wide = true;
-  }
-  if (Wide)
-    E.vzeroupper();
-  for (; Bytes - O >= 16; O += 16) {
-    E.movapsLoad(XMM::XMM0, FrameReg, SlotOff + static_cast<int32_t>(O));
-    E.movupsStore(AddrReg, static_cast<int32_t>(O), XMM::XMM0);
-  }
-  for (; Bytes - O >= 8; O += 8) {
-    E.movRegMem(GPR::RAX, FrameReg, SlotOff + static_cast<int32_t>(O));
-    E.movMemReg(AddrReg, static_cast<int32_t>(O), GPR::RAX);
-  }
-  for (; Bytes - O >= 4; O += 4) {
-    E.movRegMem32(GPR::RAX, FrameReg, SlotOff + static_cast<int32_t>(O));
-    E.movMemReg32(AddrReg, static_cast<int32_t>(O), GPR::RAX);
-  }
+  emitCopyLadder(AddrReg, 0, /*DstAligned=*/false, FrameReg, SlotOff,
+                 /*SrcAligned=*/true, Bytes, /*AllowWide=*/true);
 }
 
 void NativeCompiler::emitFallback(const Instruction &Inst) {
@@ -730,6 +896,12 @@ void NativeCompiler::emitFallback(const Instruction &Inst) {
   NF.Fallbacks.push_back(std::move(R));
   uint32_t Idx = static_cast<uint32_t>(NF.Fallbacks.size() - 1);
 
+  // The call clobbers every pool register (SysV caller-saved), so the
+  // register cache dies here; the allocator prepass forced write-through
+  // for any value whose live range crosses a fallback site. This is
+  // straight-line code, so the AVX flush clears the dirty flag.
+  flushAVX(/*ClearDirty=*/true);
+  clearRegCache();
   // The cycle accumulator lives in a caller-saved register; park it in
   // its frame-header slot across the call.
   E.movsdStore(FrameReg, OffCycles, CyclesReg);
@@ -774,6 +946,12 @@ void NativeCompiler::emitEdge(const BasicBlock *Pred, const BasicBlock *Succ,
       emitCopy(C.Dst, C.Src, C.Bytes);
   }
 
+  // Region boundary: leave 256-bit state clean before the jump so the
+  // successor's legacy-SSE code pays no transition penalty. The dirty flag
+  // stays set — this edge may sit in one arm of a conditional branch, and
+  // the other arm needs its own flush.
+  flushAVX(/*ClearDirty=*/false);
+
   uint32_t BI = BlockIdx.at(Succ);
   if (BlockSteps[BI])
     E.addRegImm32(StepsReg, static_cast<int32_t>(BlockSteps[BI]));
@@ -800,97 +978,278 @@ void NativeCompiler::emitEdge(const BasicBlock *Pred, const BasicBlock *Succ,
 //===----------------------------------------------------------------------===//
 
 void NativeCompiler::lowerBinOp(const BinaryOperator &BO) {
-  auto [Kind, Lanes] = elementOf(BO.getType());
-  if (Kind == TypeKind::Int1) {
+  BinOpShape Shape = classifyBinOpShape(BO, CF);
+  if (Shape == BinOpShape::Fallback) {
     emitFallback(BO); // i1 arithmetic: BinGeneric semantics.
     return;
   }
+  auto [Kind, Lanes] = elementOf(BO.getType());
+  (void)Lanes;
   const SlotInfo &D = slotOf(&BO);
-  const SlotInfo &A = slotOf(BO.getLHS());
-  const SlotInfo &B = slotOf(BO.getRHS());
-  if (Lanes > 1) {
+  const Value *AV = BO.getLHS();
+  const Value *BV = BO.getRHS();
+  const SlotInfo &A = slotOf(AV);
+  const SlotInfo &B = slotOf(BV);
+  if (Shape == BinOpShape::PerLaneMul || Shape == BinOpShape::PackedChunks) {
     lowerVectorBinOp(BO.getOpcode(), Kind, D, A, B);
     return;
   }
 
+  // Single-register shapes accumulate into the allocated destination (or
+  // the usual scratch), taking each operand register-to-register when it
+  // is cache-resident and from its frame slot otherwise.
+  if (Shape == BinOpShape::PackedSingle) {
+    XMM Acc = XMM::XMM0;
+    bool Store = true;
+    allocXMMResult(BO, Acc, Store);
+    XMM R;
+    if (cachedXMM(AV, R))
+      E.movapsReg(Acc, R);
+    else
+      E.movapsLoad(Acc, FrameReg, A.Off);
+    emitPacked128(BO.getOpcode(), Kind, Acc, BV, B.Off);
+    if (Store)
+      E.movapsStore(FrameReg, D.Off, Acc);
+    return;
+  }
+  if (Shape == BinOpShape::PackedWide) {
+    XMM Acc = XMM::XMM0;
+    bool Store = true;
+    allocYMMResult(BO, Acc, Store);
+    XMM R;
+    if (cachedYMM(AV, R))
+      E.vmovapsReg256(Acc, R);
+    else
+      E.vmovupsLoad256(Acc, FrameReg, A.Off);
+    emitPacked256(BO.getOpcode(), Kind, Acc, BV, B.Off);
+    if (Store)
+      E.vmovupsStore256(FrameReg, D.Off, Acc);
+    markAVXDirty();
+    return;
+  }
+
   switch (Kind) {
-  case TypeKind::Int32:
-    E.movRegMem32(GPR::RAX, FrameReg, A.Off);
+  case TypeKind::Int32: {
+    GPR Acc = GPR::RAX;
+    bool Store = true;
+    allocGPRResult(BO, Acc, Store);
+    GPR R;
+    if (cachedGPR(AV, R))
+      E.movRegReg(Acc, R); // 64-bit copy keeps the zero-extended form.
+    else
+      E.movRegMem32(Acc, FrameReg, A.Off);
+    bool RR = cachedGPR(BV, R);
     switch (BO.getOpcode()) {
     case BinOpcode::Add:
-      E.addRegMem_32(GPR::RAX, FrameReg, B.Off);
+      RR ? E.addRegReg_32(Acc, R) : E.addRegMem_32(Acc, FrameReg, B.Off);
       break;
     case BinOpcode::Sub:
-      E.subRegMem_32(GPR::RAX, FrameReg, B.Off);
+      RR ? E.subRegReg_32(Acc, R) : E.subRegMem_32(Acc, FrameReg, B.Off);
       break;
     case BinOpcode::Mul:
-      E.imulRegMem_32(GPR::RAX, FrameReg, B.Off);
+      RR ? E.imulRegReg_32(Acc, R) : E.imulRegMem_32(Acc, FrameReg, B.Off);
       break;
     default:
       snslp_unreachable("FP opcode on integer type");
     }
-    E.movMemReg32(FrameReg, D.Off, GPR::RAX);
+    if (Store)
+      E.movMemReg32(FrameReg, D.Off, Acc);
     break;
+  }
   case TypeKind::Int64:
-  case TypeKind::Pointer:
-    E.movRegMem(GPR::RAX, FrameReg, A.Off);
+  case TypeKind::Pointer: {
+    GPR Acc = GPR::RAX;
+    bool Store = true;
+    allocGPRResult(BO, Acc, Store);
+    GPR R;
+    if (cachedGPR(AV, R))
+      E.movRegReg(Acc, R);
+    else
+      E.movRegMem(Acc, FrameReg, A.Off);
+    bool RR = cachedGPR(BV, R);
     switch (BO.getOpcode()) {
     case BinOpcode::Add:
-      E.addRegMem(GPR::RAX, FrameReg, B.Off);
+      RR ? E.addRegReg(Acc, R) : E.addRegMem(Acc, FrameReg, B.Off);
       break;
     case BinOpcode::Sub:
-      E.subRegMem(GPR::RAX, FrameReg, B.Off);
+      RR ? E.subRegReg(Acc, R) : E.subRegMem(Acc, FrameReg, B.Off);
       break;
     case BinOpcode::Mul:
-      E.imulRegMem(GPR::RAX, FrameReg, B.Off);
+      RR ? E.imulRegReg(Acc, R) : E.imulRegMem(Acc, FrameReg, B.Off);
       break;
     default:
       snslp_unreachable("FP opcode on integer type");
     }
-    E.movMemReg(FrameReg, D.Off, GPR::RAX);
+    if (Store)
+      E.movMemReg(FrameReg, D.Off, Acc);
     break;
-  case TypeKind::Float:
-    E.movssLoad(XMM::XMM0, FrameReg, A.Off);
+  }
+  case TypeKind::Float: {
+    XMM Acc = XMM::XMM0;
+    bool Store = true;
+    allocXMMResult(BO, Acc, Store);
+    XMM R;
+    if (cachedXMM(AV, R))
+      E.movapsReg(Acc, R);
+    else
+      E.movssLoad(Acc, FrameReg, A.Off);
+    bool RR = cachedXMM(BV, R);
     switch (BO.getOpcode()) {
     case BinOpcode::FAdd:
-      E.addss(XMM::XMM0, FrameReg, B.Off);
+      RR ? E.addss(Acc, R) : E.addss(Acc, FrameReg, B.Off);
       break;
     case BinOpcode::FSub:
-      E.subss(XMM::XMM0, FrameReg, B.Off);
+      RR ? E.subss(Acc, R) : E.subss(Acc, FrameReg, B.Off);
       break;
     case BinOpcode::FMul:
-      E.mulss(XMM::XMM0, FrameReg, B.Off);
+      RR ? E.mulss(Acc, R) : E.mulss(Acc, FrameReg, B.Off);
       break;
     case BinOpcode::FDiv:
-      E.divss(XMM::XMM0, FrameReg, B.Off);
+      RR ? E.divss(Acc, R) : E.divss(Acc, FrameReg, B.Off);
       break;
     default:
       snslp_unreachable("integer opcode on FP type");
     }
-    E.movssStore(FrameReg, D.Off, XMM::XMM0);
+    if (Store)
+      E.movssStore(FrameReg, D.Off, Acc);
     break;
-  case TypeKind::Double:
-    E.movsdLoad(XMM::XMM0, FrameReg, A.Off);
+  }
+  case TypeKind::Double: {
+    XMM Acc = XMM::XMM0;
+    bool Store = true;
+    allocXMMResult(BO, Acc, Store);
+    XMM R;
+    if (cachedXMM(AV, R))
+      E.movapsReg(Acc, R);
+    else
+      E.movsdLoad(Acc, FrameReg, A.Off);
+    bool RR = cachedXMM(BV, R);
     switch (BO.getOpcode()) {
     case BinOpcode::FAdd:
-      E.addsd(XMM::XMM0, FrameReg, B.Off);
+      RR ? E.addsd(Acc, R) : E.addsd(Acc, FrameReg, B.Off);
       break;
     case BinOpcode::FSub:
-      E.subsd(XMM::XMM0, FrameReg, B.Off);
+      RR ? E.subsd(Acc, R) : E.subsd(Acc, FrameReg, B.Off);
       break;
     case BinOpcode::FMul:
-      E.mulsd(XMM::XMM0, FrameReg, B.Off);
+      RR ? E.mulsd(Acc, R) : E.mulsd(Acc, FrameReg, B.Off);
       break;
     case BinOpcode::FDiv:
-      E.divsd(XMM::XMM0, FrameReg, B.Off);
+      RR ? E.divsd(Acc, R) : E.divsd(Acc, FrameReg, B.Off);
       break;
     default:
       snslp_unreachable("integer opcode on FP type");
     }
-    E.movsdStore(FrameReg, D.Off, XMM::XMM0);
+    if (Store)
+      E.movsdStore(FrameReg, D.Off, Acc);
     break;
+  }
   default:
     snslp_unreachable("bad scalar binop kind");
+  }
+}
+
+void NativeCompiler::emitPacked128(BinOpcode Op, TypeKind Kind, XMM Acc,
+                                   const Value *BVal, int32_t BOff) {
+  const bool F32 = Kind == TypeKind::Float;
+  const bool I32 = Kind == TypeKind::Int32;
+  XMM R;
+  bool RR = cachedXMM(BVal, R);
+  switch (Op) {
+  case BinOpcode::Add:
+    if (RR)
+      I32 ? E.paddd(Acc, R) : E.paddq(Acc, R);
+    else
+      I32 ? E.paddd(Acc, FrameReg, BOff) : E.paddq(Acc, FrameReg, BOff);
+    break;
+  case BinOpcode::Sub:
+    if (RR)
+      I32 ? E.psubd(Acc, R) : E.psubq(Acc, R);
+    else
+      I32 ? E.psubd(Acc, FrameReg, BOff) : E.psubq(Acc, FrameReg, BOff);
+    break;
+  case BinOpcode::Mul:
+    RR ? E.pmulld(Acc, R) : E.pmulld(Acc, FrameReg, BOff);
+    break;
+  case BinOpcode::FAdd:
+    if (RR)
+      F32 ? E.addps(Acc, R) : E.addpd(Acc, R);
+    else
+      F32 ? E.addps(Acc, FrameReg, BOff) : E.addpd(Acc, FrameReg, BOff);
+    break;
+  case BinOpcode::FSub:
+    if (RR)
+      F32 ? E.subps(Acc, R) : E.subpd(Acc, R);
+    else
+      F32 ? E.subps(Acc, FrameReg, BOff) : E.subpd(Acc, FrameReg, BOff);
+    break;
+  case BinOpcode::FMul:
+    if (RR)
+      F32 ? E.mulps(Acc, R) : E.mulpd(Acc, R);
+    else
+      F32 ? E.mulps(Acc, FrameReg, BOff) : E.mulpd(Acc, FrameReg, BOff);
+    break;
+  case BinOpcode::FDiv:
+    if (RR)
+      F32 ? E.divps(Acc, R) : E.divpd(Acc, R);
+    else
+      F32 ? E.divps(Acc, FrameReg, BOff) : E.divpd(Acc, FrameReg, BOff);
+    break;
+  }
+}
+
+void NativeCompiler::emitPacked256(BinOpcode Op, TypeKind Kind, XMM Acc,
+                                   const Value *BVal, int32_t BOff) {
+  const bool F32 = Kind == TypeKind::Float;
+  const bool I32 = Kind == TypeKind::Int32;
+  XMM R;
+  bool RR = cachedYMM(BVal, R);
+  switch (Op) {
+  case BinOpcode::Add:
+    if (RR)
+      I32 ? E.vpaddd256(Acc, Acc, R) : E.vpaddq256(Acc, Acc, R);
+    else
+      I32 ? E.vpaddd256(Acc, Acc, FrameReg, BOff)
+          : E.vpaddq256(Acc, Acc, FrameReg, BOff);
+    break;
+  case BinOpcode::Sub:
+    if (RR)
+      I32 ? E.vpsubd256(Acc, Acc, R) : E.vpsubq256(Acc, Acc, R);
+    else
+      I32 ? E.vpsubd256(Acc, Acc, FrameReg, BOff)
+          : E.vpsubq256(Acc, Acc, FrameReg, BOff);
+    break;
+  case BinOpcode::Mul:
+    RR ? E.vpmulld256(Acc, Acc, R) : E.vpmulld256(Acc, Acc, FrameReg, BOff);
+    break;
+  case BinOpcode::FAdd:
+    if (RR)
+      F32 ? E.vaddps256(Acc, Acc, R) : E.vaddpd256(Acc, Acc, R);
+    else
+      F32 ? E.vaddps256(Acc, Acc, FrameReg, BOff)
+          : E.vaddpd256(Acc, Acc, FrameReg, BOff);
+    break;
+  case BinOpcode::FSub:
+    if (RR)
+      F32 ? E.vsubps256(Acc, Acc, R) : E.vsubpd256(Acc, Acc, R);
+    else
+      F32 ? E.vsubps256(Acc, Acc, FrameReg, BOff)
+          : E.vsubpd256(Acc, Acc, FrameReg, BOff);
+    break;
+  case BinOpcode::FMul:
+    if (RR)
+      F32 ? E.vmulps256(Acc, Acc, R) : E.vmulpd256(Acc, Acc, R);
+    else
+      F32 ? E.vmulps256(Acc, Acc, FrameReg, BOff)
+          : E.vmulpd256(Acc, Acc, FrameReg, BOff);
+    break;
+  case BinOpcode::FDiv:
+    if (RR)
+      F32 ? E.vdivps256(Acc, Acc, R) : E.vdivpd256(Acc, Acc, R);
+    else
+      F32 ? E.vdivps256(Acc, Acc, FrameReg, BOff)
+          : E.vdivpd256(Acc, Acc, FrameReg, BOff);
+    break;
   }
 }
 
@@ -963,10 +1322,8 @@ void NativeCompiler::lowerVectorBinOp(BinOpcode Op, TypeKind Kind,
     O += 32;
     UsedWide = true;
   }
-  if (UsedWide) {
-    E.vzeroupper();
-    UsedAVX = true;
-  }
+  if (UsedWide)
+    markAVXDirty(); // Flushed at the next region boundary.
 
   for (; O < Total; O += 16) {
     int32_t AO = A.Off + static_cast<int32_t>(O);
@@ -1007,21 +1364,15 @@ void NativeCompiler::lowerVectorBinOp(BinOpcode Op, TypeKind Kind,
 }
 
 void NativeCompiler::lowerAlternateOp(const AlternateOp &AO) {
-  auto [Kind, Lanes] = elementOf(AO.getType());
   // Same specialization rule as the bytecode engine: one family across all
   // lanes over a packed-capable kind; everything else takes the generic
-  // (fallback) path.
-  OpFamily Family = getOpFamily(AO.getLaneOpcode(0));
-  bool Uniform = Family != OpFamily::None && Lanes <= 8;
-  for (unsigned L = 0; Uniform && L < Lanes; ++L)
-    if (getOpFamily(AO.getLaneOpcode(L)) != Family)
-      Uniform = false;
-  bool KindOk = Kind == TypeKind::Int32 || Kind == TypeKind::Int64 ||
-                Kind == TypeKind::Float || Kind == TypeKind::Double;
-  if (!Uniform || !KindOk) {
+  // (fallback) path. The predicate is shared with the allocator prepass.
+  if (jitUsesFallback(AO)) {
     emitFallback(AO);
     return;
   }
+  auto [Kind, Lanes] = elementOf(AO.getType());
+  OpFamily Family = getOpFamily(AO.getLaneOpcode(0));
 
   const SlotInfo &D = slotOf(&AO);
   const SlotInfo &A = slotOf(AO.getLHS());
@@ -1078,7 +1429,15 @@ void NativeCompiler::lowerAlternateOp(const AlternateOp &AO) {
     E.andps(XMM::XMM2, GPR::RAX, 0);
     E.andnps(XMM::XMM3, XMM::XMM0);
     E.orps(XMM::XMM2, XMM::XMM3);
-    E.movapsStore(FrameReg, DOff, XMM::XMM2);
+    XMM Acc;
+    bool Store = true;
+    if (O == 0 && D.PaddedBytes == 16 && allocXMMResult(AO, Acc, Store)) {
+      E.movapsReg(Acc, XMM::XMM2);
+      if (Store)
+        E.movapsStore(FrameReg, DOff, Acc);
+    } else {
+      E.movapsStore(FrameReg, DOff, XMM::XMM2);
+    }
   }
 }
 
@@ -1086,8 +1445,12 @@ void NativeCompiler::lowerUnaryOp(const UnaryOperator &UO) {
   auto [Kind, Lanes] = elementOf(UO.getType());
   (void)Lanes;
   const SlotInfo &D = slotOf(&UO);
-  const SlotInfo &A = slotOf(UO.getOperand0());
+  const Value *AV = UO.getOperand0();
+  const SlotInfo &A = slotOf(AV);
   const bool F32 = Kind == TypeKind::Float;
+  // Only the single-chunk form participates in allocation; the
+  // multi-chunk loop reuses its scratch per chunk, mirroring the prepass.
+  const bool Single = D.PaddedBytes == 16;
 
   // Packed forms cover scalars too: slots are padded to 16 bytes and pad
   // lanes hold zeros, for which neg/abs/sqrt are all well-defined and
@@ -1097,47 +1460,70 @@ void NativeCompiler::lowerUnaryOp(const UnaryOperator &UO) {
   for (uint32_t O = 0; O < D.PaddedBytes; O += 16) {
     int32_t AOff = A.Off + static_cast<int32_t>(O);
     int32_t DOff = D.Off + static_cast<int32_t>(O);
+    XMM Acc = XMM::XMM0;
+    bool Store = true;
+    if (Single)
+      allocXMMResult(UO, Acc, Store);
+    XMM R;
+    bool RR = Single && cachedXMM(AV, R);
     switch (UO.getOpcode()) {
     case UnaryOpcode::FNeg:
       SignMask = F32 ? addPoolSplat32(0x80000000u)
                      : addPoolSplat64(0x8000000000000000ull);
-      E.movapsLoad(XMM::XMM0, FrameReg, AOff);
+      RR ? E.movapsReg(Acc, R) : E.movapsLoad(Acc, FrameReg, AOff);
       loadPoolAddr(GPR::RAX, SignMask);
-      E.xorps(XMM::XMM0, GPR::RAX, 0);
-      E.movapsStore(FrameReg, DOff, XMM::XMM0);
+      E.xorps(Acc, GPR::RAX, 0);
       break;
     case UnaryOpcode::Fabs:
       AbsMask = F32 ? addPoolSplat32(0x7FFFFFFFu)
                     : addPoolSplat64(0x7FFFFFFFFFFFFFFFull);
-      E.movapsLoad(XMM::XMM0, FrameReg, AOff);
+      RR ? E.movapsReg(Acc, R) : E.movapsLoad(Acc, FrameReg, AOff);
       loadPoolAddr(GPR::RAX, AbsMask);
-      E.andps(XMM::XMM0, GPR::RAX, 0);
-      E.movapsStore(FrameReg, DOff, XMM::XMM0);
+      E.andps(Acc, GPR::RAX, 0);
       break;
     case UnaryOpcode::Sqrt:
-      F32 ? E.sqrtps(XMM::XMM0, FrameReg, AOff)
-          : E.sqrtpd(XMM::XMM0, FrameReg, AOff);
-      E.movapsStore(FrameReg, DOff, XMM::XMM0);
+      if (RR)
+        F32 ? E.sqrtps(Acc, R) : E.sqrtpd(Acc, R);
+      else
+        F32 ? E.sqrtps(Acc, FrameReg, AOff) : E.sqrtpd(Acc, FrameReg, AOff);
       break;
     }
+    if (Store)
+      E.movapsStore(FrameReg, DOff, Acc);
   }
 }
 
 void NativeCompiler::lowerICmp(const ICmpInst &Cmp) {
   const SlotInfo &D = slotOf(&Cmp);
-  const SlotInfo &A = slotOf(Cmp.getLHS());
-  const SlotInfo &B = slotOf(Cmp.getRHS());
+  const Value *AV = Cmp.getLHS();
+  const Value *BV = Cmp.getRHS();
+  const SlotInfo &A = slotOf(AV);
+  const SlotInfo &B = slotOf(BV);
 
   // Scalar integers only (verifier-enforced). Cells are canonical
   // (sign-extended), so one 64-bit compare implements every predicate;
-  // 4-byte i32 slots widen through movsxd first.
+  // 4-byte i32 slots widen through movsxd first (cached i32 values hold
+  // the zero-extended low 32 bits, so they widen the same way).
+  GPR R;
   if (A.LaneBytes == 4) {
-    E.movsxdRegMem(GPR::RAX, FrameReg, A.Off);
-    E.movsxdRegMem(GPR::RCX, FrameReg, B.Off);
+    if (cachedGPR(AV, R))
+      E.movsxdRegReg(GPR::RAX, R);
+    else
+      E.movsxdRegMem(GPR::RAX, FrameReg, A.Off);
+    if (cachedGPR(BV, R))
+      E.movsxdRegReg(GPR::RCX, R);
+    else
+      E.movsxdRegMem(GPR::RCX, FrameReg, B.Off);
     E.cmpRegReg(GPR::RAX, GPR::RCX);
   } else {
-    E.movRegMem(GPR::RAX, FrameReg, A.Off);
-    E.cmpRegMem(GPR::RAX, FrameReg, B.Off);
+    if (cachedGPR(AV, R))
+      E.movRegReg(GPR::RAX, R);
+    else
+      E.movRegMem(GPR::RAX, FrameReg, A.Off);
+    if (cachedGPR(BV, R))
+      E.cmpRegReg(GPR::RAX, R);
+    else
+      E.cmpRegMem(GPR::RAX, FrameReg, B.Off);
   }
 
   Cond C = Cond::E;
@@ -1169,7 +1555,12 @@ void NativeCompiler::lowerICmp(const ICmpInst &Cmp) {
   }
   E.setcc(C, GPR::RAX);
   E.movzx8RegReg(GPR::RAX, GPR::RAX);
-  E.movMemReg(FrameReg, D.Off, GPR::RAX);
+  GPR Acc = GPR::RAX;
+  bool Store = true;
+  if (allocGPRResult(Cmp, Acc, Store))
+    E.movRegReg(Acc, GPR::RAX);
+  if (Store)
+    E.movMemReg(FrameReg, D.Off, Acc);
 }
 
 void NativeCompiler::lowerInst(const BasicBlock *BB,
@@ -1193,10 +1584,23 @@ void NativeCompiler::lowerInst(const BasicBlock *BB,
     const SlotInfo &D = slotOf(&Inst);
     int32_t Scale =
         static_cast<int32_t>(GEP.getElementType()->getSizeInBytes());
-    E.movRegMem(GPR::RAX, FrameReg, slotOf(GEP.getIndexOperand()).Off);
-    E.imulRegRegImm32(GPR::RAX, GPR::RAX, Scale);
-    E.addRegMem(GPR::RAX, FrameReg, slotOf(GEP.getPointerOperand()).Off);
-    E.movMemReg(FrameReg, D.Off, GPR::RAX);
+    const Value *Idx = GEP.getIndexOperand();
+    const Value *Ptr = GEP.getPointerOperand();
+    GPR Acc = GPR::RAX;
+    bool Store = true;
+    allocGPRResult(Inst, Acc, Store);
+    GPR R;
+    if (cachedGPR(Idx, R))
+      E.movRegReg(Acc, R);
+    else
+      E.movRegMem(Acc, FrameReg, slotOf(Idx).Off);
+    E.imulRegRegImm32(Acc, Acc, Scale);
+    if (cachedGPR(Ptr, R))
+      E.addRegReg(Acc, R);
+    else
+      E.addRegMem(Acc, FrameReg, slotOf(Ptr).Off);
+    if (Store)
+      E.movMemReg(FrameReg, D.Off, Acc);
     break;
   }
 
@@ -1204,44 +1608,135 @@ void NativeCompiler::lowerInst(const BasicBlock *BB,
     const auto &LI = cast<LoadInst>(Inst);
     const SlotInfo &D = slotOf(&Inst);
     uint32_t AccessBytes = D.Lanes * memBytesFor(D.Elem);
-    E.movRegMem(GPR::RAX, FrameReg, slotOf(LI.getPointerOperand()).Off);
-    E.movRegReg(AddrReg, GPR::RAX);
+    const Value *Ptr = LI.getPointerOperand();
+    GPR PR;
+    if (cachedGPR(Ptr, PR)) {
+      E.movRegReg(AddrReg, PR);
+    } else {
+      E.movRegMem(GPR::RAX, FrameReg, slotOf(Ptr).Off);
+      E.movRegReg(AddrReg, GPR::RAX);
+    }
     emitBoundsCheck(AccessBytes, diagIndex(&Inst), /*IsStore=*/false);
     if (D.Lanes > 1) {
-      emitUserToFrame(D.Off, D.Lanes * D.LaneBytes);
+      uint32_t Bytes = D.Lanes * D.LaneBytes;
+      XMM Acc;
+      bool Store = true;
+      if (Bytes == 16 && allocXMMResult(Inst, Acc, Store)) {
+        E.movupsLoad(Acc, AddrReg, 0);
+        if (Store)
+          E.movapsStore(FrameReg, D.Off, Acc);
+      } else if (Bytes == 32 && allocYMMResult(Inst, Acc, Store)) {
+        E.vmovupsLoad256(Acc, AddrReg, 0);
+        if (Store)
+          E.vmovupsStore256(FrameReg, D.Off, Acc);
+        markAVXDirty();
+      } else {
+        emitUserToFrame(D.Off, Bytes);
+      }
     } else if (D.Elem == TypeKind::Int1) {
-      E.movzx8RegMem(GPR::RAX, AddrReg, 0);
-      E.andRegImm32(GPR::RAX, 1);
-      E.movMemReg(FrameReg, D.Off, GPR::RAX);
+      GPR Acc = GPR::RAX;
+      bool Store = true;
+      allocGPRResult(Inst, Acc, Store);
+      E.movzx8RegMem(Acc, AddrReg, 0);
+      E.andRegImm32(Acc, 1);
+      if (Store)
+        E.movMemReg(FrameReg, D.Off, Acc);
+    } else if (D.Elem == TypeKind::Float) {
+      XMM Acc;
+      bool Store = true;
+      if (allocXMMResult(Inst, Acc, Store)) {
+        E.movssLoad(Acc, AddrReg, 0);
+        if (Store)
+          E.movssStore(FrameReg, D.Off, Acc);
+      } else {
+        E.movRegMem32(GPR::RAX, AddrReg, 0);
+        E.movMemReg32(FrameReg, D.Off, GPR::RAX);
+      }
+    } else if (D.Elem == TypeKind::Double) {
+      XMM Acc;
+      bool Store = true;
+      if (allocXMMResult(Inst, Acc, Store)) {
+        E.movsdLoad(Acc, AddrReg, 0);
+        if (Store)
+          E.movsdStore(FrameReg, D.Off, Acc);
+      } else {
+        E.movRegMem(GPR::RAX, AddrReg, 0);
+        E.movMemReg(FrameReg, D.Off, GPR::RAX);
+      }
     } else if (D.LaneBytes == 4) {
-      E.movRegMem32(GPR::RAX, AddrReg, 0);
-      E.movMemReg32(FrameReg, D.Off, GPR::RAX);
+      GPR Acc = GPR::RAX;
+      bool Store = true;
+      allocGPRResult(Inst, Acc, Store);
+      E.movRegMem32(Acc, AddrReg, 0);
+      if (Store)
+        E.movMemReg32(FrameReg, D.Off, Acc);
     } else {
-      E.movRegMem(GPR::RAX, AddrReg, 0);
-      E.movMemReg(FrameReg, D.Off, GPR::RAX);
+      GPR Acc = GPR::RAX;
+      bool Store = true;
+      allocGPRResult(Inst, Acc, Store);
+      E.movRegMem(Acc, AddrReg, 0);
+      if (Store)
+        E.movMemReg(FrameReg, D.Off, Acc);
     }
     break;
   }
 
   case ValueKind::Store: {
     const auto &SI = cast<StoreInst>(Inst);
-    const SlotInfo &V = slotOf(SI.getValueOperand());
+    const Value *Val = SI.getValueOperand();
+    const Value *Ptr = SI.getPointerOperand();
+    const SlotInfo &V = slotOf(Val);
     uint32_t AccessBytes = V.Lanes * memBytesFor(V.Elem);
-    E.movRegMem(GPR::RAX, FrameReg, slotOf(SI.getPointerOperand()).Off);
-    E.movRegReg(AddrReg, GPR::RAX);
+    GPR PR;
+    if (cachedGPR(Ptr, PR)) {
+      E.movRegReg(AddrReg, PR);
+    } else {
+      E.movRegMem(GPR::RAX, FrameReg, slotOf(Ptr).Off);
+      E.movRegReg(AddrReg, GPR::RAX);
+    }
     emitBoundsCheck(AccessBytes, diagIndex(&Inst), /*IsStore=*/true);
+    GPR RG;
+    XMM RX;
     if (V.Lanes > 1) {
-      emitFrameToUser(V.Off, V.Lanes * V.LaneBytes);
+      uint32_t Bytes = V.Lanes * V.LaneBytes;
+      // Whole-register payloads store straight from the cached register
+      // (movsd/movss move raw bits, so they cover integer lanes too);
+      // odd sizes such as 12-byte 3-lane payloads take the frame ladder.
+      if (Bytes == 32 && cachedYMM(Val, RX)) {
+        E.vmovupsStore256(AddrReg, 0, RX);
+        markAVXDirty();
+      } else if (Bytes == 16 && cachedXMM(Val, RX)) {
+        E.movupsStore(AddrReg, 0, RX);
+      } else if (Bytes == 8 && cachedXMM(Val, RX)) {
+        E.movsdStore(AddrReg, 0, RX);
+      } else {
+        emitFrameToUser(V.Off, Bytes);
+      }
     } else if (V.Elem == TypeKind::Int1) {
-      E.movRegMem(GPR::RAX, FrameReg, V.Off);
+      if (cachedGPR(Val, RG))
+        E.movRegReg(GPR::RAX, RG);
+      else
+        E.movRegMem(GPR::RAX, FrameReg, V.Off);
       E.andRegImm32(GPR::RAX, 1);
       E.movMemReg8(AddrReg, 0, GPR::RAX);
+    } else if (V.Elem == TypeKind::Float && cachedXMM(Val, RX)) {
+      E.movssStore(AddrReg, 0, RX);
+    } else if (V.Elem == TypeKind::Double && cachedXMM(Val, RX)) {
+      E.movsdStore(AddrReg, 0, RX);
     } else if (V.LaneBytes == 4) {
-      E.movRegMem32(GPR::RAX, FrameReg, V.Off);
-      E.movMemReg32(AddrReg, 0, GPR::RAX);
+      if (cachedGPR(Val, RG)) {
+        E.movMemReg32(AddrReg, 0, RG);
+      } else {
+        E.movRegMem32(GPR::RAX, FrameReg, V.Off);
+        E.movMemReg32(AddrReg, 0, GPR::RAX);
+      }
     } else {
-      E.movRegMem(GPR::RAX, FrameReg, V.Off);
-      E.movMemReg(AddrReg, 0, GPR::RAX);
+      if (cachedGPR(Val, RG)) {
+        E.movMemReg(AddrReg, 0, RG);
+      } else {
+        E.movRegMem(GPR::RAX, FrameReg, V.Off);
+        E.movMemReg(AddrReg, 0, GPR::RAX);
+      }
     }
     break;
   }
@@ -1249,8 +1744,14 @@ void NativeCompiler::lowerInst(const BasicBlock *BB,
   case ValueKind::Select: {
     const auto &Sel = cast<SelectInst>(Inst);
     const SlotInfo &D = slotOf(&Inst);
-    E.movRegMem(GPR::RAX, FrameReg, slotOf(Sel.getCondition()).Off);
-    E.testRegReg(GPR::RAX, GPR::RAX);
+    const Value *CondV = Sel.getCondition();
+    GPR CR;
+    if (cachedGPR(CondV, CR)) {
+      E.testRegReg(CR, CR);
+    } else {
+      E.movRegMem(GPR::RAX, FrameReg, slotOf(CondV).Off);
+      E.testRegReg(GPR::RAX, GPR::RAX);
+    }
     size_t ToFalse = E.jccFixup(Cond::E);
     emitCopy(D.Off, slotOf(Sel.getTrueValue()).Off, realBytes(D));
     size_t ToEnd = E.jmpFixup();
@@ -1331,7 +1832,15 @@ void NativeCompiler::lowerInst(const BasicBlock *BB,
           E.unpcklps(XMM::XMM2, XMM::XMM3);
           E.movlhps(XMM::XMM0, XMM::XMM2);
         }
-        E.movapsStore(FrameReg, DstOff, XMM::XMM0);
+        XMM Acc;
+        bool Store = true;
+        if (Mask.size() == LanesPerChunk && allocXMMResult(Inst, Acc, Store)) {
+          E.movapsReg(Acc, XMM::XMM0);
+          if (Store)
+            E.movapsStore(FrameReg, DstOff, Acc);
+        } else {
+          E.movapsStore(FrameReg, DstOff, XMM::XMM0);
+        }
       }
       break;
     }
@@ -1346,8 +1855,14 @@ void NativeCompiler::lowerInst(const BasicBlock *BB,
     if (!Br.isConditional()) {
       emitEdge(BB, Br.getSuccessor(0), &Inst);
     } else {
-      E.movRegMem(GPR::RAX, FrameReg, slotOf(Br.getCondition()).Off);
-      E.testRegReg(GPR::RAX, GPR::RAX);
+      const Value *CondV = Br.getCondition();
+      GPR CR;
+      if (cachedGPR(CondV, CR)) {
+        E.testRegReg(CR, CR);
+      } else {
+        E.movRegMem(GPR::RAX, FrameReg, slotOf(CondV).Off);
+        E.testRegReg(GPR::RAX, GPR::RAX);
+      }
       size_t ToFalse = E.jccFixup(Cond::E);
       emitEdge(BB, Br.getSuccessor(0), &Inst);
       E.patchRel32(ToFalse, E.label());
@@ -1383,14 +1898,21 @@ void NativeCompiler::lowerInst(const BasicBlock *BB,
 
 bool NativeCompiler::compile() {
   layoutFrame();
+  if (RegAllocOn)
+    Plan.analyze(F, CF);
+  NF.RegAllocOn = RegAllocOn;
   emitPrologue();
 
   for (const auto &BB : F.blocks()) {
     uint32_t BI = BlockIdx.at(BB.get());
     BlockPC[BI] = E.label();
     BlockPlaced[BI] = true;
-    for (const auto &InstPtr : *BB)
+    beginBlock();
+    uint32_t Pos = 0;
+    for (const auto &InstPtr : *BB) {
+      beginInst(Pos++);
       lowerInst(BB.get(), *InstPtr);
+    }
   }
 
   // Shared trap tails. The fuel tail falls through into the epilogue.
@@ -1403,6 +1925,11 @@ bool NativeCompiler::compile() {
   size_t FuelPC = E.label();
   E.movRegImm32(GPR::RAX, RcFuel);
   size_t EpiloguePC = E.label();
+  // Single region-boundary upper-state flush, gated on whether any
+  // 256-bit chunk was emitted anywhere: returning to C++ with dirty
+  // uppers would tax every SSE instruction in the caller.
+  if (UsedAVX)
+    E.vzeroupper();
   // Write the register-resident accounting back to the frame header (the
   // trap tails share this path; run() only reads the counters on RcOk,
   // so the writeback is harmless there).
@@ -1450,7 +1977,7 @@ NativeFunction::~NativeFunction() = default;
 
 std::unique_ptr<NativeFunction>
 NativeFunction::compile(const Function &F, const JITCycleFn &Cycles,
-                        std::string *Reason) {
+                        std::string *Reason, const NativeJITOptions &Opts) {
   if (!hostCPUFeatures().jitSupported()) {
     if (Reason)
       *Reason = "unsupported-isa";
@@ -1462,7 +1989,7 @@ NativeFunction::compile(const Function &F, const JITCycleFn &Cycles,
     return nullptr;
   }
   std::unique_ptr<NativeFunction> NF(new NativeFunction());
-  NativeCompiler C(F, Cycles, hostCPUFeatures(), *NF);
+  NativeCompiler C(F, Cycles, hostCPUFeatures(), *NF, Opts);
   if (!C.compile()) {
     if (Reason)
       *Reason = C.failReason();

@@ -9,16 +9,17 @@
 /// machine code and runs it over host memory buffers with the same
 /// observable semantics as the bytecode engine (see docs/jit.md).
 ///
-/// Code shape — a spill-everything baseline: every SSA value gets a memory
-/// slot in a per-run frame, every instruction loads its operands from the
-/// frame and stores its result back. No register allocation for SSA values
-/// (only the accounting counters and the frame pointer are pinned to
-/// callee-saved registers), which keeps lowering simple and makes the
-/// out-of-line scalar-call fallback legal at any point. Bounds checks are
-/// emitted inline with a per-site last-hit range cache. Vector values are
-/// stored in
-/// packed native lane layout, so the emitted SSE/AVX forms (`movups`,
-/// `addps`, `mulps`, `padd*`, `pmulld`, ...) operate on whole values per
+/// Code shape: every SSA value still owns a memory slot in a per-run
+/// frame (the frame stays the authoritative fallback path), but a
+/// linear-scan register allocator (src/jit/RegAlloc.h) keeps values
+/// register-resident between their def and their last in-block use,
+/// eliding the operand reloads — and, when no consumer reads the slot,
+/// the result store too. Values the allocator declines, and any value
+/// once the pool is exhausted, take the original load/op/store path, so
+/// allocation never costs coverage. Bounds checks are emitted inline with
+/// a per-site last-hit range cache. Vector values are stored in packed
+/// native lane layout, so the emitted SSE/AVX forms (`movups`, `addps`,
+/// `mulps`, `padd*`, `pmulld`, ...) operate on whole values per
 /// instruction — that is where the speedup over the interpreting engine
 /// comes from.
 ///
@@ -49,6 +50,14 @@ namespace snslp {
 class Function;
 class Instruction;
 class Value;
+
+/// Compile-time switches for the native backend. Defaults match the
+/// shipped configuration; the regalloc escape hatch exists so regressions
+/// can be bisected to allocation vs lowering (irtool --jit-regalloc=off,
+/// SNSLP_JIT_REGALLOC=off).
+struct NativeJITOptions {
+  bool RegAlloc = true; ///< Linear-scan register allocation over blocks.
+};
 
 /// Outcome of one native execution (mirrors BytecodeFunction::RunResult).
 struct NativeRunResult {
@@ -86,9 +95,9 @@ public:
   /// (including the `jit.emit.abort` fault-injection site); \p Reason, when
   /// non-null, receives a `jit:`-style cause ("unsupported-isa", ...).
   /// \p Cycles matches the bytecode engine's cost hook.
-  static std::unique_ptr<NativeFunction> compile(const Function &F,
-                                                 const JITCycleFn &Cycles,
-                                                 std::string *Reason = nullptr);
+  static std::unique_ptr<NativeFunction>
+  compile(const Function &F, const JITCycleFn &Cycles,
+          std::string *Reason = nullptr, const NativeJITOptions &Opts = {});
 
   /// Executes the compiled code. Semantics identical to
   /// BytecodeFunction::run: same boundary value conventions, accounting,
@@ -109,6 +118,18 @@ public:
 
   /// IR spellings of the fallback-lowered instructions (for remarks).
   std::vector<std::string> fallbackOpNames() const;
+
+  /// \name Register-allocation statistics (remarks, bench extras, tests).
+  /// @{
+  bool regAllocEnabled() const { return RegAllocOn; }
+  /// Defs that got a register for their whole def-to-last-use range.
+  unsigned regAllocValues() const { return RAValues; }
+  /// Register-eligible defs that hit pool exhaustion and fell back to the
+  /// frame-slot path.
+  unsigned regAllocSpills() const { return RASpills; }
+  /// Result stores elided because every consumer reads the register.
+  unsigned regAllocElidedStores() const { return RAElided; }
+  /// @}
 
 private:
   NativeFunction() = default;
@@ -152,6 +173,10 @@ private:
   uint64_t EntrySteps = 0;
   uint64_t EntryVectorSteps = 0;
   double EntryCycles = 0.0;
+  bool RegAllocOn = true;
+  unsigned RAValues = 0;
+  unsigned RASpills = 0;
+  unsigned RAElided = 0;
 };
 
 } // namespace snslp

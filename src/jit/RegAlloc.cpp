@@ -1,0 +1,214 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/RegAlloc.h"
+
+#include "ir/BasicBlock.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace snslp;
+
+namespace {
+
+/// Register file a register-eligible def of \p I would live in, or None
+/// when the lowering cannot leave the result in a register (multi-chunk
+/// ladders, lane moves, fallback calls, control flow).
+RegClass defClass(const Instruction &I, const CPUFeatures &CF) {
+  if (I.getType()->isVoid())
+    return RegClass::None;
+  auto [Kind, Lanes] = jitElementOf(I.getType());
+  bool FPScalar = Kind == TypeKind::Float || Kind == TypeKind::Double;
+
+  switch (I.getKind()) {
+  case ValueKind::BinOp:
+    switch (classifyBinOpShape(cast<BinaryOperator>(I), CF)) {
+    case BinOpShape::Scalar:
+      return FPScalar ? RegClass::XMM : RegClass::GPR;
+    case BinOpShape::PackedSingle:
+      return RegClass::XMM;
+    case BinOpShape::PackedWide:
+      return RegClass::YMM;
+    default:
+      return RegClass::None;
+    }
+  case ValueKind::UnaryOp:
+    // Single-chunk unary ops finish with the result in an XMM register;
+    // the multi-chunk loop reuses its scratch per chunk.
+    return jitPaddedBytes(I.getType()) == 16 ? RegClass::XMM
+                                             : RegClass::None;
+  case ValueKind::GEP:
+  case ValueKind::ICmp:
+    return RegClass::GPR;
+  case ValueKind::Load: {
+    if (Lanes == 1)
+      return FPScalar ? RegClass::XMM : RegClass::GPR;
+    uint32_t Bytes = Lanes * jitLaneBytes(Kind);
+    if (Bytes == 16)
+      return RegClass::XMM;
+    if (Bytes == 32 && CF.AVX)
+      return RegClass::YMM;
+    return RegClass::None;
+  }
+  case ValueKind::ShuffleVector: {
+    // Only the whole-chunk assembly path ends with the result in a
+    // register, and only a single-chunk result avoids per-chunk reuse.
+    unsigned LB = jitLaneBytes(Kind);
+    const auto &SV = cast<ShuffleVectorInst>(I);
+    bool Chunked = (LB == 4 || LB == 8) && (SV.getMask().size() * LB) % 16 == 0;
+    return Chunked && jitPaddedBytes(I.getType()) == 16 ? RegClass::XMM
+                                                        : RegClass::None;
+  }
+  case ValueKind::AlternateOp:
+    return !jitUsesFallback(I) && jitPaddedBytes(I.getType()) == 16
+               ? RegClass::XMM
+               : RegClass::None;
+  default:
+    return RegClass::None;
+  }
+}
+
+/// Whether emission serves operand \p OpIdx of \p U from the register
+/// cache when the operand happens to be cached. This must under-approximate
+/// the emitter: returning true for a position the emitter reads from the
+/// frame would let a store elision break that read. Returning false merely
+/// forces a write-through.
+bool regReadableUse(const Instruction &U, unsigned OpIdx,
+                    const CPUFeatures &CF) {
+  switch (U.getKind()) {
+  case ValueKind::BinOp:
+    switch (classifyBinOpShape(cast<BinaryOperator>(U), CF)) {
+    case BinOpShape::Scalar:
+    case BinOpShape::PackedSingle:
+    case BinOpShape::PackedWide:
+      return true; // Both operands consult the cache.
+    default:
+      return false; // Lane loops and fallback read the frame.
+    }
+  case ValueKind::UnaryOp:
+    return jitPaddedBytes(U.getType()) == 16;
+  case ValueKind::ICmp:
+  case ValueKind::GEP:
+    return true;
+  case ValueKind::Load:
+    return true; // Pointer operand.
+  case ValueKind::Store: {
+    if (OpIdx == 1)
+      return true; // Pointer operand.
+    // The value operand: scalars and whole-register vector payloads can
+    // store straight from the cached register; odd vector sizes (e.g. a
+    // 12-byte 3-lane payload) go through the frame ladder.
+    auto [Kind, Lanes] = jitElementOf(U.getOperand(0)->getType());
+    if (Lanes == 1)
+      return true;
+    uint32_t Bytes = Lanes * jitLaneBytes(Kind);
+    return Bytes == 8 || Bytes == 16 || Bytes == 32;
+  }
+  case ValueKind::Select:
+  case ValueKind::Branch:
+    return OpIdx == 0; // Condition only; select arms are frame copies.
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+namespace snslp {
+
+BinOpShape classifyBinOpShape(const BinaryOperator &BO,
+                              const CPUFeatures &CF) {
+  auto [Kind, Lanes] = jitElementOf(BO.getType());
+  if (Kind == TypeKind::Int1)
+    return BinOpShape::Fallback;
+  if (Lanes == 1)
+    return BinOpShape::Scalar;
+  bool I32 = Kind == TypeKind::Int32;
+  if (BO.getOpcode() == BinOpcode::Mul && (!I32 || !CF.SSE41))
+    return BinOpShape::PerLaneMul;
+  bool FP = Kind == TypeKind::Float || Kind == TypeKind::Double;
+  uint32_t Total = jitPaddedBytes(BO.getType());
+  if (Total == 16)
+    return BinOpShape::PackedSingle;
+  if (Total == 32 && (FP ? CF.AVX : CF.AVX2))
+    return BinOpShape::PackedWide;
+  return BinOpShape::PackedChunks;
+}
+
+bool jitUsesFallback(const Instruction &I) {
+  if (const auto *BO = dyn_cast<BinaryOperator>(&I))
+    return jitElementOf(BO->getType()).first == TypeKind::Int1;
+  const auto *AO = dyn_cast<AlternateOp>(&I);
+  if (!AO)
+    return false;
+  auto [Kind, Lanes] = jitElementOf(AO->getType());
+  OpFamily Family = getOpFamily(AO->getLaneOpcode(0));
+  bool Uniform = Family != OpFamily::None && Lanes <= 8;
+  for (unsigned L = 0; Uniform && L < Lanes; ++L)
+    if (getOpFamily(AO->getLaneOpcode(L)) != Family)
+      Uniform = false;
+  bool KindOk = Kind == TypeKind::Int32 || Kind == TypeKind::Int64 ||
+                Kind == TypeKind::Float || Kind == TypeKind::Double;
+  return !Uniform || !KindOk;
+}
+
+void RegAllocPlan::analyze(const Function &F, const CPUFeatures &CF) {
+  for (const auto &BB : F.blocks()) {
+    // Per-block instruction positions, matching emission order exactly.
+    std::unordered_map<const Instruction *, uint32_t> Pos;
+    std::vector<uint32_t> FallbackPos;
+    uint32_t P = 0;
+    for (const auto &InstPtr : *BB) {
+      Pos.emplace(InstPtr.get(), P);
+      if (jitUsesFallback(*InstPtr))
+        FallbackPos.push_back(P);
+      ++P;
+    }
+
+    for (const auto &InstPtr : *BB) {
+      const Instruction &I = *InstPtr;
+      RegClass C = defClass(I, CF);
+      if (C == RegClass::None)
+        continue;
+
+      ValueAllocInfo VI;
+      VI.Class = C;
+      VI.DefPos = Pos.at(&I);
+      VI.LastRegUse = VI.DefPos;
+      bool WriteThrough = false, HasRegUse = false;
+      for (const Use &U : I.uses()) {
+        const Instruction *User = U.User;
+        if (isa<PhiNode>(User) || User->getParent() != BB.get()) {
+          WriteThrough = true; // Edge copies and other blocks read frames.
+          continue;
+        }
+        if (regReadableUse(*User, U.OperandIndex, CF)) {
+          VI.LastRegUse = std::max(VI.LastRegUse, Pos.at(User));
+          HasRegUse = true;
+        } else {
+          WriteThrough = true;
+        }
+      }
+      // A value nobody reads from a register gains nothing from residency.
+      if (!HasRegUse)
+        continue;
+      // A fallback call inside the live range clobbers the pool, so any
+      // later use re-reads the frame: the def must have stored it.
+      if (!WriteThrough)
+        for (uint32_t FP_ : FallbackPos)
+          if (VI.DefPos < FP_ && FP_ <= VI.LastRegUse) {
+            WriteThrough = true;
+            break;
+          }
+      VI.NeedsWriteThrough = WriteThrough;
+      Info.emplace(&I, VI);
+      ++Eligible;
+    }
+  }
+}
+
+} // namespace snslp

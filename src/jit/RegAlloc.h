@@ -1,0 +1,130 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear-scan register allocation for the native JIT backend.
+///
+/// The allocator is a prepass over each basic block: for every SSA value
+/// whose lowering can both produce its result in a register and feed it to
+/// its users from that register, it records the def position, the last
+/// in-block register-readable use, and whether the frame slot still has to
+/// be written (the write-through bit). Emission then keeps such values
+/// register-resident from def to last use, drawing from a small pool of
+/// registers the lowering never uses as scratch, and falls back per-value
+/// to the frame-slot path when the pool is exhausted — so allocation can
+/// only remove memory traffic, never coverage.
+///
+/// The plan deliberately under-approximates: a use the emitter might not
+/// serve from the register cache (multi-chunk ladders, the scalar-call
+/// fallback, phi edge copies, anything in another block) forces the
+/// write-through bit, keeping the frame slot authoritative wherever any
+/// consumer still reads it. The classification helpers that decide which
+/// lowering strategy an instruction takes are shared with NativeFunction's
+/// emission pass so the two can't drift apart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_JIT_REGALLOC_H
+#define SNSLP_JIT_REGALLOC_H
+
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "jit/CPUFeatures.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+namespace snslp {
+
+/// Which register file a value is planned into. YMM is tracked separately
+/// from XMM because a 256-bit resident value is only readable at VEX.256
+/// sites — a legacy-SSE consumer cannot see the upper half, so the prepass
+/// must treat such uses as frame reads.
+enum class RegClass : uint8_t { None, GPR, XMM, YMM };
+
+/// Per-value allocation plan produced by RegAllocPlan::analyze.
+struct ValueAllocInfo {
+  RegClass Class = RegClass::None;
+  uint32_t DefPos = 0;     ///< Instruction index of the def within its block.
+  uint32_t LastRegUse = 0; ///< Last in-block register-readable use position.
+  /// Whether the def must still store to the frame slot: set when any use
+  /// is in another block, feeds a phi, is not register-readable, or sits
+  /// after a scalar-call fallback that clobbers the register pool.
+  bool NeedsWriteThrough = true;
+};
+
+/// The shared element-kind/lanes decomposition used by the JIT's frame
+/// layout (vectors split into element kind and lane count, scalars are one
+/// lane of themselves).
+inline std::pair<TypeKind, unsigned> jitElementOf(const Type *Ty) {
+  if (const auto *VT = dyn_cast<VectorType>(Ty))
+    return {VT->getElementType()->getKind(), VT->getNumLanes()};
+  return {Ty->getKind(), 1};
+}
+
+/// Packed in-frame bytes per lane. f32/i32 lanes are native 4-byte lanes
+/// (that is what makes addps/paddd applicable); everything else, including
+/// i1 (kept canonical 0/1), is an 8-byte cell.
+inline unsigned jitLaneBytes(TypeKind Kind) {
+  return (Kind == TypeKind::Int32 || Kind == TypeKind::Float) ? 4 : 8;
+}
+
+/// Frame-slot bytes for \p Ty after padding to whole 16-byte chunks.
+inline uint32_t jitPaddedBytes(const Type *Ty) {
+  auto [Kind, Lanes] = jitElementOf(Ty);
+  return (Lanes * jitLaneBytes(Kind) + 15u) & ~15u;
+}
+
+/// How lowerBinOp materializes one BinaryOperator. Shared between the
+/// allocator prepass and emission so eligibility decisions match the code
+/// actually emitted.
+enum class BinOpShape : uint8_t {
+  Fallback,     ///< i1 arithmetic: scalar-call thunk.
+  Scalar,       ///< One lane through a GPR or scalar SSE op.
+  PerLaneMul,   ///< Integer multiply without a packed form: GP lane loop.
+  PackedSingle, ///< Exactly one 16-byte SSE chunk.
+  PackedWide,   ///< Exactly one 32-byte VEX.256 chunk.
+  PackedChunks, ///< Multi-chunk ladder (frame-resident).
+};
+
+BinOpShape classifyBinOpShape(const BinaryOperator &BO, const CPUFeatures &CF);
+
+/// True when lowering routes \p I through the scalar-call fallback thunk
+/// (which clobbers every pool register, so live ranges crossing it must
+/// write through). Mirrors the emitFallback decisions in lowerBinOp and
+/// lowerAlternateOp exactly.
+bool jitUsesFallback(const Instruction &I);
+
+/// The per-function allocation plan: one ValueAllocInfo per SSA value whose
+/// def is register-eligible. Values absent from the plan take the
+/// frame-slot path unconditionally.
+class RegAllocPlan {
+public:
+  RegAllocPlan() = default;
+
+  /// Builds the plan for \p F lowered against \p CF. Safe to call on an
+  /// empty plan only once per instance.
+  void analyze(const Function &F, const CPUFeatures &CF);
+
+  /// Returns the plan entry for \p V, or nullptr when \p V is not
+  /// register-eligible.
+  const ValueAllocInfo *lookup(const Value *V) const {
+    auto It = Info.find(V);
+    return It == Info.end() ? nullptr : &It->second;
+  }
+
+  /// Number of defs the plan made register-eligible.
+  unsigned eligibleValues() const { return Eligible; }
+
+private:
+  std::unordered_map<const Value *, ValueAllocInfo> Info;
+  unsigned Eligible = 0;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_JIT_REGALLOC_H

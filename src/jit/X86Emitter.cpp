@@ -170,6 +170,13 @@ void X86Emitter::subRegImm32(GPR Dst, int32_t Imm) {
   u32(static_cast<uint32_t>(Imm));
 }
 
+void X86Emitter::imulRegReg(GPR Dst, GPR Src) {
+  rex(true, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+  byte(0x0F);
+  byte(0xAF);
+  regOperand(static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+}
+
 void X86Emitter::imulRegMem(GPR Dst, GPR Base, int32_t Disp) {
   rex(true, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Base));
   byte(0x0F);
@@ -254,6 +261,25 @@ void X86Emitter::imulRegMem_32(GPR Dst, GPR Base, int32_t Disp) {
   byte(0x0F);
   byte(0xAF);
   memOperand(static_cast<uint8_t>(Dst), Base, Disp);
+}
+
+void X86Emitter::addRegReg_32(GPR Dst, GPR Src) {
+  rex(false, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+  byte(0x03);
+  regOperand(static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+}
+
+void X86Emitter::subRegReg_32(GPR Dst, GPR Src) {
+  rex(false, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+  byte(0x2B);
+  regOperand(static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+}
+
+void X86Emitter::imulRegReg_32(GPR Dst, GPR Src) {
+  rex(false, static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
+  byte(0x0F);
+  byte(0xAF);
+  regOperand(static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src));
 }
 
 void X86Emitter::setcc(Cond C, GPR Dst8) {
@@ -419,6 +445,14 @@ void X86Emitter::vexMR256(uint8_t PP, uint8_t Map, uint8_t Opcode, GPR Base,
             static_cast<uint8_t>(Base), 0);
   byte(Opcode);
   memOperand(static_cast<uint8_t>(Src), Base, Disp);
+}
+
+void X86Emitter::vexRR256(uint8_t PP, uint8_t Map, uint8_t Opcode, XMM Dst,
+                          XMM Src1, XMM Src2) {
+  vexPrefix(Buf, PP, Map, static_cast<uint8_t>(Dst),
+            static_cast<uint8_t>(Src2), static_cast<uint8_t>(Src1));
+  byte(Opcode);
+  regOperand(static_cast<uint8_t>(Dst), static_cast<uint8_t>(Src2));
 }
 
 void X86Emitter::vzeroupper() {

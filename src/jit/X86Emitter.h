@@ -80,6 +80,7 @@ public:
   void subRegReg(GPR Dst, GPR Src);
   void subRegMem(GPR Dst, GPR Base, int32_t Disp);
   void subRegImm32(GPR Dst, int32_t Imm);
+  void imulRegReg(GPR Dst, GPR Src);
   void imulRegMem(GPR Dst, GPR Base, int32_t Disp);
   void imulRegRegImm32(GPR Dst, GPR Src, int32_t Imm);
   void andRegImm32(GPR Dst, int32_t Imm);
@@ -97,6 +98,9 @@ public:
   void addRegMem_32(GPR Dst, GPR Base, int32_t Disp); ///< add r32, [m]
   void subRegMem_32(GPR Dst, GPR Base, int32_t Disp); ///< sub r32, [m]
   void imulRegMem_32(GPR Dst, GPR Base, int32_t Disp); ///< imul r32, [m]
+  void addRegReg_32(GPR Dst, GPR Src);  ///< add r32, r32
+  void subRegReg_32(GPR Dst, GPR Src);  ///< sub r32, r32
+  void imulRegReg_32(GPR Dst, GPR Src); ///< imul r32, r32
   /// @}
 
   /// \name Flags materialization.
@@ -158,6 +162,15 @@ public:
   void divsd(XMM D, GPR B, int32_t O) { sseRM(0xF2, 0x5E, D, B, O); }
   void sqrtsd(XMM D, GPR B, int32_t O) { sseRM(0xF2, 0x51, D, B, O); }
 
+  void addss(XMM D, XMM S) { sseRR(0xF3, 0x58, D, S); }
+  void subss(XMM D, XMM S) { sseRR(0xF3, 0x5C, D, S); }
+  void mulss(XMM D, XMM S) { sseRR(0xF3, 0x59, D, S); }
+  void divss(XMM D, XMM S) { sseRR(0xF3, 0x5E, D, S); }
+  void addsd(XMM D, XMM S) { sseRR(0xF2, 0x58, D, S); }
+  void subsd(XMM D, XMM S) { sseRR(0xF2, 0x5C, D, S); }
+  void mulsd(XMM D, XMM S) { sseRR(0xF2, 0x59, D, S); }
+  void divsd(XMM D, XMM S) { sseRR(0xF2, 0x5E, D, S); }
+
   void addps(XMM D, GPR B, int32_t O) { sseRM(0x00, 0x58, D, B, O); }
   void subps(XMM D, GPR B, int32_t O) { sseRM(0x00, 0x5C, D, B, O); }
   void mulps(XMM D, GPR B, int32_t O) { sseRM(0x00, 0x59, D, B, O); }
@@ -168,6 +181,17 @@ public:
   void mulpd(XMM D, GPR B, int32_t O) { sseRM(0x66, 0x59, D, B, O); }
   void divpd(XMM D, GPR B, int32_t O) { sseRM(0x66, 0x5E, D, B, O); }
   void sqrtpd(XMM D, GPR B, int32_t O) { sseRM(0x66, 0x51, D, B, O); }
+
+  void addps(XMM D, XMM S) { sseRR(0x00, 0x58, D, S); }
+  void subps(XMM D, XMM S) { sseRR(0x00, 0x5C, D, S); }
+  void mulps(XMM D, XMM S) { sseRR(0x00, 0x59, D, S); }
+  void divps(XMM D, XMM S) { sseRR(0x00, 0x5E, D, S); }
+  void sqrtps(XMM D, XMM S) { sseRR(0x00, 0x51, D, S); }
+  void addpd(XMM D, XMM S) { sseRR(0x66, 0x58, D, S); }
+  void subpd(XMM D, XMM S) { sseRR(0x66, 0x5C, D, S); }
+  void mulpd(XMM D, XMM S) { sseRR(0x66, 0x59, D, S); }
+  void divpd(XMM D, XMM S) { sseRR(0x66, 0x5E, D, S); }
+  void sqrtpd(XMM D, XMM S) { sseRR(0x66, 0x51, D, S); }
 
   void xorps(XMM D, GPR B, int32_t O) { sseRM(0x00, 0x57, D, B, O); }
   void andps(XMM D, GPR B, int32_t O) { sseRM(0x00, 0x54, D, B, O); }
@@ -191,6 +215,12 @@ public:
   void paddq(XMM D, GPR B, int32_t O) { sseRM(0x66, 0xD4, D, B, O); }
   void psubq(XMM D, GPR B, int32_t O) { sseRM(0x66, 0xFB, D, B, O); }
   void pmulld(XMM D, GPR B, int32_t O) { sse38RM(0x66, 0x40, D, B, O); }
+
+  void paddd(XMM D, XMM S) { sseRR(0x66, 0xFE, D, S); }
+  void psubd(XMM D, XMM S) { sseRR(0x66, 0xFA, D, S); }
+  void paddq(XMM D, XMM S) { sseRR(0x66, 0xD4, D, S); }
+  void psubq(XMM D, XMM S) { sseRR(0x66, 0xFB, D, S); }
+  void pmulld(XMM D, XMM S) { sse38RR(0x66, 0x40, D, S); }
   /// @}
 
   /// \name VEX.256 tier (AVX / AVX2 hosts).
@@ -202,9 +232,14 @@ public:
                 GPR Base, int32_t Disp);
   void vexMR256(uint8_t PP, uint8_t Map, uint8_t Opcode, GPR Base,
                 int32_t Disp, XMM Src);
+  /// Register-register VEX.256 form: Dst = Src1 op Src2 (Src2 in modrm.rm).
+  void vexRR256(uint8_t PP, uint8_t Map, uint8_t Opcode, XMM Dst, XMM Src1,
+                XMM Src2);
 
   void vmovupsLoad256(XMM D, GPR B, int32_t O)  { vexRM256(0, 1, 0x10, D, XMM::XMM0, B, O); }
   void vmovupsStore256(GPR B, int32_t O, XMM S) { vexMR256(0, 1, 0x11, B, O, S); }
+  /// vmovaps ymm, ymm — the allocator's 256-bit register move.
+  void vmovapsReg256(XMM D, XMM S)              { vexRR256(0, 1, 0x28, D, XMM::XMM0, S); }
   void vaddps256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(0, 1, 0x58, D, S1, B, O); }
   void vsubps256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(0, 1, 0x5C, D, S1, B, O); }
   void vmulps256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(0, 1, 0x59, D, S1, B, O); }
@@ -218,6 +253,20 @@ public:
   void vpaddq256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(1, 1, 0xD4, D, S1, B, O); }
   void vpsubq256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(1, 1, 0xFB, D, S1, B, O); }
   void vpmulld256(XMM D, XMM S1, GPR B, int32_t O) { vexRM256(1, 2, 0x40, D, S1, B, O); }
+
+  void vaddps256(XMM D, XMM S1, XMM S2) { vexRR256(0, 1, 0x58, D, S1, S2); }
+  void vsubps256(XMM D, XMM S1, XMM S2) { vexRR256(0, 1, 0x5C, D, S1, S2); }
+  void vmulps256(XMM D, XMM S1, XMM S2) { vexRR256(0, 1, 0x59, D, S1, S2); }
+  void vdivps256(XMM D, XMM S1, XMM S2) { vexRR256(0, 1, 0x5E, D, S1, S2); }
+  void vaddpd256(XMM D, XMM S1, XMM S2) { vexRR256(1, 1, 0x58, D, S1, S2); }
+  void vsubpd256(XMM D, XMM S1, XMM S2) { vexRR256(1, 1, 0x5C, D, S1, S2); }
+  void vmulpd256(XMM D, XMM S1, XMM S2) { vexRR256(1, 1, 0x59, D, S1, S2); }
+  void vdivpd256(XMM D, XMM S1, XMM S2) { vexRR256(1, 1, 0x5E, D, S1, S2); }
+  void vpaddd256(XMM D, XMM S1, XMM S2) { vexRR256(1, 1, 0xFE, D, S1, S2); }
+  void vpsubd256(XMM D, XMM S1, XMM S2) { vexRR256(1, 1, 0xFA, D, S1, S2); }
+  void vpaddq256(XMM D, XMM S1, XMM S2) { vexRR256(1, 1, 0xD4, D, S1, S2); }
+  void vpsubq256(XMM D, XMM S1, XMM S2) { vexRR256(1, 1, 0xFB, D, S1, S2); }
+  void vpmulld256(XMM D, XMM S1, XMM S2) { vexRR256(1, 2, 0x40, D, S1, S2); }
 
   /// Clears the ymm upper halves: avoids AVX→SSE transition stalls after
   /// a 256-bit chunk (the surrounding code is legacy SSE).

@@ -257,10 +257,29 @@ Expected<CompiledUnit> CompileService::compileLocked(const CompileRequest &Req,
               .withMessage(
                   std::to_string(P->Engine->nativeFallbackOpCount()) +
                   " op(s) lowered through the scalar-call fallback"));
+    // Record the allocator outcome so `jit:` remarks say whether a run was
+    // produced with or without register allocation (the bisection axis the
+    // --jit-regalloc / SNSLP_JIT_REGALLOC escape hatch flips).
+    P->Remarks.push_back(
+        Remark::passed("jit", "NativeCompiled", P->EntryName)
+            .withDecision(P->Engine->nativeRegAllocEnabled()
+                              ? "jit:regalloc-on"
+                              : "jit:regalloc-off")
+            .withMessage(
+                std::to_string(P->Engine->nativeRegAllocValues()) +
+                " value(s) register-resident, " +
+                std::to_string(P->Engine->nativeRegAllocSpills()) +
+                " spill(s), " +
+                std::to_string(P->Engine->nativeRegAllocElidedStores()) +
+                " elided store(s)"));
     if (Stats) {
       Stats->add("service.jit.compiles");
       Stats->add("service.jit.code.bytes",
                  static_cast<int64_t>(P->Engine->nativeCodeSize()));
+      Stats->add("service.jit.regalloc.values",
+                 static_cast<int64_t>(P->Engine->nativeRegAllocValues()));
+      Stats->add("service.jit.regalloc.spills",
+                 static_cast<int64_t>(P->Engine->nativeRegAllocSpills()));
     }
   }
 

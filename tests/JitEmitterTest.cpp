@@ -229,6 +229,73 @@ TEST(JitEmitterTest, VEX256) {
   EXPECT_ENCODING(vzeroupper(), 0xC5, 0xF8, 0x77);
 }
 
+TEST(JitEmitterTest, RegRegForms) {
+  // The reg-reg forms the register allocator leans on: when both operands
+  // are register-resident the lowering emits these instead of the RM
+  // frame-operand forms. Pool registers (r8-r11, xmm4-xmm14) exercise the
+  // REX.R/REX.B extension bits.
+  EXPECT_ENCODING(addRegReg(GPR::RAX, GPR::RCX), 0x48, 0x03, 0xC1);
+  EXPECT_ENCODING(subRegReg(GPR::RAX, GPR::R9), 0x49, 0x2B, 0xC1);
+  EXPECT_ENCODING(imulRegReg(GPR::RAX, GPR::R8), 0x49, 0x0F, 0xAF, 0xC0);
+  EXPECT_ENCODING(addRegReg_32(GPR::R8, GPR::RAX), 0x44, 0x03, 0xC0);
+  EXPECT_ENCODING(subRegReg_32(GPR::RDX, GPR::R11), 0x41, 0x2B, 0xD3);
+  EXPECT_ENCODING(imulRegReg_32(GPR::RAX, GPR::RCX), 0x0F, 0xAF, 0xC1);
+  // movsxd widens a cached i32 (zero-extended convention) for 64-bit
+  // compares.
+  EXPECT_ENCODING(movsxdRegReg(GPR::RAX, GPR::R10), 0x49, 0x63, 0xC2);
+
+  // Scalar SSE reg-reg arithmetic.
+  EXPECT_ENCODING(addss(XMM::XMM0, XMM::XMM1), 0xF3, 0x0F, 0x58, 0xC1);
+  EXPECT_ENCODING(mulsd(XMM::XMM0, XMM::XMM5), 0xF2, 0x0F, 0x59, 0xC5);
+  // Packed SSE reg-reg, pool registers above xmm7 need REX.B.
+  EXPECT_ENCODING(addps(XMM::XMM4, XMM::XMM12), 0x41, 0x0F, 0x58, 0xE4);
+  EXPECT_ENCODING(paddd(XMM::XMM4, XMM::XMM12),
+                  0x66, 0x41, 0x0F, 0xFE, 0xE4);
+  EXPECT_ENCODING(pmulld(XMM::XMM4, XMM::XMM12),
+                  0x66, 0x41, 0x0F, 0x38, 0x40, 0xE4);
+  // movaps register copy: how a cached value reaches the op accumulator.
+  EXPECT_ENCODING(movapsReg(XMM::XMM0, XMM::XMM14),
+                  0x41, 0x0F, 0x28, 0xC6);
+}
+
+TEST(JitEmitterTest, VEX256RegReg) {
+  // VEX.256 three-operand reg-reg forms (YMM-resident operands). vvvv
+  // carries the inverted first source; modrm the destination and second
+  // source.
+  EXPECT_ENCODING(vaddps256(XMM::XMM0, XMM::XMM1, XMM::XMM2),
+                  0xC4, 0xE1, 0x74, 0x58, 0xC2);
+  EXPECT_ENCODING(vpaddd256(XMM::XMM4, XMM::XMM5, XMM::XMM6),
+                  0xC4, 0xE1, 0x55, 0xFE, 0xE6);
+  // 0F 38 map escape (mmmmm = 2).
+  EXPECT_ENCODING(vpmulld256(XMM::XMM0, XMM::XMM1, XMM::XMM2),
+                  0xC4, 0xE2, 0x75, 0x40, 0xC2);
+  // ymm-to-ymm copy; source above ymm7 clears the ~B bit.
+  EXPECT_ENCODING(vmovapsReg256(XMM::XMM4, XMM::XMM9),
+                  0xC4, 0xC1, 0x7C, 0x28, 0xE1);
+}
+
+TEST(JitEmitterTest, ResidentVsFrameSequenceLength) {
+  // The allocator's payoff, pinned at the byte level: the same packed add
+  // through the frame (load / add-RM / store) versus register-resident
+  // operands (single reg-reg add). Every byte is pinned so the sequences
+  // double as goldens for the two lowering shapes.
+  X86Emitter Frame;
+  Frame.movapsLoad(XMM::XMM0, GPR::RBX, 0x40);
+  Frame.addps(XMM::XMM0, GPR::RBX, 0x50);
+  Frame.movapsStore(GPR::RBX, 0x60, XMM::XMM0);
+  EXPECT_EQ(Frame.code(),
+            bytes({0x0F, 0x28, 0x83, 0x40, 0x00, 0x00, 0x00,     // movaps
+                   0x0F, 0x58, 0x83, 0x50, 0x00, 0x00, 0x00,     // addps RM
+                   0x0F, 0x29, 0x83, 0x60, 0x00, 0x00, 0x00}));  // store
+
+  X86Emitter Resident;
+  Resident.movapsReg(XMM::XMM0, XMM::XMM4); // cached LHS -> accumulator
+  Resident.addps(XMM::XMM0, XMM::XMM5);     // cached RHS, reg-reg
+  EXPECT_EQ(Resident.code(),
+            bytes({0x0F, 0x28, 0xC4, 0x0F, 0x58, 0xC5}));
+  EXPECT_LT(Resident.size(), Frame.size());
+}
+
 TEST(JitEmitterTest, CodeBufferWXLifecycle) {
   CodeBuffer CB;
   EXPECT_FALSE(static_cast<bool>(CB));

@@ -477,6 +477,180 @@ TEST_F(NativeEngineTest, NativeCodeSizeReported) {
 // be observationally identical between the native and bytecode engines.
 //===----------------------------------------------------------------------===//
 
+TEST_F(NativeEngineTest, ISACapDowngradesOnly) {
+  CPUFeatures Full;
+  Full.X86_64 = Full.SSE2 = Full.SSE41 = Full.AVX = Full.AVX2 = true;
+
+  CPUFeatures C = applyISACap(Full, "sse2");
+  EXPECT_TRUE(C.SSE2);
+  EXPECT_FALSE(C.SSE41 || C.AVX || C.AVX2);
+
+  C = applyISACap(Full, "sse4.1");
+  EXPECT_TRUE(C.SSE2 && C.SSE41);
+  EXPECT_FALSE(C.AVX || C.AVX2);
+  // The alternate spelling caps identically.
+  CPUFeatures C2 = applyISACap(Full, "sse41");
+  EXPECT_EQ(C.SSE41, C2.SSE41);
+  EXPECT_EQ(C.AVX, C2.AVX);
+
+  C = applyISACap(Full, "avx");
+  EXPECT_TRUE(C.AVX);
+  EXPECT_FALSE(C.AVX2);
+
+  // No-ops: empty, "host", the full tier, and unrecognized values.
+  for (const char *Cap : {"", "host", "avx2", "bogus"}) {
+    C = applyISACap(Full, Cap);
+    EXPECT_TRUE(C.SSE41 && C.AVX && C.AVX2) << Cap;
+  }
+
+  // A cap can only downgrade: capping an SSE2-only host at avx2 grants
+  // nothing.
+  CPUFeatures Sse2Only;
+  Sse2Only.X86_64 = Sse2Only.SSE2 = true;
+  C = applyISACap(Sse2Only, "avx2");
+  EXPECT_FALSE(C.SSE41 || C.AVX || C.AVX2);
+}
+
+TEST_F(NativeEngineTest, RegAllocElidesStoresAndMatchesBytecode) {
+  // %s has a single in-block register-readable use (the mul), so its
+  // frame store is elided; %m feeds ret, which reads the frame, so it is
+  // not allocated at all.
+  Function *F = parse("func @elide(i64 %x, i64 %y) -> i64 {\n"
+                      "entry:\n"
+                      "  %s = add i64 %x, %y\n"
+                      "  %m = mul i64 %s, %s\n"
+                      "  ret i64 %m\n"
+                      "}\n");
+  expectParity(F, {argInt64(41), argInt64(1)});
+  if (!jitAvailableOnHost())
+    GTEST_SKIP() << "host has no JIT support";
+  ExecutionEngine E(*F);
+  ASSERT_TRUE(E.isNativeAvailable()) << E.nativeDisabledReason();
+  EXPECT_TRUE(E.nativeRegAllocEnabled());
+  EXPECT_GE(E.nativeRegAllocValues(), 1u);
+  EXPECT_GE(E.nativeRegAllocElidedStores(), 1u);
+  EXPECT_EQ(E.nativeRegAllocSpills(), 0u);
+}
+
+TEST_F(NativeEngineTest, RegAllocSpillPressureParity) {
+  // Thirteen <4 x f32> loads all live until the reduction chain below
+  // exhausts the eleven-register XMM pool, forcing per-value spills back
+  // to the frame path; the GEP chain keeps GPR pressure up as well.
+  // Values, accounting and memory must stay bit-identical regardless.
+  std::string Src = "func @pressure(ptr %p) -> f32 {\nentry:\n";
+  for (int I = 0; I < 13; ++I) {
+    Src += "  %g" + std::to_string(I) + " = gep f32, ptr %p, i64 " +
+           std::to_string(I * 4) + "\n";
+    Src += "  %v" + std::to_string(I) + " = load <4 x f32>, ptr %g" +
+           std::to_string(I) + "\n";
+  }
+  Src += "  %s0 = fadd <4 x f32> %v0, %v1\n";
+  for (int I = 1; I < 12; ++I)
+    Src += "  %s" + std::to_string(I) + " = fadd <4 x f32> %s" +
+           std::to_string(I - 1) + ", %v" + std::to_string(I + 1) + "\n";
+  Src += "  %e = extractelement <4 x f32> %s11, 0\n"
+         "  ret f32 %e\n"
+         "}\n";
+  Function *F = parse(Src);
+  std::vector<float> Data(13 * 4);
+  for (size_t I = 0; I < Data.size(); ++I)
+    Data[I] = 0.5f * static_cast<float>(I) - 7.0f;
+
+  ExecutionEngine E(*F);
+  E.addMemoryRange(Data.data(), Data.size() * sizeof(float));
+  ExecutionResult NR = E.runNative({argPointer(Data.data())});
+  ExecutionResult BR = E.run({argPointer(Data.data())});
+  ASSERT_TRUE(NR.Ok) << NR.Error;
+  EXPECT_EQ(NR.StepsExecuted, BR.StepsExecuted);
+  EXPECT_EQ(NR.VectorSteps, BR.VectorSteps);
+  EXPECT_DOUBLE_EQ(NR.Cycles, BR.Cycles);
+  EXPECT_TRUE(NR.ReturnValue.bitwiseEquals(BR.ReturnValue));
+  if (jitAvailableOnHost()) {
+    ASSERT_EQ(NR.EngineUsed, EngineKind::Native);
+    EXPECT_GT(E.nativeRegAllocValues(), 0u);
+    EXPECT_GT(E.nativeRegAllocSpills(), 0u);
+  }
+}
+
+TEST_F(NativeEngineTest, RegAllocOnOffBitExact) {
+  // The allocator must be invisible to every observable: a looping,
+  // phi-carrying, memory-writing kernel run with allocation on and off
+  // (and under the bytecode engine) produces identical values, buffers,
+  // steps, vector steps and simulated cycles — the r13/r14/r15/xmm15
+  // accounting registers are outside the allocator's pool and their
+  // bookkeeping must not shift by a single count.
+  const char *Src = "func @loop(ptr %p, i64 %n) -> f32 {\n"
+                    "entry:\n"
+                    "  br label %head\n"
+                    "head:\n"
+                    "  %i = phi i64 [ 0, %entry ], [ %i2, %body ]\n"
+                    "  %acc = phi f32 [ 0.0, %entry ], [ %acc2, %body ]\n"
+                    "  %c = icmp slt i64 %i, %n\n"
+                    "  br i1 %c, label %body, label %exit\n"
+                    "body:\n"
+                    "  %g = gep f32, ptr %p, i64 %i\n"
+                    "  %v = load <4 x f32>, ptr %g\n"
+                    "  %d = fmul <4 x f32> %v, %v\n"
+                    "  store <4 x f32> %d, ptr %g\n"
+                    "  %e = extractelement <4 x f32> %d, 1\n"
+                    "  %acc2 = fadd f32 %acc, %e\n"
+                    "  %i2 = add i64 %i, 4\n"
+                    "  br label %head\n"
+                    "exit:\n"
+                    "  ret f32 %acc\n"
+                    "}\n";
+  Function *F = parse(Src);
+  TargetCostModel TCM;
+  auto CycleFn = [&TCM](const Instruction &I) {
+    return TCM.executionCycles(I);
+  };
+
+  auto RunWith = [&](bool RegAlloc, std::vector<float> &Buf,
+                     ExecutionResult &R, EngineKind Kind) {
+    ExecutionEngine E(*F, CycleFn);
+    E.setNativeRegAlloc(RegAlloc);
+    E.addMemoryRange(Buf.data(), Buf.size() * sizeof(float));
+    std::vector<RTValue> Args = {
+        argPointer(Buf.data()),
+        argInt64(static_cast<int64_t>(Buf.size()) - 3)};
+    R = E.run(Kind, Args);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    if (Kind == EngineKind::Native && jitAvailableOnHost()) {
+      ASSERT_EQ(R.EngineUsed, EngineKind::Native)
+          << E.nativeDisabledReason();
+      EXPECT_EQ(E.nativeRegAllocEnabled(), RegAlloc);
+      if (!RegAlloc)
+        EXPECT_EQ(E.nativeRegAllocValues(), 0u);
+    }
+  };
+
+  auto MakeBuf = [] {
+    std::vector<float> Buf(64);
+    for (size_t I = 0; I < Buf.size(); ++I)
+      Buf[I] = 0.25f * static_cast<float>(I) - 3.0f;
+    return Buf;
+  };
+  std::vector<float> OnBuf = MakeBuf(), OffBuf = MakeBuf(),
+                     ByteBuf = MakeBuf();
+  ExecutionResult On, Off, Byte;
+  RunWith(true, OnBuf, On, EngineKind::Native);
+  RunWith(false, OffBuf, Off, EngineKind::Native);
+  RunWith(true, ByteBuf, Byte, EngineKind::Bytecode);
+
+  for (const ExecutionResult *R : {&Off, &Byte}) {
+    EXPECT_EQ(On.StepsExecuted, R->StepsExecuted);
+    EXPECT_EQ(On.VectorSteps, R->VectorSteps);
+    EXPECT_DOUBLE_EQ(On.Cycles, R->Cycles);
+    EXPECT_TRUE(On.ReturnValue.bitwiseEquals(R->ReturnValue));
+  }
+  EXPECT_EQ(std::memcmp(OnBuf.data(), OffBuf.data(),
+                        OnBuf.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(OnBuf.data(), ByteBuf.data(),
+                        OnBuf.size() * sizeof(float)),
+            0);
+}
+
 struct KernelModeCase {
   std::string KernelName;
   VectorizerMode Mode;
