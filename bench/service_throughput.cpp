@@ -12,7 +12,16 @@
 ///     cache hit; the warm path must be an order of magnitude cheaper),
 ///   - sustained throughput (requests/s) and per-request latency
 ///     percentiles (p50/p95/p99) across worker-pool sizes 1/2/4/8, at a
-///     0% and a ~90% cache-hit ratio.
+///     0% and a ~90% cache-hit ratio,
+///   - the overload path: a bounded queue behind a pinned worker, clients
+///     absorbing the retryable `overloaded` rejections with jittered
+///     backoff (counters: overloaded, retries),
+///   - the deadline path: expired-in-queue requests shed without
+///     compiling (counter: deadline_shed),
+///   - the persistent artifact store: cold publish vs a warm-restart
+///     disk-hit pass over the same store dir, plus quarantine+recompile
+///     of an entry corrupted on disk (counters: store_writes, disk_hits,
+///     quarantined, recompiles; disk_speedup relates the two passes).
 /// Everything lands in BENCH_service.json.
 ///
 /// Throughput scaling across pool sizes is only observable on multi-core
@@ -29,11 +38,16 @@
 #include "BenchJson.h"
 
 #include "service/CompileService.h"
+#include "service/RetryPolicy.h"
 #include "support/Statistic.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -245,6 +259,278 @@ int main(int Argc, char **Argv) {
       KeyBase += Requests;
       reportLoad(Rep, "w" + std::to_string(Workers) + "_hit90", Hot,
                  Requests);
+    }
+  }
+
+  using Clock = std::chrono::steady_clock;
+  auto ElapsedNs = [](Clock::time_point T0) {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - T0)
+            .count());
+  };
+  // Pins every pool worker on a gate so submissions below contend only on
+  // the pending queue; returns the release function.
+  auto PinWorkers = [](CompileService &Service, unsigned Workers) {
+    auto Gate = std::make_shared<std::promise<void>>();
+    auto Released = Gate->get_future().share();
+    auto Pinned = std::make_shared<std::atomic<unsigned>>(0);
+    for (unsigned W = 0; W < Workers; ++W)
+      Service.pool().submit([Released, Pinned] {
+        Pinned->fetch_add(1);
+        Released.wait();
+      });
+    while (Pinned->load() < Workers)
+      std::this_thread::yield();
+    return [Gate] { Gate->set_value(); };
+  };
+
+  // --- Overload + retry: a bounded queue behind a pinned worker. Every
+  // submission past MaxQueueDepth is rejected with the retryable
+  // `overloaded` code; the client absorbs rejections with full-jitter
+  // backoff and resubmits until the drained queue admits it.
+  {
+    const unsigned Total = Smoke ? 8 : 64;
+    const unsigned Base = 1u << 22;
+    StatsRegistry Stats;
+    ServiceConfig Cfg;
+    Cfg.Workers = 1;
+    Cfg.MaxQueueDepth = 2;
+    Cfg.Stats = &Stats;
+    CompileService Service(Cfg);
+    auto Release = PinWorkers(Service, 1);
+
+    auto T0 = Clock::now();
+    std::vector<std::future<Expected<CompiledUnit>>> Futs;
+    Futs.reserve(Total);
+    for (unsigned I = 0; I < Total; ++I)
+      Futs.push_back(Service.submit(makeRequest(Base + I)));
+    Release();
+
+    RetryPolicy::Options RO;
+    RO.MaxRetries = 1u << 12; // the queue drains; retries always land
+    RO.BaseDelayMillis = 1;
+    RO.MaxDelayMillis = 8;
+    RetryPolicy Retry(RO);
+    uint64_t Retries = 0;
+    for (unsigned I = 0; I < Total; ++I) {
+      Expected<CompiledUnit> U = Futs[I].get();
+      unsigned Failed = 0;
+      while (!U && RetryPolicy::isRetryable(U.errorCode()) &&
+             Retry.shouldRetry(++Failed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(Retry.nextBackoffMillis(Failed)));
+        ++Retries;
+        U = Service.submit(makeRequest(Base + I)).get();
+      }
+      if (!U) {
+        std::fprintf(stderr, "service_throughput: overload request never "
+                             "succeeded: %s\n",
+                     U.errorMessage().c_str());
+        return 1;
+      }
+    }
+    double WallNs = ElapsedNs(T0);
+    double Overloaded =
+        static_cast<double>(Stats.get("service.queue.rejected"));
+    Entry &E = Rep.add("overload_w1_q2", Total, WallNs / Total);
+    E.Extra.emplace_back("overloaded", Overloaded);
+    E.Extra.emplace_back("retries", static_cast<double>(Retries));
+    E.Extra.emplace_back(
+        "throughput_rps", static_cast<double>(Total) / (WallNs * 1e-9));
+    std::printf("overload_w1_q2: %u requests, %.0f rejected overloaded, "
+                "%llu retries, all eventually ok\n",
+                Total, Overloaded, static_cast<unsigned long long>(Retries));
+    if (Overloaded < 1.0) {
+      std::fprintf(stderr, "service_throughput: bounded queue never "
+                           "rejected — admission control is broken\n");
+      return 1;
+    }
+  }
+
+  // --- Deadline shedding: requests with a 1 ms deadline parked behind a
+  // pinned worker expire in the queue and are shed at dequeue without
+  // compiling; the deadline-free resubmission compiles normally.
+  {
+    const unsigned Total = Smoke ? 4 : 32;
+    const unsigned Base = 1u << 23;
+    StatsRegistry Stats;
+    ServiceConfig Cfg;
+    Cfg.Workers = 1;
+    Cfg.Stats = &Stats;
+    CompileService Service(Cfg);
+    auto Release = PinWorkers(Service, 1);
+
+    std::vector<std::future<Expected<CompiledUnit>>> Futs;
+    Futs.reserve(Total);
+    for (unsigned I = 0; I < Total; ++I) {
+      CompileRequest Req = makeRequest(Base + I);
+      Req.DeadlineMillis = 1;
+      Futs.push_back(Service.submit(std::move(Req)));
+    }
+    // Everything is queued behind the pin; by the time the worker gets to
+    // a request its deadline is long gone.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    Release();
+    unsigned ShedCount = 0;
+    for (auto &F : Futs) {
+      Expected<CompiledUnit> U = F.get();
+      if (!U && U.errorCode() == ErrorCode::DeadlineExceeded)
+        ++ShedCount;
+    }
+    auto T0 = Clock::now();
+    for (unsigned I = 0; I < Total; ++I) {
+      Expected<CompiledUnit> U = Service.compileSync(makeRequest(Base + I));
+      if (!U) {
+        std::fprintf(stderr, "service_throughput: deadline-free resubmit "
+                             "failed: %s\n",
+                     U.errorMessage().c_str());
+        return 1;
+      }
+    }
+    double ResubmitNs = ElapsedNs(T0);
+    Entry &E = Rep.add("deadline_shed_w1", Total, ResubmitNs / Total);
+    E.Extra.emplace_back("deadline_shed",
+                         static_cast<double>(Stats.get("service.deadline.shed")));
+    E.Extra.emplace_back("deadline_expired_mid_compile",
+                         static_cast<double>(
+                             Stats.get("service.deadline.expired")));
+    std::printf("deadline_shed_w1: %u 1ms-deadline requests, %u shed in "
+                "queue, resubmit ok\n",
+                Total, ShedCount);
+    if (ShedCount != Total) {
+      std::fprintf(stderr, "service_throughput: only %u/%u expired "
+                           "requests were shed\n",
+                   ShedCount, Total);
+      return 1;
+    }
+  }
+
+  // --- Persistent artifact store: cold publish, warm-restart disk hits,
+  // quarantine + recompile of a corrupted entry. Three service
+  // generations over one store directory, like daemon restarts.
+  {
+    namespace fs = std::filesystem;
+    const unsigned PoolN = Smoke ? 4 : 32;
+    const unsigned Base = 1u << 24;
+    std::string Tmpl =
+        (fs::temp_directory_path() / "snslp-bench-store-XXXXXX").string();
+    std::vector<char> Dir(Tmpl.begin(), Tmpl.end());
+    Dir.push_back('\0');
+    if (!mkdtemp(Dir.data())) {
+      std::fprintf(stderr, "service_throughput: mkdtemp failed\n");
+      return 1;
+    }
+    std::string StoreDir(Dir.data());
+    auto MakeCfg = [&](StatsRegistry &Stats) {
+      ServiceConfig Cfg;
+      Cfg.Workers = 1;
+      Cfg.StoreDir = StoreDir;
+      Cfg.Stats = &Stats;
+      return Cfg;
+    };
+    auto RunPool = [&](CompileService &Service, bool WantDiskHits,
+                       const char *Phase) {
+      unsigned DiskHits = 0;
+      auto T0 = Clock::now();
+      for (unsigned I = 0; I < PoolN; ++I) {
+        Expected<CompiledUnit> U = Service.compileSync(makeRequest(Base + I));
+        if (!U) {
+          std::fprintf(stderr, "service_throughput: %s request failed: %s\n",
+                       Phase, U.errorMessage().c_str());
+          std::exit(1);
+        }
+        DiskHits += U->DiskHit;
+      }
+      if (WantDiskHits && DiskHits != PoolN) {
+        std::fprintf(stderr, "service_throughput: %s served %u/%u disk "
+                             "hits\n",
+                     Phase, DiskHits, PoolN);
+        std::exit(1);
+      }
+      return ElapsedNs(T0);
+    };
+
+    StatsRegistry ColdStats, WarmStats, CorruptStats;
+    double ColdNs, WarmNs, RecoverNs;
+    {
+      CompileService Service(MakeCfg(ColdStats));
+      ColdNs = RunPool(Service, /*WantDiskHits=*/false, "cold-publish");
+    }
+    {
+      CompileService Service(MakeCfg(WarmStats));
+      WarmNs = RunPool(Service, /*WantDiskHits=*/true, "warm-restart");
+    }
+    // Corrupt one published artifact on disk; the next generation must
+    // quarantine it, recompile from source, and re-publish.
+    bool Flipped = false;
+    for (const auto &Ent : fs::directory_iterator(StoreDir)) {
+      if (Ent.path().extension() != ".art")
+        continue;
+      std::fstream F(Ent.path(),
+                     std::ios::in | std::ios::out | std::ios::binary);
+      F.seekg(0, std::ios::end);
+      auto Size = static_cast<long>(F.tellg());
+      char C = 0;
+      F.seekg(Size / 2);
+      F.read(&C, 1);
+      C = static_cast<char>(C ^ 0x40);
+      F.seekp(Size / 2);
+      F.write(&C, 1);
+      Flipped = static_cast<bool>(F);
+      break;
+    }
+    if (!Flipped) {
+      std::fprintf(stderr, "service_throughput: no artifact to corrupt\n");
+      return 1;
+    }
+    {
+      CompileService Service(MakeCfg(CorruptStats));
+      RecoverNs = RunPool(Service, /*WantDiskHits=*/false, "quarantine");
+    }
+
+    double DiskSpeedup = WarmNs > 0.0 ? ColdNs / WarmNs : 0.0;
+    Entry &EC = Rep.add("store_cold_publish", PoolN, ColdNs / PoolN);
+    EC.Extra.emplace_back(
+        "store_writes",
+        static_cast<double>(ColdStats.get("service.store.writes")));
+    Entry &EW = Rep.add("store_warm_restart", PoolN, WarmNs / PoolN);
+    EW.Extra.emplace_back(
+        "disk_hits", static_cast<double>(WarmStats.get("service.store.hits")));
+    EW.Extra.emplace_back("disk_speedup", DiskSpeedup);
+    Entry &EQ = Rep.add("store_corrupt_recover", PoolN, RecoverNs / PoolN);
+    EQ.Extra.emplace_back(
+        "quarantined",
+        static_cast<double>(CorruptStats.get("service.store.quarantined")));
+    EQ.Extra.emplace_back(
+        "recompiles",
+        static_cast<double>(CorruptStats.get("service.store.recompiles")));
+    EQ.Extra.emplace_back(
+        "disk_hits",
+        static_cast<double>(CorruptStats.get("service.store.hits")));
+    std::printf("store: cold %.0f ns/op, disk-hit restart %.0f ns/op -> "
+                "%.1fx; corrupt recovery quarantined %lld, recompiled "
+                "%lld\n",
+                ColdNs / PoolN, WarmNs / PoolN, DiskSpeedup,
+                static_cast<long long>(
+                    CorruptStats.get("service.store.quarantined")),
+                static_cast<long long>(
+                    CorruptStats.get("service.store.recompiles")));
+    bool StoreOk =
+        WarmStats.get("service.store.hits") == static_cast<int64_t>(PoolN) &&
+        CorruptStats.get("service.store.quarantined") == 1 &&
+        CorruptStats.get("service.store.recompiles") >= 1;
+    std::error_code EC2;
+    fs::remove_all(StoreDir, EC2);
+    if (!StoreOk) {
+      std::fprintf(stderr, "service_throughput: persistent store counters "
+                           "off (hits %lld, quarantined %lld, recompiles "
+                           "%lld)\n",
+                   static_cast<long long>(WarmStats.get("service.store.hits")),
+                   static_cast<long long>(
+                       CorruptStats.get("service.store.quarantined")),
+                   static_cast<long long>(
+                       CorruptStats.get("service.store.recompiles")));
+      return 1;
     }
   }
 

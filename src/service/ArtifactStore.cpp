@@ -1,0 +1,308 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ArtifactStore.h"
+
+#include "support/FaultInjection.h"
+#include "support/Statistic.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <fcntl.h>
+#include <sstream>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+using namespace snslp;
+
+// Entry file layout (line-oriented header, then a length-prefixed body):
+//
+//   snslp-artifact v1
+//   checksum: <16 hex>        FNV-1a64 of every byte after this line
+//   key: <32 hex>             must match the file's content address
+//   entry: <function name>
+//   graphs-vectorized: <N>
+//   budget-bailouts: <N>
+//   body: <K>
+//   <blank line>
+//   <K bytes of vectorized module text>
+//
+// The checksum covers the key line too, so a record renamed under the
+// wrong key is Corrupt, not a silent wrong-artifact hit.
+
+static const char kMagicLine[] = "snslp-artifact v1";
+
+ArtifactStore::ArtifactStore(std::string Dir, StatsRegistry *Stats)
+    : Dir(std::move(Dir)), Stats(Stats) {}
+
+void ArtifactStore::bump(std::atomic<uint64_t> &C, const char *StatName) {
+  C.fetch_add(1, std::memory_order_relaxed);
+  if (Stats)
+    Stats->add(StatName);
+}
+
+std::string ArtifactStore::entryPath(const Digest128 &Key) const {
+  return Dir + "/" + Key.toHex() + ".art";
+}
+
+static bool makeDir(const std::string &Path) {
+  if (::mkdir(Path.c_str(), 0755) == 0)
+    return true;
+  if (errno != EEXIST)
+    return false;
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode);
+}
+
+Error ArtifactStore::prepare() {
+  if (!enabled())
+    return Error::success();
+  for (const std::string &P : {Dir, Dir + "/tmp", Dir + "/quarantine"})
+    if (!makeDir(P))
+      return Error::make(ErrorCode::IOError,
+                         "artifact store: cannot create directory '" + P +
+                             "': " + std::strerror(errno));
+  sweepTemp();
+  return Error::success();
+}
+
+size_t ArtifactStore::sweepTemp() {
+  if (!enabled())
+    return 0;
+  const std::string TmpDir = Dir + "/tmp";
+  DIR *D = ::opendir(TmpDir.c_str());
+  if (!D)
+    return 0;
+  size_t Removed = 0;
+  while (struct dirent *E = ::readdir(D)) {
+    if (E->d_name[0] == '.')
+      continue;
+    if (::unlink((TmpDir + "/" + E->d_name).c_str()) == 0)
+      ++Removed;
+  }
+  ::closedir(D);
+  if (Removed && Stats)
+    Stats->add("service.store.tmp-swept", static_cast<int64_t>(Removed));
+  return Removed;
+}
+
+static bool readWholeFile(const std::string &Path, std::string &Out,
+                          bool &NotFound) {
+  NotFound = false;
+  int FD = ::open(Path.c_str(), O_RDONLY);
+  if (FD < 0) {
+    NotFound = errno == ENOENT;
+    return false;
+  }
+  Out.clear();
+  char Buf[1 << 16];
+  for (;;) {
+    ssize_t N = ::read(FD, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(FD);
+      return false;
+    }
+    if (N == 0)
+      break;
+    Out.append(Buf, static_cast<size_t>(N));
+  }
+  ::close(FD);
+  return true;
+}
+
+// Parses "<label> <value>\n" at Pos; advances Pos past the newline.
+static bool takeLine(const std::string &S, size_t &Pos, const char *Label,
+                     std::string &Value) {
+  size_t NL = S.find('\n', Pos);
+  if (NL == std::string::npos)
+    return false;
+  std::string Line = S.substr(Pos, NL - Pos);
+  Pos = NL + 1;
+  size_t LabelLen = std::strlen(Label);
+  if (Line.compare(0, LabelLen, Label) != 0)
+    return false;
+  Value = Line.substr(LabelLen);
+  return true;
+}
+
+static bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (errno != 0 || End == S.c_str() || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+static std::string hex16(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+void ArtifactStore::quarantine(const Digest128 &Key) {
+  const std::string From = entryPath(Key);
+  // A unique destination per quarantine event: repeated corruption of the
+  // same key must not silently overwrite earlier evidence.
+  for (unsigned I = 0; I < 16; ++I) {
+    std::string To = Dir + "/quarantine/" + Key.toHex() + ".art." +
+                     std::to_string(I);
+    if (::access(To.c_str(), F_OK) == 0)
+      continue;
+    if (::rename(From.c_str(), To.c_str()) == 0) {
+      bump(Quarantined, "service.store.quarantined");
+      return;
+    }
+    break;
+  }
+  // Rename failed (or 16 corrupt generations already); fall back to
+  // unlink so the poisoned entry can at least never be served again.
+  ::unlink(From.c_str());
+  bump(Quarantined, "service.store.quarantined");
+}
+
+ArtifactStore::LoadState ArtifactStore::load(const Digest128 &Key,
+                                             Record &Out) {
+  if (!enabled())
+    return LoadState::Miss;
+
+  if (faultPoint("service.store.io-error")) {
+    bump(IOErrors, "service.store.io-errors");
+    return LoadState::IOError;
+  }
+
+  std::string Content;
+  bool NotFound = false;
+  if (!readWholeFile(entryPath(Key), Content, NotFound)) {
+    if (NotFound) {
+      bump(Misses, "service.store.misses");
+      return LoadState::Miss;
+    }
+    bump(IOErrors, "service.store.io-errors");
+    return LoadState::IOError;
+  }
+
+  // The injected-corruption site fires *after* a successful read: the
+  // entry exists and is intact, but the verifier must behave exactly as
+  // it would for real bit rot — quarantine and report Corrupt.
+  bool Injected = faultPoint("service.store.corrupt");
+
+  auto Fail = [&]() {
+    quarantine(Key);
+    return LoadState::Corrupt;
+  };
+
+  size_t Pos = 0;
+  std::string Magic, Checksum, KeyHex, EntryName, GraphsStr, BailoutsStr,
+      BodyLen;
+  size_t NL = Content.find('\n', Pos);
+  if (NL == std::string::npos)
+    return Fail();
+  Magic = Content.substr(0, NL);
+  Pos = NL + 1;
+  if (Magic != kMagicLine)
+    return Fail();
+  if (!takeLine(Content, Pos, "checksum: ", Checksum))
+    return Fail();
+
+  // Everything after the checksum line is covered by the checksum.
+  const uint64_t Computed =
+      fnv1a64(Content.data() + Pos, Content.size() - Pos);
+  if (Injected || Checksum != hex16(Computed))
+    return Fail();
+
+  uint64_t Len = 0;
+  if (!takeLine(Content, Pos, "key: ", KeyHex) || KeyHex != Key.toHex())
+    return Fail();
+  if (!takeLine(Content, Pos, "entry: ", EntryName))
+    return Fail();
+  if (!takeLine(Content, Pos, "graphs-vectorized: ", GraphsStr) ||
+      !parseU64(GraphsStr, Out.GraphsVectorized))
+    return Fail();
+  if (!takeLine(Content, Pos, "budget-bailouts: ", BailoutsStr) ||
+      !parseU64(BailoutsStr, Out.BudgetBailouts))
+    return Fail();
+  if (!takeLine(Content, Pos, "body: ", BodyLen) || !parseU64(BodyLen, Len))
+    return Fail();
+  if (Pos >= Content.size() || Content[Pos] != '\n')
+    return Fail();
+  ++Pos;
+  if (Content.size() - Pos != Len)
+    return Fail();
+
+  Out.EntryName = std::move(EntryName);
+  Out.VectorizedText = Content.substr(Pos, Len);
+  bump(Hits, "service.store.hits");
+  return LoadState::Hit;
+}
+
+bool ArtifactStore::store(const Digest128 &Key, const Record &Rec) {
+  if (!enabled())
+    return false;
+
+  if (faultPoint("service.store.io-error")) {
+    bump(IOErrors, "service.store.io-errors");
+    return false;
+  }
+
+  // Assemble the checksummed payload first, then prepend magic+checksum.
+  std::ostringstream Payload;
+  Payload << "key: " << Key.toHex() << '\n'
+          << "entry: " << Rec.EntryName << '\n'
+          << "graphs-vectorized: " << Rec.GraphsVectorized << '\n'
+          << "budget-bailouts: " << Rec.BudgetBailouts << '\n'
+          << "body: " << Rec.VectorizedText.size() << '\n'
+          << '\n'
+          << Rec.VectorizedText;
+  const std::string Body = Payload.str();
+  const std::string Blob = std::string(kMagicLine) + "\n" +
+                           "checksum: " + hex16(fnv1a64(Body)) + "\n" + Body;
+
+  const std::string TmpPath = Dir + "/tmp/" + Key.toHex() + "." +
+                              std::to_string(::getpid()) + ".tmp";
+  int FD = ::open(TmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (FD < 0) {
+    bump(IOErrors, "service.store.io-errors");
+    return false;
+  }
+  size_t Off = 0;
+  while (Off < Blob.size()) {
+    ssize_t N = ::write(FD, Blob.data() + Off, Blob.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(FD);
+      ::unlink(TmpPath.c_str());
+      bump(IOErrors, "service.store.io-errors");
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  // fsync before rename: the entry must be durable before it becomes
+  // visible, or a crash could publish a hole.
+  if (::fsync(FD) != 0 || ::close(FD) != 0) {
+    ::close(FD);
+    ::unlink(TmpPath.c_str());
+    bump(IOErrors, "service.store.io-errors");
+    return false;
+  }
+  if (::rename(TmpPath.c_str(), entryPath(Key).c_str()) != 0) {
+    ::unlink(TmpPath.c_str());
+    bump(IOErrors, "service.store.io-errors");
+    return false;
+  }
+  bump(Writes, "service.store.writes");
+  return true;
+}

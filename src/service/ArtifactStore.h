@@ -1,0 +1,131 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-safe persistent artifact store: the on-disk tier behind the
+/// in-memory CompileCache LRU. Entries are content-addressed by the same
+/// Digest128 request key the memory cache uses, so a daemon restarted on
+/// the same store directory repopulates its warm path without recompiling.
+///
+/// Durability contract (docs/service.md):
+///  - **Atomic publication.** An entry is written to `tmp/<key>.<pid>.tmp`
+///    (write + fsync) and then rename(2)d to `<key>.art`. A `kill -9` at
+///    any point leaves either no entry or a complete one — readers never
+///    observe a half-written file at the published path.
+///  - **Verified load.** Every entry embeds an FNV-1a checksum over its
+///    payload; a mismatch (truncation, bit rot, torn write on a
+///    non-atomic filesystem) classifies the entry as Corrupt.
+///  - **Quarantine, never serve, never die.** Corrupt entries are moved
+///    aside to `quarantine/` and reported as a miss: the service
+///    recompiles from source and re-publishes a fresh entry. Store I/O
+///    errors are likewise absorbed — the store is an accelerator, not a
+///    dependency, so every failure degrades to "compile it again".
+///
+/// Fault sites `service.store.corrupt` and `service.store.io-error`
+/// (support/FaultInjection.h) force these paths deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SERVICE_ARTIFACTSTORE_H
+#define SNSLP_SERVICE_ARTIFACTSTORE_H
+
+#include "support/Error.h"
+#include "support/Hashing.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace snslp {
+
+class StatsRegistry;
+
+/// On-disk content-addressed artifact store. Thread-safe: writes go
+/// through process-unique temp files and an atomic rename; loads read
+/// published files only.
+class ArtifactStore {
+public:
+  /// The persisted slice of a CompiledProgram: enough to rebuild the unit
+  /// (re-parse + engine build) without re-running the vectorizer pipeline.
+  /// GraphsVectorized/BudgetBailouts are persisted so that cache policy
+  /// that reads them (StrictBudgets re-checks, remark trails) behaves the
+  /// same on a disk hit as on a memory hit.
+  struct Record {
+    std::string EntryName;
+    std::string VectorizedText;
+    uint64_t GraphsVectorized = 0;
+    uint64_t BudgetBailouts = 0;
+  };
+
+  enum class LoadState {
+    Hit,     ///< Record loaded and checksum-verified.
+    Miss,    ///< No entry published under this key.
+    Corrupt, ///< Entry failed verification; it has been quarantined.
+    IOError, ///< Entry exists but could not be read (permissions, ...).
+  };
+
+  /// \p Dir is the store root; empty disables the store (every load
+  /// misses, every store is a no-op). \p Stats receives the
+  /// `service.store.*` counters (not owned, may be null).
+  explicit ArtifactStore(std::string Dir, StatsRegistry *Stats = nullptr);
+
+  bool enabled() const { return !Dir.empty(); }
+  const std::string &dir() const { return Dir; }
+
+  /// Creates the store layout (`<dir>`, `<dir>/tmp`, `<dir>/quarantine`)
+  /// and sweeps orphaned temp files from crashed writers. Returns an
+  /// IOError when the directories cannot be created; callers may treat
+  /// that as "store disabled" rather than fatal.
+  Error prepare();
+
+  /// Loads the entry for \p Key into \p Out. Corrupt entries are
+  /// quarantined (moved to `quarantine/`, counted) before returning.
+  LoadState load(const Digest128 &Key, Record &Out);
+
+  /// Publishes \p Rec under \p Key (write temp + fsync + rename).
+  /// Best-effort: returns false on any I/O failure (counted in
+  /// `service.store.io-errors`), which callers ignore — the artifact
+  /// simply is not persisted.
+  bool store(const Digest128 &Key, const Record &Rec);
+
+  /// Removes leftover `tmp/*` files (crashed mid-write publications).
+  /// Returns the number removed. Called by prepare().
+  size_t sweepTemp();
+
+  /// Published path for \p Key (exists only after a successful store()).
+  std::string entryPath(const Digest128 &Key) const;
+
+  /// \name Counters (also mirrored into the StatsRegistry when present).
+  /// @{
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t writes() const { return Writes.load(std::memory_order_relaxed); }
+  uint64_t quarantined() const {
+    return Quarantined.load(std::memory_order_relaxed);
+  }
+  uint64_t ioErrors() const {
+    return IOErrors.load(std::memory_order_relaxed);
+  }
+  /// @}
+
+private:
+  /// Moves the published entry for \p Key into `quarantine/` so it can
+  /// never be served again (best-effort unlink fallback).
+  void quarantine(const Digest128 &Key);
+  void bump(std::atomic<uint64_t> &C, const char *StatName);
+
+  std::string Dir;
+  StatsRegistry *Stats;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Writes{0};
+  std::atomic<uint64_t> Quarantined{0};
+  std::atomic<uint64_t> IOErrors{0};
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SERVICE_ARTIFACTSTORE_H

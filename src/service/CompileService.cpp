@@ -13,6 +13,7 @@
 #include "ir/IRPrinter.h"
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
+#include "support/FaultInjection.h"
 #include "support/Statistic.h"
 
 #include <algorithm>
@@ -64,10 +65,31 @@ size_t CompiledProgram::cachedBytes() const {
 // CompileService
 //===----------------------------------------------------------------------===//
 
+static uint64_t steadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// True when \p AbsDeadlineNanos (0 = none) has passed.
+static bool deadlineExpired(uint64_t AbsDeadlineNanos) {
+  return AbsDeadlineNanos != 0 && steadyNowNanos() >= AbsDeadlineNanos;
+}
+
 CompileService::CompileService(ServiceConfig Cfg)
     : Stats(Cfg.Stats), Cache(Cfg.CacheBytes, Cfg.Stats),
+      Store(std::move(Cfg.StoreDir), Cfg.Stats),
+      MaxQueueDepth(Cfg.MaxQueueDepth),
       Pool(Cfg.Workers ? Cfg.Workers
-                       : std::max(1u, std::thread::hardware_concurrency())) {}
+                       : std::max(1u, std::thread::hardware_concurrency())) {
+  // The store is an accelerator, not a dependency: an unusable store
+  // directory degrades to compile-everything (I/O errors are counted),
+  // never to a failed service.
+  Error E = Store.prepare();
+  if (E && Stats)
+    Stats->add("service.store.io-errors");
+}
 
 CompileService::~CompileService() { Pool.shutdown(/*RunPending=*/true); }
 
@@ -78,7 +100,9 @@ std::string CompileService::configFingerprint(const CompileRequest &Req) {
   // logic itself) — bump it when the pipeline's behaviour changes.
   // v2: units carry eagerly JIT-compiled native code (PR 6).
   // v3: GoSLP global pack selection (PR 7). SolverJobs is deliberately
-  // absent: selection is bit-identical for any worker count.
+  // absent: selection is bit-identical for any worker count. DeadlineMillis
+  // and Budgets.DeadlineSteadyNanos are likewise absent: a deadline is
+  // per-request *policy* and must not fragment the content address.
   static constexpr unsigned kPipelineVersion = 3;
   const VectorizerConfig &C = Req.Config;
   std::ostringstream OS;
@@ -111,9 +135,47 @@ Digest128 CompileService::requestKey(const CompileRequest &Req) {
   return digest128(Blob);
 }
 
+uint64_t CompileService::resolveDeadline(const CompileRequest &Req) {
+  if (Req.DeadlineMillis == 0)
+    return 0;
+  return steadyNowNanos() + Req.DeadlineMillis * 1000000ull;
+}
+
 Expected<CompiledUnit> CompileService::compileSync(const CompileRequest &Req) {
+  return compileSyncAt(Req, resolveDeadline(Req));
+}
+
+Expected<CompiledUnit>
+CompileService::compileSyncAt(const CompileRequest &Req,
+                              uint64_t AbsDeadlineNanos) {
   if (Stats)
     Stats->add("service.requests");
+
+  // Admission-control fault site: simulates a full queue on the
+  // synchronous path (the daemon serves connections through here), so the
+  // sweep can prove the structured `overloaded` rejection end to end.
+  if (faultPoint("service.queue.overload")) {
+    if (Stats)
+      Stats->add("service.queue.rejected");
+    return Error::make(ErrorCode::Overloaded,
+                       "compile queue is full (admission control); retry "
+                       "with backoff");
+  }
+
+  // Shed already-expired requests before touching the cache or compiling:
+  // this is the dequeue-time check for pool jobs (compileSyncAt runs when
+  // a worker picks the job up) and the entry check for synchronous
+  // callers. The fault site simulates the expiry deterministically.
+  if (deadlineExpired(AbsDeadlineNanos) ||
+      faultPoint("service.deadline.expire")) {
+    if (Stats)
+      Stats->add("service.deadline.shed");
+    return Error::make(ErrorCode::DeadlineExceeded,
+                       "request deadline expired before compilation "
+                       "started (" +
+                           std::to_string(Req.DeadlineMillis) +
+                           "ms budget); retry with a fresh deadline");
+  }
 
   const Digest128 Key = requestKey(Req);
   CompileCache::Lookup L = Cache.lookupOrBegin(Key);
@@ -144,13 +206,14 @@ Expected<CompiledUnit> CompileService::compileSync(const CompileRequest &Req) {
     return U;
   }
   case CompileCache::LookupState::MustCompile:
-    return compileLocked(Req, Key);
+    return compileLocked(Req, Key, AbsDeadlineNanos);
   }
   return Error::make(ErrorCode::InvalidArgument, "unreachable lookup state");
 }
 
 Expected<CompiledUnit> CompileService::compileLocked(const CompileRequest &Req,
-                                                     const Digest128 &Key) {
+                                                     const Digest128 &Key,
+                                                     uint64_t AbsDeadlineNanos) {
   // Single-flight leader: every exit path MUST settle the key via
   // Cache.fulfill or Cache.fail, or coalesced waiters hang.
   auto FailWith = [this, &Key](ErrorCode Code,
@@ -158,6 +221,24 @@ Expected<CompiledUnit> CompileService::compileLocked(const CompileRequest &Req,
     Cache.fail(Key, Msg, getErrorCodeName(Code));
     return Error::make(Code, std::move(Msg));
   };
+
+  // Persistent-store fast path: a prior process (or an evicted memory
+  // entry) may have published this key's artifact. A disk hit skips the
+  // whole vectorizer pipeline; corrupt/unreadable entries fall through to
+  // a full compile (the store already quarantined them).
+  if (std::shared_ptr<CompiledProgram> P = tryLoadFromStore(Req, Key)) {
+    Cache.fulfill(Key, P);
+    if (Req.StrictBudgets && P->Stats.BudgetBailouts > 0)
+      return Error::make(ErrorCode::BudgetExhausted,
+                         "module '" + P->EntryName +
+                             "': resource budget exhausted during "
+                             "vectorization (persisted unit is the scalar "
+                             "fallback)");
+    CompiledUnit U;
+    U.Program = std::move(P);
+    U.DiskHit = true;
+    return U;
+  }
 
   const auto Start = std::chrono::steady_clock::now();
 
@@ -211,12 +292,31 @@ Expected<CompiledUnit> CompileService::compileLocked(const CompileRequest &Req,
   // Per-request sinks would race across pool workers; route the
   // vectorizer's counters into the service-wide (thread-safe) registry.
   PO.Vectorizer.Stats = Stats;
+  // Cooperative mid-compile deadline: the BudgetTracker polls this at its
+  // charge points, so an over-deadline attempt degrades to a budget
+  // bailout (scalar fallback) instead of wedging the worker.
+  PO.Vectorizer.Budgets.DeadlineSteadyNanos = AbsDeadlineNanos;
   PO.Instrument.Remarks = &RC;
   for (const auto &F : P->M.functions()) {
     PipelineResult R = runPassPipeline(*F, PO);
     P->Stats.mergeFrom(R.VecStats);
   }
   P->Remarks = RC.take();
+
+  // The deadline may have expired mid-pipeline (the tracker already
+  // degraded the attempt); the request itself still fails with the
+  // retryable code rather than publishing under time pressure. This is
+  // the same fault site's second probe per request: arming
+  // `service.deadline.expire:2` exercises exactly this mid-compile path.
+  if (deadlineExpired(AbsDeadlineNanos) ||
+      faultPoint("service.deadline.expire")) {
+    if (Stats)
+      Stats->add("service.deadline.expired");
+    return FailWith(ErrorCode::DeadlineExceeded,
+                    "request deadline expired during compilation (" +
+                        std::to_string(Req.DeadlineMillis) +
+                        "ms budget); retry with a fresh deadline");
+  }
 
   // Post-pipeline verification: corrupt output must never be published.
   for (const auto &F : P->M.functions()) {
@@ -230,58 +330,7 @@ Expected<CompiledUnit> CompileService::compileLocked(const CompileRequest &Req,
 
   P->VectorizedText = toString(P->M);
 
-  // Bytecode-compile the entry once; every future hit reuses it.
-  TargetCostModel TCM(Req.Config.Target);
-  P->Engine = std::make_unique<ExecutionEngine>(
-      *P->Entry,
-      [TCM](const Instruction &I) { return TCM.executionCycles(I); });
-
-  // Eagerly attempt the native JIT compile, so cache hits are served with
-  // machine code already installed. Failure is not an error: runs degrade
-  // to bytecode, and the remark stream records why the fast path is off
-  // (`jit:unsupported-isa`, `jit:emit-abort`, ... — see docs/jit.md).
-  if (!P->Engine->isNativeAvailable()) {
-    P->Remarks.push_back(
-        Remark::missed("jit", "NativeUnavailable", P->EntryName)
-            .withDecision("jit:" + P->Engine->nativeDisabledReason())
-            .withMessage("native JIT compile unavailable; runs degrade to "
-                         "the bytecode engine"));
-    if (Stats)
-      Stats->add("service.jit.unavailable");
-  } else {
-    if (P->Engine->nativeFallbackOpCount() > 0)
-      P->Remarks.push_back(
-          Remark::missed("jit", "UnsupportedOp", P->EntryName)
-              .withDecision("jit:unsupported-op")
-              .withValues(P->Engine->nativeFallbackOpNames())
-              .withMessage(
-                  std::to_string(P->Engine->nativeFallbackOpCount()) +
-                  " op(s) lowered through the scalar-call fallback"));
-    // Record the allocator outcome so `jit:` remarks say whether a run was
-    // produced with or without register allocation (the bisection axis the
-    // --jit-regalloc / SNSLP_JIT_REGALLOC escape hatch flips).
-    P->Remarks.push_back(
-        Remark::passed("jit", "NativeCompiled", P->EntryName)
-            .withDecision(P->Engine->nativeRegAllocEnabled()
-                              ? "jit:regalloc-on"
-                              : "jit:regalloc-off")
-            .withMessage(
-                std::to_string(P->Engine->nativeRegAllocValues()) +
-                " value(s) register-resident, " +
-                std::to_string(P->Engine->nativeRegAllocSpills()) +
-                " spill(s), " +
-                std::to_string(P->Engine->nativeRegAllocElidedStores()) +
-                " elided store(s)"));
-    if (Stats) {
-      Stats->add("service.jit.compiles");
-      Stats->add("service.jit.code.bytes",
-                 static_cast<int64_t>(P->Engine->nativeCodeSize()));
-      Stats->add("service.jit.regalloc.values",
-                 static_cast<int64_t>(P->Engine->nativeRegAllocValues()));
-      Stats->add("service.jit.regalloc.spills",
-                 static_cast<int64_t>(P->Engine->nativeRegAllocSpills()));
-    }
-  }
+  buildEngine(*P, Req);
 
   P->CompileNanos = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -294,6 +343,17 @@ Expected<CompiledUnit> CompileService::compileLocked(const CompileRequest &Req,
   }
 
   Cache.fulfill(Key, P);
+
+  // Best-effort publication to the persistent tier: a failed write only
+  // means the next process pays a cold compile (counted, never fatal).
+  if (Store.enabled()) {
+    ArtifactStore::Record Rec;
+    Rec.EntryName = P->EntryName;
+    Rec.VectorizedText = P->VectorizedText;
+    Rec.GraphsVectorized = P->Stats.GraphsVectorized;
+    Rec.BudgetBailouts = P->Stats.BudgetBailouts;
+    Store.store(Key, Rec);
+  }
 
   if (Req.StrictBudgets && P->Stats.BudgetBailouts > 0)
     return Error::make(ErrorCode::BudgetExhausted,
@@ -310,15 +370,154 @@ Expected<CompiledUnit> CompileService::compileLocked(const CompileRequest &Req,
   return U;
 }
 
+void CompileService::buildEngine(CompiledProgram &P,
+                                 const CompileRequest &Req) {
+  // Bytecode-compile the entry once; every future hit reuses it.
+  TargetCostModel TCM(Req.Config.Target);
+  P.Engine = std::make_unique<ExecutionEngine>(
+      *P.Entry,
+      [TCM](const Instruction &I) { return TCM.executionCycles(I); });
+
+  // Eagerly attempt the native JIT compile, so cache hits are served with
+  // machine code already installed. Failure is not an error: runs degrade
+  // to bytecode, and the remark stream records why the fast path is off
+  // (`jit:unsupported-isa`, `jit:emit-abort`, ... — see docs/jit.md).
+  if (!P.Engine->isNativeAvailable()) {
+    P.Remarks.push_back(
+        Remark::missed("jit", "NativeUnavailable", P.EntryName)
+            .withDecision("jit:" + P.Engine->nativeDisabledReason())
+            .withMessage("native JIT compile unavailable; runs degrade to "
+                         "the bytecode engine"));
+    if (Stats)
+      Stats->add("service.jit.unavailable");
+  } else {
+    if (P.Engine->nativeFallbackOpCount() > 0)
+      P.Remarks.push_back(
+          Remark::missed("jit", "UnsupportedOp", P.EntryName)
+              .withDecision("jit:unsupported-op")
+              .withValues(P.Engine->nativeFallbackOpNames())
+              .withMessage(
+                  std::to_string(P.Engine->nativeFallbackOpCount()) +
+                  " op(s) lowered through the scalar-call fallback"));
+    // Record the allocator outcome so `jit:` remarks say whether a run was
+    // produced with or without register allocation (the bisection axis the
+    // --jit-regalloc / SNSLP_JIT_REGALLOC escape hatch flips).
+    P.Remarks.push_back(
+        Remark::passed("jit", "NativeCompiled", P.EntryName)
+            .withDecision(P.Engine->nativeRegAllocEnabled()
+                              ? "jit:regalloc-on"
+                              : "jit:regalloc-off")
+            .withMessage(
+                std::to_string(P.Engine->nativeRegAllocValues()) +
+                " value(s) register-resident, " +
+                std::to_string(P.Engine->nativeRegAllocSpills()) +
+                " spill(s), " +
+                std::to_string(P.Engine->nativeRegAllocElidedStores()) +
+                " elided store(s)"));
+    if (Stats) {
+      Stats->add("service.jit.compiles");
+      Stats->add("service.jit.code.bytes",
+                 static_cast<int64_t>(P.Engine->nativeCodeSize()));
+      Stats->add("service.jit.regalloc.values",
+                 static_cast<int64_t>(P.Engine->nativeRegAllocValues()));
+      Stats->add("service.jit.regalloc.spills",
+                 static_cast<int64_t>(P.Engine->nativeRegAllocSpills()));
+    }
+  }
+}
+
+std::shared_ptr<CompiledProgram>
+CompileService::tryLoadFromStore(const CompileRequest &Req,
+                                 const Digest128 &Key) {
+  if (!Store.enabled())
+    return nullptr;
+
+  ArtifactStore::Record Rec;
+  switch (Store.load(Key, Rec)) {
+  case ArtifactStore::LoadState::Hit:
+    break;
+  case ArtifactStore::LoadState::Miss:
+    return nullptr;
+  case ArtifactStore::LoadState::Corrupt:
+    // Already quarantined by the store; recompile from source.
+    if (Stats)
+      Stats->add("service.store.recompiles");
+    return nullptr;
+  case ArtifactStore::LoadState::IOError:
+    return nullptr;
+  }
+
+  // Rebuild the unit from the stored (already vectorized) text. The
+  // checksum passed, but the contents still go through the same
+  // parse/verify gates as fresh input: any inconsistency degrades to a
+  // recompile, which re-publishes over the bad entry.
+  std::shared_ptr<CompiledProgram> P(new CompiledProgram());
+  P->SourceText = Req.ModuleText;
+  P->Key = Key;
+  std::string ParseErr;
+  if (!parseIR(Rec.VectorizedText, P->M, &ParseErr)) {
+    if (Stats)
+      Stats->add("service.store.recompiles");
+    return nullptr;
+  }
+  for (const auto &F : P->M.functions()) {
+    std::vector<std::string> Errors;
+    if (!verifyFunction(*F, &Errors)) {
+      if (Stats)
+        Stats->add("service.store.recompiles");
+      return nullptr;
+    }
+  }
+  P->Entry = P->M.getFunction(Rec.EntryName);
+  if (!P->Entry) {
+    if (Stats)
+      Stats->add("service.store.recompiles");
+    return nullptr;
+  }
+  P->EntryName = Rec.EntryName;
+  P->VectorizedText = Rec.VectorizedText;
+  // Restore the cached-policy-relevant slice of the vectorizer stats so a
+  // StrictBudgets request judges a disk hit exactly like a memory hit.
+  P->Stats.GraphsVectorized = static_cast<unsigned>(Rec.GraphsVectorized);
+  P->Stats.BudgetBailouts = static_cast<unsigned>(Rec.BudgetBailouts);
+  P->Remarks.push_back(
+      Remark::passed("service", "ArtifactStoreHit", P->EntryName)
+          .withDecision("service:store-hit")
+          .withMessage("unit rebuilt from the persistent artifact store; "
+                       "vectorizer pipeline skipped"));
+  buildEngine(*P, Req);
+  return P;
+}
+
 std::future<Expected<CompiledUnit>> CompileService::submit(CompileRequest Req) {
   auto Promise = std::make_shared<std::promise<Expected<CompiledUnit>>>();
   std::future<Expected<CompiledUnit>> Future = Promise->get_future();
-  bool Accepted = Pool.submit([this, Promise, Req = std::move(Req)]() mutable {
-    Promise->set_value(compileSync(Req));
-  });
-  if (!Accepted)
+  // The deadline starts at submission: time spent queued counts against
+  // it, which is what lets the dequeue check shed stale work.
+  const uint64_t Abs = resolveDeadline(Req);
+  ThreadPool::SubmitResult R = Pool.trySubmit(
+      [this, Promise, Abs, Req = std::move(Req)]() mutable {
+        Promise->set_value(compileSyncAt(Req, Abs));
+      },
+      MaxQueueDepth);
+  switch (R) {
+  case ThreadPool::SubmitResult::Accepted:
+    break;
+  case ThreadPool::SubmitResult::QueueFull:
+    if (Stats) {
+      Stats->add("service.requests");
+      Stats->add("service.queue.rejected");
+    }
+    Promise->set_value(Error::make(
+        ErrorCode::Overloaded,
+        "compile queue is full (admission control, depth " +
+            std::to_string(MaxQueueDepth) + "); retry with backoff"));
+    break;
+  case ThreadPool::SubmitResult::ShuttingDown:
     Promise->set_value(Error::make(ErrorCode::InvalidArgument,
                                    "compile service is shutting down"));
+    break;
+  }
   return Future;
 }
 

@@ -34,6 +34,7 @@
 #include "interp/ExecutionEngine.h"
 #include "ir/Context.h"
 #include "ir/Module.h"
+#include "service/ArtifactStore.h"
 #include "service/CompileCache.h"
 #include "service/ThreadPool.h"
 #include "slp/SLPVectorizer.h"
@@ -72,6 +73,15 @@ struct CompileRequest {
   /// fallback). Checked on cache hits too — strictness is a property of
   /// the request, not of the cached unit.
   bool StrictBudgets = false;
+  /// Per-request deadline in milliseconds, measured from submission
+  /// (0 = none). Enforced in three places: expired-in-queue requests are
+  /// shed at dequeue without compiling, the BudgetTracker polls the
+  /// deadline at its charge points so a slow vectorization degrades to the
+  /// scalar fallback, and a compile that still overruns fails with the
+  /// retryable `deadline-exceeded` code. A *policy* knob, deliberately
+  /// excluded from the cache fingerprint: the same bytes compile to the
+  /// same unit whatever the caller's patience.
+  uint64_t DeadlineMillis = 0;
 };
 
 /// An immutable compiled module: the service's cacheable unit. Owns its
@@ -156,6 +166,11 @@ struct CompiledUnit {
   bool CacheHit = false;
   /// Specifically the single-flight case of CacheHit.
   bool Coalesced = false;
+  /// Served from the persistent artifact store (the vectorizer pipeline
+  /// was skipped; the unit was rebuilt from the stored vectorized text).
+  /// Mutually exclusive with CacheHit — a disk hit is this process's
+  /// first sight of the key.
+  bool DiskHit = false;
 };
 
 /// Service construction parameters.
@@ -167,6 +182,15 @@ struct ServiceConfig {
   /// Optional counter sink ("service.*", "service.cache.*" and the
   /// vectorizer's own counters). Not owned; must outlive the service.
   StatsRegistry *Stats = nullptr;
+  /// Admission control: maximum *pending* (queued, not yet running)
+  /// compile jobs (0 = unbounded). When the queue is full, submit()
+  /// settles immediately with the retryable `overloaded` error instead of
+  /// queuing — fail fast, let the client back off.
+  size_t MaxQueueDepth = 0;
+  /// Root directory of the persistent artifact store (empty = disabled).
+  /// Compiled artifacts are published here content-addressed by request
+  /// key and survive daemon restarts; see ArtifactStore.
+  std::string StoreDir;
 };
 
 /// The concurrent compilation service. All members are thread-safe.
@@ -181,7 +205,10 @@ public:
 
   /// Enqueues one request. The future settles with the compiled unit or a
   /// recoverable Error (parse-error / verify-error / invalid-argument /
-  /// budget-exhausted — the PR-4 codes).
+  /// budget-exhausted — the PR-4 codes — or the retryable `overloaded` /
+  /// `deadline-exceeded` load-shedding codes). With a bounded queue
+  /// (ServiceConfig::MaxQueueDepth), a full queue settles the future
+  /// immediately with `overloaded`; the job is never enqueued.
   std::future<Expected<CompiledUnit>> submit(CompileRequest Req);
 
   /// Batch submission; futures settle independently as workers finish.
@@ -203,14 +230,40 @@ public:
 
   CompileCache &cache() { return Cache; }
   ThreadPool &pool() { return Pool; }
+  ArtifactStore &artifactStore() { return Store; }
   StatsRegistry *statsRegistry() const { return Stats; }
 
 private:
+  /// Absolute steady-clock deadline in nanos for \p Req, resolved at call
+  /// time (0 = none).
+  static uint64_t resolveDeadline(const CompileRequest &Req);
+
+  /// compileSync with the deadline already resolved — submit() resolves
+  /// it at submission so queue time counts against the budget.
+  Expected<CompiledUnit> compileSyncAt(const CompileRequest &Req,
+                                       uint64_t AbsDeadlineNanos);
+
   Expected<CompiledUnit> compileLocked(const CompileRequest &Req,
-                                       const Digest128 &Key);
+                                       const Digest128 &Key,
+                                       uint64_t AbsDeadlineNanos);
+
+  /// Attempts to serve \p Key from the persistent store: re-parses the
+  /// stored vectorized text, rebuilds the engine, fulfills the cache.
+  /// Returns an empty shared_ptr on miss/corrupt/io-error (the caller
+  /// falls through to a full compile; corrupt entries are already
+  /// quarantined by the store).
+  std::shared_ptr<CompiledProgram> tryLoadFromStore(const CompileRequest &Req,
+                                                    const Digest128 &Key);
+
+  /// Builds the execution engine (bytecode + eager native JIT) for
+  /// \p P->Entry, appending the `jit:*` remark trail. Shared by the cold
+  /// compile and the artifact-store rebuild path.
+  void buildEngine(CompiledProgram &P, const CompileRequest &Req);
 
   StatsRegistry *Stats;
   CompileCache Cache;
+  ArtifactStore Store;
+  size_t MaxQueueDepth;
   ThreadPool Pool;
 };
 

@@ -13,6 +13,7 @@
 #include <cerrno>
 #include <cstring>
 #include <iomanip>
+#include <poll.h>
 #include <sstream>
 #include <unistd.h>
 
@@ -210,6 +211,8 @@ std::string encodeRequest(const ServiceRequest &Req) {
     OS << "max-steps: " << Req.MaxSteps << "\n";
   if (Req.StrictBudgets)
     OS << "strict-budgets: 1\n";
+  if (Req.DeadlineMillis)
+    OS << "deadline-ms: " << Req.DeadlineMillis << "\n";
   if (Req.Budgets.MaxGraphNodes)
     OS << "max-graph-nodes: " << Req.Budgets.MaxGraphNodes << "\n";
   if (Req.Budgets.MaxLookAheadEvals)
@@ -261,6 +264,9 @@ bool decodeRequest(const std::string &Payload, ServiceRequest &Req,
     } else if (Key == "strict-budgets") {
       if (!parseBool(Value, Out.StrictBudgets))
         return S.failHere("strict-budgets: expected 0 or 1");
+    } else if (Key == "deadline-ms") {
+      if (!parseUint(Value, Out.DeadlineMillis))
+        return S.failHere("deadline-ms: expected an unsigned integer");
     } else if (Key == "max-graph-nodes") {
       if (!parseUint(Value, Out.Budgets.MaxGraphNodes))
         return S.failHere("max-graph-nodes: expected an unsigned integer");
@@ -301,6 +307,7 @@ std::string encodeResponse(const ServiceResponse &Resp) {
        << (Resp.ErrorCodeName.empty() ? "invalid-argument"
                                       : Resp.ErrorCodeName)
        << "\n";
+    OS << "retryable: " << (Resp.Retryable ? 1 : 0) << "\n";
   } else {
     if (!Resp.Cache.empty())
       OS << "cache: " << Resp.Cache << "\n";
@@ -355,9 +362,13 @@ bool decodeResponse(const std::string &Payload, ServiceResponse &Resp,
       SawStatus = true;
     } else if (Key == "error-code") {
       Out.ErrorCodeName = Value;
+    } else if (Key == "retryable") {
+      if (!parseBool(Value, Out.Retryable))
+        return S.failHere("retryable: expected 0 or 1");
     } else if (Key == "cache") {
-      if (Value != "hit" && Value != "miss" && Value != "coalesced")
-        return S.failHere("cache: expected hit|miss|coalesced");
+      if (Value != "hit" && Value != "miss" && Value != "coalesced" &&
+          Value != "disk")
+        return S.failHere("cache: expected hit|miss|coalesced|disk");
       Out.Cache = Value;
     } else if (Key == "key") {
       Out.KeyHex = Value;
@@ -417,6 +428,29 @@ static constexpr char kMagic[4] = {'S', 'N', 'S', '1'};
 
 namespace {
 
+/// Blocks (via poll) until \p Fd is ready for \p Events. Only reached on
+/// EAGAIN/EWOULDBLOCK, i.e. when the fd is non-blocking; blocking fds
+/// never get here. Infinite timeout: frame I/O has no deadline of its own.
+bool waitReady(int Fd, short Events, std::string *Err) {
+  struct pollfd P;
+  P.fd = Fd;
+  P.events = Events;
+  P.revents = 0;
+  for (;;) {
+    int R = ::poll(&P, 1, /*timeout=*/-1);
+    if (R > 0)
+      return true;
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (Err)
+      *Err = std::string("poll: ") + std::strerror(errno);
+    return false;
+  }
+}
+
+/// Writes exactly \p Size bytes, looping over short writes (a frame
+/// larger than the socket send buffer takes several write(2) calls),
+/// EINTR, and — on non-blocking fds — EAGAIN.
 bool writeAll(int Fd, const void *Data, size_t Size, std::string *Err) {
   const char *P = static_cast<const char *>(Data);
   while (Size > 0) {
@@ -424,6 +458,11 @@ bool writeAll(int Fd, const void *Data, size_t Size, std::string *Err) {
     if (N < 0) {
       if (errno == EINTR)
         continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!waitReady(Fd, POLLOUT, Err))
+          return false;
+        continue;
+      }
       if (Err)
         *Err = std::string("write: ") + std::strerror(errno);
       return false;
@@ -434,8 +473,9 @@ bool writeAll(int Fd, const void *Data, size_t Size, std::string *Err) {
   return true;
 }
 
-/// Reads exactly \p Size bytes. \p SawAny reports whether any byte
-/// arrived, so the caller can tell clean EOF from a truncated frame.
+/// Reads exactly \p Size bytes, looping over short reads, EINTR, and
+/// EAGAIN. \p SawAny reports whether any byte arrived, so the caller can
+/// tell clean EOF from a truncated frame.
 bool readAll(int Fd, void *Data, size_t Size, bool &SawAny,
              std::string *Err) {
   char *P = static_cast<char *>(Data);
@@ -444,6 +484,11 @@ bool readAll(int Fd, void *Data, size_t Size, bool &SawAny,
     if (N < 0) {
       if (errno == EINTR)
         continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!waitReady(Fd, POLLIN, Err))
+          return false;
+        continue;
+      }
       if (Err)
         *Err = std::string("read: ") + std::strerror(errno);
       return false;
@@ -518,6 +563,7 @@ ServiceResponse errorResponse(ErrorCode Code, std::string Msg) {
   ServiceResponse Resp;
   Resp.Ok = false;
   Resp.ErrorCodeName = getErrorCodeName(Code);
+  Resp.Retryable = isRetryableErrorCode(Code);
   Resp.Body = std::move(Msg);
   return Resp;
 }
@@ -532,6 +578,7 @@ ServiceResponse serveRequest(CompileService &Service,
   CReq.Config.Mode = Req.Mode;
   CReq.Config.Budgets = Req.Budgets;
   CReq.StrictBudgets = Req.StrictBudgets;
+  CReq.DeadlineMillis = Req.DeadlineMillis;
 
   Expected<CompiledUnit> U = Service.compileSync(CReq);
   if (!U)
@@ -540,7 +587,10 @@ ServiceResponse serveRequest(CompileService &Service,
   const CompiledProgram &P = *U->Program;
   ServiceResponse Resp;
   Resp.Ok = true;
-  Resp.Cache = U->Coalesced ? "coalesced" : (U->CacheHit ? "hit" : "miss");
+  Resp.Cache = U->DiskHit
+                   ? "disk"
+                   : (U->Coalesced ? "coalesced"
+                                   : (U->CacheHit ? "hit" : "miss"));
   Resp.KeyHex = P.digest().toHex();
   Resp.GraphsVectorized = P.stats().GraphsVectorized;
   Resp.RemarkCount = P.remarks().size();

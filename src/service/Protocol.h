@@ -25,6 +25,9 @@
 ///   data-seed: 1\n           (optional: deterministic buffer contents)
 ///   max-steps: N\n           (optional: interpreter fuel)
 ///   strict-budgets: 1\n      (optional)
+///   deadline-ms: N\n         (optional: per-request deadline, measured
+///                             from decode; expired requests are shed with
+///                             the retryable `deadline-exceeded` code)
 ///   max-graph-nodes: N\n     (optional per-request resource budgets)
 ///   max-lookahead-evals: N\n
 ///   max-supernode-permutations: N\n
@@ -71,6 +74,9 @@ struct ServiceRequest {
   uint64_t DataSeed = 1;
   uint64_t MaxSteps = 1ull << 24;
   bool StrictBudgets = false;
+  /// Per-request deadline in milliseconds (0 = none); see
+  /// CompileRequest::DeadlineMillis.
+  uint64_t DeadlineMillis = 0;
   ResourceBudgets Budgets;
 };
 
@@ -78,10 +84,15 @@ struct ServiceRequest {
 struct ServiceResponse {
   bool Ok = false;
   std::string ErrorCodeName; ///< Pinned spelling ("parse-error", ...).
+  /// Error only: the failure is transient load-shedding (`overloaded`,
+  /// `deadline-exceeded`) and an identical retry with backoff is expected
+  /// to succeed. Encoded as a `retryable:` header so clients need no
+  /// hard-coded code list.
+  bool Retryable = false;
   std::string Body;          ///< Vectorized module text, or error message.
   /// \name Compile detail (ok only).
   /// @{
-  std::string Cache; ///< "hit" | "miss" | "coalesced"
+  std::string Cache; ///< "hit" | "miss" | "coalesced" | "disk"
   std::string KeyHex;
   uint64_t GraphsVectorized = 0;
   uint64_t RemarkCount = 0;
@@ -119,7 +130,9 @@ bool decodeResponse(const std::string &Payload, ServiceResponse &Resp,
 /// @}
 
 /// \name Frame I/O over a connected socket fd.
-/// Blocking, retry-on-EINTR. Return false on EOF/short frame/oversized
+/// Handles short reads/writes (large frames routinely exceed the socket
+/// buffer), EINTR, and — for non-blocking fds — EAGAIN/EWOULDBLOCK by
+/// poll(2)ing for readiness. Return false on EOF/short frame/oversized
 /// length (filling \p Err when non-null).
 /// @{
 bool writeFrame(int Fd, const std::string &Payload, std::string *Err);

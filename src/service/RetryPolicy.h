@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client-side retry policy for the compilation service: capped attempts
+/// with full-jitter exponential backoff, applied only to the *retryable*
+/// failure modes — the load-shedding error codes (`overloaded`,
+/// `deadline-exceeded`, see isRetryableErrorCode) and transport-level
+/// drops (connection refused/EOF, e.g. a daemon mid-restart). Permanent
+/// errors (parse-error, verify-error, ...) are never retried: the same
+/// request bytes fail the same way every time.
+///
+/// Backoff is full-jitter (AWS-style): attempt k sleeps a uniformly random
+/// duration in [0, min(Base * 2^k, Max)]. The jitter stream is SplitMix64
+/// seeded per policy instance, so tests pin the exact sleep sequence while
+/// concurrent real clients still decorrelate.
+///
+/// Used by tools/snslp-client.cpp (retryable-exhausted exits 75,
+/// EX_TEMPFAIL) and the service throughput benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SERVICE_RETRYPOLICY_H
+#define SNSLP_SERVICE_RETRYPOLICY_H
+
+#include "support/Error.h"
+#include "support/RNG.h"
+
+#include <cstdint>
+
+namespace snslp {
+
+/// Capped-attempt, jittered-exponential-backoff retry schedule. Not
+/// thread-safe (per-client object; the jitter RNG is mutable state).
+class RetryPolicy {
+public:
+  struct Options {
+    /// Retry attempts *after* the initial one (0 = never retry).
+    unsigned MaxRetries = 0;
+    /// Backoff base: the jitter ceiling of the first retry.
+    uint64_t BaseDelayMillis = 10;
+    /// Backoff ceiling regardless of attempt count.
+    uint64_t MaxDelayMillis = 2000;
+    /// Jitter stream seed (deterministic per seed).
+    uint64_t JitterSeed = 0x534e534c50ULL; // "SNSLP"
+  };
+
+  RetryPolicy() : RetryPolicy(Options()) {}
+  explicit RetryPolicy(Options O) : Opts(O), Jitter(O.JitterSeed) {}
+
+  /// True when \p Code is worth retrying at all (delegates to the pinned
+  /// taxonomy predicate).
+  static bool isRetryable(ErrorCode Code) { return isRetryableErrorCode(Code); }
+
+  const Options &options() const { return Opts; }
+
+  /// True while another retry is allowed after \p FailedAttempts failures
+  /// (FailedAttempts counts the initial attempt too: after 1 failure and
+  /// MaxRetries=3, three more attempts remain).
+  bool shouldRetry(unsigned FailedAttempts) const {
+    return FailedAttempts <= Opts.MaxRetries;
+  }
+
+  /// Sleep before retry number \p Retry (1-based): uniform in
+  /// [0, min(Base * 2^(Retry-1), Max)]. Deterministic given the seed.
+  uint64_t nextBackoffMillis(unsigned Retry) {
+    if (Retry == 0)
+      Retry = 1;
+    uint64_t Ceil = Opts.BaseDelayMillis;
+    for (unsigned I = 1; I < Retry && Ceil < Opts.MaxDelayMillis; ++I)
+      Ceil *= 2;
+    if (Ceil > Opts.MaxDelayMillis)
+      Ceil = Opts.MaxDelayMillis;
+    return Ceil == 0 ? 0 : Jitter.nextBelow(Ceil + 1);
+  }
+
+private:
+  Options Opts;
+  RNG Jitter;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SERVICE_RETRYPOLICY_H

@@ -19,11 +19,21 @@ ThreadPool::ThreadPool(unsigned NumWorkers) {
 ThreadPool::~ThreadPool() { shutdown(/*RunPending=*/true); }
 
 bool ThreadPool::submit(std::function<void()> Job) {
+  return trySubmit(std::move(Job), /*MaxQueueDepth=*/0) ==
+         SubmitResult::Accepted;
+}
+
+ThreadPool::SubmitResult ThreadPool::trySubmit(std::function<void()> Job,
+                                               size_t MaxQueueDepth) {
   {
     std::lock_guard<std::mutex> Lock(Mu);
     if (ShuttingDown) {
       Dropped.fetch_add(1, std::memory_order_relaxed);
-      return false;
+      return SubmitResult::ShuttingDown;
+    }
+    if (MaxQueueDepth != 0 && Queue.size() >= MaxQueueDepth) {
+      Dropped.fetch_add(1, std::memory_order_relaxed);
+      return SubmitResult::QueueFull;
     }
     Queue.push_back(std::move(Job));
     size_t Depth = Queue.size();
@@ -34,7 +44,12 @@ bool ThreadPool::submit(std::function<void()> Job) {
       ;
   }
   WorkAvailable.notify_one();
-  return true;
+  return SubmitResult::Accepted;
+}
+
+size_t ThreadPool::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Queue.size();
 }
 
 void ThreadPool::wait() {

@@ -49,6 +49,24 @@ public:
   /// shutting down.
   bool submit(std::function<void()> Job);
 
+  /// Outcome of a bounded-queue submission attempt.
+  enum class SubmitResult {
+    Accepted,     ///< Job enqueued.
+    QueueFull,    ///< Pending depth already at MaxQueueDepth; job dropped.
+    ShuttingDown, ///< Pool is shutting down; job dropped.
+  };
+
+  /// Bounded-queue submit: enqueues \p Job unless the number of *pending*
+  /// (queued, not yet running) jobs is already \p MaxQueueDepth, in which
+  /// case the job is rejected without blocking. \p MaxQueueDepth == 0 means
+  /// unbounded (same as submit()). The depth check and the enqueue happen
+  /// under one lock, so rejection is deterministic: with a single blocked
+  /// worker and depth D, submissions D+1.. are rejected, never queued.
+  SubmitResult trySubmit(std::function<void()> Job, size_t MaxQueueDepth);
+
+  /// Current number of pending (queued, not yet running) jobs.
+  size_t queueDepth() const;
+
   /// Blocks until the queue is empty and every worker is idle. Jobs
   /// submitted while waiting extend the wait (quiescence barrier, used by
   /// batch drivers between waves).

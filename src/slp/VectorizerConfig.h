@@ -26,6 +26,7 @@
 
 #include "costmodel/TargetCostModel.h"
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -58,6 +59,14 @@ struct ResourceBudgets {
   /// GoSLP only: maximum branch-and-bound search-tree nodes per conflict
   /// component of one block's candidate set.
   uint64_t MaxSolverNodes = 1 << 16;
+  /// Absolute request deadline as std::chrono::steady_clock nanoseconds
+  /// since that clock's epoch; 0 = no deadline. Polled at the existing
+  /// BudgetTracker charge points (every 64th charge, to keep the hot path
+  /// free of clock reads), so a slow compile degrades cooperatively to a
+  /// budget bailout instead of wedging a service worker. A deadline is a
+  /// per-request *policy* knob, not a codegen input: the CompileService
+  /// excludes it from the cache fingerprint.
+  uint64_t DeadlineSteadyNanos = 0;
 
   /// True when a budget of the *greedy* pipeline is finite. The GoSLP
   /// solver budgets are deliberately excluded: they are finite by default
@@ -124,7 +133,24 @@ private:
       Exhausted = true;
       Reason = Name;
     }
+    // Deadline poll piggybacks on the charge stream: check the clock on
+    // the first charge and then every 64th, so a request that arrives
+    // already expired trips immediately while the steady-clock read stays
+    // off the per-node hot path.
+    if (Budgets.DeadlineSteadyNanos != 0 && !Exhausted &&
+        (TotalCharges++ & 63) == 0 && deadlinePassed()) {
+      Exhausted = true;
+      Reason = "deadline";
+    }
     return !Exhausted;
+  }
+
+  bool deadlinePassed() const {
+    uint64_t Now = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    return Now >= Budgets.DeadlineSteadyNanos;
   }
 
   ResourceBudgets Budgets;
@@ -132,6 +158,7 @@ private:
   uint64_t LookAheadEvals = 0;
   uint64_t SuperNodePermutations = 0;
   uint64_t PackCandidates = 0;
+  uint64_t TotalCharges = 0;
   bool Exhausted = false;
   std::string Reason;
 };

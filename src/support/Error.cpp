@@ -30,8 +30,16 @@ const char *getErrorCodeName(ErrorCode Code) {
     return "invalid-argument";
   case ErrorCode::IOError:
     return "io-error";
+  case ErrorCode::Overloaded:
+    return "overloaded";
+  case ErrorCode::DeadlineExceeded:
+    return "deadline-exceeded";
   }
   return "unknown";
+}
+
+bool isRetryableErrorCode(ErrorCode Code) {
+  return Code == ErrorCode::Overloaded || Code == ErrorCode::DeadlineExceeded;
 }
 
 bool parseErrorCodeName(const std::string &Name, ErrorCode &Code) {
@@ -41,6 +49,7 @@ bool parseErrorCodeName(const std::string &Name, ErrorCode &Code) {
       ErrorCode::FuelExhausted,  ErrorCode::BudgetExhausted,
       ErrorCode::FaultInjected,  ErrorCode::UnknownKernel,
       ErrorCode::InvalidArgument, ErrorCode::IOError,
+      ErrorCode::Overloaded,     ErrorCode::DeadlineExceeded,
   };
   for (ErrorCode C : All) {
     if (Name == getErrorCodeName(C)) {

@@ -43,10 +43,22 @@ enum class ErrorCode {
   UnknownKernel,   ///< Named kernel not present in the registry.
   InvalidArgument, ///< Bad option/flag/config value.
   IOError,         ///< File could not be read or written.
+  Overloaded,      ///< Service admission control rejected the request
+                   ///< (bounded queue full). Retryable.
+  DeadlineExceeded,///< Per-request deadline expired (in queue or during
+                   ///< compilation). Retryable.
 };
 
 /// Returns the serialized spelling, e.g. "parse-error".
 const char *getErrorCodeName(ErrorCode Code);
+
+/// True for the transient, retry-with-backoff codes (`overloaded`,
+/// `deadline-exceeded`): the request was rejected by load-shedding policy,
+/// not because it can never succeed — an identical retry against a less
+/// loaded server is expected to succeed. Everything else is permanent for
+/// the same request bytes. Used by RetryPolicy, the wire protocol's
+/// `retryable:` response header, and snslp-client's exit codes.
+bool isRetryableErrorCode(ErrorCode Code);
 
 /// Parses a spelling produced by getErrorCodeName ("parse-error", ...).
 /// Returns false (leaving \p Code untouched) on unknown input. Used by the

@@ -22,6 +22,10 @@ const std::vector<std::string> &knownFaultSites() {
       "driver.compile.parse",  // kernel IR text fails to parse
       "jit.emit.abort",        // native code emission aborts (-> bytecode)
       "jit.exec.trap",         // native execution traps (-> bytecode run)
+      "service.queue.overload",// admission control rejects (-> retryable)
+      "service.deadline.expire",// request deadline expires (-> retryable)
+      "service.store.corrupt", // on-disk artifact corrupt (-> quarantine)
+      "service.store.io-error",// artifact store I/O fails (-> recompile)
   };
   return Sites;
 }

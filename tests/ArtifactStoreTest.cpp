@@ -1,0 +1,349 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the crash-safe persistent artifact store
+/// (src/service/ArtifactStore.h): atomic publication, checksum-verified
+/// loads, quarantine of truncated/bit-flipped/misfiled entries, temp-file
+/// sweeping, and the end-to-end CompileService contract — a restarted
+/// service serves prior compiles as `disk` hits with identical text, and
+/// a corrupt entry is recompiled from source and re-published, never
+/// served and never fatal.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/ArtifactStore.h"
+#include "service/CompileService.h"
+#include "support/Statistic.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+using namespace snslp;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh store directory per test, removed on teardown.
+class ArtifactStoreTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    std::string Templ =
+        (fs::temp_directory_path() / "snslp-store-XXXXXX").string();
+    ASSERT_NE(::mkdtemp(Templ.data()), nullptr);
+    StoreDir = Templ;
+  }
+  void TearDown() override {
+    std::error_code EC;
+    fs::remove_all(StoreDir, EC);
+  }
+
+  std::string StoreDir;
+};
+
+ArtifactStore::Record record(const std::string &Entry = "kern") {
+  ArtifactStore::Record Rec;
+  Rec.EntryName = Entry;
+  Rec.VectorizedText = "func @" + Entry + "() {\nentry:\n  ret void\n}\n";
+  Rec.GraphsVectorized = 2;
+  Rec.BudgetBailouts = 1;
+  return Rec;
+}
+
+TEST_F(ArtifactStoreTest, DisabledStoreIsInert) {
+  ArtifactStore S("");
+  EXPECT_FALSE(S.enabled());
+  EXPECT_FALSE(static_cast<bool>(S.prepare()));
+  EXPECT_FALSE(S.store(digest128("k"), record()));
+  ArtifactStore::Record Out;
+  EXPECT_EQ(S.load(digest128("k"), Out), ArtifactStore::LoadState::Miss);
+  EXPECT_EQ(S.sweepTemp(), 0u);
+}
+
+TEST_F(ArtifactStoreTest, RoundTripPreservesEveryField) {
+  ArtifactStore S(StoreDir);
+  ASSERT_FALSE(static_cast<bool>(S.prepare()));
+  const Digest128 Key = digest128("round-trip");
+  const ArtifactStore::Record In = record("roundtrip_fn");
+  ASSERT_TRUE(S.store(Key, In));
+  EXPECT_TRUE(fs::exists(S.entryPath(Key)));
+
+  ArtifactStore::Record Out;
+  ASSERT_EQ(S.load(Key, Out), ArtifactStore::LoadState::Hit);
+  EXPECT_EQ(Out.EntryName, In.EntryName);
+  EXPECT_EQ(Out.VectorizedText, In.VectorizedText);
+  EXPECT_EQ(Out.GraphsVectorized, In.GraphsVectorized);
+  EXPECT_EQ(Out.BudgetBailouts, In.BudgetBailouts);
+  EXPECT_EQ(S.writes(), 1u);
+  EXPECT_EQ(S.hits(), 1u);
+  EXPECT_EQ(S.quarantined(), 0u);
+}
+
+TEST_F(ArtifactStoreTest, UnknownKeyIsAMiss) {
+  ArtifactStore S(StoreDir);
+  ASSERT_FALSE(static_cast<bool>(S.prepare()));
+  ArtifactStore::Record Out;
+  EXPECT_EQ(S.load(digest128("never stored"), Out),
+            ArtifactStore::LoadState::Miss);
+  EXPECT_EQ(S.misses(), 1u);
+}
+
+TEST_F(ArtifactStoreTest, TruncatedEntryIsQuarantinedThenMisses) {
+  ArtifactStore S(StoreDir);
+  ASSERT_FALSE(static_cast<bool>(S.prepare()));
+  const Digest128 Key = digest128("truncate-me");
+  ASSERT_TRUE(S.store(Key, record()));
+
+  // Simulate a torn write on a non-atomic filesystem: keep only the first
+  // half of the published bytes.
+  const std::string Path = S.entryPath(Key);
+  std::string Bytes;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    Bytes.assign(std::istreambuf_iterator<char>(In), {});
+  }
+  ASSERT_GT(Bytes.size(), 8u);
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size() / 2));
+  }
+
+  ArtifactStore::Record Rec;
+  EXPECT_EQ(S.load(Key, Rec), ArtifactStore::LoadState::Corrupt);
+  EXPECT_EQ(S.quarantined(), 1u);
+  // Quarantined, not unlinked: the evidence moved aside...
+  EXPECT_FALSE(fs::exists(Path));
+  EXPECT_TRUE(
+      fs::exists(fs::path(StoreDir) / "quarantine" / (Key.toHex() + ".art.0")));
+  // ...and the poisoned key now misses (served from a recompile instead).
+  EXPECT_EQ(S.load(Key, Rec), ArtifactStore::LoadState::Miss);
+}
+
+TEST_F(ArtifactStoreTest, BitFlipIsQuarantined) {
+  ArtifactStore S(StoreDir);
+  ASSERT_FALSE(static_cast<bool>(S.prepare()));
+  const Digest128 Key = digest128("flip-me");
+  ASSERT_TRUE(S.store(Key, record()));
+
+  const std::string Path = S.entryPath(Key);
+  std::string Bytes;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    Bytes.assign(std::istreambuf_iterator<char>(In), {});
+  }
+  Bytes[Bytes.size() - 3] ^= 0x40; // One flipped bit in the body.
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  }
+
+  ArtifactStore::Record Rec;
+  EXPECT_EQ(S.load(Key, Rec), ArtifactStore::LoadState::Corrupt);
+  EXPECT_EQ(S.quarantined(), 1u);
+}
+
+TEST_F(ArtifactStoreTest, EntryRenamedUnderWrongKeyIsCorrupt) {
+  // The checksum covers the embedded key line: a (checksum-intact) record
+  // misfiled under another key's path must never be served as that key.
+  ArtifactStore S(StoreDir);
+  ASSERT_FALSE(static_cast<bool>(S.prepare()));
+  const Digest128 Key = digest128("right-key");
+  const Digest128 Wrong = digest128("wrong-key");
+  ASSERT_TRUE(S.store(Key, record()));
+  ASSERT_EQ(::rename(S.entryPath(Key).c_str(), S.entryPath(Wrong).c_str()),
+            0);
+
+  ArtifactStore::Record Rec;
+  EXPECT_EQ(S.load(Wrong, Rec), ArtifactStore::LoadState::Corrupt);
+  EXPECT_EQ(S.quarantined(), 1u);
+}
+
+TEST_F(ArtifactStoreTest, PrepareSweepsOrphanedTempFiles) {
+  {
+    ArtifactStore Seed(StoreDir);
+    ASSERT_FALSE(static_cast<bool>(Seed.prepare()));
+  }
+  // A crashed writer left temp garbage behind.
+  std::ofstream(fs::path(StoreDir) / "tmp" / "deadbeef.123.tmp")
+      << "half-written";
+  std::ofstream(fs::path(StoreDir) / "tmp" / "cafe.456.tmp") << "also";
+
+  StatsRegistry Stats;
+  ArtifactStore S(StoreDir, &Stats);
+  ASSERT_FALSE(static_cast<bool>(S.prepare()));
+  EXPECT_EQ(Stats.get("service.store.tmp-swept"), 2);
+  EXPECT_TRUE(fs::is_empty(fs::path(StoreDir) / "tmp"));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through CompileService: restart persistence and the
+// corrupt-entry recovery path.
+// ---------------------------------------------------------------------------
+
+std::string addsubModule() {
+  std::string OS = "func @kern(ptr %a, ptr %b, ptr %c) {\nentry:\n";
+  for (int I = 0; I < 4; ++I) {
+    std::string S = std::to_string(I);
+    OS += "  %pa" + S + " = gep i64, ptr %a, i64 " + S + "\n";
+    OS += "  %pb" + S + " = gep i64, ptr %b, i64 " + S + "\n";
+    OS += "  %pc" + S + " = gep i64, ptr %c, i64 " + S + "\n";
+    OS += "  %la" + S + " = load i64, ptr %pa" + S + "\n";
+    OS += "  %lb" + S + " = load i64, ptr %pb" + S + "\n";
+  }
+  for (int I = 0; I < 4; ++I) {
+    std::string S = std::to_string(I);
+    const char *Op = (I % 2 == 0) ? "add" : "sub";
+    OS += "  %r" + S + " = " + Op + " i64 %la" + S + ", %lb" + S + "\n";
+    OS += "  store i64 %r" + S + ", ptr %pc" + S + "\n";
+  }
+  OS += "  ret void\n}\n";
+  return OS;
+}
+
+CompileRequest request() {
+  CompileRequest Req;
+  Req.ModuleText = addsubModule();
+  return Req;
+}
+
+ServiceConfig storeConfig(const std::string &Dir,
+                          StatsRegistry *Stats = nullptr) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.StoreDir = Dir;
+  Cfg.Stats = Stats;
+  return Cfg;
+}
+
+TEST_F(ArtifactStoreTest, ServiceRestartServesDiskHitWithIdenticalText) {
+  std::string ColdText;
+  Digest128 Key;
+  {
+    CompileService A(storeConfig(StoreDir));
+    Expected<CompiledUnit> U = A.compileSync(request());
+    ASSERT_TRUE(static_cast<bool>(U));
+    EXPECT_FALSE(U->DiskHit);
+    ColdText = U->Program->vectorizedText();
+    Key = U->Program->digest();
+  }
+  EXPECT_TRUE(fs::exists(fs::path(StoreDir) / (Key.toHex() + ".art")));
+
+  // "Restart": a fresh service (empty memory cache) on the same store.
+  StatsRegistry Stats;
+  CompileService B(storeConfig(StoreDir, &Stats));
+  Expected<CompiledUnit> U = B.compileSync(request());
+  ASSERT_TRUE(static_cast<bool>(U));
+  EXPECT_TRUE(U->DiskHit);
+  EXPECT_FALSE(U->CacheHit);
+  EXPECT_EQ(U->Program->vectorizedText(), ColdText);
+  EXPECT_EQ(U->Program->digest().toHex(), Key.toHex());
+  // The pipeline was skipped; the remark trail says so.
+  bool SawStoreHit = false;
+  for (const Remark &R : U->Program->remarks())
+    if (R.Decision == "service:store-hit")
+      SawStoreHit = true;
+  EXPECT_TRUE(SawStoreHit);
+  EXPECT_EQ(Stats.get("service.store.hits"), 1);
+  EXPECT_EQ(Stats.get("service.compiles"), 0);
+
+  // The disk hit fulfilled the memory cache: the next request is a plain
+  // cache hit on the very same unit.
+  Expected<CompiledUnit> V = B.compileSync(request());
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_TRUE(V->CacheHit);
+  EXPECT_EQ(V->Program.get(), U->Program.get());
+
+  // And the rebuilt unit actually runs.
+  std::vector<int64_t> Av = {1, 2, 3, 4}, Bv = {10, 20, 30, 40}, Cv(4, 0);
+  CompiledProgram::RunRequest RR;
+  RR.Args = {argPointer(Av.data()), argPointer(Bv.data()),
+             argPointer(Cv.data())};
+  RR.MemoryRanges = {{Av.data(), 32}, {Bv.data(), 32}, {Cv.data(), 32}};
+  ExecutionResult Res = U->Program->run(RR);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(Cv[0], 11);
+  EXPECT_EQ(Cv[1], -18);
+}
+
+TEST_F(ArtifactStoreTest, StrictBudgetsStillFailsOnADiskHit) {
+  CompileRequest Budgeted = request();
+  Budgeted.Config.Budgets.MaxGraphNodes = 1; // Guaranteed scalar fallback.
+  {
+    CompileService A(storeConfig(StoreDir));
+    Expected<CompiledUnit> U = A.compileSync(Budgeted);
+    ASSERT_TRUE(static_cast<bool>(U));
+    ASSERT_GE(U->Program->stats().BudgetBailouts, 1u);
+  }
+
+  // Strictness is a property of the request, not the persisted unit: the
+  // disk hit must honour it exactly like a memory hit would.
+  CompileService B(storeConfig(StoreDir));
+  CompileRequest Strict = Budgeted;
+  Strict.StrictBudgets = true;
+  Expected<CompiledUnit> U = B.compileSync(Strict);
+  ASSERT_FALSE(static_cast<bool>(U));
+  EXPECT_EQ(U.errorCode(), ErrorCode::BudgetExhausted);
+  U.takeError().consume();
+
+  // Non-strict on the same service: the persisted scalar fallback serves.
+  Expected<CompiledUnit> V = B.compileSync(Budgeted);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_GE(V->Program->stats().BudgetBailouts, 1u);
+}
+
+TEST_F(ArtifactStoreTest, CorruptEntryIsRecompiledAndRepublished) {
+  std::string ColdText;
+  Digest128 Key;
+  {
+    CompileService A(storeConfig(StoreDir));
+    Expected<CompiledUnit> U = A.compileSync(request());
+    ASSERT_TRUE(static_cast<bool>(U));
+    ColdText = U->Program->vectorizedText();
+    Key = U->Program->digest();
+  }
+
+  // Rot the published entry.
+  const std::string Path =
+      (fs::path(StoreDir) / (Key.toHex() + ".art")).string();
+  std::string Bytes;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    Bytes.assign(std::istreambuf_iterator<char>(In), {});
+  }
+  Bytes[Bytes.size() / 2] ^= 0x01;
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  }
+
+  // The corrupt entry is never served and never fatal: quarantined,
+  // recompiled from source, identical text, and re-published.
+  StatsRegistry Stats;
+  CompileService B(storeConfig(StoreDir, &Stats));
+  Expected<CompiledUnit> U = B.compileSync(request());
+  ASSERT_TRUE(static_cast<bool>(U));
+  EXPECT_FALSE(U->DiskHit);
+  EXPECT_EQ(U->Program->vectorizedText(), ColdText);
+  EXPECT_EQ(Stats.get("service.store.quarantined"), 1);
+  EXPECT_EQ(Stats.get("service.store.recompiles"), 1);
+  EXPECT_EQ(Stats.get("service.compiles"), 1);
+  EXPECT_TRUE(fs::exists(Path)); // Re-published by the recompile.
+
+  // A third service restart is back on the warm path.
+  CompileService C(storeConfig(StoreDir));
+  Expected<CompiledUnit> V = C.compileSync(request());
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_TRUE(V->DiskHit);
+  EXPECT_EQ(V->Program->vectorizedText(), ColdText);
+}
+
+} // namespace

@@ -15,9 +15,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "service/CompileService.h"
+#include "support/FaultInjection.h"
 #include "support/Statistic.h"
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -229,6 +232,181 @@ TEST(CompileServiceTest, CompiledUnitRunsOnSynthesizedBuffers) {
   ExecutionResult BadRes = U->Program->run(Bad);
   EXPECT_FALSE(BadRes.Ok);
   EXPECT_EQ(BadRes.TrapKind, Trap::OutOfBounds);
+}
+
+// ---------------------------------------------------------------------------
+// Overload-safety: admission control, deadlines, and the load-shedding
+// fault sites. These tests pin the *determinism* of rejection — a full
+// queue or an expired deadline must fail fast with the matching retryable
+// code, never block, never compile, never wedge the pool.
+// ---------------------------------------------------------------------------
+
+/// Occupies the single worker of \p Service until the returned promise is
+/// fulfilled; returns only once the blocker is actually running (so
+/// subsequently submitted jobs are *pending*, deterministically).
+std::promise<void> blockSingleWorker(CompileService &Service) {
+  std::promise<void> Release;
+  std::shared_future<void> Gate = Release.get_future().share();
+  std::atomic<bool> *Running = new std::atomic<bool>{false};
+  EXPECT_TRUE(Service.pool().submit([Running, Gate] {
+    Running->store(true);
+    Gate.wait();
+    delete Running;
+  }));
+  while (!Running->load())
+    std::this_thread::yield();
+  return Release;
+}
+
+TEST(CompileServiceTest, FullQueueRejectsWithRetryableOverloaded) {
+  StatsRegistry Stats;
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.MaxQueueDepth = 2;
+  Cfg.Stats = &Stats;
+  CompileService Service(Cfg);
+  std::promise<void> Release = blockSingleWorker(Service);
+
+  // The worker is pinned: the first MaxQueueDepth submissions queue, every
+  // further one is rejected immediately — deterministically, not racily.
+  auto FA = Service.submit(request(101));
+  auto FB = Service.submit(request(102));
+  auto FC = Service.submit(request(103));
+  auto FD = Service.submit(request(104));
+
+  // Rejections settle without waiting on the (still blocked) worker.
+  ASSERT_EQ(FC.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  ASSERT_EQ(FD.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  for (auto *F : {&FC, &FD}) {
+    Expected<CompiledUnit> U = F->get();
+    ASSERT_FALSE(static_cast<bool>(U));
+    EXPECT_EQ(U.errorCode(), ErrorCode::Overloaded);
+    EXPECT_TRUE(isRetryableErrorCode(U.errorCode()));
+    EXPECT_NE(U.errorMessage().find("queue is full"), std::string::npos);
+    U.takeError().consume();
+  }
+  EXPECT_EQ(Stats.get("service.queue.rejected"), 2);
+
+  // The accepted jobs were untouched by the rejections.
+  Release.set_value();
+  Expected<CompiledUnit> A = FA.get();
+  Expected<CompiledUnit> B = FB.get();
+  ASSERT_TRUE(static_cast<bool>(A));
+  ASSERT_TRUE(static_cast<bool>(B));
+  EXPECT_GE(A->Program->stats().GraphsVectorized, 1u);
+}
+
+TEST(CompileServiceTest, DeadlineExpiredInQueueIsShedWithoutCompiling) {
+  StatsRegistry Stats;
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.Stats = &Stats;
+  CompileService Service(Cfg);
+  std::promise<void> Release = blockSingleWorker(Service);
+
+  CompileRequest Req = request(111);
+  Req.DeadlineMillis = 1; // Expires while stuck behind the blocker.
+  auto F = Service.submit(std::move(Req));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Release.set_value();
+
+  Expected<CompiledUnit> U = F.get();
+  ASSERT_FALSE(static_cast<bool>(U));
+  EXPECT_EQ(U.errorCode(), ErrorCode::DeadlineExceeded);
+  EXPECT_TRUE(isRetryableErrorCode(U.errorCode()));
+  EXPECT_NE(U.errorMessage().find("before compilation"), std::string::npos);
+  U.takeError().consume();
+  // Shed at dequeue: the pipeline never ran for it.
+  EXPECT_EQ(Stats.get("service.deadline.shed"), 1);
+  EXPECT_EQ(Stats.get("service.compiles"), 0);
+}
+
+TEST(CompileServiceTest, DeadlineFaultSiteShedsThenRetrySucceeds) {
+  FaultInjector::instance().disarmAll();
+  CompileService Service;
+  FaultInjector::instance().arm("service.deadline.expire");
+  Expected<CompiledUnit> U = Service.compileSync(request(112));
+  ASSERT_FALSE(static_cast<bool>(U));
+  EXPECT_EQ(U.errorCode(), ErrorCode::DeadlineExceeded);
+  U.takeError().consume();
+
+  // The site is one-shot: the retry the retryable code promises succeeds.
+  Expected<CompiledUnit> R = Service.compileSync(request(112));
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_FALSE(R->CacheHit); // The shed request never reached the cache.
+  FaultInjector::instance().disarmAll();
+}
+
+TEST(CompileServiceTest, MidCompileDeadlineFaultFailsAfterPipeline) {
+  // The same site probed on its second hit fires *between* the pipeline
+  // and publication — the mid-compile enforcement path.
+  FaultInjector::instance().disarmAll();
+  StatsRegistry Stats;
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.Stats = &Stats;
+  CompileService Service(Cfg);
+  FaultInjector::instance().arm("service.deadline.expire",
+                                /*FireOnNthHit=*/2);
+  Expected<CompiledUnit> U = Service.compileSync(request(113));
+  ASSERT_FALSE(static_cast<bool>(U));
+  EXPECT_EQ(U.errorCode(), ErrorCode::DeadlineExceeded);
+  EXPECT_NE(U.errorMessage().find("during compilation"), std::string::npos);
+  U.takeError().consume();
+  EXPECT_EQ(Stats.get("service.deadline.expired"), 1);
+
+  // An overrun compile is not published; the retry compiles afresh.
+  Expected<CompiledUnit> R = Service.compileSync(request(113));
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_FALSE(R->CacheHit);
+  FaultInjector::instance().disarmAll();
+}
+
+TEST(CompileServiceTest, OverloadFaultSiteRejectsThenRetrySucceeds) {
+  FaultInjector::instance().disarmAll();
+  CompileService Service;
+  FaultInjector::instance().arm("service.queue.overload");
+  Expected<CompiledUnit> U = Service.compileSync(request(114));
+  ASSERT_FALSE(static_cast<bool>(U));
+  EXPECT_EQ(U.errorCode(), ErrorCode::Overloaded);
+  EXPECT_TRUE(isRetryableErrorCode(U.errorCode()));
+  U.takeError().consume();
+
+  Expected<CompiledUnit> R = Service.compileSync(request(114));
+  ASSERT_TRUE(static_cast<bool>(R));
+  FaultInjector::instance().disarmAll();
+}
+
+TEST(CompileServiceTest, BudgetTrackerPollsTheDeadline) {
+  // A deadline already in the past trips on the very first charge (the
+  // poll runs on charge 1 and then every 64th) with the sticky reason
+  // "deadline" — the vectorizer surfaces it as a `bailout:budget`.
+  ResourceBudgets Past;
+  Past.DeadlineSteadyNanos = 1;
+  BudgetTracker Expired(Past);
+  EXPECT_FALSE(Expired.chargeGraphNode());
+  EXPECT_TRUE(Expired.exhausted());
+  EXPECT_EQ(Expired.reason(), "deadline");
+
+  // A generous deadline never trips, however many charges flow.
+  ResourceBudgets Future;
+  Future.DeadlineSteadyNanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          (std::chrono::steady_clock::now() + std::chrono::hours(1))
+              .time_since_epoch())
+          .count());
+  BudgetTracker Fine(Future);
+  for (int I = 0; I < 200; ++I)
+    EXPECT_TRUE(Fine.chargeGraphNode());
+  EXPECT_FALSE(Fine.exhausted());
+
+  // No deadline: the poll is entirely disabled.
+  BudgetTracker None((ResourceBudgets()));
+  for (int I = 0; I < 200; ++I)
+    EXPECT_TRUE(None.chargeGraphNode());
+  EXPECT_FALSE(None.exhausted());
 }
 
 TEST(CompileServiceTest, RunsSerializePerUnit) {

@@ -40,6 +40,39 @@ TEST(ErrorTest, CodeNamesAreStable) {
   EXPECT_STREQ(getErrorCodeName(ErrorCode::InvalidArgument),
                "invalid-argument");
   EXPECT_STREQ(getErrorCodeName(ErrorCode::IOError), "io-error");
+  EXPECT_STREQ(getErrorCodeName(ErrorCode::Overloaded), "overloaded");
+  EXPECT_STREQ(getErrorCodeName(ErrorCode::DeadlineExceeded),
+               "deadline-exceeded");
+}
+
+TEST(ErrorTest, CodeNamesRoundTrip) {
+  for (ErrorCode C : {ErrorCode::Success, ErrorCode::ParseError,
+                      ErrorCode::Overloaded, ErrorCode::DeadlineExceeded,
+                      ErrorCode::IOError}) {
+    ErrorCode Parsed = ErrorCode::Success;
+    ASSERT_TRUE(parseErrorCodeName(getErrorCodeName(C), Parsed));
+    EXPECT_EQ(Parsed, C);
+  }
+  ErrorCode Unused = ErrorCode::Success;
+  EXPECT_FALSE(parseErrorCodeName("not-a-code", Unused));
+}
+
+TEST(ErrorTest, RetryableCodesArePinned) {
+  // Exactly the load-shedding codes are retryable; everything else is a
+  // permanent failure for the same request bytes. snslp-client's exit
+  // codes (75 vs 1) and RetryPolicy both hang off this predicate.
+  EXPECT_TRUE(isRetryableErrorCode(ErrorCode::Overloaded));
+  EXPECT_TRUE(isRetryableErrorCode(ErrorCode::DeadlineExceeded));
+  EXPECT_FALSE(isRetryableErrorCode(ErrorCode::Success));
+  EXPECT_FALSE(isRetryableErrorCode(ErrorCode::ParseError));
+  EXPECT_FALSE(isRetryableErrorCode(ErrorCode::VerifyError));
+  EXPECT_FALSE(isRetryableErrorCode(ErrorCode::ExecError));
+  EXPECT_FALSE(isRetryableErrorCode(ErrorCode::FuelExhausted));
+  EXPECT_FALSE(isRetryableErrorCode(ErrorCode::BudgetExhausted));
+  EXPECT_FALSE(isRetryableErrorCode(ErrorCode::FaultInjected));
+  EXPECT_FALSE(isRetryableErrorCode(ErrorCode::UnknownKernel));
+  EXPECT_FALSE(isRetryableErrorCode(ErrorCode::InvalidArgument));
+  EXPECT_FALSE(isRetryableErrorCode(ErrorCode::IOError));
 }
 
 TEST(ErrorTest, SuccessIsFalsy) {

@@ -121,6 +121,10 @@ TEST_F(FaultInjectionTest, RegistryListsEveryCompiledInSite) {
   EXPECT_TRUE(Has("slp.goslp.enumerate.abort"));
   EXPECT_TRUE(Has("slp.goslp.solve.abort"));
   EXPECT_TRUE(Has("driver.compile.parse"));
+  EXPECT_TRUE(Has("service.queue.overload"));
+  EXPECT_TRUE(Has("service.deadline.expire"));
+  EXPECT_TRUE(Has("service.store.corrupt"));
+  EXPECT_TRUE(Has("service.store.io-error"));
 }
 
 // ---------------------------------------------------------------------------

@@ -15,9 +15,12 @@
 
 #include "service/CompileService.h"
 #include "service/Protocol.h"
+#include "support/FaultInjection.h"
 
 #include <string>
+#include <thread>
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -225,6 +228,152 @@ TEST(ServiceProtocolTest, FrameRejectsBadMagicAndOversizedLength) {
 
   close(Fds[0]);
   close(Fds[1]);
+}
+
+TEST(ServiceProtocolTest, DeadlineHeaderRoundTrip) {
+  ServiceRequest Req;
+  Req.ModuleText = "x";
+  Req.DeadlineMillis = 250;
+  std::string Wire = encodeRequest(Req);
+  EXPECT_NE(Wire.find("deadline-ms: 250\n"), std::string::npos);
+  ServiceRequest Out;
+  std::string Err;
+  ASSERT_TRUE(decodeRequest(Wire, Out, &Err)) << Err;
+  EXPECT_EQ(Out.DeadlineMillis, 250u);
+
+  // Default off: no header emitted, decodes back to 0.
+  Req.DeadlineMillis = 0;
+  Wire = encodeRequest(Req);
+  EXPECT_EQ(Wire.find("deadline-ms"), std::string::npos);
+  ASSERT_TRUE(decodeRequest(Wire, Out, &Err)) << Err;
+  EXPECT_EQ(Out.DeadlineMillis, 0u);
+
+  // Strict numeric parsing, positioned.
+  EXPECT_FALSE(decodeRequest(
+      "snslp-request v1\ndeadline-ms: soon\nmodule: 1\n\nx", Out, &Err));
+  EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
+}
+
+TEST(ServiceProtocolTest, RetryableHeaderRoundTrip) {
+  ServiceResponse Resp;
+  Resp.Ok = false;
+  Resp.ErrorCodeName = "overloaded";
+  Resp.Retryable = true;
+  Resp.Body = "compile queue is full";
+  std::string Wire = encodeResponse(Resp);
+  EXPECT_NE(Wire.find("retryable: 1\n"), std::string::npos);
+
+  ServiceResponse Out;
+  std::string Err;
+  ASSERT_TRUE(decodeResponse(Wire, Out, &Err)) << Err;
+  EXPECT_FALSE(Out.Ok);
+  EXPECT_TRUE(Out.Retryable);
+  EXPECT_EQ(Out.ErrorCodeName, "overloaded");
+
+  // Permanent errors carry retryable: 0; ok responses carry none.
+  Resp.ErrorCodeName = "parse-error";
+  Resp.Retryable = false;
+  ASSERT_TRUE(decodeResponse(encodeResponse(Resp), Out, &Err)) << Err;
+  EXPECT_FALSE(Out.Retryable);
+  ServiceResponse OkResp;
+  OkResp.Ok = true;
+  OkResp.Cache = "miss";
+  OkResp.Body = "b";
+  Wire = encodeResponse(OkResp);
+  EXPECT_EQ(Wire.find("retryable"), std::string::npos);
+}
+
+TEST(ServiceProtocolTest, DiskCacheTagRoundTrip) {
+  ServiceResponse Resp;
+  Resp.Ok = true;
+  Resp.Cache = "disk"; // Served from the persistent artifact store.
+  Resp.Body = "b";
+  ServiceResponse Out;
+  std::string Err;
+  ASSERT_TRUE(decodeResponse(encodeResponse(Resp), Out, &Err)) << Err;
+  EXPECT_EQ(Out.Cache, "disk");
+
+  // Unknown cache tags are still rejected strictly.
+  std::string Wire = encodeResponse(Resp);
+  size_t At = Wire.find("cache: disk");
+  ASSERT_NE(At, std::string::npos);
+  Wire.replace(At, 11, "cache: warm");
+  EXPECT_FALSE(decodeResponse(Wire, Out, &Err));
+  EXPECT_NE(Err.find("cache"), std::string::npos) << Err;
+}
+
+TEST(ServiceProtocolTest, LargeFrameSurvivesTinySocketBuffers) {
+  // A frame much larger than the socket buffers forces short writes on
+  // the sender and short reads on the receiver; both sides must loop.
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  const int Small = 4096;
+  setsockopt(Fds[0], SOL_SOCKET, SO_SNDBUF, &Small, sizeof(Small));
+  setsockopt(Fds[1], SOL_SOCKET, SO_RCVBUF, &Small, sizeof(Small));
+
+  std::string Payload;
+  Payload.reserve(1 << 20);
+  for (unsigned I = 0; Payload.size() < (1u << 20); ++I)
+    Payload.push_back(static_cast<char>(I * 131 + 7));
+
+  bool WriteOk = false;
+  std::string WriteErr;
+  std::thread Writer([&] { WriteOk = writeFrame(Fds[0], Payload, &WriteErr); });
+  std::string Out, Err;
+  ASSERT_TRUE(readFrame(Fds[1], Out, &Err)) << Err;
+  Writer.join();
+  EXPECT_TRUE(WriteOk) << WriteErr;
+  EXPECT_EQ(Out, Payload);
+  close(Fds[0]);
+  close(Fds[1]);
+}
+
+TEST(ServiceProtocolTest, NonblockingFdsPollThroughEagain) {
+  // With O_NONBLOCK on both ends, a large frame makes write(2)/read(2)
+  // return EAGAIN mid-frame; the frame I/O layer must poll(2) for
+  // readiness and continue, not fail.
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  const int Small = 4096;
+  setsockopt(Fds[0], SOL_SOCKET, SO_SNDBUF, &Small, sizeof(Small));
+  setsockopt(Fds[1], SOL_SOCKET, SO_RCVBUF, &Small, sizeof(Small));
+  ASSERT_EQ(fcntl(Fds[0], F_SETFL, O_NONBLOCK), 0);
+  ASSERT_EQ(fcntl(Fds[1], F_SETFL, O_NONBLOCK), 0);
+
+  std::string Payload(1 << 20, 'q');
+  bool WriteOk = false;
+  std::string WriteErr;
+  std::thread Writer([&] { WriteOk = writeFrame(Fds[0], Payload, &WriteErr); });
+  std::string Out, Err;
+  ASSERT_TRUE(readFrame(Fds[1], Out, &Err)) << Err;
+  Writer.join();
+  EXPECT_TRUE(WriteOk) << WriteErr;
+  EXPECT_EQ(Out, Payload);
+  close(Fds[0]);
+  close(Fds[1]);
+}
+
+TEST(ServiceProtocolTest, ServeRequestMarksLoadSheddingRetryable) {
+  // An armed deadline fault sheds the request; the response must carry
+  // the pinned code *and* the retryable marker the client keys off.
+  FaultInjector::instance().disarmAll();
+  CompileService Service;
+  ServiceRequest Req;
+  Req.ModuleText = addsubModule();
+  FaultInjector::instance().arm("service.deadline.expire");
+  ServiceResponse Resp = serveRequest(Service, Req);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.ErrorCodeName, "deadline-exceeded");
+  EXPECT_TRUE(Resp.Retryable);
+  FaultInjector::instance().disarmAll();
+
+  // Permanent failures are explicitly not retryable on the wire.
+  ServiceRequest Bad;
+  Bad.ModuleText = "not ir";
+  ServiceResponse BadResp = serveRequest(Service, Bad);
+  EXPECT_FALSE(BadResp.Ok);
+  EXPECT_EQ(BadResp.ErrorCodeName, "parse-error");
+  EXPECT_FALSE(BadResp.Retryable);
 }
 
 TEST(ServiceProtocolTest, ServeRequestCompilesAndRuns) {

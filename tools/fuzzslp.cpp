@@ -35,11 +35,13 @@
 /// rows the same way: `all` (the default: o3, slp, lslp, snslp, goslp) or
 /// a comma-separated subset such as `snslp,goslp`.
 ///
-/// --fault-inject sweeps every compiled-in `slp.*` and `jit.*` fault site
-/// over each generated program (fail-safe mode: an armed vectorizer defect
-/// must degrade to a correct scalar region, an armed JIT defect must
-/// degrade to the bytecode engine; never abort, never miscompile) — see
-/// docs/robustness.md.
+/// --fault-inject sweeps every compiled-in `slp.*`, `jit.*`, and
+/// `service.*` fault site over each generated program (fail-safe mode: an
+/// armed vectorizer defect must degrade to a correct scalar region, an
+/// armed JIT defect must degrade to the bytecode engine, and an armed
+/// service defect must degrade to a structured retryable rejection or a
+/// quarantine-and-recompile that still serves the exact golden artifact;
+/// never abort, never miscompile) — see docs/robustness.md.
 ///
 /// Exit code: 0 when every run and every corpus replay is clean, 1 on any
 /// oracle failure, 2 on usage / I/O errors.
@@ -54,6 +56,7 @@
 #include "ir/Function.h"
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
+#include "service/CompileService.h"
 #include "service/ThreadPool.h"
 #include "slp/SLPVectorizer.h"
 #include "support/CommandLine.h"
@@ -67,6 +70,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace snslp;
 using namespace snslp::fuzz;
@@ -98,10 +103,118 @@ void printUsage() {
       "  --modes=LIST     vectorizer-mode rows of the matrix: 'all'\n"
       "                   (default) or a comma-separated subset of\n"
       "                   o3,slp,lslp,snslp,goslp\n"
-      "  --fault-inject   arm each slp.* and jit.* fault site in turn per\n"
-      "                   program and assert graceful fallback (scalar\n"
-      "                   region for slp.*, bytecode engine for jit.*)\n"
+      "  --fault-inject   arm each slp.*, jit.*, and service.* fault site\n"
+      "                   in turn per program and assert graceful fallback\n"
+      "                   (scalar region for slp.*, bytecode engine for\n"
+      "                   jit.*, retryable rejection or recompile-from-\n"
+      "                   source for service.*)\n"
       "  --verbose        log every run, not just failures\n");
+}
+
+/// The service-layer half of the --fault-inject sweep. For one generated
+/// program: compile a golden artifact through a clean CompileService
+/// backed by a throwaway persistent store (which also seeds the store),
+/// then arm each compiled-in `service.*` site in turn against a fresh
+/// service on the same store and require graceful degradation — either
+/// the request still succeeds with the exact golden vectorized text
+/// (store corruption/IO faults quarantine and recompile from source), or
+/// it is rejected with a *retryable* code (admission control, deadlines)
+/// and, the sites being one-shot, an immediate retry serves the golden
+/// text. Never a wrong artifact, never a non-retryable error, never a
+/// crash. Returns false on any violation (printing a FAIL line).
+bool sweepServiceFaultSites(const std::string &ModuleText,
+                            const std::string &EntryName, uint64_t Seed,
+                            uint64_t &FaultChecks, uint64_t &FaultFires,
+                            bool Verbose) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  fs::path StoreDir = fs::temp_directory_path(EC);
+  if (EC)
+    StoreDir = ".";
+  StoreDir /= "fuzzslp-store-" +
+              std::to_string(static_cast<unsigned long long>(::getpid())) +
+              "-" + std::to_string(Seed);
+  fs::remove_all(StoreDir, EC);
+
+  auto MakeRequest = [&] {
+    CompileRequest Req;
+    Req.ModuleText = ModuleText;
+    Req.EntryFunction = EntryName;
+    return Req;
+  };
+  auto MakeConfig = [&] {
+    ServiceConfig Cfg;
+    Cfg.Workers = 1;
+    Cfg.StoreDir = StoreDir.string();
+    return Cfg;
+  };
+
+  // The golden artifact: a clean compile, which also publishes the key
+  // into the store so the store-fault sites have an entry to corrupt.
+  std::string Golden;
+  {
+    FaultInjector::instance().disarmAll();
+    CompileService Service(MakeConfig());
+    Expected<CompiledUnit> U = Service.compileSync(MakeRequest());
+    if (!U) {
+      // The generated program does not compile cleanly even without
+      // faults; nothing for the service sweep to assert.
+      fs::remove_all(StoreDir, EC);
+      return true;
+    }
+    Golden = U->Program->vectorizedText();
+  }
+
+  bool AllOk = true;
+  for (const std::string &Site : knownFaultSites()) {
+    if (Site.rfind("service.", 0) != 0)
+      continue;
+    FaultInjector::instance().disarmAll();
+    FaultInjector::instance().arm(Site, /*FireOnNthHit=*/1);
+    CompileService Service(MakeConfig());
+    bool SiteOk = true;
+    std::string Why;
+    Expected<CompiledUnit> U = Service.compileSync(MakeRequest());
+    if (U) {
+      // Store faults must be absorbed: quarantine + recompile, same text.
+      if (U->Program->vectorizedText() != Golden) {
+        SiteOk = false;
+        Why = "served artifact diverged from the clean compile";
+      }
+    } else if (!isRetryableErrorCode(U.errorCode())) {
+      SiteOk = false;
+      Why = std::string("non-retryable rejection: ") +
+            getErrorCodeName(U.errorCode()) + ": " + U.errorMessage();
+    } else {
+      // Load shedding fired; the one-shot site is now spent, so the
+      // retry the error contract promises must succeed — and serve the
+      // same bytes as the clean compile.
+      Expected<CompiledUnit> R = Service.compileSync(MakeRequest());
+      if (!R) {
+        SiteOk = false;
+        Why = "retry after retryable rejection failed: " + R.errorMessage();
+      } else if (R->Program->vectorizedText() != Golden) {
+        SiteOk = false;
+        Why = "retried artifact diverged from the clean compile";
+      }
+    }
+    ++FaultChecks;
+    const bool Fired = FaultInjector::instance().fireCount(Site) > 0;
+    FaultFires += Fired ? 1 : 0;
+    if (!SiteOk) {
+      AllOk = false;
+      std::printf("seed %llu FAIL under fault '%s'%s\n  %s\n",
+                  static_cast<unsigned long long>(Seed), Site.c_str(),
+                  Fired ? " (fired)" : " (never reached)", Why.c_str());
+    } else if (Verbose) {
+      std::printf("seed %llu ok under fault '%s'%s\n",
+                  static_cast<unsigned long long>(Seed), Site.c_str(),
+                  Fired ? " (fired)" : " (never reached)");
+    }
+  }
+  FaultInjector::instance().disarmAll();
+  fs::remove_all(StoreDir, EC);
+  return AllOk;
 }
 
 /// Reduction predicate: the candidate still fails with the signature
@@ -425,6 +538,7 @@ int main(int Argc, char **Argv) {
       // A crash here kills the process — which is exactly the regression
       // this sweep exists to catch.
       bool AnyFail = false;
+      bool ProgramSkipped = false;
       for (const std::string &Site : knownFaultSites()) {
         if (Site.rfind("slp.", 0) != 0 && Site.rfind("jit.", 0) != 0)
           continue;
@@ -437,6 +551,7 @@ int main(int Argc, char **Argv) {
         FaultFires += Fired ? 1 : 0;
         if (Report.BaselineFuelExhausted) {
           ++Skipped;
+          ProgramSkipped = true;
           break; // Same program for every site: skip them all.
         }
         if (!Report.ok()) {
@@ -451,6 +566,13 @@ int main(int Argc, char **Argv) {
                       Fired ? " (fired)" : " (never reached)");
         }
       }
+      // The service-layer sites: admission control, deadlines, and the
+      // persistent store must degrade to retryable rejections or a
+      // recompile from source — proven against this same program.
+      if (!ProgramSkipped &&
+          !sweepServiceFaultSites(toString(M), P.F->getName(), Seed,
+                                  FaultChecks, FaultFires, Verbose))
+        AnyFail = true;
       FaultInjector::instance().disarmAll();
       ++Completed;
       if (AnyFail)

@@ -1,0 +1,165 @@
+#!/bin/sh
+# Crash-safety + persistence test for snslpd's artifact store (ctest:
+# service_smoke). Four daemon generations share one --store-dir:
+#
+#   A. cold compile publishes the artifact (cache: miss, then hit);
+#      clean exit.
+#   B. a fresh daemon serves the same request from disk (cache: disk)
+#      with a bit-identical body and mem-hash — then is killed with
+#      SIGKILL, and an orphaned tmp/ file simulates a writer that died
+#      mid-publication.
+#   C. a daemon with SNSLP_FAULT_INJECT=service.store.corrupt armed: the
+#      poisoned load is quarantined, the request is recompiled from
+#      source (cache: miss) with an identical body, and the fresh
+#      artifact is re-published; the orphaned tmp file is swept.
+#   D. a clean daemon is back on the warm path (cache: disk).
+#
+# The store must never serve a wrong artifact and never turn an I/O
+# problem into a failed request or a dead daemon.
+#
+# Usage: service_persistence.sh <snslpd> <snslp-client> <workdir>
+set -eu
+
+SNSLPD=$1
+CLIENT=$2
+WORKDIR=$3
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+SOCK="$WORKDIR/snslpd.sock"
+STORE="$WORKDIR/store"
+DPID=""
+
+cleanup() {
+  [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "service_persistence: FAIL: $1" >&2
+  exit 1
+}
+
+wait_socket() {
+  TRIES=0
+  while [ ! -S "$SOCK" ]; do
+    TRIES=$((TRIES + 1))
+    [ "$TRIES" -gt 100 ] && fail "daemon socket never appeared"
+    kill -0 "$DPID" 2>/dev/null || fail "daemon exited before listening"
+    sleep 0.1
+  done
+}
+
+# The same 4-wide add/sub kernel the round-trip test uses.
+cat > "$WORKDIR/kernel.ir" <<'EOF'
+func @addsub4(ptr %a, ptr %b, ptr %c) {
+entry:
+  %pa0 = gep i64, ptr %a, i64 0
+  %pa1 = gep i64, ptr %a, i64 1
+  %pa2 = gep i64, ptr %a, i64 2
+  %pa3 = gep i64, ptr %a, i64 3
+  %pb0 = gep i64, ptr %b, i64 0
+  %pb1 = gep i64, ptr %b, i64 1
+  %pb2 = gep i64, ptr %b, i64 2
+  %pb3 = gep i64, ptr %b, i64 3
+  %a0 = load i64, ptr %pa0
+  %a1 = load i64, ptr %pa1
+  %a2 = load i64, ptr %pa2
+  %a3 = load i64, ptr %pa3
+  %b0 = load i64, ptr %pb0
+  %b1 = load i64, ptr %pb1
+  %b2 = load i64, ptr %pb2
+  %b3 = load i64, ptr %pb3
+  %r0 = add i64 %a0, %b0
+  %r1 = sub i64 %a1, %b1
+  %r2 = add i64 %a2, %b2
+  %r3 = sub i64 %a3, %b3
+  %pc0 = gep i64, ptr %c, i64 0
+  %pc1 = gep i64, ptr %c, i64 1
+  %pc2 = gep i64, ptr %c, i64 2
+  %pc3 = gep i64, ptr %c, i64 3
+  store i64 %r0, ptr %pc0
+  store i64 %r1, ptr %pc1
+  store i64 %r2, ptr %pc2
+  store i64 %r3, ptr %pc3
+  ret void
+}
+EOF
+
+request() {
+  "$CLIENT" --socket="$SOCK" --file="$WORKDIR/kernel.ir" \
+            --mode=SNSLP --run --elems=8 --data-seed=7
+}
+body_of() { echo "$1" | sed -n '/^$/,$p'; }
+hash_of() { echo "$1" | sed -n 's/^mem-hash: //p'; }
+
+# --- A: cold compile publishes the artifact ----------------------------
+"$SNSLPD" --socket="$SOCK" --store-dir="$STORE" --max-requests=2 \
+    > "$WORKDIR/a.out" &
+DPID=$!
+wait_socket
+OUT1=$(request) || fail "A: cold request rejected"
+echo "$OUT1" | grep -q '^cache: miss$' || fail "A: expected cache miss"
+OUT2=$(request) || fail "A: warm request rejected"
+echo "$OUT2" | grep -q '^cache: hit$' || fail "A: expected memory hit"
+wait "$DPID" || { DPID=""; fail "A: daemon did not exit cleanly"; }
+DPID=""
+ls "$STORE"/*.art > /dev/null 2>&1 || fail "A: no artifact published"
+
+# --- B: restart serves from disk; then die hard ------------------------
+"$SNSLPD" --socket="$SOCK" --store-dir="$STORE" > "$WORKDIR/b.out" &
+DPID=$!
+wait_socket
+OUT3=$(request) || fail "B: request rejected"
+echo "$OUT3" | grep -q '^cache: disk$' \
+  || fail "B: expected a disk hit across the restart"
+[ "$(body_of "$OUT3")" = "$(body_of "$OUT1")" ] \
+  || fail "B: disk-served body differs from the cold compile"
+[ "$(hash_of "$OUT3")" = "$(hash_of "$OUT1")" ] \
+  || fail "B: disk-served mem-hash differs from the cold compile"
+kill -9 "$DPID"
+wait "$DPID" 2>/dev/null || true
+DPID=""
+# SIGKILL leaves the socket file behind; remove it so wait_socket below
+# waits for the *next* daemon's bind instead of seeing the stale path.
+rm -f "$SOCK"
+# A writer killed mid-publication leaves a tmp orphan, never a partial
+# entry at the published path.
+printf 'torn half-write' > "$STORE/tmp/deadbeef.999.tmp"
+
+# --- C: injected corruption -> quarantine + recompile + re-publish -----
+SNSLP_FAULT_INJECT=service.store.corrupt \
+  "$SNSLPD" --socket="$SOCK" --store-dir="$STORE" --max-requests=2 \
+    > "$WORKDIR/c.out" &
+DPID=$!
+wait_socket
+OUT4=$(request) || fail "C: corrupt store entry failed the request"
+echo "$OUT4" | grep -q '^cache: miss$' \
+  || fail "C: corrupt entry must recompile, not serve"
+[ "$(body_of "$OUT4")" = "$(body_of "$OUT1")" ] \
+  || fail "C: recompiled body differs from the cold compile"
+[ "$(hash_of "$OUT4")" = "$(hash_of "$OUT1")" ] \
+  || fail "C: recompiled mem-hash differs from the cold compile"
+OUT5=$(request) || fail "C: warm request rejected"
+echo "$OUT5" | grep -q '^cache: hit$' || fail "C: expected memory hit"
+wait "$DPID" || { DPID=""; fail "C: daemon did not exit cleanly"; }
+DPID=""
+[ ! -e "$STORE/tmp/deadbeef.999.tmp" ] || fail "C: tmp orphan not swept"
+ls "$STORE"/quarantine/*.art.* > /dev/null 2>&1 \
+  || fail "C: corrupt entry not quarantined"
+ls "$STORE"/*.art > /dev/null 2>&1 \
+  || fail "C: recompiled artifact not re-published"
+
+# --- D: back on the warm path ------------------------------------------
+"$SNSLPD" --socket="$SOCK" --store-dir="$STORE" --max-requests=1 \
+    > "$WORKDIR/d.out" &
+DPID=$!
+wait_socket
+OUT6=$(request) || fail "D: request rejected"
+echo "$OUT6" | grep -q '^cache: disk$' || fail "D: expected a disk hit"
+[ "$(body_of "$OUT6")" = "$(body_of "$OUT1")" ] \
+  || fail "D: disk-served body differs from the cold compile"
+wait "$DPID" || { DPID=""; fail "D: daemon did not exit cleanly"; }
+DPID=""
+
+echo "service_persistence: PASS"

@@ -9,6 +9,14 @@
 #   4. a well-formed request whose module
 #      text does not parse                   -> positioned parse-error
 #
+# then through the overload/retry exit-code contract (against daemons
+# with the service.queue.overload fault site armed):
+#
+#   5. retryable rejection + --retries=2     -> retry succeeds, exit 0
+#   6. retryable rejection + --retries=0     -> exit 75 (EX_TEMPFAIL)
+#   7. permanent error without --expect-error-> exit 1
+#   8. no daemon at all                      -> exit 2 (transport)
+#
 # The daemon serves exactly the expected number of frames
 # (--max-requests) and must exit 0 on its own; the malformed inputs must
 # be answered, never crash it or drop the connection.
@@ -128,5 +136,66 @@ if ! wait "$DPID"; then
 fi
 DPID=""
 grep -q "listening on" "$WORKDIR/snslpd.out" || fail "daemon never announced itself"
+
+# --- The overload/retry exit-code contract -----------------------------
+
+wait_socket() {
+  TRIES=0
+  while [ ! -S "$SOCK" ]; do
+    TRIES=$((TRIES + 1))
+    [ "$TRIES" -gt 100 ] && fail "daemon socket never appeared"
+    kill -0 "$DPID" 2>/dev/null || fail "daemon exited before listening"
+    sleep 0.1
+  done
+}
+
+# 5. Daemon with the one-shot admission-control fault armed: the first
+# compile attempt is shed with the retryable `overloaded` code; a client
+# allowed to retry backs off, tries again, and succeeds — exit 0.
+SNSLP_FAULT_INJECT=service.queue.overload \
+  "$SNSLPD" --socket="$SOCK" --max-requests=2 > "$WORKDIR/snslpd5.out" &
+DPID=$!
+wait_socket
+"$CLIENT" --socket="$SOCK" --file="$WORKDIR/kernel.ir" \
+    --retries=2 --retry-base-ms=1 \
+    > "$WORKDIR/retry.out" 2> "$WORKDIR/retry.err" \
+  || fail "retry after overloaded did not succeed (exit $?)"
+grep -q '^status: ok$' "$WORKDIR/retry.out" || fail "retry: not ok"
+grep -q 'overloaded.*retrying' "$WORKDIR/retry.err" \
+  || fail "retry: no backoff notice on stderr"
+wait "$DPID" || { DPID=""; fail "daemon (5) did not exit cleanly"; }
+DPID=""
+
+# 6. Same armed fault, retries forbidden: the retryable failure survives
+# every (single) attempt — EX_TEMPFAIL (75), never a dropped connection.
+# 7. A permanent error without --expect-error exits 1, not 75.
+SNSLP_FAULT_INJECT=service.queue.overload \
+  "$SNSLPD" --socket="$SOCK" --max-requests=2 > "$WORKDIR/snslpd6.out" &
+DPID=$!
+wait_socket
+set +e
+"$CLIENT" --socket="$SOCK" --file="$WORKDIR/kernel.ir" --retries=0 \
+    > "$WORKDIR/overloaded.out" 2>/dev/null
+RC=$?
+set -e
+[ "$RC" -eq 75 ] || fail "expected exit 75 for exhausted retryable, got $RC"
+grep -q '^error-code: overloaded$' "$WORKDIR/overloaded.out" \
+  || fail "expected the pinned 'overloaded' spelling"
+set +e
+"$CLIENT" --socket="$SOCK" --file="$WORKDIR/bad.ir" --retries=3 \
+    > /dev/null 2>&1
+RC=$?
+set -e
+[ "$RC" -eq 1 ] || fail "expected exit 1 for permanent parse-error, got $RC"
+wait "$DPID" || { DPID=""; fail "daemon (6) did not exit cleanly"; }
+DPID=""
+
+# 8. No daemon listening: transport failure after every attempt, exit 2.
+set +e
+"$CLIENT" --socket="$WORKDIR/nobody-home.sock" --file="$WORKDIR/kernel.ir" \
+    --retries=1 --retry-base-ms=1 > /dev/null 2>&1
+RC=$?
+set -e
+[ "$RC" -eq 2 ] || fail "expected exit 2 for transport failure, got $RC"
 
 echo "service_roundtrip: PASS"

@@ -15,9 +15,10 @@
 ///   snslp-client --socket=PATH [--file=MODULE.ir]
 ///                [--mode=O3|SLP|LSLP|SNSLP] [--entry=NAME] [--run]
 ///                [--elems=N] [--data-seed=N] [--max-steps=N]
-///                [--strict-budgets] [--max-graph-nodes=N]
-///                [--max-lookahead-evals=N]
+///                [--strict-budgets] [--deadline-ms=N]
+///                [--max-graph-nodes=N] [--max-lookahead-evals=N]
 ///                [--max-supernode-permutations=N]
+///                [--retries=N] [--retry-base-ms=N] [--retry-seed=N]
 ///                [--raw-payload=FILE] [--expect-error=CODE] [--quiet]
 ///
 /// --raw-payload sends FILE's bytes verbatim as the frame payload
@@ -26,18 +27,32 @@
 /// positioned parse error rather than a dropped connection.
 ///
 /// --expect-error=CODE inverts the exit code: 0 iff the daemon answered
-/// with `status: error` and the given error-code spelling.
+/// with `status: error` and the given error-code spelling (checked before
+/// any retry — an expected `overloaded` is a success, not a reason to
+/// back off).
 ///
-/// Exit code: 0 on success (or on the expected error), 1 on an
-/// unexpected response, 2 on usage / connection errors.
+/// --retries=N retries *retryable* failures only — the load-shedding
+/// error codes (`overloaded`, `deadline-exceeded`, per the response's
+/// `retryable:` header) and transport-level drops (connect refused,
+/// connection closed mid-frame, e.g. a daemon mid-restart) — with
+/// jittered exponential backoff (service/RetryPolicy.h). Permanent errors
+/// are never retried.
+///
+/// Exit code:
+///   0   success (or the expected error)
+///   1   permanent server error (parse-error, verify-error, ...)
+///   75  EX_TEMPFAIL: a retryable failure survived every attempt
+///   2   usage errors, or transport failure after every attempt
 ///
 //===----------------------------------------------------------------------===//
 
 #include "service/Protocol.h"
+#include "service/RetryPolicy.h"
 #include "support/CommandLine.h"
 
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -46,6 +61,9 @@
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+/// EX_TEMPFAIL from sysexits.h, spelled out to avoid the header dependency.
+static constexpr int kExitTempFail = 75;
 
 using namespace snslp;
 using namespace snslp::service;
@@ -64,11 +82,22 @@ void printUsage() {
       "  --data-seed=N      deterministic buffer contents (default 1)\n"
       "  --max-steps=N      interpreter fuel (default 2^24)\n"
       "  --strict-budgets   fail instead of accepting scalar fallback\n"
+      "  --deadline-ms=N    per-request deadline; expired requests are\n"
+      "                     shed with 'deadline-exceeded' (default off)\n"
       "  --max-graph-nodes=N / --max-lookahead-evals=N /\n"
       "  --max-supernode-permutations=N   per-request resource budgets\n"
+      "  --retries=N        retry retryable failures (overloaded,\n"
+      "                     deadline-exceeded, transport drops) up to N\n"
+      "                     times with jittered exponential backoff\n"
+      "                     (default 0)\n"
+      "  --retry-base-ms=N  backoff base delay (default 10)\n"
+      "  --retry-seed=N     deterministic backoff jitter seed\n"
       "  --raw-payload=FILE send FILE verbatim as the frame payload\n"
       "  --expect-error=C   succeed iff the response is error code C\n"
-      "  --quiet            suppress the response body\n");
+      "  --quiet            suppress the response body\n"
+      "exit codes: 0 ok/expected error; 1 permanent server error;\n"
+      "            75 retryable failure after all attempts; 2 usage or\n"
+      "            transport failure after all attempts\n");
 }
 
 bool readFileOrStdin(const std::string &Path, std::string &Out) {
@@ -160,6 +189,7 @@ int main(int Argc, char **Argv) {
     Req.DataSeed = static_cast<uint64_t>(CL.getInt("data-seed", 1));
     Req.MaxSteps = static_cast<uint64_t>(CL.getInt("max-steps", 1ll << 24));
     Req.StrictBudgets = CL.getBool("strict-budgets");
+    Req.DeadlineMillis = static_cast<uint64_t>(CL.getInt("deadline-ms", 0));
     Req.Budgets.MaxGraphNodes =
         static_cast<uint64_t>(CL.getInt("max-graph-nodes", 0));
     Req.Budgets.MaxLookAheadEvals =
@@ -177,27 +207,74 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
-  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (Fd < 0 || ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
-                          sizeof(Addr)) < 0) {
-    std::fprintf(stderr, "snslp-client: cannot connect to %s: %s\n",
-                 SocketPath.c_str(), std::strerror(errno));
-    if (Fd >= 0)
-      ::close(Fd);
-    return 2;
-  }
 
-  std::string Err;
-  std::string RespPayload;
+  RetryPolicy::Options RO;
+  RO.MaxRetries = static_cast<unsigned>(CL.getInt("retries", 0));
+  RO.BaseDelayMillis = static_cast<uint64_t>(CL.getInt("retry-base-ms", 10));
+  RO.JitterSeed = static_cast<uint64_t>(
+      CL.getInt("retry-seed", static_cast<int64_t>(RetryPolicy::Options()
+                                                       .JitterSeed)));
+  RetryPolicy Retry(RO);
+
+  // One connection per attempt: a daemon that shed the request (or died
+  // and restarted) serves the retry on a fresh socket.
   ServiceResponse Resp;
-  bool Transported = writeFrame(Fd, Payload, &Err) &&
+  bool HaveResponse = false;
+  for (unsigned Attempt = 1;; ++Attempt) {
+    std::string Err;
+    std::string RespPayload;
+    HaveResponse = false;
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd >= 0 && ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                             sizeof(Addr)) == 0) {
+      HaveResponse = writeFrame(Fd, Payload, &Err) &&
                      readFrame(Fd, RespPayload, &Err) &&
                      decodeResponse(RespPayload, Resp, &Err);
-  ::close(Fd);
-  if (!Transported) {
-    std::fprintf(stderr, "snslp-client: %s\n",
-                 Err.empty() ? "daemon closed the connection" : Err.c_str());
-    return 2;
+      if (!HaveResponse && Err.empty())
+        Err = "daemon closed the connection";
+    } else {
+      Err = std::string("cannot connect to ") + SocketPath + ": " +
+            std::strerror(errno);
+    }
+    if (Fd >= 0)
+      ::close(Fd);
+
+    // Decide whether this attempt's outcome is worth another try:
+    // transport drops always are; error responses only when the daemon
+    // marked them retryable (load shedding). An expected error is a
+    // success, never a retry.
+    bool Retryable;
+    if (HaveResponse) {
+      if (Resp.Ok)
+        break;
+      if (!ExpectError.empty() && Resp.ErrorCodeName == ExpectError)
+        break;
+      Retryable = Resp.Retryable;
+    } else {
+      Retryable = true;
+    }
+    if (!Retryable || !Retry.shouldRetry(Attempt)) {
+      if (!HaveResponse) {
+        std::fprintf(stderr, "snslp-client: %s\n", Err.c_str());
+        return 2;
+      }
+      break;
+    }
+
+    const uint64_t SleepMs = Retry.nextBackoffMillis(Attempt);
+    std::fprintf(stderr,
+                 "snslp-client: attempt %u failed (%s); retrying in "
+                 "%llums\n",
+                 Attempt,
+                 HaveResponse ? Resp.ErrorCodeName.c_str() : Err.c_str(),
+                 static_cast<unsigned long long>(SleepMs));
+    if (SleepMs > 0) {
+      struct timespec TS;
+      TS.tv_sec = static_cast<time_t>(SleepMs / 1000);
+      TS.tv_nsec = static_cast<long>((SleepMs % 1000) * 1000000);
+      while (::nanosleep(&TS, &TS) != 0 && errno == EINTR)
+        ;
+    }
   }
 
   printResponse(Resp, Quiet);
@@ -211,5 +288,9 @@ int main(int Argc, char **Argv) {
                  Resp.Ok ? "status ok" : Resp.ErrorCodeName.c_str());
     return 1;
   }
-  return Resp.Ok ? 0 : 1;
+  if (Resp.Ok)
+    return 0;
+  // A retryable code surviving every attempt is the "try again later"
+  // outcome (sendmail's EX_TEMPFAIL); a permanent code is a plain failure.
+  return Resp.Retryable ? kExitTempFail : 1;
 }

@@ -13,7 +13,15 @@
 ///
 /// Usage:
 ///   snslpd --socket=PATH [--workers=N] [--cache-bytes=N]
+///          [--queue-depth=N] [--store-dir=PATH]
 ///          [--max-requests=N] [--verbose]
+///
+/// --store-dir=PATH enables the crash-safe persistent artifact store: a
+/// daemon restarted on the same directory serves prior compiles as warm
+/// `cache: disk` hits without re-running the pipeline. --queue-depth
+/// bounds the pending compile queue (admission control); when full, the
+/// service answers the structured retryable `overloaded` error instead of
+/// queuing without bound.
 ///
 /// Connections are accepted sequentially and each carries any number of
 /// request frames until the client closes it. A malformed frame payload
@@ -61,6 +69,11 @@ void printUsage() {
       "                    an existing file at PATH is replaced)\n"
       "  --workers=N       compile-pool threads (default: hardware)\n"
       "  --cache-bytes=N   compile-cache byte budget (default 64 MiB)\n"
+      "  --queue-depth=N   max pending compile jobs before submissions\n"
+      "                    are rejected with the retryable 'overloaded'\n"
+      "                    code (default 256; 0 = unbounded)\n"
+      "  --store-dir=PATH  persistent artifact store directory (default\n"
+      "                    off); compiled artifacts survive restarts\n"
       "  --max-requests=N  exit cleanly after answering N frames\n"
       "                    (default 0 = serve forever)\n"
       "  --verbose         log connections/requests and dump counters\n"
@@ -116,6 +129,9 @@ int main(int Argc, char **Argv) {
       static_cast<uint64_t>(CL.getInt("cache-bytes", 64ll << 20));
   const uint64_t MaxRequests =
       static_cast<uint64_t>(CL.getInt("max-requests", 0));
+  const uint64_t QueueDepth =
+      static_cast<uint64_t>(CL.getInt("queue-depth", 256));
+  const std::string StoreDir = CL.getString("store-dir");
   const bool Verbose = CL.getBool("verbose");
 
   // A dying client must not kill the daemon mid-write.
@@ -154,7 +170,11 @@ int main(int Argc, char **Argv) {
   Cfg.Workers = Workers;
   Cfg.CacheBytes = CacheBytes;
   Cfg.Stats = &Stats;
+  Cfg.MaxQueueDepth = static_cast<size_t>(QueueDepth);
+  Cfg.StoreDir = StoreDir;
   CompileService Service(Cfg);
+  if (!StoreDir.empty() && Verbose)
+    std::fprintf(stderr, "snslpd: artifact store at %s\n", StoreDir.c_str());
 
   std::printf("snslpd: listening on %s\n", SocketPath.c_str());
   std::fflush(stdout);
