@@ -521,6 +521,34 @@ std::future<Expected<CompiledUnit>> CompileService::submit(CompileRequest Req) {
   return Future;
 }
 
+void CompileService::submitAsync(
+    CompileRequest Req, std::function<void(Expected<CompiledUnit>)> Done) {
+  const uint64_t Abs = resolveDeadline(Req);
+  ThreadPool::SubmitResult R = Pool.trySubmit(
+      [this, Abs, Req = std::move(Req), Done]() mutable {
+        Done(compileSyncAt(Req, Abs));
+      },
+      MaxQueueDepth);
+  switch (R) {
+  case ThreadPool::SubmitResult::Accepted:
+    break;
+  case ThreadPool::SubmitResult::QueueFull:
+    if (Stats) {
+      Stats->add("service.requests");
+      Stats->add("service.queue.rejected");
+    }
+    Done(Error::make(ErrorCode::Overloaded,
+                     "compile queue is full (admission control, depth " +
+                         std::to_string(MaxQueueDepth) +
+                         "); retry with backoff"));
+    break;
+  case ThreadPool::SubmitResult::ShuttingDown:
+    Done(Error::make(ErrorCode::InvalidArgument,
+                     "compile service is shutting down"));
+    break;
+  }
+}
+
 std::vector<std::future<Expected<CompiledUnit>>>
 CompileService::submitAll(std::vector<CompileRequest> Reqs) {
   std::vector<std::future<Expected<CompiledUnit>>> Futures;

@@ -41,6 +41,7 @@
 #include "support/Error.h"
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -214,6 +215,15 @@ public:
   /// Batch submission; futures settle independently as workers finish.
   std::vector<std::future<Expected<CompiledUnit>>>
   submitAll(std::vector<CompileRequest> Reqs);
+
+  /// Callback flavour of submit, for event-loop front-ends that must not
+  /// block a reactor thread on a future. \p Done is invoked exactly once:
+  /// on a pool worker when the compile settles, or inline in the caller's
+  /// thread when admission control rejects (`overloaded`) or the pool is
+  /// shutting down. Deadline semantics match submit() — resolved here, so
+  /// queue time counts against it.
+  void submitAsync(CompileRequest Req,
+                   std::function<void(Expected<CompiledUnit>)> Done);
 
   /// Compiles in the calling thread, still going through the cache and
   /// single-flight machinery (used by tools that are themselves workers).

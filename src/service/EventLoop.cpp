@@ -1,0 +1,549 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/EventLoop.h"
+
+#include "service/Protocol.h"
+#include "support/FaultInjection.h"
+#include "support/Statistic.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace snslp;
+using namespace snslp::service;
+
+namespace {
+
+/// epoll_event.data.u64 markers below the first connection id.
+constexpr uint64_t kWakeMarker = 0;
+constexpr uint64_t kUnixListenMarker = 1;
+constexpr uint64_t kTcpListenMarker = 2;
+
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+/// Appends one "SNS1" frame carrying \p Payload to \p Out.
+void appendFrame(std::string &Out, const std::string &Payload) {
+  char Header[8] = {'S', 'N', 'S', '1', 0, 0, 0, 0};
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  Header[4] = static_cast<char>(Len & 0xff);
+  Header[5] = static_cast<char>((Len >> 8) & 0xff);
+  Header[6] = static_cast<char>((Len >> 16) & 0xff);
+  Header[7] = static_cast<char>((Len >> 24) & 0xff);
+  Out.append(Header, sizeof(Header));
+  Out.append(Payload);
+}
+
+} // namespace
+
+/// Per-connection reactor state: incremental input reassembly, the ordered
+/// response window, and the partially-flushed output buffer.
+struct EventLoop::Connection {
+  int Fd = -1;
+  uint64_t Id = 0;
+  std::string InBuf;
+  size_t InPos = 0; ///< Consumed prefix of InBuf.
+  std::string OutBuf;
+  size_t OutPos = 0; ///< Flushed prefix of OutBuf.
+  bool WantWrite = false;      ///< EPOLLOUT currently registered.
+  bool CloseAfterFlush = false;
+  uint64_t NextSeq = 0;
+  /// Dispatched requests in arrival order. The wire protocol has no
+  /// request ids, so responses must leave in exactly this order — a slot
+  /// whose worker finishes early waits for its predecessors.
+  struct Slot {
+    uint64_t Seq = 0;
+    bool Ready = false;
+    std::string Payload;
+  };
+  std::deque<Slot> Pending;
+  uint64_t LastActivityNanos = 0;
+};
+
+EventLoop::EventLoop() = default;
+
+EventLoop::~EventLoop() {
+  for (auto &[Id, C] : Conns)
+    if (C.Fd >= 0)
+      ::close(C.Fd);
+  if (UnixListenFd >= 0)
+    ::close(UnixListenFd);
+  if (TcpListenFd >= 0)
+    ::close(TcpListenFd);
+  if (!Opts.UnixSocketPath.empty())
+    ::unlink(Opts.UnixSocketPath.c_str());
+  if (WakeFd >= 0)
+    ::close(WakeFd);
+  if (EpollFd >= 0)
+    ::close(EpollFd);
+}
+
+bool EventLoop::open(const Options &O, FrameHandler H, std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg + ": " + std::strerror(errno);
+    return false;
+  };
+  Opts = O;
+  Handler = std::move(H);
+
+  EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (EpollFd < 0)
+    return Fail("epoll_create1");
+  WakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (WakeFd < 0)
+    return Fail("eventfd");
+  struct epoll_event Ev;
+  std::memset(&Ev, 0, sizeof(Ev));
+  Ev.events = EPOLLIN;
+  Ev.data.u64 = kWakeMarker;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeFd, &Ev) < 0)
+    return Fail("epoll_ctl(wake)");
+
+  if (!Opts.UnixSocketPath.empty()) {
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    if (Opts.UnixSocketPath.size() >= sizeof(Addr.sun_path)) {
+      if (Err)
+        *Err = "unix socket path too long";
+      return false;
+    }
+    std::strncpy(Addr.sun_path, Opts.UnixSocketPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    ::unlink(Opts.UnixSocketPath.c_str()); // Replace a stale socket file.
+    UnixListenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (UnixListenFd < 0 || !setNonBlocking(UnixListenFd) ||
+        ::bind(UnixListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) < 0 ||
+        ::listen(UnixListenFd, 128) < 0)
+      return Fail("unix listener on " + Opts.UnixSocketPath);
+    Ev.events = EPOLLIN;
+    Ev.data.u64 = kUnixListenMarker;
+    if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, UnixListenFd, &Ev) < 0)
+      return Fail("epoll_ctl(unix listener)");
+  }
+
+  if (Opts.EnableTcp) {
+    TcpListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (TcpListenFd < 0 || !setNonBlocking(TcpListenFd))
+      return Fail("tcp socket");
+    int One = 1;
+    ::setsockopt(TcpListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    Addr.sin_port = htons(Opts.TcpPort);
+    if (::bind(TcpListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) < 0 ||
+        ::listen(TcpListenFd, 512) < 0)
+      return Fail("tcp listener on port " + std::to_string(Opts.TcpPort));
+    socklen_t Len = sizeof(Addr);
+    if (::getsockname(TcpListenFd, reinterpret_cast<sockaddr *>(&Addr),
+                      &Len) < 0)
+      return Fail("getsockname");
+    BoundTcpPort = ntohs(Addr.sin_port);
+    Ev.events = EPOLLIN;
+    Ev.data.u64 = kTcpListenMarker;
+    if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, TcpListenFd, &Ev) < 0)
+      return Fail("epoll_ctl(tcp listener)");
+  }
+  return true;
+}
+
+void EventLoop::requestStop() {
+  StopFlag.store(true, std::memory_order_release);
+  if (WakeFd >= 0) {
+    // write(2) on an eventfd is async-signal-safe; the result only tells
+    // us the counter is already nonzero, which is just as good.
+    uint64_t One = 1;
+    ssize_t R = ::write(WakeFd, &One, sizeof(One));
+    (void)R;
+  }
+}
+
+void EventLoop::postResponse(const RequestToken &Tok, std::string Payload) {
+  {
+    std::lock_guard<std::mutex> Lock(RespMu);
+    Posted.push_back(PostedResponse{Tok, std::move(Payload)});
+  }
+  uint64_t One = 1;
+  ssize_t R = ::write(WakeFd, &One, sizeof(One));
+  (void)R;
+}
+
+void EventLoop::adoptConnection(int Fd) {
+  setNonBlocking(Fd);
+  adoptLocked(Fd);
+}
+
+void EventLoop::adoptLocked(int Fd) {
+  const uint64_t Id = NextConnId++;
+  Connection C;
+  C.Fd = Fd;
+  C.Id = Id;
+  C.LastActivityNanos = nowNanos();
+  struct epoll_event Ev;
+  std::memset(&Ev, 0, sizeof(Ev));
+  Ev.events = EPOLLIN;
+  Ev.data.u64 = Id;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) < 0) {
+    ::close(Fd);
+    return;
+  }
+  Conns.emplace(Id, std::move(C));
+  Accepted.fetch_add(1, std::memory_order_relaxed);
+  if (Opts.Stats)
+    Opts.Stats->add("service.net.accepted");
+}
+
+void EventLoop::acceptReady(int ListenFd) {
+  for (;;) {
+    int Fd = ::accept4(ListenFd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return;
+      // Transient accept failure (EMFILE, ECONNABORTED, ...): count it
+      // and keep serving — the client's connect fails and its retry
+      // policy takes over. Never fatal to the loop.
+      AcceptFailed.fetch_add(1, std::memory_order_relaxed);
+      if (Opts.Stats)
+        Opts.Stats->add("service.net.accept-failed");
+      return;
+    }
+    if (faultPoint("service.net.accept-fail")) {
+      // Injected accept failure: degrade exactly like the real thing —
+      // the attempt is dropped (client sees EOF before any frame), the
+      // loop keeps serving, and no accepted frame goes unanswered.
+      ::close(Fd);
+      AcceptFailed.fetch_add(1, std::memory_order_relaxed);
+      if (Opts.Stats)
+        Opts.Stats->add("service.net.accept-failed");
+      continue;
+    }
+    adoptLocked(Fd);
+  }
+}
+
+void EventLoop::updateEpollOut(Connection &C) {
+  const bool Want = C.OutPos < C.OutBuf.size();
+  if (Want == C.WantWrite)
+    return;
+  struct epoll_event Ev;
+  std::memset(&Ev, 0, sizeof(Ev));
+  Ev.events = EPOLLIN | (Want ? EPOLLOUT : 0u);
+  Ev.data.u64 = C.Id;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev);
+  C.WantWrite = Want;
+}
+
+void EventLoop::closeConnection(uint64_t Id) {
+  auto It = Conns.find(Id);
+  if (It == Conns.end())
+    return;
+  ::close(It->second.Fd);
+  Conns.erase(It);
+}
+
+void EventLoop::readable(Connection &C) {
+  if (Draining || C.CloseAfterFlush)
+    return; // No new input: stopping, or the stream already went bad.
+  char Buf[65536];
+  for (;;) {
+    ssize_t N = ::read(C.Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        break;
+      closeConnection(C.Id);
+      return;
+    }
+    if (N == 0) {
+      // EOF. Any response still owed was for a client that hung up; the
+      // posted payloads for this connection are dropped on arrival.
+      closeConnection(C.Id);
+      return;
+    }
+    C.InBuf.append(Buf, static_cast<size_t>(N));
+    C.LastActivityNanos = nowNanos();
+    if (static_cast<size_t>(N) < sizeof(Buf))
+      break;
+  }
+  if (!parseFrames(C)) {
+    // Malformed stream: the parse-error response (if configured) is
+    // queued; close once it is flushed.
+    C.CloseAfterFlush = true;
+    flushResponses(C);
+    return;
+  }
+  flushResponses(C);
+}
+
+bool EventLoop::parseFrames(Connection &C) {
+  static const char Magic[4] = {'S', 'N', 'S', '1'};
+  while (C.InBuf.size() - C.InPos >= 8) {
+    const char *P = C.InBuf.data() + C.InPos;
+    uint32_t Len = static_cast<uint32_t>(static_cast<unsigned char>(P[4])) |
+                   (static_cast<uint32_t>(static_cast<unsigned char>(P[5]))
+                    << 8) |
+                   (static_cast<uint32_t>(static_cast<unsigned char>(P[6]))
+                    << 16) |
+                   (static_cast<uint32_t>(static_cast<unsigned char>(P[7]))
+                    << 24);
+    if (std::memcmp(P, Magic, 4) != 0 || Len > kMaxFrameBytes) {
+      Malformed.fetch_add(1, std::memory_order_relaxed);
+      if (Opts.Stats)
+        Opts.Stats->add("service.net.malformed");
+      if (!Opts.MalformedFrameResponse.empty()) {
+        // Queued as a ready slot, not appended to OutBuf directly: any
+        // valid pipelined request before the garbage still gets its
+        // response first — no frame is ever answered out of order.
+        Connection::Slot S;
+        S.Seq = C.NextSeq++;
+        S.Ready = true;
+        S.Payload = Opts.MalformedFrameResponse;
+        C.Pending.push_back(std::move(S));
+      }
+      return false;
+    }
+    if (C.InBuf.size() - C.InPos < 8 + static_cast<size_t>(Len))
+      break; // Partial frame; more epoll wakeups will complete it.
+    std::string Payload = C.InBuf.substr(C.InPos + 8, Len);
+    C.InPos += 8 + static_cast<size_t>(Len);
+    Connection::Slot S;
+    S.Seq = C.NextSeq++;
+    C.Pending.push_back(std::move(S));
+    // The handler may call postResponse synchronously (decode errors) or
+    // from a worker thread later; either way the slot above keeps this
+    // connection's responses in arrival order.
+    Handler(RequestToken{C.Id, C.Pending.back().Seq}, std::move(Payload));
+  }
+  if (C.InPos == C.InBuf.size()) {
+    C.InBuf.clear();
+    C.InPos = 0;
+  } else if (C.InPos > (1u << 20)) {
+    C.InBuf.erase(0, C.InPos);
+    C.InPos = 0;
+  }
+  return true;
+}
+
+void EventLoop::flushResponses(Connection &C) {
+  while (!C.Pending.empty() && C.Pending.front().Ready) {
+    appendFrame(C.OutBuf, C.Pending.front().Payload);
+    C.Pending.pop_front();
+    Served.fetch_add(1, std::memory_order_relaxed);
+    if (Opts.Stats)
+      Opts.Stats->add("service.net.frames");
+  }
+  writable(C);
+  if (Opts.MaxRequests != 0 &&
+      Served.load(std::memory_order_relaxed) >= Opts.MaxRequests)
+    requestStop();
+}
+
+void EventLoop::writable(Connection &C) {
+  while (C.OutPos < C.OutBuf.size()) {
+    ssize_t N = ::write(C.Fd, C.OutBuf.data() + C.OutPos,
+                        C.OutBuf.size() - C.OutPos);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        updateEpollOut(C);
+        return;
+      }
+      closeConnection(C.Id);
+      return;
+    }
+    C.OutPos += static_cast<size_t>(N);
+    C.LastActivityNanos = nowNanos();
+  }
+  C.OutBuf.clear();
+  C.OutPos = 0;
+  updateEpollOut(C);
+  if (C.Pending.empty() && (C.CloseAfterFlush || Draining))
+    closeConnection(C.Id);
+}
+
+void EventLoop::drainPosted() {
+  std::vector<PostedResponse> Local;
+  {
+    std::lock_guard<std::mutex> Lock(RespMu);
+    Local.swap(Posted);
+  }
+  for (PostedResponse &R : Local) {
+    auto It = Conns.find(R.Tok.ConnId);
+    if (It == Conns.end())
+      continue; // Connection died first; dropping is the contract.
+    Connection &C = It->second;
+    for (Connection::Slot &S : C.Pending) {
+      if (S.Seq == R.Tok.Seq) {
+        S.Ready = true;
+        S.Payload = std::move(R.Payload);
+        break;
+      }
+    }
+    flushResponses(C);
+  }
+}
+
+bool EventLoop::drainPending() const {
+  for (const auto &[Id, C] : Conns)
+    if (!C.Pending.empty() || C.OutPos < C.OutBuf.size())
+      return true;
+  return false;
+}
+
+void EventLoop::run() {
+  std::vector<struct epoll_event> Events(64);
+  for (;;) {
+    if (StopFlag.load(std::memory_order_acquire) && !Draining) {
+      Draining = true;
+      DrainDeadlineNanos =
+          nowNanos() +
+          (Opts.DrainTimeoutMillis ? Opts.DrainTimeoutMillis : 10000) *
+              1000000ull;
+      // Stop accepting: close the listeners now, so a restarting
+      // supervisor can rebind while we finish the in-flight work.
+      if (UnixListenFd >= 0) {
+        ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, UnixListenFd, nullptr);
+        ::close(UnixListenFd);
+        UnixListenFd = -1;
+        ::unlink(Opts.UnixSocketPath.c_str());
+      }
+      if (TcpListenFd >= 0) {
+        ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, TcpListenFd, nullptr);
+        ::close(TcpListenFd);
+        TcpListenFd = -1;
+      }
+      // Connections owed nothing are closed immediately (this is what
+      // un-wedges a SIGTERM under an idle-but-open client connection);
+      // the rest stay exactly long enough to flush their responses.
+      std::vector<uint64_t> Idle;
+      for (auto &[Id, C] : Conns)
+        if (C.Pending.empty() && C.OutPos >= C.OutBuf.size())
+          Idle.push_back(Id);
+      for (uint64_t Id : Idle)
+        closeConnection(Id);
+    }
+    if (Draining && (Conns.empty() || nowNanos() >= DrainDeadlineNanos))
+      break;
+
+    int TimeoutMs = -1;
+    if (Draining) {
+      uint64_t Now = nowNanos();
+      uint64_t Left = DrainDeadlineNanos > Now
+                          ? (DrainDeadlineNanos - Now) / 1000000ull
+                          : 0;
+      TimeoutMs = static_cast<int>(Left < 100 ? Left : 100);
+    } else if (Opts.IdleTimeoutMillis != 0) {
+      // Coarse idle tick: connection counts are small and the timeout is
+      // advisory, so a fixed granularity beats a heap of per-conn timers.
+      TimeoutMs = static_cast<int>(
+          Opts.IdleTimeoutMillis < 50 ? Opts.IdleTimeoutMillis : 50);
+    }
+
+    int N = ::epoll_wait(EpollFd, Events.data(),
+                         static_cast<int>(Events.size()), TimeoutMs);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // epoll itself failing is unrecoverable.
+    }
+    for (int I = 0; I < N; ++I) {
+      const uint64_t Marker = Events[I].data.u64;
+      const uint32_t Ev = Events[I].events;
+      if (Marker == kWakeMarker) {
+        uint64_t Junk;
+        while (::read(WakeFd, &Junk, sizeof(Junk)) > 0)
+          ;
+        continue;
+      }
+      if (Marker == kUnixListenMarker) {
+        if (UnixListenFd >= 0)
+          acceptReady(UnixListenFd);
+        continue;
+      }
+      if (Marker == kTcpListenMarker) {
+        if (TcpListenFd >= 0)
+          acceptReady(TcpListenFd);
+        continue;
+      }
+      // A connection — it may have been closed earlier in this batch.
+      auto It = Conns.find(Marker);
+      if (It == Conns.end())
+        continue;
+      if (Ev & (EPOLLHUP | EPOLLERR)) {
+        closeConnection(Marker);
+        continue;
+      }
+      if (Ev & EPOLLIN)
+        readable(It->second);
+      It = Conns.find(Marker);
+      if (It != Conns.end() && (Ev & EPOLLOUT))
+        writable(It->second);
+    }
+
+    drainPosted();
+
+    if (!Draining && Opts.IdleTimeoutMillis != 0) {
+      const uint64_t Now = nowNanos();
+      const uint64_t Budget = Opts.IdleTimeoutMillis * 1000000ull;
+      std::vector<uint64_t> Expired;
+      for (auto &[Id, C] : Conns)
+        if (C.Pending.empty() && C.OutPos >= C.OutBuf.size() &&
+            Now - C.LastActivityNanos > Budget)
+          Expired.push_back(Id);
+      for (uint64_t Id : Expired) {
+        IdleClosed.fetch_add(1, std::memory_order_relaxed);
+        if (Opts.Stats)
+          Opts.Stats->add("service.net.idle-closed");
+        closeConnection(Id);
+      }
+    }
+  }
+
+  // Whatever survives the drain deadline is abandoned.
+  std::vector<uint64_t> Rest;
+  for (auto &[Id, C] : Conns)
+    Rest.push_back(Id);
+  for (uint64_t Id : Rest)
+    closeConnection(Id);
+  if (UnixListenFd >= 0) {
+    ::close(UnixListenFd);
+    UnixListenFd = -1;
+    ::unlink(Opts.UnixSocketPath.c_str());
+  }
+  if (TcpListenFd >= 0) {
+    ::close(TcpListenFd);
+    TcpListenFd = -1;
+  }
+}

@@ -1,0 +1,188 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// EventLoop: the epoll-based reactor under snslpd.
+///
+/// One thread multiplexes every connection: a nonblocking TCP listener
+/// (127.0.0.1, ephemeral port supported) and/or the classic Unix-domain
+/// listener, plus a per-connection state machine that reassembles the
+/// "SNS1" length-prefixed frames incrementally — a frame may arrive one
+/// byte per epoll wakeup, or many frames may arrive in one read
+/// (pipelining). Completed frames are handed to a FrameHandler callback
+/// with an opaque token; the response is posted back from *any* thread via
+/// postResponse (an eventfd wakes the loop), and responses on one
+/// connection are always written in request arrival order, whatever order
+/// the shard workers finish in.
+///
+/// Robustness contract (tests/EventLoopTest.cpp):
+///  - a malformed frame (bad magic / oversized length) is answered with
+///    the configured MalformedFrameResponse payload, then the connection
+///    is closed — never a crash, never silence;
+///  - idle connections (no bytes, no pending responses) are closed after
+///    IdleTimeoutMillis;
+///  - requestStop() is async-signal-safe; the loop then *drains*: stops
+///    accepting, parses no new requests, but every already-dispatched
+///    request still gets its response written and flushed before run()
+///    returns (bounded by DrainTimeoutMillis) — the fix for the PR-5
+///    daemon's SIGTERM race, where an open connection wedged the old
+///    accept loop mid-read;
+///  - accept failures (including the injected `service.net.accept-fail`
+///    site) degrade to a dropped *connection attempt*, which the client
+///    retry policy already covers; the loop keeps serving.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SERVICE_EVENTLOOP_H
+#define SNSLP_SERVICE_EVENTLOOP_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+class StatsRegistry;
+
+namespace service {
+
+class EventLoop {
+public:
+  struct Options {
+    /// Unix-domain listener path (empty = no Unix listener; an existing
+    /// file at the path is replaced).
+    std::string UnixSocketPath;
+    /// TCP listener on 127.0.0.1 (EnableTcp false = no TCP listener;
+    /// TcpPort 0 = kernel-assigned ephemeral port, see tcpPort()).
+    bool EnableTcp = false;
+    uint16_t TcpPort = 0;
+    /// Close connections with no traffic and no pending responses after
+    /// this long (0 = never).
+    uint64_t IdleTimeoutMillis = 0;
+    /// Upper bound on the post-stop drain: responses still in flight after
+    /// this long are abandoned and their connections closed (0 = a
+    /// generous default; drain must never hang forever).
+    uint64_t DrainTimeoutMillis = 10000;
+    /// Stop (with a full drain) after this many responses have been
+    /// written (0 = serve until requestStop).
+    uint64_t MaxRequests = 0;
+    /// Payload sent (best-effort) before closing a connection whose byte
+    /// stream is not a valid frame. The daemon supplies an encoded
+    /// `parse-error` ServiceResponse; empty = close silently.
+    std::string MalformedFrameResponse;
+    /// Optional counter sink (service.net.* counters). Not owned.
+    StatsRegistry *Stats = nullptr;
+  };
+
+  /// Identifies one request frame for postResponse. Valid until the
+  /// response is posted or the connection dies; posting to a dead
+  /// connection is a safe no-op.
+  struct RequestToken {
+    uint64_t ConnId = 0;
+    uint64_t Seq = 0;
+  };
+
+  /// Called on the loop thread for every completed frame. Must not block:
+  /// decode, route, hand off — the response arrives later via
+  /// postResponse (calling postResponse synchronously inside the handler
+  /// is allowed).
+  using FrameHandler = std::function<void(const RequestToken &, std::string)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop &) = delete;
+  EventLoop &operator=(const EventLoop &) = delete;
+
+  /// Creates the epoll instance, the wake eventfd, and the configured
+  /// listeners. Returns false with \p Err on setup failure.
+  bool open(const Options &Opts, FrameHandler Handler, std::string *Err);
+
+  /// Actual TCP listening port (resolves TcpPort 0), or 0 when no TCP
+  /// listener is open.
+  uint16_t tcpPort() const { return BoundTcpPort; }
+
+  /// Serves until requestStop() (or MaxRequests), then drains and returns.
+  void run();
+
+  /// Requests a graceful stop. Async-signal-safe (atomic flag + eventfd
+  /// write) and callable from any thread.
+  void requestStop();
+
+  /// Queues \p Payload as the response to the frame identified by \p Tok
+  /// and wakes the loop. Thread-safe; the loop writes responses on a
+  /// connection in request arrival order.
+  void postResponse(const RequestToken &Tok, std::string Payload);
+
+  /// Registers an already-connected socket as if it had been accepted
+  /// (the socketpair seam tests/EventLoopTest.cpp drives the reactor
+  /// through). Takes ownership of \p Fd; call before run().
+  void adoptConnection(int Fd);
+
+  /// \name Observability (loop totals; readable from any thread).
+  /// @{
+  uint64_t framesServed() const { return Served.load(); }
+  uint64_t connectionsAccepted() const { return Accepted.load(); }
+  uint64_t acceptFailures() const { return AcceptFailed.load(); }
+  uint64_t malformedFrames() const { return Malformed.load(); }
+  uint64_t idleClosed() const { return IdleClosed.load(); }
+  /// @}
+
+private:
+  struct Connection;
+
+  void acceptReady(int ListenFd);
+  void adoptLocked(int Fd);
+  void readable(Connection &C);
+  void writable(Connection &C);
+  /// Parses every complete frame out of C.InBuf, dispatching each to the
+  /// handler. Returns false when the stream is malformed (the caller
+  /// closes after flushing the malformed-frame response).
+  bool parseFrames(Connection &C);
+  void flushResponses(Connection &C);
+  void drainPosted();
+  void closeConnection(uint64_t Id);
+  void updateEpollOut(Connection &C);
+  /// Whether the post-stop drain still owes anyone a response.
+  bool drainPending() const;
+
+  Options Opts;
+  FrameHandler Handler;
+  int EpollFd = -1;
+  int WakeFd = -1;
+  int UnixListenFd = -1;
+  int TcpListenFd = -1;
+  uint16_t BoundTcpPort = 0;
+
+  uint64_t NextConnId = 16; // Ids below 16 are reserved epoll markers.
+  std::map<uint64_t, Connection> Conns;
+
+  std::atomic<bool> StopFlag{false};
+  bool Draining = false;
+  uint64_t DrainDeadlineNanos = 0;
+
+  std::mutex RespMu;
+  struct PostedResponse {
+    RequestToken Tok;
+    std::string Payload;
+  };
+  std::vector<PostedResponse> Posted;
+
+  std::atomic<uint64_t> Served{0};
+  std::atomic<uint64_t> Accepted{0};
+  std::atomic<uint64_t> AcceptFailed{0};
+  std::atomic<uint64_t> Malformed{0};
+  std::atomic<uint64_t> IdleClosed{0};
+};
+
+} // namespace service
+} // namespace snslp
+
+#endif // SNSLP_SERVICE_EVENTLOOP_H

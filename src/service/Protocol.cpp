@@ -203,6 +203,10 @@ std::string encodeRequest(const ServiceRequest &Req) {
     OS << "entry: " << sanitizeHeaderValue(Req.Entry) << "\n";
   if (Req.Run)
     OS << "run: 1\n";
+  if (Req.StatsOnly)
+    OS << "stats: 1\n";
+  if (!Req.WantBody)
+    OS << "want-body: 0\n";
   if (Req.Elems != 16)
     OS << "elems: " << Req.Elems << "\n";
   if (Req.DataSeed != 1)
@@ -251,6 +255,12 @@ bool decodeRequest(const std::string &Payload, ServiceRequest &Req,
     } else if (Key == "run") {
       if (!parseBool(Value, Out.Run))
         return S.failHere("run: expected 0 or 1");
+    } else if (Key == "stats") {
+      if (!parseBool(Value, Out.StatsOnly))
+        return S.failHere("stats: expected 0 or 1");
+    } else if (Key == "want-body") {
+      if (!parseBool(Value, Out.WantBody))
+        return S.failHere("want-body: expected 0 or 1");
     } else if (Key == "elems") {
       if (!parseUint(Value, Out.Elems) || Out.Elems == 0 ||
           Out.Elems > (1u << 20))
@@ -570,8 +580,7 @@ ServiceResponse errorResponse(ErrorCode Code, std::string Msg) {
 
 } // namespace
 
-ServiceResponse serveRequest(CompileService &Service,
-                             const ServiceRequest &Req) {
+CompileRequest toCompileRequest(const ServiceRequest &Req) {
   CompileRequest CReq;
   CReq.ModuleText = Req.ModuleText;
   CReq.EntryFunction = Req.Entry;
@@ -579,8 +588,17 @@ ServiceResponse serveRequest(CompileService &Service,
   CReq.Config.Budgets = Req.Budgets;
   CReq.StrictBudgets = Req.StrictBudgets;
   CReq.DeadlineMillis = Req.DeadlineMillis;
+  return CReq;
+}
 
-  Expected<CompiledUnit> U = Service.compileSync(CReq);
+ServiceResponse serveRequest(CompileService &Service,
+                             const ServiceRequest &Req) {
+  Expected<CompiledUnit> U = Service.compileSync(toCompileRequest(Req));
+  return buildResponse(U, Req);
+}
+
+ServiceResponse buildResponse(Expected<CompiledUnit> &U,
+                              const ServiceRequest &Req) {
   if (!U)
     return errorResponse(U.errorCode(), U.errorMessage());
 
@@ -594,7 +612,8 @@ ServiceResponse serveRequest(CompileService &Service,
   Resp.KeyHex = P.digest().toHex();
   Resp.GraphsVectorized = P.stats().GraphsVectorized;
   Resp.RemarkCount = P.remarks().size();
-  Resp.Body = P.vectorizedText();
+  if (Req.WantBody)
+    Resp.Body = P.vectorizedText();
   if (!Req.Run)
     return Resp;
 

@@ -70,6 +70,13 @@ struct ServiceRequest {
   std::string Entry;
   VectorizerMode Mode = VectorizerMode::SNSLP;
   bool Run = false;
+  /// Introspection request (`stats: 1`): the daemon answers with its
+  /// per-shard counter dump as the body instead of compiling anything.
+  /// The module text is ignored (conventionally empty).
+  bool StatsOnly = false;
+  /// `want-body: 0` suppresses the vectorized-module body on success —
+  /// the load generator's bandwidth knob. Error bodies are always sent.
+  bool WantBody = true;
   uint64_t Elems = 16;
   uint64_t DataSeed = 1;
   uint64_t MaxSteps = 1ull << 24;
@@ -139,12 +146,24 @@ bool writeFrame(int Fd, const std::string &Payload, std::string *Err);
 bool readFrame(int Fd, std::string &Payload, std::string *Err);
 /// @}
 
-/// Serves one already-parsed request against \p Service: compile (through
-/// the cache), then optionally execute with deterministically synthesized
-/// buffers (one 8*Elems-byte array per leading pointer argument, filled
-/// from DataSeed; a trailing integer argument receives Elems). The
+/// Translates the wire request into the service's compile request
+/// (mode, budgets, strictness, deadline; no I/O).
+CompileRequest toCompileRequest(const ServiceRequest &Req);
+
+/// Builds the wire response for a settled compile: cache provenance
+/// headers plus, when \p Req.Run, the deterministic execution (one
+/// 8*Elems-byte buffer per leading pointer argument filled from DataSeed;
+/// a trailing integer argument receives Elems) with its mem-hash. Pure
+/// w.r.t. the service — callable from any worker thread, which is how the
+/// sharded daemon keeps run+encode off the reactor.
+ServiceResponse buildResponse(Expected<CompiledUnit> &Unit,
+                              const ServiceRequest &Req);
+
+/// Serves one already-parsed request against \p Service synchronously:
+/// compileSync(toCompileRequest(Req)) piped into buildResponse. The
 /// response is always well-formed — failures come back positioned, never
-/// as a dropped connection.
+/// as a dropped connection. (`stats: 1` requests are a front-end concern;
+/// this helper compiles them like any other request.)
 ServiceResponse serveRequest(CompileService &Service,
                              const ServiceRequest &Req);
 

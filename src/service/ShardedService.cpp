@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ShardedService.h"
+
+#include "support/FaultInjection.h"
+
+#include <sstream>
+#include <thread>
+
+using namespace snslp;
+
+ShardedService::ShardedService(ShardedServiceConfig Cfg) {
+  const unsigned N = Cfg.Shards == 0 ? 1 : Cfg.Shards;
+  unsigned Total = Cfg.TotalWorkers;
+  if (Total == 0) {
+    Total = std::thread::hardware_concurrency();
+    if (Total == 0)
+      Total = 1;
+  }
+  Shard.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    auto S = std::make_unique<ShardState>();
+    ServiceConfig SC;
+    // Equal worker slice, minimum one: the total stays (roughly) constant
+    // as the shard count varies, so shard sweeps measure contention, not
+    // extra threads.
+    SC.Workers = Total / N > 0 ? Total / N : 1;
+    SC.CacheBytes = Cfg.CacheBytes == 0 ? 0 : Cfg.CacheBytes / N;
+    SC.Stats = &S->Stats;
+    SC.MaxQueueDepth = Cfg.MaxQueueDepth;
+    SC.StoreDir = Cfg.StoreDir; // Shared: content-addressed, crash-safe.
+    S->Service = std::make_unique<CompileService>(SC);
+    Shard.push_back(std::move(S));
+  }
+}
+
+ShardedService::~ShardedService() = default;
+
+unsigned ShardedService::shardIndexFor(const Digest128 &Key,
+                                       unsigned NumShards) {
+  if (NumShards <= 1)
+    return 0;
+  // True 128-bit `digest mod N` — not a folded approximation — so the
+  // routing table is exactly the spelling the docs promise.
+  unsigned __int128 Wide =
+      (static_cast<unsigned __int128>(Key.Hi) << 64) | Key.Lo;
+  return static_cast<unsigned>(Wide % NumShards);
+}
+
+unsigned ShardedService::shardFor(const CompileRequest &Req) const {
+  return shardIndexFor(CompileService::requestKey(Req), shards());
+}
+
+namespace {
+
+Error shardOverloadError(unsigned Idx) {
+  return Error::make(ErrorCode::Overloaded,
+                     "shard " + std::to_string(Idx) +
+                         " admission control rejected the request; retry "
+                         "with backoff");
+}
+
+} // namespace
+
+bool ShardedService::tripOverload(unsigned Idx) {
+  // The injected per-shard admission trip: identical contract to a full
+  // queue (retryable `overloaded`, request never enqueued), so clients
+  // cannot tell a drill from the real thing.
+  if (!faultPoint("service.shard.queue.overload"))
+    return false;
+  StatsRegistry &Stats = Shard[Idx]->Stats;
+  Stats.add("service.requests");
+  Stats.add("service.shard.rejected");
+  return true;
+}
+
+std::future<Expected<CompiledUnit>> ShardedService::submit(CompileRequest Req) {
+  const unsigned Idx = shardFor(Req);
+  if (tripOverload(Idx)) {
+    std::promise<Expected<CompiledUnit>> P;
+    std::future<Expected<CompiledUnit>> F = P.get_future();
+    P.set_value(shardOverloadError(Idx));
+    return F;
+  }
+  return Shard[Idx]->Service->submit(std::move(Req));
+}
+
+void ShardedService::submitAsync(
+    CompileRequest Req, std::function<void(Expected<CompiledUnit>)> Done) {
+  const unsigned Idx = shardFor(Req);
+  if (tripOverload(Idx)) {
+    Done(shardOverloadError(Idx));
+    return;
+  }
+  Shard[Idx]->Service->submitAsync(std::move(Req), std::move(Done));
+}
+
+Expected<CompiledUnit> ShardedService::compileSync(const CompileRequest &Req) {
+  const unsigned Idx = shardFor(Req);
+  if (tripOverload(Idx))
+    return shardOverloadError(Idx);
+  return Shard[Idx]->Service->compileSync(Req);
+}
+
+std::string ShardedService::renderStats() const {
+  std::ostringstream OS;
+  for (unsigned I = 0; I < Shard.size(); ++I) {
+    for (const auto &[Name, Value] : Shard[I]->Stats.snapshot()) {
+      // Only the service-layer counters: the vectorizer's own counters are
+      // voluminous and irrelevant to load introspection.
+      if (Name.rfind("service.", 0) != 0)
+        continue;
+      OS << "shard " << I << " " << Name << ": " << Value << "\n";
+    }
+    OS << "shard " << I
+       << " pool.executed: " << Shard[I]->Service->pool().jobsExecuted()
+       << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,135 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ShardedService: N independent CompileService shards behind one façade.
+///
+/// Every request is routed by its content digest — `Digest128(config
+/// fingerprint + module text) mod N` — to exactly one shard, which owns a
+/// private ThreadPool slice, CompileCache partition, StatsRegistry, and
+/// admission-control queue bound. Identical requests therefore always meet
+/// on the same shard (single-flight coalescing and LRU eviction never take
+/// a cross-shard lock), and the PR-9 overload machinery — bounded queues,
+/// the retryable `overloaded` rejection, in-queue deadline shedding —
+/// becomes per-shard: one hot digest saturating its shard cannot starve
+/// the other N-1 queues.
+///
+/// The persistent ArtifactStore directory is deliberately *shared* across
+/// shards: the store is content-addressed and crash-safe (atomic
+/// tmp+rename), so disk hits are shard-count-independent — a daemon
+/// restarted with a different --shards value still serves `cache: disk`
+/// for everything a previous generation published.
+///
+/// Determinism contract (tests/ShardedServiceTest.cpp): the compiled bytes
+/// for a request are a pure function of the request, never of the shard
+/// count — 1-shard and 8-shard services are bit-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SNSLP_SERVICE_SHARDEDSERVICE_H
+#define SNSLP_SERVICE_SHARDEDSERVICE_H
+
+#include "service/CompileService.h"
+#include "support/Statistic.h"
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace snslp {
+
+/// Construction parameters for the sharded façade.
+struct ShardedServiceConfig {
+  /// Number of independent shards (clamped to >= 1).
+  unsigned Shards = 1;
+  /// Total worker threads across every shard (0 = hardware concurrency);
+  /// each shard gets an equal slice, minimum one thread. Keeping the
+  /// *total* constant as Shards varies is what makes shard-count sweeps a
+  /// contention experiment rather than a thread-count experiment.
+  unsigned TotalWorkers = 0;
+  /// Total compile-cache byte budget, split evenly across shards
+  /// (0 = unlimited per shard).
+  size_t CacheBytes = 64ull << 20;
+  /// Admission control: max pending compile jobs *per shard* (0 =
+  /// unbounded). A full shard queue rejects with the retryable
+  /// `overloaded` code without touching any other shard.
+  size_t MaxQueueDepth = 0;
+  /// Persistent artifact store root, shared by all shards (empty = off).
+  std::string StoreDir;
+};
+
+/// N independent CompileService shards routed by request digest.
+/// Thread-safe; routing state is immutable after construction.
+class ShardedService {
+public:
+  explicit ShardedService(ShardedServiceConfig Cfg = ShardedServiceConfig());
+  ~ShardedService();
+
+  ShardedService(const ShardedService &) = delete;
+  ShardedService &operator=(const ShardedService &) = delete;
+
+  unsigned shards() const { return static_cast<unsigned>(Shard.size()); }
+
+  /// The routing function: the full 128-bit digest reduced mod \p NumShards.
+  /// Pure and stable — the same key maps to the same shard in every
+  /// process, forever (the loadgen and the tests both depend on it).
+  static unsigned shardIndexFor(const Digest128 &Key, unsigned NumShards);
+
+  /// Shard index \p Req routes to (shardIndexFor of its requestKey).
+  unsigned shardFor(const CompileRequest &Req) const;
+
+  /// Routes \p Req to its shard's bounded queue. Settles exactly like
+  /// CompileService::submit — including the immediate retryable
+  /// `overloaded` rejection when that shard's queue is full. The per-shard
+  /// admission trip is also a fault site (`service.shard.queue.overload`).
+  std::future<Expected<CompiledUnit>> submit(CompileRequest Req);
+
+  /// Callback flavour of submit for reactor front-ends: \p Done is invoked
+  /// exactly once — on a shard worker thread on completion, or inline in
+  /// the caller when admission control rejects the request. The callback
+  /// must not block the worker for long (encode + hand off only).
+  void submitAsync(CompileRequest Req,
+                   std::function<void(Expected<CompiledUnit>)> Done);
+
+  /// Compiles in the calling thread through the routed shard's cache and
+  /// single-flight machinery (admission control does not apply, matching
+  /// CompileService::compileSync; the injected per-shard trip still does).
+  Expected<CompiledUnit> compileSync(const CompileRequest &Req);
+
+  /// Direct access to shard \p Idx (tests, stats dumps).
+  CompileService &shard(unsigned Idx) { return *Shard.at(Idx)->Service; }
+  const StatsRegistry &shardStats(unsigned Idx) const {
+    return Shard.at(Idx)->Stats;
+  }
+
+  /// Deterministically ordered per-shard counter dump:
+  ///   shard <i> <counter>: <value>\n
+  /// for every service.* counter plus queue depth peaks — the payload of
+  /// the protocol's `stats: 1` introspection request, which the loadgen
+  /// polls to assert per-shard counters increase monotonically.
+  std::string renderStats() const;
+
+private:
+  struct ShardState {
+    StatsRegistry Stats;
+    std::unique_ptr<CompileService> Service;
+  };
+
+  /// The injected per-shard admission trip (`service.shard.queue.overload`)
+  /// plus its accounting, shared by the three submission paths. Returns
+  /// true when the request must be rejected with shardOverloadError.
+  bool tripOverload(unsigned Idx);
+
+  /// unique_ptr elements: a shard owns a mutex-bearing registry and a
+  /// running pool — neither movable, and their addresses must be stable.
+  std::vector<std::unique_ptr<ShardState>> Shard;
+};
+
+} // namespace snslp
+
+#endif // SNSLP_SERVICE_SHARDEDSERVICE_H

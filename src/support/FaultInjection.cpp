@@ -26,6 +26,10 @@ const std::vector<std::string> &knownFaultSites() {
       "service.deadline.expire",// request deadline expires (-> retryable)
       "service.store.corrupt", // on-disk artifact corrupt (-> quarantine)
       "service.store.io-error",// artifact store I/O fails (-> recompile)
+      "service.net.accept-fail",     // reactor accept fails (-> client
+                                     //   reconnects; loop keeps serving)
+      "service.shard.queue.overload",// per-shard admission trip
+                                     //   (-> retryable `overloaded`)
   };
   return Sites;
 }

@@ -1,0 +1,285 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the sharded compile façade (service/ShardedService):
+///
+///  - routing is a pure function of the request digest — the same request
+///    always lands on the same shard, and shardIndexFor folds the full
+///    128-bit digest (not just the low word);
+///  - a 200-program sweep compiles bit-identically through 1 shard and
+///    8 shards (the determinism contract: shard count is an operational
+///    knob, never a semantic one);
+///  - per-shard admission control rejects exactly the requests beyond one
+///    shard's queue depth, with the retryable `overloaded` code, without
+///    touching the other shards' queues;
+///  - the injected `service.shard.queue.overload` fault trips exactly one
+///    submission, which succeeds on retry;
+///  - a shared persistent store serves `cache: disk` hits across a
+///    restart with a *different* shard count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/ShardedService.h"
+#include "fuzz/IRGenerator.h"
+#include "ir/Context.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "support/FaultInjection.h"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "gtest/gtest.h"
+
+using namespace snslp;
+using namespace snslp::fuzz;
+
+namespace {
+
+/// Renders a generated program to canonical module text.
+std::string genModule(uint64_t Seed) {
+  Context Ctx;
+  Module M(Ctx, "gen");
+  IRGenerator Gen(M);
+  GeneratedProgram P = Gen.generate("f" + std::to_string(Seed), Seed);
+  EXPECT_NE(P.F, nullptr);
+  return toString(M);
+}
+
+CompileRequest makeRequest(std::string Text) {
+  CompileRequest Req;
+  Req.ModuleText = std::move(Text);
+  return Req;
+}
+
+std::filesystem::path tempStoreDir(const char *Tag) {
+  std::error_code EC;
+  std::filesystem::path P = std::filesystem::temp_directory_path(EC);
+  if (EC)
+    P = ".";
+  P /= std::string("snslp-shardtest-") + Tag + "-" +
+       std::to_string(static_cast<unsigned long long>(::getpid()));
+  std::filesystem::remove_all(P, EC);
+  return P;
+}
+
+TEST(ShardedServiceTest, RoutingIsStableAndUsesTheFullDigest) {
+  // The same digest maps to the same shard, for any shard count.
+  Digest128 K;
+  K.Lo = 0x0123456789abcdefull;
+  K.Hi = 0xfedcba9876543210ull;
+  for (unsigned N : {1u, 2u, 3u, 8u, 13u}) {
+    const unsigned S = ShardedService::shardIndexFor(K, N);
+    EXPECT_LT(S, N);
+    EXPECT_EQ(S, ShardedService::shardIndexFor(K, N));
+  }
+
+  // The high word participates: two keys with identical low words must
+  // not always collide. (mod 3 of the folded 128-bit value separates
+  // Hi=0 from Hi=1 for Lo=0: 0 % 3 == 0, 2^64 % 3 == 1.)
+  Digest128 A, B;
+  A.Lo = B.Lo = 0;
+  A.Hi = 0;
+  B.Hi = 1;
+  EXPECT_NE(ShardedService::shardIndexFor(A, 3),
+            ShardedService::shardIndexFor(B, 3));
+
+  // And a live service routes a concrete request consistently.
+  ShardedServiceConfig Cfg;
+  Cfg.Shards = 8;
+  Cfg.TotalWorkers = 1;
+  ShardedService Service(Cfg);
+  const CompileRequest Req = makeRequest(genModule(42));
+  const unsigned S = Service.shardFor(Req);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Service.shardFor(Req), S);
+}
+
+TEST(ShardedServiceTest, OneShardAndEightShardsAreBitIdentical) {
+  constexpr unsigned kPrograms = 200;
+  constexpr uint64_t kBaseSeed = 9000;
+  std::vector<std::string> Corpus;
+  Corpus.reserve(kPrograms);
+  for (unsigned I = 0; I < kPrograms; ++I)
+    Corpus.push_back(genModule(kBaseSeed + I));
+
+  auto CompileAll = [&](unsigned Shards) {
+    ShardedServiceConfig Cfg;
+    Cfg.Shards = Shards;
+    Cfg.TotalWorkers = 4;
+    ShardedService Service(Cfg);
+    std::vector<std::future<Expected<CompiledUnit>>> Futures;
+    for (const std::string &Text : Corpus)
+      Futures.push_back(Service.submit(makeRequest(Text)));
+    std::vector<std::string> Texts;
+    for (auto &Fut : Futures) {
+      Expected<CompiledUnit> U = Fut.get();
+      EXPECT_TRUE(static_cast<bool>(U)) << U.errorMessage();
+      Texts.push_back(U ? U->Program->vectorizedText() : std::string());
+    }
+    return Texts;
+  };
+
+  const std::vector<std::string> One = CompileAll(1);
+  const std::vector<std::string> Eight = CompileAll(8);
+  ASSERT_EQ(One.size(), Eight.size());
+  for (size_t I = 0; I < One.size(); ++I)
+    EXPECT_EQ(One[I], Eight[I]) << "program " << I
+                                << " diverged between shard counts";
+}
+
+TEST(ShardedServiceTest, PerShardQueueDepthRejectsExactlyTheOverflow) {
+  // One worker per shard and depth-1 queues; the worker is wedged on a
+  // gate request, so exactly (submitted - depth) submissions to *that*
+  // shard must be rejected — and a request routed to a different shard
+  // sails through untouched.
+  ShardedServiceConfig Cfg;
+  Cfg.Shards = 2;
+  Cfg.TotalWorkers = 2; // one per shard
+  Cfg.MaxQueueDepth = 1;
+  ShardedService Service(Cfg);
+
+  // Find module texts routed to shard 0 and shard 1.
+  std::vector<std::string> OnShard0, OnShard1;
+  for (uint64_t Seed = 100; OnShard0.size() < 4 || OnShard1.size() < 1;
+       ++Seed) {
+    std::string Text = genModule(Seed);
+    if (Service.shardFor(makeRequest(Text)) == 0) {
+      if (OnShard0.size() < 4)
+        OnShard0.push_back(std::move(Text));
+    } else if (OnShard1.size() < 1) {
+      OnShard1.push_back(std::move(Text));
+    }
+  }
+
+  // Wedge shard 0's only worker with a blocker job that is definitely
+  // *running* (not pending), so the queue accounting below is exact.
+  std::promise<void> Release;
+  std::shared_future<void> Gate = Release.get_future().share();
+  std::atomic<bool> Running{false};
+  ASSERT_TRUE(Service.shard(0).pool().submit([&Running, Gate] {
+    Running.store(true);
+    Gate.wait();
+  }));
+  while (!Running.load())
+    std::this_thread::yield();
+
+  // Queue depth 1: the next submission queues, the two after it must be
+  // rejected with the retryable `overloaded` code — settling immediately,
+  // without waiting on the blocked worker.
+  auto QueuedFut = Service.submit(makeRequest(OnShard0[1]));
+  auto Rej1 = Service.submit(makeRequest(OnShard0[2]));
+  auto Rej2 = Service.submit(makeRequest(OnShard0[3]));
+  ASSERT_EQ(Rej1.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  ASSERT_EQ(Rej2.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  for (auto *F : {&Rej1, &Rej2}) {
+    Expected<CompiledUnit> U = F->get();
+    ASSERT_FALSE(static_cast<bool>(U));
+    EXPECT_EQ(U.errorCode(), ErrorCode::Overloaded);
+    EXPECT_TRUE(isRetryableErrorCode(U.errorCode()));
+    U.takeError().consume();
+  }
+
+  // Shard 1 is unaffected by shard 0's full queue.
+  Expected<CompiledUnit> Other = Service.submit(makeRequest(OnShard1[0])).get();
+  EXPECT_TRUE(static_cast<bool>(Other)) << Other.errorMessage();
+
+  Release.set_value();
+  Expected<CompiledUnit> Q = QueuedFut.get();
+  EXPECT_TRUE(static_cast<bool>(Q)) << Q.errorMessage();
+
+  // The rejections were counted on shard 0's registry, not shard 1's.
+  EXPECT_EQ(Service.shardStats(0).get("service.queue.rejected"), 2);
+  EXPECT_EQ(Service.shardStats(1).get("service.queue.rejected"), 0);
+}
+
+TEST(ShardedServiceTest, InjectedShardOverloadTripsOnceThenRetrySucceeds) {
+  FaultInjector::instance().disarmAll();
+  FaultInjector::instance().arm("service.shard.queue.overload", 1);
+  ShardedServiceConfig Cfg;
+  Cfg.Shards = 2;
+  Cfg.TotalWorkers = 1;
+  ShardedService Service(Cfg);
+  const CompileRequest Req = makeRequest(genModule(77));
+
+  Expected<CompiledUnit> First = Service.submit(Req).get();
+  ASSERT_FALSE(static_cast<bool>(First));
+  EXPECT_EQ(First.errorCode(), ErrorCode::Overloaded);
+  EXPECT_TRUE(isRetryableErrorCode(First.errorCode()));
+  First.takeError().consume();
+
+  // One-shot: the promised retry succeeds.
+  Expected<CompiledUnit> Second = Service.submit(Req).get();
+  EXPECT_TRUE(static_cast<bool>(Second)) << Second.errorMessage();
+  FaultInjector::instance().disarmAll();
+}
+
+TEST(ShardedServiceTest, SharedStoreServesDiskHitsAcrossShardCountChange) {
+  const std::filesystem::path StoreDir = tempStoreDir("restart");
+  const std::string Text = genModule(123);
+
+  // Generation 1: 1 shard publishes into the store.
+  {
+    ShardedServiceConfig Cfg;
+    Cfg.Shards = 1;
+    Cfg.TotalWorkers = 1;
+    Cfg.StoreDir = StoreDir.string();
+    ShardedService Service(Cfg);
+    Expected<CompiledUnit> U = Service.submit(makeRequest(Text)).get();
+    ASSERT_TRUE(static_cast<bool>(U)) << U.errorMessage();
+    EXPECT_FALSE(U->CacheHit);
+    EXPECT_FALSE(U->DiskHit);
+  }
+
+  // Generation 2: restarted with 4 shards — the store is content-
+  // addressed, so whichever shard the request now routes to must serve
+  // the published artifact as a disk hit, not recompile it.
+  {
+    ShardedServiceConfig Cfg;
+    Cfg.Shards = 4;
+    Cfg.TotalWorkers = 2;
+    Cfg.StoreDir = StoreDir.string();
+    ShardedService Service(Cfg);
+    Expected<CompiledUnit> U = Service.submit(makeRequest(Text)).get();
+    ASSERT_TRUE(static_cast<bool>(U)) << U.errorMessage();
+    EXPECT_TRUE(U->DiskHit);
+  }
+
+  std::error_code EC;
+  std::filesystem::remove_all(StoreDir, EC);
+}
+
+TEST(ShardedServiceTest, RenderStatsListsEveryShardMonotonically) {
+  ShardedServiceConfig Cfg;
+  Cfg.Shards = 3;
+  Cfg.TotalWorkers = 1;
+  ShardedService Service(Cfg);
+  Expected<CompiledUnit> U = Service.submit(makeRequest(genModule(5))).get();
+  ASSERT_TRUE(static_cast<bool>(U)) << U.errorMessage();
+
+  const std::string Dump = Service.renderStats();
+  // Every shard appears, whether or not it served anything.
+  EXPECT_NE(Dump.find("shard 0 "), std::string::npos);
+  EXPECT_NE(Dump.find("shard 1 "), std::string::npos);
+  EXPECT_NE(Dump.find("shard 2 "), std::string::npos);
+  // Exactly one shard counted the request.
+  int Requests = 0;
+  for (unsigned I = 0; I < 3; ++I)
+    Requests += static_cast<int>(Service.shardStats(I).get("service.requests"));
+  EXPECT_EQ(Requests, 1);
+}
+
+} // namespace

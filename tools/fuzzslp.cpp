@@ -57,6 +57,9 @@
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
 #include "service/CompileService.h"
+#include "service/EventLoop.h"
+#include "service/Protocol.h"
+#include "service/ShardedService.h"
 #include "service/ThreadPool.h"
 #include "slp/SLPVectorizer.h"
 #include "support/CommandLine.h"
@@ -65,12 +68,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 using namespace snslp;
@@ -111,16 +119,125 @@ void printUsage() {
       "  --verbose        log every run, not just failures\n");
 }
 
+/// The reactor half of the service sweep. `service.net.accept-fail` lives
+/// in EventLoop::acceptReady, so it can only fire under a real listener:
+/// spin up an in-process reactor on an ephemeral loopback TCP port backed
+/// synchronously by \p Service (the caller already armed the one-shot
+/// site), then connect. The first accepted connection is dropped by the
+/// injected fault — visible to the client as EOF before any response,
+/// exactly what a client retry policy covers — and the *reconnect* must be
+/// served the golden artifact by the still-running loop. Returns false
+/// with \p Why on any violation.
+bool probeAcceptFailSite(ShardedService &Service,
+                         const std::string &ModuleText,
+                         const std::string &EntryName,
+                         const std::string &Golden, std::string &Why) {
+  using namespace snslp::service;
+  std::signal(SIGPIPE, SIG_IGN); // The injected drop must not kill us.
+
+  EventLoop Loop;
+  EventLoop::Options LO;
+  LO.EnableTcp = true;
+  LO.TcpPort = 0;
+  auto Handler = [&](const EventLoop::RequestToken &Tok,
+                     std::string Payload) {
+    ServiceRequest Req;
+    std::string DecodeErr;
+    ServiceResponse Resp;
+    if (!decodeRequest(Payload, Req, &DecodeErr)) {
+      Resp.Ok = false;
+      Resp.ErrorCodeName = getErrorCodeName(ErrorCode::ParseError);
+      Resp.Body = DecodeErr;
+    } else {
+      Expected<CompiledUnit> U = Service.compileSync(toCompileRequest(Req));
+      Resp = buildResponse(U, Req);
+    }
+    Loop.postResponse(Tok, encodeResponse(Resp));
+  };
+  std::string Err;
+  if (!Loop.open(LO, Handler, &Err)) {
+    Why = "reactor setup failed: " + Err;
+    return false;
+  }
+  std::thread Runner([&Loop] { Loop.run(); });
+
+  ServiceRequest Req;
+  Req.ModuleText = ModuleText;
+  Req.Entry = EntryName;
+  const std::string Payload = encodeRequest(Req);
+
+  auto ConnectOnce = [&]() -> int {
+    int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return -1;
+    sockaddr_in Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(Loop.tcpPort());
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0) {
+      ::close(Fd);
+      return -1;
+    }
+    return Fd;
+  };
+
+  bool Ok = false;
+  bool SawDrop = false;
+  for (int Attempt = 0; Attempt < 5 && !Ok; ++Attempt) {
+    int Fd = ConnectOnce();
+    if (Fd < 0) {
+      SawDrop = true;
+      continue;
+    }
+    std::string FrameErr, RespPayload;
+    if (!writeFrame(Fd, Payload, &FrameErr) ||
+        !readFrame(Fd, RespPayload, &FrameErr)) {
+      SawDrop = true; // The injected accept failure closed our socket.
+      ::close(Fd);
+      continue;
+    }
+    ::close(Fd);
+    ServiceResponse Resp;
+    std::string DecodeErr;
+    if (!decodeResponse(RespPayload, Resp, &DecodeErr)) {
+      Why = "undecodable response after reconnect: " + DecodeErr;
+      break;
+    }
+    if (!Resp.Ok) {
+      Why = "reconnect was answered with error '" + Resp.ErrorCodeName + "'";
+      break;
+    }
+    if (Resp.Body != Golden) {
+      Why = "reconnect served an artifact diverging from the clean compile";
+      break;
+    }
+    Ok = true;
+  }
+  Loop.requestStop();
+  Runner.join();
+  if (Ok && !SawDrop) {
+    Why = "armed accept fault never dropped the first connection";
+    return false;
+  }
+  if (!Ok && Why.empty())
+    Why = "no successful response within the retry budget";
+  return Ok;
+}
+
 /// The service-layer half of the --fault-inject sweep. For one generated
-/// program: compile a golden artifact through a clean CompileService
-/// backed by a throwaway persistent store (which also seeds the store),
-/// then arm each compiled-in `service.*` site in turn against a fresh
-/// service on the same store and require graceful degradation — either
-/// the request still succeeds with the exact golden vectorized text
-/// (store corruption/IO faults quarantine and recompile from source), or
-/// it is rejected with a *retryable* code (admission control, deadlines)
-/// and, the sites being one-shot, an immediate retry serves the golden
-/// text. Never a wrong artifact, never a non-retryable error, never a
+/// program: compile a golden artifact through a clean 2-shard
+/// ShardedService backed by a throwaway persistent store (which also
+/// seeds the store), then arm each compiled-in `service.*` site in turn
+/// against a fresh service on the same store and require graceful
+/// degradation — either the request still succeeds with the exact golden
+/// vectorized text (store corruption/IO faults quarantine and recompile
+/// from source), or it is rejected with a *retryable* code (admission
+/// control, per-shard admission, deadlines) and, the sites being
+/// one-shot, an immediate retry serves the golden text. The reactor-only
+/// `service.net.accept-fail` site runs through probeAcceptFailSite
+/// instead. Never a wrong artifact, never a non-retryable error, never a
 /// crash. Returns false on any violation (printing a FAIL line).
 bool sweepServiceFaultSites(const std::string &ModuleText,
                             const std::string &EntryName, uint64_t Seed,
@@ -143,8 +260,11 @@ bool sweepServiceFaultSites(const std::string &ModuleText,
     return Req;
   };
   auto MakeConfig = [&] {
-    ServiceConfig Cfg;
-    Cfg.Workers = 1;
+    // Two shards so the per-shard sites (service.shard.queue.overload)
+    // have real routing to trip; one worker total, as before.
+    ShardedServiceConfig Cfg;
+    Cfg.Shards = 2;
+    Cfg.TotalWorkers = 1;
     Cfg.StoreDir = StoreDir.string();
     return Cfg;
   };
@@ -154,7 +274,7 @@ bool sweepServiceFaultSites(const std::string &ModuleText,
   std::string Golden;
   {
     FaultInjector::instance().disarmAll();
-    CompileService Service(MakeConfig());
+    ShardedService Service(MakeConfig());
     Expected<CompiledUnit> U = Service.compileSync(MakeRequest());
     if (!U) {
       // The generated program does not compile cleanly even without
@@ -171,9 +291,31 @@ bool sweepServiceFaultSites(const std::string &ModuleText,
       continue;
     FaultInjector::instance().disarmAll();
     FaultInjector::instance().arm(Site, /*FireOnNthHit=*/1);
-    CompileService Service(MakeConfig());
+    ShardedService Service(MakeConfig());
     bool SiteOk = true;
     std::string Why;
+    if (Site == "service.net.accept-fail") {
+      // Reactor-only site: exercised end-to-end through an in-process
+      // epoll loop on a real loopback socket.
+      SiteOk = probeAcceptFailSite(Service, ModuleText, EntryName, Golden,
+                                   Why);
+      ++FaultChecks;
+      const bool NetFired =
+          FaultInjector::instance().fireCount(Site) > 0;
+      FaultFires += NetFired ? 1 : 0;
+      if (!SiteOk) {
+        AllOk = false;
+        std::printf("seed %llu FAIL under fault '%s'%s\n  %s\n",
+                    static_cast<unsigned long long>(Seed), Site.c_str(),
+                    NetFired ? " (fired)" : " (never reached)",
+                    Why.c_str());
+      } else if (Verbose) {
+        std::printf("seed %llu ok under fault '%s'%s\n",
+                    static_cast<unsigned long long>(Seed), Site.c_str(),
+                    NetFired ? " (fired)" : " (never reached)");
+      }
+      continue;
+    }
     Expected<CompiledUnit> U = Service.compileSync(MakeRequest());
     if (U) {
       // Store faults must be absorbed: quarantine + recompile, same text.

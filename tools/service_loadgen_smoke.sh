@@ -1,0 +1,86 @@
+#!/bin/sh
+# Deterministic smoke slice for snslp-loadgen against the sharded TCP
+# daemon (ctest: loadgen_smoke). Everything is pinned: the loadgen seed
+# fixes the corpus, the hit/miss mix, and the (fixed-interval) arrival
+# schedule; the daemon arms the one-shot service.shard.queue.overload
+# fault so exactly one measured request is shed with the retryable
+# `overloaded` code and then retried to success. The run asserts
+#
+#   - >=1 cache hit        (--assert-min-hits=1: the hot pool repeats)
+#   - >=1 shed request     (--assert-min-shed=1: the armed fault)
+#   - monotone stats       (--assert-monotone-stats: `stats: 1` per-shard
+#                           counter dumps between levels never decrease)
+#   - zero hard errors     (loadgen exits nonzero otherwise)
+#
+# and finally that the daemon drains cleanly on SIGTERM (exit 0, bounded
+# wall clock) with the loadgen's connections long gone.
+#
+# Usage: service_loadgen_smoke.sh <snslpd> <snslp-loadgen> <workdir>
+set -eu
+
+SNSLPD=$1
+LOADGEN=$2
+WORKDIR=$3
+
+mkdir -p "$WORKDIR"
+DPID=""
+
+cleanup() {
+  [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "service_loadgen_smoke: FAIL: $1" >&2
+  exit 1
+}
+
+# A 2-shard TCP daemon on an ephemeral port, one-shot shard-overload
+# fault armed. No --max-requests: shutdown is the SIGTERM drain below.
+SNSLP_FAULT_INJECT=service.shard.queue.overload \
+  "$SNSLPD" --tcp-port=0 --shards=2 --workers=2 --queue-depth=64 \
+  > "$WORKDIR/snslpd.out" 2> "$WORKDIR/snslpd.err" &
+DPID=$!
+
+# Scrape the kernel-assigned port from the announcement line.
+TRIES=0
+PORT=""
+while [ -z "$PORT" ]; do
+  TRIES=$((TRIES + 1))
+  [ "$TRIES" -gt 100 ] && fail "daemon never announced its TCP port"
+  kill -0 "$DPID" 2>/dev/null || fail "daemon exited before listening"
+  PORT=$(sed -n 's/^snslpd: listening on tcp 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+         "$WORKDIR/snslpd.out" 2>/dev/null || true)
+  [ -n "$PORT" ] || sleep 0.1
+done
+
+# Fixed-interval schedule, no warmup (the one-shot fault must hit a
+# *measured* request, and the first submit is deterministically first).
+"$LOADGEN" --connect="127.0.0.1:$PORT" \
+  --arrival=fixed --rate=500 --requests=60 \
+  --connections=2 --threads=1 --pool=4 --hit-ratio=0.9 --seed=7 \
+  --retries=1 --no-warmup \
+  --assert-min-hits=1 --assert-min-shed=1 --assert-monotone-stats \
+  --summary="$WORKDIR/summary.txt" > "$WORKDIR/loadgen.out" \
+  || fail "loadgen assertions failed (see $WORKDIR/loadgen.out)"
+
+grep -q '^total\.shed=1$' "$WORKDIR/summary.txt" \
+  || fail "expected exactly 1 shed from the one-shot fault"
+grep -q '^total\.errors=0$' "$WORKDIR/summary.txt" \
+  || fail "expected zero hard errors"
+
+# SIGTERM drain: the daemon must exit 0 on its own, promptly.
+kill -TERM "$DPID"
+TRIES=0
+while kill -0 "$DPID" 2>/dev/null; do
+  TRIES=$((TRIES + 1))
+  [ "$TRIES" -gt 100 ] && fail "daemon did not drain within 10s of SIGTERM"
+  sleep 0.1
+done
+if ! wait "$DPID"; then
+  DPID=""
+  fail "daemon did not exit cleanly after SIGTERM"
+fi
+DPID=""
+
+echo "service_loadgen_smoke: PASS"

@@ -17,6 +17,15 @@
 #   7. permanent error without --expect-error-> exit 1
 #   8. no daemon at all                      -> exit 2 (transport)
 #
+# then through the reactor-era contracts:
+#
+#   9. SIGTERM drain with an idle-but-open client connection: the daemon
+#      must exit 0 promptly (the old accept-loop daemon wedged in a
+#      blocking read here — the single-acceptor shutdown race)
+#  10. TCP listener: a request over --connect=127.0.0.1:PORT (ephemeral,
+#      scraped from the announcement line) hits the same cache as the
+#      Unix listener
+#
 # The daemon serves exactly the expected number of frames
 # (--max-requests) and must exit 0 on its own; the malformed inputs must
 # be answered, never crash it or drop the connection.
@@ -197,5 +206,62 @@ set +e
 RC=$?
 set -e
 [ "$RC" -eq 2 ] || fail "expected exit 2 for transport failure, got $RC"
+
+# --- The reactor-era contracts -----------------------------------------
+
+# 9. SIGTERM drain with an idle-but-open connection. A client holds its
+# connection open (--linger-ms) *after* being served; SIGTERM mid-linger
+# must still exit 0 within seconds. The old one-connection-at-a-time
+# daemon wedged forever in its blocking readFrame here.
+"$SNSLPD" --socket="$SOCK" > "$WORKDIR/snslpd9.out" &
+DPID=$!
+wait_socket
+"$CLIENT" --socket="$SOCK" --file="$WORKDIR/kernel.ir" \
+    --linger-ms=10000 > "$WORKDIR/linger.out" &
+CPID=$!
+# Wait until the lingering client has been served — the TERM below must
+# land while the connection is open but *idle*, the exact shape that
+# wedged the old daemon.
+TRIES=0
+while ! grep -q '^status: ok$' "$WORKDIR/linger.out" 2>/dev/null; do
+  TRIES=$((TRIES + 1))
+  [ "$TRIES" -gt 100 ] && fail "lingering client was never served"
+  sleep 0.1
+done
+kill -TERM "$DPID"
+TRIES=0
+while kill -0 "$DPID" 2>/dev/null; do
+  TRIES=$((TRIES + 1))
+  [ "$TRIES" -gt 50 ] && fail "daemon (9) did not drain within 5s of SIGTERM"
+  sleep 0.1
+done
+wait "$DPID" || { DPID=""; fail "daemon (9) did not exit cleanly"; }
+DPID=""
+wait "$CPID" || fail "lingering client failed"
+[ -S "$SOCK" ] && fail "daemon (9) left its socket file behind"
+
+# 10. TCP listener sharing the Unix listener's cache: cold compile over
+# the Unix socket, then the identical request over TCP must be a hit.
+"$SNSLPD" --socket="$SOCK" --tcp-port=0 --max-requests=2 \
+    > "$WORKDIR/snslpd10.out" &
+DPID=$!
+wait_socket
+PORT=$(sed -n 's/^snslpd: listening on tcp 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+       "$WORKDIR/snslpd10.out")
+[ -n "$PORT" ] || fail "daemon (10) never announced its TCP port"
+OUT10A=$("$CLIENT" --socket="$SOCK" --file="$WORKDIR/kernel.ir" \
+         --mode=SNSLP --run --elems=8 --data-seed=7) \
+  || fail "unix request (10) was rejected"
+echo "$OUT10A" | grep -q '^cache: miss$' || fail "unix request (10): expected miss"
+OUT10B=$("$CLIENT" --connect="127.0.0.1:$PORT" --file="$WORKDIR/kernel.ir" \
+         --mode=SNSLP --run --elems=8 --data-seed=7) \
+  || fail "tcp request (10) was rejected"
+echo "$OUT10B" | grep -q '^cache: hit$' \
+  || fail "tcp request (10): expected a hit from the unix-side compile"
+HA=$(echo "$OUT10A" | sed -n 's/^mem-hash: //p')
+HB=$(echo "$OUT10B" | sed -n 's/^mem-hash: //p')
+[ "$HA" = "$HB" ] || fail "mem-hash differs unix vs tcp ($HA vs $HB)"
+wait "$DPID" || { DPID=""; fail "daemon (10) did not exit cleanly"; }
+DPID=""
 
 echo "service_roundtrip: PASS"

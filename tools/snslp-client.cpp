@@ -12,7 +12,7 @@
 /// message on failure).
 ///
 /// Usage:
-///   snslp-client --socket=PATH [--file=MODULE.ir]
+///   snslp-client (--socket=PATH | --connect=HOST:PORT) [--file=MODULE.ir]
 ///                [--mode=O3|SLP|LSLP|SNSLP] [--entry=NAME] [--run]
 ///                [--elems=N] [--data-seed=N] [--max-steps=N]
 ///                [--strict-budgets] [--deadline-ms=N]
@@ -20,6 +20,15 @@
 ///                [--max-supernode-permutations=N]
 ///                [--retries=N] [--retry-base-ms=N] [--retry-seed=N]
 ///                [--raw-payload=FILE] [--expect-error=CODE] [--quiet]
+///                [--linger-ms=N]
+///
+/// --connect=HOST:PORT talks to the daemon's TCP listener instead of the
+/// Unix socket — same frames, same responses, same exit codes.
+///
+/// --linger-ms=N holds the connection open for N ms *after* the response
+/// has been read, before closing. The shutdown-race hook used by
+/// service_roundtrip.sh: a SIGTERM'd daemon must drain past an
+/// idle-but-open client connection instead of wedging in a blocking read.
 ///
 /// --raw-payload sends FILE's bytes verbatim as the frame payload
 /// (bypassing the request encoder) — the protocol-robustness hook used by
@@ -58,6 +67,8 @@
 #include <sstream>
 #include <string>
 
+#include <netdb.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -73,7 +84,9 @@ namespace {
 void printUsage() {
   std::fprintf(
       stderr,
-      "usage: snslp-client --socket=PATH [options]\n"
+      "usage: snslp-client (--socket=PATH | --connect=HOST:PORT) "
+      "[options]\n"
+      "  --connect=H:P      talk to the daemon's TCP listener at H:P\n"
       "  --file=PATH        module text to compile (default: stdin)\n"
       "  --mode=M           O3|SLP|LSLP|SN-SLP (default SN-SLP)\n"
       "  --entry=NAME       entry function (default: the only function)\n"
@@ -95,9 +108,73 @@ void printUsage() {
       "  --raw-payload=FILE send FILE verbatim as the frame payload\n"
       "  --expect-error=C   succeed iff the response is error code C\n"
       "  --quiet            suppress the response body\n"
+      "  --linger-ms=N      keep the connection open N ms after the\n"
+      "                     response (daemon drain-race test hook)\n"
       "exit codes: 0 ok/expected error; 1 permanent server error;\n"
       "            75 retryable failure after all attempts; 2 usage or\n"
       "            transport failure after all attempts\n");
+}
+
+/// Connects one attempt's socket: the daemon's Unix path, or its TCP
+/// listener named as "host:port". Returns -1 with \p Err filled.
+int connectDaemon(const std::string &SocketPath, const std::string &Connect,
+                  std::string &Err) {
+  if (!Connect.empty()) {
+    size_t Colon = Connect.rfind(':');
+    if (Colon == std::string::npos || Colon == 0 ||
+        Colon + 1 == Connect.size()) {
+      Err = "--connect expects HOST:PORT, got '" + Connect + "'";
+      return -1;
+    }
+    const std::string Host = Connect.substr(0, Colon);
+    const std::string Port = Connect.substr(Colon + 1);
+    struct addrinfo Hints;
+    std::memset(&Hints, 0, sizeof(Hints));
+    Hints.ai_family = AF_INET;
+    Hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo *Res = nullptr;
+    int GA = ::getaddrinfo(Host.c_str(), Port.c_str(), &Hints, &Res);
+    if (GA != 0 || !Res) {
+      Err = "cannot resolve " + Connect + ": " + ::gai_strerror(GA);
+      return -1;
+    }
+    int Fd = ::socket(Res->ai_family, Res->ai_socktype, Res->ai_protocol);
+    if (Fd < 0 || ::connect(Fd, Res->ai_addr, Res->ai_addrlen) != 0) {
+      Err = "cannot connect to " + Connect + ": " + std::strerror(errno);
+      if (Fd >= 0)
+        ::close(Fd);
+      ::freeaddrinfo(Res);
+      return -1;
+    }
+    ::freeaddrinfo(Res);
+    return Fd;
+  }
+
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long";
+    return -1;
+  }
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0 || ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                          sizeof(Addr)) != 0) {
+    Err = "cannot connect to " + SocketPath + ": " + std::strerror(errno);
+    if (Fd >= 0)
+      ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+void sleepMillis(uint64_t Ms) {
+  struct timespec TS;
+  TS.tv_sec = static_cast<time_t>(Ms / 1000);
+  TS.tv_nsec = static_cast<long>((Ms % 1000) * 1000000);
+  while (::nanosleep(&TS, &TS) != 0 && errno == EINTR)
+    ;
 }
 
 bool readFileOrStdin(const std::string &Path, std::string &Out) {
@@ -153,12 +230,14 @@ void printResponse(const ServiceResponse &Resp, bool Quiet) {
 int main(int Argc, char **Argv) {
   CommandLine CL(Argc, Argv);
   const std::string SocketPath = CL.getString("socket");
-  if (SocketPath.empty() || CL.has("help")) {
+  const std::string Connect = CL.getString("connect");
+  if (CL.has("help") || (SocketPath.empty() && Connect.empty())) {
     printUsage();
-    return SocketPath.empty() ? 2 : 0;
+    return CL.has("help") ? 0 : 2;
   }
   const std::string ExpectError = CL.getString("expect-error");
   const bool Quiet = CL.getBool("quiet");
+  const uint64_t LingerMs = static_cast<uint64_t>(CL.getInt("linger-ms", 0));
 
   // Build the frame payload: either a properly encoded request, or raw
   // bytes when the caller wants to probe the daemon's input hardening.
@@ -199,15 +278,6 @@ int main(int Argc, char **Argv) {
     Payload = encodeRequest(Req);
   }
 
-  sockaddr_un Addr;
-  std::memset(&Addr, 0, sizeof(Addr));
-  Addr.sun_family = AF_UNIX;
-  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
-    std::fprintf(stderr, "snslp-client: socket path too long\n");
-    return 2;
-  }
-  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
-
   RetryPolicy::Options RO;
   RO.MaxRetries = static_cast<unsigned>(CL.getInt("retries", 0));
   RO.BaseDelayMillis = static_cast<uint64_t>(CL.getInt("retry-base-ms", 10));
@@ -224,20 +294,19 @@ int main(int Argc, char **Argv) {
     std::string Err;
     std::string RespPayload;
     HaveResponse = false;
-    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (Fd >= 0 && ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
-                             sizeof(Addr)) == 0) {
+    int Fd = connectDaemon(SocketPath, Connect, Err);
+    if (Fd >= 0) {
       HaveResponse = writeFrame(Fd, Payload, &Err) &&
                      readFrame(Fd, RespPayload, &Err) &&
                      decodeResponse(RespPayload, Resp, &Err);
       if (!HaveResponse && Err.empty())
         Err = "daemon closed the connection";
-    } else {
-      Err = std::string("cannot connect to ") + SocketPath + ": " +
-            std::strerror(errno);
-    }
-    if (Fd >= 0)
+      // The drain-race hook: response in hand, connection deliberately
+      // held open — a stopping daemon must not wait for us.
+      if (HaveResponse && LingerMs > 0)
+        sleepMillis(LingerMs);
       ::close(Fd);
+    }
 
     // Decide whether this attempt's outcome is worth another try:
     // transport drops always are; error responses only when the daemon

@@ -1,0 +1,755 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SN-SLP reproduction project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// snslp-loadgen: an open-loop, closed-seed load generator for the snslpd
+/// daemon. It replays fuzzer-generated modules (fuzz/IRGenerator) over the
+/// daemon's TCP or Unix listener at a *configured* arrival rate — arrivals
+/// fire on schedule whether or not earlier requests have completed, which
+/// is what exposes a service's real saturation point (a closed-loop client
+/// self-throttles and hides it).
+///
+///  - Arrival process: Poisson (exponential inter-arrivals) or fixed
+///    interval, both derived from --seed alone. The offered rate is split
+///    evenly across sender threads; independent Poisson streams superpose
+///    to a Poisson stream of the summed rate, so the split is exact.
+///  - Workload mix: --pool hot modules (pre-warmed, hit the daemon's
+///    cache) vs fresh never-seen modules, mixed per request by
+///    --hit-ratio. Hot payloads are pre-encoded; every byte sent is a
+///    deterministic function of the seed.
+///  - Each response is classified: ok-hit (cache: hit|coalesced|disk),
+///    ok-miss, shed (the retryable `overloaded` / `deadline-exceeded`
+///    codes), or hard error. --retries=N re-sends shed requests.
+///  - Latency is open-loop latency: completion minus *intended* arrival
+///    time, so client-side backlog counts against the server, wrk2-style.
+///  - --rates=R1,R2,... replays the workload at each offered level;
+///    saturation RPS is the highest *achieved* rate across levels.
+///
+/// Results go to stdout and (machine-readable, key=value) to --summary;
+/// bench/service_throughput.cpp folds them into BENCH_service.json across
+/// shard counts. The deterministic `loadgen_smoke` ctest slice runs a
+/// small fixed-schedule configuration and asserts with --assert-min-hits /
+/// --assert-min-shed / --assert-monotone-stats (the last polls the
+/// daemon's `stats: 1` per-shard counter dump between levels).
+///
+/// Exit code: 0 ok; 1 an assertion failed or hard errors were returned;
+/// 2 usage or transport errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/IRGenerator.h"
+#include "ir/Context.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "service/Protocol.h"
+#include "support/CommandLine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+using namespace snslp;
+using namespace snslp::fuzz;
+using namespace snslp::service;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Small utilities
+//===----------------------------------------------------------------------===//
+
+uint64_t nowNanos() {
+  struct timespec TS;
+  clock_gettime(CLOCK_MONOTONIC, &TS);
+  return static_cast<uint64_t>(TS.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(TS.tv_nsec);
+}
+
+void sleepUntilNanos(uint64_t AbsNanos) {
+  struct timespec TS;
+  TS.tv_sec = static_cast<time_t>(AbsNanos / 1000000000ull);
+  TS.tv_nsec = static_cast<long>(AbsNanos % 1000000000ull);
+  while (clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &TS, nullptr) ==
+         EINTR)
+    ;
+}
+
+uint64_t splitmix64(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Uniform (0,1] from a splitmix64 stream (never exactly 0: log() safe).
+double uniform01(uint64_t &State) {
+  return (static_cast<double>(splitmix64(State) >> 11) + 1.0) / 9007199254740993.0;
+}
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: snslp-loadgen (--connect=HOST:PORT | --socket=PATH) "
+      "[options]\n"
+      "  --rate=R             offered arrival rate, requests/sec\n"
+      "  --rates=R1,R2,...    replay at several offered levels in turn\n"
+      "  --requests=N         arrivals per level (default 1000)\n"
+      "  --arrival=poisson|fixed  arrival process (default poisson)\n"
+      "  --connections=N      client connections (default 4)\n"
+      "  --threads=N          sender threads (default min(connections,4))\n"
+      "  --pool=N             hot-module pool size (default 32)\n"
+      "  --hit-ratio=F        fraction of arrivals drawn from the hot\n"
+      "                       pool (default 0.9; the rest are fresh\n"
+      "                       never-seen modules)\n"
+      "  --seed=N             master seed: corpus, mix, and schedule\n"
+      "                       (default 1)\n"
+      "  --mode=M             O3|SLP|LSLP|SN-SLP|GoSLP (default SN-SLP)\n"
+      "  --run                ask the daemon to execute each module\n"
+      "  --elems=N            elements per synthesized buffer (with --run)\n"
+      "  --deadline-ms=N      per-request server deadline (default 0)\n"
+      "  --retries=N          re-send shed requests up to N times\n"
+      "  --want-body=0|1      request response bodies (default 0)\n"
+      "  --no-warmup          skip pre-warming the hot pool\n"
+      "  --summary=FILE       write key=value results to FILE\n"
+      "  --assert-min-hits=N  fail unless >=N cache hits were observed\n"
+      "  --assert-min-shed=N  fail unless >=N requests were shed\n"
+      "  --assert-monotone-stats  poll `stats: 1` between levels and fail\n"
+      "                       if any per-shard counter decreases\n"
+      "  --quiet              suppress per-level stdout lines\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Transport
+//===----------------------------------------------------------------------===//
+
+int connectDaemon(const std::string &SocketPath, const std::string &Connect,
+                  std::string &Err) {
+  if (!Connect.empty()) {
+    size_t Colon = Connect.rfind(':');
+    if (Colon == std::string::npos || Colon == 0 ||
+        Colon + 1 == Connect.size()) {
+      Err = "--connect expects HOST:PORT, got '" + Connect + "'";
+      return -1;
+    }
+    struct addrinfo Hints;
+    std::memset(&Hints, 0, sizeof(Hints));
+    Hints.ai_family = AF_INET;
+    Hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo *Res = nullptr;
+    int GA = ::getaddrinfo(Connect.substr(0, Colon).c_str(),
+                           Connect.substr(Colon + 1).c_str(), &Hints, &Res);
+    if (GA != 0 || !Res) {
+      Err = "cannot resolve " + Connect + ": " + ::gai_strerror(GA);
+      return -1;
+    }
+    int Fd = ::socket(Res->ai_family, Res->ai_socktype, Res->ai_protocol);
+    if (Fd < 0 || ::connect(Fd, Res->ai_addr, Res->ai_addrlen) != 0) {
+      Err = "cannot connect to " + Connect + ": " + std::strerror(errno);
+      if (Fd >= 0)
+        ::close(Fd);
+      ::freeaddrinfo(Res);
+      return -1;
+    }
+    ::freeaddrinfo(Res);
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    return Fd;
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long";
+    return -1;
+  }
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0 || ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                          sizeof(Addr)) != 0) {
+    Err = "cannot connect to " + SocketPath + ": " + std::strerror(errno);
+    if (Fd >= 0)
+      ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+//===----------------------------------------------------------------------===//
+// Workload
+//===----------------------------------------------------------------------===//
+
+/// Renders one generated module to canonical text. Seed alone determines
+/// the bytes (the IRGenerator contract), so the corpus is closed.
+std::string renderModule(uint64_t Seed) {
+  Context Ctx;
+  Module M(Ctx, "loadgen");
+  IRGenerator Gen(M);
+  Gen.generate("f" + std::to_string(Seed), Seed);
+  return toString(M);
+}
+
+struct Workload {
+  std::vector<std::shared_ptr<const std::string>> HotPayloads;
+  ServiceRequest Proto; ///< Template: mode/run/deadline/want-body knobs.
+  uint64_t MasterSeed = 1;
+  double HitRatio = 0.9;
+  /// Source of fresh never-seen module seeds (shared by all threads).
+  std::atomic<uint64_t> NextFresh{0};
+
+  std::string encode(const std::string &ModuleText) const {
+    ServiceRequest Req = Proto;
+    Req.ModuleText = ModuleText;
+    return encodeRequest(Req);
+  }
+
+  /// The payload for global arrival number \p Index: deterministic in
+  /// (MasterSeed, Index) except that fresh-module seeds are drawn from a
+  /// shared counter (the *set* of fresh modules is deterministic; which
+  /// thread sends which is not — irrelevant to an open-loop measurement).
+  std::shared_ptr<const std::string> payloadFor(uint64_t Index) {
+    uint64_t S = MasterSeed * 0x9e3779b97f4a7c15ULL + Index;
+    if (uniform01(S) < HitRatio || HotPayloads.empty())
+      return HotPayloads[splitmix64(S) % HotPayloads.size()];
+    const uint64_t Fresh =
+        NextFresh.fetch_add(1, std::memory_order_relaxed);
+    return std::make_shared<const std::string>(
+        encode(renderModule(MasterSeed + 0x10000000ull + Fresh)));
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Measurement
+//===----------------------------------------------------------------------===//
+
+struct LevelStats {
+  double OfferedRps = 0;
+  double AchievedRps = 0;
+  uint64_t Sent = 0;
+  uint64_t Completed = 0;
+  uint64_t OkHits = 0;
+  uint64_t OkMisses = 0;
+  uint64_t Shed = 0;
+  uint64_t HardErrors = 0;
+  uint64_t TransportErrors = 0;
+  uint64_t Retries = 0;
+  uint64_t P50Ns = 0, P95Ns = 0, P99Ns = 0;
+  double ElapsedSec = 0;
+};
+
+uint64_t percentileNs(std::vector<uint64_t> &V, double P) {
+  if (V.empty())
+    return 0;
+  size_t Idx = static_cast<size_t>(P * static_cast<double>(V.size() - 1));
+  std::nth_element(V.begin(), V.begin() + Idx, V.end());
+  return V[Idx];
+}
+
+/// One in-flight request on one connection (FIFO order = response order).
+struct InFlight {
+  uint64_t IntendedNanos = 0;
+  std::shared_ptr<const std::string> Payload;
+  unsigned RetriesLeft = 0;
+};
+
+struct Conn {
+  int Fd = -1;
+  std::deque<InFlight> Outstanding;
+};
+
+/// Per-sender-thread accumulator, merged after the level completes.
+struct ThreadStats {
+  uint64_t Sent = 0, Completed = 0, OkHits = 0, OkMisses = 0, Shed = 0,
+           HardErrors = 0, TransportErrors = 0, Retries = 0;
+  std::vector<uint64_t> LatenciesNs;
+};
+
+/// Reads and classifies one response from \p C's FIFO head. Returns false
+/// on transport failure (connection unusable).
+bool completeOne(Conn &C, ThreadStats &TS, unsigned MaxRetries) {
+  if (C.Outstanding.empty())
+    return true;
+  InFlight Head = std::move(C.Outstanding.front());
+  C.Outstanding.pop_front();
+  std::string RespPayload, Err;
+  if (!readFrame(C.Fd, RespPayload, &Err)) {
+    ++TS.TransportErrors;
+    return false;
+  }
+  ServiceResponse Resp;
+  if (!decodeResponse(RespPayload, Resp, &Err)) {
+    ++TS.HardErrors;
+    return true;
+  }
+  ++TS.Completed;
+  TS.LatenciesNs.push_back(nowNanos() - Head.IntendedNanos);
+  if (Resp.Ok) {
+    if (Resp.Cache == "hit" || Resp.Cache == "coalesced" ||
+        Resp.Cache == "disk")
+      ++TS.OkHits;
+    else
+      ++TS.OkMisses;
+    return true;
+  }
+  const bool IsShed = Resp.Retryable;
+  if (IsShed) {
+    ++TS.Shed;
+    if (Head.RetriesLeft > 0) {
+      // Re-send with the original intended time: the retry's latency
+      // keeps charging the request's full wall-clock wait.
+      InFlight Retry;
+      Retry.IntendedNanos = Head.IntendedNanos;
+      Retry.Payload = Head.Payload;
+      Retry.RetriesLeft = Head.RetriesLeft - 1;
+      std::string WErr;
+      if (!writeFrame(C.Fd, *Retry.Payload, &WErr)) {
+        ++TS.TransportErrors;
+        return false;
+      }
+      ++TS.Retries;
+      C.Outstanding.push_back(std::move(Retry));
+    }
+  } else {
+    ++TS.HardErrors;
+  }
+  (void)MaxRetries;
+  return true;
+}
+
+/// Drains whatever responses are already readable, without blocking.
+bool drainReady(Conn &C, ThreadStats &TS, unsigned MaxRetries) {
+  while (!C.Outstanding.empty()) {
+    struct pollfd P{C.Fd, POLLIN, 0};
+    int R = ::poll(&P, 1, 0);
+    if (R <= 0)
+      return true;
+    if (!completeOne(C, TS, MaxRetries))
+      return false;
+  }
+  return true;
+}
+
+struct SenderArgs {
+  Workload *Work = nullptr;
+  double Rate = 0;            ///< This thread's slice of the offered rate.
+  uint64_t Arrivals = 0;      ///< This thread's slice of the request count.
+  uint64_t IndexBase = 0;     ///< Global arrival index of this thread's first.
+  bool Poisson = true;
+  uint64_t StartNanos = 0;
+  uint64_t ScheduleSeed = 0;
+  unsigned MaxRetries = 0;
+  std::vector<Conn> Conns;
+  ThreadStats Stats;
+  bool Failed = false;
+};
+
+void senderMain(SenderArgs &A) {
+  uint64_t Next = A.StartNanos;
+  uint64_t Rng = A.ScheduleSeed;
+  const double StepNs = A.Rate > 0 ? 1e9 / A.Rate : 0;
+  size_t RR = 0;
+  for (uint64_t I = 0; I < A.Arrivals; ++I) {
+    Next += static_cast<uint64_t>(
+        A.Poisson ? -StepNs * std::log(uniform01(Rng)) : StepNs);
+    const uint64_t Now = nowNanos();
+    if (Next > Now)
+      sleepUntilNanos(Next);
+    // Open loop: the intended time is the schedule's, not "now" — if we
+    // are running behind (server backpressure through full socket
+    // buffers), the lateness is charged to the measured latency.
+    Conn &C = A.Conns[RR++ % A.Conns.size()];
+    InFlight F;
+    F.IntendedNanos = Next;
+    F.Payload = A.Work->payloadFor(A.IndexBase + I);
+    F.RetriesLeft = A.MaxRetries;
+    std::string Err;
+    if (!writeFrame(C.Fd, *F.Payload, &Err)) {
+      ++A.Stats.TransportErrors;
+      A.Failed = true;
+      return;
+    }
+    ++A.Stats.Sent;
+    C.Outstanding.push_back(std::move(F));
+    for (Conn &D : A.Conns)
+      if (!drainReady(D, A.Stats, A.MaxRetries)) {
+        A.Failed = true;
+        return;
+      }
+  }
+  // Tail drain: block for the rest (every arrival already fired).
+  for (Conn &C : A.Conns)
+    while (!C.Outstanding.empty())
+      if (!completeOne(C, A.Stats, A.MaxRetries)) {
+        A.Failed = true;
+        return;
+      }
+}
+
+//===----------------------------------------------------------------------===//
+// Stats introspection (`stats: 1`)
+//===----------------------------------------------------------------------===//
+
+bool fetchShardStats(const std::string &SocketPath,
+                     const std::string &Connect,
+                     std::map<std::string, int64_t> &Out, std::string &Err) {
+  int Fd = connectDaemon(SocketPath, Connect, Err);
+  if (Fd < 0)
+    return false;
+  ServiceRequest Req;
+  Req.StatsOnly = true;
+  std::string RespPayload;
+  ServiceResponse Resp;
+  bool Ok = writeFrame(Fd, encodeRequest(Req), &Err) &&
+            readFrame(Fd, RespPayload, &Err) &&
+            decodeResponse(RespPayload, Resp, &Err) && Resp.Ok;
+  ::close(Fd);
+  if (!Ok) {
+    if (Err.empty())
+      Err = "stats request failed";
+    return false;
+  }
+  std::istringstream IS(Resp.Body);
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    size_t Colon = Line.rfind(": ");
+    if (Colon == std::string::npos)
+      continue;
+    Out[Line.substr(0, Colon)] =
+        static_cast<int64_t>(std::strtoll(Line.c_str() + Colon + 2,
+                                          nullptr, 10));
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// main
+//===----------------------------------------------------------------------===//
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  const std::string SocketPath = CL.getString("socket");
+  const std::string Connect = CL.getString("connect");
+  if (CL.has("help") || (SocketPath.empty() && Connect.empty())) {
+    printUsage();
+    return CL.has("help") ? 0 : 2;
+  }
+
+  // Offered levels.
+  std::vector<double> Rates;
+  if (CL.has("rates")) {
+    std::istringstream IS(CL.getString("rates"));
+    std::string Tok;
+    while (std::getline(IS, Tok, ','))
+      if (!Tok.empty())
+        Rates.push_back(std::strtod(Tok.c_str(), nullptr));
+  } else {
+    Rates.push_back(static_cast<double>(CL.getInt("rate", 1000)));
+  }
+  for (double R : Rates)
+    if (!(R > 0)) {
+      std::fprintf(stderr, "snslp-loadgen: rates must be positive\n");
+      return 2;
+    }
+
+  const uint64_t Requests =
+      static_cast<uint64_t>(CL.getInt("requests", 1000));
+  const std::string Arrival = CL.getString("arrival", "poisson");
+  if (Arrival != "poisson" && Arrival != "fixed") {
+    std::fprintf(stderr, "snslp-loadgen: --arrival expects poisson|fixed\n");
+    return 2;
+  }
+  const bool Poisson = Arrival == "poisson";
+  const unsigned Connections =
+      static_cast<unsigned>(CL.getInt("connections", 4));
+  unsigned Threads = static_cast<unsigned>(
+      CL.getInt("threads", Connections < 4 ? Connections : 4));
+  if (Threads == 0)
+    Threads = 1;
+  if (Threads > Connections)
+    Threads = Connections;
+  const unsigned PoolSize = static_cast<unsigned>(CL.getInt("pool", 32));
+  const double HitRatio =
+      std::strtod(CL.getString("hit-ratio", "0.9").c_str(), nullptr);
+  const uint64_t Seed = static_cast<uint64_t>(CL.getInt("seed", 1));
+  const unsigned MaxRetries =
+      static_cast<unsigned>(CL.getInt("retries", 0));
+  const bool Quiet = CL.getBool("quiet");
+  const std::string SummaryPath = CL.getString("summary");
+  const int64_t AssertMinHits = CL.getInt("assert-min-hits", -1);
+  const int64_t AssertMinShed = CL.getInt("assert-min-shed", -1);
+  const bool AssertMonotone = CL.getBool("assert-monotone-stats");
+
+  // The request template shared by every payload.
+  Workload Work;
+  Work.MasterSeed = Seed;
+  Work.HitRatio = HitRatio;
+  const std::string ModeName = CL.getString("mode", "SN-SLP");
+  if (!parseModeName(ModeName, Work.Proto.Mode)) {
+    std::fprintf(stderr, "snslp-loadgen: unknown mode '%s'\n",
+                 ModeName.c_str());
+    return 2;
+  }
+  Work.Proto.Run = CL.getBool("run");
+  Work.Proto.Elems = static_cast<uint64_t>(CL.getInt("elems", 16));
+  Work.Proto.DeadlineMillis =
+      static_cast<uint64_t>(CL.getInt("deadline-ms", 0));
+  Work.Proto.WantBody = CL.getBool("want-body", false);
+
+  // Closed-seed hot corpus, pre-encoded once.
+  for (unsigned I = 0; I < PoolSize; ++I)
+    Work.HotPayloads.push_back(std::make_shared<const std::string>(
+        Work.encode(renderModule(Seed + I))));
+
+  // Pre-warm: each hot module once over one connection, so measurement
+  // phases observe the steady-state hit ratio instead of a cold ramp.
+  if (!CL.getBool("no-warmup")) {
+    std::string Err;
+    int Fd = connectDaemon(SocketPath, Connect, Err);
+    if (Fd < 0) {
+      std::fprintf(stderr, "snslp-loadgen: %s\n", Err.c_str());
+      return 2;
+    }
+    for (const auto &P : Work.HotPayloads) {
+      std::string RespPayload;
+      if (!writeFrame(Fd, *P, &Err) || !readFrame(Fd, RespPayload, &Err)) {
+        std::fprintf(stderr, "snslp-loadgen: warmup failed: %s\n",
+                     Err.c_str());
+        ::close(Fd);
+        return 2;
+      }
+    }
+    ::close(Fd);
+  }
+
+  std::map<std::string, int64_t> PrevStats;
+  bool MonotoneOk = true;
+  if (AssertMonotone) {
+    std::string Err;
+    if (!fetchShardStats(SocketPath, Connect, PrevStats, Err)) {
+      std::fprintf(stderr, "snslp-loadgen: %s\n", Err.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<LevelStats> Levels;
+  uint64_t GlobalIndex = 0;
+  for (size_t L = 0; L < Rates.size(); ++L) {
+    const double Rate = Rates[L];
+    // Sender threads with private connection slices.
+    std::vector<SenderArgs> Args(Threads);
+    bool ConnectFailed = false;
+    const uint64_t Start = nowNanos() + 5'000'000; // 5ms alignment slack.
+    for (unsigned T = 0; T < Threads; ++T) {
+      SenderArgs &A = Args[T];
+      A.Work = &Work;
+      A.Rate = Rate / Threads;
+      A.Arrivals = Requests / Threads + (T < Requests % Threads ? 1 : 0);
+      A.IndexBase = GlobalIndex + T * (Requests / Threads + 1);
+      A.Poisson = Poisson;
+      A.StartNanos = Start;
+      A.ScheduleSeed = Seed ^ (0xabcdef12345678ull + T * 0x1000003ull +
+                               L * 0x10000019ull);
+      A.MaxRetries = MaxRetries;
+      const unsigned Share =
+          Connections / Threads + (T < Connections % Threads ? 1 : 0);
+      for (unsigned K = 0; K < (Share ? Share : 1); ++K) {
+        std::string Err;
+        Conn C;
+        C.Fd = connectDaemon(SocketPath, Connect, Err);
+        if (C.Fd < 0) {
+          std::fprintf(stderr, "snslp-loadgen: %s\n", Err.c_str());
+          ConnectFailed = true;
+          break;
+        }
+        A.Conns.push_back(C);
+      }
+      if (ConnectFailed)
+        break;
+    }
+    if (ConnectFailed) {
+      for (auto &A : Args)
+        for (Conn &C : A.Conns)
+          ::close(C.Fd);
+      return 2;
+    }
+    GlobalIndex += Requests;
+
+    std::vector<std::thread> Workers;
+    for (unsigned T = 0; T < Threads; ++T)
+      Workers.emplace_back([&Args, T] { senderMain(Args[T]); });
+    for (auto &W : Workers)
+      W.join();
+    const uint64_t End = nowNanos();
+
+    LevelStats LS;
+    LS.OfferedRps = Rate;
+    std::vector<uint64_t> AllLat;
+    bool Failed = false;
+    for (SenderArgs &A : Args) {
+      Failed |= A.Failed;
+      LS.Sent += A.Stats.Sent;
+      LS.Completed += A.Stats.Completed;
+      LS.OkHits += A.Stats.OkHits;
+      LS.OkMisses += A.Stats.OkMisses;
+      LS.Shed += A.Stats.Shed;
+      LS.HardErrors += A.Stats.HardErrors;
+      LS.TransportErrors += A.Stats.TransportErrors;
+      LS.Retries += A.Stats.Retries;
+      AllLat.insert(AllLat.end(), A.Stats.LatenciesNs.begin(),
+                    A.Stats.LatenciesNs.end());
+      for (Conn &C : A.Conns)
+        ::close(C.Fd);
+    }
+    LS.ElapsedSec =
+        static_cast<double>(End > Start ? End - Start : 1) / 1e9;
+    LS.AchievedRps = LS.ElapsedSec > 0
+                         ? static_cast<double>(LS.Completed) / LS.ElapsedSec
+                         : 0;
+    LS.P50Ns = percentileNs(AllLat, 0.50);
+    LS.P95Ns = percentileNs(AllLat, 0.95);
+    LS.P99Ns = percentileNs(AllLat, 0.99);
+    Levels.push_back(LS);
+
+    if (!Quiet)
+      std::printf("level %zu offered_rps=%.0f achieved_rps=%.0f sent=%llu "
+                  "ok=%llu hits=%llu misses=%llu shed=%llu errors=%llu "
+                  "p50_us=%.1f p95_us=%.1f p99_us=%.1f\n",
+                  L + 1, LS.OfferedRps, LS.AchievedRps,
+                  static_cast<unsigned long long>(LS.Sent),
+                  static_cast<unsigned long long>(LS.OkHits + LS.OkMisses),
+                  static_cast<unsigned long long>(LS.OkHits),
+                  static_cast<unsigned long long>(LS.OkMisses),
+                  static_cast<unsigned long long>(LS.Shed),
+                  static_cast<unsigned long long>(LS.HardErrors),
+                  LS.P50Ns / 1e3, LS.P95Ns / 1e3, LS.P99Ns / 1e3);
+
+    if (Failed) {
+      std::fprintf(stderr,
+                   "snslp-loadgen: transport failure at level %zu\n", L + 1);
+      return 2;
+    }
+
+    if (AssertMonotone) {
+      std::map<std::string, int64_t> Cur;
+      std::string Err;
+      if (!fetchShardStats(SocketPath, Connect, Cur, Err)) {
+        std::fprintf(stderr, "snslp-loadgen: %s\n", Err.c_str());
+        return 2;
+      }
+      for (const auto &[Name, Value] : PrevStats) {
+        auto It = Cur.find(Name);
+        if (It == Cur.end() || It->second < Value) {
+          std::fprintf(stderr,
+                       "snslp-loadgen: counter '%s' went backwards "
+                       "(%lld -> %lld)\n",
+                       Name.c_str(), static_cast<long long>(Value),
+                       It == Cur.end() ? -1ll
+                                       : static_cast<long long>(It->second));
+          MonotoneOk = false;
+        }
+      }
+      PrevStats = std::move(Cur);
+    }
+  }
+
+  // Totals + saturation.
+  LevelStats Tot;
+  double SaturationRps = 0;
+  for (const LevelStats &LS : Levels) {
+    Tot.Sent += LS.Sent;
+    Tot.Completed += LS.Completed;
+    Tot.OkHits += LS.OkHits;
+    Tot.OkMisses += LS.OkMisses;
+    Tot.Shed += LS.Shed;
+    Tot.HardErrors += LS.HardErrors;
+    Tot.TransportErrors += LS.TransportErrors;
+    Tot.Retries += LS.Retries;
+    SaturationRps = std::max(SaturationRps, LS.AchievedRps);
+  }
+  if (!Quiet)
+    std::printf("total sent=%llu ok=%llu hits=%llu shed=%llu errors=%llu "
+                "saturation_rps=%.0f\n",
+                static_cast<unsigned long long>(Tot.Sent),
+                static_cast<unsigned long long>(Tot.OkHits + Tot.OkMisses),
+                static_cast<unsigned long long>(Tot.OkHits),
+                static_cast<unsigned long long>(Tot.Shed),
+                static_cast<unsigned long long>(Tot.HardErrors),
+                SaturationRps);
+
+  if (!SummaryPath.empty()) {
+    std::ofstream OS(SummaryPath);
+    for (size_t L = 0; L < Levels.size(); ++L) {
+      const LevelStats &LS = Levels[L];
+      OS << "level" << L + 1 << ".offered_rps=" << LS.OfferedRps << "\n"
+         << "level" << L + 1 << ".achieved_rps=" << LS.AchievedRps << "\n"
+         << "level" << L + 1 << ".sent=" << LS.Sent << "\n"
+         << "level" << L + 1 << ".completed=" << LS.Completed << "\n"
+         << "level" << L + 1 << ".hits=" << LS.OkHits << "\n"
+         << "level" << L + 1 << ".misses=" << LS.OkMisses << "\n"
+         << "level" << L + 1 << ".shed=" << LS.Shed << "\n"
+         << "level" << L + 1 << ".errors=" << LS.HardErrors << "\n"
+         << "level" << L + 1 << ".retries=" << LS.Retries << "\n"
+         << "level" << L + 1 << ".p50_ns=" << LS.P50Ns << "\n"
+         << "level" << L + 1 << ".p95_ns=" << LS.P95Ns << "\n"
+         << "level" << L + 1 << ".p99_ns=" << LS.P99Ns << "\n";
+    }
+    OS << "levels=" << Levels.size() << "\n"
+       << "total.sent=" << Tot.Sent << "\n"
+       << "total.completed=" << Tot.Completed << "\n"
+       << "total.hits=" << Tot.OkHits << "\n"
+       << "total.misses=" << Tot.OkMisses << "\n"
+       << "total.shed=" << Tot.Shed << "\n"
+       << "total.errors=" << Tot.HardErrors << "\n"
+       << "saturation_rps=" << SaturationRps << "\n";
+  }
+
+  // Assertions (the deterministic smoke contract).
+  bool AssertFailed = false;
+  if (AssertMinHits >= 0 &&
+      Tot.OkHits < static_cast<uint64_t>(AssertMinHits)) {
+    std::fprintf(stderr, "snslp-loadgen: expected >=%lld hits, got %llu\n",
+                 static_cast<long long>(AssertMinHits),
+                 static_cast<unsigned long long>(Tot.OkHits));
+    AssertFailed = true;
+  }
+  if (AssertMinShed >= 0 && Tot.Shed < static_cast<uint64_t>(AssertMinShed)) {
+    std::fprintf(stderr, "snslp-loadgen: expected >=%lld shed, got %llu\n",
+                 static_cast<long long>(AssertMinShed),
+                 static_cast<unsigned long long>(Tot.Shed));
+    AssertFailed = true;
+  }
+  if (!MonotoneOk)
+    AssertFailed = true;
+  if (Tot.HardErrors > 0) {
+    std::fprintf(stderr, "snslp-loadgen: %llu hard error response(s)\n",
+                 static_cast<unsigned long long>(Tot.HardErrors));
+    AssertFailed = true;
+  }
+  return AssertFailed ? 1 : 0;
+}

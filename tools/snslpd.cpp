@@ -5,114 +5,95 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// snslpd: the vectorization daemon. Listens on a Unix domain socket and
-/// serves length-prefixed compile requests (service/Protocol.h) against a
-/// shared CompileService — so every client benefits from the daemon's
-/// content-addressed compile cache, and identical concurrent requests are
-/// single-flighted.
+/// snslpd: the vectorization daemon. An epoll reactor (service/EventLoop)
+/// multiplexes every client connection — the classic Unix domain socket
+/// and/or a nonblocking TCP listener on 127.0.0.1 — and routes each framed
+/// request by content digest to one of N independent compile shards
+/// (service/ShardedService): per-shard queue, worker slice, cache
+/// partition, and stats, with no cross-shard locks on the hot path.
 ///
 /// Usage:
-///   snslpd --socket=PATH [--workers=N] [--cache-bytes=N]
-///          [--queue-depth=N] [--store-dir=PATH]
-///          [--max-requests=N] [--verbose]
+///   snslpd [--socket=PATH] [--tcp-port=N] [--shards=N] [--workers=N]
+///          [--cache-bytes=N] [--queue-depth=N] [--store-dir=PATH]
+///          [--idle-timeout-ms=N] [--max-requests=N] [--verbose]
 ///
-/// --store-dir=PATH enables the crash-safe persistent artifact store: a
-/// daemon restarted on the same directory serves prior compiles as warm
-/// `cache: disk` hits without re-running the pipeline. --queue-depth
-/// bounds the pending compile queue (admission control); when full, the
-/// service answers the structured retryable `overloaded` error instead of
-/// queuing without bound.
+/// At least one listener (--socket or --tcp-port) is required.
+/// --tcp-port=0 asks the kernel for an ephemeral port; the daemon prints
+/// `snslpd: listening on tcp 127.0.0.1:<port>` so harnesses (the loadgen,
+/// service_roundtrip.sh) can scrape it. --shards=N (default 1) splits the
+/// service; --workers is the *total* worker count, sliced across shards.
+/// --queue-depth bounds each shard's pending queue (admission control);
+/// a full shard answers the structured retryable `overloaded` error.
 ///
-/// Connections are accepted sequentially and each carries any number of
-/// request frames until the client closes it. A malformed frame payload
-/// is answered with a positioned `parse-error` response on the same
-/// connection — the daemon never drops a connection in response to bad
-/// input, and never crashes on it.
+/// Request handling is fully asynchronous: the reactor thread decodes and
+/// routes; a shard worker compiles, executes (`run: 1`), encodes, and
+/// posts the response back to the loop, which writes each connection's
+/// responses in request arrival order. A malformed frame payload is
+/// answered with a positioned `parse-error` response; a byte stream that
+/// is not even framed gets a `parse-error` response before the connection
+/// closes — the daemon never drops input silently and never crashes on it.
+/// A `stats: 1` request is answered inline with the per-shard counter dump
+/// (the loadgen's monotonicity probe).
 ///
-/// --max-requests=N exits cleanly (code 0, stats dump with --verbose)
-/// after N frames have been answered; 0 (default) serves forever. SIGINT
-/// and SIGTERM also trigger a clean shutdown.
+/// SIGINT/SIGTERM trigger a graceful drain: listeners close immediately,
+/// no new requests are parsed, every already-accepted request is answered
+/// and flushed, idle connections are dropped — then the daemon exits 0.
+/// --max-requests=N drains the same way after N frames are answered.
 ///
 /// Exit code: 0 on clean shutdown, 2 on usage or socket setup errors.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "service/CompileService.h"
+#include "service/EventLoop.h"
 #include "service/Protocol.h"
+#include "service/ShardedService.h"
 #include "support/CommandLine.h"
-#include "support/Statistic.h"
 
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
-
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
 
 using namespace snslp;
 using namespace snslp::service;
 
 namespace {
 
-volatile sig_atomic_t GotShutdownSignal = 0;
+EventLoop *GlobalLoop = nullptr;
 
-void onSignal(int) { GotShutdownSignal = 1; }
+void onSignal(int) {
+  if (GlobalLoop)
+    GlobalLoop->requestStop(); // Async-signal-safe: atomic + eventfd.
+}
 
 void printUsage() {
   std::fprintf(
       stderr,
-      "usage: snslpd --socket=PATH [options]\n"
-      "  --socket=PATH     Unix domain socket to listen on (required;\n"
-      "                    an existing file at PATH is replaced)\n"
-      "  --workers=N       compile-pool threads (default: hardware)\n"
-      "  --cache-bytes=N   compile-cache byte budget (default 64 MiB)\n"
-      "  --queue-depth=N   max pending compile jobs before submissions\n"
-      "                    are rejected with the retryable 'overloaded'\n"
-      "                    code (default 256; 0 = unbounded)\n"
-      "  --store-dir=PATH  persistent artifact store directory (default\n"
-      "                    off); compiled artifacts survive restarts\n"
-      "  --max-requests=N  exit cleanly after answering N frames\n"
-      "                    (default 0 = serve forever)\n"
-      "  --verbose         log connections/requests and dump counters\n"
-      "                    on exit\n");
-}
-
-/// Serves every frame on one connection. Returns the number of frames
-/// answered.
-uint64_t serveConnection(int Fd, CompileService &Service, bool Verbose) {
-  uint64_t Served = 0;
-  std::string Payload, Err;
-  while (readFrame(Fd, Payload, &Err)) {
-    ServiceRequest Req;
-    ServiceResponse Resp;
-    std::string DecodeErr;
-    if (!decodeRequest(Payload, Req, &DecodeErr)) {
-      // Malformed payload: answer with a positioned parse error on the
-      // same connection, never drop it.
-      Resp.Ok = false;
-      Resp.ErrorCodeName = getErrorCodeName(ErrorCode::ParseError);
-      Resp.Body = "malformed request: " + DecodeErr;
-    } else {
-      Resp = serveRequest(Service, Req);
-    }
-    std::string WriteErr;
-    if (!writeFrame(Fd, encodeResponse(Resp), &WriteErr)) {
-      if (Verbose)
-        std::fprintf(stderr, "snslpd: client write failed: %s\n",
-                     WriteErr.c_str());
-      break;
-    }
-    ++Served;
-    if (Verbose)
-      std::fprintf(stderr, "snslpd: served frame (%s)\n",
-                   Resp.Ok ? Resp.Cache.c_str() : Resp.ErrorCodeName.c_str());
-  }
-  if (Verbose && !Err.empty())
-    std::fprintf(stderr, "snslpd: connection ended: %s\n", Err.c_str());
-  return Served;
+      "usage: snslpd [--socket=PATH] [--tcp-port=N] [options]\n"
+      "  --socket=PATH       Unix domain socket to listen on (an existing\n"
+      "                      file at PATH is replaced)\n"
+      "  --tcp-port=N        also listen on TCP 127.0.0.1:N (0 = ask the\n"
+      "                      kernel for an ephemeral port; the bound port\n"
+      "                      is printed on stdout)\n"
+      "  --shards=N          independent compile shards routed by request\n"
+      "                      digest (default 1)\n"
+      "  --workers=N         total compile threads across all shards\n"
+      "                      (default: hardware)\n"
+      "  --cache-bytes=N     total compile-cache byte budget, split across\n"
+      "                      shards (default 64 MiB)\n"
+      "  --queue-depth=N     max pending compile jobs *per shard* before\n"
+      "                      submissions are rejected with the retryable\n"
+      "                      'overloaded' code (default 256; 0 = unbounded)\n"
+      "  --store-dir=PATH    persistent artifact store directory, shared\n"
+      "                      by all shards (default off)\n"
+      "  --idle-timeout-ms=N close connections idle this long (default\n"
+      "                      60000; 0 = never)\n"
+      "  --max-requests=N    drain and exit cleanly after answering N\n"
+      "                      frames (default 0 = serve forever)\n"
+      "  --verbose           log setup and dump per-shard counters on exit\n"
+      "at least one of --socket / --tcp-port is required\n");
 }
 
 } // namespace
@@ -120,10 +101,13 @@ uint64_t serveConnection(int Fd, CompileService &Service, bool Verbose) {
 int main(int Argc, char **Argv) {
   CommandLine CL(Argc, Argv);
   const std::string SocketPath = CL.getString("socket");
-  if (SocketPath.empty() || CL.has("help")) {
+  const bool WantTcp = CL.has("tcp-port");
+  if (CL.has("help") || (SocketPath.empty() && !WantTcp)) {
     printUsage();
-    return SocketPath.empty() ? 2 : 0;
+    return CL.has("help") ? 0 : 2;
   }
+  const unsigned Shards =
+      static_cast<unsigned>(CL.getInt("shards", 1));
   const unsigned Workers = static_cast<unsigned>(CL.getInt("workers", 0));
   const uint64_t CacheBytes =
       static_cast<uint64_t>(CL.getInt("cache-bytes", 64ll << 20));
@@ -131,76 +115,106 @@ int main(int Argc, char **Argv) {
       static_cast<uint64_t>(CL.getInt("max-requests", 0));
   const uint64_t QueueDepth =
       static_cast<uint64_t>(CL.getInt("queue-depth", 256));
+  const uint64_t IdleTimeoutMs =
+      static_cast<uint64_t>(CL.getInt("idle-timeout-ms", 60000));
   const std::string StoreDir = CL.getString("store-dir");
   const bool Verbose = CL.getBool("verbose");
 
   // A dying client must not kill the daemon mid-write.
   std::signal(SIGPIPE, SIG_IGN);
-  struct sigaction SA;
-  std::memset(&SA, 0, sizeof(SA));
-  SA.sa_handler = onSignal; // No SA_RESTART: accept() must return EINTR.
-  sigaction(SIGINT, &SA, nullptr);
-  sigaction(SIGTERM, &SA, nullptr);
 
-  sockaddr_un Addr;
-  std::memset(&Addr, 0, sizeof(Addr));
-  Addr.sun_family = AF_UNIX;
-  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
-    std::fprintf(stderr, "snslpd: socket path too long (max %zu bytes)\n",
-                 sizeof(Addr.sun_path) - 1);
-    return 2;
-  }
-  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  // Declared before the service on purpose: shard workers post responses
+  // into the loop, so the service (whose destructor joins every worker)
+  // must be destroyed first.
+  EventLoop Loop;
 
-  ::unlink(SocketPath.c_str()); // Replace a stale socket file.
-  int ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (ListenFd < 0 ||
-      ::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
-          0 ||
-      ::listen(ListenFd, 16) < 0) {
-    std::fprintf(stderr, "snslpd: cannot listen on %s: %s\n",
-                 SocketPath.c_str(), std::strerror(errno));
-    if (ListenFd >= 0)
-      ::close(ListenFd);
-    return 2;
-  }
-
-  StatsRegistry Stats;
-  ServiceConfig Cfg;
-  Cfg.Workers = Workers;
-  Cfg.CacheBytes = CacheBytes;
-  Cfg.Stats = &Stats;
-  Cfg.MaxQueueDepth = static_cast<size_t>(QueueDepth);
-  Cfg.StoreDir = StoreDir;
-  CompileService Service(Cfg);
+  ShardedServiceConfig SCfg;
+  SCfg.Shards = Shards == 0 ? 1 : Shards;
+  SCfg.TotalWorkers = Workers;
+  SCfg.CacheBytes = CacheBytes;
+  SCfg.MaxQueueDepth = static_cast<size_t>(QueueDepth);
+  SCfg.StoreDir = StoreDir;
+  ShardedService Service(SCfg);
   if (!StoreDir.empty() && Verbose)
     std::fprintf(stderr, "snslpd: artifact store at %s\n", StoreDir.c_str());
 
-  std::printf("snslpd: listening on %s\n", SocketPath.c_str());
-  std::fflush(stdout);
+  // The canned response for a byte stream that is not even a frame.
+  ServiceResponse Malformed;
+  Malformed.Ok = false;
+  Malformed.ErrorCodeName = getErrorCodeName(ErrorCode::ParseError);
+  Malformed.Body = "malformed frame: bad magic or oversized length";
 
-  uint64_t TotalServed = 0;
-  while (!GotShutdownSignal &&
-         (MaxRequests == 0 || TotalServed < MaxRequests)) {
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
-    if (Fd < 0) {
-      if (errno == EINTR)
-        continue; // Re-check the shutdown flag.
-      std::fprintf(stderr, "snslpd: accept: %s\n", std::strerror(errno));
-      break;
+  EventLoop::Options LO;
+  LO.UnixSocketPath = SocketPath;
+  LO.EnableTcp = WantTcp;
+  LO.TcpPort = static_cast<uint16_t>(CL.getInt("tcp-port", 0));
+  LO.IdleTimeoutMillis = IdleTimeoutMs;
+  LO.MaxRequests = MaxRequests;
+  LO.MalformedFrameResponse = encodeResponse(Malformed);
+
+  // The reactor-side handler: decode + route only. Compiling, running,
+  // and encoding all happen on the owning shard's workers, which post the
+  // finished bytes back to the loop.
+  auto Handler = [&](const EventLoop::RequestToken &Tok,
+                     std::string Payload) {
+    ServiceRequest Req;
+    std::string DecodeErr;
+    if (!decodeRequest(Payload, Req, &DecodeErr)) {
+      ServiceResponse Resp;
+      Resp.Ok = false;
+      Resp.ErrorCodeName = getErrorCodeName(ErrorCode::ParseError);
+      Resp.Body = "malformed request: " + DecodeErr;
+      Loop.postResponse(Tok, encodeResponse(Resp));
+      return;
     }
-    if (Verbose)
-      std::fprintf(stderr, "snslpd: accepted connection\n");
-    TotalServed += serveConnection(Fd, Service, Verbose);
-    ::close(Fd);
+    if (Req.StatsOnly) {
+      ServiceResponse Resp;
+      Resp.Ok = true; // Introspection never compiles; no cache header.
+      Resp.Body = Service.renderStats();
+      Loop.postResponse(Tok, encodeResponse(Resp));
+      return;
+    }
+    // Built before the capture moves Req out (argument evaluation order
+    // is unspecified; the capture must not race the conversion).
+    CompileRequest CReq = toCompileRequest(Req);
+    Service.submitAsync(
+        std::move(CReq),
+        [&Loop, Tok, Req = std::move(Req)](Expected<CompiledUnit> U) {
+          Loop.postResponse(Tok, encodeResponse(buildResponse(U, Req)));
+        });
+  };
+
+  std::string Err;
+  if (!Loop.open(LO, Handler, &Err)) {
+    std::fprintf(stderr, "snslpd: cannot listen: %s\n", Err.c_str());
+    return 2;
   }
 
-  ::close(ListenFd);
-  ::unlink(SocketPath.c_str());
+  GlobalLoop = &Loop;
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onSignal;
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+
+  if (!SocketPath.empty())
+    std::printf("snslpd: listening on %s\n", SocketPath.c_str());
+  if (WantTcp)
+    std::printf("snslpd: listening on tcp 127.0.0.1:%u\n",
+                static_cast<unsigned>(Loop.tcpPort()));
+  if (Verbose)
+    std::fprintf(stderr, "snslpd: %u shard(s), queue depth %llu/shard\n",
+                 Service.shards(),
+                 static_cast<unsigned long long>(QueueDepth));
+  std::fflush(stdout);
+
+  Loop.run();
+  GlobalLoop = nullptr;
+
   if (Verbose) {
     std::fprintf(stderr, "snslpd: served %llu frame(s)\n",
-                 static_cast<unsigned long long>(TotalServed));
-    Stats.print(std::cerr);
+                 static_cast<unsigned long long>(Loop.framesServed()));
+    std::fputs(Service.renderStats().c_str(), stderr);
   }
   return 0;
 }
